@@ -1,0 +1,93 @@
+//===- BenchCommon.h - Shared helpers for figure binaries -------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line parsing and run helpers shared by the per-figure
+/// benchmark binaries. Every binary accepts:
+///   --scale=N        input scale percent (default per binary)
+///   --trials=N       trials per configuration; the median is reported
+///   --bench=ABBREV   run a single benchmark
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_BENCH_BENCHCOMMON_H
+#define ADE_BENCH_BENCHCOMMON_H
+
+#include "bench/Harness.h"
+#include "stats/Stats.h"
+#include "support/RawOstream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ade {
+namespace bench {
+
+struct CliOptions {
+  uint64_t Scale;
+  unsigned Trials = 1;
+  std::string Only;
+
+  explicit CliOptions(uint64_t DefaultScale) : Scale(DefaultScale) {}
+
+  bool parse(int Argc, char **Argv) {
+    for (int I = 1; I != Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.rfind("--scale=", 0) == 0) {
+        Scale = std::strtoull(Arg.c_str() + 8, nullptr, 10);
+      } else if (Arg.rfind("--trials=", 0) == 0) {
+        Trials = static_cast<unsigned>(
+            std::strtoul(Arg.c_str() + 9, nullptr, 10));
+      } else if (Arg.rfind("--bench=", 0) == 0) {
+        Only = Arg.substr(8);
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--scale=N] [--trials=N] [--bench=ABBREV]\n",
+                     Argv[0]);
+        return false;
+      }
+    }
+    if (Trials == 0)
+      Trials = 1;
+    return true;
+  }
+
+  /// The benchmarks selected by --bench (or the full suite).
+  std::vector<const BenchmarkSpec *> selected() const {
+    std::vector<const BenchmarkSpec *> Out;
+    for (const BenchmarkSpec &B : allBenchmarks())
+      if (Only.empty() || B.Abbrev == Only)
+        Out.push_back(&B);
+    return Out;
+  }
+};
+
+/// Runs \p B under \p C for the configured trials and returns the run
+/// with the median total time.
+inline RunResult runMedian(const BenchmarkSpec &B, Config C,
+                           const CliOptions &Cli,
+                           const std::string &PtaPragma = "") {
+  RunOptions Options;
+  Options.ScalePercent = Cli.Scale;
+  Options.PtaInnerPragma = PtaPragma;
+  std::vector<RunResult> Runs;
+  for (unsigned T = 0; T != Cli.Trials; ++T)
+    Runs.push_back(runBenchmark(B, C, Options));
+  std::sort(Runs.begin(), Runs.end(),
+            [](const RunResult &X, const RunResult &Y) {
+              return X.totalSeconds() < Y.totalSeconds();
+            });
+  return Runs[Runs.size() / 2];
+}
+
+} // namespace bench
+} // namespace ade
+
+#endif // ADE_BENCH_BENCHCOMMON_H

@@ -1,0 +1,103 @@
+//===- abl_interp_dispatch.cpp - Interpreter overhead bound ---------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Our own design ablation (DESIGN.md substitution 1): bounds the
+/// per-instruction dispatch cost of the interpreter, which every
+/// configuration pays equally. Reports nanoseconds per interpreted
+/// instruction for a pure-arithmetic loop and for hash/bitset collection
+/// loops: the gap between collection-op cost and dispatch cost is the
+/// headroom within which ADE speedups are observable; absolute speedups
+/// compress relative to the paper's native compilation by roughly
+/// (op + dispatch) / op.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "stats/Stats.h"
+#include "support/RawOstream.h"
+
+#include <chrono>
+
+using namespace ade;
+using namespace ade::stats;
+
+namespace {
+
+double nsPerInstruction(const char *Src, uint64_t Arg) {
+  auto M = parser::parseModuleOrDie(Src);
+  interp::Interpreter I(*M);
+  auto T0 = std::chrono::steady_clock::now();
+  I.callByName("main", {Arg});
+  auto T1 = std::chrono::steady_clock::now();
+  double Ns = std::chrono::duration<double, std::nano>(T1 - T0).count();
+  return Ns / static_cast<double>(I.stats().InstructionsExecuted);
+}
+
+} // namespace
+
+int main() {
+  RawOstream &OS = outs();
+  OS << "== Ablation: interpreter dispatch overhead ==\n";
+
+  const char *Arith = R"(fn @main(%n: u64) -> u64 {
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %sum = forrange %zero, %n -> [%i] iter(%acc = %zero) {
+    %x = add %acc, %i
+    %y = xor %x, %one
+    %z = add %y, %one
+    yield %z
+  }
+  ret %sum
+})";
+
+  const char *HashLoop = R"(fn @main(%n: u64) -> u64 {
+  %zero = const 0 : u64
+  %m = new Map{HashMap}<u64, u64>
+  forrange %zero, %n -> [%i] {
+    write %m, %i, %i
+    yield
+  }
+  %sum = forrange %zero, %n -> [%i] iter(%acc = %zero) {
+    %v = read %m, %i
+    %next = add %acc, %v
+    yield %next
+  }
+  ret %sum
+})";
+
+  const char *BitLoop = R"(fn @main(%n: u64) -> u64 {
+  %zero = const 0 : u64
+  %m = new Map{BitMap}<idx, u64>
+  forrange %zero, %n -> [%i] {
+    %id = cast %i : idx
+    write %m, %id, %i
+    yield
+  }
+  %sum = forrange %zero, %n -> [%i] iter(%acc = %zero) {
+    %id = cast %i : idx
+    %v = read %m, %id
+    %next = add %acc, %v
+    yield %next
+  }
+  ret %sum
+})";
+
+  constexpr uint64_t N = 2000000;
+  double ArithNs = nsPerInstruction(Arith, N);
+  double HashNs = nsPerInstruction(HashLoop, N / 4);
+  double BitNs = nsPerInstruction(BitLoop, N / 4);
+
+  Table T({"Workload", "ns / interpreted instruction"});
+  T.addRow({"pure arithmetic loop", Table::fmt(ArithNs, 1)});
+  T.addRow({"hash map read/write loop", Table::fmt(HashNs, 1)});
+  T.addRow({"bitmap read/write loop", Table::fmt(BitNs, 1)});
+  T.print(OS);
+  OS << "\nThe arithmetic row approximates pure dispatch cost; the gap\n"
+     << "between the hash and bitmap rows is the signal ADE exploits.\n";
+  return 0;
+}

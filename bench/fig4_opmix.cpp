@@ -1,0 +1,57 @@
+//===- fig4_opmix.cpp - Figure 4: operation mix and clustering ------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 4: the breakdown of dynamic collection operations
+/// executed by each benchmark (baseline configuration, region of
+/// interest) and a hierarchical (average-linkage) clustering of the
+/// benchmarks over those breakdowns.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "runtime/Stats.h"
+
+using namespace ade;
+using namespace ade::bench;
+using namespace ade::runtime;
+using namespace ade::stats;
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli(/*DefaultScale=*/15);
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  RawOstream &OS = outs();
+  OS << "== Figure 4: dynamic collection operation breakdown (scale "
+     << Cli.Scale << "%) ==\n";
+  constexpr unsigned NumCats = InterpStats::NumCats;
+  std::vector<std::string> Header = {"Bench"};
+  for (unsigned C = 0; C != NumCats; ++C)
+    Header.push_back(opCategoryName(static_cast<OpCategory>(C)));
+  Table T(Header);
+  std::vector<std::vector<double>> Mix;
+  std::vector<std::string> Labels;
+  for (const BenchmarkSpec *B : Cli.selected()) {
+    RunResult R = runMedian(*B, Config::Memoir, Cli);
+    double Total = static_cast<double>(R.Stats.totalAccesses());
+    std::vector<std::string> Row = {B->Abbrev};
+    std::vector<double> Fractions;
+    for (unsigned C = 0; C != NumCats; ++C) {
+      double Frac =
+          Total ? static_cast<double>(R.Stats.ByCategory[C]) / Total : 0;
+      Fractions.push_back(Frac);
+      Row.push_back(Table::pct(Frac, 1));
+    }
+    T.addRow(std::move(Row));
+    Mix.push_back(std::move(Fractions));
+    Labels.push_back(B->Abbrev);
+  }
+  T.print(OS);
+  OS << "\n== Hierarchical clustering (average linkage) ==\n";
+  printDendrogram(clusterAverageLinkage(Mix), Labels, OS);
+  return 0;
+}

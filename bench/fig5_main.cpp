@@ -1,0 +1,59 @@
+//===- fig5_main.cpp - Figure 5: ADE vs MEMOIR ----------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 5 of the paper: (a) whole-program speedup of ADE
+/// over the MEMOIR baseline, (b) region-of-interest speedup, (c) peak
+/// collection memory of ADE relative to MEMOIR, per benchmark with the
+/// geometric mean. Expected shape (paper, Intel-x64): whole-program
+/// geomean ~2.1x with one regression on KC; ROI geomean ~3x; memory
+/// ~100% geomean with large reductions on PTA/TC.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace ade;
+using namespace ade::bench;
+using namespace ade::stats;
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli(/*DefaultScale=*/100);
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  RawOstream &OS = outs();
+  OS << "== Figure 5: ADE vs MEMOIR (scale " << Cli.Scale << "%, "
+     << Cli.Trials << " trial(s)) ==\n";
+  Table T({"Bench", "memoir total(s)", "ade total(s)", "speedup",
+           "ROI speedup", "memory vs memoir"});
+  std::vector<double> Speedups, RoiSpeedups, MemRatios;
+  for (const BenchmarkSpec *B : Cli.selected()) {
+    RunResult Base = runMedian(*B, Config::Memoir, Cli);
+    RunResult Ade = runMedian(*B, Config::Ade, Cli);
+    if (Base.Checksum != Ade.Checksum) {
+      OS << "ERROR: checksum mismatch on " << B->Abbrev << "\n";
+      return 1;
+    }
+    double Speedup = Base.totalSeconds() / Ade.totalSeconds();
+    double Roi = Base.RoiSeconds / Ade.RoiSeconds;
+    double Mem = static_cast<double>(Ade.PeakBytes) /
+                 static_cast<double>(Base.PeakBytes);
+    Speedups.push_back(Speedup);
+    RoiSpeedups.push_back(Roi);
+    MemRatios.push_back(Mem);
+    T.addRow({B->Abbrev, Table::fmt(Base.totalSeconds(), 3),
+              Table::fmt(Ade.totalSeconds(), 3),
+              Table::fmt(Speedup, 2) + "x", Table::fmt(Roi, 2) + "x",
+              Table::pct(Mem)});
+  }
+  T.addRow({"GEO", "", "", Table::fmt(geomean(Speedups), 2) + "x",
+            Table::fmt(geomean(RoiSpeedups), 2) + "x",
+            Table::pct(geomean(MemRatios))});
+  T.print(OS);
+  OS << "\nPaper reference (Fig. 5): whole-program GEO ~2.12x (max 8.72x),"
+     << "\nROI GEO ~2.98x (max 9.02x), memory GEO ~94.4% (min 49.3%).\n";
+  return 0;
+}

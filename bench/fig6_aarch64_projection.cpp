@@ -1,0 +1,111 @@
+//===- fig6_aarch64_projection.cpp - Figure 6: AArch64 projection ---------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 6's cross-architecture comparison. We have one host
+/// machine (DESIGN.md substitution 5), so the AArch64 numbers are a
+/// calibrated projection: the measured region-of-interest time of the ADE
+/// configuration is re-weighted by the per-operation AArch64/Intel cost
+/// ratios derivable from the paper's own Table III (e.g. BitMap writes
+/// are 15.94x faster than hash writes on Intel but only 10.20x on
+/// AArch64, a 1.56x relative slowdown — the effect the paper names for
+/// SSSP's regression). The baseline is assumed architecture-neutral in
+/// relative terms, matching the paper's observation that hash-dominated
+/// code shifts little.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "runtime/Stats.h"
+
+using namespace ade;
+using namespace ade::bench;
+using namespace ade::runtime;
+using namespace ade::stats;
+
+namespace {
+
+/// AArch64-relative-to-Intel cost ratio of dense accesses per category,
+/// from the paper's Table III (intel_speedup / aarch64_speedup over the
+/// hash baseline).
+double aarch64CostRatio(OpCategory C) {
+  switch (C) {
+  case OpCategory::Read:
+    return 10.63 / 18.65; // BitMap read is relatively faster on AArch64.
+  case OpCategory::Write:
+    return 15.94 / 10.20; // BitMap write: 1.56x relative slowdown.
+  case OpCategory::Insert:
+    return 13.10 / 8.91;
+  case OpCategory::Remove:
+    return 1.32 / 2.60;
+  case OpCategory::Iterate:
+    return 2.65 / 6.41;
+  case OpCategory::Union:
+    return 5817.38 / 6944.48;
+  default:
+    return 1.0;
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli(/*DefaultScale=*/60);
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  RawOstream &OS = outs();
+  OS << "== Figure 6: projected AArch64 speedups (scale " << Cli.Scale
+     << "%) ==\n";
+  Table T({"Bench", "x64 speedup", "arm64 speedup (proj)", "x64 ROI",
+           "arm64 ROI (proj)", "shift"});
+  std::vector<double> X64, Arm, X64Roi, ArmRoi;
+  for (const BenchmarkSpec *B : Cli.selected()) {
+    RunResult Base = runMedian(*B, Config::Memoir, Cli);
+    RunResult Ade = runMedian(*B, Config::Ade, Cli);
+    // Re-weight the ADE ROI by the dense-access category mix.
+    const InterpStats &S = Ade.Stats;
+    double DenseTotal = static_cast<double>(S.Dense);
+    double Factor = 1.0;
+    if (DenseTotal > 0 && S.totalAccesses() > 0) {
+      double Weighted = 0;
+      for (unsigned C = 0; C != InterpStats::NumCats; ++C)
+        Weighted += static_cast<double>(S.ByCategory[C]) *
+                    aarch64CostRatio(static_cast<OpCategory>(C));
+      // Only the dense share of the accesses shifts with architecture.
+      double DenseShare =
+          DenseTotal / static_cast<double>(S.totalAccesses());
+      double CategoryShift =
+          Weighted / static_cast<double>(S.totalAccesses());
+      Factor = (1.0 - DenseShare) + DenseShare * CategoryShift;
+      if (Factor <= 0)
+        Factor = 1.0;
+    }
+    double AdeRoiArm = Ade.RoiSeconds * Factor;
+    double AdeTotalArm = Ade.InitSeconds + AdeRoiArm;
+    double SpX64 = Base.totalSeconds() / Ade.totalSeconds();
+    double SpArm = Base.totalSeconds() / AdeTotalArm;
+    double RoiX64 = Base.RoiSeconds / Ade.RoiSeconds;
+    double RoiArm = Base.RoiSeconds / AdeRoiArm;
+    X64.push_back(SpX64);
+    Arm.push_back(SpArm);
+    X64Roi.push_back(RoiX64);
+    ArmRoi.push_back(RoiArm);
+    T.addRow({B->Abbrev, Table::fmt(SpX64, 2) + "x",
+              Table::fmt(SpArm, 2) + "x", Table::fmt(RoiX64, 2) + "x",
+              Table::fmt(RoiArm, 2) + "x",
+              SpArm >= SpX64 ? "better" : "worse"});
+  }
+  T.addRow({"GEO", Table::fmt(geomean(X64), 2) + "x",
+            Table::fmt(geomean(Arm), 2) + "x",
+            Table::fmt(geomean(X64Roi), 2) + "x",
+            Table::fmt(geomean(ArmRoi), 2) + "x", ""});
+  T.print(OS);
+  OS << "\nPaper reference (measured on ARM Neoverse N1): whole-program"
+     << "\nGEO 2.03x, ROI GEO 2.91x; write/insert-heavy benchmarks (SSSP)"
+     << "\nregress, read/iterate-heavy ones improve.\n";
+  return 0;
+}

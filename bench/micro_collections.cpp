@@ -1,0 +1,138 @@
+//===- micro_collections.cpp - google-benchmark collection suite ----------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks over the collection library: insert,
+/// lookup and iterate for every set and map implementation across sizes,
+/// plus enumeration construction (the abl_enum_growth ablation: how the
+/// cost of building the Enc/Dec mapping scales with distinct-key count
+/// and duplication ratio — the overhead ADE must amortize, visible in
+/// KC's whole-program regression in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/Collections.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ade;
+
+namespace {
+
+std::vector<uint64_t> denseKeys(uint64_t N) {
+  std::vector<uint64_t> Keys(N);
+  for (uint64_t I = 0; I != N; ++I)
+    Keys[I] = I;
+  Rng R(7);
+  for (uint64_t I = N; I > 1; --I)
+    std::swap(Keys[I - 1], Keys[R.nextBelow(I)]);
+  return Keys;
+}
+
+template <typename SetT> void BM_SetInsert(benchmark::State &State) {
+  auto Keys = denseKeys(static_cast<uint64_t>(State.range(0)));
+  for (auto _ : State) {
+    SetT S;
+    for (uint64_t K : Keys)
+      S.insert(K);
+    benchmark::DoNotOptimize(S.size());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Keys.size()));
+}
+
+template <typename SetT> void BM_SetLookup(benchmark::State &State) {
+  auto Keys = denseKeys(static_cast<uint64_t>(State.range(0)));
+  SetT S;
+  for (uint64_t K : Keys)
+    if (K & 1)
+      S.insert(K);
+  for (auto _ : State) {
+    uint64_t Hits = 0;
+    for (uint64_t K : Keys)
+      Hits += S.contains(K);
+    benchmark::DoNotOptimize(Hits);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Keys.size()));
+}
+
+template <typename SetT> void BM_SetIterate(benchmark::State &State) {
+  auto Keys = denseKeys(static_cast<uint64_t>(State.range(0)));
+  SetT S;
+  for (uint64_t K : Keys)
+    S.insert(K);
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    S.forEach([&](uint64_t K) { Sum += K; });
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Keys.size()));
+}
+
+template <typename MapT> void BM_MapReadWrite(benchmark::State &State) {
+  auto Keys = denseKeys(static_cast<uint64_t>(State.range(0)));
+  MapT M;
+  for (uint64_t K : Keys)
+    M.insertOrAssign(K, K);
+  for (auto _ : State) {
+    for (uint64_t K : Keys) {
+      uint64_t V = *M.lookup(K);
+      M.insertOrAssign(K, V + 1);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * 2 *
+                          static_cast<int64_t>(Keys.size()));
+}
+
+void BM_EnumerationGrowth(benchmark::State &State) {
+  // range(0): number of adds; range(1): percent of adds that are distinct
+  // (the rest re-add known keys, the amortized fast path).
+  uint64_t Adds = static_cast<uint64_t>(State.range(0));
+  uint64_t DistinctPct = static_cast<uint64_t>(State.range(1));
+  uint64_t Distinct = std::max<uint64_t>(1, Adds * DistinctPct / 100);
+  Rng R(13);
+  std::vector<uint64_t> Stream(Adds);
+  for (uint64_t I = 0; I != Adds; ++I)
+    Stream[I] = hashU64(R.nextBelow(Distinct));
+  for (auto _ : State) {
+    Enumeration<uint64_t> E;
+    for (uint64_t K : Stream)
+      benchmark::DoNotOptimize(E.add(K).first);
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(Adds));
+}
+
+} // namespace
+
+BENCHMARK(BM_SetInsert<HashSet<uint64_t>>)->Arg(1 << 10)->Arg(1 << 16);
+BENCHMARK(BM_SetInsert<SwissSet<uint64_t>>)->Arg(1 << 10)->Arg(1 << 16);
+BENCHMARK(BM_SetInsert<BitSet>)->Arg(1 << 10)->Arg(1 << 16);
+BENCHMARK(BM_SetInsert<RoaringBitSet>)->Arg(1 << 10)->Arg(1 << 16);
+
+BENCHMARK(BM_SetLookup<HashSet<uint64_t>>)->Arg(1 << 16);
+BENCHMARK(BM_SetLookup<SwissSet<uint64_t>>)->Arg(1 << 16);
+BENCHMARK(BM_SetLookup<FlatSet<uint64_t>>)->Arg(1 << 16);
+BENCHMARK(BM_SetLookup<BitSet>)->Arg(1 << 16);
+BENCHMARK(BM_SetLookup<RoaringBitSet>)->Arg(1 << 16);
+
+BENCHMARK(BM_SetIterate<HashSet<uint64_t>>)->Arg(1 << 16);
+BENCHMARK(BM_SetIterate<SwissSet<uint64_t>>)->Arg(1 << 16);
+BENCHMARK(BM_SetIterate<FlatSet<uint64_t>>)->Arg(1 << 16);
+BENCHMARK(BM_SetIterate<BitSet>)->Arg(1 << 16);
+BENCHMARK(BM_SetIterate<RoaringBitSet>)->Arg(1 << 16);
+
+BENCHMARK(BM_MapReadWrite<HashMap<uint64_t, uint64_t>>)->Arg(1 << 16);
+BENCHMARK(BM_MapReadWrite<SwissMap<uint64_t, uint64_t>>)->Arg(1 << 16);
+BENCHMARK(BM_MapReadWrite<BitMap<uint64_t>>)->Arg(1 << 16);
+
+BENCHMARK(BM_EnumerationGrowth)
+    ->Args({1 << 16, 100})
+    ->Args({1 << 16, 10})
+    ->Args({1 << 16, 1});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+//===- rq4_pta_casestudy.cpp - RQ4: tuning PTA with directives ------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the RQ4 performance-engineering case study: ADE's benefit
+/// heuristic shares one enumeration between the points-to map's pointer
+/// keys and the inner object sets, leaving the inner bitsets nearly empty
+/// (the paper: 0.009% of bits used on sqlite3). Directives at the inner
+/// allocation site recover the performance:
+///
+///   untuned ADE             (the eager default)
+///   enumerate noshare       (own object enumeration -> the paper's 78.1x)
+///   noenumerate             (keep inner sets as hash sets)
+///   select(SparseBitSet)    (compressed shared-domain bitsets)
+///   select(FlatSet)         (sorted arrays with linear merge union)
+///
+/// Results are reported relative to the MEMOIR baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace ade;
+using namespace ade::bench;
+using namespace ade::stats;
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli(/*DefaultScale=*/100);
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  const BenchmarkSpec *PTA = findBenchmark("PTA");
+  if (!PTA)
+    return 1;
+
+  RawOstream &OS = outs();
+  OS << "== RQ4: PTA case study (scale " << Cli.Scale << "%) ==\n";
+  RunResult Base = runMedian(*PTA, Config::Memoir, Cli);
+
+  struct Variant {
+    const char *Name;
+    const char *Pragma;
+  };
+  const Variant Variants[] = {
+      {"ade (untuned)", ""},
+      {"ade + enumerate noshare", "#pragma ade enumerate noshare"},
+      {"ade + noenumerate", "#pragma ade noenumerate"},
+      {"ade + select(SparseBitSet)", "#pragma ade select(SparseBitSet)"},
+      {"ade + select(FlatSet)", "#pragma ade select(FlatSet)"},
+  };
+
+  Table T({"Configuration", "total(s)", "speedup vs memoir",
+           "memory vs memoir"});
+  T.addRow({"memoir", Table::fmt(Base.totalSeconds(), 3), "1.00x",
+            "100.0%"});
+  for (const Variant &V : Variants) {
+    RunResult R = runMedian(*PTA, Config::Ade, Cli, V.Pragma);
+    if (R.Checksum != Base.Checksum) {
+      OS << "ERROR: checksum mismatch for " << V.Name << "\n";
+      return 1;
+    }
+    T.addRow({V.Name, Table::fmt(R.totalSeconds(), 3),
+              Table::fmt(Base.totalSeconds() / R.totalSeconds(), 2) + "x",
+              Table::pct(static_cast<double>(R.PeakBytes) /
+                         Base.PeakBytes)});
+  }
+  T.print(OS);
+  OS << "\nPaper reference: untuned ADE ~5.7x; noshare on the inner sets"
+     << "\nreaches 78.1x and -71% memory; noenumerate only 1.12x;"
+     << "\nSparseBitSet and FlatSet land in between.\n";
+  return 0;
+}

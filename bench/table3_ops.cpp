@@ -1,0 +1,209 @@
+//===- table3_ops.cpp - Table III: per-operation implementation costs -----===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Table III: the per-operation speedup of each collection
+/// implementation relative to Hash{Set,Map}, measured on this machine over
+/// a dense identifier domain (the enumerated scenario in which the
+/// specialized implementations operate). Expected shape: Bit{Set,Map} win
+/// every operation except set iteration; union on bitsets is three to four
+/// orders of magnitude faster; FlatSet trades slow updates for the fastest
+/// iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/Collections.h"
+#include "stats/Stats.h"
+#include "support/Random.h"
+#include "support/RawOstream.h"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ade;
+using namespace ade::stats;
+
+namespace {
+
+constexpr uint64_t N = 1 << 17; // Dense identifier universe.
+
+std::vector<uint64_t> shuffledKeys() {
+  std::vector<uint64_t> Keys(N);
+  for (uint64_t I = 0; I != N; ++I)
+    Keys[I] = I;
+  Rng R(99);
+  for (uint64_t I = N; I > 1; --I)
+    std::swap(Keys[I - 1], Keys[R.nextBelow(I)]);
+  return Keys;
+}
+
+/// Times \p Fn and returns nanoseconds per element.
+template <typename FnT> double timePerOp(uint64_t Ops, FnT Fn) {
+  auto T0 = std::chrono::steady_clock::now();
+  Fn();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(T1 - T0).count() /
+         static_cast<double>(Ops);
+}
+
+volatile uint64_t Sink;
+
+struct SetCosts {
+  double Insert = 0, Remove = 0, Iterate = 0, Union = 0;
+};
+
+template <typename SetT> SetCosts measureSet(const std::vector<uint64_t> &K) {
+  SetCosts C;
+  SetT Warm;
+  for (uint64_t Key : K)
+    Warm.insert(Key);
+  {
+    SetT S;
+    C.Insert = timePerOp(N, [&] {
+      for (uint64_t Key : K)
+        S.insert(Key);
+    });
+  }
+  {
+    SetT S = Warm;
+    C.Remove = timePerOp(N, [&] {
+      for (uint64_t Key : K)
+        S.remove(Key);
+    });
+  }
+  {
+    // Iteration is measured at sparse occupancy (1/64 of the universe):
+    // array-like sets must scan their whole universe to find members,
+    // the one operation where hash tables win (Table III).
+    SetT SparseFill;
+    for (uint64_t Key = 0; Key < N; Key += 64)
+      SparseFill.insert(Key);
+    constexpr unsigned Reps = 16;
+    C.Iterate = timePerOp((N / 64) * Reps, [&] {
+      uint64_t Sum = 0;
+      for (unsigned R = 0; R != Reps; ++R)
+        SparseFill.forEach([&](uint64_t Key) { Sum += Key; });
+      Sink = Sum;
+    });
+  }
+  {
+    // Union of two half-range sets; repeated merges measure traversal
+    // plus combine without timing a deep copy.
+    SetT A, B;
+    for (uint64_t I = 0; I != N; I += 2) {
+      A.insert(I);
+      B.insert(I + 1);
+    }
+    constexpr unsigned Reps = 8;
+    C.Union = timePerOp(N * Reps, [&] {
+      for (unsigned R = 0; R != Reps; ++R) {
+        A.unionWith(B);
+        Sink = A.size();
+      }
+    });
+  }
+  return C;
+}
+
+struct MapCosts {
+  double Read = 0, Write = 0, Insert = 0, Remove = 0, Iterate = 0;
+};
+
+template <typename MapT> MapCosts measureMap(const std::vector<uint64_t> &K) {
+  MapCosts C;
+  MapT Warm;
+  for (uint64_t Key : K)
+    Warm.insertOrAssign(Key, Key * 3);
+  C.Read = timePerOp(N, [&] {
+    uint64_t Sum = 0;
+    for (uint64_t Key : K)
+      Sum += *Warm.lookup(Key);
+    Sink = Sum;
+  });
+  C.Write = timePerOp(N, [&] {
+    for (uint64_t Key : K)
+      Warm.insertOrAssign(Key, Key);
+  });
+  {
+    MapT M;
+    C.Insert = timePerOp(N, [&] {
+      for (uint64_t Key : K)
+        M.tryInsert(Key, Key);
+    });
+  }
+  {
+    MapT M = Warm;
+    C.Remove = timePerOp(N, [&] {
+      for (uint64_t Key : K)
+        M.remove(Key);
+    });
+  }
+  C.Iterate = timePerOp(N, [&] {
+    uint64_t Sum = 0;
+    Warm.forEach([&](uint64_t Key, uint64_t &V) { Sum += Key + V; });
+    Sink = Sum;
+  });
+  return C;
+}
+
+std::string rel(double Base, double Mine) {
+  if (Mine == 0)
+    return "-";
+  return Table::fmt(Base / Mine, 2);
+}
+
+} // namespace
+
+int main() {
+  RawOstream &OS = outs();
+  std::vector<uint64_t> K = shuffledKeys();
+  OS << "== Table III: per-operation speedup relative to Hash{Set,Map} "
+     << "(dense ids, N=" << uint64_t(N) << ") ==\n";
+
+  SetCosts Hash = measureSet<HashSet<uint64_t>>(K);
+  SetCosts Bit = measureSet<BitSet>(K);
+  SetCosts Sparse = measureSet<RoaringBitSet>(K);
+  SetCosts Swiss = measureSet<SwissSet<uint64_t>>(K);
+  // FlatSet updates are O(n): measure against a hash baseline of the same
+  // (smaller) size so the ratio is apples to apples.
+  std::vector<uint64_t> Small(K.begin(), K.begin() + 4096);
+  SetCosts HashSmall = measureSet<HashSet<uint64_t>>(Small);
+  SetCosts Flat = measureSet<FlatSet<uint64_t>>(Small);
+
+  Table TS({"Impl", "Insert", "Remove", "Iterate", "Union"});
+  auto SetRow = [&](const char *Name, const SetCosts &Base,
+                    const SetCosts &C) {
+    TS.addRow({Name, rel(Base.Insert, C.Insert),
+               rel(Base.Remove, C.Remove), rel(Base.Iterate, C.Iterate),
+               rel(Base.Union, C.Union)});
+  };
+  SetRow("BitSet", Hash, Bit);
+  SetRow("SparseBitSet", Hash, Sparse);
+  SetRow("SwissSet", Hash, Swiss);
+  SetRow("FlatSet", HashSmall, Flat);
+  TS.print(OS);
+
+  MapCosts HashM = measureMap<HashMap<uint64_t, uint64_t>>(K);
+  MapCosts BitM = measureMap<BitMap<uint64_t>>(K);
+  MapCosts SwissM = measureMap<SwissMap<uint64_t, uint64_t>>(K);
+
+  OS << "\n";
+  Table TM({"Impl", "Read", "Write", "Insert", "Remove", "Iterate"});
+  auto MapRow = [&](const char *Name, const MapCosts &C) {
+    TM.addRow({Name, rel(HashM.Read, C.Read), rel(HashM.Write, C.Write),
+               rel(HashM.Insert, C.Insert), rel(HashM.Remove, C.Remove),
+               rel(HashM.Iterate, C.Iterate)});
+  };
+  MapRow("BitMap", BitM);
+  MapRow("SwissMap", SwissM);
+  TM.print(OS);
+
+  OS << "\nPaper reference (Intel-x64): BitSet insert 9.08, union 5817;"
+     << "\nBitMap read 10.63, write 15.94; set iteration is the only"
+     << "\noperation where hash tables win over bitsets.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- graph_reachability.cpp - ADE on a graph workload -------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Runs the suite's BFS program (sparse SNAP-like node labels) through
+/// the full harness and contrasts the baseline against ADE and its
+/// ablations — a miniature of the paper's Figure 5/7 methodology on one
+/// benchmark, with per-configuration dynamic-access mixes.
+///
+/// Build and run:
+///   cmake --build build && ./build/examples/graph_reachability
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+#include "stats/Stats.h"
+#include "support/RawOstream.h"
+
+using namespace ade;
+using namespace ade::bench;
+using namespace ade::stats;
+
+int main() {
+  RawOstream &OS = outs();
+  const BenchmarkSpec *BFS = findBenchmark("BFS");
+  if (!BFS) {
+    errs() << "BFS benchmark missing\n";
+    return 1;
+  }
+  OS << "Breadth-first search over an R-MAT-style graph with scrambled\n"
+     << "64-bit node labels; the visited set, frontier queues and the\n"
+     << "adjacency map share one enumeration under ADE.\n\n";
+
+  RunOptions Options;
+  Options.ScalePercent = 60;
+
+  Table T({"config", "init(s)", "roi(s)", "checksum", "sparse", "dense",
+           "peak bytes"});
+  uint64_t Checksum = 0;
+  for (Config C : {Config::Memoir, Config::Ade, Config::AdeNoRTE,
+                   Config::AdeNoShare, Config::AdeSparse}) {
+    RunResult R = runBenchmark(*BFS, C, Options);
+    if (Checksum == 0)
+      Checksum = R.Checksum;
+    if (R.Checksum != Checksum) {
+      errs() << "checksum mismatch under " << configName(C) << "\n";
+      return 1;
+    }
+    T.addRow({configName(C), Table::fmt(R.InitSeconds, 3),
+              Table::fmt(R.RoiSeconds, 3), std::to_string(R.Checksum),
+              std::to_string(R.Stats.Sparse),
+              std::to_string(R.Stats.Dense),
+              std::to_string(R.PeakBytes)});
+  }
+  T.print(OS);
+  OS << "\nADE turns the kernel's hash probes into bit tests; disabling\n"
+     << "redundant translation elimination re-inserts a translation at\n"
+     << "every use (the Listing 2 indirection).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+//===- pta_tuning.cpp - Performance engineering with directives -----------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The RQ4 workflow as a runnable example: Andersen points-to analysis
+/// where ADE's benefit heuristic eagerly shares one enumeration between
+/// the pointer keys of the points-to map and its inner object sets,
+/// leaving the inner bitsets almost entirely empty. `#pragma ade`
+/// directives at the inner allocation site bisect and fix the problem —
+/// the open-box compiler story of SIII-I.
+///
+/// Build and run:
+///   cmake --build build && ./build/examples/pta_tuning
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+#include "stats/Stats.h"
+#include "support/RawOstream.h"
+
+using namespace ade;
+using namespace ade::bench;
+using namespace ade::stats;
+
+int main() {
+  RawOstream &OS = outs();
+  const BenchmarkSpec *PTA = findBenchmark("PTA");
+  if (!PTA) {
+    errs() << "PTA benchmark missing\n";
+    return 1;
+  }
+  OS << "Andersen points-to analysis: ~3000 pointers but only ~60\n"
+     << "allocation sites. Under the default heuristic the inner\n"
+     << "points-to bitsets span the shared pointer+object enumeration\n"
+     << "and use a fraction of their bits.\n\n";
+
+  RunOptions Base;
+  Base.ScalePercent = 100;
+  RunResult Memoir = runBenchmark(*PTA, Config::Memoir, Base);
+
+  struct Step {
+    const char *What;
+    const char *Pragma;
+  };
+  const Step Steps[] = {
+      {"ade untuned (eager sharing)", ""},
+      {"#pragma ade enumerate noshare", "#pragma ade enumerate noshare"},
+      {"#pragma ade noenumerate", "#pragma ade noenumerate"},
+      {"#pragma ade select(SparseBitSet)",
+       "#pragma ade select(SparseBitSet)"},
+      {"#pragma ade select(FlatSet)", "#pragma ade select(FlatSet)"},
+  };
+
+  Table T({"inner-set directive", "total(s)", "vs memoir", "peak bytes"});
+  T.addRow({"(memoir baseline)", Table::fmt(Memoir.totalSeconds(), 3),
+            "1.00x", std::to_string(Memoir.PeakBytes)});
+  for (const Step &S : Steps) {
+    RunOptions Options = Base;
+    Options.PtaInnerPragma = S.Pragma;
+    RunResult R = runBenchmark(*PTA, Config::Ade, Options);
+    if (R.Checksum != Memoir.Checksum) {
+      errs() << "checksum mismatch for '" << S.What << "'\n";
+      return 1;
+    }
+    T.addRow({S.What, Table::fmt(R.totalSeconds(), 3),
+              Table::fmt(Memoir.totalSeconds() / R.totalSeconds(), 2) +
+                  "x",
+              std::to_string(R.PeakBytes)});
+  }
+  T.print(OS);
+  OS << "\nGiving the inner sets their own (object-only) enumeration via\n"
+     << "'enumerate noshare' is the winning move, exactly as in the\n"
+     << "paper's case study.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- quickstart.cpp - ADE in five minutes -------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The introduction's running example, end to end: a program that finds
+/// unique items in a stream using a Set over sparse 64-bit values. We
+/// parse it, show the IR, run automatic data enumeration, show the
+/// transformed IR (enumeration global, idx types, BitSet selection,
+/// enc/dec/add translations), and execute both versions to demonstrate
+/// that the result is unchanged while the accesses turned dense.
+///
+/// Build and run:
+///   cmake --build build && ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "parser/Parser.h"
+#include "support/RawOstream.h"
+
+using namespace ade;
+
+// The intro example: print-unique over an input stream. Values are
+// sparse 64-bit labels, so the baseline set must hash them.
+static const char *Program = R"(fn @unique(%input: Seq<u64>) -> u64 {
+  %seen = new Set<u64>
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %count = foreach %input -> [%i, %v] iter(%acc = %zero) {
+    %dup = has %seen, %v
+    %next = if %dup {
+      yield %acc
+    } else {
+      insert %seen, %v
+      %n = add %acc, %one
+      yield %n
+    }
+    yield %next
+  }
+  ret %count
+}
+fn @main() -> u64 {
+  %input = new Seq<u64>
+  %lo = const 0 : u64
+  %hi = const 100000 : u64
+  %mod = const 5000 : u64
+  %scramble = const 2654435761 : u64
+  forrange %lo, %hi -> [%i] {
+    %r = rem %i, %mod
+    %v = mul %r, %scramble
+    append %input, %v
+    yield
+  }
+  %r = call @unique(%input)
+  ret %r
+})";
+
+static uint64_t runAndReport(ir::Module &M, const char *Label) {
+  RawOstream &OS = outs();
+  MemoryTracker::instance().reset();
+  interp::Interpreter I(M);
+  uint64_t Result = I.callByName("main", {});
+  OS << Label << ": result=" << Result
+     << " sparse=" << I.stats().Sparse << " dense=" << I.stats().Dense
+     << " peakBytes=" << MemoryTracker::instance().peakBytes() << "\n";
+  return Result;
+}
+
+int main() {
+  RawOstream &OS = outs();
+  auto M = parser::parseModuleOrDie(Program);
+
+  OS << "=== Original program ===\n";
+  printModule(*M, OS);
+  uint64_t Before = runAndReport(*M, "baseline (HashSet)");
+
+  // Automatic data enumeration: the compiler manufactures the contiguity
+  // property and switches the set to a bitset.
+  core::PipelineResult R = core::runADE(*M);
+  OS << "\n=== After automatic data enumeration ===\n";
+  OS << "(created " << R.Transform.EnumerationsCreated
+     << " enumeration(s); eliminated " << R.Transform.TranslationsSkipped
+     << " redundant translation site(s))\n\n";
+  printModule(*M, OS);
+  uint64_t After = runAndReport(*M, "ADE (BitSet)");
+
+  if (Before != After) {
+    errs() << "ERROR: results diverged!\n";
+    return 1;
+  }
+  OS << "\nSame result, dense accesses: that is ADE.\n";
+  return 0;
+}

@@ -1,0 +1,172 @@
+//===- Benchmarks.cpp - Benchmark registry --------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Benchmarks.h"
+
+#include "bench/BenchmarksInternal.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace ade;
+using namespace ade::bench;
+
+std::string ade::bench::ptaSource(const std::string &InnerPragma) {
+  std::string Src = kPtaSourceTemplate;
+  const std::string Marker = "__INNER__";
+  size_t Pos = Src.find(Marker);
+  assert(Pos != std::string::npos && "PTA template lost its marker");
+  Src.replace(Pos, Marker.size(),
+              InnerPragma.empty() ? std::string() : "    " + InnerPragma);
+  return Src;
+}
+
+namespace {
+
+uint64_t scaled(uint64_t Base, uint64_t Percent, uint64_t Min) {
+  uint64_t V = Base * Percent / 100;
+  return V < Min ? Min : V;
+}
+
+std::vector<BenchmarkSpec> buildRegistry() {
+  std::vector<BenchmarkSpec> Suite;
+  auto SeqGraph = [](const char *Kernel) {
+    return std::string(kSeqGraphPrelude) + Kernel;
+  };
+  auto SetGraph = [](const char *Kernel) {
+    return std::string(kSetGraphPrelude) + Kernel;
+  };
+
+  Suite.push_back(
+      {"BC", "betweenness centrality (Brandes, sampled sources)", kBcSource,
+       [](uint64_t S) {
+         Workload W = connectedGraph(scaled(8000, S, 16),
+                                     scaled(32000, S, 32), 11);
+         W.P0 = 8; // Sources.
+         return W;
+       }});
+  Suite.push_back(
+      {"BFS", "breadth-first search", SeqGraph(kBfsKernel),
+       [](uint64_t S) {
+         Workload W = connectedGraph(scaled(50000, S, 16),
+                                     scaled(200000, S, 32), 12);
+         W.P0 = scrambleLabel(0);
+         return W;
+       }});
+  Suite.push_back(
+      {"BP", "loopy belief propagation (bipartite)", kBpSource,
+       [](uint64_t S) {
+         Workload W = bipartiteGraph(scaled(10000, S, 16),
+                                     scaled(60000, S, 64), 13);
+         W.P0 = 10; // Iterations.
+         return W;
+       }});
+  Suite.push_back(
+      {"CC", "connected components (label propagation)",
+       SeqGraph(kCcKernel), [](uint64_t S) {
+         return connectedGraph(scaled(20000, S, 16), scaled(80000, S, 32),
+                               14);
+       }});
+  Suite.push_back(
+      {"CD", "community detection (label propagation with votes)",
+       SeqGraph(kCdKernel), [](uint64_t S) {
+         Workload W = connectedGraph(scaled(15000, S, 16),
+                                     scaled(60000, S, 32), 15);
+         W.P0 = 6; // Iterations.
+         return W;
+       }});
+  Suite.push_back(
+      {"FIM", "frequent itemset mining (Apriori pairs)", kFimSource,
+       [](uint64_t S) {
+         return transactions(scaled(30000, S, 20), 12,
+                             scaled(2000, S, 50), 16);
+       }});
+  Suite.push_back(
+      {"IS", "maximal independent set (greedy)", SeqGraph(kIsKernel),
+       [](uint64_t S) {
+         return connectedGraph(scaled(50000, S, 16), scaled(200000, S, 32),
+                               17);
+       }});
+  Suite.push_back(
+      {"KC", "k-core decomposition (peeling)", SeqGraph(kKcKernel),
+       [](uint64_t S) {
+         Workload W = rmatGraph(scaled(30000, S, 32),
+                                scaled(150000, S, 64), 18);
+         W.P0 = 4; // k.
+         return W;
+       }});
+  Suite.push_back(
+      {"KT", "k-truss support filter", SetGraph(kKtKernel),
+       [](uint64_t S) {
+         Workload W = erdosRenyiGraph(scaled(5000, S, 16),
+                                      scaled(30000, S, 32), 19);
+         W.P0 = 4; // k.
+         return W;
+       }});
+  Suite.push_back(
+      {"MCBM", "maximum-cardinality bipartite matching (Kuhn)",
+       kMcbmSource, [](uint64_t S) {
+         return bipartiteGraph(scaled(10000, S, 16), scaled(50000, S, 32),
+                               20);
+       }});
+  Suite.push_back(
+      {"MST", "minimum spanning tree (Boruvka with union-find)",
+       kMstSource, [](uint64_t S) {
+         return weightedGraph(scaled(30000, S, 16), scaled(120000, S, 32),
+                              21);
+       }});
+  Suite.push_back(
+      {"PP", "preflow-push max-flow", kPpSource, [](uint64_t S) {
+         return flowNetwork(scaled(12, S, 3), scaled(24, S, 4), 22);
+       }});
+  Suite.push_back(
+      {"PR", "PageRank (push-based)", SeqGraph(kPrKernel),
+       [](uint64_t S) {
+         Workload W = connectedGraph(scaled(20000, S, 16),
+                                     scaled(100000, S, 32), 23);
+         W.P0 = 10; // Iterations.
+         return W;
+       }});
+  Suite.push_back(
+      {"PTA", "Andersen points-to analysis", ptaSource(""),
+       [](uint64_t S) {
+         // Pointers vastly outnumber allocation sites (the paper's
+         // sqlite3 input has ~2e7 pointers and ~1.8e3 allocations);
+         // the shared enumeration leaves inner bitsets nearly empty.
+         return pointsToConstraints(scaled(12000, S, 40),
+                                    scaled(48, S, 8),
+                                    scaled(24000, S, 60), 24);
+       }});
+  Suite.push_back(
+      {"SSSP", "single-source shortest paths (worklist Bellman-Ford)",
+       kSsspSource, [](uint64_t S) {
+         Workload W = weightedGraph(scaled(30000, S, 16),
+                                    scaled(120000, S, 32), 25);
+         W.P0 = scrambleLabel(0);
+         return W;
+       }});
+  Suite.push_back(
+      {"TC", "triangle counting", SetGraph(kTcKernel), [](uint64_t S) {
+         // Dense enough that counting dominates construction.
+         return erdosRenyiGraph(scaled(4000, S, 16), scaled(60000, S, 32),
+                                26);
+       }});
+  return Suite;
+}
+
+} // namespace
+
+const std::vector<BenchmarkSpec> &ade::bench::allBenchmarks() {
+  static const std::vector<BenchmarkSpec> Suite = buildRegistry();
+  return Suite;
+}
+
+const BenchmarkSpec *ade::bench::findBenchmark(const std::string &Abbrev) {
+  for (const BenchmarkSpec &B : allBenchmarks())
+    if (B.Abbrev == Abbrev)
+      return &B;
+  return nullptr;
+}

@@ -1,0 +1,62 @@
+//===- Benchmarks.h - The 16 evaluation programs ----------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite of SIV: 15 Lonestar-'Analytics'-style programs plus
+/// freqmine (PARSEC), written in the textual MEMOIR language against
+/// abstract collection types — "code written by developers before heavy
+/// manual optimization". Every program exposes the uniform entry points
+///
+/// \code
+///   fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>,
+///             %p0: u64, %p1: u64)          // initialization (not ROI)
+///   fn @kernel() -> u64                    // region of interest; returns
+///                                          // a deterministic checksum
+/// \endcode
+///
+/// The checksum is identical across collection implementations and
+/// ADE configurations (order-sensitive reductions iterate stable
+/// sequences), which the test suite verifies differentially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_BENCH_BENCHMARKS_H
+#define ADE_BENCH_BENCHMARKS_H
+
+#include "bench/Workloads.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ade {
+namespace bench {
+
+/// One benchmark: sources plus its input generator.
+struct BenchmarkSpec {
+  std::string Abbrev; // Paper abbreviation, e.g. "BFS".
+  std::string Name;   // Human-readable description.
+  std::string Source; // .memoir module with @build and @kernel.
+  /// Builds the input at a size scale (100 = full evaluation size; tests
+  /// use single digits).
+  std::function<Workload(uint64_t ScalePercent)> MakeInput;
+};
+
+/// The full suite, in the paper's alphabetical order (Figure 4).
+const std::vector<BenchmarkSpec> &allBenchmarks();
+
+/// Finds a benchmark by abbreviation (case-sensitive), or null.
+const BenchmarkSpec *findBenchmark(const std::string &Abbrev);
+
+/// The PTA source with \p InnerPragma injected before the inner
+/// points-to-set allocation sites (RQ4 performance engineering: e.g.
+/// "#pragma ade noshare" or "#pragma ade noshare select(FlatSet)").
+std::string ptaSource(const std::string &InnerPragma);
+
+} // namespace bench
+} // namespace ade
+
+#endif // ADE_BENCH_BENCHMARKS_H

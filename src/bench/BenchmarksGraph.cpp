@@ -1,0 +1,649 @@
+//===- BenchmarksGraph.cpp - Graph-traversal benchmark programs -----------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The sequence-adjacency family of benchmark programs: BFS, CC, CD, PR,
+/// SSSP, IS, KC and MST. Sources are assembled from a shared prelude that
+/// builds a Map<u64, Seq<u64>> adjacency over sparse node labels.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchmarksInternal.h"
+
+using namespace ade::bench;
+
+/// Globals + adjacency builder shared by the Seq-adjacency programs.
+/// Defines @nodes (stable node order), @adj, and scalar parameters.
+const char *const ade::bench::kSeqGraphPrelude = R"(global @nodes : Seq<u64>
+global @adj : Map<u64, Seq<u64>>
+global @p0v : u64
+global @p1v : u64
+fn @ensure(%u: u64) {
+  %adj = gget @adj
+  %c = has %adj, %u
+  if %c {
+    yield
+  } else {
+    %s = new Seq<u64>
+    write %adj, %u, %s
+    %ns = gget @nodes
+    append %ns, %u
+    yield
+  }
+  ret
+}
+fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>, %p0: u64, %p1: u64) {
+  %am = new Map<u64, Seq<u64>>
+  gset @adj, %am
+  %nsq = new Seq<u64>
+  gset @nodes, %nsq
+  gset @p0v, %p0
+  gset @p1v, %p1
+  %n = size %a
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    %u = read %a, %i
+    %v = read %b, %i
+    call @ensure(%u)
+    call @ensure(%v)
+    %adj = gget @adj
+    %lu = read %adj, %u
+    append %lu, %v
+    %lv = read %adj, %v
+    append %lv, %u
+    yield
+  }
+  ret
+}
+)";
+
+const char *const ade::bench::kBfsKernel = R"(global @frontier : Seq<u64>
+global @next : Seq<u64>
+fn @kernel() -> u64 {
+  %adj = gget @adj
+  %visited = new Set<u64>
+  %f0 = new Seq<u64>
+  gset @frontier, %f0
+  %src = gget @p0v
+  insert %visited, %src
+  append %f0, %src
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %sum = dowhile iter(%acc = %zero) {
+    %f = gget @frontier
+    %n2 = new Seq<u64>
+    gset @next, %n2
+    foreach %f -> [%i, %u] {
+      %neigh = read %adj, %u
+      foreach %neigh -> [%j, %v] {
+        %seen = has %visited, %v
+        if %seen {
+          yield
+        } else {
+          insert %visited, %v
+          %nx = gget @next
+          append %nx, %v
+          yield
+        }
+        yield
+      }
+      yield
+    }
+    %nx2 = gget @next
+    gset @frontier, %nx2
+    %fs = size %nx2
+    %cnt = size %visited
+    %acc2 = add %acc, %cnt
+    %more = gt %fs, %zero
+    yield %more, %acc2
+  }
+  %vc = size %visited
+  %r = add %sum, %vc
+  ret %r
+}
+)";
+
+const char *const ade::bench::kCcKernel = R"(fn @kernel() -> u64 {
+  %adj = gget @adj
+  %nodes = gget @nodes
+  %labels = new Map<u64, u64>
+  foreach %nodes -> [%i, %u] {
+    write %labels, %u, %u
+    yield
+  }
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %rounds = dowhile iter(%rnd = %zero) {
+    %changed = foreach %nodes -> [%i, %u] iter(%ch = %zero) {
+      %lu = read %labels, %u
+      %neigh = read %adj, %u
+      %best = foreach %neigh -> [%j, %v] iter(%mn = %lu) {
+        %lv = read %labels, %v
+        %m = min %mn, %lv
+        yield %m
+      }
+      %upd = lt %best, %lu
+      %ch2 = if %upd {
+        write %labels, %u, %best
+        %c1 = add %ch, %one
+        yield %c1
+      } else {
+        yield %ch
+      }
+      yield %ch2
+    }
+    %more = gt %changed, %zero
+    %rnd2 = add %rnd, %one
+    yield %more, %rnd2
+  }
+  // Checksum: number of nodes that are their own component representative.
+  %roots = foreach %nodes -> [%i, %u] iter(%acc = %zero) {
+    %l = read %labels, %u
+    %self = eq %l, %u
+    %inc = select %self, %one, %zero
+    %next = add %acc, %inc
+    yield %next
+  }
+  %scaled = mul %roots, %one
+  %r = add %scaled, %rounds
+  ret %r
+}
+)";
+
+const char *const ade::bench::kCdKernel = R"(fn @kernel() -> u64 {
+  %adj = gget @adj
+  %nodes = gget @nodes
+  %labels = new Map<u64, u64>
+  foreach %nodes -> [%i, %u] {
+    write %labels, %u, %u
+    yield
+  }
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %iters = gget @p0v
+  %votes = new Map<u64, u64>
+  forrange %zero, %iters -> [%it] {
+    foreach %nodes -> [%i, %u] {
+      clear %votes
+      %neigh = read %adj, %u
+      foreach %neigh -> [%j, %v] {
+        %lv = read %labels, %v
+        %hasv = has %votes, %lv
+        %cur = if %hasv {
+          %c0 = read %votes, %lv
+          yield %c0
+        } else {
+          yield %zero
+        }
+        %c1 = add %cur, %one
+        write %votes, %lv, %c1
+        yield
+      }
+      %lu = read %labels, %u
+      %best, %bestc = foreach %votes -> [%lab, %cnt] iter(%bl = %lu, %bc = %zero) {
+        %gtc = gt %cnt, %bc
+        %nbl, %nbc = if %gtc {
+          yield %lab, %cnt
+        } else {
+          %eqc = eq %cnt, %bc
+          %ltl = lt %lab, %bl
+          %both = and %eqc, %ltl
+          %xl, %xc = if %both {
+            yield %lab, %cnt
+          } else {
+            yield %bl, %bc
+          }
+          yield %xl, %xc
+        }
+        yield %nbl, %nbc
+      }
+      %unused = add %bestc, %zero
+      write %labels, %u, %best
+      yield
+    }
+    yield
+  }
+  // Checksum: distinct final communities.
+  %commSet = new Set<u64>
+  foreach %nodes -> [%i, %u] {
+    %l = read %labels, %u
+    insert %commSet, %l
+    yield
+  }
+  %sz = size %commSet
+  ret %sz
+}
+)";
+
+const char *const ade::bench::kPrKernel = R"(global @ranks : Map<u64, f64>
+global @nextr : Map<u64, f64>
+fn @kernel() -> u64 {
+  %adj = gget @adj
+  %nodes = gget @nodes
+  %ranks0 = new Map<u64, f64>
+  gset @ranks, %ranks0
+  %nextr0 = new Map<u64, f64>
+  gset @nextr, %nextr0
+  %onef = const 1.0 : f64
+  %base = const 0.15 : f64
+  %damp = const 0.85 : f64
+  %zero = const 0 : u64
+  foreach %nodes -> [%i, %u] {
+    write %ranks0, %u, %onef
+    yield
+  }
+  %iters = gget @p0v
+  forrange %zero, %iters -> [%it] {
+    %ranks = gget @ranks
+    %next = gget @nextr
+    foreach %nodes -> [%i, %u] {
+      write %next, %u, %base
+      yield
+    }
+    foreach %nodes -> [%i, %u] {
+      %r = read %ranks, %u
+      %neigh = read %adj, %u
+      %d = size %neigh
+      %dpos = gt %d, %zero
+      if %dpos {
+        %df = cast %d : f64
+        %rshare = mul %r, %damp
+        %share = div %rshare, %df
+        foreach %neigh -> [%j, %v] {
+          %cur = read %next, %v
+          %nv = add %cur, %share
+          write %next, %v, %nv
+          yield
+        }
+        yield
+      } else {
+        yield
+      }
+      yield
+    }
+    gset @ranks, %next
+    gset @nextr, %ranks
+    yield
+  }
+  %ranksF = gget @ranks
+  %one = const 1 : u64
+  %cnt = foreach %nodes -> [%i, %u] iter(%acc = %zero) {
+    %r = read %ranksF, %u
+    %isBig = gt %r, %onef
+    %inc = select %isBig, %one, %zero
+    %next2 = add %acc, %inc
+    yield %next2
+  }
+  ret %cnt
+}
+)";
+
+const char *const ade::bench::kIsKernel = R"(fn @kernel() -> u64 {
+  %adj = gget @adj
+  %nodes = gget @nodes
+  %inSet = new Set<u64>
+  %excluded = new Set<u64>
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %cnt = foreach %nodes -> [%i, %u] iter(%acc = %zero) {
+    %ex = has %excluded, %u
+    %next = if %ex {
+      yield %acc
+    } else {
+      insert %inSet, %u
+      %neigh = read %adj, %u
+      foreach %neigh -> [%j, %v] {
+        insert %excluded, %v
+        yield
+      }
+      %a2 = add %acc, %one
+      yield %a2
+    }
+    yield %next
+  }
+  %sz = size %inSet
+  %r = add %cnt, %sz
+  ret %r
+}
+)";
+
+const char *const ade::bench::kKcKernel = R"(global @wl : Seq<u64>
+global @nwl : Seq<u64>
+fn @kernel() -> u64 {
+  %adj = gget @adj
+  %nodes = gget @nodes
+  %k = gget @p0v
+  %deg = new Map<u64, u64>
+  %removed = new Set<u64>
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %km1 = sub %k, %one
+  foreach %nodes -> [%i, %u] {
+    %neigh = read %adj, %u
+    %d = size %neigh
+    write %deg, %u, %d
+    yield
+  }
+  %w0 = new Seq<u64>
+  gset @wl, %w0
+  foreach %nodes -> [%i, %u] {
+    %d = read %deg, %u
+    %low = lt %d, %k
+    if %low {
+      %w = gget @wl
+      append %w, %u
+      yield
+    } else {
+      yield
+    }
+    yield
+  }
+  %rounds = dowhile iter(%rnd = %zero) {
+    %w = gget @wl
+    %nw0 = new Seq<u64>
+    gset @nwl, %nw0
+    foreach %w -> [%i, %u] {
+      %isrem = has %removed, %u
+      if %isrem {
+        yield
+      } else {
+        insert %removed, %u
+        %neigh = read %adj, %u
+        foreach %neigh -> [%j, %v] {
+          %vrem = has %removed, %v
+          if %vrem {
+            yield
+          } else {
+            %dv = read %deg, %v
+            %dv1 = sub %dv, %one
+            write %deg, %v, %dv1
+            %hits = eq %dv1, %km1
+            if %hits {
+              %nw = gget @nwl
+              append %nw, %v
+              yield
+            } else {
+              yield
+            }
+            yield
+          }
+          yield
+        }
+        yield
+      }
+      yield
+    }
+    %nw2 = gget @nwl
+    gset @wl, %nw2
+    %sz = size %nw2
+    %more = gt %sz, %zero
+    %rnd2 = add %rnd, %one
+    yield %more, %rnd2
+  }
+  %total = size %nodes
+  %rem = size %removed
+  %core = sub %total, %rem
+  %r = add %core, %rounds
+  ret %r
+}
+)";
+
+const char *const ade::bench::kSsspSource = R"(global @nodes : Seq<u64>
+global @adj : Map<u64, Seq<u64>>
+global @adjw : Map<u64, Seq<u64>>
+global @p0v : u64
+global @wl : Seq<u64>
+global @nwl : Seq<u64>
+fn @ensure(%u: u64) {
+  %adj = gget @adj
+  %c = has %adj, %u
+  if %c {
+    yield
+  } else {
+    %s = new Seq<u64>
+    write %adj, %u, %s
+    %adjw = gget @adjw
+    %sw = new Seq<u64>
+    write %adjw, %u, %sw
+    %ns = gget @nodes
+    append %ns, %u
+    yield
+  }
+  ret
+}
+fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>, %p0: u64, %p1: u64) {
+  %am = new Map<u64, Seq<u64>>
+  gset @adj, %am
+  %wm = new Map<u64, Seq<u64>>
+  gset @adjw, %wm
+  %nsq = new Seq<u64>
+  gset @nodes, %nsq
+  gset @p0v, %p0
+  %n = size %a
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    %u = read %a, %i
+    %v = read %b, %i
+    %w = read %c, %i
+    call @ensure(%u)
+    call @ensure(%v)
+    %adj = gget @adj
+    %adjw = gget @adjw
+    %lu = read %adj, %u
+    append %lu, %v
+    %lwu = read %adjw, %u
+    append %lwu, %w
+    %lv = read %adj, %v
+    append %lv, %u
+    %lwv = read %adjw, %v
+    append %lwv, %w
+    yield
+  }
+  ret
+}
+fn @kernel() -> u64 {
+  %adj = gget @adj
+  %adjw = gget @adjw
+  %dist = new Map<u64, u64>
+  %src = gget @p0v
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  write %dist, %src, %zero
+  %w0 = new Seq<u64>
+  gset @wl, %w0
+  append %w0, %src
+  %rounds = dowhile iter(%rnd = %zero) {
+    %wlv = gget @wl
+    %nw0 = new Seq<u64>
+    gset @nwl, %nw0
+    foreach %wlv -> [%i, %u] {
+      %du = read %dist, %u
+      %neigh = read %adj, %u
+      %wts = read %adjw, %u
+      %nn = size %neigh
+      forrange %zero, %nn -> [%j] {
+        %v = read %neigh, %j
+        %w = read %wts, %j
+        %alt = add %du, %w
+        %hasv = has %dist, %v
+        %better = if %hasv {
+          %dv = read %dist, %v
+          %lt = lt %alt, %dv
+          yield %lt
+        } else {
+          %t = const true
+          yield %t
+        }
+        if %better {
+          write %dist, %v, %alt
+          %nw = gget @nwl
+          append %nw, %v
+          yield
+        } else {
+          yield
+        }
+        yield
+      }
+      yield
+    }
+    %nw2 = gget @nwl
+    gset @wl, %nw2
+    %sz = size %nw2
+    %more = gt %sz, %zero
+    %rnd2 = add %rnd, %one
+    yield %more, %rnd2
+  }
+  // Checksum: sum of final distances (unique shortest-path fixpoint).
+  %sum = foreach %dist -> [%n2, %dv] iter(%acc = %zero) {
+    %a2 = add %acc, %dv
+    yield %a2
+  }
+  %r = add %sum, %rounds
+  ret %r
+}
+)";
+
+const char *const ade::bench::kMstSource = R"(global @nodes : Seq<u64>
+global @ea : Seq<u64>
+global @eb : Seq<u64>
+global @ew : Seq<u64>
+global @parent : Map<u64, u64>
+global @cheapw : Map<u64, u64>
+global @cheape : Map<u64, u64>
+fn @notenode(%u: u64) {
+  %p = gget @parent
+  %c = has %p, %u
+  if %c {
+    yield
+  } else {
+    write %p, %u, %u
+    %ns = gget @nodes
+    append %ns, %u
+    yield
+  }
+  ret
+}
+fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>, %p0: u64, %p1: u64) {
+  %pm = new Map<u64, u64>
+  gset @parent, %pm
+  %nsq = new Seq<u64>
+  gset @nodes, %nsq
+  %eas = new Seq<u64>
+  gset @ea, %eas
+  %ebs = new Seq<u64>
+  gset @eb, %ebs
+  %ews = new Seq<u64>
+  gset @ew, %ews
+  %n = size %a
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    %u = read %a, %i
+    %v = read %b, %i
+    %w = read %c, %i
+    append %eas, %u
+    append %ebs, %v
+    append %ews, %w
+    call @notenode(%u)
+    call @notenode(%v)
+    yield
+  }
+  ret
+}
+fn @find(%v: u64) -> u64 {
+  %p = gget @parent
+  %r = dowhile iter(%curr = %v) {
+    %par = read %p, %curr
+    %ne = ne %par, %curr
+    yield %ne, %par
+  }
+  ret %r
+}
+fn @consider(%root: u64, %wk: u64, %e: u64) {
+  %cw = gget @cheapw
+  %ce = gget @cheape
+  %hasr = has %cw, %root
+  %better = if %hasr {
+    %cur = read %cw, %root
+    %lt = lt %wk, %cur
+    yield %lt
+  } else {
+    %t = const true
+    yield %t
+  }
+  if %better {
+    write %cw, %root, %wk
+    write %ce, %root, %e
+    yield
+  } else {
+    yield
+  }
+  ret
+}
+fn @kernel() -> u64 {
+  %ea = gget @ea
+  %eb = gget @eb
+  %ew = gget @ew
+  %nodes = gget @nodes
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %big = const 1048576 : u64
+  %n = size %ea
+  %total, %rounds = dowhile iter(%tot = %zero, %rnd = %zero) {
+    %cw0 = new Map<u64, u64>
+    gset @cheapw, %cw0
+    %ce0 = new Map<u64, u64>
+    gset @cheape, %ce0
+    forrange %zero, %n -> [%e] {
+      %u = read %ea, %e
+      %v = read %eb, %e
+      %ru = call @find(%u)
+      %rv = call @find(%v)
+      %same = eq %ru, %rv
+      if %same {
+        yield
+      } else {
+        %w = read %ew, %e
+        %wk0 = mul %w, %big
+        %wk = add %wk0, %e
+        call @consider(%ru, %wk, %e)
+        call @consider(%rv, %wk, %e)
+        yield
+      }
+      yield
+    }
+    %ce = gget @cheape
+    %tot2, %merged = foreach %nodes -> [%i, %u] iter(%t = %tot, %m = %zero) {
+      %isCand = has %ce, %u
+      %t3, %m3 = if %isCand {
+        %e = read %ce, %u
+        %a2 = read %ea, %e
+        %b2 = read %eb, %e
+        %ra = call @find(%a2)
+        %rb = call @find(%b2)
+        %same2 = eq %ra, %rb
+        %t2, %m2 = if %same2 {
+          yield %t, %m
+        } else {
+          %pmap = gget @parent
+          write %pmap, %ra, %rb
+          %w2 = read %ew, %e
+          %t1 = add %t, %w2
+          %m1 = add %m, %one
+          yield %t1, %m1
+        }
+        yield %t2, %m2
+      } else {
+        yield %t, %m
+      }
+      yield %t3, %m3
+    }
+    %more = gt %merged, %zero
+    %rnd2 = add %rnd, %one
+    yield %more, %tot2, %rnd2
+  }
+  %r = add %total, %rounds
+  ret %r
+}
+)";

@@ -1,0 +1,45 @@
+//===- BenchmarksInternal.h - Benchmark source fragments ---------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private declarations of the embedded .memoir source fragments that
+/// Benchmarks.cpp assembles into the registry. Split across translation
+/// units purely to keep files reviewable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_BENCH_BENCHMARKSINTERNAL_H
+#define ADE_BENCH_BENCHMARKSINTERNAL_H
+
+namespace ade {
+namespace bench {
+
+// BenchmarksGraph.cpp — Seq-adjacency family.
+extern const char *const kSeqGraphPrelude;
+extern const char *const kBfsKernel;
+extern const char *const kCcKernel;
+extern const char *const kCdKernel;
+extern const char *const kPrKernel;
+extern const char *const kIsKernel;
+extern const char *const kKcKernel;
+extern const char *const kSsspSource;
+extern const char *const kMstSource;
+
+// BenchmarksOther.cpp — Set-adjacency, bipartite and non-graph programs.
+extern const char *const kSetGraphPrelude;
+extern const char *const kTcKernel;
+extern const char *const kKtKernel;
+extern const char *const kMcbmSource;
+extern const char *const kPpSource;
+extern const char *const kBpSource;
+extern const char *const kFimSource;
+extern const char *const kBcSource;
+extern const char *const kPtaSourceTemplate; // Contains __INNER__ markers.
+
+} // namespace bench
+} // namespace ade
+
+#endif // ADE_BENCH_BENCHMARKSINTERNAL_H

@@ -1,0 +1,1059 @@
+//===- BenchmarksOther.cpp - Remaining benchmark programs -----------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// TC and KT (set adjacency), MCBM (bipartite matching), PP (preflow-push
+/// max-flow), BP (belief propagation), FIM (frequent itemset mining), BC
+/// (betweenness centrality) and PTA (Andersen points-to analysis, the RQ4
+/// case study).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchmarksInternal.h"
+
+using namespace ade::bench;
+
+/// Set-based adjacency for triangle-flavored benchmarks, plus the edge
+/// list retained for per-edge kernels.
+const char *const ade::bench::kSetGraphPrelude = R"(global @nodes : Seq<u64>
+global @adjs : Map<u64, Set<u64>>
+global @adjl : Map<u64, Seq<u64>>
+global @ea : Seq<u64>
+global @eb : Seq<u64>
+global @p0v : u64
+fn @ensure(%u: u64) {
+  %adjs = gget @adjs
+  %c = has %adjs, %u
+  if %c {
+    yield
+  } else {
+    %s = new Set<u64>
+    write %adjs, %u, %s
+    %adjl = gget @adjl
+    %l = new Seq<u64>
+    write %adjl, %u, %l
+    %ns = gget @nodes
+    append %ns, %u
+    yield
+  }
+  ret
+}
+fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>, %p0: u64, %p1: u64) {
+  %am = new Map<u64, Set<u64>>
+  gset @adjs, %am
+  %lm = new Map<u64, Seq<u64>>
+  gset @adjl, %lm
+  %nsq = new Seq<u64>
+  gset @nodes, %nsq
+  %eas = new Seq<u64>
+  gset @ea, %eas
+  %ebs = new Seq<u64>
+  gset @eb, %ebs
+  gset @p0v, %p0
+  %n = size %a
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    %u = read %a, %i
+    %v = read %b, %i
+    %same = eq %u, %v
+    if %same {
+      yield
+    } else {
+      call @ensure(%u)
+      call @ensure(%v)
+      %adjs = gget @adjs
+      %su = read %adjs, %u
+      %fresh = has %su, %v
+      %dup = if %fresh {
+        %t = const true
+        yield %t
+      } else {
+        %f = const false
+        yield %f
+      }
+      if %dup {
+        yield
+      } else {
+        insert %su, %v
+        %sv = read %adjs, %v
+        insert %sv, %u
+        %adjl = gget @adjl
+        %lu = read %adjl, %u
+        append %lu, %v
+        %lv = read %adjl, %v
+        append %lv, %u
+        append %eas, %u
+        append %ebs, %v
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  ret
+}
+)";
+
+const char *const ade::bench::kTcKernel = R"(fn @kernel() -> u64 {
+  %adjs = gget @adjs
+  %adjl = gget @adjl
+  %ea = gget @ea
+  %eb = gget @eb
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %three = const 3 : u64
+  %n = size %ea
+  // Each triangle is counted once per incident edge; divide by three.
+  %total = forrange %zero, %n -> [%e] iter(%acc = %zero) {
+    %u = read %ea, %e
+    %v = read %eb, %e
+    %lu = read %adjl, %u
+    %sv = read %adjs, %v
+    %acc2 = foreach %lu -> [%j, %w] iter(%a1 = %acc) {
+      %closes = has %sv, %w
+      %inc = select %closes, %one, %zero
+      %a2 = add %a1, %inc
+      yield %a2
+    }
+    yield %acc2
+  }
+  %tri = div %total, %three
+  ret %tri
+}
+)";
+
+const char *const ade::bench::kKtKernel = R"(global @support : Map<u64, Map<u64, u64>>
+fn @edgesupport(%u: u64, %v: u64) -> u64 {
+  %adjs = gget @adjs
+  %adjl = gget @adjl
+  %su = read %adjs, %u
+  %lv = read %adjl, %v
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %cnt = foreach %lv -> [%j, %w] iter(%acc = %zero) {
+    %common = has %su, %w
+    %inc = select %common, %one, %zero
+    %a2 = add %acc, %inc
+    yield %a2
+  }
+  ret %cnt
+}
+fn @kernel() -> u64 {
+  %ea = gget @ea
+  %eb = gget @eb
+  %k = gget @p0v
+  %sup0 = new Map<u64, Map<u64, u64>>
+  gset @support, %sup0
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %two = const 2 : u64
+  %thresh = sub %k, %two
+  %n = size %ea
+  // Pass 1: support of every edge (common-neighbor count).
+  forrange %zero, %n -> [%e] {
+    %u = read %ea, %e
+    %v = read %eb, %e
+    %s = call @edgesupport(%u, %v)
+    %lo = min %u, %v
+    %hi = max %u, %v
+    %sup = gget @support
+    %hasLo = has %sup, %lo
+    if %hasLo {
+      yield
+    } else {
+      %inner0 = new Map<u64, u64>
+      write %sup, %lo, %inner0
+      yield
+    }
+    %inner = read %sup, %lo
+    write %inner, %hi, %s
+    yield
+  }
+  // Pass 2: edges meeting the k-truss support threshold, and total
+  // support, summed over the nested map.
+  %sup2 = gget @support
+  %strong, %total = foreach %sup2 -> [%lo2, %inner2] iter(%st = %zero, %tt = %zero) {
+    %st2, %tt2 = foreach %inner2 -> [%hi2, %s2] iter(%sti = %st, %tti = %tt) {
+      %meets = ge %s2, %thresh
+      %inc = select %meets, %one, %zero
+      %sti2 = add %sti, %inc
+      %tti2 = add %tti, %s2
+      yield %sti2, %tti2
+    }
+    yield %st2, %tt2
+  }
+  %r = add %strong, %total
+  ret %r
+}
+)";
+
+const char *const ade::bench::kMcbmSource = R"(global @left : Seq<u64>
+global @adj : Map<u64, Seq<u64>>
+global @matchR : Map<u64, u64>
+global @visited : Set<u64>
+fn @ensurel(%u: u64) {
+  %adj = gget @adj
+  %c = has %adj, %u
+  if %c {
+    yield
+  } else {
+    %s = new Seq<u64>
+    write %adj, %u, %s
+    %ls = gget @left
+    append %ls, %u
+    yield
+  }
+  ret
+}
+fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>, %p0: u64, %p1: u64) {
+  %am = new Map<u64, Seq<u64>>
+  gset @adj, %am
+  %ls = new Seq<u64>
+  gset @left, %ls
+  %mr = new Map<u64, u64>
+  gset @matchR, %mr
+  %n = size %a
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    %u = read %a, %i
+    %v = read %b, %i
+    call @ensurel(%u)
+    %adj = gget @adj
+    %lu = read %adj, %u
+    append %lu, %v
+    yield
+  }
+  ret
+}
+fn @try(%u: u64) -> u64 {
+  %adj = gget @adj
+  %vis = gget @visited
+  %mr = gget @matchR
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %neigh = read %adj, %u
+  %found = foreach %neigh -> [%j, %v] iter(%f = %zero) {
+    %done = gt %f, %zero
+    %f4 = if %done {
+      yield %f
+    } else {
+      %seen = has %vis, %v
+      %f3 = if %seen {
+        yield %f
+      } else {
+        insert %vis, %v
+        %hasm = has %mr, %v
+        %f2 = if %hasm {
+          %w = read %mr, %v
+          %r = call @try(%w)
+          %ok = gt %r, %zero
+          %f1 = if %ok {
+            write %mr, %v, %u
+            yield %one
+          } else {
+            yield %f
+          }
+          yield %f1
+        } else {
+          write %mr, %v, %u
+          yield %one
+        }
+        yield %f2
+      }
+      yield %f3
+    }
+    yield %f4
+  }
+  ret %found
+}
+fn @kernel() -> u64 {
+  %left = gget @left
+  %zero = const 0 : u64
+  %v0 = new Set<u64>
+  gset @visited, %v0
+  %matched = foreach %left -> [%i, %u] iter(%acc = %zero) {
+    %vis = gget @visited
+    clear %vis
+    %r = call @try(%u)
+    %acc2 = add %acc, %r
+    yield %acc2
+  }
+  ret %matched
+}
+)";
+
+const char *const ade::bench::kPpSource = R"(global @nodes : Seq<u64>
+global @cap : Map<u64, Map<u64, u64>>
+global @height : Map<u64, u64>
+global @excess : Map<u64, u64>
+global @active : Seq<u64>
+global @nactive : Seq<u64>
+global @srcv : u64
+global @sinkv : u64
+fn @ensure(%u: u64) {
+  %cap = gget @cap
+  %c = has %cap, %u
+  if %c {
+    yield
+  } else {
+    %m = new Map<u64, u64>
+    write %cap, %u, %m
+    %ns = gget @nodes
+    append %ns, %u
+    yield
+  }
+  ret
+}
+fn @addcap(%u: u64, %v: u64, %c: u64) {
+  %cap = gget @cap
+  %mu = read %cap, %u
+  %hasv = has %mu, %v
+  %cur = if %hasv {
+    %c0 = read %mu, %v
+    yield %c0
+  } else {
+    %zero = const 0 : u64
+    yield %zero
+  }
+  %c1 = add %cur, %c
+  write %mu, %v, %c1
+  ret
+}
+fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>, %p0: u64, %p1: u64) {
+  %cm = new Map<u64, Map<u64, u64>>
+  gset @cap, %cm
+  %nsq = new Seq<u64>
+  gset @nodes, %nsq
+  gset @srcv, %p0
+  gset @sinkv, %p1
+  %n = size %a
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    %u = read %a, %i
+    %v = read %b, %i
+    %w = read %c, %i
+    call @ensure(%u)
+    call @ensure(%v)
+    call @addcap(%u, %v, %w)
+    call @addcap(%v, %u, %zero)
+    yield
+  }
+  ret
+}
+fn @kernel() -> u64 {
+  %cap = gget @cap
+  %nodes = gget @nodes
+  %src = gget @srcv
+  %sink = gget @sinkv
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %height = new Map<u64, u64>
+  gset @height, %height
+  %excess = new Map<u64, u64>
+  gset @excess, %excess
+  foreach %nodes -> [%i, %u] {
+    write %height, %u, %zero
+    write %excess, %u, %zero
+    yield
+  }
+  %n = size %nodes
+  write %height, %src, %n
+  %a0 = new Seq<u64>
+  gset @active, %a0
+  // Saturate source edges.
+  %msrc = read %cap, %src
+  foreach %msrc -> [%v, %c] {
+    %cpos = gt %c, %zero
+    if %cpos {
+      %mv = read %cap, %v
+      %back = read %mv, %src
+      %nb = add %back, %c
+      write %mv, %src, %nb
+      write %msrc, %v, %zero
+      %ev = read %excess, %v
+      %ev2 = add %ev, %c
+      write %excess, %v, %ev2
+      %isSink = eq %v, %sink
+      if %isSink {
+        yield
+      } else {
+        %act = gget @active
+        append %act, %v
+        yield
+      }
+      yield
+    } else {
+      yield
+    }
+    yield
+  }
+  %limit = const 100000 : u64
+  %rounds = dowhile iter(%rnd = %zero) {
+    %act = gget @active
+    %na0 = new Seq<u64>
+    gset @nactive, %na0
+    foreach %act -> [%i, %u] {
+      %eu = read %excess, %u
+      %epos = gt %eu, %zero
+      if %epos {
+        %mu = read %cap, %u
+        %hu = read %height, %u
+        // Push phase.
+        %left = foreach %mu -> [%v, %cSnap] iter(%rem = %eu) {
+          %c2 = read %mu, %v
+          %cpos = gt %c2, %zero
+          %rpos = gt %rem, %zero
+          %both = and %cpos, %rpos
+          %rem3 = if %both {
+            %hv = read %height, %v
+            %hv1 = add %hv, %one
+            %admissible = eq %hu, %hv1
+            %rem2 = if %admissible {
+              %d = min %rem, %c2
+              %nc = sub %c2, %d
+              write %mu, %v, %nc
+              %mv = read %cap, %v
+              %bc = read %mv, %u
+              %nbc = add %bc, %d
+              write %mv, %u, %nbc
+              %ev = read %excess, %v
+              %ev2 = add %ev, %d
+              write %excess, %v, %ev2
+              %isS = eq %v, %src
+              %isT = eq %v, %sink
+              %isEnd = or %isS, %isT
+              if %isEnd {
+                yield
+              } else {
+                %na = gget @nactive
+                append %na, %v
+                yield
+              }
+              %r2 = sub %rem, %d
+              yield %r2
+            } else {
+              yield %rem
+            }
+            yield %rem2
+          } else {
+            yield %rem
+          }
+          yield %rem3
+        }
+        write %excess, %u, %left
+        %still = gt %left, %zero
+        if %still {
+          // Relabel: one above the lowest residual neighbor.
+          %minh = foreach %mu -> [%v2, %c3] iter(%mh = %limit) {
+            %c4 = read %mu, %v2
+            %cp = gt %c4, %zero
+            %mh2 = if %cp {
+              %hv2 = read %height, %v2
+              %m2 = min %mh, %hv2
+              yield %m2
+            } else {
+              yield %mh
+            }
+            yield %mh2
+          }
+          %nh = add %minh, %one
+          write %height, %u, %nh
+          %na2 = gget @nactive
+          append %na2, %u
+          yield
+        } else {
+          yield
+        }
+        yield
+      } else {
+        yield
+      }
+      yield
+    }
+    %na3 = gget @nactive
+    gset @active, %na3
+    %sz = size %na3
+    %more0 = gt %sz, %zero
+    %rnd2 = add %rnd, %one
+    %under = lt %rnd2, %limit
+    %more = and %more0, %under
+    yield %more, %rnd2
+  }
+  %flow = read %excess, %sink
+  ret %flow
+}
+)";
+
+const char *const ade::bench::kBpSource = R"(global @vars : Seq<u64>
+global @facs : Seq<u64>
+global @adj : Map<u64, Seq<u64>>
+global @belief : Map<u64, f64>
+global @fmsg : Map<u64, f64>
+global @p0v : u64
+fn @ensure(%u: u64, %isVar: bool) {
+  %adj = gget @adj
+  %c = has %adj, %u
+  if %c {
+    yield
+  } else {
+    %s = new Seq<u64>
+    write %adj, %u, %s
+    if %isVar {
+      %vs = gget @vars
+      append %vs, %u
+      yield
+    } else {
+      %fs = gget @facs
+      append %fs, %u
+      yield
+    }
+    yield
+  }
+  ret
+}
+fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>, %p0: u64, %p1: u64) {
+  %am = new Map<u64, Seq<u64>>
+  gset @adj, %am
+  %vs = new Seq<u64>
+  gset @vars, %vs
+  %fs = new Seq<u64>
+  gset @facs, %fs
+  gset @p0v, %p0
+  %t = const true
+  %f = const false
+  %n = size %a
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    %u = read %a, %i
+    %v = read %b, %i
+    call @ensure(%u, %t)
+    call @ensure(%v, %f)
+    %adj = gget @adj
+    %lu = read %adj, %u
+    append %lu, %v
+    %lv = read %adj, %v
+    append %lv, %u
+    yield
+  }
+  ret
+}
+fn @kernel() -> u64 {
+  %adj = gget @adj
+  %vars = gget @vars
+  %facs = gget @facs
+  %belief = new Map<u64, f64>
+  gset @belief, %belief
+  %fmsg = new Map<u64, f64>
+  gset @fmsg, %fmsg
+  %half = const 0.5 : f64
+  %quarter = const 0.25 : f64
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %zf = const 0.0 : f64
+  %k1000 = const 1000 : u64
+  %k2000 = const 2000.0 : f64
+  // Data-dependent priors in [0, 0.5).
+  foreach %vars -> [%i, %u] {
+    %m = rem %u, %k1000
+    %mf = cast %m : f64
+    %prior = div %mf, %k2000
+    write %belief, %u, %prior
+    yield
+  }
+  %iters = gget @p0v
+  forrange %zero, %iters -> [%it] {
+    // Factor messages: average of neighboring variable beliefs.
+    foreach %facs -> [%i, %f] {
+      %neigh = read %adj, %f
+      %d = size %neigh
+      %dpos = gt %d, %zero
+      if %dpos {
+        %sum = foreach %neigh -> [%j, %v] iter(%acc = %zf) {
+          %b = read %belief, %v
+          %a2 = add %acc, %b
+          yield %a2
+        }
+        %df = cast %d : f64
+        %avg = div %sum, %df
+        write %fmsg, %f, %avg
+        yield
+      } else {
+        yield
+      }
+      yield
+    }
+    // Variable update: damped average of factor messages.
+    foreach %vars -> [%i, %v] {
+      %neigh = read %adj, %v
+      %d = size %neigh
+      %dpos = gt %d, %zero
+      if %dpos {
+        %sum = foreach %neigh -> [%j, %f] iter(%acc = %zf) {
+          %m2 = read %fmsg, %f
+          %a3 = add %acc, %m2
+          yield %a3
+        }
+        %df = cast %d : f64
+        %avg = div %sum, %df
+        %scaled = mul %avg, %half
+        %nb = add %quarter, %scaled
+        write %belief, %v, %nb
+        yield
+      } else {
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  // Checksum: scaled posterior mass in stable variable order.
+  %scale = const 10000.0 : f64
+  %cnt = foreach %vars -> [%i, %u] iter(%acc = %zero) {
+    %b = read %belief, %u
+    %bs = mul %b, %scale
+    %bi = cast %bs : u64
+    %a4 = add %acc, %bi
+    yield %a4
+  }
+  %onecheck = add %cnt, %one
+  ret %onecheck
+}
+)";
+
+const char *const ade::bench::kFimSource = R"(global @items : Seq<u64>
+global @offs : Seq<u64>
+global @p0v : u64
+fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>, %p0: u64, %p1: u64) {
+  %is = new Seq<u64>
+  gset @items, %is
+  %os = new Seq<u64>
+  gset @offs, %os
+  gset @p0v, %p0
+  %zero = const 0 : u64
+  %na = size %a
+  forrange %zero, %na -> [%i] {
+    %x = read %a, %i
+    append %is, %x
+    yield
+  }
+  %nc = size %c
+  forrange %zero, %nc -> [%i] {
+    %o = read %c, %i
+    append %os, %o
+    yield
+  }
+  ret
+}
+fn @kernel() -> u64 {
+  %items = gget @items
+  %offs = gget @offs
+  %support = gget @p0v
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %ntrans0 = size %offs
+  %ntrans = sub %ntrans0, %one
+  // Pass 1: item frequencies.
+  %counts = new Map<u64, u64>
+  forrange %zero, %ntrans -> [%t] {
+    %lo = read %offs, %t
+    %t1 = add %t, %one
+    %hi = read %offs, %t1
+    forrange %lo, %hi -> [%j] {
+      %it = read %items, %j
+      %hasit = has %counts, %it
+      %cur = if %hasit {
+        %c0 = read %counts, %it
+        yield %c0
+      } else {
+        yield %zero
+      }
+      %c1 = add %cur, %one
+      write %counts, %it, %c1
+      yield
+    }
+    yield
+  }
+  %freq = new Set<u64>
+  foreach %counts -> [%it, %cnt] {
+    %isFreq = ge %cnt, %support
+    if %isFreq {
+      insert %freq, %it
+      yield
+    } else {
+      yield
+    }
+    yield
+  }
+  // Pass 2: frequent-pair counting over a nested map.
+  %pairs = new Map<u64, Map<u64, u64>>
+  forrange %zero, %ntrans -> [%t] {
+    %lo = read %offs, %t
+    %t1 = add %t, %one
+    %hi = read %offs, %t1
+    forrange %lo, %hi -> [%j1] {
+      %i1 = read %items, %j1
+      %f1 = has %freq, %i1
+      if %f1 {
+        %j1p = add %j1, %one
+        forrange %j1p, %hi -> [%j2] {
+          %i2 = read %items, %j2
+          %same = eq %i1, %i2
+          if %same {
+            yield
+          } else {
+            %f2 = has %freq, %i2
+            if %f2 {
+              %a = min %i1, %i2
+              %b = max %i1, %i2
+              %hasA = has %pairs, %a
+              if %hasA {
+                yield
+              } else {
+                %inner0 = new Map<u64, u64>
+                write %pairs, %a, %inner0
+                yield
+              }
+              %inner = read %pairs, %a
+              %hasB = has %inner, %b
+              %cur = if %hasB {
+                %c0 = read %inner, %b
+                yield %c0
+              } else {
+                yield %zero
+              }
+              %c1 = add %cur, %one
+              write %inner, %b, %c1
+              yield
+            } else {
+              yield
+            }
+            yield
+          }
+          yield
+        }
+        yield
+      } else {
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  // Frequent pairs.
+  %fp, %tc = foreach %pairs -> [%a2, %inner2] iter(%acc = %zero, %tot = %zero) {
+    %acc2, %tot2 = foreach %inner2 -> [%b2, %c2] iter(%ai = %acc, %ti = %tot) {
+      %isF = ge %c2, %support
+      %inc = select %isF, %one, %zero
+      %ai2 = add %ai, %inc
+      %ti2 = add %ti, %c2
+      yield %ai2, %ti2
+    }
+    yield %acc2, %tot2
+  }
+  %nf = size %freq
+  %r0 = add %fp, %nf
+  %r = add %r0, %tc
+  ret %r
+}
+)";
+
+const char *const ade::bench::kBcSource = R"(global @nodes : Seq<u64>
+global @adj : Map<u64, Seq<u64>>
+global @p0v : u64
+fn @ensure(%u: u64) {
+  %adj = gget @adj
+  %c = has %adj, %u
+  if %c {
+    yield
+  } else {
+    %s = new Seq<u64>
+    write %adj, %u, %s
+    %ns = gget @nodes
+    append %ns, %u
+    yield
+  }
+  ret
+}
+fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>, %p0: u64, %p1: u64) {
+  %am = new Map<u64, Seq<u64>>
+  gset @adj, %am
+  %nsq = new Seq<u64>
+  gset @nodes, %nsq
+  gset @p0v, %p0
+  %n = size %a
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    %u = read %a, %i
+    %v = read %b, %i
+    call @ensure(%u)
+    call @ensure(%v)
+    %adj = gget @adj
+    %lu = read %adj, %u
+    append %lu, %v
+    %lv = read %adj, %v
+    append %lv, %u
+    yield
+  }
+  ret
+}
+fn @kernel() -> u64 {
+  %adj = gget @adj
+  %nodes = gget @nodes
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %onef = const 1.0 : f64
+  %sources = gget @p0v
+  %bc = new Map<u64, f64>
+  %zf = const 0.0 : f64
+  foreach %nodes -> [%i, %u] {
+    write %bc, %u, %zf
+    yield
+  }
+  forrange %zero, %sources -> [%s] {
+    %src = read %nodes, %s
+    %dist = new Map<u64, u64>
+    %sigma = new Map<u64, f64>
+    %order = new Seq<u64>
+    write %dist, %src, %zero
+    write %sigma, %src, %onef
+    append %order, %src
+    // Forward BFS recording visit order, distances and path counts.
+    %end = dowhile iter(%head = %zero) {
+      %len = size %order
+      %haveWork = lt %head, %len
+      %head2 = if %haveWork {
+        %u = read %order, %head
+        %du = read %dist, %u
+        %du1 = add %du, %one
+        %neigh = read %adj, %u
+        %sigu = read %sigma, %u
+        foreach %neigh -> [%j, %v] {
+          %seen = has %dist, %v
+          if %seen {
+            %dv = read %dist, %v
+            %onPath = eq %dv, %du1
+            if %onPath {
+              %sv = read %sigma, %v
+              %sv2 = add %sv, %sigu
+              write %sigma, %v, %sv2
+              yield
+            } else {
+              yield
+            }
+            yield
+          } else {
+            write %dist, %v, %du1
+            write %sigma, %v, %sigu
+            append %order, %v
+            yield
+          }
+          yield
+        }
+        %h2 = add %head, %one
+        yield %h2
+      } else {
+        yield %head
+      }
+      %len2 = size %order
+      %more = lt %head2, %len2
+      yield %more, %head2
+    }
+    // Backward accumulation of dependencies.
+    %delta = new Map<u64, f64>
+    %olen = size %order
+    forrange %zero, %olen -> [%r] {
+      %last = sub %olen, %one
+      %ridx = sub %last, %r
+      %w = read %order, %ridx
+      %hasd = has %delta, %w
+      %dw = if %hasd {
+        %d0 = read %delta, %w
+        yield %d0
+      } else {
+        yield %zf
+      }
+      %sw = read %sigma, %w
+      %dwp1 = add %onef, %dw
+      %coef = div %dwp1, %sw
+      %dwu = read %dist, %w
+      %neigh = read %adj, %w
+      foreach %neigh -> [%j, %v] {
+        %dv = read %dist, %v
+        %dv1 = add %dv, %one
+        %isPred = eq %dwu, %dv1
+        if %isPred {
+          %sv = read %sigma, %v
+          %contrib = mul %sv, %coef
+          %hasdv = has %delta, %v
+          %cur = if %hasdv {
+            %c0 = read %delta, %v
+            yield %c0
+          } else {
+            yield %zf
+          }
+          %nv = add %cur, %contrib
+          write %delta, %v, %nv
+          yield
+        } else {
+          yield
+        }
+        yield
+      }
+      %isSrc = eq %w, %src
+      if %isSrc {
+        yield
+      } else {
+        %b0 = read %bc, %w
+        %b1 = add %b0, %dw
+        write %bc, %w, %b1
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  // Checksum: sum of truncated centralities in stable node order.
+  %cnt = foreach %nodes -> [%i, %u] iter(%acc = %zero) {
+    %b = read %bc, %u
+    %bi = cast %b : u64
+    %a2 = add %acc, %bi
+    yield %a2
+  }
+  ret %cnt
+}
+)";
+
+const char *const ade::bench::kPtaSourceTemplate = R"(global @pts : Map<u64, Set<u64>>
+global @ca : Seq<u64>
+global @cb : Seq<u64>
+global @ck : Seq<u64>
+fn @ensurepts(%x: u64) {
+  %pts = gget @pts
+  %c = has %pts, %x
+  if %c {
+    yield
+  } else {
+__INNER__
+    %s = new Set<u64>
+    write %pts, %x, %s
+    yield
+  }
+  ret
+}
+fn @build(%a: Seq<u64>, %b: Seq<u64>, %c: Seq<u64>, %p0: u64, %p1: u64) {
+  %pm = new Map<u64, Set<u64>>
+  gset @pts, %pm
+  %cas = new Seq<u64>
+  gset @ca, %cas
+  %cbs = new Seq<u64>
+  gset @cb, %cbs
+  %cks = new Seq<u64>
+  gset @ck, %cks
+  %n = size %a
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    %x = read %a, %i
+    %y = read %b, %i
+    %k = read %c, %i
+    %isAddr = eq %k, %zero
+    call @ensurepts(%x)
+    if %isAddr {
+      %pts = gget @pts
+      %sx = read %pts, %x
+      insert %sx, %y
+      yield
+    } else {
+      call @ensurepts(%y)
+      append %cas, %x
+      append %cbs, %y
+      append %cks, %k
+      yield
+    }
+    yield
+  }
+  ret
+}
+fn @kernel() -> u64 {
+  %pts = gget @pts
+  %ca = gget @ca
+  %cb = gget @cb
+  %ck = gget @ck
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %two = const 2 : u64
+  %three = const 3 : u64
+  %n = size %ca
+  %rounds = dowhile iter(%rnd = %zero) {
+    %changed = forrange %zero, %n -> [%i] iter(%ch = %zero) {
+      %k = read %ck, %i
+      %a = read %ca, %i
+      %b = read %cb, %i
+      %isCopy = eq %k, %one
+      %ch4 = if %isCopy {
+        %sa = read %pts, %a
+        %sb = read %pts, %b
+        %before = size %sa
+        union %sa, %sb
+        %after = size %sa
+        %grew = gt %after, %before
+        %inc = select %grew, %one, %zero
+        %c2 = add %ch, %inc
+        yield %c2
+      } else {
+        %isStore = eq %k, %two
+        %ch3 = if %isStore {
+          %sa2 = read %pts, %a
+          %sb2 = read %pts, %b
+          %c3 = foreach %sa2 -> [%t] iter(%cc = %ch) {
+            call @ensurepts(%t)
+            %st = read %pts, %t
+            %bf = size %st
+            union %st, %sb2
+            %af = size %st
+            %grew2 = gt %af, %bf
+            %inc2 = select %grew2, %one, %zero
+            %cc2 = add %cc, %inc2
+            yield %cc2
+          }
+          yield %c3
+        } else {
+          %isLoad = eq %k, %three
+          %ch2 = if %isLoad {
+            %sa3 = read %pts, %a
+            %sb3 = read %pts, %b
+            %c4 = foreach %sb3 -> [%t2] iter(%cc3 = %ch) {
+              call @ensurepts(%t2)
+              %st2 = read %pts, %t2
+              %bf2 = size %sa3
+              union %sa3, %st2
+              %af2 = size %sa3
+              %g3 = gt %af2, %bf2
+              %inc3 = select %g3, %one, %zero
+              %cc4 = add %cc3, %inc3
+              yield %cc4
+            }
+            yield %c4
+          } else {
+            yield %ch
+          }
+          yield %ch2
+        }
+        yield %ch3
+      }
+      yield %ch4
+    }
+    %more = gt %changed, %zero
+    %rnd2 = add %rnd, %one
+    yield %more, %rnd2
+  }
+  %total = foreach %pts -> [%p, %s] iter(%acc = %zero) {
+    %sz = size %s
+    %a5 = add %acc, %sz
+    yield %a5
+  }
+  %r = add %total, %rounds
+  ret %r
+}
+)";

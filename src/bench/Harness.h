@@ -1,0 +1,68 @@
+//===- Harness.h - Benchmark execution harness ------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one benchmark under one compiler configuration, timing
+/// initialization (@build) and the region of interest (@kernel)
+/// separately, and gathering the dynamic statistics and peak collection
+/// memory behind the paper's figures. Configurations mirror the
+/// artifact's: memoir, ade, ade-noredundant, ade-nopropagation,
+/// ade-nosharing, memoir-abseil, ade-abseil, ade-sparse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_BENCH_HARNESS_H
+#define ADE_BENCH_HARNESS_H
+
+#include "bench/Benchmarks.h"
+#include "runtime/Stats.h"
+
+#include <string>
+
+namespace ade {
+namespace bench {
+
+/// The artifact's compiler configurations.
+enum class Config {
+  Memoir,       // Baseline: Hash{Set,Map} defaults, no ADE.
+  Ade,          // ADE with all optimizations.
+  AdeNoRTE,     // ade-noredundant (RQ3).
+  AdeNoProp,    // ade-nopropagation (RQ3).
+  AdeNoShare,   // ade-nosharing (RQ3; implies no propagation).
+  MemoirSwiss,  // memoir-abseil: Swiss{Set,Map} defaults, no ADE (RQ5).
+  AdeSwiss,     // ade-abseil: ADE with Swiss defaults elsewhere (RQ5).
+  AdeSparse,    // ade-sparse: SparseBitSet for enumerated sets.
+};
+
+const char *configName(Config C);
+
+/// Measurements from one run.
+struct RunResult {
+  double InitSeconds = 0;  // @build
+  double RoiSeconds = 0;   // @kernel
+  double totalSeconds() const { return InitSeconds + RoiSeconds; }
+  uint64_t Checksum = 0;
+  uint64_t PeakBytes = 0;
+  runtime::InterpStats Stats;
+};
+
+/// Options for a run.
+struct RunOptions {
+  uint64_t ScalePercent = 100;
+  bool CollectStats = true;
+  /// Extra pragma injected at PTA's inner allocation sites (RQ4); applies
+  /// to the PTA benchmark only.
+  std::string PtaInnerPragma;
+};
+
+/// Runs \p B under \p C.
+RunResult runBenchmark(const BenchmarkSpec &B, Config C,
+                       const RunOptions &Options = {});
+
+} // namespace bench
+} // namespace ade
+
+#endif // ADE_BENCH_HARNESS_H

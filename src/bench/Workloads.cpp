@@ -1,0 +1,200 @@
+//===- Workloads.cpp - Synthetic benchmark inputs -------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Workloads.h"
+
+#include "support/Hashing.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ade;
+using namespace ade::bench;
+
+uint64_t ade::bench::scrambleLabel(uint64_t DenseId) {
+  // Avoid 0 so programs can use 0 as an "absent" sentinel if they wish.
+  return hashU64(DenseId * 2 + 1) | 1;
+}
+
+Workload ade::bench::rmatGraph(uint64_t Nodes, uint64_t Edges,
+                               uint64_t Seed) {
+  uint64_t Scale = 1;
+  while ((1ULL << Scale) < Nodes)
+    ++Scale;
+  Workload W;
+  W.A.reserve(Edges);
+  W.B.reserve(Edges);
+  Rng R(Seed);
+  for (uint64_t E = 0; E != Edges; ++E) {
+    uint64_t U = 0, V = 0;
+    for (uint64_t Bit = 0; Bit != Scale; ++Bit) {
+      // R-MAT quadrant probabilities a=0.57, b=0.19, c=0.19, d=0.05.
+      double P = R.nextDouble();
+      unsigned Quadrant = P < 0.57 ? 0 : P < 0.76 ? 1 : P < 0.95 ? 2 : 3;
+      U = (U << 1) | (Quadrant >> 1);
+      V = (V << 1) | (Quadrant & 1);
+    }
+    if (U == V)
+      V = (V + 1) & ((1ULL << Scale) - 1);
+    W.A.push_back(scrambleLabel(U));
+    W.B.push_back(scrambleLabel(V));
+  }
+  return W;
+}
+
+Workload ade::bench::erdosRenyiGraph(uint64_t Nodes, uint64_t Edges,
+                                     uint64_t Seed) {
+  Workload W;
+  W.A.reserve(Edges);
+  W.B.reserve(Edges);
+  Rng R(Seed);
+  for (uint64_t E = 0; E != Edges; ++E) {
+    uint64_t U = R.nextBelow(Nodes);
+    uint64_t V = R.nextBelow(Nodes);
+    if (U == V)
+      V = (V + 1) % Nodes;
+    W.A.push_back(scrambleLabel(U));
+    W.B.push_back(scrambleLabel(V));
+  }
+  return W;
+}
+
+Workload ade::bench::connectedGraph(uint64_t Nodes, uint64_t Edges,
+                                    uint64_t Seed) {
+  assert(Edges + 1 >= Nodes && "need at least a backbone of edges");
+  Workload W;
+  W.A.reserve(Edges);
+  W.B.reserve(Edges);
+  Rng R(Seed);
+  for (uint64_t I = 1; I != Nodes; ++I) {
+    W.A.push_back(scrambleLabel(I - 1));
+    W.B.push_back(scrambleLabel(I));
+  }
+  for (uint64_t E = Nodes - 1; E < Edges; ++E) {
+    uint64_t U = R.nextBelow(Nodes);
+    uint64_t V = R.nextBelow(Nodes);
+    if (U == V)
+      V = (V + 1) % Nodes;
+    W.A.push_back(scrambleLabel(U));
+    W.B.push_back(scrambleLabel(V));
+  }
+  return W;
+}
+
+Workload ade::bench::weightedGraph(uint64_t Nodes, uint64_t Edges,
+                                   uint64_t Seed) {
+  Workload W = connectedGraph(Nodes, Edges, Seed);
+  Rng R(Seed ^ 0xabcdef);
+  W.C.reserve(W.A.size());
+  for (size_t I = 0; I != W.A.size(); ++I)
+    W.C.push_back(1 + R.nextBelow(16));
+  return W;
+}
+
+Workload ade::bench::bipartiteGraph(uint64_t Side, uint64_t Edges,
+                                    uint64_t Seed) {
+  Workload W;
+  W.A.reserve(Edges);
+  W.B.reserve(Edges);
+  Rng R(Seed);
+  for (uint64_t E = 0; E != Edges; ++E) {
+    uint64_t L = R.nextBelow(Side);
+    uint64_t Ri = R.nextBelow(Side);
+    W.A.push_back(scrambleLabel(L));
+    W.B.push_back(scrambleLabel(Side + Ri));
+  }
+  W.P0 = Side;
+  return W;
+}
+
+Workload ade::bench::flowNetwork(uint64_t Layers, uint64_t Width,
+                                 uint64_t Seed) {
+  Workload W;
+  Rng R(Seed);
+  uint64_t NodeCount = 2 + Layers * Width; // source + layers + sink
+  auto LabelOf = [&](uint64_t Dense) { return scrambleLabel(Dense); };
+  uint64_t Source = 0, Sink = NodeCount - 1;
+  // Source to first layer.
+  for (uint64_t I = 0; I != Width; ++I) {
+    W.A.push_back(LabelOf(Source));
+    W.B.push_back(LabelOf(1 + I));
+    W.C.push_back(8 + R.nextBelow(8));
+  }
+  // Layer to layer.
+  for (uint64_t L = 0; L + 1 < Layers; ++L) {
+    for (uint64_t I = 0; I != Width; ++I) {
+      for (uint64_t Fan = 0; Fan != 2; ++Fan) {
+        uint64_t From = 1 + L * Width + I;
+        uint64_t To = 1 + (L + 1) * Width + R.nextBelow(Width);
+        W.A.push_back(LabelOf(From));
+        W.B.push_back(LabelOf(To));
+        W.C.push_back(1 + R.nextBelow(8));
+      }
+    }
+  }
+  // Last layer to sink.
+  for (uint64_t I = 0; I != Width; ++I) {
+    W.A.push_back(LabelOf(1 + (Layers - 1) * Width + I));
+    W.B.push_back(LabelOf(Sink));
+    W.C.push_back(8 + R.nextBelow(8));
+  }
+  W.P0 = LabelOf(Source);
+  W.P1 = LabelOf(Sink);
+  return W;
+}
+
+Workload ade::bench::transactions(uint64_t Count, uint64_t MaxLen,
+                                  uint64_t Items, uint64_t Seed) {
+  Workload W;
+  Rng R(Seed);
+  W.C.reserve(Count + 1);
+  for (uint64_t T = 0; T != Count; ++T) {
+    W.C.push_back(W.A.size());
+    uint64_t Len = 2 + R.nextBelow(MaxLen - 1);
+    for (uint64_t I = 0; I != Len; ++I) {
+      // Zipf-ish popularity: square the uniform draw.
+      double U = R.nextDouble();
+      uint64_t Item = static_cast<uint64_t>(U * U * Items);
+      W.A.push_back(scrambleLabel(1000000 + Item));
+    }
+  }
+  W.C.push_back(W.A.size());
+  W.P0 = Count / 20 + 2; // Support threshold.
+  return W;
+}
+
+Workload ade::bench::pointsToConstraints(uint64_t Pointers, uint64_t Objects,
+                                         uint64_t Constraints,
+                                         uint64_t Seed) {
+  Workload W;
+  Rng R(Seed);
+  auto PtrLabel = [&](uint64_t P) { return scrambleLabel(5000000 + P); };
+  auto ObjLabel = [&](uint64_t O) { return scrambleLabel(9000000 + O); };
+  for (uint64_t I = 0; I != Constraints; ++I) {
+    uint64_t Kind = R.nextBelow(10);
+    if (Kind < 3) { // addr-of
+      W.A.push_back(PtrLabel(R.nextBelow(Pointers)));
+      W.B.push_back(ObjLabel(R.nextBelow(Objects)));
+      W.C.push_back(0);
+    } else if (Kind < 8) { // copy
+      W.A.push_back(PtrLabel(R.nextBelow(Pointers)));
+      W.B.push_back(PtrLabel(R.nextBelow(Pointers)));
+      W.C.push_back(1);
+    } else if (Kind < 9) { // store
+      W.A.push_back(PtrLabel(R.nextBelow(Pointers)));
+      W.B.push_back(PtrLabel(R.nextBelow(Pointers)));
+      W.C.push_back(2);
+    } else { // load
+      W.A.push_back(PtrLabel(R.nextBelow(Pointers)));
+      W.B.push_back(PtrLabel(R.nextBelow(Pointers)));
+      W.C.push_back(3);
+    }
+  }
+  W.P0 = Pointers;
+  W.P1 = Objects;
+  return W;
+}

@@ -1,0 +1,78 @@
+//===- Workloads.h - Synthetic benchmark inputs -----------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the paper's SNAP / Lonestar / PARSEC inputs
+/// (DESIGN.md substitution 4): R-MAT power-law graphs, Erdos-Renyi graphs,
+/// bipartite graphs, layered flow networks, market-basket transactions and
+/// points-to constraint sets. Node identifiers are sparse 64-bit labels
+/// (hash-scrambled), as with SNAP datasets, so baseline programs need hash
+/// structures and enumeration has real work to do. All generators are
+/// deterministic in their seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_BENCH_WORKLOADS_H
+#define ADE_BENCH_WORKLOADS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ade {
+namespace bench {
+
+/// An edge list over sparse node labels. The three arrays line up with the
+/// uniform benchmark @build signature (A, B, C); C's meaning varies
+/// (weights, transaction offsets, constraint kinds).
+struct Workload {
+  std::vector<uint64_t> A;
+  std::vector<uint64_t> B;
+  std::vector<uint64_t> C;
+  uint64_t P0 = 0;
+  uint64_t P1 = 0;
+};
+
+/// Maps a dense node index to its sparse public label.
+uint64_t scrambleLabel(uint64_t DenseId);
+
+/// R-MAT power-law graph (a=0.57 b=0.19 c=0.19), undirected edge list,
+/// \p Nodes rounded up to a power of two, ~\p Edges edges.
+Workload rmatGraph(uint64_t Nodes, uint64_t Edges, uint64_t Seed);
+
+/// Erdos-Renyi G(n, m) edge list.
+Workload erdosRenyiGraph(uint64_t Nodes, uint64_t Edges, uint64_t Seed);
+
+/// Connected small-diameter graph: a Hamiltonian backbone plus random
+/// chords; good for traversal benchmarks.
+Workload connectedGraph(uint64_t Nodes, uint64_t Edges, uint64_t Seed);
+
+/// Weighted variant of \c connectedGraph: C[i] holds weight in [1, 16].
+Workload weightedGraph(uint64_t Nodes, uint64_t Edges, uint64_t Seed);
+
+/// Bipartite graph for matching: left/right partitions of \p Side nodes
+/// each, A = left label, B = right label.
+Workload bipartiteGraph(uint64_t Side, uint64_t Edges, uint64_t Seed);
+
+/// Layered flow network for preflow-push: source = label of dense id 0,
+/// sink = label of last node; C[i] holds capacities.
+Workload flowNetwork(uint64_t Layers, uint64_t Width, uint64_t Seed);
+
+/// Market-basket transactions for frequent itemset mining: A = flattened
+/// item stream (sparse item labels, Zipf-ish popularity), C = transaction
+/// start offsets (with a final end sentinel). B unused.
+Workload transactions(uint64_t Count, uint64_t MaxLen, uint64_t Items,
+                      uint64_t Seed);
+
+/// Andersen points-to constraints: for each constraint i, C[i] is the kind
+/// (0 addr-of: A := &B; 1 copy: A := B; 2 store: *A := B; 3 load: A := *B),
+/// over \p Pointers pointer labels and \p Objects allocation labels.
+Workload pointsToConstraints(uint64_t Pointers, uint64_t Objects,
+                             uint64_t Constraints, uint64_t Seed);
+
+} // namespace bench
+} // namespace ade
+
+#endif // ADE_BENCH_WORKLOADS_H

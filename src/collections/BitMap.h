@@ -1,0 +1,107 @@
+//===- BitMap.h - Dense array-backed map ------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The BitMap of Table I (SIII-H): a map over a contiguous integer key
+/// range [0, k) backed by a presence bitset plus a contiguous value array,
+/// for O(1) read/write/insert/remove and k*(1+bits(V)) storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_BITMAP_H
+#define ADE_COLLECTIONS_BITMAP_H
+
+#include "collections/BitSet.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ade {
+
+/// A dense map from uint64_t keys to values of type \p V, growing its key
+/// universe on demand like \c BitSet.
+template <typename V> class BitMap {
+public:
+  using key_type = uint64_t;
+  using mapped_type = V;
+
+  BitMap() = default;
+
+  size_t size() const { return Present.size(); }
+  bool empty() const { return Present.empty(); }
+
+  bool contains(uint64_t Key) const { return Present.contains(Key); }
+
+  /// Returns the value for \p Key; the key must be present.
+  const V &at(uint64_t Key) const {
+    assert(Present.contains(Key) && "BitMap::at on absent key");
+    return Values[Key];
+  }
+
+  V &at(uint64_t Key) {
+    assert(Present.contains(Key) && "BitMap::at on absent key");
+    return Values[Key];
+  }
+
+  /// Returns a pointer to the value for \p Key, or null if absent.
+  const V *lookup(uint64_t Key) const {
+    return Present.contains(Key) ? &Values[Key] : nullptr;
+  }
+
+  V *lookup(uint64_t Key) {
+    return Present.contains(Key) ? &Values[Key] : nullptr;
+  }
+
+  /// Inserts or overwrites the mapping Key -> Value. Returns true when the
+  /// key was newly inserted.
+  bool insertOrAssign(uint64_t Key, V Value) {
+    bool Inserted = Present.insert(Key);
+    if (Key >= Values.size())
+      Values.resize(Key + 1);
+    Values[Key] = std::move(Value);
+    return Inserted;
+  }
+
+  /// Inserts Key -> Value only if absent. Returns true if inserted.
+  bool tryInsert(uint64_t Key, V Value) {
+    if (Present.contains(Key))
+      return false;
+    return insertOrAssign(Key, std::move(Value));
+  }
+
+  bool remove(uint64_t Key) {
+    if (!Present.remove(Key))
+      return false;
+    Values[Key] = V();
+    return true;
+  }
+
+  /// Empties the map but keeps capacity; stale values are unreachable
+  /// behind the cleared presence bits and overwritten on insert.
+  void clear() { Present.clear(); }
+
+  /// Invokes \p Fn(key, value&) for every mapping, in key order.
+  template <typename FnT> void forEach(FnT Fn) {
+    Present.forEach([&](uint64_t Key) { Fn(Key, Values[Key]); });
+  }
+
+  template <typename FnT> void forEach(FnT Fn) const {
+    Present.forEach([&](uint64_t Key) { Fn(Key, Values[Key]); });
+  }
+
+  size_t memoryBytes() const {
+    return Present.memoryBytes() + Values.capacity() * sizeof(V);
+  }
+
+private:
+  BitSet Present;
+  std::vector<V, TrackingAllocator<V>> Values;
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_BITMAP_H

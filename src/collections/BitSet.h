@@ -1,0 +1,146 @@
+//===- BitSet.h - Dynamically resizable bitset set --------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The BitSet of Table I (SIII-H): a set over a contiguous integer range
+/// [0, k) stored as a contiguous array of bits. The paper implements this
+/// with boost::dynamic_bitset; this is our stand-in with the same dynamic
+/// resizing behavior, required because enumerations are constructed on the
+/// fly. Storage is k bits where k is the largest key ever inserted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_BITSET_H
+#define ADE_COLLECTIONS_BITSET_H
+
+#include "collections/MemoryTracker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ade {
+
+/// A dynamically growing bitset exposing set semantics over uint64_t keys.
+class BitSet {
+public:
+  using key_type = uint64_t;
+
+  BitSet() = default;
+
+  /// Number of elements in the set. O(1): maintained incrementally.
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// One past the largest key the set has capacity for (k in Table I).
+  uint64_t universeSize() const { return Words.size() * 64; }
+
+  /// Returns true if \p Key is in the set. O(1); keys beyond the current
+  /// universe are absent.
+  bool contains(uint64_t Key) const {
+    uint64_t Word = Key >> 6;
+    if (Word >= Words.size())
+      return false;
+    return (Words[Word] >> (Key & 63)) & 1;
+  }
+
+  /// Inserts \p Key, growing the universe if needed. Returns true if the
+  /// key was newly inserted.
+  bool insert(uint64_t Key) {
+    uint64_t Word = Key >> 6;
+    if (Word >= Words.size())
+      Words.resize(Word + 1, 0);
+    uint64_t Mask = 1ULL << (Key & 63);
+    if (Words[Word] & Mask)
+      return false;
+    Words[Word] |= Mask;
+    ++Count;
+    return true;
+  }
+
+  /// Removes \p Key. Returns true if it was present. Does not shrink the
+  /// universe (matches dynamic_bitset behavior).
+  bool remove(uint64_t Key) {
+    uint64_t Word = Key >> 6;
+    if (Word >= Words.size())
+      return false;
+    uint64_t Mask = 1ULL << (Key & 63);
+    if (!(Words[Word] & Mask))
+      return false;
+    Words[Word] &= ~Mask;
+    --Count;
+    return true;
+  }
+
+  /// Empties the set but keeps the universe capacity (matching standard
+  /// container clear semantics), so reuse in a loop re-zeroes words
+  /// instead of reallocating and re-growing.
+  void clear() {
+    std::fill(Words.begin(), Words.end(), 0);
+    Count = 0;
+  }
+
+  /// Invokes \p Fn(key) for every member, in increasing key order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (size_t W = 0, E = Words.size(); W != E; ++W) {
+      uint64_t Bits = Words[W];
+      while (Bits) {
+        unsigned Tz = static_cast<unsigned>(__builtin_ctzll(Bits));
+        Fn(static_cast<uint64_t>(W) * 64 + Tz);
+        Bits &= Bits - 1;
+      }
+    }
+  }
+
+  /// Set union: adds every member of \p Other. Word-wise OR; this is the
+  /// operation where bitsets enjoy their largest advantage (Table III).
+  void unionWith(const BitSet &Other) {
+    if (Other.Words.size() > Words.size())
+      Words.resize(Other.Words.size(), 0);
+    uint64_t NewCount = 0;
+    for (size_t W = 0, E = Other.Words.size(); W != E; ++W)
+      Words[W] |= Other.Words[W];
+    for (uint64_t Word : Words)
+      NewCount += static_cast<uint64_t>(__builtin_popcountll(Word));
+    Count = NewCount;
+  }
+
+  /// Set intersection with \p Other, in place.
+  void intersectWith(const BitSet &Other) {
+    if (Words.size() > Other.Words.size())
+      Words.resize(Other.Words.size());
+    uint64_t NewCount = 0;
+    for (size_t W = 0, E = Words.size(); W != E; ++W) {
+      Words[W] &= Other.Words[W];
+      NewCount += static_cast<uint64_t>(__builtin_popcountll(Words[W]));
+    }
+    Count = NewCount;
+  }
+
+  /// Bytes of backing storage currently held.
+  size_t memoryBytes() const { return Words.capacity() * sizeof(uint64_t); }
+
+  bool operator==(const BitSet &Other) const {
+    if (Count != Other.Count)
+      return false;
+    size_t Common = std::min(Words.size(), Other.Words.size());
+    for (size_t W = 0; W != Common; ++W)
+      if (Words[W] != Other.Words[W])
+        return false;
+    // Differing tails must be all-zero (equal popcounts guarantee it, but
+    // stay defensive).
+    return true;
+  }
+
+private:
+  std::vector<uint64_t, TrackingAllocator<uint64_t>> Words;
+  size_t Count = 0;
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_BITSET_H

@@ -1,0 +1,30 @@
+//===- Collections.h - Umbrella header for the collection library -*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella for every collection implementation of Table I,
+/// the enumeration runtime, and memory accounting. Downstream users who
+/// want a single include can use this; individual headers are preferred in
+/// library code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_COLLECTIONS_H
+#define ADE_COLLECTIONS_COLLECTIONS_H
+
+#include "collections/BitMap.h"
+#include "collections/BitSet.h"
+#include "collections/Enumeration.h"
+#include "collections/FlatSet.h"
+#include "collections/HashMap.h"
+#include "collections/HashSet.h"
+#include "collections/MemoryTracker.h"
+#include "collections/RoaringBitSet.h"
+#include "collections/Sequence.h"
+#include "collections/SwissMap.h"
+#include "collections/SwissSet.h"
+
+#endif // ADE_COLLECTIONS_COLLECTIONS_H

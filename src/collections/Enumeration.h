@@ -1,0 +1,90 @@
+//===- Enumeration.h - Data enumeration mapping -----------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The enumeration runtime of SIII-B: Enum = (Enc, Dec) where
+/// Enc = Map<K, idx> assigns each distinct key a contiguous identifier in
+/// [0, N) and Dec = Seq<K> is the inverse. Identifiers are handed out in
+/// first-encounter order and never removed, so Dec is append-only and
+/// decode is an array index. These are the @enc/@dec/@add helpers the ADE
+/// transformation calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_ENUMERATION_H
+#define ADE_COLLECTIONS_ENUMERATION_H
+
+#include "collections/MemoryTracker.h"
+#include "collections/SwissMap.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ade {
+
+/// A bidirectional mapping between keys of type \p K and contiguous
+/// identifiers [0, size()).
+template <typename K, typename Hasher = DefaultHash<K>> class Enumeration {
+public:
+  using key_type = K;
+  using id_type = uint64_t;
+
+  /// Number of enumerated keys (N); identifiers are exactly [0, N).
+  size_t size() const { return Dec.size(); }
+  bool empty() const { return Dec.empty(); }
+
+  bool contains(const K &Key) const { return Enc.contains(Key); }
+
+  /// @enc: translates \p Key to its identifier. The key must already be in
+  /// the enumeration (behavior is undefined otherwise, per SIII-B).
+  id_type encode(const K &Key) const {
+    const id_type *Id = Enc.lookup(Key);
+    assert(Id && "encode() of a key missing from the enumeration");
+    return *Id;
+  }
+
+  /// @dec: translates \p Id back to its key. \p Id must be < size().
+  const K &decode(id_type Id) const {
+    assert(Id < Dec.size() && "decode() of an out-of-range identifier");
+    return Dec[Id];
+  }
+
+  /// @add: ensures \p Key is enumerated and returns its identifier. Returns
+  /// {id, true} when the key was newly added.
+  std::pair<id_type, bool> add(const K &Key) {
+    id_type Next = Dec.size();
+    auto [Slot, Inserted] = encSlot(Key, Next);
+    if (Inserted)
+      Dec.push_back(Key);
+    return {Slot, Inserted};
+  }
+
+  void clear() {
+    Enc.clear();
+    Dec.clear();
+    Dec.shrink_to_fit();
+  }
+
+  size_t memoryBytes() const {
+    return Enc.memoryBytes() + Dec.capacity() * sizeof(K);
+  }
+
+private:
+  std::pair<id_type, bool> encSlot(const K &Key, id_type Next) {
+    if (const id_type *Existing = Enc.lookup(Key))
+      return {*Existing, false};
+    Enc.insertOrAssign(Key, Next);
+    return {Next, true};
+  }
+
+  SwissMap<K, id_type, Hasher> Enc;
+  std::vector<K, TrackingAllocator<K>> Dec;
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_ENUMERATION_H

@@ -1,0 +1,102 @@
+//===- FlatSet.h - Sorted-array set -----------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FlatSet of Table I: a sorted resizable array with O(log n) search,
+/// O(n) insert/remove, n*bits(T) storage, fast ordered iteration and linear
+/// merge-based union. The RQ4 case study selects it for sparse inner
+/// points-to sets, where union is the hot operation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_FLATSET_H
+#define ADE_COLLECTIONS_FLATSET_H
+
+#include "collections/MemoryTracker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace ade {
+
+/// A set stored as a sorted contiguous array of keys.
+template <typename K> class FlatSet {
+public:
+  using key_type = K;
+
+  FlatSet() = default;
+
+  size_t size() const { return Keys.size(); }
+  bool empty() const { return Keys.empty(); }
+
+  bool contains(const K &Key) const {
+    auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+    return It != Keys.end() && *It == Key;
+  }
+
+  /// Inserts \p Key keeping the array sorted; true if newly inserted.
+  bool insert(const K &Key) {
+    auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+    if (It != Keys.end() && *It == Key)
+      return false;
+    Keys.insert(It, Key);
+    return true;
+  }
+
+  bool remove(const K &Key) {
+    auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+    if (It == Keys.end() || *It != Key)
+      return false;
+    Keys.erase(It);
+    return true;
+  }
+
+  void clear() {
+    Keys.clear();
+    Keys.shrink_to_fit();
+  }
+
+  /// Invokes \p Fn(key) in increasing order. Iteration over a flat set is
+  /// a contiguous scan, its standout strength in Table III.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (const K &Key : Keys)
+      Fn(Key);
+  }
+
+  /// Linear merge union: O(|this| + |other|).
+  void unionWith(const FlatSet &Other) {
+    if (Other.empty())
+      return;
+    std::vector<K, TrackingAllocator<K>> Merged;
+    Merged.reserve(Keys.size() + Other.Keys.size());
+    std::set_union(Keys.begin(), Keys.end(), Other.Keys.begin(),
+                   Other.Keys.end(), std::back_inserter(Merged));
+    Keys = std::move(Merged);
+  }
+
+  /// Linear merge intersection.
+  void intersectWith(const FlatSet &Other) {
+    std::vector<K, TrackingAllocator<K>> Merged;
+    std::set_intersection(Keys.begin(), Keys.end(), Other.Keys.begin(),
+                          Other.Keys.end(), std::back_inserter(Merged));
+    Keys = std::move(Merged);
+  }
+
+  size_t memoryBytes() const { return Keys.capacity() * sizeof(K); }
+
+  const K *begin() const { return Keys.data(); }
+  const K *end() const { return Keys.data() + Keys.size(); }
+
+  bool operator==(const FlatSet &Other) const { return Keys == Other.Keys; }
+
+private:
+  std::vector<K, TrackingAllocator<K>> Keys;
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_FLATSET_H

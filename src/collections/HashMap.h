@@ -1,0 +1,209 @@
+//===- HashMap.h - Chained hash table map -----------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HashMap of Table I and the MEMOIR baseline map implementation: a
+/// separately chained hash table analogous to std::unordered_map. See
+/// HashSet.h for the organization; this adds a mapped value per node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_HASHMAP_H
+#define ADE_COLLECTIONS_HASHMAP_H
+
+#include "collections/HashTraits.h"
+#include "collections/MemoryTracker.h"
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ade {
+
+/// A separately chained hash map.
+template <typename K, typename V, typename Hasher = DefaultHash<K>>
+class HashMap {
+  struct Node {
+    K Key;
+    V Value;
+    Node *Next;
+  };
+
+public:
+  using key_type = K;
+  using mapped_type = V;
+
+  HashMap() = default;
+  HashMap(const HashMap &Other) { *this = Other; }
+  HashMap(HashMap &&Other) noexcept { *this = std::move(Other); }
+
+  HashMap &operator=(const HashMap &Other) {
+    if (this == &Other)
+      return *this;
+    clear();
+    Other.forEach(
+        [&](const K &Key, const V &Value) { insertOrAssign(Key, Value); });
+    return *this;
+  }
+
+  HashMap &operator=(HashMap &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    clear();
+    Buckets = std::move(Other.Buckets);
+    Count = Other.Count;
+    Other.Buckets.clear();
+    Other.Count = 0;
+    return *this;
+  }
+
+  ~HashMap() { clear(); }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  bool contains(const K &Key) const { return lookup(Key) != nullptr; }
+
+  /// Returns a pointer to the value mapped by \p Key, or null.
+  V *lookup(const K &Key) {
+    if (Buckets.empty())
+      return nullptr;
+    for (Node *N = Buckets[bucketOf(Key)]; N; N = N->Next)
+      if (N->Key == Key)
+        return &N->Value;
+    return nullptr;
+  }
+
+  const V *lookup(const K &Key) const {
+    return const_cast<HashMap *>(this)->lookup(Key);
+  }
+
+  /// Returns the value for \p Key; the key must be present.
+  V &at(const K &Key) {
+    V *Value = lookup(Key);
+    assert(Value && "HashMap::at on absent key");
+    return *Value;
+  }
+
+  const V &at(const K &Key) const {
+    return const_cast<HashMap *>(this)->at(Key);
+  }
+
+  /// Inserts or overwrites Key -> Value; true if newly inserted.
+  bool insertOrAssign(const K &Key, V Value) {
+    if (V *Existing = lookup(Key)) {
+      *Existing = std::move(Value);
+      return false;
+    }
+    insertNew(Key, std::move(Value));
+    return true;
+  }
+
+  /// Inserts Key -> Value if absent; true if inserted.
+  bool tryInsert(const K &Key, V Value) {
+    if (lookup(Key))
+      return false;
+    insertNew(Key, std::move(Value));
+    return true;
+  }
+
+  /// Returns the value for \p Key, default-constructing it if absent.
+  V &getOrInsert(const K &Key) {
+    if (V *Existing = lookup(Key))
+      return *Existing;
+    return insertNew(Key, V());
+  }
+
+  bool remove(const K &Key) {
+    if (Buckets.empty())
+      return false;
+    Node **Link = &Buckets[bucketOf(Key)];
+    while (*Link) {
+      if ((*Link)->Key == Key) {
+        Node *Dead = *Link;
+        *Link = Dead->Next;
+        freeNode(Dead);
+        --Count;
+        return true;
+      }
+      Link = &(*Link)->Next;
+    }
+    return false;
+  }
+
+  void clear() {
+    for (Node *Head : Buckets) {
+      while (Head) {
+        Node *Next = Head->Next;
+        freeNode(Head);
+        Head = Next;
+      }
+    }
+    Buckets.clear();
+    Buckets.shrink_to_fit();
+    Count = 0;
+  }
+
+  /// Invokes \p Fn(key, value&) for every mapping, in unspecified order.
+  template <typename FnT> void forEach(FnT Fn) {
+    for (Node *Head : Buckets)
+      for (Node *N = Head; N; N = N->Next)
+        Fn(N->Key, N->Value);
+  }
+
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (Node *Head : Buckets)
+      for (Node *N = Head; N; N = N->Next)
+        Fn(static_cast<const K &>(N->Key), static_cast<const V &>(N->Value));
+  }
+
+  size_t memoryBytes() const {
+    return Buckets.capacity() * sizeof(Node *) + Count * sizeof(Node);
+  }
+
+private:
+  size_t bucketOf(const K &Key) const {
+    return Hasher()(Key) & (Buckets.size() - 1);
+  }
+
+  V &insertNew(const K &Key, V Value) {
+    if (Count + 1 > Buckets.size())
+      rehash(Buckets.empty() ? 8 : Buckets.size() * 2);
+    size_t B = bucketOf(Key);
+    void *Mem = trackedAlloc(sizeof(Node));
+    Node *N = new (Mem) Node{Key, std::move(Value), Buckets[B]};
+    Buckets[B] = N;
+    ++Count;
+    return N->Value;
+  }
+
+  void freeNode(Node *N) {
+    N->~Node();
+    trackedFree(N, sizeof(Node));
+  }
+
+  void rehash(size_t NewBucketCount) {
+    std::vector<Node *, TrackingAllocator<Node *>> Old = std::move(Buckets);
+    Buckets.assign(NewBucketCount, nullptr);
+    for (Node *Head : Old) {
+      while (Head) {
+        Node *Next = Head->Next;
+        size_t B = bucketOf(Head->Key);
+        Head->Next = Buckets[B];
+        Buckets[B] = Head;
+        Head = Next;
+      }
+    }
+  }
+
+  std::vector<Node *, TrackingAllocator<Node *>> Buckets;
+  size_t Count = 0;
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_HASHMAP_H

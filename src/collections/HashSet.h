@@ -1,0 +1,173 @@
+//===- HashSet.h - Chained hash table set -----------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HashSet of Table I and the MEMOIR baseline implementation: a
+/// node-based separately chained hash table in the mold of
+/// std::unordered_set (one heap node per element, bucket array of node
+/// pointers, max load factor 1). Implemented from scratch so that memory
+/// accounting is exact and behavior is identical across platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_HASHSET_H
+#define ADE_COLLECTIONS_HASHSET_H
+
+#include "collections/HashTraits.h"
+#include "collections/MemoryTracker.h"
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ade {
+
+/// A separately chained hash set.
+template <typename K, typename Hasher = DefaultHash<K>> class HashSet {
+  struct Node {
+    K Key;
+    Node *Next;
+  };
+
+public:
+  using key_type = K;
+
+  HashSet() = default;
+  HashSet(const HashSet &Other) { *this = Other; }
+  HashSet(HashSet &&Other) noexcept { *this = std::move(Other); }
+
+  HashSet &operator=(const HashSet &Other) {
+    if (this == &Other)
+      return *this;
+    clear();
+    Other.forEach([&](const K &Key) { insert(Key); });
+    return *this;
+  }
+
+  HashSet &operator=(HashSet &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    clear();
+    Buckets = std::move(Other.Buckets);
+    Count = Other.Count;
+    Other.Buckets.clear();
+    Other.Count = 0;
+    return *this;
+  }
+
+  ~HashSet() { clear(); }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  bool contains(const K &Key) const {
+    if (Buckets.empty())
+      return false;
+    for (Node *N = Buckets[bucketOf(Key)]; N; N = N->Next)
+      if (N->Key == Key)
+        return true;
+    return false;
+  }
+
+  /// Inserts \p Key; returns true if newly inserted.
+  bool insert(const K &Key) {
+    if (Count + 1 > Buckets.size())
+      rehash(Buckets.empty() ? 8 : Buckets.size() * 2);
+    size_t B = bucketOf(Key);
+    for (Node *N = Buckets[B]; N; N = N->Next)
+      if (N->Key == Key)
+        return false;
+    Buckets[B] = allocNode(Key, Buckets[B]);
+    ++Count;
+    return true;
+  }
+
+  bool remove(const K &Key) {
+    if (Buckets.empty())
+      return false;
+    Node **Link = &Buckets[bucketOf(Key)];
+    while (*Link) {
+      if ((*Link)->Key == Key) {
+        Node *Dead = *Link;
+        *Link = Dead->Next;
+        freeNode(Dead);
+        --Count;
+        return true;
+      }
+      Link = &(*Link)->Next;
+    }
+    return false;
+  }
+
+  void clear() {
+    for (Node *Head : Buckets) {
+      while (Head) {
+        Node *Next = Head->Next;
+        freeNode(Head);
+        Head = Next;
+      }
+    }
+    Buckets.clear();
+    Buckets.shrink_to_fit();
+    Count = 0;
+  }
+
+  /// Invokes \p Fn(key) for every member, in unspecified order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (Node *Head : Buckets)
+      for (Node *N = Head; N; N = N->Next)
+        Fn(N->Key);
+  }
+
+  /// Set union by per-element insertion (no fast path exists for chained
+  /// tables; this is the Table III baseline for Union).
+  void unionWith(const HashSet &Other) {
+    Other.forEach([&](const K &Key) { insert(Key); });
+  }
+
+  size_t memoryBytes() const {
+    return Buckets.capacity() * sizeof(Node *) + Count * sizeof(Node);
+  }
+
+private:
+  size_t bucketOf(const K &Key) const {
+    return Hasher()(Key) & (Buckets.size() - 1);
+  }
+
+  Node *allocNode(const K &Key, Node *Next) {
+    void *Mem = trackedAlloc(sizeof(Node));
+    return new (Mem) Node{Key, Next};
+  }
+
+  void freeNode(Node *N) {
+    N->~Node();
+    trackedFree(N, sizeof(Node));
+  }
+
+  void rehash(size_t NewBucketCount) {
+    assert((NewBucketCount & (NewBucketCount - 1)) == 0 &&
+           "bucket count must be a power of two");
+    std::vector<Node *, TrackingAllocator<Node *>> Old = std::move(Buckets);
+    Buckets.assign(NewBucketCount, nullptr);
+    for (Node *Head : Old) {
+      while (Head) {
+        Node *Next = Head->Next;
+        size_t B = bucketOf(Head->Key);
+        Head->Next = Buckets[B];
+        Buckets[B] = Head;
+        Head = Next;
+      }
+    }
+  }
+
+  std::vector<Node *, TrackingAllocator<Node *>> Buckets;
+  size_t Count = 0;
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_HASHSET_H

@@ -1,0 +1,75 @@
+//===- HashTraits.h - Default hashers for collection keys -------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The default hash functor used by every hash-based collection in this
+/// library. Routing all integral keys through the same splitmix64 mixer
+/// keeps hash quality identical across HashSet/SwissSet/etc., so the
+/// Table III comparisons measure table organization rather than hash choice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_HASHTRAITS_H
+#define ADE_COLLECTIONS_HASHTRAITS_H
+
+#include "support/Hashing.h"
+
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace ade {
+
+template <typename K, typename Enable = void> struct DefaultHash;
+
+template <typename K>
+struct DefaultHash<K, std::enable_if_t<std::is_integral_v<K>>> {
+  uint64_t operator()(K Key) const {
+    return hashU64(static_cast<uint64_t>(Key));
+  }
+};
+
+template <typename K>
+struct DefaultHash<K, std::enable_if_t<std::is_enum_v<K>>> {
+  uint64_t operator()(K Key) const {
+    return hashU64(static_cast<uint64_t>(Key));
+  }
+};
+
+template <> struct DefaultHash<std::string> {
+  uint64_t operator()(std::string_view Key) const { return hashBytes(Key); }
+};
+
+template <> struct DefaultHash<std::string_view> {
+  uint64_t operator()(std::string_view Key) const { return hashBytes(Key); }
+};
+
+template <typename K> struct DefaultHash<K *> {
+  uint64_t operator()(const K *Key) const {
+    return hashU64(reinterpret_cast<uintptr_t>(Key));
+  }
+};
+
+template <> struct DefaultHash<double> {
+  uint64_t operator()(double Key) const {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(Key));
+    __builtin_memcpy(&Bits, &Key, sizeof(Bits));
+    return hashU64(Bits);
+  }
+};
+
+template <> struct DefaultHash<float> {
+  uint64_t operator()(float Key) const {
+    uint32_t Bits;
+    __builtin_memcpy(&Bits, &Key, sizeof(Bits));
+    return hashU64(Bits);
+  }
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_HASHTRAITS_H

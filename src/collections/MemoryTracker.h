@@ -1,0 +1,99 @@
+//===- MemoryTracker.h - Collection heap accounting -------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global accounting of bytes held by collection implementations. The paper
+/// evaluates maximum resident set size via /usr/bin/time; our stand-in is
+/// the peak number of bytes held by collections, which dominate the heap in
+/// the evaluated benchmarks (see DESIGN.md substitution 6). All containers
+/// in src/collections allocate through \c TrackingAllocator or the
+/// \c trackedAlloc helpers so the accounting is complete by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_MEMORYTRACKER_H
+#define ADE_COLLECTIONS_MEMORYTRACKER_H
+
+#include "support/ErrorHandling.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace ade {
+
+/// Process-wide current/peak byte counters for collection storage.
+class MemoryTracker {
+public:
+  /// The global tracker all collections report to.
+  static MemoryTracker &instance() {
+    static MemoryTracker Tracker;
+    return Tracker;
+  }
+
+  void allocated(size_t Bytes) {
+    Current += Bytes;
+    if (Current > Peak)
+      Peak = Current;
+  }
+
+  void freed(size_t Bytes) { Current -= Bytes; }
+
+  /// Bytes currently held by live collections.
+  uint64_t currentBytes() const { return Current; }
+
+  /// High-water mark since the last \c reset.
+  uint64_t peakBytes() const { return Peak; }
+
+  /// Clears the peak (and keeps tracking from the current level), used
+  /// between benchmark configurations.
+  void reset() { Peak = Current; }
+
+private:
+  uint64_t Current = 0;
+  uint64_t Peak = 0;
+};
+
+/// Allocates \p Bytes and records them with the global tracker.
+inline void *trackedAlloc(size_t Bytes) {
+  MemoryTracker::instance().allocated(Bytes);
+  void *Ptr = std::malloc(Bytes);
+  if (!Ptr && Bytes)
+    reportFatalError("collection allocation failed: out of memory");
+  return Ptr;
+}
+
+/// Frees memory from \c trackedAlloc. \p Bytes must match the allocation.
+inline void trackedFree(void *Ptr, size_t Bytes) {
+  MemoryTracker::instance().freed(Bytes);
+  std::free(Ptr);
+}
+
+/// std::allocator-compatible allocator that reports to the tracker. Used to
+/// back every vector inside the collection implementations.
+template <typename T> struct TrackingAllocator {
+  using value_type = T;
+
+  TrackingAllocator() = default;
+  template <typename U> TrackingAllocator(const TrackingAllocator<U> &) {}
+
+  T *allocate(size_t N) {
+    MemoryTracker::instance().allocated(N * sizeof(T));
+    return static_cast<T *>(::operator new(N * sizeof(T)));
+  }
+
+  void deallocate(T *Ptr, size_t N) {
+    MemoryTracker::instance().freed(N * sizeof(T));
+    ::operator delete(Ptr);
+  }
+
+  bool operator==(const TrackingAllocator &) const { return true; }
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_MEMORYTRACKER_H

@@ -1,0 +1,346 @@
+//===- RoaringBitSet.cpp - Compressed sparse bitset -----------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/RoaringBitSet.h"
+
+#include <algorithm>
+
+using namespace ade;
+using namespace ade::roaring;
+
+//===----------------------------------------------------------------------===//
+// ArrayContainer
+//===----------------------------------------------------------------------===//
+
+bool ArrayContainer::contains(uint16_t Low) const {
+  auto It = std::lower_bound(Keys.begin(), Keys.end(), Low);
+  return It != Keys.end() && *It == Low;
+}
+
+void ArrayContainer::forEach(const std::function<void(uint16_t)> &Fn) const {
+  for (uint16_t Key : Keys)
+    Fn(Key);
+}
+
+bool ArrayContainer::insert(uint16_t Low) {
+  auto It = std::lower_bound(Keys.begin(), Keys.end(), Low);
+  if (It != Keys.end() && *It == Low)
+    return false;
+  Keys.insert(It, Low);
+  return true;
+}
+
+bool ArrayContainer::remove(uint16_t Low) {
+  auto It = std::lower_bound(Keys.begin(), Keys.end(), Low);
+  if (It == Keys.end() || *It != Low)
+    return false;
+  Keys.erase(It);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// BitmapContainer
+//===----------------------------------------------------------------------===//
+
+BitmapContainer::BitmapContainer() : Container(Kind::Bitmap) {
+  Words.assign(1024, 0);
+}
+
+void BitmapContainer::forEach(const std::function<void(uint16_t)> &Fn) const {
+  for (size_t W = 0; W != 1024; ++W) {
+    uint64_t Bits = Words[W];
+    while (Bits) {
+      unsigned Tz = static_cast<unsigned>(__builtin_ctzll(Bits));
+      Fn(static_cast<uint16_t>(W * 64 + Tz));
+      Bits &= Bits - 1;
+    }
+  }
+}
+
+bool BitmapContainer::insert(uint16_t Low) {
+  uint64_t &Word = Words[Low >> 6];
+  uint64_t Mask = 1ULL << (Low & 63);
+  if (Word & Mask)
+    return false;
+  Word |= Mask;
+  ++Count;
+  return true;
+}
+
+bool BitmapContainer::remove(uint16_t Low) {
+  uint64_t &Word = Words[Low >> 6];
+  uint64_t Mask = 1ULL << (Low & 63);
+  if (!(Word & Mask))
+    return false;
+  Word &= ~Mask;
+  --Count;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// RunContainer
+//===----------------------------------------------------------------------===//
+
+size_t RunContainer::cardinality() const {
+  size_t N = 0;
+  for (const Run &R : Runs)
+    N += static_cast<size_t>(R.Length) + 1;
+  return N;
+}
+
+bool RunContainer::contains(uint16_t Low) const {
+  // Find the first run starting after Low, then check its predecessor.
+  auto It = std::upper_bound(
+      Runs.begin(), Runs.end(), Low,
+      [](uint16_t Value, const Run &R) { return Value < R.Start; });
+  if (It == Runs.begin())
+    return false;
+  const Run &R = *std::prev(It);
+  return Low >= R.Start &&
+         static_cast<uint32_t>(Low) <=
+             static_cast<uint32_t>(R.Start) + R.Length;
+}
+
+void RunContainer::forEach(const std::function<void(uint16_t)> &Fn) const {
+  for (const Run &R : Runs) {
+    uint32_t End = static_cast<uint32_t>(R.Start) + R.Length;
+    for (uint32_t Low = R.Start; Low <= End; ++Low)
+      Fn(static_cast<uint16_t>(Low));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// RoaringBitSet
+//===----------------------------------------------------------------------===//
+
+RoaringBitSet &RoaringBitSet::operator=(const RoaringBitSet &Other) {
+  if (this == &Other)
+    return *this;
+  clear();
+  Other.forEach([&](uint64_t Key) { insert(Key); });
+  return *this;
+}
+
+size_t RoaringBitSet::lowerBoundChunk(uint16_t High) const {
+  size_t Lo = 0, Hi = Chunks.size();
+  while (Lo != Hi) {
+    size_t Mid = (Lo + Hi) / 2;
+    if (Chunks[Mid].High < High)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+bool RoaringBitSet::contains(uint64_t Key) const {
+  assert(Key < (1ULL << 32) && "RoaringBitSet keys are 32-bit");
+  uint16_t High = static_cast<uint16_t>(Key >> 16);
+  size_t Idx = lowerBoundChunk(High);
+  if (Idx == Chunks.size() || Chunks[Idx].High != High)
+    return false;
+  return Chunks[Idx].Body->contains(static_cast<uint16_t>(Key));
+}
+
+std::unique_ptr<Container> RoaringBitSet::materialize(const Container &C) {
+  if (C.cardinality() <= ArrayCutoff) {
+    auto Arr = std::make_unique<ArrayContainer>();
+    Arr->Keys.reserve(C.cardinality());
+    C.forEach([&](uint16_t Low) { Arr->Keys.push_back(Low); });
+    return Arr;
+  }
+  auto Bmp = std::make_unique<BitmapContainer>();
+  C.forEach([&](uint16_t Low) { Bmp->insert(Low); });
+  return Bmp;
+}
+
+void RoaringBitSet::normalize(std::unique_ptr<Container> &Body) {
+  if (auto *Arr = dyn_cast<ArrayContainer>(Body.get())) {
+    if (Arr->cardinality() > ArrayCutoff)
+      Body = materialize(*Arr);
+    return;
+  }
+  if (auto *Bmp = dyn_cast<BitmapContainer>(Body.get())) {
+    if (Bmp->cardinality() <= ArrayCutoff)
+      Body = materialize(*Bmp);
+    return;
+  }
+}
+
+bool RoaringBitSet::insert(uint64_t Key) {
+  assert(Key < (1ULL << 32) && "RoaringBitSet keys are 32-bit");
+  uint16_t High = static_cast<uint16_t>(Key >> 16);
+  uint16_t Low = static_cast<uint16_t>(Key);
+  size_t Idx = lowerBoundChunk(High);
+  if (Idx == Chunks.size() || Chunks[Idx].High != High) {
+    auto Arr = std::make_unique<ArrayContainer>();
+    Arr->Keys.push_back(Low);
+    Chunks.insert(Chunks.begin() + Idx, Chunk{High, std::move(Arr)});
+    ++Count;
+    return true;
+  }
+  std::unique_ptr<Container> &Body = Chunks[Idx].Body;
+  if (isa<RunContainer>(Body.get())) {
+    if (Body->contains(Low))
+      return false;
+    Body = materialize(*Body);
+  }
+  bool Inserted;
+  if (auto *Arr = dyn_cast<ArrayContainer>(Body.get()))
+    Inserted = Arr->insert(Low);
+  else
+    Inserted = cast<BitmapContainer>(Body.get())->insert(Low);
+  if (Inserted) {
+    ++Count;
+    normalize(Body);
+  }
+  return Inserted;
+}
+
+bool RoaringBitSet::remove(uint64_t Key) {
+  assert(Key < (1ULL << 32) && "RoaringBitSet keys are 32-bit");
+  uint16_t High = static_cast<uint16_t>(Key >> 16);
+  uint16_t Low = static_cast<uint16_t>(Key);
+  size_t Idx = lowerBoundChunk(High);
+  if (Idx == Chunks.size() || Chunks[Idx].High != High)
+    return false;
+  std::unique_ptr<Container> &Body = Chunks[Idx].Body;
+  if (isa<RunContainer>(Body.get())) {
+    if (!Body->contains(Low))
+      return false;
+    Body = materialize(*Body);
+  }
+  bool Removed;
+  if (auto *Arr = dyn_cast<ArrayContainer>(Body.get()))
+    Removed = Arr->remove(Low);
+  else
+    Removed = cast<BitmapContainer>(Body.get())->remove(Low);
+  if (!Removed)
+    return false;
+  --Count;
+  if (Body->cardinality() == 0)
+    Chunks.erase(Chunks.begin() + Idx);
+  else
+    normalize(Body);
+  return true;
+}
+
+void RoaringBitSet::forEach(const std::function<void(uint64_t)> &Fn) const {
+  for (const Chunk &C : Chunks) {
+    uint64_t Base = static_cast<uint64_t>(C.High) << 16;
+    C.Body->forEach([&](uint16_t Low) { Fn(Base | Low); });
+  }
+}
+
+void RoaringBitSet::unionWith(const RoaringBitSet &Other) {
+  for (const Chunk &Theirs : Other.Chunks) {
+    size_t Idx = lowerBoundChunk(Theirs.High);
+    if (Idx == Chunks.size() || Chunks[Idx].High != Theirs.High) {
+      // Absent chunk: deep-copy theirs.
+      Chunks.insert(Chunks.begin() + Idx,
+                    Chunk{Theirs.High, materialize(*Theirs.Body)});
+      Count += Theirs.Body->cardinality();
+      continue;
+    }
+    std::unique_ptr<Container> &Body = Chunks[Idx].Body;
+    Count -= Body->cardinality();
+    auto *Mine = dyn_cast<BitmapContainer>(Body.get());
+    auto *TheirBmp = dyn_cast<BitmapContainer>(Theirs.Body.get());
+    if (Mine && TheirBmp) {
+      // Fast path: word-wise OR of two bitmap containers.
+      size_t NewCount = 0;
+      for (size_t W = 0; W != 1024; ++W) {
+        Mine->Words[W] |= TheirBmp->Words[W];
+        NewCount += static_cast<size_t>(__builtin_popcountll(Mine->Words[W]));
+      }
+      Mine->Count = NewCount;
+    } else if (Mine) {
+      Theirs.Body->forEach([&](uint16_t Low) { Mine->insert(Low); });
+    } else {
+      // Array or run on our side: merge through insertion, materializing
+      // runs first.
+      if (isa<RunContainer>(Body.get()))
+        Body = materialize(*Body);
+      if (auto *Arr = dyn_cast<ArrayContainer>(Body.get())) {
+        if (Arr->cardinality() + Theirs.Body->cardinality() > ArrayCutoff) {
+          Body = materialize(*Arr); // May still be an array; force check.
+          if (auto *StillArr = dyn_cast<ArrayContainer>(Body.get())) {
+            auto Bmp = std::make_unique<BitmapContainer>();
+            StillArr->forEach([&](uint16_t Low) { Bmp->insert(Low); });
+            Body = std::move(Bmp);
+          }
+        }
+      }
+      if (auto *Arr = dyn_cast<ArrayContainer>(Body.get()))
+        Theirs.Body->forEach([&](uint16_t Low) { Arr->insert(Low); });
+      else
+        Theirs.Body->forEach([&](uint16_t Low) {
+          cast<BitmapContainer>(Body.get())->insert(Low);
+        });
+      normalize(Body);
+    }
+    Count += Body->cardinality();
+  }
+}
+
+size_t RoaringBitSet::runOptimize() {
+  size_t Converted = 0;
+  for (Chunk &C : Chunks) {
+    if (isa<RunContainer>(C.Body.get()))
+      continue;
+    // Collect runs from the (ordered) container iteration.
+    auto Runs = std::make_unique<RunContainer>();
+    bool Open = false;
+    uint32_t Start = 0, Prev = 0;
+    C.Body->forEach([&](uint16_t Low) {
+      if (!Open) {
+        Open = true;
+        Start = Prev = Low;
+        return;
+      }
+      if (Low == Prev + 1) {
+        Prev = Low;
+        return;
+      }
+      Runs->Runs.push_back({static_cast<uint16_t>(Start),
+                            static_cast<uint16_t>(Prev - Start)});
+      Start = Prev = Low;
+    });
+    if (Open)
+      Runs->Runs.push_back({static_cast<uint16_t>(Start),
+                            static_cast<uint16_t>(Prev - Start)});
+    if (Runs->memoryBytes() < C.Body->memoryBytes()) {
+      C.Body = std::move(Runs);
+      ++Converted;
+    }
+  }
+  return Converted;
+}
+
+size_t RoaringBitSet::memoryBytes() const {
+  size_t Bytes = Chunks.capacity() * sizeof(Chunk);
+  for (const Chunk &C : Chunks)
+    Bytes += C.Body->memoryBytes();
+  return Bytes;
+}
+
+RoaringBitSet::ContainerCounts RoaringBitSet::containerCounts() const {
+  ContainerCounts Counts;
+  for (const Chunk &C : Chunks) {
+    switch (C.Body->kind()) {
+    case Container::Kind::Array:
+      ++Counts.Array;
+      break;
+    case Container::Kind::Bitmap:
+      ++Counts.Bitmap;
+      break;
+    case Container::Kind::Run:
+      ++Counts.Run;
+      break;
+    }
+  }
+  return Counts;
+}

@@ -1,0 +1,206 @@
+//===- RoaringBitSet.h - Compressed sparse bitset ---------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SparseBitSet of Table I (SIII-H): a Roaring-style compressed bitset
+/// (stand-in for the Roaring library the paper links against). The 32-bit
+/// key space is partitioned into 2^16-element chunks keyed by the high 16
+/// bits; each chunk is stored in whichever of three container kinds suits
+/// its density:
+///
+///   - Array: a sorted vector of 16-bit low keys (cardinality <= 4096),
+///   - Bitmap: a 1024-word uncompressed bitset (cardinality > 4096),
+///   - Run: run-length encoded intervals (produced by \c runOptimize).
+///
+/// Containers promote/demote automatically at the standard 4096-element
+/// threshold. Mutating a run container first materializes it as an array
+/// or bitmap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_ROARINGBITSET_H
+#define ADE_COLLECTIONS_ROARINGBITSET_H
+
+#include "collections/MemoryTracker.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace ade {
+namespace roaring {
+
+/// Cardinality boundary between array and bitmap containers.
+inline constexpr size_t ArrayCutoff = 4096;
+
+/// Base class for the three chunk container kinds.
+class Container {
+public:
+  enum class Kind { Array, Bitmap, Run };
+
+  explicit Container(Kind K) : TheKind(K) {}
+  virtual ~Container() = default;
+
+  Kind kind() const { return TheKind; }
+
+  virtual size_t cardinality() const = 0;
+  virtual bool contains(uint16_t Low) const = 0;
+  virtual size_t memoryBytes() const = 0;
+
+  /// Invokes \p Fn(low) for every member in increasing order.
+  virtual void forEach(const std::function<void(uint16_t)> &Fn) const = 0;
+
+private:
+  const Kind TheKind;
+};
+
+/// Sorted array of 16-bit keys, for sparse chunks.
+class ArrayContainer : public Container {
+public:
+  ArrayContainer() : Container(Kind::Array) {}
+
+  static bool classof(const Container *C) {
+    return C->kind() == Kind::Array;
+  }
+
+  size_t cardinality() const override { return Keys.size(); }
+  bool contains(uint16_t Low) const override;
+  size_t memoryBytes() const override {
+    return sizeof(*this) + Keys.capacity() * sizeof(uint16_t);
+  }
+  void forEach(const std::function<void(uint16_t)> &Fn) const override;
+
+  /// Inserts \p Low; true if newly inserted. May exceed ArrayCutoff; the
+  /// owning set promotes afterwards.
+  bool insert(uint16_t Low);
+  bool remove(uint16_t Low);
+
+  std::vector<uint16_t, TrackingAllocator<uint16_t>> Keys;
+};
+
+/// Uncompressed 65536-bit bitmap, for dense chunks.
+class BitmapContainer : public Container {
+public:
+  BitmapContainer();
+
+  static bool classof(const Container *C) {
+    return C->kind() == Kind::Bitmap;
+  }
+
+  size_t cardinality() const override { return Count; }
+  bool contains(uint16_t Low) const override {
+    return (Words[Low >> 6] >> (Low & 63)) & 1;
+  }
+  size_t memoryBytes() const override {
+    return sizeof(*this) + Words.capacity() * sizeof(uint64_t);
+  }
+  void forEach(const std::function<void(uint16_t)> &Fn) const override;
+
+  bool insert(uint16_t Low);
+  bool remove(uint16_t Low);
+
+  std::vector<uint64_t, TrackingAllocator<uint64_t>> Words;
+  size_t Count = 0;
+};
+
+/// Run-length encoded container: sorted, disjoint, non-adjacent runs.
+class RunContainer : public Container {
+public:
+  struct Run {
+    uint16_t Start;
+    uint16_t Length; // Run covers [Start, Start + Length], inclusive.
+  };
+
+  RunContainer() : Container(Kind::Run) {}
+
+  static bool classof(const Container *C) { return C->kind() == Kind::Run; }
+
+  size_t cardinality() const override;
+  bool contains(uint16_t Low) const override;
+  size_t memoryBytes() const override {
+    return sizeof(*this) + Runs.capacity() * sizeof(Run);
+  }
+  void forEach(const std::function<void(uint16_t)> &Fn) const override;
+
+  std::vector<Run, TrackingAllocator<Run>> Runs;
+};
+
+} // namespace roaring
+
+/// A compressed bitset over 32-bit keys with Roaring-style hybrid storage.
+class RoaringBitSet {
+public:
+  using key_type = uint64_t;
+
+  RoaringBitSet() = default;
+  RoaringBitSet(RoaringBitSet &&) noexcept = default;
+  RoaringBitSet &operator=(RoaringBitSet &&) noexcept = default;
+  RoaringBitSet(const RoaringBitSet &Other) { *this = Other; }
+  RoaringBitSet &operator=(const RoaringBitSet &Other);
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  bool contains(uint64_t Key) const;
+
+  /// Inserts \p Key (< 2^32); true if newly inserted.
+  bool insert(uint64_t Key);
+
+  bool remove(uint64_t Key);
+
+  void clear() {
+    Chunks.clear();
+    Count = 0;
+  }
+
+  /// Invokes \p Fn(key) for every member in increasing order.
+  void forEach(const std::function<void(uint64_t)> &Fn) const;
+
+  /// Adds every member of \p Other, chunk-wise.
+  void unionWith(const RoaringBitSet &Other);
+
+  /// Converts containers to run-length encoding where that is smaller,
+  /// mirroring roaring's runOptimize(). Returns the number of containers
+  /// converted.
+  size_t runOptimize();
+
+  size_t memoryBytes() const;
+
+  /// Number of chunk containers of each kind, for tests and diagnostics.
+  struct ContainerCounts {
+    size_t Array = 0;
+    size_t Bitmap = 0;
+    size_t Run = 0;
+  };
+  ContainerCounts containerCounts() const;
+
+private:
+  struct Chunk {
+    uint16_t High;
+    std::unique_ptr<roaring::Container> Body;
+  };
+
+  /// Returns the chunk index for \p High, or the insertion point, via
+  /// binary search.
+  size_t lowerBoundChunk(uint16_t High) const;
+
+  /// Replaces a mutable run container with an equivalent array or bitmap.
+  static std::unique_ptr<roaring::Container>
+  materialize(const roaring::Container &C);
+
+  /// Promotes/demotes \p Body across the 4096 threshold if needed.
+  static void normalize(std::unique_ptr<roaring::Container> &Body);
+
+  std::vector<Chunk> Chunks; // Sorted by High.
+  size_t Count = 0;
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_ROARINGBITSET_H

@@ -1,0 +1,87 @@
+//===- Sequence.h - Resizable array sequence --------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Seq<T> of Table I: a resizable array with O(1) indexed read/write
+/// and O(n) middle insert/remove, with tracked storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_SEQUENCE_H
+#define ADE_COLLECTIONS_SEQUENCE_H
+
+#include "collections/MemoryTracker.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ade {
+
+/// A tracked resizable array.
+template <typename T> class Sequence {
+public:
+  using value_type = T;
+
+  Sequence() = default;
+
+  size_t size() const { return Items.size(); }
+  bool empty() const { return Items.empty(); }
+
+  const T &at(size_t Idx) const {
+    assert(Idx < Items.size() && "Sequence::at out of range");
+    return Items[Idx];
+  }
+
+  T &at(size_t Idx) {
+    assert(Idx < Items.size() && "Sequence::at out of range");
+    return Items[Idx];
+  }
+
+  void set(size_t Idx, T Value) { at(Idx) = std::move(Value); }
+
+  void append(T Value) { Items.push_back(std::move(Value)); }
+
+  /// Inserts \p Value before position \p Idx (Idx == size() appends).
+  void insertAt(size_t Idx, T Value) {
+    assert(Idx <= Items.size() && "Sequence::insertAt out of range");
+    Items.insert(Items.begin() + Idx, std::move(Value));
+  }
+
+  void removeAt(size_t Idx) {
+    assert(Idx < Items.size() && "Sequence::removeAt out of range");
+    Items.erase(Items.begin() + Idx);
+  }
+
+  /// Removes and returns the last element.
+  T popBack() {
+    assert(!Items.empty() && "popBack on empty sequence");
+    T Value = std::move(Items.back());
+    Items.pop_back();
+    return Value;
+  }
+
+  void clear() {
+    Items.clear();
+    Items.shrink_to_fit();
+  }
+
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (size_t I = 0, E = Items.size(); I != E; ++I)
+      Fn(I, Items[I]);
+  }
+
+  size_t memoryBytes() const { return Items.capacity() * sizeof(T); }
+
+  const T *begin() const { return Items.data(); }
+  const T *end() const { return Items.data() + Items.size(); }
+
+private:
+  std::vector<T, TrackingAllocator<T>> Items;
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_SEQUENCE_H

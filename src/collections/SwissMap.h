@@ -1,0 +1,114 @@
+//===- SwissMap.h - Open-addressing map -------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SwissMap of Table I: a flat control-byte hash map (Abseil swiss
+/// table stand-in).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_SWISSMAP_H
+#define ADE_COLLECTIONS_SWISSMAP_H
+
+#include "collections/SwissTable.h"
+
+namespace ade {
+
+/// A flat open-addressing hash map.
+template <typename K, typename V, typename Hasher = DefaultHash<K>>
+class SwissMap {
+  struct Slot {
+    K Key{};
+    V Value{};
+  };
+  struct GetKey {
+    const K &operator()(const Slot &S) const { return S.Key; }
+  };
+  using Table = detail::SwissTable<Slot, K, GetKey, Hasher>;
+
+public:
+  using key_type = K;
+  using mapped_type = V;
+
+  SwissMap() = default;
+
+  size_t size() const { return Impl.size(); }
+  bool empty() const { return Impl.empty(); }
+
+  bool contains(const K &Key) const { return Impl.find(Key) != Table::npos; }
+
+  /// Returns a pointer to the value mapped by \p Key, or null.
+  V *lookup(const K &Key) {
+    size_t Idx = Impl.find(Key);
+    return Idx == Table::npos ? nullptr : &Impl.slot(Idx).Value;
+  }
+
+  const V *lookup(const K &Key) const {
+    size_t Idx = Impl.find(Key);
+    return Idx == Table::npos ? nullptr : &Impl.slot(Idx).Value;
+  }
+
+  /// Returns the value for \p Key; the key must be present.
+  V &at(const K &Key) {
+    V *Value = lookup(Key);
+    assert(Value && "SwissMap::at on absent key");
+    return *Value;
+  }
+
+  const V &at(const K &Key) const {
+    const V *Value = lookup(Key);
+    assert(Value && "SwissMap::at on absent key");
+    return *Value;
+  }
+
+  /// Inserts or overwrites Key -> Value; true if newly inserted.
+  bool insertOrAssign(const K &Key, V Value) {
+    auto [Idx, Inserted] = Impl.findOrPrepareInsert(Key);
+    Impl.slot(Idx).Key = Key;
+    Impl.slot(Idx).Value = std::move(Value);
+    return Inserted;
+  }
+
+  /// Inserts Key -> Value if absent; true if inserted.
+  bool tryInsert(const K &Key, V Value) {
+    auto [Idx, Inserted] = Impl.findOrPrepareInsert(Key);
+    if (Inserted) {
+      Impl.slot(Idx).Key = Key;
+      Impl.slot(Idx).Value = std::move(Value);
+    }
+    return Inserted;
+  }
+
+  /// Returns the value for \p Key, default-constructing it if absent.
+  V &getOrInsert(const K &Key) {
+    auto [Idx, Inserted] = Impl.findOrPrepareInsert(Key);
+    if (Inserted)
+      Impl.slot(Idx).Key = Key;
+    return Impl.slot(Idx).Value;
+  }
+
+  bool remove(const K &Key) { return Impl.erase(Key); }
+
+  void clear() { Impl.clear(); }
+
+  /// Invokes \p Fn(key, value&) for every mapping, in unspecified order.
+  template <typename FnT> void forEach(FnT Fn) {
+    Impl.forEachSlot([&](Slot &S) { Fn(S.Key, S.Value); });
+  }
+
+  template <typename FnT> void forEach(FnT Fn) const {
+    Impl.forEachSlot([&](const Slot &S) { Fn(S.Key, S.Value); });
+  }
+
+  size_t memoryBytes() const { return Impl.memoryBytes(); }
+
+private:
+  Table Impl;
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_SWISSMAP_H

@@ -1,0 +1,66 @@
+//===- SwissSet.h - Open-addressing set -------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SwissSet of Table I: a flat control-byte hash set (Abseil swiss
+/// table stand-in). O(1) insert/remove, O(n*(1+bits(T))) storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_SWISSSET_H
+#define ADE_COLLECTIONS_SWISSSET_H
+
+#include "collections/SwissTable.h"
+
+namespace ade {
+
+/// A flat open-addressing hash set.
+template <typename K, typename Hasher = DefaultHash<K>> class SwissSet {
+  struct Identity {
+    const K &operator()(const K &Slot) const { return Slot; }
+  };
+  using Table = detail::SwissTable<K, K, Identity, Hasher>;
+
+public:
+  using key_type = K;
+
+  SwissSet() = default;
+
+  size_t size() const { return Impl.size(); }
+  bool empty() const { return Impl.empty(); }
+
+  bool contains(const K &Key) const { return Impl.find(Key) != Table::npos; }
+
+  /// Inserts \p Key; true if newly inserted.
+  bool insert(const K &Key) {
+    auto [Idx, Inserted] = Impl.findOrPrepareInsert(Key);
+    if (Inserted)
+      Impl.slot(Idx) = Key;
+    return Inserted;
+  }
+
+  bool remove(const K &Key) { return Impl.erase(Key); }
+
+  void clear() { Impl.clear(); }
+
+  /// Invokes \p Fn(key) for every member, in unspecified order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    Impl.forEachSlot([&](const K &Slot) { Fn(Slot); });
+  }
+
+  void unionWith(const SwissSet &Other) {
+    Other.forEach([&](const K &Key) { insert(Key); });
+  }
+
+  size_t memoryBytes() const { return Impl.memoryBytes(); }
+
+private:
+  Table Impl;
+};
+
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_SWISSSET_H

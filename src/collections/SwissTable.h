@@ -1,0 +1,274 @@
+//===- SwissTable.h - Open-addressing control-byte hash table --*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared engine behind SwissSet and SwissMap (Table I): a flat
+/// open-addressing hash table with per-slot 1-byte control metadata probed
+/// 16 bytes at a time, in the style of Abseil's "swiss tables" (our
+/// stand-in for the paper's RQ5 Abseil comparison). The hash is split into
+/// H1 (group selector) and H2 (7-bit control tag); groups are scanned with
+/// branch-free SWAR byte matching so most probes touch a single cache line
+/// of metadata before any key comparison.
+///
+/// Layout: capacity is a power of two and a multiple of the 16-slot group
+/// width; probing visits whole groups with triangular increments, which
+/// covers every group exactly once when the group count is a power of two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_COLLECTIONS_SWISSTABLE_H
+#define ADE_COLLECTIONS_SWISSTABLE_H
+
+#include "collections/HashTraits.h"
+#include "collections/MemoryTracker.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace ade {
+namespace detail {
+
+/// Control byte values. Full slots hold the 7-bit H2 tag (0x00..0x7f);
+/// empty and deleted sentinels have the high bit set so a single SWAR mask
+/// distinguishes full from non-full.
+enum : uint8_t { CtrlEmpty = 0x80, CtrlDeleted = 0xFE };
+
+inline constexpr size_t GroupWidth = 16;
+
+/// Broadcasts byte \p B into every lane of a 64-bit word.
+inline uint64_t broadcastByte(uint8_t B) {
+  return 0x0101010101010101ULL * B;
+}
+
+/// Returns a mask with the high bit of each byte set where the byte of
+/// \p Word equals \p B (exact: the zero-detection trick has no false
+/// positives after the XOR).
+inline uint64_t matchByte(uint64_t Word, uint8_t B) {
+  uint64_t X = Word ^ broadcastByte(B);
+  return (X - 0x0101010101010101ULL) & ~X & 0x8080808080808080ULL;
+}
+
+/// Returns a mask with the high bit of each byte set where the byte has its
+/// high bit set (empty or deleted control bytes).
+inline uint64_t matchNonFull(uint64_t Word) {
+  return Word & 0x8080808080808080ULL;
+}
+
+/// The table engine. \p SlotT is the stored element (key, or key/value
+/// pair); \p KeyOf extracts the key from a slot; \p Hasher hashes keys.
+template <typename SlotT, typename KeyT, typename KeyOf, typename Hasher>
+class SwissTable {
+public:
+  SwissTable() = default;
+  SwissTable(const SwissTable &Other) { *this = Other; }
+  SwissTable(SwissTable &&Other) noexcept = default;
+
+  SwissTable &operator=(const SwissTable &Other) {
+    if (this == &Other)
+      return *this;
+    Ctrl = Other.Ctrl;
+    Slots = Other.Slots;
+    Count = Other.Count;
+    GrowthLeft = Other.GrowthLeft;
+    return *this;
+  }
+
+  SwissTable &operator=(SwissTable &&Other) noexcept = default;
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  size_t capacity() const { return Slots.size(); }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  /// Returns the slot index holding \p Key, or npos.
+  size_t find(const KeyT &Key) const {
+    if (Slots.empty())
+      return npos;
+    uint64_t Hash = Hasher()(Key);
+    uint8_t H2 = hash2(Hash);
+    size_t NumGroups = Slots.size() / GroupWidth;
+    size_t Group = hash1(Hash) & (NumGroups - 1);
+    for (size_t Step = 0;; ++Step) {
+      size_t Base = Group * GroupWidth;
+      for (unsigned Half = 0; Half != 2; ++Half) {
+        uint64_t Word = loadWord(Base + Half * 8);
+        uint64_t Matches = matchByte(Word, H2);
+        while (Matches) {
+          unsigned Lane =
+              static_cast<unsigned>(__builtin_ctzll(Matches)) >> 3;
+          size_t Idx = Base + Half * 8 + Lane;
+          if (KeyOf()(Slots[Idx]) == Key)
+            return Idx;
+          Matches &= Matches - 1;
+        }
+      }
+      if (groupHasEmpty(Base))
+        return npos;
+      assert(Step <= NumGroups && "swiss table probe loop overran");
+      Group = (Group + Step + 1) & (NumGroups - 1);
+    }
+  }
+
+  /// Finds \p Key or prepares a slot for it. Returns {index, inserted};
+  /// when inserted, the caller must construct the slot at the index.
+  std::pair<size_t, bool> findOrPrepareInsert(const KeyT &Key) {
+    if (Slots.empty())
+      growTo(2 * GroupWidth);
+    uint64_t Hash = Hasher()(Key);
+    uint8_t H2 = hash2(Hash);
+    while (true) {
+      size_t NumGroups = Slots.size() / GroupWidth;
+      size_t Group = hash1(Hash) & (NumGroups - 1);
+      size_t FirstDeleted = npos;
+      for (size_t Step = 0;; ++Step) {
+        size_t Base = Group * GroupWidth;
+        for (unsigned Half = 0; Half != 2; ++Half) {
+          uint64_t Word = loadWord(Base + Half * 8);
+          uint64_t Matches = matchByte(Word, H2);
+          while (Matches) {
+            unsigned Lane =
+                static_cast<unsigned>(__builtin_ctzll(Matches)) >> 3;
+            size_t Idx = Base + Half * 8 + Lane;
+            if (KeyOf()(Slots[Idx]) == Key)
+              return {Idx, false};
+            Matches &= Matches - 1;
+          }
+          if (FirstDeleted == npos) {
+            uint64_t Deleted = matchByte(Word, CtrlDeleted);
+            if (Deleted) {
+              unsigned Lane =
+                  static_cast<unsigned>(__builtin_ctzll(Deleted)) >> 3;
+              FirstDeleted = Base + Half * 8 + Lane;
+            }
+          }
+        }
+        size_t EmptyIdx = firstEmptyInGroup(Base);
+        if (EmptyIdx != npos) {
+          // Key is absent. Prefer reclaiming a tombstone on the probe path.
+          if (FirstDeleted != npos) {
+            Ctrl[FirstDeleted] = H2;
+            ++Count;
+            return {FirstDeleted, true};
+          }
+          if (GrowthLeft == 0)
+            break; // Rehash and retry.
+          Ctrl[EmptyIdx] = H2;
+          ++Count;
+          --GrowthLeft;
+          return {EmptyIdx, true};
+        }
+        if (Step > NumGroups)
+          break; // Table is pathologically full of tombstones; rehash.
+        Group = (Group + Step + 1) & (NumGroups - 1);
+      }
+      growTo(Slots.size() * 2);
+    }
+  }
+
+  /// Removes \p Key; returns true if it was present. The slot is left
+  /// default-constructed and its control byte tombstoned.
+  bool erase(const KeyT &Key) {
+    size_t Idx = find(Key);
+    if (Idx == npos)
+      return false;
+    Ctrl[Idx] = CtrlDeleted;
+    Slots[Idx] = SlotT();
+    --Count;
+    return true;
+  }
+
+  void clear() {
+    Ctrl.clear();
+    Ctrl.shrink_to_fit();
+    Slots.clear();
+    Slots.shrink_to_fit();
+    Count = 0;
+    GrowthLeft = 0;
+  }
+
+  SlotT &slot(size_t Idx) { return Slots[Idx]; }
+  const SlotT &slot(size_t Idx) const { return Slots[Idx]; }
+
+  /// Invokes \p Fn(slot&) for every full slot.
+  template <typename FnT> void forEachSlot(FnT Fn) {
+    for (size_t I = 0, E = Slots.size(); I != E; ++I)
+      if (!(Ctrl[I] & 0x80))
+        Fn(Slots[I]);
+  }
+
+  template <typename FnT> void forEachSlot(FnT Fn) const {
+    for (size_t I = 0, E = Slots.size(); I != E; ++I)
+      if (!(Ctrl[I] & 0x80))
+        Fn(static_cast<const SlotT &>(Slots[I]));
+  }
+
+  size_t memoryBytes() const {
+    return Ctrl.capacity() * sizeof(uint8_t) +
+           Slots.capacity() * sizeof(SlotT);
+  }
+
+private:
+  static uint64_t hash1(uint64_t Hash) { return Hash >> 7; }
+  static uint8_t hash2(uint64_t Hash) {
+    return static_cast<uint8_t>(Hash & 0x7f);
+  }
+
+  uint64_t loadWord(size_t ByteIdx) const {
+    uint64_t Word;
+    std::memcpy(&Word, Ctrl.data() + ByteIdx, sizeof(Word));
+    return Word;
+  }
+
+  bool groupHasEmpty(size_t Base) const {
+    return matchByte(loadWord(Base), CtrlEmpty) ||
+           matchByte(loadWord(Base + 8), CtrlEmpty);
+  }
+
+  size_t firstEmptyInGroup(size_t Base) const {
+    for (unsigned Half = 0; Half != 2; ++Half) {
+      uint64_t Matches = matchByte(loadWord(Base + Half * 8), CtrlEmpty);
+      if (Matches)
+        return Base + Half * 8 +
+               (static_cast<unsigned>(__builtin_ctzll(Matches)) >> 3);
+    }
+    return npos;
+  }
+
+  void growTo(size_t NewCapacity) {
+    assert(NewCapacity % GroupWidth == 0 &&
+           (NewCapacity & (NewCapacity - 1)) == 0 &&
+           "capacity must be a power of two multiple of the group width");
+    std::vector<uint8_t, TrackingAllocator<uint8_t>> OldCtrl =
+        std::move(Ctrl);
+    std::vector<SlotT, TrackingAllocator<SlotT>> OldSlots = std::move(Slots);
+    Ctrl.assign(NewCapacity, CtrlEmpty);
+    Slots.assign(NewCapacity, SlotT());
+    Count = 0;
+    GrowthLeft = NewCapacity - NewCapacity / 8; // 87.5% max load.
+    for (size_t I = 0, E = OldSlots.size(); I != E; ++I) {
+      if (OldCtrl[I] & 0x80)
+        continue;
+      auto [Idx, Inserted] = findOrPrepareInsert(KeyOf()(OldSlots[I]));
+      assert(Inserted && "duplicate key during swiss table rehash");
+      (void)Inserted;
+      Slots[Idx] = std::move(OldSlots[I]);
+    }
+  }
+
+  std::vector<uint8_t, TrackingAllocator<uint8_t>> Ctrl;
+  std::vector<SlotT, TrackingAllocator<SlotT>> Slots;
+  size_t Count = 0;
+  size_t GrowthLeft = 0;
+};
+
+} // namespace detail
+} // namespace ade
+
+#endif // ADE_COLLECTIONS_SWISSTABLE_H

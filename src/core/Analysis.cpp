@@ -1,0 +1,545 @@
+//===- Analysis.cpp - ADE collection analysis -----------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+
+#include "core/MergeNetwork.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "support/UnionFind.h"
+
+#include <set>
+
+using namespace ade;
+using namespace ade::core;
+using namespace ade::ir;
+
+ir::Type *RootInfo::keyType() const {
+  Type *Key = nullptr;
+  if (const auto *Set = dyn_cast<SetType>(CollTy))
+    Key = Set->key();
+  else if (const auto *Map = dyn_cast<MapType>(CollTy))
+    Key = Map->key();
+  return Key && Key->isScalar() ? Key : nullptr;
+}
+
+ir::Type *RootInfo::elemType() const {
+  Type *Elem = nullptr;
+  if (const auto *Map = dyn_cast<MapType>(CollTy))
+    Elem = Map->value();
+  else if (const auto *Seq = dyn_cast<SeqType>(CollTy))
+    Elem = Seq->element();
+  return Elem && Elem->isScalar() ? Elem : nullptr;
+}
+
+std::string RootInfo::describe() const {
+  std::string Out;
+  switch (TheKind) {
+  case Kind::Alloc:
+    Out = "alloc %" + Anchor->name();
+    break;
+  case Kind::Param:
+    Out = "param %" + Anchor->name();
+    break;
+  case Kind::Global:
+    Out = "global @" + Global->Name;
+    break;
+  case Kind::Nested:
+    Out = "nested[" + Parent->describe() + "]";
+    break;
+  }
+  return Out + " : " + CollTy->str();
+}
+
+//===----------------------------------------------------------------------===//
+// Builder
+//===----------------------------------------------------------------------===//
+
+struct ModuleAnalysis::Builder {
+  ModuleAnalysis &MA;
+  Module &M;
+  KeyedUnionFind<RootInfo *> Classes;
+  bool Changed = false;
+  bool UnifyCallEdges = true;
+
+  Builder(ModuleAnalysis &MA, bool UnifyCallEdges)
+      : MA(MA), M(MA.M), UnifyCallEdges(UnifyCallEdges) {}
+
+  RootInfo *newRoot(RootInfo::Kind K, Type *CollTy) {
+    MA.Roots.push_back(std::make_unique<RootInfo>());
+    RootInfo *R = MA.Roots.back().get();
+    R->TheKind = K;
+    R->CollTy = CollTy;
+    Classes.id(R);
+    // Build the nested chain for collection-valued elements (SIII-G).
+    Type *ElemColl = nullptr;
+    if (const auto *Map = dyn_cast<MapType>(CollTy))
+      ElemColl = Map->value()->isCollection() ? Map->value() : nullptr;
+    else if (const auto *Seq = dyn_cast<SeqType>(CollTy))
+      ElemColl = Seq->element()->isCollection() ? Seq->element() : nullptr;
+    if (ElemColl) {
+      RootInfo *Child = newRoot(RootInfo::Kind::Nested, ElemColl);
+      Child->Parent = R;
+      R->Child = Child;
+    }
+    return R;
+  }
+
+  void assignRef(Value *V, RootInfo *R) {
+    auto [It, Inserted] = MA.ValueToRoot.try_emplace(V, R);
+    if (Inserted) {
+      R->Refs.push_back(V);
+      Changed = true;
+      return;
+    }
+    if (It->second != R)
+      unite(It->second, R);
+  }
+
+  void unite(RootInfo *A, RootInfo *B) {
+    if (Classes.connected(A, B))
+      return;
+    Classes.unite(A, B);
+    Changed = true;
+    // Nesting levels of unified collections unify level-wise.
+    if (A->Child && B->Child)
+      unite(A->Child, B->Child);
+    else if ((A->Child != nullptr) != (B->Child != nullptr)) {
+      // Structural mismatch (should not occur for well-typed IR).
+      markEscape(A);
+      markEscape(B);
+    }
+  }
+
+  void markEscape(RootInfo *R) {
+    if (!R->Escapes) {
+      R->Escapes = true;
+      Changed = true;
+    }
+  }
+
+  RootInfo *rootOf(Value *V) const {
+    auto It = MA.ValueToRoot.find(V);
+    return It == MA.ValueToRoot.end() ? nullptr : It->second;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 1: roots
+  //===--------------------------------------------------------------------===//
+
+  std::map<std::string, RootInfo *> GlobalRoots;
+
+  void createRoots() {
+    for (const auto &G : M.globals()) {
+      if (!G->Ty->isCollection())
+        continue;
+      RootInfo *R = newRoot(RootInfo::Kind::Global, G->Ty);
+      R->Global = G.get();
+      GlobalRoots[G->Name] = R;
+    }
+    for (const auto &F : M.functions()) {
+      for (unsigned I = 0; I != F->numArgs(); ++I) {
+        Argument *A = F->arg(I);
+        if (!A->type()->isCollection())
+          continue;
+        RootInfo *R = newRoot(RootInfo::Kind::Param, A->type());
+        R->Anchor = A;
+        assignRef(A, R);
+      }
+      if (!F->isExternal())
+        createAllocRoots(F->body());
+    }
+  }
+
+  void createAllocRoots(const Region &R) {
+    for (Instruction *I : R) {
+      if (I->op() == Opcode::New) {
+        RootInfo *Root = newRoot(RootInfo::Kind::Alloc,
+                                 I->result()->type());
+        Root->Anchor = I->result();
+        if (const Directive *D = I->directive()) {
+          Root->Dir = *D;
+          Root->HasDirective = true;
+        }
+        assignRef(I->result(), Root);
+      }
+      for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+        createAllocRoots(*I->region(Idx));
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 2: reference propagation and unification edges (Algorithm 5)
+  //===--------------------------------------------------------------------===//
+
+  void propagate() {
+    do {
+      Changed = false;
+      for (const auto &F : M.functions())
+        if (!F->isExternal())
+          propagateRegion(F->body());
+    } while (Changed);
+  }
+
+  void propagateRegion(const Region &R) {
+    for (Instruction *I : R) {
+      propagateInst(I);
+      for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+        propagateRegion(*I->region(Idx));
+    }
+  }
+
+  void propagateInst(Instruction *I) {
+    switch (I->op()) {
+    case Opcode::GlobalGet: {
+      auto It = GlobalRoots.find(I->symbol());
+      if (It != GlobalRoots.end())
+        assignRef(I->result(), It->second);
+      break;
+    }
+    case Opcode::Read:
+    case Opcode::Pop: {
+      if (I->numResults() && I->result()->type()->isCollection())
+        if (RootInfo *Base = rootOf(I->operand(0)))
+          if (Base->Child)
+            assignRef(I->result(), Base->Child);
+      break;
+    }
+    case Opcode::ForEach: {
+      RootInfo *Base = rootOf(I->operand(0));
+      if (!Base || !Base->Child)
+        break;
+      const Region *Body = I->region(0);
+      // Seq/Map bind the element as the second region argument.
+      if (Body->numArgs() >= 2 && Body->arg(1)->type()->isCollection())
+        assignRef(Body->arg(1), Base->Child);
+      break;
+    }
+    case Opcode::Write: {
+      if (!I->operand(2)->type()->isCollection())
+        break;
+      RootInfo *Base = rootOf(I->operand(0));
+      RootInfo *Val = rootOf(I->operand(2));
+      if (Base && Base->Child && Val)
+        unite(Base->Child, Val);
+      break;
+    }
+    case Opcode::Append: {
+      if (!I->operand(1)->type()->isCollection())
+        break;
+      RootInfo *Base = rootOf(I->operand(0));
+      RootInfo *Val = rootOf(I->operand(1));
+      if (Base && Base->Child && Val)
+        unite(Base->Child, Val);
+      break;
+    }
+    case Opcode::GlobalSet: {
+      auto It = GlobalRoots.find(I->symbol());
+      RootInfo *Val = rootOf(I->operand(0));
+      if (It != GlobalRoots.end() && Val)
+        unite(It->second, Val);
+      break;
+    }
+    case Opcode::Call: {
+      const Function *Callee = M.getFunction(I->symbol());
+      for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
+        Value *Arg = I->operand(Idx);
+        if (!Arg->type()->isCollection())
+          continue;
+        RootInfo *ArgRoot = rootOf(Arg);
+        if (!ArgRoot)
+          continue;
+        if (!Callee || Callee->isExternal()) {
+          // SIII-F: collections passed to indirect or externally defined
+          // callees are not transformed.
+          markEscape(ArgRoot);
+          continue;
+        }
+        if (!UnifyCallEdges)
+          continue;
+        if (RootInfo *ParamRoot = rootOf(Callee->arg(Idx)))
+          unite(ArgRoot, ParamRoot);
+      }
+      // A returned collection aliases the callee's returned roots.
+      if (UnifyCallEdges && I->numResults() &&
+          I->result()->type()->isCollection() && Callee &&
+          !Callee->isExternal())
+        bindCallResult(I, Callee);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  void bindCallResult(Instruction *CallInst, const Function *Callee) {
+    forEachRet(Callee->body(), [&](Instruction *Ret) {
+      if (Ret->numOperands() == 0)
+        return;
+      if (RootInfo *RetRoot = rootOf(Ret->operand(0)))
+        assignRef(CallInst->result(), RetRoot);
+    });
+  }
+
+  template <typename FnT> void forEachRet(const Region &R, FnT Fn) {
+    for (Instruction *I : R) {
+      if (I->op() == Opcode::Ret)
+        Fn(I);
+      for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+        forEachRet(*I->region(Idx), Fn);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 3: escapes — any collection use we do not model forbids
+  // transformation of its class (SIII-F).
+  //===--------------------------------------------------------------------===//
+
+  void computeEscapes() {
+    // Parameters of functions without internal callers receive data from
+    // outside the module (SIII-F: externally visible functions); their
+    // collections cannot be retyped.
+    std::set<const Function *> InternallyCalled;
+    for (const auto &F : M.functions())
+      if (!F->isExternal())
+        collectCallees(F->body(), InternallyCalled);
+    for (auto &RootPtr : MA.Roots) {
+      RootInfo *R = RootPtr.get();
+      if (R->TheKind != RootInfo::Kind::Param)
+        continue;
+      const Function *Owner = cast<Argument>(R->Anchor)->parent();
+      if (!InternallyCalled.count(Owner))
+        markEscape(R);
+    }
+    for (auto &[V, Root] : MA.ValueToRoot) {
+      for (const Use &U : V->uses()) {
+        if (!useIsModeled(V, U))
+          markEscape(Root);
+      }
+    }
+  }
+
+  void collectCallees(const Region &R, std::set<const Function *> &Out) {
+    for (Instruction *I : R) {
+      if (I->op() == Opcode::Call)
+        if (const Function *Callee = M.getFunction(I->symbol()))
+          Out.insert(Callee);
+      for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+        collectCallees(*I->region(Idx), Out);
+    }
+  }
+
+  bool useIsModeled(Value *V, const Use &U) {
+    Instruction *I = U.User;
+    switch (I->op()) {
+    case Opcode::Read:
+    case Opcode::Has:
+    case Opcode::Remove:
+    case Opcode::Insert:
+    case Opcode::Size:
+    case Opcode::Clear:
+    case Opcode::Pop:
+    case Opcode::ForEach:
+      return U.OpIdx == 0;
+    case Opcode::Write:
+      // Base, or a collection value stored into a tracked nesting level.
+      if (U.OpIdx == 0)
+        return true;
+      return U.OpIdx == 2 && rootOf(I->operand(0)) &&
+             rootOf(I->operand(0))->Child;
+    case Opcode::Append:
+      if (U.OpIdx == 0)
+        return true;
+      return U.OpIdx == 1 && rootOf(I->operand(0)) &&
+             rootOf(I->operand(0))->Child;
+    case Opcode::Union: {
+      // Both sides must be tracked; enumeration compatibility is enforced
+      // by the planner, which unifies union partners.
+      RootInfo *Other = rootOf(I->operand(U.OpIdx == 0 ? 1 : 0));
+      return Other != nullptr;
+    }
+    case Opcode::GlobalSet:
+      return true;
+    case Opcode::Call: {
+      const Function *Callee = M.getFunction(I->symbol());
+      // Escape for external callees is recorded during propagation; the
+      // use itself is modeled either way.
+      return Callee != nullptr;
+    }
+    case Opcode::Ret:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 4: use sets (Algorithms 1 and 4)
+  //===--------------------------------------------------------------------===//
+
+  void computeUseSets() {
+    for (auto &RootPtr : MA.Roots) {
+      RootInfo *Root = RootPtr.get();
+      for (Value *Ref : Root->Refs)
+        for (const Use &U : Ref->uses())
+          recordAccess(Root, Ref, U);
+      // ToDec entries are the uses of produced keys (Algorithm 1's
+      // for-each case inserts Uses(k)); likewise for propagated elements
+      // (Algorithm 4). Uses are followed through structured merges — the
+      // analog of MEMOIR following phis — so that loop-carried decoded
+      // values (Listing 3's %curr) surface their redundancy.
+      for (Value *K : Root->ProducedKeys)
+        addUsesTransitive(K, Root->ToDec);
+      for (Value *E : Root->ProducedElems)
+        addUsesTransitive(E, Root->PropToDec);
+    }
+  }
+
+  void addUsesTransitive(Value *V, UseSet &Out) {
+    std::set<const Value *> Visited;
+    addUsesTransitiveImpl(V, Out, Visited);
+  }
+
+  void addUsesTransitiveImpl(Value *V, UseSet &Out,
+                             std::set<const Value *> &Visited) {
+    if (!Visited.insert(V).second)
+      return;
+    for (const Use &U : V->uses()) {
+      Out.insert({U.User, U.OpIdx});
+      for (Value *Target : MA.Merges->targetsOf(U.User, U.OpIdx))
+        if (Target->type() == V->type())
+          addUsesTransitiveImpl(Target, Out, Visited);
+    }
+  }
+
+  void recordAccess(RootInfo *Root, Value *Ref, const Use &U) {
+    Instruction *I = U.User;
+    if (U.OpIdx != 0)
+      return; // Only accesses through the base operand contribute.
+    bool Assoc = Root->isAssociative() && Root->keyType();
+    bool Prop = Root->elemType() != nullptr;
+    switch (I->op()) {
+    case Opcode::Read:
+      if (Assoc)
+        Root->ToEnc.insert({I, 1});
+      if (Prop)
+        Root->ProducedElems.push_back(I->result());
+      break;
+    case Opcode::Has:
+    case Opcode::Remove:
+      if (Assoc)
+        Root->ToEnc.insert({I, 1});
+      break;
+    case Opcode::Write:
+      // Our write upserts (a fresh key creates the mapping), so its key
+      // must be *added* to the enumeration, not merely encoded. MEMOIR's
+      // write updates an existing element (Listing 1 inserts before
+      // writing), where ToEnc suffices; see DESIGN.md.
+      if (Assoc)
+        Root->ToAdd.insert({I, 1});
+      if (Prop)
+        Root->PropToAdd.insert({I, 2});
+      break;
+    case Opcode::Insert:
+      if (Assoc)
+        Root->ToAdd.insert({I, 1});
+      break;
+    case Opcode::Append:
+      if (Prop)
+        Root->PropToAdd.insert({I, 1});
+      break;
+    case Opcode::Pop:
+      if (Prop)
+        Root->ProducedElems.push_back(I->result());
+      break;
+    case Opcode::ForEach: {
+      const Region *Body = I->region(0);
+      if (Assoc)
+        Root->ProducedKeys.push_back(Body->arg(0));
+      if (Prop) {
+        unsigned ElemArg = isa<SetType>(Root->CollTy) ? 0 : 1;
+        if (ElemArg < Body->numArgs())
+          Root->ProducedElems.push_back(Body->arg(ElemArg));
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Finalize
+  //===--------------------------------------------------------------------===//
+
+  void buildClasses() {
+    std::map<uint32_t, std::vector<RootInfo *>> ByRep;
+    for (auto &RootPtr : MA.Roots)
+      ByRep[Classes.find(RootPtr.get())].push_back(RootPtr.get());
+    for (auto &[Rep, Members] : ByRep) {
+      // Class-wide escape and directive merge: aliasing roots are one
+      // collection object, so a directive on any allocation site applies
+      // to every reference.
+      bool Escapes = false;
+      Directive Merged;
+      bool AnyDirective = false;
+      for (RootInfo *R : Members) {
+        Escapes |= R->Escapes;
+        if (!R->HasDirective)
+          continue;
+        AnyDirective = true;
+        if (R->Dir.EnumerateMode != Directive::Enumerate::Default)
+          Merged.EnumerateMode = R->Dir.EnumerateMode;
+        Merged.NoShare |= R->Dir.NoShare;
+        Merged.NoShareWith.insert(Merged.NoShareWith.end(),
+                                  R->Dir.NoShareWith.begin(),
+                                  R->Dir.NoShareWith.end());
+        if (Merged.ShareGroup.empty())
+          Merged.ShareGroup = R->Dir.ShareGroup;
+        if (Merged.Select == Selection::Empty)
+          Merged.Select = R->Dir.Select;
+      }
+      for (RootInfo *R : Members) {
+        R->Escapes = Escapes;
+        if (AnyDirective) {
+          R->Dir = Merged;
+          R->HasDirective = true;
+        }
+      }
+      size_t Index = MA.AliasClasses.size();
+      MA.AliasClasses.push_back(Members);
+      for (RootInfo *R : Members)
+        MA.ClassIndex[R] = Index;
+    }
+  }
+
+  void run() {
+    createRoots();
+    propagate();
+    computeEscapes();
+    computeUseSets();
+    buildClasses();
+  }
+};
+
+ModuleAnalysis::ModuleAnalysis(Module &M, bool UnifyCallEdges)
+    : M(M), Merges(std::make_unique<MergeNetwork>(M)) {
+  Builder B(*this, UnifyCallEdges);
+  B.run();
+}
+
+ModuleAnalysis::~ModuleAnalysis() = default;
+
+RootInfo *ModuleAnalysis::rootOf(Value *V) const {
+  auto It = ValueToRoot.find(V);
+  return It == ValueToRoot.end() ? nullptr : It->second;
+}
+
+size_t ModuleAnalysis::aliasClassOf(RootInfo *Root) const {
+  auto It = ClassIndex.find(Root);
+  assert(It != ClassIndex.end() && "root not in any class");
+  return It->second;
+}

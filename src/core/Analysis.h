@@ -1,0 +1,150 @@
+//===- Analysis.h - ADE collection analysis ---------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyses behind automatic data enumeration:
+///
+///  - discovery of *collection roots* — distinct collection objects (stack
+///    allocations, parameters, globals, and nested levels of collections of
+///    collections, SIII-G) — together with every IR value referring to them;
+///  - the uses-to-patch sets ToEnc/ToDec/ToAdd of Algorithm 1 (associative
+///    keys) and Algorithm 4 (propagated elements, SIII-E);
+///  - escape detection (SIII-F): collections passed to external callees or
+///    used in unrecognized ways are never transformed;
+///  - the aliasing edges Algorithm 5 unifies: references of one root,
+///    call-argument-to-parameter bindings, returned collections, global
+///    load/stores, and nesting membership.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_CORE_ANALYSIS_H
+#define ADE_CORE_ANALYSIS_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace ade {
+namespace core {
+
+/// One operand slot, ordered so it can live in std::set.
+struct UseRef {
+  ir::Instruction *User = nullptr;
+  unsigned OpIdx = 0;
+
+  bool operator<(const UseRef &O) const {
+    return User != O.User ? User < O.User : OpIdx < O.OpIdx;
+  }
+  bool operator==(const UseRef &O) const {
+    return User == O.User && OpIdx == O.OpIdx;
+  }
+};
+
+using UseSet = std::set<UseRef>;
+
+/// A distinct collection object (or nesting level) in the module.
+struct RootInfo {
+  enum class Kind { Alloc, Param, Global, Nested };
+
+  Kind TheKind;
+  /// The defining anchor: New instruction (Alloc), argument (Param),
+  /// module global (Global). Null for Nested.
+  ir::Value *Anchor = nullptr;
+  const ir::GlobalVariable *Global = nullptr;
+  /// For Nested: the enclosing root (this root is the element level of the
+  /// parent collection).
+  RootInfo *Parent = nullptr;
+  /// The child nesting level, when the element type is a collection.
+  RootInfo *Child = nullptr;
+  /// The collection type of this level (before transformation).
+  ir::Type *CollTy = nullptr;
+  /// Every IR value referring to this collection object.
+  std::vector<ir::Value *> Refs;
+  /// True when some use makes transformation unsafe (SIII-F).
+  bool Escapes = false;
+  /// Merged user directive across contributing allocation sites.
+  ir::Directive Dir;
+  bool HasDirective = false;
+
+  // Algorithm 1 (key mode, associative collections only).
+  UseSet ToEnc, ToDec, ToAdd;
+  /// Values bound to this root's keys (for-each key arguments); they turn
+  /// into identifiers when the root is key-enumerated.
+  std::vector<ir::Value *> ProducedKeys;
+
+  // Algorithm 4 (element/propagator mode; any collection whose element
+  // type is scalar).
+  UseSet PropToDec, PropToAdd;
+  /// Values produced from this root's elements (read/pop results, for-each
+  /// value bindings); identifiers when the root is a propagator.
+  std::vector<ir::Value *> ProducedElems;
+
+  /// Key type for CanShare (associative collections), else null.
+  ir::Type *keyType() const;
+  /// Scalar element type for CanPropagate (map values / seq elements),
+  /// else null.
+  ir::Type *elemType() const;
+  bool isAssociative() const { return CollTy->isAssociative(); }
+
+  /// Printable description for diagnostics and tests.
+  std::string describe() const;
+};
+
+/// Whole-module analysis result.
+class ModuleAnalysis {
+public:
+  /// Analyzes \p M. The module is not modified. With \p UnifyCallEdges
+  /// false, call arguments are not unified with parameters and returned
+  /// collections are not bound to call results — callers keep their own
+  /// classes (used by the cloning pre-pass to detect disagreeing call
+  /// sites).
+  explicit ModuleAnalysis(ir::Module &M, bool UnifyCallEdges = true);
+  ~ModuleAnalysis();
+  ModuleAnalysis(const ModuleAnalysis &) = delete;
+  ModuleAnalysis &operator=(const ModuleAnalysis &) = delete;
+
+  const std::vector<std::unique_ptr<RootInfo>> &roots() const {
+    return Roots;
+  }
+
+  /// The root a value refers to, or null when the value is not a tracked
+  /// collection reference.
+  RootInfo *rootOf(ir::Value *V) const;
+
+  /// Alias classes: sets of roots that refer (or may refer) to the same
+  /// underlying collection object and therefore must be transformed
+  /// together (the unification of Algorithm 5, including parameter
+  /// bindings, returns, globals and nesting levels).
+  const std::vector<std::vector<RootInfo *>> &aliasClasses() const {
+    return AliasClasses;
+  }
+
+  /// The alias class index of \p Root.
+  size_t aliasClassOf(RootInfo *Root) const;
+
+  /// The structured-merge dataflow network of the module (phi-web
+  /// equivalent), shared with the transform.
+  const class MergeNetwork &merges() const { return *Merges; }
+
+  ir::Module &module() { return M; }
+
+private:
+  struct Builder;
+  ir::Module &M;
+  std::unique_ptr<class MergeNetwork> Merges;
+  std::vector<std::unique_ptr<RootInfo>> Roots;
+  std::map<ir::Value *, RootInfo *> ValueToRoot;
+  std::vector<std::vector<RootInfo *>> AliasClasses;
+  std::map<RootInfo *, size_t> ClassIndex;
+};
+
+} // namespace core
+} // namespace ade
+
+#endif // ADE_CORE_ANALYSIS_H

@@ -1,0 +1,170 @@
+//===- Cloning.cpp - Function cloning for mixed callers -------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cloning.h"
+
+#include "core/Analysis.h"
+#include "support/ErrorHandling.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace ade;
+using namespace ade::core;
+using namespace ade::ir;
+
+namespace {
+
+using ValueMap = std::map<const Value *, Value *>;
+
+void copyRegion(const Region &Src, Region &Dst, ValueMap &VM) {
+  for (unsigned I = 0; I != Src.numArgs(); ++I) {
+    const BlockArg *Old = Src.arg(I);
+    VM[Old] = Dst.addArg(Old->type(), Old->name());
+  }
+  for (const Instruction *I : Src) {
+    std::vector<Type *> ResultTypes;
+    for (unsigned R = 0; R != I->numResults(); ++R)
+      ResultTypes.push_back(I->result(R)->type());
+    std::vector<Value *> Operands;
+    for (const Value *Op : I->operands())
+      Operands.push_back(VM.at(Op));
+    auto Clone = std::make_unique<Instruction>(I->op(), ResultTypes,
+                                               Operands, I->numRegions());
+    Clone->setIntAttr(I->intAttr());
+    Clone->setFpAttr(I->fpAttr());
+    Clone->setSymbol(I->symbol());
+    if (const Directive *D = I->directive())
+      Clone->setDirective(*D);
+    for (unsigned R = 0; R != I->numResults(); ++R) {
+      Clone->result(R)->setName(I->result(R)->name());
+      VM[I->result(R)] = Clone->result(R);
+    }
+    Instruction *Placed = Dst.push(std::move(Clone));
+    for (unsigned R = 0; R != I->numRegions(); ++R)
+      copyRegion(*I->region(R), *Placed->region(R), VM);
+  }
+}
+
+/// True if \p F contains a direct call to itself (cloning such functions
+/// would leave the recursive call targeting the original).
+bool callsItself(const Function &F, const Region &R) {
+  for (const Instruction *I : R) {
+    if (I->op() == Opcode::Call && I->symbol() == F.name())
+      return true;
+    for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+      if (callsItself(F, *I->region(Idx)))
+        return true;
+  }
+  return false;
+}
+
+void collectCalls(const Region &R,
+                  std::map<std::string, std::vector<Instruction *>> &Out) {
+  for (Instruction *I : R) {
+    if (I->op() == Opcode::Call)
+      Out[I->symbol()].push_back(I);
+    for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+      collectCalls(*I->region(Idx), Out);
+  }
+}
+
+} // namespace
+
+Function *ade::core::cloneFunction(Module &M, const Function &F,
+                                   std::string NewName) {
+  assert(!F.isExternal() && "cannot clone a declaration");
+  Function *Clone = M.createFunction(std::move(NewName), F.returnType());
+  ValueMap VM;
+  for (unsigned I = 0; I != F.numArgs(); ++I)
+    VM[F.arg(I)] = Clone->addArg(F.arg(I)->type(), F.arg(I)->name());
+  copyRegion(F.body(), Clone->body(), VM);
+  return Clone;
+}
+
+unsigned ade::core::cloneForMixedCallers(Module &M) {
+  // Analyze WITHOUT call-edge unification so each call site's arguments
+  // keep their caller-side classes.
+  ModuleAnalysis MA(M, /*UnifyCallEdges=*/false);
+
+  std::map<std::string, std::vector<Instruction *>> CallsByName;
+  for (const auto &F : M.functions())
+    if (!F->isExternal())
+      collectCalls(F->body(), CallsByName);
+
+  unsigned Clones = 0;
+  for (const auto &[Name, Sites] : CallsByName) {
+    Function *Callee = M.getFunction(Name);
+    if (!Callee || Callee->isExternal() || Sites.size() < 2)
+      continue;
+    bool HasCollParam = false;
+    for (unsigned I = 0; I != Callee->numArgs(); ++I)
+      HasCollParam |= Callee->arg(I)->type()->isCollection();
+    if (!HasCollParam || callsItself(*Callee, Callee->body()))
+      continue;
+
+    // Group call sites by the alias classes of their collection args.
+    struct Group {
+      std::vector<size_t> Signature;
+      std::vector<Instruction *> Members;
+      bool Escapes = false;
+    };
+    std::vector<Group> Groups;
+    bool Analyzable = true;
+    for (Instruction *Call : Sites) {
+      Group Candidate;
+      for (unsigned A = 0; A != Call->numOperands(); ++A) {
+        Value *Arg = Call->operand(A);
+        if (!Arg->type()->isCollection())
+          continue;
+        RootInfo *Root = MA.rootOf(Arg);
+        if (!Root) {
+          Analyzable = false;
+          break;
+        }
+        Candidate.Signature.push_back(MA.aliasClassOf(Root));
+        Candidate.Escapes |= Root->Escapes;
+      }
+      if (!Analyzable)
+        break;
+      bool Placed = false;
+      for (Group &G : Groups) {
+        if (G.Signature == Candidate.Signature) {
+          G.Members.push_back(Call);
+          G.Escapes |= Candidate.Escapes;
+          Placed = true;
+          break;
+        }
+      }
+      if (!Placed) {
+        Candidate.Members.push_back(Call);
+        Groups.push_back(std::move(Candidate));
+      }
+    }
+    if (!Analyzable || Groups.size() < 2)
+      continue;
+    // Clone only when the groups genuinely disagree on transformability;
+    // otherwise unification merges them soundly and a clone would only
+    // split one enumeration into several.
+    bool AnyEscaping = false, AnyClean = false;
+    for (const Group &G : Groups) {
+      AnyEscaping |= G.Escapes;
+      AnyClean |= !G.Escapes;
+    }
+    if (!AnyEscaping || !AnyClean)
+      continue;
+    // Keep the original for the first group; clone for the rest.
+    for (size_t GI = 1; GI != Groups.size(); ++GI) {
+      Function *Clone = cloneFunction(
+          M, *Callee, M.uniqueName(Callee->name() + ".ade_clone"));
+      for (Instruction *Call : Groups[GI].Members)
+        Call->setSymbol(Clone->name());
+      ++Clones;
+    }
+  }
+  return Clones;
+}

@@ -1,0 +1,43 @@
+//===- Cloning.h - Function cloning for mixed callers -----------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SIII-F's cloning: "for functions that are externally visible, or have
+/// parameters that are only enumerated for some callers, we create a
+/// clone of the function to transform". Without cloning, our unification
+/// merges the callers' collections into one class, and one escaping
+/// caller conservatively disables enumeration for everyone. The pre-pass
+/// here detects callees whose call sites split into escape-free and
+/// escaping groups when parameter unification is ignored, clones the
+/// callee per extra group, and retargets the call sites, so the main
+/// pipeline can enumerate the clean copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_CORE_CLONING_H
+#define ADE_CORE_CLONING_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace ade {
+namespace core {
+
+/// Deep-copies \p F (arguments, regions, instructions, attributes,
+/// directives) into \p M under \p NewName and returns the clone.
+ir::Function *cloneFunction(ir::Module &M, const ir::Function &F,
+                            std::string NewName);
+
+/// Clones callees whose callers would otherwise be merged into one
+/// enumeration class despite disagreeing on transformability. Returns the
+/// number of clones created. Run before ADE analysis.
+unsigned cloneForMixedCallers(ir::Module &M);
+
+} // namespace core
+} // namespace ade
+
+#endif // ADE_CORE_CLONING_H

@@ -1,0 +1,143 @@
+//===- MergeNetwork.h - Structured dataflow merges --------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured-control-flow equivalent of SSA phi webs: which values
+/// flow into which region arguments and structured-op results (loop
+/// carried values, if results, selects). Shared by the ADE analysis (to
+/// follow uses of decoded values through merges, as MEMOIR does through
+/// phis) and the transform (to type identifier-carrying values and place
+/// boundary translations, the Listing 3 -> Listing 4 rewrite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_CORE_MERGENETWORK_H
+#define ADE_CORE_MERGENETWORK_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <vector>
+
+namespace ade {
+namespace core {
+
+/// A merge target (region argument or structured-op result) together with
+/// the operand slots feeding it.
+struct MergeSlot {
+  ir::Instruction *User;
+  unsigned OpIdx;
+
+  bool operator<(const MergeSlot &O) const {
+    return User != O.User ? User < O.User : OpIdx < O.OpIdx;
+  }
+};
+
+/// Whole-module view of structured merges.
+class MergeNetwork {
+public:
+  explicit MergeNetwork(const ir::Module &M) {
+    for (const auto &F : M.functions())
+      if (!F->isExternal())
+        scan(F->body());
+  }
+
+  /// The merge targets fed by operand (\p User, \p OpIdx); empty for
+  /// non-merge slots. A loop yield slot feeds both the loop result and
+  /// the carried block argument.
+  const std::vector<ir::Value *> &targetsOf(ir::Instruction *User,
+                                            unsigned OpIdx) const {
+    auto It = SlotTargets.find({User, OpIdx});
+    return It == SlotTargets.end() ? Empty : It->second;
+  }
+
+  /// The source slots feeding merge target \p Target; empty if \p Target
+  /// is not a merge target.
+  const std::vector<MergeSlot> &sourcesOf(const ir::Value *Target) const {
+    auto It = TargetSources.find(Target);
+    return It == TargetSources.end() ? EmptySlots : It->second;
+  }
+
+  /// All merge targets.
+  const std::vector<ir::Value *> &targets() const { return Targets; }
+
+private:
+  void link(ir::Value *Target, ir::Instruction *User, unsigned OpIdx) {
+    auto [It, Inserted] = TargetSources.try_emplace(Target);
+    if (Inserted)
+      Targets.push_back(Target);
+    It->second.push_back({User, OpIdx});
+    SlotTargets[{User, OpIdx}].push_back(Target);
+  }
+
+  static ir::Instruction *yieldOf(const ir::Region *R) {
+    if (R->empty())
+      return nullptr;
+    ir::Instruction *Last = R->back();
+    return Last->op() == ir::Opcode::Yield ? Last : nullptr;
+  }
+
+  void scan(const ir::Region &R) {
+    using ir::Opcode;
+    for (ir::Instruction *I : R) {
+      switch (I->op()) {
+      case Opcode::Select:
+        link(I->result(), I, 1);
+        link(I->result(), I, 2);
+        break;
+      case Opcode::If: {
+        for (unsigned Reg = 0; Reg != 2; ++Reg)
+          if (ir::Instruction *Y = yieldOf(I->region(Reg)))
+            for (unsigned J = 0; J != I->numResults(); ++J)
+              link(I->result(J), Y, J);
+        break;
+      }
+      case Opcode::ForEach:
+      case Opcode::ForRange:
+      case Opcode::DoWhile: {
+        unsigned FirstInit = I->op() == Opcode::ForEach    ? 1
+                             : I->op() == Opcode::ForRange ? 2
+                                                           : 0;
+        unsigned YieldSkip = I->op() == Opcode::DoWhile ? 1 : 0;
+        const ir::Region *Body = I->region(0);
+        unsigned Carried = I->numOperands() - FirstInit;
+        unsigned FirstArg = Body->numArgs() - Carried;
+        ir::Instruction *Y = yieldOf(Body);
+        for (unsigned J = 0; J != Carried; ++J) {
+          ir::BlockArg *Arg = Body->arg(FirstArg + J);
+          link(Arg, I, FirstInit + J);
+          // The loop result merges the init too (zero-trip loops return
+          // the initial values), which also keeps the carried argument
+          // and the result in one dataflow web.
+          link(I->result(J), I, FirstInit + J);
+          if (Y) {
+            link(Arg, Y, YieldSkip + J);
+            link(I->result(J), Y, YieldSkip + J);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+      }
+      for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+        scan(*I->region(Idx));
+    }
+  }
+
+  std::map<std::pair<ir::Instruction *, unsigned>,
+           std::vector<ir::Value *>>
+      SlotTargets;
+  std::map<const ir::Value *, std::vector<MergeSlot>> TargetSources;
+  std::vector<ir::Value *> Targets;
+  std::vector<ir::Value *> Empty;
+  std::vector<MergeSlot> EmptySlots;
+};
+
+} // namespace core
+} // namespace ade
+
+#endif // ADE_CORE_MERGENETWORK_H

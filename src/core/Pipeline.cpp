@@ -1,0 +1,41 @@
+//===- Pipeline.cpp - ADE pass pipeline -----------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "core/Cloning.h"
+
+#include "ir/Verifier.h"
+
+using namespace ade;
+using namespace ade::core;
+
+PipelineResult ade::core::runADE(ir::Module &M,
+                                 const PipelineConfig &Config) {
+  PipelineResult Result;
+
+  if (Config.EnableCloning)
+    Result.FunctionsCloned = cloneForMixedCallers(M);
+
+  ModuleAnalysis MA(M);
+
+  PlannerConfig PC;
+  PC.EnableSharing = Config.EnableSharing;
+  // No sharing also entails no propagation (SIV RQ3): a propagator is only
+  // introduced when it can share with an enumerated collection.
+  PC.EnablePropagation = Config.EnableSharing && Config.EnablePropagation;
+  Result.Plan = planEnumeration(MA, PC);
+
+  TransformConfig TC;
+  TC.EnableRTE = Config.EnableRTE;
+  Result.Transform = applyEnumeration(MA, Result.Plan, TC);
+
+  applySelection(MA, Result.Plan, Config.Selection);
+
+  if (Config.Verify)
+    ir::verifyOrDie(M);
+  return Result;
+}

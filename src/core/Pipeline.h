@@ -1,0 +1,51 @@
+//===- Pipeline.h - ADE pass pipeline ---------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end ADE pipeline (see DESIGN.md): analysis -> planning ->
+/// enumeration transform -> collection selection -> verification, with the
+/// RQ3 ablation knobs and the RQ5 implementation defaults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_CORE_PIPELINE_H
+#define ADE_CORE_PIPELINE_H
+
+#include "core/Plan.h"
+#include "core/Transform.h"
+
+namespace ade {
+namespace core {
+
+/// Full configuration of one ADE run.
+struct PipelineConfig {
+  /// RQ3 ablation knobs.
+  bool EnableRTE = true;
+  bool EnableSharing = true;
+  bool EnablePropagation = true;
+  /// SIII-F cloning of callees whose callers disagree on
+  /// transformability.
+  bool EnableCloning = true;
+  /// Implementation choices for enumerated collections (SIII-H).
+  SelectionConfig Selection;
+  /// Verify the module after transformation (aborts on failure).
+  bool Verify = true;
+};
+
+/// Outcome summary of one ADE run.
+struct PipelineResult {
+  EnumerationPlan Plan;
+  TransformResult Transform;
+  unsigned FunctionsCloned = 0;
+};
+
+/// Runs automatic data enumeration on \p M in place.
+PipelineResult runADE(ir::Module &M, const PipelineConfig &Config = {});
+
+} // namespace core
+} // namespace ade
+
+#endif // ADE_CORE_PIPELINE_H

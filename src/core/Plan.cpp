@@ -1,0 +1,378 @@
+//===- Plan.cpp - Candidate selection for enumeration ---------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Plan.h"
+
+#include "support/Casting.h"
+#include "support/UnionFind.h"
+
+#include <algorithm>
+
+using namespace ade;
+using namespace ade::core;
+using namespace ade::ir;
+
+TrimSets ade::core::findRedundant(const UseSet &ToEnc, const UseSet &ToDec,
+                                  const UseSet &ToAdd) {
+  TrimSets Trims;
+  for (const UseRef &U : ToDec) {
+    if (ToEnc.count(U)) {
+      // Encoding a decoded value: enc(e, dec(e, x)) -> x.
+      Trims.TrimDec.insert(U);
+      Trims.TrimEnc.insert(U);
+      continue;
+    }
+    if (ToAdd.count(U)) {
+      // Decoded values are already enumerated: add(e, dec(e, x)) -> x.
+      Trims.TrimDec.insert(U);
+      Trims.TrimAdd.insert(U);
+      continue;
+    }
+    // Comparing enumerated values: eq(dec(e,x), dec(e,y)) -> eq(x, y).
+    Opcode Op = U.User->op();
+    if (Op == Opcode::CmpEq || Op == Opcode::CmpNe) {
+      UseRef Other{U.User, 1 - U.OpIdx};
+      if (ToDec.count(Other)) {
+        Trims.TrimDec.insert(U);
+        Trims.TrimDec.insert(Other);
+      }
+    }
+  }
+  return Trims;
+}
+
+namespace {
+
+/// A pre-merged unit: one alias class (collections that are the same
+/// object) plus anything welded to it by union operations or share-group
+/// directives. Units are the granularity at which Algorithm 3 decides
+/// sharing.
+struct Unit {
+  std::vector<RootInfo *> Members;
+  ir::Type *KeyTy = nullptr;   // Common associative key type (or null).
+  ir::Type *ElemTy = nullptr;  // Common scalar element type (or null).
+  bool HasAssoc = false;
+  bool Escapes = false;
+  bool ForbidEnum = false; // noenumerate
+  bool ForceEnum = false;  // enumerate
+  bool NoShare = false;    // noshare (bare)
+  std::vector<std::string> NoShareWith;
+  /// Names of allocs in this unit (for matching noshare(%name)).
+  std::vector<std::string> AllocNames;
+
+  /// Combined Algorithm 1 key-role sets.
+  UseSet KeyEnc, KeyDec, KeyAdd;
+  /// Combined Algorithm 4 element-role sets.
+  UseSet ElemDec, ElemAdd;
+};
+
+/// Role a unit plays inside a candidate under evaluation.
+struct Pick {
+  Unit *U;
+  bool AsKey;
+  bool AsElem;
+};
+
+int64_t benefitOf(const std::vector<Pick> &Picks) {
+  UseSet ToEnc, ToDec, ToAdd;
+  for (const Pick &P : Picks) {
+    if (P.AsKey) {
+      ToEnc.insert(P.U->KeyEnc.begin(), P.U->KeyEnc.end());
+      ToDec.insert(P.U->KeyDec.begin(), P.U->KeyDec.end());
+      ToAdd.insert(P.U->KeyAdd.begin(), P.U->KeyAdd.end());
+    }
+    if (P.AsElem) {
+      ToDec.insert(P.U->ElemDec.begin(), P.U->ElemDec.end());
+      ToAdd.insert(P.U->ElemAdd.begin(), P.U->ElemAdd.end());
+    }
+  }
+  return findRedundant(ToEnc, ToDec, ToAdd).benefit();
+}
+
+class Planner {
+public:
+  Planner(const ModuleAnalysis &MA, const PlannerConfig &Config)
+      : MA(MA), Config(Config) {}
+
+  EnumerationPlan run() {
+    buildUnits();
+    weldUnits();
+    return selectCandidates();
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Units
+  //===--------------------------------------------------------------------===//
+
+  void buildUnits() {
+    // Start from alias classes; weld steps may merge further.
+    for (const auto &Class : MA.aliasClasses()) {
+      UnitStorage.push_back(std::make_unique<Unit>());
+      Unit *U = UnitStorage.back().get();
+      for (RootInfo *R : Class)
+        addRootToUnit(U, R);
+      for (RootInfo *R : Class)
+        UnitOf[R] = U;
+    }
+  }
+
+  void addRootToUnit(Unit *U, RootInfo *R) {
+    U->Members.push_back(R);
+    U->Escapes |= R->Escapes;
+    if (R->isAssociative() && R->keyType()) {
+      U->HasAssoc = true;
+      if (!U->KeyTy)
+        U->KeyTy = R->keyType();
+      else if (U->KeyTy != R->keyType())
+        U->Escapes = true; // Incompatible key domains; never enumerate.
+      U->KeyEnc.insert(R->ToEnc.begin(), R->ToEnc.end());
+      U->KeyDec.insert(R->ToDec.begin(), R->ToDec.end());
+      U->KeyAdd.insert(R->ToAdd.begin(), R->ToAdd.end());
+    }
+    if (Type *Elem = R->elemType()) {
+      if (!U->ElemTy)
+        U->ElemTy = Elem;
+      else if (U->ElemTy != Elem)
+        U->ElemTy = nullptr; // Mixed element domains: no propagation.
+      U->ElemDec.insert(R->PropToDec.begin(), R->PropToDec.end());
+      U->ElemAdd.insert(R->PropToAdd.begin(), R->PropToAdd.end());
+    }
+    if (R->HasDirective) {
+      const Directive &D = R->Dir;
+      if (D.EnumerateMode == Directive::Enumerate::Forbid)
+        U->ForbidEnum = true;
+      if (D.EnumerateMode == Directive::Enumerate::Force)
+        U->ForceEnum = true;
+      U->NoShare |= D.NoShare;
+      U->NoShareWith.insert(U->NoShareWith.end(), D.NoShareWith.begin(),
+                            D.NoShareWith.end());
+      if (!D.ShareGroup.empty())
+        ShareGroups[D.ShareGroup].push_back(U);
+    }
+    if (R->Anchor && !R->Anchor->name().empty())
+      U->AllocNames.push_back(R->Anchor->name());
+  }
+
+  /// Merges units that MUST share an enumeration: union partners (their
+  /// identifiers flow between the sets) and explicit share groups —
+  /// except when a noshare directive detaches them (unions across
+  /// distinct enumerations are expanded by the transform).
+  void weldUnits() {
+    // Share groups weld unconditionally.
+    for (auto &[Group, Members] : ShareGroups)
+      for (size_t I = 1; I < Members.size(); ++I)
+        mergeUnits(Members[0], Members[I]);
+    // Union edges weld unless a directive forbids sharing.
+    for (const auto &RootPtr : MA.roots()) {
+      for (Value *Ref : RootPtr->Refs) {
+        for (const Use &U : Ref->uses()) {
+          if (U.User->op() != Opcode::Union || U.OpIdx != 0)
+            continue;
+          RootInfo *SrcRoot =
+              const_cast<ModuleAnalysis &>(MA).rootOf(U.User->operand(1));
+          if (!SrcRoot)
+            continue;
+          Unit *A = findUnit(RootPtr.get());
+          Unit *B = findUnit(SrcRoot);
+          if (A != B && !blocked(A, B))
+            mergeUnits(A, B);
+        }
+      }
+    }
+  }
+
+  Unit *findUnit(RootInfo *R) {
+    Unit *U = UnitOf.at(R);
+    while (Forwarded.count(U))
+      U = Forwarded[U];
+    return U;
+  }
+
+  void mergeUnits(Unit *A, Unit *B) {
+    A = resolve(A);
+    B = resolve(B);
+    if (A == B)
+      return;
+    for (RootInfo *R : B->Members)
+      addRootToUnit(A, R);
+    // addRootToUnit re-appends members; de-duplicate.
+    std::sort(A->Members.begin(), A->Members.end());
+    A->Members.erase(std::unique(A->Members.begin(), A->Members.end()),
+                     A->Members.end());
+    Forwarded[B] = A;
+  }
+
+  Unit *resolve(Unit *U) {
+    while (Forwarded.count(U))
+      U = Forwarded[U];
+    return U;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Directive compatibility
+  //===--------------------------------------------------------------------===//
+
+  bool blocked(const Unit *A, const Unit *B) const {
+    if (A->NoShare || B->NoShare)
+      return true;
+    auto NamesMatch = [](const std::vector<std::string> &Bans,
+                         const std::vector<std::string> &Names) {
+      for (const std::string &Ban : Bans)
+        for (const std::string &Name : Names)
+          if (Ban == Name)
+            return true;
+      return false;
+    };
+    return NamesMatch(A->NoShareWith, B->AllocNames) ||
+           NamesMatch(B->NoShareWith, A->AllocNames);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Algorithm 3
+  //===--------------------------------------------------------------------===//
+
+  EnumerationPlan selectCandidates() {
+    EnumerationPlan Plan;
+    std::set<Unit *> Used;
+    std::vector<Unit *> Live;
+    for (auto &UPtr : UnitStorage)
+      if (!Forwarded.count(UPtr.get()))
+        Live.push_back(UPtr.get());
+
+    for (Unit *A : Live) {
+      if (Used.count(A))
+        continue;
+      if (!A->HasAssoc || !A->KeyTy || A->Escapes || A->ForbidEnum)
+        continue;
+      std::vector<Pick> Picks{{A, /*AsKey=*/true, /*AsElem=*/false}};
+      Used.insert(A);
+      // Enables the propagator role on every type-compatible member; the
+      // coupling between a container's elements and a partner's keys only
+      // surfaces once both are in the candidate.
+      auto WithAllElems = [&](std::vector<Pick> P) {
+        for (Pick &Q : P)
+          if (Config.EnablePropagation && Q.U->ElemTy == A->KeyTy)
+            Q.AsElem = true;
+        return P;
+      };
+      // A's own elements propagate only when that helps (Listing 3's map
+      // is both key member and propagator; an unrelated value domain must
+      // not pollute the enumeration).
+      if (Config.EnablePropagation && A->ElemTy == A->KeyTy) {
+        std::vector<Pick> WithElem{{A, true, true}};
+        if (benefitOf(WithElem) > benefitOf(Picks))
+          Picks = std::move(WithElem);
+      }
+      if (Config.EnableSharing) {
+        bool Grew = true;
+        while (Grew) {
+          Grew = false;
+          for (Unit *B : Live) {
+            if (Used.count(B) || B->Escapes || B->ForbidEnum ||
+                blocked(A, B))
+              continue;
+            bool CanShare = B->HasAssoc && B->KeyTy == A->KeyTy;
+            bool CanProp =
+                Config.EnablePropagation && B->ElemTy == A->KeyTy;
+            if (!CanShare && !CanProp)
+              continue;
+            // Evaluate each viable role combination, with and without
+            // propagator roles on the existing members; prefer the
+            // highest benefit and, on ties, the fewest roles.
+            int64_t BAlone = benefitOf(Picks);
+            std::vector<Pick> Best;
+            int64_t BestTogether = 0;
+            for (auto [AsKey, AsElem] :
+                 {std::pair{true, false}, {false, true}, {true, true}}) {
+              if ((AsKey && !CanShare) || (AsElem && !CanProp))
+                continue;
+              std::vector<Pick> Extended = Picks;
+              Extended.push_back({B, AsKey, AsElem});
+              int64_t BApart =
+                  BAlone + benefitOf({Pick{B, AsKey, AsElem}});
+              std::vector<Pick> Variants[2] = {Extended,
+                                               WithAllElems(Extended)};
+              for (std::vector<Pick> &Variant : Variants) {
+                int64_t BTogether = benefitOf(Variant);
+                // Benefit must exceed the sum of its parts (Alg. 3).
+                if (BTogether > BApart && BTogether > BestTogether) {
+                  Best = Variant;
+                  BestTogether = BTogether;
+                }
+              }
+            }
+            if (!Best.empty()) {
+              Picks = std::move(Best);
+              Used.insert(B);
+              Grew = true;
+            }
+          }
+        }
+        // Prune propagator roles that contribute nothing (they would
+        // pollute the enumeration with an unrelated value domain).
+        for (Pick &P : Picks) {
+          if (!P.AsElem)
+            continue;
+          int64_t WithRole = benefitOf(Picks);
+          P.AsElem = false;
+          if (benefitOf(Picks) < WithRole)
+            P.AsElem = true; // The role pays for itself; keep it.
+        }
+        // Remove members left with no role.
+        Picks.erase(std::remove_if(Picks.begin(), Picks.end(),
+                                   [&](const Pick &P) {
+                                     bool Useless = !P.AsKey && !P.AsElem;
+                                     if (Useless && P.U != A)
+                                       Used.erase(P.U);
+                                     return Useless;
+                                   }),
+                    Picks.end());
+      }
+      int64_t Benefit = benefitOf(Picks);
+      bool Forced = false;
+      for (const Pick &P : Picks)
+        Forced |= P.U->ForceEnum;
+      // Only emit candidates with positive benefit (or a directive).
+      if (Benefit <= 0 && !Forced) {
+        for (const Pick &P : Picks)
+          if (P.U != A)
+            Used.erase(P.U);
+        continue;
+      }
+      Candidate C;
+      C.KeyTy = A->KeyTy;
+      C.Benefit = Benefit;
+      C.Forced = Forced;
+      for (const Pick &P : Picks) {
+        for (RootInfo *R : P.U->Members) {
+          if (P.AsKey && R->isAssociative() && R->keyType() == C.KeyTy)
+            C.KeyMembers.push_back(R);
+          if (P.AsElem && R->elemType() == C.KeyTy)
+            C.ElemMembers.push_back(R);
+        }
+      }
+      if (C.KeyMembers.empty())
+        continue;
+      Plan.Candidates.push_back(std::move(C));
+    }
+    return Plan;
+  }
+
+  const ModuleAnalysis &MA;
+  const PlannerConfig &Config;
+  std::vector<std::unique_ptr<Unit>> UnitStorage;
+  std::map<RootInfo *, Unit *> UnitOf;
+  std::map<Unit *, Unit *> Forwarded;
+  std::map<std::string, std::vector<Unit *>> ShareGroups;
+};
+
+} // namespace
+
+EnumerationPlan ade::core::planEnumeration(const ModuleAnalysis &MA,
+                                           const PlannerConfig &Config) {
+  return Planner(MA, Config).run();
+}

@@ -1,0 +1,94 @@
+//===- Plan.h - Candidate selection for enumeration -------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides *what* to enumerate: applies the redundancy analysis of
+/// Algorithm 2 and the benefit heuristic (SIII-C), groups collections into
+/// sharing candidates with Algorithm 3 (SIII-D) including propagators
+/// (SIII-E), and honors the user directives of SIII-I. The output plan is
+/// consumed by the transform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_CORE_PLAN_H
+#define ADE_CORE_PLAN_H
+
+#include "core/Analysis.h"
+
+namespace ade {
+namespace core {
+
+/// Knobs for the ablation study (RQ3).
+struct PlannerConfig {
+  /// SIII-D sharing. Disabling it also disables propagation (the paper:
+  /// "no sharing also entails no propagation").
+  bool EnableSharing = true;
+  /// SIII-E propagation of identifiers through collection elements.
+  bool EnablePropagation = true;
+};
+
+/// The set of Algorithm 2 trims used by the benefit heuristic.
+struct TrimSets {
+  UseSet TrimEnc, TrimDec, TrimAdd;
+
+  int64_t benefit() const {
+    return static_cast<int64_t>(TrimEnc.size() + TrimDec.size() +
+                                TrimAdd.size());
+  }
+};
+
+/// Runs FINDREDUNDANT (Algorithm 2) over combined uses-to-patch sets.
+TrimSets findRedundant(const UseSet &ToEnc, const UseSet &ToDec,
+                       const UseSet &ToAdd);
+
+/// One enumeration: the group of collections sharing it.
+struct Candidate {
+  /// The enumerated key domain type K.
+  ir::Type *KeyTy = nullptr;
+  /// Associative roots whose keys become identifiers.
+  std::vector<RootInfo *> KeyMembers;
+  /// Propagator roots whose elements become identifiers (SIII-E).
+  std::vector<RootInfo *> ElemMembers;
+  /// Heuristic benefit (|TrimEnc| + |TrimDec| + |TrimAdd|).
+  int64_t Benefit = 0;
+  /// True when a directive forced this candidate regardless of benefit.
+  bool Forced = false;
+
+  bool isKeyMember(const RootInfo *R) const {
+    for (const RootInfo *M : KeyMembers)
+      if (M == R)
+        return true;
+    return false;
+  }
+  bool isElemMember(const RootInfo *R) const {
+    for (const RootInfo *M : ElemMembers)
+      if (M == R)
+        return true;
+    return false;
+  }
+};
+
+/// The whole-module enumeration decision.
+struct EnumerationPlan {
+  std::vector<Candidate> Candidates;
+
+  /// The candidate a root belongs to (any role), or nullptr.
+  const Candidate *candidateOf(const RootInfo *R) const {
+    for (const Candidate &C : Candidates)
+      if (C.isKeyMember(R) || C.isElemMember(R))
+        return &C;
+    return nullptr;
+  }
+};
+
+/// Builds the plan for \p MA under \p Config.
+EnumerationPlan planEnumeration(const ModuleAnalysis &MA,
+                                const PlannerConfig &Config = {});
+
+} // namespace core
+} // namespace ade
+
+#endif // ADE_CORE_PLAN_H

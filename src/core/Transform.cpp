@@ -1,0 +1,465 @@
+//===- Transform.cpp - The enumeration transformation ---------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Transform.h"
+
+#include "core/MergeNetwork.h"
+#include "ir/IRBuilder.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace ade;
+using namespace ade::core;
+using namespace ade::ir;
+
+namespace {
+
+class TransformDriver {
+public:
+  TransformDriver(ModuleAnalysis &MA, const EnumerationPlan &Plan,
+                  const TransformConfig &Cfg)
+      : MA(MA), M(MA.module()), Plan(Plan), Cfg(Cfg) {}
+
+  TransformResult run() {
+    for (const Candidate &C : Plan.Candidates) {
+      States.push_back({});
+      CandState &CS = States.back();
+      CS.C = &C;
+      CS.EnumGlobal = M.createGlobal(
+          M.uniqueName("__ade_enum"),
+          M.types().enumTy(C.KeyTy));
+      ++Result.EnumerationsCreated;
+      computeTaint(CS);
+    }
+    rewriteTypes();
+    expandUnions();
+    for (CandState &CS : States)
+      patchDecs(CS);
+    for (CandState &CS : States)
+      patchEncAdds(CS);
+    fixReturnTypes(M);
+    return Result;
+  }
+
+  static void fixReturnTypes(Module &M);
+
+private:
+  struct CandState {
+    const Candidate *C = nullptr;
+    GlobalVariable *EnumGlobal = nullptr;
+    /// Values that carry identifiers of this enumeration after the
+    /// transform.
+    std::set<Value *> Tainted;
+    /// Merge source slots whose raw value must be added to the
+    /// enumeration so the merge target can carry identifiers (the hoisted
+    /// boundary translation of Listing 4).
+    std::set<MergeSlot> ConversionSlots;
+    std::map<Function *, Value *> EnumValueCache;
+  };
+
+  const Candidate *keyCandidateOf(const RootInfo *R) const {
+    for (const Candidate &C : Plan.Candidates)
+      if (C.isKeyMember(R))
+        return &C;
+    return nullptr;
+  }
+
+  const Candidate *elemCandidateOf(const RootInfo *R) const {
+    for (const Candidate &C : Plan.Candidates)
+      if (C.isElemMember(R))
+        return &C;
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Taint: values that will carry identifiers of this enumeration
+  //===--------------------------------------------------------------------===//
+
+  void computeTaint(CandState &CS) {
+    const MergeNetwork &Net = MA.merges();
+    std::vector<Value *> Worklist;
+    auto Taint = [&](Value *V) {
+      if (CS.Tainted.count(V))
+        return;
+      CS.Tainted.insert(V);
+      Claimed.try_emplace(V, &CS);
+      Worklist.push_back(V);
+    };
+    for (const RootInfo *R : CS.C->KeyMembers)
+      for (Value *V : R->ProducedKeys)
+        Taint(V);
+    for (const RootInfo *R : CS.C->ElemMembers)
+      for (Value *V : R->ProducedElems)
+        Taint(V);
+    if (!Cfg.EnableRTE)
+      return; // Seeds only: the naive indirection of Listing 2.
+    // Least fixpoint: a merge target fed by any identifier carries
+    // identifiers; its remaining raw sources receive boundary adds.
+    while (!Worklist.empty()) {
+      Value *V = Worklist.back();
+      Worklist.pop_back();
+      for (const Use &U : V->uses()) {
+        for (Value *Target : Net.targetsOf(U.User, U.OpIdx)) {
+          if (Target->type() != CS.C->KeyTy)
+            continue;
+          auto It = Claimed.find(Target);
+          if (It != Claimed.end() && It->second != &CS)
+            continue; // Another enumeration owns this merge.
+          Taint(Target);
+        }
+      }
+    }
+    // Record the raw sources of identifier-carrying merges.
+    for (Value *T : CS.Tainted) {
+      for (const MergeSlot &S : Net.sourcesOf(T)) {
+        Value *Src = S.User->operand(S.OpIdx);
+        if (!CS.Tainted.count(Src))
+          CS.ConversionSlots.insert(S);
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Type rewriting
+  //===--------------------------------------------------------------------===//
+
+  Type *newTypeFor(const RootInfo *R) {
+    TypeContext &TC = M.types();
+    Type *Idx = TC.indexTy();
+    bool KeyEnum = keyCandidateOf(R) != nullptr;
+    bool ElemEnum = elemCandidateOf(R) != nullptr;
+    if (const auto *Set = dyn_cast<SetType>(R->CollTy))
+      return TC.setTy(KeyEnum ? Idx : Set->key(), Set->selection());
+    if (const auto *Map = dyn_cast<MapType>(R->CollTy)) {
+      Type *Val = R->Child      ? newTypeFor(R->Child)
+                  : ElemEnum    ? Idx
+                                : Map->value();
+      return TC.mapTy(KeyEnum ? Idx : Map->key(), Val, Map->selection());
+    }
+    if (const auto *Seq = dyn_cast<SeqType>(R->CollTy)) {
+      Type *Elem = R->Child   ? newTypeFor(R->Child)
+                   : ElemEnum ? Idx
+                              : Seq->element();
+      return TC.seqTy(Elem, Seq->selection());
+    }
+    ade_unreachable("unexpected root collection type");
+  }
+
+  void rewriteTypes() {
+    for (const auto &RootPtr : MA.roots()) {
+      RootInfo *R = RootPtr.get();
+      Type *NewTy = newTypeFor(R);
+      if (NewTy == R->CollTy)
+        continue;
+      for (Value *Ref : R->Refs)
+        Ref->setType(NewTy);
+      if (R->TheKind == RootInfo::Kind::Global)
+        const_cast<GlobalVariable *>(R->Global)->Ty = NewTy;
+    }
+    Type *Idx = M.types().indexTy();
+    for (CandState &CS : States)
+      for (Value *T : CS.Tainted)
+        T->setType(Idx);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Enumeration value materialization
+  //===--------------------------------------------------------------------===//
+
+  Value *enumValue(CandState &CS, Function *F) {
+    auto It = CS.EnumValueCache.find(F);
+    if (It != CS.EnumValueCache.end())
+      return It->second;
+    IRBuilder B(M, &F->body());
+    assert(!F->body().empty() && "function body cannot be empty");
+    B.setInsertionPointBefore(F->body().inst(0));
+    Value *V = B.globalGet(CS.EnumGlobal);
+    CS.EnumValueCache[F] = V;
+    return V;
+  }
+
+  CandState *stateOf(const Candidate *C) {
+    for (CandState &CS : States)
+      if (CS.C == C)
+        return &CS;
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Union expansion across enumerations
+  //===--------------------------------------------------------------------===//
+
+  void expandUnions() {
+    std::vector<Instruction *> Unions;
+    for (const auto &F : M.functions())
+      if (!F->isExternal())
+        collectUnions(F->body(), Unions);
+    for (Instruction *U : Unions) {
+      RootInfo *DstRoot = MA.rootOf(U->operand(0));
+      RootInfo *SrcRoot = MA.rootOf(U->operand(1));
+      const Candidate *DstC = DstRoot ? keyCandidateOf(DstRoot) : nullptr;
+      const Candidate *SrcC = SrcRoot ? keyCandidateOf(SrcRoot) : nullptr;
+      if (DstC == SrcC)
+        continue; // Same enumeration (or neither): direct union is valid.
+      Function *F = U->parentFunction();
+      Value *Dst = U->operand(0);
+      Value *Src = U->operand(1);
+      Value *DstEnum =
+          DstC ? enumValue(*stateOf(DstC), F) : nullptr;
+      Value *SrcEnum =
+          SrcC ? enumValue(*stateOf(SrcC), F) : nullptr;
+      IRBuilder B(M, U->parent());
+      B.setInsertionPointBefore(U);
+      B.forEach(Src, {},
+                [&](IRBuilder &B2, std::vector<Value *> Args) {
+                  Value *K = Args[0];
+                  Value *Orig = SrcC ? B2.dec(SrcEnum, K) : K;
+                  Value *Id = DstC ? B2.enumAdd(DstEnum, Orig) : Orig;
+                  B2.insert(Dst, Id);
+                  return std::vector<Value *>{};
+                });
+      U->eraseFromParent();
+      ++Result.UnionsExpanded;
+    }
+  }
+
+  void collectUnions(const Region &R, std::vector<Instruction *> &Out) {
+    for (Instruction *I : R) {
+      if (I->op() == Opcode::Union)
+        Out.push_back(I);
+      for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+        collectUnions(*I->region(Idx), Out);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Decode patching (uses of identifier-carrying values)
+  //===--------------------------------------------------------------------===//
+
+  bool isKeyMemberAccess(const CandState &CS, Instruction *I,
+                         unsigned OpIdx) {
+    if (OpIdx != 1)
+      return false;
+    switch (I->op()) {
+    case Opcode::Read:
+    case Opcode::Write:
+    case Opcode::Has:
+    case Opcode::Remove:
+    case Opcode::Insert:
+      break;
+    default:
+      return false;
+    }
+    RootInfo *Base = MA.rootOf(I->operand(0));
+    return Base && keyCandidateOf(Base) == CS.C;
+  }
+
+  bool isElemMemberStore(const CandState &CS, Instruction *I,
+                         unsigned OpIdx) {
+    bool ElemPos = (I->op() == Opcode::Write && OpIdx == 2) ||
+                   (I->op() == Opcode::Append && OpIdx == 1);
+    if (!ElemPos)
+      return false;
+    RootInfo *Base = MA.rootOf(I->operand(0));
+    return Base && elemCandidateOf(Base) == CS.C;
+  }
+
+  /// A use whose target in the structured merge network carries an
+  /// identifier already (no translation needed).
+  bool isMergeFlowIntoTainted(const CandState &CS, Instruction *I,
+                              unsigned OpIdx) {
+    for (Value *Target : MA.merges().targetsOf(I, OpIdx))
+      if (CS.Tainted.count(Target))
+        return true;
+    return false;
+  }
+
+  void patchDecs(CandState &CS) {
+    // Snapshot: patching mutates use lists.
+    std::vector<std::pair<Value *, Use>> Work;
+    for (Value *T : CS.Tainted)
+      for (const Use &U : T->uses())
+        Work.push_back({T, U});
+    for (auto &[T, U] : Work) {
+      Instruction *I = U.User;
+      unsigned OpIdx = U.OpIdx;
+      if (Cfg.EnableRTE) {
+        if (isKeyMemberAccess(CS, I, OpIdx) ||
+            isElemMemberStore(CS, I, OpIdx)) {
+          ++Result.TranslationsSkipped;
+          continue;
+        }
+        if ((I->op() == Opcode::CmpEq || I->op() == Opcode::CmpNe) &&
+            CS.Tainted.count(I->operand(1 - OpIdx))) {
+          ++Result.TranslationsSkipped;
+          continue;
+        }
+      }
+      // Identifier flowing into a merge that itself carries identifiers
+      // needs no translation (always checked: with RTE off no merge is
+      // tainted, so every such use decodes).
+      if (isMergeFlowIntoTainted(CS, I, OpIdx))
+        continue;
+      // Skip operands that are collection bases (cannot happen for scalar
+      // tainted values) and enum operands of our own translations.
+      IRBuilder B(M, I->parent());
+      B.setInsertionPointBefore(I);
+      Value *EV = enumValue(CS, I->parentFunction());
+      Value *Orig = B.dec(EV, T);
+      I->setOperand(OpIdx, Orig);
+      ++Result.DecInserted;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Encode/add patching (key and element positions)
+  //===--------------------------------------------------------------------===//
+
+  void patchEncAdds(CandState &CS) {
+    auto PatchSet = [&](const UseSet &Uses, bool IsAdd) {
+      for (const UseRef &U : Uses) {
+        Instruction *I = U.User;
+        Value *Cur = I->operand(U.OpIdx);
+        if (Cfg.EnableRTE && CS.Tainted.count(Cur)) {
+          ++Result.TranslationsSkipped;
+          continue;
+        }
+        // Skip values already idx-typed from another enumeration only if
+        // they were decoded above (they are no longer tainted here).
+        IRBuilder B(M, I->parent());
+        B.setInsertionPointBefore(I);
+        Value *EV = enumValue(CS, I->parentFunction());
+        Value *Id = IsAdd ? B.enumAdd(EV, Cur) : B.enc(EV, Cur);
+        I->setOperand(U.OpIdx, Id);
+        if (IsAdd)
+          ++Result.AddInserted;
+        else
+          ++Result.EncInserted;
+      }
+    };
+    for (const RootInfo *R : CS.C->KeyMembers) {
+      PatchSet(R->ToEnc, /*IsAdd=*/false);
+      PatchSet(R->ToAdd, /*IsAdd=*/true);
+    }
+    for (const RootInfo *R : CS.C->ElemMembers)
+      PatchSet(R->PropToAdd, /*IsAdd=*/true);
+    // Boundary conversions: raw values entering identifier-carrying
+    // merges are added to the enumeration once, outside the hot path.
+    UseSet Conversions;
+    for (const MergeSlot &S : CS.ConversionSlots)
+      Conversions.insert({S.User, S.OpIdx});
+    PatchSet(Conversions, /*IsAdd=*/true);
+  }
+
+  ModuleAnalysis &MA;
+  Module &M;
+  const EnumerationPlan &Plan;
+  TransformConfig Cfg;
+  TransformResult Result;
+  std::vector<CandState> States;
+  std::map<Value *, CandState *> Claimed;
+};
+
+void TransformDriver::fixReturnTypes(Module &M) {
+  for (const auto &F : M.functions()) {
+    if (F->isExternal() || F->returnType()->isVoid())
+      continue;
+    // All rets agree post-transform; take the function-body terminator.
+    const Region &Body = F->body();
+    if (!Body.empty() && Body.back()->op() == Opcode::Ret &&
+        Body.back()->numOperands())
+      F->setReturnType(Body.back()->operand(0)->type());
+  }
+}
+
+} // namespace
+
+TransformResult ade::core::applyEnumeration(ModuleAnalysis &MA,
+                                            const EnumerationPlan &Plan,
+                                            const TransformConfig &Config) {
+  return TransformDriver(MA, Plan, Config).run();
+}
+
+void ade::core::applySelection(ModuleAnalysis &MA,
+                               const EnumerationPlan &Plan,
+                               const SelectionConfig &Config) {
+  Module &M = MA.module();
+  TypeContext &TC = M.types();
+
+  // Selection for one root level based on directives, enumeration status
+  // and configuration.
+  auto SelectionFor = [&](const RootInfo *R, Type *CurTy) -> Selection {
+    bool KeyEnumerated = false;
+    for (const Candidate &C : Plan.Candidates)
+      if (C.isKeyMember(R))
+        KeyEnumerated = true;
+    Selection FromDirective =
+        R->HasDirective ? R->Dir.Select : Selection::Empty;
+    if (FromDirective != Selection::Empty) {
+      // Specialized implementations require enumerated (idx) keys.
+      if (!selectionRequiresEnumeration(FromDirective) || KeyEnumerated)
+        return FromDirective;
+    }
+    if (KeyEnumerated)
+      return isa<SetType>(CurTy) ? Config.EnumeratedSet
+                                 : Config.EnumeratedMap;
+    return Selection::Empty;
+  };
+
+  // Rebuild each root's type bottom-up with selections applied. The
+  // current (post-transform) type of a nested level is derived from the
+  // parent's type, because nested levels may have no direct references.
+  std::function<Type *(const RootInfo *, Type *)> Rebuild =
+      [&](const RootInfo *R, Type *CurTy) -> Type * {
+    Selection Sel = SelectionFor(R, CurTy);
+    if (const auto *Set = dyn_cast<SetType>(CurTy))
+      return TC.setTy(Set->key(),
+                      Sel == Selection::Empty ? Set->selection() : Sel);
+    if (const auto *Map = dyn_cast<MapType>(CurTy)) {
+      Type *Val =
+          R->Child ? Rebuild(R->Child, Map->value()) : Map->value();
+      return TC.mapTy(Map->key(), Val,
+                      Sel == Selection::Empty ? Map->selection() : Sel);
+    }
+    if (const auto *Seq = dyn_cast<SeqType>(CurTy)) {
+      Type *Elem =
+          R->Child ? Rebuild(R->Child, Seq->element()) : Seq->element();
+      return TC.seqTy(Elem, Seq->selection());
+    }
+    ade_unreachable("unexpected collection type during selection");
+  };
+
+  for (const auto &RootPtr : MA.roots()) {
+    const RootInfo *R = RootPtr.get();
+    if (R->Parent)
+      continue; // Handled from the top level down.
+    Type *CurTy = !R->Refs.empty() ? R->Refs.front()->type()
+                  : R->TheKind == RootInfo::Kind::Global
+                      ? R->Global->Ty // Post-transform type.
+                      : R->CollTy;
+    Type *NewTy = Rebuild(R, CurTy);
+    const RootInfo *Level = R;
+    Type *LevelTy = NewTy;
+    while (Level) {
+      for (Value *Ref : Level->Refs)
+        Ref->setType(LevelTy);
+      if (Level->TheKind == RootInfo::Kind::Global)
+        const_cast<GlobalVariable *>(Level->Global)->Ty = LevelTy;
+      if (!Level->Child)
+        break;
+      if (const auto *Map = dyn_cast<MapType>(LevelTy))
+        LevelTy = Map->value();
+      else if (const auto *Seq = dyn_cast<SeqType>(LevelTy))
+        LevelTy = Seq->element();
+      Level = Level->Child;
+    }
+  }
+  TransformDriver::fixReturnTypes(M);
+}

@@ -1,0 +1,730 @@
+//===- Interpreter.cpp - IR execution engine ------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace ade;
+using namespace ade::interp;
+using namespace ade::ir;
+using namespace ade::runtime;
+
+namespace {
+
+/// Precomputed frame-slot indices for one instruction: operand slots,
+/// result slots, and the slots of its first region's block arguments
+/// (loops). Indexed by Instruction::scratchId().
+struct InstSlots {
+  std::vector<uint32_t> Ops;
+  std::vector<uint32_t> Res;
+  std::vector<uint32_t> R0Args;
+  std::vector<uint32_t> R1Args; // if-else second region (always empty args).
+};
+
+struct CompiledFunction {
+  uint32_t NumSlots = 0;
+  std::vector<uint32_t> ArgSlots;
+  std::vector<InstSlots> Insts; // Indexed by scratch id.
+};
+
+enum class Flow : uint8_t { Next, Yield, Return };
+
+struct Frame {
+  std::vector<uint64_t> Slots;
+  std::vector<uint64_t> YieldBuf;
+  uint64_t RetVal = 0;
+};
+
+} // namespace
+
+struct Interpreter::Impl {
+  const Module &M;
+  InterpOptions Opts;
+  InterpStats *Stats = nullptr;
+
+  std::vector<std::unique_ptr<RtCollection>> CollArena;
+  std::vector<std::unique_ptr<RtEnum>> EnumArena;
+  std::unordered_map<std::string, uint64_t> Globals;
+  std::unordered_map<const Function *, CompiledFunction> Compiled;
+
+  Impl(const Module &M, InterpOptions Opts) : M(M), Opts(Opts) {}
+
+  //===--------------------------------------------------------------------===//
+  // Compilation: frame-slot assignment
+  //===--------------------------------------------------------------------===//
+
+  const CompiledFunction &compile(const Function *F) {
+    auto It = Compiled.find(F);
+    if (It != Compiled.end())
+      return It->second;
+    CompiledFunction &CF = Compiled[F];
+    std::unordered_map<const Value *, uint32_t> SlotOf;
+    auto slotFor = [&](const Value *V) -> uint32_t {
+      auto [SIt, Inserted] = SlotOf.try_emplace(V, CF.NumSlots);
+      if (Inserted)
+        ++CF.NumSlots;
+      return SIt->second;
+    };
+    for (unsigned I = 0; I != F->numArgs(); ++I)
+      CF.ArgSlots.push_back(slotFor(F->arg(I)));
+    uint32_t NextId = 0;
+    compileRegion(F->body(), CF, SlotOf, slotFor, NextId);
+    return CF;
+  }
+
+  template <typename SlotFn>
+  void compileRegion(const Region &R, CompiledFunction &CF,
+                     std::unordered_map<const Value *, uint32_t> &SlotOf,
+                     SlotFn &slotFor, uint32_t &NextId) {
+    for (const Instruction *I : R) {
+      I->setScratchId(NextId++);
+      CF.Insts.emplace_back();
+      // The vector may reallocate during nested compilation; fill after.
+      InstSlots Slots;
+      for (const Value *Op : I->operands())
+        Slots.Ops.push_back(slotFor(Op));
+      for (unsigned Idx = 0; Idx != I->numResults(); ++Idx)
+        Slots.Res.push_back(slotFor(I->result(Idx)));
+      if (I->numRegions() >= 1) {
+        const Region *R0 = I->region(0);
+        for (unsigned Idx = 0; Idx != R0->numArgs(); ++Idx)
+          Slots.R0Args.push_back(slotFor(R0->arg(Idx)));
+      }
+      CF.Insts[I->scratchId()] = std::move(Slots);
+      for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+        compileRegion(*I->region(Idx), CF, SlotOf, slotFor, NextId);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Value helpers
+  //===--------------------------------------------------------------------===//
+
+  static uint64_t maskToWidth(uint64_t V, unsigned Bits) {
+    return Bits >= 64 ? V : (V & ((1ULL << Bits) - 1));
+  }
+
+  static int64_t signExtend(uint64_t V, unsigned Bits) {
+    if (Bits >= 64)
+      return static_cast<int64_t>(V);
+    uint64_t SignBit = 1ULL << (Bits - 1);
+    uint64_t Masked = V & ((1ULL << Bits) - 1);
+    return static_cast<int64_t>((Masked ^ SignBit) - SignBit);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Arithmetic
+  //===--------------------------------------------------------------------===//
+
+  uint64_t evalBinary(Opcode Op, const Type *Ty, uint64_t A, uint64_t B) {
+    if (isa<FloatType>(Ty)) {
+      double X = bitsToDouble(A), Y = bitsToDouble(B);
+      switch (Op) {
+      case Opcode::Add:
+        return doubleToBits(X + Y);
+      case Opcode::Sub:
+        return doubleToBits(X - Y);
+      case Opcode::Mul:
+        return doubleToBits(X * Y);
+      case Opcode::Div:
+        return doubleToBits(X / Y);
+      case Opcode::Min:
+        return doubleToBits(X < Y ? X : Y);
+      case Opcode::Max:
+        return doubleToBits(X > Y ? X : Y);
+      case Opcode::CmpEq:
+        return X == Y;
+      case Opcode::CmpNe:
+        return X != Y;
+      case Opcode::CmpLt:
+        return X < Y;
+      case Opcode::CmpLe:
+        return X <= Y;
+      case Opcode::CmpGt:
+        return X > Y;
+      case Opcode::CmpGe:
+        return X >= Y;
+      default:
+        reportFatalError("invalid float arithmetic operation");
+      }
+    }
+    const auto *IT = dyn_cast<IntType>(Ty);
+    bool Signed = IT && IT->isSigned();
+    unsigned Bits = IT ? IT->bits() : 64;
+    if (Signed) {
+      int64_t X = signExtend(A, Bits), Y = signExtend(B, Bits);
+      auto Wrap = [&](int64_t V) {
+        return maskToWidth(static_cast<uint64_t>(V), Bits);
+      };
+      switch (Op) {
+      case Opcode::Add:
+        return Wrap(X + Y);
+      case Opcode::Sub:
+        return Wrap(X - Y);
+      case Opcode::Mul:
+        return Wrap(X * Y);
+      case Opcode::Div:
+        if (Y == 0)
+          reportFatalError("integer division by zero");
+        return Wrap(X / Y);
+      case Opcode::Rem:
+        if (Y == 0)
+          reportFatalError("integer remainder by zero");
+        return Wrap(X % Y);
+      case Opcode::And:
+        return Wrap(X & Y);
+      case Opcode::Or:
+        return Wrap(X | Y);
+      case Opcode::Xor:
+        return Wrap(X ^ Y);
+      case Opcode::Shl:
+        return Wrap(X << (Y & 63));
+      case Opcode::Shr:
+        return Wrap(X >> (Y & 63));
+      case Opcode::Min:
+        return Wrap(X < Y ? X : Y);
+      case Opcode::Max:
+        return Wrap(X > Y ? X : Y);
+      case Opcode::CmpEq:
+        return X == Y;
+      case Opcode::CmpNe:
+        return X != Y;
+      case Opcode::CmpLt:
+        return X < Y;
+      case Opcode::CmpLe:
+        return X <= Y;
+      case Opcode::CmpGt:
+        return X > Y;
+      case Opcode::CmpGe:
+        return X >= Y;
+      default:
+        reportFatalError("invalid integer arithmetic operation");
+      }
+    }
+    uint64_t X = A, Y = B;
+    switch (Op) {
+    case Opcode::Add:
+      return maskToWidth(X + Y, Bits);
+    case Opcode::Sub:
+      return maskToWidth(X - Y, Bits);
+    case Opcode::Mul:
+      return maskToWidth(X * Y, Bits);
+    case Opcode::Div:
+      if (Y == 0)
+        reportFatalError("integer division by zero");
+      return X / Y;
+    case Opcode::Rem:
+      if (Y == 0)
+        reportFatalError("integer remainder by zero");
+      return X % Y;
+    case Opcode::And:
+      return X & Y;
+    case Opcode::Or:
+      return X | Y;
+    case Opcode::Xor:
+      return X ^ Y;
+    case Opcode::Shl:
+      return maskToWidth(X << (Y & 63), Bits);
+    case Opcode::Shr:
+      return X >> (Y & 63);
+    case Opcode::Min:
+      return X < Y ? X : Y;
+    case Opcode::Max:
+      return X > Y ? X : Y;
+    case Opcode::CmpEq:
+      return X == Y;
+    case Opcode::CmpNe:
+      return X != Y;
+    case Opcode::CmpLt:
+      return X < Y;
+    case Opcode::CmpLe:
+      return X <= Y;
+    case Opcode::CmpGt:
+      return X > Y;
+    case Opcode::CmpGe:
+      return X >= Y;
+    default:
+      reportFatalError("invalid integer arithmetic operation");
+    }
+  }
+
+  uint64_t evalCast(const Type *From, const Type *To, uint64_t V) {
+    bool FromFloat = isa<FloatType>(From);
+    bool ToFloat = isa<FloatType>(To);
+    if (FromFloat && ToFloat)
+      return V;
+    if (FromFloat) {
+      double D = bitsToDouble(V);
+      const auto *IT = dyn_cast<IntType>(To);
+      if (IT && IT->isSigned())
+        return maskToWidth(static_cast<uint64_t>(static_cast<int64_t>(D)),
+                           IT->bits());
+      return maskToWidth(static_cast<uint64_t>(D),
+                         IT ? IT->bits() : 64);
+    }
+    const auto *FromInt = dyn_cast<IntType>(From);
+    bool Signed = FromInt && FromInt->isSigned();
+    if (ToFloat) {
+      if (Signed)
+        return doubleToBits(static_cast<double>(
+            signExtend(V, FromInt->bits())));
+      return doubleToBits(static_cast<double>(V));
+    }
+    // Int/bool/ptr to int/bool/ptr: re-extend into the target width.
+    const auto *ToInt = dyn_cast<IntType>(To);
+    unsigned Bits = ToInt ? ToInt->bits() : 64;
+    if (Signed)
+      return maskToWidth(
+          static_cast<uint64_t>(signExtend(V, FromInt->bits())), Bits);
+    return maskToWidth(V, Bits);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Runtime object helpers
+  //===--------------------------------------------------------------------===//
+
+  RtCollection *makeCollection(const Type *Ty) {
+    CollArena.push_back(createCollection(Ty, Opts.Defaults));
+    return CollArena.back().get();
+  }
+
+  RtEnum *makeEnum() {
+    EnumArena.push_back(std::make_unique<RtEnum>());
+    return EnumArena.back().get();
+  }
+
+  static RtSet *asSet(uint64_t Bits) {
+    auto *C = Interpreter::bitsToColl(Bits);
+    if (!C || C->kind() != RtKind::Set)
+      reportFatalError("expected a runtime set");
+    return static_cast<RtSet *>(C);
+  }
+
+  static RtMap *asMap(uint64_t Bits) {
+    auto *C = Interpreter::bitsToColl(Bits);
+    if (!C || C->kind() != RtKind::Map)
+      reportFatalError("expected a runtime map");
+    return static_cast<RtMap *>(C);
+  }
+
+  static RtSeq *asSeq(uint64_t Bits) {
+    auto *C = Interpreter::bitsToColl(Bits);
+    if (!C || C->kind() != RtKind::Seq)
+      reportFatalError("expected a runtime sequence");
+    return static_cast<RtSeq *>(C);
+  }
+
+  static RtEnum *asEnum(uint64_t Bits) {
+    if (!Bits)
+      reportFatalError("null enumeration value");
+    return reinterpret_cast<RtEnum *>(Bits);
+  }
+
+  uint64_t globalSlot(const std::string &Name) {
+    auto It = Globals.find(Name);
+    if (It != Globals.end() && It->second != 0)
+      return It->second;
+    // Lazily materialize enumeration and collection globals.
+    const GlobalVariable *G = M.getGlobal(Name);
+    if (!G)
+      reportFatalError("access to unknown global");
+    uint64_t V = 0;
+    if (isa<EnumType>(G->Ty))
+      V = reinterpret_cast<uint64_t>(makeEnum());
+    else if (G->Ty->isCollection())
+      V = Interpreter::collToBits(makeCollection(G->Ty));
+    Globals[Name] = V;
+    return V;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Execution
+  //===--------------------------------------------------------------------===//
+
+  uint64_t callFunction(const Function *F, const std::vector<uint64_t> &Args) {
+    // External declarations model opaque code the compiler cannot analyze
+    // (the SIII-F escape sources). At runtime they are inert: no effect,
+    // zero result. This keeps escape-bearing programs executable in tests
+    // and benchmarks.
+    if (F->isExternal())
+      return 0;
+    assert(Args.size() == F->numArgs() && "argument count mismatch");
+    const CompiledFunction &CF = compile(F);
+    Frame Fr;
+    Fr.Slots.assign(CF.NumSlots, 0);
+    for (size_t I = 0; I != Args.size(); ++I)
+      Fr.Slots[CF.ArgSlots[I]] = Args[I];
+    execRegion(F->body(), CF, Fr);
+    return Fr.RetVal;
+  }
+
+  Flow execRegion(const Region &R, const CompiledFunction &CF, Frame &Fr) {
+    for (const Instruction *I : R) {
+      Flow Fl = execInst(*I, CF, Fr);
+      if (Fl != Flow::Next)
+        return Fl;
+    }
+    return Flow::Next;
+  }
+
+  Flow execInst(const Instruction &I, const CompiledFunction &CF, Frame &Fr) {
+    const InstSlots &S = CF.Insts[I.scratchId()];
+    auto In = [&](unsigned Idx) { return Fr.Slots[S.Ops[Idx]]; };
+    auto Out = [&](unsigned Idx, uint64_t V) { Fr.Slots[S.Res[Idx]] = V; };
+    if (Stats)
+      ++Stats->InstructionsExecuted;
+    switch (I.op()) {
+    case Opcode::ConstInt: {
+      const auto *IT = dyn_cast<IntType>(I.result()->type());
+      uint64_t Raw = static_cast<uint64_t>(I.intAttr());
+      Out(0, IT ? maskToWidth(Raw, IT->bits()) : Raw);
+      return Flow::Next;
+    }
+    case Opcode::ConstFloat:
+      Out(0, doubleToBits(I.fpAttr()));
+      return Flow::Next;
+    case Opcode::ConstBool:
+      Out(0, I.intAttr() ? 1 : 0);
+      return Flow::Next;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Min:
+    case Opcode::Max:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      Out(0, evalBinary(I.op(), I.operand(0)->type(), In(0), In(1)));
+      return Flow::Next;
+    case Opcode::Neg: {
+      const Type *Ty = I.operand(0)->type();
+      if (isa<FloatType>(Ty))
+        Out(0, doubleToBits(-bitsToDouble(In(0))));
+      else {
+        const auto *IT = cast<IntType>(Ty);
+        Out(0, maskToWidth(0 - In(0), IT->bits()));
+      }
+      return Flow::Next;
+    }
+    case Opcode::Not: {
+      const Type *Ty = I.operand(0)->type();
+      if (Ty->isBool())
+        Out(0, In(0) ? 0 : 1);
+      else {
+        const auto *IT = cast<IntType>(Ty);
+        Out(0, maskToWidth(~In(0), IT->bits()));
+      }
+      return Flow::Next;
+    }
+    case Opcode::Select:
+      Out(0, In(0) ? In(1) : In(2));
+      return Flow::Next;
+    case Opcode::Cast:
+      Out(0, evalCast(I.operand(0)->type(), I.result()->type(), In(0)));
+      return Flow::Next;
+    case Opcode::New:
+      Out(0, Interpreter::collToBits(makeCollection(I.result()->type())));
+      return Flow::Next;
+    case Opcode::Read: {
+      if (isa<SeqType>(I.operand(0)->type())) {
+        Out(0, asSeq(In(0))->get(In(1)));
+        return Flow::Next;
+      }
+      RtMap *Map = asMap(In(0));
+      bool Found = false;
+      uint64_t V = Map->get(In(1), Found);
+      if (Stats)
+        Stats->record(OpCategory::Read, Map->isDense());
+      if (!Found)
+        reportFatalError("map read of a missing key");
+      Out(0, V);
+      return Flow::Next;
+    }
+    case Opcode::Write: {
+      if (isa<SeqType>(I.operand(0)->type())) {
+        asSeq(In(0))->set(In(1), In(2));
+        return Flow::Next;
+      }
+      RtMap *Map = asMap(In(0));
+      Map->set(In(1), In(2));
+      if (Stats)
+        Stats->record(OpCategory::Write, Map->isDense());
+      return Flow::Next;
+    }
+    case Opcode::Insert: {
+      RtCollection *C = Interpreter::bitsToColl(In(0));
+      if (C->kind() == RtKind::Set)
+        static_cast<RtSet *>(C)->insert(In(1));
+      else if (C->kind() == RtKind::Map)
+        static_cast<RtMap *>(C)->insertDefault(In(1), 0);
+      else
+        reportFatalError("insert on a sequence");
+      if (Stats)
+        Stats->record(OpCategory::Insert, C->isDense());
+      return Flow::Next;
+    }
+    case Opcode::Remove: {
+      RtCollection *C = Interpreter::bitsToColl(In(0));
+      if (C->kind() == RtKind::Set)
+        static_cast<RtSet *>(C)->remove(In(1));
+      else if (C->kind() == RtKind::Map)
+        static_cast<RtMap *>(C)->remove(In(1));
+      else
+        reportFatalError("remove on a sequence");
+      if (Stats)
+        Stats->record(OpCategory::Remove, C->isDense());
+      return Flow::Next;
+    }
+    case Opcode::Has: {
+      RtCollection *C = Interpreter::bitsToColl(In(0));
+      bool Result;
+      if (C->kind() == RtKind::Set)
+        Result = static_cast<RtSet *>(C)->has(In(1));
+      else if (C->kind() == RtKind::Map)
+        Result = static_cast<RtMap *>(C)->has(In(1));
+      else
+        reportFatalError("has on a sequence");
+      if (Stats)
+        Stats->record(OpCategory::Has, C->isDense());
+      Out(0, Result);
+      return Flow::Next;
+    }
+    case Opcode::Size: {
+      RtCollection *C = Interpreter::bitsToColl(In(0));
+      if (Stats && C->kind() != RtKind::Seq)
+        Stats->record(OpCategory::Size, C->isDense());
+      Out(0, C->size());
+      return Flow::Next;
+    }
+    case Opcode::Clear: {
+      RtCollection *C = Interpreter::bitsToColl(In(0));
+      if (Stats && C->kind() != RtKind::Seq)
+        Stats->record(OpCategory::Clear, C->isDense());
+      C->clear();
+      return Flow::Next;
+    }
+    case Opcode::Append:
+      asSeq(In(0))->append(In(1));
+      return Flow::Next;
+    case Opcode::Pop:
+      Out(0, asSeq(In(0))->pop());
+      return Flow::Next;
+    case Opcode::Union: {
+      RtSet *Dst = asSet(In(0));
+      const RtSet *Src = asSet(In(1));
+      if (Stats)
+        Stats->record(OpCategory::Union, Dst->isDense(),
+                      std::max<uint64_t>(1, Src->size()));
+      Dst->unionWith(*Src);
+      return Flow::Next;
+    }
+    case Opcode::Enc: {
+      RtEnum *E = asEnum(In(0));
+      if (Stats)
+        Stats->record(OpCategory::Enc, /*IsDense=*/false);
+      // A value outside the enumeration encodes to the next (never yet
+      // issued) identifier: membership tests against enumerated
+      // collections then correctly fail (Listing 2 probes `has` with the
+      // encoding of a possibly-new value).
+      Out(0, E->contains(In(1)) ? E->encode(In(1)) : E->size());
+      return Flow::Next;
+    }
+    case Opcode::Dec: {
+      RtEnum *E = asEnum(In(0));
+      if (Stats)
+        Stats->record(OpCategory::Dec, /*IsDense=*/true);
+      if (In(1) >= E->size())
+        reportFatalError("dec of an out-of-range identifier");
+      Out(0, E->decode(In(1)));
+      return Flow::Next;
+    }
+    case Opcode::EnumAdd: {
+      RtEnum *E = asEnum(In(0));
+      if (Stats)
+        Stats->record(OpCategory::EnumAdd, /*IsDense=*/false);
+      Out(0, E->add(In(1)).first);
+      return Flow::Next;
+    }
+    case Opcode::GlobalGet:
+      Out(0, globalSlot(I.symbol()));
+      return Flow::Next;
+    case Opcode::GlobalSet:
+      Globals[I.symbol()] = In(0);
+      return Flow::Next;
+    case Opcode::If: {
+      const Region &Sel = *I.region(In(0) ? 0 : 1);
+      Flow Fl = execRegion(Sel, CF, Fr);
+      if (Fl == Flow::Return)
+        return Fl;
+      assert(Fl == Flow::Yield && "if region must yield");
+      for (unsigned Idx = 0; Idx != I.numResults(); ++Idx)
+        Out(Idx, Fr.YieldBuf[Idx]);
+      return Flow::Next;
+    }
+    case Opcode::ForEach:
+      return execForEach(I, S, CF, Fr);
+    case Opcode::ForRange: {
+      uint64_t Lo = In(0), Hi = In(1);
+      unsigned Carried = I.numOperands() - 2;
+      std::vector<uint64_t> Vals(Carried);
+      for (unsigned Idx = 0; Idx != Carried; ++Idx)
+        Vals[Idx] = In(2 + Idx);
+      const Region &Body = *I.region(0);
+      for (uint64_t Iv = Lo; Iv < Hi; ++Iv) {
+        Fr.Slots[S.R0Args[0]] = Iv;
+        for (unsigned Idx = 0; Idx != Carried; ++Idx)
+          Fr.Slots[S.R0Args[1 + Idx]] = Vals[Idx];
+        Flow Fl = execRegion(Body, CF, Fr);
+        if (Fl == Flow::Return)
+          return Fl;
+        for (unsigned Idx = 0; Idx != Carried; ++Idx)
+          Vals[Idx] = Fr.YieldBuf[Idx];
+      }
+      for (unsigned Idx = 0; Idx != Carried; ++Idx)
+        Out(Idx, Vals[Idx]);
+      return Flow::Next;
+    }
+    case Opcode::DoWhile: {
+      unsigned Carried = I.numOperands();
+      std::vector<uint64_t> Vals(Carried);
+      for (unsigned Idx = 0; Idx != Carried; ++Idx)
+        Vals[Idx] = In(Idx);
+      const Region &Body = *I.region(0);
+      while (true) {
+        for (unsigned Idx = 0; Idx != Carried; ++Idx)
+          Fr.Slots[S.R0Args[Idx]] = Vals[Idx];
+        Flow Fl = execRegion(Body, CF, Fr);
+        if (Fl == Flow::Return)
+          return Fl;
+        bool Continue = Fr.YieldBuf[0] != 0;
+        for (unsigned Idx = 0; Idx != Carried; ++Idx)
+          Vals[Idx] = Fr.YieldBuf[1 + Idx];
+        if (!Continue)
+          break;
+      }
+      for (unsigned Idx = 0; Idx != Carried; ++Idx)
+        Out(Idx, Vals[Idx]);
+      return Flow::Next;
+    }
+    case Opcode::Yield: {
+      Fr.YieldBuf.resize(S.Ops.size());
+      for (unsigned Idx = 0; Idx != S.Ops.size(); ++Idx)
+        Fr.YieldBuf[Idx] = In(Idx);
+      return Flow::Yield;
+    }
+    case Opcode::Call: {
+      const Function *Callee = M.getFunction(I.symbol());
+      if (!Callee)
+        reportFatalError("call to an unknown function");
+      std::vector<uint64_t> Args(I.numOperands());
+      for (unsigned Idx = 0; Idx != I.numOperands(); ++Idx)
+        Args[Idx] = In(Idx);
+      uint64_t Result = callFunction(Callee, Args);
+      if (I.numResults())
+        Out(0, Result);
+      return Flow::Next;
+    }
+    case Opcode::Ret:
+      Fr.RetVal = I.numOperands() ? In(0) : 0;
+      return Flow::Return;
+    }
+    ade_unreachable("unknown opcode in interpreter");
+  }
+
+  Flow execForEach(const Instruction &I, const InstSlots &S,
+                   const CompiledFunction &CF, Frame &Fr) {
+    uint64_t CollBits = Fr.Slots[S.Ops[0]];
+    RtCollection *C = Interpreter::bitsToColl(CollBits);
+    unsigned Carried = I.numOperands() - 1;
+    unsigned KeyArgs = C->kind() == RtKind::Set ? 1 : 2;
+    std::vector<uint64_t> Vals(Carried);
+    for (unsigned Idx = 0; Idx != Carried; ++Idx)
+      Vals[Idx] = Fr.Slots[S.Ops[1 + Idx]];
+    // Snapshot the elements so body mutations don't invalidate iteration
+    // (matching MEMOIR's for-each copy semantics for redefinable state).
+    std::vector<std::pair<uint64_t, uint64_t>> Items;
+    Items.reserve(C->size());
+    switch (C->kind()) {
+    case RtKind::Seq:
+      static_cast<RtSeq *>(C)->forEach(
+          [&](uint64_t K, uint64_t V) { Items.push_back({K, V}); });
+      break;
+    case RtKind::Set:
+      static_cast<RtSet *>(C)->forEach(
+          [&](uint64_t K) { Items.push_back({K, 0}); });
+      break;
+    case RtKind::Map:
+      static_cast<RtMap *>(C)->forEach(
+          [&](uint64_t K, uint64_t V) { Items.push_back({K, V}); });
+      break;
+    }
+    if (Stats && C->kind() != RtKind::Seq)
+      Stats->record(OpCategory::Iterate, C->isDense(), Items.size());
+    const Region &Body = *I.region(0);
+    for (const auto &[Key, Value] : Items) {
+      Fr.Slots[S.R0Args[0]] = Key;
+      if (KeyArgs == 2)
+        Fr.Slots[S.R0Args[1]] = Value;
+      for (unsigned Idx = 0; Idx != Carried; ++Idx)
+        Fr.Slots[S.R0Args[KeyArgs + Idx]] = Vals[Idx];
+      Flow Fl = execRegion(Body, CF, Fr);
+      if (Fl == Flow::Return)
+        return Fl;
+      for (unsigned Idx = 0; Idx != Carried; ++Idx)
+        Vals[Idx] = Fr.YieldBuf[Idx];
+    }
+    for (unsigned Idx = 0; Idx != Carried; ++Idx)
+      Fr.Slots[S.Res[Idx]] = Vals[Idx];
+    return Flow::Next;
+  }
+};
+
+Interpreter::Interpreter(const Module &M, InterpOptions Opts)
+    : TheImpl(std::make_unique<Impl>(M, Opts)) {
+  if (Opts.CollectStats)
+    TheImpl->Stats = &Stats;
+}
+
+Interpreter::~Interpreter() = default;
+
+uint64_t Interpreter::call(const Function *F,
+                           const std::vector<uint64_t> &Args) {
+  return TheImpl->callFunction(F, Args);
+}
+
+uint64_t Interpreter::callByName(const std::string &Name,
+                                 const std::vector<uint64_t> &Args) {
+  const Function *F = TheImpl->M.getFunction(Name);
+  if (!F)
+    reportFatalError("callByName: unknown function");
+  return TheImpl->callFunction(F, Args);
+}
+
+RtCollection *Interpreter::newCollection(const Type *Ty) {
+  return TheImpl->makeCollection(Ty);
+}
+
+uint64_t Interpreter::globalValue(const std::string &Name) {
+  return TheImpl->globalSlot(Name);
+}
+
+void Interpreter::setGlobalValue(const std::string &Name, uint64_t Value) {
+  TheImpl->Globals[Name] = Value;
+}

@@ -1,0 +1,103 @@
+//===- Interpreter.h - IR execution engine ----------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes IR modules over the runtime collection library (our stand-in
+/// for MEMOIR's native lowering; see DESIGN.md substitution 1). Values are
+/// 64-bit encoded: integers/identifiers directly, floats by bit pattern of
+/// a double, collections and enumerations as pointers into an arena owned
+/// by the interpreter.
+///
+/// Besides producing results, the interpreter gathers the dynamic
+/// statistics (InterpStats) behind Figure 4 and Table II and drives the
+/// collection-memory accounting behind the memory figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_INTERP_INTERPRETER_H
+#define ADE_INTERP_INTERPRETER_H
+
+#include "ir/IR.h"
+#include "runtime/RtCollection.h"
+#include "runtime/Stats.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ade {
+namespace interp {
+
+/// Configuration of one interpreter instance.
+struct InterpOptions {
+  runtime::RuntimeDefaults Defaults;
+  /// Gather InterpStats (slightly slows execution; on for analyses, off
+  /// for pure timing runs when desired).
+  bool CollectStats = true;
+};
+
+/// Converts between the 64-bit encoded form and doubles.
+inline double bitsToDouble(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+inline uint64_t doubleToBits(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+
+/// Executes functions of one module.
+class Interpreter {
+public:
+  explicit Interpreter(const ir::Module &M, InterpOptions Opts = {});
+  Interpreter(const Interpreter &) = delete;
+  Interpreter &operator=(const Interpreter &) = delete;
+  ~Interpreter();
+
+  /// Calls \p F with 64-bit encoded arguments; returns the encoded result
+  /// (0 for void functions).
+  uint64_t call(const ir::Function *F, const std::vector<uint64_t> &Args);
+
+  /// Convenience: call by name. The function must exist.
+  uint64_t callByName(const std::string &Name,
+                      const std::vector<uint64_t> &Args);
+
+  /// Allocates an arena-owned collection for \p Ty (host-side input
+  /// construction). The returned pointer's bits are a valid argument
+  /// value.
+  runtime::RtCollection *newCollection(const ir::Type *Ty);
+
+  /// Encodes a collection pointer as a value.
+  static uint64_t collToBits(runtime::RtCollection *C) {
+    return reinterpret_cast<uint64_t>(C);
+  }
+  static runtime::RtCollection *bitsToColl(uint64_t Bits) {
+    return reinterpret_cast<runtime::RtCollection *>(Bits);
+  }
+
+  runtime::InterpStats &stats() { return Stats; }
+  const runtime::InterpStats &stats() const { return Stats; }
+
+  /// Reads a global's current value (0 if never set). Enumeration globals
+  /// are created lazily on first access.
+  uint64_t globalValue(const std::string &Name);
+  void setGlobalValue(const std::string &Name, uint64_t Value);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> TheImpl;
+  runtime::InterpStats Stats;
+};
+
+} // namespace interp
+} // namespace ade
+
+#endif // ADE_INTERP_INTERPRETER_H

@@ -1,0 +1,328 @@
+//===- IR.cpp - MEMOIR-like collection IR ---------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace ade;
+using namespace ade::ir;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+void Value::removeUse(Use U) {
+  auto It = std::find(Uses.begin(), Uses.end(), U);
+  assert(It != Uses.end() && "removing a use that was never recorded");
+  Uses.erase(It);
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self");
+  // setOperand mutates our use list; iterate over a snapshot.
+  std::vector<Use> Snapshot = Uses;
+  for (const Use &U : Snapshot)
+    U.User->setOperand(U.OpIdx, New);
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction
+//===----------------------------------------------------------------------===//
+
+const char *ade::ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstInt:
+    return "const.int";
+  case Opcode::ConstFloat:
+    return "const.float";
+  case Opcode::ConstBool:
+    return "const.bool";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  case Opcode::CmpEq:
+    return "eq";
+  case Opcode::CmpNe:
+    return "ne";
+  case Opcode::CmpLt:
+    return "lt";
+  case Opcode::CmpLe:
+    return "le";
+  case Opcode::CmpGt:
+    return "gt";
+  case Opcode::CmpGe:
+    return "ge";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Cast:
+    return "cast";
+  case Opcode::New:
+    return "new";
+  case Opcode::Read:
+    return "read";
+  case Opcode::Write:
+    return "write";
+  case Opcode::Insert:
+    return "insert";
+  case Opcode::Remove:
+    return "remove";
+  case Opcode::Has:
+    return "has";
+  case Opcode::Size:
+    return "size";
+  case Opcode::Clear:
+    return "clear";
+  case Opcode::Append:
+    return "append";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Union:
+    return "union";
+  case Opcode::Enc:
+    return "enc";
+  case Opcode::Dec:
+    return "dec";
+  case Opcode::EnumAdd:
+    return "enum.add";
+  case Opcode::GlobalGet:
+    return "gget";
+  case Opcode::GlobalSet:
+    return "gset";
+  case Opcode::If:
+    return "if";
+  case Opcode::ForEach:
+    return "foreach";
+  case Opcode::ForRange:
+    return "forrange";
+  case Opcode::DoWhile:
+    return "dowhile";
+  case Opcode::Yield:
+    return "yield";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  }
+  ade_unreachable("unknown opcode");
+}
+
+bool ade::ir::isCollectionAccess(Opcode Op) {
+  switch (Op) {
+  case Opcode::Read:
+  case Opcode::Write:
+  case Opcode::Insert:
+  case Opcode::Remove:
+  case Opcode::Has:
+  case Opcode::Size:
+  case Opcode::Clear:
+  case Opcode::Append:
+  case Opcode::Pop:
+  case Opcode::Union:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Instruction::Instruction(Opcode Op, const std::vector<Type *> &ResultTypes,
+                         const std::vector<Value *> &Operands,
+                         unsigned NumRegions)
+    : TheOpcode(Op) {
+  for (unsigned I = 0, E = static_cast<unsigned>(ResultTypes.size()); I != E;
+       ++I)
+    Results.push_back(std::make_unique<InstResult>(this, I, ResultTypes[I],
+                                                   /*Name=*/""));
+  this->Operands.reserve(Operands.size());
+  for (Value *V : Operands)
+    appendOperand(V);
+  for (unsigned I = 0; I != NumRegions; ++I)
+    Regions.push_back(std::make_unique<Region>(this));
+}
+
+Instruction::~Instruction() {
+  for (unsigned I = 0, E = numOperands(); I != E; ++I)
+    if (Operands[I])
+      Operands[I]->removeUse(Use{this, I});
+}
+
+void Instruction::setOperand(unsigned Idx, Value *V) {
+  assert(Idx < Operands.size() && "operand index out of range");
+  assert(V && "operands must be non-null");
+  if (Operands[Idx] == V)
+    return;
+  if (Operands[Idx])
+    Operands[Idx]->removeUse(Use{this, Idx});
+  Operands[Idx] = V;
+  V->addUse(Use{this, Idx});
+}
+
+void Instruction::appendOperand(Value *V) {
+  assert(V && "operands must be non-null");
+  unsigned Idx = numOperands();
+  Operands.push_back(V);
+  V->addUse(Use{this, Idx});
+}
+
+InstResult *Instruction::addResult(Type *Ty, std::string Name) {
+  unsigned Idx = numResults();
+  Results.push_back(
+      std::make_unique<InstResult>(this, Idx, Ty, std::move(Name)));
+  return Results.back().get();
+}
+
+Region *Instruction::region(unsigned Idx) const {
+  assert(Idx < Regions.size() && "region index out of range");
+  return Regions[Idx].get();
+}
+
+Function *Instruction::parentFunction() const {
+  return Parent ? Parent->function() : nullptr;
+}
+
+Module *Instruction::parentModule() const {
+  Function *F = parentFunction();
+  return F ? F->parent() : nullptr;
+}
+
+void Instruction::eraseFromParent() {
+  assert(Parent && "instruction has no parent region");
+  Parent->erase(this);
+}
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+Function *Region::function() const {
+  const Region *R = this;
+  while (R->ParentInst) {
+    assert(R->ParentInst->parent() && "detached region tree");
+    R = R->ParentInst->parent();
+  }
+  return R->ParentFn;
+}
+
+BlockArg *Region::addArg(Type *Ty, std::string Name) {
+  Args.push_back(std::make_unique<BlockArg>(
+      this, static_cast<unsigned>(Args.size()), Ty, std::move(Name)));
+  return Args.back().get();
+}
+
+Instruction *Region::push(std::unique_ptr<Instruction> Inst) {
+  Inst->Parent = this;
+  Insts.push_back(std::move(Inst));
+  return Insts.back().get();
+}
+
+Instruction *Region::insertBefore(Instruction *Before,
+                                  std::unique_ptr<Instruction> Inst) {
+  size_t Idx = indexOf(Before);
+  Inst->Parent = this;
+  Instruction *Raw = Inst.get();
+  Insts.insert(Insts.begin() + Idx, std::move(Inst));
+  return Raw;
+}
+
+Instruction *Region::insertAfter(Instruction *After,
+                                 std::unique_ptr<Instruction> Inst) {
+  size_t Idx = indexOf(After);
+  Inst->Parent = this;
+  Instruction *Raw = Inst.get();
+  Insts.insert(Insts.begin() + Idx + 1, std::move(Inst));
+  return Raw;
+}
+
+size_t Region::indexOf(const Instruction *Inst) const {
+  for (size_t I = 0, E = Insts.size(); I != E; ++I)
+    if (Insts[I].get() == Inst)
+      return I;
+  ade_unreachable("instruction not in region");
+}
+
+void Region::erase(Instruction *Inst) {
+#ifndef NDEBUG
+  for (unsigned I = 0, E = Inst->numResults(); I != E; ++I)
+    assert(!Inst->result(I)->hasUses() &&
+           "erasing an instruction whose results are still used");
+#endif
+  Insts.erase(Insts.begin() + indexOf(Inst));
+}
+
+//===----------------------------------------------------------------------===//
+// Function / Module
+//===----------------------------------------------------------------------===//
+
+Argument *Function::addArg(Type *Ty, std::string Name) {
+  Args.push_back(std::make_unique<Argument>(
+      this, static_cast<unsigned>(Args.size()), Ty, std::move(Name)));
+  return Args.back().get();
+}
+
+Function *Module::createFunction(std::string Name, Type *RetTy,
+                                 bool External) {
+  assert(!FuncMap.count(Name) && "duplicate function name");
+  Funcs.push_back(
+      std::make_unique<Function>(this, Name, RetTy, External));
+  Function *F = Funcs.back().get();
+  FuncMap[F->name()] = F;
+  return F;
+}
+
+Function *Module::getFunction(const std::string &Name) const {
+  auto It = FuncMap.find(Name);
+  return It == FuncMap.end() ? nullptr : It->second;
+}
+
+GlobalVariable *Module::createGlobal(std::string Name, Type *Ty) {
+  assert(!GlobalMap.count(Name) && "duplicate global name");
+  Globals.push_back(std::make_unique<GlobalVariable>());
+  GlobalVariable *G = Globals.back().get();
+  G->Name = std::move(Name);
+  G->Ty = Ty;
+  GlobalMap[G->Name] = G;
+  return G;
+}
+
+GlobalVariable *Module::getGlobal(const std::string &Name) const {
+  auto It = GlobalMap.find(Name);
+  return It == GlobalMap.end() ? nullptr : It->second;
+}
+
+std::string Module::uniqueName(const std::string &Prefix) {
+  while (true) {
+    std::string Candidate = Prefix + std::to_string(NextUnique++);
+    if (!FuncMap.count(Candidate) && !GlobalMap.count(Candidate))
+      return Candidate;
+  }
+}

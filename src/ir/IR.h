@@ -1,0 +1,508 @@
+//===- IR.h - MEMOIR-like collection IR -------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collection-oriented IR of SIII-A (Figures 1-2): functions of
+/// structured control flow (if / for-each / for-range / do-while regions)
+/// over SSA scalars and first-class collection values.
+///
+/// Deviations from MEMOIR, documented in DESIGN.md: collection updates
+/// mutate in place instead of producing a new SSA state (so the paper's
+/// Redefs(v) collapses to the allocation and its aliases), structured
+/// region results replace phi functions, and enumerations live in module
+/// globals. Nested collections are accessed by a Read that returns the
+/// inner collection by reference, which is how the nesting case of
+/// Algorithm 1 surfaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_IR_IR_H
+#define ADE_IR_IR_H
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ade {
+namespace ir {
+
+class Instruction;
+class Region;
+class Function;
+class Module;
+
+//===----------------------------------------------------------------------===//
+// Values and uses
+//===----------------------------------------------------------------------===//
+
+/// One operand slot of an instruction referencing a value.
+struct Use {
+  Instruction *User;
+  unsigned OpIdx;
+
+  bool operator==(const Use &Other) const {
+    return User == Other.User && OpIdx == Other.OpIdx;
+  }
+};
+
+/// Base class of everything an operand can reference: function arguments,
+/// region (block) arguments, and instruction results.
+class Value {
+public:
+  enum class Kind : uint8_t { Argument, BlockArg, InstResult };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value() = default;
+
+  Kind kind() const { return TheKind; }
+  Type *type() const { return Ty; }
+
+  /// Retypes the value. Used by the ADE transform when it rewrites an
+  /// allocation's key type to idx; the verifier re-checks consistency.
+  void setType(Type *NewTy) { Ty = NewTy; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  const std::vector<Use> &uses() const { return Uses; }
+  bool hasUses() const { return !Uses.empty(); }
+
+  /// Rewrites every use of this value to reference \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+protected:
+  Value(Kind K, Type *Ty, std::string Name)
+      : TheKind(K), Ty(Ty), Name(std::move(Name)) {}
+
+private:
+  friend class Instruction;
+  void addUse(Use U) { Uses.push_back(U); }
+  void removeUse(Use U);
+
+  const Kind TheKind;
+  Type *Ty;
+  std::string Name;
+  std::vector<Use> Uses;
+};
+
+/// A function parameter.
+class Argument : public Value {
+public:
+  Argument(Function *Parent, unsigned Index, Type *Ty, std::string Name)
+      : Value(Kind::Argument, Ty, std::move(Name)), Parent(Parent),
+        Index(Index) {}
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::Argument;
+  }
+
+  Function *parent() const { return Parent; }
+  unsigned index() const { return Index; }
+
+private:
+  Function *Parent;
+  unsigned Index;
+};
+
+/// A region parameter: loop key/value bindings and loop-carried values.
+class BlockArg : public Value {
+public:
+  BlockArg(Region *Parent, unsigned Index, Type *Ty, std::string Name)
+      : Value(Kind::BlockArg, Ty, std::move(Name)), Parent(Parent),
+        Index(Index) {}
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::BlockArg;
+  }
+
+  Region *parent() const { return Parent; }
+  unsigned index() const { return Index; }
+
+private:
+  Region *Parent;
+  unsigned Index;
+};
+
+/// One result of an instruction.
+class InstResult : public Value {
+public:
+  InstResult(Instruction *Parent, unsigned Index, Type *Ty, std::string Name)
+      : Value(Kind::InstResult, Ty, std::move(Name)), Parent(Parent),
+        Index(Index) {}
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::InstResult;
+  }
+
+  Instruction *parent() const { return Parent; }
+  unsigned index() const { return Index; }
+
+private:
+  Instruction *Parent;
+  unsigned Index;
+};
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+/// Every operation of Figure 1, plus the enumeration translations the ADE
+/// transform inserts and structured control flow.
+enum class Opcode : uint8_t {
+  // Constants (payload in intAttr/fpAttr).
+  ConstInt,
+  ConstFloat,
+  ConstBool,
+  // Scalar arithmetic and logic.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Min,
+  Max,
+  Neg,
+  Not,
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  Select, // select(cond, a, b)
+  Cast,   // numeric conversion to the result type
+  // Collection construction / query / update (Figure 1).
+  New,    // result type is the collection type; may carry a Directive
+  Read,   // read(coll, key) -> element; on nested colls returns the inner
+          // collection by reference
+  Write,  // write(coll, key, value)
+  Insert, // insert(set, key) / insert(map, key) with default value
+  Remove, // remove(coll, key)
+  Has,    // has(coll, key) -> bool
+  Size,   // size(coll) -> u64
+  Clear,  // clear(coll)
+  Append, // append(seq, value)
+  Pop,    // pop(seq) -> value
+  Union,  // union(dstSet, srcSet)
+  // Enumeration translations (SIII-B). The enumeration operand is a value
+  // of EnumType, typically a GlobalGet of the enumeration global.
+  Enc,     // enc(enum, key) -> idx
+  Dec,     // dec(enum, idx) -> key
+  EnumAdd, // add(enum, key) -> idx (adds if missing)
+  // Module globals.
+  GlobalGet, // symbol attr -> value
+  GlobalSet, // (value), symbol attr
+  // Structured control flow.
+  If,       // (cond) {then}{else} -> yielded results
+  ForEach,  // (coll, inits...) {key[,value], carried...} -> finals
+  ForRange, // (lo, hi, inits...) {i, carried...} -> finals
+  DoWhile,  // (inits...) {carried...}, yield(cond, nexts...) -> finals
+  Yield,    // region terminator carrying merge values
+  // Calls and returns.
+  Call, // (args...), symbol attr -> 0/1 results
+  Ret,  // (optional value)
+};
+
+/// Returns the mnemonic of \p Op (e.g. "read").
+const char *opcodeName(Opcode Op);
+
+/// True for operations that access a collection through operand 0 (query
+/// and update operations of Figure 1).
+bool isCollectionAccess(Opcode Op);
+
+/// Per-allocation user directives of SIII-I (Listing 5), attached to New.
+struct Directive {
+  enum class Enumerate : uint8_t { Default, Force, Forbid };
+
+  Enumerate EnumerateMode = Enumerate::Default;
+  /// Never share this collection's enumeration with any other.
+  bool NoShare = false;
+  /// noshare(c): never share with these named allocations.
+  std::vector<std::string> NoShareWith;
+  /// share group("name"): force-share with every allocation in the group.
+  std::string ShareGroup;
+  /// select(Impl): force this implementation.
+  Selection Select = Selection::Empty;
+
+  bool isDefault() const {
+    return EnumerateMode == Enumerate::Default && !NoShare &&
+           NoShareWith.empty() && ShareGroup.empty() &&
+           Select == Selection::Empty;
+  }
+};
+
+/// A single IR operation: opcode, operands, results, nested regions and
+/// constant/symbol attributes. One concrete class covers all opcodes
+/// (analyses dispatch on the opcode), in the style of MLIR's generic op.
+class Instruction {
+public:
+  Instruction(Opcode Op, const std::vector<Type *> &ResultTypes,
+              const std::vector<Value *> &Operands, unsigned NumRegions);
+  Instruction(const Instruction &) = delete;
+  Instruction &operator=(const Instruction &) = delete;
+  ~Instruction();
+
+  Opcode op() const { return TheOpcode; }
+
+  // Operands.
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *operand(unsigned Idx) const {
+    assert(Idx < Operands.size() && "operand index out of range");
+    return Operands[Idx];
+  }
+  void setOperand(unsigned Idx, Value *V);
+  /// Appends \p V as a new trailing operand.
+  void appendOperand(Value *V);
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  // Results.
+  unsigned numResults() const {
+    return static_cast<unsigned>(Results.size());
+  }
+  InstResult *result(unsigned Idx = 0) const {
+    assert(Idx < Results.size() && "result index out of range");
+    return Results[Idx].get();
+  }
+  /// Appends a fresh result of type \p Ty (used when building loops whose
+  /// carried values are discovered incrementally).
+  InstResult *addResult(Type *Ty, std::string Name = "");
+
+  // Regions.
+  unsigned numRegions() const {
+    return static_cast<unsigned>(Regions.size());
+  }
+  Region *region(unsigned Idx) const;
+
+  // Attributes.
+  int64_t intAttr() const { return IntAttr; }
+  void setIntAttr(int64_t V) { IntAttr = V; }
+  double fpAttr() const { return FpAttr; }
+  void setFpAttr(double V) { FpAttr = V; }
+  const std::string &symbol() const { return Symbol; }
+  void setSymbol(std::string S) { Symbol = std::move(S); }
+
+  /// The user directive attached to a New, if any.
+  const Directive *directive() const {
+    return Dir.has_value() ? &*Dir : nullptr;
+  }
+  void setDirective(Directive D) { Dir = std::move(D); }
+
+  // Structure.
+  Region *parent() const { return Parent; }
+  Function *parentFunction() const;
+  Module *parentModule() const;
+
+  /// Removes this instruction from its parent region and destroys it. All
+  /// results must be unused.
+  void eraseFromParent();
+
+  /// Scratch id for whole-module numbering passes (e.g. the interpreter's
+  /// compiled-slot table). Owned by whichever pass ran last.
+  uint32_t scratchId() const { return Scratch; }
+  void setScratchId(uint32_t Id) const { Scratch = Id; }
+
+private:
+  friend class Region;
+
+  Opcode TheOpcode;
+  std::vector<Value *> Operands;
+  std::vector<std::unique_ptr<InstResult>> Results;
+  std::vector<std::unique_ptr<Region>> Regions;
+  int64_t IntAttr = 0;
+  double FpAttr = 0;
+  std::string Symbol;
+  std::optional<Directive> Dir;
+  Region *Parent = nullptr;
+  mutable uint32_t Scratch = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Regions
+//===----------------------------------------------------------------------===//
+
+/// A straight-line list of instructions with block arguments; the body of
+/// a function or of a structured control-flow operation.
+class Region {
+public:
+  Region() = default;
+  explicit Region(Instruction *ParentInst) : ParentInst(ParentInst) {}
+  Region(const Region &) = delete;
+  Region &operator=(const Region &) = delete;
+
+  ~Region() {
+    // Destroy instructions in reverse: users before their operands'
+    // definitions, so use-list unregistration never touches freed values.
+    while (!Insts.empty())
+      Insts.pop_back();
+  }
+
+  Instruction *parentInst() const { return ParentInst; }
+  Function *parentFunction() const { return ParentFn; }
+
+  /// The function this region (transitively) belongs to.
+  Function *function() const;
+
+  // Block arguments.
+  BlockArg *addArg(Type *Ty, std::string Name = "");
+  unsigned numArgs() const { return static_cast<unsigned>(Args.size()); }
+  BlockArg *arg(unsigned Idx) const {
+    assert(Idx < Args.size() && "region arg index out of range");
+    return Args[Idx].get();
+  }
+
+  // Instructions.
+  size_t size() const { return Insts.size(); }
+  bool empty() const { return Insts.empty(); }
+  Instruction *inst(size_t Idx) const { return Insts[Idx].get(); }
+  Instruction *back() const {
+    assert(!Insts.empty() && "back() of empty region");
+    return Insts.back().get();
+  }
+
+  /// Appends \p Inst, taking ownership.
+  Instruction *push(std::unique_ptr<Instruction> Inst);
+
+  /// Inserts \p Inst immediately before \p Before (which must be in this
+  /// region), taking ownership.
+  Instruction *insertBefore(Instruction *Before,
+                            std::unique_ptr<Instruction> Inst);
+
+  /// Inserts \p Inst immediately after \p After.
+  Instruction *insertAfter(Instruction *After,
+                           std::unique_ptr<Instruction> Inst);
+
+  /// Position of \p Inst in this region.
+  size_t indexOf(const Instruction *Inst) const;
+
+  /// Removes and destroys \p Inst; its results must be unused.
+  void erase(Instruction *Inst);
+
+  /// Iteration support (over raw pointers; mutation-safe only for reads).
+  class iterator {
+  public:
+    explicit iterator(const std::unique_ptr<Instruction> *P) : P(P) {}
+    Instruction *operator*() const { return P->get(); }
+    iterator &operator++() {
+      ++P;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return P != O.P; }
+
+  private:
+    const std::unique_ptr<Instruction> *P;
+  };
+  iterator begin() const { return iterator(Insts.data()); }
+  iterator end() const { return iterator(Insts.data() + Insts.size()); }
+
+private:
+  friend class Function;
+
+  Instruction *ParentInst = nullptr;
+  Function *ParentFn = nullptr;
+  std::vector<std::unique_ptr<BlockArg>> Args;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and modules
+//===----------------------------------------------------------------------===//
+
+/// A function: typed parameters, a return type and a body region. External
+/// functions (declarations) have no body and model calls whose effects ADE
+/// must treat conservatively (SIII-F).
+class Function {
+public:
+  Function(Module *Parent, std::string Name, Type *RetTy, bool External)
+      : Parent(Parent), Name(std::move(Name)), RetTy(RetTy),
+        External(External) {
+    Body.ParentFn = this;
+  }
+
+  Module *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+  Type *returnType() const { return RetTy; }
+  void setReturnType(Type *Ty) { RetTy = Ty; }
+  bool isExternal() const { return External; }
+
+  Argument *addArg(Type *Ty, std::string Name = "");
+  unsigned numArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *arg(unsigned Idx) const {
+    assert(Idx < Args.size() && "argument index out of range");
+    return Args[Idx].get();
+  }
+
+  Region &body() { return Body; }
+  const Region &body() const { return Body; }
+
+private:
+  Module *Parent;
+  std::string Name;
+  Type *RetTy;
+  bool External;
+  std::vector<std::unique_ptr<Argument>> Args;
+  Region Body;
+};
+
+/// A module-level mutable cell holding a collection or enumeration shared
+/// across functions (SIII-F stores interprocedural enumerations this way).
+struct GlobalVariable {
+  std::string Name;
+  Type *Ty;
+};
+
+/// A translation unit: uniqued types, globals and functions.
+class Module {
+public:
+  Module() = default;
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  TypeContext &types() { return Types; }
+
+  Function *createFunction(std::string Name, Type *RetTy,
+                           bool External = false);
+  Function *getFunction(const std::string &Name) const;
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+
+  GlobalVariable *createGlobal(std::string Name, Type *Ty);
+  GlobalVariable *getGlobal(const std::string &Name) const;
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  /// Returns a module-unique name with the given prefix (for enumeration
+  /// globals and function clones).
+  std::string uniqueName(const std::string &Prefix);
+
+private:
+  TypeContext Types;
+  std::vector<std::unique_ptr<Function>> Funcs;
+  std::unordered_map<std::string, Function *> FuncMap;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::unordered_map<std::string, GlobalVariable *> GlobalMap;
+  uint64_t NextUnique = 0;
+};
+
+} // namespace ir
+} // namespace ade
+
+#endif // ADE_IR_IR_H

@@ -1,0 +1,339 @@
+//===- IRBuilder.h - Convenience builder for the IR -------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Appends instructions to a region with type inference for results, plus
+/// structured-control-flow helpers that take the loop/branch body as a
+/// callback. Used by tests, benchmark programs and the ADE transform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_IR_IRBUILDER_H
+#define ADE_IR_IRBUILDER_H
+
+#include "ir/IR.h"
+
+#include "support/ErrorHandling.h"
+
+#include <functional>
+
+namespace ade {
+namespace ir {
+
+/// Instruction factory with an insertion point.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+  IRBuilder(Module &M, Region *R) : M(M), InsertRegion(R) {}
+
+  Module &module() { return M; }
+  TypeContext &types() { return M.types(); }
+
+  /// Appends at the end of \p R from now on.
+  void setInsertionPoint(Region *R) {
+    InsertRegion = R;
+    InsertBefore = nullptr;
+  }
+
+  /// Inserts before \p Inst from now on.
+  void setInsertionPointBefore(Instruction *Inst) {
+    InsertRegion = Inst->parent();
+    InsertBefore = Inst;
+  }
+
+  /// Inserts after \p Inst (by repositioning before its successor) — the
+  /// insertion point then tracks subsequent inserts in order.
+  void setInsertionPointAfter(Instruction *Inst) {
+    Region *R = Inst->parent();
+    size_t Idx = R->indexOf(Inst);
+    InsertRegion = R;
+    InsertBefore = Idx + 1 < R->size() ? R->inst(Idx + 1) : nullptr;
+  }
+
+  Region *insertionRegion() const { return InsertRegion; }
+
+  /// Creates and inserts a raw instruction.
+  Instruction *create(Opcode Op, const std::vector<Type *> &ResultTypes,
+                      const std::vector<Value *> &Operands,
+                      unsigned NumRegions = 0) {
+    assert(InsertRegion && "no insertion point set");
+    auto Inst =
+        std::make_unique<Instruction>(Op, ResultTypes, Operands, NumRegions);
+    if (InsertBefore)
+      return InsertRegion->insertBefore(InsertBefore, std::move(Inst));
+    return InsertRegion->push(std::move(Inst));
+  }
+
+  // Constants -------------------------------------------------------------
+
+  Value *constInt(uint64_t V, Type *Ty) {
+    Instruction *I = create(Opcode::ConstInt, {Ty}, {});
+    I->setIntAttr(static_cast<int64_t>(V));
+    return I->result();
+  }
+  Value *constU64(uint64_t V) { return constInt(V, types().intTy(64, false)); }
+  Value *constU32(uint64_t V) { return constInt(V, types().intTy(32, false)); }
+  Value *constI64(int64_t V) {
+    return constInt(static_cast<uint64_t>(V), types().intTy(64, true));
+  }
+  Value *constIdx(uint64_t V) { return constInt(V, types().indexTy()); }
+  Value *constF64(double V) {
+    Instruction *I = create(Opcode::ConstFloat, {types().floatTy(64)}, {});
+    I->setFpAttr(V);
+    return I->result();
+  }
+  Value *constBool(bool V) {
+    Instruction *I = create(Opcode::ConstBool, {types().boolTy()}, {});
+    I->setIntAttr(V);
+    return I->result();
+  }
+
+  // Arithmetic ------------------------------------------------------------
+
+  Value *binary(Opcode Op, Value *A, Value *B) {
+    bool IsCmp = Op >= Opcode::CmpEq && Op <= Opcode::CmpGe;
+    Type *Ty = IsCmp ? static_cast<Type *>(types().boolTy()) : A->type();
+    return create(Op, {Ty}, {A, B})->result();
+  }
+  Value *add(Value *A, Value *B) { return binary(Opcode::Add, A, B); }
+  Value *sub(Value *A, Value *B) { return binary(Opcode::Sub, A, B); }
+  Value *mul(Value *A, Value *B) { return binary(Opcode::Mul, A, B); }
+  Value *div(Value *A, Value *B) { return binary(Opcode::Div, A, B); }
+  Value *rem(Value *A, Value *B) { return binary(Opcode::Rem, A, B); }
+  Value *min(Value *A, Value *B) { return binary(Opcode::Min, A, B); }
+  Value *max(Value *A, Value *B) { return binary(Opcode::Max, A, B); }
+  Value *eq(Value *A, Value *B) { return binary(Opcode::CmpEq, A, B); }
+  Value *ne(Value *A, Value *B) { return binary(Opcode::CmpNe, A, B); }
+  Value *lt(Value *A, Value *B) { return binary(Opcode::CmpLt, A, B); }
+  Value *le(Value *A, Value *B) { return binary(Opcode::CmpLe, A, B); }
+  Value *gt(Value *A, Value *B) { return binary(Opcode::CmpGt, A, B); }
+  Value *ge(Value *A, Value *B) { return binary(Opcode::CmpGe, A, B); }
+  Value *logicalAnd(Value *A, Value *B) { return binary(Opcode::And, A, B); }
+  Value *logicalOr(Value *A, Value *B) { return binary(Opcode::Or, A, B); }
+  Value *logicalNot(Value *A) {
+    return create(Opcode::Not, {A->type()}, {A})->result();
+  }
+  Value *select(Value *Cond, Value *A, Value *B) {
+    return create(Opcode::Select, {A->type()}, {Cond, A, B})->result();
+  }
+  Value *castTo(Value *V, Type *Ty) {
+    if (V->type() == Ty)
+      return V;
+    return create(Opcode::Cast, {Ty}, {V})->result();
+  }
+
+  // Collections -------------------------------------------------------------
+
+  /// Allocates a collection of type \p Ty.
+  Value *newColl(Type *Ty, std::string Name = "",
+                 std::optional<Directive> Dir = std::nullopt) {
+    assert(Ty->isCollection() && "new requires a collection type");
+    Instruction *I = create(Opcode::New, {Ty}, {});
+    if (!Name.empty())
+      I->result()->setName(std::move(Name));
+    if (Dir)
+      I->setDirective(std::move(*Dir));
+    return I->result();
+  }
+
+  /// read(coll, key). The result type follows the collection type: seq
+  /// element, map value; reading a nested collection yields the inner
+  /// collection by reference.
+  Value *read(Value *Coll, Value *Key) {
+    Type *Ty = Coll->type();
+    Type *ResultTy = nullptr;
+    if (auto *Seq = dyn_cast<SeqType>(Ty))
+      ResultTy = Seq->element();
+    else if (auto *Map = dyn_cast<MapType>(Ty))
+      ResultTy = Map->value();
+    else
+      ade_unreachable("read on a non-readable collection");
+    return create(Opcode::Read, {ResultTy}, {Coll, Key})->result();
+  }
+
+  void write(Value *Coll, Value *Key, Value *V) {
+    create(Opcode::Write, {}, {Coll, Key, V});
+  }
+  void insert(Value *Coll, Value *Key) {
+    create(Opcode::Insert, {}, {Coll, Key});
+  }
+  void remove(Value *Coll, Value *Key) {
+    create(Opcode::Remove, {}, {Coll, Key});
+  }
+  Value *has(Value *Coll, Value *Key) {
+    return create(Opcode::Has, {types().boolTy()}, {Coll, Key})->result();
+  }
+  Value *size(Value *Coll) {
+    return create(Opcode::Size, {types().intTy(64, false)}, {Coll})->result();
+  }
+  void clear(Value *Coll) { create(Opcode::Clear, {}, {Coll}); }
+  void append(Value *Seq, Value *V) { create(Opcode::Append, {}, {Seq, V}); }
+  Value *pop(Value *Seq) {
+    auto *Ty = cast<SeqType>(Seq->type());
+    return create(Opcode::Pop, {Ty->element()}, {Seq})->result();
+  }
+  void unionInto(Value *Dst, Value *Src) {
+    create(Opcode::Union, {}, {Dst, Src});
+  }
+
+  // Enumerations ------------------------------------------------------------
+
+  Value *enc(Value *Enum, Value *Key) {
+    return create(Opcode::Enc, {types().indexTy()}, {Enum, Key})->result();
+  }
+  Value *dec(Value *Enum, Value *Id) {
+    auto *Ty = cast<EnumType>(Enum->type());
+    return create(Opcode::Dec, {Ty->key()}, {Enum, Id})->result();
+  }
+  Value *enumAdd(Value *Enum, Value *Key) {
+    return create(Opcode::EnumAdd, {types().indexTy()}, {Enum, Key})
+        ->result();
+  }
+
+  // Globals -----------------------------------------------------------------
+
+  Value *globalGet(const GlobalVariable *G) {
+    Instruction *I = create(Opcode::GlobalGet, {G->Ty}, {});
+    I->setSymbol(G->Name);
+    return I->result();
+  }
+  void globalSet(const GlobalVariable *G, Value *V) {
+    Instruction *I = create(Opcode::GlobalSet, {}, {V});
+    I->setSymbol(G->Name);
+  }
+
+  // Control flow ------------------------------------------------------------
+
+  using BodyFn = std::function<std::vector<Value *>(IRBuilder &)>;
+
+  /// if Cond { Then } else { Else }; both callbacks return the values they
+  /// yield, which become the results of the if.
+  std::vector<Value *> createIf(Value *Cond, const BodyFn &Then,
+                                const BodyFn &Else) {
+    Instruction *I = create(Opcode::If, {}, {Cond}, /*NumRegions=*/2);
+    buildRegionBody(I->region(0), Then);
+    buildRegionBody(I->region(1), Else);
+    return finalizeResults(I, I->region(0));
+  }
+
+  /// foreach over \p Coll. The callback receives (builder, key[, value],
+  /// carried...) and returns the next carried values.
+  using LoopBodyFn =
+      std::function<std::vector<Value *>(IRBuilder &, std::vector<Value *>)>;
+
+  std::vector<Value *> forEach(Value *Coll, const std::vector<Value *> &Inits,
+                               const LoopBodyFn &Body) {
+    std::vector<Value *> Operands = {Coll};
+    Operands.insert(Operands.end(), Inits.begin(), Inits.end());
+    Instruction *I = create(Opcode::ForEach, {}, Operands, /*NumRegions=*/1);
+    Region *R = I->region(0);
+    std::vector<Value *> Args;
+    Type *CollTy = Coll->type();
+    if (auto *Seq = dyn_cast<SeqType>(CollTy)) {
+      Args.push_back(R->addArg(types().intTy(64, false), "i"));
+      Args.push_back(R->addArg(Seq->element(), "v"));
+    } else if (auto *Map = dyn_cast<MapType>(CollTy)) {
+      Args.push_back(R->addArg(Map->key(), "k"));
+      Args.push_back(R->addArg(Map->value(), "v"));
+    } else if (auto *Set = dyn_cast<SetType>(CollTy)) {
+      Args.push_back(R->addArg(Set->key(), "k"));
+    } else {
+      ade_unreachable("foreach over a non-collection");
+    }
+    for (Value *Init : Inits)
+      Args.push_back(R->addArg(Init->type()));
+    buildLoopBody(R, Args, Body);
+    return finalizeResults(I, R);
+  }
+
+  /// forrange [Lo, Hi) with carried values.
+  std::vector<Value *> forRange(Value *Lo, Value *Hi,
+                                const std::vector<Value *> &Inits,
+                                const LoopBodyFn &Body) {
+    std::vector<Value *> Operands = {Lo, Hi};
+    Operands.insert(Operands.end(), Inits.begin(), Inits.end());
+    Instruction *I = create(Opcode::ForRange, {}, Operands, /*NumRegions=*/1);
+    Region *R = I->region(0);
+    std::vector<Value *> Args;
+    Args.push_back(R->addArg(Lo->type(), "i"));
+    for (Value *Init : Inits)
+      Args.push_back(R->addArg(Init->type()));
+    buildLoopBody(R, Args, Body);
+    return finalizeResults(I, R);
+  }
+
+  /// do { Body } while cond. The callback returns {cond, nexts...}; the
+  /// results are the final carried values.
+  std::vector<Value *> doWhile(const std::vector<Value *> &Inits,
+                               const LoopBodyFn &Body) {
+    Instruction *I = create(Opcode::DoWhile, {}, Inits, /*NumRegions=*/1);
+    Region *R = I->region(0);
+    std::vector<Value *> Args;
+    for (Value *Init : Inits)
+      Args.push_back(R->addArg(Init->type()));
+    buildLoopBody(R, Args, Body);
+    // Yield is (cond, nexts...): results are the nexts.
+    Instruction *Y = R->back();
+    assert(Y->op() == Opcode::Yield && Y->numOperands() >= 1 &&
+           "dowhile body must yield (cond, carried...)");
+    std::vector<Value *> Out;
+    for (unsigned Idx = 1; Idx != Y->numOperands(); ++Idx)
+      Out.push_back(I->addResult(Y->operand(Idx)->type()));
+    return Out;
+  }
+
+  void yield(const std::vector<Value *> &Values) {
+    create(Opcode::Yield, {}, Values);
+  }
+
+  // Calls -------------------------------------------------------------------
+
+  Value *call(Function *Callee, const std::vector<Value *> &Args) {
+    std::vector<Type *> ResultTys;
+    if (!Callee->returnType()->isVoid())
+      ResultTys.push_back(Callee->returnType());
+    Instruction *I = create(Opcode::Call, ResultTys, Args);
+    I->setSymbol(Callee->name());
+    return ResultTys.empty() ? nullptr : I->result();
+  }
+
+  void ret() { create(Opcode::Ret, {}, {}); }
+  void ret(Value *V) { create(Opcode::Ret, {}, {V}); }
+
+private:
+  void buildRegionBody(Region *R, const BodyFn &Body) {
+    IRBuilder Nested(M, R);
+    std::vector<Value *> Yields = Body(Nested);
+    Nested.yield(Yields);
+  }
+
+  void buildLoopBody(Region *R, const std::vector<Value *> &Args,
+                     const LoopBodyFn &Body) {
+    IRBuilder Nested(M, R);
+    std::vector<Value *> Yields = Body(Nested, Args);
+    Nested.yield(Yields);
+  }
+
+  /// Adds one result per yielded value (using the then-region's yield for
+  /// ifs) and returns them.
+  std::vector<Value *> finalizeResults(Instruction *I, Region *R) {
+    Instruction *Y = R->back();
+    assert(Y->op() == Opcode::Yield && "region must end in yield");
+    std::vector<Value *> Out;
+    for (Value *V : Y->operands())
+      Out.push_back(I->addResult(V->type()));
+    return Out;
+  }
+
+  Module &M;
+  Region *InsertRegion = nullptr;
+  Instruction *InsertBefore = nullptr;
+};
+
+} // namespace ir
+} // namespace ade
+
+#endif // ADE_IR_IRBUILDER_H

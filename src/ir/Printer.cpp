@@ -1,0 +1,283 @@
+//===- Printer.cpp - Textual IR emission ----------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/IR.h"
+#include "support/ErrorHandling.h"
+#include "support/RawOstream.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ade;
+using namespace ade::ir;
+
+namespace {
+
+/// Per-function printing state: stable SSA names for every value.
+class FunctionPrinter {
+public:
+  FunctionPrinter(const Function &F, RawOstream &OS) : F(F), OS(OS) {}
+
+  void print() {
+    if (F.isExternal()) {
+      OS << "extern fn @" << F.name() << "(";
+      for (unsigned I = 0; I != F.numArgs(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << F.arg(I)->type()->str();
+      }
+      OS << ")";
+      printRetSuffix();
+      OS << "\n";
+      return;
+    }
+    OS << "fn @" << F.name() << "(";
+    for (unsigned I = 0; I != F.numArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << nameOf(F.arg(I)) << ": " << F.arg(I)->type()->str();
+    }
+    OS << ")";
+    printRetSuffix();
+    OS << " {\n";
+    printRegion(F.body(), 2);
+    OS << "}\n";
+  }
+
+private:
+  void printRetSuffix() {
+    if (!F.returnType()->isVoid())
+      OS << " -> " << F.returnType()->str();
+  }
+
+  std::string nameOf(const Value *V) {
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    std::string Base = V->name().empty() ? "t" : V->name();
+    std::string Candidate = "%" + Base;
+    unsigned Suffix = 0;
+    while (Taken.count(Candidate))
+      Candidate = "%" + Base + std::to_string(Suffix++);
+    Taken.insert(Candidate);
+    Names.emplace(V, Candidate);
+    return Candidate;
+  }
+
+  void printResults(const Instruction *I) {
+    if (I->numResults() == 0)
+      return;
+    for (unsigned R = 0; R != I->numResults(); ++R) {
+      if (R)
+        OS << ", ";
+      OS << nameOf(I->result(R));
+    }
+    OS << " = ";
+  }
+
+  void printOperands(const Instruction *I, unsigned From = 0) {
+    for (unsigned Idx = From; Idx != I->numOperands(); ++Idx) {
+      if (Idx != From)
+        OS << ", ";
+      OS << nameOf(I->operand(Idx));
+    }
+  }
+
+  void printDirective(const Directive &D, unsigned Indent) {
+    OS.indent(Indent) << "#pragma ade";
+    if (D.EnumerateMode == Directive::Enumerate::Force)
+      OS << " enumerate";
+    else if (D.EnumerateMode == Directive::Enumerate::Forbid)
+      OS << " noenumerate";
+    if (D.NoShare)
+      OS << " noshare";
+    for (const std::string &Name : D.NoShareWith)
+      OS << " noshare(%" << Name << ")";
+    if (!D.ShareGroup.empty())
+      OS << " share group(\"" << D.ShareGroup << "\")";
+    if (D.Select != Selection::Empty)
+      OS << " select(" << selectionName(D.Select) << ")";
+    OS << "\n";
+  }
+
+  void printIterClause(const Instruction *I, unsigned FirstInit,
+                       unsigned FirstCarriedArg) {
+    if (I->numOperands() == FirstInit)
+      return;
+    OS << " iter(";
+    const Region *R = I->region(0);
+    for (unsigned Idx = FirstInit; Idx != I->numOperands(); ++Idx) {
+      if (Idx != FirstInit)
+        OS << ", ";
+      OS << nameOf(R->arg(FirstCarriedArg + (Idx - FirstInit))) << " = "
+         << nameOf(I->operand(Idx));
+    }
+    OS << ")";
+  }
+
+  void printRegionArgs(const Region *R, unsigned Count) {
+    OS << " -> [";
+    for (unsigned Idx = 0; Idx != Count; ++Idx) {
+      if (Idx)
+        OS << ", ";
+      OS << nameOf(R->arg(Idx));
+    }
+    OS << "]";
+  }
+
+  void printInst(const Instruction *I, unsigned Indent) {
+    if (const Directive *D = I->directive())
+      printDirective(*D, Indent);
+    OS.indent(Indent);
+    switch (I->op()) {
+    case Opcode::ConstInt: {
+      printResults(I);
+      const auto *IT = cast<IntType>(I->result()->type());
+      if (IT->isSigned())
+        OS << "const " << I->intAttr();
+      else
+        OS << "const " << static_cast<uint64_t>(I->intAttr());
+      OS << " : " << IT->str();
+      break;
+    }
+    case Opcode::ConstFloat: {
+      printResults(I);
+      OS << "const " << I->fpAttr();
+      // Ensure re-parse as float even for integral values like 2.
+      double V = I->fpAttr();
+      if (V == static_cast<double>(static_cast<int64_t>(V)))
+        OS << ".0";
+      OS << " : " << I->result()->type()->str();
+      break;
+    }
+    case Opcode::ConstBool:
+      printResults(I);
+      OS << "const " << (I->intAttr() ? "true" : "false");
+      break;
+    case Opcode::Cast:
+      printResults(I);
+      OS << "cast ";
+      printOperands(I);
+      OS << " : " << I->result()->type()->str();
+      break;
+    case Opcode::New:
+      printResults(I);
+      OS << "new " << I->result()->type()->str();
+      break;
+    case Opcode::GlobalGet:
+      printResults(I);
+      OS << "gget @" << I->symbol();
+      break;
+    case Opcode::GlobalSet:
+      OS << "gset @" << I->symbol() << ", ";
+      printOperands(I);
+      break;
+    case Opcode::Call:
+      printResults(I);
+      OS << "call @" << I->symbol() << "(";
+      printOperands(I);
+      OS << ")";
+      break;
+    case Opcode::If: {
+      printResults(I);
+      OS << "if " << nameOf(I->operand(0)) << " {\n";
+      printRegion(*I->region(0), Indent + 2);
+      OS.indent(Indent) << "} else {\n";
+      printRegion(*I->region(1), Indent + 2);
+      OS.indent(Indent) << "}";
+      break;
+    }
+    case Opcode::ForEach: {
+      printResults(I);
+      OS << "foreach " << nameOf(I->operand(0));
+      const Region *R = I->region(0);
+      unsigned KeyArgs = R->numArgs() - (I->numOperands() - 1);
+      printRegionArgs(R, KeyArgs);
+      printIterClause(I, /*FirstInit=*/1, /*FirstCarriedArg=*/KeyArgs);
+      OS << " {\n";
+      printRegion(*R, Indent + 2);
+      OS.indent(Indent) << "}";
+      break;
+    }
+    case Opcode::ForRange: {
+      printResults(I);
+      OS << "forrange " << nameOf(I->operand(0)) << ", "
+         << nameOf(I->operand(1));
+      printRegionArgs(I->region(0), 1);
+      printIterClause(I, /*FirstInit=*/2, /*FirstCarriedArg=*/1);
+      OS << " {\n";
+      printRegion(*I->region(0), Indent + 2);
+      OS.indent(Indent) << "}";
+      break;
+    }
+    case Opcode::DoWhile: {
+      printResults(I);
+      OS << "dowhile";
+      printIterClause(I, /*FirstInit=*/0, /*FirstCarriedArg=*/0);
+      OS << " {\n";
+      printRegion(*I->region(0), Indent + 2);
+      OS.indent(Indent) << "}";
+      break;
+    }
+    default:
+      // Uniform "op operands..." syntax.
+      printResults(I);
+      OS << opcodeName(I->op());
+      if (I->numOperands()) {
+        OS << " ";
+        printOperands(I);
+      }
+      break;
+    }
+    OS << "\n";
+  }
+
+  void printRegion(const Region &R, unsigned Indent) {
+    for (const Instruction *I : R)
+      printInst(I, Indent);
+  }
+
+  const Function &F;
+  RawOstream &OS;
+  std::unordered_map<const Value *, std::string> Names;
+  std::unordered_set<std::string> Taken;
+};
+
+} // namespace
+
+void ade::ir::printFunction(const Function &F, RawOstream &OS) {
+  FunctionPrinter(F, OS).print();
+}
+
+void ade::ir::printModule(const Module &M, RawOstream &OS) {
+  bool First = true;
+  for (const auto &G : M.globals()) {
+    OS << "global @" << G->Name << " : " << G->Ty->str() << "\n";
+    First = false;
+  }
+  for (const auto &F : M.functions()) {
+    if (!First)
+      OS << "\n";
+    printFunction(*F, OS);
+    First = false;
+  }
+}
+
+std::string ade::ir::toString(const Module &M) {
+  std::string Out;
+  RawStringOstream OS(Out);
+  printModule(M, OS);
+  return Out;
+}
+
+std::string ade::ir::toString(const Function &F) {
+  std::string Out;
+  RawStringOstream OS(Out);
+  printFunction(F, OS);
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- Printer.h - Textual IR emission --------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules/functions in the textual .memoir syntax accepted by the
+/// parser (round-trip tested). See docs in Parser.h for the grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_IR_PRINTER_H
+#define ADE_IR_PRINTER_H
+
+#include <string>
+
+namespace ade {
+class RawOstream;
+namespace ir {
+class Module;
+class Function;
+
+/// Prints \p M in textual syntax to \p OS.
+void printModule(const Module &M, RawOstream &OS);
+
+/// Prints a single function.
+void printFunction(const Function &F, RawOstream &OS);
+
+/// Returns the textual syntax of \p M as a string.
+std::string toString(const Module &M);
+
+/// Returns the textual syntax of \p F as a string.
+std::string toString(const Function &F);
+
+} // namespace ir
+} // namespace ade
+
+#endif // ADE_IR_PRINTER_H

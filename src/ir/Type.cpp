@@ -1,0 +1,148 @@
+//===- Type.cpp - MEMOIR-like IR types ------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace ade;
+using namespace ade::ir;
+
+const char *ade::ir::selectionName(Selection Sel) {
+  switch (Sel) {
+  case Selection::Empty:
+    return "";
+  case Selection::Array:
+    return "Array";
+  case Selection::HashSet:
+    return "HashSet";
+  case Selection::FlatSet:
+    return "FlatSet";
+  case Selection::SwissSet:
+    return "SwissSet";
+  case Selection::BitSet:
+    return "BitSet";
+  case Selection::SparseBitSet:
+    return "SparseBitSet";
+  case Selection::HashMap:
+    return "HashMap";
+  case Selection::SwissMap:
+    return "SwissMap";
+  case Selection::BitMap:
+    return "BitMap";
+  }
+  ade_unreachable("unknown selection");
+}
+
+static std::string selectionInfix(Selection Sel) {
+  if (Sel == Selection::Empty)
+    return "";
+  return std::string("{") + selectionName(Sel) + "}";
+}
+
+std::string Type::str() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return "void";
+  case Kind::Bool:
+    return "bool";
+  case Kind::Int: {
+    const auto *IT = cast<IntType>(this);
+    if (IT->isIndex())
+      return "idx";
+    return (IT->isSigned() ? "i" : "u") + std::to_string(IT->bits());
+  }
+  case Kind::Float:
+    return "f" + std::to_string(cast<FloatType>(this)->bits());
+  case Kind::Ptr:
+    return "ptr";
+  case Kind::Seq: {
+    const auto *ST = cast<SeqType>(this);
+    return "Seq" + selectionInfix(ST->selection()) + "<" +
+           ST->element()->str() + ">";
+  }
+  case Kind::Set: {
+    const auto *ST = cast<SetType>(this);
+    return "Set" + selectionInfix(ST->selection()) + "<" + ST->key()->str() +
+           ">";
+  }
+  case Kind::Map: {
+    const auto *MT = cast<MapType>(this);
+    return "Map" + selectionInfix(MT->selection()) + "<" + MT->key()->str() +
+           "," + MT->value()->str() + ">";
+  }
+  case Kind::Enum:
+    return "Enum<" + cast<EnumType>(this)->key()->str() + ">";
+  }
+  ade_unreachable("unknown type kind");
+}
+
+TypeContext::TypeContext()
+    : Void(new VoidType()), Bool(new BoolType()), Ptr(new PtrType()),
+      Index(new IntType(64, /*Signed=*/false, /*Index=*/true)) {}
+
+TypeContext::~TypeContext() = default;
+
+IntType *TypeContext::intTy(unsigned Bits, bool Signed) {
+  assert((Bits == 8 || Bits == 16 || Bits == 32 || Bits == 64) &&
+         "unsupported integer width");
+  auto &Slot = Ints[{Bits, Signed}];
+  if (!Slot)
+    Slot.reset(new IntType(Bits, Signed, /*Index=*/false));
+  return Slot.get();
+}
+
+IntType *TypeContext::indexTy() { return Index.get(); }
+
+FloatType *TypeContext::floatTy(unsigned Bits) {
+  assert((Bits == 32 || Bits == 64) && "unsupported float width");
+  auto &Slot = Floats[Bits];
+  if (!Slot)
+    Slot.reset(new FloatType(Bits));
+  return Slot.get();
+}
+
+SeqType *TypeContext::seqTy(Type *Elem, Selection Sel) {
+  assert(Elem && "sequence element type required");
+  auto &Slot = Seqs[{Elem, Sel}];
+  if (!Slot)
+    Slot.reset(new SeqType(Elem, Sel));
+  return Slot.get();
+}
+
+SetType *TypeContext::setTy(Type *Key, Selection Sel) {
+  assert(Key && "set key type required");
+  auto &Slot = Sets[{Key, Sel}];
+  if (!Slot)
+    Slot.reset(new SetType(Key, Sel));
+  return Slot.get();
+}
+
+MapType *TypeContext::mapTy(Type *Key, Type *Value, Selection Sel) {
+  assert(Key && Value && "map key and value types required");
+  auto &Slot = Maps[{Key, Value, Sel}];
+  if (!Slot)
+    Slot.reset(new MapType(Key, Value, Sel));
+  return Slot.get();
+}
+
+EnumType *TypeContext::enumTy(Type *Key) {
+  assert(Key && "enum key type required");
+  auto &Slot = Enums[Key];
+  if (!Slot)
+    Slot.reset(new EnumType(Key));
+  return Slot.get();
+}
+
+Type *TypeContext::withSelection(Type *T, Selection Sel) {
+  if (auto *ST = dyn_cast<SeqType>(T))
+    return seqTy(ST->element(), Sel);
+  if (auto *ST = dyn_cast<SetType>(T))
+    return setTy(ST->key(), Sel);
+  if (auto *MT = dyn_cast<MapType>(T))
+    return mapTy(MT->key(), MT->value(), Sel);
+  ade_unreachable("withSelection on a non-collection type");
+}

@@ -1,0 +1,277 @@
+//===- Type.h - MEMOIR-like IR types ----------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of Figure 2: scalar types (iN, uN, fN, idx, ptr, bool,
+/// void) and collection types (Seq<T>, Set<K>, Map<K,V>, Enum<K>).
+/// Collection types carry an optional *selection* — the implementation
+/// chosen for them (SIII-A: "Set{HashSet}<f32>"), with an empty selection
+/// written Set<f32>. Types are uniqued by a TypeContext, so pointer
+/// equality is type equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_IR_TYPE_H
+#define ADE_IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace ade {
+namespace ir {
+
+class TypeContext;
+
+/// The collection implementation chosen for a collection type (Table I).
+/// Empty means "not yet selected"; lowering/interpretation applies the
+/// per-kind default (HashSet/HashMap/Array).
+enum class Selection : uint8_t {
+  Empty,
+  // Seq
+  Array,
+  // Set
+  HashSet,
+  FlatSet,
+  SwissSet,
+  BitSet,       // Enumerated-only.
+  SparseBitSet, // Enumerated-only.
+  // Map
+  HashMap,
+  SwissMap,
+  BitMap, // Enumerated-only.
+};
+
+/// Returns the printable name of \p Sel (e.g. "HashSet").
+const char *selectionName(Selection Sel);
+
+/// True for the specialized implementations that require enumerated
+/// (contiguous-integer) keys: Bit{Set,Map} and SparseBitSet.
+inline bool selectionRequiresEnumeration(Selection Sel) {
+  return Sel == Selection::BitSet || Sel == Selection::SparseBitSet ||
+         Sel == Selection::BitMap;
+}
+
+/// Base class of all IR types.
+class Type {
+public:
+  enum class Kind : uint8_t {
+    Void,
+    Bool,
+    Int,   // iN / uN / idx
+    Float, // fN
+    Ptr,   // Opaque pointer (e.g. PTA's pointer keys).
+    Seq,
+    Set,
+    Map,
+    Enum,
+  };
+
+  Kind kind() const { return TheKind; }
+
+  bool isVoid() const { return TheKind == Kind::Void; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isCollection() const {
+    return TheKind == Kind::Seq || TheKind == Kind::Set ||
+           TheKind == Kind::Map;
+  }
+  /// Associative collections (Set/Map) — the enumeration targets of Alg. 1.
+  bool isAssociative() const {
+    return TheKind == Kind::Set || TheKind == Kind::Map;
+  }
+  /// Scalar value types storable in collections.
+  bool isScalar() const {
+    return TheKind == Kind::Bool || TheKind == Kind::Int ||
+           TheKind == Kind::Float || TheKind == Kind::Ptr;
+  }
+
+  /// Renders the type in source syntax, e.g. "Map{BitMap}<idx,u32>".
+  std::string str() const;
+
+protected:
+  explicit Type(Kind K) : TheKind(K) {}
+  ~Type() = default;
+
+private:
+  const Kind TheKind;
+};
+
+/// void.
+class VoidType : public Type {
+  friend class TypeContext;
+  VoidType() : Type(Kind::Void) {}
+
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Void; }
+};
+
+/// bool (i1).
+class BoolType : public Type {
+  friend class TypeContext;
+  BoolType() : Type(Kind::Bool) {}
+
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Bool; }
+};
+
+/// Integer types: iN (signed), uN (unsigned), and idx — the distinguished
+/// unsigned identifier type produced by enumeration (SIII-B).
+class IntType : public Type {
+  friend class TypeContext;
+  IntType(unsigned Bits, bool Signed, bool Index)
+      : Type(Kind::Int), Bits(Bits), Signed(Signed), Index(Index) {}
+
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Int; }
+
+  unsigned bits() const { return Bits; }
+  bool isSigned() const { return Signed; }
+  /// True for the idx type.
+  bool isIndex() const { return Index; }
+
+private:
+  unsigned Bits;
+  bool Signed;
+  bool Index;
+};
+
+/// Floating-point types f32/f64.
+class FloatType : public Type {
+  friend class TypeContext;
+  explicit FloatType(unsigned Bits) : Type(Kind::Float), Bits(Bits) {}
+
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Float; }
+
+  unsigned bits() const { return Bits; }
+
+private:
+  unsigned Bits;
+};
+
+/// Opaque pointer type. Pointer identity is modeled as a 64-bit label.
+class PtrType : public Type {
+  friend class TypeContext;
+  PtrType() : Type(Kind::Ptr) {}
+
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Ptr; }
+};
+
+/// Seq<T>.
+class SeqType : public Type {
+  friend class TypeContext;
+  SeqType(Type *Elem, Selection Sel)
+      : Type(Kind::Seq), Elem(Elem), Sel(Sel) {}
+
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Seq; }
+
+  Type *element() const { return Elem; }
+  Selection selection() const { return Sel; }
+
+private:
+  Type *Elem;
+  Selection Sel;
+};
+
+/// Set<K>.
+class SetType : public Type {
+  friend class TypeContext;
+  SetType(Type *Key, Selection Sel) : Type(Kind::Set), Key(Key), Sel(Sel) {}
+
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Set; }
+
+  Type *key() const { return Key; }
+  Selection selection() const { return Sel; }
+
+private:
+  Type *Key;
+  Selection Sel;
+};
+
+/// Map<K,V>.
+class MapType : public Type {
+  friend class TypeContext;
+  MapType(Type *Key, Type *Value, Selection Sel)
+      : Type(Kind::Map), Key(Key), Value(Value), Sel(Sel) {}
+
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Map; }
+
+  Type *key() const { return Key; }
+  Type *value() const { return Value; }
+  Selection selection() const { return Sel; }
+
+private:
+  Type *Key;
+  Type *Value;
+  Selection Sel;
+};
+
+/// Enum<K> = (Enc: Map<K,idx>, Dec: Seq<K>) — the enumeration runtime type
+/// of SIII-B, keyed by the enumerated key type.
+class EnumType : public Type {
+  friend class TypeContext;
+  explicit EnumType(Type *Key) : Type(Kind::Enum), Key(Key) {}
+
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Enum; }
+
+  Type *key() const { return Key; }
+
+private:
+  Type *Key;
+};
+
+/// Uniques and owns all types of one module.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+  ~TypeContext();
+
+  VoidType *voidTy() { return Void.get(); }
+  BoolType *boolTy() { return Bool.get(); }
+  PtrType *ptrTy() { return Ptr.get(); }
+  IntType *intTy(unsigned Bits, bool Signed);
+  /// The idx identifier type (an unsigned 64-bit integer kind of its own).
+  IntType *indexTy();
+  FloatType *floatTy(unsigned Bits);
+  SeqType *seqTy(Type *Elem, Selection Sel = Selection::Empty);
+  SetType *setTy(Type *Key, Selection Sel = Selection::Empty);
+  MapType *mapTy(Type *Key, Type *Value, Selection Sel = Selection::Empty);
+  EnumType *enumTy(Type *Key);
+
+  /// Returns \p T with its selection replaced by \p Sel (collections only).
+  Type *withSelection(Type *T, Selection Sel);
+
+private:
+  std::unique_ptr<VoidType> Void;
+  std::unique_ptr<BoolType> Bool;
+  std::unique_ptr<PtrType> Ptr;
+  std::unique_ptr<IntType> Index;
+  std::map<std::pair<unsigned, bool>, std::unique_ptr<IntType>> Ints;
+  std::map<unsigned, std::unique_ptr<FloatType>> Floats;
+  std::map<std::pair<Type *, Selection>, std::unique_ptr<SeqType>> Seqs;
+  std::map<std::pair<Type *, Selection>, std::unique_ptr<SetType>> Sets;
+  std::map<std::tuple<Type *, Type *, Selection>, std::unique_ptr<MapType>>
+      Maps;
+  std::map<Type *, std::unique_ptr<EnumType>> Enums;
+};
+
+} // namespace ir
+} // namespace ade
+
+#endif // ADE_IR_TYPE_H

@@ -1,0 +1,587 @@
+//===- Verifier.cpp - IR structural and type checking ---------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IR.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+using namespace ade;
+using namespace ade::ir;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(Module &M, std::vector<std::string> &Errors)
+      : M(M), Errors(Errors) {}
+
+  bool run() {
+    for (const auto &F : M.functions())
+      verifyFunction(*F);
+    return Errors.empty();
+  }
+
+private:
+  void error(const Function *F, const Instruction *I, std::string Msg) {
+    std::string Full = "in @" + (F ? F->name() : std::string("?"));
+    if (I) {
+      Full += ", at '";
+      Full += opcodeName(I->op());
+      Full += "'";
+    }
+    Full += ": " + Msg;
+    Errors.push_back(std::move(Full));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Dominance: a value is visible at a use if its defining point is earlier
+  // in the same region or in a (transitively) enclosing region.
+  //===--------------------------------------------------------------------===//
+
+  const Region *regionOf(const Value *V) {
+    switch (V->kind()) {
+    case Value::Kind::Argument:
+      return &cast<Argument>(V)->parent()->body();
+    case Value::Kind::BlockArg:
+      return cast<BlockArg>(V)->parent();
+    case Value::Kind::InstResult:
+      return cast<InstResult>(V)->parent()->parent();
+    }
+    ade_unreachable("unknown value kind");
+  }
+
+  bool dominates(const Value *Def, const Instruction *UseSite) {
+    const Region *DefRegion = regionOf(Def);
+    // Find the ancestor of UseSite residing in DefRegion.
+    const Instruction *Anchor = UseSite;
+    while (Anchor && Anchor->parent() != DefRegion)
+      Anchor = Anchor->parent() ? Anchor->parent()->parentInst() : nullptr;
+    if (!Anchor)
+      return false;
+    // Arguments and block args dominate their whole region.
+    if (Def->kind() != Value::Kind::InstResult)
+      return true;
+    const Instruction *DefInst = cast<InstResult>(Def)->parent();
+    return DefRegion->indexOf(DefInst) < DefRegion->indexOf(Anchor);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Typing helpers
+  //===--------------------------------------------------------------------===//
+
+  bool isIntLike(const Type *T) {
+    return isa<IntType>(T) || isa<PtrType>(T);
+  }
+
+  /// The key type used to index \p CollTy (u64 positions for sequences).
+  Type *keyTypeOf(Type *CollTy) {
+    if (isa<SeqType>(CollTy))
+      return M.types().intTy(64, false);
+    if (auto *S = dyn_cast<SetType>(CollTy))
+      return S->key();
+    if (auto *Mp = dyn_cast<MapType>(CollTy))
+      return Mp->key();
+    return nullptr;
+  }
+
+  Type *valueTypeOf(Type *CollTy) {
+    if (auto *S = dyn_cast<SeqType>(CollTy))
+      return S->element();
+    if (auto *Mp = dyn_cast<MapType>(CollTy))
+      return Mp->value();
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Function / region traversal
+  //===--------------------------------------------------------------------===//
+
+  void verifyFunction(const Function &F) {
+    CurFn = &F;
+    if (F.isExternal()) {
+      if (!F.body().empty())
+        error(&F, nullptr, "external function has a body");
+      return;
+    }
+    if (F.body().empty() || F.body().back()->op() != Opcode::Ret) {
+      error(&F, nullptr, "function body must end with ret");
+      return;
+    }
+    verifyRegion(F.body(), /*IsFunctionBody=*/true);
+  }
+
+  void verifyRegion(const Region &R, bool IsFunctionBody) {
+    if (!IsFunctionBody) {
+      // Regions end with yield, or with ret for early function exits.
+      if (R.empty() || (R.back()->op() != Opcode::Yield &&
+                        R.back()->op() != Opcode::Ret)) {
+        error(CurFn, R.parentInst(), "region must end with yield or ret");
+        return;
+      }
+    }
+    for (const Instruction *I : R) {
+      // Terminators may not appear mid-region.
+      bool IsLast = I == R.back();
+      if (!IsLast && (I->op() == Opcode::Yield || I->op() == Opcode::Ret))
+        error(CurFn, I, "terminator in the middle of a region");
+      verifyOperandsVisible(I);
+      verifyInst(*I);
+      for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+        verifyRegion(*I->region(Idx), /*IsFunctionBody=*/false);
+    }
+  }
+
+  void verifyOperandsVisible(const Instruction *I) {
+    for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
+      Value *Op = I->operand(Idx);
+      if (!dominates(Op, I))
+        error(CurFn, I,
+              "operand " + std::to_string(Idx) +
+                  " does not dominate its use");
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Per-opcode checks
+  //===--------------------------------------------------------------------===//
+
+  bool expectOperands(const Instruction &I, unsigned N) {
+    if (I.numOperands() != N) {
+      error(CurFn, &I,
+            "expected " + std::to_string(N) + " operands, found " +
+                std::to_string(I.numOperands()));
+      return false;
+    }
+    return true;
+  }
+
+  bool expectResults(const Instruction &I, unsigned N) {
+    if (I.numResults() != N) {
+      error(CurFn, &I,
+            "expected " + std::to_string(N) + " results, found " +
+                std::to_string(I.numResults()));
+      return false;
+    }
+    return true;
+  }
+
+  void expectType(const Instruction &I, const Type *Actual,
+                  const Type *Expected, const char *What) {
+    if (Actual != Expected)
+      error(CurFn, &I,
+            std::string(What) + " has type " + Actual->str() +
+                ", expected " + Expected->str());
+  }
+
+  void verifyInst(const Instruction &I) {
+    switch (I.op()) {
+    case Opcode::ConstInt:
+      expectOperands(I, 0);
+      if (expectResults(I, 1) && !isIntLike(I.result()->type()))
+        error(CurFn, &I, "const.int result must be an integer type");
+      break;
+    case Opcode::ConstFloat:
+      expectOperands(I, 0);
+      if (expectResults(I, 1) && !isa<FloatType>(I.result()->type()))
+        error(CurFn, &I, "const.float result must be a float type");
+      break;
+    case Opcode::ConstBool:
+      expectOperands(I, 0);
+      if (expectResults(I, 1) && !I.result()->type()->isBool())
+        error(CurFn, &I, "const.bool result must be bool");
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Min:
+    case Opcode::Max:
+      if (expectOperands(I, 2) && expectResults(I, 1)) {
+        expectType(I, I.operand(1)->type(), I.operand(0)->type(),
+                   "rhs operand");
+        expectType(I, I.result()->type(), I.operand(0)->type(), "result");
+        if (!I.operand(0)->type()->isScalar())
+          error(CurFn, &I, "arithmetic requires scalar operands");
+      }
+      break;
+    case Opcode::Neg:
+    case Opcode::Not:
+      if (expectOperands(I, 1) && expectResults(I, 1))
+        expectType(I, I.result()->type(), I.operand(0)->type(), "result");
+      break;
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      if (expectOperands(I, 2) && expectResults(I, 1)) {
+        expectType(I, I.operand(1)->type(), I.operand(0)->type(),
+                   "rhs operand");
+        if (!I.result()->type()->isBool())
+          error(CurFn, &I, "comparison result must be bool");
+      }
+      break;
+    case Opcode::Select:
+      if (expectOperands(I, 3) && expectResults(I, 1)) {
+        if (!I.operand(0)->type()->isBool())
+          error(CurFn, &I, "select condition must be bool");
+        expectType(I, I.operand(2)->type(), I.operand(1)->type(),
+                   "false arm");
+        expectType(I, I.result()->type(), I.operand(1)->type(), "result");
+      }
+      break;
+    case Opcode::Cast:
+      if (expectOperands(I, 1) && expectResults(I, 1)) {
+        if (!I.operand(0)->type()->isScalar() ||
+            !I.result()->type()->isScalar())
+          error(CurFn, &I, "cast requires scalar types");
+      }
+      break;
+    case Opcode::New:
+      expectOperands(I, 0);
+      if (expectResults(I, 1) && !I.result()->type()->isCollection())
+        error(CurFn, &I, "new result must be a collection type");
+      break;
+    case Opcode::Read:
+      if (expectOperands(I, 2) && expectResults(I, 1)) {
+        Type *CollTy = I.operand(0)->type();
+        Type *ValueTy = valueTypeOf(CollTy);
+        if (!ValueTy) {
+          error(CurFn, &I, "read requires a Seq or Map");
+          break;
+        }
+        expectType(I, I.operand(1)->type(), keyTypeOf(CollTy), "key");
+        expectType(I, I.result()->type(), ValueTy, "result");
+      }
+      break;
+    case Opcode::Write:
+      if (expectOperands(I, 3) && expectResults(I, 0)) {
+        Type *CollTy = I.operand(0)->type();
+        Type *ValueTy = valueTypeOf(CollTy);
+        if (!ValueTy) {
+          error(CurFn, &I, "write requires a Seq or Map");
+          break;
+        }
+        expectType(I, I.operand(1)->type(), keyTypeOf(CollTy), "key");
+        expectType(I, I.operand(2)->type(), ValueTy, "value");
+      }
+      break;
+    case Opcode::Insert:
+    case Opcode::Remove:
+    case Opcode::Has:
+      if (expectOperands(I, 2)) {
+        Type *CollTy = I.operand(0)->type();
+        if (!CollTy->isAssociative()) {
+          error(CurFn, &I, "operation requires a Set or Map");
+          break;
+        }
+        expectType(I, I.operand(1)->type(), keyTypeOf(CollTy), "key");
+        if (I.op() == Opcode::Has) {
+          if (expectResults(I, 1) && !I.result()->type()->isBool())
+            error(CurFn, &I, "has result must be bool");
+        } else {
+          expectResults(I, 0);
+        }
+      }
+      break;
+    case Opcode::Size:
+      if (expectOperands(I, 1) && expectResults(I, 1)) {
+        if (!I.operand(0)->type()->isCollection())
+          error(CurFn, &I, "size requires a collection");
+        expectType(I, I.result()->type(), M.types().intTy(64, false),
+                   "result");
+      }
+      break;
+    case Opcode::Clear:
+      if (expectOperands(I, 1) && expectResults(I, 0))
+        if (!I.operand(0)->type()->isCollection())
+          error(CurFn, &I, "clear requires a collection");
+      break;
+    case Opcode::Append:
+      if (expectOperands(I, 2) && expectResults(I, 0)) {
+        auto *Seq = dyn_cast<SeqType>(I.operand(0)->type());
+        if (!Seq) {
+          error(CurFn, &I, "append requires a Seq");
+          break;
+        }
+        expectType(I, I.operand(1)->type(), Seq->element(), "value");
+      }
+      break;
+    case Opcode::Pop:
+      if (expectOperands(I, 1) && expectResults(I, 1)) {
+        auto *Seq = dyn_cast<SeqType>(I.operand(0)->type());
+        if (!Seq) {
+          error(CurFn, &I, "pop requires a Seq");
+          break;
+        }
+        expectType(I, I.result()->type(), Seq->element(), "result");
+      }
+      break;
+    case Opcode::Union:
+      if (expectOperands(I, 2) && expectResults(I, 0)) {
+        auto *Dst = dyn_cast<SetType>(I.operand(0)->type());
+        auto *Src = dyn_cast<SetType>(I.operand(1)->type());
+        if (!Dst || !Src) {
+          error(CurFn, &I, "union requires Set operands");
+          break;
+        }
+        if (Dst->key() != Src->key())
+          error(CurFn, &I, "union of sets with different key types");
+      }
+      break;
+    case Opcode::Enc:
+    case Opcode::EnumAdd:
+      if (expectOperands(I, 2) && expectResults(I, 1)) {
+        auto *ET = dyn_cast<EnumType>(I.operand(0)->type());
+        if (!ET) {
+          error(CurFn, &I, "enumeration operand must be Enum");
+          break;
+        }
+        expectType(I, I.operand(1)->type(), ET->key(), "key");
+        expectType(I, I.result()->type(), M.types().indexTy(), "result");
+      }
+      break;
+    case Opcode::Dec:
+      if (expectOperands(I, 2) && expectResults(I, 1)) {
+        auto *ET = dyn_cast<EnumType>(I.operand(0)->type());
+        if (!ET) {
+          error(CurFn, &I, "enumeration operand must be Enum");
+          break;
+        }
+        expectType(I, I.operand(1)->type(), M.types().indexTy(),
+                   "identifier");
+        expectType(I, I.result()->type(), ET->key(), "result");
+      }
+      break;
+    case Opcode::GlobalGet: {
+      expectOperands(I, 0);
+      const GlobalVariable *G = M.getGlobal(I.symbol());
+      if (!G) {
+        error(CurFn, &I, "unknown global @" + I.symbol());
+        break;
+      }
+      if (expectResults(I, 1))
+        expectType(I, I.result()->type(), G->Ty, "result");
+      break;
+    }
+    case Opcode::GlobalSet: {
+      const GlobalVariable *G = M.getGlobal(I.symbol());
+      if (!G) {
+        error(CurFn, &I, "unknown global @" + I.symbol());
+        break;
+      }
+      if (expectOperands(I, 1) && expectResults(I, 0))
+        expectType(I, I.operand(0)->type(), G->Ty, "value");
+      break;
+    }
+    case Opcode::If:
+      verifyIf(I);
+      break;
+    case Opcode::ForEach:
+      verifyForEach(I);
+      break;
+    case Opcode::ForRange:
+      verifyForRange(I);
+      break;
+    case Opcode::DoWhile:
+      verifyDoWhile(I);
+      break;
+    case Opcode::Yield:
+      expectResults(I, 0);
+      break;
+    case Opcode::Call:
+      verifyCall(I);
+      break;
+    case Opcode::Ret:
+      if (CurFn->returnType()->isVoid()) {
+        expectOperands(I, 0);
+      } else if (expectOperands(I, 1)) {
+        expectType(I, I.operand(0)->type(), CurFn->returnType(),
+                   "return value");
+      }
+      break;
+    }
+  }
+
+  /// Checks that a loop/if region's trailing yield carries values matching
+  /// the instruction's results, skipping \p YieldSkip leading yield
+  /// operands (the do-while condition).
+  void checkYieldAgainstResults(const Instruction &I, const Region &R,
+                                unsigned YieldSkip) {
+    if (R.empty() || R.back()->op() != Opcode::Yield)
+      return; // Ret-terminated (early exit) or reported by verifyRegion.
+    const Instruction *Y = R.back();
+    if (Y->numOperands() != I.numResults() + YieldSkip) {
+      error(CurFn, &I,
+            "yield carries " + std::to_string(Y->numOperands()) +
+                " values, expected " +
+                std::to_string(I.numResults() + YieldSkip));
+      return;
+    }
+    for (unsigned Idx = 0; Idx != I.numResults(); ++Idx)
+      expectType(I, Y->operand(Idx + YieldSkip)->type(),
+                 I.result(Idx)->type(), "yielded value");
+  }
+
+  void verifyIf(const Instruction &I) {
+    if (!expectOperands(I, 1))
+      return;
+    if (!I.operand(0)->type()->isBool())
+      error(CurFn, &I, "if condition must be bool");
+    if (I.numRegions() != 2) {
+      error(CurFn, &I, "if requires then and else regions");
+      return;
+    }
+    checkYieldAgainstResults(I, *I.region(0), 0);
+    checkYieldAgainstResults(I, *I.region(1), 0);
+  }
+
+  void verifyForEach(const Instruction &I) {
+    if (I.numOperands() < 1 || I.numRegions() != 1) {
+      error(CurFn, &I, "malformed foreach");
+      return;
+    }
+    Type *CollTy = I.operand(0)->type();
+    const Region &R = *I.region(0);
+    unsigned KeyArgs;
+    if (auto *Seq = dyn_cast<SeqType>(CollTy)) {
+      KeyArgs = 2;
+      if (R.numArgs() >= 2) {
+        expectType(I, R.arg(0)->type(), M.types().intTy(64, false),
+                   "foreach index");
+        expectType(I, R.arg(1)->type(), Seq->element(), "foreach element");
+      }
+    } else if (auto *Mp = dyn_cast<MapType>(CollTy)) {
+      KeyArgs = 2;
+      if (R.numArgs() >= 2) {
+        expectType(I, R.arg(0)->type(), Mp->key(), "foreach key");
+        expectType(I, R.arg(1)->type(), Mp->value(), "foreach value");
+      }
+    } else if (auto *St = dyn_cast<SetType>(CollTy)) {
+      KeyArgs = 1;
+      if (R.numArgs() >= 1)
+        expectType(I, R.arg(0)->type(), St->key(), "foreach key");
+    } else {
+      error(CurFn, &I, "foreach requires a collection");
+      return;
+    }
+    unsigned Carried = I.numOperands() - 1;
+    if (R.numArgs() != KeyArgs + Carried) {
+      error(CurFn, &I, "foreach region argument count mismatch");
+      return;
+    }
+    if (I.numResults() != Carried) {
+      error(CurFn, &I, "foreach result count must match carried values");
+      return;
+    }
+    for (unsigned Idx = 0; Idx != Carried; ++Idx) {
+      expectType(I, R.arg(KeyArgs + Idx)->type(),
+                 I.operand(1 + Idx)->type(), "carried value");
+      expectType(I, I.result(Idx)->type(), I.operand(1 + Idx)->type(),
+                 "loop result");
+    }
+    checkYieldAgainstResults(I, R, 0);
+  }
+
+  void verifyForRange(const Instruction &I) {
+    if (I.numOperands() < 2 || I.numRegions() != 1) {
+      error(CurFn, &I, "malformed forrange");
+      return;
+    }
+    expectType(I, I.operand(1)->type(), I.operand(0)->type(), "range end");
+    const Region &R = *I.region(0);
+    unsigned Carried = I.numOperands() - 2;
+    if (R.numArgs() != 1 + Carried || I.numResults() != Carried) {
+      error(CurFn, &I, "forrange arity mismatch");
+      return;
+    }
+    expectType(I, R.arg(0)->type(), I.operand(0)->type(), "induction");
+    for (unsigned Idx = 0; Idx != Carried; ++Idx) {
+      expectType(I, R.arg(1 + Idx)->type(), I.operand(2 + Idx)->type(),
+                 "carried value");
+      expectType(I, I.result(Idx)->type(), I.operand(2 + Idx)->type(),
+                 "loop result");
+    }
+    checkYieldAgainstResults(I, R, 0);
+  }
+
+  void verifyDoWhile(const Instruction &I) {
+    if (I.numRegions() != 1) {
+      error(CurFn, &I, "malformed dowhile");
+      return;
+    }
+    const Region &R = *I.region(0);
+    unsigned Carried = I.numOperands();
+    if (R.numArgs() != Carried || I.numResults() != Carried) {
+      error(CurFn, &I, "dowhile arity mismatch");
+      return;
+    }
+    for (unsigned Idx = 0; Idx != Carried; ++Idx) {
+      expectType(I, R.arg(Idx)->type(), I.operand(Idx)->type(),
+                 "carried value");
+      expectType(I, I.result(Idx)->type(), I.operand(Idx)->type(),
+                 "loop result");
+    }
+    if (!R.empty() && R.back()->op() == Opcode::Yield) {
+      const Instruction *Y = R.back();
+      if (Y->numOperands() < 1 || !Y->operand(0)->type()->isBool())
+        error(CurFn, &I, "dowhile yield must begin with a bool condition");
+    }
+    checkYieldAgainstResults(I, R, /*YieldSkip=*/1);
+  }
+
+  void verifyCall(const Instruction &I) {
+    const Function *Callee = M.getFunction(I.symbol());
+    if (!Callee) {
+      error(CurFn, &I, "unknown callee @" + I.symbol());
+      return;
+    }
+    if (I.numOperands() != Callee->numArgs()) {
+      error(CurFn, &I, "call argument count mismatch for @" + I.symbol());
+      return;
+    }
+    for (unsigned Idx = 0; Idx != I.numOperands(); ++Idx)
+      expectType(I, I.operand(Idx)->type(), Callee->arg(Idx)->type(),
+                 "call argument");
+    if (Callee->returnType()->isVoid()) {
+      expectResults(I, 0);
+    } else if (expectResults(I, 1)) {
+      expectType(I, I.result()->type(), Callee->returnType(), "call result");
+    }
+  }
+
+  Module &M;
+  std::vector<std::string> &Errors;
+  const Function *CurFn = nullptr;
+};
+
+} // namespace
+
+bool ade::ir::verifyModule(const Module &M, std::vector<std::string> &Errors) {
+  // TypeContext accessors are logically const here.
+  return Verifier(const_cast<Module &>(M), Errors).run();
+}
+
+void ade::ir::verifyOrDie(const Module &M) {
+  std::vector<std::string> Errors;
+  if (verifyModule(M, Errors))
+    return;
+  std::fprintf(stderr, "module verification failed:\n");
+  for (const std::string &E : Errors)
+    std::fprintf(stderr, "  %s\n", E.c_str());
+  reportFatalError("invalid IR module");
+}

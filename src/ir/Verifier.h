@@ -1,0 +1,34 @@
+//===- Verifier.h - IR structural and type checking -------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates module well-formedness: region terminators, operand typing
+/// per opcode, structured dominance of uses, carried-value arities, global
+/// and call-site consistency. Run after parsing and after every transform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_IR_VERIFIER_H
+#define ADE_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace ade {
+namespace ir {
+class Module;
+
+/// Verifies \p M, appending one human-readable message per problem to
+/// \p Errors. Returns true when the module is well-formed.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+/// Convenience wrapper that aborts with the first error (for tests/tools).
+void verifyOrDie(const Module &M);
+
+} // namespace ir
+} // namespace ade
+
+#endif // ADE_IR_VERIFIER_H

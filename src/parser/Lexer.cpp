@@ -1,0 +1,188 @@
+//===- Lexer.cpp - Token stream for the .memoir syntax --------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace ade;
+using namespace ade::parser;
+
+static bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+std::vector<Token> Lexer::lex(std::string_view Src) {
+  std::vector<Token> Tokens;
+  unsigned Line = 1;
+  size_t I = 0, N = Src.size();
+
+  auto emit = [&](TokenKind K, std::string Text = "") {
+    Token T;
+    T.Kind = K;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Src[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      while (I < N && Src[I] != '\n')
+        ++I;
+      continue;
+    }
+    // Punctuation.
+    switch (C) {
+    case '(':
+      emit(TokenKind::LParen);
+      ++I;
+      continue;
+    case ')':
+      emit(TokenKind::RParen);
+      ++I;
+      continue;
+    case '{':
+      emit(TokenKind::LBrace);
+      ++I;
+      continue;
+    case '}':
+      emit(TokenKind::RBrace);
+      ++I;
+      continue;
+    case '[':
+      emit(TokenKind::LBracket);
+      ++I;
+      continue;
+    case ']':
+      emit(TokenKind::RBracket);
+      ++I;
+      continue;
+    case '<':
+      emit(TokenKind::Less);
+      ++I;
+      continue;
+    case '>':
+      emit(TokenKind::Greater);
+      ++I;
+      continue;
+    case ',':
+      emit(TokenKind::Comma);
+      ++I;
+      continue;
+    case ':':
+      emit(TokenKind::Colon);
+      ++I;
+      continue;
+    case '=':
+      emit(TokenKind::Equal);
+      ++I;
+      continue;
+    default:
+      break;
+    }
+    if (C == '-' && I + 1 < N && Src[I + 1] == '>') {
+      emit(TokenKind::Arrow);
+      I += 2;
+      continue;
+    }
+    // '#pragma'
+    if (C == '#') {
+      size_t Start = ++I;
+      while (I < N && isIdentChar(Src[I]))
+        ++I;
+      if (Src.substr(Start, I - Start) == "pragma") {
+        emit(TokenKind::Pragma);
+        continue;
+      }
+      emit(TokenKind::Error, "unexpected '#'");
+      return Tokens;
+    }
+    // Names.
+    if (C == '%' || C == '@') {
+      size_t Start = ++I;
+      while (I < N && isIdentChar(Src[I]))
+        ++I;
+      if (I == Start) {
+        emit(TokenKind::Error, "empty name after sigil");
+        return Tokens;
+      }
+      emit(C == '%' ? TokenKind::LocalName : TokenKind::GlobalName,
+           std::string(Src.substr(Start, I - Start)));
+      continue;
+    }
+    // Strings.
+    if (C == '"') {
+      size_t Start = ++I;
+      while (I < N && Src[I] != '"' && Src[I] != '\n')
+        ++I;
+      if (I == N || Src[I] != '"') {
+        emit(TokenKind::Error, "unterminated string literal");
+        return Tokens;
+      }
+      emit(TokenKind::StringLit, std::string(Src.substr(Start, I - Start)));
+      ++I;
+      continue;
+    }
+    // Numbers (optionally negative).
+    bool Negative = C == '-';
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (Negative && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Src[I + 1])))) {
+      size_t Start = I;
+      if (Negative)
+        ++I;
+      bool IsFloat = false;
+      while (I < N && (std::isdigit(static_cast<unsigned char>(Src[I])) ||
+                       Src[I] == '.' || Src[I] == 'e' || Src[I] == 'E' ||
+                       ((Src[I] == '+' || Src[I] == '-') &&
+                        (Src[I - 1] == 'e' || Src[I - 1] == 'E')))) {
+        if (Src[I] == '.' || Src[I] == 'e' || Src[I] == 'E')
+          IsFloat = true;
+        ++I;
+      }
+      std::string Text(Src.substr(Start, I - Start));
+      Token T;
+      T.Line = Line;
+      T.Text = Text;
+      if (IsFloat) {
+        T.Kind = TokenKind::FloatLit;
+        T.FloatValue = std::strtod(Text.c_str(), nullptr);
+      } else {
+        T.Kind = TokenKind::IntLit;
+        T.IntIsNegative = Negative;
+        T.IntValue = std::strtoull(Negative ? Text.c_str() + 1 : Text.c_str(),
+                                   nullptr, 10);
+      }
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && isIdentChar(Src[I]))
+        ++I;
+      emit(TokenKind::Ident, std::string(Src.substr(Start, I - Start)));
+      continue;
+    }
+    emit(TokenKind::Error,
+         std::string("unexpected character '") + C + "'");
+    return Tokens;
+  }
+  emit(TokenKind::Eof);
+  return Tokens;
+}

@@ -1,0 +1,65 @@
+//===- Lexer.h - Token stream for the .memoir syntax ------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_PARSER_LEXER_H
+#define ADE_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ade {
+namespace parser {
+
+/// Lexical token kinds.
+enum class TokenKind : uint8_t {
+    Eof,
+    Ident,      // bare identifier / keyword
+    LocalName,  // %name (text excludes '%')
+    GlobalName, // @name (text excludes '@')
+    IntLit,
+    FloatLit,
+    StringLit, // "..." (text excludes quotes)
+    Pragma,    // '#pragma'
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Less,
+    Greater,
+    Comma,
+    Colon,
+    Equal,
+  Arrow, // ->
+  Error,
+};
+
+/// One lexical token. Identifier-like tokens keep their text; literals
+/// carry decoded payloads.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  uint64_t IntValue = 0;
+  bool IntIsNegative = false;
+  double FloatValue = 0;
+  unsigned Line = 0;
+};
+
+/// Tokenizes an entire buffer up front.
+class Lexer {
+public:
+  /// Lexes \p Source; on bad input the token list ends with an Error token
+  /// whose Text holds the message.
+  static std::vector<Token> lex(std::string_view Source);
+};
+
+} // namespace parser
+} // namespace ade
+
+#endif // ADE_PARSER_LEXER_H

@@ -1,0 +1,952 @@
+//===- Parser.cpp - Textual .memoir parsing -------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "ir/IR.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "parser/Lexer.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+using namespace ade;
+using namespace ade::ir;
+using namespace ade::parser;
+
+namespace {
+
+class ParserImpl {
+public:
+  ParserImpl(std::string_view Source, std::vector<std::string> &Errors)
+      : Tokens(Lexer::lex(Source)), Errors(Errors) {}
+
+  std::unique_ptr<Module> run() {
+    auto Mod = std::make_unique<Module>();
+    M = Mod.get();
+    if (!Tokens.empty() && Tokens.back().Kind == TokenKind::Error) {
+      Errors.push_back("line " + std::to_string(Tokens.back().Line) + ": " +
+                       Tokens.back().Text);
+      return nullptr;
+    }
+    if (!scanSignatures())
+      return nullptr;
+    Pos = 0;
+    if (!parseTopLevel())
+      return nullptr;
+    return Mod;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t Idx = Pos + Ahead;
+    return Idx < Tokens.size() ? Tokens[Idx] : Tokens.back();
+  }
+  bool is(TokenKind K) const { return cur().Kind == K; }
+  bool isIdent(const char *S) const {
+    return cur().Kind == TokenKind::Ident && cur().Text == S;
+  }
+  Token take() { return Tokens[Pos++]; }
+  void skip() { ++Pos; }
+
+  bool fail(const std::string &Msg) {
+    Errors.push_back("line " + std::to_string(cur().Line) + ": " + Msg);
+    return false;
+  }
+
+  bool expect(TokenKind K, const char *What) {
+    if (!is(K))
+      return fail(std::string("expected ") + What);
+    skip();
+    return true;
+  }
+
+  bool expectIdent(const char *S) {
+    if (!isIdent(S))
+      return fail(std::string("expected '") + S + "'");
+    skip();
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pass 1: function signatures (allows forward calls)
+  //===--------------------------------------------------------------------===//
+
+  bool scanSignatures() {
+    while (!is(TokenKind::Eof)) {
+      if (isIdent("fn")) {
+        if (!scanFunction(/*External=*/false))
+          return false;
+        continue;
+      }
+      if (isIdent("extern")) {
+        skip();
+        if (!isIdent("fn"))
+          return fail("expected 'fn' after 'extern'");
+        if (!scanFunction(/*External=*/true))
+          return false;
+        continue;
+      }
+      skip();
+    }
+    return true;
+  }
+
+  bool scanFunction(bool External) {
+    skip(); // 'fn'
+    if (!is(TokenKind::GlobalName))
+      return fail("expected function name after 'fn'");
+    std::string Name = take().Text;
+    if (M->getFunction(Name))
+      return fail("duplicate function @" + Name);
+    if (!expect(TokenKind::LParen, "'('"))
+      return false;
+    struct Param {
+      std::string Name;
+      Type *Ty;
+    };
+    std::vector<Param> Params;
+    while (!is(TokenKind::RParen)) {
+      Param P;
+      if (External) {
+        // Extern declarations list bare types.
+        if (is(TokenKind::LocalName)) {
+          P.Name = take().Text;
+          if (!expect(TokenKind::Colon, "':'"))
+            return false;
+        }
+      } else {
+        if (!is(TokenKind::LocalName))
+          return fail("expected parameter name");
+        P.Name = take().Text;
+        if (!expect(TokenKind::Colon, "':'"))
+          return false;
+      }
+      P.Ty = parseType();
+      if (!P.Ty)
+        return false;
+      Params.push_back(std::move(P));
+      if (is(TokenKind::Comma))
+        skip();
+      else
+        break;
+    }
+    if (!expect(TokenKind::RParen, "')'"))
+      return false;
+    Type *RetTy = M->types().voidTy();
+    if (is(TokenKind::Arrow)) {
+      skip();
+      RetTy = parseType();
+      if (!RetTy)
+        return false;
+    }
+    Function *F = M->createFunction(Name, RetTy, External);
+    for (Param &P : Params)
+      F->addArg(P.Ty, P.Name);
+    if (External)
+      return true;
+    // Skip the body.
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return false;
+    unsigned Depth = 1;
+    while (Depth) {
+      if (is(TokenKind::Eof))
+        return fail("unexpected end of input in function body");
+      if (is(TokenKind::LBrace))
+        ++Depth;
+      else if (is(TokenKind::RBrace))
+        --Depth;
+      skip();
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pass 2: full parse
+  //===--------------------------------------------------------------------===//
+
+  bool parseTopLevel() {
+    while (!is(TokenKind::Eof)) {
+      if (isIdent("global")) {
+        if (!parseGlobal())
+          return false;
+        continue;
+      }
+      if (isIdent("extern")) {
+        // Signature already registered; skip "extern fn @f(...) [-> T]".
+        skip();
+        skip(); // fn
+        skip(); // @name
+        skipUntilMatched(TokenKind::LParen, TokenKind::RParen);
+        if (is(TokenKind::Arrow)) {
+          skip();
+          if (!parseType())
+            return false;
+        }
+        continue;
+      }
+      if (isIdent("fn")) {
+        if (!parseFunctionBody())
+          return false;
+        continue;
+      }
+      return fail("expected 'global', 'fn' or 'extern' at top level");
+    }
+    return true;
+  }
+
+  void skipUntilMatched(TokenKind Open, TokenKind Close) {
+    if (!is(Open))
+      return;
+    skip();
+    unsigned Depth = 1;
+    while (Depth && !is(TokenKind::Eof)) {
+      if (is(Open))
+        ++Depth;
+      else if (is(Close))
+        --Depth;
+      skip();
+    }
+  }
+
+  bool parseGlobal() {
+    skip(); // 'global'
+    if (!is(TokenKind::GlobalName))
+      return fail("expected global name");
+    std::string Name = take().Text;
+    if (!expect(TokenKind::Colon, "':'"))
+      return false;
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    if (M->getGlobal(Name))
+      return fail("duplicate global @" + Name);
+    M->createGlobal(Name, Ty);
+    return true;
+  }
+
+  bool parseFunctionBody() {
+    skip(); // 'fn'
+    Function *F = M->getFunction(cur().Text);
+    assert(F && "signature pass must have registered the function");
+    skip(); // name
+    skipUntilMatched(TokenKind::LParen, TokenKind::RParen);
+    if (is(TokenKind::Arrow)) {
+      skip();
+      if (!parseType())
+        return false;
+    }
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return false;
+    Locals.clear();
+    for (unsigned I = 0; I != F->numArgs(); ++I)
+      Locals[F->arg(I)->name()] = F->arg(I);
+    CurFn = F;
+    return parseRegionBody(F->body());
+  }
+
+  /// Parses instructions until the closing '}' (consumed).
+  bool parseRegionBody(Region &R) {
+    while (!is(TokenKind::RBrace)) {
+      if (is(TokenKind::Eof))
+        return fail("unexpected end of input in region");
+      if (!parseInst(R))
+        return false;
+    }
+    skip(); // '}'
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  Type *parseType() {
+    if (!is(TokenKind::Ident)) {
+      fail("expected a type");
+      return nullptr;
+    }
+    std::string Name = take().Text;
+    TypeContext &TC = M->types();
+    if (Name == "void")
+      return TC.voidTy();
+    if (Name == "bool")
+      return TC.boolTy();
+    if (Name == "ptr")
+      return TC.ptrTy();
+    if (Name == "idx")
+      return TC.indexTy();
+    if ((Name[0] == 'u' || Name[0] == 'i') && Name.size() > 1 &&
+        std::isdigit(static_cast<unsigned char>(Name[1]))) {
+      unsigned Bits = static_cast<unsigned>(std::atoi(Name.c_str() + 1));
+      if (Bits != 8 && Bits != 16 && Bits != 32 && Bits != 64) {
+        fail("unsupported integer width in type " + Name);
+        return nullptr;
+      }
+      return TC.intTy(Bits, Name[0] == 'i');
+    }
+    if (Name == "f32")
+      return TC.floatTy(32);
+    if (Name == "f64")
+      return TC.floatTy(64);
+    if (Name == "Seq" || Name == "Set" || Name == "Map" || Name == "Enum") {
+      Selection Sel = Selection::Empty;
+      if (is(TokenKind::LBrace)) {
+        skip();
+        if (!is(TokenKind::Ident)) {
+          fail("expected selection name");
+          return nullptr;
+        }
+        if (!parseSelection(take().Text, Sel))
+          return nullptr;
+        if (!expect(TokenKind::RBrace, "'}'"))
+          return nullptr;
+      }
+      if (!expect(TokenKind::Less, "'<'"))
+        return nullptr;
+      Type *First = parseType();
+      if (!First)
+        return nullptr;
+      Type *Second = nullptr;
+      if (Name == "Map") {
+        if (!expect(TokenKind::Comma, "','"))
+          return nullptr;
+        Second = parseType();
+        if (!Second)
+          return nullptr;
+      }
+      if (!expect(TokenKind::Greater, "'>'"))
+        return nullptr;
+      if (Name == "Seq")
+        return TC.seqTy(First, Sel);
+      if (Name == "Set")
+        return TC.setTy(First, Sel);
+      if (Name == "Map")
+        return TC.mapTy(First, Second, Sel);
+      return TC.enumTy(First);
+    }
+    fail("unknown type '" + Name + "'");
+    return nullptr;
+  }
+
+  bool parseSelection(const std::string &Name, Selection &Out) {
+    static const std::pair<const char *, Selection> Table[] = {
+        {"Array", Selection::Array},
+        {"HashSet", Selection::HashSet},
+        {"FlatSet", Selection::FlatSet},
+        {"SwissSet", Selection::SwissSet},
+        {"BitSet", Selection::BitSet},
+        {"SparseBitSet", Selection::SparseBitSet},
+        {"HashMap", Selection::HashMap},
+        {"SwissMap", Selection::SwissMap},
+        {"BitMap", Selection::BitMap},
+    };
+    for (auto &[Str, Sel] : Table) {
+      if (Name == Str) {
+        Out = Sel;
+        return true;
+      }
+    }
+    return fail("unknown selection '" + Name + "'");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Values
+  //===--------------------------------------------------------------------===//
+
+  Value *parseValueRef() {
+    if (!is(TokenKind::LocalName)) {
+      fail("expected a value reference");
+      return nullptr;
+    }
+    Token T = take();
+    auto It = Locals.find(T.Text);
+    if (It == Locals.end()) {
+      fail("use of undefined value %" + T.Text);
+      return nullptr;
+    }
+    return It->second;
+  }
+
+  bool parseValueList(std::vector<Value *> &Out) {
+    Value *First = parseValueRef();
+    if (!First)
+      return false;
+    Out.push_back(First);
+    while (is(TokenKind::Comma)) {
+      skip();
+      Value *Next = parseValueRef();
+      if (!Next)
+        return false;
+      Out.push_back(Next);
+    }
+    return true;
+  }
+
+  void bind(const std::string &Name, Value *V) {
+    V->setName(Name);
+    Locals[Name] = V;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Directives (Listing 5)
+  //===--------------------------------------------------------------------===//
+
+  bool parseDirective() {
+    unsigned PragmaLine = cur().Line;
+    skip(); // '#pragma'
+    if (!expectIdent("ade"))
+      return false;
+    Directive D;
+    while (is(TokenKind::Ident) && cur().Line == PragmaLine) {
+      std::string Word = take().Text;
+      if (Word == "enumerate") {
+        D.EnumerateMode = Directive::Enumerate::Force;
+      } else if (Word == "noenumerate") {
+        D.EnumerateMode = Directive::Enumerate::Forbid;
+      } else if (Word == "noshare") {
+        if (is(TokenKind::LParen)) {
+          skip();
+          if (!is(TokenKind::LocalName))
+            return fail("expected %name in noshare(...)");
+          D.NoShareWith.push_back(take().Text);
+          if (!expect(TokenKind::RParen, "')'"))
+            return false;
+        } else {
+          D.NoShare = true;
+        }
+      } else if (Word == "share") {
+        if (!expectIdent("group") || !expect(TokenKind::LParen, "'('"))
+          return false;
+        if (!is(TokenKind::StringLit))
+          return fail("expected group name string");
+        D.ShareGroup = take().Text;
+        if (!expect(TokenKind::RParen, "')'"))
+          return false;
+      } else if (Word == "select") {
+        if (!expect(TokenKind::LParen, "'('"))
+          return false;
+        if (!is(TokenKind::Ident))
+          return fail("expected selection name");
+        if (!parseSelection(take().Text, D.Select))
+          return false;
+        if (!expect(TokenKind::RParen, "')'"))
+          return false;
+      } else {
+        return fail("unknown directive '" + Word + "'");
+      }
+    }
+    Pending = std::move(D);
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instructions
+  //===--------------------------------------------------------------------===//
+
+  /// True if the upcoming tokens are "%a (, %b)* =".
+  bool startsResultList() const {
+    if (!is(TokenKind::LocalName))
+      return false;
+    size_t Ahead = 1;
+    while (true) {
+      const Token &T = peek(Ahead);
+      if (T.Kind == TokenKind::Equal)
+        return true;
+      if (T.Kind != TokenKind::Comma)
+        return false;
+      if (peek(Ahead + 1).Kind != TokenKind::LocalName)
+        return false;
+      Ahead += 2;
+    }
+  }
+
+  bool parseInst(Region &R) {
+    if (is(TokenKind::Pragma))
+      return parseDirective();
+
+    std::vector<std::string> ResultNames;
+    if (startsResultList()) {
+      ResultNames.push_back(take().Text);
+      while (is(TokenKind::Comma)) {
+        skip();
+        ResultNames.push_back(take().Text);
+      }
+      skip(); // '='
+    }
+
+    if (!is(TokenKind::Ident))
+      return fail("expected an operation mnemonic");
+    std::string Op = take().Text;
+
+    IRBuilder B(*M, &R);
+
+    auto bindSingle = [&](Value *V) -> bool {
+      if (ResultNames.size() != 1)
+        return fail("operation '" + Op + "' produces exactly one result");
+      bind(ResultNames[0], V);
+      return true;
+    };
+    auto noResults = [&]() -> bool {
+      if (!ResultNames.empty())
+        return fail("operation '" + Op + "' produces no results");
+      return true;
+    };
+
+    // Simple binary/unary scalar operations.
+    static const std::unordered_map<std::string, Opcode> BinOps = {
+        {"add", Opcode::Add},   {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},   {"div", Opcode::Div},
+        {"rem", Opcode::Rem},   {"and", Opcode::And},
+        {"or", Opcode::Or},     {"xor", Opcode::Xor},
+        {"shl", Opcode::Shl},   {"shr", Opcode::Shr},
+        {"min", Opcode::Min},   {"max", Opcode::Max},
+        {"eq", Opcode::CmpEq},  {"ne", Opcode::CmpNe},
+        {"lt", Opcode::CmpLt},  {"le", Opcode::CmpLe},
+        {"gt", Opcode::CmpGt},  {"ge", Opcode::CmpGe},
+    };
+    if (auto It = BinOps.find(Op); It != BinOps.end()) {
+      Value *A = parseValueRef();
+      if (!A || !expect(TokenKind::Comma, "','"))
+        return false;
+      Value *Bv = parseValueRef();
+      if (!Bv)
+        return false;
+      return bindSingle(B.binary(It->second, A, Bv));
+    }
+    if (Op == "neg" || Op == "not") {
+      Value *A = parseValueRef();
+      if (!A)
+        return false;
+      Opcode Code = Op == "neg" ? Opcode::Neg : Opcode::Not;
+      return bindSingle(B.create(Code, {A->type()}, {A})->result());
+    }
+    if (Op == "select") {
+      std::vector<Value *> Vs;
+      if (!parseValueList(Vs) || Vs.size() != 3)
+        return fail("select requires 3 operands");
+      return bindSingle(B.select(Vs[0], Vs[1], Vs[2]));
+    }
+    if (Op == "cast") {
+      Value *A = parseValueRef();
+      if (!A || !expect(TokenKind::Colon, "':'"))
+        return false;
+      Type *Ty = parseType();
+      if (!Ty)
+        return false;
+      return bindSingle(B.create(Opcode::Cast, {Ty}, {A})->result());
+    }
+    if (Op == "const")
+      return parseConst(B, ResultNames);
+    if (Op == "new") {
+      Type *Ty = parseType();
+      if (!Ty)
+        return false;
+      if (!Ty->isCollection())
+        return fail("new requires a collection type");
+      std::optional<Directive> Dir;
+      std::swap(Dir, Pending);
+      Value *V = B.newColl(Ty, "", std::move(Dir));
+      return bindSingle(V);
+    }
+    if (Op == "read") {
+      Value *Coll = parseValueRef();
+      if (!Coll || !expect(TokenKind::Comma, "','"))
+        return false;
+      Value *Key = parseValueRef();
+      if (!Key)
+        return false;
+      if (!isa<SeqType>(Coll->type()) && !isa<MapType>(Coll->type()))
+        return fail("read requires a Seq or Map");
+      return bindSingle(B.read(Coll, Key));
+    }
+    if (Op == "write") {
+      std::vector<Value *> Vs;
+      if (!parseValueList(Vs) || Vs.size() != 3)
+        return fail("write requires coll, key, value");
+      B.write(Vs[0], Vs[1], Vs[2]);
+      return noResults();
+    }
+    if (Op == "insert" || Op == "remove") {
+      std::vector<Value *> Vs;
+      if (!parseValueList(Vs) || Vs.size() != 2)
+        return fail(Op + " requires coll, key");
+      if (Op == "insert")
+        B.insert(Vs[0], Vs[1]);
+      else
+        B.remove(Vs[0], Vs[1]);
+      return noResults();
+    }
+    if (Op == "has") {
+      std::vector<Value *> Vs;
+      if (!parseValueList(Vs) || Vs.size() != 2)
+        return fail("has requires coll, key");
+      return bindSingle(B.has(Vs[0], Vs[1]));
+    }
+    if (Op == "size") {
+      Value *Coll = parseValueRef();
+      if (!Coll)
+        return false;
+      return bindSingle(B.size(Coll));
+    }
+    if (Op == "clear") {
+      Value *Coll = parseValueRef();
+      if (!Coll)
+        return false;
+      B.clear(Coll);
+      return noResults();
+    }
+    if (Op == "append") {
+      std::vector<Value *> Vs;
+      if (!parseValueList(Vs) || Vs.size() != 2)
+        return fail("append requires seq, value");
+      B.append(Vs[0], Vs[1]);
+      return noResults();
+    }
+    if (Op == "pop") {
+      Value *Seq = parseValueRef();
+      if (!Seq)
+        return false;
+      if (!isa<SeqType>(Seq->type()))
+        return fail("pop requires a Seq");
+      return bindSingle(B.pop(Seq));
+    }
+    if (Op == "union") {
+      std::vector<Value *> Vs;
+      if (!parseValueList(Vs) || Vs.size() != 2)
+        return fail("union requires dst, src");
+      B.unionInto(Vs[0], Vs[1]);
+      return noResults();
+    }
+    if (Op == "enc" || Op == "dec" || Op == "enum.add") {
+      std::vector<Value *> Vs;
+      if (!parseValueList(Vs) || Vs.size() != 2)
+        return fail(Op + " requires enum, value");
+      if (!isa<EnumType>(Vs[0]->type()))
+        return fail(Op + " requires an Enum operand");
+      Value *V = Op == "enc"   ? B.enc(Vs[0], Vs[1])
+                 : Op == "dec" ? B.dec(Vs[0], Vs[1])
+                               : B.enumAdd(Vs[0], Vs[1]);
+      return bindSingle(V);
+    }
+    if (Op == "gget") {
+      if (!is(TokenKind::GlobalName))
+        return fail("expected global name");
+      const GlobalVariable *G = M->getGlobal(take().Text);
+      if (!G)
+        return fail("unknown global");
+      return bindSingle(B.globalGet(G));
+    }
+    if (Op == "gset") {
+      if (!is(TokenKind::GlobalName))
+        return fail("expected global name");
+      const GlobalVariable *G = M->getGlobal(take().Text);
+      if (!G)
+        return fail("unknown global");
+      if (!expect(TokenKind::Comma, "','"))
+        return false;
+      Value *V = parseValueRef();
+      if (!V)
+        return false;
+      B.globalSet(G, V);
+      return noResults();
+    }
+    if (Op == "call")
+      return parseCall(B, ResultNames);
+    if (Op == "ret") {
+      if (is(TokenKind::LocalName)) {
+        Value *V = parseValueRef();
+        if (!V)
+          return false;
+        B.ret(V);
+      } else {
+        B.ret();
+      }
+      return noResults();
+    }
+    if (Op == "yield") {
+      std::vector<Value *> Vs;
+      if (is(TokenKind::LocalName) && !parseValueList(Vs))
+        return false;
+      B.yield(Vs);
+      return noResults();
+    }
+    if (Op == "if")
+      return parseIf(B, ResultNames);
+    if (Op == "foreach")
+      return parseForEach(B, ResultNames);
+    if (Op == "forrange")
+      return parseForRange(B, ResultNames);
+    if (Op == "dowhile")
+      return parseDoWhile(B, ResultNames);
+    return fail("unknown operation '" + Op + "'");
+  }
+
+  bool parseConst(IRBuilder &B, const std::vector<std::string> &Names) {
+    if (Names.size() != 1)
+      return fail("const produces exactly one result");
+    if (isIdent("true") || isIdent("false")) {
+      bool V = take().Text == "true";
+      bind(Names[0], B.constBool(V));
+      return true;
+    }
+    if (is(TokenKind::IntLit)) {
+      Token T = take();
+      if (!expect(TokenKind::Colon, "': type' after const"))
+        return false;
+      Type *Ty = parseType();
+      if (!Ty)
+        return false;
+      if (auto *FT = dyn_cast<FloatType>(Ty)) {
+        double V = static_cast<double>(T.IntValue);
+        if (T.IntIsNegative)
+          V = -V;
+        Instruction *I = B.create(Opcode::ConstFloat, {FT}, {});
+        I->setFpAttr(V);
+        bind(Names[0], I->result());
+        return true;
+      }
+      if (!isa<IntType>(Ty) && !isa<PtrType>(Ty))
+        return fail("integer constant requires an integer type");
+      uint64_t Raw = T.IntValue;
+      if (T.IntIsNegative)
+        Raw = static_cast<uint64_t>(-static_cast<int64_t>(Raw));
+      bind(Names[0], B.constInt(Raw, Ty));
+      return true;
+    }
+    if (is(TokenKind::FloatLit)) {
+      Token T = take();
+      if (!expect(TokenKind::Colon, "': type' after const"))
+        return false;
+      Type *Ty = parseType();
+      if (!Ty)
+        return false;
+      if (!isa<FloatType>(Ty))
+        return fail("float constant requires a float type");
+      Instruction *I = B.create(Opcode::ConstFloat, {Ty}, {});
+      I->setFpAttr(T.FloatValue);
+      bind(Names[0], I->result());
+      return true;
+    }
+    return fail("expected a literal after const");
+  }
+
+  bool parseCall(IRBuilder &B, const std::vector<std::string> &Names) {
+    if (!is(TokenKind::GlobalName))
+      return fail("expected callee name");
+    std::string Callee = take().Text;
+    Function *F = M->getFunction(Callee);
+    if (!F)
+      return fail("unknown function @" + Callee);
+    if (!expect(TokenKind::LParen, "'('"))
+      return false;
+    std::vector<Value *> Args;
+    if (!is(TokenKind::RParen)) {
+      if (!parseValueList(Args))
+        return false;
+    }
+    if (!expect(TokenKind::RParen, "')'"))
+      return false;
+    Value *Result = B.call(F, Args);
+    if (Result) {
+      if (Names.size() != 1)
+        return fail("call to non-void function requires one result name");
+      bind(Names[0], Result);
+      return true;
+    }
+    if (!Names.empty())
+      return fail("call to void function produces no results");
+    return true;
+  }
+
+  /// Finalizes a structured op: creates one result per (post-skip) yielded
+  /// value of \p R and binds \p Names to them.
+  bool finalizeStructured(Instruction *I, Region *R,
+                          const std::vector<std::string> &Names,
+                          unsigned YieldSkip) {
+    if (R->empty() ||
+        (R->back()->op() != Opcode::Yield && R->back()->op() != Opcode::Ret))
+      return fail("structured region must end with yield or ret");
+    if (R->back()->op() == Opcode::Ret) {
+      // Early-exit region: for ifs, derive results from the other arm;
+      // otherwise the construct has no results.
+      if (I->op() == Opcode::If && R == I->region(0) &&
+          !I->region(1)->empty() &&
+          I->region(1)->back()->op() == Opcode::Yield)
+        return finalizeStructured(I, I->region(1), Names, YieldSkip);
+      if (!Names.empty())
+        return fail("a ret-terminated region yields no results");
+      return true;
+    }
+    Instruction *Y = R->back();
+    if (Y->numOperands() < YieldSkip)
+      return fail("yield is missing the loop condition");
+    unsigned NumResults = Y->numOperands() - YieldSkip;
+    if (Names.size() != NumResults)
+      return fail("expected " + std::to_string(NumResults) +
+                  " result names, found " + std::to_string(Names.size()));
+    for (unsigned Idx = 0; Idx != NumResults; ++Idx)
+      bind(Names[Idx],
+           I->addResult(Y->operand(Idx + YieldSkip)->type(), Names[Idx]));
+    return true;
+  }
+
+  /// Parses "iter(%a = %v, ...)" if present; appends the initial values as
+  /// operands and declares matching carried block arguments.
+  bool parseIterClause(Instruction *I, Region *R) {
+    if (!isIdent("iter"))
+      return true;
+    skip();
+    if (!expect(TokenKind::LParen, "'('"))
+      return false;
+    while (!is(TokenKind::RParen)) {
+      if (!is(TokenKind::LocalName))
+        return fail("expected carried value name");
+      std::string Name = take().Text;
+      if (!expect(TokenKind::Equal, "'='"))
+        return false;
+      Value *Init = parseValueRef();
+      if (!Init)
+        return false;
+      I->appendOperand(Init);
+      BlockArg *Arg = R->addArg(Init->type(), Name);
+      bind(Name, Arg);
+      if (is(TokenKind::Comma))
+        skip();
+      else
+        break;
+    }
+    return expect(TokenKind::RParen, "')'");
+  }
+
+  bool parseIf(IRBuilder &B, const std::vector<std::string> &Names) {
+    Value *Cond = parseValueRef();
+    if (!Cond)
+      return false;
+    Instruction *I = B.create(Opcode::If, {}, {Cond}, /*NumRegions=*/2);
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return false;
+    if (!parseRegionBody(*I->region(0)))
+      return false;
+    if (!expectIdent("else") || !expect(TokenKind::LBrace, "'{'"))
+      return false;
+    if (!parseRegionBody(*I->region(1)))
+      return false;
+    return finalizeStructured(I, I->region(0), Names, 0);
+  }
+
+  /// Parses "-> [%a, %b]" binding \p Count region arguments of the given
+  /// types.
+  bool parseRegionArgBinders(Region *R, const std::vector<Type *> &Types) {
+    if (!expect(TokenKind::Arrow, "'->'") ||
+        !expect(TokenKind::LBracket, "'['"))
+      return false;
+    for (size_t Idx = 0; Idx != Types.size(); ++Idx) {
+      if (Idx && !expect(TokenKind::Comma, "','"))
+        return false;
+      if (!is(TokenKind::LocalName))
+        return fail("expected loop binding name");
+      std::string Name = take().Text;
+      BlockArg *Arg = R->addArg(Types[Idx], Name);
+      bind(Name, Arg);
+    }
+    return expect(TokenKind::RBracket, "']'");
+  }
+
+  bool parseForEach(IRBuilder &B, const std::vector<std::string> &Names) {
+    Value *Coll = parseValueRef();
+    if (!Coll)
+      return false;
+    std::vector<Type *> BinderTys;
+    Type *CollTy = Coll->type();
+    if (auto *Seq = dyn_cast<SeqType>(CollTy))
+      BinderTys = {M->types().intTy(64, false), Seq->element()};
+    else if (auto *Mp = dyn_cast<MapType>(CollTy))
+      BinderTys = {Mp->key(), Mp->value()};
+    else if (auto *St = dyn_cast<SetType>(CollTy))
+      BinderTys = {St->key()};
+    else
+      return fail("foreach requires a collection");
+    Instruction *I = B.create(Opcode::ForEach, {}, {Coll}, /*NumRegions=*/1);
+    if (!parseRegionArgBinders(I->region(0), BinderTys))
+      return false;
+    if (!parseIterClause(I, I->region(0)))
+      return false;
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return false;
+    if (!parseRegionBody(*I->region(0)))
+      return false;
+    return finalizeStructured(I, I->region(0), Names, 0);
+  }
+
+  bool parseForRange(IRBuilder &B, const std::vector<std::string> &Names) {
+    Value *Lo = parseValueRef();
+    if (!Lo || !expect(TokenKind::Comma, "','"))
+      return false;
+    Value *Hi = parseValueRef();
+    if (!Hi)
+      return false;
+    Instruction *I =
+        B.create(Opcode::ForRange, {}, {Lo, Hi}, /*NumRegions=*/1);
+    if (!parseRegionArgBinders(I->region(0), {Lo->type()}))
+      return false;
+    if (!parseIterClause(I, I->region(0)))
+      return false;
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return false;
+    if (!parseRegionBody(*I->region(0)))
+      return false;
+    return finalizeStructured(I, I->region(0), Names, 0);
+  }
+
+  bool parseDoWhile(IRBuilder &B, const std::vector<std::string> &Names) {
+    Instruction *I = B.create(Opcode::DoWhile, {}, {}, /*NumRegions=*/1);
+    if (!parseIterClause(I, I->region(0)))
+      return false;
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return false;
+    if (!parseRegionBody(*I->region(0)))
+      return false;
+    return finalizeStructured(I, I->region(0), Names, /*YieldSkip=*/1);
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  Module *M = nullptr;
+  Function *CurFn = nullptr;
+  std::vector<std::string> &Errors;
+  std::unordered_map<std::string, Value *> Locals;
+  std::optional<Directive> Pending;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+ade::parser::parseModule(std::string_view Source,
+                         std::vector<std::string> &Errors) {
+  ParserImpl P(Source, Errors);
+  return P.run();
+}
+
+std::unique_ptr<Module> ade::parser::parseModuleOrDie(std::string_view Source) {
+  std::vector<std::string> Errors;
+  auto M = parseModule(Source, Errors);
+  if (!M) {
+    std::fprintf(stderr, "parse failed:\n");
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "  %s\n", E.c_str());
+    reportFatalError("could not parse module");
+  }
+  verifyOrDie(*M);
+  return M;
+}

@@ -1,0 +1,65 @@
+//===- Parser.h - Textual .memoir parsing -----------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR syntax (modeled on the paper's Figures 1-2 with
+/// structured control flow and `#pragma ade` directives from Listing 5).
+///
+/// Grammar sketch:
+/// \code
+///   module   := (global | function)*
+///   global   := "global" @name ":" type
+///   function := "fn" @name "(" (%name ":" type),* ")" ("->" type)? "{"
+///                 inst* "}"
+///             | "extern" "fn" @name "(" type,* ")" ("->" type)?
+///   inst     := (%name,+ "=")? operation
+///   operation examples:
+///     const 5 : u32            const 1.5 : f64          const true
+///     new Map{BitMap}<idx,u32> read %m, %k              write %m, %k, %v
+///     insert %s, %k            has %s, %k               union %a, %b
+///     enc %e, %v   dec %e, %i  enum.add %e, %v          gget @g
+///     if %c { ... yield %a } else { ... yield %b }
+///     foreach %m -> [%k, %v] iter(%acc = %init) { ... yield %next }
+///     forrange %lo, %hi -> [%i] { ... yield }
+///     dowhile iter(%x = %init) { ... yield %cond, %next }
+///     call @f(%a, %b)          ret %v
+///   directive := "#pragma" "ade" ( "enumerate" | "noenumerate" | "noshare"
+///              | "noshare(" %name ")" | "share" "group(" string ")"
+///              | "select(" ident ")" )*   — attaches to the next `new`
+/// \endcode
+///
+/// Comments run from "//" to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_PARSER_PARSER_H
+#define ADE_PARSER_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ade {
+namespace ir {
+class Module;
+}
+
+namespace parser {
+
+/// Parses \p Source into a module. On failure returns null and fills
+/// \p Errors with "line N: message" diagnostics. The returned module has
+/// NOT been verified; callers should run the verifier.
+std::unique_ptr<ir::Module> parseModule(std::string_view Source,
+                                        std::vector<std::string> &Errors);
+
+/// Parses and verifies, aborting with diagnostics on failure (tests/tools).
+std::unique_ptr<ir::Module> parseModuleOrDie(std::string_view Source);
+
+} // namespace parser
+} // namespace ade
+
+#endif // ADE_PARSER_PARSER_H

@@ -1,0 +1,199 @@
+//===- RtCollection.cpp - Type-erased runtime collections -----------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtCollection.h"
+
+#include "collections/BitMap.h"
+#include "collections/BitSet.h"
+#include "collections/FlatSet.h"
+#include "collections/HashMap.h"
+#include "collections/HashSet.h"
+#include "collections/RoaringBitSet.h"
+#include "collections/Sequence.h"
+#include "collections/SwissMap.h"
+#include "collections/SwissSet.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace ade;
+using namespace ade::ir;
+using namespace ade::runtime;
+
+bool ade::runtime::selectionIsDense(Selection Sel) {
+  switch (Sel) {
+  case Selection::Array:
+  case Selection::BitSet:
+  case Selection::SparseBitSet:
+  case Selection::BitMap:
+    return true;
+  case Selection::Empty:
+  case Selection::HashSet:
+  case Selection::FlatSet:
+  case Selection::SwissSet:
+  case Selection::HashMap:
+  case Selection::SwissMap:
+    return false;
+  }
+  ade_unreachable("unknown selection");
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Sequences
+//===----------------------------------------------------------------------===//
+
+class ArraySeq final : public RtSeq {
+public:
+  ArraySeq() : RtSeq(Selection::Array) {}
+
+  uint64_t size() const override { return Impl.size(); }
+  size_t memoryBytes() const override { return Impl.memoryBytes(); }
+  void clear() override { Impl.clear(); }
+
+  uint64_t get(uint64_t Idx) const override {
+    if (Idx >= Impl.size())
+      reportFatalError("sequence read out of bounds");
+    return Impl.at(Idx);
+  }
+  void set(uint64_t Idx, uint64_t Value) override {
+    if (Idx >= Impl.size())
+      reportFatalError("sequence write out of bounds");
+    Impl.set(Idx, Value);
+  }
+  void append(uint64_t Value) override { Impl.append(Value); }
+  uint64_t pop() override {
+    if (Impl.empty())
+      reportFatalError("pop of an empty sequence");
+    return Impl.popBack();
+  }
+  void forEach(
+      const std::function<void(uint64_t, uint64_t)> &Fn) const override {
+    Impl.forEach(Fn);
+  }
+
+private:
+  Sequence<uint64_t> Impl;
+};
+
+//===----------------------------------------------------------------------===//
+// Sets
+//===----------------------------------------------------------------------===//
+
+/// Generic adapter over the templated set implementations.
+template <typename SetT, Selection Sel> class SetAdapter final : public RtSet {
+public:
+  SetAdapter() : RtSet(Sel) {}
+
+  uint64_t size() const override { return Impl.size(); }
+  size_t memoryBytes() const override { return Impl.memoryBytes(); }
+  void clear() override { Impl.clear(); }
+
+  bool has(uint64_t Key) const override { return Impl.contains(Key); }
+  bool insert(uint64_t Key) override { return Impl.insert(Key); }
+  bool remove(uint64_t Key) override { return Impl.remove(Key); }
+  void forEach(const std::function<void(uint64_t)> &Fn) const override {
+    Impl.forEach(Fn);
+  }
+  void unionWith(const RtSet &Other) override {
+    // Fast path when both sides share the representation (the selection
+    // uniquely identifies the adapter type, so the cast is safe).
+    if (Other.impl() == Sel) {
+      Impl.unionWith(static_cast<const SetAdapter &>(Other).Impl);
+      return;
+    }
+    Other.forEach([&](uint64_t Key) { Impl.insert(Key); });
+  }
+
+  SetT Impl;
+};
+
+using RtHashSet = SetAdapter<HashSet<uint64_t>, Selection::HashSet>;
+using RtSwissSet = SetAdapter<SwissSet<uint64_t>, Selection::SwissSet>;
+using RtFlatSet = SetAdapter<FlatSet<uint64_t>, Selection::FlatSet>;
+using RtBitSet = SetAdapter<BitSet, Selection::BitSet>;
+using RtRoaringSet = SetAdapter<RoaringBitSet, Selection::SparseBitSet>;
+
+//===----------------------------------------------------------------------===//
+// Maps
+//===----------------------------------------------------------------------===//
+
+template <typename MapT, Selection Sel> class MapAdapter final : public RtMap {
+public:
+  MapAdapter() : RtMap(Sel) {}
+
+  uint64_t size() const override { return Impl.size(); }
+  size_t memoryBytes() const override { return Impl.memoryBytes(); }
+  void clear() override { Impl.clear(); }
+
+  bool has(uint64_t Key) const override { return Impl.contains(Key); }
+  uint64_t get(uint64_t Key, bool &Found) const override {
+    const uint64_t *V = Impl.lookup(Key);
+    Found = V != nullptr;
+    return Found ? *V : 0;
+  }
+  void set(uint64_t Key, uint64_t Value) override {
+    Impl.insertOrAssign(Key, Value);
+  }
+  bool insertDefault(uint64_t Key, uint64_t Value) override {
+    return Impl.tryInsert(Key, Value);
+  }
+  bool remove(uint64_t Key) override { return Impl.remove(Key); }
+  void forEach(
+      const std::function<void(uint64_t, uint64_t)> &Fn) const override {
+    Impl.forEach(Fn);
+  }
+
+private:
+  MapT Impl;
+};
+
+using RtHashMap = MapAdapter<HashMap<uint64_t, uint64_t>, Selection::HashMap>;
+using RtSwissMap =
+    MapAdapter<SwissMap<uint64_t, uint64_t>, Selection::SwissMap>;
+using RtBitMap = MapAdapter<BitMap<uint64_t>, Selection::BitMap>;
+
+} // namespace
+
+std::unique_ptr<RtCollection>
+ade::runtime::createCollection(const Type *Ty,
+                               const RuntimeDefaults &Defaults) {
+  if (isa<SeqType>(Ty))
+    return std::make_unique<ArraySeq>();
+  if (const auto *Set = dyn_cast<SetType>(Ty)) {
+    Selection Sel = Set->selection() == Selection::Empty ? Defaults.SetImpl
+                                                         : Set->selection();
+    switch (Sel) {
+    case Selection::HashSet:
+      return std::make_unique<RtHashSet>();
+    case Selection::SwissSet:
+      return std::make_unique<RtSwissSet>();
+    case Selection::FlatSet:
+      return std::make_unique<RtFlatSet>();
+    case Selection::BitSet:
+      return std::make_unique<RtBitSet>();
+    case Selection::SparseBitSet:
+      return std::make_unique<RtRoaringSet>();
+    default:
+      reportFatalError("invalid selection for a Set");
+    }
+  }
+  if (const auto *Map = dyn_cast<MapType>(Ty)) {
+    Selection Sel = Map->selection() == Selection::Empty ? Defaults.MapImpl
+                                                         : Map->selection();
+    switch (Sel) {
+    case Selection::HashMap:
+      return std::make_unique<RtHashMap>();
+    case Selection::SwissMap:
+      return std::make_unique<RtSwissMap>();
+    case Selection::BitMap:
+      return std::make_unique<RtBitMap>();
+    default:
+      reportFatalError("invalid selection for a Map");
+    }
+  }
+  reportFatalError("createCollection requires a collection type");
+}

@@ -1,0 +1,144 @@
+//===- RtCollection.h - Type-erased runtime collections ---------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime objects the interpreter executes collection operations on.
+/// Elements are 64-bit encoded scalars (integers/identifiers directly,
+/// floats by bit pattern, nested collections as pointers); the concrete
+/// storage is one of the Table I implementations from src/collections.
+///
+/// Every implementation reports whether its accesses are *dense* (array
+/// indexing: Array/Bit{Set,Map}/SparseBitSet) or *sparse* (search-based:
+/// Hash/Swiss/Flat) — the classification behind Table II.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_RUNTIME_RTCOLLECTION_H
+#define ADE_RUNTIME_RTCOLLECTION_H
+
+#include "collections/Enumeration.h"
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace ade {
+namespace runtime {
+
+/// Identifies the runtime collection flavor.
+enum class RtKind : uint8_t { Seq, Set, Map };
+
+/// True when accesses to \p Sel are array-like (dense); false for
+/// search-based (sparse) implementations. Sequences (Array) are dense.
+bool selectionIsDense(ir::Selection Sel);
+
+/// Base of all runtime collections.
+class RtCollection {
+public:
+  RtCollection(RtKind K, ir::Selection Impl) : TheKind(K), Impl(Impl) {}
+  virtual ~RtCollection() = default;
+
+  RtKind kind() const { return TheKind; }
+  ir::Selection impl() const { return Impl; }
+  bool isDense() const { return selectionIsDense(Impl); }
+
+  virtual uint64_t size() const = 0;
+  virtual size_t memoryBytes() const = 0;
+  virtual void clear() = 0;
+
+private:
+  const RtKind TheKind;
+  const ir::Selection Impl;
+};
+
+/// Runtime sequence (resizable array of 64-bit elements).
+class RtSeq : public RtCollection {
+public:
+  explicit RtSeq(ir::Selection Impl) : RtCollection(RtKind::Seq, Impl) {}
+
+  static bool classof(const RtCollection *C) {
+    return C->kind() == RtKind::Seq;
+  }
+
+  virtual uint64_t get(uint64_t Idx) const = 0;
+  virtual void set(uint64_t Idx, uint64_t Value) = 0;
+  virtual void append(uint64_t Value) = 0;
+  virtual uint64_t pop() = 0;
+  virtual void forEach(
+      const std::function<void(uint64_t, uint64_t)> &Fn) const = 0;
+};
+
+/// Runtime set over 64-bit encoded keys.
+class RtSet : public RtCollection {
+public:
+  explicit RtSet(ir::Selection Impl) : RtCollection(RtKind::Set, Impl) {}
+
+  static bool classof(const RtCollection *C) {
+    return C->kind() == RtKind::Set;
+  }
+
+  virtual bool has(uint64_t Key) const = 0;
+  virtual bool insert(uint64_t Key) = 0;
+  virtual bool remove(uint64_t Key) = 0;
+  virtual void forEach(const std::function<void(uint64_t)> &Fn) const = 0;
+  /// Adds every member of \p Other (implementations provide fast paths for
+  /// matching representations).
+  virtual void unionWith(const RtSet &Other) = 0;
+};
+
+/// Runtime map from 64-bit encoded keys to 64-bit encoded values.
+class RtMap : public RtCollection {
+public:
+  explicit RtMap(ir::Selection Impl) : RtCollection(RtKind::Map, Impl) {}
+
+  static bool classof(const RtCollection *C) {
+    return C->kind() == RtKind::Map;
+  }
+
+  virtual bool has(uint64_t Key) const = 0;
+  /// Returns the value for \p Key; \p Found reports presence.
+  virtual uint64_t get(uint64_t Key, bool &Found) const = 0;
+  /// Inserts or overwrites.
+  virtual void set(uint64_t Key, uint64_t Value) = 0;
+  /// Inserts \p Value only if the key is absent; true when inserted.
+  virtual bool insertDefault(uint64_t Key, uint64_t Value) = 0;
+  virtual bool remove(uint64_t Key) = 0;
+  virtual void forEach(
+      const std::function<void(uint64_t, uint64_t)> &Fn) const = 0;
+};
+
+/// Runtime enumeration (the Enum of SIII-B) over 64-bit encoded keys.
+class RtEnum {
+public:
+  uint64_t encode(uint64_t Key) const { return Impl.encode(Key); }
+  uint64_t decode(uint64_t Id) const { return Impl.decode(Id); }
+  std::pair<uint64_t, bool> add(uint64_t Key) { return Impl.add(Key); }
+  bool contains(uint64_t Key) const { return Impl.contains(Key); }
+  uint64_t size() const { return Impl.size(); }
+  size_t memoryBytes() const { return Impl.memoryBytes(); }
+
+private:
+  Enumeration<uint64_t> Impl;
+};
+
+/// Defaults applied when a collection type carries no selection (the
+/// MEMOIR baseline behavior; RQ5 swaps these to the Swiss flavors).
+struct RuntimeDefaults {
+  ir::Selection SeqImpl = ir::Selection::Array;
+  ir::Selection SetImpl = ir::Selection::HashSet;
+  ir::Selection MapImpl = ir::Selection::HashMap;
+};
+
+/// Instantiates the runtime collection for \p Ty, honoring its selection
+/// annotation and falling back to \p Defaults.
+std::unique_ptr<RtCollection> createCollection(const ir::Type *Ty,
+                                               const RuntimeDefaults &Defaults);
+
+} // namespace runtime
+} // namespace ade
+
+#endif // ADE_RUNTIME_RTCOLLECTION_H

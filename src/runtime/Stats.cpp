@@ -1,0 +1,44 @@
+//===- Stats.cpp - Dynamic operation statistics ---------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Stats.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace ade;
+using namespace ade::runtime;
+
+const char *ade::runtime::opCategoryName(OpCategory C) {
+  switch (C) {
+  case OpCategory::Read:
+    return "read";
+  case OpCategory::Write:
+    return "write";
+  case OpCategory::Insert:
+    return "insert";
+  case OpCategory::Remove:
+    return "remove";
+  case OpCategory::Has:
+    return "has";
+  case OpCategory::Size:
+    return "size";
+  case OpCategory::Clear:
+    return "clear";
+  case OpCategory::Iterate:
+    return "iterate";
+  case OpCategory::Union:
+    return "union";
+  case OpCategory::Enc:
+    return "enc";
+  case OpCategory::Dec:
+    return "dec";
+  case OpCategory::EnumAdd:
+    return "add";
+  case OpCategory::NumCategories:
+    break;
+  }
+  ade_unreachable("unknown op category");
+}

@@ -1,0 +1,74 @@
+//===- Stats.h - Dynamic operation statistics -------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters behind the paper's Figure 4 (dynamic collection-operation
+/// breakdown) and Table II (sparse vs dense access counts). An *access* is
+/// one operation on an associative collection or enumeration; it is dense
+/// when the implementation reaches storage by array indexing
+/// (Bit{Set,Map}, SparseBitSet, decode) and sparse when it searches
+/// (Hash/Swiss/Flat tables, encode/add). Sequence operations are not
+/// counted as accesses, matching the paper's all-sparse baselines for
+/// benchmarks that use sequences heavily.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_RUNTIME_STATS_H
+#define ADE_RUNTIME_STATS_H
+
+#include <cstdint>
+
+namespace ade {
+namespace runtime {
+
+/// Categories of dynamic collection operations (Figure 4's breakdown).
+enum class OpCategory : uint8_t {
+  Read,
+  Write,
+  Insert,
+  Remove,
+  Has,
+  Size,
+  Clear,
+  Iterate, // One count per element visited.
+  Union,   // One count per source element merged.
+  Enc,
+  Dec,
+  EnumAdd,
+  NumCategories,
+};
+
+/// Printable name of \p C.
+const char *opCategoryName(OpCategory C);
+
+/// Aggregated dynamic statistics for one interpreter run.
+struct InterpStats {
+  static constexpr unsigned NumCats =
+      static_cast<unsigned>(OpCategory::NumCategories);
+
+  uint64_t Sparse = 0;
+  uint64_t Dense = 0;
+  uint64_t ByCategory[NumCats] = {};
+  uint64_t InstructionsExecuted = 0;
+
+  void record(OpCategory Cat, bool IsDense, uint64_t N = 1) {
+    ByCategory[static_cast<unsigned>(Cat)] += N;
+    (IsDense ? Dense : Sparse) += N;
+  }
+
+  uint64_t category(OpCategory Cat) const {
+    return ByCategory[static_cast<unsigned>(Cat)];
+  }
+
+  uint64_t totalAccesses() const { return Sparse + Dense; }
+
+  void reset() { *this = InterpStats(); }
+};
+
+} // namespace runtime
+} // namespace ade
+
+#endif // ADE_RUNTIME_STATS_H

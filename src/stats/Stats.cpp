@@ -1,0 +1,156 @@
+//===- Stats.cpp - Reporting statistics -----------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Stats.h"
+
+#include "support/ErrorHandling.h"
+#include "support/RawOstream.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace ade;
+using namespace ade::stats;
+
+double ade::stats::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double LogSum = 0;
+  for (double V : Values) {
+    assert(V > 0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+std::vector<ClusterMerge> ade::stats::clusterAverageLinkage(
+    const std::vector<std::vector<double>> &Points) {
+  size_t N = Points.size();
+  std::vector<ClusterMerge> Merges;
+  if (N < 2)
+    return Merges;
+
+  // Active clusters: id and member leaf indices.
+  struct Cluster {
+    size_t Id;
+    std::vector<size_t> Members;
+  };
+  std::vector<Cluster> Active;
+  for (size_t I = 0; I != N; ++I)
+    Active.push_back({I, {I}});
+
+  auto Dist = [&](size_t A, size_t B) {
+    double Sum = 0;
+    for (size_t D = 0; D != Points[A].size(); ++D) {
+      double Diff = Points[A][D] - Points[B][D];
+      Sum += Diff * Diff;
+    }
+    return std::sqrt(Sum);
+  };
+
+  size_t NextId = N;
+  while (Active.size() > 1) {
+    // Average linkage: mean pairwise distance between member leaves.
+    double BestD = 0;
+    size_t BestA = 0, BestB = 1;
+    bool First = true;
+    for (size_t A = 0; A != Active.size(); ++A) {
+      for (size_t B = A + 1; B != Active.size(); ++B) {
+        double Sum = 0;
+        for (size_t I : Active[A].Members)
+          for (size_t J : Active[B].Members)
+            Sum += Dist(I, J);
+        double D = Sum / static_cast<double>(Active[A].Members.size() *
+                                             Active[B].Members.size());
+        if (First || D < BestD) {
+          BestD = D;
+          BestA = A;
+          BestB = B;
+          First = false;
+        }
+      }
+    }
+    Merges.push_back({Active[BestA].Id, Active[BestB].Id, BestD});
+    Cluster Merged;
+    Merged.Id = NextId++;
+    Merged.Members = Active[BestA].Members;
+    Merged.Members.insert(Merged.Members.end(),
+                          Active[BestB].Members.begin(),
+                          Active[BestB].Members.end());
+    // Erase higher index first.
+    Active.erase(Active.begin() + BestB);
+    Active.erase(Active.begin() + BestA);
+    Active.push_back(std::move(Merged));
+  }
+  return Merges;
+}
+
+void ade::stats::printDendrogram(const std::vector<ClusterMerge> &Merges,
+                                 const std::vector<std::string> &Labels,
+                                 RawOstream &OS) {
+  size_t N = Labels.size();
+  // Render each merge bottom-up as a nested textual tree.
+  std::vector<std::string> Names(N + Merges.size());
+  for (size_t I = 0; I != N; ++I)
+    Names[I] = Labels[I];
+  for (size_t K = 0; K != Merges.size(); ++K) {
+    const ClusterMerge &M = Merges[K];
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", M.Distance);
+    Names[N + K] =
+        "(" + Names[M.Left] + " + " + Names[M.Right] + " @" + Buf + ")";
+    OS << "  merge " << (K + 1) << ": " << Names[M.Left] << " + "
+       << Names[M.Right] << "  [d=" << Buf << "]\n";
+  }
+  if (!Merges.empty())
+    OS << "  tree: " << Names[N + Merges.size() - 1] << "\n";
+}
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::print(RawOstream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      OS << (C ? "  " : "");
+      OS << Row[C];
+      for (size_t Pad = Row[C].size(); Pad < Widths[C]; ++Pad)
+        OS << ' ';
+    }
+    OS << '\n';
+  };
+  PrintRow(Header);
+  std::string Rule;
+  for (size_t C = 0; C != Header.size(); ++C)
+    Rule += std::string(Widths[C], '-') + (C + 1 == Header.size() ? "" : "  ");
+  OS << Rule << '\n';
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string Table::fmt(double V, unsigned Decimals) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, V);
+  return Buf;
+}
+
+std::string Table::pct(double Ratio, unsigned Decimals) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Ratio * 100.0);
+  return Buf;
+}

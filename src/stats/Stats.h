@@ -1,0 +1,70 @@
+//===- Stats.h - Reporting statistics ---------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reporting helpers for the benchmark harnesses: geometric means (the
+/// GEO entries of Figures 5-9), average-linkage agglomerative clustering
+/// (the benchmark dendrogram of Figure 4) and fixed-width table printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_STATS_STATS_H
+#define ADE_STATS_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ade {
+class RawOstream;
+namespace stats {
+
+/// Geometric mean of \p Values (which must be positive); 0 if empty.
+double geomean(const std::vector<double> &Values);
+
+/// One step of the agglomerative merge sequence.
+struct ClusterMerge {
+  /// Indices of the merged clusters (cluster i < N is leaf i; cluster
+  /// N + k is the result of merge k).
+  size_t Left;
+  size_t Right;
+  /// Average-linkage distance at which the merge happened.
+  double Distance;
+};
+
+/// Average-linkage agglomerative clustering over Euclidean distances of
+/// the row vectors in \p Points. Returns N-1 merges.
+std::vector<ClusterMerge>
+clusterAverageLinkage(const std::vector<std::vector<double>> &Points);
+
+/// Renders the merge sequence as an ASCII dendrogram with the given leaf
+/// labels (Figure 4's clustering panel).
+void printDendrogram(const std::vector<ClusterMerge> &Merges,
+                     const std::vector<std::string> &Labels,
+                     RawOstream &OS);
+
+/// Fixed-width table printer.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  void addRow(std::vector<std::string> Cells);
+  void print(RawOstream &OS) const;
+
+  /// Formats a double with \p Decimals digits.
+  static std::string fmt(double V, unsigned Decimals = 2);
+  /// Formats a ratio as a percentage string like "95.1%".
+  static std::string pct(double Ratio, unsigned Decimals = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace stats
+} // namespace ade
+
+#endif // ADE_STATS_STATS_H

@@ -1,0 +1,83 @@
+//===- Casting.h - isa/cast/dyn_cast templates ------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small reimplementation of LLVM's hand-rolled RTTI: \c isa<>, \c cast<>
+/// and \c dyn_cast<>. Classes opt in by providing a static \c classof
+/// predicate over the base class, typically keyed on a kind enumerator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_CASTING_H
+#define ADE_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace ade {
+
+/// Returns true if \p Val is an instance of \p To.
+///
+/// \p Val must be non-null; use \c isa_and_present for possibly-null values.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Returns true if \p Val is non-null and an instance of \p To.
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val is an instance of \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not an instance of \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like \c dyn_cast, but tolerates a null \p Val.
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace ade
+
+#endif // ADE_SUPPORT_CASTING_H

@@ -1,0 +1,35 @@
+//===- ErrorHandling.h - Fatal errors and unreachable markers --*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and an \c ade_unreachable marker analogous to
+/// LLVM's \c report_fatal_error / \c llvm_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_ERRORHANDLING_H
+#define ADE_SUPPORT_ERRORHANDLING_H
+
+namespace ade {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable conditions
+/// that can be triggered by user input (e.g. a malformed .memoir file fed
+/// to a tool that did not check parser diagnostics).
+[[noreturn]] void reportFatalError(const char *Msg);
+
+/// Implementation hook for \c ade_unreachable.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace ade
+
+/// Marks a point in code that should never be reached. In all builds this
+/// prints the message with source location and aborts; reaching it is
+/// unconditionally a bug.
+#define ade_unreachable(Msg)                                                   \
+  ::ade::unreachableInternal(Msg, __FILE__, __LINE__)
+
+#endif // ADE_SUPPORT_ERRORHANDLING_H

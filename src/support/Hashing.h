@@ -1,0 +1,50 @@
+//===- Hashing.h - Hash functions shared across the project ----*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer mixing and combining hash functions. All hash-based collection
+/// implementations in \c src/collections route 64-bit keys through
+/// \c hashU64 so that hash quality is uniform across implementations and
+/// benchmark comparisons measure table organization, not hash choice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_HASHING_H
+#define ADE_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ade {
+
+/// Finalizer from splitmix64: a fast, well-distributed 64-bit mixer.
+inline uint64_t hashU64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Combines an existing seed with another hash value (boost-style).
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return Seed ^ (hashU64(Value) + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                 (Seed >> 2));
+}
+
+/// FNV-1a over bytes, for string keys.
+inline uint64_t hashBytes(std::string_view Bytes) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+} // namespace ade
+
+#endif // ADE_SUPPORT_HASHING_H

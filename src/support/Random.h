@@ -1,0 +1,81 @@
+//===- Random.h - Deterministic pseudo-random generation --------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small xoshiro256**-based PRNG used by workload generators and tests so
+/// that runs are reproducible independent of the standard library's
+/// \c std::mt19937 implementation details.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_RANDOM_H
+#define ADE_SUPPORT_RANDOM_H
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace ade {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x5eedULL) {
+    // Seed the state with splitmix64 as recommended by the xoshiro authors.
+    for (uint64_t &Word : State) {
+      Seed += 0x9e3779b97f4a7c15ULL;
+      Word = hashU64(Seed);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0) is meaningless");
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // bias is negligible for Bound << 2^64 and tests only need uniform-ish.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform value in [Lo, Hi].
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace ade
+
+#endif // ADE_SUPPORT_RANDOM_H

@@ -1,0 +1,65 @@
+//===- RawOstream.cpp -----------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RawOstream.h"
+
+#include <cinttypes>
+
+using namespace ade;
+
+RawOstream::~RawOstream() = default;
+
+RawOstream &RawOstream::operator<<(uint64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  writeBytes(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOstream &RawOstream::operator<<(int64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  writeBytes(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOstream &RawOstream::operator<<(double D) {
+  char Buf[40];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  writeBytes(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOstream &RawOstream::operator<<(const void *P) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%p", P);
+  writeBytes(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOstream &RawOstream::padded(uint64_t N, unsigned Width) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%*" PRIu64,
+                          static_cast<int>(Width), N);
+  writeBytes(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+RawOstream &RawOstream::indent(unsigned N) {
+  for (unsigned I = 0; I != N; ++I)
+    writeBytes(" ", 1);
+  return *this;
+}
+
+RawOstream &ade::outs() {
+  static RawFileOstream Stream(stdout);
+  return Stream;
+}
+
+RawOstream &ade::errs() {
+  static RawFileOstream Stream(stderr);
+  return Stream;
+}

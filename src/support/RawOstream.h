@@ -1,0 +1,102 @@
+//===- RawOstream.h - Lightweight output streams ----------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal analog of LLVM's \c raw_ostream: a non-template stream class
+/// that writes to a \c FILE* or an owned \c std::string. Library code uses
+/// this instead of \c <iostream> (which injects static constructors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_RAWOSTREAM_H
+#define ADE_SUPPORT_RAWOSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ade {
+
+/// Abstract byte-oriented output stream.
+class RawOstream {
+public:
+  virtual ~RawOstream();
+
+  RawOstream &operator<<(char C) {
+    writeBytes(&C, 1);
+    return *this;
+  }
+  RawOstream &operator<<(const char *Str) {
+    return *this << std::string_view(Str);
+  }
+  RawOstream &operator<<(std::string_view Str) {
+    writeBytes(Str.data(), Str.size());
+    return *this;
+  }
+  RawOstream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+  RawOstream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+  RawOstream &operator<<(uint64_t N);
+  RawOstream &operator<<(int64_t N);
+  RawOstream &operator<<(uint32_t N) { return *this << uint64_t(N); }
+  RawOstream &operator<<(int32_t N) { return *this << int64_t(N); }
+  RawOstream &operator<<(double D);
+  RawOstream &operator<<(const void *P);
+
+  /// Appends \p N formatted with \p Width right-justified columns.
+  RawOstream &padded(uint64_t N, unsigned Width);
+
+  /// Indents by \p N spaces.
+  RawOstream &indent(unsigned N);
+
+  virtual void flush() {}
+
+protected:
+  virtual void writeBytes(const char *Data, size_t Size) = 0;
+};
+
+/// Stream that appends to an external std::string.
+class RawStringOstream : public RawOstream {
+public:
+  explicit RawStringOstream(std::string &Buffer) : Buffer(Buffer) {}
+
+  /// The accumulated contents.
+  std::string_view str() const { return Buffer; }
+
+private:
+  void writeBytes(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+
+  std::string &Buffer;
+};
+
+/// Stream that writes to a C \c FILE*, unowned.
+class RawFileOstream : public RawOstream {
+public:
+  explicit RawFileOstream(std::FILE *File) : File(File) {}
+
+  void flush() override { std::fflush(File); }
+
+private:
+  void writeBytes(const char *Data, size_t Size) override {
+    std::fwrite(Data, 1, Size, File);
+  }
+
+  std::FILE *File;
+};
+
+/// Returns a stream connected to stdout.
+RawOstream &outs();
+
+/// Returns a stream connected to stderr.
+RawOstream &errs();
+
+} // namespace ade
+
+#endif // ADE_SUPPORT_RAWOSTREAM_H

@@ -1,0 +1,133 @@
+//===- UnionFind.h - Disjoint-set forest ------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A disjoint-set forest with union-by-rank and path compression, used by
+/// the interprocedural enumeration unification of Algorithm 5 and by the
+/// MST benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_UNIONFIND_H
+#define ADE_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ade {
+
+/// Disjoint-set forest over dense indices [0, size()).
+class UnionFind {
+public:
+  UnionFind() = default;
+  explicit UnionFind(size_t N) { grow(N); }
+
+  /// Number of elements tracked.
+  size_t size() const { return Parent.size(); }
+
+  /// Ensures elements [0, N) exist, each initially a singleton.
+  void grow(size_t N) {
+    size_t Old = Parent.size();
+    if (N <= Old)
+      return;
+    Parent.resize(N);
+    Rank.resize(N, 0);
+    for (size_t I = Old; I != N; ++I)
+      Parent[I] = static_cast<uint32_t>(I);
+  }
+
+  /// Adds a fresh singleton and returns its index.
+  uint32_t makeSet() {
+    uint32_t Id = static_cast<uint32_t>(Parent.size());
+    Parent.push_back(Id);
+    Rank.push_back(0);
+    return Id;
+  }
+
+  /// Returns the representative of \p X, compressing the path.
+  uint32_t find(uint32_t X) {
+    assert(X < Parent.size() && "find() out of range");
+    uint32_t Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[X] != Root) {
+      uint32_t Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  /// Merges the sets containing \p A and \p B; returns the new root.
+  uint32_t unite(uint32_t A, uint32_t B) {
+    uint32_t RA = find(A), RB = find(B);
+    if (RA == RB)
+      return RA;
+    if (Rank[RA] < Rank[RB])
+      std::swap(RA, RB);
+    Parent[RB] = RA;
+    if (Rank[RA] == Rank[RB])
+      ++Rank[RA];
+    return RA;
+  }
+
+  /// Returns true if \p A and \p B are in the same set.
+  bool connected(uint32_t A, uint32_t B) { return find(A) == find(B); }
+
+  /// Number of distinct sets.
+  size_t numSets() {
+    size_t N = 0;
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Parent.size()); I != E; ++I)
+      if (find(I) == I)
+        ++N;
+    return N;
+  }
+
+private:
+  std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+/// Disjoint-set forest keyed by arbitrary pointers or handles, built on top
+/// of \c UnionFind. Used where the element universe is discovered lazily
+/// (e.g. IR values in Algorithm 5).
+template <typename T> class KeyedUnionFind {
+public:
+  /// Returns the dense id for \p Key, creating a singleton on first use.
+  uint32_t id(const T &Key) {
+    auto [It, Inserted] = Ids.try_emplace(Key, 0);
+    if (Inserted)
+      It->second = Impl.makeSet();
+    return It->second;
+  }
+
+  /// Returns true if \p Key has been registered.
+  bool contains(const T &Key) const { return Ids.count(Key) != 0; }
+
+  uint32_t find(const T &Key) { return Impl.find(id(Key)); }
+  uint32_t unite(const T &A, const T &B) { return Impl.unite(id(A), id(B)); }
+  bool connected(const T &A, const T &B) {
+    return Impl.find(id(A)) == Impl.find(id(B));
+  }
+  size_t size() const { return Ids.size(); }
+
+  /// Invokes \p Fn(key, representativeId) for every registered key.
+  template <typename FnT> void forEach(FnT Fn) {
+    for (auto &[Key, Id] : Ids)
+      Fn(Key, Impl.find(Id));
+  }
+
+private:
+  UnionFind Impl;
+  std::unordered_map<T, uint32_t> Ids;
+};
+
+} // namespace ade
+
+#endif // ADE_SUPPORT_UNIONFIND_H

@@ -1,0 +1,161 @@
+//===- adec.cpp - ADE compiler driver -------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line driver: parses a .memoir module, optionally applies
+/// automatic data enumeration, prints the (transformed) module and/or
+/// interprets a function.
+///
+/// Usage:
+///   adec FILE.memoir [options]
+///     --ade                   run automatic data enumeration
+///     --no-rte                disable redundant translation elimination
+///     --no-sharing            disable enumeration sharing
+///     --no-propagation        disable identifier propagation
+///     --sparse                use SparseBitSet for enumerated sets
+///     --print                 print the module after transformation
+///     --run[=FUNC]            interpret FUNC (default @main) and print
+///                             its result, dynamic stats and peak memory
+///     --args=a,b,c            u64 arguments for --run
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "support/RawOstream.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ade;
+
+static int usage() {
+  std::fprintf(
+      stderr,
+      "usage: adec FILE.memoir [--ade] [--no-rte] [--no-sharing]\n"
+      "            [--no-propagation] [--sparse] [--print]\n"
+      "            [--run[=FUNC]] [--args=a,b,c]\n");
+  return 1;
+}
+
+static bool readFile(const char *Path, std::string &Out) {
+  std::FILE *File = std::fopen(Path, "rb");
+  if (!File)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Out.append(Buf, N);
+  std::fclose(File);
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  const char *Path = nullptr;
+  bool RunAde = false, Print = false, Run = false;
+  std::string RunFunc = "main";
+  std::vector<uint64_t> RunArgs;
+  core::PipelineConfig Config;
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--ade") {
+      RunAde = true;
+    } else if (Arg == "--no-rte") {
+      Config.EnableRTE = false;
+    } else if (Arg == "--no-sharing") {
+      Config.EnableSharing = false;
+    } else if (Arg == "--no-propagation") {
+      Config.EnablePropagation = false;
+    } else if (Arg == "--sparse") {
+      Config.Selection.EnumeratedSet = ir::Selection::SparseBitSet;
+    } else if (Arg == "--print") {
+      Print = true;
+    } else if (Arg.rfind("--run", 0) == 0) {
+      Run = true;
+      if (Arg.size() > 6 && Arg[5] == '=')
+        RunFunc = Arg.substr(6);
+    } else if (Arg.rfind("--args=", 0) == 0) {
+      std::string List = Arg.substr(7);
+      size_t Pos = 0;
+      while (Pos < List.size()) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        RunArgs.push_back(
+            std::strtoull(List.substr(Pos, Comma - Pos).c_str(), nullptr,
+                          10));
+        Pos = Comma + 1;
+      }
+    } else if (Arg[0] != '-' && !Path) {
+      Path = Argv[I];
+    } else {
+      return usage();
+    }
+  }
+  if (!Path)
+    return usage();
+
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path);
+    return 1;
+  }
+
+  std::vector<std::string> Errors;
+  auto M = parser::parseModule(Source, Errors);
+  if (!M) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "%s: %s\n", Path, E.c_str());
+    return 1;
+  }
+  Errors.clear();
+  if (!ir::verifyModule(*M, Errors)) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "%s: verification: %s\n", Path, E.c_str());
+    return 1;
+  }
+
+  if (RunAde) {
+    core::PipelineResult Result = core::runADE(*M, Config);
+    std::fprintf(stderr,
+                 "adec: %u enumeration(s), %u enc, %u dec, %u add, "
+                 "%u site(s) eliminated\n",
+                 Result.Transform.EnumerationsCreated,
+                 Result.Transform.EncInserted, Result.Transform.DecInserted,
+                 Result.Transform.AddInserted,
+                 Result.Transform.TranslationsSkipped);
+  }
+
+  RawOstream &OS = outs();
+  if (Print)
+    printModule(*M, OS);
+
+  if (Run) {
+    const ir::Function *F = M->getFunction(RunFunc);
+    if (!F) {
+      std::fprintf(stderr, "error: no function @%s\n", RunFunc.c_str());
+      return 1;
+    }
+    MemoryTracker::instance().reset();
+    interp::Interpreter I(*M);
+    uint64_t Result = I.call(F, RunArgs);
+    OS << "@" << RunFunc << " = " << Result << "\n";
+    OS << "accesses: sparse=" << I.stats().Sparse
+       << " dense=" << I.stats().Dense
+       << " instructions=" << I.stats().InstructionsExecuted << "\n";
+    OS << "peak collection bytes: "
+       << MemoryTracker::instance().peakBytes() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+//===- BenchmarksTest.cpp -------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end validation of the 16 evaluation programs: every benchmark
+/// parses, verifies, transforms under every configuration, and produces
+/// the same checksum under all of them (the differential-correctness
+/// property that underwrites the paper reproduction). Runs at a small
+/// input scale to stay fast.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+#include "ir/IR.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::bench;
+
+namespace {
+
+class BenchmarkSuiteTest
+    : public ::testing::TestWithParam<const BenchmarkSpec *> {};
+
+TEST_P(BenchmarkSuiteTest, ParsesAndVerifies) {
+  const BenchmarkSpec &B = *GetParam();
+  auto M = parser::parseModuleOrDie(B.Source);
+  EXPECT_NE(M->getFunction("build"), nullptr);
+  EXPECT_NE(M->getFunction("kernel"), nullptr);
+}
+
+TEST_P(BenchmarkSuiteTest, ChecksumInvariantAcrossConfigs) {
+  const BenchmarkSpec &B = *GetParam();
+  RunOptions Options;
+  Options.ScalePercent = 4;
+  RunResult Baseline = runBenchmark(B, Config::Memoir, Options);
+  // A trivial checksum would make the differential test vacuous.
+  EXPECT_NE(Baseline.Checksum, 0u) << B.Abbrev;
+  for (Config C : {Config::Ade, Config::AdeNoRTE, Config::AdeNoProp,
+                   Config::AdeNoShare, Config::MemoirSwiss,
+                   Config::AdeSwiss, Config::AdeSparse}) {
+    RunResult R = runBenchmark(B, C, Options);
+    EXPECT_EQ(R.Checksum, Baseline.Checksum)
+        << B.Abbrev << " under " << configName(C);
+  }
+}
+
+TEST_P(BenchmarkSuiteTest, BaselineAccessesAreSparse) {
+  const BenchmarkSpec &B = *GetParam();
+  RunOptions Options;
+  Options.ScalePercent = 3;
+  RunResult R = runBenchmark(B, Config::Memoir, Options);
+  // The MEMOIR baseline uses hash implementations throughout: no dense
+  // accesses anywhere (Table II's MEMOIR columns).
+  EXPECT_EQ(R.Stats.Dense, 0u) << B.Abbrev;
+  EXPECT_GT(R.Stats.Sparse, 0u) << B.Abbrev;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, BenchmarkSuiteTest,
+    ::testing::ValuesIn([] {
+      std::vector<const BenchmarkSpec *> Ptrs;
+      for (const BenchmarkSpec &B : allBenchmarks())
+        Ptrs.push_back(&B);
+      return Ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const BenchmarkSpec *> &Info) {
+      return Info.param->Abbrev;
+    });
+
+TEST(Benchmarks, RegistryHasSixteenPrograms) {
+  EXPECT_EQ(allBenchmarks().size(), 16u);
+  EXPECT_NE(findBenchmark("BFS"), nullptr);
+  EXPECT_NE(findBenchmark("PTA"), nullptr);
+  EXPECT_EQ(findBenchmark("nope"), nullptr);
+}
+
+TEST(Benchmarks, AdeEliminatesSparseAccessesOnBfs) {
+  // The headline Table II row: BFS goes from 100% sparse to ~3% sparse.
+  RunOptions Options;
+  Options.ScalePercent = 4;
+  const BenchmarkSpec *B = findBenchmark("BFS");
+  ASSERT_NE(B, nullptr);
+  RunResult Base = runBenchmark(*B, Config::Memoir, Options);
+  RunResult Ade = runBenchmark(*B, Config::Ade, Options);
+  EXPECT_LT(Ade.Stats.Sparse, Base.Stats.Sparse / 2) << "sparse accesses";
+  EXPECT_GT(Ade.Stats.Dense, 0u);
+}
+
+TEST(Benchmarks, PtaInnerNoShareSplitsEnumerations) {
+  // RQ4: the noshare directive detaches the inner points-to sets.
+  RunOptions Options;
+  Options.ScalePercent = 60;
+  const BenchmarkSpec *B = findBenchmark("PTA");
+  ASSERT_NE(B, nullptr);
+  RunResult Default = runBenchmark(*B, Config::Ade, Options);
+  RunOptions Tuned = Options;
+  Tuned.PtaInnerPragma = "#pragma ade enumerate noshare";
+  RunResult NoShare = runBenchmark(*B, Config::Ade, Tuned);
+  EXPECT_EQ(Default.Checksum, NoShare.Checksum);
+  // The tuned version allocates far smaller inner bitsets.
+  EXPECT_LT(NoShare.PeakBytes, Default.PeakBytes);
+}
+
+TEST(Benchmarks, WorkloadsAreDeterministic) {
+  for (const BenchmarkSpec &B : allBenchmarks()) {
+    Workload W1 = B.MakeInput(5);
+    Workload W2 = B.MakeInput(5);
+    EXPECT_EQ(W1.A, W2.A) << B.Abbrev;
+    EXPECT_EQ(W1.B, W2.B) << B.Abbrev;
+    EXPECT_EQ(W1.C, W2.C) << B.Abbrev;
+  }
+}
+
+TEST(Benchmarks, ScaleChangesInputSize) {
+  const BenchmarkSpec *B = findBenchmark("CC");
+  ASSERT_NE(B, nullptr);
+  EXPECT_LT(B->MakeInput(5).A.size(), B->MakeInput(50).A.size());
+}
+
+} // namespace

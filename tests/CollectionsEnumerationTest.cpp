@@ -1,0 +1,113 @@
+//===- CollectionsEnumerationTest.cpp -------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The enumeration runtime invariants of SIII-B: identifiers are unique,
+/// contiguous, first-encounter ordered, and stable; decode inverts encode.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/Enumeration.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace ade;
+
+namespace {
+
+TEST(Enumeration, AddAssignsContiguousIds) {
+  Enumeration<uint64_t> E;
+  auto [Id0, New0] = E.add(1000);
+  auto [Id1, New1] = E.add(5);
+  auto [Id2, New2] = E.add(99999);
+  EXPECT_TRUE(New0 && New1 && New2);
+  EXPECT_EQ(Id0, 0u);
+  EXPECT_EQ(Id1, 1u);
+  EXPECT_EQ(Id2, 2u);
+  EXPECT_EQ(E.size(), 3u);
+}
+
+TEST(Enumeration, AddIsIdempotent) {
+  Enumeration<uint64_t> E;
+  auto [IdA, NewA] = E.add(7);
+  auto [IdB, NewB] = E.add(7);
+  EXPECT_TRUE(NewA);
+  EXPECT_FALSE(NewB);
+  EXPECT_EQ(IdA, IdB);
+  EXPECT_EQ(E.size(), 1u);
+}
+
+TEST(Enumeration, DecodeInvertsEncode) {
+  Enumeration<uint64_t> E;
+  Rng R(17);
+  std::vector<uint64_t> Keys;
+  std::set<uint64_t> Unique;
+  for (int I = 0; I != 1000; ++I) {
+    uint64_t Key = R.nextBelow(500);
+    E.add(Key);
+    if (Unique.insert(Key).second)
+      Keys.push_back(Key);
+  }
+  EXPECT_EQ(E.size(), Unique.size());
+  for (uint64_t Key : Keys) {
+    uint64_t Id = E.encode(Key);
+    EXPECT_LT(Id, E.size());
+    EXPECT_EQ(E.decode(Id), Key);
+  }
+}
+
+TEST(Enumeration, FirstEncounterOrder) {
+  Enumeration<std::string> E;
+  E.add("foo");
+  E.add("bar");
+  E.add("foo"); // Listing from the introduction: ["foo","bar","foo"].
+  EXPECT_EQ(E.size(), 2u);
+  EXPECT_EQ(E.encode("foo"), 0u);
+  EXPECT_EQ(E.encode("bar"), 1u);
+  EXPECT_EQ(E.decode(0), "foo");
+  EXPECT_EQ(E.decode(1), "bar");
+}
+
+TEST(Enumeration, ContainsTracksMembership) {
+  Enumeration<uint64_t> E;
+  EXPECT_FALSE(E.contains(3));
+  E.add(3);
+  EXPECT_TRUE(E.contains(3));
+}
+
+TEST(Enumeration, IdsAreStableAcrossGrowth) {
+  Enumeration<uint64_t> E;
+  E.add(42);
+  uint64_t Id = E.encode(42);
+  for (uint64_t I = 0; I != 100000; ++I)
+    E.add(I + 1000000);
+  EXPECT_EQ(E.encode(42), Id);
+  EXPECT_EQ(E.decode(Id), 42u);
+}
+
+TEST(Enumeration, ClearResets) {
+  Enumeration<uint64_t> E;
+  E.add(1);
+  E.clear();
+  EXPECT_TRUE(E.empty());
+  auto [Id, New] = E.add(2);
+  EXPECT_TRUE(New);
+  EXPECT_EQ(Id, 0u);
+}
+
+TEST(Enumeration, MemoryGrowsWithKeys) {
+  Enumeration<uint64_t> E;
+  size_t Before = E.memoryBytes();
+  for (uint64_t I = 0; I != 10000; ++I)
+    E.add(I * 977);
+  EXPECT_GT(E.memoryBytes(), Before);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- CollectionsMapTest.cpp ---------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Differential tests of HashMap, SwissMap and BitMap against std::map.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/BitMap.h"
+#include "collections/HashMap.h"
+#include "collections/SwissMap.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+using namespace ade;
+
+namespace {
+
+template <typename MapT> class MapApiTest : public ::testing::Test {};
+
+using MapTypes =
+    ::testing::Types<HashMap<uint64_t, uint64_t>, SwissMap<uint64_t, uint64_t>,
+                     BitMap<uint64_t>>;
+TYPED_TEST_SUITE(MapApiTest, MapTypes);
+
+TYPED_TEST(MapApiTest, StartsEmpty) {
+  TypeParam Map;
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.lookup(3), nullptr);
+  EXPECT_FALSE(Map.contains(3));
+}
+
+TYPED_TEST(MapApiTest, InsertOrAssignOverwrites) {
+  TypeParam Map;
+  EXPECT_TRUE(Map.insertOrAssign(1, 10));
+  EXPECT_FALSE(Map.insertOrAssign(1, 20));
+  EXPECT_EQ(Map.at(1), 20u);
+  EXPECT_EQ(Map.size(), 1u);
+}
+
+TYPED_TEST(MapApiTest, TryInsertKeepsFirstValue) {
+  TypeParam Map;
+  EXPECT_TRUE(Map.tryInsert(1, 10));
+  EXPECT_FALSE(Map.tryInsert(1, 20));
+  EXPECT_EQ(Map.at(1), 10u);
+}
+
+TYPED_TEST(MapApiTest, RemoveErasesMapping) {
+  TypeParam Map;
+  Map.insertOrAssign(5, 50);
+  EXPECT_TRUE(Map.remove(5));
+  EXPECT_FALSE(Map.remove(5));
+  EXPECT_EQ(Map.lookup(5), nullptr);
+}
+
+TYPED_TEST(MapApiTest, LookupIsMutable) {
+  TypeParam Map;
+  Map.insertOrAssign(2, 7);
+  *Map.lookup(2) += 1;
+  EXPECT_EQ(Map.at(2), 8u);
+}
+
+TYPED_TEST(MapApiTest, ForEachVisitsAllMappings) {
+  TypeParam Map;
+  std::map<uint64_t, uint64_t> Ref;
+  Rng R(31);
+  for (int I = 0; I != 400; ++I) {
+    uint64_t Key = R.nextBelow(1000), Value = R.next();
+    Map.insertOrAssign(Key, Value);
+    Ref[Key] = Value;
+  }
+  std::map<uint64_t, uint64_t> Seen;
+  Map.forEach([&](uint64_t Key, uint64_t &Value) {
+    EXPECT_TRUE(Seen.emplace(Key, Value).second) << "duplicate key " << Key;
+  });
+  EXPECT_EQ(Seen, Ref);
+}
+
+TYPED_TEST(MapApiTest, ClearAllowsReuse) {
+  TypeParam Map;
+  for (uint64_t I = 0; I != 64; ++I)
+    Map.insertOrAssign(I, I);
+  Map.clear();
+  EXPECT_TRUE(Map.empty());
+  Map.insertOrAssign(1, 2);
+  EXPECT_EQ(Map.at(1), 2u);
+}
+
+/// Randomized differential sweep against std::map.
+struct MapWorkload {
+  const char *Name;
+  size_t Ops;
+  uint64_t KeyRange;
+};
+
+class MapDifferentialTest : public ::testing::TestWithParam<MapWorkload> {};
+
+template <typename MapT> void runMapDifferential(const MapWorkload &W,
+                                                 uint64_t Seed) {
+  MapT Map;
+  std::map<uint64_t, uint64_t> Ref;
+  Rng R(Seed);
+  for (size_t I = 0; I != W.Ops; ++I) {
+    uint64_t Key = R.nextBelow(W.KeyRange);
+    switch (R.nextBelow(5)) {
+    case 0:
+    case 1: {
+      uint64_t Value = R.nextBelow(1 << 20);
+      EXPECT_EQ(Map.insertOrAssign(Key, Value), Ref.count(Key) == 0);
+      Ref[Key] = Value;
+      break;
+    }
+    case 2: {
+      auto It = Ref.find(Key);
+      uint64_t *Found = Map.lookup(Key);
+      if (It == Ref.end()) {
+        EXPECT_EQ(Found, nullptr);
+      } else {
+        ASSERT_NE(Found, nullptr);
+        EXPECT_EQ(*Found, It->second);
+      }
+      break;
+    }
+    case 3:
+      EXPECT_EQ(Map.remove(Key), Ref.erase(Key) != 0);
+      break;
+    case 4:
+      EXPECT_EQ(Map.contains(Key), Ref.count(Key) != 0);
+      break;
+    }
+    ASSERT_EQ(Map.size(), Ref.size()) << "op " << I;
+  }
+}
+
+TEST_P(MapDifferentialTest, HashMap) {
+  runMapDifferential<HashMap<uint64_t, uint64_t>>(GetParam(), 201);
+}
+TEST_P(MapDifferentialTest, SwissMap) {
+  runMapDifferential<SwissMap<uint64_t, uint64_t>>(GetParam(), 202);
+}
+TEST_P(MapDifferentialTest, BitMap) {
+  runMapDifferential<BitMap<uint64_t>>(GetParam(), 203);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, MapDifferentialTest,
+    ::testing::Values(MapWorkload{"tiny", 500, 16},
+                      MapWorkload{"small", 2000, 256},
+                      MapWorkload{"medium", 8000, 1 << 14},
+                      MapWorkload{"sparse", 4000, 1 << 22}),
+    [](const ::testing::TestParamInfo<MapWorkload> &Info) {
+      return Info.param.Name;
+    });
+
+// getOrInsert is the histogram-update primitive (Listing 1).
+
+TEST(HashMapImpl, GetOrInsertDefaultConstructs) {
+  HashMap<uint64_t, uint64_t> Map;
+  EXPECT_EQ(Map.getOrInsert(9), 0u);
+  Map.getOrInsert(9) += 5;
+  EXPECT_EQ(Map.at(9), 5u);
+  EXPECT_EQ(Map.size(), 1u);
+}
+
+TEST(SwissMapImpl, GetOrInsertDefaultConstructs) {
+  SwissMap<uint64_t, uint64_t> Map;
+  Map.getOrInsert(9) += 5;
+  Map.getOrInsert(9) += 5;
+  EXPECT_EQ(Map.at(9), 10u);
+}
+
+TEST(HashMapImpl, StringKeysAndValues) {
+  HashMap<std::string, std::string> Map;
+  Map.insertOrAssign("k", "v");
+  EXPECT_EQ(Map.at("k"), "v");
+  Map.getOrInsert("other") = "x";
+  EXPECT_EQ(Map.size(), 2u);
+}
+
+TEST(HashMapImpl, CopySemantics) {
+  HashMap<uint64_t, uint64_t> A;
+  A.insertOrAssign(1, 1);
+  HashMap<uint64_t, uint64_t> B = A;
+  B.insertOrAssign(1, 99);
+  EXPECT_EQ(A.at(1), 1u);
+  EXPECT_EQ(B.at(1), 99u);
+}
+
+TEST(BitMapImpl, DenseStorageIndexedByKey) {
+  BitMap<uint64_t> Map;
+  Map.insertOrAssign(100, 7);
+  EXPECT_EQ(Map.size(), 1u);
+  // Storage spans the key universe (Table I: k * (1 + bits(T))).
+  EXPECT_GE(Map.memoryBytes(), 100 * sizeof(uint64_t));
+  Map.insertOrAssign(3, 1);
+  std::vector<uint64_t> Keys;
+  Map.forEach([&](uint64_t Key, uint64_t &) { Keys.push_back(Key); });
+  EXPECT_EQ(Keys, (std::vector<uint64_t>{3, 100})); // Ordered iteration.
+}
+
+TEST(BitMapImpl, RemoveClearsValue) {
+  BitMap<uint64_t> Map;
+  Map.insertOrAssign(4, 44);
+  Map.remove(4);
+  Map.insertOrAssign(4, 0);
+  EXPECT_EQ(Map.at(4), 0u);
+}
+
+} // namespace

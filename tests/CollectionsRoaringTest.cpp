@@ -1,0 +1,225 @@
+//===- CollectionsRoaringTest.cpp -----------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Roaring-specific invariants: container promotion/demotion at the 4096
+/// threshold, multi-chunk behavior, run optimization, and union fast paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/RoaringBitSet.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace ade;
+
+namespace {
+
+TEST(Roaring, ArrayContainerBelowCutoff) {
+  RoaringBitSet Set;
+  for (uint64_t I = 0; I != roaring::ArrayCutoff; ++I)
+    Set.insert(I * 2);
+  // Exactly ArrayCutoff members of one chunk: stays an array container.
+  auto Counts = Set.containerCounts();
+  EXPECT_EQ(Counts.Array, 1u);
+  EXPECT_EQ(Counts.Bitmap, 0u);
+}
+
+TEST(Roaring, PromotesToBitmapAboveCutoff) {
+  RoaringBitSet Set;
+  for (uint64_t I = 0; I != roaring::ArrayCutoff + 1; ++I)
+    Set.insert(I); // Single chunk, cardinality 4097.
+  auto Counts = Set.containerCounts();
+  EXPECT_EQ(Counts.Array, 0u);
+  EXPECT_EQ(Counts.Bitmap, 1u);
+  EXPECT_EQ(Set.size(), roaring::ArrayCutoff + 1);
+}
+
+TEST(Roaring, DemotesToArrayOnRemoval) {
+  RoaringBitSet Set;
+  for (uint64_t I = 0; I != 5000; ++I)
+    Set.insert(I);
+  ASSERT_EQ(Set.containerCounts().Bitmap, 1u);
+  for (uint64_t I = 4096; I != 5000; ++I)
+    Set.remove(I);
+  EXPECT_EQ(Set.containerCounts().Array, 1u);
+  EXPECT_EQ(Set.size(), 4096u);
+  EXPECT_TRUE(Set.contains(0));
+  EXPECT_FALSE(Set.contains(4096));
+}
+
+TEST(Roaring, EmptyChunkIsFreed) {
+  RoaringBitSet Set;
+  Set.insert(1);
+  Set.insert(1ULL << 20); // Second chunk.
+  EXPECT_EQ(Set.containerCounts().Array, 2u);
+  Set.remove(1ULL << 20);
+  EXPECT_EQ(Set.containerCounts().Array, 1u);
+}
+
+TEST(Roaring, SparseKeysAcrossChunks) {
+  RoaringBitSet Set;
+  std::vector<uint64_t> Keys;
+  for (uint64_t I = 0; I != 64; ++I)
+    Keys.push_back(I << 16 | (I * 7 & 0xffff));
+  for (uint64_t Key : Keys)
+    EXPECT_TRUE(Set.insert(Key));
+  EXPECT_EQ(Set.containerCounts().Array, 64u);
+  for (uint64_t Key : Keys)
+    EXPECT_TRUE(Set.contains(Key));
+  std::vector<uint64_t> Iterated;
+  Set.forEach([&](uint64_t Key) { Iterated.push_back(Key); });
+  EXPECT_TRUE(std::is_sorted(Iterated.begin(), Iterated.end()));
+  EXPECT_EQ(Iterated.size(), Keys.size());
+}
+
+TEST(Roaring, RunOptimizeCompressesContiguousRange) {
+  RoaringBitSet Set;
+  for (uint64_t I = 0; I != 60000; ++I)
+    Set.insert(I); // One dense chunk: bitmap.
+  ASSERT_EQ(Set.containerCounts().Bitmap, 1u);
+  size_t Before = Set.memoryBytes();
+  EXPECT_EQ(Set.runOptimize(), 1u);
+  EXPECT_EQ(Set.containerCounts().Run, 1u);
+  EXPECT_LT(Set.memoryBytes(), Before);
+  // Contents are preserved.
+  EXPECT_EQ(Set.size(), 60000u);
+  EXPECT_TRUE(Set.contains(0));
+  EXPECT_TRUE(Set.contains(59999));
+  EXPECT_FALSE(Set.contains(60000));
+}
+
+TEST(Roaring, RunOptimizeSkipsIncompressible) {
+  RoaringBitSet Set;
+  for (uint64_t I = 0; I != 1000; ++I)
+    Set.insert(I * 2); // No adjacent pairs: runs would be larger.
+  EXPECT_EQ(Set.runOptimize(), 0u);
+  EXPECT_EQ(Set.containerCounts().Array, 1u);
+}
+
+TEST(Roaring, MutatingRunContainerMaterializes) {
+  RoaringBitSet Set;
+  for (uint64_t I = 100; I != 50000; ++I)
+    Set.insert(I);
+  Set.runOptimize();
+  ASSERT_EQ(Set.containerCounts().Run, 1u);
+  // Insert of a present key leaves the run container untouched.
+  EXPECT_FALSE(Set.insert(500));
+  EXPECT_EQ(Set.containerCounts().Run, 1u);
+  // Insert of a new key materializes.
+  EXPECT_TRUE(Set.insert(50));
+  EXPECT_EQ(Set.containerCounts().Run, 0u);
+  EXPECT_TRUE(Set.contains(50));
+  EXPECT_TRUE(Set.contains(49999));
+  EXPECT_EQ(Set.size(), 49901u);
+}
+
+TEST(Roaring, RemoveFromRunContainer) {
+  RoaringBitSet Set;
+  for (uint64_t I = 0; I != 30000; ++I)
+    Set.insert(I);
+  Set.runOptimize();
+  EXPECT_FALSE(Set.remove(40000));
+  EXPECT_EQ(Set.containerCounts().Run, 1u); // Absent key: no materialize.
+  EXPECT_TRUE(Set.remove(15000));
+  EXPECT_FALSE(Set.contains(15000));
+  EXPECT_EQ(Set.size(), 29999u);
+}
+
+TEST(Roaring, UnionBitmapBitmapFastPath) {
+  RoaringBitSet A, B;
+  for (uint64_t I = 0; I != 10000; ++I) {
+    A.insert(I * 2);
+    B.insert(I * 2 + 1);
+  }
+  ASSERT_EQ(A.containerCounts().Bitmap, 1u);
+  ASSERT_EQ(B.containerCounts().Bitmap, 1u);
+  A.unionWith(B);
+  EXPECT_EQ(A.size(), 20000u);
+  for (uint64_t I = 0; I != 20000; ++I)
+    ASSERT_TRUE(A.contains(I));
+}
+
+TEST(Roaring, UnionPromotesArrays) {
+  RoaringBitSet A, B;
+  for (uint64_t I = 0; I != 3000; ++I) {
+    A.insert(I * 2);
+    B.insert(I * 2 + 1);
+  }
+  A.unionWith(B);
+  EXPECT_EQ(A.size(), 6000u);
+  EXPECT_EQ(A.containerCounts().Bitmap, 1u); // 6000 > 4096 promotes.
+}
+
+TEST(Roaring, UnionCopiesMissingChunksDeeply) {
+  RoaringBitSet A, B;
+  B.insert(1ULL << 24);
+  A.unionWith(B);
+  EXPECT_TRUE(A.contains(1ULL << 24));
+  // Mutating A afterwards must not affect B.
+  A.insert((1ULL << 24) + 1);
+  EXPECT_FALSE(B.contains((1ULL << 24) + 1));
+}
+
+TEST(Roaring, UnionWithRunOperand) {
+  RoaringBitSet A, B;
+  for (uint64_t I = 0; I != 20000; ++I)
+    B.insert(I);
+  B.runOptimize();
+  A.insert(5);
+  A.insert(100000);
+  A.unionWith(B);
+  EXPECT_EQ(A.size(), 20001u); // 5 was already a member of B's range.
+  EXPECT_TRUE(A.contains(19999));
+  EXPECT_TRUE(A.contains(100000));
+}
+
+TEST(Roaring, RandomizedDifferentialWithChurn) {
+  RoaringBitSet Set;
+  std::set<uint64_t> Ref;
+  Rng R(55);
+  for (int I = 0; I != 20000; ++I) {
+    // Bias keys into a few chunks to exercise promotion and demotion.
+    uint64_t Key = (R.nextBelow(3) << 16) | R.nextBelow(6000);
+    if (R.nextBool(0.65)) {
+      EXPECT_EQ(Set.insert(Key), Ref.insert(Key).second);
+    } else {
+      EXPECT_EQ(Set.remove(Key), Ref.erase(Key) != 0);
+    }
+    ASSERT_EQ(Set.size(), Ref.size());
+  }
+  std::vector<uint64_t> Contents;
+  Set.forEach([&](uint64_t Key) { Contents.push_back(Key); });
+  EXPECT_TRUE(std::equal(Contents.begin(), Contents.end(), Ref.begin(),
+                         Ref.end()));
+}
+
+TEST(Roaring, CopyAssignIsDeep) {
+  RoaringBitSet A;
+  for (uint64_t I = 0; I != 100; ++I)
+    A.insert(I);
+  RoaringBitSet B;
+  B = A;
+  B.insert(200);
+  EXPECT_EQ(A.size(), 100u);
+  EXPECT_EQ(B.size(), 101u);
+}
+
+TEST(Roaring, MemoryFavorsSparseData) {
+  // The RQ4 case study: a bitset over a 2^20 universe with 100 members
+  // wastes its bits; roaring stores them compactly.
+  RoaringBitSet Sparse;
+  for (uint64_t I = 0; I != 100; ++I)
+    Sparse.insert(I * 10000);
+  // 100 members spread over ~15 chunks of arrays: well under the 128 KiB a
+  // flat bitset over [0, 10^6) would take.
+  EXPECT_LT(Sparse.memoryBytes(), 16384u);
+}
+
+} // namespace

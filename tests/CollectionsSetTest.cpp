@@ -1,0 +1,317 @@
+//===- CollectionsSetTest.cpp ---------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Differential tests of every set implementation of Table I against
+/// std::set, plus implementation-specific behaviors. The typed suite runs
+/// identical workloads over all five set kinds; the parameterized suite
+/// sweeps workload shapes (size, key range, operation mix).
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/BitSet.h"
+#include "collections/FlatSet.h"
+#include "collections/HashSet.h"
+#include "collections/RoaringBitSet.h"
+#include "collections/SwissSet.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace ade;
+
+namespace {
+
+template <typename SetT> class SetApiTest : public ::testing::Test {};
+
+using SetTypes = ::testing::Types<HashSet<uint64_t>, SwissSet<uint64_t>,
+                                  FlatSet<uint64_t>, BitSet, RoaringBitSet>;
+TYPED_TEST_SUITE(SetApiTest, SetTypes);
+
+TYPED_TEST(SetApiTest, StartsEmpty) {
+  TypeParam Set;
+  EXPECT_TRUE(Set.empty());
+  EXPECT_EQ(Set.size(), 0u);
+  EXPECT_FALSE(Set.contains(0));
+  EXPECT_FALSE(Set.contains(12345));
+}
+
+TYPED_TEST(SetApiTest, InsertIsIdempotent) {
+  TypeParam Set;
+  EXPECT_TRUE(Set.insert(42));
+  EXPECT_FALSE(Set.insert(42));
+  EXPECT_EQ(Set.size(), 1u);
+  EXPECT_TRUE(Set.contains(42));
+}
+
+TYPED_TEST(SetApiTest, RemoveReportsPresence) {
+  TypeParam Set;
+  Set.insert(7);
+  EXPECT_FALSE(Set.remove(8));
+  EXPECT_TRUE(Set.remove(7));
+  EXPECT_FALSE(Set.remove(7));
+  EXPECT_TRUE(Set.empty());
+}
+
+TYPED_TEST(SetApiTest, ClearEmptiesAndAllowsReuse) {
+  TypeParam Set;
+  for (uint64_t I = 0; I != 100; ++I)
+    Set.insert(I * 3);
+  Set.clear();
+  EXPECT_TRUE(Set.empty());
+  EXPECT_FALSE(Set.contains(3));
+  EXPECT_TRUE(Set.insert(3));
+  EXPECT_EQ(Set.size(), 1u);
+}
+
+TYPED_TEST(SetApiTest, ForEachVisitsExactlyMembers) {
+  TypeParam Set;
+  std::set<uint64_t> Expected;
+  Rng R(11);
+  for (int I = 0; I != 300; ++I) {
+    uint64_t Key = R.nextBelow(1000);
+    Set.insert(Key);
+    Expected.insert(Key);
+  }
+  std::multiset<uint64_t> Visited;
+  Set.forEach([&](uint64_t Key) { Visited.insert(Key); });
+  EXPECT_EQ(Visited.size(), Expected.size()); // No duplicates.
+  EXPECT_TRUE(std::equal(Expected.begin(), Expected.end(), Visited.begin(),
+                         Visited.end()));
+}
+
+TYPED_TEST(SetApiTest, UnionWithMatchesSetUnion) {
+  TypeParam A, B;
+  std::set<uint64_t> RefA, RefB;
+  Rng R(13);
+  for (int I = 0; I != 200; ++I) {
+    uint64_t KA = R.nextBelow(500), KB = R.nextBelow(500);
+    A.insert(KA);
+    RefA.insert(KA);
+    B.insert(KB);
+    RefB.insert(KB);
+  }
+  A.unionWith(B);
+  RefA.insert(RefB.begin(), RefB.end());
+  EXPECT_EQ(A.size(), RefA.size());
+  for (uint64_t Key : RefA)
+    EXPECT_TRUE(A.contains(Key)) << Key;
+}
+
+TYPED_TEST(SetApiTest, UnionWithEmptyIsNoop) {
+  TypeParam A, B;
+  A.insert(1);
+  A.insert(2);
+  A.unionWith(B);
+  EXPECT_EQ(A.size(), 2u);
+  B.unionWith(A);
+  EXPECT_EQ(B.size(), 2u);
+  EXPECT_TRUE(B.contains(1));
+  EXPECT_TRUE(B.contains(2));
+}
+
+TYPED_TEST(SetApiTest, MemoryBytesGrowsWithContent) {
+  TypeParam Set;
+  size_t Empty = Set.memoryBytes();
+  for (uint64_t I = 0; I != 4096; ++I)
+    Set.insert(I);
+  EXPECT_GT(Set.memoryBytes(), Empty);
+}
+
+/// Workload shape for the randomized differential sweep.
+struct Workload {
+  const char *Name;
+  size_t Ops;
+  uint64_t KeyRange;
+  double InsertP; // Remainder splits evenly between remove and query.
+};
+
+class SetDifferentialTest : public ::testing::TestWithParam<Workload> {};
+
+template <typename SetT>
+void runDifferential(const Workload &W, uint64_t Seed) {
+  SetT Set;
+  std::set<uint64_t> Ref;
+  Rng R(Seed);
+  for (size_t I = 0; I != W.Ops; ++I) {
+    uint64_t Key = R.nextBelow(W.KeyRange);
+    double Dice = R.nextDouble();
+    if (Dice < W.InsertP) {
+      EXPECT_EQ(Set.insert(Key), Ref.insert(Key).second);
+    } else if (Dice < W.InsertP + (1 - W.InsertP) / 2) {
+      EXPECT_EQ(Set.remove(Key), Ref.erase(Key) != 0);
+    } else {
+      EXPECT_EQ(Set.contains(Key), Ref.count(Key) != 0);
+    }
+    ASSERT_EQ(Set.size(), Ref.size()) << "op " << I;
+  }
+  // Final full-content check, in sorted order where supported.
+  std::vector<uint64_t> Contents;
+  Set.forEach([&](uint64_t Key) { Contents.push_back(Key); });
+  std::sort(Contents.begin(), Contents.end());
+  EXPECT_TRUE(std::equal(Contents.begin(), Contents.end(), Ref.begin(),
+                         Ref.end()));
+}
+
+TEST_P(SetDifferentialTest, HashSet) {
+  runDifferential<HashSet<uint64_t>>(GetParam(), 101);
+}
+TEST_P(SetDifferentialTest, SwissSet) {
+  runDifferential<SwissSet<uint64_t>>(GetParam(), 102);
+}
+TEST_P(SetDifferentialTest, FlatSet) {
+  runDifferential<FlatSet<uint64_t>>(GetParam(), 103);
+}
+TEST_P(SetDifferentialTest, BitSet) {
+  runDifferential<BitSet>(GetParam(), 104);
+}
+TEST_P(SetDifferentialTest, RoaringBitSet) {
+  runDifferential<RoaringBitSet>(GetParam(), 105);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SetDifferentialTest,
+    ::testing::Values(
+        Workload{"tiny_dense", 500, 16, 0.6},
+        Workload{"small_churn", 2000, 128, 0.4},
+        Workload{"medium_sparse", 5000, 1u << 20, 0.7},
+        Workload{"grow_only", 3000, 1u << 16, 1.0},
+        Workload{"query_heavy", 4000, 4096, 0.2},
+        Workload{"remove_heavy", 4000, 256, 0.34}),
+    [](const ::testing::TestParamInfo<Workload> &Info) {
+      return Info.param.Name;
+    });
+
+// BitSet-specific behavior.
+
+TEST(BitSetImpl, UniverseGrowsToLargestKey) {
+  BitSet Set;
+  Set.insert(1000);
+  EXPECT_GE(Set.universeSize(), 1001u);
+  EXPECT_LT(Set.universeSize(), 1000u + 64u);
+  // Storage is k bits (Table I), independent of cardinality.
+  EXPECT_EQ(Set.size(), 1u);
+}
+
+TEST(BitSetImpl, IterationIsOrdered) {
+  BitSet Set;
+  for (uint64_t Key : {900u, 3u, 64u, 65u, 1u})
+    Set.insert(Key);
+  std::vector<uint64_t> Order;
+  Set.forEach([&](uint64_t Key) { Order.push_back(Key); });
+  EXPECT_TRUE(std::is_sorted(Order.begin(), Order.end()));
+  EXPECT_EQ(Order.size(), 5u);
+}
+
+TEST(BitSetImpl, IntersectWith) {
+  BitSet A, B;
+  for (uint64_t I = 0; I != 100; ++I)
+    A.insert(I * 2); // Evens below 200.
+  for (uint64_t I = 0; I != 100; ++I)
+    B.insert(I * 3); // Multiples of 3 below 300.
+  A.intersectWith(B);
+  EXPECT_EQ(A.size(), 34u); // Multiples of 6 in [0, 200): 0, 6, ..., 198.
+  EXPECT_TRUE(A.contains(6));
+  EXPECT_FALSE(A.contains(2));
+}
+
+TEST(BitSetImpl, EqualityIgnoresUniverseTail) {
+  BitSet A, B;
+  A.insert(5);
+  B.insert(5);
+  B.insert(1000);
+  B.remove(1000); // B has a larger universe but identical contents.
+  EXPECT_TRUE(A == B);
+}
+
+// FlatSet-specific behavior.
+
+TEST(FlatSetImpl, IterationIsSortedAndContiguous) {
+  FlatSet<uint64_t> Set;
+  for (uint64_t Key : {9u, 1u, 5u, 3u})
+    Set.insert(Key);
+  std::vector<uint64_t> Order(Set.begin(), Set.end());
+  EXPECT_EQ(Order, (std::vector<uint64_t>{1, 3, 5, 9}));
+}
+
+TEST(FlatSetImpl, IntersectWith) {
+  FlatSet<uint64_t> A, B;
+  for (uint64_t I = 0; I != 10; ++I)
+    A.insert(I);
+  for (uint64_t I = 5; I != 15; ++I)
+    B.insert(I);
+  A.intersectWith(B);
+  EXPECT_EQ(A.size(), 5u);
+  EXPECT_TRUE(A.contains(5));
+  EXPECT_FALSE(A.contains(4));
+}
+
+// SwissSet-specific behavior: tombstone reuse must not lose keys or leak
+// growth.
+
+TEST(SwissSetImpl, HeavyChurnKeepsTableConsistent) {
+  SwissSet<uint64_t> Set;
+  std::set<uint64_t> Ref;
+  Rng R(77);
+  for (int Round = 0; Round != 50; ++Round) {
+    for (uint64_t I = 0; I != 64; ++I) {
+      uint64_t Key = R.nextBelow(128);
+      Set.insert(Key);
+      Ref.insert(Key);
+    }
+    for (uint64_t I = 0; I != 64; ++I) {
+      uint64_t Key = R.nextBelow(128);
+      EXPECT_EQ(Set.remove(Key), Ref.erase(Key) != 0);
+    }
+    ASSERT_EQ(Set.size(), Ref.size());
+    for (uint64_t Key = 0; Key != 128; ++Key)
+      ASSERT_EQ(Set.contains(Key), Ref.count(Key) != 0) << Key;
+  }
+}
+
+TEST(SwissSetImpl, LargeInsertionRehashes) {
+  SwissSet<uint64_t> Set;
+  for (uint64_t I = 0; I != 100000; ++I)
+    Set.insert(I * 2654435761u);
+  EXPECT_EQ(Set.size(), 100000u);
+  for (uint64_t I = 0; I != 100000; ++I)
+    ASSERT_TRUE(Set.contains(I * 2654435761u)) << I;
+}
+
+// HashSet copy/move semantics used by the runtime wrappers.
+
+TEST(HashSetImpl, CopyIsDeep) {
+  HashSet<uint64_t> A;
+  A.insert(1);
+  HashSet<uint64_t> B = A;
+  B.insert(2);
+  EXPECT_EQ(A.size(), 1u);
+  EXPECT_EQ(B.size(), 2u);
+}
+
+TEST(HashSetImpl, MoveTransfersContents) {
+  HashSet<uint64_t> A;
+  for (uint64_t I = 0; I != 50; ++I)
+    A.insert(I);
+  HashSet<uint64_t> B = std::move(A);
+  EXPECT_EQ(B.size(), 50u);
+  EXPECT_EQ(A.size(), 0u);
+}
+
+TEST(HashSetImpl, StringKeys) {
+  HashSet<std::string> Set;
+  EXPECT_TRUE(Set.insert("foo"));
+  EXPECT_TRUE(Set.insert("bar"));
+  EXPECT_FALSE(Set.insert("foo"));
+  EXPECT_TRUE(Set.contains("bar"));
+  EXPECT_TRUE(Set.remove("foo"));
+  EXPECT_EQ(Set.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,418 @@
+//===- CoreAnalysisTest.cpp -----------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests of the ADE analyses: root discovery, Algorithm 1/4 use sets,
+/// Algorithm 2 redundancy and benefit, Algorithm 3 candidates, escape
+/// rules, and Algorithm 5 unification edges.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "core/Plan.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::core;
+using namespace ade::ir;
+
+namespace {
+
+/// The histogram program (Listing 1) with a locally built input sequence.
+const char *HistogramSrc = R"(fn @main() -> u64 {
+  %input = new Seq<u64>
+  %a = const 500 : u64
+  %b = const 900 : u64
+  append %input, %a
+  append %input, %b
+  append %input, %a
+  %r = call @count(%input)
+  ret %r
+}
+fn @count(%input: Seq<u64>) -> u64 {
+  %hist = new Map<u64, u32>
+  foreach %input -> [%i, %val] {
+    %cond = has %hist, %val
+    %freq0 = if %cond {
+      %f = read %hist, %val
+      yield %f
+    } else {
+      insert %hist, %val
+      %z = const 0 : u32
+      yield %z
+    }
+    %one = const 1 : u32
+    %freq1 = add %freq0, %one
+    write %hist, %val, %freq1
+    yield
+  }
+  %sz = size %hist
+  ret %sz
+})";
+
+/// Union-find parent chase (Listing 3) plus a driver.
+const char *UnionFindSrc = R"(fn @main() -> u64 {
+  %uf = new Map<u64, u64>
+  %a = const 10 : u64
+  %b = const 20 : u64
+  %c = const 30 : u64
+  write %uf, %a, %b
+  write %uf, %b, %c
+  write %uf, %c, %c
+  %r = call @find(%uf, %a)
+  ret %r
+}
+fn @find(%uf: Map<u64, u64>, %v: u64) -> u64 {
+  %found = dowhile iter(%curr = %v) {
+    %parent = read %uf, %curr
+    %not_done = ne %parent, %curr
+    yield %not_done, %parent
+  }
+  ret %found
+})";
+
+RootInfo *findAllocRoot(ModuleAnalysis &MA, const std::string &Name) {
+  for (const auto &R : MA.roots())
+    if (R->TheKind == RootInfo::Kind::Alloc && R->Anchor->name() == Name)
+      return R.get();
+  return nullptr;
+}
+
+RootInfo *findParamRoot(ModuleAnalysis &MA, const std::string &Name) {
+  for (const auto &R : MA.roots())
+    if (R->TheKind == RootInfo::Kind::Param && R->Anchor->name() == Name)
+      return R.get();
+  return nullptr;
+}
+
+TEST(Analysis, DiscoversRootsAndRefs) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  ModuleAnalysis MA(*M);
+  RootInfo *Hist = findAllocRoot(MA, "hist");
+  ASSERT_NE(Hist, nullptr);
+  EXPECT_TRUE(Hist->isAssociative());
+  EXPECT_EQ(Hist->keyType()->str(), "u64");
+  EXPECT_EQ(Hist->Refs.size(), 1u);
+  RootInfo *Input = findAllocRoot(MA, "input");
+  ASSERT_NE(Input, nullptr);
+  EXPECT_EQ(Input->elemType()->str(), "u64");
+}
+
+TEST(Analysis, Algorithm1UseSets) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  ModuleAnalysis MA(*M);
+  RootInfo *Hist = findAllocRoot(MA, "hist");
+  ASSERT_NE(Hist, nullptr);
+  // has, read keys -> ToEnc; insert and (upserting) write keys -> ToAdd.
+  EXPECT_EQ(Hist->ToEnc.size(), 2u);
+  EXPECT_EQ(Hist->ToAdd.size(), 2u);
+  // No for-each over %hist: no produced keys.
+  EXPECT_TRUE(Hist->ProducedKeys.empty());
+  EXPECT_TRUE(Hist->ToDec.empty());
+}
+
+TEST(Analysis, Algorithm4PropagatorSets) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  ModuleAnalysis MA(*M);
+  RootInfo *Input = findAllocRoot(MA, "input");
+  ASSERT_NE(Input, nullptr);
+  // Three appends of raw values in @main land on the alloc root.
+  EXPECT_EQ(Input->PropToAdd.size(), 3u);
+  // The for-each in @count runs over the unified parameter root: the
+  // element binding %val is produced there, and its uses (has, read,
+  // insert, write keys) form PropToDec.
+  RootInfo *Param = findParamRoot(MA, "input");
+  ASSERT_NE(Param, nullptr);
+  ASSERT_EQ(Param->ProducedElems.size(), 1u);
+  EXPECT_EQ(Param->PropToDec.size(), 4u);
+}
+
+TEST(Analysis, ParamUnifiesWithCallerAlloc) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  ModuleAnalysis MA(*M);
+  RootInfo *Alloc = findAllocRoot(MA, "input");
+  RootInfo *Param = findParamRoot(MA, "input");
+  ASSERT_NE(Alloc, nullptr);
+  ASSERT_NE(Param, nullptr);
+  EXPECT_EQ(MA.aliasClassOf(Alloc), MA.aliasClassOf(Param));
+}
+
+TEST(Analysis, UncalledFunctionParamsEscape) {
+  auto M = parser::parseModuleOrDie(R"(fn @entry(%s: Set<u64>) {
+  %k = const 1 : u64
+  insert %s, %k
+  ret
+})");
+  ModuleAnalysis MA(*M);
+  RootInfo *Param = findParamRoot(MA, "s");
+  ASSERT_NE(Param, nullptr);
+  EXPECT_TRUE(Param->Escapes);
+}
+
+TEST(Analysis, ExternCalleeEscapesArgument) {
+  auto M = parser::parseModuleOrDie(R"(extern fn @sink(Set<u64>)
+fn @main() {
+  %s = new Set<u64>
+  call @sink(%s)
+  ret
+})");
+  ModuleAnalysis MA(*M);
+  RootInfo *S = findAllocRoot(MA, "s");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->Escapes);
+}
+
+TEST(Analysis, GlobalsUnifyAcrossFunctions) {
+  auto M = parser::parseModuleOrDie(R"(global @adj : Map<u64, u64>
+fn @build() {
+  %m = new Map<u64, u64>
+  gset @adj, %m
+  ret
+}
+fn @kernel() -> u64 {
+  %m = gget @adj
+  %sz = size %m
+  ret %sz
+}
+fn @main() -> u64 {
+  call @build()
+  %r = call @kernel()
+  ret %r
+})");
+  ModuleAnalysis MA(*M);
+  RootInfo *Alloc = findAllocRoot(MA, "m");
+  ASSERT_NE(Alloc, nullptr);
+  RootInfo *GlobalRoot = nullptr;
+  for (const auto &R : MA.roots())
+    if (R->TheKind == RootInfo::Kind::Global)
+      GlobalRoot = R.get();
+  ASSERT_NE(GlobalRoot, nullptr);
+  EXPECT_EQ(MA.aliasClassOf(Alloc), MA.aliasClassOf(GlobalRoot));
+  // The gget result in @kernel is a ref of the unified class.
+  EXPECT_GE(GlobalRoot->Refs.size() + Alloc->Refs.size(), 2u);
+}
+
+TEST(Analysis, NestedCollectionsFormChildRoots) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %pts = new Map<ptr, Set<ptr>>
+  %p = const 1 : ptr
+  %inner = new Set<ptr>
+  write %pts, %p, %inner
+  %got = read %pts, %p
+  %q = const 2 : ptr
+  insert %got, %q
+  %sz = size %got
+  ret %sz
+})");
+  ModuleAnalysis MA(*M);
+  RootInfo *Pts = findAllocRoot(MA, "pts");
+  ASSERT_NE(Pts, nullptr);
+  ASSERT_NE(Pts->Child, nullptr);
+  RootInfo *Inner = findAllocRoot(MA, "inner");
+  ASSERT_NE(Inner, nullptr);
+  // The written inner set and the read result are the same nesting level.
+  EXPECT_EQ(MA.aliasClassOf(Inner), MA.aliasClassOf(Pts->Child));
+  // The nested level gathered the insert use.
+  bool FoundInsert = false;
+  for (RootInfo *R : MA.aliasClasses()[MA.aliasClassOf(Inner)])
+    FoundInsert |= !R->ToAdd.empty();
+  EXPECT_TRUE(FoundInsert);
+}
+
+// Algorithm 2 on synthetic sets.
+
+TEST(Redundancy, EncodeOfDecodedTrimsBoth) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  ModuleAnalysis MA(*M);
+  RootInfo *Hist = findAllocRoot(MA, "hist");
+  RootInfo *Param = findParamRoot(MA, "input");
+  UseSet ToEnc = Hist->ToEnc;
+  UseSet ToAdd = Hist->ToAdd;
+  UseSet ToDec = Param->PropToDec;
+  TrimSets Trims = findRedundant(ToEnc, ToDec, ToAdd);
+  // Both enc sites and both add sites coincide with decoded uses.
+  EXPECT_EQ(Trims.TrimEnc.size(), 2u);
+  EXPECT_EQ(Trims.TrimAdd.size(), 2u);
+  EXPECT_EQ(Trims.TrimDec.size(), 4u);
+  EXPECT_EQ(Trims.benefit(), 8);
+}
+
+TEST(Redundancy, EqualityOfDecodedValues) {
+  auto M = parser::parseModuleOrDie(UnionFindSrc);
+  ModuleAnalysis MA(*M);
+  RootInfo *Uf = findParamRoot(MA, "uf");
+  ASSERT_NE(Uf, nullptr);
+  // In @find: read key (%curr) is a use of the carried value; the read
+  // result (%parent) is produced; ne compares produced against carried.
+  TrimSets Trims = findRedundant(Uf->ToEnc, Uf->PropToDec, Uf->ToAdd);
+  EXPECT_GT(Trims.benefit(), 0);
+}
+
+TEST(Redundancy, NoRedundancyNoBenefit) {
+  UseSet Empty;
+  TrimSets Trims = findRedundant(Empty, Empty, Empty);
+  EXPECT_EQ(Trims.benefit(), 0);
+}
+
+// Algorithm 3 planning.
+
+TEST(Plan, HistogramSharesSeqPropagatorWithMap) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  ModuleAnalysis MA(*M);
+  EnumerationPlan Plan = planEnumeration(MA);
+  ASSERT_EQ(Plan.Candidates.size(), 1u);
+  const Candidate &C = Plan.Candidates[0];
+  EXPECT_EQ(C.KeyTy->str(), "u64");
+  // hist enumerated by key; input (and its param alias) propagate.
+  EXPECT_GE(C.KeyMembers.size(), 1u);
+  EXPECT_GE(C.ElemMembers.size(), 1u);
+  EXPECT_GT(C.Benefit, 0);
+}
+
+TEST(Plan, UnionFindMapIsKeyAndElemMember) {
+  auto M = parser::parseModuleOrDie(UnionFindSrc);
+  ModuleAnalysis MA(*M);
+  EnumerationPlan Plan = planEnumeration(MA);
+  ASSERT_EQ(Plan.Candidates.size(), 1u);
+  const Candidate &C = Plan.Candidates[0];
+  RootInfo *UfAlloc = findAllocRoot(MA, "uf");
+  EXPECT_TRUE(C.isKeyMember(UfAlloc));
+  EXPECT_TRUE(C.isElemMember(UfAlloc));
+}
+
+TEST(Plan, NoSharingDisablesPropagation) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  ModuleAnalysis MA(*M);
+  PlannerConfig Config;
+  Config.EnableSharing = false;
+  Config.EnablePropagation = false;
+  EnumerationPlan Plan = planEnumeration(MA, Config);
+  // Without sharing, the lone histogram map has no redundancy: no
+  // enumeration at all.
+  EXPECT_TRUE(Plan.Candidates.empty());
+}
+
+TEST(Plan, EscapedCollectionsAreNeverCandidates) {
+  auto M = parser::parseModuleOrDie(R"(extern fn @sink(Map<u64, u64>)
+fn @main() -> u64 {
+  %m = new Map<u64, u64>
+  %k = const 1 : u64
+  write %m, %k, %k
+  foreach %m -> [%a, %b] {
+    %c = has %m, %b
+    yield
+  }
+  call @sink(%m)
+  %sz = size %m
+  ret %sz
+})");
+  ModuleAnalysis MA(*M);
+  EnumerationPlan Plan = planEnumeration(MA);
+  EXPECT_TRUE(Plan.Candidates.empty());
+}
+
+TEST(Plan, ForceDirectiveOverridesBenefit) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  #pragma ade enumerate
+  %s = new Set<u64>
+  %k = const 7 : u64
+  insert %s, %k
+  %sz = size %s
+  ret %sz
+})");
+  ModuleAnalysis MA(*M);
+  EnumerationPlan Plan = planEnumeration(MA);
+  ASSERT_EQ(Plan.Candidates.size(), 1u);
+  EXPECT_TRUE(Plan.Candidates[0].Forced);
+}
+
+TEST(Plan, ForbidDirectiveBlocksEnumeration) {
+  std::string Src = HistogramSrc;
+  // Forbid the histogram map.
+  size_t Pos = Src.find("%hist = new");
+  Src.insert(Pos, "#pragma ade noenumerate\n  ");
+  auto M = parser::parseModuleOrDie(Src);
+  ModuleAnalysis MA(*M);
+  EnumerationPlan Plan = planEnumeration(MA);
+  EXPECT_TRUE(Plan.Candidates.empty());
+}
+
+TEST(Plan, NoShareKeepsUnitsApart) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %a = new Set<u64>
+  #pragma ade noshare
+  %b = new Set<u64>
+  %lo = const 0 : u64
+  %hi = const 50 : u64
+  forrange %lo, %hi -> [%i] {
+    insert %a, %i
+    yield
+  }
+  %zero = const 0 : u64
+  %n = foreach %a -> [%k] iter(%acc = %zero) {
+    insert %b, %k
+    %h = has %a, %k
+    %one = const 1 : u64
+    %next = add %acc, %one
+    yield %next
+  }
+  ret %n
+})");
+  ModuleAnalysis MA(*M);
+  EnumerationPlan Plan = planEnumeration(MA);
+  // %b refuses to share; only %a can form a candidate (self-redundancy
+  // via foreach keys re-queried with has).
+  for (const Candidate &C : Plan.Candidates)
+    EXPECT_EQ(C.KeyMembers.size() + C.ElemMembers.size(), 1u);
+}
+
+TEST(Plan, ShareGroupForcesMerge) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  #pragma ade enumerate share group("g")
+  %a = new Set<u64>
+  #pragma ade share group("g")
+  %b = new Set<u64>
+  %k = const 5 : u64
+  insert %a, %k
+  insert %b, %k
+  %sz = size %a
+  ret %sz
+})");
+  ModuleAnalysis MA(*M);
+  EnumerationPlan Plan = planEnumeration(MA);
+  ASSERT_EQ(Plan.Candidates.size(), 1u);
+  EXPECT_EQ(Plan.Candidates[0].KeyMembers.size(), 2u);
+}
+
+TEST(Plan, UnionPartnersWeldIntoOneCandidate) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %a = new Set<u64>
+  %b = new Set<u64>
+  %lo = const 0 : u64
+  %hi = const 10 : u64
+  forrange %lo, %hi -> [%i] {
+    insert %a, %i
+    yield
+  }
+  %zero = const 0 : u64
+  %n = foreach %a -> [%k] iter(%acc = %zero) {
+    %h = has %a, %k
+    insert %b, %k
+    %one = const 1 : u64
+    %next = add %acc, %one
+    yield %next
+  }
+  union %b, %a
+  ret %n
+})");
+  ModuleAnalysis MA(*M);
+  EnumerationPlan Plan = planEnumeration(MA);
+  ASSERT_EQ(Plan.Candidates.size(), 1u);
+  EXPECT_EQ(Plan.Candidates[0].KeyMembers.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+//===- CoreCloningTest.cpp ------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// SIII-F function cloning: the deep-copy utility, and the pre-pass that
+/// clones callees whose call sites disagree on transformability so that
+/// the clean call sites can still be enumerated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cloning.h"
+#include "core/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::core;
+using namespace ade::interp;
+using namespace ade::ir;
+
+namespace {
+
+TEST(Cloning, CloneFunctionIsFaithful) {
+  auto M = parser::parseModuleOrDie(R"(fn @work(%s: Set<u64>, %n: u64) -> u64 {
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    insert %s, %i
+    yield
+  }
+  %total = foreach %s -> [%k] iter(%acc = %zero) {
+    %h = has %s, %k
+    %one = const 1 : u64
+    %inc = select %h, %one, %zero
+    %next = add %acc, %inc
+    yield %next
+  }
+  ret %total
+})");
+  Function *Orig = M->getFunction("work");
+  Function *Clone = cloneFunction(*M, *Orig, "work.copy");
+  std::vector<std::string> Errors;
+  ASSERT_TRUE(verifyModule(*M, Errors)) << Errors[0];
+  // Structurally identical modulo the name.
+  std::string OrigText = toString(*Orig);
+  std::string CloneText = toString(*Clone);
+  size_t NamePos = CloneText.find("work.copy");
+  ASSERT_NE(NamePos, std::string::npos);
+  CloneText.replace(NamePos, 9, "work");
+  EXPECT_EQ(OrigText, CloneText);
+  // Behaviorally identical.
+  Interpreter I(*M);
+  auto *SetA = I.newCollection(M->types().setTy(M->types().intTy(64, false)));
+  auto *SetB = I.newCollection(M->types().setTy(M->types().intTy(64, false)));
+  EXPECT_EQ(I.callByName("work", {Interpreter::collToBits(SetA), 20}),
+            I.callByName("work.copy", {Interpreter::collToBits(SetB), 20}));
+}
+
+TEST(Cloning, CloneCopiesDirectives) {
+  auto M = parser::parseModuleOrDie(R"(fn @f() -> u64 {
+  #pragma ade enumerate select(FlatSet)
+  %s = new Set<u64>
+  %k = const 1 : u64
+  insert %s, %k
+  %n = size %s
+  ret %n
+})");
+  Function *Clone = cloneFunction(*M, *M->getFunction("f"), "f.copy");
+  const Directive *D = Clone->body().inst(0)->directive();
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Select, Selection::FlatSet);
+  EXPECT_EQ(D->EnumerateMode, Directive::Enumerate::Force);
+}
+
+/// A callee used from one enumerable call site and one escaping call site.
+const char *MixedSrc = R"(extern fn @leak(Set<u64>)
+fn @fill(%s: Set<u64>, %n: u64) {
+  %zero = const 0 : u64
+  forrange %zero, %n -> [%i] {
+    insert %s, %i
+    yield
+  }
+  ret
+}
+fn @main() -> u64 {
+  %clean = new Set<u64>
+  %dirty = new Set<u64>
+  %n = const 200 : u64
+  call @fill(%clean, %n)
+  call @fill(%dirty, %n)
+  call @leak(%dirty)
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %total = foreach %clean -> [%k] iter(%acc = %zero) {
+    %h = has %clean, %k
+    %inc = select %h, %one, %zero
+    %next = add %acc, %inc
+    yield %next
+  }
+  %d = size %dirty
+  %r = add %total, %d
+  ret %r
+})";
+
+TEST(Cloning, MixedCallersGetSplit) {
+  auto M = parser::parseModuleOrDie(MixedSrc);
+  EXPECT_EQ(cloneForMixedCallers(*M), 1u);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*M, Errors)) << Errors[0];
+  // One of the two @fill call sites was retargeted to a clone.
+  std::string Text = toString(*M);
+  EXPECT_NE(Text.find("fill.ade_clone"), std::string::npos) << Text;
+}
+
+TEST(Cloning, EnablesEnumerationDespiteEscapingSibling) {
+  // Without cloning, @fill's parameter merges %clean with the escaping
+  // %dirty and nothing is enumerated.
+  auto MNoClone = parser::parseModuleOrDie(MixedSrc);
+  PipelineConfig NoClone;
+  NoClone.EnableCloning = false;
+  PipelineResult RNoClone = runADE(*MNoClone, NoClone);
+  EXPECT_EQ(RNoClone.Transform.EnumerationsCreated, 0u);
+  // With cloning, the clean call path gets its own copy and enumerates.
+  auto M = parser::parseModuleOrDie(MixedSrc);
+  PipelineResult R = runADE(*M);
+  EXPECT_EQ(R.FunctionsCloned, 1u);
+  EXPECT_EQ(R.Transform.EnumerationsCreated, 1u);
+  std::string Text = toString(*M);
+  EXPECT_NE(Text.find("Set{BitSet}<idx>"), std::string::npos) << Text;
+  // The escaping set keeps its original type everywhere.
+  EXPECT_NE(Text.find("call @leak"), std::string::npos);
+}
+
+TEST(Cloning, SemanticsPreserved) {
+  auto Run = [&](bool WithAde, bool WithCloning) {
+    auto M = parser::parseModuleOrDie(MixedSrc);
+    if (WithAde) {
+      PipelineConfig Config;
+      Config.EnableCloning = WithCloning;
+      runADE(*M, Config);
+    }
+    Interpreter I(*M);
+    return I.callByName("main", {});
+  };
+  uint64_t Baseline = Run(false, false);
+  EXPECT_EQ(Baseline, 400u);
+  EXPECT_EQ(Run(true, true), Baseline);
+  EXPECT_EQ(Run(true, false), Baseline);
+}
+
+TEST(Cloning, AgreeingCallersAreNotSplit) {
+  // Two call sites passing the same (enumerable) collection: no clone.
+  auto M = parser::parseModuleOrDie(R"(fn @touch(%s: Set<u64>) {
+  %k = const 3 : u64
+  insert %s, %k
+  ret
+}
+fn @main() -> u64 {
+  %s = new Set<u64>
+  call @touch(%s)
+  call @touch(%s)
+  %n = size %s
+  ret %n
+})");
+  EXPECT_EQ(cloneForMixedCallers(*M), 0u);
+}
+
+TEST(Cloning, RecursiveCalleesAreLeftAlone) {
+  auto M = parser::parseModuleOrDie(R"(extern fn @leak(Set<u64>)
+fn @rec(%s: Set<u64>, %n: u64) {
+  %zero = const 0 : u64
+  %done = eq %n, %zero
+  if %done {
+    yield
+  } else {
+    insert %s, %n
+    %one = const 1 : u64
+    %m = sub %n, %one
+    call @rec(%s, %m)
+    yield
+  }
+  ret
+}
+fn @main() -> u64 {
+  %a = new Set<u64>
+  %b = new Set<u64>
+  %n = const 5 : u64
+  call @rec(%a, %n)
+  call @rec(%b, %n)
+  call @leak(%b)
+  %r = size %a
+  ret %r
+})");
+  EXPECT_EQ(cloneForMixedCallers(*M), 0u);
+  // Still runs correctly through the full pipeline.
+  runADE(*M);
+  Interpreter I(*M);
+  EXPECT_EQ(I.callByName("main", {}), 5u);
+}
+
+} // namespace

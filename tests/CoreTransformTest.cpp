@@ -1,0 +1,487 @@
+//===- CoreTransformTest.cpp ----------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end tests of the enumeration transform: the paper's listings
+/// transformed and differentially executed against their originals, RTE
+/// and ablation behaviors, selection, directives, and union expansion.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::core;
+using namespace ade::interp;
+using namespace ade::ir;
+
+namespace {
+
+/// Runs @main on a fresh parse of \p Src, optionally after ADE.
+uint64_t runProgram(const std::string &Src, bool WithADE,
+                    PipelineConfig Config = {}) {
+  auto M = parser::parseModuleOrDie(Src);
+  if (WithADE)
+    runADE(*M, Config);
+  Interpreter I(*M);
+  return I.callByName("main", {});
+}
+
+/// Asserts that ADE preserves @main's result under every ablation.
+void expectSemanticsPreserved(const std::string &Src) {
+  uint64_t Baseline = runProgram(Src, /*WithADE=*/false);
+  EXPECT_EQ(runProgram(Src, true), Baseline) << "full ADE changed semantics";
+  PipelineConfig NoRTE;
+  NoRTE.EnableRTE = false;
+  EXPECT_EQ(runProgram(Src, true, NoRTE), Baseline) << "no-RTE changed";
+  PipelineConfig NoShare;
+  NoShare.EnableSharing = false;
+  EXPECT_EQ(runProgram(Src, true, NoShare), Baseline) << "no-share changed";
+  PipelineConfig NoProp;
+  NoProp.EnablePropagation = false;
+  EXPECT_EQ(runProgram(Src, true, NoProp), Baseline) << "no-prop changed";
+}
+
+const char *HistogramSrc = R"(fn @main() -> u64 {
+  %input = new Seq<u64>
+  %a = const 500 : u64
+  %b = const 900 : u64
+  %c = const 123456789 : u64
+  append %input, %a
+  append %input, %b
+  append %input, %a
+  append %input, %c
+  append %input, %a
+  %r = call @count(%input)
+  ret %r
+}
+fn @count(%input: Seq<u64>) -> u64 {
+  %hist = new Map<u64, u32>
+  foreach %input -> [%i, %val] {
+    %cond = has %hist, %val
+    %freq0 = if %cond {
+      %f = read %hist, %val
+      yield %f
+    } else {
+      insert %hist, %val
+      %z = const 0 : u32
+      yield %z
+    }
+    %one = const 1 : u32
+    %freq1 = add %freq0, %one
+    write %hist, %val, %freq1
+    yield
+  }
+  %five = const 500 : u64
+  %f32v = read %hist, %five
+  %freqA = cast %f32v : u64
+  %sz = size %hist
+  %r = mul %freqA, %sz
+  ret %r
+})";
+
+const char *UnionFindSrc = R"(fn @main() -> u64 {
+  %uf = new Map<u64, u64>
+  %a = const 1000 : u64
+  %b = const 2000 : u64
+  %c = const 3000 : u64
+  %d = const 4000 : u64
+  write %uf, %a, %b
+  write %uf, %b, %c
+  write %uf, %c, %c
+  write %uf, %d, %d
+  %ra = call @find(%uf, %a)
+  %rd = call @find(%uf, %d)
+  %r = add %ra, %rd
+  ret %r
+}
+fn @find(%uf: Map<u64, u64>, %v: u64) -> u64 {
+  %found = dowhile iter(%curr = %v) {
+    %parent = read %uf, %curr
+    %not_done = ne %parent, %curr
+    yield %not_done, %parent
+  }
+  ret %found
+})";
+
+TEST(Transform, HistogramSemanticsPreserved) {
+  expectSemanticsPreserved(HistogramSrc);
+}
+
+TEST(Transform, HistogramIsFullyEnumerated) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  PipelineResult R = runADE(*M);
+  EXPECT_EQ(R.Transform.EnumerationsCreated, 1u);
+  std::string Text = toString(*M);
+  // The histogram map is retyped to idx keys and a BitMap selection.
+  EXPECT_NE(Text.find("Map{BitMap}<idx,u32>"), std::string::npos) << Text;
+  // The input sequence propagates identifiers.
+  EXPECT_NE(Text.find("Seq<idx>"), std::string::npos) << Text;
+  // An enumeration global exists.
+  EXPECT_NE(Text.find("Enum<u64>"), std::string::npos) << Text;
+}
+
+TEST(Transform, HistogramLoopHasNoTranslationsWithRTE) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  PipelineResult R = runADE(*M);
+  // All translations in @count's hot loop are eliminated; the remaining
+  // translations are the enum.add at each append in @main and one enc for
+  // the raw constant key looked up after the loop.
+  EXPECT_EQ(R.Transform.AddInserted, 5u);
+  EXPECT_EQ(R.Transform.EncInserted, 1u);
+  EXPECT_EQ(R.Transform.DecInserted, 0u);
+  EXPECT_GT(R.Transform.TranslationsSkipped, 0u);
+}
+
+TEST(Transform, HistogramNoRTEInsertsNaiveIndirection) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  PipelineConfig Config;
+  Config.EnableRTE = false;
+  PipelineResult R = runADE(*M, Config);
+  // Listing 2 shape: translations at every use.
+  EXPECT_GT(R.Transform.EncInserted, 0u);
+  EXPECT_GT(R.Transform.DecInserted, 0u);
+  EXPECT_EQ(R.Transform.TranslationsSkipped, 0u);
+}
+
+TEST(Transform, UnionFindSemanticsPreserved) {
+  expectSemanticsPreserved(UnionFindSrc);
+}
+
+TEST(Transform, UnionFindPropagationRemovesLoopTranslations) {
+  // Listing 4: with propagation the loop carries identifiers; the only
+  // translations are the adds at construction and one dec of the result.
+  auto M = parser::parseModuleOrDie(UnionFindSrc);
+  PipelineResult R = runADE(*M);
+  EXPECT_EQ(R.Transform.EnumerationsCreated, 1u);
+  EXPECT_EQ(R.Transform.EncInserted, 0u);
+  // Two call sites pass raw %v values; they are encoded on entry... as
+  // adds or encs depending on ToAdd membership; the loop itself carries
+  // ids, so the read inside the dowhile needs no translation.
+  std::string Text = toString(*M);
+  size_t FindPos = Text.find("fn @find");
+  ASSERT_NE(FindPos, std::string::npos);
+  std::string FindText = Text.substr(FindPos);
+  size_t LoopPos = FindText.find("dowhile");
+  size_t LoopEnd = FindText.find("ret");
+  std::string LoopText = FindText.substr(LoopPos, LoopEnd - LoopPos);
+  EXPECT_EQ(LoopText.find(" enc "), std::string::npos) << FindText;
+  EXPECT_EQ(LoopText.find("enum.add"), std::string::npos) << FindText;
+  // Map is retyped to idx->idx with a BitMap implementation.
+  EXPECT_NE(Text.find("Map{BitMap}<idx,idx>"), std::string::npos) << Text;
+}
+
+TEST(Transform, UnionFindWithoutPropagationKeepsValueType) {
+  auto M = parser::parseModuleOrDie(UnionFindSrc);
+  PipelineConfig Config;
+  Config.EnablePropagation = false;
+  runADE(*M, Config);
+  std::string Text = toString(*M);
+  // Keys may still be enumerated via sharing, but values stay u64.
+  EXPECT_EQ(Text.find("Map{BitMap}<idx,idx>"), std::string::npos) << Text;
+}
+
+TEST(Transform, EnumerationPopulatedAtRuntime) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  runADE(*M);
+  Interpreter I(*M);
+  EXPECT_EQ(I.callByName("main", {}), 9u); // freq(500)=3 * size=3.
+  // Three distinct values were enumerated.
+  const GlobalVariable *EnumGlobal = nullptr;
+  for (const auto &G : M->globals())
+    if (isa<EnumType>(G->Ty))
+      EnumGlobal = G.get();
+  ASSERT_NE(EnumGlobal, nullptr);
+  auto *E = reinterpret_cast<runtime::RtEnum *>(
+      I.globalValue(EnumGlobal->Name));
+  EXPECT_EQ(E->size(), 3u);
+}
+
+TEST(Transform, AccessesBecomeDense) {
+  auto Run = [&](bool WithADE) {
+    auto M = parser::parseModuleOrDie(HistogramSrc);
+    if (WithADE)
+      runADE(*M);
+    Interpreter I(*M);
+    I.callByName("main", {});
+    return std::pair<uint64_t, uint64_t>(I.stats().Sparse,
+                                         I.stats().Dense);
+  };
+  auto [BaseSparse, BaseDense] = Run(false);
+  auto [AdeSparse, AdeDense] = Run(true);
+  EXPECT_GT(BaseSparse, 0u);
+  EXPECT_EQ(BaseDense, 0u);
+  // After ADE the histogram accesses are dense; only the enum.add calls
+  // (and enumeration growth) remain sparse.
+  EXPECT_LT(AdeSparse, BaseSparse);
+  EXPECT_GT(AdeDense, 0u);
+}
+
+TEST(Transform, SelectionConfigSparseBitSet) {
+  const char *Src = R"(fn @main() -> u64 {
+  %s = new Set<u64>
+  %t = new Set<u64>
+  %lo = const 0 : u64
+  %hi = const 10 : u64
+  forrange %lo, %hi -> [%i] {
+    insert %s, %i
+    yield
+  }
+  %zero = const 0 : u64
+  %n = foreach %s -> [%k] iter(%acc = %zero) {
+    insert %t, %k
+    %h = has %s, %k
+    %one = const 1 : u64
+    %next = add %acc, %one
+    yield %next
+  }
+  ret %n
+})";
+  auto M = parser::parseModuleOrDie(Src);
+  PipelineConfig Config;
+  Config.Selection.EnumeratedSet = Selection::SparseBitSet;
+  runADE(*M, Config);
+  std::string Text = toString(*M);
+  EXPECT_NE(Text.find("Set{SparseBitSet}<idx>"), std::string::npos) << Text;
+  Interpreter I(*M);
+  EXPECT_EQ(I.callByName("main", {}), 10u);
+}
+
+TEST(Transform, SelectDirectiveOverridesDefault) {
+  const char *Src = R"(fn @main() -> u64 {
+  %s = new Set<u64>
+  #pragma ade select(FlatSet)
+  %t = new Set<u64>
+  %lo = const 0 : u64
+  %hi = const 10 : u64
+  forrange %lo, %hi -> [%i] {
+    insert %s, %i
+    yield
+  }
+  %zero = const 0 : u64
+  %n = foreach %s -> [%k] iter(%acc = %zero) {
+    insert %t, %k
+    %h = has %s, %k
+    %one = const 1 : u64
+    %next = add %acc, %one
+    yield %next
+  }
+  ret %n
+})";
+  auto M = parser::parseModuleOrDie(Src);
+  runADE(*M);
+  std::string Text = toString(*M);
+  EXPECT_NE(Text.find("Set{FlatSet}<idx>"), std::string::npos) << Text;
+  Interpreter I(*M);
+  EXPECT_EQ(I.callByName("main", {}), 10u);
+}
+
+TEST(Transform, SelectDirectiveOnNonEnumerated) {
+  const char *Src = R"(fn @main() -> u64 {
+  #pragma ade noenumerate select(SwissMap)
+  %m = new Map<u64, u64>
+  %k = const 1 : u64
+  write %m, %k, %k
+  %sz = size %m
+  ret %sz
+})";
+  auto M = parser::parseModuleOrDie(Src);
+  runADE(*M);
+  std::string Text = toString(*M);
+  EXPECT_NE(Text.find("Map{SwissMap}<u64,u64>"), std::string::npos) << Text;
+}
+
+TEST(Transform, NestedCollectionsShareInnerEnumeration) {
+  // PTA shape: points-to map with nested sets; inner sets iterate and
+  // union among themselves.
+  const char *Src = R"(fn @main() -> u64 {
+  %pts = new Map<u64, Set<u64>>
+  %p1 = const 11 : u64
+  %p2 = const 22 : u64
+  %o1 = const 111 : u64
+  %o2 = const 222 : u64
+  %s1 = new Set<u64>
+  insert %s1, %o1
+  insert %s1, %o2
+  write %pts, %p1, %s1
+  %s2 = new Set<u64>
+  insert %s2, %o2
+  write %pts, %p2, %s2
+  %a = read %pts, %p1
+  %b = read %pts, %p2
+  union %b, %a
+  %zero = const 0 : u64
+  %total = foreach %b -> [%o] iter(%acc = %zero) {
+    %h = has %a, %o
+    %one = const 1 : u64
+    %z2 = const 0 : u64
+    %inc = select %h, %one, %z2
+    %next = add %acc, %inc
+    yield %next
+  }
+  ret %total
+})";
+  uint64_t Baseline = runProgram(Src, false);
+  EXPECT_EQ(Baseline, 2u);
+  EXPECT_EQ(runProgram(Src, true), Baseline);
+  auto M = parser::parseModuleOrDie(Src);
+  runADE(*M);
+  std::string Text = toString(*M);
+  // Inner sets are enumerated (shared one enumeration at the nesting
+  // level, SIII-G).
+  EXPECT_NE(Text.find("Set{BitSet}<idx>"), std::string::npos) << Text;
+}
+
+TEST(Transform, UnionAcrossEnumerationsExpands) {
+  // noshare forces the two sets into distinct enumerations; the union
+  // must be expanded into an element-wise translate-insert loop.
+  const char *Src = R"(fn @main() -> u64 {
+  #pragma ade enumerate noshare
+  %a = new Set<u64>
+  #pragma ade enumerate noshare
+  %b = new Set<u64>
+  %x = const 5 : u64
+  %y = const 6 : u64
+  insert %a, %x
+  insert %a, %y
+  insert %b, %y
+  union %b, %a
+  %sz = size %b
+  ret %sz
+})";
+  uint64_t Baseline = runProgram(Src, false);
+  EXPECT_EQ(Baseline, 2u);
+  auto M = parser::parseModuleOrDie(Src);
+  PipelineResult R = runADE(*M);
+  EXPECT_EQ(R.Transform.EnumerationsCreated, 2u);
+  EXPECT_EQ(R.Transform.UnionsExpanded, 1u);
+  Interpreter I(*M);
+  EXPECT_EQ(I.callByName("main", {}), Baseline);
+}
+
+TEST(Transform, GlobalsBasedBuildKernelSplit) {
+  const char *Src = R"(global @adj : Map<u64, u64>
+fn @build() {
+  %m = new Map<u64, u64>
+  %a = const 100 : u64
+  %b = const 200 : u64
+  write %m, %a, %b
+  write %m, %b, %b
+  gset @adj, %m
+  ret
+}
+fn @kernel() -> u64 {
+  %m = gget @adj
+  %zero = const 0 : u64
+  %count = foreach %m -> [%k, %v] iter(%acc = %zero) {
+    %h = has %m, %v
+    %one = const 1 : u64
+    %z = const 0 : u64
+    %inc = select %h, %one, %z
+    %next = add %acc, %inc
+    yield %next
+  }
+  ret %count
+}
+fn @main() -> u64 {
+  call @build()
+  %r = call @kernel()
+  ret %r
+})";
+  uint64_t Baseline = runProgram(Src, false);
+  EXPECT_EQ(Baseline, 2u);
+  EXPECT_EQ(runProgram(Src, true), Baseline);
+  auto M = parser::parseModuleOrDie(Src);
+  PipelineResult R = runADE(*M);
+  EXPECT_EQ(R.Transform.EnumerationsCreated, 1u);
+  std::string Text = toString(*M);
+  EXPECT_NE(Text.find("global @adj : Map{BitMap}<idx,idx>"),
+            std::string::npos)
+      << Text;
+}
+
+TEST(Transform, TransformedModuleStillVerifies) {
+  for (const char *Src : {HistogramSrc, UnionFindSrc}) {
+    auto M = parser::parseModuleOrDie(Src);
+    runADE(*M); // runADE verifies internally (Config.Verify).
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyModule(*M, Errors))
+        << (Errors.empty() ? "?" : Errors[0]);
+  }
+}
+
+TEST(Transform, MemoryShrinksWithSharing) {
+  // Several collections over one shared key domain: one enumeration plus
+  // dense bitmaps/bitsets beats per-collection hash tables (the sharing
+  // memory effect behind Figure 8).
+  std::string Src = R"(fn @main() -> u64 {
+  %input = new Seq<u64>
+  %lo = const 0 : u64
+  %hi = const 30000 : u64
+  %mod = const 2000 : u64
+  %scramble = const 2654435761 : u64
+  forrange %lo, %hi -> [%i] {
+    %r = rem %i, %mod
+    %k = mul %r, %scramble
+    append %input, %k
+    yield
+  }
+  %r = call @count(%input)
+  ret %r
+}
+fn @count(%input: Seq<u64>) -> u64 {
+  %freq = new Map<u64, u32>
+  %last = new Map<u64, u64>
+  %seen = new Set<u64>
+  %dups = new Set<u64>
+  foreach %input -> [%i, %val] {
+    %cond = has %seen, %val
+    if %cond {
+      insert %dups, %val
+      yield
+    } else {
+      insert %seen, %val
+      yield
+    }
+    %has_f = has %freq, %val
+    %freq0 = if %has_f {
+      %f = read %freq, %val
+      yield %f
+    } else {
+      %z = const 0 : u32
+      yield %z
+    }
+    %one = const 1 : u32
+    %freq1 = add %freq0, %one
+    write %freq, %val, %freq1
+    write %last, %val, %i
+    yield
+  }
+  %sz = size %seen
+  ret %sz
+})";
+  auto RunPeak = [&](bool WithADE) {
+    auto M = parser::parseModuleOrDie(Src);
+    if (WithADE)
+      runADE(*M);
+    MemoryTracker::instance().reset();
+    Interpreter I(*M);
+    uint64_t Result = I.callByName("main", {});
+    EXPECT_EQ(Result, 2000u);
+    return MemoryTracker::instance().peakBytes();
+  };
+  uint64_t BasePeak = RunPeak(false);
+  uint64_t AdePeak = RunPeak(true);
+  // BitMap over 10k dense ids + enumeration beats chained hash nodes.
+  EXPECT_LT(AdePeak, BasePeak);
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+//===- InterpErrorsTest.cpp -----------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Error paths of the interpreter: undefined-behavior conditions trap
+/// with a diagnostic (death tests) rather than corrupting state.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::interp;
+
+namespace {
+
+void runProgram(const char *Src) {
+  auto M = parser::parseModuleOrDie(Src);
+  Interpreter I(*M);
+  I.callByName("main", {});
+}
+
+using InterpDeath = ::testing::Test;
+
+TEST(InterpDeath, ReadOfMissingMapKeyTraps) {
+  EXPECT_DEATH(runProgram(R"(fn @main() -> u64 {
+  %m = new Map<u64, u64>
+  %k = const 7 : u64
+  %v = read %m, %k
+  ret %v
+})"),
+               "missing key");
+}
+
+TEST(InterpDeath, SequenceReadOutOfBoundsTraps) {
+  EXPECT_DEATH(runProgram(R"(fn @main() -> u64 {
+  %q = new Seq<u64>
+  %i = const 0 : u64
+  %v = read %q, %i
+  ret %v
+})"),
+               "out of bounds");
+}
+
+TEST(InterpDeath, PopOfEmptySequenceTraps) {
+  EXPECT_DEATH(runProgram(R"(fn @main() -> u64 {
+  %q = new Seq<u64>
+  %v = pop %q
+  ret %v
+})"),
+               "empty sequence");
+}
+
+TEST(InterpDeath, DivisionByZeroTraps) {
+  EXPECT_DEATH(runProgram(R"(fn @main() -> u64 {
+  %a = const 1 : u64
+  %z = const 0 : u64
+  %r = div %a, %z
+  ret %r
+})"),
+               "division by zero");
+}
+
+TEST(InterpDeath, DecOutOfRangeTraps) {
+  EXPECT_DEATH(runProgram(R"(global @e : Enum<u64>
+fn @main() -> u64 {
+  %e = gget @e
+  %i = const 5 : idx
+  %v = dec %e, %i
+  ret %v
+})"),
+               "out-of-range identifier");
+}
+
+TEST(InterpNonDeath, EncOfUnknownValueYieldsFreshId) {
+  // Not UB in our runtime (DESIGN.md note 2): membership tests against
+  // the fresh id fail, matching Listing 2's probe pattern.
+  auto M = parser::parseModuleOrDie(R"(global @e : Enum<u64>
+fn @main() -> u64 {
+  %e = gget @e
+  %a = const 10 : u64
+  %id0 = enum.add %e, %a
+  %b = const 99 : u64
+  %idb = enc %e, %b
+  %s = new Set{BitSet}<idx>
+  insert %s, %id0
+  %h = has %s, %idb
+  %one = const 1 : u64
+  %zero = const 0 : u64
+  %r = select %h, %one, %zero
+  ret %r
+})");
+  Interpreter I(*M);
+  EXPECT_EQ(I.callByName("main", {}), 0u);
+}
+
+} // namespace

@@ -1,0 +1,480 @@
+//===- InterpTest.cpp -----------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Interpreter semantics: every opcode, control flow, collections, nested
+/// collections, enumerations, globals, calls/recursion and statistics.
+/// Programs are written in the textual syntax (also exercising the
+/// parser-to-execution path end to end).
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::interp;
+using namespace ade::runtime;
+
+namespace {
+
+uint64_t runMain(const char *Src, std::vector<uint64_t> Args = {}) {
+  auto M = parser::parseModuleOrDie(Src);
+  Interpreter I(*M);
+  return I.callByName("main", Args);
+}
+
+TEST(Interp, ConstantsAndArithmetic) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %a = const 20 : u64
+  %b = const 3 : u64
+  %add = add %a, %b
+  %mul = mul %add, %b     // 69
+  %div = div %mul, %a     // 3
+  %rem = rem %mul, %a     // 9
+  %sum = add %div, %rem   // 12
+  ret %sum
+})"),
+            12u);
+}
+
+TEST(Interp, SignedArithmeticWrapsAndCompares) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %a = const -5 : i64
+  %b = const 3 : i64
+  %c = add %a, %b          // -2
+  %isNeg = lt %c, %b
+  %one = const 1 : u64
+  %zero = const 0 : u64
+  %r = select %isNeg, %one, %zero
+  ret %r
+})"),
+            1u);
+}
+
+TEST(Interp, NarrowIntegerWidthWraps) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %a = const 250 : u8
+  %b = const 10 : u8
+  %c = add %a, %b          // 260 wraps to 4 in u8
+  %r = cast %c : u64
+  ret %r
+})"),
+            4u);
+}
+
+TEST(Interp, FloatArithmeticAndCasts) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %a = const 2.5 : f64
+  %b = const 4.0 : f64
+  %c = mul %a, %b          // 10.0
+  %r = cast %c : u64
+  ret %r
+})"),
+            10u);
+}
+
+TEST(Interp, MinMaxNegNot) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %a = const 7 : u64
+  %b = const 9 : u64
+  %mn = min %a, %b
+  %mx = max %a, %b
+  %d = sub %mx, %mn       // 2
+  %t = const true
+  %f = not %t
+  %one = const 1 : u64
+  %zero = const 0 : u64
+  %nv = select %f, %one, %zero  // 0
+  %r = add %d, %nv
+  ret %r
+})"),
+            2u);
+}
+
+TEST(Interp, IfTakesCorrectBranch) {
+  const char *Src = R"(fn @main(%x: u64) -> u64 {
+  %ten = const 10 : u64
+  %big = gt %x, %ten
+  %r = if %big {
+    %a = const 1 : u64
+    yield %a
+  } else {
+    %b = const 2 : u64
+    yield %b
+  }
+  ret %r
+})";
+  EXPECT_EQ(runMain(Src, {100}), 1u);
+  EXPECT_EQ(runMain(Src, {5}), 2u);
+}
+
+TEST(Interp, ForRangeAccumulates) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %lo = const 0 : u64
+  %hi = const 10 : u64
+  %zero = const 0 : u64
+  %sum = forrange %lo, %hi -> [%i] iter(%acc = %zero) {
+    %next = add %acc, %i
+    yield %next
+  }
+  ret %sum
+})"),
+            45u);
+}
+
+TEST(Interp, DoWhileCountsDown) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %n = const 5 : u64
+  %one = const 1 : u64
+  %zero = const 0 : u64
+  %fin, %steps = dowhile iter(%x = %n, %count = %zero) {
+    %dec = sub %x, %one
+    %c2 = add %count, %one
+    %more = gt %dec, %zero
+    yield %more, %dec, %c2
+  }
+  %r = add %fin, %steps // Final %x is 0 after 5 iterations.
+  ret %r
+})"),
+            5u);
+}
+
+TEST(Interp, SequencesAppendPopReadWrite) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %q = new Seq<u64>
+  %a = const 10 : u64
+  %b = const 20 : u64
+  %i0 = const 0 : u64
+  append %q, %a
+  append %q, %b
+  %first = read %q, %i0
+  write %q, %i0, %b
+  %updated = read %q, %i0
+  %popped = pop %q
+  %sz = size %q
+  %s1 = add %first, %updated  // 10 + 20
+  %s2 = add %popped, %sz      // 20 + 1
+  %r = add %s1, %s2           // 51
+  ret %r
+})"),
+            51u);
+}
+
+TEST(Interp, MapInsertWriteReadHasRemove) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %m = new Map<u64, u64>
+  %k = const 5 : u64
+  %v = const 50 : u64
+  insert %m, %k        // 5 -> 0
+  %h1 = has %m, %k
+  write %m, %k, %v     // 5 -> 50
+  %got = read %m, %k
+  remove %m, %k
+  %h2 = has %m, %k
+  %one = const 1 : u64
+  %zero = const 0 : u64
+  %a = select %h1, %one, %zero
+  %b = select %h2, %one, %zero
+  %s = add %got, %a    // 51
+  %r = sub %s, %b      // 51
+  ret %r
+})"),
+            51u);
+}
+
+TEST(Interp, HistogramProgram) {
+  // Listing 1 shape: count element frequencies.
+  auto M = parser::parseModuleOrDie(R"(fn @count(%input: Seq<u64>) -> u64 {
+  %hist = new Map<u64, u32>
+  foreach %input -> [%i, %val] {
+    %cond = has %hist, %val
+    %freq0 = if %cond {
+      %f = read %hist, %val
+      yield %f
+    } else {
+      insert %hist, %val
+      %z = const 0 : u32
+      yield %z
+    }
+    %one = const 1 : u32
+    %freq1 = add %freq0, %one
+    write %hist, %val, %freq1
+    yield
+  }
+  %five = const 5 : u64
+  %r32 = read %hist, %five
+  %r = cast %r32 : u64
+  ret %r
+})");
+  Interpreter I(*M);
+  auto *Seq = static_cast<RtSeq *>(
+      I.newCollection(M->types().seqTy(M->types().intTy(64, false))));
+  for (uint64_t V : {5u, 3u, 5u, 5u, 9u, 3u})
+    Seq->append(V);
+  uint64_t Freq =
+      I.callByName("count", {Interpreter::collToBits(Seq)});
+  EXPECT_EQ(Freq, 3u);
+}
+
+TEST(Interp, ForEachOverSetAndMap) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %s = new Set<u64>
+  %a = const 3 : u64
+  %b = const 4 : u64
+  insert %s, %a
+  insert %s, %b
+  %zero = const 0 : u64
+  %sum = foreach %s -> [%k] iter(%acc = %zero) {
+    %n = add %acc, %k
+    yield %n
+  }
+  %m = new Map<u64, u64>
+  write %m, %a, %b
+  %msum = foreach %m -> [%k, %v] iter(%acc2 = %zero) {
+    %kv = add %k, %v
+    %n2 = add %acc2, %kv
+    yield %n2
+  }
+  %r = add %sum, %msum   // (3+4) + (3+4) = 14
+  ret %r
+})"),
+            14u);
+}
+
+TEST(Interp, NestedCollections) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %adj = new Map<u64, Set<u64>>
+  %u = const 1 : u64
+  %v = const 2 : u64
+  %w = const 3 : u64
+  %s = new Set<u64>
+  write %adj, %u, %s
+  %inner = read %adj, %u
+  insert %inner, %v
+  insert %inner, %w
+  %again = read %adj, %u
+  %sz = size %again
+  ret %sz
+})"),
+            2u);
+}
+
+TEST(Interp, UnionMergesSets) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %a = new Set<u64>
+  %b = new Set<u64>
+  %one = const 1 : u64
+  %two = const 2 : u64
+  %three = const 3 : u64
+  insert %a, %one
+  insert %a, %two
+  insert %b, %two
+  insert %b, %three
+  union %a, %b
+  %sz = size %a
+  ret %sz
+})"),
+            3u);
+}
+
+TEST(Interp, MixedImplementationUnion) {
+  // Union across different selections exercises the generic path.
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %a = new Set{BitSet}<u64>
+  %b = new Set{FlatSet}<u64>
+  %x = const 100 : u64
+  %y = const 200 : u64
+  insert %a, %x
+  insert %b, %y
+  union %a, %b
+  %sz = size %a
+  ret %sz
+})"),
+            2u);
+}
+
+TEST(Interp, EnumerationGlobals) {
+  EXPECT_EQ(runMain(R"(global @e : Enum<u64>
+fn @main() -> u64 {
+  %e = gget @e
+  %a = const 1000 : u64
+  %b = const 2000 : u64
+  %id_a = enum.add %e, %a     // 0
+  %id_b = enum.add %e, %b     // 1
+  %id_a2 = enum.add %e, %a    // still 0
+  %back = dec %e, %id_b       // 2000
+  %enc_a = enc %e, %a         // 0
+  %s1 = add %id_a, %id_b      // 1
+  %s2 = add %id_a2, %enc_a    // 0
+  %s3 = add %s1, %s2          // 1
+  %s3u = cast %s3 : u64
+  %r = add %s3u, %back        // 2001
+  ret %r
+})"),
+            2001u);
+}
+
+TEST(Interp, CollectionGlobalsPersistAcrossCalls) {
+  auto M = parser::parseModuleOrDie(R"(global @cache : Map<u64, u64>
+fn @put(%k: u64, %v: u64) {
+  %c = gget @cache
+  write %c, %k, %v
+  ret
+}
+fn @get(%k: u64) -> u64 {
+  %c = gget @cache
+  %v = read %c, %k
+  ret %v
+})");
+  Interpreter I(*M);
+  I.callByName("put", {7, 77});
+  EXPECT_EQ(I.callByName("get", {7}), 77u);
+}
+
+TEST(Interp, CallsAndRecursion) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %n = const 10 : u64
+  %r = call @fib(%n)
+  ret %r
+}
+fn @fib(%n: u64) -> u64 {
+  %two = const 2 : u64
+  %small = lt %n, %two
+  %r = if %small {
+    yield %n
+  } else {
+    %one = const 1 : u64
+    %n1 = sub %n, %one
+    %n2 = sub %n, %two
+    %a = call @fib(%n1)
+    %b = call @fib(%n2)
+    %s = add %a, %b
+    yield %s
+  }
+  ret %r
+})"),
+            55u);
+}
+
+TEST(Interp, SelectionAnnotationsPickImplementations) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %a = new Set{BitSet}<idx>
+  %b = new Set{SwissSet}<u64>
+  %k = const 3 : idx
+  %k2 = const 3 : u64
+  insert %a, %k
+  insert %b, %k2
+  ret %k2
+})");
+  Interpreter I(*M);
+  I.callByName("main", {});
+  // Dense (BitSet) and sparse (SwissSet) inserts recorded separately.
+  EXPECT_EQ(I.stats().Dense, 1u);
+  EXPECT_EQ(I.stats().Sparse, 1u);
+}
+
+TEST(Interp, DefaultImplementationsFollowOptions) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %s = new Set<u64>
+  %k = const 1 : u64
+  insert %s, %k
+  ret %k
+})");
+  InterpOptions Opts;
+  Opts.Defaults.SetImpl = ir::Selection::SwissSet;
+  Interpreter I(*M, Opts);
+  I.callByName("main", {});
+  EXPECT_EQ(I.stats().Sparse, 1u);
+}
+
+TEST(Interp, StatsClassifyDenseAndSparse) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %dense = new Map{BitMap}<idx, u64>
+  %sparse = new Map{HashMap}<u64, u64>
+  %k = const 2 : idx
+  %k2 = const 2 : u64
+  %v = const 5 : u64
+  write %dense, %k, %v
+  write %sparse, %k2, %v
+  %a = read %dense, %k
+  %b = read %sparse, %k2
+  %r = add %a, %b
+  ret %r
+})");
+  Interpreter I(*M);
+  EXPECT_EQ(I.callByName("main", {}), 10u);
+  EXPECT_EQ(I.stats().Dense, 2u);  // BitMap write + read.
+  EXPECT_EQ(I.stats().Sparse, 2u); // HashMap write + read.
+  EXPECT_EQ(I.stats().category(OpCategory::Write), 2u);
+  EXPECT_EQ(I.stats().category(OpCategory::Read), 2u);
+}
+
+TEST(Interp, IterateStatsCountElements) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %s = new Set<u64>
+  %lo = const 0 : u64
+  %hi = const 100 : u64
+  forrange %lo, %hi -> [%i] {
+    insert %s, %i
+    yield
+  }
+  %zero = const 0 : u64
+  %sum = foreach %s -> [%k] iter(%acc = %zero) {
+    %n = add %acc, %k
+    yield %n
+  }
+  ret %sum
+})");
+  Interpreter I(*M);
+  EXPECT_EQ(I.callByName("main", {}), 4950u);
+  EXPECT_EQ(I.stats().category(OpCategory::Iterate), 100u);
+  EXPECT_EQ(I.stats().category(OpCategory::Insert), 100u);
+}
+
+TEST(Interp, MutationDuringIterationUsesSnapshot) {
+  // Inserting into the iterated set mid-loop must not iterate new items.
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %s = new Set<u64>
+  %one = const 1 : u64
+  %two = const 2 : u64
+  insert %s, %one
+  insert %s, %two
+  %hundred = const 100 : u64
+  %zero = const 0 : u64
+  %count = foreach %s -> [%k] iter(%acc = %zero) {
+    %shifted = add %k, %hundred
+    insert %s, %shifted
+    %n = add %acc, %one
+    yield %n
+  }
+  ret %count
+})"),
+            2u);
+}
+
+TEST(Interp, EarlyReturnFromLoop) {
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %lo = const 0 : u64
+  %hi = const 1000 : u64
+  %limit = const 5 : u64
+  forrange %lo, %hi -> [%i] {
+    %hit = eq %i, %limit
+    if %hit {
+      ret %i
+    } else {
+      yield
+    }
+    yield
+  }
+  %zero = const 0 : u64
+  ret %zero
+})"),
+            5u);
+}
+
+} // namespace

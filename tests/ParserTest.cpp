@@ -1,0 +1,418 @@
+//===- ParserTest.cpp -----------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Parser tests: every construct of the textual syntax, error diagnostics,
+/// directive handling and printer<->parser round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::ir;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(std::string_view Src) {
+  std::vector<std::string> Errors;
+  auto M = parser::parseModule(Src, Errors);
+  EXPECT_TRUE(M != nullptr) << (Errors.empty() ? "?" : Errors[0]);
+  if (M) {
+    std::vector<std::string> VErrors;
+    EXPECT_TRUE(verifyModule(*M, VErrors))
+        << (VErrors.empty() ? "?" : VErrors[0]);
+  }
+  return M;
+}
+
+std::string parseError(std::string_view Src) {
+  std::vector<std::string> Errors;
+  auto M = parser::parseModule(Src, Errors);
+  EXPECT_EQ(M, nullptr) << "expected a parse failure";
+  return Errors.empty() ? "" : Errors[0];
+}
+
+TEST(Parser, EmptyFunction) {
+  auto M = parseOk("fn @main() {\n  ret\n}\n");
+  Function *F = M->getFunction("main");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->body().size(), 1u);
+  EXPECT_EQ(F->body().back()->op(), Opcode::Ret);
+}
+
+TEST(Parser, ArgumentsAndReturn) {
+  auto M = parseOk("fn @id(%x: u64) -> u64 {\n  ret %x\n}\n");
+  Function *F = M->getFunction("id");
+  ASSERT_EQ(F->numArgs(), 1u);
+  EXPECT_EQ(F->arg(0)->name(), "x");
+  EXPECT_EQ(F->returnType()->str(), "u64");
+}
+
+TEST(Parser, ConstantsOfEveryKind) {
+  auto M = parseOk(R"(fn @f() {
+  %a = const 5 : u32
+  %b = const -3 : i64
+  %c = const 1.5 : f64
+  %d = const true
+  %e = const 7 : idx
+  %p = const 42 : ptr
+  ret
+})");
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(F->body().inst(0)->intAttr(), 5);
+  EXPECT_EQ(F->body().inst(1)->intAttr(), -3);
+  EXPECT_EQ(F->body().inst(2)->fpAttr(), 1.5);
+  EXPECT_EQ(F->body().inst(3)->intAttr(), 1);
+  EXPECT_TRUE(
+      cast<IntType>(F->body().inst(4)->result()->type())->isIndex());
+  EXPECT_TRUE(isa<PtrType>(F->body().inst(5)->result()->type()));
+}
+
+TEST(Parser, CollectionOps) {
+  auto M = parseOk(R"(fn @f() {
+  %m = new Map<u64, u32>
+  %s = new Set<u64>
+  %q = new Seq<u64>
+  %k = const 1 : u64
+  %v = const 2 : u32
+  write %m, %k, %v
+  %r = read %m, %k
+  insert %s, %k
+  %h = has %s, %k
+  remove %s, %k
+  %n = size %m
+  clear %m
+  append %q, %k
+  %p = pop %q
+  ret
+})");
+  EXPECT_NE(M, nullptr);
+}
+
+TEST(Parser, NestedCollectionsViaRead) {
+  auto M = parseOk(R"(fn @f() {
+  %pts = new Map<ptr, Set<ptr>>
+  %p = const 1 : ptr
+  %inner = new Set<ptr>
+  write %pts, %p, %inner
+  %got = read %pts, %p
+  union %got, %inner
+  ret
+})");
+  Function *F = M->getFunction("f");
+  // The read result is the inner Set<ptr> collection.
+  bool FoundRead = false;
+  for (Instruction *I : F->body())
+    if (I->op() == Opcode::Read) {
+      EXPECT_EQ(I->result()->type()->str(), "Set<ptr>");
+      FoundRead = true;
+    }
+  EXPECT_TRUE(FoundRead);
+}
+
+TEST(Parser, IfWithResults) {
+  auto M = parseOk(R"(fn @f(%c: bool) -> u64 {
+  %a = const 1 : u64
+  %b = const 2 : u64
+  %r = if %c {
+    yield %a
+  } else {
+    yield %b
+  }
+  ret %r
+})");
+  EXPECT_NE(M, nullptr);
+}
+
+TEST(Parser, ForEachWithIter) {
+  auto M = parseOk(R"(fn @sum(%in: Seq<u64>) -> u64 {
+  %zero = const 0 : u64
+  %total = foreach %in -> [%i, %v] iter(%acc = %zero) {
+    %next = add %acc, %v
+    yield %next
+  }
+  ret %total
+})");
+  EXPECT_NE(M, nullptr);
+}
+
+TEST(Parser, ForEachOverSetBindsOneKey) {
+  auto M = parseOk(R"(fn @f(%s: Set<u64>) -> u64 {
+  %zero = const 0 : u64
+  %total = foreach %s -> [%k] iter(%acc = %zero) {
+    %next = add %acc, %k
+    yield %next
+  }
+  ret %total
+})");
+  EXPECT_NE(M, nullptr);
+}
+
+TEST(Parser, ForRangeAndDoWhile) {
+  auto M = parseOk(R"(fn @f() -> u64 {
+  %lo = const 0 : u64
+  %hi = const 10 : u64
+  %zero = const 0 : u64
+  %sum = forrange %lo, %hi -> [%i] iter(%acc = %zero) {
+    %next = add %acc, %i
+    yield %next
+  }
+  %one = const 1 : u64
+  %final = dowhile iter(%x = %sum) {
+    %dec = sub %x, %one
+    %more = gt %dec, %zero
+    yield %more, %dec
+  }
+  ret %final
+})");
+  EXPECT_NE(M, nullptr);
+}
+
+TEST(Parser, GlobalsAndEnumOps) {
+  auto M = parseOk(R"(global @e : Enum<u64>
+global @cache : Map<u64, u64>
+fn @f(%v: u64) -> u64 {
+  %e = gget @e
+  %id = enum.add %e, %v
+  %back = dec %e, %id
+  %id2 = enc %e, %back
+  %c = gget @cache
+  gset @cache, %c
+  ret %back
+})");
+  EXPECT_NE(M->getGlobal("e"), nullptr);
+  EXPECT_NE(M->getGlobal("cache"), nullptr);
+}
+
+TEST(Parser, CallsIncludingForwardReferences) {
+  auto M = parseOk(R"(fn @main() -> u64 {
+  %x = const 21 : u64
+  %r = call @double(%x)
+  ret %r
+}
+
+fn @double(%v: u64) -> u64 {
+  %two = const 2 : u64
+  %r = mul %v, %two
+  ret %r
+})");
+  EXPECT_NE(M->getFunction("double"), nullptr);
+}
+
+TEST(Parser, ExternFunctions) {
+  auto M = parseOk(R"(extern fn @sink(Set<u64>)
+fn @f(%s: Set<u64>) {
+  call @sink(%s)
+  ret
+})");
+  Function *Sink = M->getFunction("sink");
+  ASSERT_NE(Sink, nullptr);
+  EXPECT_TRUE(Sink->isExternal());
+}
+
+TEST(Parser, SelectionAnnotatedTypes) {
+  auto M = parseOk(R"(fn @f() {
+  %a = new Set{SwissSet}<u64>
+  %b = new Map{BitMap}<idx, u32>
+  %c = new Seq{Array}<f64>
+  ret
+})");
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(cast<SetType>(F->body().inst(0)->result()->type())->selection(),
+            Selection::SwissSet);
+}
+
+TEST(Parser, DirectivesAttachToNextNew) {
+  auto M = parseOk(R"(fn @f() {
+  #pragma ade enumerate noshare
+  %a = new Set<u32>
+  #pragma ade noenumerate select(SwissMap)
+  %b = new Map<u32, u32>
+  #pragma ade share group("d+e group")
+  %c = new Set<u32>
+  %d = new Set<u32>
+  ret
+})");
+  Function *F = M->getFunction("f");
+  const Directive *DA = F->body().inst(0)->directive();
+  ASSERT_NE(DA, nullptr);
+  EXPECT_EQ(DA->EnumerateMode, Directive::Enumerate::Force);
+  EXPECT_TRUE(DA->NoShare);
+  const Directive *DB = F->body().inst(1)->directive();
+  ASSERT_NE(DB, nullptr);
+  EXPECT_EQ(DB->EnumerateMode, Directive::Enumerate::Forbid);
+  EXPECT_EQ(DB->Select, Selection::SwissMap);
+  const Directive *DC = F->body().inst(2)->directive();
+  ASSERT_NE(DC, nullptr);
+  EXPECT_EQ(DC->ShareGroup, "d+e group");
+  EXPECT_EQ(F->body().inst(3)->directive(), nullptr);
+}
+
+TEST(Parser, NoShareWithNamedCollection) {
+  auto M = parseOk(R"(fn @f() {
+  %c = new Set<u32>
+  #pragma ade noshare(%c)
+  %a = new Set<u32>
+  ret
+})");
+  const Directive *D = M->getFunction("f")->body().inst(1)->directive();
+  ASSERT_NE(D, nullptr);
+  ASSERT_EQ(D->NoShareWith.size(), 1u);
+  EXPECT_EQ(D->NoShareWith[0], "c");
+}
+
+TEST(Parser, CommentsAreIgnored) {
+  auto M = parseOk(R"(// leading comment
+fn @f() { // trailing
+  // inner
+  ret
+})");
+  EXPECT_NE(M, nullptr);
+}
+
+// Error diagnostics.
+
+TEST(ParserErrors, UndefinedValue) {
+  std::string E = parseError("fn @f() {\n  %x = add %a, %a\n  ret\n}\n");
+  EXPECT_NE(E.find("undefined value"), std::string::npos) << E;
+  EXPECT_NE(E.find("line 2"), std::string::npos) << E;
+}
+
+TEST(ParserErrors, UnknownOperation) {
+  std::string E = parseError("fn @f() {\n  frobnicate\n  ret\n}\n");
+  EXPECT_NE(E.find("unknown operation"), std::string::npos) << E;
+}
+
+TEST(ParserErrors, UnknownCallee) {
+  std::string E = parseError("fn @f() {\n  call @nope()\n  ret\n}\n");
+  EXPECT_NE(E.find("unknown function"), std::string::npos) << E;
+}
+
+TEST(ParserErrors, DuplicateFunction) {
+  std::string E = parseError("fn @f() { ret }\nfn @f() { ret }\n");
+  EXPECT_NE(E.find("duplicate function"), std::string::npos) << E;
+}
+
+TEST(ParserErrors, BadType) {
+  std::string E = parseError("fn @f(%x: Wibble<u64>) { ret }\n");
+  EXPECT_NE(E.find("unknown type"), std::string::npos) << E;
+}
+
+TEST(ParserErrors, ResultCountMismatch) {
+  std::string E = parseError(R"(fn @f(%c: bool) {
+  %a, %b = if %c {
+    yield
+  } else {
+    yield
+  }
+  ret
+})");
+  EXPECT_NE(E.find("result names"), std::string::npos) << E;
+}
+
+TEST(ParserErrors, MissingYieldCondition) {
+  std::string E = parseError(R"(fn @f() {
+  dowhile {
+    yield
+  }
+  ret
+})");
+  EXPECT_NE(E.find("condition"), std::string::npos) << E;
+}
+
+// Round-trip: parse -> print -> parse -> print must be a fixpoint.
+
+void expectRoundTrip(std::string_view Src) {
+  auto M1 = parseOk(Src);
+  ASSERT_NE(M1, nullptr);
+  std::string P1 = toString(*M1);
+  std::vector<std::string> Errors;
+  auto M2 = parser::parseModule(P1, Errors);
+  ASSERT_NE(M2, nullptr) << "reparse failed: "
+                         << (Errors.empty() ? P1 : Errors[0]);
+  std::string P2 = toString(*M2);
+  EXPECT_EQ(P1, P2);
+}
+
+TEST(RoundTrip, Histogram) {
+  expectRoundTrip(R"(fn @count(%input: Seq<f32>) {
+  %hist = new Map<f32, u32>
+  foreach %input -> [%i, %val] {
+    %cond = has %hist, %val
+    %freq0 = if %cond {
+      %freq = read %hist, %val
+      yield %freq
+    } else {
+      insert %hist, %val
+      %z = const 0 : u32
+      yield %z
+    }
+    %one = const 1 : u32
+    %freq1 = add %freq0, %one
+    write %hist, %val, %freq1
+    yield
+  }
+  ret
+})");
+}
+
+TEST(RoundTrip, UnionFindLoop) {
+  // Listing 3: find parent in union-find.
+  expectRoundTrip(R"(fn @find(%uf: Map<u64, u64>, %v: u64) -> u64 {
+  %found = dowhile iter(%curr = %v) {
+    %parent = read %uf, %curr
+    %not_done = ne %parent, %curr
+    yield %not_done, %parent
+  }
+  ret %found
+})");
+}
+
+TEST(RoundTrip, DirectivesAndGlobals) {
+  expectRoundTrip(R"(global @e : Enum<u64>
+fn @f() {
+  #pragma ade enumerate noshare select(SparseBitSet)
+  %s = new Set<u64>
+  %e = gget @e
+  %k = const 3 : u64
+  %id = enum.add %e, %k
+  %b = dec %e, %id
+  insert %s, %b
+  ret
+})");
+}
+
+TEST(RoundTrip, EverythingKitchenSink) {
+  expectRoundTrip(R"(global @g : Map<u64, u64>
+extern fn @sink(Set<u64>)
+fn @main(%n: u64) -> u64 {
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %s = new Set{FlatSet}<u64>
+  %total = forrange %zero, %n -> [%i] iter(%acc = %zero) {
+    insert %s, %i
+    %isEven = rem %i, %one
+    %c = eq %isEven, %zero
+    %inc = if %c {
+      yield %one
+    } else {
+      yield %zero
+    }
+    %next = add %acc, %inc
+    yield %next
+  }
+  %sz = size %s
+  %r = max %total, %sz
+  ret %r
+})");
+}
+
+} // namespace

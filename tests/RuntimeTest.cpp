@@ -1,0 +1,175 @@
+//===- RuntimeTest.cpp ----------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The type-erased runtime layer: factory selection, adapter semantics,
+/// dense/sparse classification, union fast/slow paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "runtime/RtCollection.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::ir;
+using namespace ade::runtime;
+
+namespace {
+
+class RuntimeFactoryTest : public ::testing::Test {
+protected:
+  Module M;
+  RuntimeDefaults Defaults;
+
+  std::unique_ptr<RtCollection> make(Type *Ty) {
+    return createCollection(Ty, Defaults);
+  }
+};
+
+TEST_F(RuntimeFactoryTest, DefaultsAreHashImplementations) {
+  auto Set = make(M.types().setTy(M.types().intTy(64, false)));
+  EXPECT_EQ(Set->impl(), Selection::HashSet);
+  EXPECT_FALSE(Set->isDense());
+  auto Map = make(M.types().mapTy(M.types().intTy(64, false),
+                                  M.types().intTy(64, false)));
+  EXPECT_EQ(Map->impl(), Selection::HashMap);
+  auto Seq = make(M.types().seqTy(M.types().intTy(64, false)));
+  EXPECT_EQ(Seq->impl(), Selection::Array);
+  EXPECT_TRUE(Seq->isDense());
+}
+
+TEST_F(RuntimeFactoryTest, SelectionAnnotationWins) {
+  auto Set = make(
+      M.types().setTy(M.types().indexTy(), Selection::BitSet));
+  EXPECT_EQ(Set->impl(), Selection::BitSet);
+  EXPECT_TRUE(Set->isDense());
+  auto Sparse = make(
+      M.types().setTy(M.types().indexTy(), Selection::SparseBitSet));
+  EXPECT_EQ(Sparse->impl(), Selection::SparseBitSet);
+  EXPECT_TRUE(Sparse->isDense());
+}
+
+TEST_F(RuntimeFactoryTest, ConfiguredDefaultsApply) {
+  Defaults.SetImpl = Selection::SwissSet;
+  Defaults.MapImpl = Selection::SwissMap;
+  auto Set = make(M.types().setTy(M.types().intTy(64, false)));
+  EXPECT_EQ(Set->impl(), Selection::SwissSet);
+  auto Map = make(M.types().mapTy(M.types().intTy(64, false),
+                                  M.types().intTy(64, false)));
+  EXPECT_EQ(Map->impl(), Selection::SwissMap);
+}
+
+TEST_F(RuntimeFactoryTest, SetSemanticsThroughInterface) {
+  for (Selection Sel : {Selection::HashSet, Selection::SwissSet,
+                        Selection::FlatSet, Selection::BitSet,
+                        Selection::SparseBitSet}) {
+    auto C = make(M.types().setTy(M.types().indexTy(), Sel));
+    auto *Set = cast<RtSet>(C.get());
+    EXPECT_TRUE(Set->insert(5));
+    EXPECT_FALSE(Set->insert(5));
+    EXPECT_TRUE(Set->has(5));
+    EXPECT_FALSE(Set->has(6));
+    EXPECT_EQ(Set->size(), 1u);
+    EXPECT_TRUE(Set->remove(5));
+    EXPECT_FALSE(Set->remove(5));
+    EXPECT_EQ(Set->size(), 0u);
+  }
+}
+
+TEST_F(RuntimeFactoryTest, MapSemanticsThroughInterface) {
+  for (Selection Sel :
+       {Selection::HashMap, Selection::SwissMap, Selection::BitMap}) {
+    auto C = make(M.types().mapTy(M.types().indexTy(),
+                                  M.types().intTy(64, false), Sel));
+    auto *Map = cast<RtMap>(C.get());
+    EXPECT_TRUE(Map->insertDefault(3, 30));
+    EXPECT_FALSE(Map->insertDefault(3, 99)); // Keeps first value.
+    bool Found = false;
+    EXPECT_EQ(Map->get(3, Found), 30u);
+    EXPECT_TRUE(Found);
+    Map->set(3, 31);
+    EXPECT_EQ(Map->get(3, Found), 31u);
+    Map->get(4, Found);
+    EXPECT_FALSE(Found);
+    EXPECT_TRUE(Map->remove(3));
+    EXPECT_EQ(Map->size(), 0u);
+  }
+}
+
+TEST_F(RuntimeFactoryTest, UnionAcrossImplementations) {
+  // Fast path: same representation; slow path: element-wise.
+  auto A = make(M.types().setTy(M.types().indexTy(), Selection::BitSet));
+  auto B = make(M.types().setTy(M.types().indexTy(), Selection::BitSet));
+  auto C = make(
+      M.types().setTy(M.types().indexTy(), Selection::FlatSet));
+  cast<RtSet>(A.get())->insert(1);
+  cast<RtSet>(B.get())->insert(2);
+  cast<RtSet>(C.get())->insert(3);
+  cast<RtSet>(A.get())->unionWith(*cast<RtSet>(B.get()));
+  cast<RtSet>(A.get())->unionWith(*cast<RtSet>(C.get()));
+  EXPECT_EQ(A->size(), 3u);
+  for (uint64_t K : {1u, 2u, 3u})
+    EXPECT_TRUE(cast<RtSet>(A.get())->has(K));
+}
+
+TEST_F(RuntimeFactoryTest, SeqSemantics) {
+  auto C = make(M.types().seqTy(M.types().intTy(64, false)));
+  auto *Seq = cast<RtSeq>(C.get());
+  Seq->append(10);
+  Seq->append(20);
+  EXPECT_EQ(Seq->get(0), 10u);
+  Seq->set(0, 11);
+  EXPECT_EQ(Seq->get(0), 11u);
+  EXPECT_EQ(Seq->pop(), 20u);
+  EXPECT_EQ(Seq->size(), 1u);
+  uint64_t Visited = 0;
+  Seq->forEach([&](uint64_t I, uint64_t V) { Visited += V + I; });
+  EXPECT_EQ(Visited, 11u);
+}
+
+TEST_F(RuntimeFactoryTest, ClearKeepsSemantics) {
+  for (Selection Sel : {Selection::HashSet, Selection::BitSet,
+                        Selection::SparseBitSet}) {
+    auto C = make(M.types().setTy(M.types().indexTy(), Sel));
+    auto *Set = cast<RtSet>(C.get());
+    for (uint64_t K = 0; K != 100; ++K)
+      Set->insert(K);
+    Set->clear();
+    EXPECT_EQ(Set->size(), 0u);
+    EXPECT_FALSE(Set->has(5));
+    EXPECT_TRUE(Set->insert(5));
+  }
+}
+
+TEST(RtEnumTest, MatchesEnumerationSemantics) {
+  RtEnum E;
+  auto [Id0, New0] = E.add(1000);
+  EXPECT_TRUE(New0);
+  EXPECT_EQ(Id0, 0u);
+  EXPECT_EQ(E.add(1000).first, 0u);
+  EXPECT_EQ(E.add(2000).first, 1u);
+  EXPECT_EQ(E.decode(1), 2000u);
+  EXPECT_EQ(E.encode(1000), 0u);
+  EXPECT_TRUE(E.contains(2000));
+  EXPECT_FALSE(E.contains(3000));
+  EXPECT_EQ(E.size(), 2u);
+}
+
+TEST(DenseClassification, MatchesTableII) {
+  EXPECT_TRUE(selectionIsDense(Selection::Array));
+  EXPECT_TRUE(selectionIsDense(Selection::BitSet));
+  EXPECT_TRUE(selectionIsDense(Selection::BitMap));
+  EXPECT_TRUE(selectionIsDense(Selection::SparseBitSet));
+  EXPECT_FALSE(selectionIsDense(Selection::HashSet));
+  EXPECT_FALSE(selectionIsDense(Selection::SwissSet));
+  EXPECT_FALSE(selectionIsDense(Selection::FlatSet));
+  EXPECT_FALSE(selectionIsDense(Selection::HashMap));
+  EXPECT_FALSE(selectionIsDense(Selection::SwissMap));
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+//===- StatsTest.cpp ------------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Stats.h"
+
+#include "support/RawOstream.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ade;
+using namespace ade::stats;
+
+namespace {
+
+TEST(Geomean, BasicProperties) {
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, InverseCancellation) {
+  // Speedup and slowdown of equal magnitude cancel to 1.
+  EXPECT_NEAR(geomean({3.0, 1.0 / 3.0}), 1.0, 1e-12);
+}
+
+TEST(Clustering, MergesNearestFirst) {
+  // Three points on a line: 0, 1, 10. The first merge must join 0 and 1.
+  std::vector<std::vector<double>> Points = {{0.0}, {1.0}, {10.0}};
+  auto Merges = clusterAverageLinkage(Points);
+  ASSERT_EQ(Merges.size(), 2u);
+  EXPECT_EQ(std::min(Merges[0].Left, Merges[0].Right), 0u);
+  EXPECT_EQ(std::max(Merges[0].Left, Merges[0].Right), 1u);
+  EXPECT_NEAR(Merges[0].Distance, 1.0, 1e-12);
+  // Second merge joins the pair-cluster (id 3) with leaf 2 at the average
+  // distance ((10-0) + (10-1)) / 2 = 9.5.
+  EXPECT_NEAR(Merges[1].Distance, 9.5, 1e-12);
+}
+
+TEST(Clustering, IdenticalPointsMergeAtZero) {
+  std::vector<std::vector<double>> Points = {{1.0, 2.0}, {1.0, 2.0},
+                                             {5.0, 5.0}};
+  auto Merges = clusterAverageLinkage(Points);
+  ASSERT_EQ(Merges.size(), 2u);
+  EXPECT_NEAR(Merges[0].Distance, 0.0, 1e-12);
+}
+
+TEST(Clustering, HandlesDegenerateInputs) {
+  EXPECT_TRUE(clusterAverageLinkage({}).empty());
+  EXPECT_TRUE(clusterAverageLinkage({{1.0}}).empty());
+}
+
+TEST(Dendrogram, RendersEveryMerge) {
+  std::vector<std::vector<double>> Points = {{0.0}, {1.0}, {10.0}};
+  auto Merges = clusterAverageLinkage(Points);
+  std::string Out;
+  RawStringOstream OS(Out);
+  printDendrogram(Merges, {"A", "B", "C"}, OS);
+  EXPECT_NE(Out.find("merge 1: A + B"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("tree:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("C"), std::string::npos) << Out;
+}
+
+TEST(TablePrinting, AlignsColumns) {
+  Table T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "22"});
+  std::string Out;
+  RawStringOstream OS(Out);
+  T.print(OS);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("------"), std::string::npos);
+}
+
+TEST(TablePrinting, Formatting) {
+  EXPECT_EQ(Table::fmt(1.234, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.9512), "95.1%");
+  EXPECT_EQ(Table::pct(1.5, 0), "150%");
+}
+
+} // namespace

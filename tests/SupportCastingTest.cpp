@@ -1,0 +1,72 @@
+//===- SupportCastingTest.cpp ---------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+class Shape {
+public:
+  enum class Kind { Circle, Square };
+  explicit Shape(Kind K) : TheKind(K) {}
+  Kind kind() const { return TheKind; }
+
+private:
+  Kind TheKind;
+};
+
+class Circle : public Shape {
+public:
+  Circle() : Shape(Kind::Circle) {}
+  static bool classof(const Shape *S) { return S->kind() == Kind::Circle; }
+};
+
+class Square : public Shape {
+public:
+  Square() : Shape(Kind::Square) {}
+  static bool classof(const Shape *S) { return S->kind() == Kind::Square; }
+};
+
+TEST(Casting, IsaMatchesDynamicKind) {
+  Circle C;
+  Square S;
+  Shape *AsShape = &C;
+  EXPECT_TRUE(ade::isa<Circle>(AsShape));
+  EXPECT_FALSE(ade::isa<Square>(AsShape));
+  EXPECT_TRUE(ade::isa<Square>(&S));
+}
+
+TEST(Casting, DynCastReturnsNullOnMismatch) {
+  Circle C;
+  Shape *AsShape = &C;
+  EXPECT_EQ(ade::dyn_cast<Square>(AsShape), nullptr);
+  EXPECT_EQ(ade::dyn_cast<Circle>(AsShape), &C);
+}
+
+TEST(Casting, CastPreservesConstness) {
+  const Circle C;
+  const Shape *AsShape = &C;
+  const Circle *Back = ade::cast<Circle>(AsShape);
+  EXPECT_EQ(Back, &C);
+}
+
+TEST(Casting, IsaAndPresentToleratesNull) {
+  Shape *Null = nullptr;
+  EXPECT_FALSE(ade::isa_and_present<Circle>(Null));
+  EXPECT_EQ(ade::dyn_cast_if_present<Circle>(Null), nullptr);
+}
+
+TEST(Casting, ReferenceForms) {
+  Circle C;
+  Shape &AsShape = C;
+  EXPECT_TRUE(ade::isa<Circle>(AsShape));
+  Circle &Back = ade::cast<Circle>(AsShape);
+  EXPECT_EQ(&Back, &C);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+//===- SupportRandomTest.cpp ----------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using ade::Rng;
+
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(7), B(7);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng R(3);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng R(4);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 1000; ++I)
+    Seen.insert(R.nextBelow(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleIsUnitInterval) {
+  Rng R(5);
+  double Sum = 0;
+  for (int I = 0; I != 10000; ++I) {
+    double D = R.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+    Sum += D;
+  }
+  // Mean of U(0,1) should be close to 0.5.
+  EXPECT_NEAR(Sum / 10000, 0.5, 0.02);
+}
+
+TEST(Hashing, MixedValuesSpread) {
+  // Consecutive integers must not collide and should differ in many bits.
+  std::set<uint64_t> Hashes;
+  for (uint64_t I = 0; I != 1000; ++I)
+    Hashes.insert(ade::hashU64(I));
+  EXPECT_EQ(Hashes.size(), 1000u);
+}
+
+TEST(Hashing, CombineOrderSensitive) {
+  uint64_t AB = ade::hashCombine(ade::hashU64(1), 2);
+  uint64_t BA = ade::hashCombine(ade::hashU64(2), 1);
+  EXPECT_NE(AB, BA);
+}
+
+TEST(Hashing, BytesMatchesKnownProperties) {
+  EXPECT_EQ(ade::hashBytes(""), 0xcbf29ce484222325ULL); // FNV offset basis.
+  EXPECT_NE(ade::hashBytes("abc"), ade::hashBytes("acb"));
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+//===- SupportUnionFindTest.cpp -------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+using ade::KeyedUnionFind;
+using ade::UnionFind;
+
+namespace {
+
+TEST(UnionFind, SingletonsAreDistinct) {
+  UnionFind UF(4);
+  EXPECT_EQ(UF.numSets(), 4u);
+  for (uint32_t I = 0; I != 4; ++I)
+    EXPECT_EQ(UF.find(I), I);
+}
+
+TEST(UnionFind, UniteMergesAndIsIdempotent) {
+  UnionFind UF(4);
+  UF.unite(0, 1);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_FALSE(UF.connected(0, 2));
+  uint32_t Root = UF.find(0);
+  EXPECT_EQ(UF.unite(1, 0), Root);
+  EXPECT_EQ(UF.numSets(), 3u);
+}
+
+TEST(UnionFind, TransitiveUnions) {
+  UnionFind UF(6);
+  UF.unite(0, 1);
+  UF.unite(2, 3);
+  UF.unite(1, 2);
+  EXPECT_TRUE(UF.connected(0, 3));
+  EXPECT_FALSE(UF.connected(0, 4));
+  EXPECT_EQ(UF.numSets(), 3u); // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFind, GrowPreservesExistingSets) {
+  UnionFind UF(2);
+  UF.unite(0, 1);
+  UF.grow(5);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_FALSE(UF.connected(0, 4));
+  EXPECT_EQ(UF.size(), 5u);
+}
+
+TEST(UnionFind, MakeSetAppends) {
+  UnionFind UF;
+  uint32_t A = UF.makeSet();
+  uint32_t B = UF.makeSet();
+  EXPECT_NE(A, B);
+  EXPECT_FALSE(UF.connected(A, B));
+}
+
+// Differential test against a naive labeling implementation.
+TEST(UnionFind, RandomizedAgainstNaiveLabels) {
+  constexpr uint32_t N = 200;
+  UnionFind UF(N);
+  std::vector<uint32_t> Label(N);
+  for (uint32_t I = 0; I != N; ++I)
+    Label[I] = I;
+
+  ade::Rng Rng(42);
+  for (int Step = 0; Step != 500; ++Step) {
+    uint32_t A = static_cast<uint32_t>(Rng.nextBelow(N));
+    uint32_t B = static_cast<uint32_t>(Rng.nextBelow(N));
+    if (Rng.nextBool(0.5)) {
+      UF.unite(A, B);
+      uint32_t From = Label[A], To = Label[B];
+      for (uint32_t I = 0; I != N; ++I)
+        if (Label[I] == From)
+          Label[I] = To;
+    } else {
+      EXPECT_EQ(UF.connected(A, B), Label[A] == Label[B])
+          << "step " << Step << " pair (" << A << "," << B << ")";
+    }
+  }
+}
+
+TEST(KeyedUnionFind, StringKeys) {
+  KeyedUnionFind<std::string> UF;
+  UF.unite("a", "b");
+  UF.unite("c", "d");
+  EXPECT_TRUE(UF.connected("a", "b"));
+  EXPECT_FALSE(UF.connected("a", "c"));
+  UF.unite("b", "c");
+  EXPECT_TRUE(UF.connected("a", "d"));
+  EXPECT_EQ(UF.size(), 4u);
+}
+
+TEST(KeyedUnionFind, ForEachVisitsAllKeys) {
+  KeyedUnionFind<int> UF;
+  UF.unite(1, 2);
+  UF.unite(3, 4);
+  std::map<uint32_t, int> ClassSizes;
+  UF.forEach([&](int, uint32_t Rep) { ++ClassSizes[Rep]; });
+  EXPECT_EQ(ClassSizes.size(), 2u);
+  for (auto &[Rep, Size] : ClassSizes)
+    EXPECT_EQ(Size, 2);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- WorkloadsTest.cpp --------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Structural properties of the synthetic workload generators (DESIGN.md
+/// substitution 4): determinism, label sparsity, connectivity,
+/// bipartiteness, well-formed transaction offsets and constraint kinds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Workloads.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace ade;
+using namespace ade::bench;
+
+namespace {
+
+TEST(Workloads, LabelsAreSparseAndStable) {
+  // Scrambled labels are deterministic, non-zero and far from dense.
+  EXPECT_EQ(scrambleLabel(0), scrambleLabel(0));
+  EXPECT_NE(scrambleLabel(0), scrambleLabel(1));
+  std::set<uint64_t> Labels;
+  uint64_t Small = 0;
+  for (uint64_t I = 0; I != 1000; ++I) {
+    uint64_t L = scrambleLabel(I);
+    EXPECT_NE(L, 0u);
+    Labels.insert(L);
+    Small += L < 100000;
+  }
+  EXPECT_EQ(Labels.size(), 1000u); // No collisions in practice.
+  EXPECT_LT(Small, 5u);            // Not a dense range.
+}
+
+TEST(Workloads, ConnectedGraphIsConnected) {
+  Workload W = connectedGraph(500, 1200, 42);
+  ASSERT_EQ(W.A.size(), W.B.size());
+  // Union-find over dense re-labeled nodes.
+  std::map<uint64_t, uint32_t> Ids;
+  UnionFind UF;
+  auto IdOf = [&](uint64_t Label) {
+    auto [It, Inserted] = Ids.emplace(Label, 0);
+    if (Inserted)
+      It->second = UF.makeSet();
+    return It->second;
+  };
+  for (size_t I = 0; I != W.A.size(); ++I)
+    UF.unite(IdOf(W.A[I]), IdOf(W.B[I]));
+  EXPECT_EQ(Ids.size(), 500u);
+  EXPECT_EQ(UF.numSets(), 1u);
+}
+
+TEST(Workloads, WeightedGraphHasBoundedWeights) {
+  Workload W = weightedGraph(200, 600, 5);
+  ASSERT_EQ(W.C.size(), W.A.size());
+  for (uint64_t Weight : W.C) {
+    EXPECT_GE(Weight, 1u);
+    EXPECT_LE(Weight, 16u);
+  }
+}
+
+TEST(Workloads, RmatHasNoSelfLoopsAndSkewedDegrees) {
+  Workload W = rmatGraph(1 << 12, 20000, 9);
+  std::map<uint64_t, uint64_t> Degree;
+  for (size_t I = 0; I != W.A.size(); ++I) {
+    EXPECT_NE(W.A[I], W.B[I]);
+    ++Degree[W.A[I]];
+  }
+  // Power-law-ish: the max degree far exceeds the mean.
+  uint64_t Max = 0;
+  for (auto &[Node, D] : Degree)
+    Max = std::max(Max, D);
+  double Mean = static_cast<double>(W.A.size()) /
+                static_cast<double>(Degree.size());
+  EXPECT_GT(static_cast<double>(Max), 8 * Mean);
+}
+
+TEST(Workloads, BipartitePartitionsAreDisjoint) {
+  Workload W = bipartiteGraph(300, 900, 3);
+  std::set<uint64_t> Left(W.A.begin(), W.A.end());
+  std::set<uint64_t> Right(W.B.begin(), W.B.end());
+  for (uint64_t R : Right)
+    EXPECT_EQ(Left.count(R), 0u);
+}
+
+TEST(Workloads, FlowNetworkEndpoints) {
+  Workload W = flowNetwork(5, 8, 4);
+  ASSERT_EQ(W.C.size(), W.A.size());
+  // Source appears only as a tail, sink only as a head.
+  for (size_t I = 0; I != W.A.size(); ++I) {
+    EXPECT_NE(W.B[I], W.P0);
+    EXPECT_NE(W.A[I], W.P1);
+    EXPECT_GE(W.C[I], 1u);
+  }
+}
+
+TEST(Workloads, TransactionOffsetsAreWellFormed) {
+  Workload W = transactions(500, 12, 300, 8);
+  ASSERT_GE(W.C.size(), 2u);
+  EXPECT_EQ(W.C.front(), 0u);
+  EXPECT_EQ(W.C.back(), W.A.size());
+  for (size_t I = 1; I != W.C.size(); ++I)
+    EXPECT_LE(W.C[I - 1], W.C[I]);
+  EXPECT_GT(W.P0, 0u); // Support threshold.
+}
+
+TEST(Workloads, ConstraintKindsAreValid) {
+  Workload W = pointsToConstraints(100, 10, 500, 6);
+  ASSERT_EQ(W.C.size(), W.A.size());
+  size_t Addr = 0;
+  for (uint64_t Kind : W.C) {
+    EXPECT_LE(Kind, 3u);
+    Addr += Kind == 0;
+  }
+  // Some address-of constraints must exist or points-to sets stay empty.
+  EXPECT_GT(Addr, 0u);
+}
+
+} // namespace
