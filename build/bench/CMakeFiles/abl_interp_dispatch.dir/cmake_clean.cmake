@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_interp_dispatch.dir/abl_interp_dispatch.cpp.o"
+  "CMakeFiles/abl_interp_dispatch.dir/abl_interp_dispatch.cpp.o.d"
+  "abl_interp_dispatch"
+  "abl_interp_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interp_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

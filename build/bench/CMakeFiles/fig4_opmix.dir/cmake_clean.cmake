@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_opmix.dir/fig4_opmix.cpp.o"
+  "CMakeFiles/fig4_opmix.dir/fig4_opmix.cpp.o.d"
+  "fig4_opmix"
+  "fig4_opmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_opmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_main.dir/fig5_main.cpp.o"
+  "CMakeFiles/fig5_main.dir/fig5_main.cpp.o.d"
+  "fig5_main"
+  "fig5_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_aarch64_projection.dir/fig6_aarch64_projection.cpp.o"
+  "CMakeFiles/fig6_aarch64_projection.dir/fig6_aarch64_projection.cpp.o.d"
+  "fig6_aarch64_projection"
+  "fig6_aarch64_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_aarch64_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

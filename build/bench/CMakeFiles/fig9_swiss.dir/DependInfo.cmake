@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_swiss.cpp" "bench/CMakeFiles/fig9_swiss.dir/fig9_swiss.cpp.o" "gcc" "bench/CMakeFiles/fig9_swiss.dir/fig9_swiss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench/CMakeFiles/ade_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ade_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ade_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ade_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ade_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/collections/CMakeFiles/ade_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/ade_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ade_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ade_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

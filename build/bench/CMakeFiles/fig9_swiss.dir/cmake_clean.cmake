@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_swiss.dir/fig9_swiss.cpp.o"
+  "CMakeFiles/fig9_swiss.dir/fig9_swiss.cpp.o.d"
+  "fig9_swiss"
+  "fig9_swiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_swiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

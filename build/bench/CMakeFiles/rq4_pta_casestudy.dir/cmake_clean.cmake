@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rq4_pta_casestudy.dir/rq4_pta_casestudy.cpp.o"
+  "CMakeFiles/rq4_pta_casestudy.dir/rq4_pta_casestudy.cpp.o.d"
+  "rq4_pta_casestudy"
+  "rq4_pta_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rq4_pta_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

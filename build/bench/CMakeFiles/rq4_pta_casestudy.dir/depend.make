@@ -1,0 +1,2 @@
+# Empty dependencies file for rq4_pta_casestudy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_tuning.dir/pta_tuning.cpp.o"
+  "CMakeFiles/pta_tuning.dir/pta_tuning.cpp.o.d"
+  "pta_tuning"
+  "pta_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/bench/CMakeFiles/ade_bench.dir/BenchmarksGraph.cpp.o: \
+ /root/repo/src/bench/BenchmarksGraph.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/bench/BenchmarksInternal.h

@@ -1,0 +1,3 @@
+src/bench/CMakeFiles/ade_bench.dir/BenchmarksOther.cpp.o: \
+ /root/repo/src/bench/BenchmarksOther.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/bench/BenchmarksInternal.h

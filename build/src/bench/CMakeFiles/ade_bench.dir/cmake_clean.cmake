@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ade_bench.dir/Benchmarks.cpp.o"
+  "CMakeFiles/ade_bench.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/ade_bench.dir/BenchmarksGraph.cpp.o"
+  "CMakeFiles/ade_bench.dir/BenchmarksGraph.cpp.o.d"
+  "CMakeFiles/ade_bench.dir/BenchmarksOther.cpp.o"
+  "CMakeFiles/ade_bench.dir/BenchmarksOther.cpp.o.d"
+  "CMakeFiles/ade_bench.dir/Harness.cpp.o"
+  "CMakeFiles/ade_bench.dir/Harness.cpp.o.d"
+  "CMakeFiles/ade_bench.dir/Workloads.cpp.o"
+  "CMakeFiles/ade_bench.dir/Workloads.cpp.o.d"
+  "libade_bench.a"
+  "libade_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ade_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libade_bench.a"
+)

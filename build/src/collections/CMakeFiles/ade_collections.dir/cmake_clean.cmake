@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ade_collections.dir/RoaringBitSet.cpp.o"
+  "CMakeFiles/ade_collections.dir/RoaringBitSet.cpp.o.d"
+  "libade_collections.a"
+  "libade_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ade_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

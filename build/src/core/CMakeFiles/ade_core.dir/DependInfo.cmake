@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Analysis.cpp" "src/core/CMakeFiles/ade_core.dir/Analysis.cpp.o" "gcc" "src/core/CMakeFiles/ade_core.dir/Analysis.cpp.o.d"
+  "/root/repo/src/core/Cloning.cpp" "src/core/CMakeFiles/ade_core.dir/Cloning.cpp.o" "gcc" "src/core/CMakeFiles/ade_core.dir/Cloning.cpp.o.d"
+  "/root/repo/src/core/Pipeline.cpp" "src/core/CMakeFiles/ade_core.dir/Pipeline.cpp.o" "gcc" "src/core/CMakeFiles/ade_core.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/core/Plan.cpp" "src/core/CMakeFiles/ade_core.dir/Plan.cpp.o" "gcc" "src/core/CMakeFiles/ade_core.dir/Plan.cpp.o.d"
+  "/root/repo/src/core/Transform.cpp" "src/core/CMakeFiles/ade_core.dir/Transform.cpp.o" "gcc" "src/core/CMakeFiles/ade_core.dir/Transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ade_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ade_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ade_core.dir/Analysis.cpp.o"
+  "CMakeFiles/ade_core.dir/Analysis.cpp.o.d"
+  "CMakeFiles/ade_core.dir/Cloning.cpp.o"
+  "CMakeFiles/ade_core.dir/Cloning.cpp.o.d"
+  "CMakeFiles/ade_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/ade_core.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/ade_core.dir/Plan.cpp.o"
+  "CMakeFiles/ade_core.dir/Plan.cpp.o.d"
+  "CMakeFiles/ade_core.dir/Transform.cpp.o"
+  "CMakeFiles/ade_core.dir/Transform.cpp.o.d"
+  "libade_core.a"
+  "libade_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ade_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

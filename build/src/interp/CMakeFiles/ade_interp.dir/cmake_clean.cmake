@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ade_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/ade_interp.dir/Interpreter.cpp.o.d"
+  "libade_interp.a"
+  "libade_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ade_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ade_ir.dir/IR.cpp.o"
+  "CMakeFiles/ade_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/ade_ir.dir/Printer.cpp.o"
+  "CMakeFiles/ade_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/ade_ir.dir/Type.cpp.o"
+  "CMakeFiles/ade_ir.dir/Type.cpp.o.d"
+  "CMakeFiles/ade_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/ade_ir.dir/Verifier.cpp.o.d"
+  "libade_ir.a"
+  "libade_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ade_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ade_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/ade_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ade_parser.dir/Parser.cpp.o"
+  "CMakeFiles/ade_parser.dir/Parser.cpp.o.d"
+  "libade_parser.a"
+  "libade_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ade_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ade_runtime.dir/RtCollection.cpp.o"
+  "CMakeFiles/ade_runtime.dir/RtCollection.cpp.o.d"
+  "CMakeFiles/ade_runtime.dir/Stats.cpp.o"
+  "CMakeFiles/ade_runtime.dir/Stats.cpp.o.d"
+  "libade_runtime.a"
+  "libade_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ade_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

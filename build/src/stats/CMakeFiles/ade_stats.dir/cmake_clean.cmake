@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ade_stats.dir/Stats.cpp.o"
+  "CMakeFiles/ade_stats.dir/Stats.cpp.o.d"
+  "libade_stats.a"
+  "libade_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ade_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ade_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/ade_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/ade_support.dir/RawOstream.cpp.o"
+  "CMakeFiles/ade_support.dir/RawOstream.cpp.o.d"
+  "libade_support.a"
+  "libade_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ade_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libade_support.a"
+)

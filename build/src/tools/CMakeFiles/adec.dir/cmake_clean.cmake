@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adec.dir/adec.cpp.o"
+  "CMakeFiles/adec.dir/adec.cpp.o.d"
+  "adec"
+  "adec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

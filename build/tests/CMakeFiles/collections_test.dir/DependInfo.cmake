@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CollectionsEnumerationTest.cpp" "tests/CMakeFiles/collections_test.dir/CollectionsEnumerationTest.cpp.o" "gcc" "tests/CMakeFiles/collections_test.dir/CollectionsEnumerationTest.cpp.o.d"
+  "/root/repo/tests/CollectionsMapTest.cpp" "tests/CMakeFiles/collections_test.dir/CollectionsMapTest.cpp.o" "gcc" "tests/CMakeFiles/collections_test.dir/CollectionsMapTest.cpp.o.d"
+  "/root/repo/tests/CollectionsMemoryTest.cpp" "tests/CMakeFiles/collections_test.dir/CollectionsMemoryTest.cpp.o" "gcc" "tests/CMakeFiles/collections_test.dir/CollectionsMemoryTest.cpp.o.d"
+  "/root/repo/tests/CollectionsRoaringTest.cpp" "tests/CMakeFiles/collections_test.dir/CollectionsRoaringTest.cpp.o" "gcc" "tests/CMakeFiles/collections_test.dir/CollectionsRoaringTest.cpp.o.d"
+  "/root/repo/tests/CollectionsSetTest.cpp" "tests/CMakeFiles/collections_test.dir/CollectionsSetTest.cpp.o" "gcc" "tests/CMakeFiles/collections_test.dir/CollectionsSetTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collections/CMakeFiles/ade_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ade_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collections_test.dir/CollectionsEnumerationTest.cpp.o"
+  "CMakeFiles/collections_test.dir/CollectionsEnumerationTest.cpp.o.d"
+  "CMakeFiles/collections_test.dir/CollectionsMapTest.cpp.o"
+  "CMakeFiles/collections_test.dir/CollectionsMapTest.cpp.o.d"
+  "CMakeFiles/collections_test.dir/CollectionsMemoryTest.cpp.o"
+  "CMakeFiles/collections_test.dir/CollectionsMemoryTest.cpp.o.d"
+  "CMakeFiles/collections_test.dir/CollectionsRoaringTest.cpp.o"
+  "CMakeFiles/collections_test.dir/CollectionsRoaringTest.cpp.o.d"
+  "CMakeFiles/collections_test.dir/CollectionsSetTest.cpp.o"
+  "CMakeFiles/collections_test.dir/CollectionsSetTest.cpp.o.d"
+  "collections_test"
+  "collections_test.pdb"
+  "collections_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collections_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

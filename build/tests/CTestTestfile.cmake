@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/benchmarks_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/endtoend_test[1]_include.cmake")
+include("/root/repo/build/tests/collections_test[1]_include.cmake")
+add_test(adec_parse_print "/root/repo/build/src/tools/adec" "/root/repo/examples/histogram.memoir" "--print")
+set_tests_properties(adec_parse_print PROPERTIES  PASS_REGULAR_EXPRESSION "fn @count" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;2;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(adec_run_baseline "/root/repo/build/src/tools/adec" "/root/repo/examples/histogram.memoir" "--run")
+set_tests_properties(adec_run_baseline PROPERTIES  PASS_REGULAR_EXPRESSION "@main = 1000" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(adec_run_ade "/root/repo/build/src/tools/adec" "/root/repo/examples/histogram.memoir" "--ade" "--run")
+set_tests_properties(adec_run_ade PROPERTIES  PASS_REGULAR_EXPRESSION "@main = 1000" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(adec_ade_prints_bitmap "/root/repo/build/src/tools/adec" "/root/repo/examples/histogram.memoir" "--ade" "--print")
+set_tests_properties(adec_ade_prints_bitmap PROPERTIES  PASS_REGULAR_EXPRESSION "Map{BitMap}<idx,u32>" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(adec_unionfind_propagation "/root/repo/build/src/tools/adec" "/root/repo/examples/unionfind.memoir" "--ade" "--print")
+set_tests_properties(adec_unionfind_propagation PROPERTIES  PASS_REGULAR_EXPRESSION "Map{BitMap}<idx,idx>" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(adec_unionfind_runs "/root/repo/build/src/tools/adec" "/root/repo/examples/unionfind.memoir" "--ade" "--run")
+set_tests_properties(adec_unionfind_runs PROPERTIES  PASS_REGULAR_EXPRESSION "@main = " _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(adec_rejects_garbage "/root/repo/build/src/tools/adec" "/root/repo/CMakeLists.txt")
+set_tests_properties(adec_rejects_garbage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
