@@ -1,0 +1,830 @@
+//===- Checkers.cpp - Static enumeration-correctness checkers -------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Checkers.h"
+
+#include "analysis/Dataflow.h"
+#include "core/MergeNetwork.h"
+#include "support/UnionFind.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace ade;
+using namespace ade::analysis;
+using namespace ade::ir;
+
+static bool isIdx(const Type *T) {
+  const auto *Int = dyn_cast<IntType>(T);
+  return Int && Int->isIndex();
+}
+
+/// Applies \p Fn to every instruction of \p R, pre-order, nested regions
+/// included.
+template <typename FnT> static void forEachInst(const Region &R, FnT Fn) {
+  for (Instruction *I : R) {
+    Fn(I);
+    for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+      forEachInst(*I->region(Idx), Fn);
+  }
+}
+
+/// The New instruction anchoring \p Root, or null (params, globals).
+static const Instruction *anchorInst(const core::RootInfo *Root) {
+  if (Root->Anchor)
+    if (const auto *Res = dyn_cast<InstResult>(Root->Anchor))
+      return Res->parent();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// enum-consistency
+//===----------------------------------------------------------------------===//
+//
+// Identifiers (idx-typed values) are opaque handles into one specific
+// enumeration. The checker unifies, with a union-find:
+//
+//  - a key slot per alias class (the enumeration keying that collection)
+//    and an element slot per alias class (for idx-valued elements);
+//  - one node per enumeration global;
+//  - one node per idx-typed SSA value and per idx-returning function.
+//
+// enc/add bind their result to their enumeration; dec binds its operand;
+// collection accesses bind idx keys/elements to the class slots; merges,
+// calls, returns and comparisons bind values to each other. Two distinct
+// enumeration globals meeting in one set is an inconsistency — exactly
+// the property the ADE transform must preserve.
+
+namespace {
+
+class EnumBinder {
+public:
+  EnumBinder(core::ModuleAnalysis &MA, DiagnosticEngine &DE)
+      : MA(MA), DE(DE) {}
+
+  void run() {
+    for (const auto &F : MA.module().functions())
+      if (!F->isExternal())
+        forEachInst(F->body(), [&](Instruction *I) { visit(I); });
+    // Merge edges (region arguments, structured-op results, selects):
+    // every source of an idx-typed merge target carries the same
+    // identifiers as the target.
+    for (Value *Target : MA.merges().targets()) {
+      if (!isIdx(Target->type()))
+        continue;
+      for (const core::MergeSlot &Slot : MA.merges().sourcesOf(Target))
+        unite(valueNode(Slot.User->operand(Slot.OpIdx)), valueNode(Target),
+              Slot.User, [&](const std::string &A, const std::string &B) {
+                return "merged value '" + Target->name() +
+                       "' mixes identifiers of enumeration @" + A +
+                       " with identifiers of @" + B;
+              });
+    }
+  }
+
+private:
+  void visit(Instruction *I) {
+    switch (I->op()) {
+    case Opcode::Enc:
+    case Opcode::EnumAdd: {
+      std::string Sym = enumSymbolOf(I->operand(0));
+      if (!Sym.empty() && I->numResults())
+        unite(valueNode(I->result(0)), enumNode(Sym), I,
+              [&](const std::string &A, const std::string &B) {
+                return std::string("result of '") + opcodeName(I->op()) +
+                       "' is an identifier of enumeration @" + B +
+                       ", but flows together with identifiers of @" + A;
+              });
+      break;
+    }
+    case Opcode::Dec: {
+      std::string Sym = enumSymbolOf(I->operand(0));
+      if (!Sym.empty() && I->numOperands() > 1 &&
+          isIdx(I->operand(1)->type()))
+        unite(valueNode(I->operand(1)), enumNode(Sym), I,
+              [&](const std::string &A, const std::string &B) {
+                return "'dec' decodes through enumeration @" + B +
+                       ", but its operand carries an identifier of @" + A;
+              });
+      break;
+    }
+    case Opcode::Read:
+    case Opcode::Write:
+    case Opcode::Insert:
+    case Opcode::Remove:
+    case Opcode::Has: {
+      core::RootInfo *Root = MA.rootOf(I->operand(0));
+      if (!Root)
+        break;
+      size_t C = MA.aliasClassOf(Root);
+      if (I->numOperands() > 1 && isIdx(I->operand(1)->type()))
+        uniteKey(I->operand(1), C, Root, I);
+      if (I->op() == Opcode::Write && I->numOperands() > 2 &&
+          isIdx(I->operand(2)->type()))
+        uniteElem(I->operand(2), C, Root, I);
+      if (I->op() == Opcode::Read && I->numResults() &&
+          isIdx(I->result(0)->type()))
+        uniteElem(I->result(0), C, Root, I);
+      break;
+    }
+    case Opcode::Append: {
+      core::RootInfo *Root = MA.rootOf(I->operand(0));
+      if (Root && I->numOperands() > 1 && isIdx(I->operand(1)->type()))
+        uniteElem(I->operand(1), MA.aliasClassOf(Root), Root, I);
+      break;
+    }
+    case Opcode::Pop: {
+      core::RootInfo *Root = MA.rootOf(I->operand(0));
+      if (Root && I->numResults() && isIdx(I->result(0)->type()))
+        uniteElem(I->result(0), MA.aliasClassOf(Root), Root, I);
+      break;
+    }
+    case Opcode::Union: {
+      core::RootInfo *Dst = MA.rootOf(I->operand(0));
+      core::RootInfo *Src = MA.rootOf(I->operand(1));
+      if (Dst && Src && Dst->keyType() && Src->keyType() &&
+          isIdx(Dst->keyType()) && isIdx(Src->keyType()))
+        unite(keySlot(MA.aliasClassOf(Src)), keySlot(MA.aliasClassOf(Dst)),
+              I, [&](const std::string &A, const std::string &B) {
+                return "'union' merges " + Src->describe() +
+                       " (enumerated by @" + A + ") into " +
+                       Dst->describe() + " (enumerated by @" + B + ")";
+              });
+      break;
+    }
+    case Opcode::ForEach: {
+      core::RootInfo *Root = MA.rootOf(I->operand(0));
+      if (!Root)
+        break;
+      size_t C = MA.aliasClassOf(Root);
+      const Region &Body = *I->region(0);
+      Type *CollTy = I->operand(0)->type();
+      if (isa<SetType>(CollTy)) {
+        if (Body.numArgs() >= 1 && isIdx(Body.arg(0)->type()))
+          uniteKey(Body.arg(0), C, Root, I);
+      } else if (isa<MapType>(CollTy)) {
+        if (Body.numArgs() >= 1 && isIdx(Body.arg(0)->type()))
+          uniteKey(Body.arg(0), C, Root, I);
+        if (Body.numArgs() >= 2 && isIdx(Body.arg(1)->type()))
+          uniteElem(Body.arg(1), C, Root, I);
+      } else if (isa<SeqType>(CollTy)) {
+        if (Body.numArgs() >= 2 && isIdx(Body.arg(1)->type()))
+          uniteElem(Body.arg(1), C, Root, I);
+      }
+      break;
+    }
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      if (I->numOperands() == 2 && isIdx(I->operand(0)->type()) &&
+          isIdx(I->operand(1)->type()))
+        unite(valueNode(I->operand(0)), valueNode(I->operand(1)), I,
+              [&](const std::string &A, const std::string &B) {
+                return std::string("'") + opcodeName(I->op()) +
+                       "' compares an identifier of enumeration @" + A +
+                       " with an identifier of @" + B;
+              });
+      break;
+    case Opcode::Call: {
+      const Function *Callee = MA.module().getFunction(I->symbol());
+      if (!Callee || Callee->isExternal())
+        break;
+      unsigned N = std::min(I->numOperands(), Callee->numArgs());
+      for (unsigned A = 0; A != N; ++A)
+        if (isIdx(I->operand(A)->type()))
+          unite(valueNode(I->operand(A)), valueNode(Callee->arg(A)), I,
+                [&](const std::string &LA, const std::string &LB) {
+                  return "argument " + std::to_string(A) + " of call to @" +
+                         Callee->name() + " carries an identifier of @" +
+                         LA + ", but the callee expects identifiers of @" +
+                         LB;
+                });
+      if (I->numResults() && isIdx(I->result(0)->type()))
+        unite(valueNode(I->result(0)), retNode(Callee), I,
+              [&](const std::string &A, const std::string &B) {
+                return "result of call to @" + Callee->name() +
+                       " mixes identifiers of @" + A + " and @" + B;
+              });
+      break;
+    }
+    case Opcode::Ret:
+      if (I->numOperands() && isIdx(I->operand(0)->type()))
+        unite(valueNode(I->operand(0)), retNode(I->parentFunction()), I,
+              [&](const std::string &A, const std::string &B) {
+                return "returned identifier belongs to enumeration @" + A +
+                       ", but other returns of @" +
+                       I->parentFunction()->name() +
+                       " produce identifiers of @" + B;
+              });
+      break;
+    default:
+      break;
+    }
+  }
+
+  void uniteKey(Value *V, size_t Class, core::RootInfo *Root,
+                Instruction *I) {
+    unite(valueNode(V), keySlot(Class), I,
+          [&](const std::string &A, const std::string &B) {
+            return std::string("key of '") + opcodeName(I->op()) + "' on " +
+                   Root->describe() + " carries an identifier of @" + A +
+                   ", but the collection is keyed by enumeration @" + B;
+          });
+  }
+
+  void uniteElem(Value *V, size_t Class, core::RootInfo *Root,
+                 Instruction *I) {
+    unite(valueNode(V), elemSlot(Class), I,
+          [&](const std::string &A, const std::string &B) {
+            return std::string("element of '") + opcodeName(I->op()) +
+                   "' on " + Root->describe() +
+                   " carries an identifier of @" + A +
+                   ", but the collection's elements belong to @" + B;
+          });
+  }
+
+  /// The enumeration global a value loads, or "" when unresolvable.
+  static std::string enumSymbolOf(const Value *V) {
+    if (!isa<EnumType>(V->type()))
+      return {};
+    if (const auto *Res = dyn_cast<InstResult>(V))
+      if (Res->parent()->op() == Opcode::GlobalGet)
+        return Res->parent()->symbol();
+    return {};
+  }
+
+  uint32_t valueNode(const Value *V) { return node(0, V); }
+  uint32_t retNode(const Function *F) { return node(1, F); }
+  uint32_t keySlot(size_t Class) { return slot(KeySlots, Class); }
+  uint32_t elemSlot(size_t Class) { return slot(ElemSlots, Class); }
+
+  uint32_t enumNode(const std::string &Sym) {
+    auto [It, Inserted] = EnumNodes.try_emplace(Sym, 0);
+    if (Inserted) {
+      It->second = UF.makeSet();
+      Label[It->second] = Sym;
+    }
+    return It->second;
+  }
+
+  uint32_t node(int Tag, const void *Ptr) {
+    auto [It, Inserted] = Nodes.try_emplace({Tag, Ptr}, 0);
+    if (Inserted)
+      It->second = UF.makeSet();
+    return It->second;
+  }
+
+  uint32_t slot(std::map<size_t, uint32_t> &Slots, size_t Class) {
+    auto [It, Inserted] = Slots.try_emplace(Class, 0);
+    if (Inserted)
+      It->second = UF.makeSet();
+    return It->second;
+  }
+
+  /// Unites the sets of \p A and \p B. When that would bring two distinct
+  /// enumerations into one set, reports an error at \p I instead (message
+  /// built by \p Msg from the two enumeration names, A's first) and keeps
+  /// the sets apart so one bug does not cascade.
+  template <typename MsgFn>
+  void unite(uint32_t A, uint32_t B, const Instruction *I, MsgFn Msg) {
+    uint32_t RA = UF.find(A), RB = UF.find(B);
+    if (RA == RB)
+      return;
+    auto IA = Label.find(RA), IB = Label.find(RB);
+    if (IA != Label.end() && IB != Label.end() &&
+        IA->second != IB->second) {
+      DE.report(Severity::Error, "enum-consistency",
+                Msg(IA->second, IB->second), I);
+      return;
+    }
+    std::string L;
+    if (IA != Label.end())
+      L = IA->second;
+    else if (IB != Label.end())
+      L = IB->second;
+    uint32_t R = UF.unite(RA, RB);
+    if (!L.empty())
+      Label[R] = L;
+  }
+
+  core::ModuleAnalysis &MA;
+  DiagnosticEngine &DE;
+  UnionFind UF;
+  std::map<std::pair<int, const void *>, uint32_t> Nodes;
+  std::map<size_t, uint32_t> KeySlots, ElemSlots;
+  std::map<std::string, uint32_t> EnumNodes;
+  /// Representative id -> enumeration symbol bound to that set.
+  std::map<uint32_t, std::string> Label;
+};
+
+} // namespace
+
+void ade::analysis::checkEnumConsistency(core::ModuleAnalysis &MA,
+                                         DiagnosticEngine &DE) {
+  EnumBinder(MA, DE).run();
+}
+
+//===----------------------------------------------------------------------===//
+// escape-soundness
+//===----------------------------------------------------------------------===//
+
+void ade::analysis::checkEscapeSoundness(core::ModuleAnalysis &MA,
+                                         DiagnosticEngine &DE) {
+  for (const auto &Class : MA.aliasClasses()) {
+    bool Escapes = false, HasIdx = false;
+    for (core::RootInfo *Root : Class) {
+      Escapes |= Root->Escapes;
+      HasIdx |= (Root->keyType() && isIdx(Root->keyType())) ||
+                (Root->elemType() && isIdx(Root->elemType()));
+    }
+    if (!Escapes)
+      continue;
+    // Report at the first allocation site of the class when there is one.
+    const Instruction *Anchor = nullptr;
+    core::RootInfo *First = Class.front();
+    for (core::RootInfo *Root : Class)
+      if ((Anchor = anchorInst(Root))) {
+        First = Root;
+        break;
+      }
+    if (HasIdx) {
+      // Only a transform bug produces an enumerated (idx-keyed) collection
+      // that escapes; this is the post-transform audit's soundness leg.
+      DE.report(Severity::Error, "escape-soundness",
+                "enumerated collection " + First->describe() +
+                    " has an escaping use; its idx keys are meaningless "
+                    "outside the module's enumeration",
+                Anchor);
+      continue;
+    }
+    // Lint leg: directives demanding enumeration cannot be honored on an
+    // escaping collection.
+    for (core::RootInfo *Root : Class) {
+      if (!Root->HasDirective)
+        continue;
+      if (Root->Dir.EnumerateMode == Directive::Enumerate::Force)
+        DE.report(Severity::Warning, "escape-soundness",
+                  "'#pragma ade enumerate' cannot be honored: " +
+                      First->describe() +
+                      " escapes (passed to an external callee or used in "
+                      "an unmodeled way)",
+                  Anchor);
+      else if (selectionRequiresEnumeration(Root->Dir.Select))
+        DE.report(Severity::Warning, "escape-soundness",
+                  std::string("'select(") +
+                      selectionName(Root->Dir.Select) +
+                      ")' requires an enumerated key domain, but " +
+                      First->describe() + " escapes",
+                  Anchor);
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// definite-empty (use-after-clear)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class Emptiness : uint8_t { Empty, NonEmpty };
+
+/// Alias class -> emptiness; absence means "unknown".
+using EmptyState = std::map<size_t, Emptiness>;
+
+class EmptinessAnalysis
+    : public ForwardDataflow<EmptinessAnalysis, EmptyState> {
+public:
+  explicit EmptinessAnalysis(core::ModuleAnalysis &MA) : MA(MA) {
+    // Classes a call can mutate behind our back: anything reachable
+    // through a global or an enclosing collection.
+    const auto &Classes = MA.aliasClasses();
+    for (size_t C = 0; C != Classes.size(); ++C)
+      for (core::RootInfo *Root : Classes[C])
+        if (Root->TheKind == core::RootInfo::Kind::Global ||
+            Root->TheKind == core::RootInfo::Kind::Nested) {
+          Volatile.push_back(C);
+          break;
+        }
+  }
+
+  EmptyState boundaryState(const ir::Function &) { return {}; }
+
+  void transfer(const Instruction &I, EmptyState &S) {
+    switch (I.op()) {
+    case Opcode::New:
+      if (auto C = classOf(I.result(0)))
+        S[*C] = Emptiness::Empty;
+      break;
+    case Opcode::Clear:
+      if (auto C = classOf(I.operand(0)))
+        S[*C] = Emptiness::Empty;
+      break;
+    case Opcode::Insert:
+    case Opcode::Write:
+    case Opcode::Append:
+      if (auto C = classOf(I.operand(0)))
+        S[*C] = Emptiness::NonEmpty;
+      break;
+    case Opcode::Remove:
+    case Opcode::Pop:
+      if (auto C = classOf(I.operand(0)))
+        S.erase(*C);
+      break;
+    case Opcode::Union: {
+      auto Dst = classOf(I.operand(0)), Src = classOf(I.operand(1));
+      if (!Dst)
+        break;
+      auto StateOf = [&](std::optional<size_t> C)
+          -> std::optional<Emptiness> {
+        if (!C)
+          return std::nullopt;
+        auto It = S.find(*C);
+        return It == S.end() ? std::nullopt
+                             : std::optional<Emptiness>(It->second);
+      };
+      auto DS = StateOf(Dst), SS = StateOf(Src);
+      if (DS == Emptiness::Empty && SS == Emptiness::Empty)
+        ; // Union of empties stays empty.
+      else if (DS == Emptiness::NonEmpty || SS == Emptiness::NonEmpty)
+        S[*Dst] = Emptiness::NonEmpty;
+      else
+        S.erase(*Dst);
+      break;
+    }
+    case Opcode::Call:
+      // The callee sees its parameters (same alias classes as our
+      // arguments) and everything global- or nesting-reachable.
+      for (Value *Op : I.operands())
+        if (auto C = classOf(Op))
+          S.erase(*C);
+      for (size_t C : Volatile)
+        S.erase(C);
+      break;
+    default:
+      break;
+    }
+  }
+
+  static EmptyState join(const EmptyState &A, const EmptyState &B) {
+    EmptyState R;
+    for (const auto &[C, E] : A) {
+      auto It = B.find(C);
+      if (It != B.end() && It->second == E)
+        R[C] = E;
+    }
+    return R;
+  }
+
+  static bool equal(const EmptyState &A, const EmptyState &B) {
+    return A == B;
+  }
+
+  std::optional<size_t> classOf(Value *V) const {
+    core::RootInfo *Root = MA.rootOf(V);
+    if (!Root)
+      return std::nullopt;
+    return MA.aliasClassOf(Root);
+  }
+
+private:
+  core::ModuleAnalysis &MA;
+  std::vector<size_t> Volatile;
+};
+
+} // namespace
+
+void ade::analysis::checkDefiniteEmpty(core::ModuleAnalysis &MA,
+                                       DiagnosticEngine &DE) {
+  EmptinessAnalysis EA(MA);
+  for (const auto &F : MA.module().functions())
+    if (!F->isExternal())
+      EA.run(*F);
+  for (const auto &F : MA.module().functions()) {
+    if (F->isExternal())
+      continue;
+    forEachInst(F->body(), [&](Instruction *I) {
+      switch (I->op()) {
+      case Opcode::Read:
+      case Opcode::Pop:
+      case Opcode::Has:
+      case Opcode::ForEach:
+        break;
+      default:
+        return;
+      }
+      auto C = EA.classOf(I->operand(0));
+      const EmptyState *S = EA.stateBefore(I);
+      if (!C || !S)
+        return;
+      auto It = S->find(*C);
+      if (It == S->end() || It->second != Emptiness::Empty)
+        return;
+      std::string Name = "%" + I->operand(0)->name();
+      std::string Msg;
+      if (I->op() == Opcode::ForEach)
+        Msg = "'foreach' over '" + Name +
+              "', which is empty on every path to this point; the loop "
+              "body never executes";
+      else if (I->op() == Opcode::Has)
+        Msg = "'has' on '" + Name +
+              "', which is empty on every path to this point; the result "
+              "is always false";
+      else
+        Msg = std::string("'") + opcodeName(I->op()) + "' from '" + Name +
+              "', which is empty on every path to this point";
+      DE.report(Severity::Warning, "definite-empty", std::move(Msg), I);
+    });
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// dead-write
+//===----------------------------------------------------------------------===//
+
+void ade::analysis::checkDeadWrites(core::ModuleAnalysis &MA,
+                                    DiagnosticEngine &DE) {
+  for (const auto &Class : MA.aliasClasses()) {
+    // Only purely local collections: a class touching a parameter,
+    // global, nesting level or escaping use is observable elsewhere.
+    bool Local = true;
+    for (core::RootInfo *Root : Class)
+      Local &= Root->TheKind == core::RootInfo::Kind::Alloc &&
+               !Root->Escapes;
+    if (!Local)
+      continue;
+    std::vector<Instruction *> Writes;
+    bool Observed = false;
+    for (core::RootInfo *Root : Class) {
+      for (Value *Ref : Root->Refs) {
+        for (const Use &U : Ref->uses()) {
+          Instruction *User = U.User;
+          switch (User->op()) {
+          case Opcode::Read:
+          case Opcode::Has:
+          case Opcode::Size:
+          case Opcode::Pop:
+          case Opcode::ForEach:
+            if (U.OpIdx == 0)
+              Observed = true;
+            break;
+          case Opcode::Union:
+            if (U.OpIdx == 0)
+              Writes.push_back(User);
+            else
+              Observed = true;
+            break;
+          case Opcode::Write:
+          case Opcode::Insert:
+          case Opcode::Append:
+            if (U.OpIdx == 0)
+              Writes.push_back(User);
+            else
+              Observed = true; // Stored as a key/value of something else.
+            break;
+          case Opcode::Remove:
+          case Opcode::Clear:
+          case Opcode::Yield:
+          case Opcode::If:
+          case Opcode::Select:
+            break; // Neither a write nor an observation (aliases are
+                   // separate refs with their own uses).
+          default:
+            Observed = true; // Conservative for unmodeled uses.
+            break;
+          }
+        }
+      }
+    }
+    if (Observed || Writes.empty())
+      continue;
+    for (Instruction *W : Writes)
+      DE.report(Severity::Warning, "dead-write",
+                std::string("'") + opcodeName(W->op()) + "' into " +
+                    Class.front()->describe() +
+                    " is never observed by any read, fold or for-each",
+                W);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// directive-lint
+//===----------------------------------------------------------------------===//
+
+/// The collection kind a selection applies to.
+static Type::Kind selectionKind(Selection Sel) {
+  switch (Sel) {
+  case Selection::Array:
+    return Type::Kind::Seq;
+  case Selection::HashSet:
+  case Selection::FlatSet:
+  case Selection::SwissSet:
+  case Selection::BitSet:
+  case Selection::SparseBitSet:
+    return Type::Kind::Set;
+  case Selection::HashMap:
+  case Selection::SwissMap:
+  case Selection::BitMap:
+    return Type::Kind::Map;
+  case Selection::Empty:
+    break;
+  }
+  return Type::Kind::Void;
+}
+
+void ade::analysis::checkDirectives(core::ModuleAnalysis &MA,
+                                    DiagnosticEngine &DE) {
+  struct NewSite {
+    Instruction *I;
+    size_t Class;
+    const Directive *Dir; // Null when the New carries no directive.
+  };
+  std::vector<NewSite> Sites;
+  std::map<std::string, std::set<size_t>> AllocClassesByName;
+  for (const auto &F : MA.module().functions())
+    if (!F->isExternal())
+      forEachInst(F->body(), [&](Instruction *I) {
+        if (I->op() != Opcode::New)
+          return;
+        core::RootInfo *Root = MA.rootOf(I->result(0));
+        if (!Root)
+          return;
+        size_t C = MA.aliasClassOf(Root);
+        Sites.push_back({I, C, I->directive()});
+        AllocClassesByName[I->result(0)->name()].insert(C);
+      });
+
+  // Per-class directive composition, in program order.
+  struct ClassState {
+    Instruction *Force = nullptr, *Forbid = nullptr;
+    Instruction *NoShare = nullptr, *Group = nullptr;
+  };
+  std::map<size_t, ClassState> States;
+  for (const NewSite &Site : Sites) {
+    if (!Site.Dir)
+      continue;
+    const Directive &D = *Site.Dir;
+    ClassState &CS = States[Site.Class];
+    if (D.EnumerateMode == Directive::Enumerate::Force && !CS.Force)
+      CS.Force = Site.I;
+    if (D.EnumerateMode == Directive::Enumerate::Forbid && !CS.Forbid)
+      CS.Forbid = Site.I;
+    if (D.NoShare && !CS.NoShare)
+      CS.NoShare = Site.I;
+    if (!D.ShareGroup.empty() && !CS.Group)
+      CS.Group = Site.I;
+  }
+  for (const auto &[C, CS] : States) {
+    (void)C;
+    if (CS.Force && CS.Forbid)
+      DE.report(Severity::Error, "directive-lint",
+                "conflicting directives on aliasing allocations: "
+                "'enumerate' and 'noenumerate' apply to the same "
+                "collection",
+                CS.Force->parent()->indexOf(CS.Force) <
+                        CS.Forbid->parent()->indexOf(CS.Forbid) &&
+                        CS.Force->parentFunction() ==
+                            CS.Forbid->parentFunction()
+                    ? CS.Forbid
+                    : CS.Force);
+    if (CS.NoShare && CS.Group)
+      DE.report(Severity::Error, "directive-lint",
+                "'noshare' conflicts with 'share group(\"" +
+                    CS.Group->directive()->ShareGroup +
+                    "\")' on the same collection",
+                CS.Group);
+  }
+
+  // Per-site checks.
+  std::map<std::string, NewSite> GroupFirst;
+  for (const NewSite &Site : Sites) {
+    if (!Site.Dir)
+      continue;
+    const Directive &D = *Site.Dir;
+    Type *CollTy = Site.I->result(0)->type();
+
+    if (D.Select != Selection::Empty &&
+        selectionKind(D.Select) != CollTy->kind())
+      DE.report(Severity::Error, "directive-lint",
+                std::string("'select(") + selectionName(D.Select) +
+                    ")' is not applicable to " + CollTy->str(),
+                Site.I);
+    if (selectionRequiresEnumeration(D.Select) && States[Site.Class].Forbid)
+      DE.report(Severity::Error, "directive-lint",
+                std::string("'select(") + selectionName(D.Select) +
+                    ")' requires enumerated keys, but enumeration is "
+                    "forbidden by 'noenumerate'",
+                Site.I);
+    if (D.EnumerateMode == Directive::Enumerate::Force &&
+        !CollTy->isAssociative())
+      DE.report(Severity::Warning, "directive-lint",
+                "'enumerate' has no effect on " + CollTy->str() +
+                    ": only associative collections have keys to "
+                    "enumerate",
+                Site.I);
+
+    for (const std::string &Name : D.NoShareWith) {
+      auto It = AllocClassesByName.find(Name);
+      if (It == AllocClassesByName.end())
+        DE.report(Severity::Warning, "directive-lint",
+                  "'noshare(%" + Name + ")' names no allocation in the "
+                  "module",
+                  Site.I);
+      else if (It->second.count(Site.Class))
+        DE.report(Severity::Error, "directive-lint",
+                  "'noshare(%" + Name + ")' names an allocation aliasing "
+                  "this one; aliases always share an enumeration",
+                  Site.I);
+    }
+
+    if (!D.ShareGroup.empty()) {
+      core::RootInfo *Root = MA.rootOf(Site.I->result(0));
+      auto [It, Inserted] = GroupFirst.try_emplace(D.ShareGroup, Site);
+      if (!Inserted && Root->keyType()) {
+        core::RootInfo *FirstRoot = MA.rootOf(It->second.I->result(0));
+        if (FirstRoot->keyType() &&
+            FirstRoot->keyType() != Root->keyType())
+          DE.report(Severity::Error, "directive-lint",
+                    "share group \"" + D.ShareGroup +
+                        "\" is unsatisfiable: key type " +
+                        Root->keyType()->str() + " here, but " +
+                        FirstRoot->keyType()->str() + " for '%" +
+                        It->second.I->result(0)->name() +
+                        "'; one enumeration cannot span both",
+                    Site.I);
+      }
+      if (States[Site.Class].Forbid)
+        DE.report(Severity::Error, "directive-lint",
+                  "allocation in share group \"" + D.ShareGroup +
+                      "\" is marked 'noenumerate', but shared "
+                      "collections must be enumerated",
+                  Site.I);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+const std::vector<CheckerInfo> &ade::analysis::allCheckers() {
+  static const std::vector<CheckerInfo> Checkers = {
+      {"enum-consistency",
+       "identifiers stay within the enumeration that produced them"},
+      {"escape-soundness",
+       "no enumerated collection escapes; enumeration directives on "
+       "escaping collections"},
+      {"definite-empty",
+       "reads from collections that are empty on every path"},
+      {"dead-write", "collection updates no read, fold or for-each "
+                     "observes"},
+      {"directive-lint",
+       "conflicting or unsatisfiable '#pragma ade' directives"},
+  };
+  return Checkers;
+}
+
+bool ade::analysis::runLint(ir::Module &M, DiagnosticEngine &DE,
+                            const std::vector<std::string> &Enabled) {
+  auto IsEnabled = [&](const char *Name) {
+    if (Enabled.empty())
+      return true;
+    for (const std::string &E : Enabled)
+      if (E == Name)
+        return true;
+    return false;
+  };
+  for (const std::string &E : Enabled) {
+    bool Known = false;
+    for (const CheckerInfo &CI : allCheckers())
+      Known |= E == CI.Name;
+    if (!Known)
+      return false;
+  }
+  core::ModuleAnalysis MA(M);
+  if (IsEnabled("enum-consistency"))
+    checkEnumConsistency(MA, DE);
+  if (IsEnabled("escape-soundness"))
+    checkEscapeSoundness(MA, DE);
+  if (IsEnabled("definite-empty"))
+    checkDefiniteEmpty(MA, DE);
+  if (IsEnabled("dead-write"))
+    checkDeadWrites(MA, DE);
+  if (IsEnabled("directive-lint"))
+    checkDirectives(MA, DE);
+  return true;
+}
+
+bool ade::analysis::auditEnumeration(ir::Module &M, DiagnosticEngine &DE) {
+  core::ModuleAnalysis MA(M);
+  checkEnumConsistency(MA, DE);
+  checkEscapeSoundness(MA, DE);
+  return DE.errorCount() == 0;
+}

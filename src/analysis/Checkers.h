@@ -1,0 +1,68 @@
+//===- Checkers.h - Static enumeration-correctness checkers -----*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint suite behind `ade-lint` / `adec --lint`, built on
+/// ModuleAnalysis and the forward-dataflow framework:
+///
+///   enum-consistency  every enc/dec/add operand and idx-typed key/element
+///                     provably belongs to the enumeration of the
+///                     collection it feeds (union-find over identifier
+///                     dataflow; also the post-transform self-audit)
+///   escape-soundness  no enumerated collection has an escaping use; user
+///                     directives that require enumeration are flagged on
+///                     escaping collections
+///   definite-empty    reads from collections that are empty on every
+///                     path (use-after-clear, reads before any insert)
+///   dead-write        collection updates never observed by any read,
+///                     fold or for-each
+///   directive-lint    conflicting or unsatisfiable `#pragma ade`
+///                     directives across alias classes
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_ANALYSIS_CHECKERS_H
+#define ADE_ANALYSIS_CHECKERS_H
+
+#include "analysis/Diagnostics.h"
+#include "core/Analysis.h"
+
+#include <string>
+#include <vector>
+
+namespace ade {
+namespace analysis {
+
+struct CheckerInfo {
+  const char *Name;
+  const char *Description;
+};
+
+/// All registered checkers, in execution order.
+const std::vector<CheckerInfo> &allCheckers();
+
+/// Runs the lint suite over \p M, reporting into \p DE. \p Enabled
+/// restricts the run to the named checkers; empty means all. Returns
+/// false if \p Enabled names an unknown checker (nothing is run then).
+bool runLint(ir::Module &M, DiagnosticEngine &DE,
+             const std::vector<std::string> &Enabled = {});
+
+/// The post-transform self-audit the pipeline runs after applying an
+/// enumeration plan (enum-consistency + escape-soundness). Returns true
+/// when no errors were found.
+bool auditEnumeration(ir::Module &M, DiagnosticEngine &DE);
+
+// Individual checkers, exposed for unit tests.
+void checkEnumConsistency(core::ModuleAnalysis &MA, DiagnosticEngine &DE);
+void checkEscapeSoundness(core::ModuleAnalysis &MA, DiagnosticEngine &DE);
+void checkDefiniteEmpty(core::ModuleAnalysis &MA, DiagnosticEngine &DE);
+void checkDeadWrites(core::ModuleAnalysis &MA, DiagnosticEngine &DE);
+void checkDirectives(core::ModuleAnalysis &MA, DiagnosticEngine &DE);
+
+} // namespace analysis
+} // namespace ade
+
+#endif // ADE_ANALYSIS_CHECKERS_H

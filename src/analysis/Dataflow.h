@@ -1,0 +1,126 @@
+//===- Dataflow.h - Forward dataflow over structured regions ----*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable forward-dataflow framework over the structured-region IR.
+/// Because control flow is structured (if / for-each / for-range /
+/// do-while, no gotos), the analysis is a recursive walk instead of a
+/// worklist over a CFG:
+///
+///  - straight-line code applies the client transfer function in order;
+///  - `if` forks the state into both regions and joins the two exits;
+///  - `foreach` / `forrange` iterate the body to a fixpoint of
+///    join(entry, body-exit); the state after the loop includes the
+///    zero-trip path;
+///  - `dowhile` also iterates to a fixpoint but the state after the loop
+///    is the body exit (the body runs at least once).
+///
+/// The client is a CRTP derived class providing:
+///
+///   State boundaryState(const ir::Function &F);      // entry state
+///   void transfer(const ir::Instruction &I, State &S);
+///   static State join(const State &A, const State &B);
+///   static bool equal(const State &A, const State &B);
+///
+/// `transfer` must be monotone and the lattice of finite height, or the
+/// loop fixpoint is cut off at a safety bound (and the result is only
+/// approximate). After `run`, `stateBefore` returns the state holding
+/// immediately before each reachable instruction: loop bodies record the
+/// fixpoint of the final iteration, so queries see the over-all-paths
+/// approximation, not the optimistic first pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_ANALYSIS_DATAFLOW_H
+#define ADE_ANALYSIS_DATAFLOW_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <utility>
+
+namespace ade {
+namespace analysis {
+
+template <typename Derived, typename State> class ForwardDataflow {
+public:
+  /// Analyzes \p F to a fixpoint. May be called for several functions;
+  /// recorded states accumulate.
+  void run(const ir::Function &F) {
+    runRegion(F.body(), derived().boundaryState(F));
+  }
+
+  /// The state immediately before \p I, or null if \p I was never
+  /// reached (e.g. its function was not analyzed).
+  const State *stateBefore(const ir::Instruction *I) const {
+    auto It = Before.find(I);
+    return It == Before.end() ? nullptr : &It->second;
+  }
+
+protected:
+  /// Loop fixpoints converge in a couple of iterations for finite-height
+  /// lattices; this bound only guards against non-monotone clients.
+  static constexpr unsigned MaxLoopIterations = 64;
+
+  State runRegion(const ir::Region &R, State S) {
+    for (const ir::Instruction *I : R) {
+      // Overwrite on revisit: fixpoint iteration ascends the lattice, so
+      // the last recorded state is the most conservative one.
+      Before[I] = S;
+      switch (I->op()) {
+      case ir::Opcode::If: {
+        State Then = runRegion(*I->region(0), S);
+        State Else = runRegion(*I->region(1), std::move(S));
+        S = Derived::join(Then, Else);
+        break;
+      }
+      case ir::Opcode::ForEach:
+      case ir::Opcode::ForRange: {
+        // Zero or more trips: fixpoint of In = join(entry, body(In)).
+        State In = S;
+        for (unsigned Iter = 0; Iter != MaxLoopIterations; ++Iter) {
+          State Out = runRegion(*I->region(0), In);
+          State Next = Derived::join(S, Out);
+          if (Derived::equal(Next, In))
+            break;
+          In = std::move(Next);
+        }
+        S = std::move(In);
+        break;
+      }
+      case ir::Opcode::DoWhile: {
+        // At least one trip: same fixpoint, but the post-loop state is
+        // the body exit rather than the join with the entry.
+        State In = S;
+        State Out = runRegion(*I->region(0), In);
+        for (unsigned Iter = 0; Iter != MaxLoopIterations; ++Iter) {
+          State Next = Derived::join(S, Out);
+          if (Derived::equal(Next, In))
+            break;
+          In = std::move(Next);
+          Out = runRegion(*I->region(0), In);
+        }
+        S = std::move(Out);
+        break;
+      }
+      default:
+        break;
+      }
+      derived().transfer(*I, S);
+    }
+    return S;
+  }
+
+private:
+  Derived &derived() { return *static_cast<Derived *>(this); }
+
+  std::map<const ir::Instruction *, State> Before;
+};
+
+} // namespace analysis
+} // namespace ade
+
+#endif // ADE_ANALYSIS_DATAFLOW_H

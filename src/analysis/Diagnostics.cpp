@@ -1,0 +1,142 @@
+//===- Diagnostics.cpp - Lint diagnostics engine --------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diagnostics.h"
+
+using namespace ade;
+using namespace ade::analysis;
+
+const char *ade::analysis::severityName(Severity Sev) {
+  switch (Sev) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::setSource(std::string Filename,
+                                 std::string_view Source) {
+  this->Filename = std::move(Filename);
+  SourceLines.clear();
+  size_t Start = 0;
+  while (Start <= Source.size()) {
+    size_t End = Source.find('\n', Start);
+    if (End == std::string_view::npos) {
+      SourceLines.emplace_back(Source.substr(Start));
+      break;
+    }
+    SourceLines.emplace_back(Source.substr(Start, End - Start));
+    Start = End + 1;
+  }
+}
+
+void DiagnosticEngine::report(Severity Sev, std::string Check,
+                              std::string Message, const ir::Instruction *I,
+                              const ir::Function *F) {
+  Diagnostic D;
+  D.Sev = Sev;
+  D.Check = std::move(Check);
+  D.Message = std::move(Message);
+  if (I) {
+    D.Loc = I->loc();
+    if (!F)
+      F = I->parentFunction();
+  }
+  if (F)
+    D.FunctionName = F->name();
+  Diags.push_back(std::move(D));
+}
+
+unsigned DiagnosticEngine::errorCount() const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Sev == Severity::Error;
+  return N;
+}
+
+unsigned DiagnosticEngine::warningCount() const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Sev == Severity::Warning;
+  return N;
+}
+
+void DiagnosticEngine::render(RawOstream &OS, DiagFormat Fmt) const {
+  if (Fmt == DiagFormat::Json)
+    renderJson(OS);
+  else
+    renderText(OS);
+}
+
+void DiagnosticEngine::renderText(RawOstream &OS) const {
+  for (const Diagnostic &D : Diags) {
+    OS << Filename;
+    if (D.Loc.isValid())
+      OS << ':' << D.Loc.Line << ':' << D.Loc.Col;
+    OS << ": " << severityName(D.Sev) << ": [" << D.Check << "] "
+       << D.Message;
+    if (!D.Loc.isValid() && !D.FunctionName.empty())
+      OS << " (in @" << D.FunctionName << ')';
+    OS << '\n';
+    if (D.Loc.isValid() && D.Loc.Line <= SourceLines.size()) {
+      OS << "  " << SourceLines[D.Loc.Line - 1] << '\n';
+      OS.indent(2 + (D.Loc.Col - 1)) << "^\n";
+    }
+  }
+}
+
+/// Appends \p S with JSON string escaping (no surrounding quotes).
+static void jsonEscape(RawOstream &OS, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        OS << "\\u00" << Hex[(C >> 4) & 0xF] << Hex[C & 0xF];
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+void DiagnosticEngine::renderJson(RawOstream &OS) const {
+  OS << "{\n  \"file\": \"";
+  jsonEscape(OS, Filename);
+  OS << "\",\n  \"errors\": " << errorCount()
+     << ",\n  \"warnings\": " << warningCount()
+     << ",\n  \"diagnostics\": [";
+  bool First = true;
+  for (const Diagnostic &D : Diags) {
+    OS << (First ? "\n" : ",\n") << "    {\"severity\": \""
+       << severityName(D.Sev) << "\", \"check\": \"";
+    jsonEscape(OS, D.Check);
+    OS << "\", \"function\": \"";
+    jsonEscape(OS, D.FunctionName);
+    OS << "\", \"line\": " << D.Loc.Line << ", \"col\": " << D.Loc.Col
+       << ", \"message\": \"";
+    jsonEscape(OS, D.Message);
+    OS << "\"}";
+    First = false;
+  }
+  OS << (First ? "]\n}\n" : "\n  ]\n}\n");
+}

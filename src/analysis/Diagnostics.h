@@ -1,0 +1,82 @@
+//===- Diagnostics.h - Lint diagnostics engine ------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic sink shared by the static checkers: severities, source
+/// locations threaded from the parser into the IR, caret-style text
+/// rendering and a machine-readable JSON form (`--diag-format=json`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_ANALYSIS_DIAGNOSTICS_H
+#define ADE_ANALYSIS_DIAGNOSTICS_H
+
+#include "ir/IR.h"
+#include "support/RawOstream.h"
+
+#include <string>
+#include <vector>
+
+namespace ade {
+namespace analysis {
+
+enum class Severity : uint8_t { Note, Warning, Error };
+
+/// Printable name of \p Sev ("note" / "warning" / "error").
+const char *severityName(Severity Sev);
+
+/// One finding of a checker.
+struct Diagnostic {
+  Severity Sev = Severity::Warning;
+  /// The checker slug, e.g. "dead-write".
+  std::string Check;
+  std::string Message;
+  /// Name of the enclosing function, empty for module-level findings.
+  std::string FunctionName;
+  /// Source position; invalid when the IR was built programmatically.
+  ir::SrcLoc Loc;
+};
+
+enum class DiagFormat : uint8_t { Text, Json };
+
+/// Collects diagnostics and renders them in text or JSON form. When the
+/// original source text is attached, text rendering shows the offending
+/// line with a caret under the reported column.
+class DiagnosticEngine {
+public:
+  /// Attaches the file name and source text used for caret rendering.
+  void setSource(std::string Filename, std::string_view Source);
+
+  const std::string &filename() const { return Filename; }
+
+  /// Records a diagnostic. When \p I is given, the location and enclosing
+  /// function are taken from it.
+  void report(Severity Sev, std::string Check, std::string Message,
+              const ir::Instruction *I = nullptr,
+              const ir::Function *F = nullptr);
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+  unsigned errorCount() const;
+  unsigned warningCount() const;
+
+  void render(RawOstream &OS, DiagFormat Fmt) const;
+  void clear() { Diags.clear(); }
+
+private:
+  void renderText(RawOstream &OS) const;
+  void renderJson(RawOstream &OS) const;
+
+  std::string Filename = "<module>";
+  /// The source split into lines, for caret rendering; may be empty.
+  std::vector<std::string> SourceLines;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace analysis
+} // namespace ade
+
+#endif // ADE_ANALYSIS_DIAGNOSTICS_H

@@ -38,6 +38,7 @@ void copyRegion(const Region &Src, Region &Dst, ValueMap &VM) {
     Clone->setIntAttr(I->intAttr());
     Clone->setFpAttr(I->fpAttr());
     Clone->setSymbol(I->symbol());
+    Clone->setLoc(I->loc());
     if (const Directive *D = I->directive())
       Clone->setDirective(*D);
     for (unsigned R = 0; R != I->numResults(); ++R) {

@@ -6,12 +6,23 @@
 
 #include "core/Pipeline.h"
 
+#include "analysis/Checkers.h"
 #include "core/Cloning.h"
-
 #include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+#include "support/RawOstream.h"
 
 using namespace ade;
 using namespace ade::core;
+
+void ade::core::runSelfAudit(ir::Module &M) {
+  analysis::DiagnosticEngine DE;
+  if (analysis::auditEnumeration(M, DE))
+    return;
+  DE.render(errs(), analysis::DiagFormat::Text);
+  reportFatalError("ADE self-audit failed: the transformed module is not "
+                   "enumeration-consistent");
+}
 
 PipelineResult ade::core::runADE(ir::Module &M,
                                  const PipelineConfig &Config) {
@@ -35,7 +46,9 @@ PipelineResult ade::core::runADE(ir::Module &M,
 
   applySelection(MA, Result.Plan, Config.Selection);
 
-  if (Config.Verify)
+  if (Config.Verify) {
     ir::verifyOrDie(M);
+    runSelfAudit(M);
+  }
   return Result;
 }

@@ -45,6 +45,13 @@ struct PipelineResult {
 /// Runs automatic data enumeration on \p M in place.
 PipelineResult runADE(ir::Module &M, const PipelineConfig &Config = {});
 
+/// The post-transform self-audit runADE performs when \c Verify is on:
+/// re-analyzes the transformed module and checks enumeration consistency
+/// and escape soundness (see src/analysis). Prints the diagnostics and
+/// aborts on any error — a failure here means the emitted plan was wrong,
+/// never that the input program was.
+void runSelfAudit(ir::Module &M);
+
 } // namespace core
 } // namespace ade
 

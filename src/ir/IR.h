@@ -40,6 +40,19 @@ class Region;
 class Function;
 class Module;
 
+/// A position in the textual source an instruction was parsed from.
+/// Line 0 means "no location" (programmatically built IR); instructions
+/// inserted by transforms inherit the location of the site they patch.
+struct SrcLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SrcLoc &O) const {
+    return Line == O.Line && Col == O.Col;
+  }
+};
+
 //===----------------------------------------------------------------------===//
 // Values and uses
 //===----------------------------------------------------------------------===//
@@ -304,6 +317,10 @@ public:
   }
   void setDirective(Directive D) { Dir = std::move(D); }
 
+  /// Source position (invalid for programmatically built instructions).
+  SrcLoc loc() const { return Loc; }
+  void setLoc(SrcLoc L) { Loc = L; }
+
   // Structure.
   Region *parent() const { return Parent; }
   Function *parentFunction() const;
@@ -329,6 +346,7 @@ private:
   double FpAttr = 0;
   std::string Symbol;
   std::optional<Directive> Dir;
+  SrcLoc Loc;
   Region *Parent = nullptr;
   mutable uint32_t Scratch = 0;
 };

@@ -38,10 +38,13 @@ public:
     InsertBefore = nullptr;
   }
 
-  /// Inserts before \p Inst from now on.
+  /// Inserts before \p Inst from now on. Subsequent instructions inherit
+  /// \p Inst's source location (transform-inserted code is attributed to
+  /// the site it patches).
   void setInsertionPointBefore(Instruction *Inst) {
     InsertRegion = Inst->parent();
     InsertBefore = Inst;
+    CurLoc = Inst->loc();
   }
 
   /// Inserts after \p Inst (by repositioning before its successor) — the
@@ -51,9 +54,15 @@ public:
     size_t Idx = R->indexOf(Inst);
     InsertRegion = R;
     InsertBefore = Idx + 1 < R->size() ? R->inst(Idx + 1) : nullptr;
+    CurLoc = Inst->loc();
   }
 
   Region *insertionRegion() const { return InsertRegion; }
+
+  /// Source location stamped on every subsequently created instruction
+  /// (the parser points it at each statement's mnemonic).
+  void setCurrentLoc(SrcLoc Loc) { CurLoc = Loc; }
+  SrcLoc currentLoc() const { return CurLoc; }
 
   /// Creates and inserts a raw instruction.
   Instruction *create(Opcode Op, const std::vector<Type *> &ResultTypes,
@@ -62,6 +71,7 @@ public:
     assert(InsertRegion && "no insertion point set");
     auto Inst =
         std::make_unique<Instruction>(Op, ResultTypes, Operands, NumRegions);
+    Inst->setLoc(CurLoc);
     if (InsertBefore)
       return InsertRegion->insertBefore(InsertBefore, std::move(Inst));
     return InsertRegion->push(std::move(Inst));
@@ -306,6 +316,7 @@ public:
 private:
   void buildRegionBody(Region *R, const BodyFn &Body) {
     IRBuilder Nested(M, R);
+    Nested.CurLoc = CurLoc;
     std::vector<Value *> Yields = Body(Nested);
     Nested.yield(Yields);
   }
@@ -313,6 +324,7 @@ private:
   void buildLoopBody(Region *R, const std::vector<Value *> &Args,
                      const LoopBodyFn &Body) {
     IRBuilder Nested(M, R);
+    Nested.CurLoc = CurLoc;
     std::vector<Value *> Yields = Body(Nested, Args);
     Nested.yield(Yields);
   }
@@ -331,6 +343,7 @@ private:
   Module &M;
   Region *InsertRegion = nullptr;
   Instruction *InsertBefore = nullptr;
+  SrcLoc CurLoc;
 };
 
 } // namespace ir

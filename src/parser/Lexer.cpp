@@ -20,20 +20,25 @@ std::vector<Token> Lexer::lex(std::string_view Src) {
   std::vector<Token> Tokens;
   unsigned Line = 1;
   size_t I = 0, N = Src.size();
+  size_t LineStart = 0; // Offset of the current line's first character.
+  size_t TokStart = 0;  // Offset where the current token began.
 
   auto emit = [&](TokenKind K, std::string Text = "") {
     Token T;
     T.Kind = K;
     T.Text = std::move(Text);
     T.Line = Line;
+    T.Col = static_cast<unsigned>(TokStart - LineStart) + 1;
     Tokens.push_back(std::move(T));
   };
 
   while (I < N) {
     char C = Src[I];
+    TokStart = I;
     if (C == '\n') {
       ++Line;
       ++I;
+      LineStart = I;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(C))) {
@@ -158,6 +163,7 @@ std::vector<Token> Lexer::lex(std::string_view Src) {
       std::string Text(Src.substr(Start, I - Start));
       Token T;
       T.Line = Line;
+      T.Col = static_cast<unsigned>(Start - LineStart) + 1;
       T.Text = Text;
       if (IsFloat) {
         T.Kind = TokenKind::FloatLit;
@@ -183,6 +189,7 @@ std::vector<Token> Lexer::lex(std::string_view Src) {
          std::string("unexpected character '") + C + "'");
     return Tokens;
   }
+  TokStart = N;
   emit(TokenKind::Eof);
   return Tokens;
 }

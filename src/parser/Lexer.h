@@ -49,6 +49,8 @@ struct Token {
   bool IntIsNegative = false;
   double FloatValue = 0;
   unsigned Line = 0;
+  /// 1-based column of the token's first character.
+  unsigned Col = 0;
 };
 
 /// Tokenizes an entire buffer up front.

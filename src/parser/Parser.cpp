@@ -487,9 +487,11 @@ private:
 
     if (!is(TokenKind::Ident))
       return fail("expected an operation mnemonic");
+    SrcLoc Loc{cur().Line, cur().Col};
     std::string Op = take().Text;
 
     IRBuilder B(*M, &R);
+    B.setCurrentLoc(Loc);
 
     auto bindSingle = [&](Value *V) -> bool {
       if (ResultNames.size() != 1)

@@ -20,9 +20,13 @@
 ///     --run[=FUNC]            interpret FUNC (default @main) and print
 ///                             its result, dynamic stats and peak memory
 ///     --args=a,b,c            u64 arguments for --run
+///     --lint                  run the static checkers after the (optional)
+///                             transformation; nonzero exit on findings
+///     --diag-format=text|json lint output format (default text)
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Checkers.h"
 #include "core/Pipeline.h"
 #include "interp/Interpreter.h"
 #include "ir/Printer.h"
@@ -37,12 +41,15 @@
 
 using namespace ade;
 
-static int usage() {
+static int usage(const char *BadOption = nullptr) {
+  if (BadOption)
+    std::fprintf(stderr, "adec: unknown option '%s'\n", BadOption);
   std::fprintf(
       stderr,
       "usage: adec FILE.memoir [--ade] [--no-rte] [--no-sharing]\n"
       "            [--no-propagation] [--sparse] [--print]\n"
-      "            [--run[=FUNC]] [--args=a,b,c]\n");
+      "            [--run[=FUNC]] [--args=a,b,c] [--lint]\n"
+      "            [--diag-format=text|json]\n");
   return 1;
 }
 
@@ -62,7 +69,8 @@ int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
   const char *Path = nullptr;
-  bool RunAde = false, Print = false, Run = false;
+  bool RunAde = false, Print = false, Run = false, Lint = false;
+  analysis::DiagFormat Format = analysis::DiagFormat::Text;
   std::string RunFunc = "main";
   std::vector<uint64_t> RunArgs;
   core::PipelineConfig Config;
@@ -81,10 +89,16 @@ int main(int Argc, char **Argv) {
       Config.Selection.EnumeratedSet = ir::Selection::SparseBitSet;
     } else if (Arg == "--print") {
       Print = true;
-    } else if (Arg.rfind("--run", 0) == 0) {
+    } else if (Arg == "--run" || Arg.rfind("--run=", 0) == 0) {
       Run = true;
-      if (Arg.size() > 6 && Arg[5] == '=')
+      if (Arg.size() > 6)
         RunFunc = Arg.substr(6);
+    } else if (Arg == "--lint") {
+      Lint = true;
+    } else if (Arg == "--diag-format=text") {
+      Format = analysis::DiagFormat::Text;
+    } else if (Arg == "--diag-format=json") {
+      Format = analysis::DiagFormat::Json;
     } else if (Arg.rfind("--args=", 0) == 0) {
       std::string List = Arg.substr(7);
       size_t Pos = 0;
@@ -100,7 +114,7 @@ int main(int Argc, char **Argv) {
     } else if (Arg[0] != '-' && !Path) {
       Path = Argv[I];
     } else {
-      return usage();
+      return usage(Arg[0] == '-' ? Argv[I] : nullptr);
     }
   }
   if (!Path)
@@ -135,6 +149,15 @@ int main(int Argc, char **Argv) {
                  Result.Transform.EncInserted, Result.Transform.DecInserted,
                  Result.Transform.AddInserted,
                  Result.Transform.TranslationsSkipped);
+  }
+
+  if (Lint) {
+    analysis::DiagnosticEngine DE;
+    DE.setSource(Path, Source);
+    analysis::runLint(*M, DE);
+    DE.render(outs(), Format);
+    if (!DE.empty())
+      return 1;
   }
 
   RawOstream &OS = outs();

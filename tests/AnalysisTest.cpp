@@ -1,0 +1,507 @@
+//===- AnalysisTest.cpp ---------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the static-analysis subsystem: the diagnostic engine's
+/// text and JSON rendering, the forward-dataflow checkers, the directive
+/// lint, and the post-transform enumeration self-audit (including its
+/// behavior on a deliberately corrupted plan).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Checkers.h"
+#include "analysis/Diagnostics.h"
+#include "core/Pipeline.h"
+#include "ir/IR.h"
+#include "ir/IRBuilder.h"
+#include "parser/Parser.h"
+#include "support/RawOstream.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+
+namespace {
+
+/// Parses \p Source and runs \p Check (or all checkers when empty) over it,
+/// returning the collected diagnostics.
+std::vector<analysis::Diagnostic> lint(std::string_view Source,
+                                       const char *Check = nullptr) {
+  std::unique_ptr<ir::Module> M = parser::parseModuleOrDie(Source);
+  analysis::DiagnosticEngine DE;
+  std::vector<std::string> Enabled;
+  if (Check)
+    Enabled.push_back(Check);
+  EXPECT_TRUE(analysis::runLint(*M, DE, Enabled));
+  return DE.diagnostics();
+}
+
+bool anyMessageContains(const std::vector<analysis::Diagnostic> &Ds,
+                        const std::string &Substr) {
+  for (const analysis::Diagnostic &D : Ds)
+    if (D.Message.find(Substr) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// Recursively finds the first instruction with opcode \p Op in \p R.
+ir::Instruction *findInst(ir::Region &R, ir::Opcode Op) {
+  for (size_t Idx = 0; Idx < R.size(); ++Idx) {
+    ir::Instruction *I = R.inst(Idx);
+    if (I->op() == Op)
+      return I;
+    for (unsigned RI = 0; RI < I->numRegions(); ++RI)
+      if (ir::Instruction *Found = findInst(*I->region(RI), Op))
+        return Found;
+  }
+  return nullptr;
+}
+
+const char *const TinySource = "fn @main() -> u64 {\n"
+                               "  %a = const 1 : u64\n"
+                               "  ret %a\n"
+                               "}\n";
+
+//===----------------------------------------------------------------------===//
+// Source locations
+//===----------------------------------------------------------------------===//
+
+TEST(SrcLoc, ThreadedFromParserToInstructions) {
+  std::unique_ptr<ir::Module> M = parser::parseModuleOrDie(TinySource);
+  const ir::Function *F = M->getFunction("main");
+  ASSERT_NE(F, nullptr);
+  const ir::Instruction *Const = F->body().inst(0);
+  EXPECT_TRUE(Const->loc().isValid());
+  // The location points at the mnemonic, past "  %a = ".
+  EXPECT_EQ(Const->loc().Line, 2u);
+  EXPECT_EQ(Const->loc().Col, 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// DiagnosticEngine rendering
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticEngine, TextRenderingWithCaret) {
+  std::unique_ptr<ir::Module> M = parser::parseModuleOrDie(TinySource);
+  ir::Instruction *Const = findInst(M->getFunction("main")->body(),
+                                    ir::Opcode::ConstInt);
+  ASSERT_NE(Const, nullptr);
+
+  analysis::DiagnosticEngine DE;
+  DE.setSource("tiny.memoir", TinySource);
+  DE.report(analysis::Severity::Warning, "demo", "something is off", Const);
+
+  std::string Out;
+  RawStringOstream OS(Out);
+  DE.render(OS, analysis::DiagFormat::Text);
+
+  EXPECT_NE(Out.find("tiny.memoir:2:8: warning: [demo] something is off"),
+            std::string::npos);
+  // The offending source line, indented by two spaces.
+  EXPECT_NE(Out.find("  %a = const 1 : u64\n"), std::string::npos);
+  // A caret under column 8 (two spaces of indent plus seven).
+  EXPECT_NE(Out.find("\n         ^\n"), std::string::npos);
+  EXPECT_EQ(DE.warningCount(), 1u);
+  EXPECT_EQ(DE.errorCount(), 0u);
+}
+
+TEST(DiagnosticEngine, JsonRenderingAndEscaping) {
+  std::unique_ptr<ir::Module> M = parser::parseModuleOrDie(TinySource);
+  ir::Instruction *Const = findInst(M->getFunction("main")->body(),
+                                    ir::Opcode::ConstInt);
+  ASSERT_NE(Const, nullptr);
+
+  analysis::DiagnosticEngine DE;
+  DE.setSource("tiny.memoir", TinySource);
+  DE.report(analysis::Severity::Error, "demo", "quote \" and\nnewline",
+            Const);
+
+  std::string Out;
+  RawStringOstream OS(Out);
+  DE.render(OS, analysis::DiagFormat::Json);
+
+  EXPECT_NE(Out.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(Out.find("\"warnings\": 0"), std::string::npos);
+  EXPECT_NE(Out.find("\"check\": \"demo\""), std::string::npos);
+  EXPECT_NE(Out.find("\"function\": \"main\""), std::string::npos);
+  EXPECT_NE(Out.find("\"line\": 2"), std::string::npos);
+  EXPECT_NE(Out.find("\"col\": 8"), std::string::npos);
+  // Quotes and newlines in the message must be escaped.
+  EXPECT_NE(Out.find("quote \\\" and\\nnewline"), std::string::npos);
+}
+
+TEST(DiagnosticEngine, NoLocationFallsBackToFunctionName) {
+  analysis::DiagnosticEngine DE;
+  DE.report(analysis::Severity::Note, "demo", "module-wide note");
+  std::string Out;
+  RawStringOstream OS(Out);
+  DE.render(OS, analysis::DiagFormat::Text);
+  EXPECT_NE(Out.find("note: [demo] module-wide note"), std::string::npos);
+}
+
+TEST(RunLint, RejectsUnknownCheckerName) {
+  std::unique_ptr<ir::Module> M = parser::parseModuleOrDie(TinySource);
+  analysis::DiagnosticEngine DE;
+  EXPECT_FALSE(analysis::runLint(*M, DE, {"no-such-checker"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Definite emptiness (forward dataflow)
+//===----------------------------------------------------------------------===//
+
+TEST(DefiniteEmpty, UseAfterClearIsFlagged) {
+  auto Ds = lint("fn @main() -> u64 {\n"
+                 "  %m = new Map<u64, u64>\n"
+                 "  %k = const 1 : u64\n"
+                 "  %v = const 2 : u64\n"
+                 "  write %m, %k, %v\n"
+                 "  clear %m\n"
+                 "  %r = read %m, %k\n"
+                 "  ret %r\n"
+                 "}\n",
+                 "definite-empty");
+  ASSERT_EQ(Ds.size(), 1u);
+  EXPECT_EQ(Ds[0].Check, "definite-empty");
+  EXPECT_EQ(Ds[0].Loc.Line, 7u);
+  EXPECT_NE(Ds[0].Message.find("empty on every path"), std::string::npos);
+}
+
+TEST(DefiniteEmpty, BranchJoinIsNotFlagged) {
+  // The write happens on only one path, so after the join the collection
+  // may or may not be empty: the checker must stay quiet.
+  auto Ds = lint("fn @main() -> u64 {\n"
+                 "  %m = new Map<u64, u64>\n"
+                 "  %k = const 1 : u64\n"
+                 "  %z = const 0 : u64\n"
+                 "  %cond = eq %k, %z\n"
+                 "  if %cond {\n"
+                 "    write %m, %k, %k\n"
+                 "    yield\n"
+                 "  } else {\n"
+                 "    yield\n"
+                 "  }\n"
+                 "  %r = read %m, %k\n"
+                 "  ret %r\n"
+                 "}\n",
+                 "definite-empty");
+  EXPECT_TRUE(Ds.empty());
+}
+
+TEST(DefiniteEmpty, DoWhileBodyRunsAtLeastOnce) {
+  // A dowhile body executes at least once, so a clear inside it makes the
+  // collection definitely empty afterwards.
+  auto Ds = lint("fn @main() -> u64 {\n"
+                 "  %m = new Map<u64, u64>\n"
+                 "  %k = const 1 : u64\n"
+                 "  write %m, %k, %k\n"
+                 "  %z = const 0 : u64\n"
+                 "  %n = dowhile iter(%i = %k) {\n"
+                 "    clear %m\n"
+                 "    %cont = eq %i, %z\n"
+                 "    yield %cont, %i\n"
+                 "  }\n"
+                 "  %r = read %m, %k\n"
+                 "  ret %r\n"
+                 "}\n",
+                 "definite-empty");
+  ASSERT_EQ(Ds.size(), 1u);
+  EXPECT_EQ(Ds[0].Loc.Line, 11u);
+}
+
+TEST(DefiniteEmpty, ZeroTripRangeLoopIsNotFlagged) {
+  // A forrange may execute zero times, so the clear inside it does not
+  // make the collection definitely empty after the loop.
+  auto Ds = lint("fn @main() -> u64 {\n"
+                 "  %m = new Map<u64, u64>\n"
+                 "  %k = const 1 : u64\n"
+                 "  write %m, %k, %k\n"
+                 "  %lo = const 0 : u64\n"
+                 "  %hi = const 4 : u64\n"
+                 "  forrange %lo, %hi -> [%i] {\n"
+                 "    clear %m\n"
+                 "    yield\n"
+                 "  }\n"
+                 "  %r = read %m, %k\n"
+                 "  ret %r\n"
+                 "}\n",
+                 "definite-empty");
+  EXPECT_TRUE(Ds.empty());
+}
+
+TEST(DefiniteEmpty, LoopFixpointHasNoFalsePositives) {
+  // histogram reads %hist inside the loop that fills it; the fixpoint
+  // must not report the optimistic first-iteration state.
+  auto Ds = lint("fn @count(%input: Seq<u64>) -> u64 {\n"
+                 "  %hist = new Map<u64, u32>\n"
+                 "  foreach %input -> [%i, %val] {\n"
+                 "    %cond = has %hist, %val\n"
+                 "    %freq0 = if %cond {\n"
+                 "      %f = read %hist, %val\n"
+                 "      yield %f\n"
+                 "    } else {\n"
+                 "      insert %hist, %val\n"
+                 "      %z = const 0 : u32\n"
+                 "      yield %z\n"
+                 "    }\n"
+                 "    %one = const 1 : u32\n"
+                 "    %freq1 = add %freq0, %one\n"
+                 "    write %hist, %val, %freq1\n"
+                 "    yield\n"
+                 "  }\n"
+                 "  %sz = size %hist\n"
+                 "  ret %sz\n"
+                 "}\n",
+                 "definite-empty");
+  EXPECT_TRUE(Ds.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Dead writes
+//===----------------------------------------------------------------------===//
+
+TEST(DeadWrite, UnobservedLocalIsFlagged) {
+  auto Ds = lint("fn @main() -> u64 {\n"
+                 "  %log = new Map<u64, u64>\n"
+                 "  %k = const 1 : u64\n"
+                 "  write %log, %k, %k\n"
+                 "  ret %k\n"
+                 "}\n",
+                 "dead-write");
+  ASSERT_EQ(Ds.size(), 1u);
+  EXPECT_EQ(Ds[0].Check, "dead-write");
+  EXPECT_NE(Ds[0].Message.find("never observed"), std::string::npos);
+}
+
+TEST(DeadWrite, ReadCountsAsObservation) {
+  auto Ds = lint("fn @main() -> u64 {\n"
+                 "  %log = new Map<u64, u64>\n"
+                 "  %k = const 1 : u64\n"
+                 "  write %log, %k, %k\n"
+                 "  %r = read %log, %k\n"
+                 "  ret %r\n"
+                 "}\n",
+                 "dead-write");
+  EXPECT_TRUE(Ds.empty());
+}
+
+TEST(DeadWrite, EscapingCollectionIsNotFlagged) {
+  // Once the collection reaches an external callee the checker can no
+  // longer prove the writes unobserved.
+  auto Ds = lint("extern fn @sink(Map<u64, u64>)\n"
+                 "fn @main() -> u64 {\n"
+                 "  %log = new Map<u64, u64>\n"
+                 "  %k = const 1 : u64\n"
+                 "  write %log, %k, %k\n"
+                 "  call @sink(%log)\n"
+                 "  ret %k\n"
+                 "}\n",
+                 "dead-write");
+  EXPECT_TRUE(Ds.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Directive lint
+//===----------------------------------------------------------------------===//
+
+TEST(DirectiveLint, SelectRequiresEnumerationConflict) {
+  auto Ds = lint("fn @main() -> u64 {\n"
+                 "  #pragma ade noenumerate select(BitSet)\n"
+                 "  %s = new Set<u64>\n"
+                 "  %a = const 3 : u64\n"
+                 "  insert %s, %a\n"
+                 "  %sz = size %s\n"
+                 "  ret %sz\n"
+                 "}\n",
+                 "directive-lint");
+  ASSERT_FALSE(Ds.empty());
+  EXPECT_EQ(Ds[0].Sev, analysis::Severity::Error);
+  EXPECT_TRUE(anyMessageContains(Ds, "requires enumerated keys"));
+}
+
+TEST(DirectiveLint, SelectKindMismatch) {
+  auto Ds = lint("fn @main() -> u64 {\n"
+                 "  #pragma ade select(Array)\n"
+                 "  %s = new Set<u64>\n"
+                 "  %a = const 3 : u64\n"
+                 "  insert %s, %a\n"
+                 "  %sz = size %s\n"
+                 "  ret %sz\n"
+                 "}\n",
+                 "directive-lint");
+  ASSERT_FALSE(Ds.empty());
+  EXPECT_TRUE(anyMessageContains(Ds, "'select(Array)' is not applicable"));
+}
+
+TEST(DirectiveLint, NoShareNamesUnknownAllocation) {
+  auto Ds = lint("fn @main() -> u64 {\n"
+                 "  #pragma ade noshare(%nope)\n"
+                 "  %s = new Set<u64>\n"
+                 "  %a = const 3 : u64\n"
+                 "  insert %s, %a\n"
+                 "  %sz = size %s\n"
+                 "  ret %sz\n"
+                 "}\n",
+                 "directive-lint");
+  ASSERT_FALSE(Ds.empty());
+  EXPECT_EQ(Ds[0].Sev, analysis::Severity::Warning);
+  EXPECT_TRUE(anyMessageContains(Ds, "names no allocation"));
+}
+
+TEST(DirectiveLint, ShareGroupKeyTypeMismatch) {
+  auto Ds = lint("fn @main() -> u64 {\n"
+                 "  #pragma ade share group(\"g\")\n"
+                 "  %a = new Set<u64>\n"
+                 "  #pragma ade share group(\"g\")\n"
+                 "  %b = new Set<ptr>\n"
+                 "  %k = const 3 : u64\n"
+                 "  insert %a, %k\n"
+                 "  %sa = size %a\n"
+                 "  %sb = size %b\n"
+                 "  %sum = add %sa, %sb\n"
+                 "  ret %sum\n"
+                 "}\n",
+                 "directive-lint");
+  ASSERT_FALSE(Ds.empty());
+  EXPECT_TRUE(anyMessageContains(Ds, "is unsatisfiable"));
+  EXPECT_TRUE(anyMessageContains(Ds, "one enumeration cannot span both"));
+}
+
+//===----------------------------------------------------------------------===//
+// Escape soundness
+//===----------------------------------------------------------------------===//
+
+TEST(EscapeSoundness, ForcedEnumerationOnEscapingAlloc) {
+  auto Ds = lint("extern fn @sink(Set<u64>)\n"
+                 "fn @main() -> u64 {\n"
+                 "  #pragma ade enumerate\n"
+                 "  %v = new Set<u64>\n"
+                 "  %k = const 3 : u64\n"
+                 "  insert %v, %k\n"
+                 "  call @sink(%v)\n"
+                 "  %sz = size %v\n"
+                 "  ret %sz\n"
+                 "}\n",
+                 "escape-soundness");
+  ASSERT_EQ(Ds.size(), 1u);
+  EXPECT_EQ(Ds[0].Check, "escape-soundness");
+  EXPECT_TRUE(anyMessageContains(Ds, "cannot be honored"));
+}
+
+//===----------------------------------------------------------------------===//
+// Enumeration consistency and the post-transform self-audit
+//===----------------------------------------------------------------------===//
+
+const char *const MixedEnumSource =
+    "global @ea : Enum<u64>\n"
+    "global @eb : Enum<u64>\n"
+    "fn @main() -> u64 {\n"
+    "  %set = new Set<idx>\n"
+    "  %k = const 5 : u64\n"
+    "  %e1 = gget @ea\n"
+    "  %e2 = gget @eb\n"
+    "  %i = enum.add %e1, %k\n"
+    "  insert %set, %i\n"
+    "  %j = enum.add %e2, %k\n"
+    "  %c = has %set, %j\n"
+    "  %r = if %c {\n"
+    "    %one = const 1 : u64\n"
+    "    yield %one\n"
+    "  } else {\n"
+    "    %zero = const 0 : u64\n"
+    "    yield %zero\n"
+    "  }\n"
+    "  ret %r\n"
+    "}\n";
+
+TEST(EnumConsistency, MixedEnumerationsAreAConflict) {
+  auto Ds = lint(MixedEnumSource, "enum-consistency");
+  ASSERT_EQ(Ds.size(), 1u);
+  EXPECT_EQ(Ds[0].Sev, analysis::Severity::Error);
+  EXPECT_TRUE(anyMessageContains(Ds, "@ea"));
+  EXPECT_TRUE(anyMessageContains(Ds, "@eb"));
+}
+
+const char *const HistogramSource =
+    "fn @count(%input: Seq<u64>) -> u64 {\n"
+    "  %hist = new Map<u64, u32>\n"
+    "  foreach %input -> [%i, %val] {\n"
+    "    %cond = has %hist, %val\n"
+    "    %freq0 = if %cond {\n"
+    "      %f = read %hist, %val\n"
+    "      yield %f\n"
+    "    } else {\n"
+    "      insert %hist, %val\n"
+    "      %z = const 0 : u32\n"
+    "      yield %z\n"
+    "    }\n"
+    "    %one = const 1 : u32\n"
+    "    %freq1 = add %freq0, %one\n"
+    "    write %hist, %val, %freq1\n"
+    "    yield\n"
+    "  }\n"
+    "  %sz = size %hist\n"
+    "  ret %sz\n"
+    "}\n"
+    "fn @main() -> u64 {\n"
+    "  %input = new Seq<u64>\n"
+    "  %lo = const 0 : u64\n"
+    "  %hi = const 100 : u64\n"
+    "  %mod = const 10 : u64\n"
+    "  forrange %lo, %hi -> [%i] {\n"
+    "    %r = rem %i, %mod\n"
+    "    append %input, %r\n"
+    "    yield\n"
+    "  }\n"
+    "  %distinct = call @count(%input)\n"
+    "  ret %distinct\n"
+    "}\n";
+
+TEST(SelfAudit, TransformedModuleIsConsistent) {
+  std::unique_ptr<ir::Module> M = parser::parseModuleOrDie(HistogramSource);
+  core::runADE(*M); // Verify defaults to on: the audit already ran inside.
+  analysis::DiagnosticEngine DE;
+  EXPECT_TRUE(analysis::auditEnumeration(*M, DE));
+  EXPECT_TRUE(DE.empty());
+}
+
+/// Corrupts a transformed histogram: appends one index minted from a
+/// foreign enumeration into the sequence whose elements are identifiers
+/// of the planned enumeration. Returns the module.
+std::unique_ptr<ir::Module> corruptedHistogram() {
+  std::unique_ptr<ir::Module> M = parser::parseModuleOrDie(HistogramSource);
+  core::runADE(*M);
+
+  ir::Function *Main = M->getFunction("main");
+  ir::Instruction *Call = findInst(Main->body(), ir::Opcode::Call);
+  EXPECT_NE(Call, nullptr);
+  ir::Value *Input = Call->operand(0); // the enumerated Seq<idx>
+
+  ir::Type *U64 = M->types().intTy(64, false);
+  ir::GlobalVariable *Fake =
+      M->createGlobal("__rogue_enum", M->types().enumTy(U64));
+
+  ir::IRBuilder B(*M);
+  B.setInsertionPointBefore(Call);
+  ir::Value *Rogue = B.enumAdd(B.globalGet(Fake), B.constU64(7));
+  B.append(Input, Rogue);
+  return M;
+}
+
+TEST(SelfAudit, CorruptedPlanIsDetected) {
+  std::unique_ptr<ir::Module> M = corruptedHistogram();
+  analysis::DiagnosticEngine DE;
+  EXPECT_FALSE(analysis::auditEnumeration(*M, DE));
+  ASSERT_GE(DE.errorCount(), 1u);
+  EXPECT_EQ(DE.diagnostics().front().Check, "enum-consistency");
+  EXPECT_TRUE(anyMessageContains(DE.diagnostics(), "@__rogue_enum"));
+}
+
+TEST(SelfAuditDeathTest, RunSelfAuditFailsLoudly) {
+  std::unique_ptr<ir::Module> M = corruptedHistogram();
+  EXPECT_DEATH(core::runSelfAudit(*M),
+               "ADE self-audit failed.*enumeration-consistent");
+}
+
+} // namespace

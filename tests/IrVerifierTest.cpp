@@ -1,0 +1,233 @@
+//===- IrVerifierTest.cpp -------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests of verifyModule's error paths. The parser can't produce most of
+/// this malformed IR (it rejects the syntax first), so the modules are
+/// built programmatically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::ir;
+
+namespace {
+
+/// Runs the verifier expecting failure; returns the collected errors.
+std::vector<std::string> verifyErrors(const Module &M) {
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+  EXPECT_FALSE(Errors.empty());
+  return Errors;
+}
+
+bool hasError(const std::vector<std::string> &Errors,
+              const std::string &Substr) {
+  for (const std::string &E : Errors)
+    if (E.find(Substr) != std::string::npos)
+      return true;
+  return false;
+}
+
+std::unique_ptr<Instruction> makeInst(Opcode Op,
+                                      std::vector<Type *> ResultTys = {},
+                                      std::vector<Value *> Operands = {},
+                                      unsigned NumRegions = 0) {
+  return std::make_unique<Instruction>(Op, ResultTys, Operands, NumRegions);
+}
+
+TEST(IrVerifier, ExternalFunctionWithBody) {
+  Module M;
+  Function *F = M.createFunction("ext", M.types().voidTy(),
+                                 /*External=*/true);
+  F->body().push(makeInst(Opcode::Ret));
+  EXPECT_TRUE(hasError(verifyErrors(M), "external function has a body"));
+}
+
+TEST(IrVerifier, BodyMustEndWithRet) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  B.constU64(1);
+  EXPECT_TRUE(hasError(verifyErrors(M), "function body must end with ret"));
+}
+
+TEST(IrVerifier, TerminatorInTheMiddle) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  F->body().push(makeInst(Opcode::Ret));
+  F->body().push(makeInst(Opcode::Ret));
+  EXPECT_TRUE(
+      hasError(verifyErrors(M), "terminator in the middle of a region"));
+}
+
+TEST(IrVerifier, RegionMustEndWithYield) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Value *Cond = B.constBool(true);
+  Instruction *If = B.create(Opcode::If, {}, {Cond}, /*NumRegions=*/2);
+  // Then-region holds a non-terminator only; else-region is well-formed.
+  IRBuilder Then(M, If->region(0));
+  Then.constU64(0);
+  If->region(1)->push(makeInst(Opcode::Yield));
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(
+      hasError(verifyErrors(M), "region must end with yield or ret"));
+}
+
+TEST(IrVerifier, IfConditionTypeMismatch) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Value *NotBool = B.constU64(3);
+  Instruction *If = B.create(Opcode::If, {}, {NotBool}, /*NumRegions=*/2);
+  If->region(0)->push(makeInst(Opcode::Yield));
+  If->region(1)->push(makeInst(Opcode::Yield));
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(hasError(verifyErrors(M), "if condition must be bool"));
+}
+
+TEST(IrVerifier, ArithmeticOnCollections) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Type *SetTy = M.types().setTy(M.types().intTy(64, false));
+  Value *A = B.newColl(SetTy, "a");
+  Value *C = B.newColl(SetTy, "b");
+  B.add(A, C);
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(
+      hasError(verifyErrors(M), "arithmetic requires scalar operands"));
+}
+
+TEST(IrVerifier, WriteKeyTypeMismatch) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Type *U64 = M.types().intTy(64, false);
+  Value *Map = B.newColl(M.types().mapTy(U64, U64), "m");
+  Value *BoolKey = B.constBool(true);
+  Value *V = B.constU64(1);
+  B.write(Map, BoolKey, V);
+  B.create(Opcode::Ret, {}, {});
+  std::vector<std::string> Errors = verifyErrors(M);
+  EXPECT_TRUE(hasError(Errors, "has type bool, expected u64"));
+}
+
+TEST(IrVerifier, ReturnValueTypeMismatch) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().intTy(64, false));
+  IRBuilder B(M, &F->body());
+  Value *Wrong = B.constBool(false);
+  B.create(Opcode::Ret, {}, {Wrong});
+  EXPECT_TRUE(hasError(verifyErrors(M),
+                       "return value has type bool, expected u64"));
+}
+
+TEST(IrVerifier, ForEachRegionArgArityMismatch) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Type *U64 = M.types().intTy(64, false);
+  Value *Map = B.newColl(M.types().mapTy(U64, U64), "m");
+  // A map for-each needs key and value block arguments; give it one.
+  Instruction *Loop =
+      B.create(Opcode::ForEach, {}, {Map}, /*NumRegions=*/1);
+  Loop->region(0)->addArg(U64, "k");
+  Loop->region(0)->push(makeInst(Opcode::Yield));
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(hasError(verifyErrors(M),
+                       "foreach region argument count mismatch"));
+}
+
+TEST(IrVerifier, DoWhileCarriedArityMismatch) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Value *Init = B.constU64(0);
+  // One carried operand but no matching block argument or result.
+  Instruction *Loop =
+      B.create(Opcode::DoWhile, {}, {Init}, /*NumRegions=*/1);
+  Loop->region(0)->push(makeInst(Opcode::Yield));
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(hasError(verifyErrors(M), "dowhile arity mismatch"));
+}
+
+TEST(IrVerifier, CarriedValueTypeMismatch) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Type *U64 = M.types().intTy(64, false);
+  Value *Lo = B.constU64(0);
+  Value *Hi = B.constU64(10);
+  Value *Init = B.constU64(0);
+  Instruction *Loop =
+      B.create(Opcode::ForRange, {}, {Lo, Hi, Init}, /*NumRegions=*/1);
+  Loop->region(0)->addArg(U64, "i");
+  // The carried block argument's type disagrees with the init operand.
+  Loop->region(0)->addArg(M.types().boolTy(), "acc");
+  Loop->addResult(U64);
+  IRBuilder Body(M, Loop->region(0));
+  Instruction *Y = Body.create(Opcode::Yield, {}, {Loop->region(0)->arg(1)});
+  (void)Y;
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(
+      hasError(verifyErrors(M), "carried value has type bool, expected u64"));
+}
+
+TEST(IrVerifier, YieldCountMismatch) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Value *Cond = B.constBool(true);
+  Instruction *If = B.create(Opcode::If, {}, {Cond}, /*NumRegions=*/2);
+  If->addResult(M.types().intTy(64, false));
+  // Both yields are empty although the if has one result.
+  If->region(0)->push(makeInst(Opcode::Yield));
+  If->region(1)->push(makeInst(Opcode::Yield));
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(
+      hasError(verifyErrors(M), "yield carries 0 values, expected 1"));
+}
+
+TEST(IrVerifier, UnknownCalleeAndGlobal) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Instruction *Call = B.create(Opcode::Call, {}, {});
+  Call->setSymbol("missing");
+  Instruction *Get =
+      B.create(Opcode::GlobalGet, {M.types().intTy(64, false)}, {});
+  Get->setSymbol("gone");
+  B.create(Opcode::Ret, {}, {});
+  std::vector<std::string> Errors = verifyErrors(M);
+  EXPECT_TRUE(hasError(Errors, "unknown callee @missing"));
+  EXPECT_TRUE(hasError(Errors, "unknown global @gone"));
+}
+
+TEST(IrVerifier, OperandDoesNotDominate) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Value *Cond = B.constBool(true);
+  Instruction *If = B.create(Opcode::If, {}, {Cond}, /*NumRegions=*/2);
+  IRBuilder Then(M, If->region(0));
+  Value *Inner = Then.constU64(1);
+  Then.create(Opcode::Yield, {}, {});
+  If->region(1)->push(makeInst(Opcode::Yield));
+  // Uses a value defined inside the then-region after the if.
+  B.add(Inner, Inner);
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(hasError(verifyErrors(M), "does not dominate its use"));
+}
+
+} // namespace
