@@ -10,6 +10,9 @@
 ///   --scale=N        input scale percent (default per binary)
 ///   --trials=N       trials per configuration; the median is reported
 ///   --bench=ABBREV   run a single benchmark
+///   --json=FILE      also write the measured runs as a JSON report
+///   --profile        attach the source-attributed profiler and print
+///                    hot-site tables (binaries that support it)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +21,7 @@
 
 #include "bench/Harness.h"
 #include "stats/Stats.h"
+#include "support/Json.h"
 #include "support/RawOstream.h"
 
 #include <algorithm>
@@ -34,6 +38,8 @@ struct CliOptions {
   uint64_t Scale;
   unsigned Trials = 1;
   std::string Only;
+  std::string JsonFile;
+  bool Profile = false;
 
   explicit CliOptions(uint64_t DefaultScale) : Scale(DefaultScale) {}
 
@@ -47,9 +53,14 @@ struct CliOptions {
             std::strtoul(Arg.c_str() + 9, nullptr, 10));
       } else if (Arg.rfind("--bench=", 0) == 0) {
         Only = Arg.substr(8);
+      } else if (Arg.rfind("--json=", 0) == 0) {
+        JsonFile = Arg.substr(7);
+      } else if (Arg == "--profile") {
+        Profile = true;
       } else {
         std::fprintf(stderr,
-                     "usage: %s [--scale=N] [--trials=N] [--bench=ABBREV]\n",
+                     "usage: %s [--scale=N] [--trials=N] [--bench=ABBREV]"
+                     " [--json=FILE] [--profile]\n",
                      Argv[0]);
         return false;
       }
@@ -86,6 +97,79 @@ inline RunResult runMedian(const BenchmarkSpec &B, Config C,
             });
   return Runs[Runs.size() / 2];
 }
+
+/// Accumulates measured runs and renders them as a machine-readable JSON
+/// report (--json=FILE): per run timing, checksum, peak collection bytes
+/// and the dynamic operation counts, ready for BENCH_*.json ingestion.
+class JsonReport {
+public:
+  JsonReport(std::string Figure, const CliOptions &Cli)
+      : Figure(std::move(Figure)), Scale(Cli.Scale), Trials(Cli.Trials) {}
+
+  void add(const BenchmarkSpec &B, Config C, const RunResult &R) {
+    Rows.push_back({B.Abbrev, configName(C), R});
+  }
+
+  void write(RawOstream &OS) const {
+    json::Writer W(OS);
+    W.beginObject();
+    W.member("figure", Figure)
+        .member("scalePercent", Scale)
+        .member("trials", uint64_t(Trials));
+    W.key("results").beginArray();
+    for (const Row &R : Rows) {
+      const RunResult &Run = R.Result;
+      W.beginObject(/*Inline=*/true);
+      W.member("bench", R.Bench)
+          .member("config", R.Config)
+          .member("initSeconds", Run.InitSeconds)
+          .member("roiSeconds", Run.RoiSeconds)
+          .member("totalSeconds", Run.totalSeconds())
+          .member("checksum", Run.Checksum)
+          .member("peakBytes", Run.PeakBytes)
+          .member("sparse", Run.Stats.Sparse)
+          .member("dense", Run.Stats.Dense)
+          .member("instructions", Run.Stats.InstructionsExecuted);
+      W.key("byCategory").beginObject(/*Inline=*/true);
+      for (unsigned I = 0; I != runtime::InterpStats::NumCats; ++I)
+        if (Run.Stats.ByCategory[I])
+          W.key(runtime::opCategoryName(
+                    static_cast<runtime::OpCategory>(I)))
+              .value(Run.Stats.ByCategory[I]);
+      W.endObject();
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    OS << '\n';
+  }
+
+  /// Writes the report to \p Path; false (with a message on stderr) on
+  /// I/O failure.
+  bool writeTo(const std::string &Path) const {
+    std::FILE *File = std::fopen(Path.c_str(), "wb");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    RawFileOstream OS(File);
+    write(OS);
+    OS.flush();
+    std::fclose(File);
+    return true;
+  }
+
+private:
+  struct Row {
+    std::string Bench;
+    std::string Config;
+    RunResult Result;
+  };
+  std::string Figure;
+  uint64_t Scale;
+  unsigned Trials;
+  std::vector<Row> Rows;
+};
 
 } // namespace bench
 } // namespace ade

@@ -15,6 +15,8 @@
 
 #include "BenchCommon.h"
 
+#include "interp/Profiler.h"
+
 using namespace ade;
 using namespace ade::bench;
 using namespace ade::stats;
@@ -29,6 +31,7 @@ int main(int Argc, char **Argv) {
      << Cli.Trials << " trial(s)) ==\n";
   Table T({"Bench", "memoir total(s)", "ade total(s)", "speedup",
            "ROI speedup", "memory vs memoir"});
+  JsonReport Report("fig5", Cli);
   std::vector<double> Speedups, RoiSpeedups, MemRatios;
   for (const BenchmarkSpec *B : Cli.selected()) {
     RunResult Base = runMedian(*B, Config::Memoir, Cli);
@@ -37,6 +40,8 @@ int main(int Argc, char **Argv) {
       OS << "ERROR: checksum mismatch on " << B->Abbrev << "\n";
       return 1;
     }
+    Report.add(*B, Config::Memoir, Base);
+    Report.add(*B, Config::Ade, Ade);
     double Speedup = Base.totalSeconds() / Ade.totalSeconds();
     double Roi = Base.RoiSeconds / Ade.RoiSeconds;
     double Mem = static_cast<double>(Ade.PeakBytes) /
@@ -55,5 +60,22 @@ int main(int Argc, char **Argv) {
   T.print(OS);
   OS << "\nPaper reference (Fig. 5): whole-program GEO ~2.12x (max 8.72x),"
      << "\nROI GEO ~2.98x (max 9.02x), memory GEO ~94.4% (min 49.3%).\n";
+
+  // --profile: one extra profiled run per benchmark under the ade config,
+  // reporting where the dynamic operations concentrate.
+  if (Cli.Profile) {
+    for (const BenchmarkSpec *B : Cli.selected()) {
+      interp::Profiler Prof;
+      RunOptions Options;
+      Options.ScalePercent = Cli.Scale;
+      Options.Prof = &Prof;
+      runBenchmark(*B, Config::Ade, Options);
+      OS << "\n== profile: " << B->Abbrev << " (ade) ==\n";
+      Prof.printReport(OS, B->Abbrev, /*MaxSites=*/5);
+    }
+  }
+
+  if (!Cli.JsonFile.empty() && !Report.writeTo(Cli.JsonFile))
+    return 1;
   return 0;
 }

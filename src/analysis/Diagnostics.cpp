@@ -6,6 +6,8 @@
 
 #include "analysis/Diagnostics.h"
 
+#include "support/Json.h"
+
 using namespace ade;
 using namespace ade::analysis;
 
@@ -92,51 +94,24 @@ void DiagnosticEngine::renderText(RawOstream &OS) const {
   }
 }
 
-/// Appends \p S with JSON string escaping (no surrounding quotes).
-static void jsonEscape(RawOstream &OS, std::string_view S) {
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      OS << "\\\"";
-      break;
-    case '\\':
-      OS << "\\\\";
-      break;
-    case '\n':
-      OS << "\\n";
-      break;
-    case '\t':
-      OS << "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        static const char Hex[] = "0123456789abcdef";
-        OS << "\\u00" << Hex[(C >> 4) & 0xF] << Hex[C & 0xF];
-      } else {
-        OS << C;
-      }
-    }
-  }
-}
-
 void DiagnosticEngine::renderJson(RawOstream &OS) const {
-  OS << "{\n  \"file\": \"";
-  jsonEscape(OS, Filename);
-  OS << "\",\n  \"errors\": " << errorCount()
-     << ",\n  \"warnings\": " << warningCount()
-     << ",\n  \"diagnostics\": [";
-  bool First = true;
+  json::Writer W(OS);
+  W.beginObject();
+  W.member("file", Filename)
+      .member("errors", uint64_t(errorCount()))
+      .member("warnings", uint64_t(warningCount()));
+  W.key("diagnostics").beginArray();
   for (const Diagnostic &D : Diags) {
-    OS << (First ? "\n" : ",\n") << "    {\"severity\": \""
-       << severityName(D.Sev) << "\", \"check\": \"";
-    jsonEscape(OS, D.Check);
-    OS << "\", \"function\": \"";
-    jsonEscape(OS, D.FunctionName);
-    OS << "\", \"line\": " << D.Loc.Line << ", \"col\": " << D.Loc.Col
-       << ", \"message\": \"";
-    jsonEscape(OS, D.Message);
-    OS << "\"}";
-    First = false;
+    W.beginObject(/*Inline=*/true);
+    W.member("severity", severityName(D.Sev))
+        .member("check", D.Check)
+        .member("function", D.FunctionName)
+        .member("line", uint64_t(D.Loc.Line))
+        .member("col", uint64_t(D.Loc.Col))
+        .member("message", D.Message);
+    W.endObject();
   }
-  OS << (First ? "]\n}\n" : "\n  ]\n}\n");
+  W.endArray();
+  W.endObject();
+  OS << '\n';
 }

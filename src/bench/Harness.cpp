@@ -50,6 +50,7 @@ RunResult ade::bench::runBenchmark(const BenchmarkSpec &B, Config C,
   core::PipelineConfig PC;
   InterpOptions IO;
   IO.CollectStats = Options.CollectStats;
+  IO.Prof = Options.Prof;
   switch (C) {
   case Config::Memoir:
     RunAde = false;

@@ -23,6 +23,9 @@
 #include <string>
 
 namespace ade {
+namespace interp {
+class Profiler;
+}
 namespace bench {
 
 /// The artifact's compiler configurations.
@@ -53,6 +56,9 @@ struct RunResult {
 struct RunOptions {
   uint64_t ScalePercent = 100;
   bool CollectStats = true;
+  /// Optional source-attributed profiler attached to the run's
+  /// interpreter (counts accumulate across runs sharing one profiler).
+  interp::Profiler *Prof = nullptr;
   /// Extra pragma injected at PTA's inner allocation sites (RQ4); applies
   /// to the PTA benchmark only.
   std::string PtaInnerPragma;

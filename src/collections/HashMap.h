@@ -56,8 +56,12 @@ public:
     clear();
     Buckets = std::move(Other.Buckets);
     Count = Other.Count;
+    ProbeNodes = Other.ProbeNodes;
+    RehashCount = Other.RehashCount;
     Other.Buckets.clear();
     Other.Count = 0;
+    Other.ProbeNodes = 0;
+    Other.RehashCount = 0;
     return *this;
   }
 
@@ -72,9 +76,11 @@ public:
   V *lookup(const K &Key) {
     if (Buckets.empty())
       return nullptr;
-    for (Node *N = Buckets[bucketOf(Key)]; N; N = N->Next)
+    for (Node *N = Buckets[bucketOf(Key)]; N; N = N->Next) {
+      ++ProbeNodes;
       if (N->Key == Key)
         return &N->Value;
+    }
     return nullptr;
   }
 
@@ -123,6 +129,7 @@ public:
       return false;
     Node **Link = &Buckets[bucketOf(Key)];
     while (*Link) {
+      ++ProbeNodes;
       if ((*Link)->Key == Key) {
         Node *Dead = *Link;
         *Link = Dead->Next;
@@ -165,6 +172,10 @@ public:
     return Buckets.capacity() * sizeof(Node *) + Count * sizeof(Node);
   }
 
+  /// Cumulative chain nodes visited and rehashes (profiler surface).
+  uint64_t probeCount() const { return ProbeNodes; }
+  uint64_t rehashCount() const { return RehashCount; }
+
 private:
   size_t bucketOf(const K &Key) const {
     return Hasher()(Key) & (Buckets.size() - 1);
@@ -187,6 +198,7 @@ private:
   }
 
   void rehash(size_t NewBucketCount) {
+    ++RehashCount;
     std::vector<Node *, TrackingAllocator<Node *>> Old = std::move(Buckets);
     Buckets.assign(NewBucketCount, nullptr);
     for (Node *Head : Old) {
@@ -202,6 +214,9 @@ private:
 
   std::vector<Node *, TrackingAllocator<Node *>> Buckets;
   size_t Count = 0;
+  /// Profiler counters; mutable so const lookups can account their probes.
+  mutable uint64_t ProbeNodes = 0;
+  uint64_t RehashCount = 0;
 };
 
 } // namespace ade

@@ -54,8 +54,12 @@ public:
     clear();
     Buckets = std::move(Other.Buckets);
     Count = Other.Count;
+    ProbeNodes = Other.ProbeNodes;
+    RehashCount = Other.RehashCount;
     Other.Buckets.clear();
     Other.Count = 0;
+    Other.ProbeNodes = 0;
+    Other.RehashCount = 0;
     return *this;
   }
 
@@ -67,9 +71,11 @@ public:
   bool contains(const K &Key) const {
     if (Buckets.empty())
       return false;
-    for (Node *N = Buckets[bucketOf(Key)]; N; N = N->Next)
+    for (Node *N = Buckets[bucketOf(Key)]; N; N = N->Next) {
+      ++ProbeNodes;
       if (N->Key == Key)
         return true;
+    }
     return false;
   }
 
@@ -78,9 +84,11 @@ public:
     if (Count + 1 > Buckets.size())
       rehash(Buckets.empty() ? 8 : Buckets.size() * 2);
     size_t B = bucketOf(Key);
-    for (Node *N = Buckets[B]; N; N = N->Next)
+    for (Node *N = Buckets[B]; N; N = N->Next) {
+      ++ProbeNodes;
       if (N->Key == Key)
         return false;
+    }
     Buckets[B] = allocNode(Key, Buckets[B]);
     ++Count;
     return true;
@@ -91,6 +99,7 @@ public:
       return false;
     Node **Link = &Buckets[bucketOf(Key)];
     while (*Link) {
+      ++ProbeNodes;
       if ((*Link)->Key == Key) {
         Node *Dead = *Link;
         *Link = Dead->Next;
@@ -133,6 +142,10 @@ public:
     return Buckets.capacity() * sizeof(Node *) + Count * sizeof(Node);
   }
 
+  /// Cumulative chain nodes visited and rehashes (profiler surface).
+  uint64_t probeCount() const { return ProbeNodes; }
+  uint64_t rehashCount() const { return RehashCount; }
+
 private:
   size_t bucketOf(const K &Key) const {
     return Hasher()(Key) & (Buckets.size() - 1);
@@ -149,6 +162,7 @@ private:
   }
 
   void rehash(size_t NewBucketCount) {
+    ++RehashCount;
     assert((NewBucketCount & (NewBucketCount - 1)) == 0 &&
            "bucket count must be a power of two");
     std::vector<Node *, TrackingAllocator<Node *>> Old = std::move(Buckets);
@@ -166,6 +180,9 @@ private:
 
   std::vector<Node *, TrackingAllocator<Node *>> Buckets;
   size_t Count = 0;
+  /// Profiler counters; mutable so const lookups can account their probes.
+  mutable uint64_t ProbeNodes = 0;
+  uint64_t RehashCount = 0;
 };
 
 } // namespace ade

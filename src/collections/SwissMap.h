@@ -105,6 +105,10 @@ public:
 
   size_t memoryBytes() const { return Impl.memoryBytes(); }
 
+  /// Cumulative group probes and rehashes (profiler surface).
+  uint64_t probeCount() const { return Impl.probeSteps(); }
+  uint64_t rehashCount() const { return Impl.rehashes(); }
+
 private:
   Table Impl;
 };

@@ -76,6 +76,8 @@ public:
     Slots = Other.Slots;
     Count = Other.Count;
     GrowthLeft = Other.GrowthLeft;
+    ProbeSteps = Other.ProbeSteps;
+    RehashCount = Other.RehashCount;
     return *this;
   }
 
@@ -87,6 +89,12 @@ public:
 
   static constexpr size_t npos = static_cast<size_t>(-1);
 
+  /// Cumulative group probes across all lookups and inserts, including the
+  /// re-insertion probes performed while rehashing (profiler surface).
+  uint64_t probeSteps() const { return ProbeSteps; }
+  /// Number of times the table grew and rehashed every element.
+  uint64_t rehashes() const { return RehashCount; }
+
   /// Returns the slot index holding \p Key, or npos.
   size_t find(const KeyT &Key) const {
     if (Slots.empty())
@@ -96,6 +104,7 @@ public:
     size_t NumGroups = Slots.size() / GroupWidth;
     size_t Group = hash1(Hash) & (NumGroups - 1);
     for (size_t Step = 0;; ++Step) {
+      ++ProbeSteps;
       size_t Base = Group * GroupWidth;
       for (unsigned Half = 0; Half != 2; ++Half) {
         uint64_t Word = loadWord(Base + Half * 8);
@@ -128,6 +137,7 @@ public:
       size_t Group = hash1(Hash) & (NumGroups - 1);
       size_t FirstDeleted = npos;
       for (size_t Step = 0;; ++Step) {
+        ++ProbeSteps;
         size_t Base = Group * GroupWidth;
         for (unsigned Half = 0; Half != 2; ++Half) {
           uint64_t Word = loadWord(Base + Half * 8);
@@ -242,6 +252,7 @@ private:
   }
 
   void growTo(size_t NewCapacity) {
+    ++RehashCount;
     assert(NewCapacity % GroupWidth == 0 &&
            (NewCapacity & (NewCapacity - 1)) == 0 &&
            "capacity must be a power of two multiple of the group width");
@@ -266,6 +277,9 @@ private:
   std::vector<SlotT, TrackingAllocator<SlotT>> Slots;
   size_t Count = 0;
   size_t GrowthLeft = 0;
+  /// Profiler counters; mutable so const lookups can account their probes.
+  mutable uint64_t ProbeSteps = 0;
+  uint64_t RehashCount = 0;
 };
 
 } // namespace detail

@@ -7,6 +7,7 @@
 #include "core/Cloning.h"
 
 #include "core/Analysis.h"
+#include "stats/Statistic.h"
 #include "support/ErrorHandling.h"
 
 #include <map>
@@ -16,6 +17,9 @@
 using namespace ade;
 using namespace ade::core;
 using namespace ade::ir;
+
+ADE_STATISTIC(NumFunctionsCloned, "ade-cloning",
+              "Functions cloned for callers that disagree on enumeration");
 
 namespace {
 
@@ -165,6 +169,7 @@ unsigned ade::core::cloneForMixedCallers(Module &M) {
       for (Instruction *Call : Groups[GI].Members)
         Call->setSymbol(Clone->name());
       ++Clones;
+      ++NumFunctionsCloned;
     }
   }
   return Clones;

@@ -11,6 +11,9 @@
 #include "ir/Verifier.h"
 #include "support/ErrorHandling.h"
 #include "support/RawOstream.h"
+#include "support/Trace.h"
+
+#include <optional>
 
 using namespace ade;
 using namespace ade::core;
@@ -28,25 +31,47 @@ PipelineResult ade::core::runADE(ir::Module &M,
                                  const PipelineConfig &Config) {
   PipelineResult Result;
 
-  if (Config.EnableCloning)
+  if (Config.EnableCloning) {
+    TimerGroup::Scope T(Result.Timing, "cloning");
+    TraceScope Trace("cloning", "compile");
     Result.FunctionsCloned = cloneForMixedCallers(M);
+  }
 
-  ModuleAnalysis MA(M);
+  std::optional<ModuleAnalysis> MA;
+  {
+    TimerGroup::Scope T(Result.Timing, "analysis");
+    TraceScope Trace("analysis", "compile");
+    MA.emplace(M);
+  }
 
-  PlannerConfig PC;
-  PC.EnableSharing = Config.EnableSharing;
-  // No sharing also entails no propagation (SIV RQ3): a propagator is only
-  // introduced when it can share with an enumerated collection.
-  PC.EnablePropagation = Config.EnableSharing && Config.EnablePropagation;
-  Result.Plan = planEnumeration(MA, PC);
+  {
+    TimerGroup::Scope T(Result.Timing, "planning");
+    TraceScope Trace("planning", "compile");
+    PlannerConfig PC;
+    PC.EnableSharing = Config.EnableSharing;
+    // No sharing also entails no propagation (SIV RQ3): a propagator is only
+    // introduced when it can share with an enumerated collection.
+    PC.EnablePropagation = Config.EnableSharing && Config.EnablePropagation;
+    Result.Plan = planEnumeration(*MA, PC);
+  }
 
-  TransformConfig TC;
-  TC.EnableRTE = Config.EnableRTE;
-  Result.Transform = applyEnumeration(MA, Result.Plan, TC);
+  {
+    TimerGroup::Scope T(Result.Timing, "transform");
+    TraceScope Trace("transform", "compile");
+    TransformConfig TC;
+    TC.EnableRTE = Config.EnableRTE;
+    Result.Transform = applyEnumeration(*MA, Result.Plan, TC);
+  }
 
-  applySelection(MA, Result.Plan, Config.Selection);
+  {
+    TimerGroup::Scope T(Result.Timing, "selection");
+    TraceScope Trace("selection", "compile");
+    applySelection(*MA, Result.Plan, Config.Selection);
+  }
 
   if (Config.Verify) {
+    TimerGroup::Scope T(Result.Timing, "verify");
+    TraceScope Trace("verify", "compile");
     ir::verifyOrDie(M);
     runSelfAudit(M);
   }

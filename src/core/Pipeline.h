@@ -16,6 +16,7 @@
 
 #include "core/Plan.h"
 #include "core/Transform.h"
+#include "support/Timer.h"
 
 namespace ade {
 namespace core {
@@ -40,6 +41,8 @@ struct PipelineResult {
   EnumerationPlan Plan;
   TransformResult Transform;
   unsigned FunctionsCloned = 0;
+  /// Wall-clock seconds per pass in execution order (adec --time-report).
+  TimerGroup Timing;
 };
 
 /// Runs automatic data enumeration on \p M in place.

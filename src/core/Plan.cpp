@@ -6,6 +6,7 @@
 
 #include "core/Plan.h"
 
+#include "stats/Statistic.h"
 #include "support/Casting.h"
 #include "support/UnionFind.h"
 
@@ -14,6 +15,15 @@
 using namespace ade;
 using namespace ade::core;
 using namespace ade::ir;
+
+ADE_STATISTIC(NumEnumerationsPlanned, "ade-plan",
+              "Enumeration candidates emitted by the planner");
+ADE_STATISTIC(NumCollectionsSharing, "ade-plan",
+              "Collections sharing an enumeration beyond its first member");
+ADE_STATISTIC(NumPropagators, "ade-plan",
+              "Element/sequence roots propagating identifiers");
+ADE_STATISTIC(NumUnitsUnified, "ade-plan",
+              "Enumeration units unified by welding (share groups, unions)");
 
 TrimSets ade::core::findRedundant(const UseSet &ToEnc, const UseSet &ToDec,
                                   const UseSet &ToAdd) {
@@ -197,6 +207,7 @@ private:
     B = resolve(B);
     if (A == B)
       return;
+    ++NumUnitsUnified;
     for (RootInfo *R : B->Members)
       addRootToUnit(A, R);
     // addRootToUnit re-appends members; de-duplicate.
@@ -357,6 +368,9 @@ private:
       }
       if (C.KeyMembers.empty())
         continue;
+      ++NumEnumerationsPlanned;
+      NumCollectionsSharing += C.KeyMembers.size() - 1;
+      NumPropagators += C.ElemMembers.size();
       Plan.Candidates.push_back(std::move(C));
     }
     return Plan;

@@ -8,6 +8,7 @@
 
 #include "core/MergeNetwork.h"
 #include "ir/IRBuilder.h"
+#include "stats/Statistic.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 
@@ -18,6 +19,17 @@
 using namespace ade;
 using namespace ade::core;
 using namespace ade::ir;
+
+ADE_STATISTIC(NumEnumerationsCreated, "ade-transform",
+              "Enumeration globals materialized");
+ADE_STATISTIC(NumTranslationsEliminated, "ade-transform",
+              "Translations eliminated by RTE");
+ADE_STATISTIC(NumEncInserted, "ade-transform", "enc translations inserted");
+ADE_STATISTIC(NumDecInserted, "ade-transform", "dec translations inserted");
+ADE_STATISTIC(NumAddInserted, "ade-transform",
+              "enum.add translations inserted");
+ADE_STATISTIC(NumUnionsExpanded, "ade-transform",
+              "Cross-enumeration unions expanded");
 
 namespace {
 
@@ -384,7 +396,65 @@ void TransformDriver::fixReturnTypes(Module &M) {
 TransformResult ade::core::applyEnumeration(ModuleAnalysis &MA,
                                             const EnumerationPlan &Plan,
                                             const TransformConfig &Config) {
-  return TransformDriver(MA, Plan, Config).run();
+  TransformResult Result = TransformDriver(MA, Plan, Config).run();
+  NumEnumerationsCreated += Result.EnumerationsCreated;
+  NumTranslationsEliminated += Result.TranslationsSkipped;
+  NumEncInserted += Result.EncInserted;
+  NumDecInserted += Result.DecInserted;
+  NumAddInserted += Result.AddInserted;
+  NumUnionsExpanded += Result.UnionsExpanded;
+  return Result;
+}
+
+ADE_STATISTIC(NumSelectedArray, "ade-selection", "Levels selected as Array");
+ADE_STATISTIC(NumSelectedHashSet, "ade-selection",
+              "Levels selected as HashSet");
+ADE_STATISTIC(NumSelectedFlatSet, "ade-selection",
+              "Levels selected as FlatSet");
+ADE_STATISTIC(NumSelectedSwissSet, "ade-selection",
+              "Levels selected as SwissSet");
+ADE_STATISTIC(NumSelectedBitSet, "ade-selection", "Levels selected as BitSet");
+ADE_STATISTIC(NumSelectedSparseBitSet, "ade-selection",
+              "Levels selected as SparseBitSet");
+ADE_STATISTIC(NumSelectedHashMap, "ade-selection",
+              "Levels selected as HashMap");
+ADE_STATISTIC(NumSelectedSwissMap, "ade-selection",
+              "Levels selected as SwissMap");
+ADE_STATISTIC(NumSelectedBitMap, "ade-selection", "Levels selected as BitMap");
+
+/// Counts one explicit Table-I implementation decision.
+static void countSelectionDecision(Selection S) {
+  switch (S) {
+  case Selection::Empty:
+    break;
+  case Selection::Array:
+    ++NumSelectedArray;
+    break;
+  case Selection::HashSet:
+    ++NumSelectedHashSet;
+    break;
+  case Selection::FlatSet:
+    ++NumSelectedFlatSet;
+    break;
+  case Selection::SwissSet:
+    ++NumSelectedSwissSet;
+    break;
+  case Selection::BitSet:
+    ++NumSelectedBitSet;
+    break;
+  case Selection::SparseBitSet:
+    ++NumSelectedSparseBitSet;
+    break;
+  case Selection::HashMap:
+    ++NumSelectedHashMap;
+    break;
+  case Selection::SwissMap:
+    ++NumSelectedSwissMap;
+    break;
+  case Selection::BitMap:
+    ++NumSelectedBitMap;
+    break;
+  }
 }
 
 void ade::core::applySelection(ModuleAnalysis &MA,
@@ -419,6 +489,7 @@ void ade::core::applySelection(ModuleAnalysis &MA,
   std::function<Type *(const RootInfo *, Type *)> Rebuild =
       [&](const RootInfo *R, Type *CurTy) -> Type * {
     Selection Sel = SelectionFor(R, CurTy);
+    countSelectionDecision(Sel);
     if (const auto *Set = dyn_cast<SetType>(CurTy))
       return TC.setTy(Set->key(),
                       Sel == Selection::Empty ? Set->selection() : Sel);

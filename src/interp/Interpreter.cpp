@@ -6,8 +6,10 @@
 
 #include "interp/Interpreter.h"
 
+#include "interp/Profiler.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -48,13 +50,17 @@ struct Interpreter::Impl {
   const Module &M;
   InterpOptions Opts;
   InterpStats *Stats = nullptr;
+  /// Opt-in observers; null in the common case (see InterpOptions::Prof).
+  Profiler *Prof = nullptr;
+  TraceRecorder *Trace = nullptr;
 
   std::vector<std::unique_ptr<RtCollection>> CollArena;
   std::vector<std::unique_ptr<RtEnum>> EnumArena;
   std::unordered_map<std::string, uint64_t> Globals;
   std::unordered_map<const Function *, CompiledFunction> Compiled;
 
-  Impl(const Module &M, InterpOptions Opts) : M(M), Opts(Opts) {}
+  Impl(const Module &M, InterpOptions Opts)
+      : M(M), Opts(Opts), Prof(Opts.Prof), Trace(TraceRecorder::active()) {}
 
   //===--------------------------------------------------------------------===//
   // Compilation: frame-slot assignment
@@ -290,9 +296,14 @@ struct Interpreter::Impl {
   // Runtime object helpers
   //===--------------------------------------------------------------------===//
 
-  RtCollection *makeCollection(const Type *Ty) {
+  RtCollection *makeCollection(const Type *Ty,
+                               const Instruction *Site = nullptr,
+                               std::string Label = {}) {
     CollArena.push_back(createCollection(Ty, Opts.Defaults));
-    return CollArena.back().get();
+    RtCollection *C = CollArena.back().get();
+    if (Prof)
+      Prof->registerCollection(C, Site, std::move(Label));
+    return C;
   }
 
   RtEnum *makeEnum() {
@@ -339,7 +350,8 @@ struct Interpreter::Impl {
     if (isa<EnumType>(G->Ty))
       V = reinterpret_cast<uint64_t>(makeEnum());
     else if (G->Ty->isCollection())
-      V = Interpreter::collToBits(makeCollection(G->Ty));
+      V = Interpreter::collToBits(
+          makeCollection(G->Ty, /*Site=*/nullptr, "@" + Name));
     Globals[Name] = V;
     return V;
   }
@@ -361,7 +373,11 @@ struct Interpreter::Impl {
     Fr.Slots.assign(CF.NumSlots, 0);
     for (size_t I = 0; I != Args.size(); ++I)
       Fr.Slots[CF.ArgSlots[I]] = Args[I];
+    uint64_t TraceStart = Trace ? Trace->nowMicros() : 0;
     execRegion(F->body(), CF, Fr);
+    if (Trace)
+      Trace->addComplete(F->name(), "interp", TraceStart,
+                         Trace->nowMicros() - TraceStart);
     return Fr.RetVal;
   }
 
@@ -440,7 +456,7 @@ struct Interpreter::Impl {
       Out(0, evalCast(I.operand(0)->type(), I.result()->type(), In(0)));
       return Flow::Next;
     case Opcode::New:
-      Out(0, Interpreter::collToBits(makeCollection(I.result()->type())));
+      Out(0, Interpreter::collToBits(makeCollection(I.result()->type(), &I)));
       return Flow::Next;
     case Opcode::Read: {
       if (isa<SeqType>(I.operand(0)->type())) {
@@ -452,6 +468,8 @@ struct Interpreter::Impl {
       uint64_t V = Map->get(In(1), Found);
       if (Stats)
         Stats->record(OpCategory::Read, Map->isDense());
+      if (Prof)
+        Prof->recordOp(I, OpCategory::Read, Map->isDense(), 1, Map);
       if (!Found)
         reportFatalError("map read of a missing key");
       Out(0, V);
@@ -466,6 +484,8 @@ struct Interpreter::Impl {
       Map->set(In(1), In(2));
       if (Stats)
         Stats->record(OpCategory::Write, Map->isDense());
+      if (Prof)
+        Prof->recordOp(I, OpCategory::Write, Map->isDense(), 1, Map);
       return Flow::Next;
     }
     case Opcode::Insert: {
@@ -478,6 +498,8 @@ struct Interpreter::Impl {
         reportFatalError("insert on a sequence");
       if (Stats)
         Stats->record(OpCategory::Insert, C->isDense());
+      if (Prof)
+        Prof->recordOp(I, OpCategory::Insert, C->isDense(), 1, C);
       return Flow::Next;
     }
     case Opcode::Remove: {
@@ -490,6 +512,8 @@ struct Interpreter::Impl {
         reportFatalError("remove on a sequence");
       if (Stats)
         Stats->record(OpCategory::Remove, C->isDense());
+      if (Prof)
+        Prof->recordOp(I, OpCategory::Remove, C->isDense(), 1, C);
       return Flow::Next;
     }
     case Opcode::Has: {
@@ -503,20 +527,30 @@ struct Interpreter::Impl {
         reportFatalError("has on a sequence");
       if (Stats)
         Stats->record(OpCategory::Has, C->isDense());
+      if (Prof)
+        Prof->recordOp(I, OpCategory::Has, C->isDense(), 1, C);
       Out(0, Result);
       return Flow::Next;
     }
     case Opcode::Size: {
       RtCollection *C = Interpreter::bitsToColl(In(0));
-      if (Stats && C->kind() != RtKind::Seq)
-        Stats->record(OpCategory::Size, C->isDense());
+      if (C->kind() != RtKind::Seq) {
+        if (Stats)
+          Stats->record(OpCategory::Size, C->isDense());
+        if (Prof)
+          Prof->recordOp(I, OpCategory::Size, C->isDense(), 1, C);
+      }
       Out(0, C->size());
       return Flow::Next;
     }
     case Opcode::Clear: {
       RtCollection *C = Interpreter::bitsToColl(In(0));
-      if (Stats && C->kind() != RtKind::Seq)
-        Stats->record(OpCategory::Clear, C->isDense());
+      if (C->kind() != RtKind::Seq) {
+        if (Stats)
+          Stats->record(OpCategory::Clear, C->isDense());
+        if (Prof)
+          Prof->recordOp(I, OpCategory::Clear, C->isDense(), 1, C);
+      }
       C->clear();
       return Flow::Next;
     }
@@ -529,9 +563,11 @@ struct Interpreter::Impl {
     case Opcode::Union: {
       RtSet *Dst = asSet(In(0));
       const RtSet *Src = asSet(In(1));
+      uint64_t Merged = std::max<uint64_t>(1, Src->size());
       if (Stats)
-        Stats->record(OpCategory::Union, Dst->isDense(),
-                      std::max<uint64_t>(1, Src->size()));
+        Stats->record(OpCategory::Union, Dst->isDense(), Merged);
+      if (Prof)
+        Prof->recordOp(I, OpCategory::Union, Dst->isDense(), Merged, Dst);
       Dst->unionWith(*Src);
       return Flow::Next;
     }
@@ -539,6 +575,8 @@ struct Interpreter::Impl {
       RtEnum *E = asEnum(In(0));
       if (Stats)
         Stats->record(OpCategory::Enc, /*IsDense=*/false);
+      if (Prof)
+        Prof->recordOp(I, OpCategory::Enc, /*IsDense=*/false, 1, nullptr);
       // A value outside the enumeration encodes to the next (never yet
       // issued) identifier: membership tests against enumerated
       // collections then correctly fail (Listing 2 probes `has` with the
@@ -550,6 +588,8 @@ struct Interpreter::Impl {
       RtEnum *E = asEnum(In(0));
       if (Stats)
         Stats->record(OpCategory::Dec, /*IsDense=*/true);
+      if (Prof)
+        Prof->recordOp(I, OpCategory::Dec, /*IsDense=*/true, 1, nullptr);
       if (In(1) >= E->size())
         reportFatalError("dec of an out-of-range identifier");
       Out(0, E->decode(In(1)));
@@ -559,6 +599,8 @@ struct Interpreter::Impl {
       RtEnum *E = asEnum(In(0));
       if (Stats)
         Stats->record(OpCategory::EnumAdd, /*IsDense=*/false);
+      if (Prof)
+        Prof->recordOp(I, OpCategory::EnumAdd, /*IsDense=*/false, 1, nullptr);
       Out(0, E->add(In(1)).first);
       return Flow::Next;
     }
@@ -675,8 +717,12 @@ struct Interpreter::Impl {
           [&](uint64_t K, uint64_t V) { Items.push_back({K, V}); });
       break;
     }
-    if (Stats && C->kind() != RtKind::Seq)
-      Stats->record(OpCategory::Iterate, C->isDense(), Items.size());
+    if (C->kind() != RtKind::Seq) {
+      if (Stats)
+        Stats->record(OpCategory::Iterate, C->isDense(), Items.size());
+      if (Prof)
+        Prof->recordOp(I, OpCategory::Iterate, C->isDense(), Items.size(), C);
+    }
     const Region &Body = *I.region(0);
     for (const auto &[Key, Value] : Items) {
       Fr.Slots[S.R0Args[0]] = Key;

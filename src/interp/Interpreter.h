@@ -33,12 +33,17 @@
 namespace ade {
 namespace interp {
 
+class Profiler;
+
 /// Configuration of one interpreter instance.
 struct InterpOptions {
   runtime::RuntimeDefaults Defaults;
   /// Gather InterpStats (slightly slows execution; on for analyses, off
   /// for pure timing runs when desired).
   bool CollectStats = true;
+  /// Optional source-attributed profiler (see Profiler.h). Null keeps the
+  /// interpreter's hot paths free of per-site bookkeeping.
+  Profiler *Prof = nullptr;
 };
 
 /// Converts between the 64-bit encoded form and doubles.

@@ -1,0 +1,235 @@
+//===- Profiler.cpp - Source-attributed interpreter profiler --------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Profiler.h"
+
+#include "stats/Stats.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace ade;
+using namespace ade::interp;
+using namespace ade::ir;
+using namespace ade::runtime;
+
+static const char *kindName(RtKind K) {
+  switch (K) {
+  case RtKind::Seq:
+    return "seq";
+  case RtKind::Set:
+    return "set";
+  case RtKind::Map:
+    return "map";
+  }
+  return "?";
+}
+
+Profiler::SiteRecord &Profiler::siteFor(const Instruction &I) {
+  auto [It, Inserted] = Sites.try_emplace(&I);
+  if (Inserted) {
+    It->second = std::make_unique<SiteRecord>();
+    It->second->Site = &I;
+    It->second->Op = I.op();
+    It->second->Loc = I.loc();
+    if (const Function *F = I.parentFunction())
+      It->second->Function = F->name();
+  }
+  return *It->second;
+}
+
+Profiler::CollectionRecord &Profiler::collectionFor(const RtCollection *C) {
+  auto [It, Inserted] = Colls.try_emplace(C);
+  if (Inserted) {
+    It->second = std::make_unique<CollectionRecord>();
+    CollectionRecord &R = *It->second;
+    R.Id = CollOrder.size();
+    R.Kind = C->kind();
+    R.Impl = C->impl();
+    R.Label = "<external>";
+    CollOrder.push_back(C);
+  }
+  return *It->second;
+}
+
+void Profiler::registerCollection(const RtCollection *C,
+                                  const Instruction *Site,
+                                  std::string Label) {
+  CollectionRecord &R = collectionFor(C);
+  R.AllocSite = Site;
+  if (Site) {
+    R.Label.clear();
+    R.Loc = Site->loc();
+    if (const Function *F = Site->parentFunction())
+      R.Function = F->name();
+  } else {
+    R.Label = std::move(Label);
+  }
+}
+
+void Profiler::recordOp(const Instruction &I, OpCategory Cat, bool IsDense,
+                        uint64_t N, const RtCollection *C) {
+  SiteRecord &S = siteFor(I);
+  S.Total += N;
+  (IsDense ? S.Dense : S.Sparse) += N;
+  S.ByCategory[static_cast<unsigned>(Cat)] += N;
+  if (!C)
+    return;
+  CollectionRecord &R = collectionFor(C);
+  R.Ops += N;
+  (IsDense ? R.Dense : R.Sparse) += N;
+  R.ByCategory[static_cast<unsigned>(Cat)] += N;
+  R.PeakElements = std::max(R.PeakElements, C->size());
+  R.PeakBytes = std::max<uint64_t>(R.PeakBytes, C->memoryBytes());
+  ProbeCounters PC = C->probeCounters();
+  R.Probes = PC.Probes;
+  R.Rehashes = PC.Rehashes;
+}
+
+std::vector<const Profiler::SiteRecord *> Profiler::hotSites() const {
+  std::vector<const SiteRecord *> Result;
+  Result.reserve(Sites.size());
+  for (const auto &[I, R] : Sites)
+    Result.push_back(R.get());
+  std::sort(Result.begin(), Result.end(),
+            [](const SiteRecord *A, const SiteRecord *B) {
+              if (A->Total != B->Total)
+                return A->Total > B->Total;
+              if (A->Loc.Line != B->Loc.Line)
+                return A->Loc.Line < B->Loc.Line;
+              return A->Loc.Col < B->Loc.Col;
+            });
+  return Result;
+}
+
+std::vector<const Profiler::CollectionRecord *> Profiler::collections() const {
+  std::vector<const CollectionRecord *> Result;
+  Result.reserve(CollOrder.size());
+  for (const RtCollection *C : CollOrder)
+    Result.push_back(Colls.at(C).get());
+  return Result;
+}
+
+const Profiler::CollectionRecord *
+Profiler::recordFor(const RtCollection *C) const {
+  auto It = Colls.find(C);
+  return It == Colls.end() ? nullptr : It->second.get();
+}
+
+void Profiler::reset() {
+  Sites.clear();
+  Colls.clear();
+  CollOrder.clear();
+}
+
+/// "file:line:col" for valid locations, "file:?" otherwise.
+static std::string locString(std::string_view File, SrcLoc Loc) {
+  std::string S(File);
+  if (Loc.isValid())
+    S += ":" + std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col);
+  else
+    S += ":?";
+  return S;
+}
+
+/// Dominant category of a count vector, for the one-line table summary.
+static OpCategory dominantCategory(const uint64_t (&ByCategory)[Profiler::NumCats]) {
+  unsigned Best = 0;
+  for (unsigned I = 1; I != Profiler::NumCats; ++I)
+    if (ByCategory[I] > ByCategory[Best])
+      Best = I;
+  return static_cast<OpCategory>(Best);
+}
+
+void Profiler::printReport(RawOstream &OS, std::string_view File,
+                           unsigned MaxSites) const {
+  OS << "===-- hot sites --===\n";
+  stats::Table SiteTable({"location", "function", "op", "count", "sparse",
+                          "dense"});
+  unsigned Emitted = 0;
+  for (const SiteRecord *S : hotSites()) {
+    if (Emitted++ == MaxSites)
+      break;
+    SiteTable.addRow({locString(File, S->Loc), S->Function,
+                      opcodeName(S->Op), std::to_string(S->Total),
+                      std::to_string(S->Sparse), std::to_string(S->Dense)});
+  }
+  SiteTable.print(OS);
+
+  OS << "===-- collections --===\n";
+  stats::Table CollTable({"id", "origin", "kind", "impl", "ops", "peak elems",
+                          "peak bytes", "probes", "rehashes"});
+  for (const CollectionRecord *R : collections()) {
+    std::string Origin = R->AllocSite ? locString(File, R->Loc) : R->Label;
+    CollTable.addRow({std::to_string(R->Id), Origin, kindName(R->Kind),
+                      selectionName(R->Impl), std::to_string(R->Ops),
+                      std::to_string(R->PeakElements),
+                      std::to_string(R->PeakBytes), std::to_string(R->Probes),
+                      std::to_string(R->Rehashes)});
+  }
+  CollTable.print(OS);
+}
+
+/// Appends {"category": count, ...} for the non-zero categories.
+static void writeByCategory(json::Writer &W,
+                            const uint64_t (&ByCategory)[Profiler::NumCats]) {
+  W.beginObject(/*Inline=*/true);
+  for (unsigned I = 0; I != Profiler::NumCats; ++I)
+    if (ByCategory[I])
+      W.key(opCategoryName(static_cast<OpCategory>(I))).value(ByCategory[I]);
+  W.endObject();
+}
+
+void Profiler::writeHotSitesJson(json::Writer &W, std::string_view File) const {
+  W.beginArray();
+  for (const SiteRecord *S : hotSites()) {
+    W.beginObject(/*Inline=*/true);
+    W.member("file", File)
+        .member("line", uint64_t(S->Loc.Line))
+        .member("col", uint64_t(S->Loc.Col))
+        .member("function", S->Function)
+        .member("op", opcodeName(S->Op))
+        .member("dominant",
+                opCategoryName(dominantCategory(S->ByCategory)))
+        .member("count", S->Total)
+        .member("sparse", S->Sparse)
+        .member("dense", S->Dense);
+    W.key("byCategory");
+    writeByCategory(W, S->ByCategory);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+void Profiler::writeCollectionsJson(json::Writer &W) const {
+  W.beginArray();
+  for (const CollectionRecord *R : collections()) {
+    W.beginObject(/*Inline=*/true);
+    W.member("id", R->Id);
+    if (R->AllocSite) {
+      W.member("function", R->Function)
+          .member("line", uint64_t(R->Loc.Line))
+          .member("col", uint64_t(R->Loc.Col));
+    } else {
+      W.member("origin", R->Label);
+    }
+    W.member("kind", kindName(R->Kind))
+        .member("impl", selectionName(R->Impl))
+        .member("ops", R->Ops)
+        .member("sparse", R->Sparse)
+        .member("dense", R->Dense)
+        .member("peakElements", R->PeakElements)
+        .member("peakBytes", R->PeakBytes)
+        .member("probes", R->Probes)
+        .member("rehashes", R->Rehashes);
+    W.key("byCategory");
+    writeByCategory(W, R->ByCategory);
+    W.endObject();
+  }
+  W.endArray();
+}

@@ -1,0 +1,147 @@
+//===- Profiler.h - Source-attributed interpreter profiler ------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An opt-in profiler for the interpreter. Where \c InterpStats aggregates
+/// globally, the profiler attributes every dynamic collection operation to
+/// (1) the IR instruction that issued it — carrying the source location the
+/// lexer/parser threaded into the IR, so hot sites report real
+/// file:line:col positions — and (2) the runtime collection it touched,
+/// building per-collection lifetime records: operation mix, dense/sparse
+/// ratio, peak element count, peak tracked bytes, and the probe/rehash
+/// counters the hash tables expose through \c RtCollection::probeCounters.
+///
+/// The profiler is attached via \c InterpOptions::Prof; when it is null the
+/// interpreter's hot paths execute exactly as before (a null-pointer test,
+/// no per-site map lookups).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_INTERP_PROFILER_H
+#define ADE_INTERP_PROFILER_H
+
+#include "ir/IR.h"
+#include "runtime/RtCollection.h"
+#include "runtime/Stats.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ade {
+
+class RawOstream;
+namespace json {
+class Writer;
+}
+
+namespace interp {
+
+/// Attributes dynamic operation counts to IR sites and runtime collections.
+class Profiler {
+public:
+  static constexpr unsigned NumCats = runtime::InterpStats::NumCats;
+
+  /// Dynamic operation counts charged to one IR instruction. Opcode,
+  /// location and function name are snapshotted at first charge, so the
+  /// record stays valid after the module is destroyed (the bench harness
+  /// reports after its module goes out of scope).
+  struct SiteRecord {
+    /// Identity only; never dereferenced by the reports.
+    const ir::Instruction *Site = nullptr;
+    ir::Opcode Op = ir::Opcode::Ret;
+    ir::SrcLoc Loc;
+    /// Name of the function containing the site.
+    std::string Function;
+    uint64_t Total = 0;
+    uint64_t Sparse = 0;
+    uint64_t Dense = 0;
+    uint64_t ByCategory[NumCats] = {};
+  };
+
+  /// Lifetime record of one runtime collection.
+  struct CollectionRecord {
+    /// Registration order (stable across reports).
+    uint64_t Id = 0;
+    /// The `new` instruction that allocated it; null for host- or
+    /// global-materialized collections (see Label). Identity only; the
+    /// reports use the snapshotted Loc/Function.
+    const ir::Instruction *AllocSite = nullptr;
+    ir::SrcLoc Loc;
+    /// "@name" for globals, "<host>" for harness-built inputs, empty when
+    /// AllocSite identifies the origin.
+    std::string Label;
+    /// Function containing AllocSite (empty otherwise).
+    std::string Function;
+    runtime::RtKind Kind = runtime::RtKind::Seq;
+    ir::Selection Impl = ir::Selection::Empty;
+    uint64_t Ops = 0;
+    uint64_t Sparse = 0;
+    uint64_t Dense = 0;
+    uint64_t ByCategory[NumCats] = {};
+    uint64_t PeakElements = 0;
+    uint64_t PeakBytes = 0;
+    /// Latest cumulative hash-table counters (snapshot after each op, so
+    /// they stay valid after the collection is freed).
+    uint64_t Probes = 0;
+    uint64_t Rehashes = 0;
+  };
+
+  /// Notes that collection \p C exists. \p Site is its allocating `new`
+  /// instruction, or null with \p Label describing the origin.
+  void registerCollection(const runtime::RtCollection *C,
+                          const ir::Instruction *Site,
+                          std::string Label = {});
+
+  /// Charges \p N operations of category \p Cat issued by \p I against the
+  /// site and (when \p C is non-null) against the collection's record.
+  void recordOp(const ir::Instruction &I, runtime::OpCategory Cat,
+                bool IsDense, uint64_t N, const runtime::RtCollection *C);
+
+  /// All sites, hottest (largest Total) first; ties broken by location.
+  std::vector<const SiteRecord *> hotSites() const;
+
+  /// All collection records in registration order.
+  std::vector<const CollectionRecord *> collections() const;
+
+  /// The record for \p C, or null if the profiler never saw it.
+  const CollectionRecord *
+  recordFor(const runtime::RtCollection *C) const;
+
+  size_t siteCount() const { return Sites.size(); }
+
+  void reset();
+
+  /// Renders the hot-site and per-collection tables as text.
+  void printReport(RawOstream &OS, std::string_view File,
+                   unsigned MaxSites = 10) const;
+
+  /// Appends the hot-site array: one inline object per site with file,
+  /// line, col, function, op, count, sparse/dense and category breakdown.
+  void writeHotSitesJson(json::Writer &W, std::string_view File) const;
+
+  /// Appends the per-collection array.
+  void writeCollectionsJson(json::Writer &W) const;
+
+private:
+  SiteRecord &siteFor(const ir::Instruction &I);
+  CollectionRecord &collectionFor(const runtime::RtCollection *C);
+
+  /// unique_ptr elements keep record addresses stable across rehashes.
+  std::unordered_map<const ir::Instruction *, std::unique_ptr<SiteRecord>>
+      Sites;
+  std::unordered_map<const runtime::RtCollection *,
+                     std::unique_ptr<CollectionRecord>>
+      Colls;
+  std::vector<const runtime::RtCollection *> CollOrder;
+};
+
+} // namespace interp
+} // namespace ade
+
+#endif // ADE_INTERP_PROFILER_H

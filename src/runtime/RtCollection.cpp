@@ -91,6 +91,12 @@ public:
   uint64_t size() const override { return Impl.size(); }
   size_t memoryBytes() const override { return Impl.memoryBytes(); }
   void clear() override { Impl.clear(); }
+  ProbeCounters probeCounters() const override {
+    if constexpr (requires(const SetT &S) { S.probeCount(); S.rehashCount(); })
+      return {Impl.probeCount(), Impl.rehashCount()};
+    else
+      return {};
+  }
 
   bool has(uint64_t Key) const override { return Impl.contains(Key); }
   bool insert(uint64_t Key) override { return Impl.insert(Key); }
@@ -128,6 +134,12 @@ public:
   uint64_t size() const override { return Impl.size(); }
   size_t memoryBytes() const override { return Impl.memoryBytes(); }
   void clear() override { Impl.clear(); }
+  ProbeCounters probeCounters() const override {
+    if constexpr (requires(const MapT &M) { M.probeCount(); M.rehashCount(); })
+      return {Impl.probeCount(), Impl.rehashCount()};
+    else
+      return {};
+  }
 
   bool has(uint64_t Key) const override { return Impl.contains(Key); }
   uint64_t get(uint64_t Key, bool &Found) const override {

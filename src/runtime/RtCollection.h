@@ -36,6 +36,13 @@ enum class RtKind : uint8_t { Seq, Set, Map };
 /// search-based (sparse) implementations. Sequences (Array) are dense.
 bool selectionIsDense(ir::Selection Sel);
 
+/// Cumulative internal hash-table work counters, surfaced to the profiler.
+/// Zero for implementations that do not probe (Array, Bit*, FlatSet).
+struct ProbeCounters {
+  uint64_t Probes = 0;
+  uint64_t Rehashes = 0;
+};
+
 /// Base of all runtime collections.
 class RtCollection {
 public:
@@ -49,6 +56,7 @@ public:
   virtual uint64_t size() const = 0;
   virtual size_t memoryBytes() const = 0;
   virtual void clear() = 0;
+  virtual ProbeCounters probeCounters() const { return {}; }
 
 private:
   const RtKind TheKind;

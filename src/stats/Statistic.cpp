@@ -1,0 +1,78 @@
+//===- Statistic.cpp - Pass statistics registry ---------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Statistic.h"
+
+#include "stats/Stats.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ade;
+using namespace ade::stats;
+
+/// Function-local static so registration is safe during static init.
+static std::vector<Statistic *> &registry() {
+  static std::vector<Statistic *> Registry;
+  return Registry;
+}
+
+Statistic::Statistic(const char *Component, const char *Name,
+                     const char *Description)
+    : Component(Component), Name(Name), Description(Description) {
+  registry().push_back(this);
+}
+
+void stats::resetAllStatistics() {
+  for (Statistic *S : registry())
+    S->reset();
+}
+
+bool stats::hasNonZeroStatistics() {
+  for (const Statistic *S : registry())
+    if (S->value() != 0)
+      return true;
+  return false;
+}
+
+/// The registry in deterministic (component, name) order.
+static std::vector<const Statistic *> sortedStatistics() {
+  std::vector<const Statistic *> Sorted(registry().begin(), registry().end());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Statistic *A, const Statistic *B) {
+              int C = std::strcmp(A->component(), B->component());
+              if (C != 0)
+                return C < 0;
+              return std::strcmp(A->name(), B->name()) < 0;
+            });
+  return Sorted;
+}
+
+void stats::forEachStatistic(const std::function<void(const Statistic &)> &Fn) {
+  for (const Statistic *S : sortedStatistics())
+    Fn(*S);
+}
+
+void stats::printStatistics(RawOstream &OS) {
+  Table T({"component", "statistic", "value", "description"});
+  for (const Statistic *S : sortedStatistics())
+    if (S->value() != 0)
+      T.addRow({S->component(), S->name(), std::to_string(S->value()),
+                S->description()});
+  T.print(OS);
+}
+
+void stats::writeStatisticsJson(json::Writer &W) {
+  W.beginObject();
+  for (const Statistic *S : sortedStatistics())
+    if (S->value() != 0)
+      W.key(std::string(S->component()) + "/" + S->name()).value(S->value());
+  W.endObject();
+}

@@ -1,0 +1,83 @@
+//===- Statistic.h - Pass statistics registry -------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LLVM `-stats`-style statistics registry. Passes define file-static
+/// counters with \c ADE_STATISTIC and increment them as they transform; the
+/// driver renders every non-zero counter as a \c stats::Table text report
+/// (`adec --time-report`) or as JSON (embedded in `--profile` output).
+///
+/// Counters self-register on construction and live for the process; tests
+/// call \c resetAllStatistics() between pipeline runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_STATS_STATISTIC_H
+#define ADE_STATS_STATISTIC_H
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace ade {
+class RawOstream;
+namespace json {
+class Writer;
+}
+namespace stats {
+
+/// A named monotonic counter attributed to a component (pass).
+class Statistic {
+public:
+  Statistic(const char *Component, const char *Name, const char *Description);
+  Statistic(const Statistic &) = delete;
+  Statistic &operator=(const Statistic &) = delete;
+
+  const char *component() const { return Component; }
+  const char *name() const { return Name; }
+  const char *description() const { return Description; }
+  uint64_t value() const { return Value; }
+
+  Statistic &operator++() {
+    ++Value;
+    return *this;
+  }
+  Statistic &operator+=(uint64_t N) {
+    Value += N;
+    return *this;
+  }
+  void reset() { Value = 0; }
+
+private:
+  const char *Component;
+  const char *Name;
+  const char *Description;
+  uint64_t Value = 0;
+};
+
+/// Declares a file-static registered statistic named after the variable.
+#define ADE_STATISTIC(VAR, COMPONENT, DESC)                                    \
+  static ade::stats::Statistic VAR(COMPONENT, #VAR, DESC)
+
+/// Zeroes every registered statistic (for tests and repeated pipeline runs).
+void resetAllStatistics();
+
+/// True if any registered statistic is non-zero.
+bool hasNonZeroStatistics();
+
+/// Visits every registered statistic sorted by (component, name).
+void forEachStatistic(const std::function<void(const Statistic &)> &Fn);
+
+/// Renders every non-zero statistic as an aligned text table.
+void printStatistics(RawOstream &OS);
+
+/// Appends {"component/name": value, ...} for every non-zero statistic.
+void writeStatisticsJson(json::Writer &W);
+
+} // namespace stats
+} // namespace ade
+
+#endif // ADE_STATS_STATISTIC_H

@@ -1,0 +1,413 @@
+//===- Json.cpp - Streaming JSON writer and small reader ------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ade;
+using namespace ade::json;
+
+void json::escape(RawOstream &OS, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        OS << "\\u00" << Hex[(C >> 4) & 0xF] << Hex[C & 0xF];
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+void json::quote(RawOstream &OS, std::string_view S) {
+  OS << '"';
+  escape(OS, S);
+  OS << '"';
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+void Writer::separate() {
+  if (Stack.empty())
+    return;
+  Level &L = Stack.back();
+  if (L.First) {
+    L.First = false;
+    if (!L.Inline)
+      (OS << '\n').indent(2 * unsigned(Stack.size()));
+  } else if (L.Inline) {
+    OS << ", ";
+  } else {
+    (OS << ",\n").indent(2 * unsigned(Stack.size()));
+  }
+}
+
+Writer &Writer::open(char Bracket, bool Inline) {
+  if (AfterKey)
+    AfterKey = false;
+  else
+    separate();
+  bool Effective = Inline || (!Stack.empty() && Stack.back().Inline);
+  OS << Bracket;
+  Stack.push_back(Level{Effective});
+  return *this;
+}
+
+Writer &Writer::close(char Bracket) {
+  assert(!Stack.empty() && !AfterKey && "unbalanced close");
+  Level L = Stack.back();
+  Stack.pop_back();
+  if (!L.Inline && !L.First)
+    (OS << '\n').indent(2 * unsigned(Stack.size()));
+  OS << Bracket;
+  return *this;
+}
+
+Writer &Writer::key(std::string_view K) {
+  assert(!AfterKey && "key() immediately after key()");
+  separate();
+  json::quote(OS, K);
+  OS << ": ";
+  AfterKey = true;
+  return *this;
+}
+
+Writer &Writer::value(std::string_view V) {
+  if (AfterKey)
+    AfterKey = false;
+  else
+    separate();
+  json::quote(OS, V);
+  return *this;
+}
+
+Writer &Writer::value(uint64_t V) {
+  if (AfterKey)
+    AfterKey = false;
+  else
+    separate();
+  OS << V;
+  return *this;
+}
+
+Writer &Writer::value(int64_t V) {
+  if (AfterKey)
+    AfterKey = false;
+  else
+    separate();
+  OS << V;
+  return *this;
+}
+
+Writer &Writer::value(double V) {
+  if (AfterKey)
+    AfterKey = false;
+  else
+    separate();
+  // JSON has no literal for non-finite numbers.
+  if (!std::isfinite(V))
+    V = 0;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  OS << Buf;
+  return *this;
+}
+
+Writer &Writer::value(bool V) {
+  if (AfterKey)
+    AfterKey = false;
+  else
+    separate();
+  OS << (V ? "true" : "false");
+  return *this;
+}
+
+Writer &Writer::null() {
+  if (AfterKey)
+    AfterKey = false;
+  else
+    separate();
+  OS << "null";
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+const Value *Value::find(std::string_view Key) const {
+  if (!isObject())
+    return nullptr;
+  for (const auto &[K, V] : Members)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view.
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::unique_ptr<Value> run() {
+    skipSpace();
+    Value V = Value::makeNull();
+    if (!parseValue(V))
+      return nullptr;
+    skipSpace();
+    if (Pos != Text.size()) {
+      fail("trailing characters after document");
+      return nullptr;
+    }
+    return std::make_unique<Value>(std::move(V));
+  }
+
+private:
+  bool fail(const char *Msg) {
+    if (Error && Error->empty())
+      *Error = std::string(Msg) + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipSpace() {
+    while (!atEnd() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                        peek() == '\r'))
+      ++Pos;
+  }
+
+  bool expect(char C, const char *Msg) {
+    if (atEnd() || peek() != C)
+      return fail(Msg);
+    ++Pos;
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (atEnd())
+      return fail("unexpected end of input");
+    switch (peek()) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value::makeString(std::move(S));
+      return true;
+    }
+    case 't':
+      if (Text.substr(Pos, 4) != "true")
+        return fail("invalid literal");
+      Pos += 4;
+      Out = Value::makeBool(true);
+      return true;
+    case 'f':
+      if (Text.substr(Pos, 5) != "false")
+        return fail("invalid literal");
+      Pos += 5;
+      Out = Value::makeBool(false);
+      return true;
+    case 'n':
+      if (Text.substr(Pos, 4) != "null")
+        return fail("invalid literal");
+      Pos += 4;
+      Out = Value::makeNull();
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    Out = Value::makeObject();
+    skipSpace();
+    if (!atEnd() && peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipSpace();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipSpace();
+      if (!expect(':', "expected ':' in object"))
+        return false;
+      skipSpace();
+      Value V = Value::makeNull();
+      if (!parseValue(V))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(V));
+      skipSpace();
+      if (atEnd())
+        return fail("unterminated object");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      return expect('}', "expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    Out = Value::makeArray();
+    skipSpace();
+    if (!atEnd() && peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipSpace();
+      Value V = Value::makeNull();
+      if (!parseValue(V))
+        return false;
+      Out.Elems.push_back(std::move(V));
+      skipSpace();
+      if (atEnd())
+        return fail("unterminated array");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      return expect(']', "expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (atEnd() || peek() != '"')
+      return fail("expected string");
+    ++Pos;
+    while (!atEnd()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (atEnd())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else
+            return fail("invalid \\u escape");
+        }
+        // Encode the BMP codepoint as UTF-8 (surrogate pairs unsupported).
+        if (Code < 0x80) {
+          Out += char(Code);
+        } else if (Code < 0x800) {
+          Out += char(0xC0 | (Code >> 6));
+          Out += char(0x80 | (Code & 0x3F));
+        } else {
+          Out += char(0xE0 | (Code >> 12));
+          Out += char(0x80 | ((Code >> 6) & 0x3F));
+          Out += char(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (!atEnd() && peek() == '-')
+      ++Pos;
+    while (!atEnd() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                        peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                        peek() == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    std::string Buf(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double D = std::strtod(Buf.c_str(), &End);
+    if (End != Buf.c_str() + Buf.size())
+      return fail("invalid number");
+    Out = Value::makeNumber(D);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Value> json::parse(std::string_view Text, std::string *Error) {
+  return Parser(Text, Error).run();
+}

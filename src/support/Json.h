@@ -1,0 +1,171 @@
+//===- Json.h - Streaming JSON writer and small reader ----------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable JSON layer shared by the diagnostics engine, the statistics
+/// registry, the interpreter profiler and the trace exporter.
+///
+/// \c json::Writer is a streaming emitter over \c RawOstream that handles
+/// commas, indentation and string escaping. Containers opened with
+/// \c Inline=true render on a single line ("{\"k\": 1, \"v\": 2}"), which is
+/// the compact style the diagnostics JSON always used; non-inline containers
+/// render pretty-printed with two-space indentation.
+///
+/// \c json::parse is a small recursive-descent reader used by tests (and by
+/// anything that needs to round-trip the files we emit); it builds a
+/// \c json::Value tree and reports the first syntax error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_JSON_H
+#define ADE_SUPPORT_JSON_H
+
+#include "support/RawOstream.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ade {
+namespace json {
+
+/// Appends \p S to \p OS with JSON string escaping, without quotes.
+void escape(RawOstream &OS, std::string_view S);
+
+/// Appends \p S to \p OS as a quoted, escaped JSON string literal.
+void quote(RawOstream &OS, std::string_view S);
+
+/// Streaming JSON emitter. Usage:
+/// \code
+///   json::Writer W(OS);
+///   W.beginObject();
+///   W.key("count").value(uint64_t(3));
+///   W.key("sites").beginArray();
+///   W.beginObject(/*Inline=*/true).key("line").value(uint64_t(9)).endObject();
+///   W.endArray();
+///   W.endObject();
+/// \endcode
+class Writer {
+public:
+  explicit Writer(RawOstream &OS) : OS(OS) {}
+
+  Writer &beginObject(bool Inline = false) { return open('{', Inline); }
+  Writer &endObject() { return close('}'); }
+  Writer &beginArray(bool Inline = false) { return open('[', Inline); }
+  Writer &endArray() { return close(']'); }
+
+  /// Emits a member key; must be followed by exactly one value or container.
+  Writer &key(std::string_view K);
+
+  Writer &value(std::string_view V);
+  Writer &value(const char *V) { return value(std::string_view(V)); }
+  Writer &value(const std::string &V) { return value(std::string_view(V)); }
+  Writer &value(uint64_t V);
+  Writer &value(int64_t V);
+  Writer &value(unsigned V) { return value(uint64_t(V)); }
+  Writer &value(int V) { return value(int64_t(V)); }
+  Writer &value(double V);
+  Writer &value(bool V);
+  Writer &null();
+
+  template <typename T> Writer &member(std::string_view K, T &&V) {
+    return key(K).value(std::forward<T>(V));
+  }
+
+  /// Depth of currently open containers (0 when the document is complete).
+  unsigned depth() const { return unsigned(Stack.size()); }
+
+private:
+  Writer &open(char Bracket, bool Inline);
+  Writer &close(char Bracket);
+  /// Emits the comma/newline/indent owed before the next key or value.
+  void separate();
+
+  struct Level {
+    bool Inline;
+    bool First = true;
+  };
+
+  RawOstream &OS;
+  std::vector<Level> Stack;
+  /// True immediately after key(): the next value continues the member.
+  bool AfterKey = false;
+};
+
+/// A parsed JSON document node.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return Bool; }
+  double asNumber() const { return Num; }
+  uint64_t asUint() const { return Num < 0 ? 0 : uint64_t(Num); }
+  int64_t asInt() const { return int64_t(Num); }
+  const std::string &asString() const { return Str; }
+
+  const std::vector<Value> &elements() const { return Elems; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  /// Looks up an object member; returns null if absent or not an object.
+  const Value *find(std::string_view Key) const;
+
+  /// Array element access; asserts in-range.
+  const Value &operator[](size_t Idx) const { return Elems[Idx]; }
+  size_t size() const { return isObject() ? Members.size() : Elems.size(); }
+
+  static Value makeNull() { return Value(Kind::Null); }
+  static Value makeBool(bool B) {
+    Value V(Kind::Bool);
+    V.Bool = B;
+    return V;
+  }
+  static Value makeNumber(double N) {
+    Value V(Kind::Number);
+    V.Num = N;
+    return V;
+  }
+  static Value makeString(std::string S) {
+    Value V(Kind::String);
+    V.Str = std::move(S);
+    return V;
+  }
+  static Value makeArray() { return Value(Kind::Array); }
+  static Value makeObject() { return Value(Kind::Object); }
+
+  std::vector<Value> Elems;
+  std::vector<std::pair<std::string, Value>> Members;
+
+private:
+  explicit Value(Kind K) : K(K) {}
+
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Num = 0;
+  std::string Str;
+};
+
+/// Parses \p Text as a single JSON document. On failure returns nullptr and,
+/// if \p Error is non-null, stores a message with byte offset.
+std::unique_ptr<Value> parse(std::string_view Text,
+                             std::string *Error = nullptr);
+
+} // namespace json
+} // namespace ade
+
+#endif // ADE_SUPPORT_JSON_H

@@ -1,0 +1,90 @@
+//===- Timer.cpp - Wall-clock timers and timer groups ---------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+
+using namespace ade;
+
+double ade::steadySeconds() {
+  auto Now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(Now).count();
+}
+
+void Timer::start() {
+  assert(!Running && "timer already running");
+  Running = true;
+  StartedAt = steadySeconds();
+}
+
+void Timer::stop() {
+  assert(Running && "timer not running");
+  Accumulated += steadySeconds() - StartedAt;
+  Running = false;
+  ++Runs;
+}
+
+double Timer::seconds() const {
+  double S = Accumulated;
+  if (Running)
+    S += steadySeconds() - StartedAt;
+  return S;
+}
+
+size_t TimerGroup::phaseIndex(std::string_view Name) {
+  for (size_t I = 0; I < Phases.size(); ++I)
+    if (Phases[I].Name == Name)
+      return I;
+  Phases.push_back(Phase{std::string(Name), 0, 0});
+  return Phases.size() - 1;
+}
+
+void TimerGroup::charge(size_t Index, double Seconds) {
+  assert(Index < Phases.size());
+  Phases[Index].Seconds += Seconds;
+  ++Phases[Index].Runs;
+}
+
+double TimerGroup::totalSeconds() const {
+  double Total = 0;
+  for (const Phase &P : Phases)
+    Total += P.Seconds;
+  return Total;
+}
+
+void TimerGroup::printReport(RawOstream &OS, std::string_view Title) const {
+  size_t NameWidth = 5; // "total"
+  for (const Phase &P : Phases)
+    NameWidth = std::max(NameWidth, P.Name.size());
+  double Total = totalSeconds();
+  OS << "===-- " << Title << " --===\n";
+  for (const Phase &P : Phases) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%10.6f  %5.1f%%", P.Seconds,
+                  Total > 0 ? 100.0 * P.Seconds / Total : 0.0);
+    OS << "  " << P.Name;
+    OS.indent(unsigned(NameWidth - P.Name.size()));
+    OS << Buf << '\n';
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%10.6f  100.0%%", Total);
+  OS << "  total";
+  OS.indent(unsigned(NameWidth - 5));
+  OS << Buf << '\n';
+}
+
+void TimerGroup::writeJson(json::Writer &W) const {
+  W.beginObject();
+  for (const Phase &P : Phases)
+    W.key(P.Name).value(P.Seconds);
+  W.endObject();
+}

@@ -1,0 +1,105 @@
+//===- Timer.h - Wall-clock timers and timer groups -------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing for pass and phase reports (analog of LLVM's Timer /
+/// TimerGroup). A \c Timer accumulates across start/stop cycles; a
+/// \c TimerGroup names a set of phases, remembers insertion order, and can
+/// render a text report or append itself to a \c json::Writer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_TIMER_H
+#define ADE_SUPPORT_TIMER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ade {
+
+class RawOstream;
+namespace json {
+class Writer;
+}
+
+/// Monotonic wall clock in seconds (steady, arbitrary epoch).
+double steadySeconds();
+
+/// An accumulating stopwatch.
+class Timer {
+public:
+  void start();
+  void stop();
+  bool isRunning() const { return Running; }
+
+  /// Accumulated seconds, including the running segment if active.
+  double seconds() const;
+
+  /// Number of completed start/stop cycles.
+  uint64_t runs() const { return Runs; }
+
+  void reset() {
+    Accumulated = 0;
+    Runs = 0;
+    Running = false;
+  }
+
+private:
+  double Accumulated = 0;
+  double StartedAt = 0;
+  uint64_t Runs = 0;
+  bool Running = false;
+};
+
+/// An ordered collection of named timers, one per phase.
+class TimerGroup {
+public:
+  struct Phase {
+    std::string Name;
+    double Seconds = 0;
+    uint64_t Runs = 0;
+  };
+
+  /// RAII scope that charges its lifetime to one phase of a group.
+  class Scope {
+  public:
+    Scope(TimerGroup &Group, std::string_view Name)
+        : Group(Group), Index(Group.phaseIndex(Name)),
+          StartedAt(steadySeconds()) {}
+    ~Scope() { Group.charge(Index, steadySeconds() - StartedAt); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    TimerGroup &Group;
+    size_t Index;
+    double StartedAt;
+  };
+
+  /// Finds or creates the phase named \p Name; stable insertion order.
+  size_t phaseIndex(std::string_view Name);
+
+  /// Adds \p Seconds (one run) to phase \p Index.
+  void charge(size_t Index, double Seconds);
+
+  const std::vector<Phase> &phases() const { return Phases; }
+  double totalSeconds() const;
+
+  /// Renders an aligned text report with per-phase percentages.
+  void printReport(RawOstream &OS, std::string_view Title) const;
+
+  /// Appends {"name": seconds, ...} as a JSON object.
+  void writeJson(json::Writer &W) const;
+
+private:
+  std::vector<Phase> Phases;
+};
+
+} // namespace ade
+
+#endif // ADE_SUPPORT_TIMER_H

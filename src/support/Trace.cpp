@@ -1,0 +1,53 @@
+//===- Trace.cpp - Chrome trace-event recorder ----------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/Timer.h"
+
+using namespace ade;
+
+static TraceRecorder *ActiveRecorder = nullptr;
+
+TraceRecorder *TraceRecorder::active() { return ActiveRecorder; }
+void TraceRecorder::setActive(TraceRecorder *Recorder) {
+  ActiveRecorder = Recorder;
+}
+
+TraceRecorder::TraceRecorder() : EpochSeconds(steadySeconds()) {}
+
+uint64_t TraceRecorder::nowMicros() const {
+  double Elapsed = steadySeconds() - EpochSeconds;
+  return Elapsed <= 0 ? 0 : uint64_t(Elapsed * 1e6);
+}
+
+void TraceRecorder::addComplete(std::string_view Name, const char *Category,
+                                uint64_t StartMicros, uint64_t DurMicros) {
+  Events.push_back(Event{std::string(Name), Category, StartMicros, DurMicros});
+}
+
+void TraceRecorder::write(RawOstream &OS) const {
+  json::Writer W(OS);
+  W.beginObject();
+  W.key("traceEvents").beginArray();
+  for (const Event &E : Events) {
+    W.beginObject(/*Inline=*/true);
+    W.member("name", E.Name)
+        .member("cat", E.Category)
+        .member("ph", "X")
+        .member("ts", E.StartMicros)
+        .member("dur", E.DurMicros)
+        .member("pid", uint64_t(1))
+        .member("tid", uint64_t(1));
+    W.endObject();
+  }
+  W.endArray();
+  W.key("displayTimeUnit").value("ms");
+  W.endObject();
+  OS << '\n';
+}

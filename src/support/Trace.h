@@ -1,0 +1,93 @@
+//===- Trace.h - Chrome trace-event recorder --------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An opt-in recorder for the Chrome trace-event JSON format, loadable in
+/// chrome://tracing and Perfetto. Compile phases and interpreted function
+/// activations are recorded as complete events (\c "ph":"X") with
+/// microsecond \c ts / \c dur fields.
+///
+/// Recording is globally opt-in: \c TraceRecorder::active() is null unless a
+/// driver installed a recorder with \c setActive, so instrumented code pays
+/// one pointer load (typically hoisted) when tracing is off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_TRACE_H
+#define ADE_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ade {
+
+class RawOstream;
+
+/// Records complete ("X") trace events relative to its construction time.
+class TraceRecorder {
+public:
+  TraceRecorder();
+
+  /// Microseconds elapsed since this recorder was constructed.
+  uint64_t nowMicros() const;
+
+  /// Records one complete event covering [StartMicros, StartMicros+DurMicros].
+  void addComplete(std::string_view Name, const char *Category,
+                   uint64_t StartMicros, uint64_t DurMicros);
+
+  size_t eventCount() const { return Events.size(); }
+
+  /// Writes {"traceEvents": [...]} in Chrome trace-event JSON.
+  void write(RawOstream &OS) const;
+
+  /// The process-wide recorder, or null when tracing is off.
+  static TraceRecorder *active();
+  static void setActive(TraceRecorder *Recorder);
+
+private:
+  struct Event {
+    std::string Name;
+    const char *Category;
+    uint64_t StartMicros;
+    uint64_t DurMicros;
+  };
+
+  std::vector<Event> Events;
+  double EpochSeconds;
+};
+
+/// RAII scope recording a complete event on the active recorder (no-op when
+/// tracing is off).
+class TraceScope {
+public:
+  TraceScope(std::string_view Name, const char *Category)
+      : Recorder(TraceRecorder::active()) {
+    if (Recorder) {
+      this->Name = Name;
+      this->Category = Category;
+      StartMicros = Recorder->nowMicros();
+    }
+  }
+  ~TraceScope() {
+    if (Recorder)
+      Recorder->addComplete(Name, Category, StartMicros,
+                            Recorder->nowMicros() - StartMicros);
+  }
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  TraceRecorder *Recorder;
+  std::string Name;
+  const char *Category = nullptr;
+  uint64_t StartMicros = 0;
+};
+
+} // namespace ade
+
+#endif // ADE_SUPPORT_TRACE_H

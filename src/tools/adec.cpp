@@ -23,18 +23,32 @@
 ///     --lint                  run the static checkers after the (optional)
 ///                             transformation; nonzero exit on findings
 ///     --diag-format=text|json lint output format (default text)
+///     --time-report           print per-pass wall-clock timing and the
+///                             transformation statistics (requires --ade)
+///     --profile[=FILE]        attach the source-attributed profiler to
+///                             --run; prints the hot-site and collection
+///                             tables, then writes the profile JSON to
+///                             FILE (stdout when omitted)
+///     --trace-out=FILE        write a Chrome trace-event JSON covering
+///                             compile passes and interpreted activations
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Checkers.h"
 #include "core/Pipeline.h"
 #include "interp/Interpreter.h"
+#include "interp/Profiler.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
+#include "stats/Statistic.h"
+#include "support/Json.h"
 #include "support/RawOstream.h"
+#include "support/Trace.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -49,7 +63,8 @@ static int usage(const char *BadOption = nullptr) {
       "usage: adec FILE.memoir [--ade] [--no-rte] [--no-sharing]\n"
       "            [--no-propagation] [--sparse] [--print]\n"
       "            [--run[=FUNC]] [--args=a,b,c] [--lint]\n"
-      "            [--diag-format=text|json]\n");
+      "            [--diag-format=text|json] [--time-report]\n"
+      "            [--profile[=FILE]] [--trace-out=FILE]\n");
   return 1;
 }
 
@@ -65,11 +80,73 @@ static bool readFile(const char *Path, std::string &Out) {
   return true;
 }
 
+/// Parses the comma-separated u64 list of --args. Rejects empty tokens,
+/// non-numeric text and values that overflow uint64_t (strtoull would
+/// silently return 0 or clamp).
+static bool parseRunArgs(const std::string &List,
+                         std::vector<uint64_t> &Out) {
+  size_t Pos = 0;
+  while (true) {
+    size_t Comma = List.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = List.size();
+    std::string Token = List.substr(Pos, Comma - Pos);
+    if (Token.empty() || Token.find_first_not_of("0123456789") !=
+                             std::string::npos) {
+      std::fprintf(stderr, "adec: invalid --args value '%s' (expected a u64)\n",
+                   Token.c_str());
+      return false;
+    }
+    errno = 0;
+    char *End = nullptr;
+    uint64_t Value = std::strtoull(Token.c_str(), &End, 10);
+    if (errno == ERANGE || *End != '\0') {
+      std::fprintf(stderr, "adec: --args value '%s' is out of range for u64\n",
+                   Token.c_str());
+      return false;
+    }
+    Out.push_back(Value);
+    if (Comma == List.size())
+      return true;
+    Pos = Comma + 1;
+  }
+}
+
+/// Writes the profile JSON: run metadata, interpreter stats, memory
+/// watermarks and the profiler's hot-site / per-collection arrays.
+static void writeProfileJson(RawOstream &OS, const char *Path,
+                             const std::string &Func, uint64_t Result,
+                             const runtime::InterpStats &Stats,
+                             const interp::Profiler &Prof) {
+  json::Writer W(OS);
+  W.beginObject();
+  W.member("file", Path).member("function", Func).member("result", Result);
+  W.key("stats").beginObject(/*Inline=*/true);
+  W.member("sparse", Stats.Sparse)
+      .member("dense", Stats.Dense)
+      .member("instructions", Stats.InstructionsExecuted);
+  W.endObject();
+  W.key("memory").beginObject(/*Inline=*/true);
+  W.member("currentBytes", MemoryTracker::instance().currentBytes())
+      .member("peakBytes", MemoryTracker::instance().peakBytes());
+  W.endObject();
+  W.key("hotSites");
+  Prof.writeHotSitesJson(W, Path);
+  W.key("collections");
+  Prof.writeCollectionsJson(W);
+  W.endObject();
+  OS << '\n';
+  OS.flush();
+}
+
 int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
   const char *Path = nullptr;
   bool RunAde = false, Print = false, Run = false, Lint = false;
+  bool TimeReport = false, Profile = false;
+  bool SawArgs = false, SawDiagFormat = false;
+  std::string ProfileFile, TraceFile;
   analysis::DiagFormat Format = analysis::DiagFormat::Text;
   std::string RunFunc = "main";
   std::vector<uint64_t> RunArgs;
@@ -96,21 +173,27 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--lint") {
       Lint = true;
     } else if (Arg == "--diag-format=text") {
+      SawDiagFormat = true;
       Format = analysis::DiagFormat::Text;
     } else if (Arg == "--diag-format=json") {
+      SawDiagFormat = true;
       Format = analysis::DiagFormat::Json;
-    } else if (Arg.rfind("--args=", 0) == 0) {
-      std::string List = Arg.substr(7);
-      size_t Pos = 0;
-      while (Pos < List.size()) {
-        size_t Comma = List.find(',', Pos);
-        if (Comma == std::string::npos)
-          Comma = List.size();
-        RunArgs.push_back(
-            std::strtoull(List.substr(Pos, Comma - Pos).c_str(), nullptr,
-                          10));
-        Pos = Comma + 1;
+    } else if (Arg == "--time-report") {
+      TimeReport = true;
+    } else if (Arg == "--profile" || Arg.rfind("--profile=", 0) == 0) {
+      Profile = true;
+      if (Arg.size() > 10)
+        ProfileFile = Arg.substr(10);
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceFile = Arg.substr(12);
+      if (TraceFile.empty()) {
+        std::fprintf(stderr, "adec: --trace-out requires a file name\n");
+        return 1;
       }
+    } else if (Arg.rfind("--args=", 0) == 0) {
+      SawArgs = true;
+      if (!parseRunArgs(Arg.substr(7), RunArgs))
+        return 1;
     } else if (Arg[0] != '-' && !Path) {
       Path = Argv[I];
     } else {
@@ -119,12 +202,34 @@ int main(int Argc, char **Argv) {
   }
   if (!Path)
     return usage();
+  if (SawArgs && !Run) {
+    std::fprintf(stderr, "adec: --args has no effect without --run\n");
+    return 1;
+  }
+  if (SawDiagFormat && !Lint) {
+    std::fprintf(stderr, "adec: --diag-format has no effect without --lint\n");
+    return 1;
+  }
+  if (TimeReport && !RunAde) {
+    std::fprintf(stderr, "adec: --time-report requires --ade\n");
+    return 1;
+  }
+  if (Profile && !Run) {
+    std::fprintf(stderr, "adec: --profile requires --run\n");
+    return 1;
+  }
 
   std::string Source;
   if (!readFile(Path, Source)) {
     std::fprintf(stderr, "error: cannot read %s\n", Path);
     return 1;
   }
+
+  // The recorder must be live before runADE and before the interpreter is
+  // constructed: both capture TraceRecorder::active() to emit events.
+  TraceRecorder Trace;
+  if (!TraceFile.empty())
+    TraceRecorder::setActive(&Trace);
 
   std::vector<std::string> Errors;
   auto M = parser::parseModule(Source, Errors);
@@ -149,6 +254,10 @@ int main(int Argc, char **Argv) {
                  Result.Transform.EncInserted, Result.Transform.DecInserted,
                  Result.Transform.AddInserted,
                  Result.Transform.TranslationsSkipped);
+    if (TimeReport) {
+      Result.Timing.printReport(outs(), "ADE pass timing");
+      stats::printStatistics(outs());
+    }
   }
 
   if (Lint) {
@@ -170,15 +279,51 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: no function @%s\n", RunFunc.c_str());
       return 1;
     }
+    // Reset the watermark so this run's peak is its own, not inherited
+    // from parsing/transform-time allocations or a previous run.
     MemoryTracker::instance().reset();
-    interp::Interpreter I(*M);
+    interp::Profiler Prof;
+    interp::InterpOptions Opts;
+    if (Profile)
+      Opts.Prof = &Prof;
+    interp::Interpreter I(*M, Opts);
     uint64_t Result = I.call(F, RunArgs);
     OS << "@" << RunFunc << " = " << Result << "\n";
     OS << "accesses: sparse=" << I.stats().Sparse
        << " dense=" << I.stats().Dense
        << " instructions=" << I.stats().InstructionsExecuted << "\n";
-    OS << "peak collection bytes: "
-       << MemoryTracker::instance().peakBytes() << "\n";
+    OS << "collection bytes: current="
+       << MemoryTracker::instance().currentBytes()
+       << " peak=" << MemoryTracker::instance().peakBytes() << "\n";
+    if (Profile) {
+      Prof.printReport(OS, Path);
+      if (ProfileFile.empty()) {
+        writeProfileJson(OS, Path, RunFunc, Result, I.stats(), Prof);
+      } else {
+        std::FILE *File = std::fopen(ProfileFile.c_str(), "wb");
+        if (!File) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       ProfileFile.c_str());
+          return 1;
+        }
+        RawFileOstream FS(File);
+        writeProfileJson(FS, Path, RunFunc, Result, I.stats(), Prof);
+        std::fclose(File);
+      }
+    }
+  }
+
+  if (!TraceFile.empty()) {
+    TraceRecorder::setActive(nullptr);
+    std::FILE *File = std::fopen(TraceFile.c_str(), "wb");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceFile.c_str());
+      return 1;
+    }
+    RawFileOstream FS(File);
+    Trace.write(FS);
+    FS.flush();
+    std::fclose(File);
   }
   return 0;
 }

@@ -116,6 +116,21 @@ TEST(Transform, HistogramSemanticsPreserved) {
   expectSemanticsPreserved(HistogramSrc);
 }
 
+TEST(Transform, PipelineRecordsPhaseTiming) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  PipelineResult R = runADE(*M);
+  // Each pass charges one run to its own phase, in execution order.
+  std::vector<std::string> Names;
+  for (const TimerGroup::Phase &P : R.Timing.phases()) {
+    Names.push_back(P.Name);
+    EXPECT_EQ(P.Runs, 1u);
+    EXPECT_GE(P.Seconds, 0.0);
+  }
+  EXPECT_EQ(Names, (std::vector<std::string>{"cloning", "analysis",
+                                             "planning", "transform",
+                                             "selection", "verify"}));
+}
+
 TEST(Transform, HistogramIsFullyEnumerated) {
   auto M = parser::parseModuleOrDie(HistogramSrc);
   PipelineResult R = runADE(*M);

@@ -1,0 +1,297 @@
+//===- ProfilerTest.cpp ---------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The source-attributed interpreter profiler: category coverage, exact
+/// hot-site locations, per-collection lifetime records (including the
+/// hash tables' probe/rehash counters), JSON well-formedness via the
+/// json reader, and the opt-in guarantee that attaching a profiler does
+/// not change execution results or statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "interp/Profiler.h"
+#include "parser/Parser.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::interp;
+using namespace ade::runtime;
+
+namespace {
+
+/// Runs @main with an attached profiler and returns its result.
+uint64_t runProfiled(const char *Src, Profiler &Prof,
+                     std::vector<uint64_t> Args = {}) {
+  auto M = parser::parseModuleOrDie(Src);
+  InterpOptions Opts;
+  Opts.Prof = &Prof;
+  Interpreter I(*M, Opts);
+  return I.callByName("main", Args);
+}
+
+/// One operation of every category, each on its own source line.
+const char *kAllCategories = R"(global @e : Enum<u64>
+fn @main() -> u64 {
+  %m = new Map<u64, u64>
+  %s = new Set<u64>
+  %s2 = new Set<u64>
+  %k = const 7 : u64
+  %v = const 42 : u64
+  write %m, %k, %v
+  %r = read %m, %k
+  insert %s, %k
+  %h = has %s, %k
+  %sz = size %s
+  insert %s2, %v
+  union %s, %s2
+  %zero = const 0 : u64
+  %it = foreach %s -> [%x] iter(%acc = %zero) {
+    %n = add %acc, %x
+    yield %n
+  }
+  remove %s, %v
+  clear %s
+  %e = gget @e
+  %id = enum.add %e, %k
+  %enc = enc %e, %k
+  %back = dec %e, %id
+  ret %r
+})";
+
+uint64_t categoryTotal(const Profiler &Prof, OpCategory Cat) {
+  uint64_t Total = 0;
+  for (const Profiler::SiteRecord *S : Prof.hotSites())
+    Total += S->ByCategory[static_cast<unsigned>(Cat)];
+  return Total;
+}
+
+TEST(Profiler, EveryOpCategoryCounted) {
+  Profiler Prof;
+  EXPECT_EQ(runProfiled(kAllCategories, Prof), 42u);
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Read), 1u);
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Write), 1u);
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Insert), 2u);
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Remove), 1u);
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Has), 1u);
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Size), 1u);
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Clear), 1u);
+  // %s holds {7, 42} when iterated.
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Iterate), 2u);
+  // One source element merged by the union.
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Union), 1u);
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Enc), 1u);
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::Dec), 1u);
+  EXPECT_EQ(categoryTotal(Prof, OpCategory::EnumAdd), 1u);
+}
+
+TEST(Profiler, SitesCarryExactSourceLocations) {
+  Profiler Prof;
+  runProfiled(kAllCategories, Prof);
+  // kAllCategories starts with the global on line 1, so `write %m` sits
+  // on line 8 and `read %m` on line 9 (columns point at the mnemonic).
+  bool SawWrite = false, SawRead = false;
+  for (const Profiler::SiteRecord *S : Prof.hotSites()) {
+    if (S->Op == ir::Opcode::Write) {
+      SawWrite = true;
+      EXPECT_EQ(S->Loc.Line, 8u);
+      EXPECT_EQ(S->Function, "main");
+    }
+    if (S->Op == ir::Opcode::Read) {
+      SawRead = true;
+      EXPECT_EQ(S->Loc.Line, 9u);
+    }
+    EXPECT_TRUE(S->Loc.isValid());
+  }
+  EXPECT_TRUE(SawWrite);
+  EXPECT_TRUE(SawRead);
+}
+
+TEST(Profiler, HottestSiteSortsFirst) {
+  Profiler Prof;
+  runProfiled(R"(fn @main() -> u64 {
+  %m = new Map<u64, u64>
+  %lo = const 0 : u64
+  %hi = const 100 : u64
+  forrange %lo, %hi -> [%i] {
+    write %m, %i, %i
+    yield
+  }
+  %k = const 5 : u64
+  %r = read %m, %k
+  ret %r
+})",
+              Prof);
+  auto Sites = Prof.hotSites();
+  ASSERT_FALSE(Sites.empty());
+  EXPECT_EQ(Sites[0]->Op, ir::Opcode::Write);
+  EXPECT_EQ(Sites[0]->Total, 100u);
+  EXPECT_EQ(Sites[0]->Loc.Line, 6u);
+}
+
+TEST(Profiler, CollectionRecordsAcrossKinds) {
+  Profiler Prof;
+  runProfiled(kAllCategories, Prof);
+  auto Colls = Prof.collections();
+  // %m, %s, %s2 and the enumeration-backing global are not all runtime
+  // collections; at least the map and both sets must be registered.
+  ASSERT_GE(Colls.size(), 3u);
+  const Profiler::CollectionRecord *Map = nullptr, *SetA = nullptr;
+  for (const Profiler::CollectionRecord *R : Colls) {
+    if (R->Kind == RtKind::Map)
+      Map = R;
+    else if (R->Kind == RtKind::Set && !SetA)
+      SetA = R;
+  }
+  ASSERT_NE(Map, nullptr);
+  ASSERT_NE(SetA, nullptr);
+  EXPECT_EQ(Map->Impl, ir::Selection::HashMap);
+  EXPECT_EQ(Map->Ops, 2u); // write + read
+  EXPECT_EQ(Map->PeakElements, 1u);
+  EXPECT_GT(Map->PeakBytes, 0u);
+  EXPECT_EQ(Map->Loc.Line, 3u); // %m = new Map on line 3
+  EXPECT_EQ(SetA->Impl, ir::Selection::HashSet);
+  EXPECT_EQ(SetA->PeakElements, 2u); // {7, 42} after the union
+}
+
+TEST(Profiler, HashTableProbeAndRehashCounters) {
+  Profiler Prof;
+  runProfiled(R"(fn @main() -> u64 {
+  %s = new Set<u64>
+  %lo = const 0 : u64
+  %hi = const 100 : u64
+  forrange %lo, %hi -> [%i] {
+    insert %s, %i
+    yield
+  }
+  %sz = size %s
+  ret %sz
+})",
+              Prof);
+  const Profiler::CollectionRecord *Set = nullptr;
+  for (const Profiler::CollectionRecord *R : Prof.collections())
+    if (R->Kind == RtKind::Set)
+      Set = R;
+  ASSERT_NE(Set, nullptr);
+  EXPECT_EQ(Set->PeakElements, 100u);
+  // 100 inserts into a chained hash set must probe and grow the table.
+  EXPECT_GT(Set->Probes, 0u);
+  EXPECT_GT(Set->Rehashes, 0u);
+}
+
+TEST(Profiler, GlobalCollectionsGetLabels) {
+  Profiler Prof;
+  runProfiled(R"(global @cache : Map<u64, u64>
+fn @main() -> u64 {
+  %c = gget @cache
+  %k = const 1 : u64
+  write %c, %k, %k
+  %r = read %c, %k
+  ret %r
+})",
+              Prof);
+  const Profiler::CollectionRecord *Cache = nullptr;
+  for (const Profiler::CollectionRecord *R : Prof.collections())
+    if (R->Kind == RtKind::Map)
+      Cache = R;
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(Cache->AllocSite, nullptr);
+  EXPECT_EQ(Cache->Label, "@cache");
+  EXPECT_EQ(Cache->Ops, 2u);
+}
+
+TEST(Profiler, ReportsSurviveModuleDestruction) {
+  // The bench harness reports after its module and interpreter are gone;
+  // records must not dereference IR pointers.
+  Profiler Prof;
+  runProfiled(kAllCategories, Prof);
+  std::string Text;
+  RawStringOstream OS(Text);
+  Prof.printReport(OS, "test.memoir");
+  EXPECT_NE(Text.find("hot sites"), std::string::npos);
+  EXPECT_NE(Text.find("test.memoir:8:3"), std::string::npos); // write %m
+}
+
+TEST(Profiler, JsonReportsParseBack) {
+  Profiler Prof;
+  runProfiled(kAllCategories, Prof);
+
+  std::string HotText;
+  {
+    RawStringOstream OS(HotText);
+    json::Writer W(OS);
+    Prof.writeHotSitesJson(W, "prog.memoir");
+  }
+  std::string Error;
+  auto Hot = json::parse(HotText, &Error);
+  ASSERT_NE(Hot, nullptr) << Error;
+  ASSERT_TRUE(Hot->isArray());
+  ASSERT_GT(Hot->size(), 0u);
+  const json::Value &First = (*Hot)[0];
+  ASSERT_TRUE(First.isObject());
+  EXPECT_EQ(First.find("file")->asString(), "prog.memoir");
+  EXPECT_GT(First.find("line")->asUint(), 0u);
+  EXPECT_GT(First.find("col")->asUint(), 0u);
+  EXPECT_GT(First.find("count")->asUint(), 0u);
+  EXPECT_TRUE(First.find("byCategory")->isObject());
+
+  std::string CollText;
+  {
+    RawStringOstream OS(CollText);
+    json::Writer W(OS);
+    Prof.writeCollectionsJson(W);
+  }
+  auto Colls = json::parse(CollText, &Error);
+  ASSERT_NE(Colls, nullptr) << Error;
+  ASSERT_TRUE(Colls->isArray());
+  ASSERT_GT(Colls->size(), 0u);
+  const json::Value &C0 = (*Colls)[0];
+  ASSERT_TRUE(C0.isObject());
+  EXPECT_NE(C0.find("kind"), nullptr);
+  EXPECT_NE(C0.find("impl"), nullptr);
+  EXPECT_NE(C0.find("peakBytes"), nullptr);
+}
+
+TEST(Profiler, OptInDoesNotChangeExecution) {
+  auto M = parser::parseModuleOrDie(kAllCategories);
+  Interpreter Plain(*M);
+  uint64_t PlainResult = Plain.callByName("main", {});
+
+  auto M2 = parser::parseModuleOrDie(kAllCategories);
+  Profiler Prof;
+  InterpOptions Opts;
+  Opts.Prof = &Prof;
+  Interpreter Profiled(*M2, Opts);
+  uint64_t ProfiledResult = Profiled.callByName("main", {});
+
+  EXPECT_EQ(PlainResult, ProfiledResult);
+  EXPECT_EQ(Plain.stats().Sparse, Profiled.stats().Sparse);
+  EXPECT_EQ(Plain.stats().Dense, Profiled.stats().Dense);
+  EXPECT_EQ(Plain.stats().InstructionsExecuted,
+            Profiled.stats().InstructionsExecuted);
+  for (unsigned I = 0; I != InterpStats::NumCats; ++I)
+    EXPECT_EQ(Plain.stats().ByCategory[I], Profiled.stats().ByCategory[I]);
+  // The profiler's totals agree with the aggregate statistics.
+  uint64_t SiteTotal = 0;
+  for (const Profiler::SiteRecord *S : Prof.hotSites())
+    SiteTotal += S->Total;
+  EXPECT_EQ(SiteTotal, Profiled.stats().totalAccesses());
+}
+
+TEST(Profiler, ResetClearsEverything) {
+  Profiler Prof;
+  runProfiled(kAllCategories, Prof);
+  EXPECT_GT(Prof.siteCount(), 0u);
+  Prof.reset();
+  EXPECT_EQ(Prof.siteCount(), 0u);
+  EXPECT_TRUE(Prof.hotSites().empty());
+  EXPECT_TRUE(Prof.collections().empty());
+}
+
+} // namespace

@@ -4,8 +4,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "stats/Statistic.h"
 #include "stats/Stats.h"
 
+#include "support/Json.h"
 #include "support/RawOstream.h"
 
 #include <gtest/gtest.h>
@@ -84,6 +86,71 @@ TEST(TablePrinting, Formatting) {
   EXPECT_EQ(Table::fmt(2.0, 0), "2");
   EXPECT_EQ(Table::pct(0.9512), "95.1%");
   EXPECT_EQ(Table::pct(1.5, 0), "150%");
+}
+
+ADE_STATISTIC(TestCounterA, "stats-test", "First test-only counter");
+ADE_STATISTIC(TestCounterB, "stats-test", "Second test-only counter");
+
+TEST(Statistics, RegisterIncrementAndReset) {
+  resetAllStatistics();
+  EXPECT_EQ(TestCounterA.value(), 0u);
+  ++TestCounterA;
+  TestCounterB += 5;
+  EXPECT_EQ(TestCounterA.value(), 1u);
+  EXPECT_EQ(TestCounterB.value(), 5u);
+  EXPECT_TRUE(hasNonZeroStatistics());
+  resetAllStatistics();
+  EXPECT_EQ(TestCounterA.value(), 0u);
+  EXPECT_EQ(TestCounterB.value(), 0u);
+}
+
+TEST(Statistics, VisitorSeesSortedRegisteredCounters) {
+  resetAllStatistics();
+  ++TestCounterA;
+  bool SawA = false, SawB = false;
+  std::string Prev;
+  forEachStatistic([&](const Statistic &S) {
+    std::string Key = std::string(S.component()) + "/" + S.name();
+    EXPECT_LE(Prev, Key); // sorted by (component, name)
+    Prev = Key;
+    if (S.name() == std::string("TestCounterA")) {
+      SawA = true;
+      EXPECT_EQ(S.value(), 1u);
+      EXPECT_EQ(std::string(S.component()), "stats-test");
+    }
+    if (S.name() == std::string("TestCounterB"))
+      SawB = true;
+  });
+  EXPECT_TRUE(SawA);
+  EXPECT_TRUE(SawB);
+  resetAllStatistics();
+}
+
+TEST(Statistics, TextAndJsonRenderNonZeroOnly) {
+  resetAllStatistics();
+  TestCounterA += 7;
+  std::string Text;
+  {
+    RawStringOstream OS(Text);
+    printStatistics(OS);
+  }
+  EXPECT_NE(Text.find("TestCounterA"), std::string::npos);
+  EXPECT_EQ(Text.find("TestCounterB"), std::string::npos); // zero: omitted
+
+  std::string JsonText;
+  {
+    RawStringOstream OS(JsonText);
+    json::Writer W(OS);
+    writeStatisticsJson(W);
+  }
+  std::string Error;
+  auto V = json::parse(JsonText, &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  const json::Value *A = V->find("stats-test/TestCounterA");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->asUint(), 7u);
+  EXPECT_EQ(V->find("stats-test/TestCounterB"), nullptr);
+  resetAllStatistics();
 }
 
 } // namespace

@@ -1,0 +1,148 @@
+//===- SupportJsonTest.cpp ------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The shared JSON writer (pretty and inline container modes, escaping,
+/// number formatting) and the recursive-descent reader, including
+/// round-trips between the two.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+using namespace ade;
+
+namespace {
+
+std::string writeWith(const std::function<void(json::Writer &)> &Fn) {
+  std::string Out;
+  RawStringOstream OS(Out);
+  json::Writer W(OS);
+  Fn(W);
+  return Out;
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  std::string Out;
+  RawStringOstream OS(Out);
+  json::escape(OS, "quote \" and\nnewline\ttab\\slash");
+  EXPECT_EQ(Out, "quote \\\" and\\nnewline\\ttab\\\\slash");
+}
+
+TEST(JsonWriter, InlineObjectMatchesDiagnosticStyle) {
+  std::string Out = writeWith([](json::Writer &W) {
+    W.beginObject(/*Inline=*/true);
+    W.member("severity", "warning").member("line", uint64_t(9));
+    W.endObject();
+  });
+  EXPECT_EQ(Out, "{\"severity\": \"warning\", \"line\": 9}");
+}
+
+TEST(JsonWriter, PrettyObjectIndentsMembers) {
+  std::string Out = writeWith([](json::Writer &W) {
+    W.beginObject();
+    W.member("a", uint64_t(1));
+    W.key("b").beginArray(/*Inline=*/true);
+    W.value(uint64_t(2)).value(uint64_t(3));
+    W.endArray();
+    W.endObject();
+  });
+  EXPECT_EQ(Out, "{\n  \"a\": 1,\n  \"b\": [2, 3]\n}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  EXPECT_EQ(writeWith([](json::Writer &W) {
+              W.beginArray();
+              W.endArray();
+            }),
+            "[]");
+  EXPECT_EQ(writeWith([](json::Writer &W) {
+              W.beginObject();
+              W.endObject();
+            }),
+            "{}");
+}
+
+TEST(JsonWriter, ScalarVariants) {
+  std::string Out = writeWith([](json::Writer &W) {
+    W.beginArray(/*Inline=*/true);
+    W.value(true).value(false).null();
+    W.value(int64_t(-5)).value(uint64_t(5)).value(1.5);
+    W.endArray();
+  });
+  EXPECT_EQ(Out, "[true, false, null, -5, 5, 1.5]");
+}
+
+TEST(JsonReader, ParsesNestedDocument) {
+  std::string Error;
+  auto V = json::parse(
+      R"({"name": "ade", "counts": [1, 2, 3], "nested": {"ok": true},
+          "pi": 3.25, "none": null})",
+      &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  ASSERT_TRUE(V->isObject());
+  EXPECT_EQ(V->find("name")->asString(), "ade");
+  const json::Value *Counts = V->find("counts");
+  ASSERT_NE(Counts, nullptr);
+  ASSERT_TRUE(Counts->isArray());
+  ASSERT_EQ(Counts->size(), 3u);
+  EXPECT_EQ((*Counts)[2].asUint(), 3u);
+  EXPECT_TRUE(V->find("nested")->find("ok")->asBool());
+  EXPECT_DOUBLE_EQ(V->find("pi")->asNumber(), 3.25);
+  EXPECT_TRUE(V->find("none")->isNull());
+  EXPECT_EQ(V->find("missing"), nullptr);
+}
+
+TEST(JsonReader, DecodesEscapesAndUnicode) {
+  std::string Error;
+  auto V = json::parse(R"("tab\tquote\"uA")", &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  EXPECT_EQ(V->asString(), "tab\tquote\"uA");
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  std::string Error;
+  EXPECT_EQ(json::parse("{\"a\": }", &Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+  EXPECT_EQ(json::parse("[1, 2", &Error), nullptr);
+  EXPECT_EQ(json::parse("", &Error), nullptr);
+  EXPECT_EQ(json::parse("{\"a\": 1} trailing", &Error), nullptr);
+}
+
+TEST(JsonReader, ParsesNegativeAndExponentNumbers) {
+  std::string Error;
+  auto V = json::parse("[-17, 2.5e2]", &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  EXPECT_EQ((*V)[0].asInt(), -17);
+  EXPECT_DOUBLE_EQ((*V)[1].asNumber(), 250.0);
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBack) {
+  std::string Out = writeWith([](json::Writer &W) {
+    W.beginObject();
+    W.member("text", "line\nbreak \"quoted\"");
+    W.key("values").beginArray(/*Inline=*/true);
+    for (uint64_t I = 0; I != 4; ++I)
+      W.value(I * 1000);
+    W.endArray();
+    W.key("inner").beginObject(/*Inline=*/true);
+    W.member("flag", true);
+    W.endObject();
+    W.endObject();
+  });
+  std::string Error;
+  auto V = json::parse(Out, &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  EXPECT_EQ(V->find("text")->asString(), "line\nbreak \"quoted\"");
+  EXPECT_EQ((*V->find("values"))[3].asUint(), 3000u);
+  EXPECT_TRUE(V->find("inner")->find("flag")->asBool());
+}
+
+} // namespace

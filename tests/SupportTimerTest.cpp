@@ -1,0 +1,113 @@
+//===- SupportTimerTest.cpp -----------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Wall-clock timers, timer groups and the Chrome trace-event recorder.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+
+namespace {
+
+TEST(Timer, AccumulatesAcrossRuns) {
+  Timer T;
+  EXPECT_FALSE(T.isRunning());
+  EXPECT_EQ(T.seconds(), 0.0);
+  T.start();
+  EXPECT_TRUE(T.isRunning());
+  T.stop();
+  T.start();
+  T.stop();
+  EXPECT_EQ(T.runs(), 2u);
+  EXPECT_GE(T.seconds(), 0.0);
+  T.reset();
+  EXPECT_EQ(T.runs(), 0u);
+  EXPECT_EQ(T.seconds(), 0.0);
+}
+
+TEST(TimerGroup, PhasesKeepInsertionOrderAndAccumulate) {
+  TimerGroup G;
+  { TimerGroup::Scope S(G, "parse"); }
+  { TimerGroup::Scope S(G, "transform"); }
+  { TimerGroup::Scope S(G, "parse"); }
+  ASSERT_EQ(G.phases().size(), 2u);
+  EXPECT_EQ(G.phases()[0].Name, "parse");
+  EXPECT_EQ(G.phases()[0].Runs, 2u);
+  EXPECT_EQ(G.phases()[1].Name, "transform");
+  EXPECT_EQ(G.phases()[1].Runs, 1u);
+  EXPECT_GE(G.totalSeconds(),
+            G.phases()[0].Seconds); // total covers every phase
+}
+
+TEST(TimerGroup, ReportListsPhasesAndTotal) {
+  TimerGroup G;
+  G.charge(G.phaseIndex("analysis"), 0.25);
+  G.charge(G.phaseIndex("planning"), 0.75);
+  std::string Text;
+  RawStringOstream OS(Text);
+  G.printReport(OS, "test timing");
+  EXPECT_NE(Text.find("test timing"), std::string::npos);
+  EXPECT_NE(Text.find("analysis"), std::string::npos);
+  EXPECT_NE(Text.find("25.0%"), std::string::npos);
+  EXPECT_NE(Text.find("total"), std::string::npos);
+}
+
+TEST(TimerGroup, JsonRendersPhaseSeconds) {
+  TimerGroup G;
+  G.charge(G.phaseIndex("verify"), 0.5);
+  std::string Text;
+  RawStringOstream OS(Text);
+  json::Writer W(OS);
+  G.writeJson(W);
+  std::string Error;
+  auto V = json::parse(Text, &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  ASSERT_TRUE(V->isObject());
+  EXPECT_DOUBLE_EQ(V->find("verify")->asNumber(), 0.5);
+}
+
+TEST(Trace, RecordsCompleteEventsAsValidJson) {
+  TraceRecorder Rec;
+  Rec.addComplete("compile", "phase", 10, 25);
+  Rec.addComplete("run \"main\"", "interp", 40, 5);
+  EXPECT_EQ(Rec.eventCount(), 2u);
+  std::string Text;
+  RawStringOstream OS(Text);
+  Rec.write(OS);
+  std::string Error;
+  auto V = json::parse(Text, &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  const json::Value *Events = V->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_EQ(Events->size(), 2u);
+  const json::Value &E0 = (*Events)[0];
+  EXPECT_EQ(E0.find("name")->asString(), "compile");
+  EXPECT_EQ(E0.find("ph")->asString(), "X");
+  EXPECT_EQ(E0.find("ts")->asUint(), 10u);
+  EXPECT_EQ(E0.find("dur")->asUint(), 25u);
+  EXPECT_EQ((*Events)[1].find("name")->asString(), "run \"main\"");
+}
+
+TEST(Trace, ScopeIsNoOpWithoutActiveRecorder) {
+  ASSERT_EQ(TraceRecorder::active(), nullptr);
+  { TraceScope S("ignored", "test"); } // must not crash
+  TraceRecorder Rec;
+  TraceRecorder::setActive(&Rec);
+  { TraceScope S("observed", "test"); }
+  TraceRecorder::setActive(nullptr);
+  { TraceScope S("ignored again", "test"); }
+  ASSERT_EQ(Rec.eventCount(), 1u);
+}
+
+} // namespace
