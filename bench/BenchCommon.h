@@ -13,6 +13,9 @@
 ///   --json=FILE      also write the measured runs as a JSON report
 ///   --profile        attach the source-attributed profiler and print
 ///                    hot-site tables (binaries that support it)
+///   --pgo            static-vs-profile-guided comparison (binaries that
+///                    support it): profile a training run, recompile with
+///                    the measurements, report rehash and timing deltas
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +43,7 @@ struct CliOptions {
   std::string Only;
   std::string JsonFile;
   bool Profile = false;
+  bool Pgo = false;
 
   explicit CliOptions(uint64_t DefaultScale) : Scale(DefaultScale) {}
 
@@ -57,10 +61,12 @@ struct CliOptions {
         JsonFile = Arg.substr(7);
       } else if (Arg == "--profile") {
         Profile = true;
+      } else if (Arg == "--pgo") {
+        Pgo = true;
       } else {
         std::fprintf(stderr,
                      "usage: %s [--scale=N] [--trials=N] [--bench=ABBREV]"
-                     " [--json=FILE] [--profile]\n",
+                     " [--json=FILE] [--profile] [--pgo]\n",
                      Argv[0]);
         return false;
       }
@@ -80,14 +86,11 @@ struct CliOptions {
   }
 };
 
-/// Runs \p B under \p C for the configured trials and returns the run
-/// with the median total time.
-inline RunResult runMedian(const BenchmarkSpec &B, Config C,
-                           const CliOptions &Cli,
-                           const std::string &PtaPragma = "") {
-  RunOptions Options;
+/// Runs \p B under \p C with \p Options (scale taken from \p Cli) for the
+/// configured trials and returns the run with the median total time.
+inline RunResult runMedianWith(const BenchmarkSpec &B, Config C,
+                               const CliOptions &Cli, RunOptions Options) {
   Options.ScalePercent = Cli.Scale;
-  Options.PtaInnerPragma = PtaPragma;
   std::vector<RunResult> Runs;
   for (unsigned T = 0; T != Cli.Trials; ++T)
     Runs.push_back(runBenchmark(B, C, Options));
@@ -96,6 +99,16 @@ inline RunResult runMedian(const BenchmarkSpec &B, Config C,
               return X.totalSeconds() < Y.totalSeconds();
             });
   return Runs[Runs.size() / 2];
+}
+
+/// Runs \p B under \p C for the configured trials and returns the run
+/// with the median total time.
+inline RunResult runMedian(const BenchmarkSpec &B, Config C,
+                           const CliOptions &Cli,
+                           const std::string &PtaPragma = "") {
+  RunOptions Options;
+  Options.PtaInnerPragma = PtaPragma;
+  return runMedianWith(B, C, Cli, Options);
 }
 
 /// Accumulates measured runs and renders them as a machine-readable JSON
@@ -108,6 +121,13 @@ public:
 
   void add(const BenchmarkSpec &B, Config C, const RunResult &R) {
     Rows.push_back({B.Abbrev, configName(C), R});
+  }
+
+  /// For rows outside the fixed Config set (e.g. the --pgo comparison's
+  /// "ade-pgo").
+  void add(const BenchmarkSpec &B, std::string ConfigName,
+           const RunResult &R) {
+    Rows.push_back({B.Abbrev, std::move(ConfigName), R});
   }
 
   void write(RawOstream &OS) const {
@@ -129,7 +149,10 @@ public:
           .member("peakBytes", Run.PeakBytes)
           .member("sparse", Run.Stats.Sparse)
           .member("dense", Run.Stats.Dense)
-          .member("instructions", Run.Stats.InstructionsExecuted);
+          .member("instructions", Run.Stats.InstructionsExecuted)
+          .member("rehashes", Run.Rehashes)
+          .member("selectionChanges", Run.SelectionChanges)
+          .member("reserveHints", Run.ReserveHints);
       W.key("byCategory").beginObject(/*Inline=*/true);
       for (unsigned I = 0; I != runtime::InterpStats::NumCats; ++I)
         if (Run.Stats.ByCategory[I])

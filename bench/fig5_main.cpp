@@ -75,6 +75,47 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // --pgo: the full profile-guided loop, in process. Profile a baseline
+  // training run, feed the measurements into the ADE compile
+  // (profile-weighted benefit, profile-guided selection, capacity
+  // pre-sizing), and compare against the static ADE compile. Both
+  // comparison runs carry the measuring profiler, so their timings are
+  // apples-to-apples (and not comparable to the unprofiled table above).
+  if (Cli.Pgo) {
+    OS << "\n== Figure 5 PGO: static vs profile-guided selection ==\n";
+    Table P({"Bench", "changes", "reserve hints", "ade rehashes",
+             "ade-pgo rehashes", "ade ROI(s)", "ade-pgo ROI(s)"});
+    for (const BenchmarkSpec *B : Cli.selected()) {
+      interp::Profiler Prof;
+      RunOptions Training;
+      Training.ScalePercent = Cli.Scale;
+      Training.Prof = &Prof;
+      RunResult Train = runBenchmark(*B, Config::Memoir, Training);
+      interp::ProfileData Data;
+      Data.addFromProfiler(Prof);
+
+      RunOptions Measured;
+      Measured.MeasureRehashes = true;
+      RunResult Static = runMedianWith(*B, Config::Ade, Cli, Measured);
+      Measured.ProfileUse = &Data;
+      RunResult Pgo = runMedianWith(*B, Config::Ade, Cli, Measured);
+      if (Static.Checksum != Pgo.Checksum ||
+          Train.Checksum != Pgo.Checksum) {
+        OS << "ERROR: checksum mismatch on " << B->Abbrev << " (pgo)\n";
+        return 1;
+      }
+      Report.add(*B, "ade-measured", Static);
+      Report.add(*B, "ade-pgo", Pgo);
+      P.addRow({B->Abbrev, std::to_string(Pgo.SelectionChanges),
+                std::to_string(Pgo.ReserveHints),
+                std::to_string(Static.Rehashes),
+                std::to_string(Pgo.Rehashes),
+                Table::fmt(Static.RoiSeconds, 3),
+                Table::fmt(Pgo.RoiSeconds, 3)});
+    }
+    P.print(OS);
+  }
+
   if (!Cli.JsonFile.empty() && !Report.writeTo(Cli.JsonFile))
     return 1;
   return 0;

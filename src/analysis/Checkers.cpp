@@ -591,6 +591,7 @@ void ade::analysis::checkDeadWrites(core::ModuleAnalysis &MA,
             break;
           case Opcode::Remove:
           case Opcode::Clear:
+          case Opcode::Reserve:
           case Opcode::Yield:
           case Opcode::If:
           case Opcode::Select:

@@ -8,6 +8,7 @@
 
 #include "core/Pipeline.h"
 #include "interp/Interpreter.h"
+#include "interp/Profiler.h"
 #include "parser/Parser.h"
 #include "support/ErrorHandling.h"
 
@@ -48,9 +49,13 @@ RunResult ade::bench::runBenchmark(const BenchmarkSpec &B, Config C,
 
   bool RunAde = true;
   core::PipelineConfig PC;
+  PC.Profile = Options.ProfileUse;
   InterpOptions IO;
   IO.CollectStats = Options.CollectStats;
   IO.Prof = Options.Prof;
+  Profiler RehashProf;
+  if (Options.MeasureRehashes && !IO.Prof)
+    IO.Prof = &RehashProf;
   switch (C) {
   case Config::Memoir:
     RunAde = false;
@@ -79,8 +84,16 @@ RunResult ade::bench::runBenchmark(const BenchmarkSpec &B, Config C,
     PC.Selection.EnumeratedSet = ir::Selection::SparseBitSet;
     break;
   }
-  if (RunAde)
-    core::runADE(*M, PC);
+  uint64_t SelectionChanges = 0, ReserveHints = 0;
+  if (RunAde) {
+    core::PipelineResult PR = core::runADE(*M, PC);
+    for (const core::SelectionDecision &D : PR.Selections) {
+      if (D.Final != D.Static)
+        ++SelectionChanges;
+      if (D.ReserveHint)
+        ++ReserveHints;
+    }
+  }
 
   Workload W = B.MakeInput(Options.ScalePercent);
 
@@ -111,5 +124,10 @@ RunResult ade::bench::runBenchmark(const BenchmarkSpec &B, Config C,
   Result.RoiSeconds = std::chrono::duration<double>(T2 - T1).count();
   Result.PeakBytes = MemoryTracker::instance().peakBytes();
   Result.Stats = Runner.stats();
+  Result.SelectionChanges = SelectionChanges;
+  Result.ReserveHints = ReserveHints;
+  if (IO.Prof)
+    for (const Profiler::CollectionRecord *R : IO.Prof->collections())
+      Result.Rehashes += R->Rehashes;
   return Result;
 }

@@ -24,6 +24,7 @@
 
 namespace ade {
 namespace interp {
+class ProfileData;
 class Profiler;
 }
 namespace bench {
@@ -49,6 +50,14 @@ struct RunResult {
   double totalSeconds() const { return InitSeconds + RoiSeconds; }
   uint64_t Checksum = 0;
   uint64_t PeakBytes = 0;
+  /// Hash-table rehashes over the whole run. Measured only when a
+  /// profiler is attached (RunOptions::Prof or MeasureRehashes); 0
+  /// otherwise.
+  uint64_t Rehashes = 0;
+  /// Selections the profile changed versus the static heuristic and
+  /// capacity pre-sizing hints inserted (PGO compiles only).
+  uint64_t SelectionChanges = 0;
+  uint64_t ReserveHints = 0;
   runtime::InterpStats Stats;
 };
 
@@ -59,6 +68,14 @@ struct RunOptions {
   /// Optional source-attributed profiler attached to the run's
   /// interpreter (counts accumulate across runs sharing one profiler).
   interp::Profiler *Prof = nullptr;
+  /// Measured data from a training run: enables profile-guided selection
+  /// in the ADE compile (the in-process equivalent of
+  /// `adec --profile-use`). Ignored by configurations that skip ADE.
+  const interp::ProfileData *ProfileUse = nullptr;
+  /// Attach a run-private profiler (when Prof is unset) so
+  /// RunResult::Rehashes is measured. Adds per-op attribution overhead,
+  /// so timing comparisons must use it on both sides or neither.
+  bool MeasureRehashes = false;
   /// Extra pragma injected at PTA's inner allocation sites (RQ4); applies
   /// to the PTA benchmark only.
   std::string PtaInnerPragma;

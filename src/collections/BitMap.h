@@ -84,6 +84,15 @@ public:
   /// behind the cleared presence bits and overwritten on insert.
   void clear() { Present.clear(); }
 
+  /// Grows the key universe so keys in [0, N) insert without growth. The
+  /// value array is sized eagerly (defaulted slots are unreachable until
+  /// their presence bit is set).
+  void reserve(uint64_t N) {
+    Present.reserve(N);
+    if (N > Values.size())
+      Values.resize(N);
+  }
+
   /// Invokes \p Fn(key, value&) for every mapping, in key order.
   template <typename FnT> void forEach(FnT Fn) {
     Present.forEach([&](uint64_t Key) { Fn(Key, Values[Key]); });

@@ -96,9 +96,20 @@ public:
     }
   }
 
+  /// Grows the universe so keys in [0, N) can be inserted without any
+  /// further word-vector growth. Never shrinks.
+  void reserve(uint64_t N) {
+    uint64_t NeedWords = (N + 63) >> 6;
+    if (NeedWords > Words.size())
+      Words.resize(NeedWords, 0);
+  }
+
   /// Set union: adds every member of \p Other. Word-wise OR; this is the
   /// operation where bitsets enjoy their largest advantage (Table III).
+  /// Safe under self-aliasing: s.unionWith(s) is the identity.
   void unionWith(const BitSet &Other) {
+    if (this == &Other)
+      return;
     if (Other.Words.size() > Words.size())
       Words.resize(Other.Words.size(), 0);
     uint64_t NewCount = 0;
@@ -109,8 +120,13 @@ public:
     Count = NewCount;
   }
 
-  /// Set intersection with \p Other, in place.
+  /// Set intersection with \p Other, in place. Shrinks the word vector to
+  /// the other side's length (capacity is retained, so \c memoryBytes and
+  /// the MemoryTracker stay consistent). Safe under self-aliasing:
+  /// s.intersectWith(s) is the identity.
   void intersectWith(const BitSet &Other) {
+    if (this == &Other)
+      return;
     if (Words.size() > Other.Words.size())
       Words.resize(Other.Words.size());
     uint64_t NewCount = 0;
@@ -131,8 +147,13 @@ public:
     for (size_t W = 0; W != Common; ++W)
       if (Words[W] != Other.Words[W])
         return false;
-    // Differing tails must be all-zero (equal popcounts guarantee it, but
-    // stay defensive).
+    // Differing tails must be all-zero. Equal popcounts would guarantee it
+    // if Count were always in sync; verify instead of trusting it.
+    const auto &Longer =
+        Words.size() >= Other.Words.size() ? Words : Other.Words;
+    for (size_t W = Common, E = Longer.size(); W != E; ++W)
+      if (Longer[W] != 0)
+        return false;
     return true;
   }
 

@@ -60,6 +60,9 @@ public:
     Keys.shrink_to_fit();
   }
 
+  /// Pre-sizes the backing storage for \p N keys (no size change).
+  void reserve(size_t N) { Keys.reserve(N); }
+
   /// Invokes \p Fn(key) in increasing order. Iteration over a flat set is
   /// a contiguous scan, its standout strength in Table III.
   template <typename FnT> void forEach(FnT Fn) const {

@@ -155,6 +155,16 @@ public:
     Count = 0;
   }
 
+  /// Pre-sizes the bucket array so \p N insertions stay under the load
+  /// bound without rehashing. Never shrinks.
+  void reserve(size_t N) {
+    size_t NewBuckets = 8;
+    while (NewBuckets < N)
+      NewBuckets *= 2;
+    if (NewBuckets > Buckets.size())
+      rehash(NewBuckets);
+  }
+
   /// Invokes \p Fn(key, value&) for every mapping, in unspecified order.
   template <typename FnT> void forEach(FnT Fn) {
     for (Node *Head : Buckets)

@@ -44,6 +44,9 @@ public:
 
   void append(T Value) { Items.push_back(std::move(Value)); }
 
+  /// Pre-sizes the backing storage for \p N elements (no size change).
+  void reserve(size_t N) { Items.reserve(N); }
+
   /// Inserts \p Value before position \p Idx (Idx == size() appends).
   void insertAt(size_t Idx, T Value) {
     assert(Idx <= Items.size() && "Sequence::insertAt out of range");

@@ -94,6 +94,9 @@ public:
 
   void clear() { Impl.clear(); }
 
+  /// Pre-sizes the table for \p N mappings (see SwissTable::reserve).
+  void reserve(size_t N) { Impl.reserve(N); }
+
   /// Invokes \p Fn(key, value&) for every mapping, in unspecified order.
   template <typename FnT> void forEach(FnT Fn) {
     Impl.forEachSlot([&](Slot &S) { Fn(S.Key, S.Value); });

@@ -46,6 +46,9 @@ public:
 
   void clear() { Impl.clear(); }
 
+  /// Pre-sizes the table for \p N elements (see SwissTable::reserve).
+  void reserve(size_t N) { Impl.reserve(N); }
+
   /// Invokes \p Fn(key) for every member, in unspecified order.
   template <typename FnT> void forEach(FnT Fn) const {
     Impl.forEachSlot([&](const K &Slot) { Fn(Slot); });

@@ -194,13 +194,26 @@ public:
     return true;
   }
 
+  /// Empties the table but keeps its capacity, like the chained tables'
+  /// clear: a cleared-and-refilled table must not regrow and rehash from
+  /// scratch every cycle.
   void clear() {
-    Ctrl.clear();
-    Ctrl.shrink_to_fit();
-    Slots.clear();
-    Slots.shrink_to_fit();
+    Ctrl.assign(Ctrl.size(), uint8_t(CtrlEmpty));
+    Slots.assign(Slots.size(), SlotT());
     Count = 0;
-    GrowthLeft = 0;
+    GrowthLeft = Slots.size() - Slots.size() / 8;
+  }
+
+  /// Pre-sizes the table so at least \p N elements fit without growing:
+  /// the capacity is raised to the smallest power-of-two group multiple
+  /// whose 87.5% load bound covers \p N. Never shrinks; a no-op when the
+  /// current capacity already suffices.
+  void reserve(size_t N) {
+    size_t NewCapacity = Slots.empty() ? 2 * GroupWidth : Slots.size();
+    while (NewCapacity - NewCapacity / 8 < N)
+      NewCapacity *= 2;
+    if (NewCapacity > Slots.size())
+      growTo(NewCapacity);
   }
 
   SlotT &slot(size_t Idx) { return Slots[Idx]; }

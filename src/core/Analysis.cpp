@@ -341,6 +341,7 @@ struct ModuleAnalysis::Builder {
     case Opcode::Insert:
     case Opcode::Size:
     case Opcode::Clear:
+    case Opcode::Reserve:
     case Opcode::Pop:
     case Opcode::ForEach:
       return U.OpIdx == 0;

@@ -52,6 +52,7 @@ PipelineResult ade::core::runADE(ir::Module &M,
     // No sharing also entails no propagation (SIV RQ3): a propagator is only
     // introduced when it can share with an enumerated collection.
     PC.EnablePropagation = Config.EnableSharing && Config.EnablePropagation;
+    PC.Profile = Config.Profile;
     Result.Plan = planEnumeration(*MA, PC);
   }
 
@@ -66,7 +67,10 @@ PipelineResult ade::core::runADE(ir::Module &M,
   {
     TimerGroup::Scope T(Result.Timing, "selection");
     TraceScope Trace("selection", "compile");
-    applySelection(*MA, Result.Plan, Config.Selection);
+    SelectionConfig SC = Config.Selection;
+    SC.Profile = Config.Profile;
+    SC.Report = &Result.Selections;
+    applySelection(*MA, Result.Plan, SC);
   }
 
   if (Config.Verify) {

@@ -32,6 +32,11 @@ struct PipelineConfig {
   bool EnableCloning = true;
   /// Implementation choices for enumerated collections (SIII-H).
   SelectionConfig Selection;
+  /// Measured data from a prior run (`adec --profile-use`): weights the
+  /// planner's benefit heuristic and drives profile-guided selection and
+  /// capacity pre-sizing. Forwarded into the planner and selection
+  /// configs; null runs the static heuristics.
+  const interp::ProfileData *Profile = nullptr;
   /// Verify the module after transformation (aborts on failure).
   bool Verify = true;
 };
@@ -41,6 +46,8 @@ struct PipelineResult {
   EnumerationPlan Plan;
   TransformResult Transform;
   unsigned FunctionsCloned = 0;
+  /// Per-root selection decisions (adec --selection-report).
+  std::vector<SelectionDecision> Selections;
   /// Wall-clock seconds per pass in execution order (adec --time-report).
   TimerGroup Timing;
 };

@@ -6,11 +6,13 @@
 
 #include "core/Plan.h"
 
+#include "interp/Profiler.h"
 #include "stats/Statistic.h"
 #include "support/Casting.h"
 #include "support/UnionFind.h"
 
 #include <algorithm>
+#include <cstdint>
 
 using namespace ade;
 using namespace ade::core;
@@ -54,6 +56,23 @@ TrimSets ade::core::findRedundant(const UseSet &ToEnc, const UseSet &ToDec,
   return Trims;
 }
 
+int64_t ade::core::TrimSets::weightedBenefit(
+    const interp::ProfileData &Profile) const {
+  auto WeightOf = [&](const UseRef &U) -> int64_t {
+    uint64_t N = 0;
+    if (const Function *F = U.User->parentFunction())
+      N = Profile.opsAt(F->name(), U.User->loc());
+    if (N == 0)
+      return 1;
+    return N > uint64_t(INT64_MAX) ? INT64_MAX : int64_t(N);
+  };
+  int64_t Total = 0;
+  for (const UseSet *S : {&TrimEnc, &TrimDec, &TrimAdd})
+    for (const UseRef &U : *S)
+      Total += WeightOf(U);
+  return Total;
+}
+
 namespace {
 
 /// A pre-merged unit: one alias class (collections that are the same
@@ -86,7 +105,11 @@ struct Pick {
   bool AsElem;
 };
 
-int64_t benefitOf(const std::vector<Pick> &Picks) {
+/// Scores a candidate assembly. With a profile, trimmed sites count their
+/// dynamic executions so sharing decisions track measured op mixes; the
+/// static site count otherwise.
+int64_t trimBenefit(const std::vector<Pick> &Picks,
+                    const interp::ProfileData *Profile) {
   UseSet ToEnc, ToDec, ToAdd;
   for (const Pick &P : Picks) {
     if (P.AsKey) {
@@ -99,7 +122,8 @@ int64_t benefitOf(const std::vector<Pick> &Picks) {
       ToAdd.insert(P.U->ElemAdd.begin(), P.U->ElemAdd.end());
     }
   }
-  return findRedundant(ToEnc, ToDec, ToAdd).benefit();
+  TrimSets Trims = findRedundant(ToEnc, ToDec, ToAdd);
+  return Profile ? Trims.weightedBenefit(*Profile) : Trims.benefit();
 }
 
 class Planner {
@@ -114,6 +138,10 @@ public:
   }
 
 private:
+  int64_t benefitOf(const std::vector<Pick> &Picks) const {
+    return trimBenefit(Picks, Config.Profile);
+  }
+
   //===--------------------------------------------------------------------===//
   // Units
   //===--------------------------------------------------------------------===//

@@ -19,6 +19,11 @@
 #include "core/Analysis.h"
 
 namespace ade {
+
+namespace interp {
+class ProfileData;
+}
+
 namespace core {
 
 /// Knobs for the ablation study (RQ3).
@@ -28,6 +33,10 @@ struct PlannerConfig {
   bool EnableSharing = true;
   /// SIII-E propagation of identifiers through collection elements.
   bool EnablePropagation = true;
+  /// Measured run data (`adec --profile-use`). When set, the benefit
+  /// heuristic weights each trimmed site by its dynamic execution count
+  /// instead of counting sites statically.
+  const interp::ProfileData *Profile = nullptr;
 };
 
 /// The set of Algorithm 2 trims used by the benefit heuristic.
@@ -38,6 +47,12 @@ struct TrimSets {
     return static_cast<int64_t>(TrimEnc.size() + TrimDec.size() +
                                 TrimAdd.size());
   }
+
+  /// Profile-weighted benefit: each trimmed site counts its measured
+  /// dynamic executions rather than 1. Sites the profile never saw keep
+  /// weight 1, so cold code degrades to the static heuristic instead of
+  /// vanishing from consideration.
+  int64_t weightedBenefit(const interp::ProfileData &Profile) const;
 };
 
 /// Runs FINDREDUNDANT (Algorithm 2) over combined uses-to-patch sets.
@@ -52,7 +67,9 @@ struct Candidate {
   std::vector<RootInfo *> KeyMembers;
   /// Propagator roots whose elements become identifiers (SIII-E).
   std::vector<RootInfo *> ElemMembers;
-  /// Heuristic benefit (|TrimEnc| + |TrimDec| + |TrimAdd|).
+  /// Heuristic benefit: |TrimEnc| + |TrimDec| + |TrimAdd|, with each
+  /// trimmed site weighted by its measured execution count under
+  /// PlannerConfig::Profile.
   int64_t Benefit = 0;
   /// True when a directive forced this candidate regardless of benefit.
   bool Forced = false;

@@ -7,14 +7,17 @@
 #include "core/Transform.h"
 
 #include "core/MergeNetwork.h"
+#include "interp/Profiler.h"
 #include "ir/IRBuilder.h"
 #include "stats/Statistic.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <set>
+#include <string_view>
 
 using namespace ade;
 using namespace ade::core;
@@ -421,6 +424,10 @@ ADE_STATISTIC(NumSelectedHashMap, "ade-selection",
 ADE_STATISTIC(NumSelectedSwissMap, "ade-selection",
               "Levels selected as SwissMap");
 ADE_STATISTIC(NumSelectedBitMap, "ade-selection", "Levels selected as BitMap");
+ADE_STATISTIC(NumProfileOverrides, "ade-selection",
+              "Selections changed by measured profile data");
+ADE_STATISTIC(NumReserveHints, "ade-selection",
+              "Capacity pre-sizing hints inserted from profiled peaks");
 
 /// Counts one explicit Table-I implementation decision.
 static void countSelectionDecision(Selection S) {
@@ -462,25 +469,154 @@ void ade::core::applySelection(ModuleAnalysis &MA,
                                const SelectionConfig &Config) {
   Module &M = MA.module();
   TypeContext &TC = M.types();
+  const interp::ProfileData *Profile = Config.Profile;
 
-  // Selection for one root level based on directives, enumeration status
-  // and configuration.
+  // Match each alias class to the lifetime record(s) of its allocation
+  // sites or global label. Profile-guided decisions are resolved per
+  // class — exactly like merged directives — so aliased roots (caller
+  // argument, callee parameter) keep agreeing types. When several sites
+  // of one class matched, the busiest record decides.
+  std::vector<const interp::ProfileData::SiteProfile *> ClassRec(
+      MA.aliasClasses().size(), nullptr);
+  std::vector<std::string> ClassOrigin(MA.aliasClasses().size());
+  if (Profile) {
+    for (size_t CI = 0, E = MA.aliasClasses().size(); CI != E; ++CI) {
+      for (RootInfo *R : MA.aliasClasses()[CI]) {
+        const interp::ProfileData::SiteProfile *Rec = nullptr;
+        std::string Origin;
+        if (R->TheKind == RootInfo::Kind::Alloc && R->Anchor) {
+          if (auto *Res = dyn_cast<InstResult>(R->Anchor)) {
+            const Instruction *NewI = Res->parent();
+            const Function *F = NewI->parentFunction();
+            std::string_view Fn = F ? std::string_view(F->name())
+                                    : std::string_view();
+            Rec = Profile->allocSite(Fn, NewI->loc());
+            if (Rec)
+              Origin = std::string(Fn) + ":" +
+                       std::to_string(NewI->loc().Line) + ":" +
+                       std::to_string(NewI->loc().Col);
+          }
+        } else if (R->TheKind == RootInfo::Kind::Global && R->Global) {
+          Origin = "@" + R->Global->Name;
+          Rec = Profile->labeledSite(Origin);
+        }
+        if (Rec && (!ClassRec[CI] || Rec->Ops > ClassRec[CI]->Ops)) {
+          ClassRec[CI] = Rec;
+          ClassOrigin[CI] = Origin;
+        }
+      }
+    }
+  }
+  auto RecFor =
+      [&](const RootInfo *R) -> const interp::ProfileData::SiteProfile * {
+    if (!Profile)
+      return nullptr;
+    return ClassRec[MA.aliasClassOf(const_cast<RootInfo *>(R))];
+  };
+
+  // The identifier universe of each candidate: the largest measured peak
+  // among its key members (the enumeration grows to the union of all
+  // member keys).
+  std::map<const Candidate *, uint64_t> UniverseOf;
+  if (Profile)
+    for (const Candidate &C : Plan.Candidates) {
+      uint64_t Universe = 0;
+      for (RootInfo *R : C.KeyMembers)
+        if (const auto *Rec = RecFor(R))
+          Universe = std::max(Universe, Rec->PeakElements);
+      UniverseOf[&C] = Universe;
+    }
+
+  /// Universe size below which a dense bitset is always cheap enough that
+  /// sparsity does not matter.
+  constexpr uint64_t SparseUniverseMin = 1024;
+
+  // Report rows by root, so the pre-sizing pass below can annotate them.
+  std::map<const RootInfo *, size_t> RowOf;
+
+  // Selection for one root level based on directives, enumeration status,
+  // configuration, and (when present) measured behavior.
   auto SelectionFor = [&](const RootInfo *R, Type *CurTy) -> Selection {
-    bool KeyEnumerated = false;
+    const Candidate *Cand = nullptr;
     for (const Candidate &C : Plan.Candidates)
       if (C.isKeyMember(R))
-        KeyEnumerated = true;
+        Cand = &C;
+    bool KeyEnumerated = Cand != nullptr;
+    const interp::ProfileData::SiteProfile *Rec = RecFor(R);
+
     Selection FromDirective =
         R->HasDirective ? R->Dir.Select : Selection::Empty;
-    if (FromDirective != Selection::Empty) {
-      // Specialized implementations require enumerated (idx) keys.
-      if (!selectionRequiresEnumeration(FromDirective) || KeyEnumerated)
-        return FromDirective;
+    // Specialized implementations require enumerated (idx) keys.
+    bool DirectiveApplies =
+        FromDirective != Selection::Empty &&
+        (!selectionRequiresEnumeration(FromDirective) || KeyEnumerated);
+
+    // The static choice: what selection decides without a profile.
+    Selection Static = Selection::Empty;
+    std::string Reason = "kind default";
+    if (DirectiveApplies) {
+      Static = FromDirective;
+      Reason = "select directive";
+    } else if (KeyEnumerated) {
+      Static = isa<SetType>(CurTy) ? Config.EnumeratedSet
+                                   : Config.EnumeratedMap;
+      Reason = "enumerated default";
     }
-    if (KeyEnumerated)
-      return isa<SetType>(CurTy) ? Config.EnumeratedSet
-                                 : Config.EnumeratedMap;
-    return Selection::Empty;
+
+    // Profile-guided overrides. A directive always wins over the profile.
+    Selection Final = Static;
+    if (Rec && !DirectiveApplies && Rec->Ops != 0) {
+      if (KeyEnumerated && isa<SetType>(CurTy)) {
+        // Dense vs sparse identifier population: a large universe used
+        // thinly wastes dense bitset words and scan time; a well-filled
+        // one favors the dense bitset's locality.
+        uint64_t Universe = UniverseOf[Cand];
+        bool Sparse = Universe >= SparseUniverseMin &&
+                      Rec->PeakElements * 8 < Universe;
+        Final = Sparse ? Selection::SparseBitSet : Selection::BitSet;
+        Reason = std::string("profiled ") + (Sparse ? "sparse" : "dense") +
+                 " (peak " + std::to_string(Rec->PeakElements) +
+                 " of universe " + std::to_string(Universe) + ")";
+      } else if (!KeyEnumerated && Static == Selection::Empty &&
+                 !R->Escapes &&
+                 (Rec->Rehashes > 0 || Rec->Probes > 2 * Rec->Ops)) {
+        // Probe-heavy chained-hash workload: move to the flat SIMD
+        // tables; the pre-sizing hints below then remove the measured
+        // growth-rehash chains entirely.
+        if (isa<SetType>(CurTy))
+          Final = Selection::SwissSet;
+        else if (isa<MapType>(CurTy))
+          Final = Selection::SwissMap;
+        if (Final != Static)
+          Reason = "profiled probe-heavy (" + std::to_string(Rec->Probes) +
+                   " probes, " + std::to_string(Rec->Rehashes) +
+                   " rehashes over " + std::to_string(Rec->Ops) + " ops)";
+      }
+    }
+    if (Final != Static)
+      ++NumProfileOverrides;
+
+    if (Config.Report) {
+      SelectionDecision D;
+      D.Root = R->describe();
+      if (Profile)
+        D.Origin = ClassOrigin[MA.aliasClassOf(const_cast<RootInfo *>(R))];
+      D.Static = Static;
+      D.Final = Final;
+      D.FromDirective = DirectiveApplies;
+      D.KeyEnumerated = KeyEnumerated;
+      if (Rec) {
+        D.Profiled = true;
+        D.Ops = Rec->Ops;
+        D.PeakElements = Rec->PeakElements;
+        D.Probes = Rec->Probes;
+        D.Rehashes = Rec->Rehashes;
+      }
+      D.Reason = Reason;
+      RowOf[R] = Config.Report->size();
+      Config.Report->push_back(std::move(D));
+    }
+    return Final;
   };
 
   // Rebuild each root's type bottom-up with selections applied. The
@@ -532,5 +668,37 @@ void ade::core::applySelection(ModuleAnalysis &MA,
       Level = Level->Child;
     }
   }
+
+  // Capacity pre-sizing: allocation sites whose profiled peak is known
+  // get a reserve hint right after the `new`, so the next run builds the
+  // table at final size instead of replaying the growth-rehash chain.
+  // Matched per site (not per class): each site hints its own peak.
+  if (Profile) {
+    IRBuilder B(M);
+    for (const auto &RootPtr : MA.roots()) {
+      const RootInfo *R = RootPtr.get();
+      if (R->TheKind != RootInfo::Kind::Alloc || !R->Anchor)
+        continue;
+      auto *Res = dyn_cast<InstResult>(R->Anchor);
+      if (!Res)
+        continue;
+      Instruction *NewI = Res->parent();
+      const Function *F = NewI->parentFunction();
+      const interp::ProfileData::SiteProfile *Rec = Profile->allocSite(
+          F ? std::string_view(F->name()) : std::string_view(),
+          NewI->loc());
+      if (!Rec || Rec->PeakElements < Config.MinReserve)
+        continue;
+      B.setInsertionPointAfter(NewI);
+      B.reserve(Res, B.constU64(Rec->PeakElements));
+      ++NumReserveHints;
+      if (Config.Report) {
+        auto It = RowOf.find(R);
+        if (It != RowOf.end())
+          (*Config.Report)[It->second].ReserveHint = Rec->PeakElements;
+      }
+    }
+  }
+
   TransformDriver::fixReturnTypes(M);
 }

@@ -39,6 +39,32 @@ struct TransformConfig {
   bool EnableRTE = true;
 };
 
+/// One root's implementation decision and the evidence behind it
+/// (`adec --selection-report`).
+struct SelectionDecision {
+  /// RootInfo::describe() of the level decided.
+  std::string Root;
+  /// Matched profile origin: "function:line:col" for allocations,
+  /// "@name" for globals, empty when nothing matched.
+  std::string Origin;
+  /// What static selection (directives + configured defaults) chose.
+  ir::Selection Static = ir::Selection::Empty;
+  /// What was actually applied (== Static unless the profile overrode).
+  ir::Selection Final = ir::Selection::Empty;
+  bool FromDirective = false;
+  bool KeyEnumerated = false;
+  /// True when a profile record matched this root's alias class.
+  bool Profiled = false;
+  uint64_t Ops = 0;
+  uint64_t PeakElements = 0;
+  uint64_t Probes = 0;
+  uint64_t Rehashes = 0;
+  /// Capacity pre-sizing hint inserted at the allocation (0 = none).
+  uint64_t ReserveHint = 0;
+  /// One-line explanation of the final choice.
+  std::string Reason;
+};
+
 /// Implementation selection knobs (SIII-H).
 struct SelectionConfig {
   /// Implementation for enumerated sets (BitSet, or SparseBitSet for the
@@ -46,6 +72,19 @@ struct SelectionConfig {
   ir::Selection EnumeratedSet = ir::Selection::BitSet;
   /// Implementation for enumerated maps.
   ir::Selection EnumeratedMap = ir::Selection::BitMap;
+  /// Measured run data (`adec --profile-use`). When set, measured op
+  /// mixes, peaks and probe/rehash rates replace the static estimates:
+  /// enumerated sets pick dense vs sparse bitsets from the measured key
+  /// density, probe-heavy unenumerated tables move to the flat SIMD
+  /// tables, and allocation sites with known peaks get capacity
+  /// pre-sizing hints. Select directives always win over the profile.
+  const interp::ProfileData *Profile = nullptr;
+  /// Minimum profiled peak element count before a pre-sizing reserve is
+  /// emitted at the allocation site (tiny tables never rehash enough to
+  /// pay for the extra instruction).
+  uint64_t MinReserve = 16;
+  /// When non-null, one SelectionDecision per decided root is appended.
+  std::vector<SelectionDecision> *Report = nullptr;
 };
 
 /// Statistics for tests and reporting.

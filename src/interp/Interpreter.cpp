@@ -554,6 +554,17 @@ struct Interpreter::Impl {
       C->clear();
       return Flow::Next;
     }
+    case Opcode::Reserve: {
+      RtCollection *C = Interpreter::bitsToColl(In(0));
+      if (C->kind() != RtKind::Seq) {
+        if (Stats)
+          Stats->record(OpCategory::Reserve, C->isDense());
+        if (Prof)
+          Prof->recordOp(I, OpCategory::Reserve, C->isDense(), 1, C);
+      }
+      C->reserve(In(1));
+      return Flow::Next;
+    }
     case Opcode::Append:
       asSeq(In(0))->append(In(1));
       return Flow::Next;

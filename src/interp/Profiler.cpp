@@ -11,6 +11,7 @@
 #include "support/RawOstream.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 
 using namespace ade;
@@ -232,4 +233,196 @@ void Profiler::writeCollectionsJson(json::Writer &W) const {
     W.endObject();
   }
   W.endArray();
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileData
+//===----------------------------------------------------------------------===//
+
+static std::string locKey(SrcLoc Loc) {
+  return std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col);
+}
+
+static std::string siteKey(std::string_view Function, SrcLoc Loc) {
+  return std::string(Function) + "@" + locKey(Loc);
+}
+
+/// Category index for a profile JSON byCategory key; NumCats if unknown.
+static unsigned categoryIndex(std::string_view Name) {
+  for (unsigned I = 0; I != Profiler::NumCats; ++I)
+    if (Name == opCategoryName(static_cast<OpCategory>(I)))
+      return I;
+  return Profiler::NumCats;
+}
+
+ProfileData::SiteProfile &ProfileData::siteSlot(std::string_view Function,
+                                                SrcLoc Loc) {
+  auto [It, Inserted] = Sites.try_emplace(siteKey(Function, Loc));
+  SiteProfile &S = It->second;
+  if (Inserted) {
+    S.Function = Function;
+    S.Loc = Loc;
+  }
+  // std::map node addresses are stable, so the fallback index can alias
+  // the primary entry.
+  const SiteProfile *&ByLoc = SitesByLoc[locKey(Loc)];
+  if (!ByLoc)
+    ByLoc = &S;
+  return S;
+}
+
+void ProfileData::addFromProfiler(const Profiler &P) {
+  for (const Profiler::CollectionRecord *R : P.collections()) {
+    SiteProfile *S;
+    if (R->AllocSite && R->Loc.isValid()) {
+      S = &siteSlot(R->Function, R->Loc);
+    } else {
+      auto [It, Inserted] = Labeled.try_emplace(R->Label);
+      S = &It->second;
+      if (Inserted)
+        S->Label = R->Label;
+    }
+    S->Collections += 1;
+    S->Ops += R->Ops;
+    S->Sparse += R->Sparse;
+    S->Dense += R->Dense;
+    for (unsigned I = 0; I != Profiler::NumCats; ++I)
+      S->ByCategory[I] += R->ByCategory[I];
+    S->PeakElements = std::max(S->PeakElements, R->PeakElements);
+    S->PeakBytes = std::max(S->PeakBytes, R->PeakBytes);
+    S->Probes += R->Probes;
+    S->Rehashes += R->Rehashes;
+  }
+  for (const Profiler::SiteRecord *R : P.hotSites()) {
+    if (!R->Loc.isValid())
+      continue;
+    OpSites[siteKey(R->Function, R->Loc)] += R->Total;
+    OpLocs[locKey(R->Loc)] += R->Total;
+  }
+}
+
+bool ProfileData::parse(std::string_view Text, std::string *Error) {
+  auto Fail = [&](std::string Msg) {
+    if (Error)
+      *Error = std::move(Msg);
+    return false;
+  };
+  std::string ParseError;
+  std::unique_ptr<json::Value> Doc = json::parse(Text, &ParseError);
+  if (!Doc)
+    return Fail("invalid profile JSON: " + ParseError);
+  if (!Doc->isObject())
+    return Fail("profile JSON is not an object");
+  const json::Value *Ver = Doc->find("schemaVersion");
+  if (!Ver || !Ver->isNumber())
+    return Fail("profile has no schemaVersion (was it written by "
+                "`adec --run --profile`?)");
+  if (Ver->asUint() != ProfileSchemaVersion)
+    return Fail("unsupported profile schemaVersion " +
+                std::to_string(Ver->asUint()) + " (expected " +
+                std::to_string(ProfileSchemaVersion) + ")");
+
+  auto U = [](const json::Value &Obj, std::string_view Key) -> uint64_t {
+    const json::Value *V = Obj.find(Key);
+    return V && V->isNumber() ? V->asUint() : 0;
+  };
+  auto Str = [](const json::Value &Obj,
+                std::string_view Key) -> std::string {
+    const json::Value *V = Obj.find(Key);
+    return V && V->isString() ? V->asString() : std::string();
+  };
+
+  if (const json::Value *Colls = Doc->find("collections")) {
+    if (!Colls->isArray())
+      return Fail("profile member 'collections' is not an array");
+    for (const json::Value &C : Colls->elements()) {
+      if (!C.isObject())
+        return Fail("profile collection record is not an object");
+      SrcLoc Loc{unsigned(U(C, "line")), unsigned(U(C, "col"))};
+      std::string Origin = Str(C, "origin");
+      SiteProfile *S;
+      if (Origin.empty() && Loc.isValid()) {
+        S = &siteSlot(Str(C, "function"), Loc);
+      } else {
+        if (Origin.empty())
+          Origin = "<external>";
+        auto [It, Inserted] = Labeled.try_emplace(Origin);
+        S = &It->second;
+        if (Inserted)
+          S->Label = Origin;
+      }
+      S->Collections += 1;
+      S->Ops += U(C, "ops");
+      S->Sparse += U(C, "sparse");
+      S->Dense += U(C, "dense");
+      S->PeakElements = std::max(S->PeakElements, U(C, "peakElements"));
+      S->PeakBytes = std::max(S->PeakBytes, U(C, "peakBytes"));
+      S->Probes += U(C, "probes");
+      S->Rehashes += U(C, "rehashes");
+      if (const json::Value *Cats = C.find("byCategory")) {
+        if (!Cats->isObject())
+          return Fail("profile member 'byCategory' is not an object");
+        for (const auto &[Name, Count] : Cats->members()) {
+          unsigned Idx = categoryIndex(Name);
+          if (Idx != Profiler::NumCats && Count.isNumber())
+            S->ByCategory[Idx] += Count.asUint();
+        }
+      }
+    }
+  }
+
+  if (const json::Value *HotSites = Doc->find("hotSites")) {
+    if (!HotSites->isArray())
+      return Fail("profile member 'hotSites' is not an array");
+    for (const json::Value &H : HotSites->elements()) {
+      if (!H.isObject())
+        return Fail("profile hot-site record is not an object");
+      SrcLoc Loc{unsigned(U(H, "line")), unsigned(U(H, "col"))};
+      if (!Loc.isValid())
+        continue;
+      uint64_t N = U(H, "count");
+      OpSites[siteKey(Str(H, "function"), Loc)] += N;
+      OpLocs[locKey(Loc)] += N;
+    }
+  }
+  return true;
+}
+
+bool ProfileData::loadFromFile(const std::string &Path, std::string *Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return parse(Text, Error);
+}
+
+const ProfileData::SiteProfile *
+ProfileData::allocSite(std::string_view Function, SrcLoc Loc) const {
+  auto It = Sites.find(siteKey(Function, Loc));
+  if (It != Sites.end())
+    return &It->second;
+  auto LIt = SitesByLoc.find(locKey(Loc));
+  return LIt == SitesByLoc.end() ? nullptr : LIt->second;
+}
+
+const ProfileData::SiteProfile *
+ProfileData::labeledSite(std::string_view Label) const {
+  auto It = Labeled.find(std::string(Label));
+  return It == Labeled.end() ? nullptr : &It->second;
+}
+
+uint64_t ProfileData::opsAt(std::string_view Function, SrcLoc Loc) const {
+  auto It = OpSites.find(siteKey(Function, Loc));
+  if (It != OpSites.end())
+    return It->second;
+  auto LIt = OpLocs.find(locKey(Loc));
+  return LIt == OpLocs.end() ? 0 : LIt->second;
 }

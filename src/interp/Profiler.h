@@ -27,6 +27,7 @@
 #include "runtime/RtCollection.h"
 #include "runtime/Stats.h"
 
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -41,6 +42,12 @@ class Writer;
 }
 
 namespace interp {
+
+/// Version stamp of the profile JSON document written by `adec --profile`
+/// and read back by `adec --profile-use`. Bump on any incompatible change
+/// to the hot-site / collection member layout; the reader rejects
+/// documents whose stamp does not match.
+constexpr uint64_t ProfileSchemaVersion = 1;
 
 /// Attributes dynamic operation counts to IR sites and runtime collections.
 class Profiler {
@@ -139,6 +146,85 @@ private:
                      std::unique_ptr<CollectionRecord>>
       Colls;
   std::vector<const runtime::RtCollection *> CollOrder;
+};
+
+/// Measured behavior of a prior run, keyed by source location, as consumed
+/// by profile-guided collection selection (`adec --profile-use`). Loaded
+/// from the versioned profile JSON `adec --run --profile=FILE` writes, or
+/// aggregated directly from a live \c Profiler (bench harness).
+///
+/// Lifetime records are matched back to allocation sites by
+/// (function, line, column); collections a site allocated repeatedly (in a
+/// loop, or across collections aliased into one class) aggregate into one
+/// \c SiteProfile. Hot-site operation counts are kept separately so the
+/// planner can weight each translation site by its dynamic execution
+/// count. Lookups fall back to (line, column) alone so records taken on
+/// the original program still match ADE-cloned functions.
+class ProfileData {
+public:
+  /// Aggregate lifetime profile of the collections allocated at one site.
+  struct SiteProfile {
+    /// Function containing the allocation (empty for labeled origins).
+    std::string Function;
+    ir::SrcLoc Loc;
+    /// "@name" for globals, "<host>" for harness inputs; empty when the
+    /// site is a `new` instruction.
+    std::string Label;
+    /// Number of lifetime records merged into this aggregate.
+    uint64_t Collections = 0;
+    uint64_t Ops = 0;
+    uint64_t Sparse = 0;
+    uint64_t Dense = 0;
+    uint64_t ByCategory[Profiler::NumCats] = {};
+    /// Maximum over the merged records.
+    uint64_t PeakElements = 0;
+    uint64_t PeakBytes = 0;
+    /// Summed over the merged records.
+    uint64_t Probes = 0;
+    uint64_t Rehashes = 0;
+  };
+
+  /// Reads and parses the profile JSON at \p Path. On failure returns
+  /// false and stores a message in \p Error.
+  bool loadFromFile(const std::string &Path, std::string *Error);
+
+  /// Parses a profile JSON document (the whole `adec --profile` output).
+  /// Rejects missing or mismatched \c schemaVersion stamps.
+  bool parse(std::string_view Text, std::string *Error);
+
+  /// Aggregates \p P's records directly (no JSON round-trip); used by the
+  /// bench harness's in-process profile-then-recompile loop.
+  void addFromProfiler(const Profiler &P);
+
+  /// The aggregate for the allocation site at (\p Function, \p Loc);
+  /// falls back to matching \p Loc alone (cloned functions), then null.
+  const SiteProfile *allocSite(std::string_view Function,
+                               ir::SrcLoc Loc) const;
+
+  /// The aggregate for a labeled origin ("@global", "<host>"), or null.
+  const SiteProfile *labeledSite(std::string_view Label) const;
+
+  /// Dynamic operations recorded at instruction site (\p Function, \p Loc)
+  /// with the same clone fallback; 0 when the site was never executed.
+  uint64_t opsAt(std::string_view Function, ir::SrcLoc Loc) const;
+
+  size_t numAllocSites() const { return Sites.size() + Labeled.size(); }
+  bool empty() const {
+    return Sites.empty() && Labeled.empty() && OpSites.empty();
+  }
+
+private:
+  SiteProfile &siteSlot(std::string_view Function, ir::SrcLoc Loc);
+
+  /// Keyed by "function@line:col".
+  std::map<std::string, SiteProfile> Sites;
+  /// Keyed by label.
+  std::map<std::string, SiteProfile> Labeled;
+  /// Location-only fallback ("line:col" -> first matching site).
+  std::map<std::string, const SiteProfile *> SitesByLoc;
+  /// Dynamic op counts: "function@line:col" and "line:col" fallback.
+  std::map<std::string, uint64_t> OpSites;
+  std::map<std::string, uint64_t> OpLocs;
 };
 
 } // namespace interp

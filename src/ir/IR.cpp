@@ -103,6 +103,8 @@ const char *ade::ir::opcodeName(Opcode Op) {
     return "size";
   case Opcode::Clear:
     return "clear";
+  case Opcode::Reserve:
+    return "reserve";
   case Opcode::Append:
     return "append";
   case Opcode::Pop:
@@ -146,6 +148,7 @@ bool ade::ir::isCollectionAccess(Opcode Op) {
   case Opcode::Has:
   case Opcode::Size:
   case Opcode::Clear:
+  case Opcode::Reserve:
   case Opcode::Append:
   case Opcode::Pop:
   case Opcode::Union:

@@ -209,6 +209,7 @@ enum class Opcode : uint8_t {
   Has,    // has(coll, key) -> bool
   Size,   // size(coll) -> u64
   Clear,  // clear(coll)
+  Reserve, // reserve(coll, n): capacity pre-sizing hint, no results
   Append, // append(seq, value)
   Pop,    // pop(seq) -> value
   Union,  // union(dstSet, srcSet)

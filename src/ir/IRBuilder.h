@@ -180,6 +180,10 @@ public:
     return create(Opcode::Size, {types().intTy(64, false)}, {Coll})->result();
   }
   void clear(Value *Coll) { create(Opcode::Clear, {}, {Coll}); }
+
+  void reserve(Value *Coll, Value *N) {
+    create(Opcode::Reserve, {}, {Coll, N});
+  }
   void append(Value *Seq, Value *V) { create(Opcode::Append, {}, {Seq, V}); }
   Value *pop(Value *Seq) {
     auto *Ty = cast<SeqType>(Seq->type());

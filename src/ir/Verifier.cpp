@@ -311,6 +311,14 @@ private:
         if (!I.operand(0)->type()->isCollection())
           error(CurFn, &I, "clear requires a collection");
       break;
+    case Opcode::Reserve:
+      if (expectOperands(I, 2) && expectResults(I, 0)) {
+        if (!I.operand(0)->type()->isCollection())
+          error(CurFn, &I, "reserve requires a collection");
+        expectType(I, I.operand(1)->type(), M.types().intTy(64, false),
+                   "count");
+      }
+      break;
     case Opcode::Append:
       if (expectOperands(I, 2) && expectResults(I, 0)) {
         auto *Seq = dyn_cast<SeqType>(I.operand(0)->type());

@@ -608,6 +608,13 @@ private:
       B.clear(Coll);
       return noResults();
     }
+    if (Op == "reserve") {
+      std::vector<Value *> Vs;
+      if (!parseValueList(Vs) || Vs.size() != 2)
+        return fail("reserve requires coll, count");
+      B.reserve(Vs[0], Vs[1]);
+      return noResults();
+    }
     if (Op == "append") {
       std::vector<Value *> Vs;
       if (!parseValueList(Vs) || Vs.size() != 2)

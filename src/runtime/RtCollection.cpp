@@ -53,6 +53,7 @@ public:
   uint64_t size() const override { return Impl.size(); }
   size_t memoryBytes() const override { return Impl.memoryBytes(); }
   void clear() override { Impl.clear(); }
+  void reserve(uint64_t N) override { Impl.reserve(size_t(N)); }
 
   uint64_t get(uint64_t Idx) const override {
     if (Idx >= Impl.size())
@@ -91,6 +92,10 @@ public:
   uint64_t size() const override { return Impl.size(); }
   size_t memoryBytes() const override { return Impl.memoryBytes(); }
   void clear() override { Impl.clear(); }
+  void reserve(uint64_t N) override {
+    if constexpr (requires(SetT &S) { S.reserve(size_t(N)); })
+      Impl.reserve(size_t(N));
+  }
   ProbeCounters probeCounters() const override {
     if constexpr (requires(const SetT &S) { S.probeCount(); S.rehashCount(); })
       return {Impl.probeCount(), Impl.rehashCount()};
@@ -134,6 +139,10 @@ public:
   uint64_t size() const override { return Impl.size(); }
   size_t memoryBytes() const override { return Impl.memoryBytes(); }
   void clear() override { Impl.clear(); }
+  void reserve(uint64_t N) override {
+    if constexpr (requires(MapT &M) { M.reserve(size_t(N)); })
+      Impl.reserve(size_t(N));
+  }
   ProbeCounters probeCounters() const override {
     if constexpr (requires(const MapT &M) { M.probeCount(); M.rehashCount(); })
       return {Impl.probeCount(), Impl.rehashCount()};

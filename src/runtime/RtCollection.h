@@ -56,6 +56,10 @@ public:
   virtual uint64_t size() const = 0;
   virtual size_t memoryBytes() const = 0;
   virtual void clear() = 0;
+  /// Capacity pre-sizing hint: prepare for \p N elements so subsequent
+  /// insertions avoid incremental growth (rehash storms). Implementations
+  /// without a meaningful capacity ignore it; never shrinks.
+  virtual void reserve(uint64_t N) { (void)N; }
   virtual ProbeCounters probeCounters() const { return {}; }
 
 private:

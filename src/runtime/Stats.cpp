@@ -27,6 +27,8 @@ const char *ade::runtime::opCategoryName(OpCategory C) {
     return "size";
   case OpCategory::Clear:
     return "clear";
+  case OpCategory::Reserve:
+    return "reserve";
   case OpCategory::Iterate:
     return "iterate";
   case OpCategory::Union:

@@ -33,6 +33,7 @@ enum class OpCategory : uint8_t {
   Has,
   Size,
   Clear,
+  Reserve,
   Iterate, // One count per element visited.
   Union,   // One count per source element merged.
   Enc,

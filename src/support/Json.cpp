@@ -7,6 +7,7 @@
 #include "support/Json.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -394,6 +395,19 @@ private:
       return fail("expected value");
     std::string Buf(Text.substr(Start, Pos - Start));
     char *End = nullptr;
+    // Non-negative integer literals stay exact through uint64: profiler
+    // counters above 2^53 must not be rounded by a double round-trip, and
+    // out-of-range integers fail loudly instead of saturating.
+    if (Buf.find_first_of(".eE-") == std::string::npos) {
+      errno = 0;
+      unsigned long long U = std::strtoull(Buf.c_str(), &End, 10);
+      if (End != Buf.c_str() + Buf.size())
+        return fail("invalid number");
+      if (errno == ERANGE)
+        return fail("integer overflows uint64");
+      Out = Value::makeUnsigned(U);
+      return true;
+    }
     double D = std::strtod(Buf.c_str(), &End);
     if (End != Buf.c_str() + Buf.size())
       return fail("invalid number");

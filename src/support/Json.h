@@ -112,9 +112,24 @@ public:
   bool isObject() const { return K == Kind::Object; }
 
   bool asBool() const { return Bool; }
-  double asNumber() const { return Num; }
-  uint64_t asUint() const { return Num < 0 ? 0 : uint64_t(Num); }
-  int64_t asInt() const { return int64_t(Num); }
+  double asNumber() const {
+    return Rep == NumRep::Unsigned ? double(UNum) : Num;
+  }
+  /// Exact for integer-literal numbers anywhere in the uint64 range
+  /// (profiler counters exceed 2^53 on long runs, where a double
+  /// round-trip would silently corrupt them).
+  uint64_t asUint() const {
+    if (Rep == NumRep::Unsigned)
+      return UNum;
+    return Num < 0 ? 0 : uint64_t(Num);
+  }
+  int64_t asInt() const {
+    if (Rep == NumRep::Unsigned)
+      return UNum > uint64_t(INT64_MAX) ? INT64_MAX : int64_t(UNum);
+    return int64_t(Num);
+  }
+  /// True when the number was an integer literal held exactly.
+  bool isExactUint() const { return Rep == NumRep::Unsigned; }
   const std::string &asString() const { return Str; }
 
   const std::vector<Value> &elements() const { return Elems; }
@@ -140,6 +155,13 @@ public:
     V.Num = N;
     return V;
   }
+  static Value makeUnsigned(uint64_t N) {
+    Value V(Kind::Number);
+    V.Rep = NumRep::Unsigned;
+    V.UNum = N;
+    V.Num = double(N);
+    return V;
+  }
   static Value makeString(std::string S) {
     Value V(Kind::String);
     V.Str = std::move(S);
@@ -152,11 +174,18 @@ public:
   std::vector<std::pair<std::string, Value>> Members;
 
 private:
+  enum class NumRep { Double, Unsigned };
+
   explicit Value(Kind K) : K(K) {}
 
   Kind K = Kind::Null;
   bool Bool = false;
+  /// Double view of the number (approximate when Rep is Unsigned and the
+  /// payload exceeds 2^53).
   double Num = 0;
+  /// Exact payload when the literal was a non-negative integer.
+  uint64_t UNum = 0;
+  NumRep Rep = NumRep::Double;
   std::string Str;
 };
 

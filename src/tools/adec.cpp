@@ -29,6 +29,16 @@
 ///                             --run; prints the hot-site and collection
 ///                             tables, then writes the profile JSON to
 ///                             FILE (stdout when omitted)
+///     --profile-use=FILE      profile-guided selection: read the profile
+///                             JSON a prior `--run --profile=FILE` wrote
+///                             and let measured op mixes, peaks and
+///                             probe/rehash rates drive the benefit
+///                             heuristic, implementation selection and
+///                             capacity pre-sizing (requires --ade)
+///     --selection-report      print one line per collection explaining
+///                             its implementation choice: static score,
+///                             profiled score, directive override
+///                             (requires --ade)
 ///     --trace-out=FILE        write a Chrome trace-event JSON covering
 ///                             compile passes and interpreted activations
 ///
@@ -42,6 +52,7 @@
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
 #include "stats/Statistic.h"
+#include "stats/Stats.h"
 #include "support/Json.h"
 #include "support/RawOstream.h"
 #include "support/Trace.h"
@@ -64,7 +75,8 @@ static int usage(const char *BadOption = nullptr) {
       "            [--no-propagation] [--sparse] [--print]\n"
       "            [--run[=FUNC]] [--args=a,b,c] [--lint]\n"
       "            [--diag-format=text|json] [--time-report]\n"
-      "            [--profile[=FILE]] [--trace-out=FILE]\n");
+      "            [--profile[=FILE]] [--profile-use=FILE]\n"
+      "            [--selection-report] [--trace-out=FILE]\n");
   return 1;
 }
 
@@ -120,6 +132,7 @@ static void writeProfileJson(RawOstream &OS, const char *Path,
                              const interp::Profiler &Prof) {
   json::Writer W(OS);
   W.beginObject();
+  W.member("schemaVersion", interp::ProfileSchemaVersion);
   W.member("file", Path).member("function", Func).member("result", Result);
   W.key("stats").beginObject(/*Inline=*/true);
   W.member("sparse", Stats.Sparse)
@@ -144,9 +157,9 @@ int main(int Argc, char **Argv) {
     return usage();
   const char *Path = nullptr;
   bool RunAde = false, Print = false, Run = false, Lint = false;
-  bool TimeReport = false, Profile = false;
+  bool TimeReport = false, Profile = false, SelectionReport = false;
   bool SawArgs = false, SawDiagFormat = false;
-  std::string ProfileFile, TraceFile;
+  std::string ProfileFile, ProfileUseFile, TraceFile;
   analysis::DiagFormat Format = analysis::DiagFormat::Text;
   std::string RunFunc = "main";
   std::vector<uint64_t> RunArgs;
@@ -184,6 +197,14 @@ int main(int Argc, char **Argv) {
       Profile = true;
       if (Arg.size() > 10)
         ProfileFile = Arg.substr(10);
+    } else if (Arg.rfind("--profile-use=", 0) == 0) {
+      ProfileUseFile = Arg.substr(14);
+      if (ProfileUseFile.empty()) {
+        std::fprintf(stderr, "adec: --profile-use requires a file name\n");
+        return 1;
+      }
+    } else if (Arg == "--selection-report") {
+      SelectionReport = true;
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       TraceFile = Arg.substr(12);
       if (TraceFile.empty()) {
@@ -217,6 +238,29 @@ int main(int Argc, char **Argv) {
   if (Profile && !Run) {
     std::fprintf(stderr, "adec: --profile requires --run\n");
     return 1;
+  }
+  if (!TraceFile.empty() && !Run) {
+    std::fprintf(stderr, "adec: --trace-out requires --run\n");
+    return 1;
+  }
+  if (!ProfileUseFile.empty() && !RunAde) {
+    std::fprintf(stderr, "adec: --profile-use requires --ade\n");
+    return 1;
+  }
+  if (SelectionReport && !RunAde) {
+    std::fprintf(stderr, "adec: --selection-report requires --ade\n");
+    return 1;
+  }
+
+  interp::ProfileData ProfData;
+  if (!ProfileUseFile.empty()) {
+    std::string Error;
+    if (!ProfData.loadFromFile(ProfileUseFile, &Error)) {
+      std::fprintf(stderr, "adec: cannot use profile %s: %s\n",
+                   ProfileUseFile.c_str(), Error.c_str());
+      return 1;
+    }
+    Config.Profile = &ProfData;
   }
 
   std::string Source;
@@ -257,6 +301,18 @@ int main(int Argc, char **Argv) {
     if (TimeReport) {
       Result.Timing.printReport(outs(), "ADE pass timing");
       stats::printStatistics(outs());
+    }
+    if (SelectionReport) {
+      RawOstream &ROS = outs();
+      ROS << "===-- selection report --===\n";
+      stats::Table T({"root", "origin", "static", "final", "reserve",
+                      "reason"});
+      for (const core::SelectionDecision &D : Result.Selections)
+        T.addRow({D.Root, D.Origin.empty() ? "-" : D.Origin,
+                  ir::selectionName(D.Static), ir::selectionName(D.Final),
+                  D.ReserveHint ? std::to_string(D.ReserveHint) : "-",
+                  D.Reason});
+      T.print(ROS);
     }
   }
 

@@ -230,6 +230,68 @@ TEST(BitSetImpl, EqualityIgnoresUniverseTail) {
   EXPECT_TRUE(A == B);
 }
 
+TEST(BitSetImpl, EqualityIsSymmetricAcrossWordSizes) {
+  BitSet A, B;
+  A.insert(5);
+  B.insert(5);
+  B.insert(1000);
+  B.remove(1000); // Same contents, different Words.size().
+  EXPECT_TRUE(B == A); // Longer side on the left must also verify tails.
+  EXPECT_TRUE(A == B);
+  B.insert(999); // A member in a word A does not even have.
+  EXPECT_FALSE(A == B);
+  EXPECT_FALSE(B == A);
+}
+
+TEST(BitSetImpl, SelfUnionIsIdentity) {
+  BitSet A;
+  for (uint64_t Key : {1u, 64u, 999u})
+    A.insert(Key);
+  A.unionWith(A);
+  EXPECT_EQ(A.size(), 3u);
+  EXPECT_TRUE(A.contains(1));
+  EXPECT_TRUE(A.contains(64));
+  EXPECT_TRUE(A.contains(999));
+}
+
+TEST(BitSetImpl, SelfIntersectIsIdentity) {
+  BitSet A;
+  for (uint64_t Key : {1u, 64u, 999u})
+    A.insert(Key);
+  A.intersectWith(A);
+  EXPECT_EQ(A.size(), 3u);
+  EXPECT_TRUE(A.contains(1));
+  EXPECT_TRUE(A.contains(64));
+  EXPECT_TRUE(A.contains(999));
+}
+
+TEST(BitSetImpl, IntersectShrinkKeepsMemoryAccountingConsistent) {
+  BitSet A, B;
+  for (uint64_t Key = 0; Key != 10000; Key += 2)
+    A.insert(Key);
+  B.insert(10);
+  uint64_t TrackedBefore = MemoryTracker::instance().currentBytes();
+  size_t BytesBefore = A.memoryBytes();
+  A.intersectWith(B);
+  EXPECT_EQ(A.size(), 1u);
+  // The word vector logically shrinks to B's length but retains its
+  // capacity, so the collection's reported bytes and the global tracker
+  // must both be unchanged (no hidden free the tracker never saw).
+  EXPECT_EQ(A.memoryBytes(), BytesBefore);
+  EXPECT_EQ(MemoryTracker::instance().currentBytes(), TrackedBefore);
+}
+
+TEST(BitSetImpl, ReserveGrowsUniverseWithoutMembers) {
+  BitSet A;
+  A.reserve(1000);
+  EXPECT_GE(A.universeSize(), 1000u);
+  EXPECT_EQ(A.size(), 0u);
+  size_t Bytes = A.memoryBytes();
+  for (uint64_t Key = 0; Key != 1000; ++Key)
+    A.insert(Key);
+  EXPECT_EQ(A.memoryBytes(), Bytes); // No growth past the reservation.
+}
+
 // FlatSet-specific behavior.
 
 TEST(FlatSetImpl, IterationIsSortedAndContiguous) {
@@ -273,6 +335,48 @@ TEST(SwissSetImpl, HeavyChurnKeepsTableConsistent) {
     for (uint64_t Key = 0; Key != 128; ++Key)
       ASSERT_EQ(Set.contains(Key), Ref.count(Key) != 0) << Key;
   }
+}
+
+// Regression test: clear() used to shrink the table to its initial
+// capacity, so a cleared-and-refilled table replayed its entire
+// growth-rehash chain on every cycle. A cleared table must accept the
+// same working set again without a single further rehash.
+TEST(SwissSetImpl, ClearRetainsCapacityAcrossRefillCycles) {
+  SwissSet<uint64_t> Set;
+  auto Fill = [&Set] {
+    for (uint64_t I = 0; I != 2000; ++I)
+      Set.insert(I * 2654435761u);
+  };
+  Fill();
+  uint64_t RehashesAfterFirstFill = Set.rehashCount();
+  for (int Cycle = 0; Cycle != 5; ++Cycle) {
+    Set.clear();
+    EXPECT_TRUE(Set.empty());
+    EXPECT_FALSE(Set.contains(2654435761u));
+    Fill();
+    ASSERT_EQ(Set.size(), 2000u);
+  }
+  EXPECT_EQ(Set.rehashCount(), RehashesAfterFirstFill);
+}
+
+TEST(SwissSetImpl, ReservePresizesWithoutFurtherRehashes) {
+  SwissSet<uint64_t> Set;
+  Set.reserve(5000);
+  uint64_t RehashesAfterReserve = Set.rehashCount();
+  for (uint64_t I = 0; I != 5000; ++I)
+    Set.insert(I * 2654435761u);
+  EXPECT_EQ(Set.size(), 5000u);
+  EXPECT_EQ(Set.rehashCount(), RehashesAfterReserve);
+}
+
+TEST(HashSetImpl, ReservePresizesWithoutFurtherRehashes) {
+  HashSet<uint64_t> Set;
+  Set.reserve(5000);
+  uint64_t RehashesAfterReserve = Set.rehashCount();
+  for (uint64_t I = 0; I != 5000; ++I)
+    Set.insert(I);
+  EXPECT_EQ(Set.size(), 5000u);
+  EXPECT_EQ(Set.rehashCount(), RehashesAfterReserve);
 }
 
 TEST(SwissSetImpl, LargeInsertionRehashes) {

@@ -165,6 +165,26 @@ TEST(Interp, SequencesAppendPopReadWrite) {
             51u);
 }
 
+TEST(Interp, ReserveIsSemanticallyTransparent) {
+  // A pre-sizing hint must not change a collection's contents: size stays
+  // 0 right after the reserve, and later operations behave identically.
+  EXPECT_EQ(runMain(R"(fn @main() -> u64 {
+  %m = new Map<u64, u64>
+  %cap = const 1000 : u64
+  reserve %m, %cap
+  %empty = size %m
+  %k = const 7 : u64
+  %v = const 40 : u64
+  write %m, %k, %v
+  %got = read %m, %k
+  %one = size %m
+  %s = add %got, %one   // 41
+  %r = add %s, %empty   // 41
+  ret %r
+})"),
+            41u);
+}
+
 TEST(Interp, MapInsertWriteReadHasRemove) {
   EXPECT_EQ(runMain(R"(fn @main() -> u64 {
   %m = new Map<u64, u64>

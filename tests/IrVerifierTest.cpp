@@ -109,6 +109,40 @@ TEST(IrVerifier, ArithmeticOnCollections) {
       hasError(verifyErrors(M), "arithmetic requires scalar operands"));
 }
 
+TEST(IrVerifier, ReserveRequiresCollectionOperand) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Value *N = B.constU64(8);
+  B.create(Opcode::Reserve, {}, {N, N});
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(hasError(verifyErrors(M), "reserve requires a collection"));
+}
+
+TEST(IrVerifier, ReserveCountMustBeU64) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Type *SetTy = M.types().setTy(M.types().intTy(64, false));
+  Value *S = B.newColl(SetTy, "s");
+  Value *Count = B.constBool(true);
+  B.create(Opcode::Reserve, {}, {S, Count});
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(hasError(verifyErrors(M), "has type bool, expected u64"));
+}
+
+TEST(IrVerifier, ReserveOperandAndResultArity) {
+  Module M;
+  Function *F = M.createFunction("f", M.types().voidTy());
+  IRBuilder B(M, &F->body());
+  Type *SetTy = M.types().setTy(M.types().intTy(64, false));
+  Value *S = B.newColl(SetTy, "s");
+  B.create(Opcode::Reserve, {}, {S});
+  B.create(Opcode::Ret, {}, {});
+  EXPECT_TRUE(
+      hasError(verifyErrors(M), "expected 2 operands, found 1"));
+}
+
 TEST(IrVerifier, WriteKeyTypeMismatch) {
   Module M;
   Function *F = M.createFunction("f", M.types().voidTy());

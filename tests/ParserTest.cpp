@@ -90,6 +90,7 @@ TEST(Parser, CollectionOps) {
   remove %s, %k
   %n = size %m
   clear %m
+  reserve %m, %k
   append %q, %k
   %p = pop %q
   ret
@@ -291,6 +292,15 @@ TEST(ParserErrors, UnknownOperation) {
   EXPECT_NE(E.find("unknown operation"), std::string::npos) << E;
 }
 
+TEST(ParserErrors, ReserveNeedsCollAndCount) {
+  std::string E = parseError(R"(fn @f() {
+  %s = new Set<u64>
+  reserve %s
+  ret
+})");
+  EXPECT_NE(E.find("reserve requires coll, count"), std::string::npos) << E;
+}
+
 TEST(ParserErrors, UnknownCallee) {
   std::string E = parseError("fn @f() {\n  call @nope()\n  ret\n}\n");
   EXPECT_NE(E.find("unknown function"), std::string::npos) << E;
@@ -340,6 +350,15 @@ void expectRoundTrip(std::string_view Src) {
                          << (Errors.empty() ? P1 : Errors[0]);
   std::string P2 = toString(*M2);
   EXPECT_EQ(P1, P2);
+}
+
+TEST(RoundTrip, ReservePreSizingHint) {
+  expectRoundTrip(R"(fn @f() {
+  %s = new Set<u64>
+  %n = const 1024 : u64
+  reserve %s, %n
+  ret
+})");
 }
 
 TEST(RoundTrip, Histogram) {

@@ -294,4 +294,143 @@ TEST(Profiler, ResetClearsEverything) {
   EXPECT_TRUE(Prof.collections().empty());
 }
 
+//===----------------------------------------------------------------------===//
+// ProfileData: the reader side of `adec --profile-use`.
+//===----------------------------------------------------------------------===//
+
+const char *kProfileJson = R"({
+  "schemaVersion": 1,
+  "collections": [
+    {"function": "main", "line": 3, "col": 8, "kind": "Map",
+     "ops": 150, "sparse": 150, "dense": 0, "peakElements": 1000,
+     "peakBytes": 65536, "probes": 900, "rehashes": 8,
+     "byCategory": {"read": 100, "write": 50}},
+    {"function": "main", "line": 3, "col": 8, "ops": 50,
+     "peakElements": 400, "probes": 60, "rehashes": 1},
+    {"origin": "@cache", "ops": 7, "peakElements": 3},
+    {"ops": 2}
+  ],
+  "hotSites": [
+    {"function": "main", "line": 6, "col": 5, "count": 100},
+    {"function": "main", "line": 9, "col": 5, "count": 1}
+  ]
+})";
+
+TEST(ProfileData, ParsesAndAggregatesCollectionRecords) {
+  ProfileData Data;
+  std::string Error;
+  ASSERT_TRUE(Data.parse(kProfileJson, &Error)) << Error;
+  EXPECT_FALSE(Data.empty());
+  // One located site (two records merge) plus two labeled records
+  // (@cache and the implicit <external>).
+  EXPECT_EQ(Data.numAllocSites(), 3u);
+
+  const ProfileData::SiteProfile *S =
+      Data.allocSite("main", ir::SrcLoc{3, 8});
+  ASSERT_NE(S, nullptr);
+  // Two records at the same site aggregate: counters sum, peaks take the
+  // max (they are lifetime peaks of distinct instances).
+  EXPECT_EQ(S->Collections, 2u);
+  EXPECT_EQ(S->Ops, 200u);
+  EXPECT_EQ(S->PeakElements, 1000u);
+  EXPECT_EQ(S->Probes, 960u);
+  EXPECT_EQ(S->Rehashes, 9u);
+  EXPECT_EQ(S->ByCategory[unsigned(OpCategory::Read)], 100u);
+  EXPECT_EQ(S->ByCategory[unsigned(OpCategory::Write)], 50u);
+
+  // Unknown sites stay unknown.
+  EXPECT_EQ(Data.allocSite("main", ir::SrcLoc{99, 1}), nullptr);
+}
+
+TEST(ProfileData, LabeledRecordsForGlobalsAndExternals) {
+  ProfileData Data;
+  std::string Error;
+  ASSERT_TRUE(Data.parse(kProfileJson, &Error)) << Error;
+  const ProfileData::SiteProfile *Cache = Data.labeledSite("@cache");
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(Cache->Ops, 7u);
+  EXPECT_EQ(Cache->PeakElements, 3u);
+  // A record with neither origin nor location lands on <external>.
+  const ProfileData::SiteProfile *Ext = Data.labeledSite("<external>");
+  ASSERT_NE(Ext, nullptr);
+  EXPECT_EQ(Ext->Ops, 2u);
+  EXPECT_EQ(Data.labeledSite("@missing"), nullptr);
+}
+
+TEST(ProfileData, AllocSiteFallsBackToLocationForClonedFunctions) {
+  // ADE clones @main into specialized variants; their allocation sites
+  // keep the original source location but not the function name, so the
+  // reader falls back to a location-only match.
+  ProfileData Data;
+  std::string Error;
+  ASSERT_TRUE(Data.parse(kProfileJson, &Error)) << Error;
+  const ProfileData::SiteProfile *S =
+      Data.allocSite("main__ade_1", ir::SrcLoc{3, 8});
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Ops, 200u);
+}
+
+TEST(ProfileData, OpsAtUsesHotSitesWithLocationFallback) {
+  ProfileData Data;
+  std::string Error;
+  ASSERT_TRUE(Data.parse(kProfileJson, &Error)) << Error;
+  EXPECT_EQ(Data.opsAt("main", ir::SrcLoc{6, 5}), 100u);
+  EXPECT_EQ(Data.opsAt("main__ade_1", ir::SrcLoc{6, 5}), 100u);
+  EXPECT_EQ(Data.opsAt("main", ir::SrcLoc{42, 1}), 0u);
+}
+
+TEST(ProfileData, RejectsMissingOrMismatchedSchemaVersion) {
+  ProfileData Data;
+  std::string Error;
+  EXPECT_FALSE(Data.parse(R"({"collections": []})", &Error));
+  EXPECT_NE(Error.find("schemaVersion"), std::string::npos) << Error;
+  Error.clear();
+  EXPECT_FALSE(
+      Data.parse(R"({"schemaVersion": 99, "collections": []})", &Error));
+  EXPECT_NE(Error.find("unsupported profile schemaVersion 99"),
+            std::string::npos)
+      << Error;
+  Error.clear();
+  EXPECT_FALSE(Data.parse("[1, 2]", &Error));
+  EXPECT_NE(Error.find("not an object"), std::string::npos) << Error;
+  Error.clear();
+  EXPECT_FALSE(Data.parse("{nope", &Error));
+  EXPECT_NE(Error.find("invalid profile JSON"), std::string::npos) << Error;
+}
+
+TEST(ProfileData, AddFromProfilerMatchesJsonRoundTrip) {
+  // The in-process path (bench --pgo) and the JSON path (adec
+  // --profile-use) must agree on what a training run measured.
+  Profiler Prof;
+  runProfiled(kAllCategories, Prof);
+  ProfileData Direct;
+  Direct.addFromProfiler(Prof);
+  EXPECT_FALSE(Direct.empty());
+  ASSERT_GT(Direct.numAllocSites(), 0u);
+
+  std::string JsonText;
+  {
+    RawStringOstream OS(JsonText);
+    json::Writer W(OS);
+    W.beginObject();
+    W.member("schemaVersion", ProfileSchemaVersion);
+    W.key("collections");
+    Prof.writeCollectionsJson(W);
+    W.key("hotSites");
+    Prof.writeHotSitesJson(W, "prog.memoir");
+    W.endObject();
+  }
+  ProfileData ViaJson;
+  std::string Error;
+  ASSERT_TRUE(ViaJson.parse(JsonText, &Error)) << Error;
+  EXPECT_EQ(ViaJson.numAllocSites(), Direct.numAllocSites());
+}
+
+TEST(ProfileData, LoadFromFileReportsMissingPath) {
+  ProfileData Data;
+  std::string Error;
+  EXPECT_FALSE(Data.loadFromFile("/nonexistent/profile.json", &Error));
+  EXPECT_NE(Error.find("cannot open"), std::string::npos) << Error;
+}
+
 } // namespace

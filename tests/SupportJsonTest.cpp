@@ -124,6 +124,51 @@ TEST(JsonReader, ParsesNegativeAndExponentNumbers) {
   EXPECT_DOUBLE_EQ((*V)[1].asNumber(), 250.0);
 }
 
+TEST(JsonReader, IntegersAboveDoublePrecisionStayExact) {
+  // 2^53 + 1 is the first integer a double cannot represent; profiler
+  // counters (and UINT64_MAX sentinels) must survive a JSON round-trip.
+  std::string Error;
+  auto V = json::parse("[9007199254740993, 18446744073709551615]", &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  ASSERT_TRUE((*V)[0].isExactUint());
+  EXPECT_EQ((*V)[0].asUint(), 9007199254740993u);
+  ASSERT_TRUE((*V)[1].isExactUint());
+  EXPECT_EQ((*V)[1].asUint(), UINT64_MAX);
+}
+
+TEST(JsonReader, IntegerAboveUint64FailsLoudly) {
+  // One above UINT64_MAX: must be a parse error, not a silent saturation.
+  std::string Error;
+  EXPECT_EQ(json::parse("18446744073709551616", &Error), nullptr);
+  EXPECT_NE(Error.find("integer overflows uint64"), std::string::npos)
+      << Error;
+}
+
+TEST(JsonReader, NegativeAndFractionalNumbersUseDoubles) {
+  std::string Error;
+  auto V = json::parse("[-3, 2.5, 1e3]", &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  EXPECT_FALSE((*V)[0].isExactUint());
+  EXPECT_EQ((*V)[0].asInt(), -3);
+  EXPECT_FALSE((*V)[1].isExactUint());
+  EXPECT_DOUBLE_EQ((*V)[1].asNumber(), 2.5);
+  EXPECT_FALSE((*V)[2].isExactUint());
+  EXPECT_DOUBLE_EQ((*V)[2].asNumber(), 1000.0);
+}
+
+TEST(JsonRoundTrip, Uint64BoundaryValuesRoundTrip) {
+  std::string Out = writeWith([](json::Writer &W) {
+    W.beginArray(/*Inline=*/true);
+    W.value(uint64_t(9007199254740993u)).value(UINT64_MAX);
+    W.endArray();
+  });
+  std::string Error;
+  auto V = json::parse(Out, &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  EXPECT_EQ((*V)[0].asUint(), 9007199254740993u);
+  EXPECT_EQ((*V)[1].asUint(), UINT64_MAX);
+}
+
 TEST(JsonRoundTrip, WriterOutputParsesBack) {
   std::string Out = writeWith([](json::Writer &W) {
     W.beginObject();
