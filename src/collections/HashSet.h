@@ -143,8 +143,12 @@ public:
   }
 
   /// Set union by per-element insertion (no fast path exists for chained
-  /// tables; this is the Table III baseline for Union).
+  /// tables; this is the Table III baseline for Union). Safe under
+  /// self-aliasing: inserting while traversing Other == this could
+  /// rehash under the traversal, and s ∪ s is the identity anyway.
   void unionWith(const HashSet &Other) {
+    if (&Other == this)
+      return;
     Other.forEach([&](const K &Key) { insert(Key); });
   }
 

@@ -236,6 +236,10 @@ void RoaringBitSet::forEach(const std::function<void(uint64_t)> &Fn) const {
 }
 
 void RoaringBitSet::unionWith(const RoaringBitSet &Other) {
+  // Self-aliasing guard: the loop below inserts into Chunks while
+  // iterating Other.Chunks, and s ∪ s is the identity anyway.
+  if (&Other == this)
+    return;
   for (const Chunk &Theirs : Other.Chunks) {
     size_t Idx = lowerBoundChunk(Theirs.High);
     if (Idx == Chunks.size() || Chunks[Idx].High != Theirs.High) {

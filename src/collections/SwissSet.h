@@ -54,7 +54,11 @@ public:
     Impl.forEachSlot([&](const K &Slot) { Fn(Slot); });
   }
 
+  /// Safe under self-aliasing: inserting while traversing Other == this
+  /// could rehash under the traversal, and s ∪ s is the identity anyway.
   void unionWith(const SwissSet &Other) {
+    if (&Other == this)
+      return;
     Other.forEach([&](const K &Key) { insert(Key); });
   }
 

@@ -9,6 +9,7 @@
 #include "analysis/Checkers.h"
 #include "core/Cloning.h"
 #include "ir/Verifier.h"
+#include "support/CrashHandler.h"
 #include "support/ErrorHandling.h"
 #include "support/RawOstream.h"
 #include "support/Trace.h"
@@ -34,6 +35,7 @@ PipelineResult ade::core::runADE(ir::Module &M,
   if (Config.EnableCloning) {
     TimerGroup::Scope T(Result.Timing, "cloning");
     TraceScope Trace("cloning", "compile");
+    CrashContext CC("cloning");
     Result.FunctionsCloned = cloneForMixedCallers(M);
   }
 
@@ -41,12 +43,14 @@ PipelineResult ade::core::runADE(ir::Module &M,
   {
     TimerGroup::Scope T(Result.Timing, "analysis");
     TraceScope Trace("analysis", "compile");
+    CrashContext CC("analysis");
     MA.emplace(M);
   }
 
   {
     TimerGroup::Scope T(Result.Timing, "planning");
     TraceScope Trace("planning", "compile");
+    CrashContext CC("planning");
     PlannerConfig PC;
     PC.EnableSharing = Config.EnableSharing;
     // No sharing also entails no propagation (SIV RQ3): a propagator is only
@@ -59,6 +63,7 @@ PipelineResult ade::core::runADE(ir::Module &M,
   {
     TimerGroup::Scope T(Result.Timing, "transform");
     TraceScope Trace("transform", "compile");
+    CrashContext CC("transform");
     TransformConfig TC;
     TC.EnableRTE = Config.EnableRTE;
     Result.Transform = applyEnumeration(*MA, Result.Plan, TC);
@@ -67,6 +72,7 @@ PipelineResult ade::core::runADE(ir::Module &M,
   {
     TimerGroup::Scope T(Result.Timing, "selection");
     TraceScope Trace("selection", "compile");
+    CrashContext CC("selection");
     SelectionConfig SC = Config.Selection;
     SC.Profile = Config.Profile;
     SC.Report = &Result.Selections;
@@ -76,6 +82,7 @@ PipelineResult ade::core::runADE(ir::Module &M,
   if (Config.Verify) {
     TimerGroup::Scope T(Result.Timing, "verify");
     TraceScope Trace("verify", "compile");
+    CrashContext CC("verify");
     ir::verifyOrDie(M);
     runSelfAudit(M);
   }

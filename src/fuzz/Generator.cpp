@@ -1,0 +1,777 @@
+//===- Generator.cpp - Random MEMOIR program generation -------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The generator grows a program statement by statement, tracking the
+// in-scope values of each type in pools. Three invariants keep valid-mode
+// programs suitable as differential-fuzzing inputs:
+//
+//  1. UB-free by construction: map reads and sequence pops are guarded by
+//     has/size checks, divisors are forced nonzero with `or %x, %one`,
+//     and every loop is bounded, so a correct interpreter finishes every
+//     program cleanly.
+//  2. Deterministic observables: folds over unordered collections (sets,
+//     maps) combine per-element terms with commutative operators only, so
+//     the checksum is independent of iteration order — which the ADE
+//     transformation is free to change (HashSet before, BitSet after).
+//  3. Iteration safety: a collection is "frozen" while a foreach iterates
+//     it; no statement inside the body mutates it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+
+#include "support/Random.h"
+
+#include <vector>
+
+using namespace ade;
+using namespace ade::fuzz;
+
+namespace {
+
+class ProgramGenerator {
+public:
+  ProgramGenerator(const GeneratorOptions &Opts) : Opts(Opts), R(Opts.Seed) {}
+
+  std::string run() {
+    NumOuts = static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned I = 0; I != NumOuts; ++I)
+      Out += "global @out" + std::to_string(I) + " : u64\n";
+    unsigned Helpers = static_cast<unsigned>(R.nextBelow(Opts.MaxHelpers + 1));
+    for (unsigned I = 0; I != Helpers; ++I)
+      genHelper(I);
+    genMain(Helpers);
+    if (Opts.Hostile)
+      damage();
+    return Out;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Emission helpers
+  //===--------------------------------------------------------------------===//
+
+  void emit(const std::string &Line) {
+    Out.append(2 * Indent, ' ');
+    Out += Line;
+    Out += '\n';
+  }
+
+  std::string fresh() { return "%v" + std::to_string(NextVal++); }
+
+  /// In-scope values, by type. Collections also carry a frozen flag while
+  /// a foreach iterates them.
+  struct Coll {
+    std::string Name;
+    bool Frozen = false;
+  };
+  struct Pools {
+    std::vector<std::string> U64;
+    std::vector<std::string> Bool;
+    std::vector<Coll> Sets;
+    std::vector<Coll> Maps;
+    std::vector<Coll> Seqs;
+  };
+
+  /// Saves pool sizes on entry to a nested region and drops the values
+  /// the region defined on exit (they are out of scope afterwards).
+  struct Scope {
+    explicit Scope(Pools &P) : P(P), U(P.U64.size()), B(P.Bool.size()),
+                               S(P.Sets.size()), M(P.Maps.size()),
+                               Q(P.Seqs.size()) {}
+    ~Scope() {
+      P.U64.resize(U);
+      P.Bool.resize(B);
+      P.Sets.resize(S);
+      P.Maps.resize(M);
+      P.Seqs.resize(Q);
+    }
+    Pools &P;
+    size_t U, B, S, M, Q;
+  };
+
+  std::string pickU64() { return P.U64[R.nextBelow(P.U64.size())]; }
+  std::string pickBool() {
+    if (P.Bool.empty())
+      genCompare();
+    return P.Bool[R.nextBelow(P.Bool.size())];
+  }
+
+  /// Picks a collection from \p V; Mutable requires a non-frozen one.
+  /// Returns empty when none qualifies.
+  std::string pickColl(std::vector<Coll> &V, bool Mutable) {
+    std::vector<const Coll *> Ok;
+    for (const Coll &C : V)
+      if (!Mutable || !C.Frozen)
+        Ok.push_back(&C);
+    if (Ok.empty())
+      return "";
+    return Ok[R.nextBelow(Ok.size())]->Name;
+  }
+
+  void setFrozen(std::vector<Coll> &V, const std::string &Name, bool F) {
+    for (Coll &C : V)
+      if (C.Name == Name)
+        C.Frozen = F;
+  }
+
+  /// Emits `const C : u64` and returns the fresh value name.
+  std::string constOf(uint64_t C) {
+    std::string V = fresh();
+    emit(V + " = const " + std::to_string(C) + " : u64");
+    P.U64.push_back(V);
+    return V;
+  }
+
+  /// A key drawn from a small domain so enumerated universes stay small:
+  /// masks an arbitrary u64 down to [0, 255].
+  std::string smallKey() {
+    std::string K = fresh();
+    emit(K + " = and " + pickU64() + ", " + Mask);
+    P.U64.push_back(K);
+    return K;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void genConst() {
+    std::string V = fresh();
+    uint64_t C = R.nextBool(0.5) ? R.nextBelow(64)
+                                 : R.next() >> (R.nextBelow(40) + 8);
+    emit(V + " = const " + std::to_string(C) + " : u64");
+    P.U64.push_back(V);
+  }
+
+  void genArith() {
+    static const char *Ops[] = {"add", "sub", "mul", "min", "max",
+                                "and", "or",  "xor", "shl", "shr"};
+    std::string V = fresh();
+    emit(V + " = " + Ops[R.nextBelow(std::size(Ops))] + " " + pickU64() +
+         ", " + pickU64());
+    P.U64.push_back(V);
+  }
+
+  void genDivRem() {
+    // Force the divisor nonzero: `or %x, %one` has bit 0 set.
+    std::string D = fresh();
+    emit(D + " = or " + pickU64() + ", " + One);
+    std::string V = fresh();
+    emit(V + " = " + (R.nextBool() ? "div " : "rem ") + pickU64() + ", " + D);
+    P.U64.push_back(D);
+    P.U64.push_back(V);
+  }
+
+  void genCompare() {
+    static const char *Ops[] = {"eq", "ne", "lt", "le", "gt", "ge"};
+    std::string V = fresh();
+    emit(V + " = " + Ops[R.nextBelow(std::size(Ops))] + " " + pickU64() +
+         ", " + pickU64());
+    P.Bool.push_back(V);
+  }
+
+  void genSelect() {
+    std::string V = fresh();
+    emit(V + " = select " + pickBool() + ", " + pickU64() + ", " + pickU64());
+    P.U64.push_back(V);
+  }
+
+  /// Optionally emits a `#pragma ade` directive for the next `new`.
+  /// Enumerated-only implementations (Bit*) are never forced by hand —
+  /// picking them is the transformation's job.
+  void genDirective(bool IsSet, bool IsMap) {
+    if (!R.nextBool(0.3))
+      return;
+    switch (R.nextBelow(5)) {
+    case 0:
+      emit("#pragma ade enumerate");
+      break;
+    case 1:
+      emit("#pragma ade noenumerate");
+      break;
+    case 2:
+      emit("#pragma ade enumerate noshare");
+      break;
+    case 3:
+      emit("#pragma ade share group(\"g" + std::to_string(R.nextBelow(3)) +
+           "\")");
+      break;
+    default:
+      if (IsSet) {
+        static const char *Sels[] = {"HashSet", "FlatSet", "SwissSet"};
+        emit("#pragma ade select(" +
+             std::string(Sels[R.nextBelow(std::size(Sels))]) + ")");
+      } else if (IsMap) {
+        emit("#pragma ade select(" +
+             std::string(R.nextBool() ? "HashMap" : "SwissMap") + ")");
+      }
+      break;
+    }
+  }
+
+  void genNew() {
+    std::string V = fresh();
+    switch (R.nextBelow(3)) {
+    case 0:
+      genDirective(/*IsSet=*/true, /*IsMap=*/false);
+      emit(V + " = new Set<u64>");
+      P.Sets.push_back({V});
+      break;
+    case 1:
+      genDirective(/*IsSet=*/false, /*IsMap=*/true);
+      emit(V + " = new Map<u64, u64>");
+      P.Maps.push_back({V});
+      break;
+    default:
+      emit(V + " = new Seq<u64>");
+      P.Seqs.push_back({V});
+      break;
+    }
+  }
+
+  void genInsert() {
+    std::string S = pickColl(P.Sets, /*Mutable=*/true);
+    if (S.empty())
+      return genNew();
+    emit("insert " + S + ", " + smallKey());
+  }
+
+  void genRemove() {
+    std::string S = pickColl(P.Sets, /*Mutable=*/true);
+    if (S.empty())
+      return genNew();
+    emit("remove " + S + ", " + smallKey());
+  }
+
+  void genHas() {
+    bool OnMap = R.nextBool() && !P.Maps.empty();
+    std::string C = OnMap ? pickColl(P.Maps, false) : pickColl(P.Sets, false);
+    if (C.empty())
+      return genNew();
+    std::string V = fresh();
+    emit(V + " = has " + C + ", " + smallKey());
+    P.Bool.push_back(V);
+  }
+
+  void genWrite() {
+    std::string M = pickColl(P.Maps, /*Mutable=*/true);
+    if (M.empty())
+      return genNew();
+    emit("write " + M + ", " + smallKey() + ", " + pickU64());
+  }
+
+  /// Guarded map read: only reads keys proven present.
+  void genMapRead() {
+    std::string M = pickColl(P.Maps, /*Mutable=*/false);
+    if (M.empty())
+      return genNew();
+    std::string K = smallKey();
+    std::string H = fresh();
+    emit(H + " = has " + M + ", " + K);
+    std::string V = fresh();
+    emit(V + " = if " + H + " {");
+    {
+      ++Indent;
+      Scope Inner(P);
+      std::string T = fresh();
+      emit(T + " = read " + M + ", " + K);
+      emit("yield " + T);
+      --Indent;
+    }
+    emit("} else {");
+    ++Indent;
+    emit("yield " + Zero);
+    --Indent;
+    emit("}");
+    P.U64.push_back(V);
+  }
+
+  void genAppend() {
+    std::string Q = pickColl(P.Seqs, /*Mutable=*/true);
+    if (Q.empty())
+      return genNew();
+    emit("append " + Q + ", " + pickU64());
+  }
+
+  /// Guarded pop: only pops nonempty sequences.
+  void genPop() {
+    std::string Q = pickColl(P.Seqs, /*Mutable=*/true);
+    if (Q.empty())
+      return genNew();
+    std::string Sz = fresh();
+    emit(Sz + " = size " + Q);
+    std::string Nz = fresh();
+    emit(Nz + " = gt " + Sz + ", " + Zero);
+    std::string V = fresh();
+    emit(V + " = if " + Nz + " {");
+    {
+      ++Indent;
+      Scope Inner(P);
+      std::string T = fresh();
+      emit(T + " = pop " + Q);
+      emit("yield " + T);
+      --Indent;
+    }
+    emit("} else {");
+    ++Indent;
+    emit("yield " + Zero);
+    --Indent;
+    emit("}");
+    P.U64.push_back(V);
+    P.U64.push_back(Sz);
+  }
+
+  void genSize() {
+    std::vector<Coll> *V = nullptr;
+    switch (R.nextBelow(3)) {
+    case 0:
+      V = &P.Sets;
+      break;
+    case 1:
+      V = &P.Maps;
+      break;
+    default:
+      V = &P.Seqs;
+      break;
+    }
+    std::string C = pickColl(*V, /*Mutable=*/false);
+    if (C.empty())
+      return genNew();
+    std::string S = fresh();
+    emit(S + " = size " + C);
+    P.U64.push_back(S);
+  }
+
+  void genClear() {
+    std::vector<Coll> *V = R.nextBool() ? &P.Sets : &P.Seqs;
+    std::string C = pickColl(*V, /*Mutable=*/true);
+    if (C.empty())
+      return;
+    emit("clear " + C);
+  }
+
+  void genReserve() {
+    std::vector<Coll> *V = nullptr;
+    switch (R.nextBelow(3)) {
+    case 0:
+      V = &P.Sets;
+      break;
+    case 1:
+      V = &P.Maps;
+      break;
+    default:
+      V = &P.Seqs;
+      break;
+    }
+    std::string C = pickColl(*V, /*Mutable=*/false);
+    if (C.empty())
+      return genNew();
+    emit("reserve " + C + ", " + constOf(R.nextBelow(512)));
+  }
+
+  void genUnion() {
+    std::string Dst = pickColl(P.Sets, /*Mutable=*/true);
+    std::string Src = pickColl(P.Sets, /*Mutable=*/false);
+    if (Dst.empty() || Src.empty())
+      return genInsert();
+    emit("union " + Dst + ", " + Src);
+  }
+
+  void genIf(unsigned Depth) {
+    std::string B = pickBool();
+    std::string V = fresh();
+    emit(V + " = if " + B + " {");
+    {
+      ++Indent;
+      Scope Inner(P);
+      genStatements(1 + R.nextBelow(4), Depth + 1);
+      emit("yield " + pickU64());
+      --Indent;
+    }
+    emit("} else {");
+    {
+      ++Indent;
+      Scope Inner(P);
+      genStatements(R.nextBelow(3), Depth + 1);
+      emit("yield " + pickU64());
+      --Indent;
+    }
+    emit("}");
+    P.U64.push_back(V);
+  }
+
+  void genForRange(unsigned Depth) {
+    std::string Hi = fresh();
+    emit(Hi + " = const " + std::to_string(1 + R.nextBelow(10)) + " : u64");
+    std::string V = fresh();
+    std::string I = fresh();
+    std::string A = fresh();
+    emit(V + " = forrange " + Zero + ", " + Hi + " -> [" + I + "] iter(" + A +
+         " = " + pickU64() + ") {");
+    {
+      ++Indent;
+      Scope Inner(P);
+      P.U64.push_back(I);
+      P.U64.push_back(A);
+      genStatements(1 + R.nextBelow(4), Depth + 1);
+      std::string N = fresh();
+      emit(N + " = add " + A + ", " + pickU64());
+      emit("yield " + N);
+      --Indent;
+    }
+    emit("}");
+    P.U64.push_back(V);
+  }
+
+  void genDoWhile(unsigned Depth) {
+    std::string Start = fresh();
+    emit(Start + " = const " + std::to_string(1 + R.nextBelow(8)) + " : u64");
+    std::string V = fresh();
+    std::string I = fresh();
+    emit(V + " = dowhile iter(" + I + " = " + Start + ") {");
+    {
+      ++Indent;
+      Scope Inner(P);
+      P.U64.push_back(I);
+      genStatements(1 + R.nextBelow(3), Depth + 1);
+      std::string D = fresh();
+      emit(D + " = sub " + I + ", " + One);
+      std::string C = fresh();
+      emit(C + " = gt " + D + ", " + Zero);
+      emit("yield " + C + ", " + D);
+      --Indent;
+    }
+    emit("}");
+    P.U64.push_back(V);
+  }
+
+  /// foreach over a sequence: iteration order is defined, so the body may
+  /// contain arbitrary statements and an order-sensitive fold.
+  void genForEachSeq(unsigned Depth) {
+    std::string Q = pickColl(P.Seqs, /*Mutable=*/false);
+    if (Q.empty())
+      return genNew();
+    setFrozen(P.Seqs, Q, true);
+    std::string Res = fresh(), I = fresh(), V = fresh(), A = fresh();
+    emit(Res + " = foreach " + Q + " -> [" + I + ", " + V + "] iter(" + A +
+         " = " + pickU64() + ") {");
+    {
+      ++Indent;
+      Scope Inner(P);
+      P.U64.push_back(I);
+      P.U64.push_back(V);
+      P.U64.push_back(A);
+      genStatements(R.nextBelow(3), Depth + 1);
+      std::string N = fresh();
+      static const char *Folds[] = {"add", "xor", "mul", "sub", "max"};
+      emit(N + " = " + Folds[R.nextBelow(std::size(Folds))] + " " + A + ", " +
+           pickU64());
+      emit("yield " + N);
+      --Indent;
+    }
+    emit("}");
+    setFrozen(P.Seqs, Q, false);
+    P.U64.push_back(Res);
+  }
+
+  /// foreach over a set or map: iteration order is implementation-defined
+  /// (and the ADE transformation changes implementations), so the fold is
+  /// a fixed shape — per-element term combined with a commutative
+  /// operator — and the body contains nothing else.
+  void genForEachUnordered() {
+    bool OnMap = R.nextBool() && !P.Maps.empty();
+    std::string C = OnMap ? pickColl(P.Maps, false) : pickColl(P.Sets, false);
+    if (C.empty())
+      return genInsert();
+    std::vector<Coll> &Vec = OnMap ? P.Maps : P.Sets;
+    setFrozen(Vec, C, true);
+    std::string Res = fresh(), K = fresh(), A = fresh();
+    std::string V = OnMap ? fresh() : "";
+    std::string Header = Res + " = foreach " + C + " -> [" + K +
+                         (OnMap ? ", " + V : "") + "] iter(" + A + " = " +
+                         pickU64() + ") {";
+    emit(Header);
+    {
+      ++Indent;
+      Scope Inner(P);
+      std::string M = constOf(2 * R.nextBelow(1000) + 1);
+      std::string T = fresh();
+      emit(T + " = mul " + K + ", " + M);
+      std::string Term = T;
+      if (OnMap) {
+        Term = fresh();
+        emit(Term + " = add " + T + ", " + V);
+      }
+      std::string N = fresh();
+      emit(N + " = " + (R.nextBool() ? "add " : "xor ") + A + ", " + Term);
+      emit("yield " + N);
+      --Indent;
+    }
+    emit("}");
+    setFrozen(Vec, C, false);
+    P.U64.push_back(Res);
+  }
+
+  void genCall() {
+    if (HelperNames.empty())
+      return genArith();
+    std::string V = fresh();
+    emit(V + " = call @" + HelperNames[R.nextBelow(HelperNames.size())] +
+         "(" + pickU64() + ", " + pickU64() + ")");
+    P.U64.push_back(V);
+  }
+
+  void genStatement(unsigned Depth) {
+    // Weighted kinds; control flow only below the nesting cap.
+    struct Choice {
+      unsigned Weight;
+      void (ProgramGenerator::*Fn)();
+    };
+    if (Depth < 3 && R.nextBool(0.22)) {
+      switch (R.nextBelow(5)) {
+      case 0:
+        return genIf(Depth);
+      case 1:
+        return genForRange(Depth);
+      case 2:
+        return genDoWhile(Depth);
+      case 3:
+        return genForEachSeq(Depth);
+      default:
+        return genForEachUnordered();
+      }
+    }
+    static const Choice Table[] = {
+        {8, &ProgramGenerator::genConst},
+        {10, &ProgramGenerator::genArith},
+        {3, &ProgramGenerator::genDivRem},
+        {4, &ProgramGenerator::genCompare},
+        {3, &ProgramGenerator::genSelect},
+        {6, &ProgramGenerator::genNew},
+        {10, &ProgramGenerator::genInsert},
+        {3, &ProgramGenerator::genRemove},
+        {5, &ProgramGenerator::genHas},
+        {8, &ProgramGenerator::genWrite},
+        {5, &ProgramGenerator::genMapRead},
+        {7, &ProgramGenerator::genAppend},
+        {3, &ProgramGenerator::genPop},
+        {4, &ProgramGenerator::genSize},
+        {1, &ProgramGenerator::genClear},
+        {2, &ProgramGenerator::genReserve},
+        {3, &ProgramGenerator::genUnion},
+        {3, &ProgramGenerator::genCall},
+    };
+    unsigned Total = 0;
+    for (const Choice &C : Table)
+      Total += C.Weight;
+    uint64_t Pick = R.nextBelow(Total);
+    for (const Choice &C : Table) {
+      if (Pick < C.Weight)
+        return (this->*C.Fn)();
+      Pick -= C.Weight;
+    }
+  }
+
+  void genStatements(unsigned N, unsigned Depth) {
+    for (unsigned I = 0; I != N; ++I)
+      genStatement(Depth);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------------===//
+
+  /// Emits the per-function constant preamble the statement generators
+  /// rely on (guard values and the small-key mask).
+  void prologue() {
+    Zero = fresh();
+    emit(Zero + " = const 0 : u64");
+    One = fresh();
+    emit(One + " = const 1 : u64");
+    Mask = fresh();
+    emit(Mask + " = const 255 : u64");
+    P.U64 = {Zero, One, Mask};
+    P.Bool.clear();
+    P.Sets.clear();
+    P.Maps.clear();
+    P.Seqs.clear();
+    genConst();
+    genConst();
+  }
+
+  void genHelper(unsigned Idx) {
+    NextVal = 0;
+    std::string Name = "h" + std::to_string(Idx);
+    Out += "fn @" + Name + "(%p0: u64, %p1: u64) -> u64 {\n";
+    Indent = 1;
+    prologue();
+    P.U64.push_back("%p0");
+    P.U64.push_back("%p1");
+    genStatements(2 + R.nextBelow(6), /*Depth=*/1);
+    emit("ret " + pickU64());
+    Out += "}\n";
+    HelperNames.push_back(Name);
+  }
+
+  /// The checksum folds every top-level collection's size and contents
+  /// (order-insensitively for sets/maps) plus a few scalars, so almost
+  /// any miscompilation of a collection operation changes @main's result.
+  void genChecksum() {
+    std::string Ck = constOf(17);
+    std::string C31 = constOf(31);
+    std::string C131 = constOf(131);
+    std::string C33 = constOf(33);
+    auto Mix = [&](const std::string &V) {
+      std::string A = fresh();
+      emit(A + " = mul " + Ck + ", " + C31);
+      std::string B = fresh();
+      emit(B + " = add " + A + ", " + V);
+      Ck = B;
+    };
+    for (const Coll &C : P.Sets) {
+      std::string S = fresh();
+      emit(S + " = size " + C.Name);
+      Mix(S);
+      std::string Res = fresh(), K = fresh(), A = fresh();
+      emit(Res + " = foreach " + C.Name + " -> [" + K + "] iter(" + A +
+           " = " + Zero + ") {");
+      ++Indent;
+      std::string N = fresh();
+      emit(N + " = add " + A + ", " + K);
+      emit("yield " + N);
+      --Indent;
+      emit("}");
+      Mix(Res);
+    }
+    for (const Coll &C : P.Maps) {
+      std::string S = fresh();
+      emit(S + " = size " + C.Name);
+      Mix(S);
+      std::string Res = fresh(), K = fresh(), V = fresh(), A = fresh();
+      emit(Res + " = foreach " + C.Name + " -> [" + K + ", " + V +
+           "] iter(" + A + " = " + Zero + ") {");
+      ++Indent;
+      std::string T = fresh();
+      emit(T + " = mul " + K + ", " + C131);
+      std::string T2 = fresh();
+      emit(T2 + " = add " + T + ", " + V);
+      std::string N = fresh();
+      emit(N + " = add " + A + ", " + T2);
+      emit("yield " + N);
+      --Indent;
+      emit("}");
+      Mix(Res);
+    }
+    for (const Coll &C : P.Seqs) {
+      std::string S = fresh();
+      emit(S + " = size " + C.Name);
+      Mix(S);
+      std::string Res = fresh(), I = fresh(), V = fresh(), A = fresh();
+      emit(Res + " = foreach " + C.Name + " -> [" + I + ", " + V +
+           "] iter(" + A + " = " + Zero + ") {");
+      ++Indent;
+      std::string N = fresh();
+      emit(N + " = mul " + A + ", " + C33);
+      std::string N2 = fresh();
+      emit(N2 + " = add " + N + ", " + V);
+      emit("yield " + N2);
+      --Indent;
+      emit("}");
+      Mix(Res);
+    }
+    // A handful of scalars round out the observation.
+    for (unsigned I = 0, E = 2 + static_cast<unsigned>(R.nextBelow(3));
+         I != E; ++I)
+      Mix(pickU64());
+    for (unsigned I = 0; I != NumOuts; ++I)
+      emit("gset @out" + std::to_string(I) + ", " + pickU64());
+    emit("ret " + Ck);
+  }
+
+  void genMain(unsigned Helpers) {
+    (void)Helpers;
+    NextVal = 0;
+    Out += "fn @main() -> u64 {\n";
+    Indent = 1;
+    prologue();
+    genStatements(Opts.MainStatements, /*Depth=*/1);
+    genChecksum();
+    Out += "}\n";
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Hostile mode
+  //===--------------------------------------------------------------------===//
+
+  /// Applies a few random text-level edits so the result is a near-miss
+  /// of a valid program: the parser/verifier must diagnose (or accept)
+  /// it without crashing.
+  void damage() {
+    unsigned Edits = 1 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned I = 0; I != Edits && !Out.empty(); ++I) {
+      switch (R.nextBelow(6)) {
+      case 0: { // Substitute one character.
+        static const char Alphabet[] = "abz%@{}()<>,=:0198 \n\"#-";
+        Out[R.nextBelow(Out.size())] =
+            Alphabet[R.nextBelow(sizeof(Alphabet) - 1)];
+        break;
+      }
+      case 1: { // Delete one line.
+        size_t Start = R.nextBelow(Out.size());
+        size_t LineStart = Out.rfind('\n', Start);
+        LineStart = LineStart == std::string::npos ? 0 : LineStart + 1;
+        size_t LineEnd = Out.find('\n', Start);
+        LineEnd = LineEnd == std::string::npos ? Out.size() : LineEnd + 1;
+        Out.erase(LineStart, LineEnd - LineStart);
+        break;
+      }
+      case 2: // Truncate.
+        Out.resize(R.nextBelow(Out.size()) + 1);
+        break;
+      case 3: { // Rename one value use to something undefined.
+        size_t At = Out.find('%', R.nextBelow(Out.size()));
+        if (At != std::string::npos && At + 1 < Out.size())
+          Out[At + 1] = 'q';
+        break;
+      }
+      case 4: { // Drop one brace.
+        char Needle = R.nextBool() ? '{' : '}';
+        size_t At = Out.find(Needle, R.nextBelow(Out.size()));
+        if (At != std::string::npos)
+          Out.erase(At, 1);
+        break;
+      }
+      default: { // Duplicate one line.
+        size_t Start = R.nextBelow(Out.size());
+        size_t LineStart = Out.rfind('\n', Start);
+        LineStart = LineStart == std::string::npos ? 0 : LineStart + 1;
+        size_t LineEnd = Out.find('\n', Start);
+        LineEnd = LineEnd == std::string::npos ? Out.size() : LineEnd + 1;
+        std::string Line = Out.substr(LineStart, LineEnd - LineStart);
+        Out.insert(LineEnd, Line);
+        break;
+      }
+      }
+    }
+  }
+
+  GeneratorOptions Opts;
+  Rng R;
+  std::string Out;
+  unsigned NextVal = 0;
+  unsigned Indent = 1;
+  unsigned NumOuts = 0;
+  Pools P;
+  std::string Zero, One, Mask;
+  std::vector<std::string> HelperNames;
+};
+
+} // namespace
+
+std::string ade::fuzz::generateProgram(const GeneratorOptions &Opts) {
+  return ProgramGenerator(Opts).run();
+}

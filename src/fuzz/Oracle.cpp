@@ -1,0 +1,234 @@
+//===- Oracle.cpp - Differential oracle for the ADE pipeline --------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "analysis/Checkers.h"
+#include "core/Pipeline.h"
+#include "interp/InterpError.h"
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "support/CrashHandler.h"
+
+using namespace ade;
+using namespace ade::fuzz;
+using namespace ade::ir;
+
+const char *ade::fuzz::findingKindName(FindingKind K) {
+  switch (K) {
+  case FindingKind::None:
+    return "none";
+  case FindingKind::ParseError:
+    return "parse-error";
+  case FindingKind::VerifyError:
+    return "verify-error";
+  case FindingKind::RuntimeError:
+    return "runtime-error";
+  case FindingKind::Divergence:
+    return "divergence";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One pipeline configuration the oracle pits against the baseline.
+struct Variant {
+  const char *Name;
+  core::PipelineConfig Config;
+};
+
+std::vector<Variant> makeVariants() {
+  std::vector<Variant> Out;
+  auto Add = [&](const char *Name, auto Tweak) {
+    core::PipelineConfig C;
+    // The oracle verifies and audits non-fatally itself: verifyOrDie or a
+    // failed self-audit would kill the fuzzing process on the very inputs
+    // it exists to find.
+    C.Verify = false;
+    Tweak(C);
+    Out.push_back({Name, C});
+  };
+  Add("ade", [](core::PipelineConfig &) {});
+  Add("ade-no-rte", [](core::PipelineConfig &C) { C.EnableRTE = false; });
+  Add("ade-no-sharing",
+      [](core::PipelineConfig &C) { C.EnableSharing = false; });
+  Add("ade-no-propagation",
+      [](core::PipelineConfig &C) { C.EnablePropagation = false; });
+  Add("ade-sparse", [](core::PipelineConfig &C) {
+    C.Selection.EnumeratedSet = ir::Selection::SparseBitSet;
+  });
+  return Out;
+}
+
+/// The names of the scalar (comparable) globals of the baseline module.
+/// Collections and enumerations are excluded: their representation — and
+/// for enumerations their very existence — legitimately changes under
+/// the transformation.
+std::vector<std::string> scalarGlobals(const Module &M) {
+  std::vector<std::string> Out;
+  for (const auto &G : M.globals())
+    if (!G->Ty->isCollection() && !isa<EnumType>(G->Ty))
+      Out.push_back(G->Name);
+  return Out;
+}
+
+/// Interprets @main and captures the observables.
+Observation observe(const Module &M, const std::vector<std::string> &Globals,
+                    const OracleOptions &Opts) {
+  Observation Obs;
+  const Function *Main = M.getFunction("main");
+  if (!Main) {
+    Obs.Error = "no @main function";
+    return Obs;
+  }
+  interp::InterpOptions IO;
+  IO.MaxSteps = Opts.MaxSteps;
+  IO.MaxBytes = Opts.MaxBytes;
+  IO.MaxDepth = Opts.MaxDepth;
+  interp::Interpreter I(M, IO);
+  try {
+    Obs.Result = I.call(Main, {});
+  } catch (const interp::InterpError &E) {
+    Obs.Error = E.what();
+    return Obs;
+  }
+  Obs.Ok = true;
+  for (const std::string &Name : Globals)
+    Obs.Globals.push_back(I.globalValue(Name));
+  return Obs;
+}
+
+/// Self-test sabotage: erases the first `insert` of the module. The
+/// module still verifies, but one element never lands in its collection
+/// — exactly the shape of a miscompiled transformation, which the oracle
+/// must flag as a divergence.
+bool plantBug(Module &M) {
+  for (const auto &F : M.functions()) {
+    if (F->isExternal())
+      continue;
+    struct Walker {
+      static Instruction *findInsert(Region &R) {
+        for (Instruction *I : R) {
+          if (I->op() == Opcode::Insert)
+            return I;
+          for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+            if (Instruction *Found = findInsert(*I->region(Idx)))
+              return Found;
+        }
+        return nullptr;
+      }
+    };
+    if (Instruction *I = Walker::findInsert(F->body())) {
+      I->eraseFromParent();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string describeMismatch(const Observation &Base,
+                             const Observation &Var,
+                             const std::vector<std::string> &Globals) {
+  if (Base.Ok != Var.Ok)
+    return Var.Ok ? "baseline failed (" + Base.Error +
+                        ") but the variant succeeded"
+                  : "variant failed: " + Var.Error;
+  if (Base.Result != Var.Result)
+    return "@main returned " + std::to_string(Var.Result) + ", baseline " +
+           std::to_string(Base.Result);
+  for (size_t I = 0; I != Globals.size(); ++I)
+    if (Base.Globals[I] != Var.Globals[I])
+      return "@" + Globals[I] + " = " + std::to_string(Var.Globals[I]) +
+             ", baseline " + std::to_string(Base.Globals[I]);
+  return "";
+}
+
+} // namespace
+
+std::vector<std::string> ade::fuzz::oracleVariants() {
+  std::vector<std::string> Out;
+  for (const Variant &V : makeVariants())
+    Out.push_back(V.Name);
+  return Out;
+}
+
+OracleResult ade::fuzz::runOracle(const std::string &Source,
+                                  const OracleOptions &Opts) {
+  OracleResult Result;
+  CrashContext CC("oracle");
+
+  // Baseline: parse, verify, interpret untransformed.
+  std::vector<std::string> Errors;
+  auto Base = parser::parseModule(Source, Errors);
+  if (!Base) {
+    Result.Kind = FindingKind::ParseError;
+    Result.Detail = Errors.empty() ? "parse failed" : Errors.front();
+    return Result;
+  }
+  Errors.clear();
+  if (!ir::verifyModule(*Base, Errors)) {
+    Result.Kind = FindingKind::VerifyError;
+    Result.Detail = Errors.empty() ? "verification failed" : Errors.front();
+    return Result;
+  }
+  std::vector<std::string> Globals = scalarGlobals(*Base);
+  Observation BaseObs;
+  {
+    CrashContext Run("oracle baseline");
+    BaseObs = observe(*Base, Globals, Opts);
+  }
+  if (!BaseObs.Ok) {
+    Result.Kind = FindingKind::RuntimeError;
+    Result.Variant = "baseline";
+    Result.Detail = BaseObs.Error;
+    return Result;
+  }
+
+  // Each variant gets its own freshly parsed module: runADE mutates in
+  // place, and variants must not see each other's rewrites.
+  for (const Variant &V : makeVariants()) {
+    CrashContext Run("oracle variant", V.Name);
+    std::vector<std::string> VErrors;
+    auto M = parser::parseModule(Source, VErrors);
+    if (!M) {
+      Result.Kind = FindingKind::ParseError;
+      Result.Variant = V.Name;
+      Result.Detail = "reparse failed: " +
+                      (VErrors.empty() ? std::string("?") : VErrors.front());
+      return Result;
+    }
+    core::runADE(*M, V.Config);
+    if (Opts.PlantBug)
+      plantBug(*M);
+    VErrors.clear();
+    if (!ir::verifyModule(*M, VErrors)) {
+      Result.Kind = FindingKind::VerifyError;
+      Result.Variant = V.Name;
+      Result.Detail = "transformed module rejected: " +
+                      (VErrors.empty() ? std::string("?") : VErrors.front());
+      return Result;
+    }
+    analysis::DiagnosticEngine DE;
+    if (!analysis::auditEnumeration(*M, DE)) {
+      Result.Kind = FindingKind::VerifyError;
+      Result.Variant = V.Name;
+      Result.Detail = "transformed module failed the enumeration audit";
+      return Result;
+    }
+    Observation Obs = observe(*M, Globals, Opts);
+    std::string Mismatch = describeMismatch(BaseObs, Obs, Globals);
+    if (!Mismatch.empty()) {
+      Result.Kind = Obs.Ok ? FindingKind::Divergence
+                           : FindingKind::RuntimeError;
+      Result.Variant = V.Name;
+      Result.Detail = Mismatch;
+      return Result;
+    }
+  }
+  return Result;
+}

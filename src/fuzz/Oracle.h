@@ -1,0 +1,89 @@
+//===- Oracle.h - Differential oracle for the ADE pipeline ------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential-fuzzing oracle (see DESIGN.md "Robustness"): a
+/// program is parsed twice, interpreted untransformed (the baseline) and
+/// after `runADE` under several configuration variants, and the
+/// observables — @main's result, the final values of scalar globals and
+/// clean-termination status — are compared. Any mismatch, verifier
+/// rejection of a transformed module, or runtime error on a UB-free
+/// generated program is a finding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_FUZZ_ORACLE_H
+#define ADE_FUZZ_ORACLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ade {
+namespace fuzz {
+
+/// What the oracle concluded about one program.
+enum class FindingKind : uint8_t {
+  /// All variants agreed with the baseline.
+  None,
+  /// The program did not parse (valid-mode inputs must).
+  ParseError,
+  /// The verifier rejected the program before or after transformation.
+  VerifyError,
+  /// The interpreter raised a runtime error (generated programs are
+  /// UB-free by construction, so this indicates a bug) or exceeded a
+  /// guard-rail budget.
+  RuntimeError,
+  /// A transformed variant's observables differ from the baseline's.
+  Divergence,
+};
+
+const char *findingKindName(FindingKind K);
+
+/// Everything we observe about one execution.
+struct Observation {
+  bool Ok = false;
+  /// Diagnostic when !Ok.
+  std::string Error;
+  /// @main's return value.
+  uint64_t Result = 0;
+  /// Final values of the baseline module's scalar globals, in
+  /// declaration order.
+  std::vector<uint64_t> Globals;
+};
+
+struct OracleOptions {
+  /// Guard rails applied to every interpretation; generated programs are
+  /// small, so exceeding these indicates runaway behavior.
+  uint64_t MaxSteps = 50'000'000;
+  uint64_t MaxBytes = 512ull << 20;
+  uint64_t MaxDepth = 512;
+  /// Self-test: sabotage each transformed module (drop its first insert)
+  /// to prove the oracle detects real miscompilations.
+  bool PlantBug = false;
+};
+
+struct OracleResult {
+  FindingKind Kind = FindingKind::None;
+  /// The pipeline variant that failed or diverged ("" for parse/verify
+  /// failures of the input itself).
+  std::string Variant;
+  /// Human-readable explanation.
+  std::string Detail;
+};
+
+/// Names of the pipeline configuration variants the oracle compares
+/// against the untransformed baseline.
+std::vector<std::string> oracleVariants();
+
+/// Runs the differential oracle on \p Source.
+OracleResult runOracle(const std::string &Source,
+                       const OracleOptions &Opts = {});
+
+} // namespace fuzz
+} // namespace ade
+
+#endif // ADE_FUZZ_ORACLE_H

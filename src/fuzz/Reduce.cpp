@@ -1,0 +1,298 @@
+//===- Reduce.cpp - Delta-debugging test-case reduction -------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every candidate is produced by a text round-trip: parse the current
+// program, mutate the IR, print it back. Candidates that no longer parse,
+// verify or fail the same way are simply rejected by the predicate, so
+// the passes can be aggressive — an instruction drop that breaks a region
+// terminator just wastes one attempt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reduce.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "parser/Parser.h"
+#include "support/CrashHandler.h"
+
+#include <unordered_set>
+
+using namespace ade;
+using namespace ade::fuzz;
+using namespace ade::ir;
+
+namespace {
+
+/// Collects every instruction of \p F in pre-order. The order is a
+/// parse-stable addressing scheme: the Nth instruction of a function is
+/// the same statement across a print/reparse round-trip.
+void collectPreOrder(Region &R, std::vector<Instruction *> &Out) {
+  for (Instruction *I : R) {
+    Out.push_back(I);
+    for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+      collectPreOrder(*I->region(Idx), Out);
+  }
+}
+
+/// The driver shared by all passes: owns the current best program and
+/// the predicate.
+class Reducer {
+public:
+  Reducer(std::string Source, const ReduceOptions &Opts)
+      : Best(std::move(Source)), Opts(Opts) {}
+
+  ReduceResult run() {
+    ReduceResult Result;
+    Target = runOracle(Best, Opts.Oracle).Kind;
+    Result.Kind = Target;
+    if (Target == FindingKind::None) {
+      Result.Reduced = Best;
+      return Result;
+    }
+    for (unsigned Round = 0; Round != Opts.MaxRounds; ++Round) {
+      CrashContext CC("reducing", "round " + std::to_string(Round));
+      unsigned Before = Accepted;
+      dropUnreferencedFunctions();
+      dropInstructions();
+      dropUnreferencedGlobals();
+      shrinkConstants();
+      if (Accepted == Before)
+        break; // Fixed point.
+    }
+    Result.Reduced = Best;
+    Result.Attempts = Attempts;
+    Result.Accepted = Accepted;
+    return Result;
+  }
+
+private:
+  /// Tests a candidate; adopts it when the finding survives.
+  bool consider(Module &M) {
+    std::string Text = toString(M);
+    if (Text.size() > Best.size())
+      return false; // Never grow (constant shrinks may keep the length).
+    ++Attempts;
+    if (runOracle(Text, Opts.Oracle).Kind != Target)
+      return false;
+    Best = std::move(Text);
+    ++Accepted;
+    return true;
+  }
+
+  std::unique_ptr<Module> parseBest() {
+    std::vector<std::string> Errors;
+    auto M = parser::parseModule(Best, Errors);
+    // Best always parses: it is either the (failing-but-parseable) input
+    // or a previously adopted round-trip — unless the finding itself is
+    // a parse error, in which case IR-level passes cannot run.
+    return M;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pass 1: drop functions not reachable from @main
+  //===--------------------------------------------------------------------===//
+
+  void dropUnreferencedFunctions() {
+    auto M = parseBest();
+    if (!M)
+      return;
+    std::unordered_set<std::string> Called;
+    for (const auto &F : M->functions()) {
+      std::vector<Instruction *> Insts;
+      collectPreOrder(F->body(), Insts);
+      for (const Instruction *I : Insts)
+        if (I->op() == Opcode::Call)
+          Called.insert(I->symbol());
+    }
+    std::vector<Function *> Victims;
+    for (const auto &F : M->functions())
+      if (F->name() != "main" && !Called.count(F->name()))
+        Victims.push_back(F.get());
+    if (Victims.empty())
+      return;
+    for (Function *F : Victims)
+      M->removeFunction(F);
+    consider(*M);
+  }
+
+  /// Globals whose gset/gget instructions were all dropped serve no
+  /// observable purpose anymore (an unset global reads as zero in every
+  /// variant alike).
+  void dropUnreferencedGlobals() {
+    auto M = parseBest();
+    if (!M)
+      return;
+    std::unordered_set<std::string> Referenced;
+    for (const auto &F : M->functions()) {
+      std::vector<Instruction *> Insts;
+      collectPreOrder(F->body(), Insts);
+      for (const Instruction *I : Insts)
+        if (I->op() == Opcode::GlobalGet || I->op() == Opcode::GlobalSet)
+          Referenced.insert(I->symbol());
+    }
+    std::vector<GlobalVariable *> Victims;
+    for (const auto &G : M->globals())
+      if (!Referenced.count(G->Name))
+        Victims.push_back(G.get());
+    if (Victims.empty())
+      return;
+    for (GlobalVariable *G : Victims)
+      M->removeGlobal(G);
+    consider(*M);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pass 2: drop single instructions
+  //===--------------------------------------------------------------------===//
+
+  /// How a result-replacement attempt went.
+  enum class Neutralize {
+    Impossible,   ///< A used result we cannot synthesize a stand-in for.
+    Zeroed,       ///< All used results rerouted to zero constants (or
+                  ///< there were none).
+    Forwarded,    ///< At least one result rerouted to a same-typed
+                  ///< operand (e.g. a loop result to its iter init),
+                  ///< preserving the dataflow through the instruction.
+  };
+
+  /// Replaces each of \p I's *used* results so the instruction becomes
+  /// erasable. Use-free results need no replacement — those drops shrink
+  /// the program outright, which is what lets dead chains cascade away
+  /// over rounds. With \p PreferOperands, a result is first rerouted to
+  /// an operand of the same type: that turns a loop into a pass-through
+  /// of its init value instead of severing the dataflow at zero.
+  static Neutralize neutralizeResults(Module &M, Instruction *I,
+                                      bool PreferOperands) {
+    for (unsigned Idx = 0; Idx != I->numResults(); ++Idx) {
+      Value *R = I->result(Idx);
+      if (!R->hasUses())
+        continue;
+      Type *Ty = R->type();
+      if (Ty->isCollection() || isa<EnumType>(Ty))
+        return Neutralize::Impossible;
+    }
+    Neutralize Outcome = Neutralize::Zeroed;
+    IRBuilder B(M);
+    B.setInsertionPointBefore(I);
+    for (unsigned Idx = 0; Idx != I->numResults(); ++Idx) {
+      Value *R = I->result(Idx);
+      if (!R->hasUses())
+        continue;
+      Type *Ty = R->type();
+      Value *Stand = nullptr;
+      if (PreferOperands) {
+        for (unsigned Op = 0; Op != I->numOperands(); ++Op)
+          if (I->operand(Op)->type() == Ty) {
+            Stand = I->operand(Op);
+            Outcome = Neutralize::Forwarded;
+            break;
+          }
+      }
+      if (!Stand)
+        Stand = isa<BoolType>(Ty) ? B.constBool(false)
+                : isa<FloatType>(Ty) ? B.constF64(0.0)
+                                     : B.constInt(0, Ty);
+      R->replaceAllUsesWith(Stand);
+    }
+    return Outcome;
+  }
+
+  void dropInstructions() {
+    // Addressing is (function name, pre-order index): stable across the
+    // reparse each candidate starts from. Reverse order drops users
+    // before definitions.
+    auto Template = parseBest();
+    if (!Template)
+      return;
+    for (const auto &F : Template->functions()) {
+      std::vector<Instruction *> Insts;
+      collectPreOrder(F->body(), Insts);
+      for (size_t Idx = Insts.size(); Idx-- > 0;) {
+        // Terminators keep regions well-formed; never worth an attempt.
+        Opcode Op = Insts[Idx]->op();
+        if (Op == Opcode::Yield || Op == Opcode::Ret)
+          continue;
+        // Strategy 0 forwards results to same-typed operands; strategy 1
+        // falls back to zero constants. When 0 forwarded nothing the two
+        // candidates are identical, so 1 is skipped.
+        for (int Strategy = 0; Strategy != 2; ++Strategy) {
+          auto M = parseBest();
+          if (!M)
+            return;
+          Function *MF = M->getFunction(F->name());
+          if (!MF)
+            break;
+          std::vector<Instruction *> MInsts;
+          collectPreOrder(MF->body(), MInsts);
+          if (Idx >= MInsts.size())
+            break;
+          Instruction *I = MInsts[Idx];
+          Neutralize N =
+              neutralizeResults(*M, I, /*PreferOperands=*/Strategy == 0);
+          if (N == Neutralize::Impossible)
+            break;
+          I->eraseFromParent();
+          if (consider(*M))
+            break;
+          if (N != Neutralize::Forwarded)
+            break;
+        }
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Pass 3: shrink integer constants
+  //===--------------------------------------------------------------------===//
+
+  void shrinkConstants() {
+    auto Template = parseBest();
+    if (!Template)
+      return;
+    for (const auto &F : Template->functions()) {
+      std::vector<Instruction *> Insts;
+      collectPreOrder(F->body(), Insts);
+      for (size_t Idx = 0; Idx != Insts.size(); ++Idx) {
+        if (Insts[Idx]->op() != Opcode::ConstInt)
+          continue;
+        int64_t V = Insts[Idx]->intAttr();
+        if (V == 0)
+          continue;
+        for (int64_t Candidate : {int64_t(0), V / 2}) {
+          if (Candidate == V)
+            continue;
+          auto M = parseBest();
+          if (!M)
+            return;
+          Function *MF = M->getFunction(F->name());
+          if (!MF)
+            continue;
+          std::vector<Instruction *> MInsts;
+          collectPreOrder(MF->body(), MInsts);
+          if (Idx >= MInsts.size() || MInsts[Idx]->op() != Opcode::ConstInt)
+            continue;
+          MInsts[Idx]->setIntAttr(Candidate);
+          if (consider(*M))
+            break;
+        }
+      }
+    }
+  }
+
+  std::string Best;
+  ReduceOptions Opts;
+  FindingKind Target = FindingKind::None;
+  unsigned Attempts = 0;
+  unsigned Accepted = 0;
+};
+
+} // namespace
+
+ReduceResult ade::fuzz::reduceProgram(const std::string &Source,
+                                      const ReduceOptions &Opts) {
+  return Reducer(Source, Opts).run();
+}

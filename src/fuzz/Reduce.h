@@ -1,0 +1,51 @@
+//===- Reduce.h - Delta-debugging test-case reduction -----------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bugpoint-style minimization of an oracle finding (see DESIGN.md
+/// "Robustness"): starting from a program the differential oracle flags,
+/// repeatedly apply reduction passes — drop unreferenced functions, drop
+/// individual instructions (rerouting their uses to constants), shrink
+/// integer constants — keeping each candidate only if the oracle still
+/// reports the *same kind* of finding, until a fixed point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_FUZZ_REDUCE_H
+#define ADE_FUZZ_REDUCE_H
+
+#include "fuzz/Oracle.h"
+
+namespace ade {
+namespace fuzz {
+
+struct ReduceOptions {
+  /// Oracle configuration used for the failure predicate (including
+  /// PlantBug when reducing a self-test finding).
+  OracleOptions Oracle;
+  /// Upper bound on fixed-point rounds over all passes.
+  unsigned MaxRounds = 6;
+};
+
+struct ReduceResult {
+  /// The minimized program (the input when nothing could be removed).
+  std::string Reduced;
+  /// The finding kind the reduction preserved (None when the input did
+  /// not fail to begin with — nothing to reduce).
+  FindingKind Kind = FindingKind::None;
+  /// Candidate programs tried / accepted.
+  unsigned Attempts = 0;
+  unsigned Accepted = 0;
+};
+
+/// Minimizes \p Source while preserving the oracle's finding kind.
+ReduceResult reduceProgram(const std::string &Source,
+                           const ReduceOptions &Opts = {});
+
+} // namespace fuzz
+} // namespace ade
+
+#endif // ADE_FUZZ_REDUCE_H

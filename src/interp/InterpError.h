@@ -1,0 +1,77 @@
+//===- InterpError.h - Recoverable interpreter diagnostics ------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exception the interpreter throws for error conditions reachable
+/// from (verified) user IR: undefined operations like a map read of a
+/// missing key or division by zero, and the \c --max-* guard-rail budgets
+/// that turn runaway programs into catchable diagnostics. Internal
+/// invariant violations still go through \c reportFatalError — an
+/// InterpError always means the *program* misbehaved, never the system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_INTERP_INTERPERROR_H
+#define ADE_INTERP_INTERPERROR_H
+
+#include "ir/IR.h"
+
+#include <exception>
+#include <string>
+
+namespace ade {
+namespace interp {
+
+/// Why the interpreter stopped.
+enum class InterpErrorKind : uint8_t {
+  /// An undefined operation in the executed program (missing key,
+  /// division by zero, out-of-bounds access, ...).
+  Undefined,
+  /// The --max-steps instruction budget was exhausted.
+  StepBudget,
+  /// The --max-bytes collection-memory cap was exceeded.
+  MemoryBudget,
+  /// The --max-depth call-recursion bound was exceeded.
+  DepthBudget,
+};
+
+/// A recoverable interpreter diagnostic with the offending site.
+class InterpError : public std::exception {
+public:
+  InterpError(InterpErrorKind Kind, std::string Message, ir::SrcLoc Loc,
+              std::string Function)
+      : Kind(Kind), Message(std::move(Message)), Loc(Loc),
+        Function(std::move(Function)) {
+    Formatted = "runtime error: " + this->Message;
+    if (!this->Function.empty())
+      Formatted += " in @" + this->Function;
+    if (Loc.isValid())
+      Formatted += " at line " + std::to_string(Loc.Line) + ":" +
+                   std::to_string(Loc.Col);
+  }
+
+  const char *what() const noexcept override { return Formatted.c_str(); }
+
+  InterpErrorKind kind() const { return Kind; }
+  const std::string &message() const { return Message; }
+  /// Source position of the offending instruction (invalid for
+  /// programmatically built IR).
+  ir::SrcLoc loc() const { return Loc; }
+  /// Name of the function being executed when the error fired.
+  const std::string &function() const { return Function; }
+
+private:
+  InterpErrorKind Kind;
+  std::string Message;
+  ir::SrcLoc Loc;
+  std::string Function;
+  std::string Formatted;
+};
+
+} // namespace interp
+} // namespace ade
+
+#endif // ADE_INTERP_INTERPERROR_H

@@ -6,8 +6,11 @@
 
 #include "interp/Interpreter.h"
 
+#include "collections/MemoryTracker.h"
+#include "interp/InterpError.h"
 #include "interp/Profiler.h"
 #include "support/Casting.h"
+#include "support/CrashHandler.h"
 #include "support/ErrorHandling.h"
 #include "support/Trace.h"
 
@@ -59,8 +62,28 @@ struct Interpreter::Impl {
   std::unordered_map<std::string, uint64_t> Globals;
   std::unordered_map<const Function *, CompiledFunction> Compiled;
 
+  /// Guard-rail accounting (see InterpOptions): executed instructions
+  /// across the whole run and the current interpreted call depth.
+  uint64_t Steps = 0;
+  uint64_t Depth = 0;
+
   Impl(const Module &M, InterpOptions Opts)
       : M(M), Opts(Opts), Prof(Opts.Prof), Trace(TraceRecorder::active()) {}
+
+  /// Throws the recoverable diagnostic for an undefined operation at \p I.
+  [[noreturn]] static void trap(InterpErrorKind Kind, const char *Msg,
+                                const Instruction &I) {
+    const Function *F = I.parentFunction();
+    throw InterpError(Kind, Msg, I.loc(), F ? F->name() : std::string());
+  }
+
+  /// Memory guard, checked at collection growth sites.
+  void checkMemBudget(const Instruction &I) {
+    if (Opts.MaxBytes &&
+        MemoryTracker::instance().currentBytes() > Opts.MaxBytes)
+      trap(InterpErrorKind::MemoryBudget,
+           "collection memory budget (--max-bytes) exceeded", I);
+  }
 
   //===--------------------------------------------------------------------===//
   // Compilation: frame-slot assignment
@@ -129,7 +152,8 @@ struct Interpreter::Impl {
   // Arithmetic
   //===--------------------------------------------------------------------===//
 
-  uint64_t evalBinary(Opcode Op, const Type *Ty, uint64_t A, uint64_t B) {
+  uint64_t evalBinary(Opcode Op, const Type *Ty, uint64_t A, uint64_t B,
+                      const Instruction &I) {
     if (isa<FloatType>(Ty)) {
       double X = bitsToDouble(A), Y = bitsToDouble(B);
       switch (Op) {
@@ -178,11 +202,11 @@ struct Interpreter::Impl {
         return Wrap(X * Y);
       case Opcode::Div:
         if (Y == 0)
-          reportFatalError("integer division by zero");
+          trap(InterpErrorKind::Undefined, "integer division by zero", I);
         return Wrap(X / Y);
       case Opcode::Rem:
         if (Y == 0)
-          reportFatalError("integer remainder by zero");
+          trap(InterpErrorKind::Undefined, "integer remainder by zero", I);
         return Wrap(X % Y);
       case Opcode::And:
         return Wrap(X & Y);
@@ -224,11 +248,11 @@ struct Interpreter::Impl {
       return maskToWidth(X * Y, Bits);
     case Opcode::Div:
       if (Y == 0)
-        reportFatalError("integer division by zero");
+        trap(InterpErrorKind::Undefined, "integer division by zero", I);
       return X / Y;
     case Opcode::Rem:
       if (Y == 0)
-        reportFatalError("integer remainder by zero");
+        trap(InterpErrorKind::Undefined, "integer remainder by zero", I);
       return X % Y;
     case Opcode::And:
       return X & Y;
@@ -360,6 +384,20 @@ struct Interpreter::Impl {
   // Execution
   //===--------------------------------------------------------------------===//
 
+  /// RAII bound on interpreted call depth. Each interpreted frame consumes
+  /// native stack, so this rail also protects the host from stack overflow.
+  struct DepthGuard {
+    Impl &I;
+    explicit DepthGuard(Impl &I, const Function *F) : I(I) {
+      if (I.Opts.MaxDepth && I.Depth >= I.Opts.MaxDepth)
+        throw InterpError(InterpErrorKind::DepthBudget,
+                          "call depth budget (--max-depth) exceeded",
+                          ir::SrcLoc{}, F->name());
+      ++I.Depth;
+    }
+    ~DepthGuard() { --I.Depth; }
+  };
+
   uint64_t callFunction(const Function *F, const std::vector<uint64_t> &Args) {
     // External declarations model opaque code the compiler cannot analyze
     // (the SIII-F escape sources). At runtime they are inert: no effect,
@@ -368,6 +406,8 @@ struct Interpreter::Impl {
     if (F->isExternal())
       return 0;
     assert(Args.size() == F->numArgs() && "argument count mismatch");
+    DepthGuard Guard(*this, F);
+    CrashContext CC("interpreting", F->name());
     const CompiledFunction &CF = compile(F);
     Frame Fr;
     Fr.Slots.assign(CF.NumSlots, 0);
@@ -391,11 +431,25 @@ struct Interpreter::Impl {
   }
 
   Flow execInst(const Instruction &I, const CompiledFunction &CF, Frame &Fr) {
+    // Translate runtime-collection errors (out-of-bounds, empty pop) into
+    // source-located diagnostics. The try block is free until a throw.
+    try {
+      return execInstImpl(I, CF, Fr);
+    } catch (const RtError &E) {
+      trap(InterpErrorKind::Undefined, E.Message, I);
+    }
+  }
+
+  Flow execInstImpl(const Instruction &I, const CompiledFunction &CF,
+                    Frame &Fr) {
     const InstSlots &S = CF.Insts[I.scratchId()];
     auto In = [&](unsigned Idx) { return Fr.Slots[S.Ops[Idx]]; };
     auto Out = [&](unsigned Idx, uint64_t V) { Fr.Slots[S.Res[Idx]] = V; };
     if (Stats)
       ++Stats->InstructionsExecuted;
+    if (Opts.MaxSteps && ++Steps > Opts.MaxSteps)
+      trap(InterpErrorKind::StepBudget,
+           "instruction budget (--max-steps) exceeded", I);
     switch (I.op()) {
     case Opcode::ConstInt: {
       const auto *IT = dyn_cast<IntType>(I.result()->type());
@@ -427,7 +481,7 @@ struct Interpreter::Impl {
     case Opcode::CmpLe:
     case Opcode::CmpGt:
     case Opcode::CmpGe:
-      Out(0, evalBinary(I.op(), I.operand(0)->type(), In(0), In(1)));
+      Out(0, evalBinary(I.op(), I.operand(0)->type(), In(0), In(1), I));
       return Flow::Next;
     case Opcode::Neg: {
       const Type *Ty = I.operand(0)->type();
@@ -457,6 +511,7 @@ struct Interpreter::Impl {
       return Flow::Next;
     case Opcode::New:
       Out(0, Interpreter::collToBits(makeCollection(I.result()->type(), &I)));
+      checkMemBudget(I);
       return Flow::Next;
     case Opcode::Read: {
       if (isa<SeqType>(I.operand(0)->type())) {
@@ -471,7 +526,7 @@ struct Interpreter::Impl {
       if (Prof)
         Prof->recordOp(I, OpCategory::Read, Map->isDense(), 1, Map);
       if (!Found)
-        reportFatalError("map read of a missing key");
+        trap(InterpErrorKind::Undefined, "map read of a missing key", I);
       Out(0, V);
       return Flow::Next;
     }
@@ -482,6 +537,7 @@ struct Interpreter::Impl {
       }
       RtMap *Map = asMap(In(0));
       Map->set(In(1), In(2));
+      checkMemBudget(I);
       if (Stats)
         Stats->record(OpCategory::Write, Map->isDense());
       if (Prof)
@@ -496,6 +552,7 @@ struct Interpreter::Impl {
         static_cast<RtMap *>(C)->insertDefault(In(1), 0);
       else
         reportFatalError("insert on a sequence");
+      checkMemBudget(I);
       if (Stats)
         Stats->record(OpCategory::Insert, C->isDense());
       if (Prof)
@@ -563,10 +620,12 @@ struct Interpreter::Impl {
           Prof->recordOp(I, OpCategory::Reserve, C->isDense(), 1, C);
       }
       C->reserve(In(1));
+      checkMemBudget(I);
       return Flow::Next;
     }
     case Opcode::Append:
       asSeq(In(0))->append(In(1));
+      checkMemBudget(I);
       return Flow::Next;
     case Opcode::Pop:
       Out(0, asSeq(In(0))->pop());
@@ -580,6 +639,7 @@ struct Interpreter::Impl {
       if (Prof)
         Prof->recordOp(I, OpCategory::Union, Dst->isDense(), Merged, Dst);
       Dst->unionWith(*Src);
+      checkMemBudget(I);
       return Flow::Next;
     }
     case Opcode::Enc: {
@@ -602,7 +662,8 @@ struct Interpreter::Impl {
       if (Prof)
         Prof->recordOp(I, OpCategory::Dec, /*IsDense=*/true, 1, nullptr);
       if (In(1) >= E->size())
-        reportFatalError("dec of an out-of-range identifier");
+        trap(InterpErrorKind::Undefined, "dec of an out-of-range identifier",
+             I);
       Out(0, E->decode(In(1)));
       return Flow::Next;
     }
@@ -613,6 +674,7 @@ struct Interpreter::Impl {
       if (Prof)
         Prof->recordOp(I, OpCategory::EnumAdd, /*IsDense=*/false, 1, nullptr);
       Out(0, E->add(In(1)).first);
+      checkMemBudget(I);
       return Flow::Next;
     }
     case Opcode::GlobalGet:

@@ -44,6 +44,18 @@ struct InterpOptions {
   /// Optional source-attributed profiler (see Profiler.h). Null keeps the
   /// interpreter's hot paths free of per-site bookkeeping.
   Profiler *Prof = nullptr;
+  /// Guard rails (see InterpError.h): exceeding a nonzero budget throws a
+  /// recoverable InterpError instead of hanging or exhausting the host.
+  /// Maximum executed instructions across the whole run (0 = unlimited).
+  uint64_t MaxSteps = 0;
+  /// Maximum bytes held by collections, checked at growth sites
+  /// (0 = unlimited).
+  uint64_t MaxBytes = 0;
+  /// Maximum interpreted call depth. Bounded by default: each interpreted
+  /// frame consumes native stack, so unbounded recursion would otherwise
+  /// crash the host process instead of reporting a diagnostic
+  /// (0 = unlimited, at your own risk).
+  uint64_t MaxDepth = 4096;
 };
 
 /// Converts between the 64-bit encoded form and doubles.
@@ -68,7 +80,9 @@ public:
   ~Interpreter();
 
   /// Calls \p F with 64-bit encoded arguments; returns the encoded result
-  /// (0 for void functions).
+  /// (0 for void functions). Throws interp::InterpError when the program
+  /// performs an undefined operation or exceeds a guard-rail budget; the
+  /// interpreter remains usable afterwards.
   uint64_t call(const ir::Function *F, const std::vector<uint64_t> &Args);
 
   /// Convenience: call by name. The function must exist.

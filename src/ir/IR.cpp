@@ -174,6 +174,13 @@ Instruction::Instruction(Opcode Op, const std::vector<Type *> &ResultTypes,
 }
 
 Instruction::~Instruction() {
+  // Destroy nested regions in reverse: the parser resolves names
+  // textually, so (on malformed input that never reaches the verifier) a
+  // later sibling region can reference values defined in an earlier one.
+  // Those definitions must still be alive when the user's use-list entry
+  // is unregistered.
+  while (!Regions.empty())
+    Regions.pop_back();
   for (unsigned I = 0, E = numOperands(); I != E; ++I)
     if (Operands[I])
       Operands[I]->removeUse(Use{this, I});
@@ -307,6 +314,17 @@ Function *Module::getFunction(const std::string &Name) const {
   return It == FuncMap.end() ? nullptr : It->second;
 }
 
+void Module::removeFunction(Function *F) {
+  FuncMap.erase(F->name());
+  for (auto It = Funcs.begin(); It != Funcs.end(); ++It) {
+    if (It->get() == F) {
+      Funcs.erase(It);
+      return;
+    }
+  }
+  assert(false && "function not in module");
+}
+
 GlobalVariable *Module::createGlobal(std::string Name, Type *Ty) {
   assert(!GlobalMap.count(Name) && "duplicate global name");
   Globals.push_back(std::make_unique<GlobalVariable>());
@@ -320,6 +338,17 @@ GlobalVariable *Module::createGlobal(std::string Name, Type *Ty) {
 GlobalVariable *Module::getGlobal(const std::string &Name) const {
   auto It = GlobalMap.find(Name);
   return It == GlobalMap.end() ? nullptr : It->second;
+}
+
+void Module::removeGlobal(GlobalVariable *G) {
+  GlobalMap.erase(G->Name);
+  for (auto It = Globals.begin(); It != Globals.end(); ++It) {
+    if (It->get() == G) {
+      Globals.erase(It);
+      return;
+    }
+  }
+  assert(false && "global not in module");
 }
 
 std::string Module::uniqueName(const std::string &Prefix) {

@@ -501,12 +501,18 @@ public:
   const std::vector<std::unique_ptr<Function>> &functions() const {
     return Funcs;
   }
+  /// Deletes \p F from the module (test-case reduction). The caller must
+  /// ensure no call instruction references it.
+  void removeFunction(Function *F);
 
   GlobalVariable *createGlobal(std::string Name, Type *Ty);
   GlobalVariable *getGlobal(const std::string &Name) const;
   const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
     return Globals;
   }
+  /// Deletes \p G from the module (test-case reduction). The caller must
+  /// ensure no gget/gset instruction references it.
+  void removeGlobal(GlobalVariable *G);
 
   /// Returns a module-unique name with the given prefix (for enumeration
   /// globals and function clones).

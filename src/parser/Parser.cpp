@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace ade;
 using namespace ade::ir;
@@ -34,10 +35,15 @@ public:
                        Tokens.back().Text);
       return nullptr;
     }
-    if (!scanSignatures())
-      return nullptr;
-    Pos = 0;
-    if (!parseTopLevel())
+    // Both passes recover from statement- and definition-level errors so
+    // one run reports every diagnostic in the file (capped at MaxErrors);
+    // parsing still fails as a whole if any error was recorded.
+    scanSignatures();
+    if (!FatalStop) {
+      Pos = 0;
+      parseTopLevel();
+    }
+    if (!Errors.empty())
       return nullptr;
     return Mod;
   }
@@ -60,8 +66,59 @@ private:
   void skip() { ++Pos; }
 
   bool fail(const std::string &Msg) {
+    if (FatalStop)
+      return false;
     Errors.push_back("line " + std::to_string(cur().Line) + ": " + Msg);
+    if (Errors.size() >= MaxErrors) {
+      Errors.push_back("too many errors; giving up");
+      FatalStop = true;
+    }
     return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Error recovery
+  //===--------------------------------------------------------------------===//
+
+  /// Statement-level recovery: discards the rest of the statement that
+  /// began on \p StmtLine — up to the next source line at this nesting
+  /// level or the enclosing region's '}' — so the rest of the region
+  /// still gets parsed and diagnosed. Nested brace groups are stepped
+  /// over whole.
+  void syncToStatement(unsigned StmtLine) {
+    unsigned Depth = 0;
+    while (!is(TokenKind::Eof)) {
+      if (is(TokenKind::LBrace)) {
+        ++Depth;
+        skip();
+        continue;
+      }
+      if (is(TokenKind::RBrace)) {
+        if (Depth == 0)
+          return; // The enclosing region's close — leave it for the caller.
+        --Depth;
+        skip();
+        continue;
+      }
+      if (Depth == 0 && cur().Line != StmtLine)
+        return;
+      skip();
+    }
+  }
+
+  /// Definition-level recovery: skips to the next 'fn'/'global'/'extern'
+  /// keyword, stepping over whole brace groups (function bodies) so body
+  /// statements are not mistaken for top-level entities.
+  void syncToTopLevel() {
+    while (!is(TokenKind::Eof)) {
+      if (is(TokenKind::LBrace)) {
+        skipUntilMatched(TokenKind::LBrace, TokenKind::RBrace);
+        continue;
+      }
+      if (isIdent("fn") || isIdent("global") || isIdent("extern"))
+        return;
+      skip();
+    }
   }
 
   bool expect(TokenKind K, const char *What) {
@@ -83,23 +140,26 @@ private:
   //===--------------------------------------------------------------------===//
 
   bool scanSignatures() {
-    while (!is(TokenKind::Eof)) {
+    while (!is(TokenKind::Eof) && !FatalStop) {
       if (isIdent("fn")) {
         if (!scanFunction(/*External=*/false))
-          return false;
+          syncToTopLevel();
         continue;
       }
       if (isIdent("extern")) {
         skip();
-        if (!isIdent("fn"))
-          return fail("expected 'fn' after 'extern'");
+        if (!isIdent("fn")) {
+          fail("expected 'fn' after 'extern'");
+          syncToTopLevel();
+          continue;
+        }
         if (!scanFunction(/*External=*/true))
-          return false;
+          syncToTopLevel();
         continue;
       }
       skip();
     }
-    return true;
+    return !FatalStop;
   }
 
   bool scanFunction(bool External) {
@@ -176,10 +236,10 @@ private:
   //===--------------------------------------------------------------------===//
 
   bool parseTopLevel() {
-    while (!is(TokenKind::Eof)) {
+    while (!is(TokenKind::Eof) && !FatalStop) {
       if (isIdent("global")) {
         if (!parseGlobal())
-          return false;
+          syncToTopLevel();
         continue;
       }
       if (isIdent("extern")) {
@@ -191,18 +251,19 @@ private:
         if (is(TokenKind::Arrow)) {
           skip();
           if (!parseType())
-            return false;
+            syncToTopLevel();
         }
         continue;
       }
       if (isIdent("fn")) {
         if (!parseFunctionBody())
-          return false;
+          syncToTopLevel();
         continue;
       }
-      return fail("expected 'global', 'fn' or 'extern' at top level");
+      fail("expected 'global', 'fn' or 'extern' at top level");
+      syncToTopLevel();
     }
-    return true;
+    return !FatalStop;
   }
 
   void skipUntilMatched(TokenKind Open, TokenKind Close) {
@@ -237,8 +298,16 @@ private:
 
   bool parseFunctionBody() {
     skip(); // 'fn'
-    Function *F = M->getFunction(cur().Text);
-    assert(F && "signature pass must have registered the function");
+    Function *F =
+        is(TokenKind::GlobalName) ? M->getFunction(cur().Text) : nullptr;
+    if (!F || F->isExternal() || !ParsedBodies.insert(F).second) {
+      // The signature pass already diagnosed this definition (malformed
+      // header or duplicate name); skip its body without re-reporting.
+      while (!is(TokenKind::Eof) && !is(TokenKind::LBrace))
+        skip();
+      skipUntilMatched(TokenKind::LBrace, TokenKind::RBrace);
+      return true;
+    }
     skip(); // name
     skipUntilMatched(TokenKind::LParen, TokenKind::RParen);
     if (is(TokenKind::Arrow)) {
@@ -255,13 +324,19 @@ private:
     return parseRegionBody(F->body());
   }
 
-  /// Parses instructions until the closing '}' (consumed).
+  /// Parses instructions until the closing '}' (consumed). A failed
+  /// statement does not abandon the region: we synchronize to the next
+  /// statement and keep going so every diagnostic gets reported.
   bool parseRegionBody(Region &R) {
     while (!is(TokenKind::RBrace)) {
       if (is(TokenKind::Eof))
         return fail("unexpected end of input in region");
-      if (!parseInst(R))
-        return false;
+      unsigned StmtLine = cur().Line;
+      if (!parseInst(R)) {
+        if (FatalStop)
+          return false;
+        syncToStatement(StmtLine);
+      }
     }
     skip(); // '}'
     return true;
@@ -936,6 +1011,15 @@ private:
   std::vector<std::string> &Errors;
   std::unordered_map<std::string, Value *> Locals;
   std::optional<Directive> Pending;
+  /// Diagnostic cap: after this many errors a "too many errors" note is
+  /// appended and both passes stop instead of drowning the user.
+  static constexpr size_t MaxErrors = 20;
+  /// Set by fail() once MaxErrors is reached; checked by the recovery
+  /// loops to abandon the parse.
+  bool FatalStop = false;
+  /// Functions whose bodies pass 2 has already consumed; a duplicate
+  /// definition (diagnosed in pass 1) is skipped, not parsed twice.
+  std::unordered_set<const Function *> ParsedBodies;
 };
 
 } // namespace

@@ -51,8 +51,12 @@ class Module;
 namespace parser {
 
 /// Parses \p Source into a module. On failure returns null and fills
-/// \p Errors with "line N: message" diagnostics. The returned module has
-/// NOT been verified; callers should run the verifier.
+/// \p Errors with "line N: message" diagnostics. The parser recovers
+/// from statement- and definition-level errors (synchronizing to the
+/// next statement or top-level entity), so one run reports every
+/// diagnostic in the file, capped at 20 plus a "too many errors" note.
+/// The returned module has NOT been verified; callers should run the
+/// verifier.
 std::unique_ptr<ir::Module> parseModule(std::string_view Source,
                                         std::vector<std::string> &Errors);
 

@@ -57,18 +57,18 @@ public:
 
   uint64_t get(uint64_t Idx) const override {
     if (Idx >= Impl.size())
-      reportFatalError("sequence read out of bounds");
+      throw RtError{"sequence read out of bounds"};
     return Impl.at(Idx);
   }
   void set(uint64_t Idx, uint64_t Value) override {
     if (Idx >= Impl.size())
-      reportFatalError("sequence write out of bounds");
+      throw RtError{"sequence write out of bounds"};
     Impl.set(Idx, Value);
   }
   void append(uint64_t Value) override { Impl.append(Value); }
   uint64_t pop() override {
     if (Impl.empty())
-      reportFatalError("pop of an empty sequence");
+      throw RtError{"pop of an empty sequence"};
     return Impl.popBack();
   }
   void forEach(

@@ -32,6 +32,15 @@ namespace runtime {
 /// Identifies the runtime collection flavor.
 enum class RtKind : uint8_t { Seq, Set, Map };
 
+/// A recoverable runtime-collection error (e.g. an out-of-bounds sequence
+/// access) triggered by the executed program rather than by an internal
+/// invariant. The interpreter catches it and rethrows an interp::InterpError
+/// carrying the offending instruction's source location; host code driving
+/// collections directly sees it as the terminal diagnostic it is.
+struct RtError {
+  const char *Message;
+};
+
 /// True when accesses to \p Sel are array-like (dense); false for
 /// search-based (sparse) implementations. Sequences (Array) are dense.
 bool selectionIsDense(ir::Selection Sel);

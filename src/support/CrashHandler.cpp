@@ -1,0 +1,138 @@
+//===- CrashHandler.cpp - Signal handlers and crash context ---------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CrashHandler.h"
+
+#include <csignal>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace ade;
+
+namespace {
+
+/// One stored frame. Detail is copied so the signal handler never chases a
+/// pointer into freed memory.
+struct ContextFrame {
+  const char *Phase = nullptr;
+  char Detail[120] = {0};
+};
+
+constexpr unsigned MaxFrames = 64;
+
+/// The per-thread frame stack. Frames beyond MaxFrames are counted (so the
+/// report can say "... N more") but not stored.
+thread_local ContextFrame Frames[MaxFrames];
+thread_local unsigned FrameDepth = 0;
+
+/// write() that ignores the result (there is nothing to do about a failed
+/// write while crashing).
+void rawWrite(int Fd, const char *S, size_t N) {
+  ssize_t Unused = ::write(Fd, S, N);
+  (void)Unused;
+}
+
+void rawWrite(int Fd, const char *S) { rawWrite(Fd, S, std::strlen(S)); }
+
+/// Async-signal-safe unsigned-to-decimal.
+void rawWriteNum(int Fd, unsigned long V) {
+  char Buf[24];
+  char *P = Buf + sizeof(Buf);
+  do {
+    *--P = static_cast<char>('0' + V % 10);
+    V /= 10;
+  } while (V);
+  rawWrite(Fd, P, static_cast<size_t>(Buf + sizeof(Buf) - P));
+}
+
+const char *signalName(int Sig) {
+  switch (Sig) {
+  case SIGSEGV:
+    return "SIGSEGV";
+  case SIGBUS:
+    return "SIGBUS";
+  case SIGILL:
+    return "SIGILL";
+  case SIGFPE:
+    return "SIGFPE";
+  case SIGABRT:
+    return "SIGABRT";
+  default:
+    return "signal";
+  }
+}
+
+void crashSignalHandler(int Sig) {
+  rawWrite(2, "\n=== ade crash handler: caught ");
+  rawWrite(2, signalName(Sig));
+  rawWrite(2, " ===\n");
+  printCrashContextStack(2);
+  // Restore the default disposition and re-raise so the process dies with
+  // the original signal (preserving core dumps and wait-status semantics).
+  std::signal(Sig, SIG_DFL);
+  ::raise(Sig);
+}
+
+} // namespace
+
+void ade::installCrashHandlers() {
+  static bool Installed = false;
+  if (Installed)
+    return;
+  Installed = true;
+  for (int Sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = crashSignalHandler;
+    sigemptyset(&SA.sa_mask);
+    // SA_NODEFER is unnecessary: the handler re-raises after resetting to
+    // SIG_DFL, and the re-raised signal is delivered on return.
+    SA.sa_flags = 0;
+    sigaction(Sig, &SA, nullptr);
+  }
+}
+
+void ade::printCrashContextStack(int Fd) {
+  if (FrameDepth == 0) {
+    rawWrite(Fd, "(no crash context frames)\n");
+    return;
+  }
+  unsigned Stored = FrameDepth < MaxFrames ? FrameDepth : MaxFrames;
+  if (FrameDepth > MaxFrames) {
+    rawWrite(Fd, "... ");
+    rawWriteNum(Fd, FrameDepth - MaxFrames);
+    rawWrite(Fd, " deeper frame(s) not recorded\n");
+  }
+  for (unsigned I = Stored; I != 0; --I) {
+    const ContextFrame &F = Frames[I - 1];
+    rawWrite(Fd, "#");
+    rawWriteNum(Fd, Stored - I);
+    rawWrite(Fd, " ");
+    rawWrite(Fd, F.Phase ? F.Phase : "?");
+    if (F.Detail[0]) {
+      rawWrite(Fd, ": ");
+      rawWrite(Fd, F.Detail);
+    }
+    rawWrite(Fd, "\n");
+  }
+}
+
+unsigned ade::crashContextDepth() { return FrameDepth; }
+
+ade::CrashContext::CrashContext(const char *Phase, const std::string &Detail) {
+  if (FrameDepth < MaxFrames) {
+    ContextFrame &F = Frames[FrameDepth];
+    F.Phase = Phase;
+    size_t N = Detail.size() < sizeof(F.Detail) - 1 ? Detail.size()
+                                                    : sizeof(F.Detail) - 1;
+    std::memcpy(F.Detail, Detail.data(), N);
+    F.Detail[N] = 0;
+  }
+  ++FrameDepth;
+}
+
+ade::CrashContext::~CrashContext() { --FrameDepth; }

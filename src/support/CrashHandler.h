@@ -1,0 +1,56 @@
+//===- CrashHandler.h - Signal handlers and crash context -------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style crash containment: \c installCrashHandlers registers signal
+/// handlers that, on SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT, print the stack
+/// of \c CrashContext frames pushed by long-running phases (pipeline
+/// passes, the interpreter's active call chain, a fuzzer's current seed)
+/// before the process dies. A crash report then says *where* the process
+/// was — "interpreting @main" inside "fuzz seed 1234" — instead of nothing.
+///
+/// Frames copy their detail text at construction into fixed storage, so
+/// the signal handler only ever calls async-signal-safe \c write().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_CRASHHANDLER_H
+#define ADE_SUPPORT_CRASHHANDLER_H
+
+#include <string>
+
+namespace ade {
+
+/// Registers the crash signal handlers (idempotent). After printing the
+/// context stack the handler restores the default disposition and
+/// re-raises, so exit codes and core dumps behave as without handlers.
+void installCrashHandlers();
+
+/// Prints the current thread's context stack, most recent frame first, to
+/// file descriptor \p Fd using only async-signal-safe calls. Exposed for
+/// the handler and for tests.
+void printCrashContextStack(int Fd);
+
+/// Number of frames currently on this thread's context stack (tests).
+unsigned crashContextDepth();
+
+/// One pretty-stack-trace frame, active for the lifetime of the object:
+///
+///   CrashContext CC("interpreting", "@" + F->name());
+///
+/// \p Phase must be a string literal (stored by pointer); \p Detail is
+/// copied into the frame (truncated to an internal bound).
+class CrashContext {
+public:
+  explicit CrashContext(const char *Phase, const std::string &Detail = {});
+  CrashContext(const CrashContext &) = delete;
+  CrashContext &operator=(const CrashContext &) = delete;
+  ~CrashContext();
+};
+
+} // namespace ade
+
+#endif // ADE_SUPPORT_CRASHHANDLER_H

@@ -6,6 +6,8 @@
 
 #include "support/ErrorHandling.h"
 
+#include "support/CrashHandler.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,11 +15,18 @@ using namespace ade;
 
 void ade::reportFatalError(const char *Msg) {
   std::fprintf(stderr, "fatal error: %s\n", Msg);
-  std::abort();
+  std::fflush(stderr);
+  printCrashContextStack(2);
+  // Exit code 2 is the tools' "internal error" status, distinguishing a
+  // compiler/runtime invariant failure from ordinary diagnostics (1).
+  std::exit(2);
 }
 
 void ade::unreachableInternal(const char *Msg, const char *File,
                               unsigned Line) {
   std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::fflush(stderr);
+  // Abort (rather than exit) so the crash handler fires and a debugger or
+  // core dump sees the original stack.
   std::abort();
 }

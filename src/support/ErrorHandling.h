@@ -15,9 +15,10 @@
 
 namespace ade {
 
-/// Prints \p Msg to stderr and aborts. Used for unrecoverable conditions
-/// that can be triggered by user input (e.g. a malformed .memoir file fed
-/// to a tool that did not check parser diagnostics).
+/// Prints \p Msg (plus any live CrashContext frames) to stderr and exits
+/// with status 2 — the tools' "internal error" exit code. Used for
+/// unrecoverable conditions: broken invariants, or malformed input fed to
+/// an entry point that documents it must be pre-validated.
 [[noreturn]] void reportFatalError(const char *Msg);
 
 /// Implementation hook for \c ade_unreachable.

@@ -1,0 +1,188 @@
+//===- ade-fuzz.cpp - Differential fuzzing driver -------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates seed-deterministic random programs and runs the differential
+/// oracle on each: baseline interpretation vs the ADE pipeline under
+/// several configurations. Divergences, verifier rejections and runtime
+/// errors on valid programs are findings, written to the corpus directory
+/// with their seed for replay and reduction.
+///
+/// Usage:
+///   ade-fuzz [options]
+///     --seeds=N          number of seeds to run (default 100)
+///     --seed-base=S      first seed (default 0)
+///     --hostile          damage each program after generation; exercises
+///                        parser/verifier diagnostics (parse/verify/
+///                        runtime findings are then expected and ignored
+///                        — only divergences and crashes count)
+///     --time-budget=S    stop after S seconds even if seeds remain
+///     --corpus=DIR       where to write findings (default "fuzz-corpus")
+///     --print-seed=S     print the program for one seed and exit
+///
+/// Exit codes: 0 no findings, 1 findings were written, 2 internal error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+#include "support/CrashHandler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+
+using namespace ade;
+using namespace ade::fuzz;
+
+static int usage(const char *BadOption = nullptr) {
+  if (BadOption)
+    std::fprintf(stderr, "ade-fuzz: unknown option '%s'\n", BadOption);
+  std::fprintf(stderr,
+               "usage: ade-fuzz [--seeds=N] [--seed-base=S] [--hostile]\n"
+               "                [--time-budget=S] [--corpus=DIR]\n"
+               "                [--print-seed=S]\n");
+  return 1;
+}
+
+static bool parseU64(const std::string &Arg, size_t Prefix, uint64_t &Out) {
+  std::string Token = Arg.substr(Prefix);
+  if (Token.empty() ||
+      Token.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  Out = std::strtoull(Token.c_str(), nullptr, 10);
+  return true;
+}
+
+/// Writes one finding to the corpus directory; the header comment makes
+/// every file self-describing and replayable.
+static bool writeFinding(const std::string &Dir, uint64_t Seed, bool Hostile,
+                         const OracleResult &R, const std::string &Program) {
+  ::mkdir(Dir.c_str(), 0777); // Best effort; open failures are reported.
+  std::string Path = Dir + "/finding-" + std::to_string(Seed) + "-" +
+                     findingKindName(R.Kind) + ".memoir";
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    std::fprintf(stderr, "ade-fuzz: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  std::fprintf(File,
+               "// ade-fuzz finding\n// seed: %llu%s\n// kind: %s\n"
+               "// variant: %s\n// detail: %s\n",
+               static_cast<unsigned long long>(Seed),
+               Hostile ? " (hostile)" : "", findingKindName(R.Kind),
+               R.Variant.empty() ? "-" : R.Variant.c_str(),
+               R.Detail.c_str());
+  std::fwrite(Program.data(), 1, Program.size(), File);
+  std::fclose(File);
+  std::fprintf(stderr, "ade-fuzz: seed %llu: %s (%s): %s -> %s\n",
+               static_cast<unsigned long long>(Seed),
+               findingKindName(R.Kind),
+               R.Variant.empty() ? "-" : R.Variant.c_str(),
+               R.Detail.c_str(), Path.c_str());
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  installCrashHandlers();
+  uint64_t Seeds = 100, SeedBase = 0, TimeBudget = 0;
+  bool Hostile = false, SelfTest = false;
+  bool PrintSeed = false;
+  uint64_t PrintSeedValue = 0;
+  std::string Corpus = "fuzz-corpus";
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--seeds=", 0) == 0) {
+      if (!parseU64(Arg, 8, Seeds))
+        return usage(Argv[I]);
+    } else if (Arg.rfind("--seed-base=", 0) == 0) {
+      if (!parseU64(Arg, 12, SeedBase))
+        return usage(Argv[I]);
+    } else if (Arg == "--hostile") {
+      Hostile = true;
+    } else if (Arg == "--fuzz-self-test") {
+      // Hidden: sabotage every transformed module to prove the oracle
+      // (and the corpus plumbing) detects real miscompilations.
+      SelfTest = true;
+    } else if (Arg.rfind("--time-budget=", 0) == 0) {
+      if (!parseU64(Arg, 14, TimeBudget))
+        return usage(Argv[I]);
+    } else if (Arg.rfind("--corpus=", 0) == 0) {
+      Corpus = Arg.substr(9);
+      if (Corpus.empty())
+        return usage(Argv[I]);
+    } else if (Arg.rfind("--print-seed=", 0) == 0) {
+      if (!parseU64(Arg, 13, PrintSeedValue))
+        return usage(Argv[I]);
+      PrintSeed = true;
+    } else {
+      return usage(Argv[I]);
+    }
+  }
+
+  if (PrintSeed) {
+    GeneratorOptions GO;
+    GO.Seed = PrintSeedValue;
+    GO.Hostile = Hostile;
+    std::string Program = generateProgram(GO);
+    std::fwrite(Program.data(), 1, Program.size(), stdout);
+    return 0;
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  uint64_t Ran = 0, Findings = 0, Detections = 0;
+  for (uint64_t Seed = SeedBase; Seed != SeedBase + Seeds; ++Seed) {
+    if (TimeBudget) {
+      auto Elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+      if (static_cast<uint64_t>(Elapsed) >= TimeBudget) {
+        std::fprintf(stderr,
+                     "ade-fuzz: time budget reached after %llu seed(s)\n",
+                     static_cast<unsigned long long>(Ran));
+        break;
+      }
+    }
+    CrashContext CC("fuzzing", "seed " + std::to_string(Seed));
+    GeneratorOptions GO;
+    GO.Seed = Seed;
+    GO.Hostile = Hostile;
+    std::string Program = generateProgram(GO);
+    OracleOptions OO;
+    OO.PlantBug = SelfTest;
+    OracleResult R = runOracle(Program, OO);
+    ++Ran;
+    if (R.Kind == FindingKind::None)
+      continue;
+    // Hostile programs are deliberately damaged: diagnostics and runtime
+    // errors are their expected outcome, not findings. A divergence on a
+    // damaged-but-valid program is still a real one.
+    if (Hostile && R.Kind != FindingKind::Divergence)
+      continue;
+    ++Detections;
+    if (SelfTest)
+      continue; // Expected; proves detection without polluting the corpus.
+    ++Findings;
+    writeFinding(Corpus, Seed, Hostile, R, Program);
+  }
+
+  if (SelfTest) {
+    std::fprintf(stderr,
+                 "ade-fuzz: self-test: planted bug detected in %llu of "
+                 "%llu seed(s)\n",
+                 static_cast<unsigned long long>(Detections),
+                 static_cast<unsigned long long>(Ran));
+    return Detections != 0 ? 0 : 1;
+  }
+  std::fprintf(stderr, "ade-fuzz: %llu seed(s), %llu finding(s)\n",
+               static_cast<unsigned long long>(Ran),
+               static_cast<unsigned long long>(Findings));
+  return Findings != 0 ? 1 : 0;
+}

@@ -26,6 +26,7 @@
 #include "core/Pipeline.h"
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
+#include "support/CrashHandler.h"
 #include "support/RawOstream.h"
 
 #include <cstdio>
@@ -54,6 +55,7 @@ static bool readFile(const char *Path, std::string &Out) {
 }
 
 int main(int Argc, char **Argv) {
+  installCrashHandlers();
   const char *Path = nullptr;
   bool RunAde = false;
   analysis::DiagFormat Format = analysis::DiagFormat::Text;

@@ -1,0 +1,118 @@
+//===- ade-reduce.cpp - Test-case reduction driver ------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimizes a program the differential oracle flags (see ade-fuzz) while
+/// preserving the kind of finding: drop unreferenced functions, drop
+/// individual instructions, shrink constants, until a fixed point. The
+/// reduced program is printed to stdout (or --out=FILE); a summary line
+/// goes to stderr.
+///
+/// Usage:
+///   ade-reduce FILE.memoir [--out=FILE] [--max-rounds=N]
+///
+/// Exit codes: 0 reduced (finding preserved), 1 the input does not fail
+/// the oracle (nothing to reduce) or a file error, 2 internal error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+#include "fuzz/Reduce.h"
+#include "support/CrashHandler.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ade;
+using namespace ade::fuzz;
+
+static int usage(const char *BadOption = nullptr) {
+  if (BadOption)
+    std::fprintf(stderr, "ade-reduce: unknown option '%s'\n", BadOption);
+  std::fprintf(stderr,
+               "usage: ade-reduce FILE.memoir [--out=FILE] [--max-rounds=N]\n");
+  return 1;
+}
+
+static size_t countLines(const std::string &Text) {
+  size_t Lines = 0;
+  for (char C : Text)
+    if (C == '\n')
+      ++Lines;
+  if (!Text.empty() && Text.back() != '\n')
+    ++Lines;
+  return Lines;
+}
+
+int main(int Argc, char **Argv) {
+  installCrashHandlers();
+  std::string InputPath, OutPath;
+  ReduceOptions Opts;
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--out=", 0) == 0) {
+      OutPath = Arg.substr(6);
+      if (OutPath.empty())
+        return usage(Argv[I]);
+    } else if (Arg.rfind("--max-rounds=", 0) == 0) {
+      Opts.MaxRounds = static_cast<unsigned>(
+          std::strtoul(Arg.c_str() + 13, nullptr, 10));
+    } else if (Arg == "--fuzz-self-test") {
+      // Hidden: reduce against the oracle's planted-bug predicate; used
+      // by the self-test harness to minimize a sabotage divergence.
+      Opts.Oracle.PlantBug = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      return usage(Argv[I]);
+    } else if (InputPath.empty()) {
+      InputPath = Arg;
+    } else {
+      return usage(Argv[I]);
+    }
+  }
+  if (InputPath.empty())
+    return usage();
+
+  std::ifstream In(InputPath);
+  if (!In) {
+    std::fprintf(stderr, "ade-reduce: cannot read %s\n", InputPath.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
+
+  CrashContext CC("reducing", InputPath);
+  ReduceResult R = reduceProgram(Source, Opts);
+  if (R.Kind == FindingKind::None) {
+    std::fprintf(stderr,
+                 "ade-reduce: %s does not fail the oracle; nothing to "
+                 "reduce\n",
+                 InputPath.c_str());
+    return 1;
+  }
+
+  if (!OutPath.empty()) {
+    std::ofstream Out(OutPath);
+    if (!Out) {
+      std::fprintf(stderr, "ade-reduce: cannot write %s\n", OutPath.c_str());
+      return 1;
+    }
+    Out << R.Reduced;
+  } else {
+    std::fwrite(R.Reduced.data(), 1, R.Reduced.size(), stdout);
+  }
+
+  std::fprintf(stderr,
+               "ade-reduce: %s preserved, %zu -> %zu line(s) "
+               "(%u attempt(s), %u accepted)\n",
+               findingKindName(R.Kind), countLines(Source),
+               countLines(R.Reduced), R.Attempts, R.Accepted);
+  return 0;
+}

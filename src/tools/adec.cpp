@@ -41,11 +41,23 @@
 ///                             (requires --ade)
 ///     --trace-out=FILE        write a Chrome trace-event JSON covering
 ///                             compile passes and interpreted activations
+///     --max-steps=N           abort --run with a diagnostic after N
+///                             executed instructions (0 = unlimited)
+///     --max-bytes=N           abort --run with a diagnostic when
+///                             collections hold more than N bytes
+///                             (0 = unlimited)
+///     --max-depth=N           abort --run with a diagnostic at
+///                             interpreted call depth N (default 4096,
+///                             0 = unlimited)
+///
+/// Exit codes: 0 success, 1 diagnosed failure (parse/verify/lint/runtime
+/// error), 2 internal error.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Checkers.h"
 #include "core/Pipeline.h"
+#include "interp/InterpError.h"
 #include "interp/Interpreter.h"
 #include "interp/Profiler.h"
 #include "ir/Printer.h"
@@ -53,6 +65,7 @@
 #include "parser/Parser.h"
 #include "stats/Statistic.h"
 #include "stats/Stats.h"
+#include "support/CrashHandler.h"
 #include "support/Json.h"
 #include "support/RawOstream.h"
 #include "support/Trace.h"
@@ -76,7 +89,8 @@ static int usage(const char *BadOption = nullptr) {
       "            [--run[=FUNC]] [--args=a,b,c] [--lint]\n"
       "            [--diag-format=text|json] [--time-report]\n"
       "            [--profile[=FILE]] [--profile-use=FILE]\n"
-      "            [--selection-report] [--trace-out=FILE]\n");
+      "            [--selection-report] [--trace-out=FILE]\n"
+      "            [--max-steps=N] [--max-bytes=N] [--max-depth=N]\n");
   return 1;
 }
 
@@ -152,7 +166,28 @@ static void writeProfileJson(RawOstream &OS, const char *Path,
   OS.flush();
 }
 
+/// Parses the u64 payload of a --max-* option; false on malformed input.
+static bool parseBudget(const std::string &Arg, size_t PrefixLen,
+                        const char *Name, uint64_t &Out, bool &Saw) {
+  std::string Token = Arg.substr(PrefixLen);
+  if (Token.empty() ||
+      Token.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "adec: %s requires a u64 value\n", Name);
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Token.c_str(), &End, 10);
+  if (errno == ERANGE || *End != '\0') {
+    std::fprintf(stderr, "adec: %s value is out of range for u64\n", Name);
+    return false;
+  }
+  Saw = true;
+  return true;
+}
+
 int main(int Argc, char **Argv) {
+  installCrashHandlers();
   if (Argc < 2)
     return usage();
   const char *Path = nullptr;
@@ -164,6 +199,8 @@ int main(int Argc, char **Argv) {
   std::string RunFunc = "main";
   std::vector<uint64_t> RunArgs;
   core::PipelineConfig Config;
+  interp::InterpOptions InterpOpts;
+  bool SawBudget = false;
 
   for (int I = 1; I != Argc; ++I) {
     std::string Arg = Argv[I];
@@ -211,6 +248,18 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "adec: --trace-out requires a file name\n");
         return 1;
       }
+    } else if (Arg.rfind("--max-steps=", 0) == 0) {
+      if (!parseBudget(Arg, 12, "--max-steps", InterpOpts.MaxSteps,
+                       SawBudget))
+        return 1;
+    } else if (Arg.rfind("--max-bytes=", 0) == 0) {
+      if (!parseBudget(Arg, 12, "--max-bytes", InterpOpts.MaxBytes,
+                       SawBudget))
+        return 1;
+    } else if (Arg.rfind("--max-depth=", 0) == 0) {
+      if (!parseBudget(Arg, 12, "--max-depth", InterpOpts.MaxDepth,
+                       SawBudget))
+        return 1;
     } else if (Arg.rfind("--args=", 0) == 0) {
       SawArgs = true;
       if (!parseRunArgs(Arg.substr(7), RunArgs))
@@ -225,6 +274,11 @@ int main(int Argc, char **Argv) {
     return usage();
   if (SawArgs && !Run) {
     std::fprintf(stderr, "adec: --args has no effect without --run\n");
+    return 1;
+  }
+  if (SawBudget && !Run) {
+    std::fprintf(stderr, "adec: --max-* budgets have no effect without "
+                         "--run\n");
     return 1;
   }
   if (SawDiagFormat && !Lint) {
@@ -339,11 +393,17 @@ int main(int Argc, char **Argv) {
     // from parsing/transform-time allocations or a previous run.
     MemoryTracker::instance().reset();
     interp::Profiler Prof;
-    interp::InterpOptions Opts;
+    interp::InterpOptions Opts = InterpOpts;
     if (Profile)
       Opts.Prof = &Prof;
     interp::Interpreter I(*M, Opts);
-    uint64_t Result = I.call(F, RunArgs);
+    uint64_t Result;
+    try {
+      Result = I.call(F, RunArgs);
+    } catch (const interp::InterpError &E) {
+      std::fprintf(stderr, "%s: %s\n", Path, E.what());
+      return 1;
+    }
     OS << "@" << RunFunc << " = " << Result << "\n";
     OS << "accesses: sparse=" << I.stats().Sparse
        << " dense=" << I.stats().Dense

@@ -116,6 +116,19 @@ TYPED_TEST(SetApiTest, UnionWithEmptyIsNoop) {
   EXPECT_TRUE(B.contains(2));
 }
 
+TYPED_TEST(SetApiTest, SelfUnionIsIdentity) {
+  // Regression (found by ade-fuzz): hash-based implementations used to
+  // traverse Other while inserting, so s.unionWith(s) could rehash the
+  // table out from under its own iteration.
+  TypeParam A;
+  for (uint64_t Key = 0; Key != 100; ++Key)
+    A.insert(Key * 3);
+  A.unionWith(A);
+  EXPECT_EQ(A.size(), 100u);
+  for (uint64_t Key = 0; Key != 100; ++Key)
+    EXPECT_TRUE(A.contains(Key * 3)) << Key;
+}
+
 TYPED_TEST(SetApiTest, MemoryBytesGrowsWithContent) {
   TypeParam Set;
   size_t Empty = Set.memoryBytes();

@@ -1,0 +1,187 @@
+//===- FuzzTest.cpp - Generator, oracle and reducer tests -----------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reduce.h"
+#include "ir/IR.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace ade;
+using namespace ade::fuzz;
+
+namespace {
+
+std::string generate(uint64_t Seed, bool Hostile = false) {
+  GeneratorOptions Opts;
+  Opts.Seed = Seed;
+  Opts.Hostile = Hostile;
+  return generateProgram(Opts);
+}
+
+std::string readFixture(const char *Rel) {
+  std::ifstream In(std::string(ADE_SOURCE_DIR) + "/" + Rel);
+  EXPECT_TRUE(In.good()) << Rel;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+size_t countLines(const std::string &Text) {
+  size_t Lines = 0;
+  for (char C : Text)
+    if (C == '\n')
+      ++Lines;
+  return Lines;
+}
+
+//===----------------------------------------------------------------------===//
+// Generator
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzGeneratorTest, SameSeedIsByteIdentical) {
+  EXPECT_EQ(generate(42), generate(42));
+  EXPECT_EQ(generate(7, /*Hostile=*/true), generate(7, /*Hostile=*/true));
+}
+
+TEST(FuzzGeneratorTest, DistinctSeedsDiffer) {
+  EXPECT_NE(generate(1), generate(2));
+}
+
+TEST(FuzzGeneratorTest, TwoHundredProgramsParseAndVerify) {
+  for (uint64_t Seed = 0; Seed != 200; ++Seed) {
+    std::string Program = generate(Seed);
+    std::vector<std::string> Errors;
+    auto M = parser::parseModule(Program, Errors);
+    ASSERT_TRUE(M) << "seed " << Seed << ": "
+                   << (Errors.empty() ? "?" : Errors.front());
+    Errors.clear();
+    EXPECT_TRUE(ir::verifyModule(*M, Errors))
+        << "seed " << Seed << ": "
+        << (Errors.empty() ? "?" : Errors.front());
+  }
+}
+
+TEST(FuzzGeneratorTest, HostileProgramsNeverCrashTheFrontend) {
+  // Hostile programs are deliberately damaged; parse and (when they
+  // still parse) verification must diagnose, not crash.
+  for (uint64_t Seed = 0; Seed != 200; ++Seed) {
+    std::string Program = generate(Seed, /*Hostile=*/true);
+    std::vector<std::string> Errors;
+    auto M = parser::parseModule(Program, Errors);
+    if (M) {
+      Errors.clear();
+      ir::verifyModule(*M, Errors);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzOracleTest, CleanOnGeneratedPrograms) {
+  for (uint64_t Seed = 0; Seed != 40; ++Seed) {
+    OracleResult R = runOracle(generate(Seed));
+    EXPECT_EQ(R.Kind, FindingKind::None)
+        << "seed " << Seed << ": " << findingKindName(R.Kind) << " ("
+        << R.Variant << "): " << R.Detail;
+  }
+}
+
+TEST(FuzzOracleTest, FlagsParseErrors) {
+  OracleResult R = runOracle("fn @main( {");
+  EXPECT_EQ(R.Kind, FindingKind::ParseError);
+}
+
+TEST(FuzzOracleTest, DetectsPlantedBug) {
+  OracleOptions Opts;
+  Opts.PlantBug = true;
+  unsigned Detections = 0;
+  for (uint64_t Seed = 0; Seed != 20; ++Seed) {
+    OracleResult R = runOracle(generate(Seed), Opts);
+    // Planting never corrupts the module; it either diverges or the
+    // program had no insert to erase.
+    EXPECT_NE(R.Kind, FindingKind::VerifyError) << "seed " << Seed;
+    EXPECT_NE(R.Kind, FindingKind::ParseError) << "seed " << Seed;
+    if (R.Kind == FindingKind::Divergence)
+      ++Detections;
+  }
+  EXPECT_GT(Detections, 0u);
+}
+
+TEST(FuzzOracleTest, DetectsPlantedBugInFixture) {
+  std::string Fixture = readFixture("examples/fuzz/planted.memoir");
+  EXPECT_EQ(runOracle(Fixture).Kind, FindingKind::None);
+  OracleOptions Opts;
+  Opts.PlantBug = true;
+  OracleResult R = runOracle(Fixture, Opts);
+  EXPECT_EQ(R.Kind, FindingKind::Divergence) << R.Detail;
+}
+
+TEST(FuzzOracleTest, GuardRailsStopRunawayPrograms) {
+  std::string Fixture = readFixture("examples/fuzz/runaway.memoir");
+  OracleOptions Opts;
+  Opts.MaxSteps = 100000;
+  OracleResult R = runOracle(Fixture, Opts);
+  EXPECT_EQ(R.Kind, FindingKind::RuntimeError);
+  EXPECT_EQ(R.Variant, "baseline");
+  EXPECT_NE(R.Detail.find("--max-steps"), std::string::npos) << R.Detail;
+}
+
+//===----------------------------------------------------------------------===//
+// Reducer
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzReduceTest, GoldenPlantedFixtureShrinksBelowBound) {
+  std::string Fixture = readFixture("examples/fuzz/planted.memoir");
+  ReduceOptions Opts;
+  Opts.Oracle.PlantBug = true;
+  ReduceResult R = reduceProgram(Fixture, Opts);
+  EXPECT_EQ(R.Kind, FindingKind::Divergence);
+  EXPECT_LT(countLines(R.Reduced), 30u) << R.Reduced;
+  // The minimized repro must still fail the same way.
+  OracleResult Check = runOracle(R.Reduced, Opts.Oracle);
+  EXPECT_EQ(Check.Kind, FindingKind::Divergence) << R.Reduced;
+  // ... and must still be healthy without the planted bug.
+  EXPECT_EQ(runOracle(R.Reduced).Kind, FindingKind::None) << R.Reduced;
+}
+
+TEST(FuzzReduceTest, CleanInputIsNotReduced) {
+  std::string Fixture = readFixture("examples/fuzz/planted.memoir");
+  ReduceResult R = reduceProgram(Fixture);
+  EXPECT_EQ(R.Kind, FindingKind::None);
+  EXPECT_EQ(R.Reduced, Fixture);
+}
+
+TEST(FuzzReduceTest, PreservesRuntimeErrorFindings) {
+  // A program whose only defect is an unguarded map read: the reducer
+  // must keep the read (and the map) while stripping the noise.
+  const char *Src = R"(fn @main() -> u64 {
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %noise0 = add %zero, %one
+  %noise1 = mul %noise0, %one
+  %m = new Map<u64, u64>
+  %q = new Seq<u64>
+  append %q, %noise1
+  %v = read %m, %one
+  ret %v
+}
+)";
+  ReduceResult R = reduceProgram(Src);
+  EXPECT_EQ(R.Kind, FindingKind::RuntimeError);
+  OracleResult Check = runOracle(R.Reduced);
+  EXPECT_EQ(Check.Kind, FindingKind::RuntimeError) << R.Reduced;
+  EXPECT_LT(R.Reduced.size(), std::string(Src).size());
+}
+
+} // namespace

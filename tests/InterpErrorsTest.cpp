@@ -4,11 +4,13 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Error paths of the interpreter: undefined-behavior conditions trap
-/// with a diagnostic (death tests) rather than corrupting state.
+/// Error paths of the interpreter: undefined-behavior conditions and
+/// guard-rail budgets throw recoverable InterpError diagnostics carrying
+/// the offending site, rather than corrupting state or killing the host.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "interp/InterpError.h"
 #include "interp/Interpreter.h"
 #include "parser/Parser.h"
 
@@ -19,62 +21,192 @@ using namespace ade::interp;
 
 namespace {
 
-void runProgram(const char *Src) {
+/// Runs @main and returns the InterpError it must throw.
+InterpError runExpectingError(const char *Src, InterpOptions Opts = {}) {
   auto M = parser::parseModuleOrDie(Src);
-  Interpreter I(*M);
-  I.callByName("main", {});
+  Interpreter I(*M, Opts);
+  try {
+    I.callByName("main", {});
+  } catch (const InterpError &E) {
+    return E;
+  }
+  ADD_FAILURE() << "program ran to completion without an InterpError";
+  return InterpError(InterpErrorKind::Undefined, "", ir::SrcLoc{}, "");
 }
 
-using InterpDeath = ::testing::Test;
-
-TEST(InterpDeath, ReadOfMissingMapKeyTraps) {
-  EXPECT_DEATH(runProgram(R"(fn @main() -> u64 {
+TEST(InterpErrors, ReadOfMissingMapKeyThrows) {
+  InterpError E = runExpectingError(R"(fn @main() -> u64 {
   %m = new Map<u64, u64>
   %k = const 7 : u64
   %v = read %m, %k
   ret %v
-})"),
-               "missing key");
+})");
+  EXPECT_EQ(E.kind(), InterpErrorKind::Undefined);
+  EXPECT_NE(std::string(E.what()).find("missing key"), std::string::npos);
+  EXPECT_EQ(E.function(), "main");
+  // The read is on source line 4.
+  EXPECT_EQ(E.loc().Line, 4u);
 }
 
-TEST(InterpDeath, SequenceReadOutOfBoundsTraps) {
-  EXPECT_DEATH(runProgram(R"(fn @main() -> u64 {
+TEST(InterpErrors, SequenceReadOutOfBoundsThrows) {
+  InterpError E = runExpectingError(R"(fn @main() -> u64 {
   %q = new Seq<u64>
   %i = const 0 : u64
   %v = read %q, %i
   ret %v
-})"),
-               "out of bounds");
+})");
+  EXPECT_EQ(E.kind(), InterpErrorKind::Undefined);
+  EXPECT_NE(std::string(E.what()).find("out of bounds"), std::string::npos);
 }
 
-TEST(InterpDeath, PopOfEmptySequenceTraps) {
-  EXPECT_DEATH(runProgram(R"(fn @main() -> u64 {
+TEST(InterpErrors, PopOfEmptySequenceThrows) {
+  InterpError E = runExpectingError(R"(fn @main() -> u64 {
   %q = new Seq<u64>
   %v = pop %q
   ret %v
-})"),
-               "empty sequence");
+})");
+  EXPECT_EQ(E.kind(), InterpErrorKind::Undefined);
+  EXPECT_NE(std::string(E.what()).find("empty sequence"), std::string::npos);
 }
 
-TEST(InterpDeath, DivisionByZeroTraps) {
-  EXPECT_DEATH(runProgram(R"(fn @main() -> u64 {
+TEST(InterpErrors, DivisionByZeroThrows) {
+  InterpError E = runExpectingError(R"(fn @main() -> u64 {
   %a = const 1 : u64
   %z = const 0 : u64
   %r = div %a, %z
   ret %r
-})"),
-               "division by zero");
+})");
+  EXPECT_EQ(E.kind(), InterpErrorKind::Undefined);
+  EXPECT_NE(std::string(E.what()).find("division by zero"), std::string::npos);
+  EXPECT_EQ(E.loc().Line, 4u);
 }
 
-TEST(InterpDeath, DecOutOfRangeTraps) {
-  EXPECT_DEATH(runProgram(R"(global @e : Enum<u64>
+TEST(InterpErrors, SignedRemainderByZeroThrows) {
+  InterpError E = runExpectingError(R"(fn @main() -> i64 {
+  %a = const 1 : i64
+  %z = const 0 : i64
+  %r = rem %a, %z
+  ret %r
+})");
+  EXPECT_EQ(E.kind(), InterpErrorKind::Undefined);
+  EXPECT_NE(std::string(E.what()).find("remainder by zero"),
+            std::string::npos);
+}
+
+TEST(InterpErrors, DecOutOfRangeThrows) {
+  InterpError E = runExpectingError(R"(global @e : Enum<u64>
 fn @main() -> u64 {
   %e = gget @e
   %i = const 5 : idx
   %v = dec %e, %i
   ret %v
-})"),
-               "out-of-range identifier");
+})");
+  EXPECT_EQ(E.kind(), InterpErrorKind::Undefined);
+  EXPECT_NE(std::string(E.what()).find("out-of-range identifier"),
+            std::string::npos);
+}
+
+TEST(InterpErrors, InterpreterRemainsUsableAfterError) {
+  auto M = parser::parseModuleOrDie(R"(fn @boom() -> u64 {
+  %m = new Map<u64, u64>
+  %k = const 7 : u64
+  %v = read %m, %k
+  ret %v
+}
+fn @ok() -> u64 {
+  %a = const 21 : u64
+  %b = const 2 : u64
+  %r = mul %a, %b
+  ret %r
+})");
+  Interpreter I(*M);
+  EXPECT_THROW(I.callByName("boom", {}), InterpError);
+  EXPECT_EQ(I.callByName("ok", {}), 42u);
+}
+
+//===----------------------------------------------------------------------===//
+// Guard rails: --max-steps / --max-bytes / --max-depth
+//===----------------------------------------------------------------------===//
+
+TEST(InterpGuardRails, StepBudgetTripsOnRunawayLoop) {
+  InterpOptions Opts;
+  Opts.MaxSteps = 10000;
+  InterpError E = runExpectingError(R"(fn @main() -> u64 {
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %t = gt %one, %zero
+  %r = dowhile iter(%a = %zero) {
+    %n = add %a, %one
+    yield %t, %n
+  }
+  ret %r
+})",
+                                    Opts);
+  EXPECT_EQ(E.kind(), InterpErrorKind::StepBudget);
+  EXPECT_NE(std::string(E.what()).find("--max-steps"), std::string::npos);
+  EXPECT_EQ(E.function(), "main");
+  // The budget trips inside the loop body (lines 5-8).
+  EXPECT_GE(E.loc().Line, 5u);
+  EXPECT_LE(E.loc().Line, 8u);
+}
+
+TEST(InterpGuardRails, MemoryBudgetTripsOnUnboundedGrowth) {
+  InterpOptions Opts;
+  Opts.MaxBytes = 1 << 20; // 1 MiB.
+  Opts.MaxSteps = 100000000;
+  InterpError E = runExpectingError(R"(fn @main() -> u64 {
+  %q = new Seq<u64>
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %t = gt %one, %zero
+  %r = dowhile iter(%i = %zero) {
+    append %q, %i
+    %n = add %i, %one
+    yield %t, %n
+  }
+  ret %r
+})",
+                                    Opts);
+  EXPECT_EQ(E.kind(), InterpErrorKind::MemoryBudget);
+  EXPECT_NE(std::string(E.what()).find("--max-bytes"), std::string::npos);
+  // The append on line 7 is the growth site.
+  EXPECT_EQ(E.loc().Line, 7u);
+}
+
+TEST(InterpGuardRails, DepthBudgetTripsOnRunawayRecursion) {
+  InterpOptions Opts;
+  Opts.MaxDepth = 100;
+  InterpError E = runExpectingError(R"(fn @spin(%n: u64) -> u64 {
+  %one = const 1 : u64
+  %m = add %n, %one
+  %r = call @spin(%m)
+  ret %r
+}
+fn @main() -> u64 {
+  %z = const 0 : u64
+  %r = call @spin(%z)
+  ret %r
+})",
+                                    Opts);
+  EXPECT_EQ(E.kind(), InterpErrorKind::DepthBudget);
+  EXPECT_NE(std::string(E.what()).find("--max-depth"), std::string::npos);
+  EXPECT_EQ(E.function(), "spin");
+}
+
+TEST(InterpGuardRails, BudgetsDoNotFireUnderTheLimit) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %q = new Seq<u64>
+  %a = const 5 : u64
+  append %q, %a
+  %v = pop %q
+  ret %v
+})");
+  InterpOptions Opts;
+  Opts.MaxSteps = 1000;
+  Opts.MaxBytes = 1 << 20;
+  Opts.MaxDepth = 16;
+  Interpreter I(*M, Opts);
+  EXPECT_EQ(I.callByName("main", {}), 5u);
 }
 
 TEST(InterpNonDeath, EncOfUnknownValueYieldsFreshId) {

@@ -114,6 +114,29 @@ TEST(UseLists, EraseRemovesUses) {
   EXPECT_TRUE(A->uses().empty());
 }
 
+TEST(Regions, CrossSiblingRegionReferenceSurvivesTeardown) {
+  // Regression (found by ade-fuzz --hostile): an instruction in a later
+  // sibling region referencing a value defined in an earlier one — a
+  // scope violation the verifier rejects, but one the parser can build
+  // before diagnosing it. Module teardown used to destroy sibling
+  // regions in declaration order, so unregistering the user's use-list
+  // entry touched the already-freed definition.
+  {
+    Module M;
+    Function *F = M.createFunction("f", M.types().intTy(64, false));
+    IRBuilder B(M, &F->body());
+    Value *Cond = B.lt(B.constU64(0), B.constU64(1));
+    Instruction *If = B.create(Opcode::If, {}, {Cond}, /*NumRegions=*/2);
+    B.setInsertionPoint(If->region(0));
+    Value *X = B.constU64(7);
+    B.yield({X});
+    B.setInsertionPoint(If->region(1));
+    B.yield({B.add(X, X)}); // Illegal cross-region use, on purpose.
+    B.setInsertionPoint(&F->body());
+    B.ret(Cond);
+  } // Destruction must not touch freed values (crashes pre-fix).
+}
+
 TEST(Regions, InsertBeforeAndAfter) {
   Module M;
   Function *F = M.createFunction("f", M.types().voidTy());

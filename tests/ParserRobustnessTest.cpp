@@ -119,4 +119,92 @@ TEST(ParserRobustness, EmptyAndWhitespaceOnly) {
   parseCalmly("// only a comment\n");
 }
 
+//===----------------------------------------------------------------------===//
+// Error recovery: one run reports every diagnostic, not just the first
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> collectErrors(const std::string &Src) {
+  std::vector<std::string> Errors;
+  auto M = parser::parseModule(Src, Errors);
+  EXPECT_EQ(M, nullptr);
+  return Errors;
+}
+
+bool anyContains(const std::vector<std::string> &Errors, const char *Needle) {
+  for (const std::string &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(ParserRecovery, AllStatementErrorsInOneFunctionReported) {
+  std::vector<std::string> Errors = collectErrors(R"(fn @f() -> u64 {
+  %a = frobnicate
+  %b = const 1 : u64
+  %c = wibble
+  %d = add %b, %b
+  %e = pop %d
+  ret %d
+})");
+  EXPECT_GE(Errors.size(), 3u);
+  EXPECT_TRUE(anyContains(Errors, "frobnicate"));
+  EXPECT_TRUE(anyContains(Errors, "wibble"));
+  EXPECT_TRUE(anyContains(Errors, "pop requires a Seq"));
+}
+
+TEST(ParserRecovery, ErrorsAcrossFunctionsReported) {
+  std::vector<std::string> Errors = collectErrors(R"(fn @a() -> u64 {
+  %x = bogus_op
+  ret %x
+}
+fn @b() -> u64 {
+  %y = another_bogus
+  ret %y
+}
+global 42
+fn @c() -> u64 {
+  %z = const 3 : u64
+  ret %z
+})");
+  EXPECT_TRUE(anyContains(Errors, "bogus_op"));
+  EXPECT_TRUE(anyContains(Errors, "another_bogus"));
+  EXPECT_TRUE(anyContains(Errors, "expected global name"));
+}
+
+TEST(ParserRecovery, StatementErrorInsideLoopBodyRecovers) {
+  std::vector<std::string> Errors = collectErrors(R"(fn @f(%s: Set<u64>) {
+  foreach %s -> [%k] {
+    %t = nonsense
+    yield
+  }
+  %u = more_nonsense
+  ret
+})");
+  EXPECT_TRUE(anyContains(Errors, "nonsense"));
+  EXPECT_TRUE(anyContains(Errors, "more_nonsense"));
+}
+
+TEST(ParserRecovery, ErrorCountIsCapped) {
+  std::string Src = "fn @f() -> u64 {\n";
+  for (int I = 0; I != 60; ++I)
+    Src += "  %v" + std::to_string(I) + " = junk_op_" + std::to_string(I) +
+           "\n";
+  Src += "  %r = const 0 : u64\n  ret %r\n}\n";
+  std::vector<std::string> Errors = collectErrors(Src);
+  EXPECT_LE(Errors.size(), 21u); // 20 diagnostics + the cap note.
+  EXPECT_TRUE(anyContains(Errors, "too many errors"));
+}
+
+TEST(ParserRecovery, DuplicateFunctionBodyIsNotParsedTwice) {
+  std::vector<std::string> Errors = collectErrors(R"(fn @f() -> u64 {
+  %a = const 1 : u64
+  ret %a
+}
+fn @f() -> u64 {
+  %b = const 2 : u64
+  ret %b
+})");
+  EXPECT_TRUE(anyContains(Errors, "duplicate function"));
+}
+
 } // namespace
