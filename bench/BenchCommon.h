@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,7 @@ struct CliOptions {
   unsigned Trials = 1;
   std::string Only;
   std::string JsonFile;
+  std::string CheckAgainst;
   bool Profile = false;
   bool Pgo = false;
 
@@ -59,6 +61,8 @@ struct CliOptions {
         Only = Arg.substr(8);
       } else if (Arg.rfind("--json=", 0) == 0) {
         JsonFile = Arg.substr(7);
+      } else if (Arg.rfind("--check-against=", 0) == 0) {
+        CheckAgainst = Arg.substr(16);
       } else if (Arg == "--profile") {
         Profile = true;
       } else if (Arg == "--pgo") {
@@ -66,7 +70,8 @@ struct CliOptions {
       } else {
         std::fprintf(stderr,
                      "usage: %s [--scale=N] [--trials=N] [--bench=ABBREV]"
-                     " [--json=FILE] [--profile] [--pgo]\n",
+                     " [--json=FILE] [--check-against=BASELINE.json]"
+                     " [--profile] [--pgo]\n",
                      Argv[0]);
         return false;
       }
@@ -111,9 +116,38 @@ inline RunResult runMedian(const BenchmarkSpec &B, Config C,
   return runMedianWith(B, C, Cli, Options);
 }
 
+/// Version stamp of the bench-report JSON schema (BENCH_*.json and the
+/// CI regression gate); bump when a field changes meaning.
+constexpr uint64_t BenchSchemaVersion = 1;
+
+/// The current git commit hash, or "unknown" outside a work tree.
+inline std::string benchCommit() {
+  std::string Out;
+  if (std::FILE *P = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char Buf[128];
+    if (std::fgets(Buf, sizeof(Buf), P))
+      Out = Buf;
+    ::pclose(P);
+  }
+  while (!Out.empty() && (Out.back() == '\n' || Out.back() == '\r'))
+    Out.pop_back();
+  return Out.empty() ? "unknown" : Out;
+}
+
+/// The current UTC date/time as "YYYY-MM-DDTHH:MM:SSZ".
+inline std::string benchDateUtc() {
+  std::time_t Now = std::time(nullptr);
+  char Buf[32];
+  std::strftime(Buf, sizeof(Buf), "%Y-%m-%dT%H:%M:%SZ",
+                std::gmtime(&Now));
+  return Buf;
+}
+
 /// Accumulates measured runs and renders them as a machine-readable JSON
-/// report (--json=FILE): per run timing, checksum, peak collection bytes
-/// and the dynamic operation counts, ready for BENCH_*.json ingestion.
+/// report (--json=FILE): a versioned schema stamped with the commit and
+/// date, then per-benchmark median timing in nanoseconds, checksum, peak
+/// collection bytes and the dynamic operation counts, ready for
+/// BENCH_*.json ingestion and the --check-against regression gate.
 class JsonReport {
 public:
   JsonReport(std::string Figure, const CliOptions &Cli)
@@ -133,7 +167,10 @@ public:
   void write(RawOstream &OS) const {
     json::Writer W(OS);
     W.beginObject();
-    W.member("figure", Figure)
+    W.member("schemaVersion", BenchSchemaVersion)
+        .member("figure", Figure)
+        .member("commit", benchCommit())
+        .member("date", benchDateUtc())
         .member("scalePercent", Scale)
         .member("trials", uint64_t(Trials));
     W.key("results").beginArray();
@@ -142,9 +179,9 @@ public:
       W.beginObject(/*Inline=*/true);
       W.member("bench", R.Bench)
           .member("config", R.Config)
-          .member("initSeconds", Run.InitSeconds)
-          .member("roiSeconds", Run.RoiSeconds)
-          .member("totalSeconds", Run.totalSeconds())
+          .member("initNs", toNs(Run.InitSeconds))
+          .member("roiNs", toNs(Run.RoiSeconds))
+          .member("totalNs", toNs(Run.totalSeconds()))
           .member("checksum", Run.Checksum)
           .member("peakBytes", Run.PeakBytes)
           .member("sparse", Run.Stats.Sparse)
@@ -165,6 +202,91 @@ public:
     W.endArray();
     W.endObject();
     OS << '\n';
+  }
+
+  /// Compares this report against a baseline BENCH_*.json: every
+  /// (bench, config) row present in both must not regress total time by
+  /// more than \p MaxRatio. Baselines under one millisecond are raised
+  /// to that floor first — timing noise on a sub-millisecond run is not
+  /// a regression signal. Returns false (with per-row messages on
+  /// stderr) when a regression is found or the baseline is unreadable.
+  bool checkAgainst(const std::string &BaselinePath,
+                    double MaxRatio = 1.3) const {
+    std::string Text;
+    if (std::FILE *File = std::fopen(BaselinePath.c_str(), "rb")) {
+      char Buf[4096];
+      size_t N;
+      while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+        Text.append(Buf, N);
+      std::fclose(File);
+    } else {
+      std::fprintf(stderr, "error: cannot read baseline %s\n",
+                   BaselinePath.c_str());
+      return false;
+    }
+    std::string Error;
+    auto Doc = json::parse(Text, &Error);
+    if (!Doc || !Doc->isObject()) {
+      std::fprintf(stderr, "error: malformed baseline %s: %s\n",
+                   BaselinePath.c_str(), Error.c_str());
+      return false;
+    }
+    const json::Value *Version = Doc->find("schemaVersion");
+    if (!Version || !Version->isNumber() ||
+        Version->asUint() != BenchSchemaVersion) {
+      std::fprintf(stderr,
+                   "error: baseline %s has a different schemaVersion\n",
+                   BaselinePath.c_str());
+      return false;
+    }
+    const json::Value *List = Doc->find("results");
+    if (!List || !List->isArray()) {
+      std::fprintf(stderr, "error: baseline %s has no results\n",
+                   BaselinePath.c_str());
+      return false;
+    }
+    constexpr double FloorNs = 1e6; // 1 ms
+    unsigned Checked = 0, Regressed = 0;
+    for (const Row &R : Rows) {
+      const json::Value *Match = nullptr;
+      for (const json::Value &E : List->elements()) {
+        const json::Value *B = E.find("bench");
+        const json::Value *C = E.find("config");
+        if (B && B->isString() && B->asString() == R.Bench && C &&
+            C->isString() && C->asString() == R.Config) {
+          Match = &E;
+          break;
+        }
+      }
+      if (!Match)
+        continue;
+      const json::Value *Base = Match->find("totalNs");
+      if (!Base || !Base->isNumber())
+        continue;
+      ++Checked;
+      double BaseNs = std::max(double(Base->asUint()), FloorNs);
+      double CurNs = std::max(double(toNs(R.Result.totalSeconds())),
+                              FloorNs);
+      if (CurNs > MaxRatio * BaseNs) {
+        ++Regressed;
+        std::fprintf(stderr,
+                     "REGRESSION: %s/%s %.3fms -> %.3fms (%.2fx > "
+                     "%.2fx budget)\n",
+                     R.Bench.c_str(), R.Config.c_str(), BaseNs / 1e6,
+                     CurNs / 1e6, CurNs / BaseNs, MaxRatio);
+      }
+    }
+    std::fprintf(stderr,
+                 "bench check: %u row(s) compared against %s, "
+                 "%u regression(s)\n",
+                 Checked, BaselinePath.c_str(), Regressed);
+    if (!Checked) {
+      std::fprintf(stderr,
+                   "error: no comparable rows in baseline %s\n",
+                   BaselinePath.c_str());
+      return false;
+    }
+    return Regressed == 0;
   }
 
   /// Writes the report to \p Path; false (with a message on stderr) on
@@ -188,6 +310,10 @@ private:
     std::string Config;
     RunResult Result;
   };
+
+  static uint64_t toNs(double Seconds) {
+    return Seconds <= 0 ? 0 : uint64_t(Seconds * 1e9 + 0.5);
+  }
   std::string Figure;
   uint64_t Scale;
   unsigned Trials;

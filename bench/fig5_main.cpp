@@ -118,5 +118,7 @@ int main(int Argc, char **Argv) {
 
   if (!Cli.JsonFile.empty() && !Report.writeTo(Cli.JsonFile))
     return 1;
+  if (!Cli.CheckAgainst.empty() && !Report.checkAgainst(Cli.CheckAgainst))
+    return 1;
   return 0;
 }

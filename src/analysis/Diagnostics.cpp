@@ -56,6 +56,18 @@ void DiagnosticEngine::report(Severity Sev, std::string Check,
   Diags.push_back(std::move(D));
 }
 
+void DiagnosticEngine::report(Severity Sev, std::string Check,
+                              std::string Message, std::string FunctionName,
+                              ir::SrcLoc Loc) {
+  Diagnostic D;
+  D.Sev = Sev;
+  D.Check = std::move(Check);
+  D.Message = std::move(Message);
+  D.FunctionName = std::move(FunctionName);
+  D.Loc = Loc;
+  Diags.push_back(std::move(D));
+}
+
 unsigned DiagnosticEngine::errorCount() const {
   unsigned N = 0;
   for (const Diagnostic &D : Diags)

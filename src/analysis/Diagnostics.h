@@ -58,6 +58,11 @@ public:
               const ir::Instruction *I = nullptr,
               const ir::Function *F = nullptr);
 
+  /// Records a diagnostic with an explicit location, for findings that do
+  /// not come from live IR (e.g. remarks replayed from a stream).
+  void report(Severity Sev, std::string Check, std::string Message,
+              std::string FunctionName, ir::SrcLoc Loc);
+
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
   bool empty() const { return Diags.empty(); }
   unsigned errorCount() const;

@@ -7,6 +7,7 @@
 #include "bench/Harness.h"
 
 #include "core/Pipeline.h"
+#include "core/RemarkEmitter.h"
 #include "interp/Interpreter.h"
 #include "interp/Profiler.h"
 #include "parser/Parser.h"
@@ -86,8 +87,11 @@ RunResult ade::bench::runBenchmark(const BenchmarkSpec &B, Config C,
   }
   uint64_t SelectionChanges = 0, ReserveHints = 0;
   if (RunAde) {
-    core::PipelineResult PR = core::runADE(*M, PC);
-    for (const core::SelectionDecision &D : PR.Selections) {
+    core::RemarkEmitter RemarkEng;
+    PC.Remarks = &RemarkEng;
+    core::runADE(*M, PC);
+    for (const core::SelectionDecision &D :
+         core::selectionDecisions(RemarkEng.stream())) {
       if (D.Final != D.Static)
         ++SelectionChanges;
       if (D.ReserveHint)

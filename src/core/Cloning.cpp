@@ -7,6 +7,7 @@
 #include "core/Cloning.h"
 
 #include "core/Analysis.h"
+#include "core/RemarkEmitter.h"
 #include "stats/Statistic.h"
 #include "support/ErrorHandling.h"
 
@@ -91,7 +92,8 @@ Function *ade::core::cloneFunction(Module &M, const Function &F,
   return Clone;
 }
 
-unsigned ade::core::cloneForMixedCallers(Module &M) {
+unsigned ade::core::cloneForMixedCallers(Module &M,
+                                         RemarkEmitter *Remarks) {
   // Analyze WITHOUT call-edge unification so each call site's arguments
   // keep their caller-side classes.
   ModuleAnalysis MA(M, /*UnifyCallEdges=*/false);
@@ -109,8 +111,17 @@ unsigned ade::core::cloneForMixedCallers(Module &M) {
     bool HasCollParam = false;
     for (unsigned I = 0; I != Callee->numArgs(); ++I)
       HasCollParam |= Callee->arg(I)->type()->isCollection();
-    if (!HasCollParam || callsItself(*Callee, Callee->body()))
+    if (!HasCollParam)
       continue;
+    if (callsItself(*Callee, Callee->body())) {
+      if (Remarks)
+        Remarks->missed("cloning", "skipped-recursive")
+            .func(Callee->name())
+            .arg("callee", Callee->name())
+            .arg("reason", "callee calls itself; a clone would leave the "
+                           "recursive call targeting the original");
+      continue;
+    }
 
     // Group call sites by the alias classes of their collection args.
     struct Group {
@@ -160,14 +171,32 @@ unsigned ade::core::cloneForMixedCallers(Module &M) {
       AnyEscaping |= G.Escapes;
       AnyClean |= !G.Escapes;
     }
-    if (!AnyEscaping || !AnyClean)
+    if (!AnyEscaping || !AnyClean) {
+      if (Remarks)
+        Remarks->missed("cloning", "unified")
+            .func(Callee->name())
+            .arg("callee", Callee->name())
+            .arg("callGroups", uint64_t(Groups.size()))
+            .arg("reason", "all call-site groups agree on "
+                           "transformability; unifying them into one "
+                           "enumeration class is sound");
       continue;
+    }
     // Keep the original for the first group; clone for the rest.
     for (size_t GI = 1; GI != Groups.size(); ++GI) {
       Function *Clone = cloneFunction(
           M, *Callee, M.uniqueName(Callee->name() + ".ade_clone"));
       for (Instruction *Call : Groups[GI].Members)
         Call->setSymbol(Clone->name());
+      if (Remarks)
+        Remarks->passed("cloning", "cloned")
+            .at(Groups[GI].Members.front())
+            .arg("callee", Callee->name())
+            .arg("clone", Clone->name())
+            .arg("callSites", uint64_t(Groups[GI].Members.size()))
+            .arg("groupEscapes", Groups[GI].Escapes)
+            .arg("reason", "call sites disagree on transformability; the "
+                           "clean copies stay enumerable");
       ++Clones;
       ++NumFunctionsCloned;
     }

@@ -27,6 +27,8 @@
 namespace ade {
 namespace core {
 
+class RemarkEmitter;
+
 /// Deep-copies \p F (arguments, regions, instructions, attributes,
 /// directives) into \p M under \p NewName and returns the clone.
 ir::Function *cloneFunction(ir::Module &M, const ir::Function &F,
@@ -34,8 +36,10 @@ ir::Function *cloneFunction(ir::Module &M, const ir::Function &F,
 
 /// Clones callees whose callers would otherwise be merged into one
 /// enumeration class despite disagreeing on transformability. Returns the
-/// number of clones created. Run before ADE analysis.
-unsigned cloneForMixedCallers(ir::Module &M);
+/// number of clones created. Run before ADE analysis. With \p Remarks,
+/// each clone (and each blocked or unnecessary clone) is recorded.
+unsigned cloneForMixedCallers(ir::Module &M,
+                              RemarkEmitter *Remarks = nullptr);
 
 } // namespace core
 } // namespace ade

@@ -8,6 +8,7 @@
 
 #include "analysis/Checkers.h"
 #include "core/Cloning.h"
+#include "core/RemarkEmitter.h"
 #include "ir/Verifier.h"
 #include "support/CrashHandler.h"
 #include "support/ErrorHandling.h"
@@ -31,12 +32,27 @@ void ade::core::runSelfAudit(ir::Module &M) {
 PipelineResult ade::core::runADE(ir::Module &M,
                                  const PipelineConfig &Config) {
   PipelineResult Result;
+  RemarkEmitter *RE = Config.Remarks;
+
+  // Decision density: with both remarks and tracing on, sample the number
+  // of remarks each phase emitted as a Chrome-trace counter track.
+  uint64_t LastRemarkCount = 0;
+  auto CountDecisions = [&](const char *Phase) {
+    if (!RE)
+      return;
+    uint64_t Now = RE->stream().size();
+    if (TraceRecorder *TR = TraceRecorder::active())
+      TR->addCounter("remarks", "compile", TR->nowMicros(),
+                     {{std::string(Phase), Now - LastRemarkCount}});
+    LastRemarkCount = Now;
+  };
 
   if (Config.EnableCloning) {
     TimerGroup::Scope T(Result.Timing, "cloning");
     TraceScope Trace("cloning", "compile");
     CrashContext CC("cloning");
-    Result.FunctionsCloned = cloneForMixedCallers(M);
+    Result.FunctionsCloned = cloneForMixedCallers(M, RE);
+    CountDecisions("cloning");
   }
 
   std::optional<ModuleAnalysis> MA;
@@ -57,7 +73,9 @@ PipelineResult ade::core::runADE(ir::Module &M,
     // introduced when it can share with an enumerated collection.
     PC.EnablePropagation = Config.EnableSharing && Config.EnablePropagation;
     PC.Profile = Config.Profile;
+    PC.Remarks = RE;
     Result.Plan = planEnumeration(*MA, PC);
+    CountDecisions("planning");
   }
 
   {
@@ -66,7 +84,9 @@ PipelineResult ade::core::runADE(ir::Module &M,
     CrashContext CC("transform");
     TransformConfig TC;
     TC.EnableRTE = Config.EnableRTE;
+    TC.Remarks = RE;
     Result.Transform = applyEnumeration(*MA, Result.Plan, TC);
+    CountDecisions("transform");
   }
 
   {
@@ -75,8 +95,9 @@ PipelineResult ade::core::runADE(ir::Module &M,
     CrashContext CC("selection");
     SelectionConfig SC = Config.Selection;
     SC.Profile = Config.Profile;
-    SC.Report = &Result.Selections;
+    SC.Remarks = RE;
     applySelection(*MA, Result.Plan, SC);
+    CountDecisions("selection");
   }
 
   if (Config.Verify) {

@@ -39,6 +39,12 @@ struct PipelineConfig {
   const interp::ProfileData *Profile = nullptr;
   /// Verify the module after transformation (aborts on failure).
   bool Verify = true;
+  /// When non-null (`adec --remarks`), every pass records its decisions
+  /// as optimization remarks with provenance chains; `--selection-report`
+  /// and `ade-remarks` are views over this stream. Forwarded into every
+  /// pass config; with tracing active, per-phase remark counts are also
+  /// emitted as Chrome-trace counter events (decision density).
+  RemarkEmitter *Remarks = nullptr;
 };
 
 /// Outcome summary of one ADE run.
@@ -46,8 +52,6 @@ struct PipelineResult {
   EnumerationPlan Plan;
   TransformResult Transform;
   unsigned FunctionsCloned = 0;
-  /// Per-root selection decisions (adec --selection-report).
-  std::vector<SelectionDecision> Selections;
   /// Wall-clock seconds per pass in execution order (adec --time-report).
   TimerGroup Timing;
 };

@@ -6,6 +6,7 @@
 
 #include "core/Plan.h"
 
+#include "core/RemarkEmitter.h"
 #include "interp/Profiler.h"
 #include "stats/Statistic.h"
 #include "support/Casting.h"
@@ -105,11 +106,8 @@ struct Pick {
   bool AsElem;
 };
 
-/// Scores a candidate assembly. With a profile, trimmed sites count their
-/// dynamic executions so sharing decisions track measured op mixes; the
-/// static site count otherwise.
-int64_t trimBenefit(const std::vector<Pick> &Picks,
-                    const interp::ProfileData *Profile) {
+/// The Algorithm 2 trims a candidate assembly realizes.
+TrimSets trimsOf(const std::vector<Pick> &Picks) {
   UseSet ToEnc, ToDec, ToAdd;
   for (const Pick &P : Picks) {
     if (P.AsKey) {
@@ -122,7 +120,15 @@ int64_t trimBenefit(const std::vector<Pick> &Picks,
       ToAdd.insert(P.U->ElemAdd.begin(), P.U->ElemAdd.end());
     }
   }
-  TrimSets Trims = findRedundant(ToEnc, ToDec, ToAdd);
+  return findRedundant(ToEnc, ToDec, ToAdd);
+}
+
+/// Scores a candidate assembly. With a profile, trimmed sites count their
+/// dynamic executions so sharing decisions track measured op mixes; the
+/// static site count otherwise.
+int64_t trimBenefit(const std::vector<Pick> &Picks,
+                    const interp::ProfileData *Profile) {
+  TrimSets Trims = trimsOf(Picks);
   return Profile ? Trims.weightedBenefit(*Profile) : Trims.benefit();
 }
 
@@ -200,10 +206,17 @@ private:
   /// except when a noshare directive detaches them (unions across
   /// distinct enumerations are expanded by the transform).
   void weldUnits() {
+    RemarkEmitter *RE = Config.Remarks;
     // Share groups weld unconditionally.
     for (auto &[Group, Members] : ShareGroups)
-      for (size_t I = 1; I < Members.size(); ++I)
+      for (size_t I = 1; I < Members.size(); ++I) {
+        if (RE && resolve(Members[0]) != resolve(Members[I]))
+          RE->passed("share", "welded")
+              .atRoot(*Members[I]->Members.front())
+              .arg("with", Members[0]->Members.front()->describe())
+              .arg("reason", "share group(\"" + Group + "\") directive");
         mergeUnits(Members[0], Members[I]);
+      }
     // Union edges weld unless a directive forbids sharing.
     for (const auto &RootPtr : MA.roots()) {
       for (Value *Ref : RootPtr->Refs) {
@@ -216,8 +229,25 @@ private:
             continue;
           Unit *A = findUnit(RootPtr.get());
           Unit *B = findUnit(SrcRoot);
-          if (A != B && !blocked(A, B))
-            mergeUnits(A, B);
+          if (A == B)
+            continue;
+          if (blocked(A, B)) {
+            if (RE)
+              RE->missed("share", "weld-blocked")
+                  .at(U.User)
+                  .arg("dst", RootPtr->describe())
+                  .arg("src", SrcRoot->describe())
+                  .arg("reason", "noshare directive splits union operands "
+                                 "into distinct enumerations");
+            continue;
+          }
+          if (RE)
+            RE->passed("share", "welded")
+                .at(U.User)
+                .arg("with", RootPtr->describe())
+                .arg("root", SrcRoot->describe())
+                .arg("reason", "union operands must share one enumeration");
+          mergeUnits(A, B);
         }
       }
     }
@@ -276,17 +306,49 @@ private:
 
   EnumerationPlan selectCandidates() {
     EnumerationPlan Plan;
+    RemarkEmitter *RE = Config.Remarks;
     std::set<Unit *> Used;
     std::vector<Unit *> Live;
     for (auto &UPtr : UnitStorage)
       if (!Forwarded.count(UPtr.get()))
         Live.push_back(UPtr.get());
 
+    // Rejections noted during the sweep; flushed at the end so a unit that
+    // later joins a candidate in a non-founding role is not misreported.
+    struct SkipNote {
+      Unit *U;
+      const char *Reason;
+      bool Always; // Emit even if the unit ended up in a candidate.
+      bool HasBenefit;
+      int64_t Benefit;
+    };
+    std::vector<SkipNote> Skips;
+
     for (Unit *A : Live) {
       if (Used.count(A))
         continue;
-      if (!A->HasAssoc || !A->KeyTy || A->Escapes || A->ForbidEnum)
+      if (!A->HasAssoc || !A->KeyTy || A->Escapes || A->ForbidEnum) {
+        if (RE) {
+          if (A->Escapes)
+            Skips.push_back({A,
+                             "collection escapes to unanalyzable code; its "
+                             "representation cannot change",
+                             true, false, 0});
+          else if (A->ForbidEnum)
+            Skips.push_back({A, "noenumerate directive", true, false, 0});
+          else
+            Skips.push_back({A,
+                             "not an associative collection with an "
+                             "enumerable key type",
+                             false, false, 0});
+        }
         continue;
+      }
+      // Sharing decisions recorded for this candidate's provenance block.
+      std::map<Unit *, std::pair<int64_t, int64_t>> JoinScore;
+      std::map<Unit *, std::pair<int64_t, int64_t>> RejectScore;
+      std::set<Unit *> BlockedPartners;
+      std::vector<Unit *> Pruned;
       std::vector<Pick> Picks{{A, /*AsKey=*/true, /*AsElem=*/false}};
       Used.insert(A);
       // Enables the propagator role on every type-compatible member; the
@@ -311,20 +373,26 @@ private:
         while (Grew) {
           Grew = false;
           for (Unit *B : Live) {
-            if (Used.count(B) || B->Escapes || B->ForbidEnum ||
-                blocked(A, B))
+            if (Used.count(B) || B->Escapes || B->ForbidEnum)
               continue;
             bool CanShare = B->HasAssoc && B->KeyTy == A->KeyTy;
             bool CanProp =
                 Config.EnablePropagation && B->ElemTy == A->KeyTy;
             if (!CanShare && !CanProp)
               continue;
+            if (blocked(A, B)) {
+              BlockedPartners.insert(B);
+              continue;
+            }
             // Evaluate each viable role combination, with and without
             // propagator roles on the existing members; prefer the
             // highest benefit and, on ties, the fewest roles.
             int64_t BAlone = benefitOf(Picks);
             std::vector<Pick> Best;
             int64_t BestTogether = 0;
+            int64_t BestApart = 0;
+            int64_t SeenTogether = 0, SeenApart = 0;
+            bool SeenAny = false;
             for (auto [AsKey, AsElem] :
                  {std::pair{true, false}, {false, true}, {true, true}}) {
               if ((AsKey && !CanShare) || (AsElem && !CanProp))
@@ -337,10 +405,16 @@ private:
                                                WithAllElems(Extended)};
               for (std::vector<Pick> &Variant : Variants) {
                 int64_t BTogether = benefitOf(Variant);
+                if (!SeenAny || BTogether > SeenTogether) {
+                  SeenTogether = BTogether;
+                  SeenApart = BApart;
+                  SeenAny = true;
+                }
                 // Benefit must exceed the sum of its parts (Alg. 3).
                 if (BTogether > BApart && BTogether > BestTogether) {
                   Best = Variant;
                   BestTogether = BTogether;
+                  BestApart = BApart;
                 }
               }
             }
@@ -348,6 +422,10 @@ private:
               Picks = std::move(Best);
               Used.insert(B);
               Grew = true;
+              JoinScore[B] = {BestTogether, BestApart};
+              RejectScore.erase(B);
+            } else if (SeenAny) {
+              RejectScore[B] = {SeenTogether, SeenApart};
             }
           }
         }
@@ -360,6 +438,8 @@ private:
           P.AsElem = false;
           if (benefitOf(Picks) < WithRole)
             P.AsElem = true; // The role pays for itself; keep it.
+          else
+            Pruned.push_back(P.U);
         }
         // Remove members left with no role.
         Picks.erase(std::remove_if(Picks.begin(), Picks.end(),
@@ -377,6 +457,9 @@ private:
         Forced |= P.U->ForceEnum;
       // Only emit candidates with positive benefit (or a directive).
       if (Benefit <= 0 && !Forced) {
+        if (RE)
+          Skips.push_back({A, "no trimmable encode/decode/add sites", true,
+                           true, Benefit});
         for (const Pick &P : Picks)
           if (P.U != A)
             Used.erase(P.U);
@@ -394,13 +477,115 @@ private:
             C.ElemMembers.push_back(R);
         }
       }
-      if (C.KeyMembers.empty())
+      if (C.KeyMembers.empty()) {
+        if (RE)
+          Skips.push_back({A, "no enumerable key members survived role "
+                              "assignment",
+                           true, false, 0});
         continue;
+      }
+
+      if (RE) {
+        // The provenance root for every decision downstream of this
+        // enumeration: selection, reserve hints, RTE all link back here.
+        TrimSets Trims = trimsOf(Picks);
+        auto EB = RE->passed("plan", "enum-created")
+                      .atRoot(*C.KeyMembers.front())
+                      .arg("keyType", C.KeyTy->str())
+                      .arg("benefit", C.Benefit)
+                      .arg("keyMembers", uint64_t(C.KeyMembers.size()))
+                      .arg("propagators", uint64_t(C.ElemMembers.size()))
+                      .arg("forced", C.Forced)
+                      .arg("weighted", Config.Profile != nullptr);
+        C.RemarkId = EB.id();
+        auto AB = RE->analysis("plan", "benefit")
+                      .atRoot(*C.KeyMembers.front())
+                      .parent(C.RemarkId)
+                      .arg("trimEnc", uint64_t(Trims.TrimEnc.size()))
+                      .arg("trimDec", uint64_t(Trims.TrimDec.size()))
+                      .arg("trimAdd", uint64_t(Trims.TrimAdd.size()))
+                      .arg("staticBenefit", Trims.benefit());
+        if (Config.Profile)
+          AB.arg("weightedBenefit",
+                 Trims.weightedBenefit(*Config.Profile));
+
+        // Accepted merges: one remark per non-founding unit, carrying the
+        // Algorithm 3 evidence. Roots map to the remark that admitted
+        // them so later passes can chain provenance.
+        std::map<Unit *, uint64_t> UnitRemark;
+        UnitRemark[A] = C.RemarkId;
+        for (const Pick &P : Picks) {
+          if (P.U == A)
+            continue;
+          auto Score = JoinScore.count(P.U) ? JoinScore[P.U]
+                                            : std::pair<int64_t, int64_t>{};
+          const char *Role = P.AsKey && P.AsElem ? "key+propagator"
+                             : P.AsKey           ? "key"
+                                                 : "propagator";
+          UnitRemark[P.U] =
+              RE->passed("share", "merged")
+                  .atRoot(*P.U->Members.front())
+                  .parent(C.RemarkId)
+                  .arg("role", Role)
+                  .arg("benefitTogether", Score.first)
+                  .arg("benefitApart", Score.second)
+                  .id();
+        }
+        for (const Pick &P : Picks) {
+          uint64_t PId = UnitRemark[P.U];
+          for (RootInfo *R : P.U->Members)
+            Plan.ProvenanceOf[R] = PId;
+          if (P.AsElem)
+            for (RootInfo *R : P.U->Members)
+              if (R->elemType() == C.KeyTy)
+                RE->passed("propagate", "propagator")
+                    .atRoot(*R)
+                    .parent(PId)
+                    .arg("keyType", C.KeyTy->str());
+        }
+        for (const auto &[B, Score] : RejectScore) {
+          if (Used.count(B))
+            continue;
+          RE->missed("share", "rejected")
+              .atRoot(*B->Members.front())
+              .parent(C.RemarkId)
+              .arg("candidateKeyType", C.KeyTy->str())
+              .arg("benefitTogether", Score.first)
+              .arg("benefitApart", Score.second)
+              .arg("reason", "benefit together must exceed the sum of "
+                             "the parts (Algorithm 3)");
+        }
+        for (Unit *B : BlockedPartners)
+          RE->missed("share", "blocked")
+              .atRoot(*B->Members.front())
+              .parent(C.RemarkId)
+              .arg("candidateKeyType", C.KeyTy->str())
+              .arg("reason", "noshare directive");
+        for (Unit *U : Pruned)
+          RE->missed("propagate", "pruned")
+              .atRoot(*U->Members.front())
+              .parent(UnitRemark.count(U) ? UnitRemark[U] : C.RemarkId)
+              .arg("reason",
+                   "propagator role does not increase the benefit");
+      }
+
       ++NumEnumerationsPlanned;
       NumCollectionsSharing += C.KeyMembers.size() - 1;
       NumPropagators += C.ElemMembers.size();
       Plan.Candidates.push_back(std::move(C));
     }
+
+    if (RE)
+      for (const SkipNote &N : Skips) {
+        if (!N.Always && Used.count(N.U))
+          continue; // Joined a candidate after all (e.g. as propagator).
+        auto B = RE->missed("plan", "enum-rejected")
+                     .atRoot(*N.U->Members.front())
+                     .arg("reason", N.Reason);
+        if (N.HasBenefit)
+          B.arg("benefit", N.Benefit)
+              .arg("threshold", "benefit must be positive");
+      }
     return Plan;
   }
 

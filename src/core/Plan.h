@@ -26,6 +26,8 @@ class ProfileData;
 
 namespace core {
 
+class RemarkEmitter;
+
 /// Knobs for the ablation study (RQ3).
 struct PlannerConfig {
   /// SIII-D sharing. Disabling it also disables propagation (the paper:
@@ -37,6 +39,10 @@ struct PlannerConfig {
   /// heuristic weights each trimmed site by its dynamic execution count
   /// instead of counting sites statically.
   const interp::ProfileData *Profile = nullptr;
+  /// When non-null, every planning decision (enumerations created and
+  /// rejected, sharing merges accepted and rejected, propagator roles,
+  /// welds) is recorded as an optimization remark with its evidence.
+  RemarkEmitter *Remarks = nullptr;
 };
 
 /// The set of Algorithm 2 trims used by the benefit heuristic.
@@ -73,6 +79,9 @@ struct Candidate {
   int64_t Benefit = 0;
   /// True when a directive forced this candidate regardless of benefit.
   bool Forced = false;
+  /// Id of this candidate's "plan:enum-created" remark (0 when remarks
+  /// are off); the provenance root of every dependent decision.
+  uint64_t RemarkId = 0;
 
   bool isKeyMember(const RootInfo *R) const {
     for (const RootInfo *M : KeyMembers)
@@ -91,6 +100,18 @@ struct Candidate {
 /// The whole-module enumeration decision.
 struct EnumerationPlan {
   std::vector<Candidate> Candidates;
+
+  /// Provenance: for each root admitted into a candidate, the id of the
+  /// remark that admitted it ("plan:enum-created" for founding members,
+  /// "share:merged" for members that joined by sharing). Later passes
+  /// link their remarks to these ids. Empty when remarks are off.
+  std::map<const RootInfo *, uint64_t> ProvenanceOf;
+
+  /// The provenance remark of \p R, or 0.
+  uint64_t provenanceOf(const RootInfo *R) const {
+    auto It = ProvenanceOf.find(R);
+    return It == ProvenanceOf.end() ? 0 : It->second;
+  }
 
   /// The candidate a root belongs to (any role), or nullptr.
   const Candidate *candidateOf(const RootInfo *R) const {

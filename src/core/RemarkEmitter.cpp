@@ -1,0 +1,51 @@
+//===- RemarkEmitter.cpp - IR-aware remark emission -----------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RemarkEmitter.h"
+
+#include "support/Casting.h"
+
+using namespace ade;
+using namespace ade::core;
+
+ir::SrcLoc ade::core::rootLoc(const RootInfo &R) {
+  if (R.TheKind == RootInfo::Kind::Nested && R.Parent)
+    return rootLoc(*R.Parent);
+  if (R.Anchor)
+    if (const auto *Res = dyn_cast<ir::InstResult>(R.Anchor))
+      return Res->parent()->loc();
+  return {};
+}
+
+const ir::Function *ade::core::rootFunction(const RootInfo &R) {
+  if (R.TheKind == RootInfo::Kind::Nested && R.Parent)
+    return rootFunction(*R.Parent);
+  if (R.Anchor) {
+    if (const auto *Res = dyn_cast<ir::InstResult>(R.Anchor))
+      return Res->parent()->parentFunction();
+    if (const auto *Param = dyn_cast<ir::Argument>(R.Anchor))
+      return Param->parent();
+  }
+  return nullptr;
+}
+
+RemarkEmitter::Builder &RemarkEmitter::Builder::at(const ir::Instruction *I) {
+  if (!I)
+    return *this;
+  loc(I->loc());
+  if (const ir::Function *F = I->parentFunction())
+    func(F->name());
+  return *this;
+}
+
+RemarkEmitter::Builder &
+RemarkEmitter::Builder::atRoot(const RootInfo &Root) {
+  loc(rootLoc(Root));
+  if (const ir::Function *F = rootFunction(Root))
+    func(F->name());
+  arg("root", Root.describe());
+  return *this;
+}

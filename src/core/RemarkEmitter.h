@@ -1,0 +1,135 @@
+//===- RemarkEmitter.h - IR-aware remark emission ---------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline-facing face of the optimization-remarks engine
+/// (support/Remark). A \c RemarkEmitter owns one RemarkStream and hands
+/// passes a fluent \c Builder that knows how to anchor a remark on an
+/// instruction or a collection root and how to link provenance:
+///
+/// \code
+///   RE->passed("share", "merged")
+///       .atRoot(*Root)
+///       .parent(Cand.RemarkId)
+///       .arg("together", BTogether)
+///       .arg("apart", BApart);
+/// \endcode
+///
+/// Every decision point in the pipeline takes an optional
+/// \c RemarkEmitter* through its config struct; a null emitter costs one
+/// branch per decision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_CORE_REMARKEMITTER_H
+#define ADE_CORE_REMARKEMITTER_H
+
+#include "core/Analysis.h"
+#include "support/Remark.h"
+
+namespace ade {
+namespace core {
+
+/// Best-effort source anchor of a root: the location of its allocation
+/// site (nested levels defer to their parent). Invalid for parameters and
+/// globals, which have no instruction anchor.
+ir::SrcLoc rootLoc(const RootInfo &R);
+
+/// The function enclosing a root's anchor, or null.
+const ir::Function *rootFunction(const RootInfo &R);
+
+class RemarkEmitter {
+public:
+  /// Fluent decorator over one freshly added remark.
+  class Builder {
+  public:
+    Builder(remarks::RemarkStream &S, size_t Idx) : S(S), Idx(Idx) {}
+
+    Builder &arg(std::string_view Key, std::string_view Value) {
+      R().Args.push_back(
+          remarks::Arg::str(std::string(Key), std::string(Value)));
+      return *this;
+    }
+    Builder &arg(std::string_view Key, const char *Value) {
+      return arg(Key, std::string_view(Value));
+    }
+    Builder &arg(std::string_view Key, const std::string &Value) {
+      return arg(Key, std::string_view(Value));
+    }
+    Builder &arg(std::string_view Key, uint64_t Value) {
+      R().Args.push_back(remarks::Arg::uint(std::string(Key), Value));
+      return *this;
+    }
+    Builder &arg(std::string_view Key, unsigned Value) {
+      return arg(Key, uint64_t(Value));
+    }
+    Builder &arg(std::string_view Key, int64_t Value) {
+      R().Args.push_back(remarks::Arg::sint(std::string(Key), Value));
+      return *this;
+    }
+    Builder &arg(std::string_view Key, int Value) {
+      return arg(Key, int64_t(Value));
+    }
+    Builder &arg(std::string_view Key, bool Value) {
+      R().Args.push_back(remarks::Arg::boolean(std::string(Key), Value));
+      return *this;
+    }
+
+    Builder &loc(ir::SrcLoc L) {
+      R().Line = L.Line;
+      R().Col = L.Col;
+      return *this;
+    }
+    /// Location and enclosing function of \p I.
+    Builder &at(const ir::Instruction *I);
+    Builder &func(std::string_view Name) {
+      R().Function = std::string(Name);
+      return *this;
+    }
+    /// Location, function and a "root" argument from \p Root.
+    Builder &atRoot(const RootInfo &Root);
+
+    /// Links \p Id as a provenance parent; 0 (no remark) is ignored.
+    Builder &parent(uint64_t Id) {
+      if (Id)
+        R().Parents.push_back(Id);
+      return *this;
+    }
+
+    uint64_t id() const { return S.at(Idx).Id; }
+
+  private:
+    remarks::Remark &R() { return S.at(Idx); }
+    remarks::RemarkStream &S;
+    size_t Idx;
+  };
+
+  Builder passed(std::string_view Pass, std::string_view Name) {
+    return emit(remarks::Kind::Passed, Pass, Name);
+  }
+  Builder missed(std::string_view Pass, std::string_view Name) {
+    return emit(remarks::Kind::Missed, Pass, Name);
+  }
+  Builder analysis(std::string_view Pass, std::string_view Name) {
+    return emit(remarks::Kind::Analysis, Pass, Name);
+  }
+
+  remarks::RemarkStream &stream() { return S; }
+  const remarks::RemarkStream &stream() const { return S; }
+
+private:
+  Builder emit(remarks::Kind K, std::string_view Pass,
+               std::string_view Name) {
+    return Builder(S, S.add(K, std::string(Pass), std::string(Name)));
+  }
+
+  remarks::RemarkStream S;
+};
+
+} // namespace core
+} // namespace ade
+
+#endif // ADE_CORE_REMARKEMITTER_H

@@ -7,6 +7,7 @@
 #include "core/Transform.h"
 
 #include "core/MergeNetwork.h"
+#include "core/RemarkEmitter.h"
 #include "interp/Profiler.h"
 #include "ir/IRBuilder.h"
 #include "stats/Statistic.h"
@@ -230,6 +231,14 @@ private:
           DstC ? enumValue(*stateOf(DstC), F) : nullptr;
       Value *SrcEnum =
           SrcC ? enumValue(*stateOf(SrcC), F) : nullptr;
+      if (RemarkEmitter *RE = Cfg.Remarks)
+        RE->passed("transform", "union-expanded")
+            .at(U)
+            .parent(DstC ? DstC->RemarkId : 0)
+            .parent(SrcC ? SrcC->RemarkId : 0)
+            .arg("reason", "operands belong to distinct enumerations; "
+                           "rewritten as an element-wise translate-and-"
+                           "insert loop");
       IRBuilder B(M, U->parent());
       B.setInsertionPointBefore(U);
       B.forEach(Src, {},
@@ -306,14 +315,23 @@ private:
       Instruction *I = U.User;
       unsigned OpIdx = U.OpIdx;
       if (Cfg.EnableRTE) {
+        const char *Rule = nullptr;
         if (isKeyMemberAccess(CS, I, OpIdx) ||
-            isElemMemberStore(CS, I, OpIdx)) {
+            isElemMemberStore(CS, I, OpIdx))
+          Rule = "identifier used at a member access: op(dec(e,x)) -> "
+                 "op(x)";
+        else if ((I->op() == Opcode::CmpEq || I->op() == Opcode::CmpNe) &&
+                 CS.Tainted.count(I->operand(1 - OpIdx)))
+          Rule = "comparison of identifiers: eq(dec(e,x), dec(e,y)) -> "
+                 "eq(x, y)";
+        if (Rule) {
           ++Result.TranslationsSkipped;
-          continue;
-        }
-        if ((I->op() == Opcode::CmpEq || I->op() == Opcode::CmpNe) &&
-            CS.Tainted.count(I->operand(1 - OpIdx))) {
-          ++Result.TranslationsSkipped;
+          if (RemarkEmitter *RE = Cfg.Remarks)
+            RE->passed("rte", "eliminated")
+                .at(I)
+                .parent(CS.C->RemarkId)
+                .arg("translation", "dec")
+                .arg("rule", Rule);
           continue;
         }
       }
@@ -344,6 +362,13 @@ private:
         Value *Cur = I->operand(U.OpIdx);
         if (Cfg.EnableRTE && CS.Tainted.count(Cur)) {
           ++Result.TranslationsSkipped;
+          if (RemarkEmitter *RE = Cfg.Remarks)
+            RE->passed("rte", "eliminated")
+                .at(I)
+                .parent(CS.C->RemarkId)
+                .arg("translation", IsAdd ? "add" : "enc")
+                .arg("rule", "operand already carries an identifier of "
+                             "this enumeration");
           continue;
         }
         // Skip values already idx-typed from another enumeration only if
@@ -531,8 +556,10 @@ void ade::core::applySelection(ModuleAnalysis &MA,
   /// sparsity does not matter.
   constexpr uint64_t SparseUniverseMin = 1024;
 
-  // Report rows by root, so the pre-sizing pass below can annotate them.
-  std::map<const RootInfo *, size_t> RowOf;
+  // The "selection:select" remark of each root, so the pre-sizing pass
+  // below can chain its reserve decisions to the selection they refine.
+  RemarkEmitter *RE = Config.Remarks;
+  std::map<const RootInfo *, uint64_t> SelectRemarkOf;
 
   // Selection for one root level based on directives, enumeration status,
   // configuration, and (when present) measured behavior.
@@ -596,25 +623,43 @@ void ade::core::applySelection(ModuleAnalysis &MA,
     if (Final != Static)
       ++NumProfileOverrides;
 
-    if (Config.Report) {
-      SelectionDecision D;
-      D.Root = R->describe();
-      if (Profile)
-        D.Origin = ClassOrigin[MA.aliasClassOf(const_cast<RootInfo *>(R))];
-      D.Static = Static;
-      D.Final = Final;
-      D.FromDirective = DirectiveApplies;
-      D.KeyEnumerated = KeyEnumerated;
-      if (Rec) {
-        D.Profiled = true;
-        D.Ops = Rec->Ops;
-        D.PeakElements = Rec->PeakElements;
-        D.Probes = Rec->Probes;
-        D.Rehashes = Rec->Rehashes;
+    if (RE) {
+      // A probe-heavy table that would move to the flat SIMD tables but
+      // escapes: record what blocked the upgrade.
+      if (Rec && !DirectiveApplies && Rec->Ops != 0 && !KeyEnumerated &&
+          Static == Selection::Empty && R->Escapes &&
+          (Rec->Rehashes > 0 || Rec->Probes > 2 * Rec->Ops))
+        RE->missed("selection", "upgrade-blocked")
+            .atRoot(*R)
+            .arg("probes", Rec->Probes)
+            .arg("rehashes", Rec->Rehashes)
+            .arg("ops", Rec->Ops)
+            .arg("reason", "collection escapes to unanalyzable code; its "
+                           "representation cannot change");
+
+      auto SB = (Final != Selection::Empty
+                     ? RE->passed("selection", "select")
+                     : RE->analysis("selection", "select"))
+                    .atRoot(*R)
+                    .parent(Plan.provenanceOf(R));
+      if (Profile) {
+        const std::string &Origin =
+            ClassOrigin[MA.aliasClassOf(const_cast<RootInfo *>(R))];
+        if (!Origin.empty())
+          SB.arg("origin", Origin);
       }
-      D.Reason = Reason;
-      RowOf[R] = Config.Report->size();
-      Config.Report->push_back(std::move(D));
+      SB.arg("static", selectionName(Static))
+          .arg("final", selectionName(Final))
+          .arg("fromDirective", DirectiveApplies)
+          .arg("keyEnumerated", KeyEnumerated)
+          .arg("profiled", Rec != nullptr);
+      if (Rec)
+        SB.arg("ops", Rec->Ops)
+            .arg("peakElements", Rec->PeakElements)
+            .arg("probes", Rec->Probes)
+            .arg("rehashes", Rec->Rehashes);
+      SB.arg("reason", Reason);
+      SelectRemarkOf[R] = SB.id();
     }
     return Final;
   };
@@ -687,18 +732,80 @@ void ade::core::applySelection(ModuleAnalysis &MA,
       const interp::ProfileData::SiteProfile *Rec = Profile->allocSite(
           F ? std::string_view(F->name()) : std::string_view(),
           NewI->loc());
-      if (!Rec || Rec->PeakElements < Config.MinReserve)
+      if (!Rec)
         continue;
+      auto SelIt = SelectRemarkOf.find(R);
+      uint64_t SelId = SelIt == SelectRemarkOf.end() ? 0 : SelIt->second;
+      if (Rec->PeakElements < Config.MinReserve) {
+        if (RE && Rec->PeakElements > 0)
+          RE->missed("selection", "reserve-skipped")
+              .at(NewI)
+              .parent(SelId)
+              .arg("root", R->describe())
+              .arg("peak", Rec->PeakElements)
+              .arg("threshold", Config.MinReserve)
+              .arg("reason", "profiled peak below the reserve threshold; "
+                             "a tiny table never rehashes enough to pay "
+                             "for pre-sizing");
+        continue;
+      }
       B.setInsertionPointAfter(NewI);
       B.reserve(Res, B.constU64(Rec->PeakElements));
       ++NumReserveHints;
-      if (Config.Report) {
-        auto It = RowOf.find(R);
-        if (It != RowOf.end())
-          (*Config.Report)[It->second].ReserveHint = Rec->PeakElements;
-      }
+      if (RE)
+        RE->passed("selection", "reserve-hinted")
+            .at(NewI)
+            .parent(SelId)
+            .arg("root", R->describe())
+            .arg("peak", Rec->PeakElements);
     }
   }
 
   TransformDriver::fixReturnTypes(M);
+}
+
+std::vector<SelectionDecision>
+ade::core::selectionDecisions(const remarks::RemarkStream &S) {
+  std::vector<SelectionDecision> Rows;
+  std::map<uint64_t, size_t> RowById;
+  for (const remarks::Remark &R : S.remarks()) {
+    if (R.Pass != "selection")
+      continue;
+    auto Str = [&](const char *K) {
+      const remarks::Arg *A = R.arg(K);
+      return A ? A->Str : std::string();
+    };
+    auto U64 = [&](const char *K) -> uint64_t {
+      const remarks::Arg *A = R.arg(K);
+      return A ? A->UInt : 0;
+    };
+    auto Flag = [&](const char *K) {
+      const remarks::Arg *A = R.arg(K);
+      return A && A->Flag;
+    };
+    if (R.Name == "select") {
+      SelectionDecision D;
+      D.Root = Str("root");
+      D.Origin = Str("origin");
+      selectionFromName(Str("static"), D.Static);
+      selectionFromName(Str("final"), D.Final);
+      D.FromDirective = Flag("fromDirective");
+      D.KeyEnumerated = Flag("keyEnumerated");
+      D.Profiled = Flag("profiled");
+      D.Ops = U64("ops");
+      D.PeakElements = U64("peakElements");
+      D.Probes = U64("probes");
+      D.Rehashes = U64("rehashes");
+      D.Reason = Str("reason");
+      RowById[R.Id] = Rows.size();
+      Rows.push_back(std::move(D));
+    } else if (R.Name == "reserve-hinted") {
+      for (uint64_t P : R.Parents) {
+        auto It = RowById.find(P);
+        if (It != RowById.end())
+          Rows[It->second].ReserveHint = U64("peak");
+      }
+    }
+  }
+  return Rows;
 }

@@ -31,16 +31,27 @@
 #include "core/Plan.h"
 
 namespace ade {
+
+namespace remarks {
+class RemarkStream;
+}
+
 namespace core {
 
 /// Transformation knobs.
 struct TransformConfig {
   /// SIII-C redundant translation elimination (RQ3 ablation knob).
   bool EnableRTE = true;
+  /// When non-null, RTE eliminations and union expansions are recorded as
+  /// optimization remarks linked to their enumeration's provenance.
+  RemarkEmitter *Remarks = nullptr;
 };
 
 /// One root's implementation decision and the evidence behind it
-/// (`adec --selection-report`).
+/// (`adec --selection-report`). Decisions are recorded as "selection"
+/// remarks — this struct is the materialized view selectionDecisions()
+/// reconstructs from a remark stream; there is no second bookkeeping
+/// path.
 struct SelectionDecision {
   /// RootInfo::describe() of the level decided.
   std::string Root;
@@ -83,8 +94,10 @@ struct SelectionConfig {
   /// emitted at the allocation site (tiny tables never rehash enough to
   /// pay for the extra instruction).
   uint64_t MinReserve = 16;
-  /// When non-null, one SelectionDecision per decided root is appended.
-  std::vector<SelectionDecision> *Report = nullptr;
+  /// When non-null, every decision (one "selection:select" remark per
+  /// root level, plus reserve-hint remarks) is recorded with its
+  /// evidence, chained to the planner's provenance.
+  RemarkEmitter *Remarks = nullptr;
 };
 
 /// Statistics for tests and reporting.
@@ -107,6 +120,11 @@ TransformResult applyEnumeration(ModuleAnalysis &MA,
 /// the specialized implementations, select directives override everywhere.
 void applySelection(ModuleAnalysis &MA, const EnumerationPlan &Plan,
                     const SelectionConfig &Config = {});
+
+/// Materializes the `--selection-report` rows from the "selection"
+/// remarks in \p S (the single source of truth for selection decisions).
+std::vector<SelectionDecision>
+selectionDecisions(const remarks::RemarkStream &S);
 
 } // namespace core
 } // namespace ade

@@ -37,6 +37,19 @@ const char *ade::ir::selectionName(Selection Sel) {
   ade_unreachable("unknown selection");
 }
 
+bool ade::ir::selectionFromName(std::string_view Name, Selection &Out) {
+  for (Selection S :
+       {Selection::Empty, Selection::Array, Selection::HashSet,
+        Selection::FlatSet, Selection::SwissSet, Selection::BitSet,
+        Selection::SparseBitSet, Selection::HashMap, Selection::SwissMap,
+        Selection::BitMap})
+    if (Name == selectionName(S)) {
+      Out = S;
+      return true;
+    }
+  return false;
+}
+
 static std::string selectionInfix(Selection Sel) {
   if (Sel == Selection::Empty)
     return "";

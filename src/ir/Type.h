@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -53,6 +54,10 @@ enum class Selection : uint8_t {
 
 /// Returns the printable name of \p Sel (e.g. "HashSet").
 const char *selectionName(Selection Sel);
+
+/// Parses a selectionName() back into \p Out ("" parses to Empty).
+/// Returns false on an unknown name.
+bool selectionFromName(std::string_view Name, Selection &Out);
 
 /// True for the specialized implementations that require enumerated
 /// (contiguous-integer) keys: Bit{Set,Map} and SparseBitSet.

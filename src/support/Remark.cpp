@@ -1,0 +1,341 @@
+//===- Remark.cpp - Optimization remarks ----------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Remark.h"
+
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <regex>
+
+using namespace ade;
+using namespace ade::remarks;
+
+const char *ade::remarks::kindName(Kind K) {
+  switch (K) {
+  case Kind::Passed:
+    return "passed";
+  case Kind::Missed:
+    return "missed";
+  case Kind::Analysis:
+    return "analysis";
+  }
+  return "analysis";
+}
+
+bool ade::remarks::kindFromName(std::string_view Name, Kind &Out) {
+  if (Name == "passed")
+    Out = Kind::Passed;
+  else if (Name == "missed")
+    Out = Kind::Missed;
+  else if (Name == "analysis")
+    Out = Kind::Analysis;
+  else
+    return false;
+  return true;
+}
+
+Arg Arg::str(std::string Key, std::string Value) {
+  Arg A;
+  A.Key = std::move(Key);
+  A.Ty = Type::String;
+  A.Str = std::move(Value);
+  return A;
+}
+
+Arg Arg::uint(std::string Key, uint64_t Value) {
+  Arg A;
+  A.Key = std::move(Key);
+  A.Ty = Type::UInt;
+  A.UInt = Value;
+  return A;
+}
+
+Arg Arg::sint(std::string Key, int64_t Value) {
+  Arg A;
+  A.Key = std::move(Key);
+  A.Ty = Type::Int;
+  A.Int = Value;
+  return A;
+}
+
+Arg Arg::boolean(std::string Key, bool Value) {
+  Arg A;
+  A.Key = std::move(Key);
+  A.Ty = Type::Bool;
+  A.Flag = Value;
+  return A;
+}
+
+std::string Arg::valueText() const {
+  switch (Ty) {
+  case Type::String:
+    return Str;
+  case Type::UInt:
+    return std::to_string(UInt);
+  case Type::Int:
+    return std::to_string(Int);
+  case Type::Bool:
+    return Flag ? "true" : "false";
+  }
+  return Str;
+}
+
+const Arg *Remark::arg(std::string_view Key) const {
+  for (const Arg &A : Args)
+    if (A.Key == Key)
+      return &A;
+  return nullptr;
+}
+
+std::string Remark::message() const {
+  std::string Out = Pass + ":" + Name;
+  for (const Arg &A : Args) {
+    Out += ' ';
+    Out += A.Key;
+    Out += '=';
+    if (A.Ty == Arg::Type::String) {
+      Out += '\'';
+      Out += A.Str;
+      Out += '\'';
+    } else {
+      Out += A.valueText();
+    }
+  }
+  return Out;
+}
+
+size_t RemarkStream::add(Kind K, std::string Pass, std::string Name) {
+  Remark R;
+  R.Id = NextId++;
+  R.K = K;
+  R.Pass = std::move(Pass);
+  R.Name = std::move(Name);
+  ++Counts[static_cast<size_t>(K)];
+  Remarks.push_back(std::move(R));
+  return Remarks.size() - 1;
+}
+
+const Remark *RemarkStream::byId(uint64_t Id) const {
+  // Ids are increasing but not necessarily dense after a filtered
+  // round-trip; binary-search the sorted id order.
+  size_t Lo = 0, Hi = Remarks.size();
+  while (Lo != Hi) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Remarks[Mid].Id < Id)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  if (Lo != Remarks.size() && Remarks[Lo].Id == Id)
+    return &Remarks[Lo];
+  return nullptr;
+}
+
+unsigned RemarkStream::chainDepth(const Remark &R) const {
+  unsigned Best = 0;
+  for (uint64_t P : R.Parents)
+    if (const Remark *Parent = byId(P))
+      Best = std::max(Best, chainDepth(*Parent));
+  return Best + 1;
+}
+
+bool RemarkStream::verify(std::string *Error) const {
+  auto Fail = [&](std::string Msg) {
+    if (Error)
+      *Error = std::move(Msg);
+    return false;
+  };
+  uint64_t PrevId = 0;
+  for (const Remark &R : Remarks) {
+    if (R.Id == 0)
+      return Fail("remark with unassigned id 0");
+    if (R.Id <= PrevId)
+      return Fail("remark ids not strictly increasing at id " +
+                  std::to_string(R.Id));
+    for (uint64_t P : R.Parents) {
+      if (P >= R.Id)
+        return Fail("remark " + std::to_string(R.Id) +
+                    " references non-earlier parent " + std::to_string(P));
+      if (!byId(P))
+        return Fail("remark " + std::to_string(R.Id) +
+                    " references unknown parent " + std::to_string(P));
+    }
+    PrevId = R.Id;
+  }
+  return true;
+}
+
+bool RemarkStream::matchesFilter(std::string_view Pass,
+                                 const std::string &Filter) {
+  std::regex RE(Filter, std::regex::ECMAScript);
+  return std::regex_match(Pass.begin(), Pass.end(), RE);
+}
+
+bool RemarkStream::validateFilter(const std::string &Filter,
+                                  std::string *Error) {
+  try {
+    std::regex RE(Filter, std::regex::ECMAScript);
+  } catch (const std::regex_error &E) {
+    if (Error)
+      *Error = E.what();
+    return false;
+  }
+  return true;
+}
+
+void RemarkStream::writeJson(RawOstream &OS, std::string_view File,
+                             const std::string *PassFilter) const {
+  json::Writer W(OS);
+  W.beginObject();
+  W.member("schemaVersion", RemarkSchemaVersion);
+  W.member("file", File);
+  W.key("remarks").beginArray();
+  for (const Remark &R : Remarks) {
+    if (PassFilter && !matchesFilter(R.Pass, *PassFilter))
+      continue;
+    W.beginObject(/*Inline=*/true);
+    W.member("id", R.Id)
+        .member("kind", kindName(R.K))
+        .member("pass", R.Pass)
+        .member("name", R.Name)
+        .member("function", R.Function)
+        .member("line", uint64_t(R.Line))
+        .member("col", uint64_t(R.Col));
+    W.key("parents").beginArray(/*Inline=*/true);
+    for (uint64_t P : R.Parents)
+      W.value(P);
+    W.endArray();
+    W.key("args").beginArray(/*Inline=*/true);
+    for (const Arg &A : R.Args) {
+      W.beginObject(/*Inline=*/true);
+      W.key("key").value(A.Key);
+      switch (A.Ty) {
+      case Arg::Type::String:
+        W.key("value").value(A.Str);
+        break;
+      case Arg::Type::UInt:
+        W.key("value").value(A.UInt);
+        break;
+      case Arg::Type::Int:
+        W.key("value").value(A.Int);
+        break;
+      case Arg::Type::Bool:
+        W.key("value").value(A.Flag);
+        break;
+      }
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  OS << '\n';
+}
+
+bool RemarkStream::readJson(std::string_view Text, std::string *Error,
+                            std::string *File) {
+  auto Fail = [&](std::string Msg) {
+    if (Error)
+      *Error = std::move(Msg);
+    return false;
+  };
+  std::string ParseError;
+  auto Doc = json::parse(Text, &ParseError);
+  if (!Doc)
+    return Fail(ParseError);
+  if (!Doc->isObject())
+    return Fail("remarks document is not an object");
+  const json::Value *Version = Doc->find("schemaVersion");
+  if (!Version || !Version->isNumber())
+    return Fail("missing schemaVersion");
+  if (Version->asUint() != RemarkSchemaVersion)
+    return Fail("unsupported schemaVersion " +
+                std::to_string(Version->asUint()) + " (expected " +
+                std::to_string(RemarkSchemaVersion) + ")");
+  if (File) {
+    const json::Value *F = Doc->find("file");
+    *File = F && F->isString() ? F->asString() : std::string();
+  }
+  const json::Value *List = Doc->find("remarks");
+  if (!List || !List->isArray())
+    return Fail("missing remarks array");
+
+  std::vector<Remark> Parsed;
+  uint64_t MaxId = 0;
+  for (const json::Value &E : List->elements()) {
+    if (!E.isObject())
+      return Fail("remark entry is not an object");
+    Remark R;
+    const json::Value *Id = E.find("id");
+    const json::Value *KindV = E.find("kind");
+    const json::Value *Pass = E.find("pass");
+    const json::Value *Name = E.find("name");
+    if (!Id || !Id->isNumber() || !KindV || !KindV->isString() || !Pass ||
+        !Pass->isString() || !Name || !Name->isString())
+      return Fail("remark entry missing id/kind/pass/name");
+    R.Id = Id->asUint();
+    if (!kindFromName(KindV->asString(), R.K))
+      return Fail("unknown remark kind '" + KindV->asString() + "'");
+    R.Pass = Pass->asString();
+    R.Name = Name->asString();
+    if (const json::Value *F = E.find("function"); F && F->isString())
+      R.Function = F->asString();
+    if (const json::Value *L = E.find("line"); L && L->isNumber())
+      R.Line = unsigned(L->asUint());
+    if (const json::Value *C = E.find("col"); C && C->isNumber())
+      R.Col = unsigned(C->asUint());
+    if (const json::Value *Ps = E.find("parents")) {
+      if (!Ps->isArray())
+        return Fail("remark parents is not an array");
+      for (const json::Value &P : Ps->elements()) {
+        if (!P.isNumber())
+          return Fail("remark parent is not a number");
+        R.Parents.push_back(P.asUint());
+      }
+    }
+    if (const json::Value *As = E.find("args")) {
+      if (!As->isArray())
+        return Fail("remark args is not an array");
+      for (const json::Value &AV : As->elements()) {
+        if (!AV.isObject())
+          return Fail("remark arg is not an object");
+        const json::Value *Key = AV.find("key");
+        const json::Value *Val = AV.find("value");
+        if (!Key || !Key->isString() || !Val)
+          return Fail("remark arg missing key/value");
+        switch (Val->kind()) {
+        case json::Value::Kind::String:
+          R.Args.push_back(Arg::str(Key->asString(), Val->asString()));
+          break;
+        case json::Value::Kind::Bool:
+          R.Args.push_back(Arg::boolean(Key->asString(), Val->asBool()));
+          break;
+        case json::Value::Kind::Number:
+          if (Val->isExactUint())
+            R.Args.push_back(Arg::uint(Key->asString(), Val->asUint()));
+          else
+            R.Args.push_back(Arg::sint(Key->asString(), Val->asInt()));
+          break;
+        default:
+          return Fail("remark arg value of unsupported type");
+        }
+      }
+    }
+    MaxId = std::max(MaxId, R.Id);
+    Parsed.push_back(std::move(R));
+  }
+
+  Remarks = std::move(Parsed);
+  Counts[0] = Counts[1] = Counts[2] = 0;
+  for (const Remark &R : Remarks)
+    ++Counts[static_cast<size_t>(R.K)];
+  NextId = MaxId + 1;
+  if (!verify(Error))
+    return false;
+  return true;
+}

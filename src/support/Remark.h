@@ -1,0 +1,163 @@
+//===- Remark.h - Optimization remarks --------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style optimization remarks: structured, per-decision telemetry the
+/// pipeline emits while it compiles. Every remark records
+///
+///  - a \c Kind: \c Passed (an optimization was applied), \c Missed (an
+///    optimization was considered and blocked, with the blocking threshold
+///    or directive), or \c Analysis (evidence a decision was based on);
+///  - the emitting pass and a remark name (e.g. "plan" / "enum-created");
+///  - a source location and enclosing function, threaded from the lexer;
+///  - typed key/value arguments carrying the decision's evidence;
+///  - a provenance chain: ids of the earlier remarks this decision
+///    depends on (e.g. selection:select <- share:merged <- plan:enum-created).
+///
+/// \c RemarkStream owns the remarks of one compilation, assigns ids,
+/// serializes to JSON (`adec --remarks=FILE`) and reads the same JSON back
+/// (the `ade-remarks` viewer and the round-trip tests). The support layer
+/// is IR-agnostic: locations are plain function/line/col triples; the
+/// IR-aware conveniences live in core/RemarkEmitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_REMARK_H
+#define ADE_SUPPORT_REMARK_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ade {
+
+class RawOstream;
+
+namespace remarks {
+
+/// Version stamp of the remarks JSON schema; readers reject other versions.
+constexpr uint64_t RemarkSchemaVersion = 1;
+
+enum class Kind : uint8_t { Passed, Missed, Analysis };
+
+/// Printable name of \p K ("passed" / "missed" / "analysis").
+const char *kindName(Kind K);
+
+/// Parses a kind name; false when \p Name is not a kind.
+bool kindFromName(std::string_view Name, Kind &Out);
+
+/// One typed key/value argument of a remark.
+struct Arg {
+  enum class Type : uint8_t { String, UInt, Int, Bool };
+
+  std::string Key;
+  Type Ty = Type::String;
+  std::string Str;
+  uint64_t UInt = 0;
+  int64_t Int = 0;
+  bool Flag = false;
+
+  static Arg str(std::string Key, std::string Value);
+  static Arg uint(std::string Key, uint64_t Value);
+  static Arg sint(std::string Key, int64_t Value);
+  static Arg boolean(std::string Key, bool Value);
+
+  /// The value rendered as text (for reports and messages).
+  std::string valueText() const;
+
+  bool operator==(const Arg &O) const {
+    return Key == O.Key && Ty == O.Ty && Str == O.Str && UInt == O.UInt &&
+           Int == O.Int && Flag == O.Flag;
+  }
+};
+
+/// One compiler decision record.
+struct Remark {
+  /// Unique id within the stream, 1-based in emission order.
+  uint64_t Id = 0;
+  Kind K = Kind::Analysis;
+  /// The emitting pass, the unit `--remarks-filter` matches against.
+  std::string Pass;
+  /// The decision name within the pass, e.g. "enum-created".
+  std::string Name;
+  /// Enclosing function; empty for module-level decisions.
+  std::string Function;
+  /// Source position; 0/0 when the decision has no single anchor.
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::vector<Arg> Args;
+  /// Ids of the earlier decisions this one depends on (provenance).
+  std::vector<uint64_t> Parents;
+
+  bool hasLoc() const { return Line != 0; }
+
+  /// The argument named \p Key, or null.
+  const Arg *arg(std::string_view Key) const;
+
+  /// "pass:name arg1=v1 arg2=v2 ..." — the one-line report form.
+  std::string message() const;
+};
+
+/// The remarks of one compilation: emission, counting, JSON round-trip
+/// and provenance-chain queries.
+class RemarkStream {
+public:
+  /// Appends a remark of \p K from \p Pass named \p Name and returns its
+  /// index (stable; remarks are never removed).
+  size_t add(Kind K, std::string Pass, std::string Name);
+
+  Remark &at(size_t Idx) { return Remarks[Idx]; }
+  const std::vector<Remark> &remarks() const { return Remarks; }
+  size_t size() const { return Remarks.size(); }
+  bool empty() const { return Remarks.empty(); }
+
+  /// The remark with id \p Id, or null.
+  const Remark *byId(uint64_t Id) const;
+
+  /// Number of remarks of \p K.
+  uint64_t count(Kind K) const { return Counts[static_cast<size_t>(K)]; }
+
+  /// Length of the longest parent chain starting at \p R (1 = no parents).
+  unsigned chainDepth(const Remark &R) const;
+
+  /// Checks provenance integrity: ids are unique, 1-based and increasing,
+  /// and every parent resolves to an *earlier* remark (so chains are
+  /// acyclic by construction). Returns false with a message otherwise.
+  bool verify(std::string *Error = nullptr) const;
+
+  /// Writes the remarks JSON document. \p File names the compiled module.
+  /// When \p PassFilter is non-null, only remarks whose pass matches the
+  /// regex are written (see matchesFilter).
+  void writeJson(RawOstream &OS, std::string_view File,
+                 const std::string *PassFilter = nullptr) const;
+
+  /// Parses a remarks JSON document produced by writeJson, replacing this
+  /// stream's contents. False (with a message) on malformed input or a
+  /// schema-version mismatch. The source file name is stored in \p File
+  /// when non-null.
+  bool readJson(std::string_view Text, std::string *Error = nullptr,
+                std::string *File = nullptr);
+
+  /// True when \p Pass matches \p Filter as an (anchored) ECMAScript
+  /// regex. Callers must have validated the regex with validateFilter.
+  static bool matchesFilter(std::string_view Pass, const std::string &Filter);
+
+  /// Validates a `--remarks-filter` regex; false with a message when the
+  /// expression does not compile.
+  static bool validateFilter(const std::string &Filter,
+                             std::string *Error = nullptr);
+
+private:
+  std::vector<Remark> Remarks;
+  uint64_t Counts[3] = {0, 0, 0};
+  uint64_t NextId = 1;
+};
+
+} // namespace remarks
+} // namespace ade
+
+#endif // ADE_SUPPORT_REMARK_H

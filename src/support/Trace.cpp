@@ -28,7 +28,16 @@ uint64_t TraceRecorder::nowMicros() const {
 
 void TraceRecorder::addComplete(std::string_view Name, const char *Category,
                                 uint64_t StartMicros, uint64_t DurMicros) {
-  Events.push_back(Event{std::string(Name), Category, StartMicros, DurMicros});
+  Events.push_back(Event{Event::Kind::Complete, std::string(Name), Category,
+                         StartMicros, DurMicros,
+                         {}});
+}
+
+void TraceRecorder::addCounter(
+    std::string_view Name, const char *Category, uint64_t TsMicros,
+    std::vector<std::pair<std::string, uint64_t>> Series) {
+  Events.push_back(Event{Event::Kind::Counter, std::string(Name), Category,
+                         TsMicros, 0, std::move(Series)});
 }
 
 void TraceRecorder::write(RawOstream &OS) const {
@@ -39,11 +48,17 @@ void TraceRecorder::write(RawOstream &OS) const {
     W.beginObject(/*Inline=*/true);
     W.member("name", E.Name)
         .member("cat", E.Category)
-        .member("ph", "X")
-        .member("ts", E.StartMicros)
-        .member("dur", E.DurMicros)
-        .member("pid", uint64_t(1))
-        .member("tid", uint64_t(1));
+        .member("ph", E.K == Event::Kind::Counter ? "C" : "X")
+        .member("ts", E.StartMicros);
+    if (E.K == Event::Kind::Complete)
+      W.member("dur", E.DurMicros);
+    W.member("pid", uint64_t(1)).member("tid", uint64_t(1));
+    if (E.K == Event::Kind::Counter) {
+      W.key("args").beginObject(/*Inline=*/true);
+      for (const auto &[Key, Val] : E.Series)
+        W.member(Key, Val);
+      W.endObject();
+    }
     W.endObject();
   }
   W.endArray();

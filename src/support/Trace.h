@@ -8,7 +8,10 @@
 /// An opt-in recorder for the Chrome trace-event JSON format, loadable in
 /// chrome://tracing and Perfetto. Compile phases and interpreted function
 /// activations are recorded as complete events (\c "ph":"X") with
-/// microsecond \c ts / \c dur fields.
+/// microsecond \c ts / \c dur fields; per-phase counters (e.g. the number
+/// of optimization remarks each pass emitted — the pipeline's decision
+/// density) are recorded as counter events (\c "ph":"C") and render as a
+/// stacked track.
 ///
 /// Recording is globally opt-in: \c TraceRecorder::active() is null unless a
 /// driver installed a recorder with \c setActive, so instrumented code pays
@@ -22,6 +25,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ade {
@@ -40,6 +44,12 @@ public:
   void addComplete(std::string_view Name, const char *Category,
                    uint64_t StartMicros, uint64_t DurMicros);
 
+  /// Records one counter sample at \p TsMicros: a named track with one or
+  /// more series values ("ph":"C" in the trace viewer).
+  void addCounter(std::string_view Name, const char *Category,
+                  uint64_t TsMicros,
+                  std::vector<std::pair<std::string, uint64_t>> Series);
+
   size_t eventCount() const { return Events.size(); }
 
   /// Writes {"traceEvents": [...]} in Chrome trace-event JSON.
@@ -51,10 +61,14 @@ public:
 
 private:
   struct Event {
+    enum class Kind : uint8_t { Complete, Counter };
+    Kind K = Kind::Complete;
     std::string Name;
     const char *Category;
     uint64_t StartMicros;
     uint64_t DurMicros;
+    /// Counter series (Kind::Counter only).
+    std::vector<std::pair<std::string, uint64_t>> Series;
   };
 
   std::vector<Event> Events;

@@ -1,0 +1,241 @@
+//===- ade-remarks.cpp - Optimization remarks viewer ----------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reads a remarks JSON file written by `adec --ade --remarks=FILE` and
+/// answers the questions a remarks stream exists for: what did the
+/// pipeline decide, where, and why.
+///
+/// Usage:
+///   ade-remarks FILE.json [options]
+///     (default)          per-pass and per-function rollups, plus the
+///                        most frequent missed optimizations
+///     --top-missed=N     show at most N missed groups (default 10)
+///     --at=LINE[:COL]    print every remark anchored at that source
+///                        position with its full provenance chain
+///     --chain=ID         print the provenance tree of remark ID
+///     --list             dump every remark as one line (id, kind,
+///                        location, message)
+///
+/// Exit codes: 0 success, 1 unreadable/malformed input or bad option.
+///
+//===----------------------------------------------------------------------===//
+
+#include "stats/Stats.h"
+#include "support/RawOstream.h"
+#include "support/Remark.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace ade;
+using namespace ade::remarks;
+
+static int usage(const char *BadOption = nullptr) {
+  if (BadOption)
+    std::fprintf(stderr, "ade-remarks: unknown option '%s'\n", BadOption);
+  std::fprintf(stderr,
+               "usage: ade-remarks FILE.json [--top-missed=N]\n"
+               "                   [--at=LINE[:COL]] [--chain=ID] [--list]\n");
+  return 1;
+}
+
+static bool readFile(const char *Path, std::string &Out) {
+  std::FILE *File = std::fopen(Path, "rb");
+  if (!File)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Out.append(Buf, N);
+  std::fclose(File);
+  return true;
+}
+
+static std::string locText(const std::string &File, const Remark &R) {
+  std::string Out = File.empty() ? std::string("<module>") : File;
+  if (R.hasLoc())
+    Out += ":" + std::to_string(R.Line) + ":" + std::to_string(R.Col);
+  else if (!R.Function.empty())
+    Out += ":@" + R.Function;
+  return Out;
+}
+
+/// Prints \p R and, indented below it, the chain of decisions it
+/// depends on (depth-first up the parent links).
+static void printChain(const RemarkStream &S, const std::string &File,
+                       const Remark &R, RawOstream &OS, unsigned Indent) {
+  OS.indent(Indent) << (Indent ? "<- " : "") << "#" << R.Id << " ["
+                    << kindName(R.K) << "] " << R.message() << "\n";
+  OS.indent(Indent + 3) << "at " << locText(File, R) << "\n";
+  for (uint64_t P : R.Parents)
+    if (const Remark *Parent = S.byId(P))
+      printChain(S, File, *Parent, OS, Indent + 2);
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  const char *Path = nullptr;
+  bool List = false;
+  uint64_t TopMissed = 10, ChainId = 0;
+  unsigned AtLine = 0, AtCol = 0;
+  bool SawAt = false;
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--list") {
+      List = true;
+    } else if (Arg.rfind("--top-missed=", 0) == 0) {
+      TopMissed = std::strtoull(Arg.c_str() + 13, nullptr, 10);
+    } else if (Arg.rfind("--chain=", 0) == 0) {
+      ChainId = std::strtoull(Arg.c_str() + 8, nullptr, 10);
+      if (!ChainId) {
+        std::fprintf(stderr, "ade-remarks: --chain requires a remark id\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--at=", 0) == 0) {
+      SawAt = true;
+      const char *Pos = Arg.c_str() + 5;
+      char *End = nullptr;
+      AtLine = unsigned(std::strtoul(Pos, &End, 10));
+      if (End && *End == ':')
+        AtCol = unsigned(std::strtoul(End + 1, nullptr, 10));
+      if (!AtLine) {
+        std::fprintf(stderr, "ade-remarks: --at requires LINE[:COL]\n");
+        return 1;
+      }
+    } else if (Arg[0] != '-' && !Path) {
+      Path = Argv[I];
+    } else {
+      return usage(Arg[0] == '-' ? Argv[I] : nullptr);
+    }
+  }
+  if (!Path)
+    return usage();
+
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "ade-remarks: cannot read %s\n", Path);
+    return 1;
+  }
+  RemarkStream S;
+  std::string Error, File;
+  if (!S.readJson(Text, &Error, &File)) {
+    std::fprintf(stderr, "ade-remarks: %s: %s\n", Path, Error.c_str());
+    return 1;
+  }
+
+  RawOstream &OS = outs();
+
+  if (ChainId) {
+    const Remark *R = S.byId(ChainId);
+    if (!R) {
+      std::fprintf(stderr, "ade-remarks: no remark with id %llu\n",
+                   (unsigned long long)ChainId);
+      return 1;
+    }
+    printChain(S, File, *R, OS, 0);
+    OS << "chain depth: " << S.chainDepth(*R) << "\n";
+    return 0;
+  }
+
+  if (SawAt) {
+    unsigned Matches = 0;
+    for (const Remark &R : S.remarks()) {
+      if (R.Line != AtLine || (AtCol && R.Col != AtCol))
+        continue;
+      if (Matches++)
+        OS << "\n";
+      printChain(S, File, R, OS, 0);
+    }
+    if (!Matches) {
+      OS << "no remarks at line " << AtLine;
+      if (AtCol)
+        OS << ", column " << AtCol;
+      OS << "\n";
+    }
+    return 0;
+  }
+
+  if (List) {
+    for (const Remark &R : S.remarks())
+      OS << "#" << R.Id << " [" << kindName(R.K) << "] "
+         << locText(File, R) << " " << R.message() << "\n";
+    return 0;
+  }
+
+  // Summary header.
+  OS << "remarks: " << S.size() << " (" << S.count(Kind::Passed)
+     << " passed, " << S.count(Kind::Missed) << " missed, "
+     << S.count(Kind::Analysis) << " analysis) from "
+     << (File.empty() ? std::string("<module>") : File) << "\n";
+
+  // Per-pass rollup.
+  struct Tally {
+    uint64_t Passed = 0, Missed = 0, Analysis = 0;
+    void count(Kind K) {
+      if (K == Kind::Passed)
+        ++Passed;
+      else if (K == Kind::Missed)
+        ++Missed;
+      else
+        ++Analysis;
+    }
+    uint64_t total() const { return Passed + Missed + Analysis; }
+  };
+  std::map<std::string, Tally> ByPass, ByFunction;
+  std::map<std::string, uint64_t> MissedGroups;
+  for (const Remark &R : S.remarks()) {
+    ByPass[R.Pass].count(R.K);
+    ByFunction[R.Function.empty() ? "<module>" : R.Function].count(R.K);
+    if (R.K == Kind::Missed)
+      ++MissedGroups[R.Pass + ":" + R.Name];
+  }
+
+  OS << "\n===-- by pass --===\n";
+  stats::Table PassTable({"pass", "passed", "missed", "analysis", "total"});
+  for (const auto &[Pass, T] : ByPass)
+    PassTable.addRow({Pass, std::to_string(T.Passed),
+                      std::to_string(T.Missed), std::to_string(T.Analysis),
+                      std::to_string(T.total())});
+  PassTable.print(OS);
+
+  OS << "\n===-- by function --===\n";
+  stats::Table FuncTable({"function", "passed", "missed", "analysis",
+                          "total"});
+  for (const auto &[Func, T] : ByFunction)
+    FuncTable.addRow({Func, std::to_string(T.Passed),
+                      std::to_string(T.Missed), std::to_string(T.Analysis),
+                      std::to_string(T.total())});
+  FuncTable.print(OS);
+
+  // Top missed optimizations: what to look at first.
+  std::vector<std::pair<uint64_t, std::string>> Missed;
+  for (const auto &[Name, N] : MissedGroups)
+    Missed.push_back({N, Name});
+  std::sort(Missed.begin(), Missed.end(),
+            [](const auto &A, const auto &B) {
+              return A.first != B.first ? A.first > B.first
+                                        : A.second < B.second;
+            });
+  OS << "\n===-- top missed --===\n";
+  if (Missed.empty())
+    OS << "(none)\n";
+  uint64_t Shown = 0;
+  for (const auto &[N, Name] : Missed) {
+    if (Shown++ == TopMissed)
+      break;
+    OS << N << "x " << Name << "\n";
+  }
+  OS.flush();
+  return 0;
+}

@@ -38,7 +38,15 @@
 ///     --selection-report      print one line per collection explaining
 ///                             its implementation choice: static score,
 ///                             profiled score, directive override
-///                             (requires --ade)
+///                             (requires --ade; a view over the remarks)
+///     --remarks[=FILE]        record every pipeline decision (passed /
+///                             missed / analysis) as optimization remarks
+///                             with provenance chains; prints a caret-
+///                             annotated report and, with =FILE, writes
+///                             the remarks JSON (requires --ade)
+///     --remarks-filter=REGEX  only report remarks whose pass matches the
+///                             anchored ECMAScript REGEX, e.g.
+///                             'share|selection' (requires --remarks)
 ///     --trace-out=FILE        write a Chrome trace-event JSON covering
 ///                             compile passes and interpreted activations
 ///     --max-steps=N           abort --run with a diagnostic after N
@@ -57,6 +65,7 @@
 
 #include "analysis/Checkers.h"
 #include "core/Pipeline.h"
+#include "core/RemarkEmitter.h"
 #include "interp/InterpError.h"
 #include "interp/Interpreter.h"
 #include "interp/Profiler.h"
@@ -89,7 +98,8 @@ static int usage(const char *BadOption = nullptr) {
       "            [--run[=FUNC]] [--args=a,b,c] [--lint]\n"
       "            [--diag-format=text|json] [--time-report]\n"
       "            [--profile[=FILE]] [--profile-use=FILE]\n"
-      "            [--selection-report] [--trace-out=FILE]\n"
+      "            [--selection-report] [--remarks[=FILE]]\n"
+      "            [--remarks-filter=REGEX] [--trace-out=FILE]\n"
       "            [--max-steps=N] [--max-bytes=N] [--max-depth=N]\n");
   return 1;
 }
@@ -194,6 +204,8 @@ int main(int Argc, char **Argv) {
   bool RunAde = false, Print = false, Run = false, Lint = false;
   bool TimeReport = false, Profile = false, SelectionReport = false;
   bool SawArgs = false, SawDiagFormat = false;
+  bool Remarks = false, SawRemarksFilter = false;
+  std::string RemarksFile, RemarksFilter;
   std::string ProfileFile, ProfileUseFile, TraceFile;
   analysis::DiagFormat Format = analysis::DiagFormat::Text;
   std::string RunFunc = "main";
@@ -242,6 +254,13 @@ int main(int Argc, char **Argv) {
       }
     } else if (Arg == "--selection-report") {
       SelectionReport = true;
+    } else if (Arg == "--remarks" || Arg.rfind("--remarks=", 0) == 0) {
+      Remarks = true;
+      if (Arg.size() > 10)
+        RemarksFile = Arg.substr(10);
+    } else if (Arg.rfind("--remarks-filter=", 0) == 0) {
+      SawRemarksFilter = true;
+      RemarksFilter = Arg.substr(17);
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
       TraceFile = Arg.substr(12);
       if (TraceFile.empty()) {
@@ -305,6 +324,22 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "adec: --selection-report requires --ade\n");
     return 1;
   }
+  if (Remarks && !RunAde) {
+    std::fprintf(stderr, "adec: --remarks requires --ade\n");
+    return 1;
+  }
+  if (SawRemarksFilter && !Remarks) {
+    std::fprintf(stderr, "adec: --remarks-filter requires --remarks\n");
+    return 1;
+  }
+  if (SawRemarksFilter) {
+    std::string RegexError;
+    if (!remarks::RemarkStream::validateFilter(RemarksFilter, &RegexError)) {
+      std::fprintf(stderr, "adec: invalid --remarks-filter regex '%s': %s\n",
+                   RemarksFilter.c_str(), RegexError.c_str());
+      return 1;
+    }
+  }
 
   interp::ProfileData ProfData;
   if (!ProfileUseFile.empty()) {
@@ -343,6 +378,15 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // The remark engine records every pipeline decision. --selection-report
+  // is a view over the same stream, so it needs the engine even when the
+  // remarks themselves were not requested; with tracing active the
+  // pipeline samples per-phase remark counts as counter events, so a
+  // traced compile gets the engine too.
+  core::RemarkEmitter RemarkEng;
+  if (Remarks || SelectionReport || !TraceFile.empty())
+    Config.Remarks = &RemarkEng;
+
   if (RunAde) {
     core::PipelineResult Result = core::runADE(*M, Config);
     std::fprintf(stderr,
@@ -361,12 +405,67 @@ int main(int Argc, char **Argv) {
       ROS << "===-- selection report --===\n";
       stats::Table T({"root", "origin", "static", "final", "reserve",
                       "reason"});
-      for (const core::SelectionDecision &D : Result.Selections)
+      for (const core::SelectionDecision &D :
+           core::selectionDecisions(RemarkEng.stream()))
         T.addRow({D.Root, D.Origin.empty() ? "-" : D.Origin,
                   ir::selectionName(D.Static), ir::selectionName(D.Final),
                   D.ReserveHint ? std::to_string(D.ReserveHint) : "-",
                   D.Reason});
       T.print(ROS);
+    }
+    if (Remarks) {
+      const remarks::RemarkStream &S = RemarkEng.stream();
+      std::string VerifyError;
+      if (!S.verify(&VerifyError)) {
+        std::fprintf(stderr, "adec: remark stream corrupt: %s\n",
+                     VerifyError.c_str());
+        return 2;
+      }
+      // Caret-annotated terminal report via the diagnostics engine.
+      analysis::DiagnosticEngine DE;
+      DE.setSource(Path, Source);
+      uint64_t Shown = 0;
+      for (const remarks::Remark &R : S.remarks()) {
+        if (SawRemarksFilter &&
+            !remarks::RemarkStream::matchesFilter(R.Pass, RemarksFilter))
+          continue;
+        ++Shown;
+        std::string Msg = remarks::kindName(R.K);
+        for (const remarks::Arg &A : R.Args) {
+          Msg += ' ';
+          Msg += A.Key;
+          Msg += '=';
+          if (A.Ty == remarks::Arg::Type::String) {
+            Msg += '\'';
+            Msg += A.Str;
+            Msg += '\'';
+          } else {
+            Msg += A.valueText();
+          }
+        }
+        DE.report(analysis::Severity::Note, R.Pass + ":" + R.Name,
+                  std::move(Msg), R.Function,
+                  ir::SrcLoc{R.Line, R.Col});
+      }
+      RawOstream &ROS = outs();
+      ROS << "===-- optimization remarks (" << Shown << " of " << S.size()
+          << ": " << S.count(remarks::Kind::Passed) << " passed, "
+          << S.count(remarks::Kind::Missed) << " missed, "
+          << S.count(remarks::Kind::Analysis) << " analysis) --===\n";
+      DE.render(ROS, analysis::DiagFormat::Text);
+      if (!RemarksFile.empty()) {
+        std::FILE *File = std::fopen(RemarksFile.c_str(), "wb");
+        if (!File) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       RemarksFile.c_str());
+          return 1;
+        }
+        RawFileOstream FS(File);
+        S.writeJson(FS, Path,
+                    SawRemarksFilter ? &RemarksFilter : nullptr);
+        FS.flush();
+        std::fclose(File);
+      }
     }
   }
 

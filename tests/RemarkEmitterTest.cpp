@@ -1,0 +1,165 @@
+//===- RemarkEmitterTest.cpp ----------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The IR-aware remark emission layer: builder anchoring on instructions
+/// and collection roots, provenance linking, and the pipeline-level
+/// guarantee that a full ADE run leaves a verifiable stream behind.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "core/Pipeline.h"
+#include "core/RemarkEmitter.h"
+#include "core/Transform.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::core;
+using namespace ade::remarks;
+
+namespace {
+
+const char *HistogramSrc = R"(fn @count(%input: Seq<u64>) -> u64 {
+  %hist = new Map<u64, u32>
+  foreach %input -> [%i, %val] {
+    %cond = has %hist, %val
+    %freq0 = if %cond {
+      %f = read %hist, %val
+      yield %f
+    } else {
+      insert %hist, %val
+      %z = const 0 : u32
+      yield %z
+    }
+    %one = const 1 : u32
+    %freq1 = add %freq0, %one
+    write %hist, %val, %freq1
+    yield
+  }
+  %sz = size %hist
+  ret %sz
+}
+
+fn @main() -> u64 {
+  %input = new Seq<u64>
+  %lo = const 0 : u64
+  %hi = const 100 : u64
+  forrange %lo, %hi -> [%i] {
+    append %input, %i
+    yield
+  }
+  %distinct = call @count(%input)
+  ret %distinct
+})";
+
+TEST(RemarkEmitter, BuilderTypedArgsAndIds) {
+  RemarkEmitter RE;
+  uint64_t First = RE.passed("plan", "enum-created")
+                       .arg("keyType", "u64")
+                       .arg("benefit", uint64_t(12))
+                       .arg("delta", int64_t(-3))
+                       .arg("forced", false)
+                       .id();
+  EXPECT_EQ(First, 1u);
+  const Remark &R = RE.stream().remarks()[0];
+  ASSERT_EQ(R.Args.size(), 4u);
+  EXPECT_EQ(R.Args[0].Ty, Arg::Type::String);
+  EXPECT_EQ(R.Args[1].Ty, Arg::Type::UInt);
+  EXPECT_EQ(R.Args[2].Ty, Arg::Type::Int);
+  EXPECT_EQ(R.Args[3].Ty, Arg::Type::Bool);
+  EXPECT_EQ(RE.missed("share", "rejected").id(), 2u);
+  EXPECT_EQ(RE.analysis("plan", "benefit").id(), 3u);
+}
+
+TEST(RemarkEmitter, ParentZeroMeansNoProvenance) {
+  RemarkEmitter RE;
+  uint64_t Root = RE.passed("plan", "enum-created").id();
+  RE.passed("share", "merged").parent(0).parent(Root).parent(0);
+  const Remark &R = RE.stream().remarks()[1];
+  ASSERT_EQ(R.Parents.size(), 1u);
+  EXPECT_EQ(R.Parents[0], Root);
+  std::string Error;
+  EXPECT_TRUE(RE.stream().verify(&Error)) << Error;
+}
+
+TEST(RemarkEmitter, BuilderSurvivesStreamGrowth) {
+  RemarkEmitter RE;
+  // Hold a builder across enough emissions to force the stream's vector
+  // to reallocate; the builder indexes the stream, it must not dangle.
+  auto B = RE.passed("plan", "enum-created");
+  for (int I = 0; I != 100; ++I)
+    RE.analysis("plan", "benefit");
+  B.arg("late", true);
+  ASSERT_EQ(RE.stream().remarks()[0].Args.size(), 1u);
+  EXPECT_EQ(RE.stream().remarks()[0].Args[0].Key, "late");
+}
+
+TEST(RemarkEmitter, AtAnchorsInstructionLocationAndFunction) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  ModuleAnalysis MA(*M);
+  // The allocation of %hist anchors the map's root.
+  const RootInfo *Alloc = nullptr;
+  for (const auto &R : MA.roots())
+    if (R->TheKind == RootInfo::Kind::Alloc &&
+        R->describe().find("%hist") != std::string::npos)
+      Alloc = R.get();
+  ASSERT_NE(Alloc, nullptr);
+
+  RemarkEmitter RE;
+  RE.passed("plan", "enum-created").atRoot(*Alloc);
+  const Remark &R = RE.stream().remarks()[0];
+  EXPECT_EQ(R.Function, "count");
+  EXPECT_EQ(R.Line, 2u);
+  EXPECT_EQ(R.Col, 11u);
+  ASSERT_NE(R.arg("root"), nullptr);
+  EXPECT_EQ(R.arg("root")->Str, Alloc->describe());
+}
+
+TEST(RemarkEmitter, ParamRootHasFunctionButNoLocation) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  ModuleAnalysis MA(*M);
+  const RootInfo *Param = nullptr;
+  for (const auto &R : MA.roots())
+    if (R->TheKind == RootInfo::Kind::Param)
+      Param = R.get();
+  ASSERT_NE(Param, nullptr);
+
+  RemarkEmitter RE;
+  RE.missed("plan", "enum-rejected").atRoot(*Param);
+  const Remark &R = RE.stream().remarks()[0];
+  EXPECT_FALSE(R.hasLoc());
+  EXPECT_EQ(R.Function, "count");
+}
+
+TEST(RemarkEmitter, FullPipelineLeavesVerifiableStream) {
+  auto M = parser::parseModuleOrDie(HistogramSrc);
+  RemarkEmitter RE;
+  PipelineConfig PC;
+  PC.Remarks = &RE;
+  runADE(*M, PC);
+
+  const RemarkStream &S = RE.stream();
+  std::string Error;
+  ASSERT_TRUE(S.verify(&Error)) << Error;
+  EXPECT_GT(S.count(Kind::Passed), 0u);
+  EXPECT_GT(S.count(Kind::Analysis), 0u);
+
+  // The selection report is a pure view over the stream: one row per
+  // selection:select remark, in emission order.
+  std::vector<SelectionDecision> Rows = selectionDecisions(S);
+  size_t Selects = 0;
+  for (const Remark &R : S.remarks())
+    Selects += R.Pass == "selection" && R.Name == "select";
+  EXPECT_EQ(Rows.size(), Selects);
+  bool SawEnumerated = false;
+  for (const SelectionDecision &D : Rows)
+    SawEnumerated |= D.KeyEnumerated;
+  EXPECT_TRUE(SawEnumerated);
+}
+
+} // namespace

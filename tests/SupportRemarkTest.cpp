@@ -1,0 +1,195 @@
+//===- SupportRemarkTest.cpp ----------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The optimization-remarks support layer: typed arguments, provenance
+/// integrity (verify, chainDepth), the pass filter, and the JSON
+/// round-trip that `adec --remarks=FILE` and `ade-remarks` meet over.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/RawOstream.h"
+#include "support/Remark.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::remarks;
+
+namespace {
+
+/// A small stream exercising all kinds, arg types, locations and a
+/// two-level provenance chain.
+RemarkStream makeStream() {
+  RemarkStream S;
+  size_t I = S.add(Kind::Passed, "plan", "enum-created");
+  S.at(I).Function = "count";
+  S.at(I).Line = 10;
+  S.at(I).Col = 12;
+  S.at(I).Args.push_back(Arg::str("keyType", "u64"));
+  S.at(I).Args.push_back(Arg::uint("benefit", 12));
+  S.at(I).Args.push_back(Arg::boolean("forced", false));
+
+  I = S.add(Kind::Passed, "share", "merged");
+  S.at(I).Function = "count";
+  S.at(I).Line = 11;
+  S.at(I).Col = 12;
+  S.at(I).Parents.push_back(1);
+  S.at(I).Args.push_back(Arg::uint("benefitTogether", 12));
+  S.at(I).Args.push_back(Arg::uint("benefitApart", 4));
+
+  I = S.add(Kind::Missed, "share", "rejected");
+  S.at(I).Parents.push_back(1);
+  S.at(I).Args.push_back(Arg::sint("delta", -3));
+  S.at(I).Args.push_back(
+      Arg::str("reason", "benefit together must exceed the sum"));
+
+  I = S.add(Kind::Analysis, "selection", "select");
+  S.at(I).Function = "count";
+  S.at(I).Parents.push_back(2);
+  return S;
+}
+
+std::string toJson(const RemarkStream &S,
+                   const std::string *Filter = nullptr) {
+  std::string Out;
+  RawStringOstream OS(Out);
+  S.writeJson(OS, "fixture.memoir", Filter);
+  return Out;
+}
+
+TEST(Remark, ArgValueTextCoversEveryType) {
+  EXPECT_EQ(Arg::str("k", "v").valueText(), "v");
+  EXPECT_EQ(Arg::uint("k", 42).valueText(), "42");
+  EXPECT_EQ(Arg::sint("k", -7).valueText(), "-7");
+  EXPECT_EQ(Arg::boolean("k", true).valueText(), "true");
+  EXPECT_EQ(Arg::boolean("k", false).valueText(), "false");
+}
+
+TEST(Remark, MessageAndLookup) {
+  RemarkStream S = makeStream();
+  const Remark &R = S.remarks()[0];
+  EXPECT_EQ(R.message(),
+            "plan:enum-created keyType='u64' benefit=12 forced=false");
+  ASSERT_NE(R.arg("benefit"), nullptr);
+  EXPECT_EQ(R.arg("benefit")->UInt, 12u);
+  EXPECT_EQ(R.arg("missing"), nullptr);
+}
+
+TEST(Remark, CountsAndChainDepth) {
+  RemarkStream S = makeStream();
+  EXPECT_EQ(S.count(Kind::Passed), 2u);
+  EXPECT_EQ(S.count(Kind::Missed), 1u);
+  EXPECT_EQ(S.count(Kind::Analysis), 1u);
+  // selection:select <- share:merged <- plan:enum-created.
+  EXPECT_EQ(S.chainDepth(S.remarks()[3]), 3u);
+  EXPECT_EQ(S.chainDepth(S.remarks()[0]), 1u);
+}
+
+TEST(Remark, VerifyAcceptsWellFormedStream) {
+  std::string Error;
+  EXPECT_TRUE(makeStream().verify(&Error)) << Error;
+}
+
+TEST(Remark, VerifyRejectsForwardParent) {
+  RemarkStream S;
+  size_t I = S.add(Kind::Passed, "plan", "enum-created");
+  S.at(I).Parents.push_back(2); // Not yet emitted: a forward edge.
+  S.add(Kind::Passed, "share", "merged");
+  std::string Error;
+  EXPECT_FALSE(S.verify(&Error));
+  EXPECT_NE(Error.find("parent"), std::string::npos);
+}
+
+TEST(Remark, VerifyRejectsSelfParent) {
+  RemarkStream S;
+  size_t I = S.add(Kind::Passed, "plan", "enum-created");
+  S.at(I).Parents.push_back(1);
+  EXPECT_FALSE(S.verify());
+}
+
+TEST(Remark, JsonRoundTripPreservesEverything) {
+  RemarkStream S = makeStream();
+  std::string Json = toJson(S);
+
+  RemarkStream T;
+  std::string Error, File;
+  ASSERT_TRUE(T.readJson(Json, &Error, &File)) << Error;
+  EXPECT_EQ(File, "fixture.memoir");
+  ASSERT_EQ(T.size(), S.size());
+  for (size_t I = 0; I != S.size(); ++I) {
+    const Remark &A = S.remarks()[I], &B = T.remarks()[I];
+    EXPECT_EQ(A.Id, B.Id);
+    EXPECT_EQ(A.K, B.K);
+    EXPECT_EQ(A.Pass, B.Pass);
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.Function, B.Function);
+    EXPECT_EQ(A.Line, B.Line);
+    EXPECT_EQ(A.Col, B.Col);
+    EXPECT_EQ(A.Args, B.Args);
+    EXPECT_EQ(A.Parents, B.Parents);
+  }
+  // The reader re-verifies, so the parsed stream answers chain queries.
+  EXPECT_EQ(T.chainDepth(T.remarks()[3]), 3u);
+  // And appending after a read continues the id sequence.
+  size_t I = T.add(Kind::Passed, "rte", "eliminated");
+  EXPECT_EQ(T.at(I).Id, 5u);
+}
+
+TEST(Remark, ReadJsonRejectsMalformedInput) {
+  RemarkStream S;
+  std::string Error;
+  EXPECT_FALSE(S.readJson("not json", &Error));
+  EXPECT_FALSE(S.readJson("{\"remarks\": []}", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(Remark, ReadJsonRejectsSchemaVersionMismatch) {
+  RemarkStream S;
+  std::string Json = toJson(makeStream());
+  size_t Pos = Json.find("\"schemaVersion\": 1");
+  ASSERT_NE(Pos, std::string::npos);
+  Json.replace(Pos, 18, "\"schemaVersion\": 99");
+  std::string Error;
+  EXPECT_FALSE(S.readJson(Json, &Error));
+  EXPECT_NE(Error.find("schema"), std::string::npos);
+}
+
+TEST(Remark, ReadJsonRejectsBrokenProvenance) {
+  std::string Json = toJson(makeStream());
+  // Rewrite share:merged's parent list to point at an unseen id.
+  size_t Pos = Json.find("\"parents\": [1]");
+  ASSERT_NE(Pos, std::string::npos);
+  Json.replace(Pos, 14, "\"parents\": [9]");
+  RemarkStream S;
+  std::string Error;
+  EXPECT_FALSE(S.readJson(Json, &Error));
+}
+
+TEST(Remark, WriteJsonAppliesPassFilter) {
+  std::string Filter = "share";
+  std::string Json = toJson(makeStream(), &Filter);
+  EXPECT_NE(Json.find("\"pass\": \"share\""), std::string::npos);
+  EXPECT_EQ(Json.find("\"pass\": \"plan\""), std::string::npos);
+  EXPECT_EQ(Json.find("\"pass\": \"selection\""), std::string::npos);
+}
+
+TEST(Remark, FilterIsAnchoredRegex) {
+  EXPECT_TRUE(RemarkStream::matchesFilter("share", "share"));
+  EXPECT_TRUE(RemarkStream::matchesFilter("selection", "sel.*"));
+  EXPECT_TRUE(RemarkStream::matchesFilter("plan", "plan|share"));
+  // Anchored: a substring match is not enough.
+  EXPECT_FALSE(RemarkStream::matchesFilter("selection", "sel"));
+  EXPECT_FALSE(RemarkStream::matchesFilter("share", "hare"));
+}
+
+TEST(Remark, ValidateFilterRejectsBadRegex) {
+  std::string Error;
+  EXPECT_TRUE(RemarkStream::validateFilter("plan|share", &Error));
+  EXPECT_FALSE(RemarkStream::validateFilter("[", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+} // namespace
