@@ -1,0 +1,1238 @@
+//===- AbsInt.cpp - Interprocedural abstract interpretation ---------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbsInt.h"
+
+#include "analysis/Dataflow.h"
+#include "core/Plan.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ade;
+using namespace ade::analysis;
+using namespace ade::ir;
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// Applies \p Fn to every instruction of \p R, pre-order, nested regions
+/// included.
+template <typename FnT> static void forEveryInst(const Region &R, FnT Fn) {
+  for (Instruction *I : R) {
+    Fn(I);
+    for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+      forEveryInst(*I->region(Idx), Fn);
+  }
+}
+
+/// The enumeration global a value loads, or "" when unresolvable.
+static std::string enumSymbolOf(const Value *V) {
+  if (!isa<EnumType>(V->type()))
+    return {};
+  if (const auto *Res = dyn_cast<InstResult>(V))
+    if (Res->parent()->op() == Opcode::GlobalGet)
+      return Res->parent()->symbol();
+  return {};
+}
+
+/// The alias class of \p V, or SIZE_MAX when not a tracked collection.
+static size_t classOf(core::ModuleAnalysis &MA, Value *V) {
+  core::RootInfo *Root = MA.rootOf(V);
+  return Root ? MA.aliasClassOf(Root) : SIZE_MAX;
+}
+
+/// The function containing \p V (its definition site).
+static const Function *functionOf(const Value *V) {
+  if (const auto *Arg = dyn_cast<Argument>(V))
+    return Arg->parent();
+  if (const auto *BA = dyn_cast<BlockArg>(V))
+    return BA->parent()->function();
+  return cast<InstResult>(V)->parent()->parentFunction();
+}
+
+void Interval::print(RawOstream &OS) const {
+  OS << '[';
+  if (Lo == Inf)
+    OS << "inf";
+  else
+    OS << Lo;
+  OS << ", ";
+  if (Hi == Inf)
+    OS << "inf";
+  else
+    OS << Hi;
+  OS << ']';
+}
+
+//===----------------------------------------------------------------------===//
+// Engine state
+//===----------------------------------------------------------------------===//
+
+struct AbsIntEngine::Impl {
+  /// Flow-insensitive interval per SSA value (SSA makes this exact up to
+  /// loop bindings, which are recorded as the join over all passes).
+  std::map<const Value *, Interval> ValueRange;
+  /// Body passes the range fixpoint took per loop instruction.
+  std::map<const Instruction *, unsigned> Passes;
+  std::vector<Occupancy> ClassOcc;
+  std::vector<AliasFacts> ClassAlias;
+  /// Enumeration global -> bound on keys it ever holds.
+  std::map<std::string, Interval> Universes;
+  std::map<const Instruction *, std::vector<LoopGrowth>> DoWhileGrowth;
+};
+
+//===----------------------------------------------------------------------===//
+// Value-range analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Bindings for loop block arguments; everything else lives in the
+/// flow-insensitive Impl::ValueRange (sound for SSA values, whose single
+/// definition is visited under every binding the fixpoint explores).
+/// Absence from the map means "never bound" (bottom for the join).
+using BindState = std::map<const Value *, Interval>;
+
+class RangeAnalysis : public ForwardDataflow<RangeAnalysis, BindState> {
+public:
+  RangeAnalysis(core::ModuleAnalysis &MA,
+                const std::map<const Function *, size_t> &SccIdx,
+                AbsIntEngine::Impl &Res)
+      : MA(MA), SccIdx(SccIdx), Res(Res) {}
+
+  BindState boundaryState(const Function &F) {
+    Current = &F;
+    return {};
+  }
+
+  Interval eval(const Value *V, const BindState &S) const {
+    auto It = S.find(V);
+    if (It != S.end())
+      return It->second;
+    auto RI = Res.ValueRange.find(V);
+    return RI == Res.ValueRange.end() ? Interval::top() : RI->second;
+  }
+
+  void transfer(const Instruction &I, BindState &S) {
+    switch (I.op()) {
+    case Opcode::Yield: {
+      std::vector<Interval> Vals;
+      Vals.reserve(I.numOperands());
+      for (Value *Op : I.operands())
+        Vals.push_back(eval(Op, S));
+      YieldVals[&I] = std::move(Vals);
+      return;
+    }
+    case Opcode::Ret:
+      if (I.numOperands()) {
+        Interval V = eval(I.operand(0), S);
+        auto [It, Ins] = RetRange.try_emplace(I.parentFunction(), V);
+        if (!Ins)
+          It->second = Interval::join(It->second, V);
+      }
+      return;
+    default:
+      break;
+    }
+    if (!I.numResults())
+      return;
+    record(I.result(0), resultRange(I, S));
+  }
+
+  static BindState join(const BindState &A, const BindState &B) {
+    BindState R = A;
+    for (const auto &[V, I] : B) {
+      auto [It, Ins] = R.try_emplace(V, I);
+      if (!Ins)
+        It->second = Interval::join(It->second, I);
+    }
+    return R;
+  }
+
+  static bool equal(const BindState &A, const BindState &B) {
+    return A == B;
+  }
+
+  void enterLoopBody(const Instruction &Loop, BindState &S) {
+    unsigned &P = Res.Passes[&Loop];
+    ++P;
+    const Region &Body = *Loop.region(0);
+
+    // The previous pass's yield, feeding loop-carried bindings.
+    const std::vector<Interval> *YV = nullptr;
+    if (!Body.empty() && Body.back()->op() == Opcode::Yield) {
+      auto It = YieldVals.find(Body.back());
+      if (It != YieldVals.end())
+        YV = &It->second;
+    }
+
+    unsigned CarriedStart = 0, InitStart = 0, YieldStart = 0;
+    switch (Loop.op()) {
+    case Opcode::ForRange: {
+      // The induction variable spans [lo, hi).
+      Interval LoI = eval(Loop.operand(0), S);
+      Interval HiI = eval(Loop.operand(1), S);
+      Interval Idx{LoI.Lo,
+                   HiI.Hi == Interval::Inf ? Interval::Inf
+                   : HiI.Hi == 0           ? 0
+                                           : HiI.Hi - 1};
+      if (Body.numArgs() >= 1) {
+        S[Body.arg(0)] = Idx;
+        record(Body.arg(0), Idx);
+      }
+      CarriedStart = 1;
+      InitStart = 2;
+      break;
+    }
+    case Opcode::ForEach:
+      // Key/value bindings are unconstrained; carried values follow.
+      CarriedStart = isa<SetType>(Loop.operand(0)->type()) ? 1 : 2;
+      InitStart = 1;
+      break;
+    case Opcode::DoWhile:
+      YieldStart = 1; // yield = (cond, nexts...)
+      break;
+    default:
+      return;
+    }
+
+    for (unsigned A = CarriedStart; A < Body.numArgs(); ++A) {
+      unsigned J = A - CarriedStart;
+      Interval Next = InitStart + J < Loop.numOperands()
+                          ? eval(Loop.operand(InitStart + J), S)
+                          : Interval::top();
+      if (YV && YieldStart + J < YV->size())
+        Next = Interval::join(Next, (*YV)[YieldStart + J]);
+      auto Key = std::make_pair(&Loop, A);
+      auto PB = PrevBind.find(Key);
+      if (PB != PrevBind.end())
+        // Widen once the binding keeps moving: a couple of precise
+        // passes catch small closed chains, then the moving bound jumps
+        // to its extreme and the fixpoint closes next pass.
+        Next = P > WideningDelay ? Interval::widen(PB->second, Next)
+                                 : Interval::join(PB->second, Next);
+      PrevBind[Key] = Next;
+      S[Body.arg(A)] = Next;
+      record(Body.arg(A), Next);
+    }
+  }
+
+private:
+  static constexpr unsigned WideningDelay = 2;
+
+  void record(const Value *V, Interval R) {
+    auto [It, Ins] = Res.ValueRange.try_emplace(V, R);
+    if (!Ins)
+      It->second = Interval::join(It->second, R);
+  }
+
+  Interval resultRange(const Instruction &I, const BindState &S) const {
+    auto Op = [&](unsigned Idx) { return eval(I.operand(Idx), S); };
+    switch (I.op()) {
+    case Opcode::ConstInt: {
+      int64_t V = I.intAttr();
+      return V >= 0 ? Interval::exact(static_cast<uint64_t>(V))
+                    : Interval::top();
+    }
+    case Opcode::ConstBool:
+      return Interval::exact(I.intAttr() ? 1 : 0);
+    case Opcode::Add:
+      return Interval::addValue(Op(0), Op(1));
+    case Opcode::Sub:
+      return Interval::subValue(Op(0), Op(1));
+    case Opcode::Mul:
+      return Interval::mulValue(Op(0), Op(1));
+    case Opcode::Div: {
+      Interval A = Op(0), B = Op(1);
+      if (B.Lo >= 1)
+        return {B.isFinite() ? A.Lo / B.Hi : 0,
+                A.Hi == Interval::Inf ? Interval::Inf : A.Hi / B.Lo};
+      return {0, A.Hi};
+    }
+    case Opcode::Rem: {
+      Interval A = Op(0), B = Op(1);
+      if (B.isFinite() && B.Hi >= 1)
+        return {0, B.Hi - 1};
+      return {0, A.Hi};
+    }
+    case Opcode::Min: {
+      Interval A = Op(0), B = Op(1);
+      return {std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi)};
+    }
+    case Opcode::Max: {
+      Interval A = Op(0), B = Op(1);
+      return {std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi)};
+    }
+    case Opcode::And:
+      return {0, std::min(Op(0).Hi, Op(1).Hi)};
+    case Opcode::Shr:
+      return {0, Op(0).Hi};
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+    case Opcode::Has:
+      return {0, 1};
+    case Opcode::Select:
+      return I.numOperands() >= 3 ? Interval::join(Op(1), Op(2))
+                                  : Interval::top();
+    case Opcode::Cast: {
+      Interval A = Op(0);
+      const auto *T = dyn_cast<IntType>(I.result(0)->type());
+      if (!T)
+        return Interval::top();
+      if (T->bits() >= 64)
+        return T->isSigned() ? (A.Hi <= uint64_t(INT64_MAX)
+                                    ? A
+                                    : Interval::top())
+                             : A;
+      uint64_t Lim = (uint64_t(1) << (T->bits() - (T->isSigned() ? 1 : 0))) - 1;
+      return A.Hi <= Lim ? A : Interval::top(); // Truncation may wrap.
+    }
+    case Opcode::Call: {
+      const Function *Callee = MA.module().getFunction(I.symbol());
+      if (!Callee || Callee->isExternal())
+        return Interval::top();
+      // Only summaries of strictly earlier (fully analyzed) components
+      // are trusted; same-SCC calls stay TOP so recursion is sound.
+      auto CI = SccIdx.find(Callee), FI = SccIdx.find(Current);
+      if (CI == SccIdx.end() || FI == SccIdx.end() ||
+          CI->second >= FI->second)
+        return Interval::top();
+      auto It = RetRange.find(Callee);
+      return It == RetRange.end() ? Interval::top() : It->second;
+    }
+    case Opcode::If: {
+      // Result j is the join of the two branch yields.
+      auto ValsOf = [&](unsigned R) -> const std::vector<Interval> * {
+        const Region &Reg = *I.region(R);
+        if (Reg.empty() || Reg.back()->op() != Opcode::Yield)
+          return nullptr;
+        auto It = YieldVals.find(Reg.back());
+        return It == YieldVals.end() ? nullptr : &It->second;
+      };
+      const auto *T = ValsOf(0), *E = ValsOf(1);
+      if (T && E && !T->empty() && !E->empty())
+        return Interval::join((*T)[0], (*E)[0]);
+      return Interval::top();
+    }
+    case Opcode::ForEach:
+    case Opcode::ForRange:
+    case Opcode::DoWhile: {
+      const Region &Body = *I.region(0);
+      if (Body.empty() || Body.back()->op() != Opcode::Yield)
+        return Interval::top();
+      auto It = YieldVals.find(Body.back());
+      if (It == YieldVals.end())
+        return Interval::top();
+      unsigned YieldStart = I.op() == Opcode::DoWhile ? 1 : 0;
+      unsigned InitStart = I.op() == Opcode::ForRange ? 2
+                           : I.op() == Opcode::ForEach ? 1
+                                                       : 0;
+      if (YieldStart >= It->second.size())
+        return Interval::top();
+      Interval R = It->second[YieldStart];
+      // Zero-trip loops fall through to the init value.
+      if (I.op() != Opcode::DoWhile && InitStart < I.numOperands())
+        R = Interval::join(R, Op(InitStart));
+      return R;
+    }
+    default:
+      return Interval::top();
+    }
+  }
+
+  core::ModuleAnalysis &MA;
+  const std::map<const Function *, size_t> &SccIdx;
+  AbsIntEngine::Impl &Res;
+  const Function *Current = nullptr;
+  std::map<const Instruction *, std::vector<Interval>> YieldVals;
+  std::map<std::pair<const Instruction *, unsigned>, Interval> PrevBind;
+  std::map<const Function *, Interval> RetRange;
+};
+
+//===----------------------------------------------------------------------===//
+// Occupancy effects
+//===----------------------------------------------------------------------===//
+
+/// Effect of one region (or function) on one alias class.
+struct Delta {
+  /// Insert operations executed: Lo = guaranteed, Hi = bound.
+  Interval Grow = Interval::range(0, 0);
+  bool MayRemove = false;
+  bool MayClear = false;
+  /// (Re)allocated here: growth is per lifetime and is not scaled by
+  /// enclosing loops (each iteration starts a fresh collection).
+  bool Fresh = false;
+};
+
+struct Effect {
+  std::map<size_t, Delta> Classes;
+  /// EnumAdd operations per enumeration global.
+  std::map<std::string, Interval> Enums;
+};
+
+/// Sequential composition A;B.
+static void compose(Effect &A, const Effect &B) {
+  for (const auto &[C, D] : B.Classes) {
+    Delta &R = A.Classes[C];
+    if (D.Fresh) {
+      // New lifetime: keep the hull over lifetimes, not the sum.
+      R.Grow = R.Fresh ? Interval::join(R.Grow, D.Grow) : D.Grow;
+      R.Fresh = true;
+      R.MayRemove |= D.MayRemove;
+      R.MayClear |= D.MayClear;
+    } else {
+      R.Grow = Interval::addCount(R.Grow, D.Grow);
+      R.MayRemove |= D.MayRemove;
+      R.MayClear |= D.MayClear;
+    }
+  }
+  for (const auto &[S, I] : B.Enums) {
+    auto [It, Ins] = A.Enums.try_emplace(S, I);
+    if (!Ins)
+      It->second = Interval::addCount(It->second, I);
+  }
+}
+
+/// Branch join (either effect may happen).
+static Effect joinEffect(const Effect &A, const Effect &B) {
+  Effect R = A;
+  for (auto &[C, D] : R.Classes) {
+    auto It = B.Classes.find(C);
+    const Delta Other = It == B.Classes.end() ? Delta() : It->second;
+    D.Grow = Interval::join(D.Grow, Other.Grow);
+    D.MayRemove |= Other.MayRemove;
+    D.MayClear |= Other.MayClear;
+    D.Fresh &= Other.Fresh;
+  }
+  for (const auto &[C, D] : B.Classes)
+    if (!R.Classes.count(C)) {
+      Delta &N = R.Classes[C];
+      N = D;
+      N.Grow = Interval::join(Interval::range(0, 0), D.Grow);
+      N.Fresh = false;
+    }
+  for (auto &[S, I] : R.Enums) {
+    auto It = B.Enums.find(S);
+    I = Interval::join(I, It == B.Enums.end() ? Interval::range(0, 0)
+                                              : It->second);
+  }
+  for (const auto &[S, I] : B.Enums)
+    if (!R.Enums.count(S))
+      R.Enums[S] = Interval::join(Interval::range(0, 0), I);
+  return R;
+}
+
+/// The effect of running \p E Trips times.
+static Effect scaleEffect(const Effect &E, Interval Trips) {
+  Effect R = E;
+  for (auto &[C, D] : R.Classes) {
+    (void)C;
+    if (!D.Fresh) // Fresh collections restart every iteration.
+      D.Grow = D.Grow.scale(Trips);
+  }
+  for (auto &[S, I] : R.Enums) {
+    (void)S;
+    I = I.scale(Trips);
+  }
+  return R;
+}
+
+class EffectBuilder {
+public:
+  EffectBuilder(core::ModuleAnalysis &MA, const CallGraph &CG,
+                const std::map<const Function *, size_t> &SccIdx,
+                AbsIntEngine::Impl &Res)
+      : MA(MA), CG(CG), SccIdx(SccIdx), Res(Res) {}
+
+  /// Builds summaries bottom-up; recursive components get every class
+  /// they touch set to TOP.
+  void build() {
+    for (const auto &Scc : CG.sccs()) {
+      bool Recursive = Scc.size() > 1 || CG.isRecursive(Scc.front());
+      for (const Function *F : Scc) {
+        CurrentScc = SccIdx.at(F);
+        FnEffect[F] = regionEffect(F->body());
+      }
+      if (!Recursive)
+        continue;
+      // Conservative closure: everything any member touches goes TOP.
+      std::set<size_t> Classes;
+      std::set<std::string> Enums;
+      for (const Function *F : Scc) {
+        for (const auto &[C, D] : FnEffect[F].Classes) {
+          (void)D;
+          Classes.insert(C);
+        }
+        for (const auto &[S, I] : FnEffect[F].Enums) {
+          (void)I;
+          Enums.insert(S);
+        }
+      }
+      Effect Top;
+      for (size_t C : Classes)
+        Top.Classes[C] = {Interval::range(0, Interval::Inf), true, true,
+                          false};
+      for (const std::string &S : Enums)
+        Top.Enums[S] = Interval::range(0, Interval::Inf);
+      for (const Function *F : Scc)
+        FnEffect[F] = Top;
+    }
+  }
+
+  const Effect *effectOf(const Function *F) const {
+    auto It = FnEffect.find(F);
+    return It == FnEffect.end() ? nullptr : &It->second;
+  }
+
+private:
+  Interval rangeOf(const Value *V) const {
+    auto It = Res.ValueRange.find(V);
+    return It == Res.ValueRange.end() ? Interval::top() : It->second;
+  }
+
+  Effect regionEffect(const Region &R) {
+    Effect Out;
+    for (Instruction *I : R) {
+      switch (I->op()) {
+      case Opcode::New:
+        if (size_t C = classOf(MA, I->result(0)); C != SIZE_MAX)
+          compose(Out, singleton(C, {Interval::range(0, 0), false, false,
+                                     true}));
+        break;
+      case Opcode::Insert:
+      case Opcode::Append:
+        grow(Out, I->operand(0), Interval::range(1, 1));
+        break;
+      case Opcode::Write:
+        // A map write may add a key; a sequence write never grows.
+        if (!isa<SeqType>(I->operand(0)->type()))
+          grow(Out, I->operand(0), Interval::range(0, 1));
+        break;
+      case Opcode::Union:
+        grow(Out, I->operand(0), Interval::range(0, Interval::Inf));
+        break;
+      case Opcode::Remove:
+      case Opcode::Pop:
+        if (size_t C = classOf(MA, I->operand(0)); C != SIZE_MAX)
+          compose(Out, singleton(C, {Interval::range(0, 0), true, false,
+                                     false}));
+        break;
+      case Opcode::Clear:
+        if (size_t C = classOf(MA, I->operand(0)); C != SIZE_MAX)
+          compose(Out, singleton(C, {Interval::range(0, 0), false, true,
+                                     false}));
+        break;
+      case Opcode::EnumAdd: {
+        std::string Sym = enumSymbolOf(I->operand(0));
+        if (!Sym.empty()) {
+          Effect E;
+          E.Enums[Sym] = Interval::range(1, 1);
+          compose(Out, E);
+        }
+        break;
+      }
+      case Opcode::Call: {
+        const Function *Callee = MA.module().getFunction(I->symbol());
+        if (Callee && !Callee->isExternal()) {
+          auto CI = SccIdx.find(Callee);
+          if (CI != SccIdx.end() && CI->second < CurrentScc) {
+            compose(Out, FnEffect[Callee]);
+          } else if (CI != SccIdx.end() && CI->second == CurrentScc) {
+            // Same-SCC call: the recursive closure above TOPs the whole
+            // component afterwards; contribute nothing here.
+          }
+          break;
+        }
+        // External callee: its view is limited to the argument classes
+        // (this IR has no way for externals to reach module globals).
+        for (Value *Op : I->operands())
+          if (size_t C = classOf(MA, Op); C != SIZE_MAX)
+            compose(Out,
+                    singleton(C, {Interval::range(0, Interval::Inf), true,
+                                  true, false}));
+        break;
+      }
+      case Opcode::If: {
+        Effect T = regionEffect(*I->region(0));
+        Effect E = regionEffect(*I->region(1));
+        compose(Out, joinEffect(T, E));
+        break;
+      }
+      case Opcode::ForEach: {
+        Effect B = regionEffect(*I->region(0));
+        compose(Out, scaleEffect(B, Interval::top()));
+        break;
+      }
+      case Opcode::ForRange: {
+        Effect B = regionEffect(*I->region(0));
+        Interval Lo = rangeOf(I->operand(0)), Hi = rangeOf(I->operand(1));
+        Interval Trips{
+            Lo.Hi != Interval::Inf && Hi.Lo > Lo.Hi ? Hi.Lo - Lo.Hi : 0,
+            Hi.Hi == Interval::Inf
+                ? Interval::Inf
+                : (Hi.Hi > Lo.Lo ? Hi.Hi - Lo.Lo : 0)};
+        compose(Out, scaleEffect(B, Trips));
+        break;
+      }
+      case Opcode::DoWhile: {
+        Effect B = regionEffect(*I->region(0));
+        std::vector<LoopGrowth> &G = Res.DoWhileGrowth[I];
+        G.clear();
+        for (const auto &[C, D] : B.Classes)
+          G.push_back({C, D.Grow, D.MayRemove, D.MayClear, D.Fresh});
+        compose(Out, scaleEffect(B, Interval::range(1, Interval::Inf)));
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    return Out;
+  }
+
+  void grow(Effect &Out, Value *Coll, Interval Amount) {
+    if (size_t C = classOf(MA, Coll); C != SIZE_MAX)
+      compose(Out, singleton(C, {Amount, false, false, false}));
+  }
+
+  static Effect singleton(size_t C, Delta D) {
+    Effect E;
+    E.Classes[C] = D;
+    return E;
+  }
+
+  core::ModuleAnalysis &MA;
+  const CallGraph &CG;
+  const std::map<const Function *, size_t> &SccIdx;
+  AbsIntEngine::Impl &Res;
+  size_t CurrentScc = 0;
+  std::map<const Function *, Effect> FnEffect;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+AbsIntEngine::AbsIntEngine(core::ModuleAnalysis &MA)
+    : MA(MA), CG(MA.module()), I(new Impl) {
+  std::map<const Function *, size_t> SccIdx;
+  for (size_t S = 0; S != CG.sccs().size(); ++S)
+    for (const Function *F : CG.sccs()[S])
+      SccIdx[F] = S;
+
+  // 1. Value ranges, callees before callers so return summaries exist.
+  RangeAnalysis RA(MA, SccIdx, *I);
+  for (const auto &Scc : CG.sccs())
+    for (const Function *F : Scc)
+      RA.run(*F);
+
+  // 2. Occupancy effect summaries, bottom-up.
+  EffectBuilder EB(MA, CG, SccIdx, *I);
+  EB.build();
+
+  const auto &Classes = MA.aliasClasses();
+  I->ClassOcc.resize(Classes.size());
+  I->ClassAlias.resize(Classes.size());
+
+  // 3. Alias/escape facts and exact module-wide remove/clear bits.
+  for (size_t C = 0; C != Classes.size(); ++C) {
+    AliasFacts &AF = I->ClassAlias[C];
+    AF.Roots = static_cast<unsigned>(Classes[C].size());
+    std::set<const Function *> Fns;
+    for (core::RootInfo *Root : Classes[C]) {
+      AF.Escapes |= Root->Escapes;
+      AF.GlobalReachable |= Root->TheKind == core::RootInfo::Kind::Global ||
+                            Root->TheKind == core::RootInfo::Kind::Nested;
+      for (Value *Ref : Root->Refs)
+        if (const Function *F = functionOf(Ref))
+          Fns.insert(F);
+    }
+    AF.SpansCalls = Fns.size() > 1;
+  }
+  for (const auto &F : MA.module().functions()) {
+    if (F->isExternal())
+      continue;
+    forEveryInst(F->body(), [&](Instruction *Inst) {
+      switch (Inst->op()) {
+      case Opcode::Remove:
+      case Opcode::Pop:
+        if (size_t C = classOf(MA, Inst->operand(0)); C != SIZE_MAX)
+          I->ClassOcc[C].MayRemove = true;
+        break;
+      case Opcode::Clear:
+        if (size_t C = classOf(MA, Inst->operand(0)); C != SIZE_MAX)
+          I->ClassOcc[C].MayClear = true;
+        break;
+      case Opcode::Call: {
+        const Function *Callee = MA.module().getFunction(Inst->symbol());
+        if (Callee && !Callee->isExternal())
+          break;
+        for (Value *Op : Inst->operands())
+          if (size_t C = classOf(MA, Op); C != SIZE_MAX) {
+            I->ClassOcc[C].MayRemove = true;
+            I->ClassOcc[C].MayClear = true;
+          }
+        break;
+      }
+      default:
+        break;
+      }
+    });
+  }
+
+  // 4. Whole-execution totals: fold the entry summaries under the
+  // documented "each entry runs once" approximation.
+  std::set<size_t> Touched;
+  std::set<std::string> TouchedEnums;
+  for (const auto &F : MA.module().functions())
+    if (const Effect *E = EB.effectOf(F.get())) {
+      for (const auto &[C, D] : E->Classes) {
+        (void)D;
+        Touched.insert(C);
+      }
+      for (const auto &[S, V] : E->Enums) {
+        (void)V;
+        TouchedEnums.insert(S);
+      }
+    }
+
+  std::set<const Function *> Entries(CG.entryFunctions().begin(),
+                                     CG.entryFunctions().end());
+  for (size_t C = 0; C != Classes.size(); ++C) {
+    Occupancy &Occ = I->ClassOcc[C];
+    const AliasFacts &AF = I->ClassAlias[C];
+    if (AF.Escapes) {
+      Occ.Ever = Interval::top();
+      continue;
+    }
+    bool PerLifetime = true, EntryParam = false;
+    for (core::RootInfo *Root : Classes[C]) {
+      PerLifetime &= Root->TheKind == core::RootInfo::Kind::Alloc;
+      if (Root->TheKind == core::RootInfo::Kind::Param)
+        if (const auto *Arg = dyn_cast_if_present<Argument>(Root->Anchor))
+          EntryParam |= Entries.count(Arg->parent()) != 0;
+    }
+    if (EntryParam) {
+      // An entry's collection parameter arrives with unknown contents.
+      Occ.Ever = Interval::top();
+      continue;
+    }
+    bool Seen = false;
+    Interval Ever = Interval::range(0, 0);
+    for (const Function *E : CG.entryFunctions()) {
+      const Effect *FE = EB.effectOf(E);
+      if (!FE)
+        continue;
+      auto It = FE->Classes.find(C);
+      if (It == FE->Classes.end())
+        continue;
+      Ever = Seen ? (PerLifetime
+                         ? Interval::join(Ever, It->second.Grow)
+                         : Interval::addCount(Ever, It->second.Grow))
+                  : It->second.Grow;
+      Seen = true;
+    }
+    if (Seen)
+      Occ.Ever = Ever;
+    else if (Touched.count(C))
+      Occ.Ever = Interval::top(); // Touched only from unreachable code.
+    else
+      Occ.Ever = Interval::range(0, 0);
+  }
+
+  for (const std::string &Sym : TouchedEnums) {
+    Interval Adds = Interval::range(0, 0);
+    bool Seen = false;
+    for (const Function *E : CG.entryFunctions()) {
+      const Effect *FE = EB.effectOf(E);
+      if (!FE)
+        continue;
+      auto It = FE->Enums.find(Sym);
+      if (It == FE->Enums.end())
+        continue;
+      Adds = Seen ? Interval::addCount(Adds, It->second) : It->second;
+      Seen = true;
+    }
+    // Duplicate keys may collapse, so only the upper bound transfers to
+    // the universe size.
+    I->Universes[Sym] =
+        Seen ? Interval::range(0, Adds.Hi) : Interval::top();
+  }
+
+  // 5. Cover facts and the do-while roster, in program order.
+  for (const auto &F : MA.module().functions()) {
+    if (F->isExternal())
+      continue;
+    forEveryInst(F->body(), [&](Instruction *Inst) {
+      if (Inst->op() == Opcode::DoWhile)
+        DoWhiles.push_back(Inst);
+      if (Inst->op() != Opcode::ForEach)
+        return;
+      size_t Src = classOf(MA, Inst->operand(0));
+      if (Src == SIZE_MAX)
+        return;
+      const Region &Body = *Inst->region(0);
+      // The binding that enumerates Src's key/element universe.
+      Type *CT = Inst->operand(0)->type();
+      Value *Bind = nullptr;
+      if (isa<SetType>(CT) || isa<MapType>(CT))
+        Bind = Body.numArgs() >= 1 ? Body.arg(0) : nullptr;
+      else if (isa<SeqType>(CT))
+        Bind = Body.numArgs() >= 2 ? Body.arg(1) : nullptr;
+      if (!Bind)
+        return;
+      // Only *top-level* body instructions run unconditionally on every
+      // element — the property the cover proof rests on.
+      for (Instruction *J : Body) {
+        if (J->op() != Opcode::Insert && J->op() != Opcode::Write)
+          continue;
+        if (J->numOperands() < 2 || J->operand(1) != Bind)
+          continue;
+        size_t Dst = classOf(MA, J->operand(0));
+        if (Dst != SIZE_MAX && Dst != Src)
+          Covers.push_back({Dst, Src, Inst});
+      }
+    });
+  }
+
+  // Paired introductions: when every site that introduces a key into
+  // class A also feeds the same SSA value into class B as a top-level
+  // instruction of the same region, B covers A — the "register a node"
+  // idiom (write the node into the adjacency map, append the same node
+  // to the node list, in one guarded block). The key set of a set/map is
+  // its keys; of a seq, its element values (what a for-each enumerates).
+  {
+    // The key/element value an instruction introduces into its class, or
+    // null when it introduces nothing.
+    auto IntroducedKey = [&](const Instruction *J) -> Value * {
+      switch (J->op()) {
+      case Opcode::Insert:
+        return J->numOperands() >= 2 ? J->operand(1) : nullptr;
+      case Opcode::Append:
+        return J->numOperands() >= 2 ? J->operand(1) : nullptr;
+      case Opcode::Write:
+        if (J->numOperands() < 3)
+          return nullptr;
+        return isa<SeqType>(J->operand(0)->type()) ? J->operand(2)
+                                                   : J->operand(1);
+      default:
+        return nullptr;
+      }
+    };
+
+    size_t NumClasses = MA.aliasClasses().size();
+    // Classes whose key set has a source the pairing scan cannot see:
+    // a union (keys of another collection), or an escape (externals may
+    // insert). Those never qualify as a covered Src.
+    std::vector<bool> Unprovable(NumClasses, false);
+    for (size_t C = 0; C != NumClasses; ++C)
+      if (I->ClassAlias[C].Escapes)
+        Unprovable[C] = true;
+
+    // Per class, the set of classes that matched every introduction site
+    // so far (the running intersection), and whether any site was seen.
+    std::vector<std::vector<size_t>> PairedWithAll(NumClasses);
+    std::vector<bool> SawIntro(NumClasses, false);
+
+    for (const auto &F : MA.module().functions()) {
+      if (F->isExternal())
+        continue;
+      forEveryInst(F->body(), [&](Instruction *Inst) {
+        if (Inst->op() == Opcode::Union) {
+          size_t A = classOf(MA, Inst->operand(0));
+          if (A != SIZE_MAX)
+            Unprovable[A] = true;
+          return;
+        }
+        Value *K = IntroducedKey(Inst);
+        if (!K)
+          return;
+        size_t A = classOf(MA, Inst->operand(0));
+        if (A == SIZE_MAX)
+          return;
+        // Every class introducing the same value at the top level of the
+        // enclosing region receives this site's key too.
+        std::vector<size_t> Here;
+        for (const Instruction *J : *Inst->parent()) {
+          if (J == Inst || IntroducedKey(J) != K)
+            continue;
+          size_t B = classOf(MA, J->operand(0));
+          if (B != SIZE_MAX && B != A &&
+              std::find(Here.begin(), Here.end(), B) == Here.end())
+            Here.push_back(B);
+        }
+        if (!SawIntro[A]) {
+          SawIntro[A] = true;
+          PairedWithAll[A] = std::move(Here);
+        } else {
+          std::vector<size_t> Kept;
+          for (size_t B : PairedWithAll[A])
+            if (std::find(Here.begin(), Here.end(), B) != Here.end())
+              Kept.push_back(B);
+          PairedWithAll[A] = std::move(Kept);
+        }
+      });
+    }
+
+    for (size_t A = 0; A != NumClasses; ++A) {
+      if (Unprovable[A] || !SawIntro[A])
+        continue;
+      for (size_t B : PairedWithAll[A])
+        Covers.push_back({B, A, nullptr});
+    }
+  }
+}
+
+AbsIntEngine::~AbsIntEngine() = default;
+
+Interval AbsIntEngine::rangeOf(const Value *V) const {
+  auto It = I->ValueRange.find(V);
+  return It == I->ValueRange.end() ? Interval::top() : It->second;
+}
+
+const Occupancy &AbsIntEngine::occupancyOf(size_t Class) const {
+  static const Occupancy Unknown{Interval::top(), true, true};
+  return Class < I->ClassOcc.size() ? I->ClassOcc[Class] : Unknown;
+}
+
+const AliasFacts &AbsIntEngine::aliasFactsOf(size_t Class) const {
+  static const AliasFacts Unknown{true, true, true, 0};
+  return Class < I->ClassAlias.size() ? I->ClassAlias[Class] : Unknown;
+}
+
+Interval AbsIntEngine::enumUniverse(const std::string &Symbol) const {
+  auto It = I->Universes.find(Symbol);
+  return It == I->Universes.end() ? Interval::top() : It->second;
+}
+
+std::vector<size_t> AbsIntEngine::coveredBy(size_t Dst) const {
+  std::vector<size_t> R;
+  const Occupancy &Occ = occupancyOf(Dst);
+  if (Occ.MayRemove || Occ.MayClear)
+    return R; // A later remove could break the superset property.
+  // Transitive closure: Dst ⊇ M and M ⊇ Src compose to Dst ⊇ Src, but
+  // only through stable intermediates — if M shrinks, keys of Src that
+  // passed through M may never reach Dst.
+  std::vector<size_t> Work{Dst};
+  while (!Work.empty()) {
+    size_t Cur = Work.back();
+    Work.pop_back();
+    const Occupancy &CurOcc = occupancyOf(Cur);
+    if (Cur != Dst && (CurOcc.MayRemove || CurOcc.MayClear))
+      continue;
+    for (const CoverFact &CF : Covers)
+      if (CF.Dst == Cur && CF.Src != Dst &&
+          std::find(R.begin(), R.end(), CF.Src) == R.end()) {
+        R.push_back(CF.Src);
+        Work.push_back(CF.Src);
+      }
+  }
+  std::sort(R.begin(), R.end());
+  return R;
+}
+
+const std::vector<LoopGrowth> &
+AbsIntEngine::growthOf(const Instruction *Loop) const {
+  static const std::vector<LoopGrowth> None;
+  auto It = I->DoWhileGrowth.find(Loop);
+  return It == I->DoWhileGrowth.end() ? None : It->second;
+}
+
+unsigned AbsIntEngine::loopPasses(const Instruction *Loop) const {
+  auto It = I->Passes.find(Loop);
+  return It == I->Passes.end() ? 0 : It->second;
+}
+
+void AbsIntEngine::print(RawOstream &OS) const {
+  OS << "absint report\n";
+  const auto &Classes = MA.aliasClasses();
+  for (size_t C = 0; C != Classes.size(); ++C) {
+    if (Classes[C].empty())
+      continue;
+    const Occupancy &Occ = I->ClassOcc[C];
+    const AliasFacts &AF = I->ClassAlias[C];
+    OS << "  class " << uint64_t(C) << ": "
+       << Classes[C].front()->describe() << "\n    ever=";
+    Occ.Ever.print(OS);
+    OS << " remove=" << Occ.MayRemove << " clear=" << Occ.MayClear
+       << " escapes=" << AF.Escapes << " global=" << AF.GlobalReachable
+       << " spans-calls=" << AF.SpansCalls << "\n";
+    std::vector<size_t> Cov = coveredBy(C);
+    if (!Cov.empty()) {
+      OS << "    covers:";
+      for (size_t S : Cov)
+        OS << " class " << uint64_t(S) << " ("
+           << Classes[S].front()->describe() << ")";
+      OS << "\n";
+    }
+  }
+  for (const auto &[Sym, U] : I->Universes) {
+    OS << "  enum @" << Sym << ": universe ";
+    U.print(OS);
+    OS << "\n";
+  }
+  for (const Instruction *L : DoWhiles) {
+    const std::vector<LoopGrowth> &G = growthOf(L);
+    if (G.empty())
+      continue;
+    OS << "  dowhile in @" << L->parentFunction()->name();
+    if (L->loc().isValid())
+      OS << " (line " << uint64_t(L->loc().Line) << ")";
+    OS << ":\n";
+    for (const LoopGrowth &LG : G) {
+      OS << "    class " << uint64_t(LG.Class) << " grows ";
+      LG.PerTrip.print(OS);
+      OS << "/iter remove=" << LG.MayRemove << " clear=" << LG.MayClear
+         << " fresh=" << LG.Fresh << "\n";
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fusion legality
+//===----------------------------------------------------------------------===//
+
+FusionLegality::FusionLegality(core::ModuleAnalysis &MA,
+                               const core::EnumerationPlan *Plan)
+    : MA(MA) {
+  Rep.resize(MA.aliasClasses().size());
+  for (size_t C = 0; C != Rep.size(); ++C)
+    Rep[C] = C;
+
+  // union(dst, src) forces both onto one enumeration.
+  for (const auto &F : MA.module().functions())
+    if (!F->isExternal())
+      forEveryInst(F->body(), [&](Instruction *Inst) {
+        if (Inst->op() != Opcode::Union || Inst->numOperands() < 2)
+          return;
+        size_t A = classOf(MA, Inst->operand(0));
+        size_t B = classOf(MA, Inst->operand(1));
+        if (A != SIZE_MAX && B != SIZE_MAX)
+          unite(A, B);
+      });
+
+  // Share groups are a user-forced single enumeration.
+  std::map<std::string, size_t> GroupFirst;
+  const auto &Classes = MA.aliasClasses();
+  for (size_t C = 0; C != Classes.size(); ++C)
+    for (core::RootInfo *Root : Classes[C]) {
+      if (!Root->HasDirective || Root->Dir.ShareGroup.empty())
+        continue;
+      auto [It, Ins] = GroupFirst.try_emplace(Root->Dir.ShareGroup, C);
+      if (!Ins)
+        unite(It->second, C);
+    }
+
+  // Plan candidates share an index space by construction.
+  if (Plan)
+    for (const core::Candidate &Cand : Plan->Candidates) {
+      size_t First = SIZE_MAX;
+      auto Add = [&](core::RootInfo *R) {
+        size_t C = MA.aliasClassOf(R);
+        if (First == SIZE_MAX)
+          First = C;
+        else
+          unite(First, C);
+      };
+      for (core::RootInfo *R : Cand.KeyMembers)
+        Add(R);
+      for (core::RootInfo *R : Cand.ElemMembers)
+        Add(R);
+    }
+}
+
+size_t FusionLegality::findRep(size_t Class) const {
+  while (Rep[Class] != Class) {
+    Rep[Class] = Rep[Rep[Class]]; // Path halving.
+    Class = Rep[Class];
+  }
+  return Class;
+}
+
+void FusionLegality::unite(size_t A, size_t B) {
+  A = findRep(A);
+  B = findRep(B);
+  if (A != B)
+    Rep[B < A ? A : B] = B < A ? B : A; // Smaller id wins: stable reps.
+}
+
+bool FusionLegality::mustShareEnumeration(core::RootInfo *A,
+                                          core::RootInfo *B) const {
+  if (!A || !B)
+    return false;
+  return findRep(MA.aliasClassOf(A)) == findRep(MA.aliasClassOf(B));
+}
+
+bool FusionLegality::mustShareEnumeration(Value *A, Value *B) const {
+  return mustShareEnumeration(MA.rootOf(A), MA.rootOf(B));
+}
+
+namespace {
+
+/// Classes a loop body reads and writes, plus disqualifying shapes.
+struct BodySets {
+  std::set<size_t> Reads, Writes;
+  bool HasCall = false;
+  std::set<size_t> RemovedOrCleared;
+};
+
+} // namespace
+
+static void collectBody(core::ModuleAnalysis &MA, const Region &R,
+                        BodySets &S) {
+  forEveryInst(R, [&](Instruction *Inst) {
+    auto Cls = [&](unsigned Op) {
+      return Inst->numOperands() > Op ? classOf(MA, Inst->operand(Op))
+                                      : SIZE_MAX;
+    };
+    switch (Inst->op()) {
+    case Opcode::Read:
+    case Opcode::Has:
+    case Opcode::Size:
+    case Opcode::ForEach:
+      if (size_t C = Cls(0); C != SIZE_MAX)
+        S.Reads.insert(C);
+      break;
+    case Opcode::Insert:
+    case Opcode::Write:
+    case Opcode::Append:
+    case Opcode::Reserve:
+      if (size_t C = Cls(0); C != SIZE_MAX)
+        S.Writes.insert(C);
+      break;
+    case Opcode::Pop:
+      if (size_t C = Cls(0); C != SIZE_MAX) {
+        S.Reads.insert(C);
+        S.Writes.insert(C);
+        S.RemovedOrCleared.insert(C);
+      }
+      break;
+    case Opcode::Remove:
+    case Opcode::Clear:
+      if (size_t C = Cls(0); C != SIZE_MAX) {
+        S.Writes.insert(C);
+        S.RemovedOrCleared.insert(C);
+      }
+      break;
+    case Opcode::Union:
+      if (size_t C = Cls(0); C != SIZE_MAX)
+        S.Writes.insert(C);
+      if (size_t C = Cls(1); C != SIZE_MAX)
+        S.Reads.insert(C);
+      break;
+    case Opcode::Call:
+      // Calls may touch anything reachable; fusion gives up.
+      S.HasCall = true;
+      break;
+    default:
+      // Any other collection-typed operand use counts as a read.
+      for (Value *Op : Inst->operands())
+        if (Op->type()->isCollection())
+          if (size_t C = classOf(MA, Op); C != SIZE_MAX)
+            S.Reads.insert(C);
+      break;
+    }
+  });
+}
+
+static bool intersects(const std::set<size_t> &A,
+                       const std::set<size_t> &B) {
+  for (size_t C : A)
+    if (B.count(C))
+      return true;
+  return false;
+}
+
+bool FusionLegality::fusable(const Instruction *Producer,
+                             const Instruction *Consumer,
+                             std::string *WhyNot) const {
+  auto Fail = [&](const char *Why) {
+    if (WhyNot)
+      *WhyNot = Why;
+    return false;
+  };
+  if (!Producer || !Consumer)
+    return Fail("null loop");
+  if (Producer->op() != Opcode::ForEach &&
+      Producer->op() != Opcode::ForRange)
+    return Fail("producer is not a for-each or for-range");
+  if (Consumer->op() != Opcode::ForEach)
+    return Fail("consumer is not a for-each");
+  const Region *R = Producer->parent();
+  if (!R || R != Consumer->parent())
+    return Fail("loops are not in the same region");
+  size_t PI = R->indexOf(Producer), CI = R->indexOf(Consumer);
+  if (PI >= CI)
+    return Fail("producer does not precede the consumer");
+
+  Instruction *ConsumerSrc =
+      const_cast<Instruction *>(Consumer); // operand() is const-safe
+  size_t Ct = classOf(MA, ConsumerSrc->operand(0));
+  if (Ct == SIZE_MAX)
+    return Fail("consumer source is not a tracked collection");
+
+  BodySets P, C;
+  collectBody(MA, *Producer->region(0), P);
+  collectBody(MA, *Consumer->region(0), C);
+  if (P.HasCall || C.HasCall)
+    return Fail("a loop body contains a call");
+  if (!P.Writes.count(Ct))
+    return Fail("producer does not write the consumed collection");
+  if (P.RemovedOrCleared.count(Ct) || C.RemovedOrCleared.count(Ct))
+    return Fail("the consumed collection is removed from or cleared");
+
+  // Nothing between the loops may touch the fused state.
+  for (size_t Idx = PI + 1; Idx != CI; ++Idx) {
+    Instruction *X = R->inst(Idx);
+    std::set<size_t> Touched;
+    auto Touch = [&](Instruction *Inst) {
+      for (Value *Op : Inst->operands())
+        if (size_t TC = classOf(MA, Op); TC != SIZE_MAX)
+          Touched.insert(TC);
+      if (Inst->numResults() && Inst->result(0)->type()->isCollection())
+        if (size_t TC = classOf(MA, Inst->result(0)); TC != SIZE_MAX)
+          Touched.insert(TC);
+    };
+    Touch(X);
+    for (unsigned RI = 0; RI != X->numRegions(); ++RI)
+      forEveryInst(*X->region(RI), Touch);
+    if (Touched.count(Ct))
+      return Fail("an instruction between the loops touches the "
+                  "consumed collection");
+    if (intersects(Touched, P.Writes))
+      return Fail("an instruction between the loops touches state the "
+                  "producer writes");
+  }
+
+  // Loop-carried interference: fusing interleaves the bodies, so the
+  // consumer may not write anything the producer touches, and may not
+  // read producer side effects other than the fused stream itself.
+  std::set<size_t> PTouched = P.Reads;
+  PTouched.insert(P.Writes.begin(), P.Writes.end());
+  if (intersects(C.Writes, PTouched))
+    return Fail("consumer writes state the producer touches");
+  std::set<size_t> PSide = P.Writes;
+  PSide.erase(Ct);
+  if (intersects(PSide, C.Reads))
+    return Fail("consumer reads producer side effects outside the "
+                "fused stream");
+
+  // An indexed stream only fuses when both loops walk one index space.
+  if (Producer->op() == Opcode::ForEach) {
+    Instruction *PSrc = const_cast<Instruction *>(Producer);
+    if (!mustShareEnumeration(PSrc->operand(0), ConsumerSrc->operand(0)))
+      return Fail("producer and consumer do not share an enumeration");
+  }
+  return true;
+}

@@ -1,0 +1,315 @@
+//===- AbsInt.h - Interprocedural abstract interpretation -------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An interprocedural abstract-interpretation engine over the structured
+/// IR, computing three lattices the rest of the pipeline consumes:
+///
+///  - **value ranges**: an unsigned interval per SSA value, with loop
+///    block arguments bound on each body pass and widened after a short
+///    delay so fixpoints converge far below the framework's safety bound;
+///  - **collection occupancy**: per alias class, an interval bound on the
+///    number of insert operations over the whole execution ("Ever" — a
+///    high-water bound, since removals never raise the peak), plus
+///    may-remove / may-clear bits, composed bottom-up over call-graph
+///    SCCs from per-region effect summaries;
+///  - **alias/escape facts** per class: escape, global reachability,
+///    whether references span several functions.
+///
+/// On top of those it derives *cover facts* — "every key of collection A
+/// also enters collection B", proven from unconditional writes under a
+/// for-each — which let selection prove a candidate dense statically, an
+/// *enumeration universe* bound per enumeration global, and the growth
+/// record per do-while that the unbounded-growth checker consumes.
+///
+/// The engine is context-insensitive but summary-based: callees are
+/// summarized once (return-value interval, region effect on module-wide
+/// alias classes) in bottom-up SCC order; recursive components get
+/// conservative TOP summaries. Whole-program totals assume each entry
+/// function (no internal caller) runs once — see DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_ANALYSIS_ABSINT_H
+#define ADE_ANALYSIS_ABSINT_H
+
+#include "core/Analysis.h"
+#include "ir/CallGraph.h"
+#include "support/RawOstream.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ade {
+
+namespace core {
+struct EnumerationPlan;
+}
+
+namespace analysis {
+
+//===----------------------------------------------------------------------===//
+// Interval domain
+//===----------------------------------------------------------------------===//
+
+/// An unsigned-integer interval [Lo, Hi] with Hi == Inf meaning
+/// unbounded. The default is TOP ([0, Inf]); BOTTOM is not represented
+/// (absence from a map stands for "never computed").
+struct Interval {
+  static constexpr uint64_t Inf = ~0ull;
+
+  uint64_t Lo = 0;
+  uint64_t Hi = Inf;
+
+  static Interval top() { return {}; }
+  static Interval exact(uint64_t V) { return {V, V}; }
+  static Interval range(uint64_t L, uint64_t H) { return {L, H}; }
+
+  bool isTop() const { return Lo == 0 && Hi == Inf; }
+  bool isExact() const { return Lo == Hi && Hi != Inf; }
+  bool isFinite() const { return Hi != Inf; }
+
+  bool operator==(const Interval &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const Interval &O) const { return !(*this == O); }
+
+  /// Least upper bound (interval hull).
+  static Interval join(Interval A, Interval B) {
+    return {A.Lo < B.Lo ? A.Lo : B.Lo, A.Hi > B.Hi ? A.Hi : B.Hi};
+  }
+
+  /// Widening: any bound that moved since \p Prev jumps straight to its
+  /// extreme, so ascending chains stabilize in one more step.
+  static Interval widen(Interval Prev, Interval Next) {
+    return {Next.Lo < Prev.Lo ? 0 : Prev.Lo,
+            Next.Hi > Prev.Hi ? Inf : Prev.Hi};
+  }
+
+  // -- Machine-value arithmetic (wrap-aware: any operation that could
+  // -- wrap a u64 at runtime degrades to TOP, never to a wrong range).
+
+  static Interval addValue(Interval A, Interval B) {
+    if (!A.isFinite() || !B.isFinite() || A.Hi + B.Hi < A.Hi)
+      return top();
+    return {A.Lo + B.Lo, A.Hi + B.Hi};
+  }
+
+  static Interval subValue(Interval A, Interval B) {
+    if (A.Lo < B.Hi || !B.isFinite())
+      return top(); // Could underflow and wrap.
+    return {A.Lo - B.Hi, A.Hi == Inf ? Inf : A.Hi - B.Lo};
+  }
+
+  static Interval mulValue(Interval A, Interval B) {
+    if (!A.isFinite() || !B.isFinite())
+      return top();
+    if (A.Hi != 0 && B.Hi > Inf / A.Hi)
+      return top(); // Could overflow and wrap.
+    return {A.Lo * B.Lo, A.Hi * B.Hi};
+  }
+
+  // -- Count arithmetic (saturating at Inf: abstract counters, no wrap).
+
+  static uint64_t satAdd(uint64_t A, uint64_t B) {
+    if (A == Inf || B == Inf || A + B < A)
+      return Inf;
+    return A + B;
+  }
+
+  static uint64_t satMul(uint64_t A, uint64_t B) {
+    if (A == 0 || B == 0)
+      return 0;
+    if (A == Inf || B == Inf || A > Inf / B)
+      return Inf;
+    return A * B;
+  }
+
+  static Interval addCount(Interval A, Interval B) {
+    return {satAdd(A.Lo, B.Lo), satAdd(A.Hi, B.Hi)};
+  }
+
+  /// This count executed Trips times (e.g. a loop body's growth).
+  Interval scale(Interval Trips) const {
+    return {satMul(Lo, Trips.Lo == Inf ? 0 : Trips.Lo), satMul(Hi, Trips.Hi)};
+  }
+
+  void print(RawOstream &OS) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Per-class facts
+//===----------------------------------------------------------------------===//
+
+/// Occupancy summary of one alias class over the whole execution.
+struct Occupancy {
+  /// Bound on insert operations ever executed on the class (per lifetime
+  /// for purely local allocations). Hi bounds the peak element count.
+  Interval Ever = Interval::range(0, 0);
+  bool MayRemove = false;
+  bool MayClear = false;
+};
+
+/// Aliasing / escape shape of one class.
+struct AliasFacts {
+  bool Escapes = false;
+  /// Reachable through a module global or an enclosing collection.
+  bool GlobalReachable = false;
+  /// References appear in more than one function.
+  bool SpansCalls = false;
+  unsigned Roots = 0;
+};
+
+/// "Every key of class Src also enters class Dst", proven either from an
+/// unconditional insert/write of a for-each binding (\c Loop points at
+/// the loop) or from paired introductions — every site introducing a key
+/// into Src also feeds the same value into Dst in the same region
+/// (\c Loop is null). Valid as a density proof only while Dst's class
+/// never removes or clears; coveredBy() additionally closes the relation
+/// transitively through stable intermediates.
+struct CoverFact {
+  size_t Dst = 0;
+  size_t Src = 0;
+  const ir::Instruction *Loop = nullptr;
+};
+
+/// Growth effect of one do-while body on one class (unscaled).
+struct LoopGrowth {
+  size_t Class = 0;
+  /// Insert operations per iteration.
+  Interval PerTrip = Interval::range(0, 0);
+  bool MayRemove = false;
+  bool MayClear = false;
+  /// The class is (re)allocated inside the body, so growth does not
+  /// accumulate across iterations.
+  bool Fresh = false;
+};
+
+/// The slice of the engine's results the selection pass consumes,
+/// decoupled so core/Transform.cpp needs only this header (the struct is
+/// header-only; no link dependency on the analysis library).
+struct AbsIntSelectionFacts {
+  struct ClassFacts {
+    Interval Ever = Interval::top();
+    /// Classes this one provably covers (supersets of their key sets).
+    std::vector<size_t> Covers;
+    /// Id of the "absint:occupancy" remark carrying the evidence, for
+    /// provenance parents; 0 when remarks are off.
+    uint64_t RemarkId = 0;
+  };
+  std::map<size_t, ClassFacts> ByClass;
+
+  const ClassFacts *factsFor(size_t Class) const {
+    auto It = ByClass.find(Class);
+    return It == ByClass.end() ? nullptr : &It->second;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+class AbsIntEngine {
+public:
+  /// Runs the full analysis over \p MA's module. \p MA must outlive the
+  /// engine; alias class indices in all results are \p MA's.
+  explicit AbsIntEngine(core::ModuleAnalysis &MA);
+  ~AbsIntEngine();
+  AbsIntEngine(const AbsIntEngine &) = delete;
+  AbsIntEngine &operator=(const AbsIntEngine &) = delete;
+
+  core::ModuleAnalysis &analysis() const { return MA; }
+  const ir::CallGraph &callGraph() const { return CG; }
+
+  /// The interval of \p V, TOP when nothing better is known.
+  Interval rangeOf(const ir::Value *V) const;
+
+  /// Whole-execution occupancy of alias class \p Class.
+  const Occupancy &occupancyOf(size_t Class) const;
+
+  /// Alias/escape shape of \p Class.
+  const AliasFacts &aliasFactsOf(size_t Class) const;
+
+  /// Bound on the number of keys enumeration global \p Symbol ever
+  /// holds; TOP for unknown symbols.
+  Interval enumUniverse(const std::string &Symbol) const;
+
+  /// All proven cover facts, in discovery (program) order.
+  const std::vector<CoverFact> &covers() const { return Covers; }
+
+  /// Classes \p Dst provably covers (empty when none, or when the proof
+  /// is invalidated by a remove/clear anywhere on Dst's class).
+  std::vector<size_t> coveredBy(size_t Dst) const;
+
+  /// Per-iteration growth effects of \p Loop (a do-while), one entry per
+  /// touched class, in class order.
+  const std::vector<LoopGrowth> &growthOf(const ir::Instruction *Loop) const;
+
+  /// Every do-while of the module, in program order.
+  const std::vector<const ir::Instruction *> &doWhiles() const {
+    return DoWhiles;
+  }
+
+  /// Number of body passes the range fixpoint took on \p Loop; widening
+  /// keeps this far below the dataflow safety bound.
+  unsigned loopPasses(const ir::Instruction *Loop) const;
+
+  /// Human-readable report of everything above (`--absint-report`).
+  void print(RawOstream &OS) const;
+
+  struct Impl; // Internal result storage, defined in AbsInt.cpp.
+
+private:
+  core::ModuleAnalysis &MA;
+  ir::CallGraph CG;
+  std::unique_ptr<Impl> I;
+  std::vector<CoverFact> Covers;
+  std::vector<const ir::Instruction *> DoWhiles;
+};
+
+//===----------------------------------------------------------------------===//
+// Fusion legality
+//===----------------------------------------------------------------------===//
+
+/// The legality oracle the indexed-stream-fusion pass (ROADMAP item 3)
+/// consumes: whether two collections are forced onto one enumeration,
+/// and whether a producer loop may be fused into a consumer loop.
+class FusionLegality {
+public:
+  /// \p Plan, when given, additionally unifies the members of each
+  /// enumeration candidate (they share an index space by construction).
+  explicit FusionLegality(core::ModuleAnalysis &MA,
+                          const core::EnumerationPlan *Plan = nullptr);
+
+  /// True when \p A and \p B provably index through the same enumeration
+  /// (aliases, union-ed, one share group, or one plan candidate).
+  bool mustShareEnumeration(ir::Value *A, ir::Value *B) const;
+  bool mustShareEnumeration(core::RootInfo *A, core::RootInfo *B) const;
+
+  /// True when the loop \p Producer may be fused into the later loop
+  /// \p Consumer (a for-each over a collection the producer fills):
+  /// same region, no intervening instruction touching the fused state,
+  /// no cross-loop interference, shared enumeration for for-each
+  /// producers, and no external calls inside either body. On failure,
+  /// \p WhyNot (when given) receives the violated condition.
+  bool fusable(const ir::Instruction *Producer,
+               const ir::Instruction *Consumer,
+               std::string *WhyNot = nullptr) const;
+
+private:
+  size_t findRep(size_t Class) const;
+  void unite(size_t A, size_t B);
+
+  core::ModuleAnalysis &MA;
+  mutable std::vector<size_t> Rep; // Union-find over alias class ids.
+};
+
+} // namespace analysis
+} // namespace ade
+
+#endif // ADE_ANALYSIS_ABSINT_H

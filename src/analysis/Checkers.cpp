@@ -6,6 +6,7 @@
 
 #include "analysis/Checkers.h"
 
+#include "analysis/AbsInt.h"
 #include "analysis/Dataflow.h"
 #include "core/MergeNetwork.h"
 #include "support/UnionFind.h"
@@ -31,6 +32,16 @@ template <typename FnT> static void forEachInst(const Region &R, FnT Fn) {
     for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
       forEachInst(*I->region(Idx), Fn);
   }
+}
+
+/// The enumeration global \p V loads, or "" when unresolvable.
+static std::string enumSymbolOfValue(const Value *V) {
+  if (!isa<EnumType>(V->type()))
+    return {};
+  if (const auto *Res = dyn_cast<InstResult>(V))
+    if (Res->parent()->op() == Opcode::GlobalGet)
+      return Res->parent()->symbol();
+  return {};
 }
 
 /// The New instruction anchoring \p Root, or null (params, globals).
@@ -252,12 +263,7 @@ private:
 
   /// The enumeration global a value loads, or "" when unresolvable.
   static std::string enumSymbolOf(const Value *V) {
-    if (!isa<EnumType>(V->type()))
-      return {};
-    if (const auto *Res = dyn_cast<InstResult>(V))
-      if (Res->parent()->op() == Opcode::GlobalGet)
-        return Res->parent()->symbol();
-    return {};
+    return enumSymbolOfValue(V);
   }
 
   uint32_t valueNode(const Value *V) { return node(0, V); }
@@ -772,6 +778,189 @@ void ade::analysis::checkDirectives(core::ModuleAnalysis &MA,
 }
 
 //===----------------------------------------------------------------------===//
+// index-out-of-range
+//===----------------------------------------------------------------------===//
+
+void ade::analysis::checkIndexOutOfRange(AbsIntEngine &AI,
+                                         DiagnosticEngine &DE) {
+  core::ModuleAnalysis &MA = AI.analysis();
+  for (const auto &F : MA.module().functions()) {
+    if (F->isExternal())
+      continue;
+    forEachInst(F->body(), [&](Instruction *I) {
+      if (I->op() != Opcode::Dec || I->numOperands() < 2)
+        return;
+      std::string Sym = enumSymbolOfValue(I->operand(0));
+      if (Sym.empty())
+        return;
+      Interval Universe = AI.enumUniverse(Sym);
+      if (!Universe.isFinite())
+        return;
+      Interval Idx = AI.rangeOf(I->operand(1));
+      // Valid identifiers are [0, size) and size <= Universe.Hi, so an
+      // identifier that is always >= Universe.Hi can never decode.
+      if (Idx.Lo < Universe.Hi)
+        return;
+      DE.report(Severity::Warning, "index-out-of-range",
+                "'dec' identifier is provably out of range: the index is "
+                "at least " +
+                    std::to_string(Idx.Lo) + ", but enumeration @" + Sym +
+                    " holds at most " + std::to_string(Universe.Hi) +
+                    " keys",
+                I);
+    });
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// unbounded-growth
+//===----------------------------------------------------------------------===//
+
+void ade::analysis::checkUnboundedGrowth(AbsIntEngine &AI,
+                                         DiagnosticEngine &DE) {
+  core::ModuleAnalysis &MA = AI.analysis();
+  for (const Instruction *Loop : AI.doWhiles()) {
+    for (const LoopGrowth &G : AI.growthOf(Loop)) {
+      // Guaranteed growth on every iteration of a loop with no static
+      // trip bound, and nothing ever shrinks the collection: the
+      // occupancy lattice ascends forever.
+      if (G.PerTrip.Lo < 1 || G.MayRemove || G.MayClear || G.Fresh)
+        continue;
+      const Occupancy &Occ = AI.occupancyOf(G.Class);
+      if (Occ.MayRemove || Occ.MayClear)
+        continue; // Shrunk elsewhere; growth can stabilize.
+      const auto &Class = MA.aliasClasses()[G.Class];
+      DE.report(Severity::Warning, "unbounded-growth",
+                "'dowhile' inserts into " + Class.front()->describe() +
+                    " on every iteration and nothing ever removes or "
+                    "clears it; its occupancy never stabilizes",
+                Loop);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// lost-collection
+//===----------------------------------------------------------------------===//
+
+void ade::analysis::checkLostCollections(AbsIntEngine &AI,
+                                         DiagnosticEngine &DE) {
+  core::ModuleAnalysis &MA = AI.analysis();
+  const auto &Classes = MA.aliasClasses();
+  for (size_t C = 0; C != Classes.size(); ++C) {
+    // Same locality bar as dead-write: only collections nothing outside
+    // the function can observe.
+    bool Local = true;
+    for (core::RootInfo *Root : Classes[C])
+      Local &= Root->TheKind == core::RootInfo::Kind::Alloc &&
+               !Root->Escapes;
+    if (!Local || AI.aliasFactsOf(C).SpansCalls)
+      continue;
+
+    std::vector<Instruction *> Writes, Observations;
+    bool Unmodeled = false;
+    for (core::RootInfo *Root : Classes[C]) {
+      for (Value *Ref : Root->Refs) {
+        for (const Use &U : Ref->uses()) {
+          Instruction *User = U.User;
+          switch (User->op()) {
+          case Opcode::Read:
+          case Opcode::Has:
+          case Opcode::Size:
+          case Opcode::Pop:
+          case Opcode::ForEach:
+            if (U.OpIdx == 0)
+              Observations.push_back(User);
+            break;
+          case Opcode::Union:
+            if (U.OpIdx == 0)
+              Writes.push_back(User);
+            else
+              Observations.push_back(User);
+            break;
+          case Opcode::Write:
+          case Opcode::Insert:
+          case Opcode::Append:
+            if (U.OpIdx == 0)
+              Writes.push_back(User);
+            else
+              Observations.push_back(User);
+            break;
+          case Opcode::Remove:
+          case Opcode::Clear:
+          case Opcode::Reserve:
+          case Opcode::Yield:
+          case Opcode::If:
+          case Opcode::Select:
+            break;
+          default:
+            Unmodeled = true;
+            break;
+          }
+        }
+      }
+    }
+    // With no observation at all this is dead-write's finding; with an
+    // unmodeled use we cannot order observations reliably.
+    if (Unmodeled || Writes.empty() || Observations.empty())
+      continue;
+
+    const Function *F = Writes.front()->parentFunction();
+
+    // Pre-order positions plus subtree extents, so "is there an
+    // observation after W" and "do W and an observation share a loop"
+    // are position comparisons.
+    std::map<const Instruction *, unsigned> Pos;
+    std::map<const Instruction *, unsigned> End;
+    unsigned Next = 0;
+    struct Walker {
+      std::map<const Instruction *, unsigned> &Pos, &End;
+      unsigned &Next;
+      void walk(const Region &R) {
+        for (Instruction *I : R) {
+          Pos[I] = Next++;
+          for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+            walk(*I->region(Idx));
+          End[I] = Next;
+        }
+      }
+    } W{Pos, End, Next};
+    W.walk(F->body());
+
+    auto LoopRepeats = [&](const Instruction *Inst) {
+      // Any observation inside an enclosing loop runs again on the next
+      // iteration, after this write.
+      for (const Region *R = Inst->parent(); R; ) {
+        Instruction *P = R->parentInst();
+        if (!P)
+          break;
+        if (P->op() == Opcode::ForEach || P->op() == Opcode::ForRange ||
+            P->op() == Opcode::DoWhile)
+          for (Instruction *O : Observations)
+            if (Pos[O] >= Pos[P] && Pos[O] < End[P])
+              return true;
+        R = P->parent();
+      }
+      return false;
+    };
+
+    for (Instruction *Wr : Writes) {
+      bool Observed = false;
+      for (Instruction *O : Observations)
+        Observed |= Pos[O] > Pos[Wr];
+      if (Observed || LoopRepeats(Wr))
+        continue;
+      DE.report(Severity::Warning, "lost-collection",
+                std::string("'") + opcodeName(Wr->op()) + "' into " +
+                    Classes[C].front()->describe() +
+                    " is lost: the collection is never observed again "
+                    "after this point",
+                Wr);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Driver
 //===----------------------------------------------------------------------===//
 
@@ -788,12 +977,21 @@ const std::vector<CheckerInfo> &ade::analysis::allCheckers() {
                      "observes"},
       {"directive-lint",
        "conflicting or unsatisfiable '#pragma ade' directives"},
+      {"index-out-of-range",
+       "identifiers provably beyond the enumeration universe they decode "
+       "through"},
+      {"unbounded-growth",
+       "do-while loops whose collection occupancy never stabilizes "
+       "without a remove or clear"},
+      {"lost-collection",
+       "writes into a local collection that is never observed again"},
   };
   return Checkers;
 }
 
 bool ade::analysis::runLint(ir::Module &M, DiagnosticEngine &DE,
-                            const std::vector<std::string> &Enabled) {
+                            const std::vector<std::string> &Enabled,
+                            std::string *UnknownChecker) {
   auto IsEnabled = [&](const char *Name) {
     if (Enabled.empty())
       return true;
@@ -806,8 +1004,11 @@ bool ade::analysis::runLint(ir::Module &M, DiagnosticEngine &DE,
     bool Known = false;
     for (const CheckerInfo &CI : allCheckers())
       Known |= E == CI.Name;
-    if (!Known)
+    if (!Known) {
+      if (UnknownChecker)
+        *UnknownChecker = E;
       return false;
+    }
   }
   core::ModuleAnalysis MA(M);
   if (IsEnabled("enum-consistency"))
@@ -820,6 +1021,16 @@ bool ade::analysis::runLint(ir::Module &M, DiagnosticEngine &DE,
     checkDeadWrites(MA, DE);
   if (IsEnabled("directive-lint"))
     checkDirectives(MA, DE);
+  if (IsEnabled("index-out-of-range") || IsEnabled("unbounded-growth") ||
+      IsEnabled("lost-collection")) {
+    AbsIntEngine AI(MA); // One engine run serves all three.
+    if (IsEnabled("index-out-of-range"))
+      checkIndexOutOfRange(AI, DE);
+    if (IsEnabled("unbounded-growth"))
+      checkUnboundedGrowth(AI, DE);
+    if (IsEnabled("lost-collection"))
+      checkLostCollections(AI, DE);
+  }
   return true;
 }
 

@@ -22,6 +22,17 @@
 ///   directive-lint    conflicting or unsatisfiable `#pragma ade`
 ///                     directives across alias classes
 ///
+/// plus three checkers backed by the abstract-interpretation engine
+/// (analysis/AbsInt.h):
+///
+///   index-out-of-range identifiers provably at or beyond the bound of
+///                     the enumeration universe they decode through
+///   unbounded-growth  do-while loops that insert on every iteration and
+///                     never remove or clear, so the occupancy lattice
+///                     never stabilizes
+///   lost-collection   writes into a purely local collection after its
+///                     last observation — stored data that is never read
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ADE_ANALYSIS_CHECKERS_H
@@ -36,6 +47,8 @@
 namespace ade {
 namespace analysis {
 
+class AbsIntEngine;
+
 struct CheckerInfo {
   const char *Name;
   const char *Description;
@@ -46,9 +59,11 @@ const std::vector<CheckerInfo> &allCheckers();
 
 /// Runs the lint suite over \p M, reporting into \p DE. \p Enabled
 /// restricts the run to the named checkers; empty means all. Returns
-/// false if \p Enabled names an unknown checker (nothing is run then).
+/// false if \p Enabled names an unknown checker (nothing is run then);
+/// \p UnknownChecker, when given, receives the first rejected name.
 bool runLint(ir::Module &M, DiagnosticEngine &DE,
-             const std::vector<std::string> &Enabled = {});
+             const std::vector<std::string> &Enabled = {},
+             std::string *UnknownChecker = nullptr);
 
 /// The post-transform self-audit the pipeline runs after applying an
 /// enumeration plan (enum-consistency + escape-soundness). Returns true
@@ -61,6 +76,12 @@ void checkEscapeSoundness(core::ModuleAnalysis &MA, DiagnosticEngine &DE);
 void checkDefiniteEmpty(core::ModuleAnalysis &MA, DiagnosticEngine &DE);
 void checkDeadWrites(core::ModuleAnalysis &MA, DiagnosticEngine &DE);
 void checkDirectives(core::ModuleAnalysis &MA, DiagnosticEngine &DE);
+
+// Abstract-interpretation-backed checkers; the caller owns the engine so
+// one analysis run serves all three.
+void checkIndexOutOfRange(AbsIntEngine &AI, DiagnosticEngine &DE);
+void checkUnboundedGrowth(AbsIntEngine &AI, DiagnosticEngine &DE);
+void checkLostCollections(AbsIntEngine &AI, DiagnosticEngine &DE);
 
 } // namespace analysis
 } // namespace ade

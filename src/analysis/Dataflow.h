@@ -32,6 +32,22 @@
 /// fixpoint of the final iteration, so queries see the over-all-paths
 /// approximation, not the optimistic first pass.
 ///
+/// Clients may additionally override
+///
+///   void enterLoopBody(const ir::Instruction &Loop, State &S);
+///
+/// which runs on the body-entry state before every evaluation of a loop
+/// body (foreach / forrange / dowhile). This is where an analysis binds
+/// the loop's block arguments and applies widening: an infinite-height
+/// domain (e.g. intervals) widens the bindings it records here after a
+/// few passes, which makes the surrounding fixpoint converge far below
+/// the safety bound. The default does nothing.
+///
+/// All state containers are keyed by instruction identity but only ever
+/// iterated in program order by clients; the framework itself visits
+/// instructions strictly in region order, so results are byte-stable
+/// across runs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ADE_ANALYSIS_DATAFLOW_H
@@ -60,6 +76,11 @@ public:
     return It == Before.end() ? nullptr : &It->second;
   }
 
+  /// Hook run on the body-entry state before each loop-body evaluation.
+  /// Derived classes override this to bind loop block arguments and
+  /// apply widening; the default does nothing.
+  void enterLoopBody(const ir::Instruction & /*Loop*/, State & /*S*/) {}
+
 protected:
   /// Loop fixpoints converge in a couple of iterations for finite-height
   /// lattices; this bound only guards against non-monotone clients.
@@ -82,7 +103,9 @@ protected:
         // Zero or more trips: fixpoint of In = join(entry, body(In)).
         State In = S;
         for (unsigned Iter = 0; Iter != MaxLoopIterations; ++Iter) {
-          State Out = runRegion(*I->region(0), In);
+          State Entry = In;
+          derived().enterLoopBody(*I, Entry);
+          State Out = runRegion(*I->region(0), std::move(Entry));
           State Next = Derived::join(S, Out);
           if (Derived::equal(Next, In))
             break;
@@ -95,13 +118,15 @@ protected:
         // At least one trip: same fixpoint, but the post-loop state is
         // the body exit rather than the join with the entry.
         State In = S;
-        State Out = runRegion(*I->region(0), In);
+        State Out{};
         for (unsigned Iter = 0; Iter != MaxLoopIterations; ++Iter) {
+          State Entry = In;
+          derived().enterLoopBody(*I, Entry);
+          Out = runRegion(*I->region(0), std::move(Entry));
           State Next = Derived::join(S, Out);
           if (Derived::equal(Next, In))
             break;
           In = std::move(Next);
-          Out = runRegion(*I->region(0), In);
         }
         S = std::move(Out);
         break;

@@ -6,6 +6,7 @@
 
 #include "core/Pipeline.h"
 
+#include "analysis/AbsInt.h"
 #include "analysis/Checkers.h"
 #include "core/Cloning.h"
 #include "core/RemarkEmitter.h"
@@ -78,6 +79,49 @@ PipelineResult ade::core::runADE(ir::Module &M,
     CountDecisions("planning");
   }
 
+  // Abstract interpretation runs on the pristine module (the transform
+  // below invalidates MA's use sets), keyed by the same alias class ids
+  // the selection pass queries. Every class gets an "absint:occupancy"
+  // remark carrying the proven bounds; its id becomes the provenance
+  // parent of any selection decision the proof enables.
+  analysis::AbsIntSelectionFacts AbsIntFacts;
+  bool HaveAbsInt = false;
+  if (Config.EnableAbsInt) {
+    TimerGroup::Scope T(Result.Timing, "absint");
+    TraceScope Trace("absint", "compile");
+    CrashContext CC("absint");
+    analysis::AbsIntEngine AI(*MA);
+    for (size_t CI = 0, E = MA->aliasClasses().size(); CI != E; ++CI) {
+      if (MA->aliasClasses()[CI].empty())
+        continue;
+      const analysis::Occupancy &Occ = AI.occupancyOf(CI);
+      std::vector<size_t> Covers = AI.coveredBy(CI);
+      analysis::AbsIntSelectionFacts::ClassFacts CF;
+      CF.Ever = Occ.Ever;
+      CF.Covers = Covers;
+      if (RE) {
+        RootInfo *Rep = MA->aliasClasses()[CI].front();
+        std::string Ever = "[" + std::to_string(Occ.Ever.Lo) + ", " +
+                           (Occ.Ever.isFinite()
+                                ? std::to_string(Occ.Ever.Hi)
+                                : std::string("inf")) +
+                           "]";
+        auto SB = RE->analysis("absint", "occupancy")
+                      .atRoot(*Rep)
+                      .parent(Result.Plan.provenanceOf(Rep))
+                      .arg("ever", Ever)
+                      .arg("mayRemove", Occ.MayRemove)
+                      .arg("mayClear", Occ.MayClear);
+        if (!Covers.empty())
+          SB.arg("covers", (uint64_t)Covers.size());
+        CF.RemarkId = SB.id();
+      }
+      AbsIntFacts.ByClass.emplace(CI, std::move(CF));
+    }
+    HaveAbsInt = true;
+    CountDecisions("absint");
+  }
+
   {
     TimerGroup::Scope T(Result.Timing, "transform");
     TraceScope Trace("transform", "compile");
@@ -95,6 +139,7 @@ PipelineResult ade::core::runADE(ir::Module &M,
     CrashContext CC("selection");
     SelectionConfig SC = Config.Selection;
     SC.Profile = Config.Profile;
+    SC.AbsInt = HaveAbsInt ? &AbsIntFacts : nullptr;
     SC.Remarks = RE;
     applySelection(*MA, Result.Plan, SC);
     CountDecisions("selection");

@@ -30,6 +30,12 @@ struct PipelineConfig {
   /// SIII-F cloning of callees whose callers disagree on
   /// transformability.
   bool EnableCloning = true;
+  /// Interprocedural abstract interpretation (analysis/AbsInt.h) between
+  /// planning and transformation: proven occupancy bounds and cover
+  /// facts are recorded as "absint:occupancy" remarks and feed the
+  /// selection pass, which can then prove candidates dense and pre-size
+  /// allocations with no profile at all.
+  bool EnableAbsInt = true;
   /// Implementation choices for enumerated collections (SIII-H).
   SelectionConfig Selection;
   /// Measured data from a prior run (`adec --profile-use`): weights the

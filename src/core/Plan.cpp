@@ -543,24 +543,31 @@ private:
                     .parent(PId)
                     .arg("keyType", C.KeyTy->str());
         }
-        for (const auto &[B, Score] : RejectScore) {
-          if (Used.count(B))
+        // Iterate Live (deterministic creation order), not the
+        // pointer-keyed containers: remark order must be byte-stable
+        // across runs.
+        for (Unit *B : Live) {
+          auto ScoreIt = RejectScore.find(B);
+          if (ScoreIt == RejectScore.end() || Used.count(B))
             continue;
           RE->missed("share", "rejected")
               .atRoot(*B->Members.front())
               .parent(C.RemarkId)
               .arg("candidateKeyType", C.KeyTy->str())
-              .arg("benefitTogether", Score.first)
-              .arg("benefitApart", Score.second)
+              .arg("benefitTogether", ScoreIt->second.first)
+              .arg("benefitApart", ScoreIt->second.second)
               .arg("reason", "benefit together must exceed the sum of "
                              "the parts (Algorithm 3)");
         }
-        for (Unit *B : BlockedPartners)
+        for (Unit *B : Live) {
+          if (!BlockedPartners.count(B))
+            continue;
           RE->missed("share", "blocked")
               .atRoot(*B->Members.front())
               .parent(C.RemarkId)
               .arg("candidateKeyType", C.KeyTy->str())
               .arg("reason", "noshare directive");
+        }
         for (Unit *U : Pruned)
           RE->missed("propagate", "pruned")
               .atRoot(*U->Members.front())

@@ -6,6 +6,7 @@
 
 #include "core/Transform.h"
 
+#include "analysis/AbsInt.h"
 #include "core/MergeNetwork.h"
 #include "core/RemarkEmitter.h"
 #include "interp/Profiler.h"
@@ -453,6 +454,10 @@ ADE_STATISTIC(NumProfileOverrides, "ade-selection",
               "Selections changed by measured profile data");
 ADE_STATISTIC(NumReserveHints, "ade-selection",
               "Capacity pre-sizing hints inserted from profiled peaks");
+ADE_STATISTIC(NumStaticDense, "ade-selection",
+              "Dense selections proven by abstract interpretation");
+ADE_STATISTIC(NumStaticReserveHints, "ade-selection",
+              "Capacity pre-sizing hints proven by abstract interpretation");
 
 /// Counts one explicit Table-I implementation decision.
 static void countSelectionDecision(Selection S) {
@@ -623,6 +628,41 @@ void ade::core::applySelection(ModuleAnalysis &MA,
     if (Final != Static)
       ++NumProfileOverrides;
 
+    // Statically proven density. With no measured record, a cover proof
+    // from the abstract interpreter can make the dense-vs-sparse call:
+    // a class whose key set provably contains every other key member of
+    // its candidate holds the full identifier universe, so the dense
+    // bit-vector representation wastes nothing — no profile needed.
+    const analysis::AbsIntSelectionFacts::ClassFacts *AF =
+        Config.AbsInt ? Config.AbsInt->factsFor(
+                            MA.aliasClassOf(const_cast<RootInfo *>(R)))
+                      : nullptr;
+    bool ProvenDense = false;
+    if (AF && KeyEnumerated && !DirectiveApplies &&
+        (!Rec || Rec->Ops == 0) &&
+        (isa<SetType>(CurTy) || isa<MapType>(CurTy))) {
+      size_t Self = MA.aliasClassOf(const_cast<RootInfo *>(R));
+      std::set<size_t> Others;
+      for (RootInfo *KM : Cand->KeyMembers) {
+        size_t MC = MA.aliasClassOf(KM);
+        if (MC != Self)
+          Others.insert(MC);
+      }
+      ProvenDense = !Others.empty();
+      for (size_t MC : Others)
+        if (std::find(AF->Covers.begin(), AF->Covers.end(), MC) ==
+            AF->Covers.end())
+          ProvenDense = false;
+      if (ProvenDense) {
+        Final = isa<SetType>(CurTy) ? Selection::BitSet : Selection::BitMap;
+        Reason = "proven dense (every key of the other " +
+                 std::to_string(Others.size()) +
+                 " key member class" + (Others.size() == 1 ? "" : "es") +
+                 " provably enters this collection)";
+        ++NumStaticDense;
+      }
+    }
+
     if (RE) {
       // A probe-heavy table that would move to the flat SIMD tables but
       // escapes: record what blocked the upgrade.
@@ -642,6 +682,8 @@ void ade::core::applySelection(ModuleAnalysis &MA,
                      : RE->analysis("selection", "select"))
                     .atRoot(*R)
                     .parent(Plan.provenanceOf(R));
+      if (ProvenDense)
+        SB.parent(AF->RemarkId).arg("provenDense", true);
       if (Profile) {
         const std::string &Origin =
             ClassOrigin[MA.aliasClassOf(const_cast<RootInfo *>(R))];
@@ -718,6 +760,7 @@ void ade::core::applySelection(ModuleAnalysis &MA,
   // get a reserve hint right after the `new`, so the next run builds the
   // table at final size instead of replaying the growth-rehash chain.
   // Matched per site (not per class): each site hints its own peak.
+  std::set<const RootInfo *> ProfileDecided;
   if (Profile) {
     IRBuilder B(M);
     for (const auto &RootPtr : MA.roots()) {
@@ -734,6 +777,7 @@ void ade::core::applySelection(ModuleAnalysis &MA,
           NewI->loc());
       if (!Rec)
         continue;
+      ProfileDecided.insert(R);
       auto SelIt = SelectRemarkOf.find(R);
       uint64_t SelId = SelIt == SelectRemarkOf.end() ? 0 : SelIt->second;
       if (Rec->PeakElements < Config.MinReserve) {
@@ -758,6 +802,48 @@ void ade::core::applySelection(ModuleAnalysis &MA,
             .parent(SelId)
             .arg("root", R->describe())
             .arg("peak", Rec->PeakElements);
+    }
+  }
+
+  // Statically proven pre-sizing: allocation sites whose class has a
+  // finite proven occupancy bound get the same reserve hint with no
+  // measured run at all. The profile, when it matched a site, wins (it
+  // observed the actual peak; the static bound only caps it). Bounds
+  // beyond MaxStaticReserve are not hinted: a proof that large says
+  // little about the real population, and a bad hint wastes memory.
+  if (Config.AbsInt) {
+    constexpr uint64_t MaxStaticReserve = 1ull << 20;
+    IRBuilder B(M);
+    for (const auto &RootPtr : MA.roots()) {
+      const RootInfo *R = RootPtr.get();
+      if (R->TheKind != RootInfo::Kind::Alloc || !R->Anchor ||
+          ProfileDecided.count(R))
+        continue;
+      auto *Res = dyn_cast<InstResult>(R->Anchor);
+      if (!Res)
+        continue;
+      const analysis::AbsIntSelectionFacts::ClassFacts *AF =
+          Config.AbsInt->factsFor(
+              MA.aliasClassOf(const_cast<RootInfo *>(R)));
+      if (!AF || !AF->Ever.isFinite())
+        continue;
+      uint64_t Peak = AF->Ever.Hi;
+      if (Peak < Config.MinReserve || Peak > MaxStaticReserve)
+        continue;
+      Instruction *NewI = Res->parent();
+      auto SelIt = SelectRemarkOf.find(R);
+      B.setInsertionPointAfter(NewI);
+      B.reserve(Res, B.constU64(Peak));
+      ++NumReserveHints;
+      ++NumStaticReserveHints;
+      if (RE)
+        RE->passed("selection", "reserve-hinted")
+            .at(NewI)
+            .parent(SelIt == SelectRemarkOf.end() ? 0 : SelIt->second)
+            .parent(AF->RemarkId)
+            .arg("root", R->describe())
+            .arg("peak", Peak)
+            .arg("static", true);
     }
   }
 

@@ -36,6 +36,10 @@ namespace remarks {
 class RemarkStream;
 }
 
+namespace analysis {
+struct AbsIntSelectionFacts;
+}
+
 namespace core {
 
 /// Transformation knobs.
@@ -90,6 +94,15 @@ struct SelectionConfig {
   /// tables, and allocation sites with known peaks get capacity
   /// pre-sizing hints. Select directives always win over the profile.
   const interp::ProfileData *Profile = nullptr;
+  /// Statically proven facts from the abstract-interpretation engine
+  /// (analysis/AbsInt.h), filled in by the pipeline. Where no profile
+  /// record matched, proven occupancy bounds and cover facts substitute
+  /// for measurements: a class that provably covers every other key
+  /// member of its candidate is selected dense, and allocation sites
+  /// with a finite proven peak get the same pre-sizing reserve a
+  /// profiled run would emit — with the "absint:occupancy" remark as
+  /// provenance parent instead of a profile origin.
+  const analysis::AbsIntSelectionFacts *AbsInt = nullptr;
   /// Minimum profiled peak element count before a pre-sizing reserve is
   /// emitted at the allocation site (tiny tables never rehash enough to
   /// pay for the extra instruction).

@@ -1,0 +1,144 @@
+//===- CallGraph.cpp - Module call graph and SCCs -------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CallGraph.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace ade;
+using namespace ade::ir;
+
+static void collectCalls(const Region &R, const Module &M,
+                         std::vector<const Function *> &Out,
+                         bool &External) {
+  for (const Instruction *I : R) {
+    if (I->op() == Opcode::Call) {
+      const Function *Callee = M.getFunction(I->symbol());
+      if (!Callee || Callee->isExternal())
+        External = true;
+      else
+        Out.push_back(Callee);
+    }
+    for (unsigned Idx = 0; Idx != I->numRegions(); ++Idx)
+      collectCalls(*I->region(Idx), M, Out, External);
+  }
+}
+
+CallGraph::CallGraph(const Module &M) {
+  // Edges, in program order; dedup keeps the first occurrence.
+  for (const auto &F : M.functions()) {
+    Node &N = Nodes[F.get()];
+    if (F->isExternal())
+      continue;
+    std::vector<const Function *> Calls;
+    collectCalls(F->body(), M, Calls, N.CallsExternal);
+    for (const Function *Callee : Calls)
+      if (std::find(N.Callees.begin(), N.Callees.end(), Callee) ==
+          N.Callees.end())
+        N.Callees.push_back(Callee);
+  }
+  for (const auto &F : M.functions())
+    for (const Function *Callee : Nodes[F.get()].Callees)
+      Nodes[Callee].Callers.push_back(F.get());
+
+  // Tarjan's SCC algorithm. The DFS visits functions in module order and
+  // callees in call order, so component order is deterministic; Tarjan
+  // emits each component only after all the components it calls into, so
+  // Sccs is naturally bottom-up.
+  std::map<const Function *, unsigned> Index, Low;
+  std::vector<const Function *> Stack;
+  std::map<const Function *, bool> OnStack;
+  unsigned Next = 0;
+  std::function<void(const Function *)> Strongconnect =
+      [&](const Function *F) {
+        Index[F] = Low[F] = Next++;
+        Stack.push_back(F);
+        OnStack[F] = true;
+        for (const Function *Callee : Nodes[F].Callees) {
+          if (!Index.count(Callee)) {
+            Strongconnect(Callee);
+            Low[F] = std::min(Low[F], Low[Callee]);
+          } else if (OnStack[Callee]) {
+            Low[F] = std::min(Low[F], Index[Callee]);
+          }
+        }
+        if (Low[F] == Index[F]) {
+          std::vector<const Function *> Scc;
+          const Function *Member;
+          do {
+            Member = Stack.back();
+            Stack.pop_back();
+            OnStack[Member] = false;
+            Scc.push_back(Member);
+          } while (Member != F);
+          std::reverse(Scc.begin(), Scc.end());
+          Sccs.push_back(std::move(Scc));
+        }
+      };
+  for (const auto &F : M.functions())
+    if (!F->isExternal() && !Index.count(F.get()))
+      Strongconnect(F.get());
+
+  for (const std::vector<const Function *> &Scc : Sccs) {
+    bool Cycle = Scc.size() > 1;
+    if (!Cycle)
+      for (const Function *Callee : Nodes[Scc.front()].Callees)
+        Cycle |= Callee == Scc.front();
+    if (Cycle)
+      for (const Function *F : Scc)
+        Nodes[F].Recursive = true;
+  }
+
+  for (const auto &F : M.functions())
+    if (!F->isExternal() && Nodes[F.get()].Callers.empty())
+      Entries.push_back(F.get());
+}
+
+const CallGraph::Node &CallGraph::nodeOf(const Function *F) const {
+  static const Node Empty;
+  auto It = Nodes.find(F);
+  return It == Nodes.end() ? Empty : It->second;
+}
+
+const std::vector<const Function *> &
+CallGraph::callees(const Function *F) const {
+  return nodeOf(F).Callees;
+}
+
+const std::vector<const Function *> &
+CallGraph::callers(const Function *F) const {
+  return nodeOf(F).Callers;
+}
+
+bool CallGraph::callsExternal(const Function *F) const {
+  return nodeOf(F).CallsExternal;
+}
+
+bool CallGraph::isRecursive(const Function *F) const {
+  return nodeOf(F).Recursive;
+}
+
+bool CallGraph::reaches(const Function *From, const Function *To) const {
+  if (From == To)
+    return true;
+  std::vector<const Function *> Work{From};
+  std::map<const Function *, bool> Seen;
+  Seen[From] = true;
+  while (!Work.empty()) {
+    const Function *F = Work.back();
+    Work.pop_back();
+    for (const Function *Callee : nodeOf(F).Callees) {
+      if (Callee == To)
+        return true;
+      if (!Seen[Callee]) {
+        Seen[Callee] = true;
+        Work.push_back(Callee);
+      }
+    }
+  }
+  return false;
+}

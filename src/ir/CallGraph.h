@@ -1,0 +1,83 @@
+//===- CallGraph.h - Module call graph and SCCs -----------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module's call graph: one node per function, one edge per direct
+/// call site, plus Tarjan strongly-connected components in bottom-up
+/// (callees before callers) order. Interprocedural analyses walk the SCC
+/// order to compute function summaries before any caller consumes them;
+/// functions inside a non-trivial SCC are recursive and get conservative
+/// summaries.
+///
+/// All orders are derived from module/program order, never from pointer
+/// values, so analyses built on top stay byte-stable across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_IR_CALLGRAPH_H
+#define ADE_IR_CALLGRAPH_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <vector>
+
+namespace ade {
+namespace ir {
+
+class CallGraph {
+public:
+  explicit CallGraph(const Module &M);
+
+  /// Internal functions \p F directly calls (deduplicated, in first-call
+  /// program order). External callees are not listed; see callsExternal.
+  const std::vector<const Function *> &callees(const Function *F) const;
+
+  /// Internal functions that directly call \p F (module order).
+  const std::vector<const Function *> &callers(const Function *F) const;
+
+  /// True when \p F contains a call to an external (body-less) function.
+  bool callsExternal(const Function *F) const;
+
+  /// True when \p F can reach itself through calls (self-recursion or a
+  /// larger cycle).
+  bool isRecursive(const Function *F) const;
+
+  /// Strongly-connected components in bottom-up order: every callee of a
+  /// component member is in the same or an earlier component.
+  const std::vector<std::vector<const Function *>> &sccs() const {
+    return Sccs;
+  }
+
+  /// Internal functions no internal call site references — the module's
+  /// entry points (e.g. @main, or @build/@kernel in benchmark programs).
+  const std::vector<const Function *> &entryFunctions() const {
+    return Entries;
+  }
+
+  /// True when \p To is reachable from \p From through call edges
+  /// (reflexive: a function reaches itself).
+  bool reaches(const Function *From, const Function *To) const;
+
+private:
+  struct Node {
+    std::vector<const Function *> Callees;
+    std::vector<const Function *> Callers;
+    bool CallsExternal = false;
+    bool Recursive = false;
+  };
+
+  const Node &nodeOf(const Function *F) const;
+
+  std::map<const Function *, Node> Nodes;
+  std::vector<std::vector<const Function *>> Sccs;
+  std::vector<const Function *> Entries;
+};
+
+} // namespace ir
+} // namespace ade
+
+#endif // ADE_IR_CALLGRAPH_H

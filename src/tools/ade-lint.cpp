@@ -16,12 +16,15 @@
 ///     --checks=a,b             run only the named checkers
 ///     --diag-format=text|json  output format (default text)
 ///     --list-checks            print the available checkers and exit
+///     --absint                 also print the abstract-interpretation
+///                              report (ranges, occupancy, covers)
 ///
 /// Exit status: 0 when the module is clean, 1 when any diagnostic was
 /// reported, 2 on usage, read, parse or verification errors.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AbsInt.h"
 #include "analysis/Checkers.h"
 #include "core/Pipeline.h"
 #include "ir/Verifier.h"
@@ -38,7 +41,8 @@ using namespace ade;
 static int usage() {
   std::fprintf(stderr,
                "usage: ade-lint FILE.memoir [--ade] [--checks=a,b]\n"
-               "                [--diag-format=text|json] [--list-checks]\n");
+               "                [--diag-format=text|json] [--list-checks]\n"
+               "                [--absint]\n");
   return 2;
 }
 
@@ -58,6 +62,7 @@ int main(int Argc, char **Argv) {
   installCrashHandlers();
   const char *Path = nullptr;
   bool RunAde = false;
+  bool AbsIntReport = false;
   analysis::DiagFormat Format = analysis::DiagFormat::Text;
   std::vector<std::string> Checks;
 
@@ -65,6 +70,8 @@ int main(int Argc, char **Argv) {
     std::string Arg = Argv[I];
     if (Arg == "--ade") {
       RunAde = true;
+    } else if (Arg == "--absint") {
+      AbsIntReport = true;
     } else if (Arg == "--list-checks") {
       for (const analysis::CheckerInfo &CI : analysis::allCheckers())
         outs() << CI.Name << "  " << CI.Description << "\n";
@@ -117,12 +124,20 @@ int main(int Argc, char **Argv) {
   if (RunAde)
     core::runADE(*M);
 
+  if (AbsIntReport) {
+    core::ModuleAnalysis MA(*M);
+    analysis::AbsIntEngine AI(MA);
+    AI.print(outs());
+  }
+
   analysis::DiagnosticEngine DE;
   DE.setSource(Path, Source);
-  if (!analysis::runLint(*M, DE, Checks)) {
+  std::string Unknown;
+  if (!analysis::runLint(*M, DE, Checks, &Unknown)) {
     std::fprintf(stderr,
-                 "ade-lint: unknown checker in --checks "
-                 "(see --list-checks)\n");
+                 "ade-lint: unknown checker '%s' in --checks "
+                 "(see --list-checks)\n",
+                 Unknown.c_str());
     return 2;
   }
   DE.render(outs(), Format);

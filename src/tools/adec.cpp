@@ -39,6 +39,10 @@
 ///                             its implementation choice: static score,
 ///                             profiled score, directive override
 ///                             (requires --ade; a view over the remarks)
+///     --absint-report         print the abstract-interpretation report
+///                             for the input program: proven occupancy
+///                             bounds per alias class, cover facts,
+///                             enumeration universes and do-while growth
 ///     --remarks[=FILE]        record every pipeline decision (passed /
 ///                             missed / analysis) as optimization remarks
 ///                             with provenance chains; prints a caret-
@@ -63,6 +67,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AbsInt.h"
 #include "analysis/Checkers.h"
 #include "core/Pipeline.h"
 #include "core/RemarkEmitter.h"
@@ -98,7 +103,8 @@ static int usage(const char *BadOption = nullptr) {
       "            [--run[=FUNC]] [--args=a,b,c] [--lint]\n"
       "            [--diag-format=text|json] [--time-report]\n"
       "            [--profile[=FILE]] [--profile-use=FILE]\n"
-      "            [--selection-report] [--remarks[=FILE]]\n"
+      "            [--selection-report] [--absint-report]\n"
+      "            [--remarks[=FILE]]\n"
       "            [--remarks-filter=REGEX] [--trace-out=FILE]\n"
       "            [--max-steps=N] [--max-bytes=N] [--max-depth=N]\n");
   return 1;
@@ -203,6 +209,7 @@ int main(int Argc, char **Argv) {
   const char *Path = nullptr;
   bool RunAde = false, Print = false, Run = false, Lint = false;
   bool TimeReport = false, Profile = false, SelectionReport = false;
+  bool AbsIntReport = false;
   bool SawArgs = false, SawDiagFormat = false;
   bool Remarks = false, SawRemarksFilter = false;
   std::string RemarksFile, RemarksFilter;
@@ -254,6 +261,8 @@ int main(int Argc, char **Argv) {
       }
     } else if (Arg == "--selection-report") {
       SelectionReport = true;
+    } else if (Arg == "--absint-report") {
+      AbsIntReport = true;
     } else if (Arg == "--remarks" || Arg.rfind("--remarks=", 0) == 0) {
       Remarks = true;
       if (Arg.size() > 10)
@@ -376,6 +385,14 @@ int main(int Argc, char **Argv) {
     for (const std::string &E : Errors)
       std::fprintf(stderr, "%s: verification: %s\n", Path, E.c_str());
     return 1;
+  }
+
+  // The abstract-interpretation report describes the input program, so it
+  // prints before any transformation runs.
+  if (AbsIntReport) {
+    core::ModuleAnalysis MA(*M);
+    analysis::AbsIntEngine AI(MA);
+    AI.print(outs());
   }
 
   // The remark engine records every pipeline decision. --selection-report

@@ -1,0 +1,480 @@
+//===- AbsIntTest.cpp -----------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the interprocedural abstract-interpretation engine:
+/// interval arithmetic, widening convergence on loops, occupancy and
+/// cover facts, the call graph, the fusion-legality oracle, and the
+/// statically proven selection decisions it feeds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbsInt.h"
+#include "bench/Benchmarks.h"
+#include "core/Pipeline.h"
+#include "core/RemarkEmitter.h"
+#include "ir/CallGraph.h"
+#include "ir/IR.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using analysis::AbsIntEngine;
+using analysis::Interval;
+
+namespace {
+
+/// Recursively finds the first instruction with opcode \p Op in \p R.
+ir::Instruction *findInst(ir::Region &R, ir::Opcode Op) {
+  for (size_t Idx = 0; Idx < R.size(); ++Idx) {
+    ir::Instruction *I = R.inst(Idx);
+    if (I->op() == Op)
+      return I;
+    for (unsigned RI = 0; RI < I->numRegions(); ++RI)
+      if (ir::Instruction *Found = findInst(*I->region(RI), Op))
+        return Found;
+  }
+  return nullptr;
+}
+
+ir::Instruction *findInst(ir::Function &F, ir::Opcode Op) {
+  return findInst(F.body(), Op);
+}
+
+//===----------------------------------------------------------------------===//
+// Interval domain
+//===----------------------------------------------------------------------===//
+
+TEST(Interval, JoinAndWiden) {
+  Interval A = Interval::range(2, 5), B = Interval::range(4, 9);
+  EXPECT_EQ(Interval::join(A, B), Interval::range(2, 9));
+  // Stable bounds survive widening, moving bounds jump to the extreme.
+  EXPECT_EQ(Interval::widen(A, Interval::range(2, 6)),
+            Interval::range(2, Interval::Inf));
+  EXPECT_EQ(Interval::widen(A, Interval::range(1, 5)),
+            Interval::range(0, 5));
+  EXPECT_EQ(Interval::widen(A, A), A);
+}
+
+TEST(Interval, WrapAwareArithmetic) {
+  Interval Big = Interval::range(0, ~0ull - 1);
+  EXPECT_TRUE(Interval::addValue(Big, Interval::exact(2)).isTop());
+  EXPECT_EQ(Interval::addValue(Interval::exact(3), Interval::exact(4)),
+            Interval::exact(7));
+  // Subtraction that could underflow degrades to TOP, never wraps.
+  EXPECT_TRUE(
+      Interval::subValue(Interval::range(0, 5), Interval::exact(1)).isTop());
+  EXPECT_EQ(Interval::subValue(Interval::range(8, 10), Interval::exact(3)),
+            Interval::range(5, 7));
+  EXPECT_TRUE(
+      Interval::mulValue(Big, Interval::range(0, 4)).isTop());
+}
+
+TEST(Interval, SaturatingCounts) {
+  EXPECT_EQ(Interval::satAdd(Interval::Inf, 1), Interval::Inf);
+  EXPECT_EQ(Interval::satMul(Interval::Inf, 0), 0u);
+  Interval PerTrip = Interval::exact(2);
+  EXPECT_EQ(PerTrip.scale(Interval::range(0, Interval::Inf)),
+            Interval::range(0, Interval::Inf));
+  EXPECT_EQ(PerTrip.scale(Interval::exact(10)), Interval::exact(20));
+}
+
+//===----------------------------------------------------------------------===//
+// Range analysis and widening convergence
+//===----------------------------------------------------------------------===//
+
+TEST(AbsIntRanges, LoopInsertingScaledKeysConverges) {
+  // The satellite regression: a loop inserting i*2 keys must converge to
+  // [0, 2N-2] in a handful of passes, far below the dataflow framework's
+  // 64-iteration safety bound.
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %m = new Map<u64, u64>
+  %zero = const 0 : u64
+  %n = const 100 : u64
+  %two = const 2 : u64
+  forrange %zero, %n -> [%i] {
+    %k = mul %i, %two
+    write %m, %k, %i
+    yield
+  }
+  %sz = size %m
+  ret %sz
+})");
+  core::ModuleAnalysis MA(*M);
+  AbsIntEngine AI(MA);
+
+  ir::Function *Main = M->getFunction("main");
+  ASSERT_NE(Main, nullptr);
+  ir::Instruction *Mul = findInst(*Main, ir::Opcode::Mul);
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(AI.rangeOf(Mul->result(0)), Interval::range(0, 198));
+
+  ir::Instruction *Loop = findInst(*Main, ir::Opcode::ForRange);
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_LE(AI.loopPasses(Loop), 4u);
+
+  // Occupancy: at most one map write per trip, 100 trips.
+  core::RootInfo *Root = MA.rootOf(findInst(*Main, ir::Opcode::New)->result(0));
+  ASSERT_NE(Root, nullptr);
+  const analysis::Occupancy &Occ = AI.occupancyOf(MA.aliasClassOf(Root));
+  EXPECT_EQ(Occ.Ever.Hi, 100u);
+  EXPECT_FALSE(Occ.MayRemove);
+  EXPECT_FALSE(Occ.MayClear);
+}
+
+TEST(AbsIntRanges, DoWhileCounterWidensQuickly) {
+  auto M = parser::parseModuleOrDie(R"(extern fn @more() -> u64
+fn @main() -> u64 {
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %n = dowhile iter(%i = %zero) {
+    %i1 = add %i, %one
+    %m = call @more()
+    %go = ne %m, %zero
+    yield %go, %i1
+  }
+  ret %n
+})");
+  core::ModuleAnalysis MA(*M);
+  AbsIntEngine AI(MA);
+  ir::Function *Main = M->getFunction("main");
+  ir::Instruction *Loop = findInst(*Main, ir::Opcode::DoWhile);
+  ASSERT_NE(Loop, nullptr);
+  // The counter ascends without bound; widening must cut the chain off
+  // after the short delay instead of running to the safety bound.
+  EXPECT_LE(AI.loopPasses(Loop), 4u);
+  EXPECT_TRUE(AI.rangeOf(Loop->result(0)).Hi == Interval::Inf);
+}
+
+TEST(AbsIntRanges, InterproceduralReturnSummaries) {
+  auto M = parser::parseModuleOrDie(R"(fn @limit() -> u64 {
+  %n = const 42 : u64
+  ret %n
+}
+fn @main() -> u64 {
+  %l = call @limit()
+  ret %l
+})");
+  core::ModuleAnalysis MA(*M);
+  AbsIntEngine AI(MA);
+  ir::Function *Main = M->getFunction("main");
+  ir::Instruction *Call = findInst(*Main, ir::Opcode::Call);
+  ASSERT_NE(Call, nullptr);
+  EXPECT_EQ(AI.rangeOf(Call->result(0)), Interval::exact(42));
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraph, SccsAndEntries) {
+  auto M = parser::parseModuleOrDie(R"(fn @leaf() -> u64 {
+  %n = const 1 : u64
+  ret %n
+}
+fn @mid() -> u64 {
+  %a = call @leaf()
+  ret %a
+}
+fn @main() -> u64 {
+  %b = call @mid()
+  ret %b
+})");
+  ir::CallGraph CG(*M);
+  ASSERT_EQ(CG.sccs().size(), 3u);
+  // Bottom-up: callees before callers.
+  EXPECT_EQ(CG.sccs()[0][0]->name(), "leaf");
+  EXPECT_EQ(CG.sccs()[2][0]->name(), "main");
+  ASSERT_EQ(CG.entryFunctions().size(), 1u);
+  EXPECT_EQ(CG.entryFunctions()[0]->name(), "main");
+  EXPECT_FALSE(CG.isRecursive(M->getFunction("leaf")));
+  EXPECT_TRUE(CG.reaches(M->getFunction("main"), M->getFunction("leaf")));
+  EXPECT_FALSE(CG.reaches(M->getFunction("leaf"), M->getFunction("main")));
+}
+
+TEST(CallGraph, RecursionDetected) {
+  auto M = parser::parseModuleOrDie(R"(fn @spin(%n: u64) -> u64 {
+  %z = const 0 : u64
+  %stop = eq %n, %z
+  %r = if %stop {
+    yield %z
+  } else {
+    %one = const 1 : u64
+    %m = sub %n, %one
+    %rec = call @spin(%m)
+    yield %rec
+  }
+  ret %r
+})");
+  ir::CallGraph CG(*M);
+  EXPECT_TRUE(CG.isRecursive(M->getFunction("spin")));
+}
+
+//===----------------------------------------------------------------------===//
+// Cover facts and enumeration universes
+//===----------------------------------------------------------------------===//
+
+TEST(AbsIntOccupancy, CoverFactFromUnconditionalWrite) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %src = new Seq<u64>
+  %dst = new Map<u64, u64>
+  %zero = const 0 : u64
+  %n = const 10 : u64
+  forrange %zero, %n -> [%i] {
+    append %src, %i
+    yield
+  }
+  foreach %src -> [%i2, %v] {
+    write %dst, %v, %v
+    yield
+  }
+  %sz = size %dst
+  ret %sz
+})");
+  core::ModuleAnalysis MA(*M);
+  AbsIntEngine AI(MA);
+  ir::Function *Main = M->getFunction("main");
+  ir::Instruction *NewSrc = findInst(*Main, ir::Opcode::New);
+  core::RootInfo *SrcRoot = MA.rootOf(NewSrc->result(0));
+  ASSERT_NE(SrcRoot, nullptr);
+  size_t SrcClass = MA.aliasClassOf(SrcRoot);
+  // Exactly one cover fact: dst ⊇ src.
+  ASSERT_EQ(AI.covers().size(), 1u);
+  EXPECT_EQ(AI.covers()[0].Src, SrcClass);
+  std::vector<size_t> Covered = AI.coveredBy(AI.covers()[0].Dst);
+  ASSERT_EQ(Covered.size(), 1u);
+  EXPECT_EQ(Covered[0], SrcClass);
+}
+
+TEST(AbsIntOccupancy, RemoveInvalidatesCoverProof) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %src = new Seq<u64>
+  %dst = new Map<u64, u64>
+  %zero = const 0 : u64
+  %n = const 10 : u64
+  forrange %zero, %n -> [%i] {
+    append %src, %i
+    yield
+  }
+  foreach %src -> [%i2, %v] {
+    write %dst, %v, %v
+    yield
+  }
+  remove %dst, %zero
+  %sz = size %dst
+  ret %sz
+})");
+  core::ModuleAnalysis MA(*M);
+  AbsIntEngine AI(MA);
+  // The raw fact is still discovered, but the density proof is void.
+  ASSERT_EQ(AI.covers().size(), 1u);
+  EXPECT_TRUE(AI.coveredBy(AI.covers()[0].Dst).empty());
+}
+
+TEST(AbsIntOccupancy, EnumUniverseBoundsMintedIds) {
+  auto M = parser::parseModuleOrDie(R"(global @e : Enum<u64>
+fn @main() -> u64 {
+  %e1 = gget @e
+  %zero = const 0 : u64
+  %ten = const 10 : u64
+  forrange %zero, %ten -> [%i] {
+    %id = enum.add %e1, %i
+    yield
+  }
+  %k = const 3 : idx
+  %v = dec %e1, %k
+  ret %v
+})");
+  core::ModuleAnalysis MA(*M);
+  AbsIntEngine AI(MA);
+  Interval U = AI.enumUniverse("e");
+  EXPECT_EQ(U.Hi, 10u);
+  EXPECT_TRUE(AI.enumUniverse("nosuch").isTop());
+}
+
+//===----------------------------------------------------------------------===//
+// Fusion legality
+//===----------------------------------------------------------------------===//
+
+const char *const FusablePair = R"(fn @main() -> u64 {
+  %dst = new Set<u64>
+  %zero = const 0 : u64
+  %n = const 10 : u64
+  forrange %zero, %n -> [%i] {
+    insert %dst, %i
+    yield
+  }
+  %sum = foreach %dst -> [%v] iter(%acc = %zero) {
+    %a2 = add %acc, %v
+    yield %a2
+  }
+  ret %sum
+})";
+
+TEST(FusionLegality, ProducerConsumerPairIsFusable) {
+  auto M = parser::parseModuleOrDie(FusablePair);
+  core::ModuleAnalysis MA(*M);
+  analysis::FusionLegality FL(MA);
+  ir::Function *Main = M->getFunction("main");
+  ir::Instruction *Producer = findInst(*Main, ir::Opcode::ForRange);
+  ir::Instruction *Consumer = findInst(*Main, ir::Opcode::ForEach);
+  ASSERT_NE(Producer, nullptr);
+  ASSERT_NE(Consumer, nullptr);
+  std::string Why;
+  EXPECT_TRUE(FL.fusable(Producer, Consumer, &Why)) << Why;
+  // Never the other way around.
+  EXPECT_FALSE(FL.fusable(Consumer, Producer));
+}
+
+TEST(FusionLegality, InterveningClearBlocksFusion) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %dst = new Set<u64>
+  %zero = const 0 : u64
+  %n = const 10 : u64
+  forrange %zero, %n -> [%i] {
+    insert %dst, %i
+    yield
+  }
+  clear %dst
+  %sum = foreach %dst -> [%v] iter(%acc = %zero) {
+    %a2 = add %acc, %v
+    yield %a2
+  }
+  ret %sum
+})");
+  core::ModuleAnalysis MA(*M);
+  analysis::FusionLegality FL(MA);
+  ir::Function *Main = M->getFunction("main");
+  std::string Why;
+  EXPECT_FALSE(FL.fusable(findInst(*Main, ir::Opcode::ForRange),
+                          findInst(*Main, ir::Opcode::ForEach), &Why));
+  EXPECT_FALSE(Why.empty());
+}
+
+TEST(FusionLegality, CallInBodyBlocksFusion) {
+  auto M = parser::parseModuleOrDie(R"(extern fn @log(u64)
+fn @main() -> u64 {
+  %dst = new Set<u64>
+  %zero = const 0 : u64
+  %n = const 10 : u64
+  forrange %zero, %n -> [%i] {
+    insert %dst, %i
+    call @log(%i)
+    yield
+  }
+  %sum = foreach %dst -> [%v] iter(%acc = %zero) {
+    %a2 = add %acc, %v
+    yield %a2
+  }
+  ret %sum
+})");
+  core::ModuleAnalysis MA(*M);
+  analysis::FusionLegality FL(MA);
+  ir::Function *Main = M->getFunction("main");
+  EXPECT_FALSE(FL.fusable(findInst(*Main, ir::Opcode::ForRange),
+                          findInst(*Main, ir::Opcode::ForEach)));
+}
+
+TEST(FusionLegality, ShareGroupForcesSameEnumeration) {
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  #pragma ade share group("g")
+  %a = new Set<u64>
+  #pragma ade share group("g")
+  %b = new Set<u64>
+  %c = new Set<u64>
+  %k = const 5 : u64
+  insert %a, %k
+  insert %b, %k
+  insert %c, %k
+  %sz = size %a
+  ret %sz
+})");
+  core::ModuleAnalysis MA(*M);
+  analysis::FusionLegality FL(MA);
+  ir::Function *Main = M->getFunction("main");
+  ir::Instruction *NewA = findInst(*Main, ir::Opcode::New);
+  ir::Instruction *NewB = findInst(*Main, ir::Opcode::New);
+  // Find all three allocations in order.
+  std::vector<ir::Value *> News;
+  for (size_t Idx = 0; Idx < Main->body().size(); ++Idx)
+    if (Main->body().inst(Idx)->op() == ir::Opcode::New)
+      News.push_back(Main->body().inst(Idx)->result(0));
+  (void)NewA;
+  (void)NewB;
+  ASSERT_EQ(News.size(), 3u);
+  EXPECT_TRUE(FL.mustShareEnumeration(News[0], News[1]));
+  EXPECT_FALSE(FL.mustShareEnumeration(News[0], News[2]));
+}
+
+//===----------------------------------------------------------------------===//
+// Statically proven selection decisions
+//===----------------------------------------------------------------------===//
+
+TEST(AbsIntSelection, CcBenchProvenDenseStatically) {
+  // The acceptance check of the static-analysis tentpole: with no
+  // profile at all, the CC benchmark's label map is proven dense (its
+  // init loop writes every enumerated node key), visible as a
+  // selection:select remark whose provenance chains to absint evidence.
+  const bench::BenchmarkSpec *B = bench::findBenchmark("CC");
+  ASSERT_NE(B, nullptr);
+  auto M = parser::parseModuleOrDie(B->Source);
+  core::RemarkEmitter RE;
+  core::PipelineConfig PC;
+  PC.Remarks = &RE;
+  core::runADE(*M, PC);
+
+  std::map<uint64_t, const remarks::Remark *> ById;
+  for (const remarks::Remark &R : RE.stream().remarks())
+    ById[R.Id] = &R;
+
+  bool FoundProvenDense = false;
+  for (const remarks::Remark &R : RE.stream().remarks()) {
+    if (R.Pass != "selection" || R.Name != "select" ||
+        !R.arg("provenDense"))
+      continue;
+    // At least one provenance parent is absint evidence.
+    for (uint64_t P : R.Parents) {
+      auto It = ById.find(P);
+      if (It != ById.end() && It->second->Pass == "absint")
+        FoundProvenDense = true;
+    }
+  }
+  EXPECT_TRUE(FoundProvenDense);
+}
+
+TEST(AbsIntSelection, StaticReserveFromProvenBound) {
+  // A finite proven occupancy bound pre-sizes the allocation with no
+  // profile: the reserve-hinted remark carries static=true and chains
+  // to the absint:occupancy evidence.
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %m = new Map<u64, u64>
+  %zero = const 0 : u64
+  %n = const 100 : u64
+  forrange %zero, %n -> [%i] {
+    write %m, %i, %i
+    yield
+  }
+  %sz = size %m
+  ret %sz
+})");
+  core::RemarkEmitter RE;
+  core::PipelineConfig PC;
+  PC.Remarks = &RE;
+  core::runADE(*M, PC);
+
+  const remarks::Remark *Hint = nullptr;
+  for (const remarks::Remark &R : RE.stream().remarks())
+    if (R.Pass == "selection" && R.Name == "reserve-hinted")
+      Hint = &R;
+  ASSERT_NE(Hint, nullptr);
+  EXPECT_NE(Hint->arg("static"), nullptr);
+  ASSERT_NE(Hint->arg("peak"), nullptr);
+  EXPECT_EQ(Hint->arg("peak")->UInt, 100u);
+  // And the instruction is really there.
+  EXPECT_NE(findInst(*M->getFunction("main"), ir::Opcode::Reserve), nullptr);
+}
+
+} // namespace

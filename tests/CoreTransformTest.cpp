@@ -127,8 +127,9 @@ TEST(Transform, PipelineRecordsPhaseTiming) {
     EXPECT_GE(P.Seconds, 0.0);
   }
   EXPECT_EQ(Names, (std::vector<std::string>{"cloning", "analysis",
-                                             "planning", "transform",
-                                             "selection", "verify"}));
+                                             "planning", "absint",
+                                             "transform", "selection",
+                                             "verify"}));
 }
 
 TEST(Transform, HistogramIsFullyEnumerated) {

@@ -1,0 +1,46 @@
+# Runs ade-lint twice over every fixture in ${DIR} (all checkers, then
+# JSON format) and fails unless both runs produce identical bytes.
+# Guards the deterministic-iteration invariant: diagnostics and remarks
+# must not depend on pointer order or hash-map iteration.
+if(NOT DEFINED TOOL OR NOT DEFINED DIR)
+  message(FATAL_ERROR "usage: cmake -DTOOL=<ade-lint> -DDIR=<fixtures> -P LintDeterminism.cmake")
+endif()
+
+file(GLOB FIXTURES "${DIR}/*.memoir")
+list(SORT FIXTURES)
+if(FIXTURES STREQUAL "")
+  message(FATAL_ERROR "no .memoir fixtures under ${DIR}")
+endif()
+
+foreach(FORMAT text json)
+  if(FORMAT STREQUAL "json")
+    set(FLAGS --diag-format=json)
+  else()
+    set(FLAGS)
+  endif()
+  foreach(FIXTURE ${FIXTURES})
+    # Outputs may contain semicolons, so keep them in scalar variables
+    # (a CMake list would split them).
+    foreach(RUN 1 2)
+      execute_process(
+        COMMAND ${TOOL} ${FLAGS} ${FIXTURE}
+        OUTPUT_VARIABLE OUT
+        ERROR_VARIABLE ERR
+        RESULT_VARIABLE RC)
+      # Lint findings exit non-zero by design; only crashes are fatal.
+      if(RC GREATER 1)
+        message(FATAL_ERROR "${TOOL} crashed (rc=${RC}) on ${FIXTURE}: ${ERR}")
+      endif()
+      set(RUN${RUN} "${OUT}\n---stderr---\n${ERR}")
+    endforeach()
+    set(FIRST "${RUN1}")
+    set(SECOND "${RUN2}")
+    if(NOT FIRST STREQUAL SECOND)
+      message(FATAL_ERROR
+        "non-deterministic output for ${FIXTURE} (${FORMAT}):\n"
+        "--- run 1 ---\n${FIRST}\n--- run 2 ---\n${SECOND}")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "lint output deterministic across ${FIXTURES}")
