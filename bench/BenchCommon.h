@@ -16,6 +16,10 @@
 ///   --pgo            static-vs-profile-guided comparison (binaries that
 ///                    support it): profile a training run, recompile with
 ///                    the measurements, report rehash and timing deltas
+///   --telemetry=off  detach the default runtime telemetry sink from the
+///                    measured runs (binaries that attach one)
+///   --metrics-out=F  write the telemetry snapshot JSON to F (binaries
+///                    that attach a telemetry sink)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +28,7 @@
 
 #include "bench/Harness.h"
 #include "stats/Stats.h"
+#include "support/Histogram.h"
 #include "support/Json.h"
 #include "support/RawOstream.h"
 
@@ -44,8 +49,10 @@ struct CliOptions {
   std::string Only;
   std::string JsonFile;
   std::string CheckAgainst;
+  std::string MetricsOut;
   bool Profile = false;
   bool Pgo = false;
+  bool Telemetry = true;
 
   explicit CliOptions(uint64_t DefaultScale) : Scale(DefaultScale) {}
 
@@ -63,6 +70,12 @@ struct CliOptions {
         JsonFile = Arg.substr(7);
       } else if (Arg.rfind("--check-against=", 0) == 0) {
         CheckAgainst = Arg.substr(16);
+      } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+        MetricsOut = Arg.substr(14);
+      } else if (Arg == "--telemetry=off") {
+        Telemetry = false;
+      } else if (Arg == "--telemetry=on") {
+        Telemetry = true;
       } else if (Arg == "--profile") {
         Profile = true;
       } else if (Arg == "--pgo") {
@@ -71,6 +84,7 @@ struct CliOptions {
         std::fprintf(stderr,
                      "usage: %s [--scale=N] [--trials=N] [--bench=ABBREV]"
                      " [--json=FILE] [--check-against=BASELINE.json]"
+                     " [--metrics-out=FILE] [--telemetry=on|off]"
                      " [--profile] [--pgo]\n",
                      Argv[0]);
         return false;
@@ -91,19 +105,52 @@ struct CliOptions {
   }
 };
 
+/// Every trial of one (benchmark, config) measurement, plus the run the
+/// harness reports on (median total time). Rows built from this carry the
+/// full per-trial nanosecond distribution in the schema-v2 report.
+struct TrialResults {
+  /// All trials, in execution order.
+  std::vector<RunResult> Runs;
+  /// The run with the median total time.
+  RunResult Median;
+
+  /// Per-trial total nanoseconds, in execution order.
+  std::vector<uint64_t> trialNs() const {
+    std::vector<uint64_t> Out;
+    Out.reserve(Runs.size());
+    for (const RunResult &R : Runs)
+      Out.push_back(R.totalSeconds() <= 0
+                        ? 0
+                        : uint64_t(R.totalSeconds() * 1e9 + 0.5));
+    return Out;
+  }
+};
+
+/// Runs \p B under \p C with \p Options (scale taken from \p Cli) for the
+/// configured trials.
+inline TrialResults runTrialsWith(const BenchmarkSpec &B, Config C,
+                                  const CliOptions &Cli,
+                                  RunOptions Options) {
+  Options.ScalePercent = Cli.Scale;
+  TrialResults Out;
+  for (unsigned T = 0; T != Cli.Trials; ++T)
+    Out.Runs.push_back(runBenchmark(B, C, Options));
+  std::vector<const RunResult *> BySpeed;
+  for (const RunResult &R : Out.Runs)
+    BySpeed.push_back(&R);
+  std::sort(BySpeed.begin(), BySpeed.end(),
+            [](const RunResult *X, const RunResult *Y) {
+              return X->totalSeconds() < Y->totalSeconds();
+            });
+  Out.Median = *BySpeed[BySpeed.size() / 2];
+  return Out;
+}
+
 /// Runs \p B under \p C with \p Options (scale taken from \p Cli) for the
 /// configured trials and returns the run with the median total time.
 inline RunResult runMedianWith(const BenchmarkSpec &B, Config C,
                                const CliOptions &Cli, RunOptions Options) {
-  Options.ScalePercent = Cli.Scale;
-  std::vector<RunResult> Runs;
-  for (unsigned T = 0; T != Cli.Trials; ++T)
-    Runs.push_back(runBenchmark(B, C, Options));
-  std::sort(Runs.begin(), Runs.end(),
-            [](const RunResult &X, const RunResult &Y) {
-              return X.totalSeconds() < Y.totalSeconds();
-            });
-  return Runs[Runs.size() / 2];
+  return runTrialsWith(B, C, Cli, std::move(Options)).Median;
 }
 
 /// Runs \p B under \p C for the configured trials and returns the run
@@ -118,7 +165,13 @@ inline RunResult runMedian(const BenchmarkSpec &B, Config C,
 
 /// Version stamp of the bench-report JSON schema (BENCH_*.json and the
 /// CI regression gate); bump when a field changes meaning.
-constexpr uint64_t BenchSchemaVersion = 1;
+///
+/// v2 adds per-row `trialNs` (every trial's total, execution order),
+/// percentile fields `p50Ns`/`p90Ns`/`p99Ns`/`p999Ns` over the trial
+/// distribution, and an `events` object of journal-event counts from the
+/// run's telemetry sink (empty when none was attached). v1 fields are
+/// unchanged, and `checkAgainst` still reads v1 baselines.
+constexpr uint64_t BenchSchemaVersion = 2;
 
 /// The current git commit hash, or "unknown" outside a work tree.
 inline std::string benchCommit() {
@@ -143,6 +196,24 @@ inline std::string benchDateUtc() {
   return Buf;
 }
 
+/// Writes \p Tel's metrics snapshot JSON to \p Path; false (with a
+/// message on stderr) on I/O failure.
+inline bool writeMetricsSnapshot(const runtime::Telemetry &Tel,
+                                 const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  RawFileOstream OS(File);
+  json::Writer W(OS);
+  Tel.writeSnapshotJson(W);
+  OS << '\n';
+  OS.flush();
+  std::fclose(File);
+  return true;
+}
+
 /// Accumulates measured runs and renders them as a machine-readable JSON
 /// report (--json=FILE): a versioned schema stamped with the commit and
 /// date, then per-benchmark median timing in nanoseconds, checksum, peak
@@ -154,14 +225,26 @@ public:
       : Figure(std::move(Figure)), Scale(Cli.Scale), Trials(Cli.Trials) {}
 
   void add(const BenchmarkSpec &B, Config C, const RunResult &R) {
-    Rows.push_back({B.Abbrev, configName(C), R});
+    Rows.push_back({B.Abbrev, configName(C), R, {toNs(R.totalSeconds())}});
   }
 
   /// For rows outside the fixed Config set (e.g. the --pgo comparison's
   /// "ade-pgo").
   void add(const BenchmarkSpec &B, std::string ConfigName,
            const RunResult &R) {
-    Rows.push_back({B.Abbrev, std::move(ConfigName), R});
+    Rows.push_back(
+        {B.Abbrev, std::move(ConfigName), R, {toNs(R.totalSeconds())}});
+  }
+
+  /// Full trial set: the row reports the median run and carries every
+  /// trial's total in `trialNs` (the source of the percentile fields).
+  void add(const BenchmarkSpec &B, Config C, const TrialResults &T) {
+    Rows.push_back({B.Abbrev, configName(C), T.Median, T.trialNs()});
+  }
+
+  void add(const BenchmarkSpec &B, std::string ConfigName,
+           const TrialResults &T) {
+    Rows.push_back({B.Abbrev, std::move(ConfigName), T.Median, T.trialNs()});
   }
 
   void write(RawOstream &OS) const {
@@ -190,6 +273,24 @@ public:
           .member("rehashes", Run.Rehashes)
           .member("selectionChanges", Run.SelectionChanges)
           .member("reserveHints", Run.ReserveHints);
+      W.key("trialNs").beginArray(/*Inline=*/true);
+      for (uint64_t Ns : R.TrialNs)
+        W.value(Ns);
+      W.endArray();
+      Histogram Trials;
+      for (uint64_t Ns : R.TrialNs)
+        Trials.record(Ns);
+      W.member("p50Ns", Trials.p50())
+          .member("p90Ns", Trials.p90())
+          .member("p99Ns", Trials.p99())
+          .member("p999Ns", Trials.p999());
+      W.key("events").beginObject(/*Inline=*/true);
+      for (unsigned K = 0; K != unsigned(runtime::EventKind::NumKinds);
+           ++K)
+        if (Run.Events[K])
+          W.key(runtime::eventKindName(runtime::EventKind(K)))
+              .value(Run.Events[K]);
+      W.endObject();
       W.key("byCategory").beginObject(/*Inline=*/true);
       for (unsigned I = 0; I != runtime::InterpStats::NumCats; ++I)
         if (Run.Stats.ByCategory[I])
@@ -204,9 +305,12 @@ public:
     OS << '\n';
   }
 
-  /// Compares this report against a baseline BENCH_*.json: every
-  /// (bench, config) row present in both must not regress total time by
-  /// more than \p MaxRatio. Baselines under one millisecond are raised
+  /// Compares this report against a baseline BENCH_*.json (schema v1 or
+  /// v2): every (bench, config) row present in both must not regress
+  /// median total time by more than \p MaxRatio, and — when the baseline
+  /// row carries a `p99Ns` (v2) — the p99 of the trial distribution must
+  /// hold to the same budget, so tail regressions hidden by a stable
+  /// median are caught too. Baselines under one millisecond are raised
   /// to that floor first — timing noise on a sub-millisecond run is not
   /// a regression signal. Returns false (with per-row messages on
   /// stderr) when a regression is found or the baseline is unreadable.
@@ -233,9 +337,10 @@ public:
     }
     const json::Value *Version = Doc->find("schemaVersion");
     if (!Version || !Version->isNumber() ||
-        Version->asUint() != BenchSchemaVersion) {
+        (Version->asUint() != 1 &&
+         Version->asUint() != BenchSchemaVersion)) {
       std::fprintf(stderr,
-                   "error: baseline %s has a different schemaVersion\n",
+                   "error: baseline %s has an unsupported schemaVersion\n",
                    BaselinePath.c_str());
       return false;
     }
@@ -275,6 +380,22 @@ public:
                      R.Bench.c_str(), R.Config.c_str(), BaseNs / 1e6,
                      CurNs / 1e6, CurNs / BaseNs, MaxRatio);
       }
+      const json::Value *BaseP99 = Match->find("p99Ns");
+      if (BaseP99 && BaseP99->isNumber() && !R.TrialNs.empty()) {
+        Histogram Trials;
+        for (uint64_t Ns : R.TrialNs)
+          Trials.record(Ns);
+        double BaseTail = std::max(double(BaseP99->asUint()), FloorNs);
+        double CurTail = std::max(double(Trials.p99()), FloorNs);
+        if (CurTail > MaxRatio * BaseTail) {
+          ++Regressed;
+          std::fprintf(stderr,
+                       "REGRESSION: %s/%s p99 %.3fms -> %.3fms (%.2fx > "
+                       "%.2fx budget)\n",
+                       R.Bench.c_str(), R.Config.c_str(), BaseTail / 1e6,
+                       CurTail / 1e6, CurTail / BaseTail, MaxRatio);
+        }
+      }
     }
     std::fprintf(stderr,
                  "bench check: %u row(s) compared against %s, "
@@ -309,6 +430,9 @@ private:
     std::string Bench;
     std::string Config;
     RunResult Result;
+    /// Total nanoseconds per trial, execution order (one entry when the
+    /// row was added from a single RunResult).
+    std::vector<uint64_t> TrialNs;
   };
 
   static uint64_t toNs(double Seconds) {

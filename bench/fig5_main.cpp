@@ -28,20 +28,30 @@ int main(int Argc, char **Argv) {
 
   RawOstream &OS = outs();
   OS << "== Figure 5: ADE vs MEMOIR (scale " << Cli.Scale << "%, "
-     << Cli.Trials << " trial(s)) ==\n";
+     << Cli.Trials << " trial(s)"
+     << (Cli.Telemetry ? ", telemetry on" : ", telemetry off") << ") ==\n";
   Table T({"Bench", "memoir total(s)", "ade total(s)", "speedup",
            "ROI speedup", "memory vs memoir"});
   JsonReport Report("fig5", Cli);
+  // The main-table runs carry the default-rate telemetry sink (sampling
+  // keeps the overhead within the regression budget); --telemetry=off
+  // restores the bare interpreter.
+  runtime::Telemetry Tel;
+  RunOptions Main;
+  if (Cli.Telemetry)
+    Main.Telemetry = &Tel;
   std::vector<double> Speedups, RoiSpeedups, MemRatios;
   for (const BenchmarkSpec *B : Cli.selected()) {
-    RunResult Base = runMedian(*B, Config::Memoir, Cli);
-    RunResult Ade = runMedian(*B, Config::Ade, Cli);
+    TrialResults BaseTrials = runTrialsWith(*B, Config::Memoir, Cli, Main);
+    TrialResults AdeTrials = runTrialsWith(*B, Config::Ade, Cli, Main);
+    const RunResult &Base = BaseTrials.Median;
+    const RunResult &Ade = AdeTrials.Median;
     if (Base.Checksum != Ade.Checksum) {
       OS << "ERROR: checksum mismatch on " << B->Abbrev << "\n";
       return 1;
     }
-    Report.add(*B, Config::Memoir, Base);
-    Report.add(*B, Config::Ade, Ade);
+    Report.add(*B, Config::Memoir, BaseTrials);
+    Report.add(*B, Config::Ade, AdeTrials);
     double Speedup = Base.totalSeconds() / Ade.totalSeconds();
     double Roi = Base.RoiSeconds / Ade.RoiSeconds;
     double Mem = static_cast<double>(Ade.PeakBytes) /
@@ -114,6 +124,18 @@ int main(int Argc, char **Argv) {
                 Table::fmt(Pgo.RoiSeconds, 3)});
     }
     P.print(OS);
+  }
+
+  if (!Cli.MetricsOut.empty()) {
+    if (!Cli.Telemetry) {
+      OS << "ERROR: --metrics-out requires telemetry (drop "
+            "--telemetry=off)\n";
+      return 1;
+    }
+    if (!writeMetricsSnapshot(Tel, Cli.MetricsOut))
+      return 1;
+    OS << "metrics snapshot: " << Cli.MetricsOut << " (" << Tel.sampledOps()
+       << " sampled op(s))\n";
   }
 
   if (!Cli.JsonFile.empty() && !Report.writeTo(Cli.JsonFile))

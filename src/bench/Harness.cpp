@@ -54,6 +54,7 @@ RunResult ade::bench::runBenchmark(const BenchmarkSpec &B, Config C,
   InterpOptions IO;
   IO.CollectStats = Options.CollectStats;
   IO.Prof = Options.Prof;
+  IO.Tel = Options.Telemetry;
   Profiler RehashProf;
   if (Options.MeasureRehashes && !IO.Prof)
     IO.Prof = &RehashProf;
@@ -113,6 +114,12 @@ RunResult ade::bench::runBenchmark(const BenchmarkSpec &B, Config C,
   };
   uint64_t A = FillSeq(W.A), Bv = FillSeq(W.B), Cv = FillSeq(W.C);
 
+  constexpr size_t NumEventKinds = size_t(runtime::EventKind::NumKinds);
+  uint64_t EventsBefore[NumEventKinds] = {};
+  if (Options.Telemetry)
+    for (size_t K = 0; K != NumEventKinds; ++K)
+      EventsBefore[K] = Options.Telemetry->eventCount(runtime::EventKind(K));
+
   RunResult Result;
   using Clock = std::chrono::steady_clock;
   auto T0 = Clock::now();
@@ -133,5 +140,10 @@ RunResult ade::bench::runBenchmark(const BenchmarkSpec &B, Config C,
   if (IO.Prof)
     for (const Profiler::CollectionRecord *R : IO.Prof->collections())
       Result.Rehashes += R->Rehashes;
+  if (Options.Telemetry)
+    for (size_t K = 0; K != NumEventKinds; ++K)
+      Result.Events[K] =
+          Options.Telemetry->eventCount(runtime::EventKind(K)) -
+          EventsBefore[K];
   return Result;
 }

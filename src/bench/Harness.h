@@ -19,6 +19,7 @@
 
 #include "bench/Benchmarks.h"
 #include "runtime/Stats.h"
+#include "runtime/Telemetry.h"
 
 #include <string>
 
@@ -58,6 +59,9 @@ struct RunResult {
   /// capacity pre-sizing hints inserted (PGO compiles only).
   uint64_t SelectionChanges = 0;
   uint64_t ReserveHints = 0;
+  /// Journal events this run emitted, per kind (delta over the run).
+  /// Measured only when RunOptions::Telemetry is attached; 0 otherwise.
+  uint64_t Events[size_t(runtime::EventKind::NumKinds)] = {};
   runtime::InterpStats Stats;
 };
 
@@ -76,6 +80,10 @@ struct RunOptions {
   /// RunResult::Rehashes is measured. Adds per-op attribution overhead,
   /// so timing comparisons must use it on both sides or neither.
   bool MeasureRehashes = false;
+  /// Optional runtime telemetry sink attached to the run's interpreter
+  /// (see runtime/Telemetry.h). Shared across runs; RunResult::Events
+  /// holds this run's delta of the sink's journal totals.
+  runtime::Telemetry *Telemetry = nullptr;
   /// Extra pragma injected at PTA's inner allocation sites (RQ4); applies
   /// to the PTA benchmark only.
   std::string PtaInnerPragma;

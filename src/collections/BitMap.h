@@ -106,6 +106,14 @@ public:
     return Present.memoryBytes() + Values.capacity() * sizeof(V);
   }
 
+  /// Key-location work and universe growths, delegated to the presence
+  /// bitset (every map operation locates its key through it).
+  uint64_t probeCount() const { return Present.probeCount(); }
+  uint64_t rehashCount() const { return Present.rehashCount(); }
+
+  /// One past the largest key the map has capacity for.
+  uint64_t universeSize() const { return Present.universeSize(); }
+
 private:
   BitSet Present;
   std::vector<V, TrackingAllocator<V>> Values;

@@ -42,6 +42,7 @@ public:
   /// Returns true if \p Key is in the set. O(1); keys beyond the current
   /// universe are absent.
   bool contains(uint64_t Key) const {
+    ++Probes;
     uint64_t Word = Key >> 6;
     if (Word >= Words.size())
       return false;
@@ -51,9 +52,15 @@ public:
   /// Inserts \p Key, growing the universe if needed. Returns true if the
   /// key was newly inserted.
   bool insert(uint64_t Key) {
+    ++Probes;
     uint64_t Word = Key >> 6;
-    if (Word >= Words.size())
+    if (Word >= Words.size()) {
+      // Organic universe growth counts as a storage reorganization (the
+      // dense analogue of a rehash); reserve-driven growth does not, so
+      // profile-guided pre-sizing shows up as strictly fewer rehashes.
+      ++Growths;
       Words.resize(Word + 1, 0);
+    }
     uint64_t Mask = 1ULL << (Key & 63);
     if (Words[Word] & Mask)
       return false;
@@ -65,6 +72,7 @@ public:
   /// Removes \p Key. Returns true if it was present. Does not shrink the
   /// universe (matches dynamic_bitset behavior).
   bool remove(uint64_t Key) {
+    ++Probes;
     uint64_t Word = Key >> 6;
     if (Word >= Words.size())
       return false;
@@ -140,6 +148,14 @@ public:
   /// Bytes of backing storage currently held.
   size_t memoryBytes() const { return Words.capacity() * sizeof(uint64_t); }
 
+  /// Word accesses performed to locate a key (one per contains/insert/
+  /// remove — the dense counterpart of a hash probe sequence).
+  uint64_t probeCount() const { return Probes; }
+
+  /// Organic universe growths triggered by inserts beyond the current
+  /// capacity. Reserve-driven growth is deliberately excluded.
+  uint64_t rehashCount() const { return Growths; }
+
   bool operator==(const BitSet &Other) const {
     if (Count != Other.Count)
       return false;
@@ -160,6 +176,9 @@ public:
 private:
   std::vector<uint64_t, TrackingAllocator<uint64_t>> Words;
   size_t Count = 0;
+  /// Telemetry counters; mutable because contains() is logically const.
+  mutable uint64_t Probes = 0;
+  uint64_t Growths = 0;
 };
 
 } // namespace ade

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <vector>
 
 namespace ade {
@@ -34,21 +35,23 @@ public:
   bool empty() const { return Keys.empty(); }
 
   bool contains(const K &Key) const {
-    auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+    auto It = lowerBound(Key);
     return It != Keys.end() && *It == Key;
   }
 
   /// Inserts \p Key keeping the array sorted; true if newly inserted.
   bool insert(const K &Key) {
-    auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+    auto It = lowerBound(Key);
     if (It != Keys.end() && *It == Key)
       return false;
+    if (Keys.size() == Keys.capacity())
+      ++Reallocs;
     Keys.insert(It, Key);
     return true;
   }
 
   bool remove(const K &Key) {
-    auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+    auto It = lowerBound(Key);
     if (It == Keys.end() || *It != Key)
       return false;
     Keys.erase(It);
@@ -70,7 +73,8 @@ public:
       Fn(Key);
   }
 
-  /// Linear merge union: O(|this| + |other|).
+  /// Linear merge union: O(|this| + |other|). The merge allocates a fresh
+  /// array, which counts as one storage reorganization.
   void unionWith(const FlatSet &Other) {
     if (Other.empty())
       return;
@@ -79,6 +83,7 @@ public:
     std::set_union(Keys.begin(), Keys.end(), Other.Keys.begin(),
                    Other.Keys.end(), std::back_inserter(Merged));
     Keys = std::move(Merged);
+    ++Reallocs;
   }
 
   /// Linear merge intersection.
@@ -96,8 +101,35 @@ public:
 
   bool operator==(const FlatSet &Other) const { return Keys == Other.Keys; }
 
+  /// Binary-search comparison steps performed to locate keys.
+  uint64_t probeCount() const { return Probes; }
+
+  /// Backing-array reallocations (growth during insert, merge unions):
+  /// the flat set's analogue of a rehash. Reserve-driven growth is
+  /// deliberately excluded.
+  uint64_t rehashCount() const { return Reallocs; }
+
 private:
+  /// Hand-rolled binary search so the telemetry probe counter reflects
+  /// the true number of comparison steps.
+  typename std::vector<K, TrackingAllocator<K>>::const_iterator
+  lowerBound(const K &Key) const {
+    size_t Lo = 0, Hi = Keys.size();
+    while (Lo < Hi) {
+      ++Probes;
+      size_t Mid = Lo + (Hi - Lo) / 2;
+      if (Keys[Mid] < Key)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Keys.begin() + Lo;
+  }
+
   std::vector<K, TrackingAllocator<K>> Keys;
+  /// Telemetry counters; mutable because contains() is logically const.
+  mutable uint64_t Probes = 0;
+  uint64_t Reallocs = 0;
 };
 
 } // namespace ade

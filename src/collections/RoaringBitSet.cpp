@@ -127,6 +127,7 @@ RoaringBitSet &RoaringBitSet::operator=(const RoaringBitSet &Other) {
 size_t RoaringBitSet::lowerBoundChunk(uint16_t High) const {
   size_t Lo = 0, Hi = Chunks.size();
   while (Lo != Hi) {
+    ++Probes;
     size_t Mid = (Lo + Hi) / 2;
     if (Chunks[Mid].High < High)
       Lo = Mid + 1;
@@ -142,6 +143,7 @@ bool RoaringBitSet::contains(uint64_t Key) const {
   size_t Idx = lowerBoundChunk(High);
   if (Idx == Chunks.size() || Chunks[Idx].High != High)
     return false;
+  ++Probes;
   return Chunks[Idx].Body->contains(static_cast<uint16_t>(Key));
 }
 
@@ -159,13 +161,17 @@ std::unique_ptr<Container> RoaringBitSet::materialize(const Container &C) {
 
 void RoaringBitSet::normalize(std::unique_ptr<Container> &Body) {
   if (auto *Arr = dyn_cast<ArrayContainer>(Body.get())) {
-    if (Arr->cardinality() > ArrayCutoff)
+    if (Arr->cardinality() > ArrayCutoff) {
       Body = materialize(*Arr);
+      ++Reorgs;
+    }
     return;
   }
   if (auto *Bmp = dyn_cast<BitmapContainer>(Body.get())) {
-    if (Bmp->cardinality() <= ArrayCutoff)
+    if (Bmp->cardinality() <= ArrayCutoff) {
       Body = materialize(*Bmp);
+      ++Reorgs;
+    }
     return;
   }
 }
@@ -187,7 +193,9 @@ bool RoaringBitSet::insert(uint64_t Key) {
     if (Body->contains(Low))
       return false;
     Body = materialize(*Body);
+    ++Reorgs;
   }
+  ++Probes;
   bool Inserted;
   if (auto *Arr = dyn_cast<ArrayContainer>(Body.get()))
     Inserted = Arr->insert(Low);
@@ -212,7 +220,9 @@ bool RoaringBitSet::remove(uint64_t Key) {
     if (!Body->contains(Low))
       return false;
     Body = materialize(*Body);
+    ++Reorgs;
   }
+  ++Probes;
   bool Removed;
   if (auto *Arr = dyn_cast<ArrayContainer>(Body.get()))
     Removed = Arr->remove(Low);
@@ -266,8 +276,10 @@ void RoaringBitSet::unionWith(const RoaringBitSet &Other) {
     } else {
       // Array or run on our side: merge through insertion, materializing
       // runs first.
-      if (isa<RunContainer>(Body.get()))
+      if (isa<RunContainer>(Body.get())) {
         Body = materialize(*Body);
+        ++Reorgs;
+      }
       if (auto *Arr = dyn_cast<ArrayContainer>(Body.get())) {
         if (Arr->cardinality() + Theirs.Body->cardinality() > ArrayCutoff) {
           Body = materialize(*Arr); // May still be an array; force check.
@@ -276,6 +288,7 @@ void RoaringBitSet::unionWith(const RoaringBitSet &Other) {
             StillArr->forEach([&](uint16_t Low) { Bmp->insert(Low); });
             Body = std::move(Bmp);
           }
+          ++Reorgs;
         }
       }
       if (auto *Arr = dyn_cast<ArrayContainer>(Body.get()))
@@ -319,6 +332,7 @@ size_t RoaringBitSet::runOptimize() {
     if (Runs->memoryBytes() < C.Body->memoryBytes()) {
       C.Body = std::move(Runs);
       ++Converted;
+      ++Reorgs;
     }
   }
   return Converted;

@@ -180,6 +180,14 @@ public:
   };
   ContainerCounts containerCounts() const;
 
+  /// Storage accesses performed to locate keys: chunk binary-search steps
+  /// plus the container-level lookup per operation.
+  uint64_t probeCount() const { return Probes; }
+
+  /// Container reorganizations: array<->bitmap promotions/demotions and
+  /// run materializations — the compressed bitset's analogue of a rehash.
+  uint64_t rehashCount() const { return Reorgs; }
+
 private:
   struct Chunk {
     uint16_t High;
@@ -194,11 +202,15 @@ private:
   static std::unique_ptr<roaring::Container>
   materialize(const roaring::Container &C);
 
-  /// Promotes/demotes \p Body across the 4096 threshold if needed.
-  static void normalize(std::unique_ptr<roaring::Container> &Body);
+  /// Promotes/demotes \p Body across the 4096 threshold if needed,
+  /// counting any conversion as a container reorganization.
+  void normalize(std::unique_ptr<roaring::Container> &Body);
 
   std::vector<Chunk> Chunks; // Sorted by High.
   size_t Count = 0;
+  /// Telemetry counters; mutable because contains() is logically const.
+  mutable uint64_t Probes = 0;
+  uint64_t Reorgs = 0;
 };
 
 } // namespace ade

@@ -9,12 +9,14 @@
 #include "collections/MemoryTracker.h"
 #include "interp/InterpError.h"
 #include "interp/Profiler.h"
+#include "runtime/Telemetry.h"
 #include "support/Casting.h"
 #include "support/CrashHandler.h"
 #include "support/ErrorHandling.h"
 #include "support/Trace.h"
 
 #include <cassert>
+#include <type_traits>
 
 using namespace ade;
 using namespace ade::interp;
@@ -56,6 +58,10 @@ struct Interpreter::Impl {
   /// Opt-in observers; null in the common case (see InterpOptions::Prof).
   Profiler *Prof = nullptr;
   TraceRecorder *Trace = nullptr;
+  Telemetry *Tel = nullptr;
+  /// 1-in-N op sampling state: sample when (++TelTick & TelMask) == 0.
+  uint64_t TelTick = 0;
+  uint64_t TelMask = 0;
 
   std::vector<std::unique_ptr<RtCollection>> CollArena;
   std::vector<std::unique_ptr<RtEnum>> EnumArena;
@@ -68,7 +74,42 @@ struct Interpreter::Impl {
   uint64_t Depth = 0;
 
   Impl(const Module &M, InterpOptions Opts)
-      : M(M), Opts(Opts), Prof(Opts.Prof), Trace(TraceRecorder::active()) {}
+      : M(M), Opts(Opts), Prof(Opts.Prof), Trace(TraceRecorder::active()),
+        Tel(Opts.Tel), TelMask(Opts.Tel ? Opts.Tel->sampleMask() : 0) {}
+
+  /// Runs one collection operation through the telemetry sampler: on the
+  /// unsampled path (1 - 1/N of ops) the cost over a plain call is one
+  /// pointer test and a tick-and-mask; a sampled op additionally reads
+  /// the probe counter and steady clock around the call.
+  template <typename FnT>
+  auto collOp(const RtCollection *C, OpCategory Cat, FnT Fn)
+      -> decltype(Fn()) {
+    if (!Tel || ((++TelTick) & TelMask)) [[likely]]
+      return Fn();
+    return collOpSampled(C, Cat, Fn);
+  }
+
+  /// The sampled (1/N) slow path. Kept out of line so the dispatch loop's
+  /// register allocation and code layout pay only for the tick-and-mask.
+  template <typename FnT>
+  __attribute__((noinline)) auto
+  collOpSampled(const RtCollection *C, OpCategory Cat, FnT &Fn)
+      -> decltype(Fn()) {
+    uint64_t ProbesBefore = C->probeCounters().Probes;
+    uint64_t T0 = Telemetry::nowNanos();
+    if constexpr (std::is_void_v<decltype(Fn())>) {
+      Fn();
+      uint64_t LatNs = Telemetry::nowNanos() - T0;
+      Tel->recordSampledOp(C, Cat, LatNs,
+                           C->probeCounters().Probes - ProbesBefore);
+    } else {
+      auto Result = Fn();
+      uint64_t LatNs = Telemetry::nowNanos() - T0;
+      Tel->recordSampledOp(C, Cat, LatNs,
+                           C->probeCounters().Probes - ProbesBefore);
+      return Result;
+    }
+  }
 
   /// Throws the recoverable diagnostic for an undefined operation at \p I.
   [[noreturn]] static void trap(InterpErrorKind Kind, const char *Msg,
@@ -80,9 +121,12 @@ struct Interpreter::Impl {
   /// Memory guard, checked at collection growth sites.
   void checkMemBudget(const Instruction &I) {
     if (Opts.MaxBytes &&
-        MemoryTracker::instance().currentBytes() > Opts.MaxBytes)
+        MemoryTracker::instance().currentBytes() > Opts.MaxBytes) {
+      if (Tel)
+        Tel->recordGuardRail(GuardRailKind::Bytes, Opts.MaxBytes);
       trap(InterpErrorKind::MemoryBudget,
            "collection memory budget (--max-bytes) exceeded", I);
+    }
   }
 
   //===--------------------------------------------------------------------===//
@@ -326,7 +370,9 @@ struct Interpreter::Impl {
     CollArena.push_back(createCollection(Ty, Opts.Defaults));
     RtCollection *C = CollArena.back().get();
     if (Prof)
-      Prof->registerCollection(C, Site, std::move(Label));
+      Prof->registerCollection(C, Site, Label);
+    if (Tel)
+      Tel->registerCollection(C, Site, std::move(Label));
     return C;
   }
 
@@ -389,10 +435,13 @@ struct Interpreter::Impl {
   struct DepthGuard {
     Impl &I;
     explicit DepthGuard(Impl &I, const Function *F) : I(I) {
-      if (I.Opts.MaxDepth && I.Depth >= I.Opts.MaxDepth)
+      if (I.Opts.MaxDepth && I.Depth >= I.Opts.MaxDepth) {
+        if (I.Tel)
+          I.Tel->recordGuardRail(GuardRailKind::Depth, I.Opts.MaxDepth);
         throw InterpError(InterpErrorKind::DepthBudget,
                           "call depth budget (--max-depth) exceeded",
                           ir::SrcLoc{}, F->name());
+      }
       ++I.Depth;
     }
     ~DepthGuard() { --I.Depth; }
@@ -447,9 +496,12 @@ struct Interpreter::Impl {
     auto Out = [&](unsigned Idx, uint64_t V) { Fr.Slots[S.Res[Idx]] = V; };
     if (Stats)
       ++Stats->InstructionsExecuted;
-    if (Opts.MaxSteps && ++Steps > Opts.MaxSteps)
+    if (Opts.MaxSteps && ++Steps > Opts.MaxSteps) {
+      if (Tel)
+        Tel->recordGuardRail(GuardRailKind::Steps, Opts.MaxSteps);
       trap(InterpErrorKind::StepBudget,
            "instruction budget (--max-steps) exceeded", I);
+    }
     switch (I.op()) {
     case Opcode::ConstInt: {
       const auto *IT = dyn_cast<IntType>(I.result()->type());
@@ -520,7 +572,8 @@ struct Interpreter::Impl {
       }
       RtMap *Map = asMap(In(0));
       bool Found = false;
-      uint64_t V = Map->get(In(1), Found);
+      uint64_t V = collOp(Map, OpCategory::Read,
+                          [&] { return Map->get(In(1), Found); });
       if (Stats)
         Stats->record(OpCategory::Read, Map->isDense());
       if (Prof)
@@ -536,7 +589,7 @@ struct Interpreter::Impl {
         return Flow::Next;
       }
       RtMap *Map = asMap(In(0));
-      Map->set(In(1), In(2));
+      collOp(Map, OpCategory::Write, [&] { Map->set(In(1), In(2)); });
       checkMemBudget(I);
       if (Stats)
         Stats->record(OpCategory::Write, Map->isDense());
@@ -546,12 +599,14 @@ struct Interpreter::Impl {
     }
     case Opcode::Insert: {
       RtCollection *C = Interpreter::bitsToColl(In(0));
-      if (C->kind() == RtKind::Set)
-        static_cast<RtSet *>(C)->insert(In(1));
-      else if (C->kind() == RtKind::Map)
-        static_cast<RtMap *>(C)->insertDefault(In(1), 0);
-      else
-        reportFatalError("insert on a sequence");
+      collOp(C, OpCategory::Insert, [&] {
+        if (C->kind() == RtKind::Set)
+          static_cast<RtSet *>(C)->insert(In(1));
+        else if (C->kind() == RtKind::Map)
+          static_cast<RtMap *>(C)->insertDefault(In(1), 0);
+        else
+          reportFatalError("insert on a sequence");
+      });
       checkMemBudget(I);
       if (Stats)
         Stats->record(OpCategory::Insert, C->isDense());
@@ -561,12 +616,14 @@ struct Interpreter::Impl {
     }
     case Opcode::Remove: {
       RtCollection *C = Interpreter::bitsToColl(In(0));
-      if (C->kind() == RtKind::Set)
-        static_cast<RtSet *>(C)->remove(In(1));
-      else if (C->kind() == RtKind::Map)
-        static_cast<RtMap *>(C)->remove(In(1));
-      else
-        reportFatalError("remove on a sequence");
+      collOp(C, OpCategory::Remove, [&] {
+        if (C->kind() == RtKind::Set)
+          static_cast<RtSet *>(C)->remove(In(1));
+        else if (C->kind() == RtKind::Map)
+          static_cast<RtMap *>(C)->remove(In(1));
+        else
+          reportFatalError("remove on a sequence");
+      });
       if (Stats)
         Stats->record(OpCategory::Remove, C->isDense());
       if (Prof)
@@ -575,13 +632,13 @@ struct Interpreter::Impl {
     }
     case Opcode::Has: {
       RtCollection *C = Interpreter::bitsToColl(In(0));
-      bool Result;
-      if (C->kind() == RtKind::Set)
-        Result = static_cast<RtSet *>(C)->has(In(1));
-      else if (C->kind() == RtKind::Map)
-        Result = static_cast<RtMap *>(C)->has(In(1));
-      else
+      bool Result = collOp(C, OpCategory::Has, [&]() -> bool {
+        if (C->kind() == RtKind::Set)
+          return static_cast<RtSet *>(C)->has(In(1));
+        if (C->kind() == RtKind::Map)
+          return static_cast<RtMap *>(C)->has(In(1));
         reportFatalError("has on a sequence");
+      });
       if (Stats)
         Stats->record(OpCategory::Has, C->isDense());
       if (Prof)
@@ -608,6 +665,10 @@ struct Interpreter::Impl {
         if (Prof)
           Prof->recordOp(I, OpCategory::Clear, C->isDense(), 1, C);
       }
+      // Clears are rare and individually meaningful: always journaled,
+      // independent of the 1-in-N sampler.
+      if (Tel)
+        Tel->recordClear(C, C->size());
       C->clear();
       return Flow::Next;
     }
@@ -619,6 +680,9 @@ struct Interpreter::Impl {
         if (Prof)
           Prof->recordOp(I, OpCategory::Reserve, C->isDense(), 1, C);
       }
+      // Reserves are rare pre-sizing hints: always journaled.
+      if (Tel)
+        Tel->recordReserve(C, In(1));
       C->reserve(In(1));
       checkMemBudget(I);
       return Flow::Next;
@@ -638,7 +702,7 @@ struct Interpreter::Impl {
         Stats->record(OpCategory::Union, Dst->isDense(), Merged);
       if (Prof)
         Prof->recordOp(I, OpCategory::Union, Dst->isDense(), Merged, Dst);
-      Dst->unionWith(*Src);
+      collOp(Dst, OpCategory::Union, [&] { Dst->unionWith(*Src); });
       checkMemBudget(I);
       return Flow::Next;
     }
@@ -838,6 +902,16 @@ uint64_t Interpreter::callByName(const std::string &Name,
 
 RtCollection *Interpreter::newCollection(const Type *Ty) {
   return TheImpl->makeCollection(Ty);
+}
+
+ProbeCounters Interpreter::probeTotals() const {
+  ProbeCounters Totals;
+  for (const auto &C : TheImpl->CollArena) {
+    ProbeCounters PC = C->probeCounters();
+    Totals.Probes += PC.Probes;
+    Totals.Rehashes += PC.Rehashes;
+  }
+  return Totals;
 }
 
 uint64_t Interpreter::globalValue(const std::string &Name) {

@@ -31,6 +31,9 @@
 #include <vector>
 
 namespace ade {
+namespace runtime {
+class Telemetry;
+}
 namespace interp {
 
 class Profiler;
@@ -44,6 +47,11 @@ struct InterpOptions {
   /// Optional source-attributed profiler (see Profiler.h). Null keeps the
   /// interpreter's hot paths free of per-site bookkeeping.
   Profiler *Prof = nullptr;
+  /// Optional runtime telemetry sink (see runtime/Telemetry.h): samples
+  /// 1-in-N collection ops into latency/probe histograms and journals
+  /// lifecycle events. Null costs nothing; non-null costs one pointer
+  /// test plus a tick-and-mask on the unsampled path.
+  runtime::Telemetry *Tel = nullptr;
   /// Guard rails (see InterpError.h): exceeding a nonzero budget throws a
   /// recoverable InterpError instead of hanging or exhausting the host.
   /// Maximum executed instructions across the whole run (0 = unlimited).
@@ -104,6 +112,11 @@ public:
 
   runtime::InterpStats &stats() { return Stats; }
   const runtime::InterpStats &stats() const { return Stats; }
+
+  /// Sums the internal probe/rehash counters over every live collection
+  /// the interpreter allocated (see RtCollection::probeCounters), so a
+  /// single `adec --run` is inspectable without the full profiler.
+  runtime::ProbeCounters probeTotals() const;
 
   /// Reads a global's current value (0 if never set). Enumeration globals
   /// are created lazily on first access.

@@ -40,6 +40,18 @@ bool ade::runtime::selectionIsDense(Selection Sel) {
   ade_unreachable("unknown selection");
 }
 
+const char *ade::runtime::rtKindName(RtKind K) {
+  switch (K) {
+  case RtKind::Seq:
+    return "seq";
+  case RtKind::Set:
+    return "set";
+  case RtKind::Map:
+    return "map";
+  }
+  ade_unreachable("unknown collection kind");
+}
+
 namespace {
 
 //===----------------------------------------------------------------------===//
@@ -102,6 +114,12 @@ public:
     else
       return {};
   }
+  uint64_t universeBound() const override {
+    if constexpr (requires(const SetT &S) { S.universeSize(); })
+      return Impl.universeSize();
+    else
+      return 0;
+  }
 
   bool has(uint64_t Key) const override { return Impl.contains(Key); }
   bool insert(uint64_t Key) override { return Impl.insert(Key); }
@@ -148,6 +166,12 @@ public:
       return {Impl.probeCount(), Impl.rehashCount()};
     else
       return {};
+  }
+  uint64_t universeBound() const override {
+    if constexpr (requires(const MapT &M) { M.universeSize(); })
+      return Impl.universeSize();
+    else
+      return 0;
   }
 
   bool has(uint64_t Key) const override { return Impl.contains(Key); }

@@ -45,8 +45,17 @@ struct RtError {
 /// search-based (sparse) implementations. Sequences (Array) are dense.
 bool selectionIsDense(ir::Selection Sel);
 
-/// Cumulative internal hash-table work counters, surfaced to the profiler.
-/// Zero for implementations that do not probe (Array, Bit*, FlatSet).
+/// Short lower-case name of \p K ("seq", "set", "map"), for reports and
+/// JSON documents.
+const char *rtKindName(RtKind K);
+
+/// Cumulative internal key-location work counters, surfaced to the
+/// profiler and telemetry. \c Probes counts storage accesses performed to
+/// locate a key (hash-probe sequence steps, binary-search comparisons,
+/// bitset word reads); \c Rehashes counts storage reorganizations (table
+/// rehashes, array reallocations, organic universe growth, Roaring
+/// container promotions/demotions). Zero only for RtSeq (Array), whose
+/// accesses are direct indexing.
 struct ProbeCounters {
   uint64_t Probes = 0;
   uint64_t Rehashes = 0;
@@ -71,9 +80,32 @@ public:
   virtual void reserve(uint64_t N) { (void)N; }
   virtual ProbeCounters probeCounters() const { return {}; }
 
+  /// For dense (universe-indexed) implementations, one past the largest
+  /// key the collection has capacity for; 0 when the representation has
+  /// no universe (search-based storage). Telemetry uses size() against
+  /// this bound to detect sparse<->dense occupancy crossings.
+  virtual uint64_t universeBound() const { return 0; }
+
+  /// Per-collection scratch owned by the attached runtime::Telemetry
+  /// sink (see Telemetry.h): the allocation-site id plus the cumulative
+  /// state its sampled detections diff against. Lives on the collection
+  /// so registration and sampling stay free of per-collection map
+  /// bookkeeping; meaningless unless a sink is attached.
+  struct TelemetryScratch {
+    /// Registered site id + 1; 0 = not registered with the sink.
+    uint32_t SitePlus1 = 0;
+    /// Occupancy state for crossing detection: 0 unknown, 1 sparse,
+    /// 2 dense.
+    uint8_t OccState = 0;
+    /// Cumulative rehash counter at the last sample point.
+    uint64_t LastRehashes = 0;
+  };
+  TelemetryScratch &telemetryScratch() const { return TelScratch; }
+
 private:
   const RtKind TheKind;
   const ir::Selection Impl;
+  mutable TelemetryScratch TelScratch;
 };
 
 /// Runtime sequence (resizable array of 64-bit elements).

@@ -1,0 +1,354 @@
+//===- Telemetry.cpp - Runtime metrics and event journal ------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Telemetry.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Json.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace ade;
+using namespace ade::ir;
+using namespace ade::runtime;
+
+const char *ade::runtime::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::Rehash:
+    return "rehash";
+  case EventKind::Reserve:
+    return "reserve";
+  case EventKind::Clear:
+    return "clear";
+  case EventKind::OccupancyDense:
+    return "occupancy-dense";
+  case EventKind::OccupancySparse:
+    return "occupancy-sparse";
+  case EventKind::GuardRail:
+    return "guard-rail";
+  case EventKind::NumKinds:
+    break;
+  }
+  ade_unreachable("unknown event kind");
+}
+
+bool ade::runtime::eventKindFromName(std::string_view Name, EventKind &Out) {
+  for (unsigned K = 0; K != unsigned(EventKind::NumKinds); ++K)
+    if (Name == eventKindName(EventKind(K))) {
+      Out = EventKind(K);
+      return true;
+    }
+  return false;
+}
+
+const char *ade::runtime::guardRailName(GuardRailKind K) {
+  switch (K) {
+  case GuardRailKind::Steps:
+    return "steps";
+  case GuardRailKind::Bytes:
+    return "bytes";
+  case GuardRailKind::Depth:
+    return "depth";
+  }
+  ade_unreachable("unknown guard rail");
+}
+
+Telemetry::Telemetry() : Telemetry(Options()) {}
+
+Telemetry::Telemetry(Options Opts) : Opts(Opts) {
+  this->Opts.SampleShift = std::min(this->Opts.SampleShift, 30u);
+  if (this->Opts.JournalCapacity == 0)
+    this->Opts.JournalCapacity = 1;
+  StartNs = nowNanos();
+}
+
+uint64_t Telemetry::nowNanos() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+Telemetry::SiteInfo &Telemetry::siteFor(const RtCollection *C) {
+  RtCollection::TelemetryScratch &Scr = C->telemetryScratch();
+  // A zero (never registered) or out-of-range (stale, written by an
+  // earlier sink since reset) id falls back to the shared host record.
+  if (Scr.SitePlus1 == 0 || Scr.SitePlus1 > Sites.size())
+    registerCollection(C, nullptr);
+  return Sites[Scr.SitePlus1 - 1];
+}
+
+void Telemetry::registerCollection(const RtCollection *C,
+                                   const Instruction *Site,
+                                   std::string Label) {
+  uint32_t Id;
+  if (Site) {
+    auto [It, Inserted] = SiteIds.try_emplace(Site, 0);
+    bool Fresh = Inserted;
+    if (!Inserted) {
+      // Instruction addresses can be recycled once a module is destroyed
+      // (one sink often outlives many modules, e.g. across a benchmark
+      // suite). The record snapshots the site's identity, so a mismatch
+      // means a recycled address: start a fresh record instead of
+      // merging unrelated sites.
+      const SiteInfo &Old = Sites[It->second];
+      const Function *F = Site->parentFunction();
+      if (Old.Kind != C->kind() || Old.Impl != C->impl() ||
+          Old.Loc.Line != Site->loc().Line ||
+          Old.Loc.Col != Site->loc().Col ||
+          (F ? Old.Function != F->name() : !Old.Function.empty()))
+        Fresh = true;
+    }
+    if (Fresh) {
+      It->second = uint32_t(Sites.size());
+      SiteInfo &Info = Sites.emplace_back();
+      Info.Id = It->second;
+      Info.Loc = Site->loc();
+      if (const Function *F = Site->parentFunction())
+        Info.Function = F->name();
+      Info.Kind = C->kind();
+      Info.Impl = C->impl();
+    }
+    Id = It->second;
+  } else {
+    if (Label.empty())
+      Label = "<external>";
+    auto [It, Inserted] = LabelIds.try_emplace(std::move(Label), 0);
+    if (Inserted) {
+      It->second = uint32_t(Sites.size());
+      SiteInfo &Info = Sites.emplace_back();
+      Info.Id = It->second;
+      Info.Label = It->first;
+      Info.Kind = C->kind();
+      Info.Impl = C->impl();
+    }
+    Id = It->second;
+  }
+  ++Sites[Id].Created;
+  RtCollection::TelemetryScratch &Scr = C->telemetryScratch();
+  Scr.SitePlus1 = Id + 1;
+  Scr.OccState = 0;
+  Scr.LastRehashes = C->probeCounters().Rehashes;
+}
+
+void Telemetry::push(EventKind K, uint64_t Site, uint64_t A, uint64_t B) {
+  Event E;
+  E.Seq = NextSeq++;
+  E.WhenNs = nowNanos() - StartNs;
+  E.Kind = K;
+  E.Site = Site;
+  E.A = A;
+  E.B = B;
+  ++KindTotals[size_t(K)];
+  if (Ring.size() < Opts.JournalCapacity) {
+    Ring.push_back(E);
+    return;
+  }
+  ++Dropped;
+  Ring[size_t(E.Seq % Opts.JournalCapacity)] = E;
+}
+
+void Telemetry::recordSampledOp(const RtCollection *C, OpCategory Cat,
+                                uint64_t LatNs, uint64_t ProbeDelta) {
+  (void)Cat;
+  Channel &Ch = ChanTab[size_t(C->kind())][size_t(C->impl())];
+  Ch.LatencyNs.record(LatNs);
+  Ch.ProbeLen.record(ProbeDelta);
+  ++Ch.SampledOps;
+
+  SiteInfo &Info = siteFor(C);
+  ++Info.SampledOps;
+
+  // Sampled detections: compare cumulative state against the last sample
+  // of this collection. A rehash event therefore summarizes up to
+  // sampleRate() ops (cumulative total in A, delta in B).
+  RtCollection::TelemetryScratch &Scr = C->telemetryScratch();
+  uint64_t Rehashes = C->probeCounters().Rehashes;
+  if (Rehashes > Scr.LastRehashes) {
+    push(EventKind::Rehash, Info.Id, Rehashes, Rehashes - Scr.LastRehashes);
+    ++Info.Events[size_t(EventKind::Rehash)];
+  }
+  Scr.LastRehashes = Rehashes;
+
+  if (uint64_t Universe = C->universeBound()) {
+    uint64_t Size = C->size();
+    // Same 1/8 occupancy ratio the selection heuristic uses; the sparse
+    // edge sits at half that (1/16) so boundary-hovering cannot flap.
+    bool Dense = Size * 8 >= Universe;
+    bool Sparse = Size * 16 < Universe;
+    if (Scr.OccState == 0) {
+      Scr.OccState = Dense ? 2 : 1;
+    } else if (Dense && Scr.OccState == 1) {
+      Scr.OccState = 2;
+      push(EventKind::OccupancyDense, Info.Id, Size, Universe);
+      ++Info.Events[size_t(EventKind::OccupancyDense)];
+    } else if (Sparse && Scr.OccState == 2) {
+      Scr.OccState = 1;
+      push(EventKind::OccupancySparse, Info.Id, Size, Universe);
+      ++Info.Events[size_t(EventKind::OccupancySparse)];
+    }
+  }
+
+  // Periodic counter mirror so long traces carry a metrics track without
+  // explicit flushes from the host.
+  if (++TotalSamples % 1024 == 0)
+    emitTraceCounters();
+}
+
+void Telemetry::recordClear(const RtCollection *C, uint64_t SizeBefore) {
+  SiteInfo &Info = siteFor(C);
+  push(EventKind::Clear, Info.Id, SizeBefore, 0);
+  ++Info.Events[size_t(EventKind::Clear)];
+}
+
+void Telemetry::recordReserve(const RtCollection *C, uint64_t N) {
+  SiteInfo &Info = siteFor(C);
+  push(EventKind::Reserve, Info.Id, N, 0);
+  ++Info.Events[size_t(EventKind::Reserve)];
+}
+
+void Telemetry::recordGuardRail(GuardRailKind Rail, uint64_t Limit) {
+  push(EventKind::GuardRail, NoSite, uint64_t(Rail), Limit);
+}
+
+std::vector<Telemetry::Event> Telemetry::journalEvents() const {
+  std::vector<Event> Out(Ring);
+  std::sort(Out.begin(), Out.end(),
+            [](const Event &A, const Event &B) { return A.Seq < B.Seq; });
+  return Out;
+}
+
+std::vector<const Telemetry::SiteInfo *> Telemetry::sites() const {
+  std::vector<const SiteInfo *> Out;
+  Out.reserve(Sites.size());
+  for (const SiteInfo &S : Sites)
+    Out.push_back(&S);
+  return Out;
+}
+
+std::map<Telemetry::ChannelKey, Telemetry::Channel>
+Telemetry::channels() const {
+  std::map<ChannelKey, Channel> Out;
+  for (size_t K = 0; K != NumRtKinds; ++K)
+    for (size_t S = 0; S != NumSelections; ++S)
+      if (ChanTab[K][S].SampledOps)
+        Out[{RtKind(K), ir::Selection(S)}] = ChanTab[K][S];
+  return Out;
+}
+
+void Telemetry::reset() {
+  NextSeq = 0;
+  Dropped = 0;
+  TotalSamples = 0;
+  std::fill(std::begin(KindTotals), std::end(KindTotals), 0);
+  Ring.clear();
+  for (size_t K = 0; K != NumRtKinds; ++K)
+    for (size_t S = 0; S != NumSelections; ++S)
+      ChanTab[K][S] = Channel();
+  Sites.clear();
+  SiteIds.clear();
+  LabelIds.clear();
+  StartNs = nowNanos();
+}
+
+void Telemetry::writeSnapshotJson(json::Writer &W) const {
+  W.beginObject();
+  W.member("schemaVersion", MetricsSchemaVersion);
+  W.member("sampleRate", sampleRate());
+  W.member("sampledOps", TotalSamples);
+
+  W.key("channels").beginArray();
+  for (const auto &[Key, Ch] : channels()) {
+    W.beginObject();
+    W.member("kind", rtKindName(Key.first));
+    W.member("impl", selectionName(Key.second));
+    W.member("sampledOps", Ch.SampledOps);
+    W.member("latencyP50Ns", Ch.LatencyNs.p50());
+    W.member("latencyP99Ns", Ch.LatencyNs.p99());
+    W.key("latencyNs");
+    Ch.LatencyNs.writeJson(W);
+    W.key("probeLen");
+    Ch.ProbeLen.writeJson(W);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("sites").beginArray();
+  for (const SiteInfo *Info : sites()) {
+    W.beginObject(/*Inline=*/true);
+    W.member("id", Info->Id);
+    W.member("kind", rtKindName(Info->Kind));
+    W.member("impl", selectionName(Info->Impl));
+    if (!Info->Label.empty())
+      W.member("label", Info->Label);
+    if (!Info->Function.empty())
+      W.member("function", Info->Function);
+    if (Info->Loc.Line) {
+      W.member("line", uint64_t(Info->Loc.Line));
+      W.member("col", uint64_t(Info->Loc.Col));
+    }
+    W.member("created", Info->Created);
+    W.member("sampledOps", Info->SampledOps);
+    W.key("events").beginObject(/*Inline=*/true);
+    for (unsigned K = 0; K != unsigned(EventKind::NumKinds); ++K)
+      if (Info->Events[K])
+        W.member(eventKindName(EventKind(K)), Info->Events[K]);
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("journal").beginObject();
+  W.member("capacity", uint64_t(Opts.JournalCapacity));
+  W.member("dropped", Dropped);
+  W.key("totals").beginObject(/*Inline=*/true);
+  for (unsigned K = 0; K != unsigned(EventKind::NumKinds); ++K)
+    if (KindTotals[K])
+      W.member(eventKindName(EventKind(K)), KindTotals[K]);
+  W.endObject();
+  W.key("events").beginArray();
+  for (const Event &E : journalEvents()) {
+    W.beginObject(/*Inline=*/true);
+    W.member("seq", E.Seq);
+    W.member("tNs", E.WhenNs);
+    W.member("kind", eventKindName(E.Kind));
+    if (E.Site != NoSite)
+      W.member("site", E.Site);
+    if (E.Kind == EventKind::GuardRail)
+      W.member("rail", guardRailName(GuardRailKind(E.A)));
+    else
+      W.member("a", E.A);
+    if (E.B)
+      W.member("b", E.B);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  W.endObject();
+}
+
+void Telemetry::emitTraceCounters() const {
+  TraceRecorder *TR = TraceRecorder::active();
+  if (!TR)
+    return;
+  uint64_t Ts = TR->nowMicros();
+  for (const auto &[Key, Ch] : channels()) {
+    std::string Name = std::string("telemetry:") + rtKindName(Key.first) +
+                       ":" + selectionName(Key.second);
+    TR->addCounter(Name, "telemetry", Ts,
+                   {{"latencyP50Ns", Ch.LatencyNs.p50()},
+                    {"latencyP99Ns", Ch.LatencyNs.p99()},
+                    {"sampledOps", Ch.SampledOps}});
+  }
+  std::vector<std::pair<std::string, uint64_t>> Totals;
+  for (unsigned K = 0; K != unsigned(EventKind::NumKinds); ++K)
+    if (KindTotals[K])
+      Totals.emplace_back(eventKindName(EventKind(K)), KindTotals[K]);
+  if (!Totals.empty())
+    TR->addCounter("telemetry:events", "telemetry", Ts, std::move(Totals));
+}

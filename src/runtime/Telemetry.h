@@ -1,0 +1,245 @@
+//===- Telemetry.h - Runtime metrics and event journal ----------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opt-in runtime telemetry for the interpreter: latency/probe-length
+/// histogram channels per collection class, and a fixed-capacity ring
+/// journal of collection lifecycle events attributed to allocation
+/// sites (the same source snapshotting \c interp::Profiler uses).
+///
+/// Attribution is *site-keyed*: one record per allocating instruction
+/// (or host label), not per collection instance, so benchmarks that
+/// churn through thousands of short-lived collections pay one hot map
+/// lookup per creation instead of a record allocation. The cumulative
+/// state sampled detections diff against lives in a small scratch
+/// struct on the collection itself (\c RtCollection::telemetryScratch).
+///
+/// Sampling contract: the interpreter charges 1-in-N collection operations
+/// (N = 2^Options::SampleShift, default 256) to the telemetry sink; the
+/// unsampled fast path costs one pointer test plus a tick-and-mask. A
+/// sampled op records wall latency and the op's probe count into the
+/// (kind, impl) channel, and *detects* cumulative state changes —
+/// rehash-counter deltas and occupancy-threshold crossings — so those
+/// journal events carry cumulative totals and may cover up to N ops.
+/// Clear, reserve and guard-rail events are always recorded, sampling
+/// aside, because they are rare and individually meaningful.
+///
+/// Snapshots serialize every channel, per-collection record and the
+/// journal to JSON (\c writeSnapshotJson) and mirror channel percentiles
+/// as Chrome-trace counter series (\c emitTraceCounters) on the active
+/// \c TraceRecorder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_RUNTIME_TELEMETRY_H
+#define ADE_RUNTIME_TELEMETRY_H
+
+#include "ir/IR.h"
+#include "runtime/RtCollection.h"
+#include "runtime/Stats.h"
+#include "support/Histogram.h"
+
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ade {
+namespace json {
+class Writer;
+}
+
+namespace runtime {
+
+/// Version stamp of the metrics snapshot JSON document.
+constexpr uint64_t MetricsSchemaVersion = 1;
+
+/// Journal event taxonomy.
+enum class EventKind : uint8_t {
+  /// The collection reorganized its storage (hash rehash, realloc,
+  /// organic universe growth, Roaring container conversion). Detected at
+  /// sample points: A = cumulative rehash count, B = delta since the
+  /// previous sample of this collection.
+  Rehash,
+  /// An explicit capacity pre-sizing hint ran. Always recorded; A = N.
+  Reserve,
+  /// The collection was emptied. Always recorded; A = size before.
+  Clear,
+  /// Occupancy rose across the dense threshold (size * 8 >= universe).
+  /// Detected at sample points; A = size, B = universe bound.
+  OccupancyDense,
+  /// Occupancy fell below half the dense threshold (hysteresis, so a
+  /// collection hovering at the boundary does not flap). A/B as above.
+  OccupancySparse,
+  /// An interpreter guard rail tripped (step/memory/depth budget).
+  /// Always recorded, with no collection; A = rail id, B = the limit.
+  GuardRail,
+  NumKinds,
+};
+
+const char *eventKindName(EventKind K);
+
+/// Parses an eventKindName() back; returns false on unknown names.
+bool eventKindFromName(std::string_view Name, EventKind &Out);
+
+/// Guard-rail ids carried in GuardRail events' A payload.
+enum class GuardRailKind : uint8_t { Steps, Bytes, Depth };
+
+const char *guardRailName(GuardRailKind K);
+
+/// Runtime metrics sink attached via \c interp::InterpOptions::Tel.
+class Telemetry {
+public:
+  struct Options {
+    /// Sample 1 in 2^SampleShift collection ops (0 = every op).
+    unsigned SampleShift = 8;
+    /// Ring capacity of the event journal; the oldest events are
+    /// overwritten (and counted as dropped) once it fills.
+    size_t JournalCapacity = 4096;
+  };
+
+  /// One journal entry. Fixed-size; the collection is referenced by its
+  /// allocation-site id so entries outlive the collection.
+  struct Event {
+    /// Global emission order (monotonic even across ring overwrites).
+    uint64_t Seq = 0;
+    /// Nanoseconds since this Telemetry instance was constructed.
+    uint64_t WhenNs = 0;
+    EventKind Kind = EventKind::Rehash;
+    /// Allocation-site id, or ~0 for process-level events (guard rails).
+    uint64_t Site = NoSite;
+    /// Payloads, per EventKind.
+    uint64_t A = 0;
+    uint64_t B = 0;
+  };
+
+  static constexpr uint64_t NoSite = ~uint64_t(0);
+
+  /// One record per allocation site (allocating instruction, or host
+  /// label). Source location and names are snapshotted at first
+  /// registration, like the Profiler's; every collection the site
+  /// creates accumulates into the same record.
+  struct SiteInfo {
+    uint64_t Id = 0;
+    ir::SrcLoc Loc;
+    /// "@name" for globals, "<external>" for host inputs, else empty.
+    std::string Label;
+    /// Function containing the allocating instruction (empty otherwise).
+    std::string Function;
+    RtKind Kind = RtKind::Seq;
+    ir::Selection Impl = ir::Selection::Empty;
+    /// Collections this site has created.
+    uint64_t Created = 0;
+    uint64_t SampledOps = 0;
+    uint64_t Events[size_t(EventKind::NumKinds)] = {};
+  };
+
+  /// One histogram channel per (collection kind, implementation) class.
+  struct Channel {
+    Histogram LatencyNs;
+    Histogram ProbeLen;
+    uint64_t SampledOps = 0;
+  };
+  using ChannelKey = std::pair<RtKind, ir::Selection>;
+
+  static constexpr size_t NumRtKinds = size_t(RtKind::Map) + 1;
+  static constexpr size_t NumSelections = size_t(ir::Selection::BitMap) + 1;
+
+  Telemetry();
+  explicit Telemetry(Options Opts);
+
+  uint64_t sampleRate() const { return uint64_t(1) << Opts.SampleShift; }
+  /// Tick mask for the interpreter's 1-in-N test: sample when
+  /// (++tick & mask) == 0.
+  uint64_t sampleMask() const { return sampleRate() - 1; }
+
+  /// Nanoseconds on the steady clock (monotonic, not wall time).
+  static uint64_t nowNanos();
+
+  /// Notes that \p C exists; \p Site is its allocating instruction (or
+  /// null with \p Label describing the origin). Binds C's telemetry
+  /// scratch to the site's record; after the first collection from a
+  /// site this is one hash lookup.
+  void registerCollection(const RtCollection *C, const ir::Instruction *Site,
+                          std::string Label = {});
+
+  /// Charges one sampled operation on \p C: \p LatNs wall latency and
+  /// \p ProbeDelta storage probes for this op. Also runs the sampled
+  /// detections (rehash deltas against the collection's cumulative
+  /// counter, occupancy crossings against universeBound).
+  void recordSampledOp(const RtCollection *C, OpCategory Cat, uint64_t LatNs,
+                       uint64_t ProbeDelta);
+
+  /// Always-recorded lifecycle events.
+  void recordClear(const RtCollection *C, uint64_t SizeBefore);
+  void recordReserve(const RtCollection *C, uint64_t N);
+  void recordGuardRail(GuardRailKind Rail, uint64_t Limit);
+
+  /// Journal contents, oldest first, plus how many were overwritten.
+  std::vector<Event> journalEvents() const;
+  uint64_t droppedEvents() const { return Dropped; }
+
+  /// Total journal events emitted per kind (including dropped ones).
+  uint64_t eventCount(EventKind K) const {
+    return KindTotals[size_t(K)];
+  }
+
+  /// Allocation-site records in first-registration order.
+  std::vector<const SiteInfo *> sites() const;
+
+  /// Non-empty channels in deterministic (kind, impl) order. Built from
+  /// the flat channel table on each call (the table itself is indexed,
+  /// not searched, so the sampled hot path stays lookup-free).
+  std::map<ChannelKey, Channel> channels() const;
+
+  uint64_t sampledOps() const { return TotalSamples; }
+
+  void reset();
+
+  /// Writes the full metrics snapshot document: schema stamp, sample
+  /// rate, channels (with embedded histograms and convenience
+  /// percentiles), per-site records and the journal.
+  void writeSnapshotJson(json::Writer &W) const;
+
+  /// Mirrors channel percentiles and journal totals as Chrome-trace
+  /// counter series on the active TraceRecorder (no-op when tracing is
+  /// off). Also invoked automatically every 1024 samples so traces get a
+  /// periodic counter track without explicit flushes.
+  void emitTraceCounters() const;
+
+private:
+  SiteInfo &siteFor(const RtCollection *C);
+  void push(EventKind K, uint64_t Site, uint64_t A, uint64_t B);
+
+  Options Opts;
+  uint64_t StartNs = 0;
+  uint64_t NextSeq = 0;
+  uint64_t Dropped = 0;
+  uint64_t TotalSamples = 0;
+  uint64_t KindTotals[size_t(EventKind::NumKinds)] = {};
+
+  /// Ring buffer: Ring[Seq % Capacity] once full.
+  std::vector<Event> Ring;
+
+  /// Flat (kind, impl) channel table: direct indexing keeps the sampled
+  /// path free of map lookups. Entries with SampledOps == 0 are unused.
+  Channel ChanTab[NumRtKinds][NumSelections];
+
+  /// Site records in first-registration order (deque: stable addresses
+  /// as sites are appended).
+  std::deque<SiteInfo> Sites;
+  /// Allocating instruction -> index into Sites.
+  std::unordered_map<const ir::Instruction *, uint32_t> SiteIds;
+  /// Host label -> index into Sites (registrations without a site).
+  std::unordered_map<std::string, uint32_t> LabelIds;
+};
+
+} // namespace runtime
+} // namespace ade
+
+#endif // ADE_RUNTIME_TELEMETRY_H

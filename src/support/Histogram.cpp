@@ -1,0 +1,191 @@
+//===- Histogram.cpp - Log-linear u64 histograms --------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+using namespace ade;
+
+Histogram::Histogram(unsigned SubBucketBits)
+    : Bits(std::clamp(SubBucketBits, 1u, 16u)) {}
+
+size_t Histogram::bucketIndex(uint64_t V) const {
+  // Values below 2^b get exact unit buckets; above that, the top b bits
+  // after the leading one select a sub-bucket of [2^e, 2^(e+1)).
+  const uint64_t B = 1ull << Bits;
+  if (V < B)
+    return size_t(V);
+  unsigned Exp = 63 - unsigned(std::countl_zero(V));
+  return size_t(B + uint64_t(Exp - Bits) * B + ((V >> (Exp - Bits)) - B));
+}
+
+uint64_t Histogram::bucketLo(size_t Index) const {
+  const uint64_t B = 1ull << Bits;
+  if (Index < B)
+    return Index;
+  uint64_t Off = Index - B;
+  unsigned Exp = Bits + unsigned(Off / B);
+  uint64_t Sub = Off % B;
+  return (B + Sub) << (Exp - Bits);
+}
+
+uint64_t Histogram::bucketHi(size_t Index) const {
+  const uint64_t B = 1ull << Bits;
+  if (Index < B)
+    return Index;
+  uint64_t Off = Index - B;
+  unsigned Exp = Bits + unsigned(Off / B);
+  uint64_t Sub = Off % B;
+  uint64_t Width = 1ull << (Exp - Bits);
+  return ((B + Sub) << (Exp - Bits)) + (Width - 1);
+}
+
+uint64_t Histogram::bucketMid(size_t Index) const {
+  uint64_t Lo = bucketLo(Index), Hi = bucketHi(Index);
+  return Lo + (Hi - Lo) / 2;
+}
+
+void Histogram::record(uint64_t V, uint64_t N) {
+  if (N == 0)
+    return;
+  size_t Index = bucketIndex(V);
+  if (Index >= Buckets.size())
+    Buckets.resize(Index + 1, 0);
+  Buckets[Index] += N;
+  Count += N;
+  Sum += V * N;
+  MinV = std::min(MinV, V);
+  MaxV = std::max(MaxV, V);
+}
+
+uint64_t Histogram::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  // Rank of the requested order statistic, 1-based.
+  uint64_t Rank = uint64_t(std::ceil(Q * double(Count)));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Rank)
+      return std::clamp(bucketMid(I), MinV, MaxV);
+  }
+  return MaxV;
+}
+
+void Histogram::merge(const Histogram &Other) {
+  if (Bits != Other.Bits)
+    reportFatalError("Histogram::merge: sub-bucket widths differ");
+  if (Other.Count == 0)
+    return;
+  if (Other.Buckets.size() > Buckets.size())
+    Buckets.resize(Other.Buckets.size(), 0);
+  for (size_t I = 0; I < Other.Buckets.size(); ++I)
+    Buckets[I] += Other.Buckets[I];
+  Count += Other.Count;
+  Sum += Other.Sum;
+  MinV = std::min(MinV, Other.MinV);
+  MaxV = std::max(MaxV, Other.MaxV);
+}
+
+void Histogram::clear() {
+  Count = 0;
+  Sum = 0;
+  MinV = UINT64_MAX;
+  MaxV = 0;
+  Buckets.clear();
+}
+
+bool Histogram::operator==(const Histogram &Other) const {
+  if (Bits != Other.Bits || Count != Other.Count || Sum != Other.Sum ||
+      min() != Other.min() || MaxV != Other.MaxV)
+    return false;
+  // Trailing zero buckets are not significant.
+  size_t N = std::max(Buckets.size(), Other.Buckets.size());
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t A = I < Buckets.size() ? Buckets[I] : 0;
+    uint64_t B = I < Other.Buckets.size() ? Other.Buckets[I] : 0;
+    if (A != B)
+      return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<size_t, uint64_t>> Histogram::nonEmptyBuckets() const {
+  std::vector<std::pair<size_t, uint64_t>> Out;
+  for (size_t I = 0; I < Buckets.size(); ++I)
+    if (Buckets[I])
+      Out.emplace_back(I, Buckets[I]);
+  return Out;
+}
+
+void Histogram::writeJson(json::Writer &W) const {
+  W.beginObject(/*Inline=*/true);
+  W.member("b", Bits);
+  W.member("count", Count);
+  W.member("sum", Sum);
+  W.member("min", min());
+  W.member("max", MaxV);
+  W.key("buckets").beginArray(/*Inline=*/true);
+  for (const auto &[Index, N] : nonEmptyBuckets()) {
+    W.beginArray(/*Inline=*/true);
+    W.value(uint64_t(Index)).value(N);
+    W.endArray();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+bool Histogram::fromJson(const json::Value &V, Histogram &Out,
+                         std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (!V.isObject())
+    return Fail("histogram: expected an object");
+  const json::Value *B = V.find("b");
+  if (!B || !B->isNumber())
+    return Fail("histogram: missing 'b'");
+  Histogram H(unsigned(B->asUint()));
+  const json::Value *Buckets = V.find("buckets");
+  if (!Buckets || !Buckets->isArray())
+    return Fail("histogram: missing 'buckets'");
+  for (const json::Value &Pair : Buckets->elements()) {
+    if (!Pair.isArray() || Pair.size() != 2 || !Pair[0].isNumber() ||
+        !Pair[1].isNumber())
+      return Fail("histogram: malformed bucket entry");
+    size_t Index = size_t(Pair[0].asUint());
+    uint64_t N = Pair[1].asUint();
+    if (Index >= H.Buckets.size())
+      H.Buckets.resize(Index + 1, 0);
+    H.Buckets[Index] += N;
+    H.Count += N;
+  }
+  // Count/sum/min/max are carried explicitly: bucket midpoints cannot
+  // reconstruct the exact sum or extrema.
+  if (const json::Value *C = V.find("count")) {
+    if (C->asUint() != H.Count)
+      return Fail("histogram: 'count' disagrees with bucket totals");
+  }
+  if (const json::Value *S = V.find("sum"))
+    H.Sum = S->asUint();
+  if (const json::Value *M = V.find("min"))
+    H.MinV = H.Count ? M->asUint() : UINT64_MAX;
+  if (const json::Value *M = V.find("max"))
+    H.MaxV = M->asUint();
+  Out = std::move(H);
+  return true;
+}

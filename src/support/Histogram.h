@@ -1,0 +1,112 @@
+//===- Histogram.h - Log-linear u64 histograms ------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An HDR-style log-linear histogram over uint64_t samples with a bounded
+/// relative quantile error, the building block of the runtime telemetry
+/// channels (latency and probe-length distributions) and of the bench
+/// schema-v2 trial distributions.
+///
+/// Bucketing policy: values below 2^b (b = \c subBucketBits, default 5)
+/// land in exact unit buckets; every higher power-of-two range [2^e,
+/// 2^(e+1)) is split into 2^b equal sub-buckets. A quantile query returns
+/// the midpoint of the bucket holding the requested rank, so the reported
+/// value differs from the exact order statistic by at most a factor of
+/// 2^-b (3.125% at the default width) — see \c relativeError.
+///
+/// Histograms with the same sub-bucket width merge losslessly by bucket
+/// addition, which is associative and commutative: per-shard or per-trial
+/// histograms aggregate to exactly the histogram of the combined sample.
+/// The JSON form (\c writeJson / \c fromJson) round-trips bucket-exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SUPPORT_HISTOGRAM_H
+#define ADE_SUPPORT_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ade {
+namespace json {
+class Writer;
+class Value;
+} // namespace json
+
+/// A mergeable log-linear histogram of uint64_t samples.
+class Histogram {
+public:
+  /// \p SubBucketBits is b above: each power-of-two range splits into 2^b
+  /// sub-buckets. Clamped to [1, 16].
+  explicit Histogram(unsigned SubBucketBits = 5);
+
+  /// Records \p N occurrences of \p V.
+  void record(uint64_t V, uint64_t N = 1);
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  /// Exact smallest / largest recorded value (0 when empty).
+  uint64_t min() const { return Count ? MinV : 0; }
+  uint64_t max() const { return MaxV; }
+  double mean() const { return Count ? double(Sum) / double(Count) : 0; }
+  bool empty() const { return Count == 0; }
+
+  /// The value at quantile \p Q in [0, 1]: the midpoint of the bucket
+  /// holding the rank-ceil(Q*count) smallest sample, clamped into
+  /// [min, max] so p0/p100 are exact. 0 when empty.
+  uint64_t quantile(double Q) const;
+
+  uint64_t p50() const { return quantile(0.50); }
+  uint64_t p90() const { return quantile(0.90); }
+  uint64_t p99() const { return quantile(0.99); }
+  uint64_t p999() const { return quantile(0.999); }
+
+  /// Worst-case relative error of \c quantile: 2^-subBucketBits.
+  double relativeError() const { return 1.0 / double(1ull << Bits); }
+
+  unsigned subBucketBits() const { return Bits; }
+
+  /// Adds every sample of \p Other. Both sides must share a sub-bucket
+  /// width; the merge is then exact (bucket-wise addition).
+  void merge(const Histogram &Other);
+
+  void clear();
+
+  bool operator==(const Histogram &Other) const;
+
+  /// Bucket math, exposed for tests and the snapshot viewers.
+  size_t bucketIndex(uint64_t V) const;
+  uint64_t bucketLo(size_t Index) const;
+  uint64_t bucketHi(size_t Index) const;
+  uint64_t bucketMid(size_t Index) const;
+
+  /// Non-empty buckets as (index, count), in increasing index order.
+  std::vector<std::pair<size_t, uint64_t>> nonEmptyBuckets() const;
+
+  /// Appends this histogram as one JSON object:
+  /// {"b": bits, "count": c, "sum": s, "min": m, "max": M,
+  ///  "buckets": [[index, count], ...]}.
+  void writeJson(json::Writer &W) const;
+
+  /// Rebuilds a histogram from the \c writeJson object form. On failure
+  /// returns false and, if \p Error is non-null, stores a message.
+  static bool fromJson(const json::Value &V, Histogram &Out,
+                       std::string *Error = nullptr);
+
+private:
+  unsigned Bits;
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t MinV = UINT64_MAX;
+  uint64_t MaxV = 0;
+  /// Grown lazily to the highest recorded bucket.
+  std::vector<uint64_t> Buckets;
+};
+
+} // namespace ade
+
+#endif // ADE_SUPPORT_HISTOGRAM_H

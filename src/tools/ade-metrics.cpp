@@ -1,0 +1,371 @@
+//===- ade-metrics.cpp - Telemetry snapshot viewer ------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the metrics snapshot JSON that `adec --metrics-out` and
+/// `fig5_main --metrics-out` write (see runtime/Telemetry.h): per-channel
+/// latency/probe percentile tables, per-allocation-site rollups and the
+/// collection event journal.
+///
+/// Usage:
+///   ade-metrics SNAPSHOT.json [options]
+///     --sites            print the per-allocation-site rollup table
+///     --journal          print the event journal
+///     --kind=KIND        only journal events of KIND (e.g. rehash,
+///                        clear, occupancy-dense; requires --journal)
+///     --site=ID          only journal events of allocation site ID
+///                        (requires --journal)
+///     --diff=OTHER.json  compare channel percentiles against a second
+///                        snapshot (OTHER is the baseline)
+///
+/// The channel summary table always prints. Percentiles are recomputed
+/// from the round-tripped histograms, so any quantile is available even
+/// though the snapshot stores only p50/p99 as convenience fields.
+///
+/// Exit codes: 0 success, 1 diagnosed failure (unreadable or malformed
+/// snapshot, bad option).
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Telemetry.h"
+#include "stats/Stats.h"
+#include "support/Histogram.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ade;
+
+static int usage(const char *BadOption = nullptr) {
+  if (BadOption)
+    std::fprintf(stderr, "ade-metrics: unknown option '%s'\n", BadOption);
+  std::fprintf(stderr,
+               "usage: ade-metrics SNAPSHOT.json [--sites] [--journal]\n"
+               "                   [--kind=KIND] [--site=ID]\n"
+               "                   [--diff=OTHER.json]\n");
+  return 1;
+}
+
+static bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Out.append(Buf, N);
+  std::fclose(File);
+  return true;
+}
+
+/// One channel rehydrated from a snapshot document.
+struct ChannelView {
+  std::string Kind;
+  std::string Impl;
+  uint64_t SampledOps = 0;
+  Histogram LatencyNs;
+  Histogram ProbeLen;
+
+  std::string name() const { return Kind + "/" + Impl; }
+};
+
+/// A parsed snapshot: the document plus the rehydrated channel list.
+struct Snapshot {
+  std::unique_ptr<json::Value> Doc;
+  std::vector<ChannelView> Channels;
+  uint64_t SampleRate = 0;
+  uint64_t SampledOps = 0;
+};
+
+static bool loadSnapshot(const std::string &Path, Snapshot &Out) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  std::string Error;
+  Out.Doc = json::parse(Text, &Error);
+  if (!Out.Doc || !Out.Doc->isObject()) {
+    std::fprintf(stderr, "error: malformed snapshot %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  const json::Value *Version = Out.Doc->find("schemaVersion");
+  if (!Version || !Version->isNumber() ||
+      Version->asUint() != runtime::MetricsSchemaVersion) {
+    std::fprintf(stderr,
+                 "error: %s has an unsupported metrics schemaVersion\n",
+                 Path.c_str());
+    return false;
+  }
+  if (const json::Value *V = Out.Doc->find("sampleRate"))
+    Out.SampleRate = V->asUint();
+  if (const json::Value *V = Out.Doc->find("sampledOps"))
+    Out.SampledOps = V->asUint();
+  const json::Value *List = Out.Doc->find("channels");
+  if (!List || !List->isArray()) {
+    std::fprintf(stderr, "error: %s has no channels array\n", Path.c_str());
+    return false;
+  }
+  for (const json::Value &E : List->elements()) {
+    ChannelView Ch;
+    if (const json::Value *V = E.find("kind"))
+      Ch.Kind = V->asString();
+    if (const json::Value *V = E.find("impl"))
+      Ch.Impl = V->asString();
+    if (const json::Value *V = E.find("sampledOps"))
+      Ch.SampledOps = V->asUint();
+    const json::Value *Lat = E.find("latencyNs");
+    const json::Value *Probe = E.find("probeLen");
+    if (!Lat || !Histogram::fromJson(*Lat, Ch.LatencyNs, &Error) || !Probe ||
+        !Histogram::fromJson(*Probe, Ch.ProbeLen, &Error)) {
+      std::fprintf(stderr, "error: %s channel %s: bad histogram: %s\n",
+                   Path.c_str(), Ch.name().c_str(), Error.c_str());
+      return false;
+    }
+    Out.Channels.push_back(std::move(Ch));
+  }
+  return true;
+}
+
+static std::string u64(uint64_t V) { return std::to_string(V); }
+
+static void printSummary(RawOstream &OS, const Snapshot &S) {
+  uint64_t Dropped = 0, Capacity = 0;
+  if (const json::Value *J = S.Doc->find("journal")) {
+    if (const json::Value *V = J->find("dropped"))
+      Dropped = V->asUint();
+    if (const json::Value *V = J->find("capacity"))
+      Capacity = V->asUint();
+  }
+  OS << "== telemetry snapshot: 1-in-" << S.SampleRate << " sampling, "
+     << S.SampledOps << " sampled op(s), journal " << Dropped
+     << " dropped of capacity " << Capacity << " ==\n";
+  stats::Table T({"channel", "ops", "lat p50", "lat p90", "lat p99",
+                  "lat p999", "lat max", "probes p50", "probes p99"});
+  for (const ChannelView &Ch : S.Channels)
+    T.addRow({Ch.name(), u64(Ch.SampledOps), u64(Ch.LatencyNs.p50()),
+              u64(Ch.LatencyNs.p90()), u64(Ch.LatencyNs.p99()),
+              u64(Ch.LatencyNs.p999()), u64(Ch.LatencyNs.max()),
+              u64(Ch.ProbeLen.p50()), u64(Ch.ProbeLen.p99())});
+  T.print(OS);
+  OS << "(latencies in ns; quantile relative error <= "
+     << stats::Table::pct(S.Channels.empty()
+                              ? 0.0
+                              : S.Channels.front().LatencyNs.relativeError())
+     << ")\n";
+}
+
+/// Formats a site's source attribution: "function:line:col", the label,
+/// or "?" when the snapshot has neither.
+static std::string siteWhere(const json::Value &Site) {
+  const json::Value *Label = Site.find("label");
+  if (Label && Label->isString())
+    return Label->asString();
+  std::string Out;
+  if (const json::Value *F = Site.find("function"))
+    Out = F->asString();
+  if (const json::Value *Line = Site.find("line")) {
+    Out += ":";
+    Out += std::to_string(Line->asUint());
+    if (const json::Value *Col = Site.find("col")) {
+      Out += ":";
+      Out += std::to_string(Col->asUint());
+    }
+  }
+  return Out.empty() ? "?" : Out;
+}
+
+static bool printSites(RawOstream &OS, const Snapshot &S) {
+  const json::Value *List = S.Doc->find("sites");
+  if (!List || !List->isArray()) {
+    std::fprintf(stderr, "error: snapshot has no sites array\n");
+    return false;
+  }
+  OS << "\n== allocation sites ==\n";
+  stats::Table T({"site", "kind", "impl", "where", "created", "ops",
+                  "events"});
+  for (const json::Value &Site : List->elements()) {
+    std::string Events;
+    if (const json::Value *Ev = Site.find("events"))
+      for (const auto &[Key, Count] : Ev->members()) {
+        if (!Events.empty())
+          Events += " ";
+        Events += Key + "=" + std::to_string(Count.asUint());
+      }
+    const json::Value *Id = Site.find("id");
+    const json::Value *Kind = Site.find("kind");
+    const json::Value *Impl = Site.find("impl");
+    const json::Value *Created = Site.find("created");
+    const json::Value *Ops = Site.find("sampledOps");
+    T.addRow({Id ? u64(Id->asUint()) : "?",
+              Kind && Kind->isString() ? Kind->asString() : "?",
+              Impl && Impl->isString() ? Impl->asString() : "?",
+              siteWhere(Site), Created ? u64(Created->asUint()) : "0",
+              Ops ? u64(Ops->asUint()) : "0",
+              Events.empty() ? "-" : Events});
+  }
+  T.print(OS);
+  return true;
+}
+
+static bool printJournal(RawOstream &OS, const Snapshot &S,
+                         const std::string &KindFilter, bool HasSiteFilter,
+                         uint64_t SiteFilter) {
+  const json::Value *J = S.Doc->find("journal");
+  const json::Value *List = J ? J->find("events") : nullptr;
+  if (!List || !List->isArray()) {
+    std::fprintf(stderr, "error: snapshot has no journal events\n");
+    return false;
+  }
+  OS << "\n== event journal ==\n";
+  stats::Table T({"seq", "t(ms)", "kind", "site", "a", "b"});
+  uint64_t Shown = 0, Total = 0;
+  for (const json::Value &E : List->elements()) {
+    ++Total;
+    const json::Value *Kind = E.find("kind");
+    std::string KindName =
+        Kind && Kind->isString() ? Kind->asString() : "?";
+    if (!KindFilter.empty() && KindName != KindFilter)
+      continue;
+    const json::Value *Site = E.find("site");
+    if (HasSiteFilter && (!Site || Site->asUint() != SiteFilter))
+      continue;
+    ++Shown;
+    const json::Value *Seq = E.find("seq");
+    const json::Value *TNs = E.find("tNs");
+    const json::Value *A = E.find("a");
+    const json::Value *Rail = E.find("rail");
+    const json::Value *B = E.find("b");
+    T.addRow({Seq ? u64(Seq->asUint()) : "?",
+              TNs ? stats::Table::fmt(double(TNs->asUint()) / 1e6, 3) : "?",
+              KindName, Site ? u64(Site->asUint()) : "-",
+              Rail && Rail->isString() ? Rail->asString()
+                                       : (A ? u64(A->asUint()) : "0"),
+              B ? u64(B->asUint()) : "0"});
+  }
+  T.print(OS);
+  OS << "(" << Shown << " of " << Total << " journal event(s) shown)\n";
+  return true;
+}
+
+/// Percentage-delta cell for the diff table; "-" when the baseline is 0.
+static std::string deltaCell(uint64_t Base, uint64_t Cur) {
+  if (!Base)
+    return "-";
+  double Ratio = double(Cur) / double(Base);
+  return (Ratio >= 1 ? "+" : "") + stats::Table::fmt(100 * (Ratio - 1), 1) +
+         "%";
+}
+
+static bool printDiff(RawOstream &OS, const Snapshot &Cur,
+                      const Snapshot &Base, const std::string &BasePath) {
+  OS << "\n== diff vs " << BasePath << " (baseline -> current) ==\n";
+  stats::Table T({"channel", "ops", "lat p50", "d p50", "lat p99", "d p99",
+                  "probes p99", "d probes"});
+  for (const ChannelView &Ch : Cur.Channels) {
+    const ChannelView *Old = nullptr;
+    for (const ChannelView &B : Base.Channels)
+      if (B.Kind == Ch.Kind && B.Impl == Ch.Impl)
+        Old = &B;
+    if (!Old) {
+      T.addRow({Ch.name(), u64(Ch.SampledOps), u64(Ch.LatencyNs.p50()),
+                "new", u64(Ch.LatencyNs.p99()), "new",
+                u64(Ch.ProbeLen.p99()), "new"});
+      continue;
+    }
+    T.addRow({Ch.name(), u64(Ch.SampledOps), u64(Ch.LatencyNs.p50()),
+              deltaCell(Old->LatencyNs.p50(), Ch.LatencyNs.p50()),
+              u64(Ch.LatencyNs.p99()),
+              deltaCell(Old->LatencyNs.p99(), Ch.LatencyNs.p99()),
+              u64(Ch.ProbeLen.p99()),
+              deltaCell(Old->ProbeLen.p99(), Ch.ProbeLen.p99())});
+  }
+  for (const ChannelView &B : Base.Channels) {
+    bool Present = false;
+    for (const ChannelView &Ch : Cur.Channels)
+      if (B.Kind == Ch.Kind && B.Impl == Ch.Impl)
+        Present = true;
+    if (!Present)
+      T.addRow({B.name(), "0", "-", "gone", "-", "gone", "-", "gone"});
+  }
+  T.print(OS);
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Path;
+  std::string DiffPath, KindFilter;
+  bool Sites = false, Journal = false, HasSiteFilter = false;
+  uint64_t SiteFilter = 0;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--sites") {
+      Sites = true;
+    } else if (Arg == "--journal") {
+      Journal = true;
+    } else if (Arg.rfind("--kind=", 0) == 0) {
+      KindFilter = Arg.substr(7);
+      runtime::EventKind K;
+      if (!runtime::eventKindFromName(KindFilter, K)) {
+        std::fprintf(stderr, "ade-metrics: unknown event kind '%s'\n",
+                     KindFilter.c_str());
+        return 1;
+      }
+    } else if (Arg.rfind("--site=", 0) == 0) {
+      std::string Token = Arg.substr(7);
+      if (Token.empty() ||
+          Token.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "ade-metrics: --site requires a numeric id\n");
+        return 1;
+      }
+      HasSiteFilter = true;
+      SiteFilter = std::strtoull(Token.c_str(), nullptr, 10);
+    } else if (Arg.rfind("--diff=", 0) == 0) {
+      DiffPath = Arg.substr(7);
+      if (DiffPath.empty()) {
+        std::fprintf(stderr, "ade-metrics: --diff requires a file name\n");
+        return 1;
+      }
+    } else if (Arg[0] != '-' && Path.empty()) {
+      Path = Arg;
+    } else {
+      return usage(Arg[0] == '-' ? Argv[I] : nullptr);
+    }
+  }
+  if (Path.empty())
+    return usage();
+  if ((!KindFilter.empty() || HasSiteFilter) && !Journal) {
+    std::fprintf(stderr,
+                 "ade-metrics: --kind/--site require --journal\n");
+    return 1;
+  }
+
+  Snapshot S;
+  if (!loadSnapshot(Path, S))
+    return 1;
+  RawOstream &OS = outs();
+  printSummary(OS, S);
+  if (Sites && !printSites(OS, S))
+    return 1;
+  if (Journal && !printJournal(OS, S, KindFilter, HasSiteFilter, SiteFilter))
+    return 1;
+  if (!DiffPath.empty()) {
+    Snapshot Base;
+    if (!loadSnapshot(DiffPath, Base))
+      return 1;
+    if (!printDiff(OS, S, Base, DiffPath))
+      return 1;
+  }
+  return 0;
+}

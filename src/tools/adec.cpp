@@ -53,6 +53,14 @@
 ///                             'share|selection' (requires --remarks)
 ///     --trace-out=FILE        write a Chrome trace-event JSON covering
 ///                             compile passes and interpreted activations
+///     --metrics-out=FILE      attach the runtime telemetry sink to --run
+///                             and write its metrics snapshot JSON
+///                             (latency/probe histograms per collection
+///                             class, per-collection records, the event
+///                             journal) to FILE
+///     --telemetry-rate=N      sample 1 in N collection ops into the
+///                             telemetry sink (power of two; default 256,
+///                             1 = every op; requires --metrics-out)
 ///     --max-steps=N           abort --run with a diagnostic after N
 ///                             executed instructions (0 = unlimited)
 ///     --max-bytes=N           abort --run with a diagnostic when
@@ -74,6 +82,7 @@
 #include "interp/InterpError.h"
 #include "interp/Interpreter.h"
 #include "interp/Profiler.h"
+#include "runtime/Telemetry.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
@@ -106,6 +115,7 @@ static int usage(const char *BadOption = nullptr) {
       "            [--selection-report] [--absint-report]\n"
       "            [--remarks[=FILE]]\n"
       "            [--remarks-filter=REGEX] [--trace-out=FILE]\n"
+      "            [--metrics-out=FILE] [--telemetry-rate=N]\n"
       "            [--max-steps=N] [--max-bytes=N] [--max-depth=N]\n");
   return 1;
 }
@@ -213,7 +223,8 @@ int main(int Argc, char **Argv) {
   bool SawArgs = false, SawDiagFormat = false;
   bool Remarks = false, SawRemarksFilter = false;
   std::string RemarksFile, RemarksFilter;
-  std::string ProfileFile, ProfileUseFile, TraceFile;
+  std::string ProfileFile, ProfileUseFile, TraceFile, MetricsFile;
+  uint64_t TelemetryRate = 0;
   analysis::DiagFormat Format = analysis::DiagFormat::Text;
   std::string RunFunc = "main";
   std::vector<uint64_t> RunArgs;
@@ -276,6 +287,22 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "adec: --trace-out requires a file name\n");
         return 1;
       }
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsFile = Arg.substr(14);
+      if (MetricsFile.empty()) {
+        std::fprintf(stderr, "adec: --metrics-out requires a file name\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--telemetry-rate=", 0) == 0) {
+      bool Saw = false;
+      if (!parseBudget(Arg, 17, "--telemetry-rate", TelemetryRate, Saw))
+        return 1;
+      if (TelemetryRate == 0 ||
+          (TelemetryRate & (TelemetryRate - 1)) != 0) {
+        std::fprintf(stderr,
+                     "adec: --telemetry-rate must be a power of two\n");
+        return 1;
+      }
     } else if (Arg.rfind("--max-steps=", 0) == 0) {
       if (!parseBudget(Arg, 12, "--max-steps", InterpOpts.MaxSteps,
                        SawBudget))
@@ -323,6 +350,15 @@ int main(int Argc, char **Argv) {
   }
   if (!TraceFile.empty() && !Run) {
     std::fprintf(stderr, "adec: --trace-out requires --run\n");
+    return 1;
+  }
+  if (!MetricsFile.empty() && !Run) {
+    std::fprintf(stderr, "adec: --metrics-out requires --run\n");
+    return 1;
+  }
+  if (TelemetryRate && MetricsFile.empty()) {
+    std::fprintf(stderr,
+                 "adec: --telemetry-rate requires --metrics-out\n");
     return 1;
   }
   if (!ProfileUseFile.empty() && !RunAde) {
@@ -512,6 +548,15 @@ int main(int Argc, char **Argv) {
     interp::InterpOptions Opts = InterpOpts;
     if (Profile)
       Opts.Prof = &Prof;
+    runtime::Telemetry::Options TelOpts;
+    if (TelemetryRate) {
+      TelOpts.SampleShift = 0;
+      while ((uint64_t(1) << TelOpts.SampleShift) < TelemetryRate)
+        ++TelOpts.SampleShift;
+    }
+    runtime::Telemetry Tel(TelOpts);
+    if (!MetricsFile.empty())
+      Opts.Tel = &Tel;
     interp::Interpreter I(*M, Opts);
     uint64_t Result;
     try {
@@ -527,6 +572,23 @@ int main(int Argc, char **Argv) {
     OS << "collection bytes: current="
        << MemoryTracker::instance().currentBytes()
        << " peak=" << MemoryTracker::instance().peakBytes() << "\n";
+    runtime::ProbeCounters Work = I.probeTotals();
+    OS << "collection work: probes=" << Work.Probes
+       << " rehashes=" << Work.Rehashes << "\n";
+    if (!MetricsFile.empty()) {
+      std::FILE *File = std::fopen(MetricsFile.c_str(), "wb");
+      if (!File) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     MetricsFile.c_str());
+        return 1;
+      }
+      RawFileOstream FS(File);
+      json::Writer W(FS);
+      Tel.writeSnapshotJson(W);
+      FS << '\n';
+      FS.flush();
+      std::fclose(File);
+    }
     if (Profile) {
       Prof.printReport(OS, Path);
       if (ProfileFile.empty()) {

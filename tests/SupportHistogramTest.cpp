@@ -1,0 +1,227 @@
+//===- SupportHistogramTest.cpp -------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+#include "support/Json.h"
+#include "support/Random.h"
+#include "support/RawOstream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+using ade::Histogram;
+using ade::Rng;
+
+namespace {
+
+TEST(Histogram, EmptyIsZeroEverywhere) {
+  Histogram H;
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.quantile(0.5), 0u);
+  EXPECT_EQ(H.p999(), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Values below 2^b land in unit buckets, so every quantile is exact.
+  Histogram H(5);
+  for (uint64_t V = 0; V != 32; ++V)
+    H.record(V);
+  EXPECT_EQ(H.count(), 32u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 31u);
+  EXPECT_EQ(H.quantile(0.5), 15u);
+  EXPECT_EQ(H.quantile(1.0), 31u);
+  EXPECT_EQ(H.quantile(0.0), 0u);
+}
+
+TEST(Histogram, BucketIndexRoundTrips) {
+  Histogram H(5);
+  Rng R(11);
+  for (int I = 0; I != 20000; ++I) {
+    uint64_t V = R.next() >> R.nextBelow(64);
+    size_t Index = H.bucketIndex(V);
+    EXPECT_LE(H.bucketLo(Index), V);
+    EXPECT_GE(H.bucketHi(Index), V);
+    uint64_t Mid = H.bucketMid(Index);
+    EXPECT_LE(H.bucketLo(Index), Mid);
+    EXPECT_GE(H.bucketHi(Index), Mid);
+  }
+  // Extremes.
+  EXPECT_EQ(H.bucketIndex(0), 0u);
+  size_t Top = H.bucketIndex(UINT64_MAX);
+  EXPECT_LE(H.bucketLo(Top), UINT64_MAX);
+  EXPECT_GE(H.bucketHi(Top), UINT64_MAX - H.bucketLo(Top));
+}
+
+/// Property: every queried percentile is within the configured relative
+/// error of the exact order statistic computed from the raw samples.
+void checkQuantileErrorBound(unsigned Bits, uint64_t Seed, int N) {
+  Histogram H(Bits);
+  Rng R(Seed);
+  std::vector<uint64_t> Samples;
+  Samples.reserve(N);
+  for (int I = 0; I != N; ++I) {
+    // Mix magnitudes: shifting by a random amount spreads samples over
+    // many power-of-two ranges instead of clustering near 2^64.
+    uint64_t V = R.next() >> R.nextBelow(60);
+    Samples.push_back(V);
+    H.record(V);
+  }
+  std::sort(Samples.begin(), Samples.end());
+  for (double Q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    uint64_t Rank = uint64_t(std::ceil(Q * double(N)));
+    if (Rank == 0)
+      Rank = 1;
+    uint64_t Exact = Samples[Rank - 1];
+    uint64_t Got = H.quantile(Q);
+    double Tolerance = double(Exact) * H.relativeError() + 1;
+    EXPECT_LE(std::abs(double(Got) - double(Exact)), Tolerance)
+        << "bits=" << Bits << " q=" << Q << " exact=" << Exact
+        << " got=" << Got;
+  }
+}
+
+TEST(Histogram, QuantileErrorBoundProperty) {
+  for (unsigned Bits : {3u, 5u, 8u})
+    for (uint64_t Seed : {1u, 42u, 1234u})
+      checkQuantileErrorBound(Bits, Seed, 5000);
+}
+
+TEST(Histogram, QuantileErrorBoundSkewedSamples) {
+  // Latency-shaped data: a tight cluster plus a long tail.
+  Histogram H(5);
+  Rng R(99);
+  std::vector<uint64_t> Samples;
+  for (int I = 0; I != 10000; ++I) {
+    uint64_t V = 100 + R.nextBelow(50);
+    if (R.nextBelow(100) == 0)
+      V = 100000 + R.nextBelow(900000);
+    Samples.push_back(V);
+    H.record(V);
+  }
+  std::sort(Samples.begin(), Samples.end());
+  for (double Q : {0.5, 0.9, 0.99, 0.999}) {
+    uint64_t Rank = uint64_t(std::ceil(Q * double(Samples.size())));
+    uint64_t Exact = Samples[Rank - 1];
+    uint64_t Got = H.quantile(Q);
+    EXPECT_LE(std::abs(double(Got) - double(Exact)),
+              double(Exact) * H.relativeError() + 1);
+  }
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Rng R(7);
+  Histogram A(5), B(5), Combined(5);
+  for (int I = 0; I != 3000; ++I) {
+    uint64_t V = R.next() >> R.nextBelow(50);
+    (I % 2 ? A : B).record(V);
+    Combined.record(V);
+  }
+  Histogram Merged(5);
+  Merged.merge(A);
+  Merged.merge(B);
+  EXPECT_TRUE(Merged == Combined);
+  EXPECT_EQ(Merged.count(), Combined.count());
+  EXPECT_EQ(Merged.sum(), Combined.sum());
+  EXPECT_EQ(Merged.p99(), Combined.p99());
+}
+
+TEST(Histogram, MergeAssociativity) {
+  Rng R(21);
+  Histogram Parts[3] = {Histogram(5), Histogram(5), Histogram(5)};
+  for (int I = 0; I != 4000; ++I)
+    Parts[R.nextBelow(3)].record(R.next() >> R.nextBelow(48));
+
+  // (a ⊎ b) ⊎ c
+  Histogram Left(5);
+  Left.merge(Parts[0]);
+  Left.merge(Parts[1]);
+  Left.merge(Parts[2]);
+  // a ⊎ (b ⊎ c)
+  Histogram BC(5);
+  BC.merge(Parts[1]);
+  BC.merge(Parts[2]);
+  Histogram Right(5);
+  Right.merge(Parts[0]);
+  Right.merge(BC);
+
+  EXPECT_TRUE(Left == Right);
+  for (double Q : {0.5, 0.9, 0.99, 0.999})
+    EXPECT_EQ(Left.quantile(Q), Right.quantile(Q));
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  Histogram A(5), Empty(5);
+  A.record(17);
+  A.record(9000);
+  Histogram Before = A;
+  A.merge(Empty);
+  EXPECT_TRUE(A == Before);
+  Empty.merge(A);
+  EXPECT_TRUE(Empty == Before);
+}
+
+TEST(Histogram, JsonRoundTrip) {
+  Rng R(31);
+  Histogram H(5);
+  for (int I = 0; I != 2000; ++I)
+    H.record(R.next() >> R.nextBelow(55));
+  H.record(0);
+  H.record(UINT64_MAX);
+
+  std::string Text;
+  {
+    ade::RawStringOstream OS(Text);
+    ade::json::Writer W(OS);
+    H.writeJson(W);
+  }
+  std::string Error;
+  auto Doc = ade::json::parse(Text, &Error);
+  ASSERT_TRUE(Doc) << Error;
+
+  Histogram Back;
+  ASSERT_TRUE(Histogram::fromJson(*Doc, Back, &Error)) << Error;
+  EXPECT_TRUE(Back == H);
+  EXPECT_EQ(Back.count(), H.count());
+  EXPECT_EQ(Back.sum(), H.sum());
+  EXPECT_EQ(Back.min(), H.min());
+  EXPECT_EQ(Back.max(), H.max());
+  for (double Q : {0.5, 0.9, 0.99, 0.999})
+    EXPECT_EQ(Back.quantile(Q), H.quantile(Q));
+}
+
+TEST(Histogram, FromJsonRejectsMalformed) {
+  std::string Error;
+  auto Check = [&](const char *Text) {
+    auto Doc = ade::json::parse(Text, &Error);
+    ASSERT_TRUE(Doc) << Error;
+    Histogram H;
+    EXPECT_FALSE(Histogram::fromJson(*Doc, H, &Error));
+    EXPECT_FALSE(Error.empty());
+  };
+  Check("[]");
+  Check("{}");
+  Check("{\"b\": 5}");
+  Check("{\"b\": 5, \"buckets\": [[1]]}");
+  Check("{\"b\": 5, \"count\": 99, \"buckets\": [[1, 2]]}");
+}
+
+TEST(Histogram, RecordWithWeight) {
+  Histogram A(5), B(5);
+  for (int I = 0; I != 10; ++I)
+    A.record(42);
+  B.record(42, 10);
+  EXPECT_TRUE(A == B);
+}
+
+} // namespace

@@ -1,0 +1,407 @@
+//===- TelemetryTest.cpp --------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The runtime telemetry sink: sampling contract, the event journal
+/// (ring capacity, always-on lifecycle events, guard rails), site-keyed
+/// attribution, occupancy-crossing detection, snapshot JSON
+/// well-formedness, and the opt-in guarantee that attaching telemetry
+/// does not change benchmark checksums or statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+#include "interp/InterpError.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "runtime/Telemetry.h"
+#include "support/Casting.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <gtest/gtest.h>
+
+using namespace ade;
+using namespace ade::interp;
+using namespace ade::runtime;
+
+namespace {
+
+/// Runs @main with \p Tel attached and returns its result.
+uint64_t runWithTelemetry(const char *Src, Telemetry &Tel,
+                          InterpOptions Opts = {}) {
+  auto M = parser::parseModuleOrDie(Src);
+  Opts.Tel = &Tel;
+  Interpreter I(*M, Opts);
+  return I.callByName("main", {});
+}
+
+/// Grows a hash set through several rehashes; the allocation site sits
+/// on line 2.
+const char *kRehashHeavy = R"(fn @main() -> u64 {
+  %s = new Set<u64>
+  %lo = const 0 : u64
+  %hi = const 500 : u64
+  forrange %lo, %hi -> [%i] {
+    insert %s, %i
+    yield
+  }
+  %sz = size %s
+  ret %sz
+})";
+
+TEST(Telemetry, SampleEveryOpFillsChannels) {
+  Telemetry::Options Opts;
+  Opts.SampleShift = 0; // sample every collection op
+  Telemetry Tel(Opts);
+  EXPECT_EQ(Tel.sampleRate(), 1u);
+  EXPECT_EQ(runWithTelemetry(kRehashHeavy, Tel), 500u);
+
+  EXPECT_EQ(Tel.sampledOps(), 500u); // one per insert
+  auto Chans = Tel.channels();
+  ASSERT_EQ(Chans.size(), 1u); // one (set, HashSet) class
+  const Telemetry::Channel &Ch = Chans.begin()->second;
+  EXPECT_EQ(Chans.begin()->first.first, RtKind::Set);
+  EXPECT_EQ(Chans.begin()->first.second, ir::Selection::HashSet);
+  EXPECT_EQ(Ch.SampledOps, Tel.sampledOps());
+  EXPECT_EQ(Ch.LatencyNs.count(), Ch.SampledOps);
+  EXPECT_GT(Ch.ProbeLen.count(), 0u);
+}
+
+TEST(Telemetry, DefaultRateSamplesOneInN) {
+  Telemetry Tel;
+  EXPECT_EQ(Tel.sampleRate(), 256u);
+  EXPECT_EQ(Tel.sampleMask(), 255u);
+  runWithTelemetry(kRehashHeavy, Tel);
+  // ~502 collection ops at 1-in-256: at least one sample lands, and far
+  // fewer than every op is charged.
+  EXPECT_GT(Tel.sampledOps(), 0u);
+  EXPECT_LT(Tel.sampledOps(), 100u);
+}
+
+TEST(Telemetry, RehashEventsCarryCumulativeAndDelta) {
+  Telemetry::Options Opts;
+  Opts.SampleShift = 0;
+  Telemetry Tel(Opts);
+  runWithTelemetry(kRehashHeavy, Tel);
+
+  EXPECT_GT(Tel.eventCount(EventKind::Rehash), 0u);
+  uint64_t LastCumulative = 0;
+  for (const Telemetry::Event &E : Tel.journalEvents()) {
+    if (E.Kind != EventKind::Rehash)
+      continue;
+    EXPECT_GT(E.A, LastCumulative); // cumulative counter grows
+    EXPECT_GT(E.B, 0u);             // delta since the previous sample
+    EXPECT_LE(E.B, E.A);
+    LastCumulative = E.A;
+    EXPECT_NE(E.Site, Telemetry::NoSite);
+  }
+  // Sampling every op observes each reorganization individually, so the
+  // event deltas reconstruct the collection's cumulative counter.
+  EXPECT_GT(LastCumulative, 2u);
+}
+
+TEST(Telemetry, ClearAndReserveAlwaysRecorded) {
+  // SampleShift 20: sampling will never fire in this short program, yet
+  // lifecycle events must still reach the journal.
+  Telemetry::Options Opts;
+  Opts.SampleShift = 20;
+  Telemetry Tel(Opts);
+  runWithTelemetry(R"(fn @main() -> u64 {
+  %s = new Set<u64>
+  %cap = const 64 : u64
+  reserve %s, %cap
+  %k = const 7 : u64
+  insert %s, %k
+  clear %s
+  %sz = size %s
+  ret %sz
+})",
+                   Tel);
+  EXPECT_EQ(Tel.eventCount(EventKind::Reserve), 1u);
+  EXPECT_EQ(Tel.eventCount(EventKind::Clear), 1u);
+  bool SawReserve = false, SawClear = false;
+  for (const Telemetry::Event &E : Tel.journalEvents()) {
+    if (E.Kind == EventKind::Reserve) {
+      SawReserve = true;
+      EXPECT_EQ(E.A, 64u); // requested capacity
+    } else if (E.Kind == EventKind::Clear) {
+      SawClear = true;
+      EXPECT_EQ(E.A, 1u); // size before the clear
+    }
+  }
+  EXPECT_TRUE(SawReserve);
+  EXPECT_TRUE(SawClear);
+}
+
+TEST(Telemetry, JournalRingKeepsNewestAndCountsDropped) {
+  Telemetry::Options Opts;
+  Opts.SampleShift = 0;
+  Opts.JournalCapacity = 4;
+  Telemetry Tel(Opts);
+  runWithTelemetry(kRehashHeavy, Tel);
+
+  uint64_t Total = 0;
+  for (size_t K = 0; K != size_t(EventKind::NumKinds); ++K)
+    Total += Tel.eventCount(EventKind(K));
+  ASSERT_GT(Total, 4u); // the run must overflow the tiny ring
+
+  auto Events = Tel.journalEvents();
+  ASSERT_EQ(Events.size(), 4u);
+  EXPECT_EQ(Tel.droppedEvents(), Total - 4u);
+  // Oldest-first, contiguous, and ending at the newest emission.
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].Seq, Events[I - 1].Seq + 1);
+  EXPECT_EQ(Events.back().Seq, Total - 1);
+}
+
+TEST(Telemetry, GuardRailEventRecordsRailAndLimit) {
+  Telemetry Tel;
+  InterpOptions Opts;
+  Opts.MaxSteps = 1000;
+  Opts.Tel = &Tel;
+  auto M = parser::parseModuleOrDie(R"(fn @main() -> u64 {
+  %lo = const 0 : u64
+  %hi = const 1000000 : u64
+  %zero = const 0 : u64
+  %r = forrange %lo, %hi -> [%i] iter(%acc = %zero) {
+    %n = add %acc, %i
+    yield %n
+  }
+  ret %r
+})");
+  Interpreter I(*M, Opts);
+  EXPECT_THROW(I.callByName("main", {}), InterpError);
+  EXPECT_EQ(Tel.eventCount(EventKind::GuardRail), 1u);
+  auto Events = Tel.journalEvents();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Kind, EventKind::GuardRail);
+  EXPECT_EQ(Events[0].Site, Telemetry::NoSite);
+  EXPECT_EQ(Events[0].A, uint64_t(GuardRailKind::Steps));
+  EXPECT_EQ(Events[0].B, 1000u);
+}
+
+TEST(Telemetry, SiteAttributionAggregatesInstances) {
+  // Five maps churn through one allocation site; telemetry keeps one
+  // record for the site, counting creations, not five records.
+  Telemetry::Options Opts;
+  Opts.SampleShift = 0;
+  Telemetry Tel(Opts);
+  runWithTelemetry(R"(fn @mk(%n : u64) -> u64 {
+  %m = new Map<u64, u64>
+  %k = const 3 : u64
+  write %m, %k, %n
+  %r = read %m, %k
+  ret %r
+}
+fn @main() -> u64 {
+  %lo = const 0 : u64
+  %hi = const 5 : u64
+  %zero = const 0 : u64
+  %r = forrange %lo, %hi -> [%i] iter(%acc = %zero) {
+    %v = call @mk(%i)
+    %n = add %acc, %v
+    yield %n
+  }
+  ret %r
+})",
+                   Tel);
+  const Telemetry::SiteInfo *MapSite = nullptr;
+  for (const Telemetry::SiteInfo *S : Tel.sites())
+    if (S->Kind == RtKind::Map)
+      MapSite = S;
+  ASSERT_NE(MapSite, nullptr);
+  EXPECT_EQ(MapSite->Created, 5u);
+  EXPECT_EQ(MapSite->SampledOps, 10u); // write + read per instance
+  EXPECT_EQ(MapSite->Function, "mk");
+  EXPECT_EQ(MapSite->Loc.Line, 2u);
+  EXPECT_TRUE(MapSite->Label.empty());
+}
+
+TEST(Telemetry, GlobalCollectionsGetLabels) {
+  Telemetry::Options Opts;
+  Opts.SampleShift = 0;
+  Telemetry Tel(Opts);
+  runWithTelemetry(R"(global @cache : Map<u64, u64>
+fn @main() -> u64 {
+  %c = gget @cache
+  %k = const 1 : u64
+  write %c, %k, %k
+  %r = read %c, %k
+  ret %r
+})",
+                   Tel);
+  const Telemetry::SiteInfo *Cache = nullptr;
+  for (const Telemetry::SiteInfo *S : Tel.sites())
+    if (S->Kind == RtKind::Map)
+      Cache = S;
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(Cache->Label, "@cache");
+  EXPECT_EQ(Cache->Created, 1u);
+  EXPECT_EQ(Cache->SampledOps, 2u);
+}
+
+TEST(Telemetry, OccupancyCrossingsUseHysteresis) {
+  // Drive the detection directly on a dense (universe-indexed)
+  // implementation: a BitSet whose universe is pinned by a high key.
+  ir::Module M;
+  RuntimeDefaults Defaults;
+  auto C = createCollection(
+      M.types().setTy(M.types().indexTy(), ir::Selection::BitSet), Defaults);
+  auto *Set = cast<RtSet>(C.get());
+  Telemetry::Options Opts;
+  Opts.SampleShift = 0;
+  Telemetry Tel(Opts);
+  Tel.registerCollection(C.get(), nullptr, "<test>");
+
+  Set->insert(4095); // universe >= 4096, size 1: sparse
+  Tel.recordSampledOp(C.get(), OpCategory::Insert, 10, 1);
+  EXPECT_EQ(Tel.eventCount(EventKind::OccupancyDense), 0u);
+
+  for (uint64_t K = 0; K != 1000; ++K)
+    Set->insert(K); // size 1001, 1001*8 >= universe: dense
+  Tel.recordSampledOp(C.get(), OpCategory::Insert, 10, 1);
+  EXPECT_EQ(Tel.eventCount(EventKind::OccupancyDense), 1u);
+
+  // Hovering just below the dense edge must not flap back to sparse.
+  for (uint64_t K = 0; K != 600; ++K)
+    Set->remove(K); // size 401: neither dense nor sparse (hysteresis)
+  Tel.recordSampledOp(C.get(), OpCategory::Remove, 10, 1);
+  EXPECT_EQ(Tel.eventCount(EventKind::OccupancySparse), 0u);
+
+  for (uint64_t K = 600; K != 1000; ++K)
+    Set->remove(K); // size 1, 16 < universe: sparse
+  Tel.recordSampledOp(C.get(), OpCategory::Remove, 10, 1);
+  EXPECT_EQ(Tel.eventCount(EventKind::OccupancySparse), 1u);
+
+  bool SawDense = false, SawSparse = false;
+  for (const Telemetry::Event &E : Tel.journalEvents()) {
+    if (E.Kind == EventKind::OccupancyDense) {
+      SawDense = true;
+      EXPECT_EQ(E.A, 1001u);
+      EXPECT_GE(E.B, 4096u);
+    } else if (E.Kind == EventKind::OccupancySparse) {
+      SawSparse = true;
+      EXPECT_EQ(E.A, 1u);
+    }
+  }
+  EXPECT_TRUE(SawDense);
+  EXPECT_TRUE(SawSparse);
+}
+
+TEST(Telemetry, SnapshotJsonParsesBack) {
+  Telemetry::Options Opts;
+  Opts.SampleShift = 0;
+  Telemetry Tel(Opts);
+  runWithTelemetry(kRehashHeavy, Tel);
+
+  std::string Text;
+  {
+    RawStringOstream OS(Text);
+    json::Writer W(OS);
+    Tel.writeSnapshotJson(W);
+  }
+  std::string Error;
+  auto Doc = json::parse(Text, &Error);
+  ASSERT_NE(Doc, nullptr) << Error;
+  ASSERT_TRUE(Doc->isObject());
+  EXPECT_EQ(Doc->find("schemaVersion")->asUint(), MetricsSchemaVersion);
+  EXPECT_EQ(Doc->find("sampleRate")->asUint(), 1u);
+  EXPECT_EQ(Doc->find("sampledOps")->asUint(), Tel.sampledOps());
+
+  const json::Value *Chans = Doc->find("channels");
+  ASSERT_NE(Chans, nullptr);
+  ASSERT_TRUE(Chans->isArray());
+  ASSERT_EQ(Chans->size(), 1u);
+  const json::Value &Ch = (*Chans)[0];
+  EXPECT_EQ(Ch.find("kind")->asString(), "set");
+  EXPECT_EQ(Ch.find("impl")->asString(), "HashSet");
+  EXPECT_GT(Ch.find("latencyP99Ns")->asUint(), 0u);
+  ASSERT_NE(Ch.find("latencyNs"), nullptr); // embedded histogram
+  EXPECT_NE(Ch.find("latencyNs")->find("buckets"), nullptr);
+
+  const json::Value *Sites = Doc->find("sites");
+  ASSERT_NE(Sites, nullptr);
+  ASSERT_EQ(Sites->size(), 1u);
+  EXPECT_EQ((*Sites)[0].find("created")->asUint(), 1u);
+  EXPECT_EQ((*Sites)[0].find("function")->asString(), "main");
+
+  const json::Value *Journal = Doc->find("journal");
+  ASSERT_NE(Journal, nullptr);
+  EXPECT_NE(Journal->find("events"), nullptr);
+  EXPECT_NE(Journal->find("totals"), nullptr);
+}
+
+TEST(Telemetry, ResetClearsEverything) {
+  Telemetry::Options Opts;
+  Opts.SampleShift = 0;
+  Telemetry Tel(Opts);
+  runWithTelemetry(kRehashHeavy, Tel);
+  ASSERT_GT(Tel.sampledOps(), 0u);
+  Tel.reset();
+  EXPECT_EQ(Tel.sampledOps(), 0u);
+  EXPECT_TRUE(Tel.sites().empty());
+  EXPECT_TRUE(Tel.channels().empty());
+  EXPECT_TRUE(Tel.journalEvents().empty());
+  EXPECT_EQ(Tel.droppedEvents(), 0u);
+  for (size_t K = 0; K != size_t(EventKind::NumKinds); ++K)
+    EXPECT_EQ(Tel.eventCount(EventKind(K)), 0u);
+}
+
+TEST(Telemetry, EventKindNamesRoundTrip) {
+  for (size_t K = 0; K != size_t(EventKind::NumKinds); ++K) {
+    EventKind Out;
+    ASSERT_TRUE(eventKindFromName(eventKindName(EventKind(K)), Out));
+    EXPECT_EQ(Out, EventKind(K));
+  }
+  EventKind Out;
+  EXPECT_FALSE(eventKindFromName("not-an-event", Out));
+}
+
+TEST(Telemetry, BenchChecksumsUnchangedBySampling) {
+  // The opt-in guarantee behind the bench integration: a run with
+  // telemetry attached (default 1-in-256 rate) computes the same
+  // checksum and executes the same instructions as one without.
+  const bench::BenchmarkSpec *B = bench::findBenchmark("PP");
+  ASSERT_NE(B, nullptr);
+  for (bench::Config C : {bench::Config::Memoir, bench::Config::Ade}) {
+    bench::RunOptions Plain;
+    Plain.ScalePercent = 5;
+    bench::RunResult Off = bench::runBenchmark(*B, C, Plain);
+
+    Telemetry Tel;
+    bench::RunOptions Sampled;
+    Sampled.ScalePercent = 5;
+    Sampled.Telemetry = &Tel;
+    bench::RunResult On = bench::runBenchmark(*B, C, Sampled);
+
+    EXPECT_EQ(Off.Checksum, On.Checksum);
+    EXPECT_EQ(Off.Stats.InstructionsExecuted, On.Stats.InstructionsExecuted);
+    EXPECT_EQ(Off.Stats.Sparse, On.Stats.Sparse);
+    EXPECT_EQ(Off.Stats.Dense, On.Stats.Dense);
+  }
+}
+
+TEST(Telemetry, BenchRunResultCarriesEventDeltas) {
+  const bench::BenchmarkSpec *B = bench::findBenchmark("PP");
+  ASSERT_NE(B, nullptr);
+  Telemetry::Options Opts;
+  Opts.SampleShift = 0;
+  Telemetry Tel(Opts);
+  bench::RunOptions Run;
+  Run.ScalePercent = 5;
+  Run.Telemetry = &Tel;
+  bench::RunResult First = bench::runBenchmark(*B, bench::Config::Memoir, Run);
+  bench::RunResult Second = bench::runBenchmark(*B, bench::Config::Memoir, Run);
+
+  // Each result holds its own run's delta, and the deltas sum to the
+  // sink's cumulative totals.
+  for (size_t K = 0; K != size_t(EventKind::NumKinds); ++K)
+    EXPECT_EQ(First.Events[K] + Second.Events[K],
+              Tel.eventCount(EventKind(K)))
+        << eventKindName(EventKind(K));
+}
+
+} // namespace
