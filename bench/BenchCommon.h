@@ -20,6 +20,10 @@
 ///                    measured runs (binaries that attach one)
 ///   --metrics-out=F  write the telemetry snapshot JSON to F (binaries
 ///                    that attach a telemetry sink)
+///   --engine=tree|vm execution engine: the reference tree-walking
+///                    interpreter (default) or the direct-threaded
+///                    register bytecode VM; checksums and operation
+///                    counts are identical, only wall clock changes
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,6 +57,7 @@ struct CliOptions {
   bool Profile = false;
   bool Pgo = false;
   bool Telemetry = true;
+  vm::EngineKind Engine = vm::EngineKind::Tree;
 
   explicit CliOptions(uint64_t DefaultScale) : Scale(DefaultScale) {}
 
@@ -80,12 +85,15 @@ struct CliOptions {
         Profile = true;
       } else if (Arg == "--pgo") {
         Pgo = true;
+      } else if (Arg.rfind("--engine=", 0) == 0 &&
+                 vm::engineFromName(Arg.substr(9), Engine)) {
+        // Parsed into Engine.
       } else {
         std::fprintf(stderr,
                      "usage: %s [--scale=N] [--trials=N] [--bench=ABBREV]"
                      " [--json=FILE] [--check-against=BASELINE.json]"
                      " [--metrics-out=FILE] [--telemetry=on|off]"
-                     " [--profile] [--pgo]\n",
+                     " [--profile] [--pgo] [--engine=tree|vm]\n",
                      Argv[0]);
         return false;
       }
@@ -132,6 +140,7 @@ inline TrialResults runTrialsWith(const BenchmarkSpec &B, Config C,
                                   const CliOptions &Cli,
                                   RunOptions Options) {
   Options.ScalePercent = Cli.Scale;
+  Options.Engine = Cli.Engine;
   TrialResults Out;
   for (unsigned T = 0; T != Cli.Trials; ++T)
     Out.Runs.push_back(runBenchmark(B, C, Options));

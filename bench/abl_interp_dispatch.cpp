@@ -5,13 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// Our own design ablation (DESIGN.md substitution 1): bounds the
-/// per-instruction dispatch cost of the interpreter, which every
+/// per-instruction dispatch cost of both execution engines, which every
 /// configuration pays equally. Reports nanoseconds per interpreted
 /// instruction for a pure-arithmetic loop and for hash/bitset collection
-/// loops: the gap between collection-op cost and dispatch cost is the
-/// headroom within which ADE speedups are observable; absolute speedups
-/// compress relative to the paper's native compilation by roughly
-/// (op + dispatch) / op.
+/// loops, tree-walker vs bytecode VM side by side: the gap between
+/// collection-op cost and dispatch cost is the headroom within which ADE
+/// speedups are observable; absolute speedups compress relative to the
+/// paper's native compilation by roughly (op + dispatch) / op. The VM's
+/// arithmetic-loop speedup is the dispatch improvement claimed in
+/// DESIGN.md; the final line is machine-checked by CI.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +21,7 @@
 #include "parser/Parser.h"
 #include "stats/Stats.h"
 #include "support/RawOstream.h"
+#include "vm/Engine.h"
 
 #include <chrono>
 
@@ -27,14 +30,24 @@ using namespace ade::stats;
 
 namespace {
 
-double nsPerInstruction(const char *Src, uint64_t Arg) {
+/// ns per charged instruction under \p K, best of three trials (the
+/// minimum is the least noise-contaminated estimate of the engine's
+/// intrinsic cost). Both engines charge steps at the same IR
+/// granularity, so the ratio of the two is also the wall-clock ratio.
+double nsPerInstruction(vm::EngineKind K, const char *Src, uint64_t Arg) {
   auto M = parser::parseModuleOrDie(Src);
-  interp::Interpreter I(*M);
-  auto T0 = std::chrono::steady_clock::now();
-  I.callByName("main", {Arg});
-  auto T1 = std::chrono::steady_clock::now();
-  double Ns = std::chrono::duration<double, std::nano>(T1 - T0).count();
-  return Ns / static_cast<double>(I.stats().InstructionsExecuted);
+  double Best = 0;
+  for (int Trial = 0; Trial != 3; ++Trial) {
+    vm::Engine E(K, *M, {});
+    auto T0 = std::chrono::steady_clock::now();
+    E.callByName("main", {Arg});
+    auto T1 = std::chrono::steady_clock::now();
+    double Ns = std::chrono::duration<double, std::nano>(T1 - T0).count() /
+                static_cast<double>(E.stats().InstructionsExecuted);
+    if (Trial == 0 || Ns < Best)
+      Best = Ns;
+  }
+  return Best;
 }
 
 } // namespace
@@ -43,13 +56,21 @@ int main() {
   RawOstream &OS = outs();
   OS << "== Ablation: interpreter dispatch overhead ==\n";
 
+  // The loop body mixes short independent chains so the measurement
+  // reflects dispatch cost rather than data-dependency stalls; both
+  // engines execute the identical instruction stream.
   const char *Arith = R"(fn @main(%n: u64) -> u64 {
   %zero = const 0 : u64
   %one = const 1 : u64
+  %two = const 2 : u64
   %sum = forrange %zero, %n -> [%i] iter(%acc = %zero) {
-    %x = add %acc, %i
-    %y = xor %x, %one
-    %z = add %y, %one
+    %a = xor %i, %one
+    %b = add %a, %two
+    %c = shl %i, %one
+    %d = xor %c, %b
+    %e = add %i, %two
+    %f = add %e, %d
+    %z = add %acc, %f
     yield %z
   }
   ret %sum
@@ -88,16 +109,36 @@ int main() {
 })";
 
   constexpr uint64_t N = 2000000;
-  double ArithNs = nsPerInstruction(Arith, N);
-  double HashNs = nsPerInstruction(HashLoop, N / 4);
-  double BitNs = nsPerInstruction(BitLoop, N / 4);
+  struct Workload {
+    const char *Name;
+    const char *Src;
+    uint64_t Arg;
+  } Workloads[] = {
+      {"pure arithmetic loop", Arith, N},
+      {"hash map read/write loop", HashLoop, N / 4},
+      {"bitmap read/write loop", BitLoop, N / 4},
+  };
 
-  Table T({"Workload", "ns / interpreted instruction"});
-  T.addRow({"pure arithmetic loop", Table::fmt(ArithNs, 1)});
-  T.addRow({"hash map read/write loop", Table::fmt(HashNs, 1)});
-  T.addRow({"bitmap read/write loop", Table::fmt(BitNs, 1)});
+  OS << "vm dispatch: "
+     << (vm::usesComputedGoto() ? "computed-goto direct threading"
+                                : "switch fallback")
+     << "\n";
+
+  Table T({"Workload", "tree ns/instr", "vm ns/instr", "speedup"});
+  double ArithSpeedup = 0;
+  for (const Workload &W : Workloads) {
+    double TreeNs = nsPerInstruction(vm::EngineKind::Tree, W.Src, W.Arg);
+    double VmNs = nsPerInstruction(vm::EngineKind::Vm, W.Src, W.Arg);
+    double Speedup = VmNs > 0 ? TreeNs / VmNs : 0;
+    if (W.Src == Arith)
+      ArithSpeedup = Speedup;
+    T.addRow({W.Name, Table::fmt(TreeNs, 1), Table::fmt(VmNs, 1),
+              Table::fmt(Speedup, 2) + "x"});
+  }
   T.print(OS);
   OS << "\nThe arithmetic row approximates pure dispatch cost; the gap\n"
      << "between the hash and bitmap rows is the signal ADE exploits.\n";
+  // Machine-greppable claim for CI (DESIGN.md: >=5x on pure dispatch).
+  OS << "vm-dispatch-speedup: " << Table::fmt(ArithSpeedup, 2) << "\n";
   return 0;
 }

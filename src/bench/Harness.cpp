@@ -103,14 +103,14 @@ RunResult ade::bench::runBenchmark(const BenchmarkSpec &B, Config C,
   Workload W = B.MakeInput(Options.ScalePercent);
 
   MemoryTracker::instance().reset();
-  Interpreter Runner(*M, IO);
+  vm::Engine Runner(Options.Engine, *M, IO);
   ir::Type *SeqTy =
       M->types().seqTy(M->types().intTy(64, /*Signed=*/false));
   auto FillSeq = [&](const std::vector<uint64_t> &Data) {
     auto *Seq = static_cast<runtime::RtSeq *>(Runner.newCollection(SeqTy));
     for (uint64_t V : Data)
       Seq->append(V);
-    return Interpreter::collToBits(Seq);
+    return vm::Engine::collToBits(Seq);
   };
   uint64_t A = FillSeq(W.A), Bv = FillSeq(W.B), Cv = FillSeq(W.C);
 

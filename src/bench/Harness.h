@@ -20,6 +20,7 @@
 #include "bench/Benchmarks.h"
 #include "runtime/Stats.h"
 #include "runtime/Telemetry.h"
+#include "vm/Engine.h"
 
 #include <string>
 
@@ -87,6 +88,10 @@ struct RunOptions {
   /// Extra pragma injected at PTA's inner allocation sites (RQ4); applies
   /// to the PTA benchmark only.
   std::string PtaInnerPragma;
+  /// Execution engine: the reference tree-walker or the bytecode VM.
+  /// Checksums and dynamic stats are identical either way; only wall
+  /// clock changes.
+  vm::EngineKind Engine = vm::EngineKind::Tree;
 };
 
 /// Runs \p B under \p C.

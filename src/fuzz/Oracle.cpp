@@ -13,6 +13,7 @@
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
 #include "support/CrashHandler.h"
+#include "vm/Engine.h"
 
 using namespace ade;
 using namespace ade::fuzz;
@@ -77,9 +78,9 @@ std::vector<std::string> scalarGlobals(const Module &M) {
   return Out;
 }
 
-/// Interprets @main and captures the observables.
+/// Interprets @main under \p K and captures the observables.
 Observation observe(const Module &M, const std::vector<std::string> &Globals,
-                    const OracleOptions &Opts) {
+                    const OracleOptions &Opts, vm::EngineKind K) {
   Observation Obs;
   const Function *Main = M.getFunction("main");
   if (!Main) {
@@ -90,7 +91,7 @@ Observation observe(const Module &M, const std::vector<std::string> &Globals,
   IO.MaxSteps = Opts.MaxSteps;
   IO.MaxBytes = Opts.MaxBytes;
   IO.MaxDepth = Opts.MaxDepth;
-  interp::Interpreter I(M, IO);
+  vm::Engine I(K, M, IO);
   try {
     Obs.Result = I.call(Main, {});
   } catch (const interp::InterpError &E) {
@@ -101,6 +102,33 @@ Observation observe(const Module &M, const std::vector<std::string> &Globals,
   for (const std::string &Name : Globals)
     Obs.Globals.push_back(I.globalValue(Name));
   return Obs;
+}
+
+/// The two engines must be bit-equal in every observable, including the
+/// diagnostic text of a failed run (same error at the same source
+/// location in the same function). Empty string when they agree.
+std::string engineMismatch(const Observation &Tree, const Observation &Vm,
+                           const std::vector<std::string> &Globals) {
+  if (Tree.Ok != Vm.Ok)
+    return Vm.Ok ? "tree-walker failed (" + Tree.Error +
+                       ") but the vm succeeded"
+                 : "vm failed (" + Vm.Error + ") but the tree-walker "
+                                              "succeeded";
+  if (!Tree.Ok)
+    return Tree.Error == Vm.Error
+               ? ""
+               : "diagnostics differ: tree-walker '" + Tree.Error +
+                     "', vm '" + Vm.Error + "'";
+  if (Tree.Result != Vm.Result)
+    return "@main returned " + std::to_string(Vm.Result) +
+           " under the vm, " + std::to_string(Tree.Result) +
+           " under the tree-walker";
+  for (size_t I = 0; I != Globals.size(); ++I)
+    if (Tree.Globals[I] != Vm.Globals[I])
+      return "@" + Globals[I] + " = " + std::to_string(Vm.Globals[I]) +
+             " under the vm, " + std::to_string(Tree.Globals[I]) +
+             " under the tree-walker";
+  return "";
 }
 
 /// Self-test sabotage: erases the first `insert` of the module. The
@@ -180,7 +208,17 @@ OracleResult ade::fuzz::runOracle(const std::string &Source,
   Observation BaseObs;
   {
     CrashContext Run("oracle baseline");
-    BaseObs = observe(*Base, Globals, Opts);
+    BaseObs = observe(*Base, Globals, Opts, vm::EngineKind::Tree);
+    if (Opts.CheckVm) {
+      Observation VmObs = observe(*Base, Globals, Opts, vm::EngineKind::Vm);
+      std::string Mismatch = engineMismatch(BaseObs, VmObs, Globals);
+      if (!Mismatch.empty()) {
+        Result.Kind = FindingKind::Divergence;
+        Result.Variant = "baseline/vm";
+        Result.Detail = Mismatch;
+        return Result;
+      }
+    }
   }
   if (!BaseObs.Ok) {
     Result.Kind = FindingKind::RuntimeError;
@@ -220,7 +258,17 @@ OracleResult ade::fuzz::runOracle(const std::string &Source,
       Result.Detail = "transformed module failed the enumeration audit";
       return Result;
     }
-    Observation Obs = observe(*M, Globals, Opts);
+    Observation Obs = observe(*M, Globals, Opts, vm::EngineKind::Tree);
+    if (Opts.CheckVm) {
+      Observation VmObs = observe(*M, Globals, Opts, vm::EngineKind::Vm);
+      std::string VmMismatch = engineMismatch(Obs, VmObs, Globals);
+      if (!VmMismatch.empty()) {
+        Result.Kind = FindingKind::Divergence;
+        Result.Variant = std::string(V.Name) + "/vm";
+        Result.Detail = VmMismatch;
+        return Result;
+      }
+    }
     std::string Mismatch = describeMismatch(BaseObs, Obs, Globals);
     if (!Mismatch.empty()) {
       Result.Kind = Obs.Ok ? FindingKind::Divergence

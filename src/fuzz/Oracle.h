@@ -13,6 +13,12 @@
 /// rejection of a transformed module, or runtime error on a UB-free
 /// generated program is a finding.
 ///
+/// The oracle also differentially tests the execution engines
+/// themselves: every module (baseline and each transformed variant) runs
+/// under both the reference tree-walker and the bytecode VM, and any
+/// disagreement — result, scalar globals, termination status or the
+/// diagnostic text — is a divergence finding attributed to "<variant>/vm".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ADE_FUZZ_ORACLE_H
@@ -64,6 +70,9 @@ struct OracleOptions {
   /// Self-test: sabotage each transformed module (drop its first insert)
   /// to prove the oracle detects real miscompilations.
   bool PlantBug = false;
+  /// Cross-check the bytecode VM against the tree-walker on every
+  /// execution (baseline and all variants).
+  bool CheckVm = true;
 };
 
 struct OracleResult {

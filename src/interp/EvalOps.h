@@ -1,0 +1,233 @@
+//===- EvalOps.h - Shared scalar evaluation semantics -----------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bit-level scalar semantics (binary arithmetic, negation, casts)
+/// shared by the tree-walking interpreter and the bytecode VM. Both
+/// engines must agree on every wrap, mask, sign-extension and
+/// division-by-zero diagnostic — the differential fuzzing oracle compares
+/// their results bit for bit — so the definitions live here once instead
+/// of being duplicated per engine.
+///
+/// Trap reporting is engine-specific (each attributes the diagnostic to
+/// its own notion of the current instruction), so the evaluators take a
+/// `[[noreturn]]` callback invoked with the diagnostic message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_INTERP_EVALOPS_H
+#define ADE_INTERP_EVALOPS_H
+
+#include "interp/Interpreter.h"
+#include "ir/IR.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdint>
+
+namespace ade {
+namespace interp {
+namespace eval {
+
+inline uint64_t maskToWidth(uint64_t V, unsigned Bits) {
+  return Bits >= 64 ? V : (V & ((1ULL << Bits) - 1));
+}
+
+inline int64_t signExtend(uint64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t SignBit = 1ULL << (Bits - 1);
+  uint64_t Masked = V & ((1ULL << Bits) - 1);
+  return static_cast<int64_t>((Masked ^ SignBit) - SignBit);
+}
+
+/// Evaluates a binary arithmetic/comparison opcode over the 64-bit encoded
+/// operands \p A and \p B, typed by the operand type \p Ty. \p Trap is a
+/// `[[noreturn]]` callable taking the diagnostic message for
+/// division/remainder by zero.
+template <typename TrapFn>
+uint64_t evalBinary(ir::Opcode Op, const ir::Type *Ty, uint64_t A, uint64_t B,
+                    TrapFn &&Trap) {
+  using ir::Opcode;
+  if (isa<ir::FloatType>(Ty)) {
+    double X = bitsToDouble(A), Y = bitsToDouble(B);
+    switch (Op) {
+    case Opcode::Add:
+      return doubleToBits(X + Y);
+    case Opcode::Sub:
+      return doubleToBits(X - Y);
+    case Opcode::Mul:
+      return doubleToBits(X * Y);
+    case Opcode::Div:
+      return doubleToBits(X / Y);
+    case Opcode::Min:
+      return doubleToBits(X < Y ? X : Y);
+    case Opcode::Max:
+      return doubleToBits(X > Y ? X : Y);
+    case Opcode::CmpEq:
+      return X == Y;
+    case Opcode::CmpNe:
+      return X != Y;
+    case Opcode::CmpLt:
+      return X < Y;
+    case Opcode::CmpLe:
+      return X <= Y;
+    case Opcode::CmpGt:
+      return X > Y;
+    case Opcode::CmpGe:
+      return X >= Y;
+    default:
+      reportFatalError("invalid float arithmetic operation");
+    }
+  }
+  const auto *IT = dyn_cast<ir::IntType>(Ty);
+  bool Signed = IT && IT->isSigned();
+  unsigned Bits = IT ? IT->bits() : 64;
+  if (Signed) {
+    int64_t X = signExtend(A, Bits), Y = signExtend(B, Bits);
+    auto Wrap = [&](int64_t V) {
+      return maskToWidth(static_cast<uint64_t>(V), Bits);
+    };
+    switch (Op) {
+    case Opcode::Add:
+      return Wrap(X + Y);
+    case Opcode::Sub:
+      return Wrap(X - Y);
+    case Opcode::Mul:
+      return Wrap(X * Y);
+    case Opcode::Div:
+      if (Y == 0)
+        Trap("integer division by zero");
+      return Wrap(X / Y);
+    case Opcode::Rem:
+      if (Y == 0)
+        Trap("integer remainder by zero");
+      return Wrap(X % Y);
+    case Opcode::And:
+      return Wrap(X & Y);
+    case Opcode::Or:
+      return Wrap(X | Y);
+    case Opcode::Xor:
+      return Wrap(X ^ Y);
+    case Opcode::Shl:
+      return Wrap(X << (Y & 63));
+    case Opcode::Shr:
+      return Wrap(X >> (Y & 63));
+    case Opcode::Min:
+      return Wrap(X < Y ? X : Y);
+    case Opcode::Max:
+      return Wrap(X > Y ? X : Y);
+    case Opcode::CmpEq:
+      return X == Y;
+    case Opcode::CmpNe:
+      return X != Y;
+    case Opcode::CmpLt:
+      return X < Y;
+    case Opcode::CmpLe:
+      return X <= Y;
+    case Opcode::CmpGt:
+      return X > Y;
+    case Opcode::CmpGe:
+      return X >= Y;
+    default:
+      reportFatalError("invalid integer arithmetic operation");
+    }
+  }
+  uint64_t X = A, Y = B;
+  switch (Op) {
+  case Opcode::Add:
+    return maskToWidth(X + Y, Bits);
+  case Opcode::Sub:
+    return maskToWidth(X - Y, Bits);
+  case Opcode::Mul:
+    return maskToWidth(X * Y, Bits);
+  case Opcode::Div:
+    if (Y == 0)
+      Trap("integer division by zero");
+    return X / Y;
+  case Opcode::Rem:
+    if (Y == 0)
+      Trap("integer remainder by zero");
+    return X % Y;
+  case Opcode::And:
+    return X & Y;
+  case Opcode::Or:
+    return X | Y;
+  case Opcode::Xor:
+    return X ^ Y;
+  case Opcode::Shl:
+    return maskToWidth(X << (Y & 63), Bits);
+  case Opcode::Shr:
+    return X >> (Y & 63);
+  case Opcode::Min:
+    return X < Y ? X : Y;
+  case Opcode::Max:
+    return X > Y ? X : Y;
+  case Opcode::CmpEq:
+    return X == Y;
+  case Opcode::CmpNe:
+    return X != Y;
+  case Opcode::CmpLt:
+    return X < Y;
+  case Opcode::CmpLe:
+    return X <= Y;
+  case Opcode::CmpGt:
+    return X > Y;
+  case Opcode::CmpGe:
+    return X >= Y;
+  default:
+    reportFatalError("invalid integer arithmetic operation");
+  }
+}
+
+inline uint64_t evalCast(const ir::Type *From, const ir::Type *To,
+                         uint64_t V) {
+  bool FromFloat = isa<ir::FloatType>(From);
+  bool ToFloat = isa<ir::FloatType>(To);
+  if (FromFloat && ToFloat)
+    return V;
+  if (FromFloat) {
+    double D = bitsToDouble(V);
+    const auto *IT = dyn_cast<ir::IntType>(To);
+    if (IT && IT->isSigned())
+      return maskToWidth(static_cast<uint64_t>(static_cast<int64_t>(D)),
+                         IT->bits());
+    return maskToWidth(static_cast<uint64_t>(D), IT ? IT->bits() : 64);
+  }
+  const auto *FromInt = dyn_cast<ir::IntType>(From);
+  bool Signed = FromInt && FromInt->isSigned();
+  if (ToFloat) {
+    if (Signed)
+      return doubleToBits(static_cast<double>(signExtend(V, FromInt->bits())));
+    return doubleToBits(static_cast<double>(V));
+  }
+  // Int/bool/ptr to int/bool/ptr: re-extend into the target width.
+  const auto *ToInt = dyn_cast<ir::IntType>(To);
+  unsigned Bits = ToInt ? ToInt->bits() : 64;
+  if (Signed)
+    return maskToWidth(static_cast<uint64_t>(signExtend(V, FromInt->bits())),
+                       Bits);
+  return maskToWidth(V, Bits);
+}
+
+/// True when \p Ty evaluates on the unsigned 64-bit fast path (the index
+/// and u64 types plus bool): binary ops on such operands need no
+/// sign-extension and no result masking beyond what plain uint64_t
+/// arithmetic provides. The bytecode VM specializes these.
+inline bool isU64Fast(const ir::Type *Ty) {
+  if (isa<ir::FloatType>(Ty))
+    return false;
+  const auto *IT = dyn_cast<ir::IntType>(Ty);
+  if (!IT)
+    return true; // Bool/pointer-like operands take the 64-bit unsigned path.
+  return !IT->isSigned() && IT->bits() >= 64;
+}
+
+} // namespace eval
+} // namespace interp
+} // namespace ade
+
+#endif // ADE_INTERP_EVALOPS_H

@@ -7,6 +7,7 @@
 #include "interp/Interpreter.h"
 
 #include "collections/MemoryTracker.h"
+#include "interp/EvalOps.h"
 #include "interp/InterpError.h"
 #include "interp/Profiler.h"
 #include "runtime/Telemetry.h"
@@ -181,183 +182,26 @@ struct Interpreter::Impl {
   //===--------------------------------------------------------------------===//
 
   static uint64_t maskToWidth(uint64_t V, unsigned Bits) {
-    return Bits >= 64 ? V : (V & ((1ULL << Bits) - 1));
+    return eval::maskToWidth(V, Bits);
   }
 
   static int64_t signExtend(uint64_t V, unsigned Bits) {
-    if (Bits >= 64)
-      return static_cast<int64_t>(V);
-    uint64_t SignBit = 1ULL << (Bits - 1);
-    uint64_t Masked = V & ((1ULL << Bits) - 1);
-    return static_cast<int64_t>((Masked ^ SignBit) - SignBit);
+    return eval::signExtend(V, Bits);
   }
 
   //===--------------------------------------------------------------------===//
-  // Arithmetic
+  // Arithmetic (shared with the bytecode VM; see EvalOps.h)
   //===--------------------------------------------------------------------===//
 
   uint64_t evalBinary(Opcode Op, const Type *Ty, uint64_t A, uint64_t B,
                       const Instruction &I) {
-    if (isa<FloatType>(Ty)) {
-      double X = bitsToDouble(A), Y = bitsToDouble(B);
-      switch (Op) {
-      case Opcode::Add:
-        return doubleToBits(X + Y);
-      case Opcode::Sub:
-        return doubleToBits(X - Y);
-      case Opcode::Mul:
-        return doubleToBits(X * Y);
-      case Opcode::Div:
-        return doubleToBits(X / Y);
-      case Opcode::Min:
-        return doubleToBits(X < Y ? X : Y);
-      case Opcode::Max:
-        return doubleToBits(X > Y ? X : Y);
-      case Opcode::CmpEq:
-        return X == Y;
-      case Opcode::CmpNe:
-        return X != Y;
-      case Opcode::CmpLt:
-        return X < Y;
-      case Opcode::CmpLe:
-        return X <= Y;
-      case Opcode::CmpGt:
-        return X > Y;
-      case Opcode::CmpGe:
-        return X >= Y;
-      default:
-        reportFatalError("invalid float arithmetic operation");
-      }
-    }
-    const auto *IT = dyn_cast<IntType>(Ty);
-    bool Signed = IT && IT->isSigned();
-    unsigned Bits = IT ? IT->bits() : 64;
-    if (Signed) {
-      int64_t X = signExtend(A, Bits), Y = signExtend(B, Bits);
-      auto Wrap = [&](int64_t V) {
-        return maskToWidth(static_cast<uint64_t>(V), Bits);
-      };
-      switch (Op) {
-      case Opcode::Add:
-        return Wrap(X + Y);
-      case Opcode::Sub:
-        return Wrap(X - Y);
-      case Opcode::Mul:
-        return Wrap(X * Y);
-      case Opcode::Div:
-        if (Y == 0)
-          trap(InterpErrorKind::Undefined, "integer division by zero", I);
-        return Wrap(X / Y);
-      case Opcode::Rem:
-        if (Y == 0)
-          trap(InterpErrorKind::Undefined, "integer remainder by zero", I);
-        return Wrap(X % Y);
-      case Opcode::And:
-        return Wrap(X & Y);
-      case Opcode::Or:
-        return Wrap(X | Y);
-      case Opcode::Xor:
-        return Wrap(X ^ Y);
-      case Opcode::Shl:
-        return Wrap(X << (Y & 63));
-      case Opcode::Shr:
-        return Wrap(X >> (Y & 63));
-      case Opcode::Min:
-        return Wrap(X < Y ? X : Y);
-      case Opcode::Max:
-        return Wrap(X > Y ? X : Y);
-      case Opcode::CmpEq:
-        return X == Y;
-      case Opcode::CmpNe:
-        return X != Y;
-      case Opcode::CmpLt:
-        return X < Y;
-      case Opcode::CmpLe:
-        return X <= Y;
-      case Opcode::CmpGt:
-        return X > Y;
-      case Opcode::CmpGe:
-        return X >= Y;
-      default:
-        reportFatalError("invalid integer arithmetic operation");
-      }
-    }
-    uint64_t X = A, Y = B;
-    switch (Op) {
-    case Opcode::Add:
-      return maskToWidth(X + Y, Bits);
-    case Opcode::Sub:
-      return maskToWidth(X - Y, Bits);
-    case Opcode::Mul:
-      return maskToWidth(X * Y, Bits);
-    case Opcode::Div:
-      if (Y == 0)
-        trap(InterpErrorKind::Undefined, "integer division by zero", I);
-      return X / Y;
-    case Opcode::Rem:
-      if (Y == 0)
-        trap(InterpErrorKind::Undefined, "integer remainder by zero", I);
-      return X % Y;
-    case Opcode::And:
-      return X & Y;
-    case Opcode::Or:
-      return X | Y;
-    case Opcode::Xor:
-      return X ^ Y;
-    case Opcode::Shl:
-      return maskToWidth(X << (Y & 63), Bits);
-    case Opcode::Shr:
-      return X >> (Y & 63);
-    case Opcode::Min:
-      return X < Y ? X : Y;
-    case Opcode::Max:
-      return X > Y ? X : Y;
-    case Opcode::CmpEq:
-      return X == Y;
-    case Opcode::CmpNe:
-      return X != Y;
-    case Opcode::CmpLt:
-      return X < Y;
-    case Opcode::CmpLe:
-      return X <= Y;
-    case Opcode::CmpGt:
-      return X > Y;
-    case Opcode::CmpGe:
-      return X >= Y;
-    default:
-      reportFatalError("invalid integer arithmetic operation");
-    }
+    return eval::evalBinary(Op, Ty, A, B, [&](const char *Msg) {
+      trap(InterpErrorKind::Undefined, Msg, I);
+    });
   }
 
   uint64_t evalCast(const Type *From, const Type *To, uint64_t V) {
-    bool FromFloat = isa<FloatType>(From);
-    bool ToFloat = isa<FloatType>(To);
-    if (FromFloat && ToFloat)
-      return V;
-    if (FromFloat) {
-      double D = bitsToDouble(V);
-      const auto *IT = dyn_cast<IntType>(To);
-      if (IT && IT->isSigned())
-        return maskToWidth(static_cast<uint64_t>(static_cast<int64_t>(D)),
-                           IT->bits());
-      return maskToWidth(static_cast<uint64_t>(D),
-                         IT ? IT->bits() : 64);
-    }
-    const auto *FromInt = dyn_cast<IntType>(From);
-    bool Signed = FromInt && FromInt->isSigned();
-    if (ToFloat) {
-      if (Signed)
-        return doubleToBits(static_cast<double>(
-            signExtend(V, FromInt->bits())));
-      return doubleToBits(static_cast<double>(V));
-    }
-    // Int/bool/ptr to int/bool/ptr: re-extend into the target width.
-    const auto *ToInt = dyn_cast<IntType>(To);
-    unsigned Bits = ToInt ? ToInt->bits() : 64;
-    if (Signed)
-      return maskToWidth(
-          static_cast<uint64_t>(signExtend(V, FromInt->bits())), Bits);
-    return maskToWidth(V, Bits);
+    return eval::evalCast(From, To, V);
   }
 
   //===--------------------------------------------------------------------===//

@@ -6,21 +6,33 @@
 
 #include "runtime/RtCollection.h"
 
-#include "collections/BitMap.h"
-#include "collections/BitSet.h"
-#include "collections/FlatSet.h"
-#include "collections/HashMap.h"
-#include "collections/HashSet.h"
-#include "collections/RoaringBitSet.h"
-#include "collections/Sequence.h"
-#include "collections/SwissMap.h"
-#include "collections/SwissSet.h"
+#include "runtime/RtConcrete.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
+
+#include <atomic>
 
 using namespace ade;
 using namespace ade::ir;
 using namespace ade::runtime;
+
+/// Monotonic count of runtime-collection destructions; see
+/// RtCollection::destructionEpoch(). Relaxed is sufficient: readers only
+/// compare snapshots taken on the same thread as the destructions.
+static std::atomic<uint64_t> DestructionEpochCounter{0};
+
+RtCollection::~RtCollection() {
+  // Invalidate any state keyed on this object's address before the
+  // allocator can recycle it: the telemetry scratch (a recycled address
+  // must never be charged to the stale allocation site) and, via the
+  // epoch bump, every engine-side cache holding this pointer.
+  TelScratch = TelemetryScratch();
+  DestructionEpochCounter.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t RtCollection::destructionEpoch() {
+  return DestructionEpochCounter.load(std::memory_order_relaxed);
+}
 
 bool ade::runtime::selectionIsDense(Selection Sel) {
   switch (Sel) {
@@ -52,156 +64,8 @@ const char *ade::runtime::rtKindName(RtKind K) {
   ade_unreachable("unknown collection kind");
 }
 
-namespace {
-
-//===----------------------------------------------------------------------===//
-// Sequences
-//===----------------------------------------------------------------------===//
-
-class ArraySeq final : public RtSeq {
-public:
-  ArraySeq() : RtSeq(Selection::Array) {}
-
-  uint64_t size() const override { return Impl.size(); }
-  size_t memoryBytes() const override { return Impl.memoryBytes(); }
-  void clear() override { Impl.clear(); }
-  void reserve(uint64_t N) override { Impl.reserve(size_t(N)); }
-
-  uint64_t get(uint64_t Idx) const override {
-    if (Idx >= Impl.size())
-      throw RtError{"sequence read out of bounds"};
-    return Impl.at(Idx);
-  }
-  void set(uint64_t Idx, uint64_t Value) override {
-    if (Idx >= Impl.size())
-      throw RtError{"sequence write out of bounds"};
-    Impl.set(Idx, Value);
-  }
-  void append(uint64_t Value) override { Impl.append(Value); }
-  uint64_t pop() override {
-    if (Impl.empty())
-      throw RtError{"pop of an empty sequence"};
-    return Impl.popBack();
-  }
-  void forEach(
-      const std::function<void(uint64_t, uint64_t)> &Fn) const override {
-    Impl.forEach(Fn);
-  }
-
-private:
-  Sequence<uint64_t> Impl;
-};
-
-//===----------------------------------------------------------------------===//
-// Sets
-//===----------------------------------------------------------------------===//
-
-/// Generic adapter over the templated set implementations.
-template <typename SetT, Selection Sel> class SetAdapter final : public RtSet {
-public:
-  SetAdapter() : RtSet(Sel) {}
-
-  uint64_t size() const override { return Impl.size(); }
-  size_t memoryBytes() const override { return Impl.memoryBytes(); }
-  void clear() override { Impl.clear(); }
-  void reserve(uint64_t N) override {
-    if constexpr (requires(SetT &S) { S.reserve(size_t(N)); })
-      Impl.reserve(size_t(N));
-  }
-  ProbeCounters probeCounters() const override {
-    if constexpr (requires(const SetT &S) { S.probeCount(); S.rehashCount(); })
-      return {Impl.probeCount(), Impl.rehashCount()};
-    else
-      return {};
-  }
-  uint64_t universeBound() const override {
-    if constexpr (requires(const SetT &S) { S.universeSize(); })
-      return Impl.universeSize();
-    else
-      return 0;
-  }
-
-  bool has(uint64_t Key) const override { return Impl.contains(Key); }
-  bool insert(uint64_t Key) override { return Impl.insert(Key); }
-  bool remove(uint64_t Key) override { return Impl.remove(Key); }
-  void forEach(const std::function<void(uint64_t)> &Fn) const override {
-    Impl.forEach(Fn);
-  }
-  void unionWith(const RtSet &Other) override {
-    // Fast path when both sides share the representation (the selection
-    // uniquely identifies the adapter type, so the cast is safe).
-    if (Other.impl() == Sel) {
-      Impl.unionWith(static_cast<const SetAdapter &>(Other).Impl);
-      return;
-    }
-    Other.forEach([&](uint64_t Key) { Impl.insert(Key); });
-  }
-
-  SetT Impl;
-};
-
-using RtHashSet = SetAdapter<HashSet<uint64_t>, Selection::HashSet>;
-using RtSwissSet = SetAdapter<SwissSet<uint64_t>, Selection::SwissSet>;
-using RtFlatSet = SetAdapter<FlatSet<uint64_t>, Selection::FlatSet>;
-using RtBitSet = SetAdapter<BitSet, Selection::BitSet>;
-using RtRoaringSet = SetAdapter<RoaringBitSet, Selection::SparseBitSet>;
-
-//===----------------------------------------------------------------------===//
-// Maps
-//===----------------------------------------------------------------------===//
-
-template <typename MapT, Selection Sel> class MapAdapter final : public RtMap {
-public:
-  MapAdapter() : RtMap(Sel) {}
-
-  uint64_t size() const override { return Impl.size(); }
-  size_t memoryBytes() const override { return Impl.memoryBytes(); }
-  void clear() override { Impl.clear(); }
-  void reserve(uint64_t N) override {
-    if constexpr (requires(MapT &M) { M.reserve(size_t(N)); })
-      Impl.reserve(size_t(N));
-  }
-  ProbeCounters probeCounters() const override {
-    if constexpr (requires(const MapT &M) { M.probeCount(); M.rehashCount(); })
-      return {Impl.probeCount(), Impl.rehashCount()};
-    else
-      return {};
-  }
-  uint64_t universeBound() const override {
-    if constexpr (requires(const MapT &M) { M.universeSize(); })
-      return Impl.universeSize();
-    else
-      return 0;
-  }
-
-  bool has(uint64_t Key) const override { return Impl.contains(Key); }
-  uint64_t get(uint64_t Key, bool &Found) const override {
-    const uint64_t *V = Impl.lookup(Key);
-    Found = V != nullptr;
-    return Found ? *V : 0;
-  }
-  void set(uint64_t Key, uint64_t Value) override {
-    Impl.insertOrAssign(Key, Value);
-  }
-  bool insertDefault(uint64_t Key, uint64_t Value) override {
-    return Impl.tryInsert(Key, Value);
-  }
-  bool remove(uint64_t Key) override { return Impl.remove(Key); }
-  void forEach(
-      const std::function<void(uint64_t, uint64_t)> &Fn) const override {
-    Impl.forEach(Fn);
-  }
-
-private:
-  MapT Impl;
-};
-
-using RtHashMap = MapAdapter<HashMap<uint64_t, uint64_t>, Selection::HashMap>;
-using RtSwissMap =
-    MapAdapter<SwissMap<uint64_t, uint64_t>, Selection::SwissMap>;
-using RtBitMap = MapAdapter<BitMap<uint64_t>, Selection::BitMap>;
-
-} // namespace
+// The concrete adapters live in RtConcrete.h (shared with the bytecode
+// VM's inline caches); this file keeps only the selection factory.
 
 std::unique_ptr<RtCollection>
 ade::runtime::createCollection(const Type *Ty,

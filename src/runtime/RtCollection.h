@@ -65,7 +65,18 @@ struct ProbeCounters {
 class RtCollection {
 public:
   RtCollection(RtKind K, ir::Selection Impl) : TheKind(K), Impl(Impl) {}
-  virtual ~RtCollection() = default;
+  /// Clears the telemetry scratch and bumps the global destruction epoch,
+  /// invalidating every address-keyed cache of this object (telemetry
+  /// site bindings, the bytecode VM's inline caches) before the allocator
+  /// can recycle the address.
+  virtual ~RtCollection();
+
+  /// Monotonic count of RtCollection destructions. Address-keyed caches
+  /// (e.g. the VM's monomorphic inline caches) snapshot it alongside the
+  /// pointer: an unchanged epoch proves the pointed-to object was never
+  /// destroyed, so a matching pointer still identifies the same
+  /// collection and the same concrete adapter type.
+  static uint64_t destructionEpoch();
 
   RtKind kind() const { return TheKind; }
   ir::Selection impl() const { return Impl; }
@@ -97,6 +108,12 @@ public:
     /// Occupancy state for crossing detection: 0 unknown, 1 sparse,
     /// 2 dense.
     uint8_t OccState = 0;
+    /// Identity token of the sink *generation* that wrote SitePlus1 (see
+    /// Telemetry::ownerToken). A mismatch means the binding is stale —
+    /// written by a different sink, or by the same sink before a reset()
+    /// discarded its site table — and must not be trusted even when
+    /// SitePlus1 happens to be in range.
+    uint64_t Owner = 0;
     /// Cumulative rehash counter at the last sample point.
     uint64_t LastRehashes = 0;
   };

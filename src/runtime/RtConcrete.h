@@ -1,0 +1,188 @@
+//===- RtConcrete.h - Concrete runtime collection adapters ------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete adapters binding the Table I container implementations to
+/// the type-erased RtCollection interface. Hoisted out of RtCollection.cpp
+/// so the bytecode VM's monomorphic inline caches can, after validating a
+/// (collection pointer, destruction epoch) key, static_cast to the
+/// concrete adapter and call the underlying container without the virtual
+/// hop — inlining a BitSet membership test down to a bit probe.
+///
+/// The selection tag uniquely identifies the adapter type (one adapter
+/// per Selection), so `impl()` is a sound discriminant for the casts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_RUNTIME_RTCONCRETE_H
+#define ADE_RUNTIME_RTCONCRETE_H
+
+#include "collections/BitMap.h"
+#include "collections/BitSet.h"
+#include "collections/FlatSet.h"
+#include "collections/HashMap.h"
+#include "collections/HashSet.h"
+#include "collections/RoaringBitSet.h"
+#include "collections/Sequence.h"
+#include "collections/SwissMap.h"
+#include "collections/SwissSet.h"
+#include "runtime/RtCollection.h"
+
+namespace ade {
+namespace runtime {
+
+//===----------------------------------------------------------------------===//
+// Sequences
+//===----------------------------------------------------------------------===//
+
+class ArraySeq final : public RtSeq {
+public:
+  ArraySeq() : RtSeq(ir::Selection::Array) {}
+
+  uint64_t size() const override { return Impl.size(); }
+  size_t memoryBytes() const override { return Impl.memoryBytes(); }
+  void clear() override { Impl.clear(); }
+  void reserve(uint64_t N) override { Impl.reserve(size_t(N)); }
+
+  uint64_t get(uint64_t Idx) const override {
+    if (Idx >= Impl.size())
+      throw RtError{"sequence read out of bounds"};
+    return Impl.at(Idx);
+  }
+  void set(uint64_t Idx, uint64_t Value) override {
+    if (Idx >= Impl.size())
+      throw RtError{"sequence write out of bounds"};
+    Impl.set(Idx, Value);
+  }
+  void append(uint64_t Value) override { Impl.append(Value); }
+  uint64_t pop() override {
+    if (Impl.empty())
+      throw RtError{"pop of an empty sequence"};
+    return Impl.popBack();
+  }
+  void forEach(
+      const std::function<void(uint64_t, uint64_t)> &Fn) const override {
+    Impl.forEach(Fn);
+  }
+
+  Sequence<uint64_t> Impl;
+};
+
+//===----------------------------------------------------------------------===//
+// Sets
+//===----------------------------------------------------------------------===//
+
+/// Generic adapter over the templated set implementations.
+template <typename SetT, ir::Selection Sel>
+class SetAdapter final : public RtSet {
+public:
+  SetAdapter() : RtSet(Sel) {}
+
+  uint64_t size() const override { return Impl.size(); }
+  size_t memoryBytes() const override { return Impl.memoryBytes(); }
+  void clear() override { Impl.clear(); }
+  void reserve(uint64_t N) override {
+    if constexpr (requires(SetT &S) { S.reserve(size_t(N)); })
+      Impl.reserve(size_t(N));
+  }
+  ProbeCounters probeCounters() const override {
+    if constexpr (requires(const SetT &S) { S.probeCount(); S.rehashCount(); })
+      return {Impl.probeCount(), Impl.rehashCount()};
+    else
+      return {};
+  }
+  uint64_t universeBound() const override {
+    if constexpr (requires(const SetT &S) { S.universeSize(); })
+      return Impl.universeSize();
+    else
+      return 0;
+  }
+
+  bool has(uint64_t Key) const override { return Impl.contains(Key); }
+  bool insert(uint64_t Key) override { return Impl.insert(Key); }
+  bool remove(uint64_t Key) override { return Impl.remove(Key); }
+  void forEach(const std::function<void(uint64_t)> &Fn) const override {
+    Impl.forEach(Fn);
+  }
+  void unionWith(const RtSet &Other) override {
+    // Fast path when both sides share the representation (the selection
+    // uniquely identifies the adapter type, so the cast is safe).
+    if (Other.impl() == Sel) {
+      Impl.unionWith(static_cast<const SetAdapter &>(Other).Impl);
+      return;
+    }
+    Other.forEach([&](uint64_t Key) { Impl.insert(Key); });
+  }
+
+  SetT Impl;
+};
+
+using RtHashSet = SetAdapter<HashSet<uint64_t>, ir::Selection::HashSet>;
+using RtSwissSet = SetAdapter<SwissSet<uint64_t>, ir::Selection::SwissSet>;
+using RtFlatSet = SetAdapter<FlatSet<uint64_t>, ir::Selection::FlatSet>;
+using RtBitSet = SetAdapter<BitSet, ir::Selection::BitSet>;
+using RtRoaringSet = SetAdapter<RoaringBitSet, ir::Selection::SparseBitSet>;
+
+//===----------------------------------------------------------------------===//
+// Maps
+//===----------------------------------------------------------------------===//
+
+template <typename MapT, ir::Selection Sel>
+class MapAdapter final : public RtMap {
+public:
+  MapAdapter() : RtMap(Sel) {}
+
+  uint64_t size() const override { return Impl.size(); }
+  size_t memoryBytes() const override { return Impl.memoryBytes(); }
+  void clear() override { Impl.clear(); }
+  void reserve(uint64_t N) override {
+    if constexpr (requires(MapT &M) { M.reserve(size_t(N)); })
+      Impl.reserve(size_t(N));
+  }
+  ProbeCounters probeCounters() const override {
+    if constexpr (requires(const MapT &M) { M.probeCount(); M.rehashCount(); })
+      return {Impl.probeCount(), Impl.rehashCount()};
+    else
+      return {};
+  }
+  uint64_t universeBound() const override {
+    if constexpr (requires(const MapT &M) { M.universeSize(); })
+      return Impl.universeSize();
+    else
+      return 0;
+  }
+
+  bool has(uint64_t Key) const override { return Impl.contains(Key); }
+  uint64_t get(uint64_t Key, bool &Found) const override {
+    const uint64_t *V = Impl.lookup(Key);
+    Found = V != nullptr;
+    return Found ? *V : 0;
+  }
+  void set(uint64_t Key, uint64_t Value) override {
+    Impl.insertOrAssign(Key, Value);
+  }
+  bool insertDefault(uint64_t Key, uint64_t Value) override {
+    return Impl.tryInsert(Key, Value);
+  }
+  bool remove(uint64_t Key) override { return Impl.remove(Key); }
+  void forEach(
+      const std::function<void(uint64_t, uint64_t)> &Fn) const override {
+    Impl.forEach(Fn);
+  }
+
+  MapT Impl;
+};
+
+using RtHashMap =
+    MapAdapter<HashMap<uint64_t, uint64_t>, ir::Selection::HashMap>;
+using RtSwissMap =
+    MapAdapter<SwissMap<uint64_t, uint64_t>, ir::Selection::SwissMap>;
+using RtBitMap = MapAdapter<BitMap<uint64_t>, ir::Selection::BitMap>;
+
+} // namespace runtime
+} // namespace ade
+
+#endif // ADE_RUNTIME_RTCONCRETE_H

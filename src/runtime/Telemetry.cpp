@@ -11,6 +11,7 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 using namespace ade;
@@ -58,6 +59,14 @@ const char *ade::runtime::guardRailName(GuardRailKind K) {
   ade_unreachable("unknown guard rail");
 }
 
+/// Process-unique owner tokens: one per sink *generation*, consumed by
+/// the constructor and by every reset(). Zero is never issued, so a
+/// default-initialized TelemetryScratch can never masquerade as owned.
+static uint64_t nextOwnerToken() {
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
 Telemetry::Telemetry() : Telemetry(Options()) {}
 
 Telemetry::Telemetry(Options Opts) : Opts(Opts) {
@@ -65,6 +74,7 @@ Telemetry::Telemetry(Options Opts) : Opts(Opts) {
   if (this->Opts.JournalCapacity == 0)
     this->Opts.JournalCapacity = 1;
   StartNs = nowNanos();
+  Token = nextOwnerToken();
 }
 
 uint64_t Telemetry::nowNanos() {
@@ -75,9 +85,13 @@ uint64_t Telemetry::nowNanos() {
 
 Telemetry::SiteInfo &Telemetry::siteFor(const RtCollection *C) {
   RtCollection::TelemetryScratch &Scr = C->telemetryScratch();
-  // A zero (never registered) or out-of-range (stale, written by an
-  // earlier sink since reset) id falls back to the shared host record.
-  if (Scr.SitePlus1 == 0 || Scr.SitePlus1 > Sites.size())
+  // The binding is trusted only when this sink generation wrote it: a
+  // zero id means never registered, and a foreign owner token means the
+  // id was written by a different sink or by this sink before a reset()
+  // discarded the site table — such an id can be in range yet point at
+  // an unrelated record, so charging it would misattribute events.
+  // Either way, fall back to the shared host record.
+  if (Scr.SitePlus1 == 0 || Scr.Owner != Token || Scr.SitePlus1 > Sites.size())
     registerCollection(C, nullptr);
   return Sites[Scr.SitePlus1 - 1];
 }
@@ -132,6 +146,7 @@ void Telemetry::registerCollection(const RtCollection *C,
   RtCollection::TelemetryScratch &Scr = C->telemetryScratch();
   Scr.SitePlus1 = Id + 1;
   Scr.OccState = 0;
+  Scr.Owner = Token;
   Scr.LastRehashes = C->probeCounters().Rehashes;
 }
 
@@ -253,6 +268,10 @@ void Telemetry::reset() {
   SiteIds.clear();
   LabelIds.clear();
   StartNs = nowNanos();
+  // Site ids handed out before the reset are meaningless against the now
+  // empty table; a fresh owner token invalidates every outstanding
+  // TelemetryScratch binding in one step.
+  Token = nextOwnerToken();
 }
 
 void Telemetry::writeSnapshotJson(json::Writer &W) const {

@@ -153,6 +153,14 @@ public:
   Telemetry();
   explicit Telemetry(Options Opts);
 
+  /// Process-unique identity of this sink generation, stamped into each
+  /// registered collection's TelemetryScratch and regenerated by reset().
+  /// siteFor trusts a scratch binding only when its owner matches, so a
+  /// site id written by another sink — or by this sink before a reset —
+  /// can never charge events to an unrelated record, even when it
+  /// happens to be in range.
+  uint64_t ownerToken() const { return Token; }
+
   uint64_t sampleRate() const { return uint64_t(1) << Opts.SampleShift; }
   /// Tick mask for the interpreter's 1-in-N test: sample when
   /// (++tick & mask) == 0.
@@ -218,6 +226,8 @@ private:
 
   Options Opts;
   uint64_t StartNs = 0;
+  /// See ownerToken().
+  uint64_t Token = 0;
   uint64_t NextSeq = 0;
   uint64_t Dropped = 0;
   uint64_t TotalSamples = 0;

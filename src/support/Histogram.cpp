@@ -70,18 +70,28 @@ void Histogram::record(uint64_t V, uint64_t N) {
 uint64_t Histogram::quantile(double Q) const {
   if (Count == 0)
     return 0;
-  Q = std::clamp(Q, 0.0, 1.0);
+  // Clamp without std::clamp: NaN comparisons are unordered, so
+  // std::clamp(NaN, ...) — and the uint64_t(ceil(NaN)) that would follow
+  // — is undefined. A NaN quantile degrades to Q = 0 (the minimum).
+  if (!(Q > 0.0))
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
   // Rank of the requested order statistic, 1-based.
   uint64_t Rank = uint64_t(std::ceil(Q * double(Count)));
   if (Rank == 0)
     Rank = 1;
+  // Deserialized histograms may lack the exact extrema (fromJson degrades
+  // them to bucket bounds), so defend the Lo <= Hi precondition of the
+  // final clamp rather than inherit UB from malformed input.
+  uint64_t Lo = std::min(MinV, MaxV), Hi = std::max(MinV, MaxV);
   uint64_t Seen = 0;
   for (size_t I = 0; I < Buckets.size(); ++I) {
     Seen += Buckets[I];
     if (Seen >= Rank)
-      return std::clamp(bucketMid(I), MinV, MaxV);
+      return std::clamp(bucketMid(I), Lo, Hi);
   }
-  return MaxV;
+  return Hi;
 }
 
 void Histogram::merge(const Histogram &Other) {
@@ -182,10 +192,31 @@ bool Histogram::fromJson(const json::Value &V, Histogram &Out,
   }
   if (const json::Value *S = V.find("sum"))
     H.Sum = S->asUint();
-  if (const json::Value *M = V.find("min"))
-    H.MinV = H.Count ? M->asUint() : UINT64_MAX;
-  if (const json::Value *M = V.find("max"))
-    H.MaxV = M->asUint();
+  const json::Value *MinKey = V.find("min");
+  const json::Value *MaxKey = V.find("max");
+  if (MinKey)
+    H.MinV = H.Count ? MinKey->asUint() : UINT64_MAX;
+  if (MaxKey)
+    H.MaxV = MaxKey->asUint();
+  // Documents missing "min"/"max" would otherwise leave a non-empty
+  // histogram with the empty-state sentinels MinV = UINT64_MAX > MaxV =
+  // 0, poisoning every quantile clamp. Degrade absent extrema to the
+  // outermost bucket bounds (the tightest values the buckets support).
+  if (H.Count && (!MinKey || !MaxKey)) {
+    size_t FirstIdx = 0, LastIdx = 0;
+    bool SawAny = false;
+    for (size_t I = 0; I < H.Buckets.size(); ++I)
+      if (H.Buckets[I]) {
+        LastIdx = I;
+        if (!SawAny)
+          FirstIdx = I;
+        SawAny = true;
+      }
+    if (!MinKey)
+      H.MinV = H.bucketLo(FirstIdx);
+    if (!MaxKey)
+      H.MaxV = H.bucketHi(LastIdx);
+  }
   Out = std::move(H);
   return true;
 }

@@ -19,6 +19,10 @@
 ///     --print                 print the module after transformation
 ///     --run[=FUNC]            interpret FUNC (default @main) and print
 ///                             its result, dynamic stats and peak memory
+///     --engine=tree|vm        execution engine for --run: the reference
+///                             tree-walking interpreter (default) or the
+///                             direct-threaded register bytecode VM; the
+///                             two are semantically interchangeable
 ///     --args=a,b,c            u64 arguments for --run
 ///     --lint                  run the static checkers after the (optional)
 ///                             transformation; nonzero exit on findings
@@ -83,6 +87,7 @@
 #include "interp/Interpreter.h"
 #include "interp/Profiler.h"
 #include "runtime/Telemetry.h"
+#include "vm/Engine.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
@@ -109,7 +114,8 @@ static int usage(const char *BadOption = nullptr) {
       stderr,
       "usage: adec FILE.memoir [--ade] [--no-rte] [--no-sharing]\n"
       "            [--no-propagation] [--sparse] [--print]\n"
-      "            [--run[=FUNC]] [--args=a,b,c] [--lint]\n"
+      "            [--run[=FUNC]] [--engine=tree|vm] [--args=a,b,c]\n"
+      "            [--lint]\n"
       "            [--diag-format=text|json] [--time-report]\n"
       "            [--profile[=FILE]] [--profile-use=FILE]\n"
       "            [--selection-report] [--absint-report]\n"
@@ -231,6 +237,8 @@ int main(int Argc, char **Argv) {
   core::PipelineConfig Config;
   interp::InterpOptions InterpOpts;
   bool SawBudget = false;
+  bool SawEngine = false;
+  vm::EngineKind EngineK = vm::EngineKind::Tree;
 
   for (int I = 1; I != Argc; ++I) {
     std::string Arg = Argv[I];
@@ -250,6 +258,12 @@ int main(int Argc, char **Argv) {
       Run = true;
       if (Arg.size() > 6)
         RunFunc = Arg.substr(6);
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      SawEngine = true;
+      if (!vm::engineFromName(Arg.substr(9), EngineK)) {
+        std::fprintf(stderr, "adec: --engine must be 'tree' or 'vm'\n");
+        return 1;
+      }
     } else if (Arg == "--lint") {
       Lint = true;
     } else if (Arg == "--diag-format=text") {
@@ -329,6 +343,10 @@ int main(int Argc, char **Argv) {
     return usage();
   if (SawArgs && !Run) {
     std::fprintf(stderr, "adec: --args has no effect without --run\n");
+    return 1;
+  }
+  if (SawEngine && !Run) {
+    std::fprintf(stderr, "adec: --engine has no effect without --run\n");
     return 1;
   }
   if (SawBudget && !Run) {
@@ -557,7 +575,7 @@ int main(int Argc, char **Argv) {
     runtime::Telemetry Tel(TelOpts);
     if (!MetricsFile.empty())
       Opts.Tel = &Tel;
-    interp::Interpreter I(*M, Opts);
+    vm::Engine I(EngineK, *M, Opts);
     uint64_t Result;
     try {
       Result = I.call(F, RunArgs);

@@ -1,0 +1,52 @@
+//===- Bytecode.cpp - Register bytecode for the VM ------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include "support/RawOstream.h"
+
+using namespace ade;
+using namespace ade::vm;
+
+const char *ade::vm::vmOpName(VmOp Op) {
+  switch (Op) {
+#define ADE_VM_NAME(Name)                                                      \
+  case VmOp::Name:                                                             \
+    return #Name;
+    ADE_VM_OPCODES(ADE_VM_NAME)
+#undef ADE_VM_NAME
+  }
+  return "<invalid>";
+}
+
+std::string ade::vm::disassemble(const CompiledFn &CF) {
+  std::string Out;
+  RawStringOstream OS(Out);
+  OS << "regs " << CF.NumRegs << ", args [";
+  for (size_t I = 0; I != CF.ArgRegs.size(); ++I)
+    OS << (I ? " " : "") << "r" << CF.ArgRegs[I];
+  OS << "]\n";
+  auto Reg = [&](uint32_t R) {
+    if (R == NoReg)
+      OS << "_";
+    else
+      OS << "r" << R;
+  };
+  for (size_t IP = 0; IP != CF.Code.size(); ++IP) {
+    const Inst &In = CF.Code[IP];
+    OS << IP << ": " << vmOpName(In.Op) << " ";
+    OS << "A=" << In.A << " B=";
+    Reg(In.B);
+    OS << " C=";
+    Reg(In.C);
+    OS << " D=";
+    Reg(In.D);
+    if (In.Charge)
+      OS << " #" << unsigned(In.Charge);
+    OS << "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,219 @@
+//===- Bytecode.h - Register bytecode for the VM ----------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat register bytecode the VM executes (see DESIGN.md "Bytecode
+/// VM"). Each IR function compiles once into a linear instruction buffer:
+/// structured control flow (if / for-range / do-while / for-each regions)
+/// lowers to explicit jumps, SSA values and region arguments get one
+/// 64-bit virtual register each, and hot instruction pairs fuse into
+/// superinstructions.
+///
+/// The encoding is fixed-width (32 bytes): opcode, a step-charge count
+/// that preserves the tree-walker's instruction accounting exactly, five
+/// 32-bit operand fields (registers, jump targets, pool and inline-cache
+/// indices) and the originating IR instruction for diagnostics, stats and
+/// profiler attribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_VM_BYTECODE_H
+#define ADE_VM_BYTECODE_H
+
+#include "ir/IR.h"
+#include "runtime/RtCollection.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ade {
+namespace vm {
+
+/// Every VM opcode. The X-macro keeps the enum, the name table and the
+/// computed-goto dispatch table in one list so they can never go out of
+/// sync.
+///
+/// Operand field conventions (see Inst):
+///   A  destination register, or jump target (instruction index)
+///   B  first source register, or pool index
+///   C  second source register
+///   D  third source register
+///   E  inline-cache index (collection ops only)
+/// Superinstructions for two fused adjacent u64 fast-path binary ops:
+/// `R[A] = (R[B] <op1> R[C]) <op2> R[D]`. Each hot combination gets its
+/// own opcode so the handler is straight-line ALU work — a shared
+/// handler decoding the pair from an operand field costs as much in
+/// switch machinery as the dispatch it saves. The second op is
+/// restricted to commutative ones, which lets the compiler drop the
+/// operand-order bit; the grid must stay contiguous and ordered
+/// (op1-major), the compiler indexes into it.
+#define ADE_VM_BINPAIR_OPCODES(X)                                              \
+  X(BinPairAddAdd) X(BinPairAddXor) X(BinPairAddAnd) X(BinPairAddOr)           \
+  X(BinPairSubAdd) X(BinPairSubXor) X(BinPairSubAnd) X(BinPairSubOr)           \
+  X(BinPairMulAdd) X(BinPairMulXor) X(BinPairMulAnd) X(BinPairMulOr)           \
+  X(BinPairAndAdd) X(BinPairAndXor) X(BinPairAndAnd) X(BinPairAndOr)           \
+  X(BinPairOrAdd)  X(BinPairOrXor)  X(BinPairOrAnd)  X(BinPairOrOr)            \
+  X(BinPairXorAdd) X(BinPairXorXor) X(BinPairXorAnd) X(BinPairXorOr)           \
+  X(BinPairShlAdd) X(BinPairShlXor) X(BinPairShlAnd) X(BinPairShlOr)           \
+  X(BinPairShrAdd) X(BinPairShrXor) X(BinPairShrAnd) X(BinPairShrOr)
+
+#define ADE_VM_OPCODES(X)                                                      \
+  X(Nop)         /* no effect (charge carrier) */                              \
+  X(LoadImm)     /* R[A] = ConstPool[B] */                                     \
+  X(Move)        /* R[A] = R[B] */                                             \
+  X(AddU64)      /* R[A] = R[B] + R[C] (u64 fast path; likewise below) */      \
+  X(SubU64)                                                                    \
+  X(MulU64)                                                                    \
+  X(DivU64)      /* traps on zero divisor */                                   \
+  X(RemU64)      /* traps on zero divisor */                                   \
+  X(AndU64)                                                                    \
+  X(OrU64)                                                                     \
+  X(XorU64)                                                                    \
+  X(ShlU64)      /* shift amount masked to 63, like the tree-walker */         \
+  X(ShrU64)                                                                    \
+  X(MinU64)                                                                    \
+  X(MaxU64)                                                                    \
+  X(CmpEqU64)                                                                  \
+  X(CmpNeU64)                                                                  \
+  X(CmpLtU64)                                                                  \
+  X(CmpLeU64)                                                                  \
+  X(CmpGtU64)                                                                  \
+  X(CmpGeU64)                                                                  \
+  X(BinaryGen)   /* R[A] = evalBinary(Src->op(), ..., R[B], R[C]) */           \
+  ADE_VM_BINPAIR_OPCODES(X) /* fused u64 binop pairs, see below */             \
+  X(NegGen)      /* R[A] = -R[B], typed via Src */                             \
+  X(NotGen)      /* R[A] = !/~R[B], typed via Src */                           \
+  X(CastGen)     /* R[A] = evalCast(Src types, R[B]) */                        \
+  X(SelectVal)   /* R[A] = R[B] ? R[C] : R[D] */                               \
+  X(Jump)        /* ip = A */                                                  \
+  X(JumpIfTrue)  /* if (R[B]) ip = A */                                        \
+  X(JumpIfFalse) /* if (!R[B]) ip = A */                                       \
+  X(JumpIfGeU64) /* if (R[B] >= R[C]) ip = A (for-range header) */             \
+  X(IncJumpLt)   /* ++R[B]; ip = R[B] < R[C] ? A : D (rotated back edge) */                    \
+  X(NewColl)     /* R[A] = new collection of Src->result()->type() */          \
+  X(SeqRead)     /* R[A] = seq(R[B])[R[C]] */                                  \
+  X(SeqWrite)    /* seq(R[B])[R[C]] = R[D] */                                  \
+  X(SeqAppend)   /* seq(R[B]).append(R[C]) */                                  \
+  X(SeqPop)      /* R[A] = seq(R[B]).pop() */                                  \
+  X(MapRead)     /* R[A] = map(R[B])[R[C]]; traps on a missing key */          \
+  X(MapWrite)    /* map(R[B])[R[C]] = R[D] */                                  \
+  X(InsertVal)   /* insert(R[B], R[C]) */                                      \
+  X(RemoveVal)   /* remove(R[B], R[C]) */                                      \
+  X(HasVal)      /* R[A] = has(R[B], R[C]) */                                  \
+  X(SizeVal)     /* R[A] = size(R[B]) */                                       \
+  X(ClearVal)    /* clear(R[B]) */                                             \
+  X(ReserveVal)  /* reserve(R[B], R[C]) */                                     \
+  X(UnionVal)    /* union(R[B], R[C]) */                                       \
+  X(EncVal)      /* R[A] = enc(R[B], R[C]) */                                  \
+  X(DecVal)      /* R[A] = dec(R[B], R[C]); traps out of range */              \
+  X(EnumAddVal)  /* R[A] = add(R[B], R[C]) */                                  \
+  X(GlobalGet)   /* R[A] = global SymPool[B] */                                \
+  X(GlobalSet)   /* global SymPool[B] = R[A] */                                \
+  X(ForEachInit) /* snapshot R[B]'s items, push iteration state */             \
+  X(ForEachNext) /* pop+jump A when done, else R[B]=key, R[C]=value */         \
+  X(AddIncJumpLt) /* fused accumulate+back edge: R[A] = R[B] + R[C];           \
+                     ++R[D]; ip = R[D] < R[E] ? Aux : fallthrough */           \
+  X(HasBrFalse)  /* fused has+branch: if (!has(R[B], R[C])) ip = A */          \
+  X(MapReadAdd)  /* fused read+add: R[A] = map(R[B])[R[C]] + R[D] */           \
+  X(SeqReadAdd)  /* fused read+add: R[A] = seq(R[B])[R[C]] + R[D] */           \
+  X(EncInsert)   /* fused enc+insert: insert(R[D], enc(R[B], R[C])) */         \
+  X(CallFn)      /* R[A] = FuncPool[B](regs of ArgPool[C]) */                  \
+  X(RetVal)      /* return R[A] (or 0 when A == NoReg) */
+
+enum class VmOp : uint8_t {
+#define ADE_VM_ENUM(Name) Name,
+  ADE_VM_OPCODES(ADE_VM_ENUM)
+#undef ADE_VM_ENUM
+};
+
+/// Mnemonic of \p Op, for the disassembler and tests.
+const char *vmOpName(VmOp Op);
+
+/// Sentinel for "no register" operand slots (void calls, ret without a
+/// value, set-iteration value registers).
+constexpr uint32_t NoReg = ~uint32_t(0);
+
+/// One decoded instruction. Fixed 32-byte layout so the dispatch loop's
+/// fetch is a single cache line for two instructions.
+struct Inst {
+  VmOp Op = VmOp::Nop;
+  /// Steps to charge against InstructionsExecuted / --max-steps when this
+  /// instruction executes: 0 for synthesized glue (jumps, copies beyond
+  /// the first of a sequence), 1 for a lowered IR instruction, 2 for a
+  /// fused pair. Preserves the tree-walker's accounting exactly.
+  uint8_t Charge = 0;
+  /// Secondary attribution: SrcPool index of the second IR instruction of
+  /// a fused pair (EncInsert's insert).
+  uint16_t Aux = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+  uint32_t D = 0;
+  /// Inline-cache index into CompiledFn::Caches (collection ops).
+  uint32_t E = 0;
+  /// The IR instruction this lowered from: diagnostics (source location),
+  /// stats/profiler attribution and type queries for the Gen opcodes.
+  /// Null only on the synthesized implicit return.
+  const ir::Instruction *Src = nullptr;
+};
+
+static_assert(sizeof(Inst) == 32, "Inst packing changed; re-measure dispatch");
+
+/// A monomorphic inline cache attached to one collection-op site. Valid
+/// while the cached pointer still identifies the same never-destroyed
+/// object: RtCollection::destructionEpoch() is snapshotted at fill time,
+/// and any RtCollection destruction anywhere invalidates every cache
+/// (conservative, but refills are one classification switch).
+struct InlineCache {
+  /// Concrete adapter classification, used to devirtualize the operation.
+  enum class Fast : uint8_t {
+    None, // Unclassified or no fast path (sequences).
+    HashSet,
+    SwissSet,
+    FlatSet,
+    BitSet,
+    RoaringSet,
+    HashMap,
+    SwissMap,
+    BitMap,
+  };
+
+  const runtime::RtCollection *Coll = nullptr;
+  uint64_t Epoch = 0;
+  Fast Kind = Fast::None;
+};
+
+/// One function compiled to bytecode.
+struct CompiledFn {
+  std::vector<Inst> Code;
+  /// Immediate values (LoadImm), pre-masked to their IR type width.
+  std::vector<uint64_t> ConstPool;
+  /// Global symbol names (GlobalGet/GlobalSet).
+  std::vector<std::string> SymPool;
+  /// Resolved call targets; null entries fault at execution time like the
+  /// tree-walker's unknown-function lookup.
+  std::vector<const ir::Function *> FuncPool;
+  /// Argument register lists for calls.
+  std::vector<std::vector<uint32_t>> ArgPool;
+  /// Secondary attribution targets for fused pairs (see Inst::Aux).
+  std::vector<const ir::Instruction *> SrcPool;
+  /// Inline caches, mutated during execution.
+  std::vector<InlineCache> Caches;
+  /// Virtual register count; the frame is NumRegs zero-initialized u64s.
+  uint32_t NumRegs = 0;
+  /// Registers holding the function arguments on entry.
+  std::vector<uint32_t> ArgRegs;
+};
+
+/// Renders \p CF as text, one instruction per line ("12: addu64 r3, r1,
+/// r2 #1" style), for tests and debugging.
+std::string disassemble(const CompiledFn &CF);
+
+} // namespace vm
+} // namespace ade
+
+#endif // ADE_VM_BYTECODE_H

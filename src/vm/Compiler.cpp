@@ -1,0 +1,790 @@
+//===- Compiler.cpp - IR to register bytecode -----------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Compiler.h"
+
+#include "interp/EvalOps.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace ade;
+using namespace ade::ir;
+using namespace ade::vm;
+
+namespace {
+
+class Compiler {
+public:
+  Compiler(const Function &F, CompileOptions Opts) : F(F), Opts(Opts) {}
+
+  CompiledFn run() {
+    for (unsigned I = 0; I != F.numArgs(); ++I)
+      CF.ArgRegs.push_back(regOf(F.arg(I)));
+    // Yields at function top level behave like the tree-walker's: the
+    // region simply ends, returning 0.
+    std::vector<size_t> EndJumps;
+    YieldSink Sink;
+    Sink.K = YieldSink::Kind::FuncEnd;
+    Sink.PendingJumps = &EndJumps;
+    compileRegion(F.body(), Sink);
+    size_t EndIP = here();
+    for (size_t Idx : EndJumps)
+      CF.Code[Idx].A = uint32_t(EndIP);
+    // Implicit `ret 0` for bodies that fall off the end (uncharged, like
+    // the tree-walker's region end).
+    Inst Ret;
+    Ret.Op = VmOp::RetVal;
+    Ret.A = NoReg;
+    CF.Code.push_back(Ret);
+    return std::move(CF);
+  }
+
+private:
+  /// Describes how a region's Yield instructions lower.
+  struct YieldSink {
+    enum class Kind { FuncEnd, IfJoin, ForRangeBack, DoWhileBack, ForEachBack };
+    Kind K = Kind::FuncEnd;
+    /// Where yield operands land: If result registers, or the loop's
+    /// carried region-argument registers.
+    std::vector<uint32_t> Dsts;
+    /// For-range induction register.
+    uint32_t IvReg = NoReg;
+    /// For-range bound register (IncJumpLt's comparison operand).
+    uint32_t HiReg = NoReg;
+    /// Loop head / for-each advance instruction index. For-range stores
+    /// the rotated target: the first instruction after the head test.
+    size_t BackIP = 0;
+    /// Jumps to patch to the join / function end (FuncEnd, IfJoin) or to
+    /// the loop exit (DoWhileBack patches field A, ForRangeBack patches
+    /// IncJumpLt's not-taken target in field D).
+    std::vector<size_t> *PendingJumps = nullptr;
+  };
+
+  const Function &F;
+  CompileOptions Opts;
+  CompiledFn CF;
+  std::unordered_map<const Value *, uint32_t> RegOf;
+  std::map<uint64_t, uint32_t> ConstIdx;
+  std::map<std::string, uint32_t> SymIdx;
+
+  uint32_t regOf(const Value *V) {
+    auto [It, Inserted] = RegOf.try_emplace(V, CF.NumRegs);
+    if (Inserted)
+      ++CF.NumRegs;
+    return It->second;
+  }
+
+  uint32_t newTemp() { return CF.NumRegs++; }
+
+  size_t here() const { return CF.Code.size(); }
+
+  size_t emit(VmOp Op, uint8_t Charge, const Instruction *Src, uint32_t A = 0,
+              uint32_t B = 0, uint32_t C = 0, uint32_t D = 0, uint32_t E = 0,
+              uint16_t Aux = 0) {
+    Inst In;
+    In.Op = Op;
+    In.Charge = Charge;
+    In.Aux = Aux;
+    In.A = A;
+    In.B = B;
+    In.C = C;
+    In.D = D;
+    In.E = E;
+    In.Src = Src;
+    CF.Code.push_back(In);
+    return CF.Code.size() - 1;
+  }
+
+  uint32_t constIdx(uint64_t V) {
+    auto [It, Inserted] = ConstIdx.try_emplace(V, uint32_t(CF.ConstPool.size()));
+    if (Inserted)
+      CF.ConstPool.push_back(V);
+    return It->second;
+  }
+
+  uint32_t symIdx(const std::string &S) {
+    auto [It, Inserted] = SymIdx.try_emplace(S, uint32_t(CF.SymPool.size()));
+    if (Inserted)
+      CF.SymPool.push_back(S);
+    return It->second;
+  }
+
+  uint32_t srcIdx(const Instruction *I) {
+    CF.SrcPool.push_back(I);
+    return uint32_t(CF.SrcPool.size() - 1);
+  }
+
+  uint32_t newCache() {
+    CF.Caches.emplace_back();
+    return uint32_t(CF.Caches.size() - 1);
+  }
+
+  /// True when \p Def's single use is operand \p OpIdx of \p User.
+  static bool onlyUseIs(const Value *Def, const Instruction *User,
+                        unsigned OpIdx) {
+    return Def->uses().size() == 1 && User->operand(OpIdx) == Def;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Yield lowering
+  //===--------------------------------------------------------------------===//
+
+  /// Emits the register moves realizing `Dsts[i] = old(Srcs[i])` for all i
+  /// simultaneously: a destination may also be a pending source (loop
+  /// arguments yielded back permuted), so writes are ordered to never
+  /// clobber an unread source, with a temp register breaking cycles.
+  /// \p NeedCharge carries the yield's 1-step charge onto the first
+  /// emitted move.
+  void emitParallelCopy(std::vector<std::pair<uint32_t, uint32_t>> Pairs,
+                        const Instruction *Src, bool &NeedCharge) {
+    Pairs.erase(std::remove_if(Pairs.begin(), Pairs.end(),
+                               [](const auto &P) {
+                                 return P.first == P.second;
+                               }),
+                Pairs.end());
+    auto takeCharge = [&]() -> uint8_t {
+      uint8_t C = NeedCharge ? 1 : 0;
+      NeedCharge = false;
+      return C;
+    };
+    while (!Pairs.empty()) {
+      bool Progress = false;
+      for (size_t I = 0; I != Pairs.size(); ++I) {
+        uint32_t Dst = Pairs[I].first;
+        bool IsSource = false;
+        for (size_t J = 0; J != Pairs.size(); ++J)
+          if (J != I && Pairs[J].second == Dst)
+            IsSource = true;
+        if (IsSource)
+          continue;
+        emit(VmOp::Move, takeCharge(), Src, Dst, Pairs[I].second);
+        Pairs.erase(Pairs.begin() + I);
+        Progress = true;
+        break;
+      }
+      if (!Progress) {
+        // Pure cycle: free one destination by saving it to a temp.
+        uint32_t Dst = Pairs.front().first;
+        uint32_t Temp = newTemp();
+        emit(VmOp::Move, takeCharge(), Src, Temp, Dst);
+        for (auto &P : Pairs)
+          if (P.second == Dst)
+            P.second = Temp;
+      }
+    }
+  }
+
+  /// \p IsLast: the yield is its region's final instruction, so the
+  /// next emitted instruction is the loop/join exit (enables back-edge
+  /// fusion with fallthrough as the exit path).
+  void compileYield(const Instruction &I, const YieldSink &Sink, bool IsLast) {
+    bool NeedCharge = true;
+    auto takeCharge = [&]() -> uint8_t {
+      uint8_t C = NeedCharge ? 1 : 0;
+      NeedCharge = false;
+      return C;
+    };
+    switch (Sink.K) {
+    case YieldSink::Kind::FuncEnd:
+      Sink.PendingJumps->push_back(emit(VmOp::Jump, takeCharge(), &I));
+      return;
+    case YieldSink::Kind::IfJoin: {
+      // If results and yield operands are distinct SSA values, hence
+      // distinct registers: plain sequential moves.
+      for (size_t Idx = 0; Idx != Sink.Dsts.size(); ++Idx) {
+        uint32_t S = regOf(I.operand(unsigned(Idx)));
+        if (Sink.Dsts[Idx] != S)
+          emit(VmOp::Move, takeCharge(), &I, Sink.Dsts[Idx], S);
+      }
+      Sink.PendingJumps->push_back(emit(VmOp::Jump, takeCharge(), &I));
+      return;
+    }
+    case YieldSink::Kind::ForRangeBack: {
+      std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+      for (size_t Idx = 0; Idx != Sink.Dsts.size(); ++Idx)
+        Pairs.push_back({Sink.Dsts[Idx], regOf(I.operand(unsigned(Idx)))});
+      emitParallelCopy(std::move(Pairs), &I, NeedCharge);
+      // Superinstruction: when the region ends on a coalesced u64
+      // accumulate (an AddU64 writing a carried register, all yield
+      // copies elided) the add and the back edge run in one dispatch.
+      // Fallthrough is the loop exit, so this needs the yield to be the
+      // region's last instruction; the back target lives in Aux, which
+      // bounds the fusible code size.
+      if (Opts.Fuse && IsLast && NeedCharge && !CF.Code.empty() &&
+          Sink.BackIP <= 0xFFFF) {
+        Inst &L = CF.Code.back();
+        if (L.Op == VmOp::AddU64 && L.Charge == 1 &&
+            std::find(Sink.Dsts.begin(), Sink.Dsts.end(), L.A) !=
+                Sink.Dsts.end()) {
+          L.Op = VmOp::AddIncJumpLt;
+          L.Charge = 2;
+          L.D = Sink.IvReg;
+          L.E = Sink.HiReg;
+          L.Aux = uint16_t(Sink.BackIP);
+          return;
+        }
+      }
+      // Rotated back edge: increment, re-test the bound and branch back
+      // to the body top (or out) in one dispatch. The exit target in
+      // field D is patched by compileForRange once the region ends.
+      Sink.PendingJumps->push_back(emit(VmOp::IncJumpLt, takeCharge(), &I,
+                                        uint32_t(Sink.BackIP), Sink.IvReg,
+                                        Sink.HiReg));
+      return;
+    }
+    case YieldSink::Kind::DoWhileBack: {
+      uint32_t Cond = regOf(I.operand(0));
+      std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+      for (size_t Idx = 0; Idx != Sink.Dsts.size(); ++Idx)
+        Pairs.push_back({Sink.Dsts[Idx], regOf(I.operand(unsigned(1 + Idx)))});
+      // The copies may overwrite the condition's register (it can be a
+      // carried argument): read it into a temp first.
+      bool CondClobbered = false;
+      for (const auto &P : Pairs)
+        if (P.first == Cond)
+          CondClobbered = true;
+      if (CondClobbered) {
+        uint32_t Temp = newTemp();
+        emit(VmOp::Move, takeCharge(), &I, Temp, Cond);
+        Cond = Temp;
+      }
+      emitParallelCopy(std::move(Pairs), &I, NeedCharge);
+      emit(VmOp::JumpIfTrue, takeCharge(), &I, uint32_t(Sink.BackIP), Cond);
+      // Dead instructions may follow the yield in its region; the exit
+      // path must skip them.
+      Sink.PendingJumps->push_back(emit(VmOp::Jump, 0, &I));
+      return;
+    }
+    case YieldSink::Kind::ForEachBack: {
+      std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+      for (size_t Idx = 0; Idx != Sink.Dsts.size(); ++Idx)
+        Pairs.push_back({Sink.Dsts[Idx], regOf(I.operand(unsigned(Idx)))});
+      emitParallelCopy(std::move(Pairs), &I, NeedCharge);
+      emit(VmOp::Jump, takeCharge(), &I, uint32_t(Sink.BackIP));
+      return;
+    }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Structured control flow
+  //===--------------------------------------------------------------------===//
+
+  void compileIf(const Instruction &I, const Instruction *FusedHas) {
+    size_t BrIdx;
+    if (FusedHas) {
+      // has+branch superinstruction: the membership test and the If's
+      // conditional jump in one dispatch (2 charges).
+      BrIdx = emit(VmOp::HasBrFalse, 2, FusedHas, 0,
+                   regOf(FusedHas->operand(0)), regOf(FusedHas->operand(1)), 0,
+                   newCache());
+    } else {
+      BrIdx = emit(VmOp::JumpIfFalse, 1, &I, 0, regOf(I.operand(0)));
+    }
+    std::vector<size_t> Joins;
+    YieldSink Sink;
+    Sink.K = YieldSink::Kind::IfJoin;
+    for (unsigned Idx = 0; Idx != I.numResults(); ++Idx)
+      Sink.Dsts.push_back(regOf(I.result(Idx)));
+    Sink.PendingJumps = &Joins;
+    compileRegion(*I.region(0), Sink);
+    // Safety net for regions terminated by ret (no yield): unreachable,
+    // but keeps a malformed fallthrough from running the else region.
+    Joins.push_back(emit(VmOp::Jump, 0, &I));
+    CF.Code[BrIdx].A = uint32_t(here());
+    compileRegion(*I.region(1), Sink);
+    size_t JoinIP = here();
+    for (size_t Idx : Joins)
+      CF.Code[Idx].A = uint32_t(JoinIP);
+  }
+
+  void compileForRange(const Instruction &I) {
+    const Region &R0 = *I.region(0);
+    unsigned Carried = I.numOperands() - 2;
+    uint32_t IvReg = regOf(R0.arg(0));
+    // Entry: induction and carried-argument initialization. The single
+    // Move carrying the loop's 1-step entry charge mirrors the
+    // tree-walker charging the ForRange instruction once.
+    emit(VmOp::Move, 1, &I, IvReg, regOf(I.operand(0)));
+    for (unsigned Idx = 0; Idx != Carried; ++Idx)
+      emit(VmOp::Move, 0, &I, regOf(R0.arg(1 + Idx)),
+           regOf(I.operand(2 + Idx)));
+    // Head: `Iv < Hi` or exit, tested only on entry — the back edge is
+    // rotated into IncJumpLt, which re-tests after the increment and
+    // jumps straight to the body top. The bound's register is immutable
+    // while the loop runs (SSA, defined outside the region), so
+    // re-reading it each iteration matches the tree-walker's entry
+    // snapshot.
+    size_t HeadIP = here();
+    uint32_t HiReg = regOf(I.operand(1));
+    size_t HeadIdx = emit(VmOp::JumpIfGeU64, 0, &I, 0, IvReg, HiReg);
+    std::vector<size_t> Exits;
+    YieldSink Sink;
+    Sink.K = YieldSink::Kind::ForRangeBack;
+    for (unsigned Idx = 0; Idx != Carried; ++Idx)
+      Sink.Dsts.push_back(regOf(R0.arg(1 + Idx)));
+    Sink.IvReg = IvReg;
+    Sink.HiReg = HiReg;
+    Sink.BackIP = HeadIP + 1;
+    Sink.PendingJumps = &Exits;
+    compileRegion(R0, Sink);
+    size_t ExitIP = here();
+    CF.Code[HeadIdx].A = uint32_t(ExitIP);
+    for (size_t Idx : Exits)
+      CF.Code[Idx].D = uint32_t(ExitIP);
+    for (unsigned Idx = 0; Idx != Carried; ++Idx)
+      emit(VmOp::Move, 0, &I, regOf(I.result(Idx)), regOf(R0.arg(1 + Idx)));
+  }
+
+  void compileDoWhile(const Instruction &I) {
+    const Region &R0 = *I.region(0);
+    unsigned Carried = I.numOperands();
+    bool First = true;
+    for (unsigned Idx = 0; Idx != Carried; ++Idx) {
+      emit(VmOp::Move, First ? 1 : 0, &I, regOf(R0.arg(Idx)),
+           regOf(I.operand(Idx)));
+      First = false;
+    }
+    if (First)
+      emit(VmOp::Nop, 1, &I); // Carry the entry charge with no carried args.
+    size_t HeadIP = here();
+    std::vector<size_t> Exits;
+    YieldSink Sink;
+    Sink.K = YieldSink::Kind::DoWhileBack;
+    for (unsigned Idx = 0; Idx != Carried; ++Idx)
+      Sink.Dsts.push_back(regOf(R0.arg(Idx)));
+    Sink.BackIP = HeadIP;
+    Sink.PendingJumps = &Exits;
+    compileRegion(R0, Sink);
+    size_t ExitIP = here();
+    for (size_t Idx : Exits)
+      CF.Code[Idx].A = uint32_t(ExitIP);
+    for (unsigned Idx = 0; Idx != Carried; ++Idx)
+      emit(VmOp::Move, 0, &I, regOf(I.result(Idx)), regOf(R0.arg(Idx)));
+  }
+
+  void compileForEach(const Instruction &I) {
+    const Region &R0 = *I.region(0);
+    unsigned Carried = I.numOperands() - 1;
+    // Sets bind one key argument, sequences and maps a key/value pair;
+    // statically visible as the region arguments beyond the carried ones.
+    unsigned KeyArgs = R0.numArgs() - Carried;
+    for (unsigned Idx = 0; Idx != Carried; ++Idx)
+      emit(VmOp::Move, 0, &I, regOf(R0.arg(KeyArgs + Idx)),
+           regOf(I.operand(1 + Idx)));
+    emit(VmOp::ForEachInit, 1, &I, 0, regOf(I.operand(0)));
+    size_t NextIP = here();
+    size_t NextIdx =
+        emit(VmOp::ForEachNext, 0, &I, 0, regOf(R0.arg(0)),
+             KeyArgs == 2 ? regOf(R0.arg(1)) : NoReg);
+    YieldSink Sink;
+    Sink.K = YieldSink::Kind::ForEachBack;
+    for (unsigned Idx = 0; Idx != Carried; ++Idx)
+      Sink.Dsts.push_back(regOf(R0.arg(KeyArgs + Idx)));
+    Sink.BackIP = NextIP;
+    compileRegion(R0, Sink);
+    CF.Code[NextIdx].A = uint32_t(here());
+    for (unsigned Idx = 0; Idx != Carried; ++Idx)
+      emit(VmOp::Move, 0, &I, regOf(I.result(Idx)),
+           regOf(R0.arg(KeyArgs + Idx)));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Straight-line instructions
+  //===--------------------------------------------------------------------===//
+
+  static VmOp binaryU64Op(Opcode Op) {
+    switch (Op) {
+    case Opcode::Add:
+      return VmOp::AddU64;
+    case Opcode::Sub:
+      return VmOp::SubU64;
+    case Opcode::Mul:
+      return VmOp::MulU64;
+    case Opcode::Div:
+      return VmOp::DivU64;
+    case Opcode::Rem:
+      return VmOp::RemU64;
+    case Opcode::And:
+      return VmOp::AndU64;
+    case Opcode::Or:
+      return VmOp::OrU64;
+    case Opcode::Xor:
+      return VmOp::XorU64;
+    case Opcode::Shl:
+      return VmOp::ShlU64;
+    case Opcode::Shr:
+      return VmOp::ShrU64;
+    case Opcode::Min:
+      return VmOp::MinU64;
+    case Opcode::Max:
+      return VmOp::MaxU64;
+    case Opcode::CmpEq:
+      return VmOp::CmpEqU64;
+    case Opcode::CmpNe:
+      return VmOp::CmpNeU64;
+    case Opcode::CmpLt:
+      return VmOp::CmpLtU64;
+    case Opcode::CmpLe:
+      return VmOp::CmpLeU64;
+    case Opcode::CmpGt:
+      return VmOp::CmpGtU64;
+    case Opcode::CmpGe:
+      return VmOp::CmpGeU64;
+    default:
+      return VmOp::BinaryGen;
+    }
+  }
+
+  static bool isBinary(Opcode Op) {
+    switch (Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Min:
+    case Opcode::Max:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static_assert(uint32_t(VmOp::BinPairAddXor) ==
+                        uint32_t(VmOp::BinPairAddAdd) + 1 &&
+                    uint32_t(VmOp::BinPairSubAdd) ==
+                        uint32_t(VmOp::BinPairAddAdd) + 4 &&
+                    uint32_t(VmOp::BinPairShrOr) ==
+                        uint32_t(VmOp::BinPairAddAdd) + 31,
+                "BinPair opcode grid must stay contiguous and op1-major");
+
+  /// Position of \p Op in the superinstruction grid's first-op axis, or
+  /// -1 when it has no fused form (Div/Rem trap and must attribute to
+  /// their own instruction; compares and min/max chains are cold).
+  static int pairOp1Index(Opcode Op) {
+    switch (Op) {
+    case Opcode::Add:
+      return 0;
+    case Opcode::Sub:
+      return 1;
+    case Opcode::Mul:
+      return 2;
+    case Opcode::And:
+      return 3;
+    case Opcode::Or:
+      return 4;
+    case Opcode::Xor:
+      return 5;
+    case Opcode::Shl:
+      return 6;
+    case Opcode::Shr:
+      return 7;
+    default:
+      return -1;
+    }
+  }
+
+  /// Second-op axis: commutative ops only, so the fused handler's fixed
+  /// `T <op2> R[D]` operand order is always correct.
+  static int pairOp2Index(Opcode Op) {
+    switch (Op) {
+    case Opcode::Add:
+      return 0;
+    case Opcode::Xor:
+      return 1;
+    case Opcode::And:
+      return 2;
+    case Opcode::Or:
+      return 3;
+    default:
+      return -1;
+    }
+  }
+
+  /// The BinPair superinstruction fusing \p I with \p Next — adjacent
+  /// u64 fast-path binops where the second's only consumption of the
+  /// first's value is one of its operands — or BinaryGen when they
+  /// don't fuse.
+  VmOp fusesBinPair(const Instruction &I, const Instruction *Next) const {
+    int Idx1 = pairOp1Index(I.op());
+    if (!Opts.Fuse || Idx1 < 0 || !Next || !isBinary(Next->op()))
+      return VmOp::BinaryGen;
+    int Idx2 = pairOp2Index(Next->op());
+    if (Idx2 < 0 || !interp::eval::isU64Fast(Next->operand(0)->type()) ||
+        I.result()->uses().size() != 1 ||
+        (Next->operand(0) != I.result() && Next->operand(1) != I.result()))
+      return VmOp::BinaryGen;
+    return VmOp(uint32_t(VmOp::BinPairAddAdd) + uint32_t(Idx1) * 4 +
+                uint32_t(Idx2));
+  }
+
+  /// True when the read at \p I can fuse with \p Next into a ReadAdd
+  /// superinstruction: an immediately following u64 fast-path Add whose
+  /// only consumption of the read's value is one of its operands.
+  bool fusesReadAdd(const Instruction &I, const Instruction *Next) const {
+    return Opts.Fuse && Next && Next->op() == Opcode::Add &&
+           I.result()->uses().size() == 1 &&
+           (Next->operand(0) == I.result() || Next->operand(1) == I.result()) &&
+           interp::eval::isU64Fast(Next->operand(0)->type());
+  }
+
+  /// Register-coalescing pre-pass: when the last instruction before a
+  /// region's terminating Yield defines a value whose only use is one
+  /// yield operand, pre-assign that value the destination register of
+  /// its yield slot. The yield's copy then drops as an identity move and
+  /// the defining instruction writes the loop-carried (or If-result)
+  /// register directly.
+  ///
+  /// Safety: registers are unique per SSA value, so the destination
+  /// register otherwise belongs only to the carried argument / If
+  /// result it was allocated for. Moving its write from the yield up to
+  /// the def is sound because nothing executes between the two (the def
+  /// immediately precedes the yield, and any write a compound def emits
+  /// to its own result register is the last thing it does), provided no
+  /// *other* yield operand still needs the old value in that register —
+  /// rejected below.
+  void coalesceLastDef(const Region &R, const YieldSink &Sink) {
+    if (Sink.Dsts.empty() || R.size() < 2)
+      return;
+    const Instruction *Y = R.inst(R.size() - 1);
+    if (Y->op() != Opcode::Yield)
+      return;
+    const Instruction *D = R.inst(R.size() - 2);
+    if (D->numResults() != 1)
+      return;
+    const Value *V = D->result();
+    if (V->uses().size() != 1 || RegOf.count(V))
+      return;
+    // Locate the single use among the yield operands. Do-while yields
+    // carry the continue condition at operand 0, offset from the carried
+    // destination slots.
+    unsigned Base = Sink.K == YieldSink::Kind::DoWhileBack ? 1 : 0;
+    unsigned KIdx = ~0u;
+    unsigned Hits = 0;
+    for (unsigned Idx = 0; Idx != Y->numOperands(); ++Idx)
+      if (Y->operand(Idx) == V) {
+        KIdx = Idx;
+        ++Hits;
+      }
+    if (Hits != 1 || KIdx < Base || KIdx - Base >= Sink.Dsts.size())
+      return;
+    uint32_t CR = Sink.Dsts[KIdx - Base];
+    // Another yield operand (including the do-while condition) reading
+    // the carried register would now see the clobbered value.
+    for (unsigned Idx = 0; Idx != Y->numOperands(); ++Idx)
+      if (Idx != KIdx && regOf(Y->operand(Idx)) == CR)
+        return;
+    RegOf[V] = CR;
+  }
+
+  void compileRegion(const Region &R, const YieldSink &Sink) {
+    coalesceLastDef(R, Sink);
+    for (size_t K = 0; K != R.size(); ++K) {
+      const Instruction &I = *R.inst(K);
+      const Instruction *Next = K + 1 < R.size() ? R.inst(K + 1) : nullptr;
+      switch (I.op()) {
+      case Opcode::ConstInt: {
+        const auto *IT = dyn_cast<IntType>(I.result()->type());
+        uint64_t Raw = static_cast<uint64_t>(I.intAttr());
+        uint64_t V = IT ? interp::eval::maskToWidth(Raw, IT->bits()) : Raw;
+        emit(VmOp::LoadImm, 1, &I, regOf(I.result()), constIdx(V));
+        break;
+      }
+      case Opcode::ConstFloat:
+        emit(VmOp::LoadImm, 1, &I, regOf(I.result()),
+             constIdx(interp::doubleToBits(I.fpAttr())));
+        break;
+      case Opcode::ConstBool:
+        emit(VmOp::LoadImm, 1, &I, regOf(I.result()),
+             constIdx(I.intAttr() ? 1 : 0));
+        break;
+      case Opcode::Neg:
+        emit(VmOp::NegGen, 1, &I, regOf(I.result()), regOf(I.operand(0)));
+        break;
+      case Opcode::Not:
+        emit(VmOp::NotGen, 1, &I, regOf(I.result()), regOf(I.operand(0)));
+        break;
+      case Opcode::Select:
+        emit(VmOp::SelectVal, 1, &I, regOf(I.result()), regOf(I.operand(0)),
+             regOf(I.operand(1)), regOf(I.operand(2)));
+        break;
+      case Opcode::Cast:
+        emit(VmOp::CastGen, 1, &I, regOf(I.result()), regOf(I.operand(0)));
+        break;
+      case Opcode::New:
+        emit(VmOp::NewColl, 1, &I, regOf(I.result()));
+        break;
+      case Opcode::Read: {
+        bool IsSeq = isa<SeqType>(I.operand(0)->type());
+        if (fusesReadAdd(I, Next)) {
+          uint32_t Other = regOf(Next->operand(
+              Next->operand(0) == I.result() ? 1 : 0));
+          emit(IsSeq ? VmOp::SeqReadAdd : VmOp::MapReadAdd, 2, &I,
+               regOf(Next->result()), regOf(I.operand(0)),
+               regOf(I.operand(1)), Other, IsSeq ? 0 : newCache());
+          ++K;
+          break;
+        }
+        if (IsSeq)
+          emit(VmOp::SeqRead, 1, &I, regOf(I.result()), regOf(I.operand(0)),
+               regOf(I.operand(1)));
+        else
+          emit(VmOp::MapRead, 1, &I, regOf(I.result()), regOf(I.operand(0)),
+               regOf(I.operand(1)), 0, newCache());
+        break;
+      }
+      case Opcode::Write:
+        if (isa<SeqType>(I.operand(0)->type()))
+          emit(VmOp::SeqWrite, 1, &I, 0, regOf(I.operand(0)),
+               regOf(I.operand(1)), regOf(I.operand(2)));
+        else
+          emit(VmOp::MapWrite, 1, &I, 0, regOf(I.operand(0)),
+               regOf(I.operand(1)), regOf(I.operand(2)), newCache());
+        break;
+      case Opcode::Insert:
+        emit(VmOp::InsertVal, 1, &I, 0, regOf(I.operand(0)),
+             regOf(I.operand(1)), 0, newCache());
+        break;
+      case Opcode::Remove:
+        emit(VmOp::RemoveVal, 1, &I, 0, regOf(I.operand(0)),
+             regOf(I.operand(1)));
+        break;
+      case Opcode::Has:
+        if (Opts.Fuse && Next && Next->op() == Opcode::If &&
+            onlyUseIs(I.result(), Next, 0)) {
+          compileIf(*Next, &I);
+          ++K;
+          break;
+        }
+        emit(VmOp::HasVal, 1, &I, regOf(I.result()), regOf(I.operand(0)),
+             regOf(I.operand(1)), 0, newCache());
+        break;
+      case Opcode::Size:
+        emit(VmOp::SizeVal, 1, &I, regOf(I.result()), regOf(I.operand(0)));
+        break;
+      case Opcode::Clear:
+        emit(VmOp::ClearVal, 1, &I, 0, regOf(I.operand(0)));
+        break;
+      case Opcode::Reserve:
+        emit(VmOp::ReserveVal, 1, &I, 0, regOf(I.operand(0)),
+             regOf(I.operand(1)));
+        break;
+      case Opcode::Append:
+        emit(VmOp::SeqAppend, 1, &I, 0, regOf(I.operand(0)),
+             regOf(I.operand(1)));
+        break;
+      case Opcode::Pop:
+        emit(VmOp::SeqPop, 1, &I, regOf(I.result()), regOf(I.operand(0)));
+        break;
+      case Opcode::Union:
+        emit(VmOp::UnionVal, 1, &I, 0, regOf(I.operand(0)),
+             regOf(I.operand(1)));
+        break;
+      case Opcode::Enc:
+        if (Opts.Fuse && Next && Next->op() == Opcode::Insert &&
+            Next->numOperands() == 2 && onlyUseIs(I.result(), Next, 1)) {
+          emit(VmOp::EncInsert, 2, &I, 0, regOf(I.operand(0)),
+               regOf(I.operand(1)), regOf(Next->operand(0)), newCache(),
+               uint16_t(srcIdx(Next)));
+          ++K;
+          break;
+        }
+        emit(VmOp::EncVal, 1, &I, regOf(I.result()), regOf(I.operand(0)),
+             regOf(I.operand(1)));
+        break;
+      case Opcode::Dec:
+        emit(VmOp::DecVal, 1, &I, regOf(I.result()), regOf(I.operand(0)),
+             regOf(I.operand(1)));
+        break;
+      case Opcode::EnumAdd:
+        emit(VmOp::EnumAddVal, 1, &I, regOf(I.result()), regOf(I.operand(0)),
+             regOf(I.operand(1)));
+        break;
+      case Opcode::GlobalGet:
+        emit(VmOp::GlobalGet, 1, &I, regOf(I.result()), symIdx(I.symbol()));
+        break;
+      case Opcode::GlobalSet:
+        emit(VmOp::GlobalSet, 1, &I, regOf(I.operand(0)),
+             symIdx(I.symbol()));
+        break;
+      case Opcode::If:
+        compileIf(I, /*FusedHas=*/nullptr);
+        break;
+      case Opcode::ForEach:
+        compileForEach(I);
+        break;
+      case Opcode::ForRange:
+        compileForRange(I);
+        break;
+      case Opcode::DoWhile:
+        compileDoWhile(I);
+        break;
+      case Opcode::Yield:
+        compileYield(I, Sink, Next == nullptr);
+        break;
+      case Opcode::Call: {
+        const Function *Callee = I.parentModule()->getFunction(I.symbol());
+        CF.FuncPool.push_back(Callee); // Null faults at execution time.
+        std::vector<uint32_t> Args;
+        for (unsigned Idx = 0; Idx != I.numOperands(); ++Idx)
+          Args.push_back(regOf(I.operand(Idx)));
+        CF.ArgPool.push_back(std::move(Args));
+        emit(VmOp::CallFn, 1, &I,
+             I.numResults() ? regOf(I.result()) : NoReg,
+             uint32_t(CF.FuncPool.size() - 1),
+             uint32_t(CF.ArgPool.size() - 1));
+        break;
+      }
+      case Opcode::Ret:
+        emit(VmOp::RetVal, 1, &I,
+             I.numOperands() ? regOf(I.operand(0)) : NoReg);
+        break;
+      default: {
+        // Remaining opcodes are the binary scalar operations.
+        VmOp Op = VmOp::BinaryGen;
+        if (isBinary(I.op()) &&
+            interp::eval::isU64Fast(I.operand(0)->type())) {
+          Op = binaryU64Op(I.op());
+          if (VmOp Pair = fusesBinPair(I, Next); Pair != VmOp::BinaryGen) {
+            // The intermediate value lives only in the handler; it never
+            // gets a register.
+            uint32_t Other = regOf(
+                Next->operand(Next->operand(0) == I.result() ? 1 : 0));
+            emit(Pair, 2, &I, regOf(Next->result()), regOf(I.operand(0)),
+                 regOf(I.operand(1)), Other);
+            ++K;
+            break;
+          }
+        }
+        emit(Op, 1, &I, regOf(I.result()), regOf(I.operand(0)),
+             regOf(I.operand(1)));
+        break;
+      }
+      }
+    }
+  }
+};
+
+} // namespace
+
+CompiledFn ade::vm::compileFunction(const Function &F, CompileOptions Opts) {
+  return Compiler(F, Opts).run();
+}

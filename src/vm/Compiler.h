@@ -1,0 +1,48 @@
+//===- Compiler.h - IR to register bytecode -------------------- -*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flattens one IR function into the linear register bytecode of
+/// Bytecode.h: SSA values and region arguments map to virtual registers
+/// (a private map — never the IR's scratch ids, which the tree-walking
+/// engine owns), structured regions lower to explicit jumps, loop yields
+/// become parallel register copies, and adjacent hot pairs fuse into
+/// superinstructions.
+///
+/// Step-charge placement reproduces the tree-walker's accounting: each IR
+/// instruction's single charge lands on the first bytecode instruction
+/// emitted for the point where the tree-walker's execInst would run it
+/// (loop headers charge once at entry; yields charge once per iteration).
+/// Fusion folds two charges into one instruction, which would shift where
+/// a --max-steps trap fires, so callers disable it when a step budget is
+/// armed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_VM_COMPILER_H
+#define ADE_VM_COMPILER_H
+
+#include "vm/Bytecode.h"
+
+namespace ade {
+namespace vm {
+
+struct CompileOptions {
+  /// Fuse adjacent hot pairs (has+branch, read+add, enc+insert) into
+  /// 2-charge superinstructions. Must be off when --max-steps is armed so
+  /// the budget trap fires between the pair's halves exactly as the
+  /// tree-walker's would.
+  bool Fuse = true;
+};
+
+/// Compiles \p F to bytecode. \p F must be a defined (non-external)
+/// verified function.
+CompiledFn compileFunction(const ir::Function &F, CompileOptions Opts = {});
+
+} // namespace vm
+} // namespace ade
+
+#endif // ADE_VM_COMPILER_H

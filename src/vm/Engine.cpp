@@ -1,0 +1,32 @@
+//===- Engine.cpp - Engine selection facade -------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Engine.h"
+
+using namespace ade;
+using namespace ade::vm;
+
+const char *ade::vm::engineName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Tree:
+    return "tree";
+  case EngineKind::Vm:
+    return "vm";
+  }
+  return "<invalid>";
+}
+
+bool ade::vm::engineFromName(const std::string &Name, EngineKind &K) {
+  if (Name == "tree") {
+    K = EngineKind::Tree;
+    return true;
+  }
+  if (Name == "vm") {
+    K = EngineKind::Vm;
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,98 @@
+//===- Engine.h - Engine selection facade -----------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin facade over the two execution engines — the tree-walking
+/// interp::Interpreter and the register bytecode vm::VM — so hosts (adec,
+/// the bench harness, the fuzzer oracle) select one with `--engine` and
+/// drive it through a single surface. The engines are semantically
+/// interchangeable; the facade adds no behavior of its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_VM_ENGINE_H
+#define ADE_VM_ENGINE_H
+
+#include "vm/VM.h"
+
+namespace ade {
+namespace vm {
+
+enum class EngineKind : uint8_t {
+  Tree, ///< interp::Interpreter, the reference tree-walker.
+  Vm,   ///< vm::VM, the direct-threaded bytecode engine.
+};
+
+/// "tree" or "vm".
+const char *engineName(EngineKind K);
+
+/// Parses an `--engine=` value; false (and \p K untouched) when \p Name
+/// names no engine.
+bool engineFromName(const std::string &Name, EngineKind &K);
+
+/// One execution engine of either kind over one module.
+class Engine {
+public:
+  Engine(EngineKind K, const ir::Module &M, interp::InterpOptions Opts = {})
+      : TheKind(K) {
+    if (K == EngineKind::Tree)
+      Tree = std::make_unique<interp::Interpreter>(M, Opts);
+    else
+      Machine = std::make_unique<VM>(M, Opts);
+  }
+
+  EngineKind kind() const { return TheKind; }
+
+  uint64_t call(const ir::Function *F, const std::vector<uint64_t> &Args) {
+    return Tree ? Tree->call(F, Args) : Machine->call(F, Args);
+  }
+
+  uint64_t callByName(const std::string &Name,
+                      const std::vector<uint64_t> &Args) {
+    return Tree ? Tree->callByName(Name, Args)
+                : Machine->callByName(Name, Args);
+  }
+
+  runtime::RtCollection *newCollection(const ir::Type *Ty) {
+    return Tree ? Tree->newCollection(Ty) : Machine->newCollection(Ty);
+  }
+
+  static uint64_t collToBits(runtime::RtCollection *C) {
+    return interp::Interpreter::collToBits(C);
+  }
+  static runtime::RtCollection *bitsToColl(uint64_t Bits) {
+    return interp::Interpreter::bitsToColl(Bits);
+  }
+
+  runtime::InterpStats &stats() {
+    return Tree ? Tree->stats() : Machine->stats();
+  }
+
+  runtime::ProbeCounters probeTotals() const {
+    return Tree ? Tree->probeTotals() : Machine->probeTotals();
+  }
+
+  uint64_t globalValue(const std::string &Name) {
+    return Tree ? Tree->globalValue(Name) : Machine->globalValue(Name);
+  }
+
+  void setGlobalValue(const std::string &Name, uint64_t Value) {
+    if (Tree)
+      Tree->setGlobalValue(Name, Value);
+    else
+      Machine->setGlobalValue(Name, Value);
+  }
+
+private:
+  EngineKind TheKind;
+  std::unique_ptr<interp::Interpreter> Tree;
+  std::unique_ptr<VM> Machine;
+};
+
+} // namespace vm
+} // namespace ade
+
+#endif // ADE_VM_ENGINE_H

@@ -1,0 +1,1030 @@
+//===- VM.cpp - Register bytecode execution engine ------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The dispatch loop lives in Impl::execute. With ADE_VM_COMPUTED_GOTO
+// (probed by src/vm/CMakeLists.txt) every handler ends in its own
+// load-charge-indirect-jump sequence — direct threading, which gives the
+// branch predictor one history slot per opcode pair instead of a single
+// shared dispatch branch. The portable fallback is a for(;;)+switch with
+// identical handler bodies; the VM_CASE/VM_NEXT/VM_JUMP macros are the
+// only difference between the two builds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include "collections/MemoryTracker.h"
+#include "interp/EvalOps.h"
+#include "interp/InterpError.h"
+#include "interp/Profiler.h"
+#include "runtime/RtConcrete.h"
+#include "runtime/Telemetry.h"
+#include "support/Casting.h"
+#include "support/CrashHandler.h"
+#include "support/ErrorHandling.h"
+#include "support/Trace.h"
+#include "vm/Compiler.h"
+
+#include <cassert>
+#include <type_traits>
+
+using namespace ade;
+using namespace ade::interp;
+using namespace ade::ir;
+using namespace ade::runtime;
+using namespace ade::vm;
+
+namespace {
+
+RtSet *asSet(uint64_t Bits) {
+  auto *C = VM::bitsToColl(Bits);
+  if (!C || C->kind() != RtKind::Set)
+    reportFatalError("expected a runtime set");
+  return static_cast<RtSet *>(C);
+}
+
+RtMap *asMap(uint64_t Bits) {
+  auto *C = VM::bitsToColl(Bits);
+  if (!C || C->kind() != RtKind::Map)
+    reportFatalError("expected a runtime map");
+  return static_cast<RtMap *>(C);
+}
+
+RtSeq *asSeq(uint64_t Bits) {
+  auto *C = VM::bitsToColl(Bits);
+  if (!C || C->kind() != RtKind::Seq)
+    reportFatalError("expected a runtime sequence");
+  return static_cast<RtSeq *>(C);
+}
+
+RtEnum *asEnum(uint64_t Bits) {
+  if (!Bits)
+    reportFatalError("null enumeration value");
+  return reinterpret_cast<RtEnum *>(Bits);
+}
+
+/// Classifies \p C's concrete adapter for the inline-cache fast paths.
+InlineCache::Fast classifyColl(const RtCollection *C) {
+  switch (C->impl()) {
+  case Selection::HashSet:
+    return InlineCache::Fast::HashSet;
+  case Selection::SwissSet:
+    return InlineCache::Fast::SwissSet;
+  case Selection::FlatSet:
+    return InlineCache::Fast::FlatSet;
+  case Selection::BitSet:
+    return InlineCache::Fast::BitSet;
+  case Selection::SparseBitSet:
+    return InlineCache::Fast::RoaringSet;
+  case Selection::HashMap:
+    return InlineCache::Fast::HashMap;
+  case Selection::SwissMap:
+    return InlineCache::Fast::SwissMap;
+  case Selection::BitMap:
+    return InlineCache::Fast::BitMap;
+  case Selection::Array:
+  case Selection::Empty:
+    return InlineCache::Fast::None;
+  }
+  return InlineCache::Fast::None;
+}
+
+bool icValid(const InlineCache &IC, const RtCollection *C) {
+  // A matching pointer plus an unchanged destruction epoch proves the
+  // object was never destroyed since the fill, so the classification is
+  // still the dynamic type (no recycled-address confusion).
+  return IC.Coll == C && IC.Epoch == RtCollection::destructionEpoch();
+}
+
+void icFill(InlineCache &IC, const RtCollection *C) {
+  IC.Coll = C;
+  IC.Epoch = RtCollection::destructionEpoch();
+  IC.Kind = classifyColl(C);
+}
+
+/// Membership test through the cache: a hit devirtualizes to the concrete
+/// container's contains(); the fallback is the tree-walker's virtual-call
+/// kind dispatch (including its fatal on sequences). Probe counters
+/// advance identically on both paths — same container methods.
+bool icHas(InlineCache &IC, RtCollection *C, uint64_t Key) {
+  if (!icValid(IC, C))
+    icFill(IC, C);
+  switch (IC.Kind) {
+  case InlineCache::Fast::HashSet:
+    return static_cast<RtHashSet *>(C)->Impl.contains(Key);
+  case InlineCache::Fast::SwissSet:
+    return static_cast<RtSwissSet *>(C)->Impl.contains(Key);
+  case InlineCache::Fast::FlatSet:
+    return static_cast<RtFlatSet *>(C)->Impl.contains(Key);
+  case InlineCache::Fast::BitSet:
+    return static_cast<RtBitSet *>(C)->Impl.contains(Key);
+  case InlineCache::Fast::RoaringSet:
+    return static_cast<RtRoaringSet *>(C)->Impl.contains(Key);
+  case InlineCache::Fast::HashMap:
+    return static_cast<RtHashMap *>(C)->Impl.contains(Key);
+  case InlineCache::Fast::SwissMap:
+    return static_cast<RtSwissMap *>(C)->Impl.contains(Key);
+  case InlineCache::Fast::BitMap:
+    return static_cast<RtBitMap *>(C)->Impl.contains(Key);
+  case InlineCache::Fast::None:
+    break;
+  }
+  if (C->kind() == RtKind::Set)
+    return static_cast<RtSet *>(C)->has(Key);
+  if (C->kind() == RtKind::Map)
+    return static_cast<RtMap *>(C)->has(Key);
+  reportFatalError("has on a sequence");
+}
+
+void icInsert(InlineCache &IC, RtCollection *C, uint64_t Key) {
+  if (!icValid(IC, C))
+    icFill(IC, C);
+  switch (IC.Kind) {
+  case InlineCache::Fast::HashSet:
+    static_cast<RtHashSet *>(C)->Impl.insert(Key);
+    return;
+  case InlineCache::Fast::SwissSet:
+    static_cast<RtSwissSet *>(C)->Impl.insert(Key);
+    return;
+  case InlineCache::Fast::FlatSet:
+    static_cast<RtFlatSet *>(C)->Impl.insert(Key);
+    return;
+  case InlineCache::Fast::BitSet:
+    static_cast<RtBitSet *>(C)->Impl.insert(Key);
+    return;
+  case InlineCache::Fast::RoaringSet:
+    static_cast<RtRoaringSet *>(C)->Impl.insert(Key);
+    return;
+  case InlineCache::Fast::HashMap:
+    static_cast<RtHashMap *>(C)->Impl.tryInsert(Key, 0);
+    return;
+  case InlineCache::Fast::SwissMap:
+    static_cast<RtSwissMap *>(C)->Impl.tryInsert(Key, 0);
+    return;
+  case InlineCache::Fast::BitMap:
+    static_cast<RtBitMap *>(C)->Impl.tryInsert(Key, 0);
+    return;
+  case InlineCache::Fast::None:
+    break;
+  }
+  if (C->kind() == RtKind::Set)
+    static_cast<RtSet *>(C)->insert(Key);
+  else if (C->kind() == RtKind::Map)
+    static_cast<RtMap *>(C)->insertDefault(Key, 0);
+  else
+    reportFatalError("insert on a sequence");
+}
+
+uint64_t icMapGet(InlineCache &IC, RtMap *Map, uint64_t Key, bool &Found) {
+  if (!icValid(IC, Map))
+    icFill(IC, Map);
+  switch (IC.Kind) {
+  case InlineCache::Fast::HashMap: {
+    const uint64_t *V = static_cast<RtHashMap *>(Map)->Impl.lookup(Key);
+    Found = V != nullptr;
+    return Found ? *V : 0;
+  }
+  case InlineCache::Fast::SwissMap: {
+    const uint64_t *V = static_cast<RtSwissMap *>(Map)->Impl.lookup(Key);
+    Found = V != nullptr;
+    return Found ? *V : 0;
+  }
+  case InlineCache::Fast::BitMap: {
+    const uint64_t *V = static_cast<RtBitMap *>(Map)->Impl.lookup(Key);
+    Found = V != nullptr;
+    return Found ? *V : 0;
+  }
+  default:
+    return Map->get(Key, Found);
+  }
+}
+
+void icMapSet(InlineCache &IC, RtMap *Map, uint64_t Key, uint64_t Value) {
+  if (!icValid(IC, Map))
+    icFill(IC, Map);
+  switch (IC.Kind) {
+  case InlineCache::Fast::HashMap:
+    static_cast<RtHashMap *>(Map)->Impl.insertOrAssign(Key, Value);
+    return;
+  case InlineCache::Fast::SwissMap:
+    static_cast<RtSwissMap *>(Map)->Impl.insertOrAssign(Key, Value);
+    return;
+  case InlineCache::Fast::BitMap:
+    static_cast<RtBitMap *>(Map)->Impl.insertOrAssign(Key, Value);
+    return;
+  default:
+    Map->set(Key, Value);
+  }
+}
+
+} // namespace
+
+struct VM::Impl {
+  const Module &M;
+  InterpOptions Opts;
+  InterpStats *Stats = nullptr;
+  Profiler *Prof = nullptr;
+  TraceRecorder *Trace = nullptr;
+  Telemetry *Tel = nullptr;
+  /// 1-in-N op sampling state, identical to the tree-walker's: sample
+  /// when (++TelTick & TelMask) == 0.
+  uint64_t TelTick = 0;
+  uint64_t TelMask = 0;
+
+  std::vector<std::unique_ptr<RtCollection>> CollArena;
+  std::vector<std::unique_ptr<RtEnum>> EnumArena;
+  std::unordered_map<std::string, uint64_t> Globals;
+  /// Node-based map: CompiledFn references stay valid while nested calls
+  /// compile further functions.
+  std::unordered_map<const Function *, CompiledFn> Compiled;
+
+  uint64_t Steps = 0;
+  uint64_t Depth = 0;
+
+  Impl(const Module &M, InterpOptions Opts)
+      : M(M), Opts(Opts), Prof(Opts.Prof), Trace(TraceRecorder::active()),
+        Tel(Opts.Tel), TelMask(Opts.Tel ? Opts.Tel->sampleMask() : 0) {}
+
+  template <typename FnT>
+  auto collOp(const RtCollection *C, OpCategory Cat, FnT Fn)
+      -> decltype(Fn()) {
+    if (!Tel || ((++TelTick) & TelMask)) [[likely]]
+      return Fn();
+    return collOpSampled(C, Cat, Fn);
+  }
+
+  template <typename FnT>
+  __attribute__((noinline)) auto
+  collOpSampled(const RtCollection *C, OpCategory Cat, FnT &Fn)
+      -> decltype(Fn()) {
+    uint64_t ProbesBefore = C->probeCounters().Probes;
+    uint64_t T0 = Telemetry::nowNanos();
+    if constexpr (std::is_void_v<decltype(Fn())>) {
+      Fn();
+      uint64_t LatNs = Telemetry::nowNanos() - T0;
+      Tel->recordSampledOp(C, Cat, LatNs,
+                           C->probeCounters().Probes - ProbesBefore);
+    } else {
+      auto Result = Fn();
+      uint64_t LatNs = Telemetry::nowNanos() - T0;
+      Tel->recordSampledOp(C, Cat, LatNs,
+                           C->probeCounters().Probes - ProbesBefore);
+      return Result;
+    }
+  }
+
+  /// Throws the recoverable diagnostic attributed to the IR instruction
+  /// the faulting bytecode lowered from.
+  [[noreturn]] static void trapAt(InterpErrorKind Kind, const char *Msg,
+                                  const Instruction *Src) {
+    if (!Src)
+      throw InterpError(Kind, Msg, SrcLoc{}, std::string());
+    const Function *F = Src->parentFunction();
+    throw InterpError(Kind, Msg, Src->loc(), F ? F->name() : std::string());
+  }
+
+  [[noreturn]] void stepTrap(const Instruction *Src) {
+    if (Tel)
+      Tel->recordGuardRail(GuardRailKind::Steps, Opts.MaxSteps);
+    trapAt(InterpErrorKind::StepBudget,
+           "instruction budget (--max-steps) exceeded", Src);
+  }
+
+  void checkMemBudget(const Instruction &I) {
+    if (Opts.MaxBytes &&
+        MemoryTracker::instance().currentBytes() > Opts.MaxBytes) {
+      if (Tel)
+        Tel->recordGuardRail(GuardRailKind::Bytes, Opts.MaxBytes);
+      trapAt(InterpErrorKind::MemoryBudget,
+             "collection memory budget (--max-bytes) exceeded", &I);
+    }
+  }
+
+  RtCollection *makeCollection(const Type *Ty,
+                               const Instruction *Site = nullptr,
+                               std::string Label = {}) {
+    CollArena.push_back(createCollection(Ty, Opts.Defaults));
+    RtCollection *C = CollArena.back().get();
+    if (Prof)
+      Prof->registerCollection(C, Site, Label);
+    if (Tel)
+      Tel->registerCollection(C, Site, std::move(Label));
+    return C;
+  }
+
+  RtEnum *makeEnum() {
+    EnumArena.push_back(std::make_unique<RtEnum>());
+    return EnumArena.back().get();
+  }
+
+  uint64_t globalSlot(const std::string &Name) {
+    auto It = Globals.find(Name);
+    if (It != Globals.end() && It->second != 0)
+      return It->second;
+    const GlobalVariable *G = M.getGlobal(Name);
+    if (!G)
+      reportFatalError("access to unknown global");
+    uint64_t V = 0;
+    if (isa<EnumType>(G->Ty))
+      V = reinterpret_cast<uint64_t>(makeEnum());
+    else if (G->Ty->isCollection())
+      V = VM::collToBits(makeCollection(G->Ty, /*Site=*/nullptr, "@" + Name));
+    Globals[Name] = V;
+    return V;
+  }
+
+  CompiledFn &compile(const Function *F) {
+    auto It = Compiled.find(F);
+    if (It != Compiled.end())
+      return It->second;
+    CompileOptions CO;
+    // Fused pairs charge their 2 steps atomically, which would move the
+    // point where a step-budget trap fires; keep the budget exact.
+    CO.Fuse = Opts.MaxSteps == 0;
+    return Compiled.emplace(F, compileFunction(*F, CO)).first->second;
+  }
+
+  struct DepthGuard {
+    Impl &I;
+    explicit DepthGuard(Impl &I, const Function *F) : I(I) {
+      if (I.Opts.MaxDepth && I.Depth >= I.Opts.MaxDepth) {
+        if (I.Tel)
+          I.Tel->recordGuardRail(GuardRailKind::Depth, I.Opts.MaxDepth);
+        throw InterpError(InterpErrorKind::DepthBudget,
+                          "call depth budget (--max-depth) exceeded",
+                          ir::SrcLoc{}, F->name());
+      }
+      ++I.Depth;
+    }
+    ~DepthGuard() { --I.Depth; }
+  };
+
+  uint64_t callFunction(const Function *F, const std::vector<uint64_t> &Args) {
+    // External declarations are inert at runtime, like the tree-walker's.
+    if (F->isExternal())
+      return 0;
+    assert(Args.size() == F->numArgs() && "argument count mismatch");
+    DepthGuard Guard(*this, F);
+    CrashContext CC("vm", F->name());
+    CompiledFn &CF = compile(F);
+    uint64_t TraceStart = Trace ? Trace->nowMicros() : 0;
+    // The step budget is checked per dispatch; specializing the loop on
+    // its presence keeps the unbudgeted hot path two ops shorter.
+    uint64_t Result = Opts.MaxSteps ? execute<true>(CF, Args)
+                                    : execute<false>(CF, Args);
+    if (Trace)
+      Trace->addComplete(F->name(), "vm", TraceStart,
+                         Trace->nowMicros() - TraceStart);
+    return Result;
+  }
+
+  /// \tparam Counted compiled-in step-budget accounting (--max-steps).
+  template <bool Counted>
+  uint64_t execute(CompiledFn &CF, const std::vector<uint64_t> &Args);
+};
+
+bool ade::vm::usesComputedGoto() {
+#if defined(ADE_VM_COMPUTED_GOTO)
+  return true;
+#else
+  return false;
+#endif
+}
+
+template <bool Counted>
+uint64_t VM::Impl::execute(CompiledFn &CF, const std::vector<uint64_t> &Args) {
+  std::vector<uint64_t> Frame(CF.NumRegs, 0);
+  uint64_t *R = Frame.data();
+  for (size_t I = 0; I != Args.size(); ++I)
+    R[CF.ArgRegs[I]] = Args[I];
+
+  /// Snapshot stack of active for-each loops in this frame.
+  struct IterState {
+    std::vector<std::pair<uint64_t, uint64_t>> Items;
+    size_t Pos = 0;
+  };
+  std::vector<IterState> Iters;
+
+  const Inst *Code = CF.Code.data();
+  const uint64_t *Consts = CF.ConstPool.data();
+  const std::string *Syms = CF.SymPool.data();
+  InlineCache *Caches = CF.Caches.data();
+  InterpStats *St = Stats;
+  [[maybe_unused]] const uint64_t MaxSteps = Opts.MaxSteps;
+  const Inst *In = Code;
+  // Charges accumulate in a frame-local counter (a register in the hot
+  // loop) and flush into Stats at every exit — return, RtError
+  // translation, or a propagating InterpError — so totals match the
+  // tree-walker's per-instruction accounting to the instruction.
+  uint64_t Done = 0;
+
+  try {
+
+#if defined(ADE_VM_COMPUTED_GOTO)
+
+    static const void *JumpTab[] = {
+#define ADE_VM_LABEL_ADDR(Name) &&VmL_##Name,
+        ADE_VM_OPCODES(ADE_VM_LABEL_ADDR)
+#undef ADE_VM_LABEL_ADDR
+    };
+
+#define VM_DISPATCH(Target)                                                    \
+  do {                                                                         \
+    In = (Target);                                                             \
+    Done += In->Charge;                                                        \
+    if constexpr (Counted) {                                                   \
+      Steps += In->Charge;                                                     \
+      if (Steps > MaxSteps)                                                    \
+        stepTrap(In->Src);                                                     \
+    }                                                                          \
+    goto *JumpTab[size_t(In->Op)];                                             \
+  } while (0)
+#define VM_CASE(Name) VmL_##Name:
+#define VM_NEXT() VM_DISPATCH(In + 1)
+#define VM_JUMP(Target) VM_DISPATCH(Code + (Target))
+
+    VM_DISPATCH(In);
+
+#else // !ADE_VM_COMPUTED_GOTO
+
+#define VM_CASE(Name) case VmOp::Name:
+#define VM_NEXT()                                                              \
+  {                                                                            \
+    ++In;                                                                      \
+    continue;                                                                  \
+  }
+#define VM_JUMP(Target)                                                        \
+  {                                                                            \
+    In = Code + (Target);                                                      \
+    continue;                                                                  \
+  }
+
+    for (;;) {
+      Done += In->Charge;
+      if constexpr (Counted) {
+        Steps += In->Charge;
+        if (Steps > MaxSteps)
+          stepTrap(In->Src);
+      }
+      switch (In->Op) {
+
+#endif // ADE_VM_COMPUTED_GOTO
+
+        VM_CASE(Nop) { VM_NEXT(); }
+        VM_CASE(LoadImm) {
+          R[In->A] = Consts[In->B];
+          VM_NEXT();
+        }
+        VM_CASE(Move) {
+          R[In->A] = R[In->B];
+          VM_NEXT();
+        }
+        VM_CASE(AddU64) {
+          R[In->A] = R[In->B] + R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(SubU64) {
+          R[In->A] = R[In->B] - R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(MulU64) {
+          R[In->A] = R[In->B] * R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(DivU64) {
+          if (R[In->C] == 0)
+            trapAt(InterpErrorKind::Undefined, "integer division by zero",
+                   In->Src);
+          R[In->A] = R[In->B] / R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(RemU64) {
+          if (R[In->C] == 0)
+            trapAt(InterpErrorKind::Undefined, "integer remainder by zero",
+                   In->Src);
+          R[In->A] = R[In->B] % R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(AndU64) {
+          R[In->A] = R[In->B] & R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(OrU64) {
+          R[In->A] = R[In->B] | R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(XorU64) {
+          R[In->A] = R[In->B] ^ R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(ShlU64) {
+          R[In->A] = R[In->B] << (R[In->C] & 63);
+          VM_NEXT();
+        }
+        VM_CASE(ShrU64) {
+          R[In->A] = R[In->B] >> (R[In->C] & 63);
+          VM_NEXT();
+        }
+        VM_CASE(MinU64) {
+          R[In->A] = R[In->B] < R[In->C] ? R[In->B] : R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(MaxU64) {
+          R[In->A] = R[In->B] > R[In->C] ? R[In->B] : R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(CmpEqU64) {
+          R[In->A] = R[In->B] == R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(CmpNeU64) {
+          R[In->A] = R[In->B] != R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(CmpLtU64) {
+          R[In->A] = R[In->B] < R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(CmpLeU64) {
+          R[In->A] = R[In->B] <= R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(CmpGtU64) {
+          R[In->A] = R[In->B] > R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(CmpGeU64) {
+          R[In->A] = R[In->B] >= R[In->C];
+          VM_NEXT();
+        }
+        VM_CASE(BinaryGen) {
+          R[In->A] = eval::evalBinary(
+              In->Src->op(), In->Src->operand(0)->type(), R[In->B], R[In->C],
+              [&](const char *Msg) {
+                trapAt(InterpErrorKind::Undefined, Msg, In->Src);
+              });
+          VM_NEXT();
+        }
+        // Fused binop pairs: one straight-line handler per combination
+        // (see ADE_VM_BINPAIR_OPCODES). `Fst` is the first op applied to
+        // R[B], R[C]; the commutative second op folds in R[D].
+#define VM_PAIR(Suffix, Fst, Snd)                                              \
+  VM_CASE(BinPair##Suffix) {                                                   \
+    uint64_t T = (Fst);                                                        \
+    R[In->A] = (Snd);                                                          \
+    VM_NEXT();                                                                 \
+  }
+#define VM_PAIR_ROW(O1, Fst)                                                   \
+  VM_PAIR(O1##Add, Fst, T + R[In->D])                                          \
+  VM_PAIR(O1##Xor, Fst, T ^ R[In->D])                                          \
+  VM_PAIR(O1##And, Fst, T &R[In->D])                                           \
+  VM_PAIR(O1##Or, Fst, T | R[In->D])
+        VM_PAIR_ROW(Add, R[In->B] + R[In->C])
+        VM_PAIR_ROW(Sub, R[In->B] - R[In->C])
+        VM_PAIR_ROW(Mul, R[In->B] * R[In->C])
+        VM_PAIR_ROW(And, R[In->B] & R[In->C])
+        VM_PAIR_ROW(Or, R[In->B] | R[In->C])
+        VM_PAIR_ROW(Xor, R[In->B] ^ R[In->C])
+        VM_PAIR_ROW(Shl, R[In->B] << (R[In->C] & 63))
+        VM_PAIR_ROW(Shr, R[In->B] >> (R[In->C] & 63))
+#undef VM_PAIR_ROW
+#undef VM_PAIR
+        VM_CASE(NegGen) {
+          const Type *Ty = In->Src->operand(0)->type();
+          if (isa<FloatType>(Ty))
+            R[In->A] = doubleToBits(-bitsToDouble(R[In->B]));
+          else
+            R[In->A] =
+                eval::maskToWidth(0 - R[In->B], cast<IntType>(Ty)->bits());
+          VM_NEXT();
+        }
+        VM_CASE(NotGen) {
+          const Type *Ty = In->Src->operand(0)->type();
+          if (Ty->isBool())
+            R[In->A] = R[In->B] ? 0 : 1;
+          else
+            R[In->A] =
+                eval::maskToWidth(~R[In->B], cast<IntType>(Ty)->bits());
+          VM_NEXT();
+        }
+        VM_CASE(CastGen) {
+          R[In->A] = eval::evalCast(In->Src->operand(0)->type(),
+                                    In->Src->result()->type(), R[In->B]);
+          VM_NEXT();
+        }
+        VM_CASE(SelectVal) {
+          R[In->A] = R[In->B] ? R[In->C] : R[In->D];
+          VM_NEXT();
+        }
+        VM_CASE(Jump) { VM_JUMP(In->A); }
+        VM_CASE(JumpIfTrue) {
+          if (R[In->B])
+            VM_JUMP(In->A);
+          VM_NEXT();
+        }
+        VM_CASE(JumpIfFalse) {
+          if (!R[In->B])
+            VM_JUMP(In->A);
+          VM_NEXT();
+        }
+        VM_CASE(JumpIfGeU64) {
+          if (R[In->B] >= R[In->C])
+            VM_JUMP(In->A);
+          VM_NEXT();
+        }
+        VM_CASE(IncJumpLt) {
+          ++R[In->B];
+          if (R[In->B] < R[In->C]) [[likely]]
+            VM_JUMP(In->A);
+          VM_JUMP(In->D);
+        }
+        VM_CASE(AddIncJumpLt) {
+          R[In->A] = R[In->B] + R[In->C];
+          ++R[In->D];
+          if (R[In->D] < R[In->E]) [[likely]]
+            VM_JUMP(In->Aux);
+          VM_NEXT();
+        }
+        VM_CASE(NewColl) {
+          R[In->A] = VM::collToBits(
+              makeCollection(In->Src->result()->type(), In->Src));
+          checkMemBudget(*In->Src);
+          VM_NEXT();
+        }
+        VM_CASE(SeqRead) {
+          R[In->A] = asSeq(R[In->B])->get(R[In->C]);
+          VM_NEXT();
+        }
+        VM_CASE(SeqWrite) {
+          asSeq(R[In->B])->set(R[In->C], R[In->D]);
+          VM_NEXT();
+        }
+        VM_CASE(SeqAppend) {
+          asSeq(R[In->B])->append(R[In->C]);
+          checkMemBudget(*In->Src);
+          VM_NEXT();
+        }
+        VM_CASE(SeqPop) {
+          R[In->A] = asSeq(R[In->B])->pop();
+          VM_NEXT();
+        }
+        VM_CASE(MapRead) {
+          RtMap *Map = asMap(R[In->B]);
+          bool Found = false;
+          uint64_t V = collOp(Map, OpCategory::Read, [&] {
+            return icMapGet(Caches[In->E], Map, R[In->C], Found);
+          });
+          if (St)
+            St->record(OpCategory::Read, Map->isDense());
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Read, Map->isDense(), 1, Map);
+          if (!Found)
+            trapAt(InterpErrorKind::Undefined, "map read of a missing key",
+                   In->Src);
+          R[In->A] = V;
+          VM_NEXT();
+        }
+        VM_CASE(MapWrite) {
+          RtMap *Map = asMap(R[In->B]);
+          collOp(Map, OpCategory::Write,
+                 [&] { icMapSet(Caches[In->E], Map, R[In->C], R[In->D]); });
+          checkMemBudget(*In->Src);
+          if (St)
+            St->record(OpCategory::Write, Map->isDense());
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Write, Map->isDense(), 1,
+                           Map);
+          VM_NEXT();
+        }
+        VM_CASE(InsertVal) {
+          RtCollection *Coll = VM::bitsToColl(R[In->B]);
+          collOp(Coll, OpCategory::Insert,
+                 [&] { icInsert(Caches[In->E], Coll, R[In->C]); });
+          checkMemBudget(*In->Src);
+          if (St)
+            St->record(OpCategory::Insert, Coll->isDense());
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Insert, Coll->isDense(), 1,
+                           Coll);
+          VM_NEXT();
+        }
+        VM_CASE(RemoveVal) {
+          RtCollection *Coll = VM::bitsToColl(R[In->B]);
+          collOp(Coll, OpCategory::Remove, [&] {
+            if (Coll->kind() == RtKind::Set)
+              static_cast<RtSet *>(Coll)->remove(R[In->C]);
+            else if (Coll->kind() == RtKind::Map)
+              static_cast<RtMap *>(Coll)->remove(R[In->C]);
+            else
+              reportFatalError("remove on a sequence");
+          });
+          if (St)
+            St->record(OpCategory::Remove, Coll->isDense());
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Remove, Coll->isDense(), 1,
+                           Coll);
+          VM_NEXT();
+        }
+        VM_CASE(HasVal) {
+          RtCollection *Coll = VM::bitsToColl(R[In->B]);
+          bool Result = collOp(Coll, OpCategory::Has, [&]() -> bool {
+            return icHas(Caches[In->E], Coll, R[In->C]);
+          });
+          if (St)
+            St->record(OpCategory::Has, Coll->isDense());
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Has, Coll->isDense(), 1,
+                           Coll);
+          R[In->A] = Result;
+          VM_NEXT();
+        }
+        VM_CASE(SizeVal) {
+          RtCollection *Coll = VM::bitsToColl(R[In->B]);
+          if (Coll->kind() != RtKind::Seq) {
+            if (St)
+              St->record(OpCategory::Size, Coll->isDense());
+            if (Prof)
+              Prof->recordOp(*In->Src, OpCategory::Size, Coll->isDense(), 1,
+                             Coll);
+          }
+          R[In->A] = Coll->size();
+          VM_NEXT();
+        }
+        VM_CASE(ClearVal) {
+          RtCollection *Coll = VM::bitsToColl(R[In->B]);
+          if (Coll->kind() != RtKind::Seq) {
+            if (St)
+              St->record(OpCategory::Clear, Coll->isDense());
+            if (Prof)
+              Prof->recordOp(*In->Src, OpCategory::Clear, Coll->isDense(), 1,
+                             Coll);
+          }
+          if (Tel)
+            Tel->recordClear(Coll, Coll->size());
+          Coll->clear();
+          VM_NEXT();
+        }
+        VM_CASE(ReserveVal) {
+          RtCollection *Coll = VM::bitsToColl(R[In->B]);
+          if (Coll->kind() != RtKind::Seq) {
+            if (St)
+              St->record(OpCategory::Reserve, Coll->isDense());
+            if (Prof)
+              Prof->recordOp(*In->Src, OpCategory::Reserve, Coll->isDense(), 1,
+                             Coll);
+          }
+          if (Tel)
+            Tel->recordReserve(Coll, R[In->C]);
+          Coll->reserve(R[In->C]);
+          checkMemBudget(*In->Src);
+          VM_NEXT();
+        }
+        VM_CASE(UnionVal) {
+          RtSet *Dst = asSet(R[In->B]);
+          const RtSet *SrcSet = asSet(R[In->C]);
+          uint64_t Merged = std::max<uint64_t>(1, SrcSet->size());
+          if (St)
+            St->record(OpCategory::Union, Dst->isDense(), Merged);
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Union, Dst->isDense(), Merged,
+                           Dst);
+          collOp(Dst, OpCategory::Union, [&] { Dst->unionWith(*SrcSet); });
+          checkMemBudget(*In->Src);
+          VM_NEXT();
+        }
+        VM_CASE(EncVal) {
+          RtEnum *E = asEnum(R[In->B]);
+          if (St)
+            St->record(OpCategory::Enc, /*IsDense=*/false);
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Enc, /*IsDense=*/false, 1,
+                           nullptr);
+          R[In->A] =
+              E->contains(R[In->C]) ? E->encode(R[In->C]) : E->size();
+          VM_NEXT();
+        }
+        VM_CASE(DecVal) {
+          RtEnum *E = asEnum(R[In->B]);
+          if (St)
+            St->record(OpCategory::Dec, /*IsDense=*/true);
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Dec, /*IsDense=*/true, 1,
+                           nullptr);
+          if (R[In->C] >= E->size())
+            trapAt(InterpErrorKind::Undefined,
+                   "dec of an out-of-range identifier", In->Src);
+          R[In->A] = E->decode(R[In->C]);
+          VM_NEXT();
+        }
+        VM_CASE(EnumAddVal) {
+          RtEnum *E = asEnum(R[In->B]);
+          if (St)
+            St->record(OpCategory::EnumAdd, /*IsDense=*/false);
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::EnumAdd, /*IsDense=*/false, 1,
+                           nullptr);
+          R[In->A] = E->add(R[In->C]).first;
+          checkMemBudget(*In->Src);
+          VM_NEXT();
+        }
+        VM_CASE(GlobalGet) {
+          R[In->A] = globalSlot(Syms[In->B]);
+          VM_NEXT();
+        }
+        VM_CASE(GlobalSet) {
+          Globals[Syms[In->B]] = R[In->A];
+          VM_NEXT();
+        }
+        VM_CASE(ForEachInit) {
+          RtCollection *Coll = VM::bitsToColl(R[In->B]);
+          IterState IS;
+          IS.Items.reserve(Coll->size());
+          switch (Coll->kind()) {
+          case RtKind::Seq:
+            static_cast<RtSeq *>(Coll)->forEach(
+                [&](uint64_t K, uint64_t V) { IS.Items.push_back({K, V}); });
+            break;
+          case RtKind::Set:
+            static_cast<RtSet *>(Coll)->forEach(
+                [&](uint64_t K) { IS.Items.push_back({K, 0}); });
+            break;
+          case RtKind::Map:
+            static_cast<RtMap *>(Coll)->forEach(
+                [&](uint64_t K, uint64_t V) { IS.Items.push_back({K, V}); });
+            break;
+          }
+          if (Coll->kind() != RtKind::Seq) {
+            if (St)
+              St->record(OpCategory::Iterate, Coll->isDense(),
+                         IS.Items.size());
+            if (Prof)
+              Prof->recordOp(*In->Src, OpCategory::Iterate, Coll->isDense(),
+                             IS.Items.size(), Coll);
+          }
+          Iters.push_back(std::move(IS));
+          VM_NEXT();
+        }
+        VM_CASE(ForEachNext) {
+          IterState &IS = Iters.back();
+          if (IS.Pos == IS.Items.size()) {
+            Iters.pop_back();
+            VM_JUMP(In->A);
+          }
+          R[In->B] = IS.Items[IS.Pos].first;
+          if (In->C != NoReg)
+            R[In->C] = IS.Items[IS.Pos].second;
+          ++IS.Pos;
+          VM_NEXT();
+        }
+        VM_CASE(HasBrFalse) {
+          RtCollection *Coll = VM::bitsToColl(R[In->B]);
+          bool Result = collOp(Coll, OpCategory::Has, [&]() -> bool {
+            return icHas(Caches[In->E], Coll, R[In->C]);
+          });
+          if (St)
+            St->record(OpCategory::Has, Coll->isDense());
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Has, Coll->isDense(), 1,
+                           Coll);
+          if (!Result)
+            VM_JUMP(In->A);
+          VM_NEXT();
+        }
+        VM_CASE(MapReadAdd) {
+          RtMap *Map = asMap(R[In->B]);
+          bool Found = false;
+          uint64_t V = collOp(Map, OpCategory::Read, [&] {
+            return icMapGet(Caches[In->E], Map, R[In->C], Found);
+          });
+          if (St)
+            St->record(OpCategory::Read, Map->isDense());
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Read, Map->isDense(), 1, Map);
+          if (!Found)
+            trapAt(InterpErrorKind::Undefined, "map read of a missing key",
+                   In->Src);
+          R[In->A] = V + R[In->D];
+          VM_NEXT();
+        }
+        VM_CASE(SeqReadAdd) {
+          R[In->A] = asSeq(R[In->B])->get(R[In->C]) + R[In->D];
+          VM_NEXT();
+        }
+        VM_CASE(EncInsert) {
+          RtEnum *E = asEnum(R[In->B]);
+          if (St)
+            St->record(OpCategory::Enc, /*IsDense=*/false);
+          if (Prof)
+            Prof->recordOp(*In->Src, OpCategory::Enc, /*IsDense=*/false, 1,
+                           nullptr);
+          uint64_t Key =
+              E->contains(R[In->C]) ? E->encode(R[In->C]) : E->size();
+          const Instruction *InsSrc = CF.SrcPool[In->Aux];
+          RtCollection *Coll = VM::bitsToColl(R[In->D]);
+          collOp(Coll, OpCategory::Insert,
+                 [&] { icInsert(Caches[In->E], Coll, Key); });
+          checkMemBudget(*InsSrc);
+          if (St)
+            St->record(OpCategory::Insert, Coll->isDense());
+          if (Prof)
+            Prof->recordOp(*InsSrc, OpCategory::Insert, Coll->isDense(), 1,
+                           Coll);
+          VM_NEXT();
+        }
+        VM_CASE(CallFn) {
+          const Function *Callee = CF.FuncPool[In->B];
+          if (!Callee)
+            reportFatalError("call to an unknown function");
+          const std::vector<uint32_t> &ArgRegs = CF.ArgPool[In->C];
+          std::vector<uint64_t> CallArgs(ArgRegs.size());
+          for (size_t Idx = 0; Idx != ArgRegs.size(); ++Idx)
+            CallArgs[Idx] = R[ArgRegs[Idx]];
+          uint64_t Result = callFunction(Callee, CallArgs);
+          if (In->A != NoReg)
+            R[In->A] = Result;
+          VM_NEXT();
+        }
+        VM_CASE(RetVal) {
+          if (St)
+            St->InstructionsExecuted += Done;
+          return In->A == NoReg ? 0 : R[In->A];
+        }
+
+#if !defined(ADE_VM_COMPUTED_GOTO)
+      }
+      ade_unreachable("invalid vm opcode");
+    }
+#endif
+
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_JUMP
+#if defined(ADE_VM_COMPUTED_GOTO)
+#undef VM_DISPATCH
+#endif
+
+  } catch (const RtError &E) {
+    // Same translation as the tree-walker's per-instruction catch:
+    // runtime-collection errors become source-located diagnostics
+    // attributed to the instruction that was executing.
+    if (St)
+      St->InstructionsExecuted += Done;
+    trapAt(InterpErrorKind::Undefined, E.Message, In->Src);
+  } catch (...) {
+    // An InterpError (trap, guard rail, or one from a nested call)
+    // unwinding through this frame: flush this frame's charges first.
+    if (St)
+      St->InstructionsExecuted += Done;
+    throw;
+  }
+  ade_unreachable("vm dispatch loop fell through");
+}
+
+VM::VM(const Module &M, InterpOptions Opts)
+    : TheImpl(std::make_unique<Impl>(M, Opts)) {
+  if (Opts.CollectStats)
+    TheImpl->Stats = &Stats;
+}
+
+VM::~VM() = default;
+
+uint64_t VM::call(const Function *F, const std::vector<uint64_t> &Args) {
+  return TheImpl->callFunction(F, Args);
+}
+
+uint64_t VM::callByName(const std::string &Name,
+                        const std::vector<uint64_t> &Args) {
+  const Function *F = TheImpl->M.getFunction(Name);
+  if (!F)
+    reportFatalError("callByName: unknown function");
+  return TheImpl->callFunction(F, Args);
+}
+
+RtCollection *VM::newCollection(const Type *Ty) {
+  return TheImpl->makeCollection(Ty);
+}
+
+ProbeCounters VM::probeTotals() const {
+  ProbeCounters Totals;
+  for (const auto &C : TheImpl->CollArena) {
+    ProbeCounters PC = C->probeCounters();
+    Totals.Probes += PC.Probes;
+    Totals.Rehashes += PC.Rehashes;
+  }
+  return Totals;
+}
+
+uint64_t VM::globalValue(const std::string &Name) {
+  return TheImpl->globalSlot(Name);
+}
+
+void VM::setGlobalValue(const std::string &Name, uint64_t Value) {
+  TheImpl->Globals[Name] = Value;
+}
+
+const CompiledFn &VM::compiled(const Function *F) {
+  return TheImpl->compile(F);
+}

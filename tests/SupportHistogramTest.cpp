@@ -91,6 +91,39 @@ void checkQuantileErrorBound(unsigned Bits, uint64_t Seed, int N) {
   }
 }
 
+TEST(Histogram, QuantileDegenerateArguments) {
+  // Out-of-range and unordered quantile arguments must degrade, never
+  // hit UB: NaN and negatives clamp to the minimum, Q > 1 to the
+  // maximum.
+  Histogram H(5);
+  for (uint64_t V : {10u, 20u, 30u, 40u})
+    H.record(V);
+  EXPECT_EQ(H.quantile(std::nan("")), H.quantile(0.0));
+  EXPECT_EQ(H.quantile(-0.5), H.quantile(0.0));
+  EXPECT_EQ(H.quantile(2.0), H.quantile(1.0));
+  EXPECT_EQ(H.quantile(0.0), 10u);
+  EXPECT_EQ(H.quantile(1.0), 40u);
+}
+
+TEST(Histogram, QuantileSingleSample) {
+  // With one sample every quantile is that sample, exactly — the bucket
+  // midpoint must clamp to the recorded extrema.
+  Histogram H(3);
+  H.record(123456789);
+  for (double Q : {0.0, 0.001, 0.5, 0.999, 1.0})
+    EXPECT_EQ(H.quantile(Q), 123456789u) << Q;
+}
+
+TEST(Histogram, QuantileIdenticalSamplesAreExact) {
+  // Many copies of one large value: the coarse bucket's midpoint lies
+  // off the value, but clamping to [min, max] recovers it exactly.
+  Histogram H(2);
+  for (int I = 0; I != 1000; ++I)
+    H.record(1u << 30);
+  for (double Q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_EQ(H.quantile(Q), 1u << 30) << Q;
+}
+
 TEST(Histogram, QuantileErrorBoundProperty) {
   for (unsigned Bits : {3u, 5u, 8u})
     for (uint64_t Seed : {1u, 42u, 1234u})

@@ -220,6 +220,62 @@ fn @main() -> u64 {
   EXPECT_TRUE(MapSite->Label.empty());
 }
 
+TEST(Telemetry, SurvivesModuleChurnWithRecycledSites) {
+  // One sink outliving many short-lived modules: the allocator recycles
+  // Instruction addresses across parses, so two unrelated allocation
+  // sites can collide on their pointer key. The record snapshots the
+  // site's identity; a mismatch must start a fresh record, never merge a
+  // Map site into a Set record — and every journal entry's site id must
+  // stay a valid index after the churn.
+  Telemetry::Options Opts;
+  Opts.SampleShift = 0;
+  Telemetry Tel(Opts);
+  // Both variants allocate at the same line/column in a @main of the
+  // same shape, differing only in collection kind: a recycled address
+  // with a stale record is detected by the kind mismatch alone.
+  const char *SetVariant = R"(fn @main() -> u64 {
+  %c = new Set<u64>
+  %k = const 7 : u64
+  insert %c, %k
+  %sz = size %c
+  ret %sz
+})";
+  const char *MapVariant = R"(fn @main() -> u64 {
+  %c = new Map<u64, u64>
+  %k = const 7 : u64
+  write %c, %k, %k
+  %sz = size %c
+  ret %sz
+})";
+  for (int Round = 0; Round != 20; ++Round)
+    EXPECT_EQ(runWithTelemetry(Round % 2 ? MapVariant : SetVariant, Tel), 1u);
+
+  uint64_t SetCreated = 0, MapCreated = 0;
+  for (const Telemetry::SiteInfo *S : Tel.sites()) {
+    if (S->Kind == RtKind::Set)
+      SetCreated += S->Created;
+    else if (S->Kind == RtKind::Map)
+      MapCreated += S->Created;
+  }
+  EXPECT_EQ(SetCreated, 10u);
+  EXPECT_EQ(MapCreated, 10u);
+  for (const Telemetry::Event &E : Tel.journalEvents()) {
+    if (E.Site != Telemetry::NoSite) {
+      EXPECT_LT(E.Site, Tel.sites().size());
+    }
+  }
+
+  // reset() hands out a fresh owner token, invalidating any outstanding
+  // per-collection binding; attribution after it starts from zero.
+  Tel.reset();
+  EXPECT_TRUE(Tel.sites().empty());
+  EXPECT_EQ(runWithTelemetry(SetVariant, Tel), 1u);
+  uint64_t After = 0;
+  for (const Telemetry::SiteInfo *S : Tel.sites())
+    After += S->Created;
+  EXPECT_EQ(After, 1u);
+}
+
 TEST(Telemetry, GlobalCollectionsGetLabels) {
   Telemetry::Options Opts;
   Opts.SampleShift = 0;
