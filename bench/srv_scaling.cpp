@@ -1,0 +1,480 @@
+//===- srv_scaling.cpp - Serving-runtime thread-scaling sweep -------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-scaling and load-shedding benchmark for the adesrv serving
+/// runtime (DESIGN.md "Serving runtime"). Two measurements:
+///
+///  1. **Scaling sweep.** A read-mostly Zipfian workload (point lookups
+///     and graph queries over the sharded store, optionally ProgramCall
+///     requests into the ADE-compiled @serve) runs against servers with
+///     1, 8, and 32 workers. Each row reports throughput and the
+///     per-request latency distribution. `--assert-scaling` requires
+///     the widest server to beat the 1-thread server by at least 4x in
+///     throughput — but only on hardware with >= 8 cores; on smaller
+///     machines the assertion is reported as skipped and the binary
+///     still exits 0, so CI runners of any size can run the sweep.
+///
+///  2. **Overload shed.** A 1-worker server with a tiny admission queue
+///     and an injected per-request delay is offered roughly 2x the load
+///     it can serve, with shed-retry disabled. The shed policy
+///     (Server.h) must engage: `--assert-shed` requires that requests
+///     were shed at admission, that every accepted request completed,
+///     and that accepted + terminal sheds account for every submission
+///     (no request is silently dropped under overload). This assertion
+///     is hardware-independent.
+///
+/// Usage:
+///   srv_scaling [--threads=1,8,32] [--trials=N] [--reads=N]
+///               [--streams=N] [--calls] [--engine=tree|vm] [--seed=N]
+///               [--json=FILE] [--assert-scaling] [--assert-shed]
+///
+/// The JSON report follows the bench schema-v2 style: one row per
+/// (bench, config) with `trialNs`, percentile fields over the
+/// per-request latency distribution, and throughput in requests/sec.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "serve/Client.h"
+#include "support/CrashHandler.h"
+#include "support/Histogram.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ade;
+
+namespace {
+
+/// The request handler served by the sweep — the same collection-bound
+/// histogram kernel as examples/serve.memoir, embedded so the binary
+/// has no data-file dependency and ADE has trimmable sites to
+/// enumerate.
+const char *ServeSource = R"(
+fn @serve(%key: u64) -> u64 {
+  %input = new Seq<u64>
+  %zero = const 0 : u64
+  %n = const 64 : u64
+  %one = const 1 : u64
+  %scramble = const 2654435761 : u64
+  %mod = const 1024 : u64
+  forrange %zero, %n -> [%i] {
+    %a = add %key, %i
+    %b = mul %a, %scramble
+    %c = rem %b, %mod
+    append %input, %c
+    yield
+  }
+  %hist = new Map<u64, u64>
+  foreach %input -> [%i, %val] {
+    %cond = has %hist, %val
+    %f0 = if %cond {
+      %f = read %hist, %val
+      yield %f
+    } else {
+      insert %hist, %val
+      %z = const 0 : u64
+      yield %z
+    }
+    %f1 = add %f0, %one
+    write %hist, %val, %f1
+    yield
+  }
+  %sz = size %hist
+  %k1 = mul %key, %scramble
+  %kr = rem %k1, %mod
+  %hit = has %hist, %kr
+  %bonus = if %hit {
+    %v = read %hist, %kr
+    yield %v
+  } else {
+    %z2 = const 0 : u64
+    yield %z2
+  }
+  %shift = const 4096 : u64
+  %t = mul %sz, %shift
+  %r = add %t, %bonus
+  ret %r
+}
+)";
+
+struct Options {
+  std::vector<unsigned> Threads{1, 8, 32};
+  unsigned Trials = 3;
+  uint32_t Streams = 8;
+  uint32_t Reads = 2000;
+  uint64_t Seed = 1;
+  bool Calls = false;
+  bool AssertScaling = false;
+  bool AssertShed = false;
+  vm::EngineKind Engine = vm::EngineKind::Vm;
+  std::string JsonFile;
+};
+
+/// One measured configuration: the median-trial server stats plus the
+/// per-trial wall-clock distribution.
+struct Row {
+  std::string Bench;
+  std::string Config;
+  unsigned Threads = 0;
+  std::vector<uint64_t> TrialNs;
+  uint64_t MedianNs = 0;
+  double Throughput = 0; // completed requests per second, median trial
+  serve::ServerStats Stats;
+  uint64_t TerminalSheds = 0;
+  uint64_t Submitted = 0;
+};
+
+uint64_t nowNs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+bool parseThreadList(const std::string &List, std::vector<unsigned> &Out) {
+  Out.clear();
+  size_t Pos = 0;
+  while (Pos < List.size()) {
+    size_t Comma = List.find(',', Pos);
+    std::string Tok = List.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (Tok.empty() ||
+        Tok.find_first_not_of("0123456789") != std::string::npos)
+      return false;
+    unsigned N = unsigned(std::strtoul(Tok.c_str(), nullptr, 10));
+    if (!N)
+      return false;
+    Out.push_back(N);
+    Pos = Comma == std::string::npos ? List.size() : Comma + 1;
+  }
+  return !Out.empty();
+}
+
+int usage(const char *Bad) {
+  if (Bad)
+    std::fprintf(stderr, "srv_scaling: unknown option '%s'\n", Bad);
+  std::fprintf(stderr,
+               "usage: srv_scaling [--threads=1,8,32] [--trials=N]\n"
+               "                   [--reads=N] [--streams=N] [--calls]\n"
+               "                   [--engine=tree|vm] [--seed=N]\n"
+               "                   [--json=FILE] [--assert-scaling]\n"
+               "                   [--assert-shed]\n");
+  return 1;
+}
+
+/// Runs one (threads, trial) measurement of the read-mostly sweep.
+/// Returns (wall ns, stats, client result).
+void runSweepTrial(const ir::Module &M, const Options &Opt, unsigned Threads,
+                   uint64_t Seed, uint64_t &WallNs, serve::ServerStats &Stats,
+                   serve::ClientResult &Got) {
+  serve::ServeConfig Cfg;
+  Cfg.Threads = Threads;
+  Cfg.QueueCapacity = 1024;
+  Cfg.Engine = Opt.Engine;
+
+  serve::WorkloadSpec Spec;
+  Spec.Seed = Seed;
+  Spec.Streams = Opt.Streams;
+  Spec.InsertsPerStream = 16;
+  Spec.BulkCount = 16;
+  Spec.ReadsPerStream = Opt.Reads;
+  Spec.ProgramCalls = Opt.Calls;
+  Spec.Geo = Cfg.Geo;
+
+  serve::ClientOptions ClientOpts;
+  // One submitter per stream: admission must never be the bottleneck
+  // the sweep measures.
+  ClientOpts.SubmitThreads = Opt.Streams;
+
+  serve::Server S(M, Cfg);
+  uint64_t Start = nowNs();
+  Got = serve::runClient(S, Spec, ClientOpts);
+  WallNs = nowNs() - Start;
+  S.stop();
+  Stats = S.stats();
+}
+
+/// The 2x-overload shed measurement: a 1-worker server whose every
+/// request carries an injected 200us delay (service rate ~5k req/s) and
+/// whose queue holds 16, offered the whole workload as fast as the
+/// submitters can push it with shed-retry off.
+Row runOverload(const ir::Module &M, const Options &Opt) {
+  serve::ServeConfig Cfg;
+  Cfg.Threads = 1;
+  Cfg.QueueCapacity = 16;
+  Cfg.Engine = Opt.Engine;
+  std::string Error;
+  bool PlanOk =
+      serve::FaultPlan::parse("seed=9,delay=1.0:200", Cfg.Faults, &Error);
+  (void)PlanOk;
+
+  serve::WorkloadSpec Spec;
+  Spec.Seed = Opt.Seed;
+  Spec.Streams = 4;
+  Spec.InsertsPerStream = 8;
+  Spec.BulkCount = 8;
+  Spec.ReadsPerStream = 256;
+  Spec.Geo = Cfg.Geo;
+
+  serve::ClientOptions ClientOpts;
+  ClientOpts.RetryShed = false; // terminal sheds: measure the policy
+  ClientOpts.SubmitThreads = 4;
+
+  Row R;
+  R.Bench = "srv_overload";
+  R.Config = "threads=1,queue=16,delay=200us";
+  R.Threads = 1;
+
+  serve::Server S(M, Cfg);
+  uint64_t Start = nowNs();
+  serve::ClientResult Got = serve::runClient(S, Spec, ClientOpts);
+  R.TrialNs.push_back(nowNs() - Start);
+  S.stop();
+  R.Stats = S.stats();
+  R.MedianNs = R.TrialNs[0];
+  R.Throughput = R.MedianNs
+                     ? double(R.Stats.Completed) * 1e9 / double(R.MedianNs)
+                     : 0;
+  R.TerminalSheds = Got.ByStatus[size_t(serve::ResponseStatus::Shed)];
+  // Each submission attempt counted once; with RetryShed off, attempts
+  // = unique requests.
+  R.Submitted = Got.Submitted;
+  return R;
+}
+
+void writeReport(const std::vector<Row> &Rows, const Options &Opt,
+                 RawOstream &OS) {
+  json::Writer W(OS);
+  W.beginObject();
+  W.member("schemaVersion", uint64_t(2))
+      .member("figure", "srv_scaling")
+      .member("engine", vm::engineName(Opt.Engine))
+      .member("hardwareConcurrency",
+              uint64_t(std::thread::hardware_concurrency()))
+      .member("trials", uint64_t(Opt.Trials));
+  W.key("results").beginArray();
+  for (const Row &R : Rows) {
+    W.beginObject(/*Inline=*/true);
+    W.member("bench", R.Bench)
+        .member("config", R.Config)
+        .member("threads", uint64_t(R.Threads))
+        .member("totalNs", R.MedianNs)
+        .member("throughputRps", uint64_t(R.Throughput + 0.5))
+        .member("accepted", R.Stats.Accepted)
+        .member("shed", R.Stats.Shed)
+        .member("completed", R.Stats.Completed)
+        .member("ok", R.Stats.ByStatus[size_t(serve::ResponseStatus::Ok)])
+        .member("notFound",
+                R.Stats.ByStatus[size_t(serve::ResponseStatus::NotFound)])
+        .member("mapSize", R.Stats.MapSize)
+        .member("rehashes", R.Stats.ShardRehashes);
+    W.key("trialNs").beginArray(/*Inline=*/true);
+    for (uint64_t Ns : R.TrialNs)
+      W.value(Ns);
+    W.endArray();
+    // Percentiles over the per-request latency distribution (accept to
+    // completion), not the per-trial walls — the tail the shed policy
+    // watches.
+    W.member("p50Ns", R.Stats.LatencyNs.p50())
+        .member("p90Ns", R.Stats.LatencyNs.p90())
+        .member("p99Ns", R.Stats.LatencyNs.p99())
+        .member("p999Ns", R.Stats.LatencyNs.p999());
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  OS << '\n';
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  installCrashHandlers();
+  Options Opt;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--threads=", 0) == 0) {
+      if (!parseThreadList(Arg.substr(10), Opt.Threads)) {
+        std::fprintf(stderr,
+                     "srv_scaling: --threads wants a list like 1,8,32\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--trials=", 0) == 0) {
+      Opt.Trials = std::max(1u, unsigned(std::strtoul(
+                                    Arg.c_str() + 9, nullptr, 10)));
+    } else if (Arg.rfind("--reads=", 0) == 0) {
+      Opt.Reads = uint32_t(std::strtoul(Arg.c_str() + 8, nullptr, 10));
+    } else if (Arg.rfind("--streams=", 0) == 0) {
+      Opt.Streams = std::max(
+          1u, unsigned(std::strtoul(Arg.c_str() + 10, nullptr, 10)));
+    } else if (Arg.rfind("--seed=", 0) == 0) {
+      Opt.Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    } else if (Arg == "--calls") {
+      Opt.Calls = true;
+    } else if (Arg == "--assert-scaling") {
+      Opt.AssertScaling = true;
+    } else if (Arg == "--assert-shed") {
+      Opt.AssertShed = true;
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      if (!vm::engineFromName(Arg.substr(9), Opt.Engine)) {
+        std::fprintf(stderr,
+                     "srv_scaling: --engine must be 'tree' or 'vm'\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      Opt.JsonFile = Arg.substr(7);
+    } else {
+      return usage(Argv[I]);
+    }
+  }
+
+  std::vector<std::string> Errors;
+  auto M = parser::parseModule(ServeSource, Errors);
+  if (!M || !ir::verifyModule(*M, Errors)) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "srv_scaling: %s\n", E.c_str());
+    return 2;
+  }
+  core::PipelineConfig PipeCfg;
+  core::PipelineResult Result = core::runADE(*M, PipeCfg);
+  std::fprintf(stderr, "srv_scaling: %u enumeration(s) after ADE\n",
+               Result.Transform.EnumerationsCreated);
+
+  RawOstream &OS = outs();
+  std::vector<Row> Rows;
+
+  // --- Scaling sweep ---
+  for (unsigned Threads : Opt.Threads) {
+    Row R;
+    R.Bench = Opt.Calls ? "srv_read_mostly_calls" : "srv_read_mostly";
+    R.Config = "threads=" + std::to_string(Threads);
+    R.Threads = Threads;
+    std::vector<serve::ServerStats> Stats(Opt.Trials);
+    for (unsigned T = 0; T != Opt.Trials; ++T) {
+      uint64_t WallNs = 0;
+      serve::ClientResult Got;
+      runSweepTrial(*M, Opt, Threads, Opt.Seed + T, WallNs, Stats[T], Got);
+      R.TrialNs.push_back(WallNs);
+    }
+    std::vector<uint64_t> Sorted = R.TrialNs;
+    std::sort(Sorted.begin(), Sorted.end());
+    R.MedianNs = Sorted[Sorted.size() / 2];
+    size_t MedianIdx = size_t(
+        std::find(R.TrialNs.begin(), R.TrialNs.end(), R.MedianNs) -
+        R.TrialNs.begin());
+    R.Stats = Stats[MedianIdx];
+    R.Throughput = R.MedianNs ? double(R.Stats.Completed) * 1e9 /
+                                    double(R.MedianNs)
+                              : 0;
+    OS << R.Bench << " threads=" << uint64_t(Threads)
+       << " wall=" << R.MedianNs / 1000000 << "ms completed="
+       << R.Stats.Completed << " throughput="
+       << uint64_t(R.Throughput + 0.5) << "req/s p50="
+       << R.Stats.LatencyNs.p50() << "ns p99=" << R.Stats.LatencyNs.p99()
+       << "ns\n";
+    Rows.push_back(std::move(R));
+  }
+
+  // --- Overload shed ---
+  Row Overload = runOverload(*M, Opt);
+  OS << Overload.Bench << " submitted=" << Overload.Submitted
+     << " accepted=" << Overload.Stats.Accepted
+     << " shed=" << Overload.Stats.Shed
+     << " terminalSheds=" << Overload.TerminalSheds
+     << " completed=" << Overload.Stats.Completed << "\n";
+  Rows.push_back(Overload);
+  const Row &Ov = Rows.back();
+
+  int Exit = 0;
+
+  if (Opt.AssertScaling) {
+    unsigned Cores = std::thread::hardware_concurrency();
+    if (Cores < 8) {
+      OS << "assert-scaling: SKIPPED (hardware_concurrency=" << Cores
+         << " < 8; the 4x target needs real parallelism)\n";
+    } else {
+      const Row *One = nullptr, *Widest = nullptr;
+      for (const Row &R : Rows) {
+        if (R.Bench.rfind("srv_read_mostly", 0) != 0)
+          continue;
+        if (R.Threads == 1)
+          One = &R;
+        if (!Widest || R.Threads > Widest->Threads)
+          Widest = &R;
+      }
+      if (!One || !Widest || Widest->Threads < 8) {
+        std::fprintf(stderr,
+                     "assert-scaling: FAILED (need rows for 1 thread and "
+                     ">= 8 threads; pass --threads=1,8,32)\n");
+        Exit = 1;
+      } else {
+        double Ratio = One->Throughput > 0
+                           ? Widest->Throughput / One->Throughput
+                           : 0;
+        if (Ratio >= 4.0) {
+          OS << "assert-scaling: ok (" << Widest->Threads
+             << "-thread throughput " << uint64_t(Ratio * 100)
+             << "% of 1-thread, >= 400%)\n";
+        } else {
+          std::fprintf(stderr,
+                       "assert-scaling: FAILED (%u-thread throughput "
+                       "%.2fx 1-thread, need >= 4x)\n",
+                       Widest->Threads, Ratio);
+          Exit = 1;
+        }
+      }
+    }
+  }
+
+  if (Opt.AssertShed) {
+    bool ShedEngaged = Ov.Stats.Shed > 0;
+    bool Accounted =
+        Ov.Stats.Accepted + Ov.TerminalSheds == Ov.Submitted;
+    bool AllCompleted = Ov.Stats.Completed == Ov.Stats.Accepted;
+    if (ShedEngaged && Accounted && AllCompleted) {
+      OS << "assert-shed: ok (" << Ov.Stats.Shed
+         << " shed at admission under 2x overload, every accepted "
+            "request completed)\n";
+    } else {
+      std::fprintf(stderr,
+                   "assert-shed: FAILED (shed=%llu accepted=%llu "
+                   "terminalSheds=%llu submitted=%llu completed=%llu)\n",
+                   (unsigned long long)Ov.Stats.Shed,
+                   (unsigned long long)Ov.Stats.Accepted,
+                   (unsigned long long)Ov.TerminalSheds,
+                   (unsigned long long)Ov.Submitted,
+                   (unsigned long long)Ov.Stats.Completed);
+      Exit = 1;
+    }
+  }
+
+  if (!Opt.JsonFile.empty()) {
+    std::FILE *File = std::fopen(Opt.JsonFile.c_str(), "wb");
+    if (!File) {
+      std::fprintf(stderr, "srv_scaling: cannot write %s\n",
+                   Opt.JsonFile.c_str());
+      return 2;
+    }
+    RawFileOstream FS(File);
+    writeReport(Rows, Opt, FS);
+    FS.flush();
+    std::fclose(File);
+  } else {
+    writeReport(Rows, Opt, OS);
+  }
+  return Exit;
+}

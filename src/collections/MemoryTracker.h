@@ -19,6 +19,7 @@
 
 #include "support/ErrorHandling.h"
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -27,6 +28,12 @@
 namespace ade {
 
 /// Process-wide current/peak byte counters for collection storage.
+/// Thread-safe: the serving runtime's worker engines allocate and free
+/// collections concurrently. Counters are relaxed atomics — accounting
+/// needs totals, not ordering — and the peak is maintained with a CAS
+/// loop, so under concurrency it is the high-water mark of the counter
+/// itself (exact), though a reader pairing currentBytes() with
+/// peakBytes() sees two independent snapshots.
 class MemoryTracker {
 public:
   /// The global tracker all collections report to.
@@ -36,26 +43,39 @@ public:
   }
 
   void allocated(size_t Bytes) {
-    Current += Bytes;
-    if (Current > Peak)
-      Peak = Current;
+    uint64_t Now =
+        Current.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+    uint64_t Seen = Peak.load(std::memory_order_relaxed);
+    while (Now > Seen &&
+           !Peak.compare_exchange_weak(Seen, Now,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
-  void freed(size_t Bytes) { Current -= Bytes; }
+  void freed(size_t Bytes) {
+    Current.fetch_sub(Bytes, std::memory_order_relaxed);
+  }
 
   /// Bytes currently held by live collections.
-  uint64_t currentBytes() const { return Current; }
+  uint64_t currentBytes() const {
+    return Current.load(std::memory_order_relaxed);
+  }
 
   /// High-water mark since the last \c reset.
-  uint64_t peakBytes() const { return Peak; }
+  uint64_t peakBytes() const {
+    return Peak.load(std::memory_order_relaxed);
+  }
 
   /// Clears the peak (and keeps tracking from the current level), used
   /// between benchmark configurations.
-  void reset() { Peak = Current; }
+  void reset() {
+    Peak.store(Current.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
 
 private:
-  uint64_t Current = 0;
-  uint64_t Peak = 0;
+  std::atomic<uint64_t> Current{0};
+  std::atomic<uint64_t> Peak{0};
 };
 
 /// Allocates \p Bytes and records them with the global tracker.

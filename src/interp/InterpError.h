@@ -36,6 +36,9 @@ enum class InterpErrorKind : uint8_t {
   MemoryBudget,
   /// The --max-depth call-recursion bound was exceeded.
   DepthBudget,
+  /// The wall-clock deadline (--max-wall-ms, or a serving-runtime
+  /// per-request deadline/cancellation) expired at a cancellation point.
+  Deadline,
 };
 
 /// A recoverable interpreter diagnostic with the offending site.

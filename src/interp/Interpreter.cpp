@@ -74,9 +74,19 @@ struct Interpreter::Impl {
   uint64_t Steps = 0;
   uint64_t Depth = 0;
 
+  /// Wall-clock/cancellation state: enabled for the whole instance when
+  /// the options carry a wall budget or a cancel cell; the absolute
+  /// deadline of the current top-level call is armed at entry. Checks
+  /// run at cancellation points — every 1024 instructions — so the
+  /// unsampled path costs one predictable branch.
+  bool WallChecks = false;
+  uint64_t WallTick = 0;
+  uint64_t OwnDeadlineNs = 0;
+
   Impl(const Module &M, InterpOptions Opts)
       : M(M), Opts(Opts), Prof(Opts.Prof), Trace(TraceRecorder::active()),
-        Tel(Opts.Tel), TelMask(Opts.Tel ? Opts.Tel->sampleMask() : 0) {}
+        Tel(Opts.Tel), TelMask(Opts.Tel ? Opts.Tel->sampleMask() : 0),
+        WallChecks(Opts.MaxWallMs != 0 || Opts.Cancel != nullptr) {}
 
   /// Runs one collection operation through the telemetry sampler: on the
   /// unsampled path (1 - 1/N of ops) the cost over a plain call is one
@@ -117,6 +127,42 @@ struct Interpreter::Impl {
                                 const Instruction &I) {
     const Function *F = I.parentFunction();
     throw InterpError(Kind, Msg, I.loc(), F ? F->name() : std::string());
+  }
+
+  /// Arms the wall-clock deadline of one top-level call.
+  void armWallClock() {
+    OwnDeadlineNs =
+        Opts.MaxWallMs
+            ? Telemetry::nowNanos() + Opts.MaxWallMs * 1000000ull
+            : 0;
+  }
+
+  /// The cancellation point: polls the cancel cell and the earlier of the
+  /// per-call and cell deadlines. Out of line — it runs once per 1024
+  /// instructions and reads the steady clock.
+  __attribute__((noinline)) void checkWallClock(const Instruction &I) {
+    if (Opts.Cancel && Opts.Cancel->Cancel.load(std::memory_order_relaxed)) {
+      if (Tel)
+        Tel->recordGuardRail(GuardRailKind::Wall, 0);
+      trap(InterpErrorKind::Deadline, "request cancelled", I);
+    }
+    uint64_t Deadline = OwnDeadlineNs;
+    bool FromBudget = Deadline != 0;
+    if (Opts.Cancel) {
+      uint64_t CellNs = Opts.Cancel->DeadlineNs.load(std::memory_order_relaxed);
+      if (CellNs && (!Deadline || CellNs < Deadline)) {
+        Deadline = CellNs;
+        FromBudget = false;
+      }
+    }
+    if (Deadline && Telemetry::nowNanos() > Deadline) {
+      if (Tel)
+        Tel->recordGuardRail(GuardRailKind::Wall, Opts.MaxWallMs);
+      trap(InterpErrorKind::Deadline,
+           FromBudget ? "wall-clock budget (--max-wall-ms) exceeded"
+                      : "request deadline exceeded",
+           I);
+    }
   }
 
   /// Memory guard, checked at collection growth sites.
@@ -299,6 +345,8 @@ struct Interpreter::Impl {
     if (F->isExternal())
       return 0;
     assert(Args.size() == F->numArgs() && "argument count mismatch");
+    if (WallChecks && Depth == 0)
+      armWallClock();
     DepthGuard Guard(*this, F);
     CrashContext CC("interpreting", F->name());
     const CompiledFunction &CF = compile(F);
@@ -346,6 +394,8 @@ struct Interpreter::Impl {
       trap(InterpErrorKind::StepBudget,
            "instruction budget (--max-steps) exceeded", I);
     }
+    if (WallChecks && ((++WallTick & 1023) == 0))
+      checkWallClock(I);
     switch (I.op()) {
     case Opcode::ConstInt: {
       const auto *IT = dyn_cast<IntType>(I.result()->type());
@@ -743,6 +793,8 @@ uint64_t Interpreter::callByName(const std::string &Name,
     reportFatalError("callByName: unknown function");
   return TheImpl->callFunction(F, Args);
 }
+
+void Interpreter::resetCallBudget() { TheImpl->Steps = 0; }
 
 RtCollection *Interpreter::newCollection(const Type *Ty) {
   return TheImpl->makeCollection(Ty);

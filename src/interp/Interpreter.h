@@ -24,6 +24,7 @@
 #include "runtime/RtCollection.h"
 #include "runtime/Stats.h"
 
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -37,6 +38,26 @@ class Telemetry;
 namespace interp {
 
 class Profiler;
+
+/// Cross-thread cooperative cancellation handle: a controller (the
+/// serving runtime's admission layer, a watchdog, a test) sets \c Cancel
+/// or an absolute steady-clock deadline, and the engines poll the cell at
+/// cancellation points — every ~1k executed instructions — surfacing
+/// expiry as a diagnosed \c InterpError (kind \c Deadline), never a
+/// crash. One cell may be reused across calls: the engines only read it.
+struct CancelCell {
+  /// Set to request cooperative cancellation of the running call.
+  std::atomic<bool> Cancel{false};
+  /// Absolute deadline in steady-clock nanoseconds (see
+  /// runtime::Telemetry::nowNanos); 0 = none. Combined with
+  /// InterpOptions::MaxWallMs, the earlier of the two wins.
+  std::atomic<uint64_t> DeadlineNs{0};
+
+  void reset() {
+    Cancel.store(false, std::memory_order_relaxed);
+    DeadlineNs.store(0, std::memory_order_relaxed);
+  }
+};
 
 /// Configuration of one interpreter instance.
 struct InterpOptions {
@@ -64,6 +85,14 @@ struct InterpOptions {
   /// crash the host process instead of reporting a diagnostic
   /// (0 = unlimited, at your own risk).
   uint64_t MaxDepth = 4096;
+  /// Wall-clock budget per top-level call in milliseconds (0 = none).
+  /// Checked at cancellation points (every ~1k instructions), so a trip
+  /// overshoots by at most that window; expiry throws an InterpError of
+  /// kind Deadline with the current source location.
+  uint64_t MaxWallMs = 0;
+  /// Optional shared cancellation/deadline cell (see CancelCell). Null
+  /// costs nothing; non-null adds the cancellation-point polling.
+  const CancelCell *Cancel = nullptr;
 };
 
 /// Converts between the 64-bit encoded form and doubles.
@@ -96,6 +125,13 @@ public:
   /// Convenience: call by name. The function must exist.
   uint64_t callByName(const std::string &Name,
                       const std::vector<uint64_t> &Args);
+
+  /// Zeroes the cumulative executed-step counter the MaxSteps guard
+  /// rail charges against. The counter normally spans the instance's
+  /// lifetime (one `adec --run` is one call); hosts that reuse an
+  /// engine across independent requests — the serving runtime — reset
+  /// it per call so MaxSteps is a deterministic per-request budget.
+  void resetCallBudget();
 
   /// Allocates an arena-owned collection for \p Ty (host-side input
   /// construction). The returned pointer's bits are a valid argument

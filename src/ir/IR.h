@@ -24,6 +24,7 @@
 
 #include "ir/Type.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -332,9 +333,17 @@ public:
   void eraseFromParent();
 
   /// Scratch id for whole-module numbering passes (e.g. the interpreter's
-  /// compiled-slot table). Owned by whichever pass ran last.
-  uint32_t scratchId() const { return Scratch; }
-  void setScratchId(uint32_t Id) const { Scratch = Id; }
+  /// compiled-slot table). Owned by whichever pass ran last. Relaxed
+  /// atomic so concurrent engines over one shared module may renumber
+  /// in parallel — safe only because every numbering pass is a
+  /// deterministic pre-order walk, so racing writers store identical
+  /// values (the serving runtime relies on this).
+  uint32_t scratchId() const {
+    return Scratch.load(std::memory_order_relaxed);
+  }
+  void setScratchId(uint32_t Id) const {
+    Scratch.store(Id, std::memory_order_relaxed);
+  }
 
 private:
   friend class Region;
@@ -349,7 +358,7 @@ private:
   std::optional<Directive> Dir;
   SrcLoc Loc;
   Region *Parent = nullptr;
-  mutable uint32_t Scratch = 0;
+  mutable std::atomic<uint32_t> Scratch{0};
 };
 
 //===----------------------------------------------------------------------===//

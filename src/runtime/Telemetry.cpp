@@ -32,6 +32,8 @@ const char *ade::runtime::eventKindName(EventKind K) {
     return "occupancy-sparse";
   case EventKind::GuardRail:
     return "guard-rail";
+  case EventKind::Shed:
+    return "shed";
   case EventKind::NumKinds:
     break;
   }
@@ -55,6 +57,8 @@ const char *ade::runtime::guardRailName(GuardRailKind K) {
     return "bytes";
   case GuardRailKind::Depth:
     return "depth";
+  case GuardRailKind::Wall:
+    return "wall";
   }
   ade_unreachable("unknown guard rail");
 }
@@ -83,6 +87,11 @@ uint64_t Telemetry::nowNanos() {
                       .count());
 }
 
+uint64_t Telemetry::ownerToken() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Token;
+}
+
 Telemetry::SiteInfo &Telemetry::siteFor(const RtCollection *C) {
   RtCollection::TelemetryScratch &Scr = C->telemetryScratch();
   // The binding is trusted only when this sink generation wrote it: a
@@ -92,13 +101,20 @@ Telemetry::SiteInfo &Telemetry::siteFor(const RtCollection *C) {
   // an unrelated record, so charging it would misattribute events.
   // Either way, fall back to the shared host record.
   if (Scr.SitePlus1 == 0 || Scr.Owner != Token || Scr.SitePlus1 > Sites.size())
-    registerCollection(C, nullptr);
+    registerCollectionLocked(C, nullptr, {});
   return Sites[Scr.SitePlus1 - 1];
 }
 
 void Telemetry::registerCollection(const RtCollection *C,
                                    const Instruction *Site,
                                    std::string Label) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  registerCollectionLocked(C, Site, std::move(Label));
+}
+
+void Telemetry::registerCollectionLocked(const RtCollection *C,
+                                         const Instruction *Site,
+                                         std::string Label) {
   uint32_t Id;
   if (Site) {
     auto [It, Inserted] = SiteIds.try_emplace(Site, 0);
@@ -170,6 +186,7 @@ void Telemetry::push(EventKind K, uint64_t Site, uint64_t A, uint64_t B) {
 void Telemetry::recordSampledOp(const RtCollection *C, OpCategory Cat,
                                 uint64_t LatNs, uint64_t ProbeDelta) {
   (void)Cat;
+  std::lock_guard<std::mutex> Lock(Mu);
   Channel &Ch = ChanTab[size_t(C->kind())][size_t(C->impl())];
   Ch.LatencyNs.record(LatNs);
   Ch.ProbeLen.record(ProbeDelta);
@@ -211,33 +228,61 @@ void Telemetry::recordSampledOp(const RtCollection *C, OpCategory Cat,
   // Periodic counter mirror so long traces carry a metrics track without
   // explicit flushes from the host.
   if (++TotalSamples % 1024 == 0)
-    emitTraceCounters();
+    emitTraceCountersLocked();
 }
 
 void Telemetry::recordClear(const RtCollection *C, uint64_t SizeBefore) {
+  std::lock_guard<std::mutex> Lock(Mu);
   SiteInfo &Info = siteFor(C);
   push(EventKind::Clear, Info.Id, SizeBefore, 0);
   ++Info.Events[size_t(EventKind::Clear)];
 }
 
 void Telemetry::recordReserve(const RtCollection *C, uint64_t N) {
+  std::lock_guard<std::mutex> Lock(Mu);
   SiteInfo &Info = siteFor(C);
   push(EventKind::Reserve, Info.Id, N, 0);
   ++Info.Events[size_t(EventKind::Reserve)];
 }
 
 void Telemetry::recordGuardRail(GuardRailKind Rail, uint64_t Limit) {
+  std::lock_guard<std::mutex> Lock(Mu);
   push(EventKind::GuardRail, NoSite, uint64_t(Rail), Limit);
 }
 
-std::vector<Telemetry::Event> Telemetry::journalEvents() const {
+void Telemetry::recordShed(uint64_t QueueDepth, uint64_t RequestId) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  push(EventKind::Shed, NoSite, QueueDepth, RequestId);
+}
+
+std::vector<Telemetry::Event> Telemetry::journalEventsLocked() const {
   std::vector<Event> Out(Ring);
   std::sort(Out.begin(), Out.end(),
             [](const Event &A, const Event &B) { return A.Seq < B.Seq; });
   return Out;
 }
 
-std::vector<const Telemetry::SiteInfo *> Telemetry::sites() const {
+std::vector<Telemetry::Event> Telemetry::journalEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return journalEventsLocked();
+}
+
+uint64_t Telemetry::droppedEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dropped;
+}
+
+uint64_t Telemetry::eventCount(EventKind K) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return KindTotals[size_t(K)];
+}
+
+uint64_t Telemetry::sampledOps() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return TotalSamples;
+}
+
+std::vector<const Telemetry::SiteInfo *> Telemetry::sitesLocked() const {
   std::vector<const SiteInfo *> Out;
   Out.reserve(Sites.size());
   for (const SiteInfo &S : Sites)
@@ -245,8 +290,13 @@ std::vector<const Telemetry::SiteInfo *> Telemetry::sites() const {
   return Out;
 }
 
+std::vector<const Telemetry::SiteInfo *> Telemetry::sites() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return sitesLocked();
+}
+
 std::map<Telemetry::ChannelKey, Telemetry::Channel>
-Telemetry::channels() const {
+Telemetry::channelsLocked() const {
   std::map<ChannelKey, Channel> Out;
   for (size_t K = 0; K != NumRtKinds; ++K)
     for (size_t S = 0; S != NumSelections; ++S)
@@ -255,7 +305,14 @@ Telemetry::channels() const {
   return Out;
 }
 
+std::map<Telemetry::ChannelKey, Telemetry::Channel>
+Telemetry::channels() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return channelsLocked();
+}
+
 void Telemetry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
   NextSeq = 0;
   Dropped = 0;
   TotalSamples = 0;
@@ -275,13 +332,14 @@ void Telemetry::reset() {
 }
 
 void Telemetry::writeSnapshotJson(json::Writer &W) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   W.beginObject();
   W.member("schemaVersion", MetricsSchemaVersion);
   W.member("sampleRate", sampleRate());
   W.member("sampledOps", TotalSamples);
 
   W.key("channels").beginArray();
-  for (const auto &[Key, Ch] : channels()) {
+  for (const auto &[Key, Ch] : channelsLocked()) {
     W.beginObject();
     W.member("kind", rtKindName(Key.first));
     W.member("impl", selectionName(Key.second));
@@ -297,7 +355,7 @@ void Telemetry::writeSnapshotJson(json::Writer &W) const {
   W.endArray();
 
   W.key("sites").beginArray();
-  for (const SiteInfo *Info : sites()) {
+  for (const SiteInfo *Info : sitesLocked()) {
     W.beginObject(/*Inline=*/true);
     W.member("id", Info->Id);
     W.member("kind", rtKindName(Info->Kind));
@@ -330,7 +388,7 @@ void Telemetry::writeSnapshotJson(json::Writer &W) const {
       W.member(eventKindName(EventKind(K)), KindTotals[K]);
   W.endObject();
   W.key("events").beginArray();
-  for (const Event &E : journalEvents()) {
+  for (const Event &E : journalEventsLocked()) {
     W.beginObject(/*Inline=*/true);
     W.member("seq", E.Seq);
     W.member("tNs", E.WhenNs);
@@ -352,11 +410,16 @@ void Telemetry::writeSnapshotJson(json::Writer &W) const {
 }
 
 void Telemetry::emitTraceCounters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  emitTraceCountersLocked();
+}
+
+void Telemetry::emitTraceCountersLocked() const {
   TraceRecorder *TR = TraceRecorder::active();
   if (!TR)
     return;
   uint64_t Ts = TR->nowMicros();
-  for (const auto &[Key, Ch] : channels()) {
+  for (const auto &[Key, Ch] : channelsLocked()) {
     std::string Name = std::string("telemetry:") + rtKindName(Key.first) +
                        ":" + selectionName(Key.second);
     TR->addCounter(Name, "telemetry", Ts,

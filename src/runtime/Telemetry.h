@@ -44,6 +44,7 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -76,9 +77,14 @@ enum class EventKind : uint8_t {
   /// Occupancy fell below half the dense threshold (hysteresis, so a
   /// collection hovering at the boundary does not flap). A/B as above.
   OccupancySparse,
-  /// An interpreter guard rail tripped (step/memory/depth budget).
+  /// An interpreter guard rail tripped (step/memory/depth/wall budget,
+  /// or a serving-runtime request deadline, which trips the wall rail).
   /// Always recorded, with no collection; A = rail id, B = the limit.
   GuardRail,
+  /// The serving runtime's admission control shed a request. Always
+  /// recorded, with no collection; A = queue depth at the decision,
+  /// B = the request id.
+  Shed,
   NumKinds,
 };
 
@@ -88,11 +94,19 @@ const char *eventKindName(EventKind K);
 bool eventKindFromName(std::string_view Name, EventKind &Out);
 
 /// Guard-rail ids carried in GuardRail events' A payload.
-enum class GuardRailKind : uint8_t { Steps, Bytes, Depth };
+enum class GuardRailKind : uint8_t { Steps, Bytes, Depth, Wall };
 
 const char *guardRailName(GuardRailKind K);
 
 /// Runtime metrics sink attached via \c interp::InterpOptions::Tel.
+///
+/// Thread-safe: one sink may be shared by several engines running on
+/// different threads (the serving runtime does this for its worker
+/// pool). All mutation and snapshotting serializes on one internal
+/// mutex; since the interpreter only reaches the sink for 1-in-N
+/// sampled ops plus rare lifecycle events, contention stays off the
+/// hot path. Per-collection TelemetryScratch is likewise only touched
+/// under that mutex.
 class Telemetry {
 public:
   struct Options {
@@ -159,7 +173,7 @@ public:
   /// site id written by another sink — or by this sink before a reset —
   /// can never charge events to an unrelated record, even when it
   /// happens to be in range.
-  uint64_t ownerToken() const { return Token; }
+  uint64_t ownerToken() const;
 
   uint64_t sampleRate() const { return uint64_t(1) << Opts.SampleShift; }
   /// Tick mask for the interpreter's 1-in-N test: sample when
@@ -187,15 +201,15 @@ public:
   void recordClear(const RtCollection *C, uint64_t SizeBefore);
   void recordReserve(const RtCollection *C, uint64_t N);
   void recordGuardRail(GuardRailKind Rail, uint64_t Limit);
+  /// Serving-runtime admission events (process-level, no collection).
+  void recordShed(uint64_t QueueDepth, uint64_t RequestId);
 
   /// Journal contents, oldest first, plus how many were overwritten.
   std::vector<Event> journalEvents() const;
-  uint64_t droppedEvents() const { return Dropped; }
+  uint64_t droppedEvents() const;
 
   /// Total journal events emitted per kind (including dropped ones).
-  uint64_t eventCount(EventKind K) const {
-    return KindTotals[size_t(K)];
-  }
+  uint64_t eventCount(EventKind K) const;
 
   /// Allocation-site records in first-registration order.
   std::vector<const SiteInfo *> sites() const;
@@ -205,7 +219,7 @@ public:
   /// not searched, so the sampled hot path stays lookup-free).
   std::map<ChannelKey, Channel> channels() const;
 
-  uint64_t sampledOps() const { return TotalSamples; }
+  uint64_t sampledOps() const;
 
   void reset();
 
@@ -221,9 +235,21 @@ public:
   void emitTraceCounters() const;
 
 private:
+  /// Unlocked internals; public entry points take Mu then delegate here
+  /// so compound paths (snapshot -> channels/sites/journal, sampled op
+  /// -> siteFor -> register) never re-acquire the mutex.
   SiteInfo &siteFor(const RtCollection *C);
+  void registerCollectionLocked(const RtCollection *C,
+                                const ir::Instruction *Site,
+                                std::string Label);
   void push(EventKind K, uint64_t Site, uint64_t A, uint64_t B);
+  std::vector<Event> journalEventsLocked() const;
+  std::vector<const SiteInfo *> sitesLocked() const;
+  std::map<ChannelKey, Channel> channelsLocked() const;
+  void emitTraceCountersLocked() const;
 
+  /// Serializes every mutation and snapshot (see class comment).
+  mutable std::mutex Mu;
   Options Opts;
   uint64_t StartNs = 0;
   /// See ownerToken().

@@ -1,0 +1,140 @@
+//===- AtomicBitSet.h - Word-atomic concurrent bitset -----------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent counterpart of collections/BitSet for the serving
+/// runtime: a set over enumeration indices [0, k) whose membership test
+/// is a single word-atomic load, so readers never block — the property
+/// ADE's dense selections make cheap (an enumerated key *is* the bit
+/// position). Writers serialize on one internal mutex (bit writes are
+/// fetch_or/fetch_and, the mutex exists for growth), and growth
+/// publishes a new word array and retires the old one through an
+/// EpochDomain so in-flight readers finish on the array they loaded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SERVE_ATOMICBITSET_H
+#define ADE_SERVE_ATOMICBITSET_H
+
+#include "serve/Epoch.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace ade {
+namespace serve {
+
+/// A dynamically growing bitset with lock-free membership tests.
+/// Readers must hold an EpochDomain::Guard on the domain passed at
+/// construction while calling contains().
+class AtomicBitSet {
+public:
+  /// \p UniverseHint pre-sizes for keys < UniverseHint (rounded up to a
+  /// word); the universe still grows organically past it.
+  explicit AtomicBitSet(EpochDomain &Domain, uint64_t UniverseHint = 0)
+      : Domain(Domain) {
+    uint64_t NWords = (UniverseHint + 63) / 64;
+    if (NWords == 0)
+      NWords = 1;
+    Words.store(newWords(NWords), std::memory_order_release);
+    NumWords.store(NWords, std::memory_order_release);
+  }
+
+  ~AtomicBitSet() {
+    // Retired arrays belong to the domain; only the live one is ours.
+    delete[] Words.load(std::memory_order_relaxed);
+  }
+
+  AtomicBitSet(const AtomicBitSet &) = delete;
+  AtomicBitSet &operator=(const AtomicBitSet &) = delete;
+
+  /// Lock-free membership test (epoch guard required). Keys beyond the
+  /// current universe are absent.
+  bool contains(uint64_t Key) const {
+    uint64_t Word = Key >> 6;
+    // Acquire on the count pairs with the release publish in grow():
+    // a count that covers Word guarantees the array pointer read next
+    // spans it.
+    if (Word >= NumWords.load(std::memory_order_acquire))
+      return false;
+    const std::atomic<uint64_t> *W = Words.load(std::memory_order_acquire);
+    return (W[Word].load(std::memory_order_acquire) >> (Key & 63)) & 1;
+  }
+
+  /// Inserts \p Key, growing the universe if needed; true if newly set.
+  bool insert(uint64_t Key) {
+    std::lock_guard<std::mutex> Lock(WriteMu);
+    uint64_t Word = Key >> 6;
+    if (Word >= NumWords.load(std::memory_order_relaxed))
+      grow(Word + 1);
+    std::atomic<uint64_t> *W = Words.load(std::memory_order_relaxed);
+    uint64_t Bit = uint64_t(1) << (Key & 63);
+    uint64_t Old = W[Word].fetch_or(Bit, std::memory_order_release);
+    if (Old & Bit)
+      return false;
+    Count.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Removes \p Key; true if it was present.
+  bool remove(uint64_t Key) {
+    std::lock_guard<std::mutex> Lock(WriteMu);
+    uint64_t Word = Key >> 6;
+    if (Word >= NumWords.load(std::memory_order_relaxed))
+      return false;
+    std::atomic<uint64_t> *W = Words.load(std::memory_order_relaxed);
+    uint64_t Bit = uint64_t(1) << (Key & 63);
+    uint64_t Old = W[Word].fetch_and(~Bit, std::memory_order_release);
+    if (!(Old & Bit))
+      return false;
+    Count.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  uint64_t size() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t universeSize() const {
+    return NumWords.load(std::memory_order_acquire) * 64;
+  }
+
+private:
+  static std::atomic<uint64_t> *newWords(uint64_t N) {
+    auto *W = new std::atomic<uint64_t>[N];
+    for (uint64_t I = 0; I != N; ++I)
+      W[I].store(0, std::memory_order_relaxed);
+    return W;
+  }
+
+  /// Called under WriteMu. Publishes a copy at >= NeedWords words and
+  /// retires the old array to the epoch domain.
+  void grow(uint64_t NeedWords) {
+    uint64_t OldN = NumWords.load(std::memory_order_relaxed);
+    uint64_t NewN = OldN ? OldN : 1;
+    while (NewN < NeedWords)
+      NewN *= 2;
+    std::atomic<uint64_t> *Old = Words.load(std::memory_order_relaxed);
+    std::atomic<uint64_t> *New = newWords(NewN);
+    for (uint64_t I = 0; I != OldN; ++I)
+      New[I].store(Old[I].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    // Publish the array before the count that advertises it (see
+    // contains()).
+    Words.store(New, std::memory_order_release);
+    NumWords.store(NewN, std::memory_order_release);
+    Domain.retireArray(Old);
+  }
+
+  EpochDomain &Domain;
+  std::mutex WriteMu;
+  std::atomic<std::atomic<uint64_t> *> Words{nullptr};
+  std::atomic<uint64_t> NumWords{0};
+  std::atomic<uint64_t> Count{0};
+};
+
+} // namespace serve
+} // namespace ade
+
+#endif // ADE_SERVE_ATOMICBITSET_H

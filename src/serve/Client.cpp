@@ -1,0 +1,229 @@
+//===- Client.cpp - Client harness and differential oracle ----------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include "interp/InterpError.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ade;
+using namespace ade::serve;
+
+namespace {
+
+/// All streams' requests plus response slots addressed by (stream,
+/// seq). Slots are written exactly once, from whichever worker thread
+/// completes the request; the drain barrier orders those writes before
+/// the client reads them.
+struct StreamState {
+  std::vector<std::vector<Request>> Requests;
+  std::vector<std::vector<Response>> Responses;
+};
+
+} // namespace
+
+/// Submits requests [Begin, End) of the given streams, retrying sheds
+/// per the options. Returns (submitted, sheds).
+static void submitRange(Server &S, StreamState &State,
+                        const std::vector<uint32_t> &Streams, uint32_t Begin,
+                        uint32_t End, const ClientOptions &Options,
+                        std::atomic<uint64_t> &Submitted,
+                        std::atomic<uint64_t> &Sheds) {
+  for (uint32_t Stream : Streams) {
+    const std::vector<Request> &Reqs = State.Requests[Stream];
+    uint32_t Hi = std::min<uint32_t>(End, uint32_t(Reqs.size()));
+    for (uint32_t Seq = Begin; Seq < Hi; ++Seq) {
+      const Request &R = Reqs[Seq];
+      Response *Slot = &State.Responses[Stream][Seq];
+      unsigned BackoffUs = 50;
+      for (;;) {
+        bool Ok = S.submit(R, [Slot](const Response &Resp) {
+          *Slot = Resp;
+        });
+        Submitted.fetch_add(1, std::memory_order_relaxed);
+        if (Ok)
+          break;
+        Sheds.fetch_add(1, std::memory_order_relaxed);
+        if (!Options.RetryShed) {
+          Slot->Id = R.Id;
+          Slot->Status = ResponseStatus::Shed;
+          Slot->Value = 0;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(BackoffUs));
+        if (BackoffUs < 5000)
+          BackoffUs *= 2;
+      }
+    }
+  }
+}
+
+/// One submission phase across SubmitThreads client threads, then the
+/// drain barrier.
+static void runPhase(Server &S, StreamState &State, uint32_t Begin,
+                     uint32_t End, const ClientOptions &Options,
+                     std::atomic<uint64_t> &Submitted,
+                     std::atomic<uint64_t> &Sheds) {
+  unsigned NThreads = std::max(1u, Options.SubmitThreads);
+  std::vector<std::vector<uint32_t>> Assignment(NThreads);
+  for (uint32_t Stream = 0; Stream != State.Requests.size(); ++Stream)
+    Assignment[Stream % NThreads].push_back(Stream);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NThreads; ++T) {
+    if (Assignment[T].empty())
+      continue;
+    Threads.emplace_back([&, T] {
+      submitRange(S, State, Assignment[T], Begin, End, Options, Submitted,
+                  Sheds);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  S.drain();
+}
+
+ClientResult serve::runClient(Server &S, const WorkloadSpec &Spec,
+                              const ClientOptions &Options) {
+  StreamState State;
+  State.Requests.reserve(Spec.Streams);
+  State.Responses.resize(Spec.Streams);
+  for (uint32_t Stream = 0; Stream != Spec.Streams; ++Stream) {
+    State.Requests.push_back(buildStream(Spec, Stream));
+    State.Responses[Stream].resize(State.Requests.back().size());
+  }
+
+  std::atomic<uint64_t> Submitted{0}, Sheds{0};
+  uint32_t Boundary = phaseBoundary(Spec);
+  runPhase(S, State, 0, Boundary, Options, Submitted, Sheds);
+  runPhase(S, State, Boundary, ~uint32_t(0), Options, Submitted, Sheds);
+
+  ClientResult Out;
+  Out.Submitted = Submitted.load();
+  Out.Sheds = Sheds.load();
+  Out.Digests.reserve(Spec.Streams);
+  for (uint32_t Stream = 0; Stream != Spec.Streams; ++Stream) {
+    for (const Response &R : State.Responses[Stream])
+      ++Out.ByStatus[size_t(R.Status)];
+    Out.Digests.push_back(streamDigest(State.Responses[Stream]));
+  }
+  return Out;
+}
+
+namespace {
+
+/// The oracle's private store: the same semantics as SharedStore via
+/// plain standard containers — deliberately a different implementation
+/// so the soak cross-checks the concurrent structures against an
+/// independent one.
+struct RefStore {
+  std::unordered_map<uint64_t, uint64_t> Map;
+  std::unordered_set<uint64_t> Set;
+
+  bool mapGet(uint64_t Key, uint64_t &Val) {
+    auto It = Map.find(Key);
+    if (It == Map.end())
+      return false;
+    Val = It->second;
+    return true;
+  }
+  void upsert(uint64_t Key, uint64_t Val) {
+    Map[Key] = Val;
+    Set.insert(Key);
+  }
+  bool setHas(uint64_t Key) { return Set.count(Key) != 0; }
+};
+
+} // namespace
+
+std::vector<uint64_t> serve::runOracle(const ir::Module &M,
+                                       const WorkloadSpec &Spec,
+                                       const ServeConfig &Config,
+                                       vm::EngineKind Engine) {
+  RefStore Store;
+  const ir::Function *Fn = M.getFunction(Config.ProgramFunction);
+  std::unique_ptr<vm::Engine> Eng;
+  uint64_t EngineCalls = 0;
+  auto ProgramFn = [&](uint64_t Key, bool Exhaust) -> Response {
+    Response Resp;
+    if (Exhaust) {
+      Resp.Status = ResponseStatus::Budget;
+      return Resp;
+    }
+    if (!Fn) {
+      Resp.Status = ResponseStatus::Error;
+      return Resp;
+    }
+    // Mirror the server's engine-recycling cadence (results do not
+    // depend on it; memory does).
+    if (!Eng || ++EngineCalls % 256 == 0) {
+      interp::InterpOptions Opts;
+      Opts.MaxSteps = Config.MaxSteps;
+      Opts.MaxBytes = Config.MaxBytes;
+      Opts.MaxDepth = Config.MaxDepth;
+      Eng = std::make_unique<vm::Engine>(Engine, M, Opts);
+    }
+    Eng->resetCallBudget(); // per-request budget, as the server does
+    try {
+      Resp.Value = Eng->call(Fn, {Key});
+      Resp.Status = ResponseStatus::Ok;
+    } catch (const interp::InterpError &E) {
+      Resp.Value = 0;
+      switch (E.kind()) {
+      case interp::InterpErrorKind::StepBudget:
+      case interp::InterpErrorKind::MemoryBudget:
+      case interp::InterpErrorKind::DepthBudget:
+        Resp.Status = ResponseStatus::Budget;
+        break;
+      case interp::InterpErrorKind::Deadline:
+        Resp.Status = ResponseStatus::Deadline;
+        break;
+      case interp::InterpErrorKind::Undefined:
+        Resp.Status = ResponseStatus::Error;
+        break;
+      }
+    }
+    return Resp;
+  };
+
+  std::vector<std::vector<Request>> Streams;
+  std::vector<std::vector<Response>> Responses(Spec.Streams);
+  for (uint32_t Stream = 0; Stream != Spec.Streams; ++Stream) {
+    Streams.push_back(buildStream(Spec, Stream));
+    Responses[Stream].resize(Streams.back().size());
+  }
+
+  // Phase 1 for every stream, then phase 2 — the sequential image of
+  // the client's barrier. Within a phase, stream-then-sequence order;
+  // phase-1 responses are order-independent so this choice is
+  // arbitrary but fixed.
+  uint32_t Boundary = phaseBoundary(Spec);
+  for (int Phase = 0; Phase != 2; ++Phase) {
+    for (uint32_t Stream = 0; Stream != Spec.Streams; ++Stream) {
+      const std::vector<Request> &Reqs = Streams[Stream];
+      uint32_t Lo = Phase == 0 ? 0 : Boundary;
+      uint32_t Hi = Phase == 0 ? std::min<uint32_t>(Boundary,
+                                                    uint32_t(Reqs.size()))
+                               : uint32_t(Reqs.size());
+      for (uint32_t Seq = Lo; Seq < Hi; ++Seq) {
+        FaultDecision D = Config.Faults.decide(Reqs[Seq].Id);
+        // Timing faults (delay/storm) are no-ops sequentially.
+        Responses[Stream][Seq] =
+            executeRequest(Reqs[Seq], Store, Spec.Geo, D, ProgramFn);
+      }
+    }
+  }
+
+  std::vector<uint64_t> Digests;
+  Digests.reserve(Spec.Streams);
+  for (uint32_t Stream = 0; Stream != Spec.Streams; ++Stream)
+    Digests.push_back(streamDigest(Responses[Stream]));
+  return Digests;
+}

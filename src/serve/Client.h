@@ -1,0 +1,73 @@
+//===- Client.h - Client harness and differential oracle --------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the serving runtime: stream submission with
+/// retry-with-backoff on shed responses, the phase barrier that makes
+/// concurrent runs digest-comparable (see Workload.h), and the
+/// single-threaded oracle that replays the same streams sequentially
+/// for the differential soak test.
+///
+/// Retry classification: ResponseStatus::Shed is the only retryable
+/// status — it means the request was never accepted, so resubmission
+/// cannot double-apply it. Everything else (Ok, NotFound, Budget,
+/// Deadline, Error) is terminal. Backoff is exponential from 50us,
+/// doubling per consecutive shed of the same request, capped at 5ms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SERVE_CLIENT_H
+#define ADE_SERVE_CLIENT_H
+
+#include "serve/Server.h"
+#include "serve/Workload.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ade {
+namespace serve {
+
+struct ClientOptions {
+  /// Retry shed responses until accepted (required for oracle-compared
+  /// runs); when false a shed becomes the request's terminal response.
+  bool RetryShed = true;
+  /// Client threads submitting concurrently (streams are distributed
+  /// round-robin across them).
+  unsigned SubmitThreads = 2;
+};
+
+struct ClientResult {
+  /// Per-stream response digests, index = stream id.
+  std::vector<uint64_t> Digests;
+  uint64_t Submitted = 0;
+  /// Shed responses observed (each adds a retry when RetryShed).
+  uint64_t Sheds = 0;
+  /// Responses per terminal status, by ResponseStatus.
+  uint64_t ByStatus[6] = {};
+};
+
+/// Runs the full phased workload against \p S: submits every stream's
+/// phase-1 inserts, waits for the barrier (Server::drain), submits
+/// phase 2, drains again, then digests each stream's responses in
+/// sequence order.
+ClientResult runClient(Server &S, const WorkloadSpec &Spec,
+                       const ClientOptions &Options = {});
+
+/// Replays the same workload sequentially on a private store and a
+/// single engine — the differential oracle. Applies the same fault
+/// plan and budgets as \p Config so deterministic failures match;
+/// \p Config.DeadlineMs must be 0 for comparable digests (deadlines
+/// are timing-dependent). Runs on the calling thread.
+std::vector<uint64_t> runOracle(const ir::Module &M,
+                                const WorkloadSpec &Spec,
+                                const ServeConfig &Config,
+                                vm::EngineKind Engine = vm::EngineKind::Tree);
+
+} // namespace serve
+} // namespace ade
+
+#endif // ADE_SERVE_CLIENT_H

@@ -1,0 +1,349 @@
+//===- ConcurrentMap.h - Sharded concurrent hash collections ----*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving runtime's concurrent counterparts of SwissMap/HashSet:
+/// open-addressing tables striped into power-of-two shards by the low
+/// bits of the key. ADE's enumerated keys (`idx in [0, N)`) make that
+/// striping uniform by construction — consecutive indices land on
+/// consecutive shards — so a Zipfian-popular key contends only with its
+/// own shard's writers.
+///
+/// Concurrency contract:
+///  - Writers (insert/set/remove) take the owning shard's mutex; shards
+///    never share storage, so writers on different shards never touch
+///    the same cache lines.
+///  - Readers (has/get) are lock-free: they probe the shard's table
+///    through word-atomic tag/key/value slots under an epoch guard
+///    (serve/Epoch.h) and never block, even during a concurrent resize
+///    — the resizing writer publishes a fresh table pointer and retires
+///    the old one to the epoch domain, and in-flight readers finish
+///    their probe on whichever table they loaded.
+///
+/// Slot layout mirrors collections/SwissTable: a control byte per slot
+/// (0x00 empty, 0x01 tombstone, 0x80|h2 full, where h2 is a 7-bit hash
+/// tag) in front of the key (and value) words. Probing is byte-at-a-
+/// time linear rather than 16-byte SWAR groups: tags are individually
+/// atomic here, and the single-byte acquire load is what lets a reader
+/// synchronize with the writer's key/value publication.
+///
+/// Publication protocol (per slot): a writer stores the key and value
+/// with relaxed order, then the full-tag with release; a reader loads
+/// the tag with acquire, and a matching tag makes the key/value reads
+/// that follow well-defined. A slot's key is written exactly once per
+/// table (remove leaves a tombstone; only a resize recycles slots into
+/// a fresh table), so readers can never observe a torn or re-keyed
+/// slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SERVE_CONCURRENTMAP_H
+#define ADE_SERVE_CONCURRENTMAP_H
+
+#include "serve/Epoch.h"
+#include "support/Hashing.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ade {
+namespace serve {
+namespace detail {
+
+enum : uint8_t { SlotEmpty = 0x00, SlotTombstone = 0x01 };
+
+inline uint8_t fullTag(uint64_t Hash) {
+  return uint8_t(0x80 | (Hash >> 57));
+}
+
+/// One shard: a mutex-owned open-addressing table with atomic slots.
+/// \p WithValue selects map (true) or set (false) layout.
+template <bool WithValue> class ConcurrentShard {
+public:
+  explicit ConcurrentShard(EpochDomain &Domain) : Domain(Domain) {
+    Table.store(newTable(InitialCapacity), std::memory_order_release);
+  }
+
+  ~ConcurrentShard() { delete Table.load(std::memory_order_relaxed); }
+
+  ConcurrentShard(const ConcurrentShard &) = delete;
+  ConcurrentShard &operator=(const ConcurrentShard &) = delete;
+
+  /// Lock-free lookup (epoch guard required). For maps \p Val receives
+  /// the mapped value on a hit.
+  bool find(uint64_t Key, uint64_t *Val) const {
+    const TableData *T = Table.load(std::memory_order_acquire);
+    uint64_t H = hashU64(Key);
+    uint8_t Tag = fullTag(H);
+    uint64_t Idx = H & T->Mask;
+    for (;;) {
+      uint8_t S = T->Tags[Idx].load(std::memory_order_acquire);
+      if (S == SlotEmpty)
+        return false;
+      if (S == Tag && T->Keys[Idx].load(std::memory_order_relaxed) == Key) {
+        if constexpr (WithValue)
+          if (Val)
+            *Val = T->Vals[Idx].load(std::memory_order_acquire);
+        return true;
+      }
+      Idx = (Idx + 1) & T->Mask;
+    }
+  }
+
+  /// Inserts (or, for maps with \p Overwrite, updates) under the shard
+  /// mutex. Returns true when the key was newly inserted.
+  bool insert(uint64_t Key, uint64_t Val, bool Overwrite) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    TableData *T = Table.load(std::memory_order_relaxed);
+    // Keep a slack of empties so reader probes terminate: grow at 7/8
+    // occupancy counting tombstones (they extend probe chains too).
+    if ((T->Used + 1) * 8 >= (T->Mask + 1) * 7)
+      T = rehash(T);
+    uint64_t H = hashU64(Key);
+    uint8_t Tag = fullTag(H);
+    uint64_t Idx = H & T->Mask;
+    // Tombstoned slots are never reused in place: re-keying a slot
+    // would let a racing reader pair a stale matching tag with the new
+    // key and the old value. Tombstones only disappear at the next
+    // rehash (Used counts them, so they still trigger growth).
+    for (;;) {
+      uint8_t S = T->Tags[Idx].load(std::memory_order_relaxed);
+      if (S == SlotEmpty)
+        break;
+      if (S == Tag && T->Keys[Idx].load(std::memory_order_relaxed) == Key) {
+        if constexpr (WithValue)
+          if (Overwrite)
+            T->Vals[Idx].store(Val, std::memory_order_release);
+        return false;
+      }
+      Idx = (Idx + 1) & T->Mask;
+    }
+    ++T->Used;
+    T->Keys[Idx].store(Key, std::memory_order_relaxed);
+    if constexpr (WithValue)
+      T->Vals[Idx].store(Val, std::memory_order_relaxed);
+    T->Tags[Idx].store(Tag, std::memory_order_release);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool remove(uint64_t Key) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    TableData *T = Table.load(std::memory_order_relaxed);
+    uint64_t H = hashU64(Key);
+    uint8_t Tag = fullTag(H);
+    uint64_t Idx = H & T->Mask;
+    for (;;) {
+      uint8_t S = T->Tags[Idx].load(std::memory_order_relaxed);
+      if (S == SlotEmpty)
+        return false;
+      if (S == Tag && T->Keys[Idx].load(std::memory_order_relaxed) == Key) {
+        T->Tags[Idx].store(SlotTombstone, std::memory_order_release);
+        Count.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      Idx = (Idx + 1) & T->Mask;
+    }
+  }
+
+  uint64_t size() const { return Count.load(std::memory_order_relaxed); }
+
+  /// Visits every element under the shard mutex (invariant checks and
+  /// drains; not a consistent cross-shard snapshot).
+  void forEachLocked(
+      const std::function<void(uint64_t, uint64_t)> &Fn) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    const TableData *T = Table.load(std::memory_order_relaxed);
+    for (uint64_t I = 0; I <= T->Mask; ++I) {
+      uint8_t S = T->Tags[I].load(std::memory_order_relaxed);
+      if (S != SlotEmpty && S != SlotTombstone) {
+        uint64_t V = 0;
+        if constexpr (WithValue)
+          V = T->Vals[I].load(std::memory_order_relaxed);
+        Fn(T->Keys[I].load(std::memory_order_relaxed), V);
+      }
+    }
+  }
+
+  /// The shard lock, exposed for the fault plan's contention storms.
+  std::mutex &mutex() const { return Mu; }
+
+  /// Completed storage reorganizations (tests/telemetry).
+  uint64_t rehashes() const {
+    return Rehashes.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct TableData {
+    uint64_t Mask = 0;
+    /// Live + tombstoned slots (monotonic per table).
+    uint64_t Used = 0;
+    std::atomic<uint8_t> *Tags = nullptr;
+    std::atomic<uint64_t> *Keys = nullptr;
+    std::atomic<uint64_t> *Vals = nullptr;
+
+    ~TableData() {
+      delete[] Tags;
+      delete[] Keys;
+      delete[] Vals;
+    }
+  };
+
+  static constexpr uint64_t InitialCapacity = 16;
+
+  static TableData *newTable(uint64_t Capacity) {
+    assert((Capacity & (Capacity - 1)) == 0 && "capacity not a power of 2");
+    auto *T = new TableData();
+    T->Mask = Capacity - 1;
+    T->Tags = new std::atomic<uint8_t>[Capacity];
+    T->Keys = new std::atomic<uint64_t>[Capacity];
+    if constexpr (WithValue)
+      T->Vals = new std::atomic<uint64_t>[Capacity];
+    for (uint64_t I = 0; I != Capacity; ++I) {
+      T->Tags[I].store(SlotEmpty, std::memory_order_relaxed);
+      T->Keys[I].store(0, std::memory_order_relaxed);
+      if constexpr (WithValue)
+        T->Vals[I].store(0, std::memory_order_relaxed);
+    }
+    return T;
+  }
+
+  /// Called under Mu. Builds a table sized for the live count (dropping
+  /// tombstones), publishes it, and retires the old one.
+  TableData *rehash(TableData *Old) {
+    uint64_t Live = Count.load(std::memory_order_relaxed);
+    uint64_t Capacity = InitialCapacity;
+    // Target <= 1/2 occupancy after the rebuild so growth is geometric
+    // even when the trigger was tombstone accumulation.
+    while (Live * 2 >= Capacity)
+      Capacity *= 2;
+    TableData *T = newTable(Capacity);
+    for (uint64_t I = 0; I <= Old->Mask; ++I) {
+      uint8_t S = Old->Tags[I].load(std::memory_order_relaxed);
+      if (S == SlotEmpty || S == SlotTombstone)
+        continue;
+      uint64_t Key = Old->Keys[I].load(std::memory_order_relaxed);
+      uint64_t H = hashU64(Key);
+      uint64_t Idx = H & T->Mask;
+      while (T->Tags[Idx].load(std::memory_order_relaxed) != SlotEmpty)
+        Idx = (Idx + 1) & T->Mask;
+      T->Keys[Idx].store(Key, std::memory_order_relaxed);
+      if constexpr (WithValue)
+        T->Vals[Idx].store(Old->Vals[I].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+      T->Tags[Idx].store(fullTag(H), std::memory_order_relaxed);
+      ++T->Used;
+    }
+    Table.store(T, std::memory_order_release);
+    Domain.retireObject(Old);
+    Rehashes.fetch_add(1, std::memory_order_relaxed);
+    return T;
+  }
+
+  EpochDomain &Domain;
+  mutable std::mutex Mu;
+  std::atomic<TableData *> Table{nullptr};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Rehashes{0};
+};
+
+/// Shared shard-striping shell of the sharded map and set.
+template <bool WithValue> class ShardedTable {
+public:
+  /// \p ShardCount is rounded up to a power of two (default 64: enough
+  /// stripes that 32 writers rarely collide, small enough to stay
+  /// cache-resident).
+  explicit ShardedTable(EpochDomain &Domain, unsigned ShardCount = 64) {
+    unsigned N = 1;
+    while (N < ShardCount && N < 4096)
+      N *= 2;
+    Shards.reserve(N);
+    for (unsigned I = 0; I != N; ++I)
+      Shards.push_back(
+          std::make_unique<ConcurrentShard<WithValue>>(Domain));
+    Mask = N - 1;
+  }
+
+  uint64_t size() const {
+    uint64_t Sum = 0;
+    for (const auto &S : Shards)
+      Sum += S->size();
+    return Sum;
+  }
+
+  size_t shardCount() const { return Shards.size(); }
+  std::mutex &shardMutex(size_t I) const { return Shards[I]->mutex(); }
+  /// The shard \p Key lives on: its low bits, i.e. the enumeration-idx
+  /// stripe (see file comment).
+  size_t shardOf(uint64_t Key) const { return size_t(Key & Mask); }
+
+  uint64_t rehashes() const {
+    uint64_t Sum = 0;
+    for (const auto &S : Shards)
+      Sum += S->rehashes();
+    return Sum;
+  }
+
+  void forEachLocked(
+      const std::function<void(uint64_t, uint64_t)> &Fn) const {
+    for (const auto &S : Shards)
+      S->forEachLocked(Fn);
+  }
+
+protected:
+  ConcurrentShard<WithValue> &shard(uint64_t Key) {
+    return *Shards[Key & Mask];
+  }
+  const ConcurrentShard<WithValue> &shard(uint64_t Key) const {
+    return *Shards[Key & Mask];
+  }
+
+private:
+  std::vector<std::unique_ptr<ConcurrentShard<WithValue>>> Shards;
+  uint64_t Mask = 0;
+};
+
+} // namespace detail
+
+/// Concurrent map from u64 keys to u64 values (see file comment for the
+/// locking contract; readers need an EpochDomain::Guard).
+class ShardedSwissMap : public detail::ShardedTable<true> {
+public:
+  using detail::ShardedTable<true>::ShardedTable;
+
+  bool has(uint64_t Key) const { return shard(Key).find(Key, nullptr); }
+  bool get(uint64_t Key, uint64_t &Val) const {
+    return shard(Key).find(Key, &Val);
+  }
+  /// Insert-or-overwrite.
+  void set(uint64_t Key, uint64_t Val) { shard(Key).insert(Key, Val, true); }
+  /// Insert only if absent; true when inserted.
+  bool insert(uint64_t Key, uint64_t Val) {
+    return shard(Key).insert(Key, Val, false);
+  }
+  bool remove(uint64_t Key) { return shard(Key).remove(Key); }
+};
+
+/// Concurrent set over u64 keys (same contract).
+class ShardedHashSet : public detail::ShardedTable<false> {
+public:
+  using detail::ShardedTable<false>::ShardedTable;
+
+  bool has(uint64_t Key) const { return shard(Key).find(Key, nullptr); }
+  /// True when newly inserted.
+  bool insert(uint64_t Key) { return shard(Key).insert(Key, 0, false); }
+  bool remove(uint64_t Key) { return shard(Key).remove(Key); }
+};
+
+} // namespace serve
+} // namespace ade
+
+#endif // ADE_SERVE_CONCURRENTMAP_H

@@ -1,0 +1,112 @@
+//===- Epoch.cpp - Epoch-based memory reclamation -------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Epoch.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ade;
+using namespace ade::serve;
+
+EpochDomain::EpochDomain() = default;
+
+EpochDomain::~EpochDomain() {
+  // No readers can be live here (participants must have unregistered),
+  // so everything retired is reclaimable.
+  for (const RetiredBlock &B : Retired)
+    B.Deleter(B.Block);
+  assert(Participants.empty() && "participants outlive their domain");
+}
+
+EpochDomain::Participant *EpochDomain::registerThread() {
+  auto *P = new Participant();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Participants.push_back(P);
+  return P;
+}
+
+void EpochDomain::unregisterThread(Participant *P) {
+  assert(P->Pinned.load(std::memory_order_relaxed) == 0 &&
+         "unregistering while pinned");
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Participants.erase(
+        std::find(Participants.begin(), Participants.end(), P));
+  }
+  delete P;
+}
+
+void EpochDomain::pin(Participant *P) {
+  assert(P->Pinned.load(std::memory_order_relaxed) == 0 && "already pinned");
+  // Publish the observed epoch, then re-check that it did not advance
+  // while we were publishing: a concurrent collect() that read our slot
+  // as unpinned may have bumped the epoch, and probing a structure with
+  // a stale pin would defeat the E-2 reclamation argument.
+  uint64_t E = Global.load(std::memory_order_seq_cst);
+  for (;;) {
+    P->Pinned.store(E, std::memory_order_seq_cst);
+    uint64_t Now = Global.load(std::memory_order_seq_cst);
+    if (Now == E)
+      return;
+    E = Now;
+  }
+}
+
+void EpochDomain::unpin(Participant *P) {
+  P->Pinned.store(0, std::memory_order_release);
+}
+
+void EpochDomain::retire(void *Block, void (*Deleter)(void *)) {
+  bool Try;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Retired.push_back({Global.load(std::memory_order_relaxed), Block,
+                       Deleter});
+    // Amortize the participant scan: one advance attempt every few
+    // retirements keeps the retired list short without making every
+    // resize pay for a full scan.
+    Try = ++RetireTick >= 8;
+    if (Try)
+      RetireTick = 0;
+  }
+  if (Try)
+    collect();
+}
+
+bool EpochDomain::allObserved(uint64_t E) const {
+  for (const Participant *P : Participants) {
+    uint64_t Pin = P->Pinned.load(std::memory_order_seq_cst);
+    if (Pin != 0 && Pin != E)
+      return false;
+  }
+  return true;
+}
+
+size_t EpochDomain::collect() {
+  std::vector<RetiredBlock> Free;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    uint64_t E = Global.load(std::memory_order_seq_cst);
+    if (allObserved(E))
+      Global.store(E + 1, std::memory_order_seq_cst);
+    // Blocks retired at R are free once Global >= R + 2 (see header).
+    uint64_t Now = Global.load(std::memory_order_relaxed);
+    auto Mid = std::partition(
+        Retired.begin(), Retired.end(),
+        [Now](const RetiredBlock &B) { return B.Epoch + 2 > Now; });
+    Free.assign(Mid, Retired.end());
+    Retired.erase(Mid, Retired.end());
+  }
+  for (const RetiredBlock &B : Free)
+    B.Deleter(B.Block);
+  return Free.size();
+}
+
+size_t EpochDomain::retiredCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Retired.size();
+}

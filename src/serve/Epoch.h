@@ -1,0 +1,128 @@
+//===- Epoch.h - Epoch-based memory reclamation -----------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Epoch-based reclamation (EBR) in the style of FreeBSD's epoch(9) and
+/// crossbeam: readers pin the current global epoch for the duration of a
+/// lock-free operation, writers retire replaced storage (an old hash
+/// table, a grown bitset's word array) instead of freeing it, and the
+/// domain frees a retired block only once every pinned reader has moved
+/// two epochs past it — at which point no thread can still hold a
+/// pointer into it. This is what lets the sharded collections' `has` /
+/// `read` paths run without taking the shard lock: a resize publishes a
+/// new table pointer and retires the old one, and concurrent readers
+/// finish their probe sequence on whichever table they pinned.
+///
+/// The classic 3-epoch argument: a reader pinned at epoch E can hold
+/// references retired at E or E-1 (retired by a writer it raced), but
+/// never E-2 — the global epoch only advances when every pinned reader
+/// has observed the current value, so by the time the epoch reaches E+2
+/// every reader that could have seen the block has unpinned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SERVE_EPOCH_H
+#define ADE_SERVE_EPOCH_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ade {
+namespace serve {
+
+/// One reclamation domain: a set of participating threads plus the
+/// retired-block lists. Collections sharing a domain amortize its epoch
+/// bookkeeping; adesrv uses one domain per Server.
+class EpochDomain {
+public:
+  EpochDomain();
+  ~EpochDomain();
+  EpochDomain(const EpochDomain &) = delete;
+  EpochDomain &operator=(const EpochDomain &) = delete;
+
+  /// A thread's registration in the domain. Cheap to keep for the
+  /// thread's lifetime; release with unregisterThread.
+  struct Participant;
+
+  /// Registers the calling thread (idempotent per Participant). Must be
+  /// balanced with unregisterThread before the domain is destroyed.
+  Participant *registerThread();
+  void unregisterThread(Participant *P);
+
+  /// Pins/unpins the calling thread's participant. While pinned, any
+  /// pointer loaded from an epoch-protected structure stays valid.
+  /// Non-reentrant per participant (use Guard).
+  void pin(Participant *P);
+  void unpin(Participant *P);
+
+  /// RAII pin for one protected operation.
+  class Guard {
+  public:
+    Guard(EpochDomain &D, Participant *P) : D(D), P(P) { D.pin(P); }
+    ~Guard() { D.unpin(P); }
+    Guard(const Guard &) = delete;
+    Guard &operator=(const Guard &) = delete;
+
+  private:
+    EpochDomain &D;
+    Participant *P;
+  };
+
+  /// Hands \p Block to the domain for deferred destruction via
+  /// \p Deleter once no reader can still reference it. Callable while
+  /// pinned (a writer retiring under its shard lock usually is).
+  void retire(void *Block, void (*Deleter)(void *));
+
+  /// Convenience for new[]-allocated arrays and new-allocated objects.
+  template <typename T> void retireArray(T *Block) {
+    retire(Block, [](void *P) { delete[] static_cast<T *>(P); });
+  }
+  template <typename T> void retireObject(T *Block) {
+    retire(Block, [](void *P) { delete static_cast<T *>(P); });
+  }
+
+  /// Attempts one epoch advance and frees every block that became
+  /// unreachable. Called automatically every few retirements; tests and
+  /// shutdown paths call it directly. Returns the number of blocks freed.
+  size_t collect();
+
+  /// Blocks currently awaiting reclamation (tests).
+  size_t retiredCount() const;
+
+  uint64_t globalEpoch() const {
+    return Global.load(std::memory_order_acquire);
+  }
+
+private:
+  struct RetiredBlock {
+    uint64_t Epoch;
+    void *Block;
+    void (*Deleter)(void *);
+  };
+
+  /// True when every currently pinned participant has observed \p E.
+  bool allObserved(uint64_t E) const;
+
+  std::atomic<uint64_t> Global{2};
+
+  mutable std::mutex Mu;
+  std::vector<Participant *> Participants;
+  std::vector<RetiredBlock> Retired;
+  /// Retirements since the last collect() attempt.
+  unsigned RetireTick = 0;
+};
+
+struct EpochDomain::Participant {
+  /// 0 = unpinned; otherwise the global epoch value observed at pin.
+  std::atomic<uint64_t> Pinned{0};
+};
+
+} // namespace serve
+} // namespace ade
+
+#endif // ADE_SERVE_EPOCH_H

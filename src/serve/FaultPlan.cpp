@@ -1,0 +1,113 @@
+//===- FaultPlan.cpp - Deterministic fault injection ----------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/FaultPlan.h"
+
+#include "support/Hashing.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ade;
+using namespace ade::serve;
+
+/// Deterministic uniform draw in [0, 1) for (seed, id, salt). Each fault
+/// class uses a distinct salt so its decisions are independent.
+static double drawFor(uint64_t Seed, uint64_t Id, uint64_t Salt) {
+  uint64_t H = hashU64(Seed ^ hashU64(Id + Salt));
+  return double(H >> 11) * 0x1.0p-53;
+}
+
+FaultDecision FaultPlan::decide(uint64_t Id) const {
+  FaultDecision D;
+  if (DelayP > 0 && drawFor(Seed, Id, 0x64656c61) < DelayP)
+    D.DelayMicros = DelayMicros;
+  if (StormP > 0 && drawFor(Seed, Id, 0x73746f72) < StormP)
+    D.StormSpins = StormSpins;
+  if (BudgetP > 0 && drawFor(Seed, Id, 0x62756467) < BudgetP)
+    D.ExhaustBudget = true;
+  return D;
+}
+
+/// Parses "P" or "P:N" into \p Prob (and \p Amount when the field has
+/// one); false on malformed or out-of-range values.
+static bool parseProbAmount(const std::string &Value, double &Prob,
+                            uint32_t *Amount) {
+  const char *S = Value.c_str();
+  char *End = nullptr;
+  Prob = std::strtod(S, &End);
+  if (End == S || Prob < 0 || Prob > 1)
+    return false;
+  if (*End == '\0')
+    return true; // the amount keeps its default
+  if (*End != ':' || !Amount)
+    return false;
+  const char *A = End + 1;
+  unsigned long N = std::strtoul(A, &End, 10);
+  if (End == A || *End != '\0')
+    return false;
+  *Amount = uint32_t(N);
+  return true;
+}
+
+bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
+                      std::string *Error) {
+  FaultPlan Plan;
+  // Amount defaults applied when "P" is given without ":N".
+  Plan.DelayMicros = 100;
+  Plan.StormSpins = 64;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Field = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() : Comma + 1;
+    if (Field.empty())
+      continue;
+    size_t Eq = Field.find('=');
+    if (Eq == std::string::npos) {
+      if (Error)
+        *Error = "field '" + Field + "' is not key=value";
+      return false;
+    }
+    std::string Key = Field.substr(0, Eq);
+    std::string Value = Field.substr(Eq + 1);
+    bool Ok;
+    if (Key == "seed") {
+      char *End = nullptr;
+      Plan.Seed = std::strtoull(Value.c_str(), &End, 10);
+      Ok = End != Value.c_str() && *End == '\0';
+    } else if (Key == "delay") {
+      Ok = parseProbAmount(Value, Plan.DelayP, &Plan.DelayMicros);
+    } else if (Key == "storm") {
+      Ok = parseProbAmount(Value, Plan.StormP, &Plan.StormSpins);
+    } else if (Key == "budget") {
+      Ok = parseProbAmount(Value, Plan.BudgetP, nullptr);
+    } else {
+      if (Error)
+        *Error = "unknown fault field '" + Key + "'";
+      return false;
+    }
+    if (!Ok) {
+      if (Error)
+        *Error = "malformed value for '" + Key + "': '" + Value + "'";
+      return false;
+    }
+  }
+  Out = Plan;
+  return true;
+}
+
+std::string FaultPlan::describe() const {
+  if (!enabled())
+    return "off";
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "seed=%llu,delay=%g:%u,storm=%g:%u,budget=%g",
+                static_cast<unsigned long long>(Seed), DelayP, DelayMicros,
+                StormP, StormSpins, BudgetP);
+  return Buf;
+}

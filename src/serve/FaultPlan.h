@@ -1,0 +1,80 @@
+//===- FaultPlan.h - Deterministic fault injection --------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-driven fault injection for the serving runtime. Every decision
+/// is a pure function of (seed, request id), so the single-threaded
+/// oracle replaying a stream makes exactly the same decisions as the
+/// 8-thread server under soak — injected *timing* faults (delays, shard
+/// -lock contention storms) perturb scheduling without changing any
+/// response, and injected *budget exhaustion* fails the same requests
+/// on both sides, keeping digests bit-identical.
+///
+/// Plan format (--fault-plan=SPEC), comma-separated key=value:
+///
+///   seed=N            decision seed (default 1)
+///   delay=P:USEC      with probability P, sleep USEC before executing
+///   storm=P:SPINS     with probability P, lock/unlock a rotating set of
+///                     shard mutexes SPINS times (contention storm)
+///   budget=P          with probability P, run the request under an
+///                     exhausted step budget -> ResponseStatus::Budget
+///
+/// Example: --fault-plan=seed=42,delay=0.01:200,storm=0.005:50,budget=0.02
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SERVE_FAULTPLAN_H
+#define ADE_SERVE_FAULTPLAN_H
+
+#include <cstdint>
+#include <string>
+
+namespace ade {
+namespace serve {
+
+/// What to inject for one request.
+struct FaultDecision {
+  /// Sleep this long before executing (0 = none).
+  uint32_t DelayMicros = 0;
+  /// Lock/unlock rotating shard mutexes this many times (0 = none).
+  uint32_t StormSpins = 0;
+  /// Execute under an exhausted budget, failing deterministically.
+  bool ExhaustBudget = false;
+};
+
+class FaultPlan {
+public:
+  /// Parses the SPEC format above; false (with \p Error set) on
+  /// malformed input. An empty spec is the all-off plan.
+  static bool parse(const std::string &Spec, FaultPlan &Out,
+                    std::string *Error);
+
+  /// True when any fault has nonzero probability.
+  bool enabled() const {
+    return DelayP > 0 || StormP > 0 || BudgetP > 0;
+  }
+
+  /// The (deterministic) faults for request \p Id.
+  FaultDecision decide(uint64_t Id) const;
+
+  /// Round-trippable spec string ("off" when disabled).
+  std::string describe() const;
+
+  uint64_t seed() const { return Seed; }
+
+private:
+  uint64_t Seed = 1;
+  double DelayP = 0;
+  uint32_t DelayMicros = 0;
+  double StormP = 0;
+  uint32_t StormSpins = 0;
+  double BudgetP = 0;
+};
+
+} // namespace serve
+} // namespace ade
+
+#endif // ADE_SERVE_FAULTPLAN_H

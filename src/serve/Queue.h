@@ -1,0 +1,88 @@
+//===- Queue.h - Bounded admission queue ------------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server's bounded MPMC request queue — the admission-control
+/// boundary. Producers never block: tryPush either enqueues or reports
+/// the queue full, and the caller sheds (responds Shed) instead of
+/// queueing unboundedly; that is what keeps p99 bounded under overload
+/// (see DESIGN.md "Serving runtime": shed policy). Consumers block on a
+/// condition variable until work or shutdown arrives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SERVE_QUEUE_H
+#define ADE_SERVE_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace ade {
+namespace serve {
+
+template <typename T> class BoundedQueue {
+public:
+  explicit BoundedQueue(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// Enqueues \p Item unless the queue is at capacity or closed; never
+  /// blocks. \p DepthOut (optional) receives the depth observed at the
+  /// decision, full or not, for shed telemetry.
+  bool tryPush(T Item, size_t *DepthOut = nullptr) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (DepthOut)
+        *DepthOut = Items.size();
+      if (Closed || Items.size() >= Capacity)
+        return false;
+      Items.push_back(std::move(Item));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// drained (false).
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotEmpty.wait(Lock, [this] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return true;
+  }
+
+  /// Wakes every consumer; subsequent pushes fail, pops drain the
+  /// remaining items then return false.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Items.size();
+  }
+
+  size_t capacity() const { return Capacity; }
+
+private:
+  const size_t Capacity;
+  mutable std::mutex Mu;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace serve
+} // namespace ade
+
+#endif // ADE_SERVE_QUEUE_H

@@ -1,0 +1,88 @@
+//===- Request.h - Serving-runtime request taxonomy -------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/response vocabulary shared by the server, the client
+/// harness, the single-threaded oracle and the soak test. Requests are
+/// plain data so the oracle can replay the exact stream the server saw,
+/// and responses carry only deterministic payloads (status + value) so
+/// two executions of one stream digest identically (see Workload.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SERVE_REQUEST_H
+#define ADE_SERVE_REQUEST_H
+
+#include <cstdint>
+
+namespace ade {
+namespace serve {
+
+/// What a request asks the server to do.
+enum class RequestOp : uint8_t {
+  /// Probe the shared map: hit returns the stored value.
+  PointLookup,
+  /// Insert Count keys derived from Key (see Workload::bulkKeyAt) into
+  /// the shared map and membership set.
+  BulkInsert,
+  /// Bounded BFS over the synthetic edge relation rooted at Key (see
+  /// Workload.h); returns an order-independent digest of the reachable
+  /// set.
+  GraphQuery,
+  /// Invoke the loaded .memoir program's @serve function on the
+  /// worker's engine with Key as argument.
+  ProgramCall,
+};
+
+const char *requestOpName(RequestOp Op);
+
+/// One request. Ids are unique per run and drive the deterministic
+/// fault plan; (Stream, SeqInStream) addresses the response slot in the
+/// client's digest order.
+struct Request {
+  uint64_t Id = 0;
+  uint32_t Stream = 0;
+  uint32_t SeqInStream = 0;
+  RequestOp Op = RequestOp::PointLookup;
+  uint64_t Key = 0;
+  /// BulkInsert: number of derived keys.
+  uint32_t Count = 0;
+};
+
+/// How a request concluded. The client harness classifies Shed as
+/// retryable (backoff and resubmit) and everything else as final.
+enum class ResponseStatus : uint8_t {
+  Ok,
+  /// PointLookup miss (deterministic, not an error).
+  NotFound,
+  /// Rejected at admission (queue full / overload); retryable.
+  Shed,
+  /// A guard-rail budget (steps/bytes/depth) tripped — either a real
+  /// engine InterpError or a fault-plan injected exhaustion.
+  Budget,
+  /// The per-request wall-clock deadline expired (cooperative
+  /// cancellation; excluded from oracle-compared streams because it is
+  /// timing-dependent).
+  Deadline,
+  /// The program diagnosed a runtime error (InterpError other than a
+  /// budget/deadline).
+  Error,
+};
+
+const char *responseStatusName(ResponseStatus S);
+
+struct Response {
+  uint64_t Id = 0;
+  ResponseStatus Status = ResponseStatus::Ok;
+  /// Deterministic payload (lookup value, insert count, BFS digest,
+  /// program result); 0 for non-Ok statuses.
+  uint64_t Value = 0;
+};
+
+} // namespace serve
+} // namespace ade
+
+#endif // ADE_SERVE_REQUEST_H

@@ -1,0 +1,247 @@
+//===- Server.cpp - Concurrent serving runtime ----------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "interp/InterpError.h"
+#include "runtime/Telemetry.h"
+
+#include <chrono>
+
+using namespace ade;
+using namespace ade::serve;
+
+Server::Server(const ir::Module &M, ServeConfig ConfigIn)
+    : Module(M), Config(std::move(ConfigIn)), Store(Config.Geo),
+      Queue(Config.QueueCapacity) {
+  if (Config.Threads == 0)
+    Config.Threads = 1;
+  ProgramFn = Module.getFunction(Config.ProgramFunction);
+  Workers.reserve(Config.Threads);
+  for (unsigned I = 0; I != Config.Threads; ++I) {
+    Workers.push_back(std::make_unique<Worker>());
+    Worker &W = *Workers.back();
+    W.Thread = std::thread([this, &W] { workerMain(W); });
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (Stopped.exchange(true))
+    return;
+  Queue.close();
+  for (auto &W : Workers)
+    if (W->Thread.joinable())
+      W->Thread.join();
+}
+
+bool Server::shedByPolicy(size_t Depth) {
+  // Policy rule (2), the tail-latency guard: only bite when the queue
+  // is also building up, so a single slow request during an idle period
+  // does not flip the server into shedding.
+  if (!Config.ShedP99Ns || Depth * 2 < Queue.capacity())
+    return false;
+  return CachedP99Ns.load(std::memory_order_relaxed) > Config.ShedP99Ns;
+}
+
+bool Server::submit(const Request &R, Callback Done) {
+  Job J;
+  J.Req = R;
+  J.Done = std::move(Done);
+  J.SubmitNs = runtime::Telemetry::nowNanos();
+
+  // Refresh the rolling p99 every few hundred admissions (merging the
+  // per-worker histograms on every submit would serialize admission).
+  if (Config.ShedP99Ns &&
+      (AdmissionTick.fetch_add(1, std::memory_order_relaxed) & 255) == 0) {
+    Histogram H;
+    for (const auto &W : Workers) {
+      std::lock_guard<std::mutex> Lock(W->StatsMu);
+      H.merge(W->LatencyNs);
+    }
+    CachedP99Ns.store(H.empty() ? 0 : H.p99(), std::memory_order_relaxed);
+  }
+
+  size_t Depth = Queue.depth();
+  bool Admitted = !Stopped.load(std::memory_order_relaxed) &&
+                  !shedByPolicy(Depth) && Queue.tryPush(std::move(J), &Depth);
+  {
+    std::lock_guard<std::mutex> Lock(AdmissionMu);
+    if (Admitted) {
+      ++Accepted;
+      DepthAtAccept.record(Depth);
+    } else {
+      ++Shed;
+    }
+  }
+  if (!Admitted && Config.Tel)
+    Config.Tel->recordShed(Depth, R.Id);
+  return Admitted;
+}
+
+void Server::drain() {
+  uint64_t Target;
+  {
+    std::lock_guard<std::mutex> Lock(AdmissionMu);
+    Target = Accepted;
+  }
+  std::unique_lock<std::mutex> Lock(DrainMu);
+  DrainCv.wait(Lock, [this, Target] { return CompletedTotal >= Target; });
+}
+
+void Server::workerMain(Worker &W) {
+  EpochDomain::Participant *P = Store.Domain.registerThread();
+  SharedStoreView View(Store, P);
+  std::unique_ptr<vm::Engine> Eng;
+  uint64_t EngineCalls = 0;
+
+  Job J;
+  while (Queue.pop(J)) {
+    Response Resp = runJob(J, W, View, Eng, EngineCalls);
+    uint64_t Lat = runtime::Telemetry::nowNanos() - J.SubmitNs;
+    {
+      std::lock_guard<std::mutex> Lock(W.StatsMu);
+      ++W.Completed;
+      ++W.ByStatus[size_t(Resp.Status)];
+      W.LatencyNs.record(Lat);
+    }
+    if (J.Done)
+      J.Done(Resp);
+    {
+      std::lock_guard<std::mutex> Lock(DrainMu);
+      ++CompletedTotal;
+    }
+    DrainCv.notify_all();
+  }
+
+  // Engines allocate from the store-free interpreter arena; drop ours
+  // before leaving the epoch domain.
+  Eng.reset();
+  Store.Domain.unregisterThread(P);
+}
+
+Response Server::runJob(const Job &J, Worker &W, SharedStoreView &View,
+                        std::unique_ptr<vm::Engine> &Eng,
+                        uint64_t &EngineCalls) {
+  const Request &R = J.Req;
+  FaultDecision D = Config.Faults.decide(R.Id);
+
+  if (D.DelayMicros) {
+    std::this_thread::sleep_for(std::chrono::microseconds(D.DelayMicros));
+    std::lock_guard<std::mutex> Lock(W.StatsMu);
+    ++W.DelaysInjected;
+  }
+  if (D.StormSpins) {
+    // Contention storm: hammer a rotating window of shard locks so
+    // writers on those shards serialize behind us. Readers stay
+    // unaffected — their lock-free probes are the property under test.
+    size_t NShards = Store.Map.shardCount();
+    for (uint32_t I = 0; I != D.StormSpins; ++I) {
+      std::lock_guard<std::mutex> Lock(
+          Store.Map.shardMutex((R.Key + I) % NShards));
+    }
+    std::lock_guard<std::mutex> Lock(W.StatsMu);
+    ++W.StormsInjected;
+  }
+  if (D.ExhaustBudget) {
+    std::lock_guard<std::mutex> Lock(W.StatsMu);
+    ++W.BudgetsInjected;
+  }
+
+  // Per-request deadline, measured from submission: a request that
+  // already overstayed in the queue fails without executing; one that
+  // expires mid-program is cancelled cooperatively by the engine.
+  uint64_t DeadlineNs = 0;
+  if (Config.DeadlineMs) {
+    DeadlineNs = J.SubmitNs + Config.DeadlineMs * 1000000ull;
+    if (runtime::Telemetry::nowNanos() > DeadlineNs) {
+      if (Config.Tel)
+        Config.Tel->recordGuardRail(runtime::GuardRailKind::Wall,
+                                    Config.DeadlineMs);
+      Response Resp;
+      Resp.Id = R.Id;
+      Resp.Status = ResponseStatus::Deadline;
+      return Resp;
+    }
+  }
+
+  auto ProgramFn = [&](uint64_t Key, bool Exhaust) -> Response {
+    Response Resp;
+    if (Exhaust) {
+      Resp.Status = ResponseStatus::Budget;
+      return Resp;
+    }
+    if (!this->ProgramFn) {
+      Resp.Status = ResponseStatus::Error;
+      return Resp;
+    }
+    // Interpreter arenas keep program-allocated collections alive for
+    // the engine's lifetime, so a resident engine would grow without
+    // bound; recycling it every N calls caps that at a constant.
+    if (!Eng || ++EngineCalls % 256 == 0) {
+      interp::InterpOptions Opts;
+      Opts.MaxSteps = Config.MaxSteps;
+      Opts.MaxBytes = Config.MaxBytes;
+      Opts.MaxDepth = Config.MaxDepth;
+      Opts.Cancel = &W.Cancel;
+      Opts.Tel = Config.Tel;
+      Eng = std::make_unique<vm::Engine>(Config.Engine, Module, Opts);
+    }
+    W.Cancel.DeadlineNs.store(DeadlineNs, std::memory_order_relaxed);
+    // MaxSteps is a per-request budget: the engine's cumulative counter
+    // must not leak one request's work into the next (the oracle resets
+    // identically, so budget trips stay digest-comparable).
+    Eng->resetCallBudget();
+    try {
+      Resp.Value = Eng->call(this->ProgramFn, {Key});
+      Resp.Status = ResponseStatus::Ok;
+    } catch (const interp::InterpError &E) {
+      Resp.Value = 0;
+      switch (E.kind()) {
+      case interp::InterpErrorKind::StepBudget:
+      case interp::InterpErrorKind::MemoryBudget:
+      case interp::InterpErrorKind::DepthBudget:
+        Resp.Status = ResponseStatus::Budget;
+        break;
+      case interp::InterpErrorKind::Deadline:
+        Resp.Status = ResponseStatus::Deadline;
+        break;
+      case interp::InterpErrorKind::Undefined:
+        Resp.Status = ResponseStatus::Error;
+        break;
+      }
+    }
+    W.Cancel.DeadlineNs.store(0, std::memory_order_relaxed);
+    return Resp;
+  };
+
+  return executeRequest(R, View, Config.Geo, D, ProgramFn);
+}
+
+ServerStats Server::stats() const {
+  ServerStats Out;
+  {
+    std::lock_guard<std::mutex> Lock(AdmissionMu);
+    Out.Accepted = Accepted;
+    Out.Shed = Shed;
+    Out.DepthAtAccept = DepthAtAccept;
+  }
+  for (const auto &W : Workers) {
+    std::lock_guard<std::mutex> Lock(W->StatsMu);
+    Out.Completed += W->Completed;
+    for (unsigned I = 0; I != 6; ++I)
+      Out.ByStatus[I] += W->ByStatus[I];
+    Out.DelaysInjected += W->DelaysInjected;
+    Out.StormsInjected += W->StormsInjected;
+    Out.BudgetsInjected += W->BudgetsInjected;
+    Out.LatencyNs.merge(W->LatencyNs);
+  }
+  Out.MapSize = Store.Map.size();
+  Out.SetSize = Store.Set.size();
+  Out.ShardRehashes = Store.Map.rehashes() + Store.Set.rehashes();
+  return Out;
+}

@@ -1,0 +1,237 @@
+//===- Server.h - Concurrent serving runtime --------------------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adesrv serving runtime: a worker pool over one loaded (and
+/// ADE-compiled) module, a bounded admission queue, shared sharded
+/// collections, per-request deadlines, and deterministic fault
+/// injection. See DESIGN.md "Serving runtime" for the full picture.
+///
+/// Shed policy (documented contract, asserted by bench/srv_scaling):
+/// a request is shed at admission — never after it was accepted — when
+///  (1) the bounded queue is full (hard backpressure), or
+///  (2) the queue is at least half full AND the rolling p99 request
+///      latency exceeds ServeConfig::ShedP99Ns (tail-latency guard;
+///      off when ShedP99Ns is 0).
+/// Shedding responds immediately with ResponseStatus::Shed, which the
+/// client harness classifies as retryable-with-backoff. Accepted
+/// requests always get exactly one terminal response; a request whose
+/// wall-clock deadline expires (in queue or mid-execution via the
+/// engines' cancellation points) gets ResponseStatus::Deadline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SERVE_SERVER_H
+#define ADE_SERVE_SERVER_H
+
+#include "serve/AtomicBitSet.h"
+#include "serve/ConcurrentMap.h"
+#include "serve/Epoch.h"
+#include "serve/FaultPlan.h"
+#include "serve/Queue.h"
+#include "serve/Request.h"
+#include "serve/Workload.h"
+#include "support/Histogram.h"
+#include "vm/Engine.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ade {
+namespace runtime {
+class Telemetry;
+}
+namespace serve {
+
+/// The shared mutable state every worker serves from: the value map,
+/// the membership set, and its dense-bitset mirror for keys inside the
+/// enumerated universe (the fast path graph queries probe).
+struct SharedStore {
+  explicit SharedStore(const Geometry &G)
+      : Map(Domain), Set(Domain), Dense(Domain, G.KeyUniverse),
+        DenseBound(G.KeyUniverse) {}
+
+  EpochDomain Domain;
+  ShardedSwissMap Map;
+  ShardedHashSet Set;
+  AtomicBitSet Dense;
+  uint64_t DenseBound;
+};
+
+/// Store-concept adapter (see Workload.h executeRequest) binding a
+/// SharedStore to one registered epoch participant: every read pins the
+/// epoch for its duration, so reclamation of resized tables can never
+/// free storage under a probe.
+class SharedStoreView {
+public:
+  SharedStoreView(SharedStore &S, EpochDomain::Participant *P)
+      : S(S), P(P) {}
+
+  bool mapGet(uint64_t Key, uint64_t &Val) {
+    EpochDomain::Guard G(S.Domain, P);
+    return S.Map.get(Key, Val);
+  }
+
+  void upsert(uint64_t Key, uint64_t Val) {
+    EpochDomain::Guard G(S.Domain, P);
+    S.Map.set(Key, Val);
+    S.Set.insert(Key);
+    if (Key < S.DenseBound)
+      S.Dense.insert(Key);
+  }
+
+  bool setHas(uint64_t Key) {
+    EpochDomain::Guard G(S.Domain, P);
+    // Dense keys answer from the word-atomic bitset (one load);
+    // stragglers fall back to the sharded set.
+    if (Key < S.DenseBound)
+      return S.Dense.contains(Key);
+    return S.Set.has(Key);
+  }
+
+private:
+  SharedStore &S;
+  EpochDomain::Participant *P;
+};
+
+struct ServeConfig {
+  unsigned Threads = 1;
+  size_t QueueCapacity = 256;
+  vm::EngineKind Engine = vm::EngineKind::Vm;
+  /// Per-ProgramCall engine budgets (InterpOptions).
+  uint64_t MaxSteps = 0;
+  uint64_t MaxBytes = 0;
+  uint64_t MaxDepth = 4096;
+  /// Per-request wall-clock deadline, measured from submission
+  /// (0 = none). Timing-dependent: keep 0 for oracle-compared runs.
+  uint64_t DeadlineMs = 0;
+  /// Tail-latency shed trigger (see shed policy above; 0 = off).
+  uint64_t ShedP99Ns = 0;
+  FaultPlan Faults;
+  /// Function ProgramCall requests invoke (@serve by convention; names
+  /// are stored without the sigil).
+  std::string ProgramFunction = "serve";
+  /// Optional shared telemetry sink (thread-safe) for shed/guard-rail
+  /// journal events and collection channels.
+  runtime::Telemetry *Tel = nullptr;
+  Geometry Geo;
+};
+
+/// Aggregated server counters and distributions (stats() snapshot).
+struct ServerStats {
+  uint64_t Accepted = 0;
+  uint64_t Shed = 0;
+  uint64_t Completed = 0;
+  /// Terminal statuses of completed requests, by ResponseStatus.
+  uint64_t ByStatus[6] = {};
+  uint64_t DelaysInjected = 0;
+  uint64_t StormsInjected = 0;
+  uint64_t BudgetsInjected = 0;
+  /// Accept-to-completion latency of completed requests.
+  Histogram LatencyNs;
+  /// Queue depth observed at each accepted admission.
+  Histogram DepthAtAccept;
+  uint64_t MapSize = 0;
+  uint64_t SetSize = 0;
+  uint64_t ShardRehashes = 0;
+};
+
+class Server {
+public:
+  /// Response delivery: invoked exactly once per accepted request, on
+  /// the worker thread that completed it.
+  using Callback = std::function<void(const Response &)>;
+
+  /// \p M must outlive the server and is shared (read-only) by every
+  /// worker's engine.
+  Server(const ir::Module &M, ServeConfig Config);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Admits \p R or sheds it (see shed policy). On false the caller
+  /// owns the Shed response; \p Done was not and will not be invoked.
+  bool submit(const Request &R, Callback Done);
+
+  /// Blocks until every accepted request has completed — the client's
+  /// phase barrier between bulk-insert and read phases.
+  void drain();
+
+  /// Stops accepting work, drains the queue, joins the workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  ServerStats stats() const;
+
+  /// True when the loaded module exports Config.ProgramFunction.
+  bool hasProgramFunction() const { return ProgramFn != nullptr; }
+
+  const ServeConfig &config() const { return Config; }
+  SharedStore &store() { return Store; }
+
+private:
+  struct Job {
+    Request Req;
+    Callback Done;
+    uint64_t SubmitNs = 0;
+  };
+
+  /// Per-worker mutable state; stats are merged on demand.
+  struct Worker {
+    std::thread Thread;
+    interp::CancelCell Cancel;
+    mutable std::mutex StatsMu;
+    uint64_t Completed = 0;
+    uint64_t ByStatus[6] = {};
+    uint64_t DelaysInjected = 0;
+    uint64_t StormsInjected = 0;
+    uint64_t BudgetsInjected = 0;
+    Histogram LatencyNs;
+  };
+
+  void workerMain(Worker &W);
+  Response runJob(const Job &J, Worker &W, SharedStoreView &View,
+                  std::unique_ptr<vm::Engine> &Eng, uint64_t &EngineCalls);
+  bool shedByPolicy(size_t Depth);
+
+  const ir::Module &Module;
+  ServeConfig Config;
+  const ir::Function *ProgramFn = nullptr;
+  SharedStore Store;
+  BoundedQueue<Job> Queue;
+  std::vector<std::unique_ptr<Worker>> Workers;
+
+  /// Admission-side counters (submit() callers' threads).
+  mutable std::mutex AdmissionMu;
+  uint64_t Accepted = 0;
+  uint64_t Shed = 0;
+  Histogram DepthAtAccept;
+
+  /// Completion tracking for drain().
+  mutable std::mutex DrainMu;
+  std::condition_variable DrainCv;
+  uint64_t CompletedTotal = 0;
+
+  /// Cached rolling p99 for the shed policy, refreshed every few
+  /// hundred admissions (merging histograms per submit would serialize
+  /// admission).
+  std::atomic<uint64_t> CachedP99Ns{0};
+  std::atomic<uint64_t> AdmissionTick{0};
+
+  std::atomic<bool> Stopped{false};
+};
+
+} // namespace serve
+} // namespace ade
+
+#endif // ADE_SERVE_SERVER_H

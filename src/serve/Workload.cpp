@@ -1,0 +1,131 @@
+//===- Workload.cpp - Request streams and digests -------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Workload.h"
+
+#include <cmath>
+
+using namespace ade;
+using namespace ade::serve;
+
+const char *serve::requestOpName(RequestOp Op) {
+  switch (Op) {
+  case RequestOp::PointLookup:
+    return "lookup";
+  case RequestOp::BulkInsert:
+    return "insert";
+  case RequestOp::GraphQuery:
+    return "graph";
+  case RequestOp::ProgramCall:
+    return "program";
+  }
+  return "?";
+}
+
+const char *serve::responseStatusName(ResponseStatus S) {
+  switch (S) {
+  case ResponseStatus::Ok:
+    return "ok";
+  case ResponseStatus::NotFound:
+    return "not-found";
+  case ResponseStatus::Shed:
+    return "shed";
+  case ResponseStatus::Budget:
+    return "budget";
+  case ResponseStatus::Deadline:
+    return "deadline";
+  case ResponseStatus::Error:
+    return "error";
+  }
+  return "?";
+}
+
+static double zeta(uint64_t N, double Theta) {
+  double Sum = 0;
+  for (uint64_t I = 1; I <= N; ++I)
+    Sum += 1.0 / std::pow(double(I), Theta);
+  return Sum;
+}
+
+Zipfian::Zipfian(uint64_t N, double Theta) : N(N ? N : 1), Theta(Theta) {
+  Zetan = zeta(this->N, Theta);
+  double Zeta2 = zeta(2, Theta);
+  Alpha = 1.0 / (1.0 - Theta);
+  Eta = (1.0 - std::pow(2.0 / double(this->N), 1.0 - Theta)) /
+        (1.0 - Zeta2 / Zetan);
+}
+
+uint64_t Zipfian::sample(Rng &R) const {
+  double U = R.nextDouble();
+  double Uz = U * Zetan;
+  uint64_t Rank;
+  if (Uz < 1.0)
+    Rank = 0;
+  else if (Uz < 1.0 + std::pow(0.5, Theta))
+    Rank = 1;
+  else
+    Rank = uint64_t(double(N) *
+                    std::pow(Eta * U - Eta + 1.0, Alpha));
+  if (Rank >= N)
+    Rank = N - 1;
+  // Scatter ranks over the key space so the most popular keys do not
+  // all share the low-order shard stripes.
+  return hashU64(Rank * 0x100000001b3ULL) % N;
+}
+
+std::vector<Request> serve::buildStream(const WorkloadSpec &Spec,
+                                        uint32_t Stream) {
+  std::vector<Request> Out;
+  Out.reserve(Spec.InsertsPerStream + Spec.ReadsPerStream);
+  Rng R(hashCombine(Spec.Seed, Stream));
+  Zipfian Z(Spec.Geo.KeyUniverse, Spec.ZipfTheta);
+  uint32_t Seq = 0;
+  for (uint32_t I = 0; I != Spec.InsertsPerStream; ++I, ++Seq) {
+    Request Req;
+    Req.Id = requestId(Stream, Seq);
+    Req.Stream = Stream;
+    Req.SeqInStream = Seq;
+    Req.Op = RequestOp::BulkInsert;
+    Req.Key = R.nextBelow(Spec.Geo.KeyUniverse);
+    Req.Count = Spec.BulkCount;
+    Out.push_back(Req);
+  }
+  for (uint32_t I = 0; I != Spec.ReadsPerStream; ++I, ++Seq) {
+    Request Req;
+    Req.Id = requestId(Stream, Seq);
+    Req.Stream = Stream;
+    Req.SeqInStream = Seq;
+    double Mix = R.nextDouble();
+    if (Mix < Spec.LookupFrac) {
+      Req.Op = RequestOp::PointLookup;
+    } else if (Mix < Spec.LookupFrac + Spec.GraphFrac) {
+      Req.Op = RequestOp::GraphQuery;
+    } else if (Spec.ProgramCalls) {
+      Req.Op = RequestOp::ProgramCall;
+    } else {
+      Req.Op = RequestOp::PointLookup;
+    }
+    Req.Key = Z.sample(R);
+    Out.push_back(Req);
+  }
+  return Out;
+}
+
+uint64_t serve::streamDigest(const std::vector<Response> &Responses) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  auto Mix = [&H](uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 0x100000001b3ULL;
+    }
+  };
+  for (const Response &R : Responses) {
+    Mix(R.Id);
+    Mix(uint64_t(R.Status));
+    Mix(R.Value);
+  }
+  return H;
+}

@@ -1,0 +1,234 @@
+//===- Workload.h - Request streams, execution semantics, oracle *- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic request-stream generation (Zipfian key popularity),
+/// the single definition of request *semantics* shared by the
+/// concurrent server and the single-threaded oracle, and the response
+/// digests the differential soak compares.
+///
+/// Determinism under concurrency rests on three properties:
+///  1. **Phased streams.** Every stream's BulkInserts form phase 1 and
+///     its reads (lookups, graph queries, program calls) form phase 2,
+///     with a client-side barrier between them. Phase-1 responses are
+///     order-independent (an insert reports its key count, not a
+///     "newly inserted" count that racing streams would split
+///     nondeterministically), and duplicate inserts are commutative
+///     because a key's value is a pure function of the key
+///     (\c valueOf). So the store state at the barrier — and every
+///     phase-2 response read from that frozen state — is independent
+///     of worker interleaving.
+///  2. **Fault decisions keyed on request id** (serve/FaultPlan.h):
+///     the oracle fails exactly the requests the server failed.
+///  3. **Shed-retry.** Admission rejections are timing-dependent, so
+///     the client retries Shed responses with backoff until accepted;
+///     the digest only ever sees final statuses. Wall-clock deadlines
+///     are likewise excluded from oracle-compared runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SERVE_WORKLOAD_H
+#define ADE_SERVE_WORKLOAD_H
+
+#include "serve/FaultPlan.h"
+#include "serve/Request.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ade {
+namespace serve {
+
+/// Shape of the synthetic key space and graph relation; shared verbatim
+/// by server and oracle so derived keys and edges agree.
+struct Geometry {
+  /// Keys live in [0, KeyUniverse). Also the dense-bitset universe.
+  uint64_t KeyUniverse = 1 << 16;
+  /// Graph BFS depth bound per query.
+  unsigned GraphDepth = 3;
+  /// Visited-set cap per query (keeps worst-case work bounded).
+  unsigned MaxVisited = 128;
+};
+
+/// The value stored for a key: a pure function of the key, so racing
+/// duplicate inserts write the same bytes (see file comment).
+inline uint64_t valueOf(uint64_t Key) {
+  return hashU64(Key ^ 0x76616c7565ULL);
+}
+
+/// The I-th key of a bulk insert based at \p Base.
+inline uint64_t bulkKeyAt(const Geometry &G, uint64_t Base, uint32_t I) {
+  return hashU64(Base + 0x9e3779b9ULL * (I + 1)) % G.KeyUniverse;
+}
+
+/// The fixed out-edges of \p Key in the synthetic graph relation (an
+/// edge exists when the target key is present in the store).
+inline void neighborsOf(const Geometry &G, uint64_t Key, uint64_t Out[3]) {
+  Out[0] = hashU64(Key ^ 0x6e31) % G.KeyUniverse;
+  Out[1] = hashU64(Key ^ 0x6e32) % G.KeyUniverse;
+  Out[2] = hashU64(Key ^ 0x6e33) % G.KeyUniverse;
+}
+
+/// Zipfian key sampler (Gray et al.'s method), the standard model for
+/// popularity-skewed serving traffic: rank-1 keys dominate, which is
+/// what makes shard striping and lock-free reads earn their keep.
+class Zipfian {
+public:
+  Zipfian(uint64_t N, double Theta);
+
+  /// Next key in [0, N). Ranks are scattered with a hash so popular
+  /// keys spread across shards.
+  uint64_t sample(Rng &R) const;
+
+private:
+  uint64_t N;
+  double Theta;
+  double Alpha;
+  double Zetan;
+  double Eta;
+};
+
+/// One run's workload shape.
+struct WorkloadSpec {
+  uint64_t Seed = 1;
+  uint32_t Streams = 8;
+  /// Phase-1 BulkInserts per stream.
+  uint32_t InsertsPerStream = 32;
+  /// Keys per BulkInsert.
+  uint32_t BulkCount = 16;
+  /// Phase-2 read ops per stream.
+  uint32_t ReadsPerStream = 256;
+  /// Phase-2 op mix (remainder after lookup+graph goes to program
+  /// calls when a program function is available, else to lookups).
+  double LookupFrac = 0.70;
+  double GraphFrac = 0.20;
+  double ZipfTheta = 0.99;
+  /// Emit ProgramCall requests (requires the loaded module to export
+  /// the serve function).
+  bool ProgramCalls = false;
+  Geometry Geo;
+};
+
+/// Request id layout: stream in the high word, sequence in the low, so
+/// ids are unique and the fault plan keys off both.
+inline uint64_t requestId(uint32_t Stream, uint32_t Seq) {
+  return (uint64_t(Stream) << 32) | Seq;
+}
+
+/// Builds stream \p Stream in submission order: phase-1 inserts first,
+/// then phase-2 reads. Deterministic in (Spec, Stream).
+std::vector<Request> buildStream(const WorkloadSpec &Spec, uint32_t Stream);
+
+/// Index of the first phase-2 request in a built stream.
+inline uint32_t phaseBoundary(const WorkloadSpec &Spec) {
+  return Spec.InsertsPerStream;
+}
+
+/// Order-independent digest of one stream's responses taken in
+/// sequence order: FNV-1a over (id, status, value) triples.
+uint64_t streamDigest(const std::vector<Response> &Responses);
+
+/// Executes \p R against a store, the single semantics definition (see
+/// file comment). \p StoreT provides:
+///   bool mapGet(uint64_t Key, uint64_t &Val);
+///   void upsert(uint64_t Key, uint64_t Val);   // map + membership set
+///   bool setHas(uint64_t Key);
+/// \p ProgramFn runs a ProgramCall: Response(uint64_t Key, bool
+/// ExhaustBudget); pass one that returns Error for modules without a
+/// serve function. \p D carries the fault plan's decision for R.Id —
+/// only ExhaustBudget matters here (timing faults are the caller's).
+template <typename StoreT, typename ProgramFnT>
+Response executeRequest(const Request &R, StoreT &Store,
+                        const Geometry &G, const FaultDecision &D,
+                        ProgramFnT &&ProgramFn) {
+  Response Resp;
+  Resp.Id = R.Id;
+  switch (R.Op) {
+  case RequestOp::PointLookup: {
+    if (D.ExhaustBudget) {
+      Resp.Status = ResponseStatus::Budget;
+      break;
+    }
+    uint64_t Val = 0;
+    if (Store.mapGet(R.Key, Val)) {
+      Resp.Status = ResponseStatus::Ok;
+      Resp.Value = Val;
+    } else {
+      Resp.Status = ResponseStatus::NotFound;
+    }
+    break;
+  }
+  case RequestOp::BulkInsert: {
+    if (D.ExhaustBudget) {
+      // The whole batch is skipped, deterministically, on server and
+      // oracle alike — a half-applied batch would make phase-1 state
+      // depend on where the budget tripped.
+      Resp.Status = ResponseStatus::Budget;
+      break;
+    }
+    for (uint32_t I = 0; I != R.Count; ++I) {
+      uint64_t Key = bulkKeyAt(G, R.Key, I);
+      Store.upsert(Key, valueOf(Key));
+    }
+    Resp.Status = ResponseStatus::Ok;
+    Resp.Value = R.Count;
+    break;
+  }
+  case RequestOp::GraphQuery: {
+    if (D.ExhaustBudget) {
+      Resp.Status = ResponseStatus::Budget;
+      break;
+    }
+    // Bounded BFS; the digest is a commutative sum so it does not
+    // depend on visit order (it would not anyway: the frontier walk
+    // is deterministic over a frozen store).
+    std::vector<uint64_t> Frontier{R.Key % G.KeyUniverse};
+    std::vector<uint64_t> Visited;
+    uint64_t Digest = 0;
+    for (unsigned Depth = 0;
+         Depth != G.GraphDepth && !Frontier.empty() &&
+         Visited.size() < G.MaxVisited;
+         ++Depth) {
+      std::vector<uint64_t> Next;
+      for (uint64_t Node : Frontier) {
+        uint64_t Nbr[3];
+        neighborsOf(G, Node, Nbr);
+        for (uint64_t Target : Nbr) {
+          if (!Store.setHas(Target))
+            continue;
+          bool Seen = false;
+          for (uint64_t V : Visited)
+            if (V == Target) {
+              Seen = true;
+              break;
+            }
+          if (Seen || Visited.size() >= G.MaxVisited)
+            continue;
+          Visited.push_back(Target);
+          Digest += hashU64(Target);
+          Next.push_back(Target);
+        }
+      }
+      Frontier = std::move(Next);
+    }
+    Resp.Status = ResponseStatus::Ok;
+    Resp.Value = Digest + Visited.size();
+    break;
+  }
+  case RequestOp::ProgramCall:
+    Resp = ProgramFn(R.Key, D.ExhaustBudget);
+    Resp.Id = R.Id;
+    break;
+  }
+  return Resp;
+}
+
+} // namespace serve
+} // namespace ade
+
+#endif // ADE_SERVE_WORKLOAD_H

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,19 +25,35 @@ static std::vector<Statistic *> &registry() {
   return Registry;
 }
 
+/// Guards registration; counters are file-statics so most register during
+/// static init, but dynamically loaded or lazily constructed ones may
+/// race a concurrent report.
+static std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
 Statistic::Statistic(const char *Component, const char *Name,
                      const char *Description)
     : Component(Component), Name(Name), Description(Description) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   registry().push_back(this);
 }
 
+/// Snapshot of the registry taken under the lock, so iteration cannot
+/// race a late registration growing the vector.
+static std::vector<Statistic *> registrySnapshot() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  return registry();
+}
+
 void stats::resetAllStatistics() {
-  for (Statistic *S : registry())
+  for (Statistic *S : registrySnapshot())
     S->reset();
 }
 
 bool stats::hasNonZeroStatistics() {
-  for (const Statistic *S : registry())
+  for (const Statistic *S : registrySnapshot())
     if (S->value() != 0)
       return true;
   return false;
@@ -44,7 +61,8 @@ bool stats::hasNonZeroStatistics() {
 
 /// The registry in deterministic (component, name) order.
 static std::vector<const Statistic *> sortedStatistics() {
-  std::vector<const Statistic *> Sorted(registry().begin(), registry().end());
+  std::vector<Statistic *> Snap = registrySnapshot();
+  std::vector<const Statistic *> Sorted(Snap.begin(), Snap.end());
   std::sort(Sorted.begin(), Sorted.end(),
             [](const Statistic *A, const Statistic *B) {
               int C = std::strcmp(A->component(), B->component());

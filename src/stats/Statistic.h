@@ -13,11 +13,18 @@
 /// Counters self-register on construction and live for the process; tests
 /// call \c resetAllStatistics() between pipeline runs.
 ///
+/// Counters are relaxed atomics so instrumented code — notably the
+/// runtime collections, which the serving runtime executes from many
+/// worker threads — can bump them concurrently without data races. The
+/// registry itself is mutex-guarded only at registration; iteration
+/// never mutates it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ADE_STATS_STATISTIC_H
 #define ADE_STATS_STATISTIC_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string_view>
@@ -39,23 +46,23 @@ public:
   const char *component() const { return Component; }
   const char *name() const { return Name; }
   const char *description() const { return Description; }
-  uint64_t value() const { return Value; }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
 
   Statistic &operator++() {
-    ++Value;
+    Value.fetch_add(1, std::memory_order_relaxed);
     return *this;
   }
   Statistic &operator+=(uint64_t N) {
-    Value += N;
+    Value.fetch_add(N, std::memory_order_relaxed);
     return *this;
   }
-  void reset() { Value = 0; }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
 
 private:
   const char *Component;
   const char *Name;
   const char *Description;
-  uint64_t Value = 0;
+  std::atomic<uint64_t> Value{0};
 };
 
 /// Declares a file-static registered statistic named after the variable.

@@ -6,9 +6,12 @@
 
 #include "support/CrashHandler.h"
 
+#include <atomic>
 #include <csignal>
 #include <cstring>
+#include <ctime>
 
+#include <sys/syscall.h>
 #include <unistd.h>
 
 using namespace ade;
@@ -66,9 +69,46 @@ const char *signalName(int Sig) {
   }
 }
 
+/// Kernel thread id (async-signal-safe, unlike std::this_thread::get_id).
+long currentTid() {
+#ifdef SYS_gettid
+  return long(::syscall(SYS_gettid));
+#else
+  return long(::getpid());
+#endif
+}
+
+/// Thread id currently printing a crash report; 0 = none. With several
+/// worker threads, two can fault at once — only the first reports, and
+/// the rest park until the report re-raises and kills the process, so
+/// their output never interleaves with (or recurses into) the report.
+std::atomic<long> CrashingTid{0};
+
 void crashSignalHandler(int Sig) {
+  long Tid = currentTid();
+  long Expected = 0;
+  if (!CrashingTid.compare_exchange_strong(Expected, Tid,
+                                           std::memory_order_acq_rel)) {
+    if (Expected == Tid) {
+      // The handler itself faulted (report code crashed, or the same
+      // thread re-entered): skip reporting entirely and die with the
+      // new signal before recursing.
+      std::signal(Sig, SIG_DFL);
+      ::raise(Sig);
+      return;
+    }
+    // Another thread is mid-report; its re-raise ends the process. Sleep
+    // rather than spin so we do not steal the reporting thread's only
+    // core on small machines.
+    for (;;) {
+      struct timespec TS = {0, 50 * 1000 * 1000};
+      ::nanosleep(&TS, nullptr);
+    }
+  }
   rawWrite(2, "\n=== ade crash handler: caught ");
   rawWrite(2, signalName(Sig));
+  rawWrite(2, " on thread ");
+  rawWriteNum(2, static_cast<unsigned long>(Tid));
   rawWrite(2, " ===\n");
   printCrashContextStack(2);
   // Restore the default disposition and re-raise so the process dies with
@@ -80,10 +120,9 @@ void crashSignalHandler(int Sig) {
 } // namespace
 
 void ade::installCrashHandlers() {
-  static bool Installed = false;
-  if (Installed)
+  static std::atomic<bool> Installed{false};
+  if (Installed.exchange(true, std::memory_order_acq_rel))
     return;
-  Installed = true;
   for (int Sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
     struct sigaction SA;
     std::memset(&SA, 0, sizeof(SA));

@@ -15,6 +15,14 @@
 /// Frames copy their detail text at construction into fixed storage, so
 /// the signal handler only ever calls async-signal-safe \c write().
 ///
+/// Multi-thread behavior (the serving runtime runs many workers): frame
+/// stacks are thread-local, the report names the faulting kernel thread
+/// id, and a reentrancy guard serializes concurrent faults — the first
+/// faulting thread reports and re-raises while later ones park, and a
+/// fault *inside* the handler skips the report and dies immediately
+/// instead of recursing. The handler still only uses async-signal-safe
+/// calls (write, nanosleep, signal, raise).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ADE_SUPPORT_CRASHHANDLER_H

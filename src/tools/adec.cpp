@@ -73,6 +73,11 @@
 ///     --max-depth=N           abort --run with a diagnostic at
 ///                             interpreted call depth N (default 4096,
 ///                             0 = unlimited)
+///     --max-wall-ms=N         abort --run with a diagnostic once the
+///                             call has run for N wall-clock
+///                             milliseconds (checked at cancellation
+///                             points, so a trip may overshoot by ~1k
+///                             instructions; 0 = unlimited)
 ///
 /// Exit codes: 0 success, 1 diagnosed failure (parse/verify/lint/runtime
 /// error), 2 internal error.
@@ -122,7 +127,8 @@ static int usage(const char *BadOption = nullptr) {
       "            [--remarks[=FILE]]\n"
       "            [--remarks-filter=REGEX] [--trace-out=FILE]\n"
       "            [--metrics-out=FILE] [--telemetry-rate=N]\n"
-      "            [--max-steps=N] [--max-bytes=N] [--max-depth=N]\n");
+      "            [--max-steps=N] [--max-bytes=N] [--max-depth=N]\n"
+      "            [--max-wall-ms=N]\n");
   return 1;
 }
 
@@ -327,6 +333,10 @@ int main(int Argc, char **Argv) {
         return 1;
     } else if (Arg.rfind("--max-depth=", 0) == 0) {
       if (!parseBudget(Arg, 12, "--max-depth", InterpOpts.MaxDepth,
+                       SawBudget))
+        return 1;
+    } else if (Arg.rfind("--max-wall-ms=", 0) == 0) {
+      if (!parseBudget(Arg, 14, "--max-wall-ms", InterpOpts.MaxWallMs,
                        SawBudget))
         return 1;
     } else if (Arg.rfind("--args=", 0) == 0) {

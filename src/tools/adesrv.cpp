@@ -1,0 +1,389 @@
+//===- adesrv.cpp - Concurrent serving runtime driver ---------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-runtime driver: loads one .memoir module, compiles it
+/// through ADE, and serves deterministic concurrent request streams
+/// (point lookups, bulk inserts, graph queries, optional program calls
+/// into @serve) from a worker pool with bounded admission, load
+/// shedding, per-request deadlines, and seed-driven fault injection.
+/// With --oracle every round is also replayed on the single-threaded
+/// oracle and the per-stream response digests must match bit-for-bit —
+/// the differential soak that CI runs under a fault plan.
+///
+/// Usage:
+///   adesrv FILE.memoir [options]
+///     --threads=N          worker threads (default 4)
+///     --queue=N            admission queue capacity (default 256)
+///     --engine=tree|vm     server execution engine (default vm)
+///     --no-ade             serve the unoptimized module
+///     --oracle[=tree|vm]   differential soak: replay every round on the
+///                          sequential oracle (default engine tree) and
+///                          fail on any digest mismatch
+///     --fault-plan=SPEC    seed=N,delay=P:USEC,storm=P:SPINS,budget=P
+///                          (see serve/FaultPlan.h)
+///     --seconds=N          keep running rounds, advancing the workload
+///                          seed each round, for at least N seconds
+///                          (default: one round)
+///     --seed=N             base workload seed (default 1)
+///     --streams=N          request streams per round (default 8)
+///     --inserts=N          phase-1 bulk inserts per stream (default 32)
+///     --bulk=N             keys per bulk insert (default 16)
+///     --reads=N            phase-2 read ops per stream (default 256)
+///     --calls              mix ProgramCall requests into phase 2
+///                          (requires the module to export @serve)
+///     --serve-func=NAME    program-call target (default serve)
+///     --submit-threads=N   client submission threads (default 2)
+///     --deadline-ms=N      per-request wall-clock deadline (0 = none;
+///                          incompatible with --oracle: deadline trips
+///                          are timing-dependent)
+///     --shed-p99-ns=N      tail-latency shed trigger (0 = off)
+///     --max-steps=N        per-program-call step budget (0 = unlimited)
+///     --max-bytes=N        per-program-call memory budget
+///     --max-depth=N        per-program-call depth budget (default 4096)
+///     --metrics-out=FILE   write the shared telemetry snapshot JSON
+///                          (shed events, guard-rail trips, channels) —
+///                          written on failure too, for CI artifacts
+///
+/// Exit codes: 0 success, 1 diagnosed failure (bad flags, parse/verify
+/// error, digest mismatch), 2 internal error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "interp/InterpError.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "runtime/Telemetry.h"
+#include "serve/Client.h"
+#include "support/CrashHandler.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ade;
+
+static int usage(const char *BadOption = nullptr) {
+  if (BadOption)
+    std::fprintf(stderr, "adesrv: unknown option '%s'\n", BadOption);
+  std::fprintf(
+      stderr,
+      "usage: adesrv FILE.memoir [--threads=N] [--queue=N]\n"
+      "              [--engine=tree|vm] [--no-ade] [--oracle[=tree|vm]]\n"
+      "              [--fault-plan=SPEC] [--seconds=N] [--seed=N]\n"
+      "              [--streams=N] [--inserts=N] [--bulk=N] [--reads=N]\n"
+      "              [--calls] [--serve-func=NAME] [--submit-threads=N]\n"
+      "              [--deadline-ms=N] [--shed-p99-ns=N] [--max-steps=N]\n"
+      "              [--max-bytes=N] [--max-depth=N] [--metrics-out=FILE]\n");
+  return 1;
+}
+
+static bool readFile(const char *Path, std::string &Out) {
+  std::FILE *File = std::fopen(Path, "rb");
+  if (!File)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Out.append(Buf, N);
+  std::fclose(File);
+  return true;
+}
+
+/// Parses the u64 payload of a --name=N option; false on malformed
+/// input (diagnostic printed).
+static bool parseU64(const std::string &Arg, size_t PrefixLen,
+                     const char *Name, uint64_t &Out) {
+  std::string Token = Arg.substr(PrefixLen);
+  if (Token.empty() ||
+      Token.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "adesrv: %s requires a u64 value\n", Name);
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Token.c_str(), &End, 10);
+  if (errno == ERANGE || *End != '\0') {
+    std::fprintf(stderr, "adesrv: %s value is out of range for u64\n", Name);
+    return false;
+  }
+  return true;
+}
+
+static bool writeMetrics(const std::string &Path, runtime::Telemetry &Tel) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  RawFileOstream FS(File);
+  json::Writer W(FS);
+  Tel.writeSnapshotJson(W);
+  FS << '\n';
+  FS.flush();
+  std::fclose(File);
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  installCrashHandlers();
+  if (Argc < 2)
+    return usage();
+
+  const char *Path = nullptr;
+  bool RunAde = true, Oracle = false, Calls = false;
+  vm::EngineKind OracleEngine = vm::EngineKind::Tree;
+  uint64_t Seconds = 0, BaseSeed = 1;
+  uint64_t Streams = 8, Inserts = 32, Bulk = 16, Reads = 256;
+  uint64_t SubmitThreads = 2;
+  std::string MetricsFile, FaultSpec;
+  serve::ServeConfig Cfg;
+  Cfg.Threads = 4;
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    uint64_t V = 0;
+    if (Arg.rfind("--threads=", 0) == 0) {
+      if (!parseU64(Arg, 10, "--threads", V))
+        return 1;
+      Cfg.Threads = unsigned(V);
+    } else if (Arg.rfind("--queue=", 0) == 0) {
+      if (!parseU64(Arg, 8, "--queue", V))
+        return 1;
+      Cfg.QueueCapacity = size_t(V);
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      if (!vm::engineFromName(Arg.substr(9), Cfg.Engine)) {
+        std::fprintf(stderr, "adesrv: --engine must be 'tree' or 'vm'\n");
+        return 1;
+      }
+    } else if (Arg == "--no-ade") {
+      RunAde = false;
+    } else if (Arg == "--oracle" || Arg.rfind("--oracle=", 0) == 0) {
+      Oracle = true;
+      if (Arg.size() > 9 &&
+          !vm::engineFromName(Arg.substr(9), OracleEngine)) {
+        std::fprintf(stderr, "adesrv: --oracle must be 'tree' or 'vm'\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--fault-plan=", 0) == 0) {
+      FaultSpec = Arg.substr(13);
+    } else if (Arg.rfind("--seconds=", 0) == 0) {
+      if (!parseU64(Arg, 10, "--seconds", Seconds))
+        return 1;
+    } else if (Arg.rfind("--seed=", 0) == 0) {
+      if (!parseU64(Arg, 7, "--seed", BaseSeed))
+        return 1;
+    } else if (Arg.rfind("--streams=", 0) == 0) {
+      if (!parseU64(Arg, 10, "--streams", Streams) || !Streams)
+        return 1;
+    } else if (Arg.rfind("--inserts=", 0) == 0) {
+      if (!parseU64(Arg, 10, "--inserts", Inserts))
+        return 1;
+    } else if (Arg.rfind("--bulk=", 0) == 0) {
+      if (!parseU64(Arg, 7, "--bulk", Bulk))
+        return 1;
+    } else if (Arg.rfind("--reads=", 0) == 0) {
+      if (!parseU64(Arg, 8, "--reads", Reads))
+        return 1;
+    } else if (Arg == "--calls") {
+      Calls = true;
+    } else if (Arg.rfind("--serve-func=", 0) == 0) {
+      Cfg.ProgramFunction = Arg.substr(13);
+      if (Cfg.ProgramFunction.empty()) {
+        std::fprintf(stderr, "adesrv: --serve-func requires a name\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--submit-threads=", 0) == 0) {
+      if (!parseU64(Arg, 17, "--submit-threads", SubmitThreads) ||
+          !SubmitThreads)
+        return 1;
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!parseU64(Arg, 14, "--deadline-ms", Cfg.DeadlineMs))
+        return 1;
+    } else if (Arg.rfind("--shed-p99-ns=", 0) == 0) {
+      if (!parseU64(Arg, 14, "--shed-p99-ns", Cfg.ShedP99Ns))
+        return 1;
+    } else if (Arg.rfind("--max-steps=", 0) == 0) {
+      if (!parseU64(Arg, 12, "--max-steps", Cfg.MaxSteps))
+        return 1;
+    } else if (Arg.rfind("--max-bytes=", 0) == 0) {
+      if (!parseU64(Arg, 12, "--max-bytes", Cfg.MaxBytes))
+        return 1;
+    } else if (Arg.rfind("--max-depth=", 0) == 0) {
+      if (!parseU64(Arg, 12, "--max-depth", Cfg.MaxDepth))
+        return 1;
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsFile = Arg.substr(14);
+      if (MetricsFile.empty()) {
+        std::fprintf(stderr, "adesrv: --metrics-out requires a file name\n");
+        return 1;
+      }
+    } else if (Arg[0] != '-' && !Path) {
+      Path = Argv[I];
+    } else {
+      return usage(Arg[0] == '-' ? Argv[I] : nullptr);
+    }
+  }
+  if (!Path)
+    return usage();
+  if (Oracle && Cfg.DeadlineMs) {
+    std::fprintf(stderr,
+                 "adesrv: --deadline-ms runs are timing-dependent and "
+                 "cannot be oracle-compared; drop --oracle or the "
+                 "deadline\n");
+    return 1;
+  }
+  if (!FaultSpec.empty()) {
+    std::string Error;
+    if (!serve::FaultPlan::parse(FaultSpec, Cfg.Faults, &Error)) {
+      std::fprintf(stderr, "adesrv: bad --fault-plan: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path);
+    return 1;
+  }
+  std::vector<std::string> Errors;
+  auto M = parser::parseModule(Source, Errors);
+  if (!M) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "%s: %s\n", Path, E.c_str());
+    return 1;
+  }
+  Errors.clear();
+  if (!ir::verifyModule(*M, Errors)) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "%s: verification: %s\n", Path, E.c_str());
+    return 1;
+  }
+  if (RunAde) {
+    core::PipelineConfig PipeCfg;
+    core::PipelineResult Result = core::runADE(*M, PipeCfg);
+    std::fprintf(stderr, "adesrv: %u enumeration(s) after ADE\n",
+                 Result.Transform.EnumerationsCreated);
+  }
+  if (Calls && !M->getFunction(Cfg.ProgramFunction)) {
+    std::fprintf(stderr, "error: --calls requires function @%s\n",
+                 Cfg.ProgramFunction.c_str());
+    return 1;
+  }
+
+  runtime::Telemetry Tel;
+  Cfg.Tel = &Tel;
+
+  serve::WorkloadSpec Spec;
+  Spec.Streams = uint32_t(Streams);
+  Spec.InsertsPerStream = uint32_t(Inserts);
+  Spec.BulkCount = uint32_t(Bulk);
+  Spec.ReadsPerStream = uint32_t(Reads);
+  Spec.ProgramCalls = Calls;
+  Spec.Geo = Cfg.Geo;
+
+  serve::ClientOptions ClientOpts;
+  ClientOpts.SubmitThreads = unsigned(SubmitThreads);
+
+  RawOstream &OS = outs();
+  OS << "adesrv: " << Path << " threads=" << Cfg.Threads
+     << " queue=" << uint64_t(Cfg.QueueCapacity)
+     << " engine=" << vm::engineName(Cfg.Engine)
+     << " faults=" << Cfg.Faults.describe()
+     << (Oracle ? " oracle=" : "")
+     << (Oracle ? vm::engineName(OracleEngine) : "") << "\n";
+
+  auto Start = std::chrono::steady_clock::now();
+  auto elapsedSec = [&Start] {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+
+  uint64_t Round = 0;
+  uint64_t TotalAccepted = 0, TotalShed = 0, TotalCompleted = 0;
+  int Exit = 0;
+  do {
+    Spec.Seed = BaseSeed + Round;
+    serve::ServerStats Stats;
+    serve::ClientResult Got;
+    try {
+      serve::Server S(*M, Cfg);
+      Got = serve::runClient(S, Spec, ClientOpts);
+      S.stop();
+      Stats = S.stats();
+    } catch (const interp::InterpError &E) {
+      // Program errors surface as Error responses; an InterpError
+      // escaping here means a bug in the runtime itself.
+      std::fprintf(stderr, "adesrv: internal: %s\n", E.what());
+      Exit = 2;
+      break;
+    }
+    TotalAccepted += Stats.Accepted;
+    TotalShed += Stats.Shed;
+    TotalCompleted += Stats.Completed;
+
+    OS << "round " << Round << " seed=" << Spec.Seed
+       << " accepted=" << Stats.Accepted << " shed=" << Stats.Shed
+       << " completed=" << Stats.Completed
+       << " ok=" << Stats.ByStatus[size_t(serve::ResponseStatus::Ok)]
+       << " notfound="
+       << Stats.ByStatus[size_t(serve::ResponseStatus::NotFound)]
+       << " budget="
+       << Stats.ByStatus[size_t(serve::ResponseStatus::Budget)]
+       << " deadline="
+       << Stats.ByStatus[size_t(serve::ResponseStatus::Deadline)]
+       << " error=" << Stats.ByStatus[size_t(serve::ResponseStatus::Error)]
+       << " p50=" << Stats.LatencyNs.p50()
+       << "ns p99=" << Stats.LatencyNs.p99()
+       << "ns faults(d/s/b)=" << Stats.DelaysInjected << "/"
+       << Stats.StormsInjected << "/" << Stats.BudgetsInjected
+       << " map=" << Stats.MapSize << " rehashes=" << Stats.ShardRehashes
+       << "\n";
+
+    if (Oracle) {
+      std::vector<uint64_t> Want =
+          serve::runOracle(*M, Spec, Cfg, OracleEngine);
+      bool Match = Want == Got.Digests;
+      if (!Match) {
+        for (uint32_t St = 0; St != Spec.Streams; ++St)
+          if (St < Got.Digests.size() && Want[St] != Got.Digests[St])
+            std::fprintf(stderr,
+                         "adesrv: round %llu stream %u digest mismatch: "
+                         "server=%016llx oracle=%016llx\n",
+                         (unsigned long long)Round, St,
+                         (unsigned long long)Got.Digests[St],
+                         (unsigned long long)Want[St]);
+        std::fprintf(stderr,
+                     "adesrv: differential soak FAILED at round %llu "
+                     "(seed=%llu)\n",
+                     (unsigned long long)Round,
+                     (unsigned long long)Spec.Seed);
+        Exit = 1;
+        break;
+      }
+      OS << "round " << Round << " oracle: " << uint64_t(Spec.Streams)
+         << " stream digest(s) match\n";
+    }
+    ++Round;
+  } while (uint64_t(elapsedSec()) < Seconds);
+
+  OS << "adesrv: " << Round << " round(s), accepted=" << TotalAccepted
+     << " shed=" << TotalShed << " completed=" << TotalCompleted
+     << (Exit == 0 ? " [ok]" : " [FAILED]") << "\n";
+  OS.flush();
+
+  if (!MetricsFile.empty() && !writeMetrics(MetricsFile, Tel))
+    return Exit ? Exit : 1;
+  return Exit;
+}

@@ -56,6 +56,12 @@ public:
                 : Machine->callByName(Name, Args);
   }
 
+  /// Makes MaxSteps a per-call budget: zeroes the engine's cumulative
+  /// step counter. Call before each independent request.
+  void resetCallBudget() {
+    Tree ? Tree->resetCallBudget() : Machine->resetCallBudget();
+  }
+
   runtime::RtCollection *newCollection(const ir::Type *Ty) {
     return Tree ? Tree->newCollection(Ty) : Machine->newCollection(Ty);
   }

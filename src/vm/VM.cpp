@@ -244,9 +244,17 @@ struct VM::Impl {
   uint64_t Steps = 0;
   uint64_t Depth = 0;
 
+  /// Wall-clock/cancellation state, mirroring the tree-walker's: when
+  /// enabled, the VM runs the Counted dispatch loop (with an infinite
+  /// step budget if none was requested) and polls the cancellation point
+  /// every 1024 charged steps.
+  bool WallChecks = false;
+  uint64_t OwnDeadlineNs = 0;
+
   Impl(const Module &M, InterpOptions Opts)
       : M(M), Opts(Opts), Prof(Opts.Prof), Trace(TraceRecorder::active()),
-        Tel(Opts.Tel), TelMask(Opts.Tel ? Opts.Tel->sampleMask() : 0) {}
+        Tel(Opts.Tel), TelMask(Opts.Tel ? Opts.Tel->sampleMask() : 0),
+        WallChecks(Opts.MaxWallMs != 0 || Opts.Cancel != nullptr) {}
 
   template <typename FnT>
   auto collOp(const RtCollection *C, OpCategory Cat, FnT Fn)
@@ -291,6 +299,40 @@ struct VM::Impl {
       Tel->recordGuardRail(GuardRailKind::Steps, Opts.MaxSteps);
     trapAt(InterpErrorKind::StepBudget,
            "instruction budget (--max-steps) exceeded", Src);
+  }
+
+  void armWallClock() {
+    OwnDeadlineNs =
+        Opts.MaxWallMs
+            ? Telemetry::nowNanos() + Opts.MaxWallMs * 1000000ull
+            : 0;
+  }
+
+  /// The cancellation point (see the tree-walker's checkWallClock): runs
+  /// once per 1024 charged steps on the Counted dispatch path.
+  __attribute__((noinline)) void checkWallClock(const Instruction *Src) {
+    if (Opts.Cancel && Opts.Cancel->Cancel.load(std::memory_order_relaxed)) {
+      if (Tel)
+        Tel->recordGuardRail(GuardRailKind::Wall, 0);
+      trapAt(InterpErrorKind::Deadline, "request cancelled", Src);
+    }
+    uint64_t Deadline = OwnDeadlineNs;
+    bool FromBudget = Deadline != 0;
+    if (Opts.Cancel) {
+      uint64_t CellNs = Opts.Cancel->DeadlineNs.load(std::memory_order_relaxed);
+      if (CellNs && (!Deadline || CellNs < Deadline)) {
+        Deadline = CellNs;
+        FromBudget = false;
+      }
+    }
+    if (Deadline && Telemetry::nowNanos() > Deadline) {
+      if (Tel)
+        Tel->recordGuardRail(GuardRailKind::Wall, Opts.MaxWallMs);
+      trapAt(InterpErrorKind::Deadline,
+             FromBudget ? "wall-clock budget (--max-wall-ms) exceeded"
+                        : "request deadline exceeded",
+             Src);
+    }
   }
 
   void checkMemBudget(const Instruction &I) {
@@ -367,14 +409,18 @@ struct VM::Impl {
     if (F->isExternal())
       return 0;
     assert(Args.size() == F->numArgs() && "argument count mismatch");
+    if (WallChecks && Depth == 0)
+      armWallClock();
     DepthGuard Guard(*this, F);
     CrashContext CC("vm", F->name());
     CompiledFn &CF = compile(F);
     uint64_t TraceStart = Trace ? Trace->nowMicros() : 0;
     // The step budget is checked per dispatch; specializing the loop on
-    // its presence keeps the unbudgeted hot path two ops shorter.
-    uint64_t Result = Opts.MaxSteps ? execute<true>(CF, Args)
-                                    : execute<false>(CF, Args);
+    // its presence keeps the unbudgeted hot path two ops shorter. Wall
+    // checks ride the same Counted loop (with an infinite step budget if
+    // none was requested).
+    uint64_t Result = (Opts.MaxSteps || WallChecks) ? execute<true>(CF, Args)
+                                                    : execute<false>(CF, Args);
     if (Trace)
       Trace->addComplete(F->name(), "vm", TraceStart,
                          Trace->nowMicros() - TraceStart);
@@ -413,7 +459,13 @@ uint64_t VM::Impl::execute(CompiledFn &CF, const std::vector<uint64_t> &Args) {
   const std::string *Syms = CF.SymPool.data();
   InlineCache *Caches = CF.Caches.data();
   InterpStats *St = Stats;
-  [[maybe_unused]] const uint64_t MaxSteps = Opts.MaxSteps;
+  // Wall-only runs reuse the Counted loop with an infinite step budget.
+  [[maybe_unused]] const uint64_t MaxSteps =
+      Opts.MaxSteps ? Opts.MaxSteps : ~uint64_t(0);
+  // Next charged-step count at which to poll the cancellation point;
+  // never reached when wall checks are off.
+  [[maybe_unused]] uint64_t NextWall =
+      WallChecks ? Steps + 1024 : ~uint64_t(0);
   const Inst *In = Code;
   // Charges accumulate in a frame-local counter (a register in the hot
   // loop) and flush into Stats at every exit — return, RtError
@@ -439,6 +491,10 @@ uint64_t VM::Impl::execute(CompiledFn &CF, const std::vector<uint64_t> &Args) {
       Steps += In->Charge;                                                     \
       if (Steps > MaxSteps)                                                    \
         stepTrap(In->Src);                                                     \
+      if (Steps >= NextWall) {                                                 \
+        NextWall = Steps + 1024;                                               \
+        checkWallClock(In->Src);                                               \
+      }                                                                        \
     }                                                                          \
     goto *JumpTab[size_t(In->Op)];                                             \
   } while (0)
@@ -468,6 +524,10 @@ uint64_t VM::Impl::execute(CompiledFn &CF, const std::vector<uint64_t> &Args) {
         Steps += In->Charge;
         if (Steps > MaxSteps)
           stepTrap(In->Src);
+        if (Steps >= NextWall) {
+          NextWall = Steps + 1024;
+          checkWallClock(In->Src);
+        }
       }
       switch (In->Op) {
 
@@ -1002,6 +1062,8 @@ uint64_t VM::callByName(const std::string &Name,
     reportFatalError("callByName: unknown function");
   return TheImpl->callFunction(F, Args);
 }
+
+void VM::resetCallBudget() { TheImpl->Steps = 0; }
 
 RtCollection *VM::newCollection(const Type *Ty) {
   return TheImpl->makeCollection(Ty);

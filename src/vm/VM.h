@@ -52,6 +52,12 @@ public:
   uint64_t callByName(const std::string &Name,
                       const std::vector<uint64_t> &Args);
 
+  /// Zeroes the cumulative charged-step counter (mirrors
+  /// interp::Interpreter::resetCallBudget): hosts reusing one VM across
+  /// independent requests reset it per call so MaxSteps is a
+  /// deterministic per-request budget.
+  void resetCallBudget();
+
   /// Allocates an arena-owned collection for \p Ty (host-side input
   /// construction); the pointer's bits are a valid argument value.
   runtime::RtCollection *newCollection(const ir::Type *Ty);

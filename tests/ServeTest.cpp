@@ -1,0 +1,715 @@
+//===- ServeTest.cpp ------------------------------------------------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The serving runtime: fault-plan determinism, workload stream
+/// generation, the bounded admission queue, the sharded concurrent
+/// collections (reader/writer invariants under concurrency, epoch-based
+/// reclamation torture), cooperative cancellation and wall-clock
+/// deadlines, and the differential client-vs-oracle soak that must be
+/// bit-identical under fault injection. The concurrency tests double as
+/// the ThreadSanitizer regression suite (the tsan CI job runs this
+/// binary).
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/InterpError.h"
+#include "parser/Parser.h"
+#include "runtime/Telemetry.h"
+#include "serve/Client.h"
+#include "stats/Statistic.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace ade;
+using namespace ade::serve;
+
+// File-static registered statistic the thread-safety test hammers; the
+// registry and counter must tolerate concurrent bumps (TSan-checked).
+ADE_STATISTIC(ServeTestHammered, "serve-test",
+              "counter hammered by the telemetry thread-safety test");
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// FaultPlan
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlan, DefaultIsOff) {
+  FaultPlan P;
+  EXPECT_FALSE(P.enabled());
+  EXPECT_EQ(P.describe(), "off");
+  FaultDecision D = P.decide(123);
+  EXPECT_EQ(D.DelayMicros, 0u);
+  EXPECT_EQ(D.StormSpins, 0u);
+  EXPECT_FALSE(D.ExhaustBudget);
+}
+
+TEST(FaultPlan, ParseRoundTrip) {
+  FaultPlan P;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse(
+      "seed=42,delay=0.25:100,storm=0.5:32,budget=0.125", P, &Error))
+      << Error;
+  EXPECT_TRUE(P.enabled());
+  EXPECT_EQ(P.seed(), 42u);
+  FaultPlan Q;
+  ASSERT_TRUE(FaultPlan::parse(P.describe(), Q, &Error)) << Error;
+  for (uint64_t Id = 0; Id != 1000; ++Id) {
+    FaultDecision A = P.decide(Id), B = Q.decide(Id);
+    EXPECT_EQ(A.DelayMicros, B.DelayMicros);
+    EXPECT_EQ(A.StormSpins, B.StormSpins);
+    EXPECT_EQ(A.ExhaustBudget, B.ExhaustBudget);
+  }
+}
+
+TEST(FaultPlan, DecisionsArePureInSeedAndId) {
+  FaultPlan P;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=7,budget=0.5", P, &Error)) << Error;
+  FaultPlan Same;
+  ASSERT_TRUE(FaultPlan::parse("seed=7,budget=0.5", Same, &Error));
+  FaultPlan Other;
+  ASSERT_TRUE(FaultPlan::parse("seed=8,budget=0.5", Other, &Error));
+  unsigned Differs = 0;
+  for (uint64_t Id = 0; Id != 4096; ++Id) {
+    EXPECT_EQ(P.decide(Id).ExhaustBudget, Same.decide(Id).ExhaustBudget);
+    if (P.decide(Id).ExhaustBudget != Other.decide(Id).ExhaustBudget)
+      ++Differs;
+  }
+  EXPECT_GT(Differs, 0u) << "seed must influence decisions";
+}
+
+TEST(FaultPlan, ObservedRateTracksProbability) {
+  FaultPlan P;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=1,budget=0.02", P, &Error)) << Error;
+  uint64_t Hits = 0;
+  const uint64_t N = 100000;
+  for (uint64_t Id = 0; Id != N; ++Id)
+    Hits += P.decide(Id).ExhaustBudget;
+  EXPECT_GT(Hits, N / 100 / 2);   // > 1%
+  EXPECT_LT(Hits, N * 4 / 100);   // < 4%
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  FaultPlan P;
+  std::string Error;
+  EXPECT_FALSE(FaultPlan::parse("bogus=1", P, &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(FaultPlan::parse("delay=notanumber", P, &Error));
+  EXPECT_FALSE(FaultPlan::parse("budget=2.5", P, &Error));
+}
+
+//===----------------------------------------------------------------------===//
+// Workload streams
+//===----------------------------------------------------------------------===//
+
+TEST(Workload, StreamsAreDeterministic) {
+  WorkloadSpec Spec;
+  Spec.Seed = 99;
+  std::vector<Request> A = buildStream(Spec, 3);
+  std::vector<Request> B = buildStream(Spec, 3);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Id, B[I].Id);
+    EXPECT_EQ(A[I].Op, B[I].Op);
+    EXPECT_EQ(A[I].Key, B[I].Key);
+  }
+  Spec.Seed = 100;
+  std::vector<Request> C = buildStream(Spec, 3);
+  bool Same = true;
+  for (size_t I = 0; I != A.size() && Same; ++I)
+    Same = A[I].Key == C[I].Key;
+  EXPECT_FALSE(Same) << "seed must influence the stream";
+}
+
+TEST(Workload, PhaseStructure) {
+  WorkloadSpec Spec;
+  std::vector<Request> S = buildStream(Spec, 0);
+  ASSERT_EQ(S.size(), size_t(Spec.InsertsPerStream + Spec.ReadsPerStream));
+  uint32_t Boundary = phaseBoundary(Spec);
+  for (uint32_t I = 0; I != Boundary; ++I)
+    EXPECT_EQ(S[I].Op, RequestOp::BulkInsert);
+  for (uint32_t I = Boundary; I != S.size(); ++I) {
+    EXPECT_NE(S[I].Op, RequestOp::BulkInsert);
+    EXPECT_LT(S[I].Key, Spec.Geo.KeyUniverse);
+  }
+  // Ids encode (stream, seq) uniquely.
+  for (uint32_t I = 0; I != S.size(); ++I) {
+    EXPECT_EQ(S[I].Stream, 0u);
+    EXPECT_EQ(S[I].SeqInStream, I);
+    EXPECT_EQ(S[I].Id, requestId(0, I));
+  }
+}
+
+TEST(Workload, DigestSensitivity) {
+  std::vector<Response> A(3), B(3);
+  for (unsigned I = 0; I != 3; ++I) {
+    A[I].Id = B[I].Id = I;
+    A[I].Status = B[I].Status = ResponseStatus::Ok;
+    A[I].Value = B[I].Value = I * 10;
+  }
+  EXPECT_EQ(streamDigest(A), streamDigest(B));
+  B[1].Value ^= 1;
+  EXPECT_NE(streamDigest(A), streamDigest(B));
+  B[1].Value ^= 1;
+  B[2].Status = ResponseStatus::Budget;
+  EXPECT_NE(streamDigest(A), streamDigest(B));
+}
+
+//===----------------------------------------------------------------------===//
+// BoundedQueue
+//===----------------------------------------------------------------------===//
+
+TEST(BoundedQueue, CapacityAndOrder) {
+  BoundedQueue<int> Q(2);
+  size_t Depth = 0;
+  EXPECT_TRUE(Q.tryPush(1, &Depth));
+  EXPECT_TRUE(Q.tryPush(2, &Depth));
+  EXPECT_FALSE(Q.tryPush(3, &Depth)) << "full queue must shed";
+  EXPECT_EQ(Q.depth(), 2u);
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 1);
+  EXPECT_TRUE(Q.tryPush(3, &Depth));
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 2);
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+  BoundedQueue<int> Q(4);
+  EXPECT_TRUE(Q.tryPush(7, nullptr));
+  Q.close();
+  EXPECT_FALSE(Q.tryPush(8, nullptr)) << "closed queue rejects pushes";
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V)) << "close drains queued items first";
+  EXPECT_EQ(V, 7);
+  EXPECT_FALSE(Q.pop(V)) << "empty closed queue returns false";
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush) {
+  BoundedQueue<int> Q(1);
+  std::atomic<int> Got{0};
+  std::thread T([&] {
+    int V = 0;
+    if (Q.pop(V))
+      Got.store(V);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(Q.tryPush(42, nullptr));
+  T.join();
+  EXPECT_EQ(Got.load(), 42);
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded concurrent collections
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedSwissMap, Basics) {
+  EpochDomain D;
+  ShardedSwissMap M(D, 8);
+  uint64_t V = 0;
+  EXPECT_FALSE(M.get(1, V));
+  EXPECT_TRUE(M.insert(1, 100));
+  EXPECT_FALSE(M.insert(1, 200)) << "duplicate insert must not overwrite";
+  ASSERT_TRUE(M.get(1, V));
+  EXPECT_EQ(V, 100u);
+  M.set(1, 300);
+  ASSERT_TRUE(M.get(1, V));
+  EXPECT_EQ(V, 300u);
+  EXPECT_EQ(M.size(), 1u);
+  EXPECT_TRUE(M.remove(1));
+  EXPECT_FALSE(M.remove(1));
+  EXPECT_FALSE(M.has(1));
+  EXPECT_EQ(M.size(), 0u);
+  // Reinsert after remove (tombstones are skipped, never reused).
+  EXPECT_TRUE(M.insert(1, 400));
+  ASSERT_TRUE(M.get(1, V));
+  EXPECT_EQ(V, 400u);
+}
+
+TEST(ShardedSwissMap, GrowthKeepsEveryKey) {
+  EpochDomain D;
+  ShardedSwissMap M(D, 4);
+  const uint64_t N = 20000;
+  for (uint64_t K = 0; K != N; ++K)
+    M.set(K, valueOf(K));
+  EXPECT_EQ(M.size(), N);
+  EXPECT_GT(M.rehashes(), 0u);
+  for (uint64_t K = 0; K != N; ++K) {
+    uint64_t V = 0;
+    ASSERT_TRUE(M.get(K, V)) << "key " << K;
+    EXPECT_EQ(V, valueOf(K));
+  }
+  // With no pinned readers, repeated collects reclaim every retired
+  // table (3 rounds: observe, advance past, free).
+  for (int I = 0; I != 4; ++I)
+    D.collect();
+  EXPECT_EQ(D.retiredCount(), 0u);
+}
+
+TEST(ShardedSwissMap, TombstoneChurnTriggersRehash) {
+  EpochDomain D;
+  ShardedSwissMap M(D, 1);
+  // Insert/remove cycles accumulate tombstones that count toward the
+  // 7/8 growth trigger, so the table rehashes even at tiny live size.
+  for (uint64_t Round = 0; Round != 2000; ++Round) {
+    M.set(Round, Round);
+    EXPECT_TRUE(M.remove(Round));
+  }
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_GT(M.rehashes(), 0u);
+  M.set(5, 55);
+  uint64_t V = 0;
+  ASSERT_TRUE(M.get(5, V));
+  EXPECT_EQ(V, 55u);
+}
+
+TEST(ShardedHashSet, Basics) {
+  EpochDomain D;
+  ShardedHashSet S(D, 8);
+  EXPECT_FALSE(S.has(9));
+  EXPECT_TRUE(S.insert(9));
+  EXPECT_FALSE(S.insert(9));
+  EXPECT_TRUE(S.has(9));
+  EXPECT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S.remove(9));
+  EXPECT_FALSE(S.has(9));
+}
+
+TEST(AtomicBitSet, BasicsAndGrowth) {
+  EpochDomain D;
+  AtomicBitSet B(D, 64);
+  EXPECT_FALSE(B.contains(3));
+  B.insert(3);
+  EXPECT_TRUE(B.contains(3));
+  // Grow well past the initial universe.
+  B.insert(100000);
+  EXPECT_TRUE(B.contains(100000));
+  EXPECT_TRUE(B.contains(3)) << "growth must preserve existing bits";
+  EXPECT_FALSE(B.contains(99999));
+  B.remove(3);
+  EXPECT_FALSE(B.contains(3));
+}
+
+// The central reader invariant: a lock-free get() that hits must return
+// the exact value the key was published with, even while other shards
+// rehash and this shard's writers insert — no torn or re-keyed slots.
+TEST(ShardedSwissMap, ReadersSeeConsistentValuesUnderWriters) {
+  EpochDomain D;
+  ShardedSwissMap M(D, 8);
+  const unsigned Writers = 4, Readers = 4;
+  const uint64_t PerWriter = 8000;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Violations{0}, Hits{0};
+
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W != Writers; ++W)
+    Threads.emplace_back([&, W] {
+      for (uint64_t I = 0; I != PerWriter; ++I) {
+        uint64_t Key = W * PerWriter + I;
+        M.set(Key, valueOf(Key));
+      }
+    });
+  for (unsigned R = 0; R != Readers; ++R)
+    Threads.emplace_back([&, R] {
+      EpochDomain::Participant *P = D.registerThread();
+      uint64_t X = R + 1;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        X = X * 6364136223846793005ull + 1442695040888963407ull;
+        uint64_t Key = X % (Writers * PerWriter);
+        uint64_t V = 0;
+        EpochDomain::Guard G(D, P);
+        if (M.get(Key, V)) {
+          Hits.fetch_add(1, std::memory_order_relaxed);
+          if (V != valueOf(Key))
+            Violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      D.unregisterThread(P);
+    });
+  for (unsigned W = 0; W != Writers; ++W)
+    Threads[W].join();
+  Stop.store(true);
+  for (unsigned R = 0; R != Readers; ++R)
+    Threads[Writers + R].join();
+
+  EXPECT_EQ(Violations.load(), 0u);
+  EXPECT_GT(Hits.load(), 0u);
+  EXPECT_EQ(M.size(), Writers * PerWriter);
+  for (int I = 0; I != 4; ++I)
+    D.collect();
+  EXPECT_EQ(D.retiredCount(), 0u);
+}
+
+// Epoch reclamation torture: a writer keeps republishing an array and
+// retiring the old one while pinned readers dereference whichever
+// version they loaded. Every array carries a self-consistent stamp; a
+// use-after-free or early reclaim shows up as a stamp mismatch (and
+// under ASan as a hard error).
+TEST(EpochDomain, ReclamationTorture) {
+  EpochDomain D;
+  constexpr size_t Words = 32;
+  std::atomic<uint64_t *> Current{nullptr};
+  auto makeArray = [](uint64_t Stamp) {
+    uint64_t *A = new uint64_t[Words];
+    for (size_t I = 0; I != Words; ++I)
+      A[I] = Stamp;
+    return A;
+  };
+  Current.store(makeArray(1), std::memory_order_release);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Violations{0};
+  const unsigned Readers = 3;
+  std::vector<std::thread> Threads;
+  for (unsigned R = 0; R != Readers; ++R)
+    Threads.emplace_back([&] {
+      EpochDomain::Participant *P = D.registerThread();
+      while (!Stop.load(std::memory_order_relaxed)) {
+        EpochDomain::Guard G(D, P);
+        uint64_t *A = Current.load(std::memory_order_acquire);
+        uint64_t First = A[0];
+        for (size_t I = 1; I != Words; ++I)
+          if (A[I] != First)
+            Violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      D.unregisterThread(P);
+    });
+
+  for (uint64_t Stamp = 2; Stamp != 2000; ++Stamp) {
+    uint64_t *Fresh = makeArray(Stamp);
+    uint64_t *Old = Current.exchange(Fresh, std::memory_order_acq_rel);
+    D.retireArray(Old);
+  }
+  Stop.store(true);
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Violations.load(), 0u);
+  for (int I = 0; I != 4; ++I)
+    D.collect();
+  EXPECT_EQ(D.retiredCount(), 0u);
+  delete[] Current.load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Cooperative cancellation and wall-clock deadlines (engine level)
+//===----------------------------------------------------------------------===//
+
+const char *kSpinForever = R"(fn @main() -> u64 {
+  %zero = const 0 : u64
+  %one = const 1 : u64
+  %r = dowhile iter(%x = %one) {
+    %nx = add %x, %one
+    %cont = ne %nx, %zero
+    yield %cont, %nx
+  }
+  ret %r
+})";
+
+TEST(Cancellation, WallClockBudgetTripsBothEngines) {
+  auto M = parser::parseModuleOrDie(kSpinForever);
+  for (vm::EngineKind K : {vm::EngineKind::Tree, vm::EngineKind::Vm}) {
+    interp::InterpOptions Opts;
+    Opts.MaxWallMs = 30;
+    vm::Engine E(K, *M, Opts);
+    try {
+      E.callByName("main", {});
+      FAIL() << "unbounded loop must trip the wall-clock budget ("
+             << vm::engineName(K) << ")";
+    } catch (const interp::InterpError &Err) {
+      EXPECT_EQ(Err.kind(), interp::InterpErrorKind::Deadline)
+          << vm::engineName(K);
+    }
+  }
+}
+
+TEST(Cancellation, CancelCellStopsBothEngines) {
+  auto M = parser::parseModuleOrDie(kSpinForever);
+  for (vm::EngineKind K : {vm::EngineKind::Tree, vm::EngineKind::Vm}) {
+    interp::CancelCell Cell;
+    interp::InterpOptions Opts;
+    Opts.Cancel = &Cell;
+    vm::Engine E(K, *M, Opts);
+    std::thread Canceller([&Cell] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      Cell.Cancel.store(true, std::memory_order_relaxed);
+    });
+    try {
+      E.callByName("main", {});
+      FAIL() << "cancel must stop the loop (" << vm::engineName(K) << ")";
+    } catch (const interp::InterpError &Err) {
+      EXPECT_EQ(Err.kind(), interp::InterpErrorKind::Deadline)
+          << vm::engineName(K);
+    }
+    Canceller.join();
+  }
+}
+
+TEST(Cancellation, ExpiredDeadlineNsTripsPromptly) {
+  auto M = parser::parseModuleOrDie(kSpinForever);
+  interp::CancelCell Cell;
+  Cell.DeadlineNs.store(1, std::memory_order_relaxed); // long past
+  interp::InterpOptions Opts;
+  Opts.Cancel = &Cell;
+  vm::Engine E(vm::EngineKind::Vm, *M, Opts);
+  EXPECT_THROW(E.callByName("main", {}), interp::InterpError);
+}
+
+//===----------------------------------------------------------------------===//
+// Server + differential oracle
+//===----------------------------------------------------------------------===//
+
+// A serve function whose step count depends on its key: keys with a
+// small (key % 64) finish under tight budgets, large ones trip — the
+// parity check that tree and vm count steps identically.
+const char *kServeModule = R"(fn @serve(%key: u64) -> u64 {
+  %m = new Map<u64, u64>
+  %zero = const 0 : u64
+  %mod = const 64 : u64
+  %n = rem %key, %mod
+  forrange %zero, %n -> [%i] {
+    %v = mul %i, %key
+    write %m, %i, %v
+    yield
+  }
+  %sz = size %m
+  ret %sz
+}
+
+fn @main() -> u64 {
+  %k = const 100 : u64
+  %r = call @serve(%k)
+  ret %r
+})";
+
+WorkloadSpec smallSpec(bool ProgramCalls) {
+  WorkloadSpec Spec;
+  Spec.Streams = 4;
+  Spec.InsertsPerStream = 16;
+  Spec.BulkCount = 8;
+  Spec.ReadsPerStream = 96;
+  Spec.ProgramCalls = ProgramCalls;
+  return Spec;
+}
+
+TEST(Server, DifferentialSoakMatchesOracle) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  ServeConfig Cfg;
+  Cfg.Threads = 4;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=11,budget=0.05,storm=0.02:16",
+                               Cfg.Faults, &Error))
+      << Error;
+  WorkloadSpec Spec = smallSpec(/*ProgramCalls=*/true);
+  Spec.Seed = 5;
+
+  Server S(*M, Cfg);
+  ASSERT_TRUE(S.hasProgramFunction());
+  ClientResult Got = runClient(S, Spec);
+  S.stop();
+  std::vector<uint64_t> Want = runOracle(*M, Spec, Cfg);
+  EXPECT_EQ(Got.Digests, Want);
+  ServerStats Stats = S.stats();
+  EXPECT_EQ(Stats.Completed,
+            uint64_t(Spec.Streams) *
+                (Spec.InsertsPerStream + Spec.ReadsPerStream));
+  EXPECT_GT(Stats.ByStatus[size_t(ResponseStatus::Budget)], 0u)
+      << "a 5% budget fault plan over 448 requests should trip";
+}
+
+TEST(Server, StepBudgetParityAcrossEngines) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  ServeConfig Cfg;
+  Cfg.Threads = 4;
+  Cfg.Engine = vm::EngineKind::Vm;
+  // Mid-range budget: ~half the keys finish, half trip StepBudget. The
+  // digests only match if tree and vm count steps identically.
+  Cfg.MaxSteps = 150;
+  WorkloadSpec Spec = smallSpec(/*ProgramCalls=*/true);
+  Spec.Seed = 9;
+  Spec.LookupFrac = 0.3;
+  Spec.GraphFrac = 0.1; // 60% program calls
+
+  Server S(*M, Cfg);
+  ClientResult Got = runClient(S, Spec);
+  S.stop();
+  std::vector<uint64_t> Want =
+      runOracle(*M, Spec, Cfg, vm::EngineKind::Tree);
+  EXPECT_EQ(Got.Digests, Want);
+  uint64_t Budgets = Got.ByStatus[size_t(ResponseStatus::Budget)];
+  uint64_t Oks = Got.ByStatus[size_t(ResponseStatus::Ok)];
+  EXPECT_GT(Budgets, 0u) << "budget must trip for large keys";
+  EXPECT_GT(Oks, 0u) << "budget must not trip for small keys";
+}
+
+TEST(Server, TreeAndVmServersAgree) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  WorkloadSpec Spec = smallSpec(/*ProgramCalls=*/true);
+  Spec.Seed = 21;
+  std::vector<uint64_t> Digests[2];
+  int I = 0;
+  for (vm::EngineKind K : {vm::EngineKind::Tree, vm::EngineKind::Vm}) {
+    ServeConfig Cfg;
+    Cfg.Threads = 2;
+    Cfg.Engine = K;
+    Server S(*M, Cfg);
+    Digests[I++] = runClient(S, Spec).Digests;
+  }
+  EXPECT_EQ(Digests[0], Digests[1]);
+}
+
+TEST(Server, DeadlineExpiryIsDiagnosedNotFatal) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  ServeConfig Cfg;
+  Cfg.Threads = 2;
+  Cfg.DeadlineMs = 1;
+  // Every request sleeps 5ms before executing, so every accepted
+  // request is already past its 1ms deadline when it runs.
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=1,delay=1.0:5000", Cfg.Faults, &Error))
+      << Error;
+  runtime::Telemetry Tel;
+  Cfg.Tel = &Tel;
+  WorkloadSpec Spec = smallSpec(/*ProgramCalls=*/false);
+  Spec.Streams = 2;
+  Spec.InsertsPerStream = 4;
+  Spec.ReadsPerStream = 12;
+
+  Server S(*M, Cfg);
+  ClientResult Got = runClient(S, Spec);
+  S.stop();
+  uint64_t Total = uint64_t(Spec.Streams) *
+                   (Spec.InsertsPerStream + Spec.ReadsPerStream);
+  EXPECT_EQ(Got.ByStatus[size_t(ResponseStatus::Deadline)], Total)
+      << "every delayed request must expire, as a response, not a crash";
+  EXPECT_GT(Tel.eventCount(runtime::EventKind::GuardRail), 0u)
+      << "deadline trips must reach the telemetry journal";
+}
+
+TEST(Server, SubmitAfterStopSheds) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  ServeConfig Cfg;
+  Cfg.Threads = 1;
+  Server S(*M, Cfg);
+  S.stop();
+  Request R;
+  R.Id = 1;
+  R.Op = RequestOp::PointLookup;
+  EXPECT_FALSE(S.submit(R, [](const Response &) {
+    FAIL() << "shed requests must not get a callback";
+  }));
+  EXPECT_EQ(S.stats().Shed, 1u);
+}
+
+TEST(Server, OverloadShedsAtAdmission) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  ServeConfig Cfg;
+  Cfg.Threads = 1;
+  Cfg.QueueCapacity = 1;
+  // 1ms per request with a 1-deep queue: concurrent submitters outrun
+  // the worker and must hit the full-queue shed path.
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=1,delay=1.0:1000", Cfg.Faults, &Error))
+      << Error;
+  WorkloadSpec Spec = smallSpec(/*ProgramCalls=*/false);
+  Spec.Streams = 2;
+  Spec.InsertsPerStream = 8;
+  Spec.ReadsPerStream = 56;
+  ClientOptions Opts;
+  Opts.RetryShed = false; // terminal sheds, counted per response
+  Opts.SubmitThreads = 2;
+
+  Server S(*M, Cfg);
+  ClientResult Got = runClient(S, Spec, Opts);
+  S.stop();
+  ServerStats Stats = S.stats();
+  EXPECT_GT(Got.ByStatus[size_t(ResponseStatus::Shed)], 0u);
+  EXPECT_EQ(Stats.Shed, Got.Sheds);
+  uint64_t Total = uint64_t(Spec.Streams) *
+                   (Spec.InsertsPerStream + Spec.ReadsPerStream);
+  EXPECT_EQ(Stats.Accepted + Got.ByStatus[size_t(ResponseStatus::Shed)],
+            Total)
+      << "every request either completes or sheds, exactly once";
+  EXPECT_EQ(Stats.Completed, Stats.Accepted);
+}
+
+TEST(Server, ShedRetriesConvergeToOracle) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  ServeConfig Cfg;
+  Cfg.Threads = 2;
+  Cfg.QueueCapacity = 2; // tiny queue: admission rejections guaranteed
+  WorkloadSpec Spec = smallSpec(/*ProgramCalls=*/false);
+  Spec.Seed = 31;
+
+  Server S(*M, Cfg);
+  ClientResult Got = runClient(S, Spec); // RetryShed = true
+  S.stop();
+  std::vector<uint64_t> Want = runOracle(*M, Spec, Cfg);
+  EXPECT_EQ(Got.Digests, Want)
+      << "sheds are retried until accepted, so digests see no Shed";
+  EXPECT_EQ(Got.ByStatus[size_t(ResponseStatus::Shed)], 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry / statistics thread-safety (the TSan regression)
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryThreadSafety, ConcurrentCountersAndJournal) {
+  runtime::Telemetry Tel;
+  ServeTestHammered.reset();
+  const unsigned Threads = 8;
+  const uint64_t PerThread = 10000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (uint64_t I = 0; I != PerThread; ++I) {
+        ++ServeTestHammered;
+        if ((I & 63) == 0)
+          Tel.recordShed(/*QueueDepth=*/I & 255,
+                         /*RequestId=*/(uint64_t(T) << 32) | I);
+        if ((I & 255) == 0)
+          Tel.recordGuardRail(runtime::GuardRailKind::Wall, 100);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(ServeTestHammered.value(), Threads * PerThread);
+  EXPECT_GT(Tel.eventCount(runtime::EventKind::Shed), 0u);
+  EXPECT_GT(Tel.eventCount(runtime::EventKind::GuardRail), 0u);
+}
+
+TEST(TelemetryThreadSafety, StatisticRegistryIterationDuringBumps) {
+  ServeTestHammered.reset();
+  std::atomic<bool> Stop{false};
+  std::thread Bumper([&] {
+    while (!Stop.load(std::memory_order_relaxed))
+      ++ServeTestHammered;
+  });
+  // On a single core the bumper may not have been scheduled yet; make
+  // sure the iteration below genuinely overlaps live bumps.
+  while (ServeTestHammered.value() == 0)
+    std::this_thread::yield();
+  // Concurrent registry iteration (what --time-report does) must not
+  // race with counter bumps.
+  for (int I = 0; I != 100; ++I) {
+    uint64_t Sum = 0;
+    stats::forEachStatistic(
+        [&Sum](const stats::Statistic &S) { Sum += S.value(); });
+    EXPECT_GE(Sum, 0u);
+  }
+  Stop.store(true);
+  Bumper.join();
+  EXPECT_GT(ServeTestHammered.value(), 0u);
+}
+
+} // namespace
