@@ -27,21 +27,35 @@
 ///     (no request is silently dropped under overload). This assertion
 ///     is hardware-independent.
 ///
+///  3. **Tracing overhead.** With `--assert-trace-overhead`, a fixed
+///     4-worker configuration runs interleaved trials with the flight
+///     recorder attached (default-rate request tracing) and detached,
+///     and the best-of-N tracing-on wall time must stay within 5% of
+///     tracing-off — the CI gate on the tracing subsystem's hot-path
+///     cost. Like `--assert-scaling`, the gate is enforced only on
+///     hardware with >= 8 cores (smaller machines report the measured
+///     ratio as skipped and exit 0). `--trace=on|off` controls whether
+///     the sweep itself runs with tracing (default on, mirroring
+///     adesrv).
+///
 /// Usage:
 ///   srv_scaling [--threads=1,8,32] [--trials=N] [--reads=N]
 ///               [--streams=N] [--calls] [--engine=tree|vm] [--seed=N]
-///               [--json=FILE] [--assert-scaling] [--assert-shed]
+///               [--trace=on|off] [--json=FILE] [--assert-scaling]
+///               [--assert-shed] [--assert-trace-overhead]
 ///
-/// The JSON report follows the bench schema-v2 style: one row per
-/// (bench, config) with `trialNs`, percentile fields over the
+/// The JSON report follows bench schema v2: commit hash, UTC date, one
+/// row per (bench, config) with `trialNs`, percentile fields over the
 /// per-request latency distribution, and throughput in requests/sec.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "core/Pipeline.h"
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
 #include "serve/Client.h"
+#include "serve/Span.h"
 #include "support/CrashHandler.h"
 #include "support/Histogram.h"
 #include "support/Json.h"
@@ -119,10 +133,20 @@ struct Options {
   uint32_t Reads = 2000;
   uint64_t Seed = 1;
   bool Calls = false;
+  bool Trace = true;
   bool AssertScaling = false;
   bool AssertShed = false;
+  bool AssertTraceOverhead = false;
   vm::EngineKind Engine = vm::EngineKind::Vm;
   std::string JsonFile;
+};
+
+/// Best-of-N interleaved tracing-on/off walls for the overhead gate.
+struct OverheadResult {
+  bool Ran = false;
+  uint64_t BestOnNs = 0;
+  uint64_t BestOffNs = 0;
+  double Ratio = 0;
 };
 
 /// One measured configuration: the median-trial server stats plus the
@@ -171,20 +195,29 @@ int usage(const char *Bad) {
                "usage: srv_scaling [--threads=1,8,32] [--trials=N]\n"
                "                   [--reads=N] [--streams=N] [--calls]\n"
                "                   [--engine=tree|vm] [--seed=N]\n"
-               "                   [--json=FILE] [--assert-scaling]\n"
-               "                   [--assert-shed]\n");
+               "                   [--trace=on|off] [--json=FILE]\n"
+               "                   [--assert-scaling] [--assert-shed]\n"
+               "                   [--assert-trace-overhead]\n");
   return 1;
 }
 
 /// Runs one (threads, trial) measurement of the read-mostly sweep.
 /// Returns (wall ns, stats, client result).
 void runSweepTrial(const ir::Module &M, const Options &Opt, unsigned Threads,
-                   uint64_t Seed, uint64_t &WallNs, serve::ServerStats &Stats,
-                   serve::ClientResult &Got) {
+                   uint64_t Seed, bool Trace, uint64_t &WallNs,
+                   serve::ServerStats &Stats, serve::ClientResult &Got) {
   serve::ServeConfig Cfg;
   Cfg.Threads = Threads;
   Cfg.QueueCapacity = 1024;
   Cfg.Engine = Opt.Engine;
+
+  // Default-rate tracing (every request), the configuration the 5%
+  // overhead gate measures.
+  serve::FlightRecorder::Options FO;
+  FO.Workers = Threads;
+  serve::FlightRecorder Flight(FO);
+  if (Trace)
+    Cfg.Flight = &Flight;
 
   serve::WorkloadSpec Spec;
   Spec.Seed = Seed;
@@ -257,15 +290,25 @@ Row runOverload(const ir::Module &M, const Options &Opt) {
 }
 
 void writeReport(const std::vector<Row> &Rows, const Options &Opt,
-                 RawOstream &OS) {
+                 const OverheadResult &OH, RawOstream &OS) {
   json::Writer W(OS);
   W.beginObject();
-  W.member("schemaVersion", uint64_t(2))
+  W.member("schemaVersion", bench::BenchSchemaVersion)
       .member("figure", "srv_scaling")
+      .member("commit", bench::benchCommit())
+      .member("date", bench::benchDateUtc())
       .member("engine", vm::engineName(Opt.Engine))
+      .member("tracing", Opt.Trace ? "on" : "off")
       .member("hardwareConcurrency",
               uint64_t(std::thread::hardware_concurrency()))
       .member("trials", uint64_t(Opt.Trials));
+  if (OH.Ran) {
+    W.key("traceOverhead").beginObject(/*Inline=*/true);
+    W.member("bestOnNs", OH.BestOnNs)
+        .member("bestOffNs", OH.BestOffNs)
+        .member("ratio", OH.Ratio);
+    W.endObject();
+  }
   W.key("results").beginArray();
   for (const Row &R : Rows) {
     W.beginObject(/*Inline=*/true);
@@ -329,6 +372,18 @@ int main(int Argc, char **Argv) {
       Opt.AssertScaling = true;
     } else if (Arg == "--assert-shed") {
       Opt.AssertShed = true;
+    } else if (Arg == "--assert-trace-overhead") {
+      Opt.AssertTraceOverhead = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      std::string Mode = Arg.substr(8);
+      if (Mode == "on") {
+        Opt.Trace = true;
+      } else if (Mode == "off") {
+        Opt.Trace = false;
+      } else {
+        std::fprintf(stderr, "srv_scaling: --trace must be 'on' or 'off'\n");
+        return 1;
+      }
     } else if (Arg.rfind("--engine=", 0) == 0) {
       if (!vm::engineFromName(Arg.substr(9), Opt.Engine)) {
         std::fprintf(stderr,
@@ -367,7 +422,8 @@ int main(int Argc, char **Argv) {
     for (unsigned T = 0; T != Opt.Trials; ++T) {
       uint64_t WallNs = 0;
       serve::ClientResult Got;
-      runSweepTrial(*M, Opt, Threads, Opt.Seed + T, WallNs, Stats[T], Got);
+      runSweepTrial(*M, Opt, Threads, Opt.Seed + T, Opt.Trace, WallNs,
+                    Stats[T], Got);
       R.TrialNs.push_back(WallNs);
     }
     std::vector<uint64_t> Sorted = R.TrialNs;
@@ -400,6 +456,53 @@ int main(int Argc, char **Argv) {
   const Row &Ov = Rows.back();
 
   int Exit = 0;
+
+  // --- Tracing overhead ---
+  // Interleaved on/off trials (same seeds, alternating order) so clock
+  // drift and cache warmup hit both sides; best-of-N discards scheduler
+  // noise, which on a loaded CI runner dwarfs the effect measured.
+  OverheadResult OH;
+  if (Opt.AssertTraceOverhead) {
+    OH.Ran = true;
+    unsigned Threads = 4;
+    unsigned N = std::max(Opt.Trials, 5u);
+    for (unsigned T = 0; T != N; ++T) {
+      for (int Mode = 0; Mode != 2; ++Mode) {
+        bool Trace = (int(T) + Mode) % 2 == 1;
+        uint64_t WallNs = 0;
+        serve::ServerStats St;
+        serve::ClientResult Got;
+        runSweepTrial(*M, Opt, Threads, Opt.Seed + T, Trace, WallNs, St,
+                      Got);
+        uint64_t &Best = Trace ? OH.BestOnNs : OH.BestOffNs;
+        if (!Best || WallNs < Best)
+          Best = WallNs;
+      }
+    }
+    OH.Ratio =
+        OH.BestOffNs ? double(OH.BestOnNs) / double(OH.BestOffNs) : 0;
+    unsigned Cores = std::thread::hardware_concurrency();
+    if (Cores < 8) {
+      // Same hardware gate as --assert-scaling: on an oversubscribed
+      // small machine the scheduler noise on these ~20ms walls is an
+      // order of magnitude larger than the 5% budget being checked.
+      // The measurement still runs and lands in the JSON report.
+      OS << "assert-trace-overhead: SKIPPED (hardware_concurrency="
+         << Cores << " < 8; measured ratio "
+         << uint64_t(OH.Ratio * 1000) << "/1000, not gated)\n";
+    } else if (OH.BestOffNs && OH.Ratio <= 1.05) {
+      OS << "assert-trace-overhead: ok (tracing on " << OH.BestOnNs / 1000
+         << "us vs off " << OH.BestOffNs / 1000 << "us, ratio "
+         << uint64_t(OH.Ratio * 1000) << "/1000 <= 1050/1000)\n";
+    } else {
+      std::fprintf(stderr,
+                   "assert-trace-overhead: FAILED (tracing on %.3fms vs "
+                   "off %.3fms, ratio %.3f > 1.05)\n",
+                   double(OH.BestOnNs) / 1e6, double(OH.BestOffNs) / 1e6,
+                   OH.Ratio);
+      Exit = 1;
+    }
+  }
 
   if (Opt.AssertScaling) {
     unsigned Cores = std::thread::hardware_concurrency();
@@ -470,11 +573,11 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     RawFileOstream FS(File);
-    writeReport(Rows, Opt, FS);
+    writeReport(Rows, Opt, OH, FS);
     FS.flush();
     std::fclose(File);
   } else {
-    writeReport(Rows, Opt, OS);
+    writeReport(Rows, Opt, OH, OS);
   }
   return Exit;
 }

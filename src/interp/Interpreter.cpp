@@ -141,6 +141,8 @@ struct Interpreter::Impl {
   /// per-call and cell deadlines. Out of line — it runs once per 1024
   /// instructions and reads the steady clock.
   __attribute__((noinline)) void checkWallClock(const Instruction &I) {
+    if (Opts.Cancel)
+      Opts.Cancel->Polls.fetch_add(1, std::memory_order_relaxed);
     if (Opts.Cancel && Opts.Cancel->Cancel.load(std::memory_order_relaxed)) {
       if (Tel)
         Tel->recordGuardRail(GuardRailKind::Wall, 0);

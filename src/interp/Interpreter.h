@@ -52,10 +52,16 @@ struct CancelCell {
   /// runtime::Telemetry::nowNanos); 0 = none. Combined with
   /// InterpOptions::MaxWallMs, the earlier of the two wins.
   std::atomic<uint64_t> DeadlineNs{0};
+  /// Cancellation points executed against this cell (both engines bump
+  /// it once per poll). Mutable because engines hold the cell const —
+  /// they only *read* the control fields; this is pure observability,
+  /// consumed by the serving runtime's engine-exec trace spans.
+  mutable std::atomic<uint64_t> Polls{0};
 
   void reset() {
     Cancel.store(false, std::memory_order_relaxed);
     DeadlineNs.store(0, std::memory_order_relaxed);
+    Polls.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -272,6 +272,24 @@ uint64_t Telemetry::droppedEvents() const {
   return Dropped;
 }
 
+uint64_t Telemetry::journalHighWater() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // The ring only grows toward capacity, so its size is the high-water
+  // mark of occupied slots.
+  return Ring.size();
+}
+
+void Telemetry::publishShardContention(std::vector<ShardContentionRow> Rows) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ShardRows = std::move(Rows);
+}
+
+void Telemetry::publishEpochGauges(const EpochGauges &G) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Epoch = G;
+  EpochPublished = true;
+}
+
 uint64_t Telemetry::eventCount(EventKind K) const {
   std::lock_guard<std::mutex> Lock(Mu);
   return KindTotals[size_t(K)];
@@ -324,6 +342,9 @@ void Telemetry::reset() {
   Sites.clear();
   SiteIds.clear();
   LabelIds.clear();
+  ShardRows.clear();
+  Epoch = EpochGauges();
+  EpochPublished = false;
   StartNs = nowNanos();
   // Site ids handed out before the reset are meaningless against the now
   // empty table; a fresh owner token invalidates every outstanding
@@ -379,8 +400,34 @@ void Telemetry::writeSnapshotJson(json::Writer &W) const {
   }
   W.endArray();
 
+  // Schema v2: serving-runtime gauges, present once a server published
+  // them (adesrv does right before writing the snapshot).
+  if (!ShardRows.empty() || EpochPublished) {
+    W.key("serve").beginObject();
+    W.key("shards").beginArray();
+    for (const ShardContentionRow &R : ShardRows) {
+      W.beginObject(/*Inline=*/true);
+      W.member("table", R.Table);
+      W.member("shard", uint64_t(R.Shard));
+      W.member("lockAcquisitions", R.Acquisitions);
+      W.member("lockWaitTotalNs", R.WaitTotalNs);
+      W.member("lockWaitMaxNs", R.WaitMaxNs);
+      W.endObject();
+    }
+    W.endArray();
+    if (EpochPublished) {
+      W.key("epoch").beginObject(/*Inline=*/true);
+      W.member("globalEpoch", Epoch.GlobalEpoch);
+      W.member("retiredLive", Epoch.RetiredLive);
+      W.member("totalRetired", Epoch.TotalRetired);
+      W.endObject();
+    }
+    W.endObject();
+  }
+
   W.key("journal").beginObject();
   W.member("capacity", uint64_t(Opts.JournalCapacity));
+  W.member("highWater", uint64_t(Ring.size()));
   W.member("dropped", Dropped);
   W.key("totals").beginObject(/*Inline=*/true);
   for (unsigned K = 0; K != unsigned(EventKind::NumKinds); ++K)

@@ -57,8 +57,11 @@ class Writer;
 
 namespace runtime {
 
-/// Version stamp of the metrics snapshot JSON document.
-constexpr uint64_t MetricsSchemaVersion = 1;
+/// Version stamp of the metrics snapshot JSON document. v2 added the
+/// serving runtime's per-shard contention and epoch-reclamation gauges
+/// ("serve" section) and the journal ring's high-water mark; v1
+/// documents remain readable by ade-metrics.
+constexpr uint64_t MetricsSchemaVersion = 2;
 
 /// Journal event taxonomy.
 enum class EventKind : uint8_t {
@@ -204,9 +207,37 @@ public:
   /// Serving-runtime admission events (process-level, no collection).
   void recordShed(uint64_t QueueDepth, uint64_t RequestId);
 
+  /// One shard's write-lock contention gauges, published by the serving
+  /// runtime (serve/ConcurrentMap.h) into the snapshot's "serve"
+  /// section.
+  struct ShardContentionRow {
+    std::string Table;
+    uint32_t Shard = 0;
+    uint64_t Acquisitions = 0;
+    uint64_t WaitTotalNs = 0;
+    uint64_t WaitMaxNs = 0;
+  };
+
+  /// Epoch-reclamation gauges (serve/Epoch.h): reclamation lag is
+  /// RetiredLive — blocks retired but not yet freed.
+  struct EpochGauges {
+    uint64_t GlobalEpoch = 0;
+    uint64_t RetiredLive = 0;
+    uint64_t TotalRetired = 0;
+  };
+
+  /// Publishes serving-runtime gauges into the next snapshot (schema v2
+  /// "serve" section); each call replaces the previous set.
+  void publishShardContention(std::vector<ShardContentionRow> Rows);
+  void publishEpochGauges(const EpochGauges &G);
+
   /// Journal contents, oldest first, plus how many were overwritten.
   std::vector<Event> journalEvents() const;
   uint64_t droppedEvents() const;
+
+  /// High-water mark of the journal ring (slots ever occupied; equals
+  /// capacity once the ring has wrapped and started dropping).
+  uint64_t journalHighWater() const;
 
   /// Total journal events emitted per kind (including dropped ones).
   uint64_t eventCount(EventKind K) const;
@@ -261,6 +292,12 @@ private:
 
   /// Ring buffer: Ring[Seq % Capacity] once full.
   std::vector<Event> Ring;
+
+  /// Serving-runtime gauges for the snapshot's "serve" section (schema
+  /// v2); empty/absent until a server publishes them.
+  std::vector<ShardContentionRow> ShardRows;
+  EpochGauges Epoch;
+  bool EpochPublished = false;
 
   /// Flat (kind, impl) channel table: direct indexing keeps the sampled
   /// path free of map lookups. Entries with SampledOps == 0 are unused.

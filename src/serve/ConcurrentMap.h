@@ -48,6 +48,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -56,6 +57,17 @@
 
 namespace ade {
 namespace serve {
+
+/// Per-shard lock-contention gauges (write-path acquisitions only; the
+/// read path never takes the lock). Exposed in the telemetry snapshot
+/// and, per request, as table-op span lock-wait time.
+struct ShardContention {
+  uint32_t Shard = 0;
+  uint64_t Acquisitions = 0;
+  uint64_t WaitTotalNs = 0;
+  uint64_t WaitMaxNs = 0;
+};
+
 namespace detail {
 
 enum : uint8_t { SlotEmpty = 0x00, SlotTombstone = 0x01 };
@@ -99,9 +111,12 @@ public:
   }
 
   /// Inserts (or, for maps with \p Overwrite, updates) under the shard
-  /// mutex. Returns true when the key was newly inserted.
-  bool insert(uint64_t Key, uint64_t Val, bool Overwrite) {
-    std::lock_guard<std::mutex> Lock(Mu);
+  /// mutex. Returns true when the key was newly inserted. \p WaitNs
+  /// (optional) accumulates time spent waiting for the shard lock.
+  bool insert(uint64_t Key, uint64_t Val, bool Overwrite,
+              uint64_t *WaitNs = nullptr) {
+    lockContended(WaitNs);
+    std::lock_guard<std::mutex> Lock(Mu, std::adopt_lock);
     TableData *T = Table.load(std::memory_order_relaxed);
     // Keep a slack of empties so reader probes terminate: grow at 7/8
     // occupancy counting tombstones (they extend probe chains too).
@@ -135,8 +150,9 @@ public:
     return true;
   }
 
-  bool remove(uint64_t Key) {
-    std::lock_guard<std::mutex> Lock(Mu);
+  bool remove(uint64_t Key, uint64_t *WaitNs = nullptr) {
+    lockContended(WaitNs);
+    std::lock_guard<std::mutex> Lock(Mu, std::adopt_lock);
     TableData *T = Table.load(std::memory_order_relaxed);
     uint64_t H = hashU64(Key);
     uint8_t Tag = fullTag(H);
@@ -181,7 +197,41 @@ public:
     return Rehashes.load(std::memory_order_relaxed);
   }
 
+  /// Contention gauge snapshot (relaxed reads; exact at quiescence).
+  ShardContention contention() const {
+    ShardContention C;
+    C.Acquisitions = Acquisitions.load(std::memory_order_relaxed);
+    C.WaitTotalNs = WaitTotalNs.load(std::memory_order_relaxed);
+    C.WaitMaxNs = WaitMaxNs.load(std::memory_order_relaxed);
+    return C;
+  }
+
 private:
+  static uint64_t steadyNs() {
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count());
+  }
+
+  /// Acquires Mu, charging the contention gauges. The uncontended path
+  /// (try_lock succeeds) reads no clock at all, so the gauges cost one
+  /// relaxed increment per write op; only actual waiting is timed.
+  void lockContended(uint64_t *WaitNs) {
+    Acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (Mu.try_lock())
+      return;
+    uint64_t T0 = steadyNs();
+    Mu.lock();
+    uint64_t Wait = steadyNs() - T0;
+    if (WaitNs)
+      *WaitNs += Wait;
+    WaitTotalNs.fetch_add(Wait, std::memory_order_relaxed);
+    uint64_t Prev = WaitMaxNs.load(std::memory_order_relaxed);
+    while (Wait > Prev &&
+           !WaitMaxNs.compare_exchange_weak(Prev, Wait,
+                                            std::memory_order_relaxed))
+      ;
+  }
   struct TableData {
     uint64_t Mask = 0;
     /// Live + tombstoned slots (monotonic per table).
@@ -253,6 +303,10 @@ private:
   std::atomic<TableData *> Table{nullptr};
   std::atomic<uint64_t> Count{0};
   std::atomic<uint64_t> Rehashes{0};
+  /// Contention gauges (see lockContended).
+  std::atomic<uint64_t> Acquisitions{0};
+  std::atomic<uint64_t> WaitTotalNs{0};
+  std::atomic<uint64_t> WaitMaxNs{0};
 };
 
 /// Shared shard-striping shell of the sharded map and set.
@@ -292,6 +346,18 @@ public:
     return Sum;
   }
 
+  /// Per-shard write-lock contention gauges, indexed by shard.
+  std::vector<ShardContention> contention() const {
+    std::vector<ShardContention> Out;
+    Out.reserve(Shards.size());
+    for (unsigned I = 0; I != Shards.size(); ++I) {
+      ShardContention C = Shards[I]->contention();
+      C.Shard = I;
+      Out.push_back(C);
+    }
+    return Out;
+  }
+
   void forEachLocked(
       const std::function<void(uint64_t, uint64_t)> &Fn) const {
     for (const auto &S : Shards)
@@ -323,13 +389,18 @@ public:
   bool get(uint64_t Key, uint64_t &Val) const {
     return shard(Key).find(Key, &Val);
   }
-  /// Insert-or-overwrite.
-  void set(uint64_t Key, uint64_t Val) { shard(Key).insert(Key, Val, true); }
-  /// Insert only if absent; true when inserted.
-  bool insert(uint64_t Key, uint64_t Val) {
-    return shard(Key).insert(Key, Val, false);
+  /// Insert-or-overwrite. \p WaitNs (optional) accumulates shard
+  /// lock-wait time for request tracing.
+  void set(uint64_t Key, uint64_t Val, uint64_t *WaitNs = nullptr) {
+    shard(Key).insert(Key, Val, true, WaitNs);
   }
-  bool remove(uint64_t Key) { return shard(Key).remove(Key); }
+  /// Insert only if absent; true when inserted.
+  bool insert(uint64_t Key, uint64_t Val, uint64_t *WaitNs = nullptr) {
+    return shard(Key).insert(Key, Val, false, WaitNs);
+  }
+  bool remove(uint64_t Key, uint64_t *WaitNs = nullptr) {
+    return shard(Key).remove(Key, WaitNs);
+  }
 };
 
 /// Concurrent set over u64 keys (same contract).
@@ -339,8 +410,12 @@ public:
 
   bool has(uint64_t Key) const { return shard(Key).find(Key, nullptr); }
   /// True when newly inserted.
-  bool insert(uint64_t Key) { return shard(Key).insert(Key, 0, false); }
-  bool remove(uint64_t Key) { return shard(Key).remove(Key); }
+  bool insert(uint64_t Key, uint64_t *WaitNs = nullptr) {
+    return shard(Key).insert(Key, 0, false, WaitNs);
+  }
+  bool remove(uint64_t Key, uint64_t *WaitNs = nullptr) {
+    return shard(Key).remove(Key, WaitNs);
+  }
 };
 
 } // namespace serve

@@ -61,6 +61,8 @@ void EpochDomain::unpin(Participant *P) {
 }
 
 void EpochDomain::retire(void *Block, void (*Deleter)(void *)) {
+  RetiredLive.fetch_add(1, std::memory_order_relaxed);
+  TotalRetired.fetch_add(1, std::memory_order_relaxed);
   bool Try;
   {
     std::lock_guard<std::mutex> Lock(Mu);
@@ -103,6 +105,7 @@ size_t EpochDomain::collect() {
   }
   for (const RetiredBlock &B : Free)
     B.Deleter(B.Block);
+  RetiredLive.fetch_sub(Free.size(), std::memory_order_relaxed);
   return Free.size();
 }
 

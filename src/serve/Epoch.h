@@ -94,6 +94,18 @@ public:
   /// Blocks currently awaiting reclamation (tests).
   size_t retiredCount() const;
 
+  /// Lock-free mirror of retiredCount(): the reclamation-lag gauge the
+  /// tracing layer reads per request (exact at quiescence; may lag a
+  /// concurrent retire/collect by a few blocks).
+  uint64_t retiredApprox() const {
+    return RetiredLive.load(std::memory_order_relaxed);
+  }
+
+  /// Total blocks ever retired (monotonic, lock-free).
+  uint64_t totalRetired() const {
+    return TotalRetired.load(std::memory_order_relaxed);
+  }
+
   uint64_t globalEpoch() const {
     return Global.load(std::memory_order_acquire);
   }
@@ -109,6 +121,10 @@ private:
   bool allObserved(uint64_t E) const;
 
   std::atomic<uint64_t> Global{2};
+
+  /// Lock-free gauges (see retiredApprox / totalRetired).
+  std::atomic<uint64_t> RetiredLive{0};
+  std::atomic<uint64_t> TotalRetired{0};
 
   mutable std::mutex Mu;
   std::vector<Participant *> Participants;

@@ -20,10 +20,15 @@ Server::Server(const ir::Module &M, ServeConfig ConfigIn)
   if (Config.Threads == 0)
     Config.Threads = 1;
   ProgramFn = Module.getFunction(Config.ProgramFunction);
+  // A recorder with fewer worker lanes than threads would alias traces
+  // across workers; refuse it rather than corrupt the rings.
+  if (Config.Flight && Config.Flight->workerLanes() < Config.Threads)
+    Config.Flight = nullptr;
   Workers.reserve(Config.Threads);
   for (unsigned I = 0; I != Config.Threads; ++I) {
     Workers.push_back(std::make_unique<Worker>());
     Worker &W = *Workers.back();
+    W.Index = I;
     W.Thread = std::thread([this, &W] { workerMain(W); });
   }
 }
@@ -48,25 +53,40 @@ bool Server::shedByPolicy(size_t Depth) {
   return CachedP99Ns.load(std::memory_order_relaxed) > Config.ShedP99Ns;
 }
 
+void Server::refreshTailP99() {
+  Histogram H;
+  for (const auto &W : Workers) {
+    std::lock_guard<std::mutex> Lock(W->StatsMu);
+    H.merge(W->LatencyNs);
+  }
+  uint64_t P99 = H.empty() ? 0 : H.p99();
+  CachedP99Ns.store(P99, std::memory_order_relaxed);
+  if (Config.Flight)
+    Config.Flight->noteTailLatency(P99);
+}
+
 bool Server::submit(const Request &R, Callback Done) {
+  uint64_t SubmitNs = runtime::Telemetry::nowNanos();
   Job J;
   J.Req = R;
   J.Done = std::move(Done);
-  J.SubmitNs = runtime::Telemetry::nowNanos();
+  J.SubmitNs = SubmitNs;
 
   // Refresh the rolling p99 every few hundred admissions (merging the
   // per-worker histograms on every submit would serialize admission).
-  if (Config.ShedP99Ns &&
-      (AdmissionTick.fetch_add(1, std::memory_order_relaxed) & 255) == 0) {
-    Histogram H;
-    for (const auto &W : Workers) {
-      std::lock_guard<std::mutex> Lock(W->StatsMu);
-      H.merge(W->LatencyNs);
-    }
-    CachedP99Ns.store(H.empty() ? 0 : H.p99(), std::memory_order_relaxed);
-  }
+  // The flight recorder's tail sampler reuses the same refresh.
+  if ((Config.ShedP99Ns || Config.Flight) &&
+      (AdmissionTick.fetch_add(1, std::memory_order_relaxed) & 255) == 0)
+    refreshTailP99();
 
+  bool Traced = Config.Flight && Config.Flight->shouldTrace(R.Id);
   size_t Depth = Queue.depth();
+  if (Traced) {
+    // One clock read: the admission span covers the shed-policy check
+    // plus the enqueue, and doubles as the queue-wait start.
+    J.AdmitNs = runtime::Telemetry::nowNanos();
+    J.DepthAtAccept = uint32_t(Depth);
+  }
   bool Admitted = !Stopped.load(std::memory_order_relaxed) &&
                   !shedByPolicy(Depth) && Queue.tryPush(std::move(J), &Depth);
   {
@@ -78,8 +98,24 @@ bool Server::submit(const Request &R, Callback Done) {
       ++Shed;
     }
   }
-  if (!Admitted && Config.Tel)
-    Config.Tel->recordShed(Depth, R.Id);
+  if (!Admitted) {
+    if (Config.Tel)
+      Config.Tel->recordShed(Depth, R.Id);
+    if (Traced) {
+      // Shed requests never reach a worker: their whole span tree is
+      // the admission decision, recorded on the admission lane.
+      uint64_t Now = runtime::Telemetry::nowNanos();
+      TraceBuilder TB;
+      TB.open(R, SubmitNs);
+      Span &S = TB.addSpan(SpanKind::Admission, SubmitNs,
+                           Now > SubmitNs ? Now - SubmitNs : 0);
+      S.A = Depth;
+      S.B = 1;
+      TB.close(ResponseStatus::Shed, Now);
+      Config.Flight->recordCompleted(Config.Flight->admissionLane(),
+                                     TB.trace());
+    }
+  }
   return Admitted;
 }
 
@@ -101,8 +137,27 @@ void Server::workerMain(Worker &W) {
 
   Job J;
   while (Queue.pop(J)) {
-    Response Resp = runJob(J, W, View, Eng, EngineCalls);
-    uint64_t Lat = runtime::Telemetry::nowNanos() - J.SubmitNs;
+    // A traced job carries AdmitNs from submit(); build the span tree
+    // on this worker's stack and close it exactly once per request.
+    bool Traced = Config.Flight && J.AdmitNs != 0;
+    TraceBuilder TB;
+    if (Traced) {
+      uint64_t PopNs = runtime::Telemetry::nowNanos();
+      TB.open(J.Req, J.SubmitNs);
+      TB.addSpan(SpanKind::Admission, J.SubmitNs, J.AdmitNs - J.SubmitNs)
+          .A = J.DepthAtAccept;
+      TB.addSpan(SpanKind::QueueWait, J.AdmitNs,
+                 PopNs > J.AdmitNs ? PopNs - J.AdmitNs : 0)
+          .A = J.DepthAtAccept;
+    }
+    Response Resp = runJob(J, W, View, Eng, EngineCalls,
+                           Traced ? &TB : nullptr);
+    uint64_t EndNs = runtime::Telemetry::nowNanos();
+    uint64_t Lat = EndNs - J.SubmitNs;
+    if (Traced) {
+      TB.close(Resp.Status, EndNs);
+      Config.Flight->recordCompleted(W.Index, TB.trace());
+    }
     {
       std::lock_guard<std::mutex> Lock(W.StatsMu);
       ++W.Completed;
@@ -126,9 +181,17 @@ void Server::workerMain(Worker &W) {
 
 Response Server::runJob(const Job &J, Worker &W, SharedStoreView &View,
                         std::unique_ptr<vm::Engine> &Eng,
-                        uint64_t &EngineCalls) {
+                        uint64_t &EngineCalls, TraceBuilder *TB) {
   const Request &R = J.Req;
   FaultDecision D = Config.Faults.decide(R.Id);
+  if (TB) {
+    if (D.DelayMicros)
+      TB->setFlag(Trace::FaultDelay);
+    if (D.StormSpins)
+      TB->setFlag(Trace::FaultStorm);
+    if (D.ExhaustBudget)
+      TB->setFlag(Trace::FaultBudget);
+  }
 
   if (D.DelayMicros) {
     std::this_thread::sleep_for(std::chrono::microseconds(D.DelayMicros));
@@ -196,6 +259,15 @@ Response Server::runJob(const Job &J, Worker &W, SharedStoreView &View,
     // must not leak one request's work into the next (the oracle resets
     // identically, so budget trips stay digest-comparable).
     Eng->resetCallBudget();
+    // Engine-exec span baselines: engine steps (InterpStats) and
+    // cancellation polls (CancelCell) are cumulative, so deltas around
+    // the call attribute exactly this request's consumption.
+    uint64_t EngStartNs = 0, Steps0 = 0, Polls0 = 0;
+    if (TB) {
+      EngStartNs = runtime::Telemetry::nowNanos();
+      Steps0 = Eng->stats().InstructionsExecuted;
+      Polls0 = W.Cancel.Polls.load(std::memory_order_relaxed);
+    }
     try {
       Resp.Value = Eng->call(this->ProgramFn, {Key});
       Resp.Status = ResponseStatus::Ok;
@@ -216,10 +288,50 @@ Response Server::runJob(const Job &J, Worker &W, SharedStoreView &View,
       }
     }
     W.Cancel.DeadlineNs.store(0, std::memory_order_relaxed);
+    if (TB) {
+      uint64_t EngEndNs = runtime::Telemetry::nowNanos();
+      Span &S = TB->addSpan(SpanKind::EngineExec, EngStartNs,
+                            EngEndNs > EngStartNs ? EngEndNs - EngStartNs
+                                                  : 0);
+      S.A = Eng->stats().InstructionsExecuted - Steps0;
+      S.B = W.Cancel.Polls.load(std::memory_order_relaxed) - Polls0;
+    }
     return Resp;
   };
 
-  return executeRequest(R, View, Config.Geo, D, ProgramFn);
+  if (!TB)
+    return executeRequest(R, View, Config.Geo, D, ProgramFn);
+
+  // Traced: bracket the store/engine section, then turn the view's
+  // per-op accounting into table-op and epoch spans. Span bounds are
+  // the exec section (per-op timing would put clock reads on lock-free
+  // read paths hot enough to blow the tracing overhead budget).
+  uint64_t ExecStartNs = runtime::Telemetry::nowNanos();
+  View.beginRequest(true);
+  Response Resp = executeRequest(R, View, Config.Geo, D, ProgramFn);
+  View.beginRequest(false);
+  uint64_t ExecDurNs = runtime::Telemetry::nowNanos() - ExecStartNs;
+
+  const SharedStoreView::RequestStats &VS = View.requestStats();
+  for (unsigned I = 0; I != VS.NumWrites; ++I) {
+    Span &S = TB->addSpan(SpanKind::TableOp, ExecStartNs, ExecDurNs);
+    S.Shard = VS.Writes[I].Shard;
+    S.A = VS.Writes[I].Ops;
+    S.B = VS.Writes[I].LockWaitNs;
+  }
+  if (VS.OverflowOps) {
+    Span &S = TB->addSpan(SpanKind::TableOp, ExecStartNs, ExecDurNs);
+    S.A = VS.OverflowOps;
+    S.B = VS.OverflowWaitNs;
+  }
+  if (VS.ReadOps)
+    TB->addSpan(SpanKind::TableOp, ExecStartNs, ExecDurNs).A = VS.ReadOps;
+  if (VS.Pins) {
+    Span &S = TB->addSpan(SpanKind::Epoch, ExecStartNs, ExecDurNs);
+    S.A = VS.Pins;
+    S.B = Store.Domain.retiredApprox();
+  }
+  return Resp;
 }
 
 ServerStats Server::stats() const {
@@ -244,4 +356,33 @@ ServerStats Server::stats() const {
   Out.SetSize = Store.Set.size();
   Out.ShardRehashes = Store.Map.rehashes() + Store.Set.rehashes();
   return Out;
+}
+
+void Server::publishGauges() const {
+  if (!Config.Tel)
+    return;
+  std::vector<runtime::Telemetry::ShardContentionRow> Rows;
+  auto Append = [&Rows](const char *Table,
+                        std::vector<ShardContention> Shards) {
+    for (const ShardContention &C : Shards) {
+      if (!C.Acquisitions)
+        continue;
+      runtime::Telemetry::ShardContentionRow R;
+      R.Table = Table;
+      R.Shard = C.Shard;
+      R.Acquisitions = C.Acquisitions;
+      R.WaitTotalNs = C.WaitTotalNs;
+      R.WaitMaxNs = C.WaitMaxNs;
+      Rows.push_back(std::move(R));
+    }
+  };
+  Append("map", Store.Map.contention());
+  Append("set", Store.Set.contention());
+  Config.Tel->publishShardContention(std::move(Rows));
+
+  runtime::Telemetry::EpochGauges G;
+  G.GlobalEpoch = Store.Domain.globalEpoch();
+  G.RetiredLive = Store.Domain.retiredApprox();
+  G.TotalRetired = Store.Domain.totalRetired();
+  Config.Tel->publishEpochGauges(G);
 }

@@ -33,6 +33,7 @@
 #include "serve/FaultPlan.h"
 #include "serve/Queue.h"
 #include "serve/Request.h"
+#include "serve/Span.h"
 #include "serve/Workload.h"
 #include "support/Histogram.h"
 #include "vm/Engine.h"
@@ -73,24 +74,74 @@ struct SharedStore {
 /// free storage under a probe.
 class SharedStoreView {
 public:
+  /// Per-request op accounting for traced requests (single-threaded:
+  /// each view belongs to one worker). Write ops attribute to up to
+  /// MaxShardEntries distinct shards — enough for a whole BulkInsert on
+  /// a Zipfian stream — with the rest pooled in an overflow bucket.
+  /// Reads are lock-free and hot (a graph query probes hundreds of
+  /// keys), so they only bump a flat counter, never the shard table.
+  struct RequestStats {
+    static constexpr unsigned MaxShardEntries = 4;
+    struct ShardWrites {
+      uint32_t Shard = 0;
+      uint64_t Ops = 0;
+      uint64_t LockWaitNs = 0;
+    };
+    ShardWrites Writes[MaxShardEntries];
+    unsigned NumWrites = 0;
+    uint64_t OverflowOps = 0;
+    uint64_t OverflowWaitNs = 0;
+    uint64_t ReadOps = 0;
+    /// Epoch pins taken (one per store op).
+    uint64_t Pins = 0;
+  };
+
   SharedStoreView(SharedStore &S, EpochDomain::Participant *P)
       : S(S), P(P) {}
 
+  /// Arms (or disarms) per-op accounting for the next request. With
+  /// tracing off every op costs exactly one predictable branch.
+  void beginRequest(bool TraceOn) {
+    Tracing = TraceOn;
+    if (TraceOn)
+      St = RequestStats();
+  }
+
+  const RequestStats &requestStats() const { return St; }
+
   bool mapGet(uint64_t Key, uint64_t &Val) {
     EpochDomain::Guard G(S.Domain, P);
+    if (Tracing) {
+      ++St.ReadOps;
+      ++St.Pins;
+    }
     return S.Map.get(Key, Val);
   }
 
   void upsert(uint64_t Key, uint64_t Val) {
     EpochDomain::Guard G(S.Domain, P);
-    S.Map.set(Key, Val);
-    S.Set.insert(Key);
+    if (!Tracing) {
+      S.Map.set(Key, Val);
+      S.Set.insert(Key);
+    } else {
+      ++St.Pins;
+      uint64_t Wait = 0;
+      S.Map.set(Key, Val, &Wait);
+      S.Set.insert(Key, &Wait);
+      // Map and set share the same striping (low key bits), so one
+      // entry covers both tables' ops on this key.
+      chargeWrite(uint32_t(S.Map.shardOf(Key)), 2, Wait);
+    }
     if (Key < S.DenseBound)
       S.Dense.insert(Key);
   }
 
   bool setHas(uint64_t Key) {
     EpochDomain::Guard G(S.Domain, P);
+    if (Tracing) {
+      ++St.ReadOps;
+      ++St.Pins;
+    }
     // Dense keys answer from the word-atomic bitset (one load);
     // stragglers fall back to the sharded set.
     if (Key < S.DenseBound)
@@ -99,8 +150,28 @@ public:
   }
 
 private:
+  void chargeWrite(uint32_t Shard, uint64_t Ops, uint64_t WaitNs) {
+    for (unsigned I = 0; I != St.NumWrites; ++I)
+      if (St.Writes[I].Shard == Shard) {
+        St.Writes[I].Ops += Ops;
+        St.Writes[I].LockWaitNs += WaitNs;
+        return;
+      }
+    if (St.NumWrites < RequestStats::MaxShardEntries) {
+      auto &E = St.Writes[St.NumWrites++];
+      E.Shard = Shard;
+      E.Ops = Ops;
+      E.LockWaitNs = WaitNs;
+      return;
+    }
+    St.OverflowOps += Ops;
+    St.OverflowWaitNs += WaitNs;
+  }
+
   SharedStore &S;
   EpochDomain::Participant *P;
+  bool Tracing = false;
+  RequestStats St;
 };
 
 struct ServeConfig {
@@ -123,6 +194,12 @@ struct ServeConfig {
   /// Optional shared telemetry sink (thread-safe) for shed/guard-rail
   /// journal events and collection channels.
   runtime::Telemetry *Tel = nullptr;
+  /// Optional request tracer / flight recorder (see serve/Span.h).
+  /// Null turns tracing off entirely; when set, its Options control
+  /// head sampling and ring sizes, and it must be constructed with at
+  /// least Threads worker lanes. Owned by the host (adesrv keeps one
+  /// across rounds so crash dumps stay valid).
+  FlightRecorder *Flight = nullptr;
   Geometry Geo;
 };
 
@@ -179,15 +256,25 @@ public:
   const ServeConfig &config() const { return Config; }
   SharedStore &store() { return Store; }
 
+  /// Pushes the current per-shard contention and epoch-reclamation
+  /// gauges into Config.Tel's snapshot (no-op without a sink). Hosts
+  /// call it right before writing the metrics snapshot.
+  void publishGauges() const;
+
 private:
   struct Job {
     Request Req;
     Callback Done;
     uint64_t SubmitNs = 0;
+    /// Tracing timestamps (set only when a flight recorder is
+    /// attached): admission completion and queue depth at accept.
+    uint64_t AdmitNs = 0;
+    uint32_t DepthAtAccept = 0;
   };
 
   /// Per-worker mutable state; stats are merged on demand.
   struct Worker {
+    unsigned Index = 0;
     std::thread Thread;
     interp::CancelCell Cancel;
     mutable std::mutex StatsMu;
@@ -201,8 +288,10 @@ private:
 
   void workerMain(Worker &W);
   Response runJob(const Job &J, Worker &W, SharedStoreView &View,
-                  std::unique_ptr<vm::Engine> &Eng, uint64_t &EngineCalls);
+                  std::unique_ptr<vm::Engine> &Eng, uint64_t &EngineCalls,
+                  TraceBuilder *TB);
   bool shedByPolicy(size_t Depth);
+  void refreshTailP99();
 
   const ir::Module &Module;
   ServeConfig Config;

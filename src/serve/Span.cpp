@@ -1,0 +1,301 @@
+//===- Span.cpp - Request-scoped tracing and flight recorder --------------===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Span.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Hashing.h"
+#include "support/Json.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace ade;
+using namespace ade::serve;
+
+const char *ade::serve::spanKindName(SpanKind K) {
+  switch (K) {
+  case SpanKind::Admission:
+    return "admission";
+  case SpanKind::QueueWait:
+    return "queue-wait";
+  case SpanKind::TableOp:
+    return "table-op";
+  case SpanKind::EngineExec:
+    return "engine-exec";
+  case SpanKind::Epoch:
+    return "epoch";
+  case SpanKind::NumKinds:
+    break;
+  }
+  ade_unreachable("unknown span kind");
+}
+
+void FlightRecorder::Ring::init(unsigned N) {
+  Cap = N ? N : 1;
+  Slots = std::make_unique<Slot[]>(Cap);
+}
+
+void FlightRecorder::Ring::push(const Trace &T) {
+  uint64_t H = Head.load(std::memory_order_relaxed);
+  Slot &S = Slots[H % Cap];
+  // Odd = write in flight: a concurrent best-effort reader (the crash
+  // hook) skips the slot instead of copying a half-written trace.
+  S.Seq.store(2 * H + 1, std::memory_order_release);
+  S.T = T;
+  S.Seq.store(2 * H + 2, std::memory_order_release);
+  Head.store(H + 1, std::memory_order_release);
+}
+
+void FlightRecorder::Ring::snapshot(std::vector<Trace> &Out) const {
+  uint64_t H = Head.load(std::memory_order_acquire);
+  uint64_t First = H > Cap ? H - Cap : 0;
+  for (uint64_t I = First; I != H; ++I) {
+    const Slot &S = Slots[I % Cap];
+    uint64_t Seq = S.Seq.load(std::memory_order_acquire);
+    // Keep the copy only when the slot was stable at this generation
+    // before and after: a racing producer flips Seq odd first.
+    if (Seq != 2 * I + 2)
+      continue;
+    Trace T = S.T;
+    if (S.Seq.load(std::memory_order_acquire) == 2 * I + 2)
+      Out.push_back(T);
+  }
+}
+
+FlightRecorder::FlightRecorder(Options O) : Opts(O) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+  if (Opts.SampleEvery == 0)
+    Opts.SampleEvery = 1;
+  // One lane per worker plus the shared admission lane for shed traces.
+  Lanes.reserve(Opts.Workers + 1);
+  for (unsigned I = 0; I != Opts.Workers + 1; ++I) {
+    Lanes.push_back(std::make_unique<Lane>());
+    Lanes.back()->Recent.init(Opts.RecentPerLane);
+    Lanes.back()->Sampled.init(Opts.SampledPerLane);
+  }
+}
+
+bool FlightRecorder::shouldTrace(uint64_t RequestId) const {
+  if (Opts.SampleEvery <= 1)
+    return true;
+  // Hash rather than modulo the raw id: ids are (stream << 32 | seq), so
+  // raw modulo would systematically trace or skip whole streams.
+  return hashU64(RequestId ^ 0x74726163ULL) % Opts.SampleEvery == 0;
+}
+
+bool FlightRecorder::interesting(const Trace &T) const {
+  switch (T.Status) {
+  case ResponseStatus::Shed:
+  case ResponseStatus::Budget:
+  case ResponseStatus::Deadline:
+  case ResponseStatus::Error:
+    return true;
+  case ResponseStatus::Ok:
+  case ResponseStatus::NotFound:
+    break;
+  }
+  if (T.Flags &
+      (Trace::FaultDelay | Trace::FaultStorm | Trace::FaultBudget))
+    return true;
+  uint64_t Thr = TailNs.load(std::memory_order_relaxed);
+  return Thr != 0 && T.TotalNs > Thr;
+}
+
+void FlightRecorder::recordCompleted(unsigned LaneIdx, const Trace &TIn) {
+  assert(LaneIdx < Lanes.size() && "lane out of range");
+  Trace T = TIn;
+  uint64_t Thr = TailNs.load(std::memory_order_relaxed);
+  if (Thr != 0 && T.TotalNs > Thr)
+    T.Flags |= uint8_t(Trace::SlowTail);
+  T.Worker = LaneIdx;
+
+  bool Keep = interesting(T);
+  Recorded.fetch_add(1, std::memory_order_relaxed);
+  if (Keep)
+    SampledCount.fetch_add(1, std::memory_order_relaxed);
+  if (T.DroppedSpans)
+    DroppedSpans.fetch_add(T.DroppedSpans, std::memory_order_relaxed);
+
+  auto Charge = [&](Lane &L) {
+    // Every completed trace contributes to the stage histograms —
+    // tail sampling only decides whether the full tree is kept.
+    for (unsigned I = 0; I != T.NumSpans; ++I)
+      L.Stage[size_t(T.Spans[I].Kind)].record(T.Spans[I].DurNs);
+    ++L.StatusCounts[size_t(T.Status)];
+    L.Recent.push(T);
+    if (Keep)
+      L.Sampled.push(T);
+  };
+
+  if (LaneIdx == admissionLane()) {
+    // Shed traces arrive from many submitter threads; serialize them
+    // (this lane is off the accepted-request hot path).
+    std::lock_guard<std::mutex> Lock(AdmissionMu);
+    Charge(*Lanes[LaneIdx]);
+  } else {
+    Charge(*Lanes[LaneIdx]);
+  }
+}
+
+std::vector<Trace> FlightRecorder::recentTraces() const {
+  std::vector<Trace> Out;
+  for (const auto &L : Lanes)
+    L->Recent.snapshot(Out);
+  std::sort(Out.begin(), Out.end(), [](const Trace &A, const Trace &B) {
+    return A.SubmitNs < B.SubmitNs;
+  });
+  return Out;
+}
+
+std::vector<Trace> FlightRecorder::sampledTraces() const {
+  std::vector<Trace> Out;
+  for (const auto &L : Lanes)
+    L->Sampled.snapshot(Out);
+  std::sort(Out.begin(), Out.end(), [](const Trace &A, const Trace &B) {
+    return A.SubmitNs < B.SubmitNs;
+  });
+  return Out;
+}
+
+Histogram FlightRecorder::stageHistogram(SpanKind K) const {
+  Histogram H;
+  for (const auto &L : Lanes)
+    H.merge(L->Stage[size_t(K)]);
+  return H;
+}
+
+void FlightRecorder::writeTraceJson(json::Writer &W, const Trace &T) const {
+  W.beginObject(/*Inline=*/true);
+  W.member("id", T.Id);
+  W.member("op", requestOpName(T.Op));
+  W.member("status", responseStatusName(T.Status));
+  W.member("worker", uint64_t(T.Worker));
+  if (T.Flags) {
+    W.key("flags").beginArray(/*Inline=*/true);
+    if (T.Flags & Trace::FaultDelay)
+      W.value("delay");
+    if (T.Flags & Trace::FaultStorm)
+      W.value("storm");
+    if (T.Flags & Trace::FaultBudget)
+      W.value("budget");
+    if (T.Flags & Trace::SlowTail)
+      W.value("slow-tail");
+    W.endArray();
+  }
+  W.member("submitNs", T.SubmitNs);
+  W.member("totalNs", T.TotalNs);
+  if (T.DroppedSpans)
+    W.member("droppedSpans", uint64_t(T.DroppedSpans));
+  W.key("spans").beginArray();
+  for (unsigned I = 0; I != T.NumSpans; ++I) {
+    const Span &S = T.Spans[I];
+    W.beginObject(/*Inline=*/true);
+    W.member("kind", spanKindName(S.Kind));
+    W.member("startNs", S.StartNs);
+    W.member("durNs", S.DurNs);
+    if (S.Shard != Span::NoShard)
+      W.member("shard", uint64_t(S.Shard));
+    W.member("a", S.A);
+    if (S.B)
+      W.member("b", S.B);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+void FlightRecorder::writeJson(json::Writer &W, const char *Reason) const {
+  W.beginObject();
+  W.member("flightSchemaVersion", uint64_t(1));
+  W.member("reason", Reason);
+  W.member("sampleEvery", Opts.SampleEvery);
+  W.member("tailThresholdNs", tailThresholdNs());
+  W.member("tracesRecorded", tracesRecorded());
+  W.member("tracesSampled", tracesSampled());
+  W.member("spansDropped", spansDropped());
+
+  W.key("statusCounts").beginObject(/*Inline=*/true);
+  {
+    uint64_t Totals[6] = {};
+    for (const auto &L : Lanes)
+      for (unsigned S = 0; S != 6; ++S)
+        Totals[S] += L->StatusCounts[S];
+    for (unsigned S = 0; S != 6; ++S)
+      if (Totals[S])
+        W.member(responseStatusName(ResponseStatus(S)), Totals[S]);
+  }
+  W.endObject();
+
+  W.key("stages").beginArray();
+  for (unsigned K = 0; K != unsigned(SpanKind::NumKinds); ++K) {
+    Histogram H = stageHistogram(SpanKind(K));
+    if (H.empty())
+      continue;
+    W.beginObject(/*Inline=*/true);
+    W.member("stage", spanKindName(SpanKind(K)));
+    W.member("count", H.count());
+    W.member("p50Ns", H.p50());
+    W.member("p90Ns", H.p90());
+    W.member("p99Ns", H.p99());
+    W.member("maxNs", H.max());
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("lanes").beginArray();
+  for (unsigned I = 0; I != Lanes.size(); ++I) {
+    const Lane &L = *Lanes[I];
+    W.beginObject();
+    W.member("lane", uint64_t(I));
+    W.member("role", I == admissionLane() ? "admission" : "worker");
+    std::vector<Trace> Recent, Sampled;
+    L.Recent.snapshot(Recent);
+    L.Sampled.snapshot(Sampled);
+    W.key("recent").beginArray();
+    for (const Trace &T : Recent)
+      writeTraceJson(W, T);
+    W.endArray();
+    W.key("sampled").beginArray();
+    for (const Trace &T : Sampled)
+      writeTraceJson(W, T);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+void FlightRecorder::mergeIntoTrace(TraceRecorder &TR) const {
+  // Span times are absolute steady-clock ns; the trace recorder's
+  // timeline is microseconds since its construction. Anchor the two
+  // with one paired reading so request spans land beside compile-phase
+  // events instead of at bogus offsets.
+  uint64_t NowMic = TR.nowMicros();
+  uint64_t NowNs = uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  uint64_t EpochNs = NowNs - NowMic * 1000;
+
+  auto ToMicros = [EpochNs](uint64_t AbsNs) -> uint64_t {
+    return AbsNs > EpochNs ? (AbsNs - EpochNs) / 1000 : 0;
+  };
+
+  for (const Trace &T : sampledTraces()) {
+    std::string Prefix = std::string("srv:") + requestOpName(T.Op) + ":" +
+                         responseStatusName(T.Status);
+    TR.addComplete(Prefix, "serve", ToMicros(T.SubmitNs),
+                   T.TotalNs / 1000);
+    for (unsigned I = 0; I != T.NumSpans; ++I) {
+      const Span &S = T.Spans[I];
+      TR.addComplete(std::string("srv:") + spanKindName(S.Kind), "serve",
+                     ToMicros(T.SubmitNs + S.StartNs), S.DurNs / 1000);
+    }
+  }
+}

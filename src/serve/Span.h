@@ -1,0 +1,310 @@
+//===- Span.h - Request-scoped tracing and flight recorder ------*- C++ -*-===//
+//
+// Part of the ADE reproduction project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Request-scoped tracing for the serving runtime: each traced request
+/// carries a \c TraceBuilder from admission through the worker pool and
+/// records a small span tree — admission, queue-wait, per-shard
+/// table-op (lock-wait time and shard id), engine-exec (step budget
+/// consumed and cancellation polls via \c interp::CancelCell) and epoch
+/// (pin count, reclamation lag). Completed traces land in per-worker
+/// ring buffers inside the \c FlightRecorder.
+///
+/// Sampling is **tail-based**: every completed trace charges the stage
+/// histograms, but a trace is kept in full (the "sampled" ring) only
+/// when its outcome is interesting — Shed, Deadline, Budget, Error, a
+/// fault-plan injection, or total latency above the rolling p99 the
+/// server feeds in via \c noteTailLatency. A separate "recent" ring
+/// keeps the last N completed traces per worker unconditionally: the
+/// flight-recorder view dumped on crash, on shed/deadline storms, or on
+/// demand (`adesrv --flight-out`). An optional head-sampling rate
+/// (\c Options::SampleEvery) bounds tracing overhead by tracing only
+/// 1-in-N requests, keyed deterministically on the request id.
+///
+/// Concurrency: span collection happens entirely on the owning worker's
+/// stack (no shared state). The completed-trace hand-off writes the
+/// worker's own rings through a per-slot sequence counter (odd while a
+/// write is in flight), so the producer never blocks and a best-effort
+/// reader — the crash-dump hook — can skip slots mid-write. The
+/// admission lane (shed traces, written from submitter threads) is the
+/// one multi-producer lane and serializes on an internal mutex; it is
+/// off the accepted-request hot path. Orderly dumps (end of run, storm,
+/// on demand) run at quiescence — after drain/stop — so they read fully
+/// stable rings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADE_SERVE_SPAN_H
+#define ADE_SERVE_SPAN_H
+
+#include "serve/Request.h"
+#include "support/Histogram.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ade {
+
+class TraceRecorder;
+
+namespace json {
+class Writer;
+}
+
+namespace serve {
+
+/// Stages of a request's span tree.
+enum class SpanKind : uint8_t {
+  /// Admission decision (shed policy + enqueue). A = queue depth at the
+  /// decision, B = 1 when the request was shed.
+  Admission,
+  /// Time between enqueue and a worker dequeuing the job. A = queue
+  /// depth at accept.
+  QueueWait,
+  /// Shared-store operations. Per-shard write spans carry the shard id,
+  /// A = ops on that shard, B = shard lock-wait ns; the cross-shard
+  /// read aggregate uses Shard = NoShard with A = lock-free read ops.
+  TableOp,
+  /// Engine execution of a ProgramCall. A = engine steps consumed,
+  /// B = cancellation polls observed (CancelCell::Polls delta).
+  EngineExec,
+  /// Epoch-protected section. A = epoch pins taken by the request,
+  /// B = retired blocks still awaiting reclamation (reclamation lag).
+  Epoch,
+  NumKinds,
+};
+
+const char *spanKindName(SpanKind K);
+
+/// One completed span. Times are relative to the owning trace's
+/// SubmitNs so traces stay meaningful across ring copies.
+struct Span {
+  static constexpr uint32_t NoShard = ~uint32_t(0);
+
+  SpanKind Kind = SpanKind::Admission;
+  /// TableOp write spans: owning shard; NoShard otherwise.
+  uint32_t Shard = NoShard;
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  /// Per-kind payloads (see SpanKind).
+  uint64_t A = 0;
+  uint64_t B = 0;
+};
+
+/// One request's completed span tree, fixed-size so ring slots never
+/// allocate. Spans beyond MaxSpans are counted in DroppedSpans.
+struct Trace {
+  static constexpr unsigned MaxSpans = 12;
+
+  /// Fault-plan injections observed by this request, plus the
+  /// tail-sampling verdict.
+  enum Flag : uint8_t {
+    FaultDelay = 1,
+    FaultStorm = 2,
+    FaultBudget = 4,
+    /// Total latency exceeded the rolling-p99 tail threshold.
+    SlowTail = 8,
+  };
+
+  uint64_t Id = 0;
+  /// Absolute steady-clock ns of submission (span times are relative).
+  uint64_t SubmitNs = 0;
+  uint64_t TotalNs = 0;
+  /// Worker index, or the recorder's admission lane for shed traces.
+  uint32_t Worker = 0;
+  RequestOp Op = RequestOp::PointLookup;
+  ResponseStatus Status = ResponseStatus::Ok;
+  uint8_t Flags = 0;
+  uint8_t NumSpans = 0;
+  uint8_t DroppedSpans = 0;
+  Span Spans[MaxSpans];
+};
+
+/// Builds one request's trace on the owning thread's stack. The span
+/// tree is closed exactly once: close() asserts single completion, and
+/// the server only hands closed traces to the recorder.
+class TraceBuilder {
+public:
+  void open(const Request &R, uint64_t SubmitNs) {
+    assert(!Opened && "trace opened twice");
+    Opened = true;
+    T = Trace();
+    T.Id = R.Id;
+    T.Op = R.Op;
+    T.SubmitNs = SubmitNs;
+  }
+
+  bool opened() const { return Opened; }
+  bool closed() const { return Closed; }
+
+  /// Appends a completed span; \p StartNs is absolute steady-clock ns.
+  /// Returns a scratch span (not stored) once the tree is full, after
+  /// bumping DroppedSpans — callers can set payloads unconditionally.
+  Span &addSpan(SpanKind K, uint64_t StartNs, uint64_t DurNs) {
+    assert(Opened && !Closed && "span outside open trace");
+    Span *S;
+    if (T.NumSpans < Trace::MaxSpans) {
+      S = &T.Spans[T.NumSpans++];
+    } else {
+      ++T.DroppedSpans;
+      S = &Overflow;
+    }
+    *S = Span();
+    S->Kind = K;
+    S->StartNs = StartNs > T.SubmitNs ? StartNs - T.SubmitNs : 0;
+    S->DurNs = DurNs;
+    return *S;
+  }
+
+  void setFlag(Trace::Flag F) { T.Flags |= uint8_t(F); }
+
+  /// Completes the tree. Must be called exactly once per open().
+  void close(ResponseStatus Status, uint64_t EndNs) {
+    assert(Opened && "closing a never-opened trace");
+    assert(!Closed && "trace closed twice");
+    Closed = true;
+    T.Status = Status;
+    T.TotalNs = EndNs > T.SubmitNs ? EndNs - T.SubmitNs : 0;
+  }
+
+  const Trace &trace() const {
+    assert(Closed && "reading an unclosed trace");
+    return T;
+  }
+
+private:
+  Trace T;
+  Span Overflow;
+  bool Opened = false;
+  bool Closed = false;
+};
+
+/// Per-worker trace rings plus stage histograms: the tail sampler and
+/// the flight recorder (see file comment for the concurrency contract).
+class FlightRecorder {
+public:
+  struct Options {
+    /// Worker lanes; lane Workers (one past the last worker) is the
+    /// admission lane for traces shed before any worker saw them.
+    unsigned Workers = 1;
+    /// Flight ring: last N completed traces kept per lane.
+    unsigned RecentPerLane = 64;
+    /// Tail-sampled ring: last N *interesting* traces kept per lane.
+    unsigned SampledPerLane = 64;
+    /// Head sampling: trace 1 in N requests (<=1 = every request),
+    /// keyed on the request id so the choice is deterministic. The
+    /// default rate bounds tracing overhead on sub-microsecond
+    /// requests to well under the 5% CI gate (srv_scaling
+    /// --assert-trace-overhead): a fully traced request costs a few
+    /// hundred ns (clock reads + ring hand-off), which full-rate
+    /// tracing cannot hide. Soaks that must capture *every* outcome
+    /// (adesrv --trace-sample=1) opt into full-rate explicitly.
+    uint64_t SampleEvery = 64;
+  };
+
+  explicit FlightRecorder(Options O);
+
+  unsigned workerLanes() const { return unsigned(Lanes.size()) - 1; }
+  unsigned admissionLane() const { return unsigned(Lanes.size()) - 1; }
+
+  /// Head-sampling decision for \p RequestId (deterministic).
+  bool shouldTrace(uint64_t RequestId) const;
+
+  /// Feeds the rolling p99 the tail sampler compares total latency
+  /// against (the server refreshes it from its latency histograms).
+  void noteTailLatency(uint64_t P99Ns) {
+    TailNs.store(P99Ns, std::memory_order_relaxed);
+  }
+  uint64_t tailThresholdNs() const {
+    return TailNs.load(std::memory_order_relaxed);
+  }
+
+  /// The tail-sampling predicate (exposed for tests).
+  bool interesting(const Trace &T) const;
+
+  /// Hands a completed trace to lane \p Lane: charges the stage
+  /// histograms, stamps SlowTail, keeps it in the recent ring and — when
+  /// interesting — the sampled ring. Single producer per worker lane;
+  /// the admission lane serializes internally.
+  void recordCompleted(unsigned Lane, const Trace &T);
+
+  uint64_t tracesRecorded() const {
+    return Recorded.load(std::memory_order_relaxed);
+  }
+  uint64_t tracesSampled() const {
+    return SampledCount.load(std::memory_order_relaxed);
+  }
+  uint64_t spansDropped() const {
+    return DroppedSpans.load(std::memory_order_relaxed);
+  }
+
+  /// Ring snapshots across all lanes, oldest first (best-effort under
+  /// concurrent writes; exact at quiescence).
+  std::vector<Trace> recentTraces() const;
+  std::vector<Trace> sampledTraces() const;
+
+  /// Stage histogram for \p K merged over every lane.
+  Histogram stageHistogram(SpanKind K) const;
+
+  /// Writes the flight dump document: stage breakdown percentiles plus
+  /// every lane's recent and sampled traces. \p Reason is stamped into
+  /// the document ("end-of-run", "storm", "crash", "on-demand").
+  void writeJson(json::Writer &W, const char *Reason) const;
+
+  /// Mirrors the sampled traces onto \p TR as Chrome trace-event
+  /// complete events (category "serve"), aligning steady-clock span
+  /// times with the recorder's epoch so request spans merge with
+  /// compile-phase events on the same timeline.
+  void mergeIntoTrace(TraceRecorder &TR) const;
+
+private:
+  /// One ring slot, guarded by a per-slot sequence counter: odd while
+  /// the producer is writing, even when stable (the value is 2*turn+2
+  /// after the turn's write, so a reader can pair a slot with its
+  /// generation).
+  struct Slot {
+    std::atomic<uint64_t> Seq{0};
+    Trace T;
+  };
+
+  struct Ring {
+    std::unique_ptr<Slot[]> Slots;
+    unsigned Cap = 0;
+    std::atomic<uint64_t> Head{0};
+
+    void init(unsigned N);
+    void push(const Trace &T);
+    /// Appends stable slots, oldest first.
+    void snapshot(std::vector<Trace> &Out) const;
+  };
+
+  struct Lane {
+    Ring Recent;
+    Ring Sampled;
+    Histogram Stage[size_t(SpanKind::NumKinds)];
+    uint64_t StatusCounts[6] = {};
+  };
+
+  void writeTraceJson(json::Writer &W, const Trace &T) const;
+
+  Options Opts;
+  std::vector<std::unique_ptr<Lane>> Lanes;
+  /// Serializes the multi-producer admission lane only.
+  std::mutex AdmissionMu;
+  std::atomic<uint64_t> TailNs{0};
+  std::atomic<uint64_t> Recorded{0};
+  std::atomic<uint64_t> SampledCount{0};
+  std::atomic<uint64_t> DroppedSpans{0};
+};
+
+} // namespace serve
+} // namespace ade
+
+#endif // ADE_SERVE_SPAN_H

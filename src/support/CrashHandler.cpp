@@ -84,6 +84,10 @@ long currentTid() {
 /// their output never interleaves with (or recurses into) the report.
 std::atomic<long> CrashingTid{0};
 
+/// Best-effort crash-dump hook (see setCrashDumpHook).
+std::atomic<void (*)(void *)> CrashHook{nullptr};
+std::atomic<void *> CrashHookArg{nullptr};
+
 void crashSignalHandler(int Sig) {
   long Tid = currentTid();
   long Expected = 0;
@@ -111,6 +115,15 @@ void crashSignalHandler(int Sig) {
   rawWriteNum(2, static_cast<unsigned long>(Tid));
   rawWrite(2, " ===\n");
   printCrashContextStack(2);
+  // Last-gasp diagnostics: the hook runs exactly once (exchange), after
+  // the always-safe context report, so a hook failure can only cost the
+  // dump — the same-thread reentrancy path above kills the process
+  // before the handler could recurse.
+  if (void (*Hook)(void *) =
+          CrashHook.exchange(nullptr, std::memory_order_acq_rel)) {
+    rawWrite(2, "=== ade crash handler: writing flight dump ===\n");
+    Hook(CrashHookArg.load(std::memory_order_acquire));
+  }
   // Restore the default disposition and re-raise so the process dies with
   // the original signal (preserving core dumps and wait-status semantics).
   std::signal(Sig, SIG_DFL);
@@ -161,6 +174,14 @@ void ade::printCrashContextStack(int Fd) {
 }
 
 unsigned ade::crashContextDepth() { return FrameDepth; }
+
+void ade::setCrashDumpHook(void (*Hook)(void *), void *Arg) {
+  // Argument first: a handler firing between the two stores sees either
+  // the old consistent pair or (new arg, old hook) — never a new hook
+  // with a stale argument.
+  CrashHookArg.store(Arg, std::memory_order_release);
+  CrashHook.store(Hook, std::memory_order_release);
+}
 
 ade::CrashContext::CrashContext(const char *Phase, const std::string &Detail) {
   if (FrameDepth < MaxFrames) {

@@ -45,6 +45,17 @@ void printCrashContextStack(int Fd);
 /// Number of frames currently on this thread's context stack (tests).
 unsigned crashContextDepth();
 
+/// Registers a best-effort crash-dump hook, run at most once from the
+/// crash signal handler after the context stack is printed and before
+/// the process re-raises. Intended for last-gasp diagnostics like the
+/// serving runtime's flight-recorder dump. The hook runs in signal
+/// context and is *not* held to async-signal-safety (it typically
+/// formats JSON and writes a file); the handler's reentrancy guard
+/// ensures a fault inside the hook kills the process instead of
+/// recursing, so the worst case is a truncated dump. Pass null to
+/// clear. \p Arg is forwarded to the hook verbatim.
+void setCrashDumpHook(void (*Hook)(void *Arg), void *Arg);
+
 /// One pretty-stack-trace frame, active for the lifetime of the object:
 ///
 ///   CrashContext CC("interpreting", "@" + F->name());

@@ -19,11 +19,19 @@
 ///     --site=ID          only journal events of allocation site ID
 ///                        (requires --journal)
 ///     --diff=OTHER.json  compare channel percentiles against a second
-///                        snapshot (OTHER is the baseline)
+///                        snapshot (OTHER is the baseline); cells where
+///                        the baseline histogram is empty print "n/a"
+///     --flight=DUMP.json render a flight-recorder dump written by
+///                        `adesrv --flight-out`: request-stage latency
+///                        breakdown plus outcome counts. Standalone —
+///                        the snapshot positional becomes optional
+///     --spans[=N]        with --flight: also print the N slowest
+///                        tail-sampled traces as span trees (default 10)
 ///
 /// The channel summary table always prints. Percentiles are recomputed
 /// from the round-tripped histograms, so any quantile is available even
 /// though the snapshot stores only p50/p99 as convenience fields.
+/// Accepts metrics schemaVersion 1 (no "serve" section) and 2.
 ///
 /// Exit codes: 0 success, 1 diagnosed failure (unreadable or malformed
 /// snapshot, bad option).
@@ -36,6 +44,7 @@
 #include "support/Json.h"
 #include "support/RawOstream.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,7 +59,8 @@ static int usage(const char *BadOption = nullptr) {
   std::fprintf(stderr,
                "usage: ade-metrics SNAPSHOT.json [--sites] [--journal]\n"
                "                   [--kind=KIND] [--site=ID]\n"
-               "                   [--diff=OTHER.json]\n");
+               "                   [--diff=OTHER.json]\n"
+               "       ade-metrics --flight=DUMP.json [--spans[=N]]\n");
   return 1;
 }
 
@@ -98,9 +108,11 @@ static bool loadSnapshot(const std::string &Path, Snapshot &Out) {
                  Error.c_str());
     return false;
   }
+  // v1 snapshots (no "serve" section, no journal high-water) remain
+  // readable: the viewer only keys on fields both versions share.
   const json::Value *Version = Out.Doc->find("schemaVersion");
-  if (!Version || !Version->isNumber() ||
-      Version->asUint() != runtime::MetricsSchemaVersion) {
+  if (!Version || !Version->isNumber() || Version->asUint() < 1 ||
+      Version->asUint() > runtime::MetricsSchemaVersion) {
     std::fprintf(stderr,
                  "error: %s has an unsupported metrics schemaVersion\n",
                  Path.c_str());
@@ -110,11 +122,12 @@ static bool loadSnapshot(const std::string &Path, Snapshot &Out) {
     Out.SampleRate = V->asUint();
   if (const json::Value *V = Out.Doc->find("sampledOps"))
     Out.SampledOps = V->asUint();
+  // A snapshot from a run that sampled nothing may have an empty or
+  // absent channel list; that is a valid (if dull) document, not an
+  // error — downstream tables and diffs must render it as such.
   const json::Value *List = Out.Doc->find("channels");
-  if (!List || !List->isArray()) {
-    std::fprintf(stderr, "error: %s has no channels array\n", Path.c_str());
-    return false;
-  }
+  if (!List || !List->isArray())
+    return true;
   for (const json::Value &E : List->elements()) {
     ChannelView Ch;
     if (const json::Value *V = E.find("kind"))
@@ -257,10 +270,11 @@ static bool printJournal(RawOstream &OS, const Snapshot &S,
   return true;
 }
 
-/// Percentage-delta cell for the diff table; "-" when the baseline is 0.
+/// Percentage-delta cell for the diff table; "n/a" when the baseline is
+/// 0 (empty histogram or zero percentile) — never divides by it.
 static std::string deltaCell(uint64_t Base, uint64_t Cur) {
   if (!Base)
-    return "-";
+    return "n/a";
   double Ratio = double(Cur) / double(Base);
   return (Ratio >= 1 ? "+" : "") + stats::Table::fmt(100 * (Ratio - 1), 1) +
          "%";
@@ -301,13 +315,167 @@ static bool printDiff(RawOstream &OS, const Snapshot &Cur,
   return true;
 }
 
+/// One sampled trace pulled out of a flight dump for the --spans view.
+struct FlightTraceView {
+  const json::Value *Trace = nullptr;
+  uint64_t TotalNs = 0;
+  uint64_t LaneIdx = 0;
+  std::string Role;
+};
+
+static std::string flightFlags(const json::Value &Trace) {
+  const json::Value *Flags = Trace.find("flags");
+  if (!Flags || !Flags->isArray())
+    return "-";
+  std::string Out;
+  for (const json::Value &F : Flags->elements()) {
+    if (!Out.empty())
+      Out += ",";
+    Out += F.isString() ? F.asString() : "?";
+  }
+  return Out.empty() ? "-" : Out;
+}
+
+static void printFlightTrace(RawOstream &OS, const FlightTraceView &TV) {
+  const json::Value &Tr = *TV.Trace;
+  const json::Value *Id = Tr.find("id");
+  const json::Value *Op = Tr.find("op");
+  const json::Value *Status = Tr.find("status");
+  const json::Value *Dropped = Tr.find("droppedSpans");
+  OS << "trace id=" << (Id ? Id->asUint() : 0) << " op="
+     << (Op && Op->isString() ? Op->asString() : "?") << " status="
+     << (Status && Status->isString() ? Status->asString() : "?")
+     << " lane=" << TV.LaneIdx << " (" << TV.Role.c_str() << ")"
+     << " total=" << TV.TotalNs << "ns flags=" << flightFlags(Tr).c_str();
+  if (Dropped && Dropped->asUint())
+    OS << " dropped-spans=" << Dropped->asUint();
+  OS << "\n";
+  const json::Value *Spans = Tr.find("spans");
+  if (!Spans || !Spans->isArray())
+    return;
+  stats::Table T({"span", "start", "dur", "shard", "a", "b"});
+  for (const json::Value &S : Spans->elements()) {
+    const json::Value *Kind = S.find("kind");
+    const json::Value *Start = S.find("startNs");
+    const json::Value *Dur = S.find("durNs");
+    const json::Value *Shard = S.find("shard");
+    const json::Value *A = S.find("a");
+    const json::Value *B = S.find("b");
+    T.addRow({Kind && Kind->isString() ? Kind->asString() : "?",
+              u64(Start ? Start->asUint() : 0) + "ns",
+              u64(Dur ? Dur->asUint() : 0) + "ns",
+              Shard ? u64(Shard->asUint()) : "-",
+              u64(A ? A->asUint() : 0), u64(B ? B->asUint() : 0)});
+  }
+  T.print(OS);
+}
+
+/// Renders `adesrv --flight-out` dumps: run header, outcome counts, the
+/// per-stage latency breakdown, and (with --spans) the N slowest
+/// tail-sampled traces as span trees.
+static bool printFlightDump(RawOstream &OS, const std::string &Path,
+                            bool Spans, uint64_t SlowestN) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  std::string Error;
+  std::unique_ptr<json::Value> Doc = json::parse(Text, &Error);
+  if (!Doc || !Doc->isObject()) {
+    std::fprintf(stderr, "error: malformed flight dump %s: %s\n",
+                 Path.c_str(), Error.c_str());
+    return false;
+  }
+  const json::Value *Version = Doc->find("flightSchemaVersion");
+  if (!Version || !Version->isNumber() || Version->asUint() != 1) {
+    std::fprintf(stderr,
+                 "error: %s has an unsupported flightSchemaVersion\n",
+                 Path.c_str());
+    return false;
+  }
+  const json::Value *Reason = Doc->find("reason");
+  const json::Value *SampleEvery = Doc->find("sampleEvery");
+  const json::Value *Tail = Doc->find("tailThresholdNs");
+  const json::Value *Recorded = Doc->find("tracesRecorded");
+  const json::Value *Sampled = Doc->find("tracesSampled");
+  const json::Value *SpansDropped = Doc->find("spansDropped");
+  OS << "== flight recorder: reason="
+     << (Reason && Reason->isString() ? Reason->asString() : "?")
+     << ", 1-in-" << (SampleEvery ? SampleEvery->asUint() : 1)
+     << " head sampling, tail threshold "
+     << (Tail ? Tail->asUint() : 0) << "ns ==\n";
+  OS << "traces recorded=" << (Recorded ? Recorded->asUint() : 0)
+     << " tail-sampled=" << (Sampled ? Sampled->asUint() : 0)
+     << " spans-dropped=" << (SpansDropped ? SpansDropped->asUint() : 0)
+     << "\n";
+  if (const json::Value *Counts = Doc->find("statusCounts")) {
+    OS << "outcomes:";
+    for (const auto &[Status, Count] : Counts->members())
+      OS << " " << Status.c_str() << "=" << Count.asUint();
+    OS << "\n";
+  }
+
+  const json::Value *Stages = Doc->find("stages");
+  if (Stages && Stages->isArray()) {
+    OS << "\n== stage latency breakdown ==\n";
+    stats::Table T({"stage", "count", "p50", "p90", "p99", "max"});
+    for (const json::Value &St : Stages->elements()) {
+      const json::Value *Name = St.find("stage");
+      const json::Value *Count = St.find("count");
+      T.addRow({Name && Name->isString() ? Name->asString() : "?",
+                u64(Count ? Count->asUint() : 0),
+                u64(St.find("p50Ns") ? St.find("p50Ns")->asUint() : 0) + "ns",
+                u64(St.find("p90Ns") ? St.find("p90Ns")->asUint() : 0) + "ns",
+                u64(St.find("p99Ns") ? St.find("p99Ns")->asUint() : 0) + "ns",
+                u64(St.find("maxNs") ? St.find("maxNs")->asUint() : 0) +
+                    "ns"});
+    }
+    T.print(OS);
+  }
+
+  if (!Spans)
+    return true;
+  std::vector<FlightTraceView> Views;
+  const json::Value *Lanes = Doc->find("lanes");
+  if (Lanes && Lanes->isArray())
+    for (const json::Value &Lane : Lanes->elements()) {
+      const json::Value *LaneIdx = Lane.find("lane");
+      const json::Value *Role = Lane.find("role");
+      const json::Value *SampledList = Lane.find("sampled");
+      if (!SampledList || !SampledList->isArray())
+        continue;
+      for (const json::Value &Tr : SampledList->elements()) {
+        FlightTraceView TV;
+        TV.Trace = &Tr;
+        if (const json::Value *Total = Tr.find("totalNs"))
+          TV.TotalNs = Total->asUint();
+        TV.LaneIdx = LaneIdx ? LaneIdx->asUint() : 0;
+        TV.Role = Role && Role->isString() ? Role->asString() : "?";
+        Views.push_back(TV);
+      }
+    }
+  std::stable_sort(Views.begin(), Views.end(),
+                   [](const FlightTraceView &A, const FlightTraceView &B) {
+                     return A.TotalNs > B.TotalNs;
+                   });
+  if (Views.size() > SlowestN)
+    Views.resize(SlowestN);
+  OS << "\n== " << uint64_t(Views.size())
+     << " slowest tail-sampled trace(s) ==\n";
+  for (const FlightTraceView &TV : Views)
+    printFlightTrace(OS, TV);
+  return true;
+}
+
 int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
   std::string Path;
-  std::string DiffPath, KindFilter;
+  std::string DiffPath, KindFilter, FlightPath;
   bool Sites = false, Journal = false, HasSiteFilter = false;
-  uint64_t SiteFilter = 0;
+  bool Spans = false;
+  uint64_t SiteFilter = 0, SpansN = 10;
   for (int I = 1; I != Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--sites") {
@@ -337,35 +505,69 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "ade-metrics: --diff requires a file name\n");
         return 1;
       }
+    } else if (Arg.rfind("--flight=", 0) == 0) {
+      FlightPath = Arg.substr(9);
+      if (FlightPath.empty()) {
+        std::fprintf(stderr, "ade-metrics: --flight requires a file name\n");
+        return 1;
+      }
+    } else if (Arg == "--spans" || Arg.rfind("--spans=", 0) == 0) {
+      Spans = true;
+      if (Arg.size() > 7) {
+        std::string Token = Arg.substr(8);
+        if (Token.empty() ||
+            Token.find_first_not_of("0123456789") != std::string::npos ||
+            Token == "0") {
+          std::fprintf(stderr,
+                       "ade-metrics: --spans takes a positive count\n");
+          return 1;
+        }
+        SpansN = std::strtoull(Token.c_str(), nullptr, 10);
+      }
     } else if (Arg[0] != '-' && Path.empty()) {
       Path = Arg;
     } else {
       return usage(Arg[0] == '-' ? Argv[I] : nullptr);
     }
   }
-  if (Path.empty())
+  if (Path.empty() && FlightPath.empty())
     return usage();
   if ((!KindFilter.empty() || HasSiteFilter) && !Journal) {
     std::fprintf(stderr,
                  "ade-metrics: --kind/--site require --journal\n");
     return 1;
   }
-
-  Snapshot S;
-  if (!loadSnapshot(Path, S))
+  if (Spans && FlightPath.empty()) {
+    std::fprintf(stderr, "ade-metrics: --spans requires --flight\n");
     return 1;
-  RawOstream &OS = outs();
-  printSummary(OS, S);
-  if (Sites && !printSites(OS, S))
-    return 1;
-  if (Journal && !printJournal(OS, S, KindFilter, HasSiteFilter, SiteFilter))
-    return 1;
-  if (!DiffPath.empty()) {
-    Snapshot Base;
-    if (!loadSnapshot(DiffPath, Base))
-      return 1;
-    if (!printDiff(OS, S, Base, DiffPath))
-      return 1;
   }
+  if (Path.empty() && (Sites || Journal || !DiffPath.empty())) {
+    std::fprintf(stderr,
+                 "ade-metrics: --sites/--journal/--diff require a "
+                 "snapshot file\n");
+    return 1;
+  }
+
+  RawOstream &OS = outs();
+  if (!Path.empty()) {
+    Snapshot S;
+    if (!loadSnapshot(Path, S))
+      return 1;
+    printSummary(OS, S);
+    if (Sites && !printSites(OS, S))
+      return 1;
+    if (Journal &&
+        !printJournal(OS, S, KindFilter, HasSiteFilter, SiteFilter))
+      return 1;
+    if (!DiffPath.empty()) {
+      Snapshot Base;
+      if (!loadSnapshot(DiffPath, Base))
+        return 1;
+      if (!printDiff(OS, S, Base, DiffPath))
+        return 1;
+    }
+  }
+  if (!FlightPath.empty() && !printFlightDump(OS, FlightPath, Spans, SpansN))
+    return 1;
   return 0;
 }

@@ -47,6 +47,24 @@
 ///     --metrics-out=FILE   write the shared telemetry snapshot JSON
 ///                          (shed events, guard-rail trips, channels) —
 ///                          written on failure too, for CI artifacts
+///     --trace=on|off       request-scoped tracing (default on); off
+///                          removes every per-request tracing cost
+///     --trace-sample=N     head sampling: trace 1 in N requests
+///                          (default 64, bounding overhead; pass 1 to
+///                          trace every request, e.g. for soaks that
+///                          must capture every shed/deadline outcome)
+///     --flight-out=FILE    write the flight-recorder dump (JSON): last
+///                          N traces per worker plus every tail-sampled
+///                          interesting trace. Also written on crash
+///                          (via the crash-handler hook) and on
+///                          shed/deadline storms (--storm-dump)
+///     --flight-trace-out=F write a Chrome trace-event file with the
+///                          sampled request spans merged onto the
+///                          compile-phase timeline
+///     --flight-recent=N    flight ring size per worker (default 64)
+///     --storm-dump=N       dump the flight recorder mid-run when a
+///                          round sheds or deadlines >= N requests
+///                          (0 = off)
 ///
 /// Exit codes: 0 success, 1 diagnosed failure (bad flags, parse/verify
 /// error, digest mismatch), 2 internal error.
@@ -59,15 +77,18 @@
 #include "parser/Parser.h"
 #include "runtime/Telemetry.h"
 #include "serve/Client.h"
+#include "serve/Span.h"
 #include "support/CrashHandler.h"
 #include "support/Json.h"
 #include "support/RawOstream.h"
+#include "support/Trace.h"
 
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,7 +105,10 @@ static int usage(const char *BadOption = nullptr) {
       "              [--streams=N] [--inserts=N] [--bulk=N] [--reads=N]\n"
       "              [--calls] [--serve-func=NAME] [--submit-threads=N]\n"
       "              [--deadline-ms=N] [--shed-p99-ns=N] [--max-steps=N]\n"
-      "              [--max-bytes=N] [--max-depth=N] [--metrics-out=FILE]\n");
+      "              [--max-bytes=N] [--max-depth=N] [--metrics-out=FILE]\n"
+      "              [--trace=on|off] [--trace-sample=N]\n"
+      "              [--flight-out=FILE] [--flight-trace-out=FILE]\n"
+      "              [--flight-recent=N] [--storm-dump=N]\n");
   return 1;
 }
 
@@ -135,6 +159,42 @@ static bool writeMetrics(const std::string &Path, runtime::Telemetry &Tel) {
   return true;
 }
 
+static bool writeFlight(const std::string &Path,
+                        const serve::FlightRecorder &Flight,
+                        const char *Reason) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  RawFileOstream FS(File);
+  json::Writer W(FS);
+  Flight.writeJson(W, Reason);
+  FS << '\n';
+  FS.flush();
+  std::fclose(File);
+  return true;
+}
+
+namespace {
+/// State the crash-dump hook needs; plain statics because the hook runs
+/// in signal context with a single void* argument.
+struct CrashFlightCtx {
+  const serve::FlightRecorder *Flight = nullptr;
+  std::string Path;
+};
+CrashFlightCtx CrashCtx;
+
+/// Last-gasp flight dump (registered via setCrashDumpHook when
+/// --flight-out is given). Readers of mid-write ring slots are skipped
+/// by the seqlock protocol, so the dump is best-effort but well-formed.
+void crashFlightDump(void *Arg) {
+  auto *Ctx = static_cast<CrashFlightCtx *>(Arg);
+  if (Ctx->Flight)
+    writeFlight(Ctx->Path, *Ctx->Flight, "crash");
+}
+} // namespace
+
 int main(int Argc, char **Argv) {
   installCrashHandlers();
   if (Argc < 2)
@@ -146,7 +206,10 @@ int main(int Argc, char **Argv) {
   uint64_t Seconds = 0, BaseSeed = 1;
   uint64_t Streams = 8, Inserts = 32, Bulk = 16, Reads = 256;
   uint64_t SubmitThreads = 2;
-  std::string MetricsFile, FaultSpec;
+  bool TraceOn = true;
+  uint64_t TraceSample = serve::FlightRecorder::Options().SampleEvery;
+  uint64_t FlightRecent = 64, StormDump = 0;
+  std::string MetricsFile, FaultSpec, FlightFile, FlightTraceFile;
   serve::ServeConfig Cfg;
   Cfg.Threads = 4;
 
@@ -228,6 +291,39 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "adesrv: --metrics-out requires a file name\n");
         return 1;
       }
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      std::string Mode = Arg.substr(8);
+      if (Mode == "on") {
+        TraceOn = true;
+      } else if (Mode == "off") {
+        TraceOn = false;
+      } else {
+        std::fprintf(stderr, "adesrv: --trace must be 'on' or 'off'\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--trace-sample=", 0) == 0) {
+      if (!parseU64(Arg, 15, "--trace-sample", TraceSample) || !TraceSample)
+        return 1;
+    } else if (Arg.rfind("--flight-out=", 0) == 0) {
+      FlightFile = Arg.substr(13);
+      if (FlightFile.empty()) {
+        std::fprintf(stderr, "adesrv: --flight-out requires a file name\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--flight-trace-out=", 0) == 0) {
+      FlightTraceFile = Arg.substr(19);
+      if (FlightTraceFile.empty()) {
+        std::fprintf(stderr,
+                     "adesrv: --flight-trace-out requires a file name\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--flight-recent=", 0) == 0) {
+      if (!parseU64(Arg, 16, "--flight-recent", FlightRecent) ||
+          !FlightRecent)
+        return 1;
+    } else if (Arg.rfind("--storm-dump=", 0) == 0) {
+      if (!parseU64(Arg, 13, "--storm-dump", StormDump))
+        return 1;
     } else if (Arg[0] != '-' && !Path) {
       Path = Argv[I];
     } else {
@@ -249,6 +345,14 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "adesrv: bad --fault-plan: %s\n", Error.c_str());
       return 1;
     }
+  }
+
+  // The Chrome-trace recorder must be live before the pipeline runs so
+  // request spans later merge onto the compile-phase timeline.
+  std::unique_ptr<TraceRecorder> TR;
+  if (!FlightTraceFile.empty()) {
+    TR = std::make_unique<TraceRecorder>();
+    TraceRecorder::setActive(TR.get());
   }
 
   std::string Source;
@@ -281,8 +385,34 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // Compilation is over: retire the global recorder before worker
+  // threads start. TraceRecorder is single-threaded (a bare vector), so
+  // leaving it active would race every worker's engine TraceScope;
+  // request-level spans reach the Chrome trace through the flight
+  // recorder's mergeIntoTrace at shutdown instead.
+  if (TR)
+    TraceRecorder::setActive(nullptr);
+
   runtime::Telemetry Tel;
   Cfg.Tel = &Tel;
+
+  // One recorder for every round: the flight rings accumulate across
+  // rounds, so a crash in round 7 still shows round 6's tail.
+  std::unique_ptr<serve::FlightRecorder> Flight;
+  if (TraceOn) {
+    serve::FlightRecorder::Options FO;
+    FO.Workers = Cfg.Threads ? Cfg.Threads : 1;
+    FO.RecentPerLane = unsigned(FlightRecent);
+    FO.SampledPerLane = unsigned(FlightRecent);
+    FO.SampleEvery = TraceSample;
+    Flight = std::make_unique<serve::FlightRecorder>(FO);
+    Cfg.Flight = Flight.get();
+    if (!FlightFile.empty()) {
+      CrashCtx.Flight = Flight.get();
+      CrashCtx.Path = FlightFile;
+      setCrashDumpHook(crashFlightDump, &CrashCtx);
+    }
+  }
 
   serve::WorkloadSpec Spec;
   Spec.Streams = uint32_t(Streams);
@@ -322,6 +452,9 @@ int main(int Argc, char **Argv) {
       Got = serve::runClient(S, Spec, ClientOpts);
       S.stop();
       Stats = S.stats();
+      // Latest round wins: contention and epoch gauges describe the
+      // server instance, so publish at quiescence before it dies.
+      S.publishGauges();
     } catch (const interp::InterpError &E) {
       // Program errors surface as Error responses; an InterpError
       // escaping here means a bug in the runtime itself.
@@ -351,6 +484,21 @@ int main(int Argc, char **Argv) {
        << " map=" << Stats.MapSize << " rehashes=" << Stats.ShardRehashes
        << "\n";
 
+    // Storm detector: a round drowning in shed/deadline outcomes dumps
+    // the flight recorder mid-run (to a side file so the end-of-run
+    // dump does not clobber the storm evidence).
+    uint64_t StormScore =
+        Stats.Shed +
+        Stats.ByStatus[size_t(serve::ResponseStatus::Deadline)];
+    if (StormDump && Flight && !FlightFile.empty() &&
+        StormScore >= StormDump) {
+      std::string StormFile = FlightFile + ".storm";
+      if (writeFlight(StormFile, *Flight, "storm"))
+        OS << "round " << Round << " storm: shed+deadline=" << StormScore
+           << " >= " << StormDump << ", flight dump: " << StormFile.c_str()
+           << "\n";
+    }
+
     if (Oracle) {
       std::vector<uint64_t> Want =
           serve::runOracle(*M, Spec, Cfg, OracleEngine);
@@ -378,12 +526,44 @@ int main(int Argc, char **Argv) {
     ++Round;
   } while (uint64_t(elapsedSec()) < Seconds);
 
+  if (Flight)
+    OS << "adesrv: traces recorded=" << Flight->tracesRecorded()
+       << " sampled=" << Flight->tracesSampled()
+       << " spans-dropped=" << Flight->spansDropped()
+       << " tail-threshold=" << Flight->tailThresholdNs() << "ns\n";
   OS << "adesrv: " << Round << " round(s), accepted=" << TotalAccepted
      << " shed=" << TotalShed << " completed=" << TotalCompleted
+     << " journal-dropped=" << Tel.droppedEvents()
+     << " journal-high-water=" << Tel.journalHighWater()
      << (Exit == 0 ? " [ok]" : " [FAILED]") << "\n";
   OS.flush();
 
+  // The run is over: disarm the crash hook before orderly dumps so a
+  // fault while formatting JSON cannot re-enter the recorder.
+  setCrashDumpHook(nullptr, nullptr);
+
+  int DumpExit = 0;
+  if (Flight && !FlightFile.empty() &&
+      !writeFlight(FlightFile, *Flight, "end-of-run"))
+    DumpExit = 1;
+  if (TR) {
+    if (Flight)
+      Flight->mergeIntoTrace(*TR);
+    std::FILE *F = std::fopen(FlightTraceFile.c_str(), "wb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   FlightTraceFile.c_str());
+      DumpExit = 1;
+    } else {
+      RawFileOstream FS(F);
+      TR->write(FS);
+      FS << '\n';
+      FS.flush();
+      std::fclose(F);
+    }
+  }
+
   if (!MetricsFile.empty() && !writeMetrics(MetricsFile, Tel))
     return Exit ? Exit : 1;
-  return Exit;
+  return Exit ? Exit : DumpExit;
 }

@@ -311,6 +311,8 @@ struct VM::Impl {
   /// The cancellation point (see the tree-walker's checkWallClock): runs
   /// once per 1024 charged steps on the Counted dispatch path.
   __attribute__((noinline)) void checkWallClock(const Instruction *Src) {
+    if (Opts.Cancel)
+      Opts.Cancel->Polls.fetch_add(1, std::memory_order_relaxed);
     if (Opts.Cancel && Opts.Cancel->Cancel.load(std::memory_order_relaxed)) {
       if (Tel)
         Tel->recordGuardRail(GuardRailKind::Wall, 0);

@@ -19,7 +19,11 @@
 #include "parser/Parser.h"
 #include "runtime/Telemetry.h"
 #include "serve/Client.h"
+#include "serve/Span.h"
 #include "stats/Statistic.h"
+#include "support/Json.h"
+#include "support/RawOstream.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
@@ -710,6 +714,283 @@ TEST(TelemetryThreadSafety, StatisticRegistryIterationDuringBumps) {
   Stop.store(true);
   Bumper.join();
   EXPECT_GT(ServeTestHammered.value(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Request tracing and the flight recorder
+//===----------------------------------------------------------------------===//
+
+/// A recorder that traces every request (head sampling off), sized for
+/// \p Workers worker lanes.
+FlightRecorder::Options fullRateOptions(unsigned Workers) {
+  FlightRecorder::Options FO;
+  FO.Workers = Workers;
+  FO.SampleEvery = 1;
+  return FO;
+}
+
+TEST(Tracing, BuilderLifecycleAndOverflow) {
+  Request R;
+  R.Id = 99;
+  R.Op = RequestOp::PointLookup;
+  TraceBuilder TB;
+  EXPECT_FALSE(TB.opened());
+  TB.open(R, 1000);
+  EXPECT_TRUE(TB.opened());
+  EXPECT_FALSE(TB.closed());
+  // Spans beyond the fixed tree size must be counted, not stored — and
+  // the returned scratch span must still be writable.
+  for (unsigned I = 0; I != Trace::MaxSpans + 3; ++I)
+    TB.addSpan(SpanKind::TableOp, 1000 + I, 1).A = I;
+  TB.close(ResponseStatus::Ok, 5000);
+  EXPECT_TRUE(TB.closed());
+  const Trace &T = TB.trace();
+  EXPECT_EQ(T.NumSpans, Trace::MaxSpans);
+  EXPECT_EQ(T.DroppedSpans, 3u);
+  EXPECT_EQ(T.TotalNs, 4000u);
+  EXPECT_EQ(T.Id, 99u);
+}
+
+TEST(Tracing, HeadSamplingIsDeterministic) {
+  FlightRecorder::Options FO;
+  FO.Workers = 1;
+  FO.SampleEvery = 8;
+  FlightRecorder FR(FO);
+  unsigned Hits = 0;
+  for (uint64_t Id = 0; Id != 4096; ++Id) {
+    bool First = FR.shouldTrace(Id);
+    EXPECT_EQ(First, FR.shouldTrace(Id)) << "decision must be pure in id";
+    Hits += First;
+  }
+  // Hash-keyed 1-in-8: the exact count is fixed by the hash, but it
+  // must be in the right ballpark (ids are not raw-modulo'd).
+  EXPECT_GT(Hits, 4096u / 16);
+  EXPECT_LT(Hits, 4096u / 4);
+}
+
+TEST(Tracing, TailSamplerKeepsInterestingOutcomes) {
+  FlightRecorder FR(fullRateOptions(1));
+  Trace T;
+  T.Status = ResponseStatus::Ok;
+  EXPECT_FALSE(FR.interesting(T));
+  T.Status = ResponseStatus::Shed;
+  EXPECT_TRUE(FR.interesting(T));
+  T.Status = ResponseStatus::Deadline;
+  EXPECT_TRUE(FR.interesting(T));
+  T.Status = ResponseStatus::Ok;
+  T.Flags = Trace::FaultDelay;
+  EXPECT_TRUE(FR.interesting(T));
+  T.Flags = 0;
+  // Latency above the rolling tail threshold is interesting; below is
+  // not; with no threshold installed nothing is slow.
+  T.TotalNs = 1000000;
+  EXPECT_FALSE(FR.interesting(T));
+  FR.noteTailLatency(500000);
+  EXPECT_TRUE(FR.interesting(T));
+  T.TotalNs = 400000;
+  EXPECT_FALSE(FR.interesting(T));
+}
+
+TEST(Tracing, ShedRequestsGetCompleteTraces) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  ServeConfig Cfg;
+  Cfg.Threads = 1;
+  Cfg.QueueCapacity = 1;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=1,delay=1.0:1000", Cfg.Faults, &Error))
+      << Error;
+  FlightRecorder FR(fullRateOptions(Cfg.Threads));
+  Cfg.Flight = &FR;
+  WorkloadSpec Spec = smallSpec(/*ProgramCalls=*/false);
+  Spec.Streams = 2;
+  Spec.InsertsPerStream = 8;
+  Spec.ReadsPerStream = 56;
+  ClientOptions Opts;
+  Opts.RetryShed = false;
+  Opts.SubmitThreads = 2;
+
+  Server S(*M, Cfg);
+  ClientResult Got = runClient(S, Spec, Opts);
+  S.stop();
+  ServerStats Stats = S.stats();
+  ASSERT_GT(Stats.Shed, 0u) << "overload config must shed";
+
+  // Every submission got exactly one closed trace: completed requests
+  // on worker lanes, shed requests on the admission lane.
+  EXPECT_EQ(FR.tracesRecorded(), Stats.Completed + Stats.Shed);
+  (void)Got;
+
+  unsigned ShedTraces = 0;
+  for (const Trace &T : FR.sampledTraces()) {
+    if (T.Status != ResponseStatus::Shed)
+      continue;
+    ++ShedTraces;
+    // A shed trace's whole tree is the admission decision.
+    ASSERT_GE(T.NumSpans, 1u);
+    EXPECT_EQ(T.Spans[0].Kind, SpanKind::Admission);
+    EXPECT_EQ(T.Spans[0].B, 1u) << "admission span must mark the shed";
+    EXPECT_EQ(T.Worker, FR.admissionLane());
+  }
+  EXPECT_GT(ShedTraces, 0u)
+      << "shed outcomes are interesting and must be tail-sampled";
+}
+
+TEST(Tracing, DeadlineRequestsGetCompleteTraces) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  ServeConfig Cfg;
+  Cfg.Threads = 2;
+  Cfg.DeadlineMs = 1;
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=1,delay=1.0:5000", Cfg.Faults, &Error))
+      << Error;
+  FlightRecorder FR(fullRateOptions(Cfg.Threads));
+  Cfg.Flight = &FR;
+  WorkloadSpec Spec = smallSpec(/*ProgramCalls=*/false);
+  Spec.Streams = 2;
+  Spec.InsertsPerStream = 4;
+  Spec.ReadsPerStream = 12;
+
+  Server S(*M, Cfg);
+  runClient(S, Spec);
+  S.stop();
+
+  uint64_t Total = uint64_t(Spec.Streams) *
+                   (Spec.InsertsPerStream + Spec.ReadsPerStream);
+  EXPECT_EQ(FR.tracesRecorded(), Total);
+  unsigned DeadlineTraces = 0;
+  for (const Trace &T : FR.sampledTraces()) {
+    if (T.Status != ResponseStatus::Deadline)
+      continue;
+    ++DeadlineTraces;
+    // A worker saw the request: admission + queue-wait prefix, and the
+    // fault plan's delay must be stamped.
+    ASSERT_GE(T.NumSpans, 2u);
+    EXPECT_EQ(T.Spans[0].Kind, SpanKind::Admission);
+    EXPECT_EQ(T.Spans[1].Kind, SpanKind::QueueWait);
+    EXPECT_TRUE(T.Flags & Trace::FaultDelay);
+    EXPECT_LT(T.Worker, FR.workerLanes());
+  }
+  EXPECT_GT(DeadlineTraces, 0u)
+      << "every request deadlines; the tail sampler must keep them";
+}
+
+TEST(Tracing, FlightDumpRoundTripsThroughJson) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  ServeConfig Cfg;
+  Cfg.Threads = 2;
+  // Storm faults perturb timing only (no outcome changes) but flag
+  // every request, so the tail sampler deterministically keeps traces
+  // for the merge assertion below.
+  std::string Error;
+  ASSERT_TRUE(FaultPlan::parse("seed=3,storm=1.0:16", Cfg.Faults, &Error))
+      << Error;
+  FlightRecorder FR(fullRateOptions(Cfg.Threads));
+  Cfg.Flight = &FR;
+  WorkloadSpec Spec = smallSpec(/*ProgramCalls=*/true);
+
+  Server S(*M, Cfg);
+  runClient(S, Spec);
+  S.stop();
+  ASSERT_GT(FR.tracesRecorded(), 0u);
+
+  std::string Out;
+  {
+    RawStringOstream OS(Out);
+    json::Writer W(OS);
+    FR.writeJson(W, "on-demand");
+  }
+  std::unique_ptr<json::Value> Doc = json::parse(Out, &Error);
+  ASSERT_TRUE(Doc) << Error << "\n" << Out;
+  ASSERT_TRUE(Doc->isObject());
+  EXPECT_EQ(Doc->find("flightSchemaVersion")->asUint(), 1u);
+  EXPECT_EQ(Doc->find("reason")->asString(), "on-demand");
+  EXPECT_EQ(Doc->find("tracesRecorded")->asUint(), FR.tracesRecorded());
+  const json::Value *Lanes = Doc->find("lanes");
+  ASSERT_TRUE(Lanes && Lanes->isArray());
+  // Worker lanes plus the admission lane.
+  EXPECT_EQ(Lanes->elements().size(), size_t(Cfg.Threads) + 1);
+  const json::Value *Stages = Doc->find("stages");
+  ASSERT_TRUE(Stages && Stages->isArray());
+  // ProgramCalls ran, so the engine-exec stage must have samples with
+  // step budgets and cancellation polls attached.
+  bool SawEngine = false;
+  for (const json::Value &St : Stages->elements())
+    if (St.find("stage")->asString() == "engine-exec" &&
+        St.find("count")->asUint() > 0)
+      SawEngine = true;
+  EXPECT_TRUE(SawEngine);
+
+  // The Chrome-trace merge must add one complete event per span plus
+  // one per trace, in the "serve" category.
+  TraceRecorder TR;
+  size_t Before = TR.eventCount();
+  FR.mergeIntoTrace(TR);
+  EXPECT_GT(TR.eventCount(), Before);
+}
+
+TEST(Tracing, OnOffDigestsAreBitIdentical) {
+  auto M = parser::parseModuleOrDie(kServeModule);
+  std::string Error;
+  WorkloadSpec Spec = smallSpec(/*ProgramCalls=*/true);
+  Spec.Seed = 17;
+
+  auto digests = [&](bool TraceOn) {
+    ServeConfig Cfg;
+    Cfg.Threads = 4;
+    EXPECT_TRUE(FaultPlan::parse("seed=11,budget=0.05,storm=0.02:16",
+                                 Cfg.Faults, &Error))
+        << Error;
+    FlightRecorder FR(fullRateOptions(Cfg.Threads));
+    if (TraceOn)
+      Cfg.Flight = &FR;
+    Server S(*M, Cfg);
+    ClientResult Got = runClient(S, Spec);
+    S.stop();
+    return Got.Digests;
+  };
+
+  // Tracing only reads clocks and counters; request semantics — and so
+  // the per-stream response digests — must be bit-identical with the
+  // recorder attached and detached.
+  std::vector<uint64_t> On = digests(true);
+  std::vector<uint64_t> Off = digests(false);
+  EXPECT_EQ(On, Off);
+  std::vector<uint64_t> Oracle;
+  {
+    ServeConfig Cfg;
+    Cfg.Threads = 4;
+    ASSERT_TRUE(FaultPlan::parse("seed=11,budget=0.05,storm=0.02:16",
+                                 Cfg.Faults, &Error))
+        << Error;
+    Oracle = runOracle(*M, Spec, Cfg);
+  }
+  EXPECT_EQ(On, Oracle);
+}
+
+TEST(Tracing, RecentRingKeepsOnlyLastN) {
+  FlightRecorder::Options FO;
+  FO.Workers = 1;
+  FO.SampleEvery = 1;
+  FO.RecentPerLane = 4;
+  FO.SampledPerLane = 4;
+  FlightRecorder FR(FO);
+  Request R;
+  for (uint64_t Id = 0; Id != 32; ++Id) {
+    R.Id = Id;
+    TraceBuilder TB;
+    TB.open(R, Id * 100);
+    TB.addSpan(SpanKind::Admission, Id * 100, 5);
+    TB.close(ResponseStatus::Ok, Id * 100 + 50);
+    FR.recordCompleted(0, TB.trace());
+  }
+  EXPECT_EQ(FR.tracesRecorded(), 32u);
+  std::vector<Trace> Recent = FR.recentTraces();
+  ASSERT_EQ(Recent.size(), 4u);
+  // Oldest first, and only the tail of the stream survives the wrap.
+  EXPECT_EQ(Recent.front().Id, 28u);
+  EXPECT_EQ(Recent.back().Id, 31u);
+  // Nothing was interesting, so the sampled ring stays empty.
+  EXPECT_TRUE(FR.sampledTraces().empty());
 }
 
 } // namespace
